@@ -1,0 +1,77 @@
+//! Figure 5 — SPCG-ILU(K) speedups on the A100 model.
+//!
+//! Paper reference points: per-iteration gmean 1.65x with 80.38%
+//! accelerated, slowdowns staying close to 1 (Fig 5a); end-to-end gmean
+//! 3.73x, iterations approximately unchanged for 91.61% (Fig 5b, §4.3).
+//! Baseline ILU(K) GFLOP/s envelope quoted: 0.0007–2.709.
+
+use spcg_bench::stats::{gmean, histogram_pct, pct_accelerated};
+use spcg_bench::sweep::{end_to_end_speedups, per_iteration_speedups, sweep_collection, Family};
+use spcg_bench::table::{fmt_pct, fmt_speedup, print_histogram, print_scatter};
+use spcg_bench::{write_artifact, Variant};
+use spcg_core::SparsifyParams;
+use spcg_gpusim::{iteration_gflops, DeviceSpec};
+use spcg_solver::pcg_iteration_flops;
+
+fn main() {
+    let device = DeviceSpec::a100();
+    let rows = sweep_collection(
+        &device,
+        Family::IlukAuto,
+        &Variant::Heuristic(SparsifyParams::default()),
+    );
+    write_artifact("fig5_iluk_a100", &rows.iter().map(|(_, r)| r).collect::<Vec<_>>());
+
+    // --- Figure 5a: per-iteration speedup distribution ---
+    let speedups = per_iteration_speedups(&rows);
+    print_histogram(
+        "Figure 5a: SPCG-ILU(K) per-iteration speedup distribution (A100 model)",
+        0.0,
+        5.0,
+        &histogram_pct(&speedups, 0.0, 5.0, 20),
+    );
+    println!(
+        "gmean per-iteration speedup: {}   (paper: 1.65x)",
+        fmt_speedup(gmean(&speedups).unwrap_or(0.0))
+    );
+    println!(
+        "% accelerated: {}              (paper: 80.38%)",
+        fmt_pct(pct_accelerated(&speedups))
+    );
+    let worst = speedups.iter().cloned().fold(f64::MAX, f64::min);
+    println!("worst slowdown: {worst:.2}x   (paper: slowdowns remain close to 1)");
+
+    let gflops: Vec<f64> = rows
+        .iter()
+        .map(|(_, r)| {
+            let flops = pcg_iteration_flops(r.nnz, r.base.factor_nnz, r.n) as f64;
+            iteration_gflops(flops, r.base.per_iteration_us)
+        })
+        .collect();
+    let lo = gflops.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = gflops.iter().cloned().fold(0.0f64, f64::max);
+    println!("baseline GFLOP/s range: {lo:.4} - {hi:.4}   (paper: 0.0007 - 2.709)");
+
+    // --- Figure 5b: end-to-end speedup vs nnz ---
+    let e2e = end_to_end_speedups(&rows);
+    let pts: Vec<(String, f64, f64)> = e2e
+        .iter()
+        .map(|(n, nnz, s)| (n.clone(), *nnz as f64, *s))
+        .collect();
+    print_scatter(
+        "Figure 5b: SPCG-ILU(K) end-to-end speedup vs nnz (A100 model)",
+        "nnz",
+        "speedup",
+        &pts,
+    );
+    let e2e_vals: Vec<f64> = e2e.iter().map(|(_, _, s)| *s).collect();
+    println!(
+        "gmean end-to-end speedup: {}   (paper: 3.73x)",
+        fmt_speedup(gmean(&e2e_vals).unwrap_or(0.0))
+    );
+    let same = rows.iter().filter(|(_, r)| r.iterations_approx_same()).count();
+    println!(
+        "iterations approximately unchanged: {}   (paper: 91.61%)",
+        fmt_pct(100.0 * same as f64 / rows.len().max(1) as f64)
+    );
+}

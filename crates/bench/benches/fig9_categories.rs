@@ -1,0 +1,59 @@
+//! Figure 9 — gmean end-to-end SPCG-ILU(0) speedup per application
+//! category (A100 model).
+//!
+//! Paper reference: 16 of 17 categories show moderate or strong end-to-end
+//! improvements; economic, duplicate optimization and circuit simulation
+//! stand out; CFD and graphics/vision are diluted by degraded convergence
+//! despite good per-iteration gains.
+
+use spcg_bench::stats::gmean;
+use spcg_bench::sweep::{sweep_collection, Family};
+use spcg_bench::table::{fmt_speedup, print_table};
+use spcg_bench::{write_artifact, Variant};
+use spcg_core::SparsifyParams;
+use spcg_gpusim::DeviceSpec;
+use spcg_suite::Category;
+use std::collections::HashMap;
+
+fn main() {
+    let device = DeviceSpec::a100();
+    let rows = sweep_collection(
+        &device,
+        Family::Ilu0,
+        &Variant::Heuristic(SparsifyParams::default()),
+    );
+
+    let mut per_cat: HashMap<&'static str, (Vec<f64>, Vec<f64>)> = HashMap::new();
+    for (spec, row) in &rows {
+        let entry = per_cat.entry(spec.category.label()).or_default();
+        if let Some(s) = row.end_to_end_speedup() {
+            entry.0.push(s);
+        }
+        entry.1.push(row.per_iteration_speedup());
+    }
+
+    let mut table = Vec::new();
+    for cat in Category::ALL {
+        let label = cat.label();
+        let (e2e, per_iter) = per_cat.get(label).cloned().unwrap_or_default();
+        table.push(vec![
+            label.to_string(),
+            fmt_speedup(gmean(&e2e).unwrap_or(0.0)),
+            fmt_speedup(gmean(&per_iter).unwrap_or(0.0)),
+            e2e.len().to_string(),
+        ]);
+    }
+    print_table(
+        "Figure 9: gmean end-to-end SPCG-ILU(0) speedup per application category (A100 model)",
+        &["category", "gmean e2e", "gmean per-iter", "#converging"],
+        &table,
+    );
+    let improving = table
+        .iter()
+        .filter(|r| r[1].trim_end_matches('x').parse::<f64>().unwrap_or(0.0) > 1.0)
+        .count();
+    println!(
+        "categories with end-to-end improvement: {improving} / 17   (paper: 16 / 17)"
+    );
+    write_artifact("fig9_categories", &table);
+}

@@ -1,0 +1,61 @@
+//! §4.6 — low-rank approximation study: how often HSS-style compression
+//! would trigger on incomplete factors (the STRUMPACK substitute).
+//!
+//! Paper reference: HSS compression applied effectively for only 5.61% of
+//! matrices at default parameters; shrinking the minimum separator size
+//! raises coverage to 28.04% but degrades performance/memory and is not
+//! recommended.
+
+use spcg_bench::table::{fmt_pct, print_table};
+use spcg_bench::write_artifact;
+use spcg_lowrank::{probe_factor, HssProbeParams};
+use spcg_precond::{ilu0, TriangularExec};
+use spcg_suite::fast_collection;
+
+fn main() {
+    // The probe is dense-block QR over factor blocks — use the quarter-size
+    // collection regardless of SPCG_FAST to bound runtime.
+    let specs = fast_collection();
+    let default_params = HssProbeParams::default();
+    let lax_params = HssProbeParams { min_separator: 4, min_density: 0.02, ..Default::default() };
+
+    let mut triggered_default = 0usize;
+    let mut triggered_lax = 0usize;
+    let mut total = 0usize;
+    let mut rows = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let a = spec.build();
+        let Ok(f) = ilu0(&a, TriangularExec::Sequential) else { continue };
+        let rep_d = probe_factor(f.l(), &default_params);
+        let rep_l = probe_factor(f.l(), &lax_params);
+        total += 1;
+        if rep_d.triggers() {
+            triggered_default += 1;
+        }
+        if rep_l.triggers() {
+            triggered_lax += 1;
+        }
+        rows.push(vec![
+            spec.name.clone(),
+            rep_d.blocks_candidates.to_string(),
+            rep_d.blocks_compressible.to_string(),
+            rep_l.blocks_candidates.to_string(),
+            rep_l.blocks_compressible.to_string(),
+        ]);
+        eprintln!("[{}/{}] {}", i + 1, specs.len(), spec.name);
+    }
+    print_table(
+        "Sec 4.6: HSS qualification probe over ILU(0) lower factors",
+        &["matrix", "cand (default)", "compressible (default)", "cand (min_sep=4)", "compressible (min_sep=4)"],
+        &rows,
+    );
+    println!(
+        "\nHSS triggers at default parameters: {}   (paper: 5.61%)",
+        fmt_pct(100.0 * triggered_default as f64 / total.max(1) as f64)
+    );
+    println!(
+        "HSS triggers with tiny minimum separator: {}   (paper: 28.04%, not recommended)",
+        fmt_pct(100.0 * triggered_lax as f64 / total.max(1) as f64)
+    );
+    write_artifact("sec46_lowrank", &rows);
+}

@@ -1,0 +1,53 @@
+//! §5.3 — GPU profiling observations on three representative matrices
+//! (the Nsight Compute substitute, using the simulator's counters).
+//!
+//! Paper reference: thermomech_dM — DRAM utilization 4.24% → 6.25%,
+//! compute 16.49% → 23.71%, speedup 4.39x; Muu — DRAM 1.71% → 1.07%,
+//! speedup 0.99x; 2cubes_sphere — compute utilization flat at 1.07%
+//! (latency-limited).
+
+use spcg_bench::table::print_table;
+use spcg_bench::write_artifact;
+use spcg_core::{wavefront_aware_sparsify, SparsifyParams};
+use spcg_gpusim::{pcg_iteration_cost, profile, DeviceSpec};
+use spcg_precond::{ilu0, TriangularExec};
+use spcg_suite::reference::{muu_like, thermomech_dm_like, two_cubes_sphere_like};
+
+fn main() {
+    let device = DeviceSpec::a100();
+    let cases = [
+        ("thermomech_dM-like", thermomech_dm_like()),
+        ("2cubes_sphere-like", two_cubes_sphere_like()),
+        ("Muu-like", muu_like()),
+    ];
+    let mut rows = Vec::new();
+    for (name, a) in &cases {
+        let fb = ilu0(a, TriangularExec::Sequential).expect("baseline factorization");
+        let d = wavefront_aware_sparsify(a, &SparsifyParams::default());
+        let fs = ilu0(&d.sparsified.a_hat, TriangularExec::Sequential)
+            .expect("sparsified factorization");
+        let cb = pcg_iteration_cost(&device, a, &fb).aggregate();
+        let cs = pcg_iteration_cost(&device, a, &fs).aggregate();
+        let pb = profile(&device, &cb);
+        let ps = profile(&device, &cs);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}%", pb.dram_utilization_pct),
+            format!("{:.2}%", ps.dram_utilization_pct),
+            format!("{:.2}%", pb.compute_utilization_pct),
+            format!("{:.2}%", ps.compute_utilization_pct),
+            format!("{:.2}x", cb.time_us / cs.time_us),
+            format!("{:?}->{:?}", pb.bound, ps.bound),
+        ]);
+    }
+    print_table(
+        "Sec 5.3: simulated profiler counters, baseline vs SPCG (A100 model)",
+        &["matrix", "DRAM base", "DRAM spcg", "compute base", "compute spcg", "speedup", "bound"],
+        &rows,
+    );
+    println!("\npaper reference:");
+    println!("  thermomech_dM : DRAM 4.24% -> 6.25%, compute 16.49% -> 23.71%, speedup 4.39x");
+    println!("  2cubes_sphere : compute flat at 1.07% (latency-limited)");
+    println!("  Muu           : DRAM 1.71% -> 1.07%, speedup 0.99x");
+    write_artifact("sec53_profiling", &rows);
+}

@@ -1,0 +1,68 @@
+//! §5.4 — condition-number analysis on the named stand-ins: iteration
+//! counts and condition estimates across sparsification ratios 0/1/5/10%.
+//!
+//! Paper reference (on the original SuiteSparse matrices): ecology2 fails
+//! un-sparsified and at 1% but converges in 2 iterations at 5–10% (cond 30
+//! → 10); thermal1 improves gradually (1000+ → 531 → 127 → 71);
+//! Pres_Poisson improves up to 5% (458 → 401 iterations) then fails at 10%
+//! (cond back to 1.11e4). See EXPERIMENTS.md for why the *iteration* flips
+//! depend on the original data's numerical pathologies while the
+//! condition-indicator staircase reproduces mechanically.
+
+use spcg_bench::runner::bench_solver_config;
+use spcg_bench::table::print_table;
+use spcg_bench::write_artifact;
+use spcg_core::{condition_estimate, sparsify_by_magnitude, CondEstimator};
+use spcg_precond::{ilu0, TriangularExec};
+use spcg_solver::pcg;
+use spcg_sparse::cond::SpectralOptions;
+use spcg_suite::reference::{ecology2_like, pres_poisson_like, thermal1_like};
+
+fn main() {
+    let solver = bench_solver_config();
+    let spectral = CondEstimator::Spectral(SpectralOptions::default());
+    let cases = [
+        ("ecology2-like", ecology2_like()),
+        ("thermal1-like", thermal1_like()),
+        ("Pres_Poisson-like", pres_poisson_like()),
+    ];
+    let mut rows = Vec::new();
+    for (name, a) in &cases {
+        let b = vec![1.0f64; a.n_rows()];
+        for pct in [0.0, 1.0, 5.0, 10.0] {
+            let a_hat = if pct == 0.0 {
+                a.clone()
+            } else {
+                sparsify_by_magnitude(a, pct).a_hat
+            };
+            let (iters, status, resid) = match ilu0(&a_hat, TriangularExec::Sequential) {
+                Ok(f) => {
+                    let r = pcg(a, &f, &b, &solver);
+                    (r.iterations.to_string(), format!("{:?}", r.stop), format!("{:.2e}", r.final_residual))
+                }
+                Err(e) => ("-".into(), format!("factorization failed: {e}"), "-".into()),
+            };
+            let approx = condition_estimate(&a_hat, &CondEstimator::PaperApprox);
+            let exact = condition_estimate(&a_hat, &spectral);
+            rows.push(vec![
+                name.to_string(),
+                format!("{pct}%"),
+                iters,
+                status,
+                resid,
+                format!("{approx:.3e}"),
+                format!("{exact:.3e}"),
+            ]);
+        }
+    }
+    print_table(
+        "Sec 5.4: condition-number analysis across sparsification ratios",
+        &["matrix", "ratio", "iterations", "stop", "residual", "approx cond(A_hat)", "spectral cond(A_hat)"],
+        &rows,
+    );
+    println!("\npaper reference (original matrices):");
+    println!("  ecology2     : fails at 0%/1% (residual > 1), 2 iterations at 5%/10% (cond 30 -> 10)");
+    println!("  thermal1     : 1000+ -> 531 -> 127 -> 71 iterations (cond 10.71 -> 10.70 -> 10.61)");
+    println!("  Pres_Poisson : 458 -> 401 iterations up to 5% (cond 1.11e4 -> 1.07e4), fails at 10%");
+    write_artifact("sec54_condition", &rows);
+}

@@ -1,0 +1,37 @@
+//! # spcg-bench
+//!
+//! Benchmark harness regenerating every table and figure of the SPCG
+//! paper's evaluation. The bench targets (`cargo bench -p spcg-bench`) are
+//! plain binaries; each prints the corresponding table/figure data and
+//! writes a JSON artifact under `target/spcg-results/`.
+//!
+//! | Target | Paper artifact |
+//! |---|---|
+//! | `fig4_ilu0_a100` | Figure 4a/4b |
+//! | `fig5_iluk_a100` | Figure 5a/5b |
+//! | `fig6_factorization` | Figure 6 |
+//! | `table1_ablation` | Table 1a/1b |
+//! | `fig7_oracle` | Figure 7 |
+//! | `table2_portability` | Table 2 |
+//! | `fig8_v100_cpu` | Figure 8a/8b/8c |
+//! | `fig9_categories` | Figure 9 |
+//! | `fig10_wavefront_corr` | Figure 10a/10b |
+//! | `sec53_profiling` | §5.3 profiling observations |
+//! | `sec54_condition` | §5.4 condition-number analysis |
+//! | `sec323_heuristics` | §3.2.3 heuristic-choice analysis |
+//! | `sec46_lowrank` | §4.6 low-rank (HSS) study |
+//! | `kernels` | Criterion microbenchmarks (real CPU) |
+//!
+//! Set `SPCG_FAST=1` to run on the quarter-size dataset.
+
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod stats;
+pub mod sweep;
+pub mod table;
+
+pub use runner::{
+    bench_solver_config, build_factors, compare, evaluate, select_k, write_artifact,
+    ComparisonRow, EvalResult, Variant,
+};

@@ -1,0 +1,182 @@
+//! Aggregate statistics used by every table and figure: geometric means,
+//! acceleration rates, histograms, Spearman correlation, linear regression.
+
+/// Geometric mean of strictly positive finite values; `None` when empty.
+pub fn gmean(values: &[f64]) -> Option<f64> {
+    let logs: Vec<f64> = values
+        .iter()
+        .filter(|v| v.is_finite() && **v > 0.0)
+        .map(|v| v.ln())
+        .collect();
+    if logs.is_empty() {
+        None
+    } else {
+        Some((logs.iter().sum::<f64>() / logs.len() as f64).exp())
+    }
+}
+
+/// Percentage of values strictly greater than 1 (the "% Accelerated" rows
+/// of Table 1/2).
+pub fn pct_accelerated(speedups: &[f64]) -> f64 {
+    if speedups.is_empty() {
+        return 0.0;
+    }
+    100.0 * speedups.iter().filter(|&&s| s > 1.0).count() as f64 / speedups.len() as f64
+}
+
+/// Histogram with fixed-width bins over `[lo, hi)`; the last bin also
+/// absorbs values ≥ `hi` (the paper's figures clip the axis at 5×).
+pub fn histogram(values: &[f64], lo: f64, hi: f64, n_bins: usize) -> Vec<usize> {
+    assert!(n_bins > 0 && hi > lo);
+    let mut bins = vec![0usize; n_bins];
+    let width = (hi - lo) / n_bins as f64;
+    for &v in values {
+        if !v.is_finite() || v < lo {
+            continue;
+        }
+        let idx = (((v - lo) / width) as usize).min(n_bins - 1);
+        bins[idx] += 1;
+    }
+    bins
+}
+
+/// Histogram normalized to percentages (the figures' y-axis).
+pub fn histogram_pct(values: &[f64], lo: f64, hi: f64, n_bins: usize) -> Vec<f64> {
+    let bins = histogram(values, lo, hi, n_bins);
+    let total: usize = bins.iter().sum();
+    bins.iter()
+        .map(|&b| if total == 0 { 0.0 } else { 100.0 * b as f64 / total as f64 })
+        .collect()
+}
+
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut r = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        // average ranks over ties
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            r[k] = avg;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+/// Pearson correlation of two equal-length samples.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// Spearman rank correlation (Figures 10a/10b report ρ = 0.61 and 0.22).
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Least-squares line `y = slope·x + intercept` (the figures' trendline).
+pub fn linear_regression(x: &[f64], y: &[f64]) -> (f64, f64) {
+    assert_eq!(x.len(), y.len());
+    let n = x.len() as f64;
+    if n < 2.0 {
+        return (0.0, y.first().copied().unwrap_or(0.0));
+    }
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+    }
+    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    (slope, my - slope * mx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_basics() {
+        assert!((gmean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!((gmean(&[1.0, 1.0, 1.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(gmean(&[]), None);
+        // non-finite and non-positive values are skipped
+        assert!((gmean(&[2.0, f64::NAN, 8.0, -1.0]).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accelerated_percentage() {
+        assert_eq!(pct_accelerated(&[0.5, 1.0, 1.5, 2.0]), 50.0);
+        assert_eq!(pct_accelerated(&[]), 0.0);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let h = histogram(&[0.1, 0.3, 0.3, 4.9, 7.0], 0.0, 5.0, 20);
+        assert_eq!(h[0], 1); // 0.1
+        assert_eq!(h[1], 2); // two 0.3s
+        assert_eq!(h[19], 2); // 4.9 and the clipped 7.0
+        let pct = histogram_pct(&[1.0, 1.0, 3.0, 3.0], 0.0, 5.0, 5);
+        assert_eq!(pct[1], 50.0);
+        assert_eq!(pct[3], 50.0);
+    }
+
+    #[test]
+    fn spearman_monotone_is_one() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 100.0, 1000.0, 10000.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        let yr: Vec<f64> = y.iter().rev().copied().collect();
+        assert!((spearman(&x, &yr) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 1.0, 2.0, 3.0];
+        let y = [5.0, 5.0, 6.0, 7.0];
+        let r = spearman(&x, &y);
+        assert!(r > 0.9 && r <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn regression_recovers_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y: Vec<f64> = x.iter().map(|v| 2.5 * v - 1.0).collect();
+        let (s, i) = linear_regression(&x, &y);
+        assert!((s - 2.5).abs() < 1e-12);
+        assert!((i + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_noise_is_small() {
+        let x: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let y: Vec<f64> = (0..100).map(|i| ((i * 13 + 5) % 11) as f64).collect();
+        assert!(pearson(&x, &y).abs() < 0.3);
+    }
+}

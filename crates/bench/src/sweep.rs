@@ -1,0 +1,101 @@
+//! Suite-wide sweeps shared by the figure/table bench targets.
+
+use crate::runner::{bench_solver_config, compare, select_k, ComparisonRow, Variant};
+use spcg_core::PrecondKind;
+use spcg_gpusim::DeviceSpec;
+use spcg_suite::{env_collection, MatrixSpec};
+
+/// Preconditioner family for a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// ILU(0) for every matrix.
+    Ilu0,
+    /// ILU(K) with the per-matrix best K (the paper's §3.3 selection).
+    IlukAuto,
+}
+
+impl Family {
+    /// Paper-style label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Family::Ilu0 => "ILU(0)",
+            Family::IlukAuto => "ILU(K)",
+        }
+    }
+}
+
+/// One sweep record: the spec plus its comparison row.
+pub type SweepRow = (MatrixSpec, ComparisonRow);
+
+/// Runs `variant` against the baseline over the whole (env-selected)
+/// collection on `device`. Matrices whose factorization fails or whose
+/// ILU(K) fill exceeds the cap are skipped with a note — mirroring the
+/// paper's exclusion of configurations that cannot complete.
+pub fn sweep_collection(device: &DeviceSpec, family: Family, variant: &Variant) -> Vec<SweepRow> {
+    let specs = env_collection();
+    let solver = bench_solver_config();
+    let mut rows = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let a = spec.build();
+        let b = spec.rhs(a.n_rows());
+        let kind = match family {
+            Family::Ilu0 => PrecondKind::Ilu0,
+            Family::IlukAuto => match select_k(&a, &b, &solver) {
+                Some(k) => PrecondKind::Iluk(k),
+                None => {
+                    eprintln!("[{}/{}] {}: no usable K, skipped", i + 1, specs.len(), spec.name);
+                    continue;
+                }
+            },
+        };
+        match compare(
+            &spec.name,
+            spec.category.label(),
+            &a,
+            &b,
+            kind,
+            device,
+            variant,
+            &solver,
+        ) {
+            Ok(row) => {
+                eprintln!(
+                    "[{}/{}] {}: per-iter {:.2}x, e2e {}",
+                    i + 1,
+                    specs.len(),
+                    spec.name,
+                    row.per_iteration_speedup(),
+                    row.end_to_end_speedup()
+                        .map(|s| format!("{s:.2}x"))
+                        .unwrap_or_else(|| "n/a".into()),
+                );
+                rows.push((spec.clone(), row));
+            }
+            Err(e) => eprintln!("[{}/{}] {}: skipped ({e})", i + 1, specs.len(), spec.name),
+        }
+    }
+    rows
+}
+
+/// Per-iteration speedups of a sweep.
+pub fn per_iteration_speedups(rows: &[SweepRow]) -> Vec<f64> {
+    rows.iter().map(|(_, r)| r.per_iteration_speedup()).collect()
+}
+
+/// End-to-end speedups of the converging subset.
+pub fn end_to_end_speedups(rows: &[SweepRow]) -> Vec<(String, usize, f64)> {
+    rows.iter()
+        .filter_map(|(s, r)| r.end_to_end_speedup().map(|v| (s.name.clone(), r.nnz, v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_labels() {
+        assert_eq!(Family::Ilu0.label(), "ILU(0)");
+        assert_eq!(Family::IlukAuto.label(), "ILU(K)");
+    }
+}

@@ -1,0 +1,79 @@
+//! Plain-text table/figure rendering for the bench binaries.
+
+/// Prints a fixed-width table: header row + data rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line: String = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:width$}", h, width = widths[i] + 2))
+        .collect();
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().min(120)));
+    for row in rows {
+        let line: String = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(8) + 2))
+            .collect();
+        println!("{line}");
+    }
+}
+
+/// Prints an ASCII histogram (one bar per bin) — the textual stand-in for
+/// the paper's distribution figures.
+pub fn print_histogram(title: &str, lo: f64, hi: f64, pct: &[f64]) {
+    println!("\n== {title} ==");
+    let width = (hi - lo) / pct.len() as f64;
+    for (i, &p) in pct.iter().enumerate() {
+        let lo_i = lo + i as f64 * width;
+        let bar = "#".repeat((p.round() as usize).min(80));
+        println!("{:>5.2}-{:<5.2} {:>6.2}% {}", lo_i, lo_i + width, p, bar);
+    }
+}
+
+/// Prints an x/y scatter as aligned columns (the textual stand-in for the
+/// paper's scatter figures).
+pub fn print_scatter(title: &str, x_label: &str, y_label: &str, pts: &[(String, f64, f64)]) {
+    println!("\n== {title} ==");
+    println!("{:<22} {:>14} {:>14}", "matrix", x_label, y_label);
+    for (name, x, y) in pts {
+        println!("{name:<22} {x:>14.4} {y:>14.4}");
+    }
+}
+
+/// Formats a speedup with the paper's convention.
+pub fn fmt_speedup(s: f64) -> String {
+    format!("{s:.2}x")
+}
+
+/// Formats a percentage.
+pub fn fmt_pct(p: f64) -> String {
+    format!("{p:.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_speedup(1.234), "1.23x");
+        assert_eq!(fmt_pct(69.158), "69.16%");
+    }
+
+    #[test]
+    fn printers_do_not_panic() {
+        print_table("t", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        print_histogram("h", 0.0, 5.0, &[10.0, 90.0]);
+        print_scatter("s", "x", "y", &[("m".into(), 1.0, 2.0)]);
+    }
+}

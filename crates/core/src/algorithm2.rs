@@ -1,0 +1,276 @@
+//! Wavefront-aware sparsification — Algorithm 2 of the paper, verbatim
+//! including both fallback rules:
+//!
+//! * ratios are tried from most to least aggressive (default 10, 5, 1%);
+//! * a candidate must pass the convergence indicator `‖Â⁻¹‖·‖S‖ ≤ τ`
+//!   (lines 3–8); if even the smallest ratio fails, the *most aggressive*
+//!   ratio is returned (line 6: no level is safe, so prioritize speed);
+//! * a passing candidate is accepted when its wavefront reduction
+//!   `100·(w_A − w_Â)/w_Â` meets ω, or it is the last ratio (lines 9–12);
+//! * if the loop falls through, `Â₁₀` is returned (line 14).
+
+use crate::indicator::{convergence_indicator, CondEstimator, IndicatorValue};
+use crate::sparsify::{sparsify_by_magnitude, Sparsified};
+use serde::{Deserialize, Serialize};
+use spcg_sparse::{CsrMatrix, Scalar};
+use spcg_wavefront::{wavefront_count, wavefront_reduction_percent};
+
+/// Tunables of Algorithm 2.
+#[derive(Debug, Clone)]
+pub struct SparsifyParams {
+    /// Candidate drop ratios in percent, most aggressive first.
+    pub ratios: Vec<f64>,
+    /// Convergence threshold τ (paper default 1, from a grid search).
+    pub tau: f64,
+    /// Wavefront-reduction threshold ω in percent (paper default 10).
+    pub omega: f64,
+    /// Inverse-norm estimator.
+    pub estimator: CondEstimator,
+}
+
+impl Default for SparsifyParams {
+    fn default() -> Self {
+        Self {
+            ratios: vec![10.0, 5.0, 1.0],
+            tau: 1.0,
+            omega: 10.0,
+            estimator: CondEstimator::PaperApprox,
+        }
+    }
+}
+
+/// Why a particular ratio was selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionReason {
+    /// Passed the convergence check and met the wavefront threshold ω.
+    WavefrontReduction,
+    /// Passed the convergence check as the last candidate ratio (line 10's
+    /// `t = 1` arm: minimize sparsification error).
+    LastRatio,
+    /// Every ratio failed the convergence check; the most aggressive ratio
+    /// was chosen for per-iteration speed (line 6).
+    ConvergenceFallback,
+    /// Loop fell through (custom ratio lists only); the most aggressive
+    /// ratio was returned (line 14).
+    Fallthrough,
+}
+
+/// Record of one candidate evaluation inside Algorithm 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CandidateTrace {
+    /// Ratio tried, percent.
+    pub ratio: f64,
+    /// Indicator value for this candidate.
+    pub indicator: IndicatorValue,
+    /// Whether the indicator passed τ.
+    pub passed_convergence: bool,
+    /// Wavefronts of the candidate (only computed when convergence passed).
+    pub wavefronts: Option<usize>,
+    /// Reduction vs the original, Equation 7 normalization (percent).
+    pub reduction_percent: Option<f64>,
+}
+
+/// The decision made by Algorithm 2 for one matrix.
+#[derive(Debug, Clone)]
+pub struct SparsifyDecision<T: Scalar> {
+    /// The selected decomposition.
+    pub sparsified: Sparsified<T>,
+    /// The ratio that was selected (percent).
+    pub chosen_ratio: f64,
+    /// Why it was selected.
+    pub reason: SelectionReason,
+    /// Wavefronts of the original matrix (`w_A`).
+    pub wavefronts_original: usize,
+    /// Wavefronts of the selected `Â`.
+    pub wavefronts_sparsified: usize,
+    /// Evaluation trace of every candidate that was examined.
+    pub trace: Vec<CandidateTrace>,
+}
+
+impl<T: Scalar> SparsifyDecision<T> {
+    /// Wavefront reduction of the selected candidate, Equation 7 (percent).
+    pub fn wavefront_reduction(&self) -> f64 {
+        wavefront_reduction_percent(self.wavefronts_original, self.wavefronts_sparsified)
+    }
+}
+
+/// Runs Algorithm 2 on `a`, returning the chosen `Â` (plus `S` and a full
+/// decision trace).
+pub fn wavefront_aware_sparsify<T: Scalar>(
+    a: &CsrMatrix<T>,
+    params: &SparsifyParams,
+) -> SparsifyDecision<T> {
+    assert!(!params.ratios.is_empty(), "at least one candidate ratio required");
+    // Line 1: w_A
+    let w_a = wavefront_count(a);
+    let mut trace = Vec::with_capacity(params.ratios.len());
+    let most_aggressive = params.ratios[0];
+
+    let finalize = |sparsified: Sparsified<T>,
+                    chosen_ratio: f64,
+                    reason: SelectionReason,
+                    w_hat: Option<usize>,
+                    trace: Vec<CandidateTrace>| {
+        let w_hat = w_hat.unwrap_or_else(|| wavefront_count(&sparsified.a_hat));
+        SparsifyDecision {
+            sparsified,
+            chosen_ratio,
+            reason,
+            wavefronts_original: w_a,
+            wavefronts_sparsified: w_hat,
+            trace,
+        }
+    };
+
+    for (idx, &t) in params.ratios.iter().enumerate() {
+        let is_last = idx + 1 == params.ratios.len();
+        // Line 3: Â_t = A − S_t
+        let cand = sparsify_by_magnitude(a, t);
+        // Lines 4–5: indicator test
+        let ind = convergence_indicator(&cand.a_hat, &cand.s, &params.estimator);
+        let passed = ind.passes(params.tau);
+        if !passed {
+            trace.push(CandidateTrace {
+                ratio: t,
+                indicator: ind,
+                passed_convergence: false,
+                wavefronts: None,
+                reduction_percent: None,
+            });
+            if is_last {
+                // Line 6: no ratio is safe — return the most aggressive.
+                let fallback = sparsify_by_magnitude(a, most_aggressive);
+                return finalize(
+                    fallback,
+                    most_aggressive,
+                    SelectionReason::ConvergenceFallback,
+                    None,
+                    trace,
+                );
+            }
+            continue; // line 7
+        }
+        // Lines 9–12: wavefront-reduction test. Line 10 of the paper
+        // normalizes by the *sparsified* count.
+        let w_hat = wavefront_count(&cand.a_hat);
+        let reduction_line10 = if w_hat == 0 {
+            0.0
+        } else {
+            100.0 * (w_a as f64 - w_hat as f64) / w_hat as f64
+        };
+        trace.push(CandidateTrace {
+            ratio: t,
+            indicator: ind,
+            passed_convergence: true,
+            wavefronts: Some(w_hat),
+            reduction_percent: Some(wavefront_reduction_percent(w_a, w_hat)),
+        });
+        if reduction_line10 >= params.omega {
+            return finalize(cand, t, SelectionReason::WavefrontReduction, Some(w_hat), trace);
+        }
+        if is_last {
+            return finalize(cand, t, SelectionReason::LastRatio, Some(w_hat), trace);
+        }
+    }
+
+    // Line 14 (only reachable with custom ratio lists whose last candidate
+    // neither passed-and-returned nor failed-as-last — defensive).
+    let fallback = sparsify_by_magnitude(a, most_aggressive);
+    finalize(fallback, most_aggressive, SelectionReason::Fallthrough, None, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_sparse::generators::{poisson_2d, with_magnitude_spread};
+
+    fn spread(n: usize) -> CsrMatrix<f64> {
+        with_magnitude_spread(&poisson_2d(n, n), 8.0, 11)
+    }
+
+    #[test]
+    fn default_params_match_paper() {
+        let p = SparsifyParams::default();
+        assert_eq!(p.ratios, vec![10.0, 5.0, 1.0]);
+        assert_eq!(p.tau, 1.0);
+        assert_eq!(p.omega, 10.0);
+    }
+
+    #[test]
+    fn well_conditioned_matrix_gets_aggressive_ratio() {
+        // A strongly diagonally dominant matrix: ‖Â⁻¹‖ is small, so the
+        // indicator passes at τ = 1 and the 10% candidate is examined for
+        // wavefront reduction.
+        let base = spread(16);
+        let shift = spcg_sparse::CsrMatrix::<f64>::identity(base.n_rows())
+            .map_values(|v| v * 8.0);
+        let a = base.add(&shift).unwrap();
+        let d = wavefront_aware_sparsify(&a, &SparsifyParams::default());
+        assert!(d.trace[0].passed_convergence, "indicator: {:?}", d.trace[0].indicator);
+        assert!(d.wavefronts_sparsified <= d.wavefronts_original);
+        assert!(!d.trace.is_empty());
+    }
+
+    #[test]
+    fn tiny_tau_forces_convergence_fallback() {
+        let a = spread(12);
+        let params = SparsifyParams { tau: 1e-30, ..Default::default() };
+        let d = wavefront_aware_sparsify(&a, &params);
+        assert_eq!(d.reason, SelectionReason::ConvergenceFallback);
+        assert_eq!(d.chosen_ratio, 10.0); // line 6: most aggressive
+        assert_eq!(d.trace.len(), 3);
+        assert!(d.trace.iter().all(|t| !t.passed_convergence));
+    }
+
+    #[test]
+    fn huge_omega_selects_last_ratio() {
+        let a = spread(12);
+        let params = SparsifyParams { omega: 1e9, tau: 1e9, ..Default::default() };
+        let d = wavefront_aware_sparsify(&a, &params);
+        assert_eq!(d.reason, SelectionReason::LastRatio);
+        assert_eq!(d.chosen_ratio, 1.0); // minimize sparsification error
+    }
+
+    #[test]
+    fn zero_omega_accepts_first_passing_ratio() {
+        let a = spread(12);
+        let params = SparsifyParams { omega: 0.0, tau: 1e9, ..Default::default() };
+        let d = wavefront_aware_sparsify(&a, &params);
+        assert_eq!(d.chosen_ratio, 10.0);
+        assert_eq!(d.reason, SelectionReason::WavefrontReduction);
+        assert_eq!(d.trace.len(), 1);
+    }
+
+    #[test]
+    fn decomposition_invariant_holds_for_any_decision() {
+        let a = spread(10);
+        for tau in [1e-30, 1.0, 1e9] {
+            let params = SparsifyParams { tau, ..Default::default() };
+            let d = wavefront_aware_sparsify(&a, &params);
+            let sum = d.sparsified.a_hat.add(&d.sparsified.s).unwrap().prune_zeros();
+            assert_eq!(sum, a.prune_zeros(), "tau={tau}");
+        }
+    }
+
+    #[test]
+    fn custom_single_ratio_list() {
+        let a = spread(10);
+        let params = SparsifyParams { ratios: vec![5.0], tau: 1e9, omega: 1e9, ..Default::default() };
+        let d = wavefront_aware_sparsify(&a, &params);
+        assert_eq!(d.chosen_ratio, 5.0);
+        assert_eq!(d.reason, SelectionReason::LastRatio);
+    }
+
+    #[test]
+    fn reduction_metric_consistency() {
+        let a = spread(14);
+        let d = wavefront_aware_sparsify(&a, &SparsifyParams::default());
+        let eq7 = d.wavefront_reduction();
+        assert!((-100.0..=100.0).contains(&eq7));
+        if let Some(tr) = d.trace.iter().find(|t| t.ratio == d.chosen_ratio) {
+            if let Some(rp) = tr.reduction_percent {
+                assert!((rp - eq7).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # spcg-core
+//!
+//! The paper's contribution: **wavefront-aware sparsification** for
+//! preconditioned conjugate-gradient solvers.
+//!
+//! * [`sparsify`] — magnitude-based symmetric sparsification `A = Â + S`;
+//! * [`indicator`] — the convergence-safety indicator `‖Â⁻¹‖·‖S‖ ≤ τ`
+//!   (Equation 6) with the paper's cheap condition-number approximation;
+//! * [`algorithm2`] — the wavefront-aware selection loop (Algorithm 2);
+//! * [`pipeline`] — the Figure-2 pipeline: sparsify → ILU(0)/ILU(K) → PCG;
+//! * [`oracle`] — the best-fixed-ratio upper bound of §4.4;
+//! * [`report`] — serializable per-run records for the benchmark harness.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use spcg_core::pipeline::{spcg_solve, SpcgOptions};
+//! use spcg_sparse::generators::poisson_2d;
+//!
+//! let a = poisson_2d(16, 16);
+//! let b = vec![1.0f64; a.n_rows()];
+//! let outcome = spcg_solve(&a, &b, &SpcgOptions::default()).unwrap();
+//! assert!(outcome.result.converged());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algorithm2;
+pub mod indicator;
+pub mod oracle;
+pub mod pipeline;
+pub mod report;
+pub mod sparsify;
+
+pub use algorithm2::{
+    wavefront_aware_sparsify, SelectionReason, SparsifyDecision, SparsifyParams,
+};
+pub use indicator::{condition_estimate, convergence_indicator, CondEstimator, IndicatorValue};
+pub use oracle::{oracle_select, OracleChoice, ORACLE_RATIOS};
+pub use pipeline::{
+    build_preconditioner, select_best_k, spcg_solve, PrecondKind, SpcgOptions, SpcgOutcome,
+};
+pub use report::RunReport;
+pub use sparsify::{sparsify_by_magnitude, Sparsified, SparsifyStats};

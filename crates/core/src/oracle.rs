@@ -1,0 +1,96 @@
+//! The "Oracle" of §4.4: for each matrix, the best-performing fixed
+//! sparsification ratio among {1, 5, 10}% under a caller-supplied cost
+//! metric (measured wall-clock or simulated GPU time). The oracle bounds
+//! what the wavefront-aware heuristic could achieve.
+
+use crate::sparsify::{sparsify_by_magnitude, Sparsified};
+use spcg_sparse::{CsrMatrix, Scalar};
+
+/// Result of an oracle sweep.
+#[derive(Debug, Clone)]
+pub struct OracleChoice<T: Scalar> {
+    /// The winning ratio (percent).
+    pub ratio: f64,
+    /// Its decomposition.
+    pub sparsified: Sparsified<T>,
+    /// Cost of the winner (same units as the cost function).
+    pub cost: f64,
+    /// `(ratio, cost)` for every candidate, in sweep order.
+    pub sweep: Vec<(f64, f64)>,
+}
+
+/// Evaluates `cost` for every candidate ratio and returns the cheapest.
+///
+/// `cost` receives the candidate decomposition and returns a positive
+/// figure of merit (lower is better) — e.g. simulated per-iteration time or
+/// measured end-to-end seconds. Non-finite costs mark a candidate invalid.
+pub fn oracle_select<T: Scalar>(
+    a: &CsrMatrix<T>,
+    ratios: &[f64],
+    mut cost: impl FnMut(&Sparsified<T>) -> f64,
+) -> Option<OracleChoice<T>> {
+    assert!(!ratios.is_empty(), "oracle needs at least one ratio");
+    let mut best: Option<OracleChoice<T>> = None;
+    let mut sweep = Vec::with_capacity(ratios.len());
+    for &r in ratios {
+        let cand = sparsify_by_magnitude(a, r);
+        let c = cost(&cand);
+        sweep.push((r, c));
+        if !c.is_finite() {
+            continue;
+        }
+        let better = best.as_ref().map(|b| c < b.cost).unwrap_or(true);
+        if better {
+            best = Some(OracleChoice { ratio: r, sparsified: cand, cost: c, sweep: Vec::new() });
+        }
+    }
+    best.map(|mut b| {
+        b.sweep = sweep;
+        b
+    })
+}
+
+/// The paper's oracle ratio set.
+pub const ORACLE_RATIOS: [f64; 3] = [1.0, 5.0, 10.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_sparse::generators::{poisson_2d, with_magnitude_spread};
+    use spcg_wavefront::wavefront_count;
+
+    #[test]
+    fn picks_minimum_cost() {
+        let a = with_magnitude_spread(&poisson_2d(10, 10), 5.0, 9);
+        // Cost = number of wavefronts of Â: more aggressive sparsification
+        // can only help, so 10% must win (ties go to the first seen).
+        let choice = oracle_select(&a, &ORACLE_RATIOS, |sp| {
+            wavefront_count(&sp.a_hat) as f64
+        })
+        .unwrap();
+        let w10 = choice.sweep.iter().find(|&&(r, _)| r == 10.0).unwrap().1;
+        assert_eq!(choice.cost, choice.sweep.iter().map(|&(_, c)| c).fold(f64::MAX, f64::min));
+        assert!(choice.cost <= w10);
+        assert_eq!(choice.sweep.len(), 3);
+    }
+
+    #[test]
+    fn non_finite_candidates_are_skipped() {
+        let a = poisson_2d(6, 6);
+        let choice = oracle_select(&a, &[1.0, 5.0, 10.0], |sp| {
+            if sp.requested_percent == 5.0 {
+                1.0
+            } else {
+                f64::NAN
+            }
+        })
+        .unwrap();
+        assert_eq!(choice.ratio, 5.0);
+    }
+
+    #[test]
+    fn all_invalid_returns_none() {
+        let a = poisson_2d(4, 4);
+        assert!(oracle_select(&a, &[1.0], |_| f64::INFINITY).is_none());
+    }
+}

@@ -1,0 +1,275 @@
+//! The SPCG pipeline of Figure 2: sparsify `A` → factor `Â` with
+//! ILU(0)/ILU(K) → run PCG on the *original* `A` with the sparsified
+//! preconditioner.
+
+use crate::algorithm2::{wavefront_aware_sparsify, SparsifyDecision, SparsifyParams};
+use serde::{Deserialize, Serialize};
+use spcg_precond::{ilu0, iluk, IluFactors, TriangularExec};
+use spcg_solver::{pcg, SolveResult, SolverConfig};
+use spcg_sparse::{CsrMatrix, Result, Scalar};
+use std::time::{Duration, Instant};
+
+/// Which incomplete factorization backs the preconditioner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrecondKind {
+    /// ILU with zero fill (SPCG-ILU(0)).
+    Ilu0,
+    /// ILU with level-of-fill K (SPCG-ILU(K)).
+    Iluk(usize),
+}
+
+impl PrecondKind {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            PrecondKind::Ilu0 => "ILU(0)".to_string(),
+            PrecondKind::Iluk(k) => format!("ILU({k})"),
+        }
+    }
+}
+
+/// Options for one SPCG (or baseline PCG) run.
+#[derive(Debug, Clone)]
+pub struct SpcgOptions {
+    /// Sparsification parameters; `None` runs the non-sparsified baseline.
+    pub sparsify: Option<SparsifyParams>,
+    /// Preconditioner family.
+    pub precond: PrecondKind,
+    /// Triangular-solve execution strategy.
+    pub exec: TriangularExec,
+    /// PCG configuration.
+    pub solver: SolverConfig,
+}
+
+impl Default for SpcgOptions {
+    fn default() -> Self {
+        Self {
+            sparsify: Some(SparsifyParams::default()),
+            precond: PrecondKind::Ilu0,
+            exec: TriangularExec::Sequential,
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+/// Everything produced by one pipeline run.
+#[derive(Debug)]
+pub struct SpcgOutcome<T: Scalar> {
+    /// PCG result (iterations, residuals, solve-phase timings).
+    pub result: SolveResult<T>,
+    /// Sparsification decision (absent for the baseline).
+    pub decision: Option<SparsifyDecision<T>>,
+    /// The factors used as the preconditioner.
+    pub factors: IluFactors<T>,
+    /// Wall-clock time of the sparsification step.
+    pub sparsify_time: Duration,
+    /// Wall-clock time of the factorization step.
+    pub factorization_time: Duration,
+}
+
+impl<T: Scalar> SpcgOutcome<T> {
+    /// End-to-end time: sparsify + factorize + solve.
+    pub fn end_to_end(&self) -> Duration {
+        self.sparsify_time + self.factorization_time + self.result.timings.total
+    }
+}
+
+/// Builds the configured incomplete factorization of `m`.
+pub fn build_preconditioner<T: Scalar>(
+    m: &CsrMatrix<T>,
+    kind: PrecondKind,
+    exec: TriangularExec,
+) -> Result<IluFactors<T>> {
+    match kind {
+        PrecondKind::Ilu0 => ilu0(m, exec),
+        PrecondKind::Iluk(k) => iluk(m, k, exec),
+    }
+}
+
+/// Runs the full pipeline: sparsify (optional) → factor → PCG.
+pub fn spcg_solve<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    opts: &SpcgOptions,
+) -> Result<SpcgOutcome<T>> {
+    let (decision, factor_input, sparsify_time) = match &opts.sparsify {
+        Some(params) => {
+            let t = Instant::now();
+            let d = wavefront_aware_sparsify(a, params);
+            let elapsed = t.elapsed();
+            (Some(d), None, elapsed)
+        }
+        None => (None, Some(a), Duration::ZERO),
+    };
+    let m = match (&decision, factor_input) {
+        (Some(d), _) => &d.sparsified.a_hat,
+        (None, Some(a)) => a,
+        _ => unreachable!(),
+    };
+
+    let t = Instant::now();
+    let factors = build_preconditioner(m, opts.precond, opts.exec)?;
+    let factorization_time = t.elapsed();
+
+    // PCG always solves the ORIGINAL system A x = b (Figure 2): only the
+    // preconditioner sees Â.
+    let result = pcg(a, &factors, b, &opts.solver);
+
+    Ok(SpcgOutcome { result, decision, factors, sparsify_time, factorization_time })
+}
+
+/// The paper's K-selection procedure (§3.3): run baseline PCG-ILU(K) for
+/// each candidate and keep the best-converging K (fewest iterations among
+/// converged runs; smallest final residual otherwise). The same K is then
+/// used for both PCG and SPCG.
+pub fn select_best_k<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    candidates: &[usize],
+    exec: TriangularExec,
+    solver: &SolverConfig,
+) -> Result<usize> {
+    assert!(!candidates.is_empty(), "need at least one K candidate");
+    let mut best: Option<(usize, bool, usize, f64)> = None; // (k, converged, iters, resid)
+    for &k in candidates {
+        let outcome = spcg_solve(
+            a,
+            b,
+            &SpcgOptions {
+                sparsify: None,
+                precond: PrecondKind::Iluk(k),
+                exec,
+                solver: solver.clone(),
+            },
+        );
+        let Ok(out) = outcome else { continue }; // factorization breakdown: skip K
+        let conv = out.result.converged();
+        let iters = out.result.iterations;
+        let resid = out.result.final_residual;
+        let better = match &best {
+            None => true,
+            Some((_, bconv, biters, bresid)) => {
+                let (bconv, biters, bresid) = (*bconv, *biters, *bresid);
+                (conv && !bconv)
+                    || (conv == bconv && conv && iters < biters)
+                    || (conv == bconv && !conv && resid < bresid)
+            }
+        };
+        if better {
+            best = Some((k, conv, iters, resid));
+        }
+    }
+    best.map(|(k, _, _, _)| k).ok_or_else(|| {
+        spcg_sparse::SparseError::InvalidStructure(
+            "no candidate K produced a usable factorization".into(),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_sparse::generators::{poisson_2d, with_magnitude_spread};
+    use spcg_sparse::Rng;
+
+    fn system(n: usize) -> (CsrMatrix<f64>, Vec<f64>) {
+        let a = with_magnitude_spread(&poisson_2d(n, n), 6.0, 21);
+        let mut rng = Rng::new(77);
+        let b = (0..n * n).map(|_| rng.range(-1.0, 1.0)).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn baseline_and_spcg_both_converge() {
+        let (a, b) = system(14);
+        let solver = SolverConfig::default().with_tol(1e-10);
+        let base = spcg_solve(
+            &a,
+            &b,
+            &SpcgOptions { sparsify: None, solver: solver.clone(), ..Default::default() },
+        )
+        .unwrap();
+        let spcg = spcg_solve(&a, &b, &SpcgOptions { solver, ..Default::default() }).unwrap();
+        assert!(base.result.converged());
+        assert!(spcg.result.converged(), "SPCG stop: {:?}", spcg.result.stop);
+        assert!(base.decision.is_none());
+        assert!(spcg.decision.is_some());
+    }
+
+    #[test]
+    fn spcg_solution_solves_original_system() {
+        let (a, b) = system(12);
+        let out = spcg_solve(
+            &a,
+            &b,
+            &SpcgOptions {
+                solver: SolverConfig::default().with_tol(1e-11),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(out.result.converged());
+        let ax = spcg_sparse::spmv::spmv_alloc(&a, &out.result.x);
+        let err: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        assert!(err < 1e-7, "residual vs ORIGINAL A too large: {err}");
+    }
+
+    #[test]
+    fn sparsified_preconditioner_has_no_more_wavefronts() {
+        let (a, b) = system(16);
+        let base = spcg_solve(
+            &a,
+            &b,
+            &SpcgOptions { sparsify: None, ..Default::default() },
+        )
+        .unwrap();
+        let spcg = spcg_solve(&a, &b, &SpcgOptions::default()).unwrap();
+        assert!(
+            spcg.factors.total_wavefronts() <= base.factors.total_wavefronts(),
+            "sparsification must not add ILU(0) wavefronts: {} vs {}",
+            spcg.factors.total_wavefronts(),
+            base.factors.total_wavefronts()
+        );
+    }
+
+    #[test]
+    fn iluk_pipeline_runs() {
+        let (a, b) = system(10);
+        let out = spcg_solve(
+            &a,
+            &b,
+            &SpcgOptions {
+                precond: PrecondKind::Iluk(2),
+                solver: SolverConfig::default().with_tol(1e-10),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(out.result.converged());
+        assert_eq!(PrecondKind::Iluk(2).label(), "ILU(2)");
+    }
+
+    #[test]
+    fn best_k_prefers_fewer_iterations() {
+        let (a, b) = system(10);
+        let k = select_best_k(
+            &a,
+            &b,
+            &[0, 2],
+            TriangularExec::Sequential,
+            &SolverConfig::default().with_tol(1e-10),
+        )
+        .unwrap();
+        // more fill ⇒ fewer iterations on this well-behaved system
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn end_to_end_time_is_sum_of_phases() {
+        let (a, b) = system(8);
+        let out = spcg_solve(&a, &b, &SpcgOptions::default()).unwrap();
+        let e2e = out.end_to_end();
+        assert!(e2e >= out.result.timings.total);
+        assert!(e2e >= out.factorization_time);
+    }
+}

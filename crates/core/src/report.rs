@@ -1,0 +1,134 @@
+//! Serializable run reports: one record per (matrix, method) pair, the unit
+//! the benchmark harness aggregates into the paper's tables and figures.
+
+use crate::algorithm2::{SelectionReason, SparsifyDecision};
+use crate::pipeline::SpcgOutcome;
+use serde::{Deserialize, Serialize};
+use spcg_solver::StopReason;
+use spcg_sparse::Scalar;
+
+/// A flattened, serializable summary of one SPCG/PCG run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Matrix name (from the suite) or caller-chosen label.
+    pub matrix: String,
+    /// Method label, e.g. `"SPCG-ILU(0)"` or `"PCG-ILU(K=2)"`.
+    pub method: String,
+    /// Matrix dimension.
+    pub n: usize,
+    /// Matrix nonzeros.
+    pub nnz: usize,
+    /// Whether sparsification ran, and the chosen ratio if so.
+    pub sparsify_ratio: Option<f64>,
+    /// Why the ratio was selected.
+    pub selection_reason: Option<String>,
+    /// Wavefronts before sparsification.
+    pub wavefronts_before: Option<usize>,
+    /// Wavefronts after sparsification.
+    pub wavefronts_after: Option<usize>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the run converged.
+    pub converged: bool,
+    /// Final `‖r‖₂`.
+    pub final_residual: f64,
+    /// Solve-loop seconds.
+    pub solve_seconds: f64,
+    /// Factorization seconds.
+    pub factorization_seconds: f64,
+    /// Sparsification seconds.
+    pub sparsify_seconds: f64,
+    /// Preconditioner nonzeros (L + U).
+    pub precond_nnz: usize,
+    /// Wavefronts of the preconditioner (L levels + U levels).
+    pub precond_wavefronts: usize,
+}
+
+fn reason_str(r: SelectionReason) -> &'static str {
+    match r {
+        SelectionReason::WavefrontReduction => "wavefront-reduction",
+        SelectionReason::LastRatio => "last-ratio",
+        SelectionReason::ConvergenceFallback => "convergence-fallback",
+        SelectionReason::Fallthrough => "fallthrough",
+    }
+}
+
+impl RunReport {
+    /// Builds a report from a pipeline outcome.
+    pub fn from_outcome<T: Scalar>(
+        matrix: impl Into<String>,
+        method: impl Into<String>,
+        n: usize,
+        nnz: usize,
+        out: &SpcgOutcome<T>,
+    ) -> Self {
+        use spcg_precond::Preconditioner;
+        let dec: Option<&SparsifyDecision<T>> = out.decision.as_ref();
+        Self {
+            matrix: matrix.into(),
+            method: method.into(),
+            n,
+            nnz,
+            sparsify_ratio: dec.map(|d| d.chosen_ratio),
+            selection_reason: dec.map(|d| reason_str(d.reason).to_string()),
+            wavefronts_before: dec.map(|d| d.wavefronts_original),
+            wavefronts_after: dec.map(|d| d.wavefronts_sparsified),
+            iterations: out.result.iterations,
+            converged: out.result.stop == StopReason::Converged,
+            final_residual: out.result.final_residual,
+            solve_seconds: out.result.timings.total.as_secs_f64(),
+            factorization_seconds: out.factorization_time.as_secs_f64(),
+            sparsify_seconds: out.sparsify_time.as_secs_f64(),
+            precond_nnz: Preconditioner::<T>::nnz(&out.factors),
+            precond_wavefronts: out.factors.total_wavefronts(),
+        }
+    }
+
+    /// Mean solve seconds per iteration.
+    pub fn seconds_per_iteration(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.solve_seconds / self.iterations as f64
+        }
+    }
+
+    /// End-to-end seconds.
+    pub fn end_to_end_seconds(&self) -> f64 {
+        self.sparsify_seconds + self.factorization_seconds + self.solve_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{spcg_solve, SpcgOptions};
+    use spcg_sparse::generators::poisson_2d;
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let a = poisson_2d(8, 8);
+        let b = vec![1.0; 64];
+        let out = spcg_solve(&a, &b, &SpcgOptions::default()).unwrap();
+        let rep = RunReport::from_outcome("p8", "SPCG-ILU(0)", 64, a.nnz(), &out);
+        assert_eq!(rep.matrix, "p8");
+        assert!(rep.sparsify_ratio.is_some());
+        assert!(rep.precond_nnz > 0);
+        let json = serde_json::to_string(&rep).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.iterations, rep.iterations);
+        assert_eq!(back.method, "SPCG-ILU(0)");
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let a = poisson_2d(8, 8);
+        let b = vec![1.0; 64];
+        let out = spcg_solve(&a, &b, &SpcgOptions::default()).unwrap();
+        let rep = RunReport::from_outcome("p8", "m", 64, a.nnz(), &out);
+        assert!(rep.end_to_end_seconds() >= rep.solve_seconds);
+        if rep.iterations > 0 {
+            assert!(rep.seconds_per_iteration() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the sparsification core on randomized inputs.
+
+use proptest::prelude::*;
+use spcg_core::{
+    sparsify_by_magnitude, wavefront_aware_sparsify, CondEstimator, SelectionReason,
+    SparsifyParams,
+};
+use spcg_sparse::generators::{
+    banded_spd, layered_poisson_2d, random_spd, with_magnitude_spread,
+};
+use spcg_wavefront::wavefront_count;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The decomposition A = Â + S holds exactly for every family/ratio,
+    /// and S contains only off-diagonal entries.
+    #[test]
+    fn decomposition_exact_everywhere(
+        n in 15usize..90,
+        pct in 0.0f64..45.0,
+        seed in 0u64..400,
+    ) {
+        let a = with_magnitude_spread(&random_spd(n, 4, 1.5, seed), 5.0, seed ^ 7);
+        let sp = sparsify_by_magnitude(&a, pct);
+        let sum = sp.a_hat.add(&sp.s).unwrap().prune_zeros();
+        prop_assert_eq!(sum, a.prune_zeros());
+        prop_assert!(sp.s.iter().all(|(r, c, _)| r != c));
+        prop_assert_eq!(sp.a_hat.diag(), a.diag());
+        // achieved ratio never exceeds requested
+        prop_assert!(sp.achieved_percent() <= pct + 1e-9);
+    }
+
+    /// Dropped entries are dominated in magnitude: every entry of S is ≤
+    /// every *off-diagonal* entry of Â that shares no tie.
+    #[test]
+    fn dropped_entries_are_smallest(n in 15usize..60, seed in 0u64..200) {
+        let a = with_magnitude_spread(&banded_spd(n, 4, 0.9, 1.6, seed), 6.0, seed);
+        let sp = sparsify_by_magnitude(&a, 10.0);
+        let max_dropped = sp.s.values().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let min_kept_off = sp
+            .a_hat
+            .iter()
+            .filter(|&(r, c, _)| r != c)
+            .map(|(_, _, v)| v.abs())
+            .fold(f64::MAX, f64::min);
+        // Pair-granularity means one marginal pair can be skipped; allow
+        // equality but not strict inversion beyond ties.
+        prop_assert!(max_dropped <= min_kept_off + 1e-12,
+            "dropped {max_dropped} > kept {min_kept_off}");
+    }
+
+    /// Algorithm 2 always returns one of its candidate ratios and the
+    /// decision is internally consistent.
+    #[test]
+    fn algorithm2_invariants(
+        nx in 8usize..24,
+        tau in 0.001f64..100.0,
+        omega in 0.0f64..60.0,
+        seed in 0u64..100,
+    ) {
+        let _ = seed;
+        let a = layered_poisson_2d(nx, nx, 4, 0.02);
+        let params = SparsifyParams {
+            tau,
+            omega,
+            estimator: CondEstimator::PaperApprox,
+            ..Default::default()
+        };
+        let d = wavefront_aware_sparsify(&a, &params);
+        prop_assert!([10.0, 5.0, 1.0].contains(&d.chosen_ratio));
+        prop_assert!(d.wavefronts_original >= d.wavefronts_sparsified
+            || d.reason == SelectionReason::ConvergenceFallback);
+        prop_assert_eq!(d.wavefronts_original, wavefront_count(&a));
+        prop_assert_eq!(d.wavefronts_sparsified, wavefront_count(&d.sparsified.a_hat));
+        // trace ratios are a prefix of the candidate list
+        for (t, &expect) in d.trace.iter().zip(&[10.0, 5.0, 1.0]) {
+            prop_assert_eq!(t.ratio, expect);
+        }
+    }
+
+    /// Tightening τ can only make the selection more conservative (the
+    /// chosen ratio under a smaller τ is never more aggressive, except via
+    /// the explicit line-6 fallback to 10%).
+    #[test]
+    fn tau_monotonicity(nx in 8usize..20, seed in 0u64..50) {
+        let _ = seed;
+        let a = layered_poisson_2d(nx, nx, 4, 0.02);
+        let run = |tau: f64| {
+            wavefront_aware_sparsify(
+                &a,
+                &SparsifyParams { tau, ..Default::default() },
+            )
+        };
+        let loose = run(1e6);
+        let tight = run(1e-2);
+        if tight.reason != SelectionReason::ConvergenceFallback {
+            prop_assert!(tight.chosen_ratio <= loose.chosen_ratio,
+                "tight tau chose {} > loose {}", tight.chosen_ratio, loose.chosen_ratio);
+        } else {
+            prop_assert_eq!(tight.chosen_ratio, 10.0);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Device descriptions for the analytic execution model.
+//!
+//! Numbers come from public datasheets (A100 SXM4 80GB, V100 SXM2 32GB,
+//! EPYC 7413 with 8-channel DDR4-3200). The model only relies on *relative*
+//! magnitudes: launch latency per synchronization, sustained memory
+//! bandwidth, and peak arithmetic throughput.
+
+use serde::{Deserialize, Serialize};
+
+/// A device the cost model can simulate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human-readable device name.
+    pub name: String,
+    /// Streaming multiprocessors (GPU) or cores (CPU).
+    pub sm_count: usize,
+    /// Rows that can be in flight concurrently per SM/core in the
+    /// one-row-per-thread triangular kernels.
+    pub rows_per_sm: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Sustained memory bandwidth, GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Peak single-precision throughput, GFLOP/s.
+    pub peak_gflops: f64,
+    /// Cost of one kernel launch / level barrier, microseconds. This is the
+    /// term wavefront reduction attacks.
+    pub launch_overhead_us: f64,
+    /// Average cycles a thread spends per stored entry in the sparse
+    /// kernels (irregular-gather penalty folded in).
+    pub cycles_per_nnz: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA A100 (SXM4 80 GB): 108 SMs, 1555 GB/s HBM2e, 19.5 TFLOP/s FP32.
+    pub fn a100() -> Self {
+        Self {
+            name: "A100".into(),
+            sm_count: 108,
+            rows_per_sm: 1024,
+            clock_ghz: 1.41,
+            mem_bandwidth_gbps: 1555.0,
+            peak_gflops: 19_500.0,
+            launch_overhead_us: 3.0,
+            cycles_per_nnz: 8.0,
+        }
+    }
+
+    /// NVIDIA V100 (SXM2 32 GB): 80 SMs, 900 GB/s HBM2, 15.7 TFLOP/s FP32.
+    pub fn v100() -> Self {
+        Self {
+            name: "V100".into(),
+            sm_count: 80,
+            rows_per_sm: 1024,
+            clock_ghz: 1.53,
+            mem_bandwidth_gbps: 900.0,
+            peak_gflops: 15_700.0,
+            launch_overhead_us: 3.5,
+            cycles_per_nnz: 8.0,
+        }
+    }
+
+    /// AMD EPYC 7413-class CPU as configured in the paper (40 hardware
+    /// threads at 2.65 GHz base). Barriers are cheap relative to a GPU
+    /// kernel launch; bandwidth is an order of magnitude lower.
+    pub fn epyc_7413() -> Self {
+        Self {
+            name: "EPYC-7413".into(),
+            sm_count: 40,
+            rows_per_sm: 1,
+            clock_ghz: 2.65,
+            mem_bandwidth_gbps: 205.0,
+            peak_gflops: 1_700.0,
+            launch_overhead_us: 0.4,
+            cycles_per_nnz: 4.0,
+        }
+    }
+
+    /// Maximum rows concurrently in flight.
+    pub fn parallel_rows(&self) -> usize {
+        self.sm_count * self.rows_per_sm
+    }
+
+    /// Seconds per FLOP at peak (µs per FLOP × 10⁻⁶).
+    pub fn us_per_flop(&self) -> f64 {
+        1.0 / (self.peak_gflops * 1e3)
+    }
+
+    /// Microseconds to move `bytes` at sustained bandwidth.
+    pub fn mem_time_us(&self, bytes: f64) -> f64 {
+        bytes / (self.mem_bandwidth_gbps * 1e3)
+    }
+
+    /// Microseconds for one thread to touch `nnz` entries serially.
+    pub fn serial_entry_time_us(&self, nnz: f64) -> f64 {
+        nnz * self.cycles_per_nnz / (self.clock_ghz * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let a = DeviceSpec::a100();
+        let v = DeviceSpec::v100();
+        let c = DeviceSpec::epyc_7413();
+        assert!(a.mem_bandwidth_gbps > v.mem_bandwidth_gbps);
+        assert!(v.mem_bandwidth_gbps > c.mem_bandwidth_gbps);
+        assert!(a.sm_count > v.sm_count);
+        assert!(a.parallel_rows() > c.parallel_rows());
+        // GPU launches are much more expensive than CPU barriers.
+        assert!(a.launch_overhead_us > 5.0 * c.launch_overhead_us);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let a = DeviceSpec::a100();
+        // 1555 GB/s -> 1 GB in ~643 µs
+        let t = a.mem_time_us(1e9);
+        assert!((t - 1e9 / (1555.0 * 1e3)).abs() < 1e-9);
+        // us_per_flop at 19.5 TFLOPs
+        assert!((a.us_per_flop() - 1.0 / 19.5e6).abs() < 1e-18);
+        // serial entries scale linearly
+        assert!(a.serial_entry_time_us(100.0) > a.serial_entry_time_us(10.0));
+    }
+}

@@ -1,0 +1,151 @@
+//! Cost primitives of the execution model.
+//!
+//! Every kernel is priced as
+//! `launch_overhead + max(memory_time, compute_time)` — the classic
+//! roofline with a fixed launch latency. The returned [`KernelCost`] keeps
+//! the components so the profiler can attribute utilization.
+
+use crate::device::DeviceSpec;
+use serde::{Deserialize, Serialize};
+use spcg_sparse::{CsrMatrix, Scalar};
+
+/// Cost breakdown of one simulated kernel (all microseconds, plus the raw
+/// byte/FLOP counters the times were derived from).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelCost {
+    /// Total time, µs.
+    pub time_us: f64,
+    /// Launch/barrier overhead, µs.
+    pub launch_us: f64,
+    /// Memory component, µs.
+    pub mem_us: f64,
+    /// Compute component, µs.
+    pub compute_us: f64,
+    /// Bytes moved.
+    pub bytes: f64,
+    /// FLOPs executed.
+    pub flops: f64,
+}
+
+impl KernelCost {
+    /// Rooflined total from components.
+    pub fn assemble(device: &DeviceSpec, bytes: f64, flops: f64, serial_us: f64) -> Self {
+        let mem_us = device.mem_time_us(bytes);
+        let compute_us = (flops * device.us_per_flop()).max(serial_us);
+        let launch_us = device.launch_overhead_us;
+        Self {
+            time_us: launch_us + mem_us.max(compute_us),
+            launch_us,
+            mem_us,
+            compute_us,
+            bytes,
+            flops,
+        }
+    }
+
+    /// Component-wise sum (launches accumulate too).
+    pub fn add(&self, other: &KernelCost) -> KernelCost {
+        KernelCost {
+            time_us: self.time_us + other.time_us,
+            launch_us: self.launch_us + other.launch_us,
+            mem_us: self.mem_us + other.mem_us,
+            compute_us: self.compute_us + other.compute_us,
+            bytes: self.bytes + other.bytes,
+            flops: self.flops + other.flops,
+        }
+    }
+}
+
+/// Value size in bytes for the precision being simulated (the paper runs
+/// single precision).
+pub const F32_BYTES: f64 = 4.0;
+/// Index size in bytes (cuSPARSE uses 32-bit indices).
+pub const IDX_BYTES: f64 = 4.0;
+
+/// Cost of an elementwise vector kernel over `n` lanes touching
+/// `streams` vectors (axpy: 3 streams — read x, read+write y).
+pub fn elementwise_cost(device: &DeviceSpec, n: usize, streams: f64) -> KernelCost {
+    let bytes = n as f64 * F32_BYTES * streams;
+    let flops = 2.0 * n as f64;
+    KernelCost::assemble(device, bytes, flops, 0.0)
+}
+
+/// Cost of a dot-product (two reads, tree reduction ⇒ one extra launch's
+/// worth of latency folded into compute).
+pub fn dot_cost(device: &DeviceSpec, n: usize) -> KernelCost {
+    let bytes = n as f64 * F32_BYTES * 2.0;
+    let flops = 2.0 * n as f64;
+    let reduction_us = (n as f64).log2().max(1.0) * 0.02;
+    KernelCost::assemble(device, bytes, flops, reduction_us)
+}
+
+/// Cost of CSR SpMV `y = A x` with one thread per row.
+pub fn spmv_cost<T: Scalar>(device: &DeviceSpec, a: &CsrMatrix<T>) -> KernelCost {
+    let n = a.n_rows() as f64;
+    let nnz = a.nnz() as f64;
+    // values + column indices once, row pointers, x gathered (approximate
+    // as nnz reads through cache at half cost), y written.
+    let bytes = nnz * (F32_BYTES + IDX_BYTES) + (n + 1.0) * IDX_BYTES
+        + 0.5 * nnz * F32_BYTES
+        + n * F32_BYTES;
+    let flops = 2.0 * nnz;
+    // longest row serializes its thread; rows beyond the device width queue
+    let waves = (n / device.parallel_rows() as f64).ceil().max(1.0);
+    let max_row = (0..a.n_rows()).map(|r| a.row_nnz(r)).max().unwrap_or(0) as f64;
+    let serial_us = waves * device.serial_entry_time_us(max_row);
+    KernelCost::assemble(device, bytes, flops, serial_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_sparse::generators::poisson_2d;
+
+    #[test]
+    fn roofline_takes_max_of_components() {
+        let d = DeviceSpec::a100();
+        let k = KernelCost::assemble(&d, 1e6, 1e3, 0.0);
+        assert!(k.mem_us > k.compute_us);
+        assert!((k.time_us - (k.launch_us + k.mem_us)).abs() < 1e-12);
+        let k2 = KernelCost::assemble(&d, 10.0, 1e9, 0.0);
+        assert!(k2.compute_us > k2.mem_us);
+        assert!((k2.time_us - (k2.launch_us + k2.compute_us)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_accumulates_components() {
+        let d = DeviceSpec::a100();
+        let a = elementwise_cost(&d, 1000, 3.0);
+        let b = dot_cost(&d, 1000);
+        let s = a.add(&b);
+        assert!((s.time_us - (a.time_us + b.time_us)).abs() < 1e-12);
+        assert!((s.bytes - (a.bytes + b.bytes)).abs() < 1e-9);
+        assert!((s.launch_us - 2.0 * d.launch_overhead_us).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spmv_cost_scales_with_nnz() {
+        let d = DeviceSpec::a100();
+        let small = spmv_cost(&d, &poisson_2d(10, 10));
+        let large = spmv_cost(&d, &poisson_2d(100, 100));
+        assert!(large.time_us > small.time_us);
+        assert!(large.bytes > 90.0 * small.bytes / 2.0);
+    }
+
+    #[test]
+    fn launch_dominates_tiny_kernels() {
+        let d = DeviceSpec::a100();
+        let k = elementwise_cost(&d, 16, 3.0);
+        assert!(k.launch_us / k.time_us > 0.9);
+    }
+
+    #[test]
+    fn cpu_vs_gpu_launch() {
+        let a100 = DeviceSpec::a100();
+        let cpu = DeviceSpec::epyc_7413();
+        let g = elementwise_cost(&a100, 1 << 20, 3.0);
+        let c = elementwise_cost(&cpu, 1 << 20, 3.0);
+        // Big streaming kernels favour GPU bandwidth.
+        assert!(g.time_us < c.time_us);
+    }
+}

@@ -1,0 +1,30 @@
+//! # spcg-gpusim
+//!
+//! Analytic GPU/CPU execution-model simulator used in place of the paper's
+//! A100/V100 hardware (see DESIGN.md, substitution table).
+//!
+//! The model prices each kernel as
+//! `launch_overhead + max(bytes/bandwidth, flops/peak, serial_chain)` and a
+//! level-scheduled triangular solve as one such kernel per wavefront. That
+//! captures the paper's mechanism exactly: wavefront reduction removes
+//! launch overheads and widens parallelism; nnz reduction cuts data
+//! movement. Iteration counts are always taken from the *real* solver —
+//! only wall-clock time is simulated.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod ilu;
+pub mod kernel;
+pub mod pcg;
+pub mod profiler;
+pub mod trisolve;
+
+pub use device::DeviceSpec;
+pub use ilu::{ilu_factorization_cost, inspector_cost_us, sparsify_cost_us};
+pub use kernel::{dot_cost, elementwise_cost, spmv_cost, KernelCost};
+pub use pcg::{
+    end_to_end_cost, iteration_gflops, pcg_iteration_cost, EndToEndCost, IterationCost,
+};
+pub use profiler::{profile, Boundedness, ProfileReport};
+pub use trisolve::{trisolve_cost, trisolve_cost_of, TrisolveWorkload};

@@ -1,0 +1,198 @@
+//! Simulated timing of a full PCG run: per-iteration cost assembled from the
+//! kernel primitives, plus end-to-end composition (sparsify + inspector +
+//! factorization + iterations × per-iteration).
+//!
+//! Numerics (iteration counts, convergence) come from the *real* solver in
+//! `spcg-solver`; only wall-clock time is simulated. That split is what lets
+//! a CPU-only reproduction preserve the paper's speedup structure.
+
+use crate::device::DeviceSpec;
+use crate::ilu::{ilu_factorization_cost, inspector_cost_us, sparsify_cost_us};
+use crate::kernel::{dot_cost, elementwise_cost, spmv_cost, KernelCost};
+use crate::trisolve::{trisolve_cost, TrisolveWorkload};
+use serde::{Deserialize, Serialize};
+use spcg_precond::IluFactors;
+use spcg_sparse::{CsrMatrix, Scalar};
+
+/// Cost breakdown of one PCG iteration on a device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterationCost {
+    /// SpMV `w = A p` (line 9).
+    pub spmv: KernelCost,
+    /// Forward solve with `L` (half of line 13).
+    pub lower: KernelCost,
+    /// Backward solve with `U` (other half of line 13).
+    pub upper: KernelCost,
+    /// Dots + axpy updates (lines 10–12, 14–15).
+    pub blas: KernelCost,
+}
+
+impl IterationCost {
+    /// Total microseconds per iteration.
+    pub fn total_us(&self) -> f64 {
+        self.spmv.time_us + self.lower.time_us + self.upper.time_us + self.blas.time_us
+    }
+
+    /// Component-wise aggregate (for the profiler).
+    pub fn aggregate(&self) -> KernelCost {
+        self.spmv.add(&self.lower).add(&self.upper).add(&self.blas)
+    }
+
+    /// Synchronizations per iteration (kernel launches).
+    pub fn launches(&self) -> f64 {
+        self.aggregate().launch_us
+    }
+}
+
+/// Prices one PCG iteration given the system matrix and the preconditioner
+/// factors (with their level schedules).
+pub fn pcg_iteration_cost<T: Scalar>(
+    device: &DeviceSpec,
+    a: &CsrMatrix<T>,
+    factors: &IluFactors<T>,
+) -> IterationCost {
+    let n = a.n_rows();
+    let spmv = spmv_cost(device, a);
+    let lw = TrisolveWorkload::new(factors.l(), factors.l_schedule());
+    let uw = TrisolveWorkload::new(factors.u(), factors.u_schedule());
+    let lower = trisolve_cost(device, &lw);
+    let upper = trisolve_cost(device, &uw);
+    // 2 dots + 3 three-stream vector updates per iteration.
+    let blas = dot_cost(device, n)
+        .add(&dot_cost(device, n))
+        .add(&elementwise_cost(device, n, 3.0))
+        .add(&elementwise_cost(device, n, 3.0))
+        .add(&elementwise_cost(device, n, 3.0));
+    IterationCost { spmv, lower, upper, blas }
+}
+
+/// Simulated end-to-end time of one solver configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EndToEndCost {
+    /// Host sparsification time, µs (0 for the baseline).
+    pub sparsify_us: f64,
+    /// Host inspector (level-schedule construction), µs.
+    pub inspector_us: f64,
+    /// Device factorization time, µs.
+    pub factorization_us: f64,
+    /// Device per-iteration time, µs.
+    pub per_iteration_us: f64,
+    /// Iterations executed (from the real solver).
+    pub iterations: usize,
+}
+
+impl EndToEndCost {
+    /// Total microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.sparsify_us
+            + self.inspector_us
+            + self.factorization_us
+            + self.per_iteration_us * self.iterations as f64
+    }
+}
+
+/// Assembles the end-to-end cost for a run that factored `pattern` (the
+/// matrix handed to ILU — `A`, `Â`, or a fill-padded pattern), used
+/// `factors` inside PCG on system `a`, and took `iterations` iterations.
+///
+/// `sparsified` controls whether the host sparsification cost is included.
+pub fn end_to_end_cost<T: Scalar>(
+    device: &DeviceSpec,
+    a: &CsrMatrix<T>,
+    pattern: &CsrMatrix<T>,
+    factors: &IluFactors<T>,
+    iterations: usize,
+    sparsified: bool,
+) -> EndToEndCost {
+    let iter = pcg_iteration_cost(device, a, factors);
+    let fact = ilu_factorization_cost(device, pattern);
+    let n_levels = factors.l_schedule().n_levels() + factors.u_schedule().n_levels();
+    EndToEndCost {
+        sparsify_us: if sparsified { sparsify_cost_us(a.nnz()) } else { 0.0 },
+        inspector_us: inspector_cost_us(pattern, n_levels),
+        factorization_us: fact.time_us,
+        per_iteration_us: iter.total_us(),
+        iterations,
+    }
+}
+
+/// GFLOP/s achieved by a simulated iteration, priced with the *baseline*
+/// FLOP count per the paper's methodology ("compute the theoretical FLOPs
+/// of the non-sparsified baseline and reuse it for all methods").
+pub fn iteration_gflops(baseline_flops: f64, per_iteration_us: f64) -> f64 {
+    if per_iteration_us <= 0.0 {
+        0.0
+    } else {
+        baseline_flops / (per_iteration_us * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_precond::{ilu0, TriangularExec};
+    use spcg_sparse::generators::poisson_2d;
+
+    fn setup(n: usize) -> (CsrMatrix<f64>, IluFactors<f64>) {
+        let a = poisson_2d(n, n);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        (a, f)
+    }
+
+    #[test]
+    fn iteration_cost_is_positive_and_decomposes() {
+        let (a, f) = setup(20);
+        let d = DeviceSpec::a100();
+        let c = pcg_iteration_cost(&d, &a, &f);
+        assert!(c.total_us() > 0.0);
+        let agg = c.aggregate();
+        assert!((agg.time_us - c.total_us()).abs() < 1e-9);
+        // triangular solves dominate a wavefront-limited matrix on GPU
+        assert!(c.lower.time_us + c.upper.time_us > c.spmv.time_us);
+    }
+
+    /// Fewer wavefronts in the factors ⇒ cheaper iteration. This is the
+    /// monotonicity property the whole paper rests on.
+    #[test]
+    fn fewer_wavefronts_cheaper_iteration() {
+        let (a, f) = setup(24);
+        let d = DeviceSpec::a100();
+        let full = pcg_iteration_cost(&d, &a, &f);
+        // Identity factors: single wavefront each.
+        let ident = IluFactors::new(
+            CsrMatrix::<f64>::identity(a.n_rows()),
+            CsrMatrix::<f64>::identity(a.n_rows()),
+            TriangularExec::Sequential,
+            "identity".into(),
+        );
+        let cheap = pcg_iteration_cost(&d, &a, &ident);
+        assert!(cheap.total_us() < full.total_us());
+        assert!(cheap.launches() < full.launches());
+    }
+
+    #[test]
+    fn end_to_end_composition() {
+        let (a, f) = setup(16);
+        let d = DeviceSpec::a100();
+        let e = end_to_end_cost(&d, &a, &a, &f, 50, true);
+        assert!(e.sparsify_us > 0.0);
+        let base = end_to_end_cost(&d, &a, &a, &f, 50, false);
+        assert_eq!(base.sparsify_us, 0.0);
+        assert!((e.total_us() - base.total_us() - e.sparsify_us).abs() < 1e-9);
+        assert!(e.total_us() > e.per_iteration_us * 50.0);
+    }
+
+    #[test]
+    fn a100_beats_v100_on_bandwidth_bound_spmv() {
+        let (a, f) = setup(64);
+        let ca = pcg_iteration_cost(&DeviceSpec::a100(), &a, &f);
+        let cv = pcg_iteration_cost(&DeviceSpec::v100(), &a, &f);
+        assert!(ca.spmv.time_us < cv.spmv.time_us);
+    }
+
+    #[test]
+    fn gflops_formula() {
+        assert_eq!(iteration_gflops(2e6, 1000.0), 2.0);
+        assert_eq!(iteration_gflops(1.0, 0.0), 0.0);
+    }
+}

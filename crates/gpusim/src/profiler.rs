@@ -1,0 +1,106 @@
+//! Simulated profiler counters — the §5.3 "Nsight Compute" substitute.
+//!
+//! Utilization is derived from the same byte/FLOP counters the cost model
+//! produced: DRAM utilization is achieved bandwidth over peak, compute
+//! utilization is achieved FLOP rate over peak, and the bound classification
+//! follows whichever roofline leg the kernels sat on.
+
+use crate::device::DeviceSpec;
+use crate::kernel::KernelCost;
+use serde::{Deserialize, Serialize};
+
+/// Whether a run was limited by memory or by compute/latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Boundedness {
+    /// Memory path is the longer roofline leg.
+    MemoryBound,
+    /// Compute/latency path is the longer leg.
+    ComputeBound,
+    /// Neither dominates: launch latency is the main cost.
+    LatencyBound,
+}
+
+/// Profiler readout for one simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Device profiled.
+    pub device: String,
+    /// Achieved DRAM utilization, percent of peak bandwidth.
+    pub dram_utilization_pct: f64,
+    /// Achieved compute utilization, percent of peak FLOP rate.
+    pub compute_utilization_pct: f64,
+    /// Fraction of time spent in launch overhead, percent.
+    pub launch_fraction_pct: f64,
+    /// Classification.
+    pub bound: Boundedness,
+}
+
+/// Profiles an aggregated kernel cost on `device`.
+pub fn profile(device: &DeviceSpec, cost: &KernelCost) -> ProfileReport {
+    let time_s = (cost.time_us * 1e-6).max(1e-30);
+    let dram = cost.bytes / time_s / (device.mem_bandwidth_gbps * 1e9) * 100.0;
+    let compute = cost.flops / time_s / (device.peak_gflops * 1e9) * 100.0;
+    let launch_frac = cost.launch_us / cost.time_us.max(1e-30) * 100.0;
+    let bound = if launch_frac > 50.0 {
+        Boundedness::LatencyBound
+    } else if cost.mem_us >= cost.compute_us {
+        Boundedness::MemoryBound
+    } else {
+        Boundedness::ComputeBound
+    };
+    ProfileReport {
+        device: device.name.clone(),
+        dram_utilization_pct: dram,
+        compute_utilization_pct: compute,
+        launch_fraction_pct: launch_frac,
+        bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::spmv_cost;
+    use crate::pcg::pcg_iteration_cost;
+    use spcg_precond::{ilu0, TriangularExec};
+    use spcg_sparse::generators::poisson_2d;
+
+    #[test]
+    fn utilizations_are_bounded() {
+        let d = DeviceSpec::a100();
+        let a = poisson_2d(50, 50);
+        let p = profile(&d, &spmv_cost(&d, &a));
+        assert!(p.dram_utilization_pct > 0.0 && p.dram_utilization_pct <= 100.0 + 1e-9);
+        assert!(p.compute_utilization_pct >= 0.0 && p.compute_utilization_pct <= 100.0 + 1e-9);
+    }
+
+    /// The §5.3 storyline: wavefront-limited preconditioner kernels are
+    /// latency/launch dominated, with single-digit DRAM utilization.
+    #[test]
+    fn trisolve_heavy_iteration_is_launch_dominated() {
+        let d = DeviceSpec::a100();
+        let a = poisson_2d(40, 40);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let c = pcg_iteration_cost(&d, &a, &f).aggregate();
+        let p = profile(&d, &c);
+        assert!(p.dram_utilization_pct < 20.0, "dram {}", p.dram_utilization_pct);
+        assert_eq!(p.bound, Boundedness::LatencyBound);
+    }
+
+    #[test]
+    fn big_streaming_kernel_is_memory_bound() {
+        let d = DeviceSpec::a100();
+        let k = crate::kernel::KernelCost::assemble(&d, 1e9, 1e6, 0.0);
+        let p = profile(&d, &k);
+        assert_eq!(p.bound, Boundedness::MemoryBound);
+        assert!(p.dram_utilization_pct > 90.0);
+    }
+
+    #[test]
+    fn flop_heavy_kernel_is_compute_bound() {
+        let d = DeviceSpec::a100();
+        let k = crate::kernel::KernelCost::assemble(&d, 1e3, 1e12, 0.0);
+        let p = profile(&d, &k);
+        assert_eq!(p.bound, Boundedness::ComputeBound);
+    }
+}

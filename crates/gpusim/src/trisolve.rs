@@ -1,0 +1,164 @@
+//! Execution-time model of a level-scheduled sparse triangular solve.
+//!
+//! Each wavefront is one kernel launch: rows inside the level run one
+//! thread per row, the level's time is the roofline max of its memory
+//! traffic and its longest serial row chain, and launch overhead is paid
+//! per level. This is exactly the structure whose level count
+//! sparsification reduces — the paper's central mechanism.
+
+use crate::device::DeviceSpec;
+use crate::kernel::{KernelCost, F32_BYTES, IDX_BYTES};
+use serde::{Deserialize, Serialize};
+use spcg_sparse::{CsrMatrix, Scalar};
+use spcg_wavefront::LevelSchedule;
+
+/// Pre-extracted per-level workload statistics, reusable across devices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrisolveWorkload {
+    /// (rows, nnz, max_row_nnz) per level.
+    pub levels: Vec<(usize, usize, usize)>,
+    /// Total rows.
+    pub n_rows: usize,
+    /// Total stored entries.
+    pub nnz: usize,
+}
+
+impl TrisolveWorkload {
+    /// Extracts the workload of `m` under `schedule`.
+    pub fn new<T: Scalar>(m: &CsrMatrix<T>, schedule: &LevelSchedule) -> Self {
+        assert_eq!(m.n_rows(), schedule.n_rows(), "schedule/matrix mismatch");
+        let levels = schedule
+            .levels()
+            .iter()
+            .map(|rows| {
+                let mut nnz = 0usize;
+                let mut max_row = 0usize;
+                for &r in rows {
+                    let c = m.row_nnz(r);
+                    nnz += c;
+                    max_row = max_row.max(c);
+                }
+                (rows.len(), nnz, max_row)
+            })
+            .collect();
+        Self { levels, n_rows: m.n_rows(), nnz: m.nnz() }
+    }
+
+    /// Number of wavefronts.
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// Prices one triangular solve on `device`.
+pub fn trisolve_cost(device: &DeviceSpec, w: &TrisolveWorkload) -> KernelCost {
+    let mut total = KernelCost::default();
+    for &(rows, nnz, max_row) in &w.levels {
+        let rows_f = rows as f64;
+        let nnz_f = nnz as f64;
+        // factor row data + rhs/x traffic for the rows of this level
+        let bytes = nnz_f * (F32_BYTES + IDX_BYTES)
+            + rows_f * (IDX_BYTES + 2.0 * F32_BYTES)
+            + 0.5 * nnz_f * F32_BYTES;
+        let flops = 2.0 * nnz_f;
+        let waves = (rows_f / device.parallel_rows() as f64).ceil().max(1.0);
+        let serial_us = waves * device.serial_entry_time_us(max_row as f64);
+        total = total.add(&KernelCost::assemble(device, bytes, flops, serial_us));
+    }
+    total
+}
+
+/// Convenience: build the workload and price it in one call.
+pub fn trisolve_cost_of<T: Scalar>(
+    device: &DeviceSpec,
+    m: &CsrMatrix<T>,
+    schedule: &LevelSchedule,
+) -> KernelCost {
+    trisolve_cost(device, &TrisolveWorkload::new(m, schedule))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_sparse::generators::poisson_2d;
+    use spcg_wavefront::Triangle;
+
+    fn workload(n: usize) -> TrisolveWorkload {
+        let a = poisson_2d(n, n);
+        let l = a.lower();
+        let s = LevelSchedule::build(&l, Triangle::Lower);
+        TrisolveWorkload::new(&l, &s)
+    }
+
+    #[test]
+    fn workload_totals_match_matrix() {
+        let a = poisson_2d(8, 8);
+        let l = a.lower();
+        let s = LevelSchedule::build(&l, Triangle::Lower);
+        let w = TrisolveWorkload::new(&l, &s);
+        let rows: usize = w.levels.iter().map(|&(r, _, _)| r).sum();
+        let nnz: usize = w.levels.iter().map(|&(_, z, _)| z).sum();
+        assert_eq!(rows, 64);
+        assert_eq!(nnz, l.nnz());
+        assert_eq!(w.n_levels(), s.n_levels());
+    }
+
+    /// The core property sparsification exploits: with work held roughly
+    /// constant, more levels ⇒ strictly more time (launch overhead).
+    #[test]
+    fn more_levels_cost_more() {
+        let d = DeviceSpec::a100();
+        // Same total rows/nnz, split into 2 vs 8 levels.
+        let w2 = TrisolveWorkload {
+            levels: vec![(512, 2048, 4), (512, 2048, 4)],
+            n_rows: 1024,
+            nnz: 4096,
+        };
+        let w8 = TrisolveWorkload {
+            levels: (0..8).map(|_| (128, 512, 4)).collect(),
+            n_rows: 1024,
+            nnz: 4096,
+        };
+        let c2 = trisolve_cost(&d, &w2);
+        let c8 = trisolve_cost(&d, &w8);
+        assert!(c8.time_us > c2.time_us, "{} !> {}", c8.time_us, c2.time_us);
+        assert!((c8.launch_us - 8.0 * d.launch_overhead_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_nnz_never_cost_more() {
+        let d = DeviceSpec::a100();
+        let full = workload(40);
+        // Same level structure, 20% fewer nnz per level.
+        let slim = TrisolveWorkload {
+            levels: full
+                .levels
+                .iter()
+                .map(|&(r, z, m)| (r, z * 8 / 10, m))
+                .collect(),
+            n_rows: full.n_rows,
+            nnz: full.nnz * 8 / 10,
+        };
+        let cf = trisolve_cost(&d, &full);
+        let cs = trisolve_cost(&d, &slim);
+        assert!(cs.time_us <= cf.time_us);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_many_small_levels_on_gpu_not_cpu() {
+        let w = workload(64); // 127 levels, ~64 rows each
+        let gpu = trisolve_cost(&DeviceSpec::a100(), &w);
+        let cpu = trisolve_cost(&DeviceSpec::epyc_7413(), &w);
+        let gpu_launch_frac = gpu.launch_us / gpu.time_us;
+        let cpu_launch_frac = cpu.launch_us / cpu.time_us;
+        assert!(gpu_launch_frac > 0.8, "gpu launch fraction {gpu_launch_frac}");
+        assert!(cpu_launch_frac < gpu_launch_frac);
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = DeviceSpec::v100();
+        let w = workload(16);
+        assert_eq!(trisolve_cost(&d, &w), trisolve_cost(&d, &w));
+    }
+}

@@ -1,0 +1,15 @@
+//! # spcg-lowrank
+//!
+//! Rank-revealing low-rank compression probe over incomplete-factor blocks
+//! — the §4.6 study ("Low-rank Approximation Methods") substituting for
+//! STRUMPACK's HSS machinery: pivoted-QR numerical rank of off-diagonal
+//! factor blocks under STRUMPACK-style leaf-size / tolerance /
+//! minimum-separator knobs.
+
+#![warn(missing_docs)]
+
+pub mod hss;
+pub mod qr;
+
+pub use hss::{probe_factor, HssProbeParams, HssProbeReport};
+pub use qr::{pivoted_qr, PivotedQr};

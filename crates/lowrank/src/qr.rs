@@ -1,0 +1,173 @@
+//! Householder QR with column pivoting — the rank-revealing factorization
+//! the HSS probe uses to decide whether a block is compressible.
+
+use spcg_sparse::DenseMatrix;
+
+/// Result of a pivoted QR factorization: the diagonal of `R` in pivot
+/// order, which decays with the singular values (up to modest factors).
+#[derive(Debug, Clone)]
+pub struct PivotedQr {
+    /// `|R[k][k]|` for k = 0..min(m,n), non-increasing by construction.
+    pub r_diag: Vec<f64>,
+    /// Column permutation applied (pivot order).
+    pub perm: Vec<usize>,
+}
+
+/// Computes the column-pivoted QR of `a` (only the information needed for
+/// rank estimation is retained).
+pub fn pivoted_qr(a: &DenseMatrix<f64>) -> PivotedQr {
+    let m = a.n_rows();
+    let n = a.n_cols();
+    let kmax = m.min(n);
+    // Work on a column-major copy for cache-friendly column ops.
+    let mut cols: Vec<Vec<f64>> = (0..n)
+        .map(|j| (0..m).map(|i| a.get(i, j)).collect())
+        .collect();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut col_norms: Vec<f64> = cols.iter().map(|c| c.iter().map(|v| v * v).sum()).collect();
+    let mut r_diag = Vec::with_capacity(kmax);
+
+    for k in 0..kmax {
+        // Pivot: bring the largest remaining column to position k.
+        let (piv, _) = col_norms[k..]
+            .iter()
+            .enumerate()
+            .fold((0usize, -1.0f64), |best, (i, &v)| if v > best.1 { (i, v) } else { best });
+        let piv = k + piv;
+        cols.swap(k, piv);
+        col_norms.swap(k, piv);
+        perm.swap(k, piv);
+
+        // Householder vector for column k below row k.
+        let alpha: f64 = cols[k][k..].iter().map(|v| v * v).sum::<f64>().sqrt();
+        if alpha == 0.0 {
+            r_diag.push(0.0);
+            continue;
+        }
+        let sign = if cols[k][k] >= 0.0 { 1.0 } else { -1.0 };
+        let mut v: Vec<f64> = cols[k][k..].to_vec();
+        v[0] += sign * alpha;
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 > 0.0 {
+            // Apply H = I - 2 v vᵀ / (vᵀv) to remaining columns.
+            for col in cols.iter_mut().skip(k + 1) {
+                let dot: f64 = v.iter().zip(&col[k..]).map(|(a, b)| a * b).sum();
+                let f = 2.0 * dot / vnorm2;
+                for (vi, ci) in v.iter().zip(col[k..].iter_mut()) {
+                    *ci -= f * vi;
+                }
+            }
+        }
+        r_diag.push(alpha);
+        // Downdate column norms (recompute exactly — blocks are small).
+        for (j, col) in cols.iter().enumerate().skip(k + 1) {
+            col_norms[j] = col[k + 1..].iter().map(|x| x * x).sum();
+        }
+    }
+    PivotedQr { r_diag, perm }
+}
+
+impl PivotedQr {
+    /// Numerical rank at a tolerance relative to the largest `R` diagonal.
+    pub fn rank_rel(&self, rel_tol: f64) -> usize {
+        let r0 = self.r_diag.first().copied().unwrap_or(0.0);
+        if r0 == 0.0 {
+            return 0;
+        }
+        self.r_diag.iter().take_while(|&&d| d > rel_tol * r0).count()
+    }
+
+    /// Numerical rank at an absolute tolerance.
+    pub fn rank_abs(&self, abs_tol: f64) -> usize {
+        self.r_diag.iter().take_while(|&&d| d > abs_tol).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outer(u: &[f64], v: &[f64]) -> DenseMatrix<f64> {
+        let mut m = DenseMatrix::zeros(u.len(), v.len());
+        for i in 0..u.len() {
+            for j in 0..v.len() {
+                m.set(i, j, u[i] * v[j]);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn rank_one_matrix() {
+        let m = outer(&[1.0, 2.0, 3.0, 4.0], &[2.0, -1.0, 0.5]);
+        let qr = pivoted_qr(&m);
+        assert_eq!(qr.rank_rel(1e-10), 1);
+        assert!(qr.r_diag[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_two_matrix() {
+        let a = outer(&[1.0, 0.0, 1.0, 2.0], &[1.0, 1.0, 0.0]);
+        let b = outer(&[0.0, 1.0, -1.0, 0.5], &[0.0, 2.0, 1.0]);
+        let mut m = DenseMatrix::zeros(4, 3);
+        for i in 0..4 {
+            for j in 0..3 {
+                m.set(i, j, a.get(i, j) + b.get(i, j));
+            }
+        }
+        assert_eq!(pivoted_qr(&m).rank_rel(1e-10), 2);
+    }
+
+    #[test]
+    fn full_rank_identity() {
+        let qr = pivoted_qr(&DenseMatrix::identity(5));
+        assert_eq!(qr.rank_rel(1e-10), 5);
+        for &d in &qr.r_diag {
+            assert!((d - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn r_diag_is_non_increasing() {
+        // Deterministic pseudo-random full-rank matrix.
+        let mut m = DenseMatrix::zeros(8, 8);
+        let mut s = 1u64;
+        for i in 0..8 {
+            for j in 0..8 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                m.set(i, j, (s >> 33) as f64 / (1u64 << 31) as f64 - 1.0);
+            }
+        }
+        let qr = pivoted_qr(&m);
+        for w in qr.r_diag.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9, "r_diag not decaying: {:?}", qr.r_diag);
+        }
+        assert_eq!(qr.rank_rel(1e-12), 8);
+    }
+
+    #[test]
+    fn zero_matrix_has_rank_zero() {
+        let qr = pivoted_qr(&DenseMatrix::zeros(4, 4));
+        assert_eq!(qr.rank_rel(1e-10), 0);
+        assert_eq!(qr.rank_abs(1e-30), 0);
+    }
+
+    #[test]
+    fn rectangular_blocks() {
+        let m = outer(&[1.0, 2.0], &[1.0, 0.0, 2.0, 3.0]);
+        let qr = pivoted_qr(&m);
+        assert_eq!(qr.r_diag.len(), 2);
+        assert_eq!(qr.rank_rel(1e-10), 1);
+    }
+
+    #[test]
+    fn abs_rank_threshold() {
+        let mut m = DenseMatrix::zeros(3, 3);
+        m.set(0, 0, 10.0);
+        m.set(1, 1, 1.0);
+        m.set(2, 2, 1e-8);
+        let qr = pivoted_qr(&m);
+        assert_eq!(qr.rank_abs(1e-4), 2);
+        assert_eq!(qr.rank_abs(1e-12), 3);
+    }
+}

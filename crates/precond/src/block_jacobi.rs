@@ -1,0 +1,161 @@
+//! Block-Jacobi preconditioner: dense inversion of contiguous diagonal
+//! blocks. Fully parallel to apply (no cross-block dependences), stronger
+//! than point Jacobi — the standard middle ground between Jacobi and ILU,
+//! and the basis of the adaptive-precision block-Jacobi work the paper
+//! cites (Flegar et al., reference 21).
+
+use crate::traits::Preconditioner;
+use spcg_sparse::{CsrMatrix, DenseMatrix, Result, Scalar, SparseError};
+
+/// Block-Jacobi preconditioner with fixed-size contiguous blocks.
+#[derive(Debug, Clone)]
+pub struct BlockJacobiPreconditioner<T: Scalar> {
+    /// Inverted diagonal blocks (row-major dense), one per block.
+    blocks: Vec<DenseMatrix<T>>,
+    block_size: usize,
+    n: usize,
+}
+
+impl<T: Scalar> BlockJacobiPreconditioner<T> {
+    /// Builds the preconditioner by densely inverting each `block_size`
+    /// diagonal block of `a` (the last block may be smaller).
+    pub fn new(a: &CsrMatrix<T>, block_size: usize) -> Result<Self> {
+        if !a.is_square() {
+            return Err(SparseError::NotSquare { n_rows: a.n_rows(), n_cols: a.n_cols() });
+        }
+        assert!(block_size >= 1, "block size must be positive");
+        let n = a.n_rows();
+        let mut blocks = Vec::with_capacity(n.div_ceil(block_size));
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + block_size).min(n);
+            let bs = end - start;
+            let mut d = DenseMatrix::zeros(bs, bs);
+            for i in start..end {
+                for (&c, &v) in a.row_cols(i).iter().zip(a.row_values(i)) {
+                    if (start..end).contains(&c) {
+                        d.set(i - start, c - start, v);
+                    }
+                }
+            }
+            let inv = d
+                .inverse()
+                .map_err(|_| SparseError::ZeroDiagonal { row: start })?;
+            blocks.push(inv);
+            start = end;
+        }
+        Ok(Self { blocks, block_size, n })
+    }
+
+    /// Block size used at construction.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for BlockJacobiPreconditioner<T> {
+    fn apply(&self, r: &[T], z: &mut [T]) {
+        assert_eq!(r.len(), self.n);
+        assert_eq!(z.len(), self.n);
+        let mut start = 0usize;
+        for block in &self.blocks {
+            let bs = block.n_rows();
+            let seg = block.matvec(&r[start..start + bs]);
+            z[start..start + bs].copy_from_slice(&seg);
+            start += bs;
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> &str {
+        "block-jacobi"
+    }
+
+    fn nnz(&self) -> usize {
+        self.blocks.iter().map(|b| b.n_rows() * b.n_cols()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi::JacobiPreconditioner;
+    use spcg_sparse::generators::{banded_spd, poisson_1d};
+
+    #[test]
+    fn block_size_one_equals_point_jacobi() {
+        let a = poisson_1d(12);
+        let bj = BlockJacobiPreconditioner::new(&a, 1).unwrap();
+        let pj = JacobiPreconditioner::new(&a).unwrap();
+        let r: Vec<f64> = (0..12).map(|i| i as f64 - 5.0).collect();
+        let mut z1 = vec![0.0; 12];
+        let mut z2 = vec![0.0; 12];
+        bj.apply(&r, &mut z1);
+        pj.apply(&r, &mut z2);
+        for (a, b) in z1.iter().zip(&z2) {
+            assert!((a - b).abs() < 1e-14);
+        }
+        assert_eq!(bj.n_blocks(), 12);
+    }
+
+    #[test]
+    fn whole_matrix_block_is_exact_inverse() {
+        let a = banded_spd(10, 3, 0.9, 2.0, 4);
+        let bj = BlockJacobiPreconditioner::new(&a, 10).unwrap();
+        assert_eq!(bj.n_blocks(), 1);
+        let b: Vec<f64> = (0..10).map(|i| (i as f64).cos()).collect();
+        let mut z = vec![0.0; 10];
+        bj.apply(&b, &mut z);
+        let direct = a.to_dense().solve(&b).unwrap();
+        for (got, want) in z.iter().zip(&direct) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uneven_final_block() {
+        let a = poisson_1d(10);
+        let bj = BlockJacobiPreconditioner::new(&a, 4).unwrap();
+        assert_eq!(bj.n_blocks(), 3); // 4 + 4 + 2
+        let r = vec![1.0; 10];
+        let mut z = vec![0.0; 10];
+        bj.apply(&r, &mut z);
+        assert!(z.iter().all(|v| v.is_finite()));
+        assert_eq!(Preconditioner::<f64>::nnz(&bj), 16 + 16 + 4);
+    }
+
+    #[test]
+    fn larger_blocks_are_stronger() {
+        // The block inverse captures more of A: ‖I − M⁻¹A‖_F shrinks when
+        // the block grows from point Jacobi to 8-blocks, and vanishes when
+        // one block covers the whole matrix.
+        let a = poisson_1d(32);
+        let fro = |bs: usize| {
+            let m = BlockJacobiPreconditioner::new(&a, bs).unwrap();
+            let n = 32;
+            let mut total = 0.0f64;
+            for j in 0..n {
+                let mut e = vec![0.0f64; n];
+                e[j] = 1.0;
+                let ae = spcg_sparse::spmv::spmv_alloc(&a, &e);
+                let mut z = vec![0.0; n];
+                m.apply(&ae, &mut z);
+                for (i, &v) in z.iter().enumerate() {
+                    let want = if i == j { 1.0 } else { 0.0 };
+                    total += (v - want) * (v - want);
+                }
+            }
+            total.sqrt()
+        };
+        assert!(fro(8) < fro(1), "blocks of 8 should beat point Jacobi");
+        assert!(fro(32) < 1e-9);
+    }
+}

@@ -1,0 +1,162 @@
+//! Shared representation of incomplete factorizations `M = L·U` and the
+//! machinery to apply `M⁻¹` via two triangular solves.
+
+use crate::traits::Preconditioner;
+use serde::{Deserialize, Serialize};
+use spcg_sparse::{CsrMatrix, Scalar};
+use spcg_wavefront::{solve_levels_par, solve_lower_seq, solve_upper_seq, LevelSchedule, Triangle};
+
+/// How the two triangular solves inside `M⁻¹ r` are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TriangularExec {
+    /// Plain sequential substitution.
+    Sequential,
+    /// Level-scheduled (wavefront) parallel execution under rayon.
+    LevelParallel,
+}
+
+/// An incomplete factorization `A ≈ L U` with precomputed level schedules.
+///
+/// `L` is lower triangular with an explicitly stored unit diagonal; `U` is
+/// upper triangular with the pivots on its diagonal. Both keep CSR order so
+/// sequential and parallel application are bitwise identical.
+#[derive(Debug, Clone)]
+pub struct IluFactors<T: Scalar> {
+    l: CsrMatrix<T>,
+    u: CsrMatrix<T>,
+    l_schedule: LevelSchedule,
+    u_schedule: LevelSchedule,
+    exec: TriangularExec,
+    name: String,
+    scratch_dim: usize,
+}
+
+impl<T: Scalar> IluFactors<T> {
+    /// Wraps factor matrices, building their level schedules (the
+    /// "inspector" phase).
+    pub fn new(l: CsrMatrix<T>, u: CsrMatrix<T>, exec: TriangularExec, name: String) -> Self {
+        assert!(l.is_square() && u.is_square(), "factors must be square");
+        assert_eq!(l.n_rows(), u.n_rows(), "factor dimensions must agree");
+        let l_schedule = LevelSchedule::build(&l, Triangle::Lower);
+        let u_schedule = LevelSchedule::build(&u, Triangle::Upper);
+        let scratch_dim = l.n_rows();
+        Self { l, u, l_schedule, u_schedule, exec, name, scratch_dim }
+    }
+
+    /// The lower factor.
+    pub fn l(&self) -> &CsrMatrix<T> {
+        &self.l
+    }
+
+    /// The upper factor.
+    pub fn u(&self) -> &CsrMatrix<T> {
+        &self.u
+    }
+
+    /// Level schedule of the forward solve.
+    pub fn l_schedule(&self) -> &LevelSchedule {
+        &self.l_schedule
+    }
+
+    /// Level schedule of the backward solve.
+    pub fn u_schedule(&self) -> &LevelSchedule {
+        &self.u_schedule
+    }
+
+    /// Total wavefronts across both solves — the synchronization count per
+    /// preconditioner application.
+    pub fn total_wavefronts(&self) -> usize {
+        self.l_schedule.n_levels() + self.u_schedule.n_levels()
+    }
+
+    /// Execution strategy used by [`Preconditioner::apply`].
+    pub fn exec(&self) -> TriangularExec {
+        self.exec
+    }
+
+    /// Changes the execution strategy.
+    pub fn with_exec(mut self, exec: TriangularExec) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Solves `L y = r` then `U z = y`.
+    pub fn solve(&self, r: &[T], z: &mut [T]) {
+        let n = self.scratch_dim;
+        assert_eq!(r.len(), n, "rhs length mismatch");
+        assert_eq!(z.len(), n, "solution length mismatch");
+        let mut y = vec![T::ZERO; n];
+        match self.exec {
+            TriangularExec::Sequential => {
+                solve_lower_seq(&self.l, r, &mut y);
+                solve_upper_seq(&self.u, &y, z);
+            }
+            TriangularExec::LevelParallel => {
+                solve_levels_par(&self.l, &self.l_schedule, r, &mut y);
+                solve_levels_par(&self.u, &self.u_schedule, &y, z);
+            }
+        }
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for IluFactors<T> {
+    fn apply(&self, r: &[T], z: &mut [T]) {
+        self.solve(r, z);
+    }
+
+    fn dim(&self) -> usize {
+        self.scratch_dim
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn nnz(&self) -> usize {
+        self.l.nnz() + self.u.nnz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_sparse::CooMatrix;
+
+    /// Exact dense LU of a tiny SPD matrix, wrapped as IluFactors: applying
+    /// it must solve the system exactly.
+    #[test]
+    fn exact_lu_solves_exactly() {
+        // A = [4 1; 1 3] = L U with L = [1 0; 0.25 1], U = [4 1; 0 2.75]
+        let mut lc = CooMatrix::new(2, 2);
+        lc.push(0, 0, 1.0).unwrap();
+        lc.push(1, 0, 0.25).unwrap();
+        lc.push(1, 1, 1.0).unwrap();
+        let mut uc = CooMatrix::new(2, 2);
+        uc.push(0, 0, 4.0).unwrap();
+        uc.push(0, 1, 1.0).unwrap();
+        uc.push(1, 1, 2.75).unwrap();
+        let f = IluFactors::new(lc.to_csr(), uc.to_csr(), TriangularExec::Sequential, "lu".into());
+        let b = [1.0, 2.0];
+        let mut x = [0.0; 2];
+        f.apply(&b, &mut x);
+        assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+        assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
+        assert_eq!(f.total_wavefronts(), 4);
+        assert_eq!(Preconditioner::<f64>::nnz(&f), 6);
+    }
+
+    #[test]
+    fn parallel_exec_matches_sequential() {
+        let a = spcg_sparse::generators::poisson_2d(12, 12);
+        let l = a.lower();
+        let u = a.upper();
+        let fs = IluFactors::new(l.clone(), u.clone(), TriangularExec::Sequential, "s".into());
+        let fp = IluFactors::new(l, u, TriangularExec::LevelParallel, "p".into());
+        let b: Vec<f64> = (0..144).map(|i| (i % 13) as f64 - 6.0).collect();
+        let mut zs = vec![0.0; 144];
+        let mut zp = vec![0.0; 144];
+        fs.apply(&b, &mut zs);
+        fp.apply(&b, &mut zp);
+        assert_eq!(zs, zp);
+    }
+}

@@ -1,0 +1,140 @@
+//! IC(0): incomplete Cholesky with zero fill — the symmetric sibling of
+//! ILU(0), mentioned by the paper (§6.2) as the other standard incomplete
+//! preconditioner for SPD systems. Provided as an extension; the evaluation
+//! uses ILU(0)/ILU(K) to match the paper.
+
+use crate::factors::{IluFactors, TriangularExec};
+use spcg_sparse::{CooMatrix, CsrMatrix, Result, Scalar, SparseError};
+
+/// Computes the IC(0) factorization `A ≈ L Lᵀ`, restricted to the lower
+/// pattern of `A`. Fails with [`SparseError::ZeroDiagonal`] when a pivot
+/// becomes non-positive (matrix not SPD enough for IC(0)).
+pub fn ic0<T: Scalar>(a: &CsrMatrix<T>, exec: TriangularExec) -> Result<IluFactors<T>> {
+    if !a.is_square() {
+        return Err(SparseError::NotSquare { n_rows: a.n_rows(), n_cols: a.n_cols() });
+    }
+    let n = a.n_rows();
+    let lower = a.lower();
+    let row_ptr = lower.row_ptr().to_vec();
+    let col_idx = lower.col_idx().to_vec();
+    let mut vals = lower.values().to_vec();
+
+    // Diagonal must terminate each lower row.
+    let mut diag_pos = vec![0usize; n];
+    for i in 0..n {
+        let end = row_ptr[i + 1];
+        if end == row_ptr[i] || col_idx[end - 1] != i {
+            return Err(SparseError::ZeroDiagonal { row: i });
+        }
+        diag_pos[i] = end - 1;
+    }
+
+    for i in 0..n {
+        for kk in row_ptr[i]..row_ptr[i + 1] {
+            let j = col_idx[kk];
+            // Sparse dot of rows i and j over columns < j.
+            let mut s = vals[kk];
+            let (mut p, mut q) = (row_ptr[i], row_ptr[j]);
+            while p < kk && q < diag_pos[j] {
+                match col_idx[p].cmp(&col_idx[q]) {
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                    std::cmp::Ordering::Equal => {
+                        s -= vals[p] * vals[q];
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+            if j < i {
+                let ljj = vals[diag_pos[j]];
+                if ljj == T::ZERO || ljj.is_bad() {
+                    return Err(SparseError::ZeroDiagonal { row: j });
+                }
+                vals[kk] = s / ljj;
+            } else {
+                // diagonal entry: pivot must stay positive
+                if s <= T::ZERO || s.is_bad() {
+                    return Err(SparseError::ZeroDiagonal { row: i });
+                }
+                vals[kk] = s.sqrt();
+            }
+        }
+    }
+
+    let mut lc = CooMatrix::with_capacity(n, n, vals.len());
+    for i in 0..n {
+        for p in row_ptr[i]..row_ptr[i + 1] {
+            lc.push(i, col_idx[p], vals[p]).expect("in bounds");
+        }
+    }
+    let l = lc.to_csr();
+    let lt = l.transpose();
+    Ok(IluFactors::new(l, lt, exec, "ic0".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Preconditioner;
+    use spcg_sparse::generators::{banded_spd, poisson_1d, poisson_2d};
+
+    /// Tridiagonal: IC(0) is the exact Cholesky factorization.
+    #[test]
+    fn tridiagonal_ic0_is_exact_cholesky() {
+        let a = poisson_1d(10);
+        let f = ic0(&a, TriangularExec::Sequential).unwrap();
+        let llt = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
+        let ad = a.to_dense();
+        for i in 0..10 {
+            for j in 0..10 {
+                assert!((llt.get(i, j) - ad.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn llt_matches_a_on_lower_pattern() {
+        let a = poisson_2d(6, 6);
+        let f = ic0(&a, TriangularExec::Sequential).unwrap();
+        let llt = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
+        for (i, j, v) in a.iter() {
+            if j <= i {
+                assert!((llt.get(i, j) - v).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_is_symmetric_operator() {
+        // M⁻¹ = L⁻ᵀ L⁻¹ is symmetric: (e_i, M⁻¹ e_j) == (e_j, M⁻¹ e_i).
+        let a = banded_spd(12, 3, 0.8, 2.0, 3);
+        let f = ic0(&a, TriangularExec::Sequential).unwrap();
+        let n = 12;
+        let mut m = vec![vec![0.0f64; n]; n];
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let mut z = vec![0.0; n];
+            f.apply(&e, &mut z);
+            for i in 0..n {
+                m[i][j] = z[i];
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let mut coo = spcg_sparse::CooMatrix::<f64>::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push_sym(0, 1, 5.0).unwrap();
+        coo.push(1, 1, 1.0).unwrap();
+        // a_11 - l_10^2 = 1 - 25 < 0
+        assert!(ic0(&coo.to_csr(), TriangularExec::Sequential).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! IC(K): incomplete Cholesky with level-of-fill K — the symmetric sibling
+//! of ILU(K), named explicitly by the paper (§6.2: "Some examples are
+//! ILU(K), and Incomplete Cholesky with K fill-in (IC(K)) solvers").
+//!
+//! The fill pattern is the lower triangle of the ILU(K) symbolic pattern
+//! (levels are symmetric for symmetric input); the numeric phase is the
+//! IC(0) sweep on the padded pattern.
+
+use crate::factors::{IluFactors, TriangularExec};
+use crate::ic0::ic0;
+use crate::iluk::iluk_symbolic_capped;
+use spcg_sparse::{CsrMatrix, Result, Scalar};
+
+/// Computes the IC(K) factorization `A ≈ L Lᵀ` with level-of-fill `k`.
+///
+/// Fails like [`ic0`] when a pivot becomes non-positive (matrix not SPD
+/// enough for incomplete Cholesky at this fill level).
+pub fn ick<T: Scalar>(a: &CsrMatrix<T>, k: usize, exec: TriangularExec) -> Result<IluFactors<T>> {
+    ick_capped(a, k, usize::MAX, exec)
+}
+
+/// [`ick`] with an early-abort fill cap (see
+/// [`crate::iluk::iluk_symbolic_capped`]).
+pub fn ick_capped<T: Scalar>(
+    a: &CsrMatrix<T>,
+    k: usize,
+    max_nnz: usize,
+    exec: TriangularExec,
+) -> Result<IluFactors<T>> {
+    let sym = iluk_symbolic_capped(a, k, max_nnz)?;
+    // Materialize A's values on the fill pattern (fill entries start 0),
+    // then run the IC(0) sweep over the padded matrix: the sweep only
+    // reads the lower triangle, so the result is IC(K).
+    let n = a.n_rows();
+    let mut values = vec![T::ZERO; sym.col_idx.len()];
+    for i in 0..n {
+        let start = sym.row_ptr[i];
+        let cols = &sym.col_idx[start..sym.row_ptr[i + 1]];
+        for (&c, &v) in a.row_cols(i).iter().zip(a.row_values(i)) {
+            let pos = cols.binary_search(&c).expect("A's pattern is in the fill pattern");
+            values[start + pos] = v;
+        }
+    }
+    let padded = CsrMatrix::from_raw(n, n, sym.row_ptr.clone(), sym.col_idx.clone(), values)?;
+    let factors = ic0(&padded, exec)?;
+    Ok(IluFactors::new(
+        factors.l().clone(),
+        factors.u().clone(),
+        exec,
+        format!("ick({k})"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_sparse::generators::{banded_spd, poisson_2d};
+
+    #[test]
+    fn ick0_equals_ic0() {
+        let a = poisson_2d(8, 8);
+        let f0 = ic0(&a, TriangularExec::Sequential).unwrap();
+        let fk = ick(&a, 0, TriangularExec::Sequential).unwrap();
+        assert_eq!(f0.l(), fk.l());
+    }
+
+    #[test]
+    fn residual_shrinks_with_k() {
+        let a = poisson_2d(7, 7);
+        let ad = a.to_dense();
+        let fro = |k: usize| {
+            let f = ick(&a, k, TriangularExec::Sequential).unwrap();
+            let llt = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
+            let mut s = 0.0f64;
+            for i in 0..49 {
+                for j in 0..49 {
+                    let d = llt.get(i, j) - ad.get(i, j);
+                    s += d * d;
+                }
+            }
+            s.sqrt()
+        };
+        let (r0, r2) = (fro(0), fro(2));
+        assert!(r2 < r0, "IC(2) residual {r2} should beat IC(0) {r0}");
+    }
+
+    #[test]
+    fn large_k_is_exact_cholesky() {
+        let a = banded_spd(14, 3, 0.9, 2.5, 3);
+        let f = ick(&a, 20, TriangularExec::Sequential).unwrap();
+        let llt = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
+        let ad = a.to_dense();
+        for i in 0..14 {
+            for j in 0..14 {
+                assert!((llt.get(i, j) - ad.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_is_symmetric_operator() {
+        use crate::traits::Preconditioner;
+        let a = poisson_2d(6, 6);
+        let f = ick(&a, 1, TriangularExec::Sequential).unwrap();
+        let n = 36;
+        let mut m = vec![vec![0.0f64; n]; n];
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let mut z = vec![0.0; n];
+            f.apply(&e, &mut z);
+            for (i, &v) in z.iter().enumerate() {
+                m[i][j] = v;
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn fill_cap_aborts() {
+        let a = poisson_2d(20, 20);
+        assert!(ick_capped(&a, 8, 100, TriangularExec::Sequential).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! ILU(0): incomplete LU factorization with zero fill-in.
+//!
+//! The factor pattern equals the pattern of `A`, so memory is fixed and the
+//! factorization is a single sweep (the IKJ variant restricted to existing
+//! entries). This is the preconditioner behind SPCG-ILU(0).
+
+use crate::factors::{IluFactors, TriangularExec};
+use spcg_sparse::{CooMatrix, CsrMatrix, Result, Scalar, SparseError};
+
+/// Computes the ILU(0) factorization of a square matrix with a structurally
+/// present, nonzero diagonal.
+///
+/// Returns factors `L` (unit lower) and `U` (upper with pivots) whose
+/// combined pattern equals `A`'s.
+pub fn ilu0<T: Scalar>(a: &CsrMatrix<T>, exec: TriangularExec) -> Result<IluFactors<T>> {
+    let (vals, diag_pos) = ilu0_values(a)?;
+    let (l, u) = split_factors(a, &vals, &diag_pos);
+    Ok(IluFactors::new(l, u, exec, "ilu0".into()))
+}
+
+/// The numeric sweep of ILU(0): returns the factored values overlaid on
+/// `A`'s pattern plus the position of each diagonal entry.
+///
+/// Exposed separately so the GPU cost model can price the sweep and so
+/// ILU(K) can reuse it on its filled pattern.
+pub(crate) fn ilu0_values<T: Scalar>(a: &CsrMatrix<T>) -> Result<(Vec<T>, Vec<usize>)> {
+    if !a.is_square() {
+        return Err(SparseError::NotSquare { n_rows: a.n_rows(), n_cols: a.n_cols() });
+    }
+    let n = a.n_rows();
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let mut vals: Vec<T> = a.values().to_vec();
+
+    // Locate every diagonal entry up front; a missing one is fatal.
+    let mut diag_pos = vec![0usize; n];
+    for i in 0..n {
+        let cols = a.row_cols(i);
+        match cols.binary_search(&i) {
+            Ok(k) => diag_pos[i] = row_ptr[i] + k,
+            Err(_) => return Err(SparseError::ZeroDiagonal { row: i }),
+        }
+    }
+
+    for i in 0..n {
+        // Eliminate columns k < i in ascending order (IKJ).
+        for kk in row_ptr[i]..diag_pos[i] {
+            let k = col_idx[kk];
+            let piv = vals[diag_pos[k]];
+            if piv == T::ZERO || piv.is_bad() {
+                return Err(SparseError::ZeroDiagonal { row: k });
+            }
+            let lik = vals[kk] / piv;
+            vals[kk] = lik;
+            // Subtract lik * U(k, j) from A(i, j) for every j > k present in
+            // both rows — a sorted two-pointer merge.
+            let mut p = kk + 1;
+            let row_i_end = row_ptr[i + 1];
+            for jj in diag_pos[k] + 1..row_ptr[k + 1] {
+                let j = col_idx[jj];
+                while p < row_i_end && col_idx[p] < j {
+                    p += 1;
+                }
+                if p == row_i_end {
+                    break;
+                }
+                if col_idx[p] == j {
+                    let delta = lik * vals[jj];
+                    vals[p] -= delta;
+                }
+            }
+        }
+        if vals[diag_pos[i]] == T::ZERO || vals[diag_pos[i]].is_bad() {
+            return Err(SparseError::ZeroDiagonal { row: i });
+        }
+    }
+    Ok((vals, diag_pos))
+}
+
+/// Splits factored values on `A`'s pattern into unit-lower `L` and upper `U`.
+pub(crate) fn split_factors<T: Scalar>(
+    a: &CsrMatrix<T>,
+    vals: &[T],
+    diag_pos: &[usize],
+) -> (CsrMatrix<T>, CsrMatrix<T>) {
+    let n = a.n_rows();
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let mut lc = CooMatrix::with_capacity(n, n, a.nnz() / 2 + n);
+    let mut uc = CooMatrix::with_capacity(n, n, a.nnz() / 2 + n);
+    for i in 0..n {
+        for p in row_ptr[i]..row_ptr[i + 1] {
+            let j = col_idx[p];
+            if p < diag_pos[i] {
+                lc.push(i, j, vals[p]).expect("within bounds");
+            } else {
+                uc.push(i, j, vals[p]).expect("within bounds");
+            }
+        }
+        lc.push(i, i, T::ONE).expect("within bounds");
+    }
+    (lc.to_csr(), uc.to_csr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Preconditioner;
+    use spcg_sparse::generators::{banded_spd, poisson_1d, poisson_2d};
+    use spcg_sparse::DenseMatrix;
+
+    /// For a tridiagonal matrix ILU(0) == exact LU (no fill is possible), so
+    /// L·U must reproduce A exactly.
+    #[test]
+    fn tridiagonal_ilu0_is_exact_lu() {
+        let a = poisson_1d(12);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let lu = f
+            .l()
+            .to_dense()
+            .matmul(&f.u().to_dense())
+            .unwrap();
+        let ad = a.to_dense();
+        for i in 0..12 {
+            for j in 0..12 {
+                assert!(
+                    (lu.get(i, j) - ad.get(i, j)).abs() < 1e-12,
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    /// On a general pattern, L·U must match A *on A's pattern* (the defining
+    /// property of ILU(0)), while off-pattern entries may differ.
+    #[test]
+    fn ilu0_matches_a_on_pattern() {
+        let a = poisson_2d(6, 5);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let lu = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
+        for (i, j, v) in a.iter() {
+            assert!((lu.get(i, j) - v).abs() < 1e-10, "pattern entry ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn factors_have_expected_structure() {
+        let a = poisson_2d(5, 5);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        // L unit diagonal
+        for i in 0..25 {
+            assert_eq!(f.l().get(i, i), Some(1.0));
+        }
+        // L strictly lower + diag, U upper incl diag
+        for (r, c, _) in f.l().iter() {
+            assert!(c <= r);
+        }
+        for (r, c, _) in f.u().iter() {
+            assert!(c >= r);
+        }
+        // combined nnz = nnz(A) + n (unit diagonal is extra)
+        assert_eq!(f.l().nnz() + f.u().nnz(), a.nnz() + 25);
+    }
+
+    /// Applying M⁻¹ must solve L U z = r accurately.
+    #[test]
+    fn apply_inverts_the_product() {
+        let a = banded_spd(30, 4, 0.8, 2.0, 7);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let r: Vec<f64> = (0..30).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+        let mut z = vec![0.0; 30];
+        f.apply(&r, &mut z);
+        // check L U z == r
+        let lu = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
+        let rz = lu.matvec(&z);
+        for (got, want) in rz.iter().zip(&r) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn missing_diagonal_is_rejected() {
+        let mut coo = spcg_sparse::CooMatrix::<f64>::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        let a = coo.to_csr();
+        assert!(matches!(
+            ilu0(&a, TriangularExec::Sequential),
+            Err(SparseError::ZeroDiagonal { row: 1 })
+        ));
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let mut coo = spcg_sparse::CooMatrix::<f64>::new(2, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 1, 1.0).unwrap();
+        let a = coo.to_csr();
+        assert!(ilu0(&a, TriangularExec::Sequential).is_err());
+    }
+
+    /// ILU(0) of a dense SPD matrix equals the exact dense LU.
+    #[test]
+    fn dense_pattern_matches_dense_lu() {
+        let d = DenseMatrix::from_rows(
+            3,
+            3,
+            vec![4.0, 1.0, 2.0, 1.0, 5.0, 1.0, 2.0, 1.0, 6.0],
+        )
+        .unwrap();
+        let a = CsrMatrix::from_dense(&d);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let lu = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((lu.get(i, j) - d.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn f32_factorization_works() {
+        let a: CsrMatrix<f32> = poisson_2d(8, 8).cast();
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let mut z = vec![0.0f32; 64];
+        let r = vec![1.0f32; 64];
+        f.apply(&r, &mut z);
+        assert!(z.iter().all(|v| v.is_finite()));
+    }
+}

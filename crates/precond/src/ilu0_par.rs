@@ -1,0 +1,183 @@
+//! Level-scheduled parallel ILU(0) numeric factorization.
+//!
+//! The factorization has the same dependence structure as the lower
+//! triangular solve: row `i` needs every row `k < i` with `a_ik != 0`
+//! finished first. Scheduling rows by those levels lets each wavefront
+//! factor in parallel — this is how GPU ILU(0) kernels (cuSPARSE
+//! `csrilu02`) are organized, and what the Figure 6 experiments model.
+//!
+//! The parallel sweep is bitwise identical to the sequential one: each
+//! row's updates are accumulated in CSR order by exactly one thread.
+
+use crate::factors::{IluFactors, TriangularExec};
+use crate::ilu0::split_factors;
+use rayon::prelude::*;
+use spcg_sparse::{CsrMatrix, Result, Scalar, SparseError};
+use spcg_wavefront::{LevelSchedule, Triangle};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Rows per rayon task inside a level; narrower levels run sequentially.
+const LEVEL_PAR_MIN: usize = 128;
+
+/// Shared-mutable value array for disjoint-row parallel writes.
+///
+/// Safety contract: concurrent callers must only write positions belonging
+/// to distinct rows, and only read positions of rows finalized in earlier
+/// levels (separated by the rayon join barrier).
+struct SharedVals<'a, T>(&'a [UnsafeCell<T>]);
+
+unsafe impl<T: Send + Sync> Sync for SharedVals<'_, T> {}
+
+impl<'a, T: Copy> SharedVals<'a, T> {
+    fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: UnsafeCell<T> has the same layout as T.
+        let ptr = slice as *mut [T] as *const [UnsafeCell<T>];
+        Self(unsafe { &*ptr })
+    }
+
+    /// SAFETY: position `p` must belong to the caller's row.
+    unsafe fn write(&self, p: usize, v: T) {
+        unsafe { *self.0[p].get() = v };
+    }
+
+    /// SAFETY: position `p` must belong to a finalized row (or the
+    /// caller's own).
+    unsafe fn read(&self, p: usize) -> T {
+        unsafe { *self.0[p].get() }
+    }
+}
+
+/// Computes ILU(0) with level-scheduled parallel numeric factorization.
+///
+/// Produces exactly the same factors as [`crate::ilu0::ilu0`]; `exec`
+/// selects how the *application* (triangular solves) will run.
+pub fn ilu0_par<T: Scalar>(a: &CsrMatrix<T>, exec: TriangularExec) -> Result<IluFactors<T>> {
+    if !a.is_square() {
+        return Err(SparseError::NotSquare { n_rows: a.n_rows(), n_cols: a.n_cols() });
+    }
+    let n = a.n_rows();
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let mut vals: Vec<T> = a.values().to_vec();
+
+    let mut diag_pos = vec![0usize; n];
+    for i in 0..n {
+        match a.row_cols(i).binary_search(&i) {
+            Ok(k) => diag_pos[i] = row_ptr[i] + k,
+            Err(_) => return Err(SparseError::ZeroDiagonal { row: i }),
+        }
+    }
+
+    // The factorization levels are the lower-triangle wavefronts of A.
+    let schedule = LevelSchedule::build(a, Triangle::Lower);
+    let shared = SharedVals::new(&mut vals);
+    let failed = AtomicBool::new(false);
+
+    for level in schedule.levels() {
+        let factor_row = |&i: &usize| {
+            // SAFETY: this closure is the unique writer of row i's
+            // positions; rows k < i read here were finalized in earlier
+            // levels (the schedule guarantees it, and levels are separated
+            // by a join barrier).
+            unsafe {
+                for kk in row_ptr[i]..diag_pos[i] {
+                    let k = col_idx[kk];
+                    let piv = shared.read(diag_pos[k]);
+                    if piv == T::ZERO || piv.is_bad() {
+                        failed.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    let lik = shared.read(kk) / piv;
+                    shared.write(kk, lik);
+                    let mut p = kk + 1;
+                    let row_i_end = row_ptr[i + 1];
+                    for jj in diag_pos[k] + 1..row_ptr[k + 1] {
+                        let j = col_idx[jj];
+                        while p < row_i_end && col_idx[p] < j {
+                            p += 1;
+                        }
+                        if p == row_i_end {
+                            break;
+                        }
+                        if col_idx[p] == j {
+                            let v = shared.read(p) - lik * shared.read(jj);
+                            shared.write(p, v);
+                        }
+                    }
+                }
+                let piv = shared.read(diag_pos[i]);
+                if piv == T::ZERO || piv.is_bad() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+            }
+        };
+        if level.len() >= LEVEL_PAR_MIN {
+            level.par_iter().for_each(factor_row);
+        } else {
+            level.iter().for_each(factor_row);
+        }
+        if failed.load(Ordering::Relaxed) {
+            // Locate the first bad pivot for a precise error.
+            for i in 0..n {
+                // SAFETY: all writers joined.
+                let piv = unsafe { shared.read(diag_pos[i]) };
+                if piv == T::ZERO || piv.is_bad() {
+                    return Err(SparseError::ZeroDiagonal { row: i });
+                }
+            }
+            return Err(SparseError::ZeroDiagonal { row: 0 });
+        }
+    }
+
+    let (l, u) = split_factors(a, &vals, &diag_pos);
+    Ok(IluFactors::new(l, u, exec, "ilu0-par".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ilu0::ilu0;
+    use spcg_sparse::generators::{banded_spd, layered_poisson_2d, poisson_2d, random_spd};
+
+    #[test]
+    fn parallel_factors_match_sequential_bitwise() {
+        for (name, a) in [
+            ("poisson", poisson_2d(40, 40)),
+            ("layered", layered_poisson_2d(48, 48, 4, 0.02)),
+            ("banded", banded_spd(1500, 4, 0.8, 1.6, 7)),
+            ("random", random_spd(1200, 5, 1.5, 9)),
+        ] {
+            let fs = ilu0(&a, TriangularExec::Sequential).unwrap();
+            let fp = ilu0_par(&a, TriangularExec::Sequential).unwrap();
+            assert_eq!(fs.l().values(), fp.l().values(), "{name}: L differs");
+            assert_eq!(fs.u().values(), fp.u().values(), "{name}: U differs");
+        }
+    }
+
+    #[test]
+    fn rejects_missing_diagonal() {
+        let mut coo = spcg_sparse::CooMatrix::<f64>::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        assert!(ilu0_par(&coo.to_csr(), TriangularExec::Sequential).is_err());
+    }
+
+    #[test]
+    fn rejects_pivot_collapse() {
+        let mut coo = spcg_sparse::CooMatrix::<f64>::new(2, 2);
+        coo.push(0, 0, 2.0).unwrap();
+        coo.push(0, 1, 2.0).unwrap();
+        coo.push(1, 0, 2.0).unwrap();
+        coo.push(1, 1, 2.0).unwrap();
+        assert!(ilu0_par(&coo.to_csr(), TriangularExec::Sequential).is_err());
+    }
+
+    #[test]
+    fn f32_parallel_factorization() {
+        let a: CsrMatrix<f32> = poisson_2d(30, 30).cast();
+        let fs = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let fp = ilu0_par(&a, TriangularExec::Sequential).unwrap();
+        assert_eq!(fs.u().values(), fp.u().values());
+    }
+}

@@ -1,0 +1,287 @@
+//! ILU(K): incomplete LU with level-of-fill K.
+//!
+//! Two phases, as in SPARSKIT/SuperLU:
+//!
+//! 1. **Symbolic**: compute the fill pattern. Original entries have level 0;
+//!    a fill entry created by eliminating column `k` from row `i` gets level
+//!    `lev(i,k) + lev(k,j) + 1` and is kept iff its (minimized) level ≤ K.
+//! 2. **Numeric**: run the fixed-pattern IKJ sweep (shared with ILU(0)) on
+//!    the filled pattern.
+//!
+//! Larger K gives a more accurate preconditioner with denser factors and —
+//! the paper's key observation — more dependences, hence more wavefronts.
+
+use crate::factors::{IluFactors, TriangularExec};
+use crate::ilu0::{ilu0_values, split_factors};
+use spcg_sparse::{CsrMatrix, Result, Scalar, SparseError};
+use std::collections::BTreeMap;
+
+/// Result of the symbolic phase: the filled pattern and per-entry levels.
+#[derive(Debug, Clone)]
+pub struct SymbolicIluk {
+    /// Filled pattern as CSR arrays (sorted columns).
+    pub row_ptr: Vec<usize>,
+    /// Column indices of the filled pattern.
+    pub col_idx: Vec<usize>,
+    /// Level of fill per stored entry (0 = original).
+    pub levels: Vec<usize>,
+    /// Fill entries added on top of `A`'s pattern.
+    pub fill_count: usize,
+}
+
+/// Computes the ILU(K) fill pattern of a square matrix.
+pub fn iluk_symbolic<T: Scalar>(a: &CsrMatrix<T>, k: usize) -> Result<SymbolicIluk> {
+    iluk_symbolic_capped(a, k, usize::MAX)
+}
+
+/// [`iluk_symbolic`] with an early abort once the pattern exceeds
+/// `max_nnz` entries — callers enforcing a fill budget (like the bench
+/// harness's fill cap) avoid paying for a symbolic phase they will reject.
+pub fn iluk_symbolic_capped<T: Scalar>(
+    a: &CsrMatrix<T>,
+    k: usize,
+    max_nnz: usize,
+) -> Result<SymbolicIluk> {
+    if !a.is_square() {
+        return Err(SparseError::NotSquare { n_rows: a.n_rows(), n_cols: a.n_cols() });
+    }
+    let n = a.n_rows();
+    // Factored rows so far: sorted (col, level) pairs plus the index of the
+    // first upper entry (col >= row).
+    let mut rows: Vec<Vec<(usize, usize)>> = Vec::with_capacity(n);
+    let mut upper_start: Vec<usize> = Vec::with_capacity(n);
+    let mut total_nnz = 0usize;
+
+    for i in 0..n {
+        let mut work: BTreeMap<usize, usize> = BTreeMap::new();
+        for &c in a.row_cols(i) {
+            work.insert(c, 0);
+        }
+        if !work.contains_key(&i) {
+            return Err(SparseError::ZeroDiagonal { row: i });
+        }
+        // Eliminate columns < i in ascending order; the b-tree lets us keep
+        // pulling the next unprocessed key even as fill is inserted.
+        let mut cursor = 0usize;
+        while let Some((&kcol, &lev_ik)) = work.range(cursor..i).next() {
+            cursor = kcol + 1;
+            if lev_ik > k {
+                continue; // entry will be dropped; do not propagate fill
+            }
+            let krow = &rows[kcol];
+            for &(j, lev_kj) in &krow[upper_start[kcol]..] {
+                if j == kcol {
+                    continue;
+                }
+                let fill = lev_ik + lev_kj + 1;
+                if fill <= k {
+                    work.entry(j)
+                        .and_modify(|l| *l = (*l).min(fill))
+                        .or_insert(fill);
+                }
+            }
+        }
+        // Retain entries with level <= K (original entries are level 0 and
+        // always survive).
+        let row: Vec<(usize, usize)> =
+            work.into_iter().filter(|&(_, lev)| lev <= k).collect();
+        total_nnz += row.len();
+        if total_nnz > max_nnz {
+            return Err(SparseError::InvalidStructure(format!(
+                "ILU({k}) fill exceeds cap of {max_nnz} entries at row {i}"
+            )));
+        }
+        let us = row.partition_point(|&(c, _)| c < i);
+        upper_start.push(us);
+        rows.push(row);
+    }
+
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::new();
+    let mut levels = Vec::new();
+    row_ptr.push(0);
+    for row in &rows {
+        for &(c, lev) in row {
+            col_idx.push(c);
+            levels.push(lev);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    let fill_count = col_idx.len() - a.nnz();
+    Ok(SymbolicIluk { row_ptr, col_idx, levels, fill_count })
+}
+
+/// Computes the ILU(K) factorization.
+pub fn iluk<T: Scalar>(a: &CsrMatrix<T>, k: usize, exec: TriangularExec) -> Result<IluFactors<T>> {
+    let (filled, _) = iluk_pattern_matrix(a, k)?;
+    let (vals, diag_pos) = ilu0_values(&filled)?;
+    let (l, u) = split_factors(&filled, &vals, &diag_pos);
+    Ok(IluFactors::new(l, u, exec, format!("iluk({k})")))
+}
+
+/// Materializes `A`'s values on the ILU(K) fill pattern (fill entries start
+/// at zero). Returns the padded matrix and the symbolic info.
+pub fn iluk_pattern_matrix<T: Scalar>(
+    a: &CsrMatrix<T>,
+    k: usize,
+) -> Result<(CsrMatrix<T>, SymbolicIluk)> {
+    iluk_pattern_matrix_capped(a, k, usize::MAX)
+}
+
+/// [`iluk_pattern_matrix`] with an early-abort fill cap.
+pub fn iluk_pattern_matrix_capped<T: Scalar>(
+    a: &CsrMatrix<T>,
+    k: usize,
+    max_nnz: usize,
+) -> Result<(CsrMatrix<T>, SymbolicIluk)> {
+    let sym = iluk_symbolic_capped(a, k, max_nnz)?;
+    let mut values = vec![T::ZERO; sym.col_idx.len()];
+    let n = a.n_rows();
+    for i in 0..n {
+        let start = sym.row_ptr[i];
+        let cols = &sym.col_idx[start..sym.row_ptr[i + 1]];
+        for (&c, &v) in a.row_cols(i).iter().zip(a.row_values(i)) {
+            let pos = cols.binary_search(&c).expect("A's pattern is a subset of the fill pattern");
+            values[start + pos] = v;
+        }
+    }
+    let filled = CsrMatrix::from_raw(n, n, sym.row_ptr.clone(), sym.col_idx.clone(), values)?;
+    Ok((filled, sym))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ilu0::ilu0;
+    use crate::traits::Preconditioner;
+    use spcg_sparse::generators::{banded_spd, poisson_2d};
+
+    #[test]
+    fn iluk0_pattern_equals_a() {
+        let a = poisson_2d(5, 5);
+        let sym = iluk_symbolic(&a, 0).unwrap();
+        assert_eq!(sym.fill_count, 0);
+        assert_eq!(sym.col_idx.len(), a.nnz());
+        assert_eq!(&sym.row_ptr, a.row_ptr());
+        assert_eq!(&sym.col_idx, a.col_idx());
+        assert!(sym.levels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn iluk0_factors_match_ilu0() {
+        let a = poisson_2d(6, 6);
+        let f0 = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let fk = iluk(&a, 0, TriangularExec::Sequential).unwrap();
+        assert_eq!(f0.l(), fk.l());
+        assert_eq!(f0.u(), fk.u());
+    }
+
+    #[test]
+    fn fill_grows_with_k() {
+        let a = poisson_2d(8, 8);
+        let mut last = 0;
+        for k in 0..4 {
+            let sym = iluk_symbolic(&a, k).unwrap();
+            assert!(
+                sym.fill_count >= last,
+                "fill must be monotone in K: k={k} gives {} < {last}",
+                sym.fill_count
+            );
+            last = sym.fill_count;
+        }
+        assert!(last > 0, "poisson 2d must generate fill for k >= 1");
+    }
+
+    /// For large enough K on a small matrix, ILU(K) becomes the exact LU
+    /// factorization, so L·U == A everywhere.
+    #[test]
+    fn large_k_is_exact_lu() {
+        let a = banded_spd(15, 3, 0.9, 2.0, 5);
+        let f = iluk(&a, 20, TriangularExec::Sequential).unwrap();
+        let lu = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
+        let ad = a.to_dense();
+        for i in 0..15 {
+            for j in 0..15 {
+                assert!(
+                    (lu.get(i, j) - ad.get(i, j)).abs() < 1e-9,
+                    "({i},{j}): {} vs {}",
+                    lu.get(i, j),
+                    ad.get(i, j)
+                );
+            }
+        }
+    }
+
+    /// ILU(K) always matches A on A's own pattern.
+    #[test]
+    fn matches_a_on_original_pattern() {
+        let a = poisson_2d(6, 5);
+        for k in [1, 2] {
+            let f = iluk(&a, k, TriangularExec::Sequential).unwrap();
+            let lu = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
+            for (i, j, v) in a.iter() {
+                assert!((lu.get(i, j) - v).abs() < 1e-9, "k={k} at ({i},{j})");
+            }
+        }
+    }
+
+    /// Higher K must not *increase* the residual ‖A - LU‖_F: more fill means
+    /// a closer factorization.
+    #[test]
+    fn residual_shrinks_with_k() {
+        let a = poisson_2d(7, 7);
+        let ad = a.to_dense();
+        let mut last = f64::MAX;
+        for k in [0usize, 1, 2, 4, 16] {
+            let f = iluk(&a, k, TriangularExec::Sequential).unwrap();
+            let lu = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
+            let mut err = 0.0f64;
+            for i in 0..49 {
+                for j in 0..49 {
+                    let d = lu.get(i, j) - ad.get(i, j);
+                    err += d * d;
+                }
+            }
+            let err = err.sqrt();
+            assert!(err <= last + 1e-12, "k={k}: {err} > {last}");
+            last = err;
+        }
+        assert!(last < 1e-9, "k=16 should be exact on a 7x7 grid, residual {last}");
+    }
+
+    /// The paper: ILU(K) fill introduces *more* wavefronts than ILU(0).
+    #[test]
+    fn fill_increases_wavefronts() {
+        let a = poisson_2d(10, 10);
+        let f0 = iluk(&a, 0, TriangularExec::Sequential).unwrap();
+        let f2 = iluk(&a, 2, TriangularExec::Sequential).unwrap();
+        assert!(
+            f2.total_wavefronts() >= f0.total_wavefronts(),
+            "k=2 wavefronts {} < k=0 {}",
+            f2.total_wavefronts(),
+            f0.total_wavefronts()
+        );
+        assert!(Preconditioner::<f64>::nnz(&f2) > Preconditioner::<f64>::nnz(&f0));
+    }
+
+    #[test]
+    fn missing_diagonal_rejected() {
+        let mut coo = spcg_sparse::CooMatrix::<f64>::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        assert!(matches!(
+            iluk_symbolic(&coo.to_csr(), 1),
+            Err(SparseError::ZeroDiagonal { row: 1 })
+        ));
+    }
+
+    #[test]
+    fn pattern_matrix_preserves_values() {
+        let a = poisson_2d(5, 4);
+        let (filled, sym) = iluk_pattern_matrix(&a, 2).unwrap();
+        assert_eq!(filled.nnz(), a.nnz() + sym.fill_count);
+        for (i, j, v) in a.iter() {
+            assert_eq!(filled.get(i, j), Some(v));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # spcg-precond
+//!
+//! Preconditioners for the SPCG workspace: ILU(0), ILU(K) with level-of-fill,
+//! IC(0), Jacobi, and the [`Preconditioner`] trait PCG consumes. Triangular
+//! applications run either sequentially or level-parallel through the
+//! schedules built by `spcg-wavefront`.
+
+#![warn(missing_docs)]
+
+pub mod block_jacobi;
+pub mod factors;
+pub mod ic0;
+pub mod ick;
+pub mod ilu0;
+pub mod ilu0_par;
+pub mod iluk;
+pub mod jacobi;
+pub mod mixed;
+pub mod sai;
+pub mod traits;
+
+pub use block_jacobi::BlockJacobiPreconditioner;
+pub use factors::{IluFactors, TriangularExec};
+pub use ic0::ic0;
+pub use ick::{ick, ick_capped};
+pub use ilu0::ilu0;
+pub use ilu0_par::ilu0_par;
+pub use iluk::{
+    iluk, iluk_pattern_matrix, iluk_pattern_matrix_capped, iluk_symbolic,
+    iluk_symbolic_capped, SymbolicIluk,
+};
+pub use jacobi::JacobiPreconditioner;
+pub use mixed::{ilu0_mixed, MixedPrecisionIlu};
+pub use sai::{SaiPattern, SaiPreconditioner};
+pub use traits::{IdentityPreconditioner, Preconditioner};

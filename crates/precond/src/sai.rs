@@ -1,0 +1,247 @@
+//! Static-pattern sparse approximate inverse (SAI/SPAI) preconditioner —
+//! the alternative GPU-friendly family the paper discusses in §6.2.
+//!
+//! `M⁻¹` is approximated directly by a sparse matrix `G` minimizing
+//! `‖I − G·A‖_F` row by row over a fixed sparsity pattern (here: the
+//! pattern of `A`, optionally squared). Applying the preconditioner is then
+//! a single SpMV — no triangular solves, no wavefronts — which is why SAI
+//! parallelizes trivially; its weakness (also per the paper) is that not
+//! every matrix has a good sparse approximate inverse.
+
+use crate::traits::Preconditioner;
+use spcg_sparse::spmv::spmv;
+use spcg_sparse::{CooMatrix, CscMatrix, CsrMatrix, DenseMatrix, Result, Scalar, SparseError};
+
+/// Pattern used for the approximate inverse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaiPattern {
+    /// The sparsity pattern of `A` itself (cheapest, weakest).
+    OfA,
+    /// The pattern of `A²` (denser, stronger) — entries reachable within
+    /// two hops.
+    OfASquared,
+}
+
+/// A sparse-approximate-inverse preconditioner `z = G r`.
+#[derive(Debug, Clone)]
+pub struct SaiPreconditioner<T: Scalar> {
+    g: CsrMatrix<T>,
+}
+
+impl<T: Scalar> SaiPreconditioner<T> {
+    /// Builds the SAI preconditioner of `a` on the chosen pattern.
+    ///
+    /// For every row `i` of `G`, the least-squares problem
+    /// `min ‖e_iᵀ − g_iᵀ A‖₂` over the pattern's support is solved via its
+    /// normal equations on the small gathered submatrix.
+    pub fn new(a: &CsrMatrix<T>, pattern: SaiPattern) -> Result<Self> {
+        if !a.is_square() {
+            return Err(SparseError::NotSquare { n_rows: a.n_rows(), n_cols: a.n_cols() });
+        }
+        let n = a.n_rows();
+        let csc = CscMatrix::from_csr(a);
+        let support: Vec<Vec<usize>> = match pattern {
+            SaiPattern::OfA => (0..n).map(|i| a.row_cols(i).to_vec()).collect(),
+            SaiPattern::OfASquared => (0..n)
+                .map(|i| {
+                    let mut cols: Vec<usize> = a
+                        .row_cols(i)
+                        .iter()
+                        .flat_map(|&k| a.row_cols(k).iter().copied())
+                        .collect();
+                    cols.sort_unstable();
+                    cols.dedup();
+                    cols
+                })
+                .collect(),
+        };
+
+        let mut coo = CooMatrix::with_capacity(n, n, support.iter().map(Vec::len).sum());
+        for i in 0..n {
+            let cols = &support[i];
+            let k = cols.len();
+            if k == 0 {
+                return Err(SparseError::ZeroDiagonal { row: i });
+            }
+            // Rows of A touched by the support columns (g_iᵀ A restricted).
+            let mut touched: Vec<usize> = cols
+                .iter()
+                .flat_map(|&j| a.row_cols(j).iter().copied())
+                .collect();
+            touched.sort_unstable();
+            touched.dedup();
+            // Dense local system: B[t][s] = A[cols[s]][touched[t]].
+            let m = touched.len();
+            let mut bmat = DenseMatrix::zeros(m, k);
+            for (s, &j) in cols.iter().enumerate() {
+                for (&c, &v) in a.row_cols(j).iter().zip(a.row_values(j)) {
+                    let t = touched.binary_search(&c).expect("touched covers row j");
+                    bmat.set(t, s, v);
+                }
+            }
+            let _ = &csc; // csc retained for future column-driven patterns
+            // rhs = e_i restricted to touched.
+            let mut rhs = vec![T::ZERO; m];
+            if let Ok(t) = touched.binary_search(&i) {
+                rhs[t] = T::ONE;
+            }
+            // Normal equations: (BᵀB) g = Bᵀ rhs.
+            let bt = bmat.transpose();
+            let mut btb = bt.matmul(&bmat)?;
+            // Tiny Tikhonov term guards against rank deficiency.
+            let eps = T::from_f64(1e-12);
+            for d in 0..k {
+                let v = btb.get(d, d) + eps;
+                btb.set(d, d, v);
+            }
+            let btr = bt.matvec(&rhs);
+            let g = btb.solve(&btr)?;
+            for (s, &j) in cols.iter().enumerate() {
+                if g[s] != T::ZERO {
+                    coo.push(i, j, g[s])?;
+                }
+            }
+        }
+        Ok(Self { g: coo.to_csr() })
+    }
+
+    /// The approximate inverse matrix `G`.
+    pub fn matrix(&self) -> &CsrMatrix<T> {
+        &self.g
+    }
+
+    /// Frobenius residual `‖I − G A‖_F` — the quantity the construction
+    /// minimized, exposed for diagnostics.
+    pub fn residual_fro(&self, a: &CsrMatrix<T>) -> f64 {
+        let n = a.n_rows();
+        let mut total = 0.0f64;
+        let mut col = vec![T::ZERO; n];
+        let mut out = vec![T::ZERO; n];
+        // ‖I − G A‖_F² = Σ_j ‖e_j − G (A e_j)‖² computed column-wise.
+        for j in 0..n {
+            for v in col.iter_mut() {
+                *v = T::ZERO;
+            }
+            // A e_j = column j of A.
+            for (r, c, v) in a.iter() {
+                if c == j {
+                    col[r] = v;
+                }
+            }
+            spmv(&self.g, &col, &mut out);
+            for (i, &v) in out.iter().enumerate() {
+                let want = if i == j { 1.0 } else { 0.0 };
+                let d = v.to_f64() - want;
+                total += d * d;
+            }
+        }
+        total.sqrt()
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for SaiPreconditioner<T> {
+    fn apply(&self, r: &[T], z: &mut [T]) {
+        spmv(&self.g, r, z);
+    }
+
+    fn dim(&self) -> usize {
+        self.g.n_rows()
+    }
+
+    fn name(&self) -> &str {
+        "sai"
+    }
+
+    fn nnz(&self) -> usize {
+        self.g.nnz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_sparse::generators::{banded_spd, poisson_1d, poisson_2d};
+
+    #[test]
+    fn diagonal_matrix_inverts_exactly() {
+        let mut coo = CooMatrix::<f64>::new(3, 3);
+        coo.push(0, 0, 2.0).unwrap();
+        coo.push(1, 1, 4.0).unwrap();
+        coo.push(2, 2, 8.0).unwrap();
+        let a = coo.to_csr();
+        let sai = SaiPreconditioner::new(&a, SaiPattern::OfA).unwrap();
+        assert!((sai.matrix().get(0, 0).unwrap() - 0.5).abs() < 1e-10);
+        assert!((sai.matrix().get(2, 2).unwrap() - 0.125).abs() < 1e-10);
+        assert!(sai.residual_fro(&a) < 1e-9);
+    }
+
+    #[test]
+    fn squared_pattern_is_denser_and_better() {
+        let a = poisson_1d(24);
+        let s1 = SaiPreconditioner::new(&a, SaiPattern::OfA).unwrap();
+        let s2 = SaiPreconditioner::new(&a, SaiPattern::OfASquared).unwrap();
+        assert!(Preconditioner::<f64>::nnz(&s2) > Preconditioner::<f64>::nnz(&s1));
+        assert!(
+            s2.residual_fro(&a) < s1.residual_fro(&a),
+            "denser pattern should fit better"
+        );
+    }
+
+    #[test]
+    fn sai_accelerates_pcg() {
+        use crate::traits::IdentityPreconditioner;
+        use spcg_sparse::blas::norm2;
+        let a = banded_spd(120, 4, 0.7, 1.5, 9);
+        let b: Vec<f64> = (0..120).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let _ = norm2(&b);
+        // Run two CG variants by hand through the solver crate is not
+        // possible here (dependency direction), so check the operator
+        // quality instead: ‖I - GA‖_F must be well below ‖I‖_F = sqrt(n),
+        // i.e. G is a genuine approximate inverse.
+        let sai = SaiPreconditioner::new(&a, SaiPattern::OfA).unwrap();
+        let resid = sai.residual_fro(&a);
+        assert!(
+            resid < (120.0f64).sqrt() * 0.5,
+            "SAI residual {resid} too large"
+        );
+        // And applying it roughly inverts A on a test vector.
+        let mut az = vec![0.0; 120];
+        let mut z = vec![0.0; 120];
+        sai.apply(&b, &mut z);
+        spmv(&a, &z, &mut az);
+        let err: f64 = az
+            .iter()
+            .zip(&b)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
+        let bnorm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err / bnorm < 0.9, "G is no better than identity: {}", err / bnorm);
+        let _ = IdentityPreconditioner::new(120);
+    }
+
+    #[test]
+    fn works_on_2d_poisson() {
+        let a = poisson_2d(8, 8);
+        let sai = SaiPreconditioner::new(&a, SaiPattern::OfA).unwrap();
+        assert_eq!(Preconditioner::<f64>::dim(&sai), 64);
+        assert!(sai.matrix().is_square());
+        // G should be symmetric-ish for symmetric A (same pattern, same
+        // normal equations transposed) — check loosely.
+        let g = sai.matrix();
+        let mut asym: f64 = 0.0;
+        for (r, c, v) in g.iter() {
+            let w = g.get(c, r).unwrap_or(0.0);
+            asym = asym.max((v - w).abs());
+        }
+        assert!(asym < 0.5, "G wildly asymmetric: {asym}");
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let mut coo = CooMatrix::<f64>::new(2, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 1, 1.0).unwrap();
+        assert!(SaiPreconditioner::new(&coo.to_csr(), SaiPattern::OfA).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! The `Preconditioner` abstraction: anything that can apply `z = M⁻¹ r`
+//! inside line 13 of Algorithm 1.
+
+use spcg_sparse::Scalar;
+
+/// A preconditioner application `z = M⁻¹ r`.
+///
+/// Implementations must be deterministic: PCG calls `apply` once per
+/// iteration and the convergence trace is compared across runs in tests.
+pub trait Preconditioner<T: Scalar>: Send + Sync {
+    /// Applies the preconditioner: writes `z = M⁻¹ r`.
+    fn apply(&self, r: &[T], z: &mut [T]);
+
+    /// Problem size `n`.
+    fn dim(&self) -> usize;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Number of stored nonzeros in the preconditioner's factors (0 for
+    /// matrix-free preconditioners). Used by cost models.
+    fn nnz(&self) -> usize {
+        0
+    }
+}
+
+/// The identity preconditioner (turns PCG into plain CG).
+#[derive(Debug, Clone)]
+pub struct IdentityPreconditioner {
+    n: usize,
+}
+
+impl IdentityPreconditioner {
+    /// Identity preconditioner of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        Self { n }
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for IdentityPreconditioner {
+    fn apply(&self, r: &[T], z: &mut [T]) {
+        assert_eq!(r.len(), self.n);
+        assert_eq!(z.len(), self.n);
+        z.copy_from_slice(r);
+    }
+
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> &str {
+        "identity"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_copies() {
+        let m = IdentityPreconditioner::new(3);
+        let r = [1.0f64, 2.0, 3.0];
+        let mut z = [0.0; 3];
+        m.apply(&r, &mut z);
+        assert_eq!(z, r);
+        assert_eq!(Preconditioner::<f64>::dim(&m), 3);
+        assert_eq!(Preconditioner::<f64>::nnz(&m), 0);
+    }
+}

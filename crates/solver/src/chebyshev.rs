@@ -1,0 +1,177 @@
+//! Chebyshev semi-iteration — the reduction-free Krylov alternative.
+//!
+//! Unlike CG, Chebyshev iteration needs *no inner products*, only a bound
+//! `[lambda_min, lambda_max]` on the (preconditioned) spectrum. On GPUs
+//! this removes the global synchronizations that dot products cost — the
+//! same synchronization pressure the paper attacks in the triangular
+//! solves — at the price of needing spectral bounds and converging slower
+//! than CG when the bounds are loose.
+
+use crate::config::SolverConfig;
+use crate::status::{PhaseTimings, SolveResult, StopReason};
+use spcg_precond::Preconditioner;
+use spcg_sparse::blas::{has_bad, norm2};
+use spcg_sparse::spmv::spmv;
+use spcg_sparse::{CsrMatrix, Scalar};
+use std::time::Instant;
+
+/// Solves `A x = b` by preconditioned Chebyshev iteration given bounds
+/// `lambda_min <= lambda <= lambda_max` on the spectrum of `M⁻¹A`.
+pub fn chebyshev<T: Scalar, M: Preconditioner<T> + ?Sized>(
+    a: &CsrMatrix<T>,
+    m: &M,
+    b: &[T],
+    lambda_min: f64,
+    lambda_max: f64,
+    config: &SolverConfig,
+) -> SolveResult<T> {
+    assert!(a.is_square(), "Chebyshev requires a square matrix");
+    assert!(
+        lambda_max > lambda_min && lambda_min > 0.0,
+        "need 0 < lambda_min < lambda_max"
+    );
+    let n = a.n_rows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+
+    let mut timings = PhaseTimings::default();
+    let start = Instant::now();
+
+    let theta = (lambda_max + lambda_min) / 2.0;
+    let delta = (lambda_max - lambda_min) / 2.0;
+
+    let mut x = vec![T::ZERO; n];
+    let mut r = b.to_vec();
+    let mut z = vec![T::ZERO; n];
+    let mut p = vec![T::ZERO; n];
+    let mut ap = vec![T::ZERO; n];
+
+    let b_norm = norm2(b).to_f64();
+    let threshold = config.threshold(b_norm);
+    let mut history = Vec::new();
+    let mut alpha = 0.0f64;
+    let mut iterations = 0usize;
+    let mut stop = StopReason::MaxIterations;
+
+    for k in 0..config.max_iters {
+        let r_norm = norm2(&r).to_f64();
+        if config.record_history {
+            history.push(r_norm);
+        }
+        if !r_norm.is_finite() || has_bad(&r) {
+            stop = StopReason::Breakdown;
+            break;
+        }
+        if r_norm < threshold {
+            stop = StopReason::Converged;
+            break;
+        }
+
+        let t = Instant::now();
+        m.apply(&r, &mut z);
+        timings.precond += t.elapsed();
+
+        // Chebyshev recurrence (Saad, "Iterative Methods", Alg. 12.1).
+        let beta = match k {
+            0 => 0.0,
+            1 => 0.5 * (delta * alpha) * (delta * alpha),
+            _ => (delta * alpha / 2.0) * (delta * alpha / 2.0),
+        };
+        alpha = match k {
+            0 => 1.0 / theta,
+            _ => 1.0 / (theta - beta / alpha),
+        };
+        let bt = T::from_f64(beta);
+        let at = T::from_f64(alpha);
+        for i in 0..n {
+            p[i] = z[i] + bt * p[i];
+            x[i] += at * p[i];
+        }
+
+        let t = Instant::now();
+        spmv(a, &p, &mut ap);
+        timings.spmv += t.elapsed();
+        for i in 0..n {
+            r[i] -= at * ap[i];
+        }
+        iterations += 1;
+    }
+
+    let final_residual = norm2(&r).to_f64();
+    if stop == StopReason::MaxIterations && final_residual < threshold {
+        stop = StopReason::Converged;
+    }
+    timings.total = start.elapsed();
+    SolveResult { x, iterations, final_residual, stop, residual_history: history, timings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::cg;
+    use spcg_precond::{IdentityPreconditioner, JacobiPreconditioner};
+    use spcg_sparse::generators::{poisson_1d, poisson_2d};
+    use spcg_sparse::spmv::spmv_alloc;
+
+    #[test]
+    fn solves_with_exact_bounds() {
+        let n = 24;
+        let a = poisson_1d(n);
+        let h = std::f64::consts::PI / (n as f64 + 1.0);
+        let lmin = 2.0 - 2.0 * h.cos();
+        let lmax = 2.0 - 2.0 * (n as f64 * h).cos();
+        let b = vec![1.0f64; n];
+        let m = IdentityPreconditioner::new(n);
+        let cfg = SolverConfig::default().with_tol(1e-9).with_max_iters(2000);
+        let r = chebyshev(&a, &m, &b, lmin, lmax, &cfg);
+        assert_eq!(r.stop, StopReason::Converged, "resid {}", r.final_residual);
+        let ax = spmv_alloc(&a, &r.x);
+        for (got, want) in ax.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cg_needs_fewer_iterations_than_chebyshev() {
+        // CG is optimal in the A-norm; Chebyshev with the same information
+        // can only match it asymptotically.
+        let a = poisson_2d(12, 12);
+        let b = vec![1.0f64; 144];
+        let cfg = SolverConfig::default().with_tol(1e-8).with_max_iters(3000);
+        let cgr = cg(&a, &b, &cfg);
+        let m = IdentityPreconditioner::new(144);
+        let chr = chebyshev(&a, &m, &b, 0.05, 8.0, &cfg);
+        assert!(cgr.converged() && chr.converged());
+        assert!(cgr.iterations <= chr.iterations);
+    }
+
+    #[test]
+    fn jacobi_preconditioned_chebyshev() {
+        let a = poisson_2d(10, 10);
+        let b = vec![1.0f64; 100];
+        let m = JacobiPreconditioner::new(&a).unwrap();
+        // Spectrum of D^-1 A for 2-D Poisson lies in (0, 2).
+        let cfg = SolverConfig::default().with_tol(1e-8).with_max_iters(3000);
+        let r = chebyshev(&a, &m, &b, 0.01, 2.0, &cfg);
+        assert!(r.converged(), "stop {:?} resid {}", r.stop, r.final_residual);
+    }
+
+    #[test]
+    fn bad_bounds_diverge_or_stall() {
+        let a = poisson_2d(8, 8);
+        let b = vec![1.0f64; 64];
+        let m = IdentityPreconditioner::new(64);
+        // lambda_max far below the true spectrum: the iteration must not
+        // converge (and may blow up -> Breakdown) within a few steps.
+        let cfg = SolverConfig::default().with_tol(1e-10).with_max_iters(50);
+        let r = chebyshev(&a, &m, &b, 0.5, 1.0, &cfg);
+        assert_ne!(r.stop, StopReason::Converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda_min")]
+    fn rejects_invalid_bounds() {
+        let a = poisson_1d(4);
+        let m = IdentityPreconditioner::new(4);
+        let _ = chebyshev(&a, &m, &[1.0; 4], 2.0, 1.0, &SolverConfig::default());
+    }
+}

@@ -1,0 +1,19 @@
+//! # spcg-solver
+//!
+//! Conjugate-gradient solvers: the left-preconditioned PCG of the paper's
+//! Algorithm 1 plus an unpreconditioned CG entry point, with residual
+//! history, per-phase timings and breakdown detection.
+
+#![warn(missing_docs)]
+
+pub mod cg;
+pub mod chebyshev;
+pub mod config;
+pub mod pcg;
+pub mod status;
+
+pub use cg::cg;
+pub use chebyshev::chebyshev;
+pub use config::{SolverConfig, ToleranceMode};
+pub use pcg::{pcg, pcg_iteration_flops};
+pub use status::{PhaseTimings, SolveResult, StopReason};

@@ -1,0 +1,274 @@
+//! Left-preconditioned conjugate gradient — Algorithm 1 of the paper.
+
+use crate::config::SolverConfig;
+use crate::status::{PhaseTimings, SolveResult, StopReason};
+use spcg_precond::Preconditioner;
+use spcg_sparse::blas::{axpy, dot, has_bad, norm2, xpby};
+use spcg_sparse::spmv::spmv;
+use spcg_sparse::{CsrMatrix, Scalar};
+use std::time::Instant;
+
+/// Solves `A x = b` with the left-preconditioned CG of Algorithm 1.
+///
+/// * `a` — SPD system matrix;
+/// * `m` — preconditioner applying `z = M⁻¹ r`;
+/// * `b` — right-hand side;
+/// * `config` — tolerance / iteration cap / history.
+///
+/// The iteration follows the paper line by line: the residual test uses
+/// `‖r_k‖₂` (line 6), `α` from `(r,z)/(p,Ap)` (line 10), `β` from the
+/// ratio of successive `(r,z)` products (line 14).
+pub fn pcg<T: Scalar, M: Preconditioner<T> + ?Sized>(
+    a: &CsrMatrix<T>,
+    m: &M,
+    b: &[T],
+    config: &SolverConfig,
+) -> SolveResult<T> {
+    assert!(a.is_square(), "PCG requires a square matrix");
+    let n = a.n_rows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(m.dim(), n, "preconditioner dimension mismatch");
+
+    let mut timings = PhaseTimings::default();
+    let loop_start = Instant::now();
+
+    // x0 = 0, r0 = b - A x0 = b (line 1-2)
+    let mut x = vec![T::ZERO; n];
+    let mut r = b.to_vec();
+    let mut z = vec![T::ZERO; n];
+    let mut w = vec![T::ZERO; n];
+
+    let b_norm = norm2(b).to_f64();
+    let threshold = config.threshold(b_norm);
+    let mut history = Vec::new();
+
+    // z0 = M⁻¹ r0, p0 = z0 (lines 3-4)
+    let t = Instant::now();
+    m.apply(&r, &mut z);
+    timings.precond += t.elapsed();
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z).to_f64();
+
+    let mut iterations = 0usize;
+    let mut stop = StopReason::MaxIterations;
+
+    for _k in 0..config.max_iters {
+        // line 6: convergence test on ‖r_k‖
+        let r_norm = norm2(&r).to_f64();
+        if config.record_history {
+            history.push(r_norm);
+        }
+        if !r_norm.is_finite() || has_bad(&r) {
+            stop = StopReason::Breakdown;
+            break;
+        }
+        if r_norm < threshold {
+            stop = StopReason::Converged;
+            break;
+        }
+
+        // line 9: w = A p
+        let t = Instant::now();
+        spmv(a, &p, &mut w);
+        timings.spmv += t.elapsed();
+
+        // line 10: α = (r,z)/(p,w)
+        let t = Instant::now();
+        let pw = dot(&p, &w).to_f64();
+        if pw <= 0.0 || !pw.is_finite() || !rz.is_finite() {
+            stop = StopReason::Breakdown;
+            break;
+        }
+        let alpha = T::from_f64(rz / pw);
+
+        // lines 11-12: x += α p; r -= α w
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &w, &mut r);
+        timings.blas += t.elapsed();
+
+        // line 13: z = M⁻¹ r
+        let t = Instant::now();
+        m.apply(&r, &mut z);
+        timings.precond += t.elapsed();
+
+        // lines 14-15: β = (r₊,z₊)/(r,z); p = z + β p
+        let t = Instant::now();
+        let rz_new = dot(&r, &z).to_f64();
+        let beta = T::from_f64(rz_new / rz);
+        rz = rz_new;
+        xpby(&z, beta, &mut p);
+        timings.blas += t.elapsed();
+
+        iterations += 1;
+    }
+
+    // Re-check convergence when the loop ran out exactly at max_iters.
+    let final_residual = norm2(&r).to_f64();
+    if stop == StopReason::MaxIterations && final_residual < threshold {
+        stop = StopReason::Converged;
+    }
+    if final_residual.is_nan() {
+        stop = StopReason::Breakdown;
+    }
+    timings.total = loop_start.elapsed();
+
+    SolveResult { x, iterations, final_residual, stop, residual_history: history, timings }
+}
+
+/// FLOPs per PCG iteration for cost accounting: one SpMV (2·nnz(A)), the
+/// preconditioner solves (2·nnz(M)), two dots + three axpy-like updates
+/// (10·n). Matches the paper's convention of pricing the *non-sparsified*
+/// baseline and reusing it for all methods.
+pub fn pcg_iteration_flops(nnz_a: usize, nnz_m: usize, n: usize) -> u64 {
+    (2 * nnz_a + 2 * nnz_m + 10 * n) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ToleranceMode;
+    use spcg_precond::{ilu0, IdentityPreconditioner, JacobiPreconditioner, TriangularExec};
+    use spcg_sparse::generators::{banded_spd, poisson_2d};
+    use spcg_sparse::Rng;
+
+    fn rhs(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| rng.range(-1.0, 1.0)).collect()
+    }
+
+    fn check_solution(a: &CsrMatrix<f64>, b: &[f64], x: &[f64], tol: f64) {
+        let mut ax = vec![0.0; b.len()];
+        spmv(a, x, &mut ax);
+        let err: f64 = ax
+            .iter()
+            .zip(b)
+            .map(|(got, want)| (got - want) * (got - want))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < tol, "residual {err} exceeds {tol}");
+    }
+
+    #[test]
+    fn unpreconditioned_cg_solves_poisson() {
+        let a = poisson_2d(10, 10);
+        let b = rhs(100, 1);
+        let m = IdentityPreconditioner::new(100);
+        let res = pcg(&a, &m, &b, &SolverConfig::default().with_tol(1e-10));
+        assert!(res.converged(), "stop: {:?}", res.stop);
+        check_solution(&a, &b, &res.x, 1e-7);
+    }
+
+    #[test]
+    fn ilu0_preconditioning_reduces_iterations() {
+        let a = poisson_2d(20, 20);
+        let b = rhs(400, 2);
+        let cfg = SolverConfig::default().with_tol(1e-10);
+        let plain = pcg(&a, &IdentityPreconditioner::new(400), &b, &cfg);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let pre = pcg(&a, &f, &b, &cfg);
+        assert!(plain.converged() && pre.converged());
+        assert!(
+            pre.iterations < plain.iterations,
+            "ILU(0) {} should beat identity {}",
+            pre.iterations,
+            plain.iterations
+        );
+        check_solution(&a, &b, &pre.x, 1e-7);
+    }
+
+    #[test]
+    fn jacobi_preconditioning_works() {
+        let a = banded_spd(80, 5, 0.6, 2.0, 3);
+        let b = rhs(80, 4);
+        let m = JacobiPreconditioner::new(&a).unwrap();
+        let res = pcg(&a, &m, &b, &SolverConfig::default().with_tol(1e-11));
+        assert!(res.converged());
+        check_solution(&a, &b, &res.x, 1e-8);
+    }
+
+    #[test]
+    fn exact_preconditioner_converges_in_few_iterations() {
+        // With M⁻¹ == A⁻¹ (ILU(K) large K == exact LU), PCG needs ~1 step.
+        let a = banded_spd(30, 3, 0.9, 2.0, 5);
+        let b = rhs(30, 6);
+        let f = spcg_precond::iluk(&a, 40, TriangularExec::Sequential).unwrap();
+        let res = pcg(&a, &f, &b, &SolverConfig::default().with_tol(1e-10));
+        assert!(res.converged());
+        assert!(res.iterations <= 3, "exact M should converge almost immediately, got {}", res.iterations);
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let a = poisson_2d(5, 5);
+        let m = IdentityPreconditioner::new(25);
+        let res = pcg(&a, &m, &vec![0.0; 25], &SolverConfig::default());
+        assert!(res.converged());
+        assert_eq!(res.iterations, 0);
+        assert!(res.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn max_iterations_is_respected() {
+        let a = poisson_2d(30, 30);
+        let b = rhs(900, 7);
+        let m = IdentityPreconditioner::new(900);
+        let cfg = SolverConfig::default()
+            .with_tol(1e-14)
+            .with_tol_mode(ToleranceMode::Absolute)
+            .with_max_iters(3);
+        let res = pcg(&a, &m, &b, &cfg);
+        assert_eq!(res.stop, StopReason::MaxIterations);
+        assert_eq!(res.iterations, 3);
+    }
+
+    #[test]
+    fn history_records_monotonic_trend() {
+        let a = poisson_2d(12, 12);
+        let b = rhs(144, 8);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let res = pcg(&a, &f, &b, &SolverConfig::default().with_history(true).with_tol(1e-10));
+        assert!(res.converged());
+        assert_eq!(res.residual_history.len(), res.iterations + 1);
+        // First residual is ‖b‖, last recorded one is above the final.
+        assert!(res.residual_history[0] > *res.residual_history.last().unwrap());
+    }
+
+    #[test]
+    fn non_spd_matrix_breaks_down() {
+        // A negative-definite matrix: pᵀAp < 0 on the first iteration.
+        let a = poisson_2d(4, 4).map_values(|v| -v);
+        let b = rhs(16, 9);
+        let m = IdentityPreconditioner::new(16);
+        let res = pcg(&a, &m, &b, &SolverConfig::default());
+        assert_eq!(res.stop, StopReason::Breakdown);
+    }
+
+    #[test]
+    fn f32_solve_converges_at_f32_tolerance() {
+        let a: CsrMatrix<f32> = poisson_2d(10, 10).cast();
+        let b: Vec<f32> = rhs(100, 10).into_iter().map(|v| v as f32).collect();
+        let m = IdentityPreconditioner::new(100);
+        let cfg = SolverConfig::default().with_tol(1e-5);
+        let res = pcg(&a, &m, &b, &cfg);
+        assert!(res.converged(), "stop {:?} residual {}", res.stop, res.final_residual);
+    }
+
+    #[test]
+    fn parallel_ilu_application_gives_identical_trajectory() {
+        let a = poisson_2d(16, 16);
+        let b = rhs(256, 11);
+        let cfg = SolverConfig::default().with_history(true).with_tol(1e-10);
+        let fs = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let fp = ilu0(&a, TriangularExec::LevelParallel).unwrap();
+        let rs = pcg(&a, &fs, &b, &cfg);
+        let rp = pcg(&a, &fp, &b, &cfg);
+        assert_eq!(rs.iterations, rp.iterations);
+        assert_eq!(rs.residual_history, rp.residual_history);
+        assert_eq!(rs.x, rp.x);
+    }
+
+    #[test]
+    fn flop_model_is_linear() {
+        assert_eq!(pcg_iteration_flops(10, 20, 5), 2 * 10 + 2 * 20 + 50);
+    }
+}

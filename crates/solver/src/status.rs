@@ -1,0 +1,84 @@
+//! Solve outcomes, residual history and per-phase timing.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Why the solver stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The residual dropped below the configured threshold.
+    Converged,
+    /// The iteration cap was reached first.
+    MaxIterations,
+    /// A NaN/Inf appeared or `pᵀAp ≤ 0` (matrix not SPD / preconditioner
+    /// broke down). Matches the paper's NaN-residual exclusion criterion.
+    Breakdown,
+}
+
+/// Wall-clock time spent per phase of a solve.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Time in SpMV (line 9 of Algorithm 1).
+    pub spmv: Duration,
+    /// Time applying the preconditioner (line 13).
+    pub precond: Duration,
+    /// Time in vector updates and dot products.
+    pub blas: Duration,
+    /// Total solve-loop time.
+    pub total: Duration,
+}
+
+/// The result of a CG/PCG run.
+#[derive(Debug, Clone)]
+pub struct SolveResult<T> {
+    /// Final iterate.
+    pub x: Vec<T>,
+    /// Iterations performed (0 if the initial guess already converged).
+    pub iterations: usize,
+    /// Final `‖r‖₂`.
+    pub final_residual: f64,
+    /// Stop condition.
+    pub stop: StopReason,
+    /// `‖r_k‖₂` per iteration (empty unless history was requested).
+    pub residual_history: Vec<f64>,
+    /// Per-phase timings.
+    pub timings: PhaseTimings,
+}
+
+impl<T> SolveResult<T> {
+    /// `true` when the run converged.
+    pub fn converged(&self) -> bool {
+        self.stop == StopReason::Converged
+    }
+
+    /// Mean wall-clock seconds per iteration of the solve loop.
+    pub fn seconds_per_iteration(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.timings.total.as_secs_f64() / self.iterations as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convenience_accessors() {
+        let r = SolveResult::<f64> {
+            x: vec![],
+            iterations: 4,
+            final_residual: 1e-13,
+            stop: StopReason::Converged,
+            residual_history: vec![],
+            timings: PhaseTimings { total: Duration::from_secs(2), ..Default::default() },
+        };
+        assert!(r.converged());
+        assert!((r.seconds_per_iteration() - 0.5).abs() < 1e-12);
+        let nr = SolveResult::<f64> { iterations: 0, stop: StopReason::Breakdown, ..r };
+        assert!(!nr.converged());
+        assert_eq!(nr.seconds_per_iteration(), 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Numerical analysis utilities: Gershgorin bounds, diagonal dominance,
+//! and symmetric Jacobi (diagonal) scaling — the standard preprocessing
+//! toolbox around an SPD solve.
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+
+/// Gershgorin disc bounds on the spectrum: every eigenvalue lies in
+/// `[min_i (a_ii - r_i), max_i (a_ii + r_i)]` with `r_i` the off-diagonal
+/// absolute row sum. Cheap, rigorous, and often loose — the counterpart to
+/// the paper's inf-norm/min-diagonal proxy.
+pub fn gershgorin_bounds<T: Scalar>(a: &CsrMatrix<T>) -> (f64, f64) {
+    assert!(a.is_square(), "Gershgorin bounds need a square matrix");
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..a.n_rows() {
+        let mut diag = 0.0f64;
+        let mut radius = 0.0f64;
+        for (&c, &v) in a.row_cols(i).iter().zip(a.row_values(i)) {
+            if c == i {
+                diag = v.to_f64();
+            } else {
+                radius += v.to_f64().abs();
+            }
+        }
+        lo = lo.min(diag - radius);
+        hi = hi.max(diag + radius);
+    }
+    if a.n_rows() == 0 {
+        (0.0, 0.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Strict diagonal dominance margin: `min_i (|a_ii| - r_i)`. Positive means
+/// strictly diagonally dominant (SPD for symmetric matrices with positive
+/// diagonal, by Gershgorin).
+pub fn dominance_margin<T: Scalar>(a: &CsrMatrix<T>) -> f64 {
+    assert!(a.is_square(), "dominance margin needs a square matrix");
+    let mut margin = f64::INFINITY;
+    for i in 0..a.n_rows() {
+        let mut diag = 0.0f64;
+        let mut radius = 0.0f64;
+        for (&c, &v) in a.row_cols(i).iter().zip(a.row_values(i)) {
+            if c == i {
+                diag = v.to_f64().abs();
+            } else {
+                radius += v.to_f64().abs();
+            }
+        }
+        margin = margin.min(diag - radius);
+    }
+    if a.n_rows() == 0 {
+        0.0
+    } else {
+        margin
+    }
+}
+
+/// `true` when the matrix is strictly diagonally dominant.
+pub fn is_diagonally_dominant<T: Scalar>(a: &CsrMatrix<T>) -> bool {
+    dominance_margin(a) > 0.0
+}
+
+/// Symmetric Jacobi scaling `D^{-1/2} A D^{-1/2}`: the scaled matrix has a
+/// unit diagonal, which equilibrates row norms and is the usual first step
+/// before ILU on badly scaled systems. Returns the scaled matrix and the
+/// scale vector `d_i = sqrt(a_ii)` (so `x = D^{-1/2} x̂` recovers the
+/// original unknowns).
+///
+/// Returns `None` if any diagonal entry is missing or non-positive.
+pub fn jacobi_scale<T: Scalar>(a: &CsrMatrix<T>) -> Option<(CsrMatrix<T>, Vec<T>)> {
+    if !a.is_square() {
+        return None;
+    }
+    let n = a.n_rows();
+    let mut d = Vec::with_capacity(n);
+    for i in 0..n {
+        match a.get(i, i) {
+            Some(v) if v > T::ZERO => d.push(v.sqrt()),
+            _ => return None,
+        }
+    }
+    let scaled = {
+        let mut coo = crate::coo::CooMatrix::with_capacity(n, n, a.nnz());
+        for (r, c, v) in a.iter() {
+            coo.push(r, c, v / (d[r] * d[c])).expect("in range");
+        }
+        coo.to_csr()
+    };
+    Some((scaled, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::sym_eigenvalues_dense;
+    use crate::generators::{poisson_2d, varcoef_2d};
+
+    #[test]
+    fn gershgorin_contains_true_spectrum() {
+        let a = poisson_2d(6, 6);
+        let (lo, hi) = gershgorin_bounds(&a);
+        let eig = sym_eigenvalues_dense(&a.to_dense());
+        assert!(lo <= eig[0] + 1e-12, "lo {lo} > min eig {}", eig[0]);
+        assert!(hi >= *eig.last().unwrap() - 1e-12);
+        // For interior-heavy Poisson the bounds are the classic [0, 8].
+        assert!(lo >= -1e-12 && hi <= 8.0 + 1e-12);
+    }
+
+    #[test]
+    fn dominance_detection() {
+        let a = poisson_2d(5, 5); // margin 0 on interior rows
+        assert!(!is_diagonally_dominant(&a));
+        let shifted = a
+            .add(&crate::csr::CsrMatrix::identity(25).map_values(|v| v * 0.5))
+            .unwrap();
+        assert!(is_diagonally_dominant(&shifted));
+        assert!((dominance_margin(&shifted) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jacobi_scaling_unit_diagonal() {
+        let a = varcoef_2d(6, 6, 0.1, 10.0, 3);
+        let (scaled, d) = jacobi_scale(&a).unwrap();
+        for i in 0..36 {
+            assert!((scaled.get(i, i).unwrap() - 1.0).abs() < 1e-12);
+            assert!((d[i] * d[i] - a.get(i, i).unwrap()).abs() < 1e-10);
+        }
+        assert!(scaled.is_symmetric(1e-12));
+        // Scaling preserves SPD.
+        let eig = sym_eigenvalues_dense(&scaled.to_dense());
+        assert!(eig[0] > 0.0);
+    }
+
+    #[test]
+    fn jacobi_scaling_rejects_bad_diagonal() {
+        let mut coo = crate::coo::CooMatrix::<f64>::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 1, -1.0).unwrap();
+        assert!(jacobi_scale(&coo.to_csr()).is_none());
+    }
+
+    #[test]
+    fn scaling_improves_conditioning_of_badly_scaled_system() {
+        // Badly scaled: multiply rows/cols by wildly varying factors.
+        let base = poisson_2d(5, 5);
+        let mut coo = crate::coo::CooMatrix::new(25, 25);
+        for (r, c, v) in base.iter() {
+            let sr = 10f64.powi((r % 5) as i32);
+            let sc = 10f64.powi((c % 5) as i32);
+            coo.push(r, c, v * sr * sc).unwrap();
+        }
+        let bad = coo.to_csr();
+        let (scaled, _) = jacobi_scale(&bad).unwrap();
+        let cond_bad = {
+            let e = sym_eigenvalues_dense(&bad.to_dense());
+            e.last().unwrap() / e[0]
+        };
+        let cond_scaled = {
+            let e = sym_eigenvalues_dense(&scaled.to_dense());
+            e.last().unwrap() / e[0]
+        };
+        assert!(
+            cond_scaled < cond_bad / 100.0,
+            "scaling should slash the condition number: {cond_bad} -> {cond_scaled}"
+        );
+    }
+}

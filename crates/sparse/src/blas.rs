@@ -1,0 +1,156 @@
+//! Level-1 vector kernels used by the iterative solvers, with sequential and
+//! rayon-parallel variants.
+//!
+//! The parallel variants exist for large vectors; the sequential ones avoid
+//! fork/join overhead on the small systems used by tests. The crossover is
+//! exposed as [`PAR_THRESHOLD`] so callers (and benches) can reason about it.
+
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// Below this many elements the sequential kernels are used even when a
+/// caller asks for parallelism (fork/join would dominate).
+pub const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Dot product `xᵀ y` (sequential).
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).fold(T::ZERO, |acc, (&a, &b)| acc + a * b)
+}
+
+/// Dot product with rayon reduction for large vectors.
+pub fn dot_par<T: Scalar>(x: &[T], y: &[T]) -> T {
+    debug_assert_eq!(x.len(), y.len());
+    if x.len() < PAR_THRESHOLD {
+        return dot(x, y);
+    }
+    x.par_iter()
+        .zip(y.par_iter())
+        .map(|(&a, &b)| a * b)
+        .reduce(|| T::ZERO, |a, b| a + b)
+}
+
+/// `y ← a x + y`.
+pub fn axpy<T: Scalar>(a: T, x: &[T], y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Parallel `y ← a x + y`.
+pub fn axpy_par<T: Scalar>(a: T, x: &[T], y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    if x.len() < PAR_THRESHOLD {
+        return axpy(a, x, y);
+    }
+    y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, &xi)| {
+        *yi += a * xi;
+    });
+}
+
+/// `y ← x + b y` (the `p ← z + β p` update in PCG, done in place on `y = p`).
+pub fn xpby<T: Scalar>(x: &[T], b: T, y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = xi + b * *yi;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2<T: Scalar>(x: &[T]) -> T {
+    dot(x, x).sqrt()
+}
+
+/// Inf-norm `max |x_i|`.
+pub fn norm_inf<T: Scalar>(x: &[T]) -> T {
+    x.iter()
+        .fold(T::ZERO, |acc, &v| if v.abs() > acc { v.abs() } else { acc })
+}
+
+/// Copies `src` into `dst`.
+pub fn copy<T: Scalar>(src: &[T], dst: &mut [T]) {
+    dst.copy_from_slice(src);
+}
+
+/// `x ← a x`.
+pub fn scale<T: Scalar>(a: T, x: &mut [T]) {
+    for v in x {
+        *v *= a;
+    }
+}
+
+/// Elementwise `z = x - y`.
+pub fn sub_into<T: Scalar>(x: &[T], y: &[T], z: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len(), z.len());
+    for ((zi, &xi), &yi) in z.iter_mut().zip(x).zip(y) {
+        *zi = xi - yi;
+    }
+}
+
+/// `true` if any component is NaN/inf.
+pub fn has_bad<T: Scalar>(x: &[T]) -> bool {
+    x.iter().any(|v| v.is_bad())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_small() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_par_matches_seq_above_threshold() {
+        let n = PAR_THRESHOLD + 17;
+        let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+        // Both orders of summation are exact here because the products are
+        // small integers.
+        assert_eq!(dot_par(&x, &y), dot(&x, &y));
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+    }
+
+    #[test]
+    fn axpy_par_matches_seq() {
+        let n = PAR_THRESHOLD + 3;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut y1: Vec<f64> = (0..n).map(|i| (n - i) as f64).collect();
+        let mut y2 = y1.clone();
+        axpy(0.5, &x, &mut y1);
+        axpy_par(0.5, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn xpby_is_pcg_direction_update() {
+        let z = [1.0, 1.0];
+        let mut p = [3.0, 4.0];
+        xpby(&z, 0.5, &mut p);
+        assert_eq!(p, [2.5, 3.0]);
+    }
+
+    #[test]
+    fn norms_and_utils() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_inf(&[1.0, -7.0, 2.0]), 7.0);
+        let mut x = [1.0, 2.0];
+        scale(3.0, &mut x);
+        assert_eq!(x, [3.0, 6.0]);
+        let mut z = [0.0; 2];
+        sub_into(&[5.0, 5.0], &[2.0, 3.0], &mut z);
+        assert_eq!(z, [3.0, 2.0]);
+        assert!(has_bad(&[1.0, f64::NAN]));
+        assert!(!has_bad(&[1.0, 2.0]));
+    }
+}

@@ -1,0 +1,318 @@
+//! Condition-number estimation.
+//!
+//! The paper's wavefront-aware sparsification needs ‖Â⁻¹‖ cheaply (§3.2.2).
+//! It approximates the condition number κ(Â) as the ratio of the inf-norm of
+//! Â (proxy for the largest eigenvalue) to the smallest absolute diagonal
+//! entry (proxy for the smallest eigenvalue), then uses
+//! ‖Â⁻¹‖ ≈ κ(Â)/‖Â‖₂. This module provides that approximation plus two more
+//! trustworthy estimators used by the §3.2.3 "approx vs exact" ablation and
+//! the §5.4 condition-number analysis:
+//!
+//! * dense symmetric eigenvalues via cyclic Jacobi (exact, small matrices);
+//! * power iteration for λ_max and inverse power iteration (with an internal
+//!   CG) for λ_min on large SPD matrices.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::norms::{matrix_norm_inf, min_abs_diag};
+use crate::rng::Rng;
+use crate::scalar::Scalar;
+use crate::spmv::spmv;
+
+/// Paper approximation of the condition number:
+/// `κ(A) ≈ ‖A‖_∞ / min_i |a_ii|`.
+///
+/// Returns `f64::INFINITY` when a diagonal entry is missing or zero, which
+/// conservatively fails the convergence check.
+pub fn approx_condition<T: Scalar>(a: &CsrMatrix<T>) -> f64 {
+    let num = matrix_norm_inf(a).to_f64();
+    match min_abs_diag(a) {
+        Some(d) if d.to_f64() > 0.0 => num / d.to_f64(),
+        _ => f64::INFINITY,
+    }
+}
+
+/// Paper approximation of the inverse norm used on line 4 of Algorithm 2:
+/// `‖A⁻¹‖ ≈ κ(A) / ‖A‖₂`, with `‖A‖₂` itself proxied by `‖A‖_∞`
+/// (for symmetric matrices `‖A‖₂ ≤ ‖A‖_∞`).
+pub fn approx_inv_norm<T: Scalar>(a: &CsrMatrix<T>) -> f64 {
+    let norm = matrix_norm_inf(a).to_f64();
+    if norm == 0.0 {
+        return f64::INFINITY;
+    }
+    approx_condition(a) / norm
+}
+
+/// Options for the iterative (large-matrix) spectral estimators.
+#[derive(Debug, Clone)]
+pub struct SpectralOptions {
+    /// Power-iteration steps for λ_max.
+    pub power_iters: usize,
+    /// Outer inverse-power steps for λ_min.
+    pub inverse_iters: usize,
+    /// Inner CG iterations per inverse-power step.
+    pub cg_iters: usize,
+    /// Deterministic seed for the starting vector.
+    pub seed: u64,
+}
+
+impl Default for SpectralOptions {
+    fn default() -> Self {
+        Self { power_iters: 60, inverse_iters: 8, cg_iters: 200, seed: 0x5eed }
+    }
+}
+
+/// Estimates the largest eigenvalue of an SPD matrix by power iteration.
+pub fn lambda_max_est<T: Scalar>(a: &CsrMatrix<T>, opts: &SpectralOptions) -> f64 {
+    let n = a.n_rows();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut rng = Rng::new(opts.seed);
+    let mut x: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+    normalize(&mut x);
+    let af: CsrMatrix<f64> = a.cast();
+    let mut y = vec![0.0f64; n];
+    let mut lambda = 0.0;
+    for _ in 0..opts.power_iters {
+        spmv(&af, &x, &mut y);
+        lambda = dot64(&x, &y);
+        let norm = norm64(&y);
+        if norm == 0.0 {
+            return 0.0;
+        }
+        for (xi, &yi) in x.iter_mut().zip(&y) {
+            *xi = yi / norm;
+        }
+    }
+    lambda.abs()
+}
+
+/// Estimates the smallest eigenvalue of an SPD matrix by inverse power
+/// iteration; each application of `A⁻¹` is an unpreconditioned CG solve.
+///
+/// Returns `None` if CG stagnates (matrix not SPD enough for the estimate).
+pub fn lambda_min_est<T: Scalar>(a: &CsrMatrix<T>, opts: &SpectralOptions) -> Option<f64> {
+    let n = a.n_rows();
+    if n == 0 {
+        return None;
+    }
+    let af: CsrMatrix<f64> = a.cast();
+    let mut rng = Rng::new(opts.seed ^ 0xabcd_ef01);
+    let mut x: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+    normalize(&mut x);
+    let mut mu = 0.0;
+    for _ in 0..opts.inverse_iters {
+        let y = cg_solve(&af, &x, opts.cg_iters, 1e-10)?;
+        let norm = norm64(&y);
+        if norm == 0.0 || !norm.is_finite() {
+            return None;
+        }
+        // Rayleigh quotient of the normalized iterate.
+        let mut ay = vec![0.0; n];
+        for (xi, &yi) in x.iter_mut().zip(&y) {
+            *xi = yi / norm;
+        }
+        spmv(&af, &x, &mut ay);
+        mu = dot64(&x, &ay);
+    }
+    (mu.is_finite() && mu > 0.0).then_some(mu)
+}
+
+/// 2-norm condition number estimate `λ_max / λ_min` for SPD matrices.
+pub fn condition_2norm_est<T: Scalar>(a: &CsrMatrix<T>, opts: &SpectralOptions) -> Option<f64> {
+    let lmax = lambda_max_est(a, opts);
+    let lmin = lambda_min_est(a, opts)?;
+    (lmin > 0.0).then(|| lmax / lmin)
+}
+
+/// All eigenvalues of a symmetric dense matrix via cyclic Jacobi rotations.
+/// Exact reference for small matrices; `O(n³)` per sweep.
+pub fn sym_eigenvalues_dense(a: &DenseMatrix<f64>) -> Vec<f64> {
+    let n = a.n_rows();
+    assert_eq!(n, a.n_cols(), "eigenvalues need a square matrix");
+    let mut m = a.clone();
+    let max_sweeps = 64;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m.get(i, j) * m.get(i, j);
+            }
+        }
+        if off.sqrt() < 1e-14 * (1.0 + m.norm_fro()) {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let akp = m.get(k, p);
+                    let akq = m.get(k, q);
+                    m.set(k, p, c * akp - s * akq);
+                    m.set(k, q, s * akp + c * akq);
+                }
+                for k in 0..n {
+                    let apk = m.get(p, k);
+                    let aqk = m.get(q, k);
+                    m.set(p, k, c * apk - s * aqk);
+                    m.set(q, k, s * apk + c * aqk);
+                }
+            }
+        }
+    }
+    let mut eig: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    eig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    eig
+}
+
+/// Exact 2-norm condition number of a small symmetric matrix
+/// (`|λ|_max / |λ|_min`); `None` if singular to working precision.
+pub fn condition_2norm_dense(a: &DenseMatrix<f64>) -> Option<f64> {
+    let eig = sym_eigenvalues_dense(a);
+    let amax = eig.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    let amin = eig.iter().fold(f64::MAX, |m, &v| m.min(v.abs()));
+    (amin > amax * 1e-300).then(|| amax / amin)
+}
+
+fn dot64(x: &[f64], y: &[f64]) -> f64 {
+    x.iter().zip(y).map(|(&a, &b)| a * b).sum()
+}
+
+fn norm64(x: &[f64]) -> f64 {
+    dot64(x, x).sqrt()
+}
+
+fn normalize(x: &mut [f64]) {
+    let n = norm64(x);
+    if n > 0.0 {
+        for v in x {
+            *v /= n;
+        }
+    }
+}
+
+/// Minimal unpreconditioned CG used internally by the inverse-power
+/// estimator. Kept private to avoid a dependency cycle with `spcg-solver`.
+fn cg_solve(a: &CsrMatrix<f64>, b: &[f64], max_iters: usize, tol: f64) -> Option<Vec<f64>> {
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut ap = vec![0.0; n];
+    let mut rr = dot64(&r, &r);
+    let b_norm = norm64(b).max(1e-300);
+    for _ in 0..max_iters {
+        if rr.sqrt() / b_norm < tol {
+            return Some(x);
+        }
+        spmv(a, &p, &mut ap);
+        let pap = dot64(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            return None;
+        }
+        let alpha = rr / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rr_new = dot64(&r, &r);
+        let beta = rr_new / rr;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rr = rr_new;
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    /// 1-D Laplacian: eigenvalues 2 - 2cos(kπ/(n+1)) are known exactly.
+    fn lap1d(n: usize) -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+            if i + 1 < n {
+                coo.push_sym(i, i + 1, -1.0).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn approx_condition_on_diagonal_matrix() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 10.0).unwrap();
+        coo.push(1, 1, 2.0).unwrap();
+        coo.push(2, 2, 5.0).unwrap();
+        let a = coo.to_csr();
+        // inf-norm 10, min diag 2 -> 5
+        assert_eq!(approx_condition(&a), 5.0);
+        assert_eq!(approx_inv_norm(&a), 0.5);
+    }
+
+    #[test]
+    fn approx_condition_missing_diag_is_infinite() {
+        let mut coo = CooMatrix::<f64>::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 1, 1.0).unwrap();
+        let a = coo.to_csr();
+        assert!(approx_condition(&a).is_infinite());
+    }
+
+    #[test]
+    fn jacobi_eigenvalues_match_analytic_laplacian() {
+        let n = 8;
+        let a = lap1d(n).to_dense();
+        let eig = sym_eigenvalues_dense(&a);
+        for (k, &e) in eig.iter().enumerate() {
+            let exact = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            assert!((e - exact).abs() < 1e-10, "k={k}: {e} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn power_iteration_finds_lambda_max() {
+        let n = 32;
+        let a = lap1d(n);
+        let exact = 2.0 - 2.0 * (n as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+        let est = lambda_max_est(&a, &SpectralOptions { power_iters: 500, ..Default::default() });
+        assert!((est - exact).abs() / exact < 1e-3, "{est} vs {exact}");
+    }
+
+    #[test]
+    fn inverse_power_finds_lambda_min() {
+        let n = 32;
+        let a = lap1d(n);
+        let exact = 2.0 - 2.0 * (std::f64::consts::PI / (n as f64 + 1.0)).cos();
+        let est = lambda_min_est(&a, &SpectralOptions::default()).unwrap();
+        assert!((est - exact).abs() / exact < 1e-2, "{est} vs {exact}");
+    }
+
+    #[test]
+    fn iterative_condition_close_to_dense_exact() {
+        let a = lap1d(24);
+        let exact = condition_2norm_dense(&a.to_dense()).unwrap();
+        let est = condition_2norm_est(&a, &SpectralOptions::default()).unwrap();
+        assert!((est - exact).abs() / exact < 0.05, "{est} vs {exact}");
+    }
+
+    #[test]
+    fn dense_condition_of_identity_is_one() {
+        let i = DenseMatrix::identity(5);
+        assert!((condition_2norm_dense(&i).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

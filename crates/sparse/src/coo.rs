@@ -1,0 +1,201 @@
+//! Coordinate-format (triplet) builder — the entry point for assembling
+//! sparse matrices before conversion to CSR.
+
+use crate::csr::CsrMatrix;
+use crate::error::{Result, SparseError};
+use crate::scalar::Scalar;
+
+/// A coordinate-format sparse matrix builder.
+///
+/// Entries may be pushed in any order; duplicates are summed during
+/// [`CooMatrix::to_csr`], matching the assembly semantics of finite-element
+/// codes and of the Matrix Market format.
+#[derive(Debug, Clone)]
+pub struct CooMatrix<T: Scalar> {
+    n_rows: usize,
+    n_cols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Scalar> CooMatrix<T> {
+    /// Creates an empty builder for an `n_rows x n_cols` matrix.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        Self { n_rows, n_cols, entries: Vec::new() }
+    }
+
+    /// Creates an empty builder with room for `cap` entries.
+    pub fn with_capacity(n_rows: usize, n_cols: usize, cap: usize) -> Self {
+        Self { n_rows, n_cols, entries: Vec::with_capacity(cap) }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of raw (possibly duplicated) entries pushed so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Pushes one entry, validating its indices.
+    pub fn push(&mut self, row: usize, col: usize, value: T) -> Result<()> {
+        if row >= self.n_rows || col >= self.n_cols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                n_rows: self.n_rows,
+                n_cols: self.n_cols,
+            });
+        }
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Pushes `value` at `(row, col)` and `(col, row)`.
+    ///
+    /// Off-diagonal entries are mirrored; a diagonal entry is pushed once.
+    pub fn push_sym(&mut self, row: usize, col: usize, value: T) -> Result<()> {
+        self.push(row, col, value)?;
+        if row != col {
+            self.push(col, row, value)?;
+        }
+        Ok(())
+    }
+
+    /// Read-only view of the raw triplets.
+    pub fn entries(&self) -> &[(usize, usize, T)] {
+        &self.entries
+    }
+
+    /// Converts to CSR, summing duplicate entries and dropping entries that
+    /// sum to exactly zero is *not* done (explicit zeros are preserved, as in
+    /// Matrix Market semantics).
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        // Counting sort by row, then sort each row segment by column and
+        // compact duplicates. O(nnz log nnz_row) overall, allocation-lean.
+        let mut row_counts = vec![0usize; self.n_rows + 1];
+        for &(r, _, _) in &self.entries {
+            row_counts[r + 1] += 1;
+        }
+        for i in 0..self.n_rows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let mut order: Vec<usize> = vec![0; self.entries.len()];
+        let mut cursor = row_counts.clone();
+        for (k, &(r, _, _)) in self.entries.iter().enumerate() {
+            order[cursor[r]] = k;
+            cursor[r] += 1;
+        }
+
+        let mut row_ptr = Vec::with_capacity(self.n_rows + 1);
+        let mut col_idx: Vec<usize> = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<T> = Vec::with_capacity(self.entries.len());
+        row_ptr.push(0);
+
+        let mut scratch: Vec<(usize, T)> = Vec::new();
+        for r in 0..self.n_rows {
+            scratch.clear();
+            for &k in &order[row_counts[r]..row_counts[r + 1]] {
+                let (_, c, v) = self.entries[k];
+                scratch.push((c, v));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let (c, mut v) = scratch[i];
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                col_idx.push(c);
+                values.push(v);
+                i = j;
+            }
+            row_ptr.push(col_idx.len());
+        }
+
+        CsrMatrix::from_raw_unchecked(self.n_rows, self.n_cols, row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_convert() {
+        let mut coo = CooMatrix::<f64>::new(3, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(2, 1, 4.0).unwrap();
+        coo.push(1, 1, 2.0).unwrap();
+        coo.push(2, 2, 5.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 4);
+        assert_eq!(csr.get(0, 0), Some(1.0));
+        assert_eq!(csr.get(1, 1), Some(2.0));
+        assert_eq!(csr.get(2, 1), Some(4.0));
+        assert_eq!(csr.get(2, 2), Some(5.0));
+        assert_eq!(csr.get(0, 1), None);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::<f64>::new(2, 2);
+        coo.push(0, 1, 1.5).unwrap();
+        coo.push(0, 1, 2.5).unwrap();
+        coo.push(0, 0, 1.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 1), Some(4.0));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut coo = CooMatrix::<f64>::new(2, 2);
+        assert!(coo.push(2, 0, 1.0).is_err());
+        assert!(coo.push(0, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn push_sym_mirrors_offdiagonal() {
+        let mut coo = CooMatrix::<f64>::new(3, 3);
+        coo.push_sym(0, 1, 7.0).unwrap();
+        coo.push_sym(2, 2, 3.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 1), Some(7.0));
+        assert_eq!(csr.get(1, 0), Some(7.0));
+        assert_eq!(csr.get(2, 2), Some(3.0));
+        assert_eq!(csr.nnz(), 3);
+    }
+
+    #[test]
+    fn unsorted_rows_become_sorted() {
+        let mut coo = CooMatrix::<f64>::new(1, 5);
+        for &c in &[4usize, 0, 2, 1, 3] {
+            coo.push(0, c, c as f64).unwrap();
+        }
+        let csr = coo.to_csr();
+        let cols: Vec<usize> = csr.row_cols(0).to_vec();
+        assert_eq!(cols, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let coo = CooMatrix::<f64>::new(4, 4);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.n_rows(), 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! Compressed sparse column (CSC) view.
+//!
+//! CSC is CSR of the transpose; the type exists so column-oriented kernels
+//! (e.g. the dependence-DAG builder, which needs "which rows consume column
+//! j") can express intent without re-deriving the transpose at each call.
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+
+/// A compressed-sparse-column matrix, stored internally as the CSR of the
+/// transpose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix<T: Scalar> {
+    transposed: CsrMatrix<T>,
+}
+
+impl<T: Scalar> CscMatrix<T> {
+    /// Builds the CSC view of a CSR matrix.
+    pub fn from_csr(a: &CsrMatrix<T>) -> Self {
+        Self { transposed: a.transpose() }
+    }
+
+    /// Number of rows (of the logical matrix).
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.transposed.n_cols()
+    }
+
+    /// Number of columns (of the logical matrix).
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.transposed.n_rows()
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.transposed.nnz()
+    }
+
+    /// Row indices of stored entries in column `c`, ascending.
+    #[inline]
+    pub fn col_rows(&self, c: usize) -> &[usize] {
+        self.transposed.row_cols(c)
+    }
+
+    /// Values of stored entries in column `c`, matching [`Self::col_rows`].
+    #[inline]
+    pub fn col_values(&self, c: usize) -> &[T] {
+        self.transposed.row_values(c)
+    }
+
+    /// Entry lookup.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Option<T> {
+        self.transposed.get(c, r)
+    }
+
+    /// Converts back to CSR.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        self.transposed.transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn sample() -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(3, 4);
+        for &(r, c, v) in &[(0usize, 0usize, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0)] {
+            coo.push(r, c, v).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn csc_column_access() {
+        let a = sample();
+        let c = CscMatrix::from_csr(&a);
+        assert_eq!(c.n_rows(), 3);
+        assert_eq!(c.n_cols(), 4);
+        assert_eq!(c.col_rows(0), &[0, 2]);
+        assert_eq!(c.col_values(0), &[1.0, 4.0]);
+        assert_eq!(c.col_rows(2), &[] as &[usize]);
+    }
+
+    #[test]
+    fn get_matches_csr() {
+        let a = sample();
+        let c = CscMatrix::from_csr(&a);
+        for r in 0..3 {
+            for col in 0..4 {
+                assert_eq!(c.get(r, col), a.get(r, col));
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = sample();
+        assert_eq!(CscMatrix::from_csr(&a).to_csr(), a);
+    }
+}

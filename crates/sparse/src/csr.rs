@@ -1,0 +1,639 @@
+//! Compressed sparse row (CSR) matrix — the workhorse representation used by
+//! every kernel in the workspace (Figure 1b of the paper).
+
+use crate::coo::CooMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::{Result, SparseError};
+use crate::scalar::Scalar;
+
+/// A compressed-sparse-row matrix.
+///
+/// Invariants (enforced by [`CsrMatrix::from_raw`] and preserved by every
+/// method here):
+/// * `row_ptr.len() == n_rows + 1`, `row_ptr[0] == 0`, non-decreasing,
+///   `row_ptr[n_rows] == col_idx.len() == values.len()`;
+/// * column indices within each row are strictly increasing (sorted, no
+///   duplicates) and `< n_cols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T: Scalar> {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Builds a CSR matrix from raw arrays, validating all invariants.
+    pub fn from_raw(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<T>,
+    ) -> Result<Self> {
+        if row_ptr.len() != n_rows + 1 {
+            return Err(SparseError::InvalidStructure(format!(
+                "row_ptr length {} != n_rows + 1 = {}",
+                row_ptr.len(),
+                n_rows + 1
+            )));
+        }
+        if row_ptr[0] != 0 {
+            return Err(SparseError::InvalidStructure("row_ptr[0] != 0".into()));
+        }
+        if *row_ptr.last().unwrap() != col_idx.len() || col_idx.len() != values.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "nnz mismatch: row_ptr end {}, col_idx {}, values {}",
+                row_ptr.last().unwrap(),
+                col_idx.len(),
+                values.len()
+            )));
+        }
+        for r in 0..n_rows {
+            if row_ptr[r] > row_ptr[r + 1] {
+                return Err(SparseError::InvalidStructure(format!(
+                    "row_ptr decreases at row {r}"
+                )));
+            }
+            let cols = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for w in cols.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "row {r} columns not strictly increasing"
+                    )));
+                }
+            }
+            if let Some(&last) = cols.last() {
+                if last >= n_cols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: r,
+                        col: last,
+                        n_rows,
+                        n_cols,
+                    });
+                }
+            }
+        }
+        Ok(Self { n_rows, n_cols, row_ptr, col_idx, values })
+    }
+
+    /// Builds a CSR matrix from arrays already known to satisfy the
+    /// invariants (used by trusted in-crate constructors like COO
+    /// conversion). Debug builds still validate.
+    pub fn from_raw_unchecked(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<T>,
+    ) -> Self {
+        debug_assert!(
+            Self::from_raw(n_rows, n_cols, row_ptr.clone(), col_idx.clone(), values.clone())
+                .is_ok()
+        );
+        Self { n_rows, n_cols, row_ptr, col_idx, values }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            n_rows: n,
+            n_cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![T::ONE; n],
+        }
+    }
+
+    /// Builds from a dense matrix, keeping entries with `|a_ij| > 0`.
+    pub fn from_dense(dense: &DenseMatrix<T>) -> Self {
+        let mut coo = CooMatrix::with_capacity(dense.n_rows(), dense.n_cols(), 16);
+        for i in 0..dense.n_rows() {
+            for j in 0..dense.n_cols() {
+                let v = dense.get(i, j);
+                if v != T::ZERO {
+                    coo.push(i, j, v).expect("dense indices in range");
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` for square matrices.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.n_rows == self.n_cols
+    }
+
+    /// Row-pointer array (`n_rows + 1` entries).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices, concatenated row by row.
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Stored values, concatenated row by row.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Mutable view of the stored values (structure stays fixed).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Column indices of row `r`.
+    #[inline]
+    pub fn row_cols(&self, r: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Values of row `r`.
+    #[inline]
+    pub fn row_values(&self, r: usize) -> &[T] {
+        &self.values[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Number of stored entries in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Looks up entry `(r, c)`; `None` when not stored.
+    pub fn get(&self, r: usize, c: usize) -> Option<T> {
+        let cols = self.row_cols(r);
+        cols.binary_search(&c).ok().map(|k| self.values[self.row_ptr[r] + k])
+    }
+
+    /// Iterates `(row, col, value)` over all stored entries in row order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        (0..self.n_rows).flat_map(move |r| {
+            self.row_cols(r)
+                .iter()
+                .zip(self.row_values(r))
+                .map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// The diagonal as a dense vector (missing entries are zero).
+    pub fn diag(&self) -> Vec<T> {
+        let n = self.n_rows.min(self.n_cols);
+        let mut d = vec![T::ZERO; n];
+        for r in 0..n {
+            if let Some(v) = self.get(r, r) {
+                d[r] = v;
+            }
+        }
+        d
+    }
+
+    /// `true` if every diagonal entry of the leading square block is stored
+    /// and nonzero.
+    pub fn has_full_nonzero_diag(&self) -> bool {
+        let n = self.n_rows.min(self.n_cols);
+        (0..n).all(|r| matches!(self.get(r, r), Some(v) if v != T::ZERO))
+    }
+
+    /// Transpose (also the CSC view of the same matrix).
+    pub fn transpose(&self) -> Self {
+        let mut col_counts = vec![0usize; self.n_cols + 1];
+        for &c in &self.col_idx {
+            col_counts[c + 1] += 1;
+        }
+        for i in 0..self.n_cols {
+            col_counts[i + 1] += col_counts[i];
+        }
+        let mut row_ptr_t = col_counts.clone();
+        let mut col_idx_t = vec![0usize; self.nnz()];
+        let mut values_t = vec![T::ZERO; self.nnz()];
+        let mut cursor = col_counts;
+        for r in 0..self.n_rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                let slot = cursor[c];
+                col_idx_t[slot] = r;
+                values_t[slot] = self.values[k];
+                cursor[c] += 1;
+            }
+        }
+        // Rows of the transpose are filled in increasing source-row order, so
+        // they come out sorted automatically.
+        row_ptr_t.truncate(self.n_cols);
+        row_ptr_t.push(self.nnz());
+        Self {
+            n_rows: self.n_cols,
+            n_cols: self.n_rows,
+            row_ptr: row_ptr_t,
+            col_idx: col_idx_t,
+            values: values_t,
+        }
+    }
+
+    /// Keeps entries for which `keep(row, col, value)` returns `true`.
+    pub fn filter(&self, mut keep: impl FnMut(usize, usize, T) -> bool) -> Self {
+        let mut row_ptr = Vec::with_capacity(self.n_rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..self.n_rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let (c, v) = (self.col_idx[k], self.values[k]);
+                if keep(r, c, v) {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self { n_rows: self.n_rows, n_cols: self.n_cols, row_ptr, col_idx, values }
+    }
+
+    /// Lower-triangular part including the diagonal.
+    pub fn lower(&self) -> Self {
+        self.filter(|r, c, _| c <= r)
+    }
+
+    /// Strictly lower-triangular part.
+    pub fn strict_lower(&self) -> Self {
+        self.filter(|r, c, _| c < r)
+    }
+
+    /// Upper-triangular part including the diagonal.
+    pub fn upper(&self) -> Self {
+        self.filter(|r, c, _| c >= r)
+    }
+
+    /// Strictly upper-triangular part.
+    pub fn strict_upper(&self) -> Self {
+        self.filter(|r, c, _| c > r)
+    }
+
+    /// Applies `f` to every stored value, preserving structure.
+    pub fn map_values(&self, mut f: impl FnMut(T) -> T) -> Self {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v = f(*v);
+        }
+        out
+    }
+
+    /// Structural + numerical symmetry test: `|a_ij - a_ji| <= tol` for every
+    /// stored entry, and every stored `(i, j)` has a stored `(j, i)` partner
+    /// unless its value is within `tol` of zero.
+    pub fn is_symmetric(&self, tol: T) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let t = self.transpose();
+        if t.row_ptr == self.row_ptr && t.col_idx == self.col_idx {
+            return self
+                .values
+                .iter()
+                .zip(&t.values)
+                .all(|(&a, &b)| (a - b).abs() <= tol);
+        }
+        // Structures differ: fall back to entrywise comparison.
+        for (r, c, v) in self.iter() {
+            let w = t.get(r, c).unwrap_or(T::ZERO);
+            if (v - w).abs() > tol {
+                return false;
+            }
+        }
+        for (r, c, v) in t.iter() {
+            let w = self.get(r, c).unwrap_or(T::ZERO);
+            if (v - w).abs() > tol {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Entry-wise sum `self + other` (shapes must match).
+    pub fn add(&self, other: &Self) -> Result<Self> {
+        self.combine(other, |a, b| a + b)
+    }
+
+    /// Entry-wise difference `self - other` (shapes must match).
+    pub fn sub(&self, other: &Self) -> Result<Self> {
+        self.combine(other, |a, b| a - b)
+    }
+
+    fn combine(&self, other: &Self, f: impl Fn(T, T) -> T) -> Result<Self> {
+        if self.n_rows != other.n_rows || self.n_cols != other.n_cols {
+            return Err(SparseError::DimensionMismatch(format!(
+                "{}x{} vs {}x{}",
+                self.n_rows, self.n_cols, other.n_rows, other.n_cols
+            )));
+        }
+        let mut row_ptr = Vec::with_capacity(self.n_rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..self.n_rows {
+            let (ac, av) = (self.row_cols(r), self.row_values(r));
+            let (bc, bv) = (other.row_cols(r), other.row_values(r));
+            let (mut i, mut j) = (0, 0);
+            while i < ac.len() || j < bc.len() {
+                let (c, v) = if j >= bc.len() || (i < ac.len() && ac[i] < bc[j]) {
+                    let out = (ac[i], f(av[i], T::ZERO));
+                    i += 1;
+                    out
+                } else if i >= ac.len() || bc[j] < ac[i] {
+                    let out = (bc[j], f(T::ZERO, bv[j]));
+                    j += 1;
+                    out
+                } else {
+                    let out = (ac[i], f(av[i], bv[j]));
+                    i += 1;
+                    j += 1;
+                    out
+                };
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(Self { n_rows: self.n_rows, n_cols: self.n_cols, row_ptr, col_idx, values })
+    }
+
+    /// Drops stored entries that are exactly zero.
+    pub fn prune_zeros(&self) -> Self {
+        self.filter(|_, _, v| v != T::ZERO)
+    }
+
+    /// Dense copy (only sensible for small matrices; used by tests and the
+    /// low-rank probe).
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        let mut d = DenseMatrix::zeros(self.n_rows, self.n_cols);
+        for (r, c, v) in self.iter() {
+            d.set(r, c, v);
+        }
+        d
+    }
+
+    /// Half bandwidth: `max |i - j|` over stored entries (0 for diagonal or
+    /// empty matrices).
+    pub fn bandwidth(&self) -> usize {
+        self.iter()
+            .map(|(r, c, _)| r.abs_diff(c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Applies the symmetric permutation `P A Pᵀ` given `perm`, where
+    /// `perm[new_index] = old_index`.
+    pub fn permute_sym(&self, perm: &[usize]) -> Result<Self> {
+        if !self.is_square() {
+            return Err(SparseError::NotSquare { n_rows: self.n_rows, n_cols: self.n_cols });
+        }
+        if perm.len() != self.n_rows {
+            return Err(SparseError::DimensionMismatch(format!(
+                "permutation length {} != n {}",
+                perm.len(),
+                self.n_rows
+            )));
+        }
+        let mut inv = vec![usize::MAX; perm.len()];
+        for (new, &old) in perm.iter().enumerate() {
+            if old >= perm.len() || inv[old] != usize::MAX {
+                return Err(SparseError::InvalidStructure(
+                    "perm is not a permutation".into(),
+                ));
+            }
+            inv[old] = new;
+        }
+        let mut coo = CooMatrix::with_capacity(self.n_rows, self.n_cols, self.nnz());
+        for (r, c, v) in self.iter() {
+            coo.push(inv[r], inv[c], v)?;
+        }
+        Ok(coo.to_csr())
+    }
+
+    /// Converts every stored value through `f64` into scalar type `U`.
+    pub fn cast<U: Scalar>(&self) -> CsrMatrix<U> {
+        CsrMatrix {
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values: self.values.iter().map(|v| U::from_f64(v.to_f64())).collect(),
+        }
+    }
+
+    /// Bytes required to store the CSR arrays (8-byte indices assumed),
+    /// used by the GPU cost model for data-movement estimates.
+    pub fn storage_bytes(&self, value_bytes: usize) -> usize {
+        (self.row_ptr.len() + self.col_idx.len()) * std::mem::size_of::<usize>()
+            + self.values.len() * value_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix<f64> {
+        // Figure 1 of the paper: lower-triangular L with entries a..g.
+        // [a 0 0 0; 0 b 0 0; c 0 d 0; e 0 f g]
+        let mut coo = CooMatrix::new(4, 4);
+        for &(r, c, v) in &[
+            (0usize, 0usize, 1.0),
+            (1, 1, 2.0),
+            (2, 0, 3.0),
+            (2, 2, 4.0),
+            (3, 0, 5.0),
+            (3, 2, 6.0),
+            (3, 3, 7.0),
+        ] {
+            coo.push(r, c, v).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn figure1_csr_layout() {
+        let m = sample();
+        assert_eq!(m.row_ptr(), &[0, 1, 2, 4, 7]);
+        assert_eq!(m.col_idx(), &[0, 1, 0, 2, 0, 2, 3]);
+        assert_eq!(m.nnz(), 7);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(CsrMatrix::<f64>::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
+        // bad row_ptr length
+        assert!(CsrMatrix::<f64>::from_raw(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 1.0]).is_err());
+        // decreasing row_ptr
+        assert!(
+            CsrMatrix::<f64>::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err()
+        );
+        // unsorted columns
+        assert!(CsrMatrix::<f64>::from_raw(
+            1,
+            3,
+            vec![0, 2],
+            vec![2, 0],
+            vec![1.0, 1.0]
+        )
+        .is_err());
+        // duplicate columns
+        assert!(CsrMatrix::<f64>::from_raw(
+            1,
+            3,
+            vec![0, 2],
+            vec![1, 1],
+            vec![1.0, 1.0]
+        )
+        .is_err());
+        // column out of bounds
+        assert!(CsrMatrix::<f64>::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn identity_and_get() {
+        let i = CsrMatrix::<f64>::identity(3);
+        assert_eq!(i.nnz(), 3);
+        assert_eq!(i.get(1, 1), Some(1.0));
+        assert_eq!(i.get(0, 2), None);
+        assert!(i.has_full_nonzero_diag());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.get(0, 2), Some(3.0));
+        assert_eq!(t.get(0, 3), Some(5.0));
+        let tt = t.transpose();
+        assert_eq!(tt, m);
+    }
+
+    #[test]
+    fn triangular_extraction() {
+        let m = sample().add(&sample().transpose()).unwrap();
+        let l = m.lower();
+        for (r, c, _) in l.iter() {
+            assert!(c <= r);
+        }
+        let sl = m.strict_lower();
+        for (r, c, _) in sl.iter() {
+            assert!(c < r);
+        }
+        let u = m.upper();
+        for (r, c, _) in u.iter() {
+            assert!(c >= r);
+        }
+        assert_eq!(l.nnz() + m.strict_upper().nnz(), m.nnz());
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let m = sample();
+        assert!(!m.is_symmetric(0.0));
+        let s = m.add(&m.transpose()).unwrap();
+        assert!(s.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = sample();
+        let b = a.transpose();
+        let sum = a.add(&b).unwrap();
+        let diff = sum.sub(&b).unwrap().prune_zeros();
+        for (r, c, v) in a.iter() {
+            assert_eq!(diff.get(r, c), Some(v));
+        }
+        assert_eq!(diff.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn diag_extraction() {
+        let m = sample();
+        assert_eq!(m.diag(), vec![1.0, 2.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    fn bandwidth_of_figure1() {
+        assert_eq!(sample().bandwidth(), 3);
+        assert_eq!(CsrMatrix::<f64>::identity(5).bandwidth(), 0);
+    }
+
+    #[test]
+    fn permute_sym_identity_is_noop() {
+        let m = sample();
+        let p: Vec<usize> = (0..4).collect();
+        assert_eq!(m.permute_sym(&p).unwrap(), m);
+    }
+
+    #[test]
+    fn permute_sym_reverse() {
+        let m = sample();
+        let p: Vec<usize> = (0..4).rev().collect();
+        let pm = m.permute_sym(&p).unwrap();
+        // old (2,0) value 3.0 maps to new (1,3)
+        assert_eq!(pm.get(1, 3), Some(3.0));
+        // permuting back restores the original
+        let back = pm.permute_sym(&p).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn permute_rejects_bad_perm() {
+        let m = sample();
+        assert!(m.permute_sym(&[0, 0, 1, 2]).is_err());
+        assert!(m.permute_sym(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = sample();
+        let d = m.to_dense();
+        let back = CsrMatrix::from_dense(&d);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn cast_f64_to_f32() {
+        let m = sample();
+        let f: CsrMatrix<f32> = m.cast();
+        assert_eq!(f.get(3, 3), Some(7.0f32));
+        assert_eq!(f.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn filter_and_prune() {
+        let m = sample();
+        let big = m.filter(|_, _, v| v >= 4.0);
+        assert_eq!(big.nnz(), 4);
+        let mut z = m.clone();
+        z.values_mut()[0] = 0.0;
+        assert_eq!(z.prune_zeros().nnz(), m.nnz() - 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type shared by the sparse substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or manipulating sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An entry's row or column index is outside the declared shape.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Number of rows in the matrix.
+        n_rows: usize,
+        /// Number of columns in the matrix.
+        n_cols: usize,
+    },
+    /// Raw CSR arrays are inconsistent (lengths, monotonicity, sortedness).
+    InvalidStructure(String),
+    /// The operation needs a square matrix.
+    NotSquare {
+        /// Number of rows.
+        n_rows: usize,
+        /// Number of columns.
+        n_cols: usize,
+    },
+    /// A zero (or missing) diagonal entry was found where one is required.
+    ZeroDiagonal {
+        /// Row with the missing/zero pivot.
+        row: usize,
+    },
+    /// Dimension mismatch between operands.
+    DimensionMismatch(String),
+    /// Failure while parsing an external format (e.g. Matrix Market).
+    Parse(String),
+    /// I/O failure while reading/writing matrix files.
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, n_rows, n_cols } => write!(
+                f,
+                "entry ({row}, {col}) outside matrix shape {n_rows}x{n_cols}"
+            ),
+            SparseError::InvalidStructure(msg) => write!(f, "invalid CSR structure: {msg}"),
+            SparseError::NotSquare { n_rows, n_cols } => {
+                write!(f, "operation requires a square matrix, got {n_rows}x{n_cols}")
+            }
+            SparseError::ZeroDiagonal { row } => {
+                write!(f, "zero or missing diagonal entry at row {row}")
+            }
+            SparseError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            SparseError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SparseError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used across the substrate.
+pub type Result<T> = std::result::Result<T, SparseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SparseError::IndexOutOfBounds { row: 5, col: 7, n_rows: 4, n_cols: 4 };
+        assert!(e.to_string().contains("(5, 7)"));
+        let e = SparseError::NotSquare { n_rows: 3, n_cols: 4 };
+        assert!(e.to_string().contains("3x4"));
+        let e = SparseError::ZeroDiagonal { row: 2 };
+        assert!(e.to_string().contains("row 2"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: SparseError = io.into();
+        assert!(matches!(e, SparseError::Io(_)));
+    }
+}

@@ -1,0 +1,573 @@
+//! SPD matrix generators.
+//!
+//! These are the building blocks from which `spcg-suite` assembles its
+//! synthetic SuiteSparse stand-in collection: discretized PDE operators
+//! (Poisson / anisotropic diffusion / 9-point stencils), graph Laplacians,
+//! and randomly structured diagonally dominant matrices. All generators are
+//! deterministic given their arguments.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::rng::Rng;
+
+/// 1-D Laplacian (tridiagonal `[-1, 2, -1]`), the canonical SPD example.
+pub fn poisson_1d(n: usize) -> CsrMatrix<f64> {
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 2.0).expect("in range");
+        if i + 1 < n {
+            coo.push_sym(i, i + 1, -1.0).expect("in range");
+        }
+    }
+    coo.to_csr()
+}
+
+/// 2-D Poisson operator on an `nx x ny` grid (5-point stencil).
+pub fn poisson_2d(nx: usize, ny: usize) -> CsrMatrix<f64> {
+    let n = nx * ny;
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    let idx = |x: usize, y: usize| y * nx + x;
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            coo.push(i, i, 4.0).expect("in range");
+            if x + 1 < nx {
+                coo.push_sym(i, idx(x + 1, y), -1.0).expect("in range");
+            }
+            if y + 1 < ny {
+                coo.push_sym(i, idx(x, y + 1), -1.0).expect("in range");
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 3-D Poisson operator on an `nx x ny x nz` grid (7-point stencil).
+pub fn poisson_3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix<f64> {
+    let n = nx * ny * nz;
+    let mut coo = CooMatrix::with_capacity(n, n, 7 * n);
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = idx(x, y, z);
+                coo.push(i, i, 6.0).expect("in range");
+                if x + 1 < nx {
+                    coo.push_sym(i, idx(x + 1, y, z), -1.0).expect("in range");
+                }
+                if y + 1 < ny {
+                    coo.push_sym(i, idx(x, y + 1, z), -1.0).expect("in range");
+                }
+                if z + 1 < nz {
+                    coo.push_sym(i, idx(x, y, z + 1), -1.0).expect("in range");
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Anisotropic 2-D diffusion: x-coupling 1, y-coupling `eps`. Small `eps`
+/// produces the strongly directional systems typical of CFD boundary layers.
+pub fn anisotropic_2d(nx: usize, ny: usize, eps: f64) -> CsrMatrix<f64> {
+    let n = nx * ny;
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    let idx = |x: usize, y: usize| y * nx + x;
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            coo.push(i, i, 2.0 + 2.0 * eps).expect("in range");
+            if x + 1 < nx {
+                coo.push_sym(i, idx(x + 1, y), -1.0).expect("in range");
+            }
+            if y + 1 < ny {
+                coo.push_sym(i, idx(x, y + 1), -eps).expect("in range");
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 9-point 2-D stencil (includes diagonal neighbours) — denser rows, like the
+/// biharmonic / graphics problems in the paper's dataset.
+pub fn stencil9_2d(nx: usize, ny: usize) -> CsrMatrix<f64> {
+    let n = nx * ny;
+    let mut coo = CooMatrix::with_capacity(n, n, 9 * n);
+    let idx = |x: usize, y: usize| y * nx + x;
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            coo.push(i, i, 8.0).expect("in range");
+            let neighbours: [(isize, isize, f64); 4] =
+                [(1, 0, -1.0), (0, 1, -1.0), (1, 1, -0.5), (1, -1, -0.5)];
+            for (dx, dy, w) in neighbours {
+                let (xx, yy) = (x as isize + dx, y as isize + dy);
+                if xx >= 0 && (xx as usize) < nx && yy >= 0 && (yy as usize) < ny {
+                    coo.push_sym(i, idx(xx as usize, yy as usize), w).expect("in range");
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Variable-coefficient 2-D diffusion: each edge weight is drawn from
+/// `[lo, hi]`. Models heterogeneous-material FEM/thermal problems; SPD by
+/// construction (weighted graph Laplacian plus a small mass term).
+pub fn varcoef_2d(nx: usize, ny: usize, lo: f64, hi: f64, seed: u64) -> CsrMatrix<f64> {
+    assert!(lo > 0.0 && hi >= lo, "coefficients must be positive");
+    let n = nx * ny;
+    let mut rng = Rng::new(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    let idx = |x: usize, y: usize| y * nx + x;
+    let mut diag = vec![0.0f64; n];
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            if x + 1 < nx {
+                let w = rng.range(lo, hi);
+                edges.push((i, idx(x + 1, y), w));
+            }
+            if y + 1 < ny {
+                let w = rng.range(lo, hi);
+                edges.push((i, idx(x, y + 1), w));
+            }
+        }
+    }
+    for &(i, j, w) in &edges {
+        diag[i] += w;
+        diag[j] += w;
+        coo.push_sym(i, j, -w).expect("in range");
+    }
+    for (i, &d) in diag.iter().enumerate() {
+        // Small mass term keeps the matrix strictly positive definite.
+        coo.push(i, i, d + 0.01 * (lo + hi)).expect("in range");
+    }
+    coo.to_csr()
+}
+
+/// Laplacian of a random graph with roughly `avg_degree` neighbours per
+/// vertex, shifted by `shift` on the diagonal to make it SPD. Models the
+/// circuit-simulation / economics matrices of the dataset (irregular
+/// structure, no banding).
+pub fn graph_laplacian(n: usize, avg_degree: usize, shift: f64, seed: u64) -> CsrMatrix<f64> {
+    assert!(shift > 0.0, "shift must be positive for SPD");
+    let mut rng = Rng::new(seed);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let m = n * avg_degree / 2;
+    for _ in 0..m {
+        let a = rng.below(n);
+        let b = rng.below(n);
+        if a != b {
+            edges.push((a.min(b), a.max(b)));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let mut coo = CooMatrix::with_capacity(n, n, 2 * edges.len() + n);
+    let mut diag = vec![shift; n];
+    for &(a, b) in &edges {
+        let w = rng.range(0.1, 1.0);
+        diag[a] += w;
+        diag[b] += w;
+        coo.push_sym(a, b, -w).expect("in range");
+    }
+    for (i, &d) in diag.iter().enumerate() {
+        coo.push(i, i, d).expect("in range");
+    }
+    coo.to_csr()
+}
+
+/// Random banded SPD matrix: entries within `band` of the diagonal with the
+/// given fill `density`, made SPD by diagonal dominance times `dominance`
+/// (> 1 ⇒ well conditioned, → 1 ⇒ ill conditioned).
+pub fn banded_spd(n: usize, band: usize, density: f64, dominance: f64, seed: u64) -> CsrMatrix<f64> {
+    assert!(dominance > 1.0, "dominance must exceed 1 for SPD by Gershgorin");
+    let mut rng = Rng::new(seed);
+    let mut coo = CooMatrix::new(n, n);
+    let mut row_abs = vec![0.0f64; n];
+    for i in 0..n {
+        let hi = (i + band).min(n - 1);
+        for j in i + 1..=hi {
+            if rng.chance(density) {
+                let v = rng.range(-1.0, 1.0);
+                if v != 0.0 {
+                    row_abs[i] += v.abs();
+                    row_abs[j] += v.abs();
+                    coo.push_sym(i, j, v).expect("in range");
+                }
+            }
+        }
+    }
+    for i in 0..n {
+        coo.push(i, i, row_abs[i] * dominance + 0.1).expect("in range");
+    }
+    coo.to_csr()
+}
+
+/// Random unstructured SPD matrix with expected off-diagonal `nnz_per_row`,
+/// SPD via diagonal dominance.
+pub fn random_spd(n: usize, nnz_per_row: usize, dominance: f64, seed: u64) -> CsrMatrix<f64> {
+    assert!(dominance > 1.0, "dominance must exceed 1 for SPD by Gershgorin");
+    let mut rng = Rng::new(seed);
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+    let target = n * nnz_per_row / 2;
+    for _ in 0..target {
+        let a = rng.below(n);
+        let b = rng.below(n);
+        if a != b {
+            pairs.push((a.min(b), a.max(b), rng.range(-1.0, 1.0)));
+        }
+    }
+    pairs.sort_unstable_by_key(|&(a, b, _)| (a, b));
+    pairs.dedup_by_key(|&mut (a, b, _)| (a, b));
+    let mut coo = CooMatrix::new(n, n);
+    let mut row_abs = vec![0.0f64; n];
+    for &(a, b, v) in &pairs {
+        row_abs[a] += v.abs();
+        row_abs[b] += v.abs();
+        coo.push_sym(a, b, v).expect("in range");
+    }
+    for i in 0..n {
+        coo.push(i, i, row_abs[i] * dominance + 0.1).expect("in range");
+    }
+    coo.to_csr()
+}
+
+/// Deterministic per-edge weight in `[lo, hi]` from the (unordered) node
+/// pair and a seed — the same weight for `(i, j)` and `(j, i)`.
+fn edge_weight(i: usize, j: usize, lo: f64, hi: f64, seed: u64) -> f64 {
+    let (a, b) = (i.min(j) as u64, i.max(j) as u64);
+    let mut h = seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    lo + (hi - lo) * u
+}
+
+/// Rescales an SPD matrix's *off-diagonal* magnitudes by symmetric per-edge
+/// factors in `[1/spread, 1]`, keeping the diagonal unchanged, so that
+/// magnitude-based sparsification has a meaningful tail of entries that are
+/// weak *relative to their rows* (as in real application matrices).
+///
+/// Weakening off-diagonals of a diagonally-dominant (or M-matrix-like) SPD
+/// matrix only increases its dominance margin, so SPD is preserved.
+pub fn with_magnitude_spread(a: &CsrMatrix<f64>, spread: f64, seed: u64) -> CsrMatrix<f64> {
+    assert!(spread >= 1.0, "spread must be >= 1");
+    let mut coo = CooMatrix::with_capacity(a.n_rows(), a.n_cols(), a.nnz());
+    for (r, c, v) in a.iter() {
+        let w = if r == c { 1.0 } else { edge_weight(r, c, 1.0 / spread, 1.0, seed) };
+        coo.push(r, c, v * w).expect("in range");
+    }
+    coo.to_csr()
+}
+
+/// 2-D Poisson operator with weak *interface* couplings: every `period`-th
+/// grid line is attached to the next through couplings of magnitude `weak`
+/// instead of 1 (layered media / domain-decomposition structure).
+///
+/// The interface entries are ~`2/(5·period)` of the nonzeros, so a
+/// sparsification ratio of that size removes them entirely and the
+/// triangular solve's wavefront count collapses from `nx + ny - 1` to
+/// roughly `nx + period` — the structure behind the paper's large
+/// wavefront-reduction cases (cf. Figure 3).
+pub fn layered_poisson_2d(nx: usize, ny: usize, period: usize, weak: f64) -> CsrMatrix<f64> {
+    assert!(period >= 2, "period must be at least 2");
+    assert!((0.0..1.0).contains(&weak), "weak coupling must be in (0,1)");
+    let n = nx * ny;
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    let idx = |x: usize, y: usize| y * nx + x;
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            // The +0.25 is a reaction/mass term (implicit time stepping):
+            // it keeps λ_min well above the interface-coupling magnitude,
+            // so dropping interfaces from the preconditioner perturbs
+            // M⁻¹A only mildly — the regime where the paper reports
+            // unchanged iteration counts.
+            coo.push(i, i, 4.25).expect("in range");
+            if x + 1 < nx {
+                coo.push_sym(i, idx(x + 1, y), -1.0).expect("in range");
+            }
+            if y + 1 < ny {
+                let w = if (y + 1) % period == 0 { weak } else { 1.0 };
+                coo.push_sym(i, idx(x, y + 1), -w).expect("in range");
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 3-D Poisson operator with weak couplings between `period`-thick slabs —
+/// the 3-D analogue of [`layered_poisson_2d`].
+pub fn layered_poisson_3d(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    period: usize,
+    weak: f64,
+) -> CsrMatrix<f64> {
+    assert!(period >= 2, "period must be at least 2");
+    assert!((0.0..1.0).contains(&weak), "weak coupling must be in (0,1)");
+    let n = nx * ny * nz;
+    let mut coo = CooMatrix::with_capacity(n, n, 7 * n);
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = idx(x, y, z);
+                // +0.25 reaction/mass term, as in `layered_poisson_2d`.
+                coo.push(i, i, 6.25).expect("in range");
+                if x + 1 < nx {
+                    coo.push_sym(i, idx(x + 1, y, z), -1.0).expect("in range");
+                }
+                if y + 1 < ny {
+                    coo.push_sym(i, idx(x, y + 1, z), -1.0).expect("in range");
+                }
+                if z + 1 < nz {
+                    let w = if (z + 1) % period == 0 { weak } else { 1.0 };
+                    coo.push_sym(i, idx(x, y, z + 1), -w).expect("in range");
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Adds `frac · nnz(A)` extra symmetric entries of tiny magnitude
+/// `[-hi, -lo]` between random non-adjacent nodes — the "far-field noise"
+/// tail real application matrices carry. The entries are weak enough to be
+/// harmless numerically (keep `hi` well below the matrix's diagonal slack)
+/// but they add dependence edges, so removing them genuinely shortens
+/// wavefronts.
+pub fn add_weak_noise(
+    a: &CsrMatrix<f64>,
+    frac: f64,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+) -> CsrMatrix<f64> {
+    add_weak_noise_windowed(a, frac, lo, hi, usize::MAX, seed)
+}
+
+/// [`add_weak_noise`] restricted to pairs with `|i - j| <= window`.
+///
+/// Long-range noise edges deepen the dependence DAG aggressively (each one
+/// chains distant rows); window-limited noise models matrices whose weak
+/// entries stay near the band and perturb wavefronts only mildly.
+pub fn add_weak_noise_windowed(
+    a: &CsrMatrix<f64>,
+    frac: f64,
+    lo: f64,
+    hi: f64,
+    window: usize,
+    seed: u64,
+) -> CsrMatrix<f64> {
+    assert!(0.0 < lo && lo <= hi, "need 0 < lo <= hi");
+    let n = a.n_rows();
+    let pairs = ((frac * a.nnz() as f64) / 2.0) as usize;
+    let mut rng = Rng::new(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, a.nnz() + 2 * pairs);
+    for (r, c, v) in a.iter() {
+        coo.push(r, c, v).expect("in range");
+    }
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < pairs && attempts < 40 * pairs + 100 {
+        attempts += 1;
+        let i = rng.below(n);
+        let j = if window >= n {
+            rng.below(n)
+        } else {
+            let lo_j = i.saturating_sub(window);
+            let hi_j = (i + window).min(n - 1);
+            lo_j + rng.below(hi_j - lo_j + 1)
+        };
+        if i == j || a.get(i, j).is_some() {
+            continue;
+        }
+        coo.push_sym(i, j, -rng.range(lo, hi)).expect("in range");
+        added += 1;
+    }
+    coo.to_csr()
+}
+
+/// Rescales a deterministic `frac` of the off-diagonal edges down to
+/// `rel_lo..rel_hi` times their magnitude — the numerically negligible
+/// "junk tail" (assembly artifacts, far-field terms) that real application
+/// matrices carry. Dropping these entries is numerically free but removes
+/// their dependence edges, which is precisely the paper's opportunity.
+pub fn with_weak_tail(
+    a: &CsrMatrix<f64>,
+    frac: f64,
+    rel_lo: f64,
+    rel_hi: f64,
+    seed: u64,
+) -> CsrMatrix<f64> {
+    assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1]");
+    assert!(0.0 < rel_lo && rel_lo <= rel_hi && rel_hi < 1.0, "need 0 < lo <= hi < 1");
+    let mut coo = CooMatrix::with_capacity(a.n_rows(), a.n_cols(), a.nnz());
+    for (r, c, v) in a.iter() {
+        let w = if r != c && edge_weight(r, c, 0.0, 1.0, seed) < frac {
+            edge_weight(r, c, rel_lo, rel_hi, seed ^ 0x77)
+        } else {
+            1.0
+        };
+        coo.push(r, c, v * w).expect("in range");
+    }
+    coo.to_csr()
+}
+
+/// Weakens "long" edges (`|i - j| >= min_dist`) by symmetric per-edge
+/// factors in `[1/spread, 1]`, keeping short-range couplings and the
+/// diagonal unchanged.
+///
+/// On grid stencils the long edges are the cross-line couplings that carry
+/// the lower triangle's dependence chains, so weakening them makes the
+/// magnitude-based sparsifier remove exactly the entries whose removal
+/// collapses wavefronts — the structure the paper exploits.
+pub fn weaken_long_edges(
+    a: &CsrMatrix<f64>,
+    min_dist: usize,
+    spread: f64,
+    seed: u64,
+) -> CsrMatrix<f64> {
+    assert!(spread >= 1.0, "spread must be >= 1");
+    let mut coo = CooMatrix::with_capacity(a.n_rows(), a.n_cols(), a.nnz());
+    for (r, c, v) in a.iter() {
+        let w = if r != c && r.abs_diff(c) >= min_dist {
+            edge_weight(r, c, 1.0 / spread, 1.0 / spread.sqrt(), seed)
+        } else {
+            1.0
+        };
+        coo.push(r, c, v * w).expect("in range");
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::condition_2norm_dense;
+
+    fn assert_spd_small(a: &CsrMatrix<f64>) {
+        assert!(a.is_symmetric(1e-12), "not symmetric");
+        let eig = crate::cond::sym_eigenvalues_dense(&a.to_dense());
+        assert!(eig[0] > 0.0, "not positive definite: min eig {}", eig[0]);
+    }
+
+    #[test]
+    fn poisson_1d_structure() {
+        let a = poisson_1d(5);
+        assert_eq!(a.nnz(), 13);
+        assert_spd_small(&a);
+    }
+
+    #[test]
+    fn poisson_2d_is_spd() {
+        let a = poisson_2d(4, 5);
+        assert_eq!(a.n_rows(), 20);
+        assert_spd_small(&a);
+        // interior point has 5 nonzeros
+        assert_eq!(a.row_nnz(5), 5);
+    }
+
+    #[test]
+    fn poisson_3d_is_spd() {
+        let a = poisson_3d(3, 3, 3);
+        assert_eq!(a.n_rows(), 27);
+        assert_spd_small(&a);
+        // center point (1,1,1) has 7 nonzeros
+        assert_eq!(a.row_nnz(13), 7);
+    }
+
+    #[test]
+    fn anisotropic_is_spd_and_directional() {
+        let a = anisotropic_2d(4, 4, 0.01);
+        assert_spd_small(&a);
+        // y-coupling entries are tiny compared to x-coupling
+        assert_eq!(a.get(0, 4), Some(-0.01));
+        assert_eq!(a.get(0, 1), Some(-1.0));
+    }
+
+    #[test]
+    fn stencil9_is_spd() {
+        let a = stencil9_2d(4, 4);
+        assert_spd_small(&a);
+        // interior point has 9 nonzeros
+        assert_eq!(a.row_nnz(5), 9);
+    }
+
+    #[test]
+    fn varcoef_is_spd() {
+        let a = varcoef_2d(4, 4, 0.5, 2.0, 42);
+        assert_spd_small(&a);
+    }
+
+    #[test]
+    fn graph_laplacian_is_spd() {
+        let a = graph_laplacian(30, 4, 0.5, 7);
+        assert_spd_small(&a);
+    }
+
+    #[test]
+    fn banded_is_spd_and_banded() {
+        let a = banded_spd(25, 3, 0.8, 1.5, 11);
+        assert_spd_small(&a);
+        assert!(a.bandwidth() <= 3);
+    }
+
+    #[test]
+    fn random_spd_is_spd() {
+        let a = random_spd(30, 4, 1.3, 13);
+        assert_spd_small(&a);
+    }
+
+    #[test]
+    fn dominance_controls_conditioning() {
+        let well = banded_spd(20, 3, 0.9, 4.0, 1);
+        let ill = banded_spd(20, 3, 0.9, 1.05, 1);
+        let cw = condition_2norm_dense(&well.to_dense()).unwrap();
+        let ci = condition_2norm_dense(&ill.to_dense()).unwrap();
+        assert!(ci > cw, "ill {ci} should exceed well {cw}");
+    }
+
+    #[test]
+    fn magnitude_spread_preserves_spd_and_diagonal() {
+        let a = poisson_2d(5, 5);
+        let b = with_magnitude_spread(&a, 4.0, 3);
+        assert_spd_small(&b);
+        assert_eq!(a.nnz(), b.nnz());
+        assert_eq!(a.diag(), b.diag());
+        // off-diagonal values now vary in magnitude, symmetrically
+        assert!(b.is_symmetric(0.0));
+        let vals: Vec<f64> = b
+            .values()
+            .iter()
+            .map(|v| v.abs())
+            .filter(|&v| v < 1.0 && v > 0.0)
+            .collect();
+        assert!(!vals.is_empty());
+    }
+
+    #[test]
+    fn weaken_long_edges_targets_cross_line_couplings() {
+        let a = poisson_2d(6, 6);
+        let b = weaken_long_edges(&a, 2, 5.0, 7);
+        assert_spd_small(&b);
+        // x-couplings (distance 1) unchanged, y-couplings (distance 6) weakened
+        assert_eq!(b.get(0, 1), Some(-1.0));
+        let y = b.get(0, 6).unwrap().abs();
+        assert!(y < 0.5 && y >= 0.2, "y-coupling {y}");
+        assert_eq!(a.diag(), b.diag());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(banded_spd(20, 4, 0.7, 2.0, 9), banded_spd(20, 4, 0.7, 2.0, 9));
+        assert_eq!(graph_laplacian(20, 3, 1.0, 9), graph_laplacian(20, 3, 1.0, 9));
+        assert_ne!(banded_spd(20, 4, 0.7, 2.0, 9), banded_spd(20, 4, 0.7, 2.0, 10));
+    }
+}

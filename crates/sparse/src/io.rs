@@ -1,0 +1,242 @@
+//! Matrix Market (`.mtx`) reader/writer for the `coordinate real` flavour,
+//! covering `general` and `symmetric` storage — the formats the SuiteSparse
+//! collection ships SPD matrices in.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::{Result, SparseError};
+use crate::scalar::Scalar;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Symmetry declared in the Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmSymmetry {
+    /// All entries stored explicitly.
+    General,
+    /// Only the lower triangle stored; mirrored on read.
+    Symmetric,
+}
+
+/// Parses a Matrix Market `coordinate real` stream into CSR.
+pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CsrMatrix<T>> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse("empty file".into()))?
+        .map_err(SparseError::from)?;
+    let h = header.to_ascii_lowercase();
+    if !h.starts_with("%%matrixmarket") {
+        return Err(SparseError::Parse("missing %%MatrixMarket header".into()));
+    }
+    if !h.contains("matrix") || !h.contains("coordinate") {
+        return Err(SparseError::Parse(format!("unsupported header: {header}")));
+    }
+    if !(h.contains("real") || h.contains("integer") || h.contains("pattern")) {
+        return Err(SparseError::Parse(format!("unsupported field type: {header}")));
+    }
+    let pattern = h.contains("pattern");
+    let symmetry = if h.contains("symmetric") {
+        MmSymmetry::Symmetric
+    } else if h.contains("general") {
+        MmSymmetry::General
+    } else {
+        return Err(SparseError::Parse(format!("unsupported symmetry: {header}")));
+    };
+
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(SparseError::from)?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| SparseError::Parse("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|s| s.parse::<usize>().map_err(|e| SparseError::Parse(e.to_string())))
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse(format!("bad size line: {size_line}")));
+    }
+    let (n_rows, n_cols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(n_rows, n_cols, nnz);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(SparseError::from)?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let r: usize = parts
+            .next()
+            .ok_or_else(|| SparseError::Parse(format!("bad entry line: {t}")))?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| SparseError::Parse(e.to_string()))?;
+        let c: usize = parts
+            .next()
+            .ok_or_else(|| SparseError::Parse(format!("bad entry line: {t}")))?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| SparseError::Parse(e.to_string()))?;
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            parts
+                .next()
+                .ok_or_else(|| SparseError::Parse(format!("missing value: {t}")))?
+                .parse()
+                .map_err(|e: std::num::ParseFloatError| SparseError::Parse(e.to_string()))?
+        };
+        if r == 0 || c == 0 {
+            return Err(SparseError::Parse("matrix market indices are 1-based".into()));
+        }
+        let (r, c) = (r - 1, c - 1);
+        match symmetry {
+            MmSymmetry::General => coo.push(r, c, T::from_f64(v))?,
+            MmSymmetry::Symmetric => coo.push_sym(r, c, T::from_f64(v))?,
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::Parse(format!(
+            "size line declared {nnz} entries, found {seen}"
+        )));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Writes a CSR matrix as Matrix Market `coordinate real`.
+///
+/// With [`MmSymmetry::Symmetric`] only the lower triangle is emitted; the
+/// caller must ensure the matrix is actually symmetric.
+pub fn write_matrix_market<T: Scalar, W: Write>(
+    a: &CsrMatrix<T>,
+    symmetry: MmSymmetry,
+    writer: W,
+) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    let sym = match symmetry {
+        MmSymmetry::General => "general",
+        MmSymmetry::Symmetric => "symmetric",
+    };
+    writeln!(w, "%%MatrixMarket matrix coordinate real {sym}")?;
+    let entries: Vec<(usize, usize, T)> = match symmetry {
+        MmSymmetry::General => a.iter().collect(),
+        MmSymmetry::Symmetric => a.iter().filter(|&(r, c, _)| c <= r).collect(),
+    };
+    writeln!(w, "{} {} {}", a.n_rows(), a.n_cols(), entries.len())?;
+    for (r, c, v) in entries {
+        writeln!(w, "{} {} {:e}", r + 1, c + 1, v.to_f64())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a Matrix Market file from disk.
+pub fn read_matrix_market_file<T: Scalar>(path: &std::path::Path) -> Result<CsrMatrix<T>> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Writes a Matrix Market file to disk.
+pub fn write_matrix_market_file<T: Scalar>(
+    a: &CsrMatrix<T>,
+    symmetry: MmSymmetry,
+    path: &std::path::Path,
+) -> Result<()> {
+    write_matrix_market(a, symmetry, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::poisson_2d;
+
+    #[test]
+    fn parse_general() {
+        let src = "%%MatrixMarket matrix coordinate real general\n% a comment\n3 3 4\n1 1 2.0\n2 2 3.0\n3 1 -1.0\n3 3 4.0\n";
+        let a: CsrMatrix<f64> = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(a.n_rows(), 3);
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.get(2, 0), Some(-1.0));
+    }
+
+    #[test]
+    fn parse_symmetric_mirrors() {
+        let src = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 2.0\n2 1 -1.0\n";
+        let a: CsrMatrix<f64> = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 1), Some(-1.0));
+        assert_eq!(a.get(1, 0), Some(-1.0));
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn parse_pattern() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n";
+        let a: CsrMatrix<f64> = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 0), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(read_matrix_market::<f64, _>("not a header\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market::<f64, _>(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n".as_bytes()
+        )
+        .is_err()); // count mismatch
+        assert!(read_matrix_market::<f64, _>(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n".as_bytes()
+        )
+        .is_err()); // zero-based index
+        assert!(read_matrix_market::<f64, _>(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n".as_bytes()
+        )
+        .is_err()); // unsupported field
+    }
+
+    #[test]
+    fn roundtrip_general() {
+        let a = poisson_2d(4, 3);
+        let mut buf = Vec::new();
+        write_matrix_market(&a, MmSymmetry::General, &mut buf).unwrap();
+        let b: CsrMatrix<f64> = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrip_symmetric_halves_storage() {
+        let a = poisson_2d(4, 4);
+        let mut buf = Vec::new();
+        write_matrix_market(&a, MmSymmetry::Symmetric, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        let declared: usize = text
+            .lines()
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .nth(2)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(declared < a.nnz());
+        let b: CsrMatrix<f64> = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let a = poisson_2d(3, 3);
+        let dir = std::env::temp_dir().join("spcg_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p33.mtx");
+        write_matrix_market_file(&a, MmSymmetry::Symmetric, &path).unwrap();
+        let b: CsrMatrix<f64> = read_matrix_market_file(&path).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
+    }
+}

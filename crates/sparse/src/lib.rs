@@ -1,0 +1,35 @@
+//! # spcg-sparse
+//!
+//! Sparse and dense linear-algebra substrate for the SPCG workspace: CSR/CSC
+//! storage, COO assembly, SpMV, level-1 vector kernels, matrix norms,
+//! condition-number estimation, orderings, SPD matrix generators, and Matrix
+//! Market I/O.
+//!
+//! Everything downstream (`spcg-wavefront`, `spcg-precond`, `spcg-solver`,
+//! `spcg-core`) is built on the [`CsrMatrix`] type defined here.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod blas;
+pub mod cond;
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod generators;
+pub mod io;
+pub mod norms;
+pub mod permute;
+pub mod rng;
+pub mod scalar;
+pub mod spmv;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use error::{Result, SparseError};
+pub use rng::Rng;
+pub use scalar::Scalar;

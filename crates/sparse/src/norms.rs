@@ -1,0 +1,117 @@
+//! Matrix norms used by the sparsification convergence indicator
+//! (Equation 6 of the paper: ‖Â⁻¹‖·‖S‖ < τ).
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+
+/// Inf-norm `‖A‖_∞`: maximum absolute row sum. The paper uses this as a proxy
+/// for the largest eigenvalue when estimating condition numbers (§3.2.2).
+pub fn matrix_norm_inf<T: Scalar>(a: &CsrMatrix<T>) -> T {
+    let mut best = T::ZERO;
+    for r in 0..a.n_rows() {
+        let s = a
+            .row_values(r)
+            .iter()
+            .fold(T::ZERO, |acc, &v| acc + v.abs());
+        if s > best {
+            best = s;
+        }
+    }
+    best
+}
+
+/// 1-norm `‖A‖₁`: maximum absolute column sum.
+pub fn matrix_norm_one<T: Scalar>(a: &CsrMatrix<T>) -> T {
+    let mut col_sums = vec![T::ZERO; a.n_cols()];
+    for (_, c, v) in a.iter() {
+        col_sums[c] += v.abs();
+    }
+    col_sums
+        .into_iter()
+        .fold(T::ZERO, |best, s| if s > best { s } else { best })
+}
+
+/// Frobenius norm.
+pub fn matrix_norm_fro<T: Scalar>(a: &CsrMatrix<T>) -> T {
+    a.values()
+        .iter()
+        .fold(T::ZERO, |acc, &v| acc + v * v)
+        .sqrt()
+}
+
+/// Largest absolute entry.
+pub fn matrix_norm_max<T: Scalar>(a: &CsrMatrix<T>) -> T {
+    a.values()
+        .iter()
+        .fold(T::ZERO, |best, &v| if v.abs() > best { v.abs() } else { best })
+}
+
+/// Smallest absolute diagonal entry of the leading square block; `None` when
+/// the diagonal has a structurally missing entry (treated as 0 by callers).
+pub fn min_abs_diag<T: Scalar>(a: &CsrMatrix<T>) -> Option<T> {
+    let n = a.n_rows().min(a.n_cols());
+    let mut best: Option<T> = None;
+    for r in 0..n {
+        let v = a.get(r, r)?.abs();
+        best = Some(match best {
+            Some(b) if b < v => b,
+            _ => v,
+        });
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn m() -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(3, 3);
+        for &(r, c, v) in
+            &[(0usize, 0usize, 2.0), (0, 1, -1.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 1.0)]
+        {
+            coo.push(r, c, v).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn inf_norm_is_max_row_sum() {
+        assert_eq!(matrix_norm_inf(&m()), 5.0); // row 2: 4 + 1
+    }
+
+    #[test]
+    fn one_norm_is_max_col_sum() {
+        assert_eq!(matrix_norm_one(&m()), 6.0); // col 0: 2 + 4
+    }
+
+    #[test]
+    fn fro_norm() {
+        let expect = (4.0f64 + 1.0 + 9.0 + 16.0 + 1.0).sqrt();
+        assert!((matrix_norm_fro(&m()) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_norm() {
+        assert_eq!(matrix_norm_max(&m()), 4.0);
+    }
+
+    #[test]
+    fn min_diag() {
+        assert_eq!(min_abs_diag(&m()), Some(1.0));
+        // missing diagonal entry -> None
+        let mut coo = CooMatrix::<f64>::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        assert_eq!(min_abs_diag(&coo.to_csr()), None);
+    }
+
+    #[test]
+    fn norms_of_empty_matrix_are_zero() {
+        let e = CooMatrix::<f64>::new(3, 3).to_csr();
+        assert_eq!(matrix_norm_inf(&e), 0.0);
+        assert_eq!(matrix_norm_one(&e), 0.0);
+        assert_eq!(matrix_norm_fro(&e), 0.0);
+        assert_eq!(matrix_norm_max(&e), 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Floating-point abstraction so every kernel in the workspace is generic over
+//! `f32` (the precision the paper evaluates in) and `f64` (used by most tests
+//! to pin algorithmic correctness independent of rounding).
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real scalar type usable in every sparse kernel of this workspace.
+///
+/// The trait is deliberately small: just the arithmetic the solvers need plus
+/// lossless round-trips through `f64` for accumulating statistics.
+pub trait Scalar:
+    Copy
+    + Debug
+    + Display
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Machine epsilon of the underlying representation.
+    fn epsilon() -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// `true` when the value is NaN or infinite.
+    fn is_bad(self) -> bool;
+    /// Widen to `f64` (exact for both supported types).
+    fn to_f64(self) -> f64;
+    /// Narrow from `f64` (rounds for `f32`).
+    fn from_f64(v: f64) -> Self;
+    /// Largest finite value.
+    fn max_value() -> Self;
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn epsilon() -> Self {
+        f32::EPSILON
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline]
+    fn is_bad(self) -> bool {
+        !self.is_finite()
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn max_value() -> Self {
+        f32::MAX
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn epsilon() -> Self {
+        f64::EPSILON
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn is_bad(self) -> bool {
+        !self.is_finite()
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn max_value() -> Self {
+        f64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>(v: f64) -> f64 {
+        T::from_f64(v).to_f64()
+    }
+
+    #[test]
+    fn f64_roundtrip_is_exact() {
+        for v in [0.0, 1.0, -3.5, 1e300, f64::MIN_POSITIVE] {
+            assert_eq!(roundtrip::<f64>(v), v);
+        }
+    }
+
+    #[test]
+    fn f32_roundtrip_of_representable_values() {
+        for v in [0.0, 1.0, -3.5, 0.25, 1024.0] {
+            assert_eq!(roundtrip::<f32>(v), v);
+        }
+    }
+
+    #[test]
+    fn bad_detection() {
+        assert!(f64::NAN.is_bad());
+        assert!(f64::INFINITY.is_bad());
+        assert!(!1.0f64.is_bad());
+        assert!(f32::NAN.is_bad());
+        assert!((-f32::INFINITY).is_bad());
+    }
+
+    #[test]
+    fn constants_behave() {
+        assert_eq!(f64::ZERO + f64::ONE, 1.0);
+        assert_eq!(f32::ZERO + f32::ONE, 1.0);
+        assert!(f64::epsilon() > 0.0);
+    }
+
+    #[test]
+    fn abs_and_sqrt() {
+        assert_eq!((-2.0f64).abs(), 2.0);
+        assert_eq!(4.0f64.sqrt(), 2.0);
+        assert_eq!((-2.0f32).abs(), 2.0);
+        assert_eq!(9.0f32.sqrt(), 3.0);
+    }
+}

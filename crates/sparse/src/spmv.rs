@@ -1,0 +1,109 @@
+//! Sparse matrix–vector product (line 9 of Algorithm 1), sequential and
+//! rayon-parallel. SpMV is the embarrassingly parallel half of PCG; the
+//! triangular solves in `spcg-wavefront` are the hard half.
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// Sequential `y = A x`.
+pub fn spmv<T: Scalar>(a: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), a.n_cols(), "spmv: x length mismatch");
+    assert_eq!(y.len(), a.n_rows(), "spmv: y length mismatch");
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let values = a.values();
+    for (r, yr) in y.iter_mut().enumerate() {
+        let mut acc = T::ZERO;
+        for k in row_ptr[r]..row_ptr[r + 1] {
+            acc += values[k] * x[col_idx[k]];
+        }
+        *yr = acc;
+    }
+}
+
+/// Row-parallel `y = A x` using rayon. Each output row is an independent
+/// reduction, so the result is bitwise identical to the sequential kernel.
+pub fn spmv_par<T: Scalar>(a: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), a.n_cols(), "spmv: x length mismatch");
+    assert_eq!(y.len(), a.n_rows(), "spmv: y length mismatch");
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let values = a.values();
+    y.par_iter_mut().enumerate().for_each(|(r, yr)| {
+        let mut acc = T::ZERO;
+        for k in row_ptr[r]..row_ptr[r + 1] {
+            acc += values[k] * x[col_idx[k]];
+        }
+        *yr = acc;
+    });
+}
+
+/// Allocating convenience wrapper around [`spmv`].
+pub fn spmv_alloc<T: Scalar>(a: &CsrMatrix<T>, x: &[T]) -> Vec<T> {
+    let mut y = vec![T::ZERO; a.n_rows()];
+    spmv(a, x, &mut y);
+    y
+}
+
+/// FLOP count of one SpMV on this matrix (2 per stored entry), used for the
+/// GFLOP/s figures the harness reports.
+pub fn spmv_flops<T: Scalar>(a: &CsrMatrix<T>) -> u64 {
+    2 * a.nnz() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn sample() -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(3, 3);
+        for &(r, c, v) in
+            &[(0usize, 0usize, 2.0), (0, 2, 1.0), (1, 1, 3.0), (2, 0, -1.0), (2, 2, 4.0)]
+        {
+            coo.push(r, c, v).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = sample();
+        let x = [1.0, 2.0, 3.0];
+        let y = spmv_alloc(&a, &x);
+        assert_eq!(y, a.to_dense().matvec(&x));
+        assert_eq!(y, vec![5.0, 6.0, 11.0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let a = sample();
+        let x = [0.5, -1.5, 2.0];
+        let mut y1 = vec![0.0; 3];
+        let mut y2 = vec![0.0; 3];
+        spmv(&a, &x, &mut y1);
+        spmv_par(&a, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn identity_spmv_is_copy() {
+        let i = CsrMatrix::<f64>::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(spmv_alloc(&i, &x), x.to_vec());
+    }
+
+    #[test]
+    fn flop_count() {
+        assert_eq!(spmv_flops(&sample()), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "x length mismatch")]
+    fn dimension_mismatch_panics() {
+        let a = sample();
+        let mut y = vec![0.0; 3];
+        spmv(&a, &[1.0], &mut y);
+    }
+}

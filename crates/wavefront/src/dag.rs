@@ -1,0 +1,214 @@
+//! Dependence DAG of a sparse triangular system (Figure 1c of the paper).
+//!
+//! For a lower-triangular solve `L x = b`, unknown `x_i` depends on `x_j`
+//! whenever `L[i][j] != 0` with `j < i`: row `i` cannot start until row `j`
+//! has finished. The inspector builds this graph at runtime; the executor
+//! (see [`crate::executor`]) then runs one wavefront at a time.
+
+use spcg_sparse::{CsrMatrix, Scalar};
+
+/// Which triangle the system being analyzed lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Triangle {
+    /// Forward substitution: dependences point from smaller to larger row.
+    Lower,
+    /// Backward substitution: dependences point from larger to smaller row.
+    Upper,
+}
+
+/// The dependence graph of one triangular solve.
+///
+/// `predecessors[i]` lists rows that must complete before row `i`;
+/// `successors[j]` lists rows unblocked by completing row `j`.
+#[derive(Debug, Clone)]
+pub struct DependenceDag {
+    triangle: Triangle,
+    predecessors: Vec<Vec<usize>>,
+    successors: Vec<Vec<usize>>,
+    n_edges: usize,
+}
+
+impl DependenceDag {
+    /// Builds the DAG from the stored off-triangle entries of `a`.
+    ///
+    /// Only the entries in the chosen triangle participate; other entries
+    /// (e.g. the upper triangle of a full symmetric matrix when analyzing
+    /// `Triangle::Lower`) are ignored, so the function can be called directly
+    /// on a full matrix `A` to get the wavefront structure its lower factor
+    /// would have.
+    pub fn build<T: Scalar>(a: &CsrMatrix<T>, triangle: Triangle) -> Self {
+        assert!(a.is_square(), "dependence DAG requires a square matrix");
+        let n = a.n_rows();
+        let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut n_edges = 0;
+        for i in 0..n {
+            for &j in a.row_cols(i) {
+                let is_dep = match triangle {
+                    Triangle::Lower => j < i,
+                    Triangle::Upper => j > i,
+                };
+                if is_dep {
+                    predecessors[i].push(j);
+                    successors[j].push(i);
+                    n_edges += 1;
+                }
+            }
+        }
+        Self { triangle, predecessors, successors, n_edges }
+    }
+
+    /// Number of vertices (rows).
+    pub fn n_rows(&self) -> usize {
+        self.predecessors.len()
+    }
+
+    /// Number of dependence edges.
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// The triangle this DAG was built for.
+    pub fn triangle(&self) -> Triangle {
+        self.triangle
+    }
+
+    /// Rows that must complete before `row`.
+    pub fn predecessors(&self, row: usize) -> &[usize] {
+        &self.predecessors[row]
+    }
+
+    /// Rows unblocked by completing `row`.
+    pub fn successors(&self, row: usize) -> &[usize] {
+        &self.successors[row]
+    }
+
+    /// In-degree of every vertex — the starting state of a topological sweep.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        self.predecessors.iter().map(|p| p.len()).collect()
+    }
+
+    /// Length of the longest dependence chain (== number of wavefronts).
+    pub fn critical_path_len(&self) -> usize {
+        let n = self.n_rows();
+        if n == 0 {
+            return 0;
+        }
+        let mut depth = vec![0usize; n];
+        let order: Box<dyn Iterator<Item = usize>> = match self.triangle {
+            Triangle::Lower => Box::new(0..n),
+            Triangle::Upper => Box::new((0..n).rev()),
+        };
+        let mut max_depth = 0;
+        for i in order {
+            let d = self.predecessors[i]
+                .iter()
+                .map(|&j| depth[j] + 1)
+                .max()
+                .unwrap_or(0);
+            depth[i] = d;
+            max_depth = max_depth.max(d);
+        }
+        max_depth + 1
+    }
+
+    /// Checks that `order` (a row visit sequence) respects every dependence.
+    pub fn is_topological(&self, order: &[usize]) -> bool {
+        if order.len() != self.n_rows() {
+            return false;
+        }
+        let mut pos = vec![usize::MAX; self.n_rows()];
+        for (k, &row) in order.iter().enumerate() {
+            if row >= self.n_rows() || pos[row] != usize::MAX {
+                return false;
+            }
+            pos[row] = k;
+        }
+        (0..self.n_rows())
+            .all(|i| self.predecessors[i].iter().all(|&j| pos[j] < pos[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_sparse::CooMatrix;
+
+    /// Figure 1 of the paper: L = [a . . .; . b . .; c . d .; e . f g].
+    fn figure1() -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(4, 4);
+        for &(r, c, v) in &[
+            (0usize, 0usize, 1.0),
+            (1, 1, 1.0),
+            (2, 0, 1.0),
+            (2, 2, 1.0),
+            (3, 0, 1.0),
+            (3, 2, 1.0),
+            (3, 3, 1.0),
+        ] {
+            coo.push(r, c, v).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn figure1_dependences() {
+        let dag = DependenceDag::build(&figure1(), Triangle::Lower);
+        assert_eq!(dag.n_edges(), 3);
+        assert_eq!(dag.predecessors(0), &[] as &[usize]);
+        assert_eq!(dag.predecessors(1), &[] as &[usize]);
+        assert_eq!(dag.predecessors(2), &[0]);
+        assert_eq!(dag.predecessors(3), &[0, 2]);
+        assert_eq!(dag.successors(0), &[2, 3]);
+    }
+
+    #[test]
+    fn figure1_critical_path_is_three_wavefronts() {
+        let dag = DependenceDag::build(&figure1(), Triangle::Lower);
+        assert_eq!(dag.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn sparsified_figure1_drops_to_two_wavefronts() {
+        // Remove entry f = (3,2): node 3 now only depends on node 0.
+        let sparsified = figure1().filter(|r, c, _| !(r == 3 && c == 2));
+        let dag = DependenceDag::build(&sparsified, Triangle::Lower);
+        assert_eq!(dag.critical_path_len(), 2);
+    }
+
+    #[test]
+    fn upper_triangle_reverses_direction() {
+        let u = figure1().transpose();
+        let dag = DependenceDag::build(&u, Triangle::Upper);
+        assert_eq!(dag.predecessors(0), &[2, 3]);
+        assert_eq!(dag.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn full_symmetric_matrix_ignores_other_triangle() {
+        let l = figure1();
+        let full = l.add(&l.transpose()).unwrap();
+        let dag_full = DependenceDag::build(&full, Triangle::Lower);
+        let dag_l = DependenceDag::build(&l, Triangle::Lower);
+        assert_eq!(dag_full.n_edges(), dag_l.n_edges());
+        assert_eq!(dag_full.critical_path_len(), dag_l.critical_path_len());
+    }
+
+    #[test]
+    fn diagonal_matrix_is_one_wavefront() {
+        let d = CsrMatrix::<f64>::identity(6);
+        let dag = DependenceDag::build(&d, Triangle::Lower);
+        assert_eq!(dag.n_edges(), 0);
+        assert_eq!(dag.critical_path_len(), 1);
+    }
+
+    #[test]
+    fn topological_check() {
+        let dag = DependenceDag::build(&figure1(), Triangle::Lower);
+        assert!(dag.is_topological(&[0, 1, 2, 3]));
+        assert!(dag.is_topological(&[1, 0, 2, 3]));
+        assert!(!dag.is_topological(&[3, 0, 1, 2]));
+        assert!(!dag.is_topological(&[0, 0, 2, 3]));
+        assert!(!dag.is_topological(&[0, 1, 2]));
+    }
+}

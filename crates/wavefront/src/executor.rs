@@ -1,0 +1,360 @@
+//! Triangular-solve executors.
+//!
+//! Three strategies, mirroring the design space the paper discusses (§6.1):
+//!
+//! * **Sequential** forward/backward substitution — the reference.
+//! * **Level-scheduled** (wavefront) execution: rows within a level run in
+//!   parallel under rayon, with a barrier between levels. This is the
+//!   inspector–executor pattern used by cuSPARSE-style solvers.
+//! * **Synchronization-free** execution: worker threads claim rows in
+//!   ascending order and busy-wait on per-row done flags instead of level
+//!   barriers (in the style of Liu et al. and CapelliniSpTRSV).
+//!
+//! All executors compute bitwise-identical results: each row's dot product
+//! is accumulated in CSR storage order.
+
+use crate::dag::Triangle;
+use crate::levels::LevelSchedule;
+use rayon::prelude::*;
+use spcg_sparse::{CsrMatrix, Scalar};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Rows per rayon task inside a level; levels narrower than this run
+/// sequentially because fork/join would dominate.
+const LEVEL_PAR_MIN: usize = 256;
+
+/// Sequential forward substitution `L x = b` (diagonal must be stored and
+/// nonzero).
+pub fn solve_lower_seq<T: Scalar>(l: &CsrMatrix<T>, b: &[T], x: &mut [T]) {
+    let n = l.n_rows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(x.len(), n, "solution length mismatch");
+    for i in 0..n {
+        x[i] = row_solve_lower(l, i, b[i], x);
+    }
+}
+
+/// Sequential backward substitution `U x = b`.
+pub fn solve_upper_seq<T: Scalar>(u: &CsrMatrix<T>, b: &[T], x: &mut [T]) {
+    let n = u.n_rows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(x.len(), n, "solution length mismatch");
+    for i in (0..n).rev() {
+        x[i] = row_solve_upper(u, i, b[i], x);
+    }
+}
+
+#[inline]
+fn row_solve_lower<T: Scalar>(l: &CsrMatrix<T>, i: usize, bi: T, x: &[T]) -> T {
+    let cols = l.row_cols(i);
+    let vals = l.row_values(i);
+    let mut acc = bi;
+    let mut diag = T::ZERO;
+    for (&j, &v) in cols.iter().zip(vals) {
+        if j < i {
+            acc -= v * x[j];
+        } else if j == i {
+            diag = v;
+        }
+    }
+    acc / diag
+}
+
+#[inline]
+fn row_solve_upper<T: Scalar>(u: &CsrMatrix<T>, i: usize, bi: T, x: &[T]) -> T {
+    let cols = u.row_cols(i);
+    let vals = u.row_values(i);
+    let mut acc = bi;
+    let mut diag = T::ZERO;
+    for (&j, &v) in cols.iter().zip(vals) {
+        if j > i {
+            acc -= v * x[j];
+        } else if j == i {
+            diag = v;
+        }
+    }
+    acc / diag
+}
+
+/// Shared-mutable slice for disjoint-index parallel writes.
+///
+/// Safety contract: concurrent callers must write disjoint indices. The
+/// level-scheduled executor guarantees this because rows within a wavefront
+/// are unique, and reads only touch rows finalized in earlier wavefronts
+/// (separated by the rayon join barrier).
+struct UnsafeSlice<'a, T>(&'a [std::cell::UnsafeCell<T>]);
+
+unsafe impl<T: Send + Sync> Sync for UnsafeSlice<'_, T> {}
+
+impl<'a, T> UnsafeSlice<'a, T> {
+    fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: UnsafeCell<T> has the same layout as T.
+        let ptr = slice as *mut [T] as *const [std::cell::UnsafeCell<T>];
+        Self(unsafe { &*ptr })
+    }
+
+    /// SAFETY: caller must guarantee no concurrent access to index `i`.
+    unsafe fn write(&self, i: usize, v: T) {
+        unsafe { *self.0[i].get() = v };
+    }
+
+    /// SAFETY: caller must guarantee index `i` is not being written.
+    unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        unsafe { *self.0[i].get() }
+    }
+}
+
+/// Level-scheduled parallel triangular solve. The `schedule` must have been
+/// built for the same matrix and the matching triangle.
+pub fn solve_levels_par<T: Scalar>(
+    m: &CsrMatrix<T>,
+    schedule: &LevelSchedule,
+    b: &[T],
+    x: &mut [T],
+) {
+    let n = m.n_rows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(x.len(), n, "solution length mismatch");
+    assert_eq!(schedule.n_rows(), n, "schedule built for a different matrix");
+    let triangle = schedule.triangle();
+    let xs = UnsafeSlice::new(x);
+    for level in schedule.levels() {
+        let solve_row = |&i: &usize| {
+            // SAFETY: rows within a level are unique (disjoint writes) and
+            // only read x entries finalized in earlier levels.
+            unsafe {
+                let xi = match triangle {
+                    Triangle::Lower => {
+                        row_solve_lower_raw(m, i, b[i], |j| xs.read(j))
+                    }
+                    Triangle::Upper => {
+                        row_solve_upper_raw(m, i, b[i], |j| xs.read(j))
+                    }
+                };
+                xs.write(i, xi);
+            }
+        };
+        if level.len() >= LEVEL_PAR_MIN {
+            level.par_iter().for_each(solve_row);
+        } else {
+            level.iter().for_each(solve_row);
+        }
+    }
+}
+
+#[inline]
+fn row_solve_lower_raw<T: Scalar>(
+    m: &CsrMatrix<T>,
+    i: usize,
+    bi: T,
+    read: impl Fn(usize) -> T,
+) -> T {
+    let cols = m.row_cols(i);
+    let vals = m.row_values(i);
+    let mut acc = bi;
+    let mut diag = T::ZERO;
+    for (&j, &v) in cols.iter().zip(vals) {
+        if j < i {
+            acc -= v * read(j);
+        } else if j == i {
+            diag = v;
+        }
+    }
+    acc / diag
+}
+
+#[inline]
+fn row_solve_upper_raw<T: Scalar>(
+    m: &CsrMatrix<T>,
+    i: usize,
+    bi: T,
+    read: impl Fn(usize) -> T,
+) -> T {
+    let cols = m.row_cols(i);
+    let vals = m.row_values(i);
+    let mut acc = bi;
+    let mut diag = T::ZERO;
+    for (&j, &v) in cols.iter().zip(vals) {
+        if j > i {
+            acc -= v * read(j);
+        } else if j == i {
+            diag = v;
+        }
+    }
+    acc / diag
+}
+
+/// Synchronization-free lower-triangular solve: `n_threads` workers claim
+/// rows in ascending order from a shared counter and spin on per-row done
+/// flags.
+///
+/// Deadlock-free: the smallest claimed-but-unfinished row has all its
+/// dependences finished (they have smaller indices and were claimed
+/// earlier), so at least one worker always makes progress.
+pub fn solve_lower_sync_free<T: Scalar>(
+    l: &CsrMatrix<T>,
+    b: &[T],
+    x: &mut [T],
+    n_threads: usize,
+) {
+    let n = l.n_rows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(x.len(), n, "solution length mismatch");
+    assert!(n_threads >= 1, "need at least one worker");
+    if n == 0 {
+        return;
+    }
+    let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let next = AtomicUsize::new(0);
+    let xs = UnsafeSlice::new(x);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let cols = l.row_cols(i);
+                let vals = l.row_values(i);
+                let mut acc = b[i];
+                let mut diag = T::ZERO;
+                for (&j, &v) in cols.iter().zip(vals) {
+                    if j < i {
+                        // Busy-wait until the producer row is done; the
+                        // Acquire load pairs with the Release store below.
+                        while !done[j].load(Ordering::Acquire) {
+                            std::hint::spin_loop();
+                        }
+                        // SAFETY: row j is done and never written again.
+                        acc -= v * unsafe { xs.read(j) };
+                    } else if j == i {
+                        diag = v;
+                    }
+                }
+                // SAFETY: only this worker owns row i.
+                unsafe { xs.write(i, acc / diag) };
+                done[i].store(true, Ordering::Release);
+            });
+        }
+    })
+    .expect("sync-free worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_sparse::generators::{banded_spd, poisson_2d};
+    use spcg_sparse::Rng;
+
+    fn lower_of(a: &CsrMatrix<f64>) -> CsrMatrix<f64> {
+        a.lower()
+    }
+
+    fn rhs(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| rng.range(-1.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn sequential_forward_substitution_matches_dense() {
+        let a = banded_spd(20, 3, 0.9, 2.0, 1);
+        let l = lower_of(&a);
+        let b = rhs(20, 2);
+        let mut x = vec![0.0; 20];
+        solve_lower_seq(&l, &b, &mut x);
+        let dense_x = l.to_dense().solve(&b).unwrap();
+        for (xi, di) in x.iter().zip(&dense_x) {
+            assert!((xi - di).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sequential_backward_substitution_matches_dense() {
+        let a = banded_spd(20, 3, 0.9, 2.0, 3);
+        let u = a.upper();
+        let b = rhs(20, 4);
+        let mut x = vec![0.0; 20];
+        solve_upper_seq(&u, &b, &mut x);
+        let dense_x = u.to_dense().solve(&b).unwrap();
+        for (xi, di) in x.iter().zip(&dense_x) {
+            assert!((xi - di).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn level_parallel_lower_is_bitwise_equal_to_sequential() {
+        let a = poisson_2d(30, 30);
+        let l = lower_of(&a);
+        let s = LevelSchedule::build(&l, Triangle::Lower);
+        let b = rhs(900, 5);
+        let mut x_seq = vec![0.0; 900];
+        let mut x_par = vec![0.0; 900];
+        solve_lower_seq(&l, &b, &mut x_seq);
+        solve_levels_par(&l, &s, &b, &mut x_par);
+        assert_eq!(x_seq, x_par);
+    }
+
+    #[test]
+    fn level_parallel_upper_is_bitwise_equal_to_sequential() {
+        let a = poisson_2d(25, 25);
+        let u = a.upper();
+        let s = LevelSchedule::build(&u, Triangle::Upper);
+        let b = rhs(625, 6);
+        let mut x_seq = vec![0.0; 625];
+        let mut x_par = vec![0.0; 625];
+        solve_upper_seq(&u, &b, &mut x_seq);
+        solve_levels_par(&u, &s, &b, &mut x_par);
+        assert_eq!(x_seq, x_par);
+    }
+
+    #[test]
+    fn sync_free_matches_sequential() {
+        let a = poisson_2d(20, 20);
+        let l = lower_of(&a);
+        let b = rhs(400, 7);
+        let mut x_seq = vec![0.0; 400];
+        solve_lower_seq(&l, &b, &mut x_seq);
+        for n_threads in [1, 2, 4, 8] {
+            let mut x_sf = vec![0.0; 400];
+            solve_lower_sync_free(&l, &b, &mut x_sf, n_threads);
+            assert_eq!(x_seq, x_sf, "n_threads={n_threads}");
+        }
+    }
+
+    #[test]
+    fn unit_diagonal_lower_solve() {
+        // L with unit diagonal: x should equal b for the identity.
+        let l = CsrMatrix::<f64>::identity(5);
+        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut x = vec![0.0; 5];
+        solve_lower_seq(&l, &b, &mut x);
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn works_on_f32() {
+        let a = poisson_2d(8, 8);
+        let l32: CsrMatrix<f32> = lower_of(&a).cast();
+        let b: Vec<f32> = rhs(64, 8).into_iter().map(|v| v as f32).collect();
+        let mut x = vec![0.0f32; 64];
+        solve_lower_seq(&l32, &b, &mut x);
+        // Verify residual L x - b is small in f32 terms.
+        let mut res = vec![0.0f32; 64];
+        spcg_sparse::spmv::spmv(&l32, &x, &mut res);
+        for (ri, bi) in res.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn empty_system() {
+        let l = CsrMatrix::<f64>::identity(0);
+        let mut x: Vec<f64> = vec![];
+        solve_lower_seq(&l, &[], &mut x);
+        solve_lower_sync_free(&l, &[], &mut x, 4);
+    }
+}

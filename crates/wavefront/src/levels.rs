@@ -1,0 +1,241 @@
+//! Level scheduling: partitioning the dependence DAG into wavefronts.
+//!
+//! Each level contains rows whose dependences are all satisfied by earlier
+//! levels; rows inside a level are independent and can run in parallel, with
+//! a barrier between levels (the dashed lines of Figure 1c).
+
+use crate::dag::{DependenceDag, Triangle};
+use spcg_sparse::{CsrMatrix, Scalar};
+
+/// A level schedule (wavefront partition) for one triangular solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelSchedule {
+    triangle: Triangle,
+    /// `levels[k]` lists the rows executed in wavefront `k`, ascending.
+    levels: Vec<Vec<usize>>,
+    /// `row_level[i]` is the wavefront index of row `i`.
+    row_level: Vec<usize>,
+}
+
+impl LevelSchedule {
+    /// Computes the schedule for the chosen triangle of `a` in a single
+    /// linear sweep (dependences always point towards the sweep direction in
+    /// a triangular matrix, so no worklist is needed).
+    pub fn build<T: Scalar>(a: &CsrMatrix<T>, triangle: Triangle) -> Self {
+        assert!(a.is_square(), "level schedule requires a square matrix");
+        let n = a.n_rows();
+        let mut row_level = vec![0usize; n];
+        let mut n_levels = 0usize;
+        match triangle {
+            Triangle::Lower => {
+                for i in 0..n {
+                    let mut lvl = 0;
+                    for &j in a.row_cols(i) {
+                        if j < i {
+                            lvl = lvl.max(row_level[j] + 1);
+                        }
+                    }
+                    row_level[i] = lvl;
+                    n_levels = n_levels.max(lvl + 1);
+                }
+            }
+            Triangle::Upper => {
+                for i in (0..n).rev() {
+                    let mut lvl = 0;
+                    for &j in a.row_cols(i) {
+                        if j > i {
+                            lvl = lvl.max(row_level[j] + 1);
+                        }
+                    }
+                    row_level[i] = lvl;
+                    n_levels = n_levels.max(lvl + 1);
+                }
+            }
+        }
+        if n == 0 {
+            return Self { triangle, levels: Vec::new(), row_level };
+        }
+        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); n_levels];
+        for i in 0..n {
+            levels[row_level[i]].push(i);
+        }
+        Self { triangle, levels, row_level }
+    }
+
+    /// Number of wavefronts.
+    #[inline]
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The triangle this schedule was built for.
+    #[inline]
+    pub fn triangle(&self) -> Triangle {
+        self.triangle
+    }
+
+    /// Rows of wavefront `k`.
+    #[inline]
+    pub fn level(&self, k: usize) -> &[usize] {
+        &self.levels[k]
+    }
+
+    /// All wavefronts.
+    #[inline]
+    pub fn levels(&self) -> &[Vec<usize>] {
+        &self.levels
+    }
+
+    /// Wavefront index of each row.
+    #[inline]
+    pub fn row_levels(&self) -> &[usize] {
+        &self.row_level
+    }
+
+    /// Total number of rows scheduled.
+    pub fn n_rows(&self) -> usize {
+        self.row_level.len()
+    }
+
+    /// Rows in the widest wavefront.
+    pub fn max_width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Mean rows per wavefront.
+    pub fn mean_width(&self) -> f64 {
+        if self.levels.is_empty() {
+            0.0
+        } else {
+            self.n_rows() as f64 / self.n_levels() as f64
+        }
+    }
+
+    /// Flattened execution order (level by level) — a valid topological
+    /// order of the dependence DAG.
+    pub fn execution_order(&self) -> Vec<usize> {
+        self.levels.iter().flatten().copied().collect()
+    }
+
+    /// Validates the schedule against a freshly built DAG: every row
+    /// scheduled exactly once, and every dependence crosses levels forward.
+    pub fn validate<T: Scalar>(&self, a: &CsrMatrix<T>) -> bool {
+        let dag = DependenceDag::build(a, self.triangle);
+        if dag.n_rows() != self.n_rows() {
+            return false;
+        }
+        if !dag.is_topological(&self.execution_order()) {
+            return false;
+        }
+        (0..self.n_rows()).all(|i| {
+            dag.predecessors(i)
+                .iter()
+                .all(|&j| self.row_level[j] < self.row_level[i])
+        })
+    }
+}
+
+/// Number of wavefronts in the lower triangle of `a` — the `w_A` quantity of
+/// Algorithm 2 line 1.
+pub fn wavefront_count<T: Scalar>(a: &CsrMatrix<T>) -> usize {
+    LevelSchedule::build(a, Triangle::Lower).n_levels()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_sparse::generators::poisson_2d;
+    use spcg_sparse::CooMatrix;
+
+    fn figure1() -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(4, 4);
+        for &(r, c) in &[(0usize, 0usize), (1, 1), (2, 0), (2, 2), (3, 0), (3, 2), (3, 3)] {
+            coo.push(r, c, 1.0).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn figure1_levels() {
+        let s = LevelSchedule::build(&figure1(), Triangle::Lower);
+        assert_eq!(s.n_levels(), 3);
+        assert_eq!(s.level(0), &[0, 1]);
+        assert_eq!(s.level(1), &[2]);
+        assert_eq!(s.level(2), &[3]);
+        assert!(s.validate(&figure1()));
+    }
+
+    #[test]
+    fn figure1_sparsified_has_two_levels() {
+        let sp = figure1().filter(|r, c, _| !(r == 3 && c == 2));
+        let s = LevelSchedule::build(&sp, Triangle::Lower);
+        assert_eq!(s.n_levels(), 2);
+        assert_eq!(s.level(0), &[0, 1]);
+        assert_eq!(s.level(1), &[2, 3]);
+    }
+
+    #[test]
+    fn level_count_matches_dag_critical_path() {
+        let a = poisson_2d(7, 6);
+        let s = LevelSchedule::build(&a, Triangle::Lower);
+        let dag = DependenceDag::build(&a, Triangle::Lower);
+        assert_eq!(s.n_levels(), dag.critical_path_len());
+        assert!(s.validate(&a));
+    }
+
+    #[test]
+    fn upper_schedule_mirrors_lower_for_symmetric_structure() {
+        let a = poisson_2d(5, 5);
+        let lo = LevelSchedule::build(&a, Triangle::Lower);
+        let up = LevelSchedule::build(&a, Triangle::Upper);
+        assert_eq!(lo.n_levels(), up.n_levels());
+        assert!(up.validate(&a));
+    }
+
+    #[test]
+    fn poisson2d_wavefronts_follow_antidiagonals() {
+        // On an n x n 5-point grid the lower-triangular dependences walk
+        // one step right/down, so wavefronts are the 2n-1 antidiagonals.
+        let a = poisson_2d(6, 6);
+        assert_eq!(wavefront_count(&a), 11);
+    }
+
+    #[test]
+    fn diagonal_matrix_single_level() {
+        let d = CsrMatrix::<f64>::identity(5);
+        let s = LevelSchedule::build(&d, Triangle::Lower);
+        assert_eq!(s.n_levels(), 1);
+        assert_eq!(s.max_width(), 5);
+        assert_eq!(s.mean_width(), 5.0);
+    }
+
+    #[test]
+    fn dense_lower_triangle_is_fully_sequential() {
+        let mut coo = CooMatrix::new(5, 5);
+        for i in 0..5 {
+            for j in 0..=i {
+                coo.push(i, j, 1.0).unwrap();
+            }
+        }
+        let s = LevelSchedule::build(&coo.to_csr(), Triangle::Lower);
+        assert_eq!(s.n_levels(), 5);
+        assert_eq!(s.max_width(), 1);
+    }
+
+    #[test]
+    fn execution_order_covers_all_rows() {
+        let a = poisson_2d(4, 4);
+        let s = LevelSchedule::build(&a, Triangle::Lower);
+        let mut order = s.execution_order();
+        order.sort_unstable();
+        assert_eq!(order, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = CooMatrix::<f64>::new(0, 0).to_csr();
+        let s = LevelSchedule::build(&a, Triangle::Lower);
+        assert_eq!(s.n_levels(), 0);
+        assert_eq!(s.mean_width(), 0.0);
+    }
+}

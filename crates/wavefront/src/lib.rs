@@ -1,0 +1,23 @@
+//! # spcg-wavefront
+//!
+//! Wavefront (level-scheduling) machinery for sparse triangular systems:
+//! dependence-DAG inspection, level scheduling, wavefront statistics
+//! (including the paper's Equation 7 reduction metric), and parallel
+//! executors (level-barrier and synchronization-free).
+//!
+//! This crate is the "inspector–executor" substrate that both the
+//! preconditioner application inside PCG and the GPU cost model build on.
+
+#![warn(missing_docs)]
+
+pub mod dag;
+pub mod executor;
+pub mod levels;
+pub mod stats;
+
+pub use dag::{DependenceDag, Triangle};
+pub use executor::{
+    solve_levels_par, solve_lower_seq, solve_lower_sync_free, solve_upper_seq,
+};
+pub use levels::{wavefront_count, LevelSchedule};
+pub use stats::{wavefront_reduction_percent, WavefrontStats};

@@ -1,0 +1,95 @@
+//! Wavefront statistics and the reduction metric of Equation 7.
+
+use crate::dag::Triangle;
+use crate::levels::LevelSchedule;
+use serde::{Deserialize, Serialize};
+use spcg_sparse::{CsrMatrix, Scalar};
+
+/// Summary statistics of one level schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WavefrontStats {
+    /// Number of wavefronts (levels).
+    pub n_levels: usize,
+    /// Number of rows scheduled.
+    pub n_rows: usize,
+    /// Rows in the widest wavefront.
+    pub max_width: usize,
+    /// Mean rows per wavefront.
+    pub mean_width: f64,
+}
+
+impl WavefrontStats {
+    /// Computes statistics from a schedule.
+    pub fn from_schedule(s: &LevelSchedule) -> Self {
+        Self {
+            n_levels: s.n_levels(),
+            n_rows: s.n_rows(),
+            max_width: s.max_width(),
+            mean_width: s.mean_width(),
+        }
+    }
+
+    /// Convenience: build the lower-triangle schedule of `a` and summarize.
+    pub fn of_matrix<T: Scalar>(a: &CsrMatrix<T>) -> Self {
+        Self::from_schedule(&LevelSchedule::build(a, Triangle::Lower))
+    }
+
+    /// Average available parallelism (rows per synchronization).
+    pub fn parallelism(&self) -> f64 {
+        self.mean_width
+    }
+}
+
+/// Wavefront reduction percentage, Equation 7 of the paper:
+/// `100 * (w_A - w_Â) / w_A`.
+///
+/// Positive when sparsification removed wavefronts; 0 when `w_A == 0`.
+pub fn wavefront_reduction_percent(w_original: usize, w_sparsified: usize) -> f64 {
+    if w_original == 0 {
+        return 0.0;
+    }
+    100.0 * (w_original as f64 - w_sparsified as f64) / w_original as f64
+}
+
+/// The alternative normalization used on line 10 of Algorithm 2, which
+/// divides by the *sparsified* count: `100 * (w_A - w_Â) / w_Â`.
+pub fn wavefront_reduction_vs_sparsified(w_original: usize, w_sparsified: usize) -> f64 {
+    if w_sparsified == 0 {
+        return 0.0;
+    }
+    100.0 * (w_original as f64 - w_sparsified as f64) / w_sparsified as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_sparse::generators::poisson_2d;
+
+    #[test]
+    fn stats_of_poisson_grid() {
+        let a = poisson_2d(6, 6);
+        let s = WavefrontStats::of_matrix(&a);
+        assert_eq!(s.n_levels, 11);
+        assert_eq!(s.n_rows, 36);
+        assert_eq!(s.max_width, 6); // longest antidiagonal
+        assert!((s.mean_width - 36.0 / 11.0).abs() < 1e-12);
+        assert_eq!(s.parallelism(), s.mean_width);
+    }
+
+    #[test]
+    fn reduction_percent_equation7() {
+        // The Figure 3 caption: 14.73% of wavefronts dropped.
+        assert!((wavefront_reduction_percent(100, 85) - 15.0).abs() < 1e-12);
+        assert_eq!(wavefront_reduction_percent(10, 10), 0.0);
+        assert!(wavefront_reduction_percent(10, 12) < 0.0); // can be negative
+        assert_eq!(wavefront_reduction_percent(0, 0), 0.0);
+    }
+
+    #[test]
+    fn reduction_vs_sparsified_is_larger_for_same_drop() {
+        let a = wavefront_reduction_percent(100, 80);
+        let b = wavefront_reduction_vs_sparsified(100, 80);
+        assert!(b > a);
+        assert_eq!(wavefront_reduction_vs_sparsified(5, 0), 0.0);
+    }
+}

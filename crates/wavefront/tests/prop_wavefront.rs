@@ -1,0 +1,96 @@
+//! Property-based tests of the wavefront machinery on randomized
+//! structures.
+
+use proptest::prelude::*;
+use spcg_sparse::generators::{banded_spd, graph_laplacian, random_spd};
+use spcg_sparse::permute::scrambled_perm;
+use spcg_wavefront::{
+    solve_levels_par, solve_lower_seq, solve_lower_sync_free, DependenceDag, LevelSchedule,
+    Triangle, WavefrontStats,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// The level schedule is always a valid topological partition, on any
+    /// structure (banded, random, scrambled).
+    #[test]
+    fn schedule_validates(n in 10usize..150, seed in 0u64..500, scramble in any::<bool>()) {
+        let a = random_spd(n, 4, 1.4, seed);
+        let a = if scramble {
+            a.permute_sym(&scrambled_perm(n, seed ^ 99)).unwrap()
+        } else {
+            a
+        };
+        for tri in [Triangle::Lower, Triangle::Upper] {
+            let s = LevelSchedule::build(&a, tri);
+            prop_assert!(s.validate(&a));
+            prop_assert_eq!(s.n_levels(), DependenceDag::build(&a, tri).critical_path_len());
+        }
+    }
+
+    /// Level count is bounded by n and at least 1 for nonempty matrices;
+    /// widths are consistent.
+    #[test]
+    fn stats_are_consistent(n in 5usize..100, seed in 0u64..300) {
+        let a = banded_spd(n, 3, 0.7, 1.5, seed);
+        let stats = WavefrontStats::of_matrix(&a);
+        prop_assert!(stats.n_levels >= 1 && stats.n_levels <= n);
+        prop_assert_eq!(stats.n_rows, n);
+        prop_assert!(stats.max_width >= 1);
+        prop_assert!(stats.max_width as f64 >= stats.mean_width);
+        prop_assert!((stats.mean_width - n as f64 / stats.n_levels as f64).abs() < 1e-12);
+    }
+
+    /// Removing edges (sparsification) never deepens the DAG.
+    #[test]
+    fn edge_removal_is_monotone(n in 10usize..80, seed in 0u64..200, keep in 0.3f64..1.0) {
+        let a = graph_laplacian(n, 4, 0.8, seed);
+        let full = LevelSchedule::build(&a, Triangle::Lower).n_levels();
+        // Deterministically drop off-diagonal entries by hash.
+        let slim = a.filter(|r, c, _| {
+            r == c || {
+                let h = (r as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(c as u64)
+                    .wrapping_mul(0xC2B2AE3D27D4EB4F);
+                (h >> 32) as f64 / u32::MAX as f64 <= keep
+            }
+        });
+        let slimmed = LevelSchedule::build(&slim, Triangle::Lower).n_levels();
+        prop_assert!(slimmed <= full, "levels {full} -> {slimmed} after edge removal");
+    }
+
+    /// All three executors agree bitwise on arbitrary well-pivoted lower
+    /// systems.
+    #[test]
+    fn executors_bitwise_agree(n in 5usize..120, seed in 0u64..300, threads in 1usize..8) {
+        let a = banded_spd(n, 4, 0.8, 1.8, seed);
+        let l = a.lower();
+        let schedule = LevelSchedule::build(&l, Triangle::Lower);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
+        let mut x1 = vec![0.0; n];
+        let mut x2 = vec![0.0; n];
+        let mut x3 = vec![0.0; n];
+        solve_lower_seq(&l, &b, &mut x1);
+        solve_levels_par(&l, &schedule, &b, &mut x2);
+        solve_lower_sync_free(&l, &b, &mut x3, threads);
+        prop_assert_eq!(&x1, &x2);
+        prop_assert_eq!(&x1, &x3);
+    }
+
+    /// A topological execution order visits every predecessor first — the
+    /// DAG checker itself must accept the schedule order and reject a
+    /// reversed one whenever the matrix has at least one dependence.
+    #[test]
+    fn dag_checker_sanity(n in 8usize..60, seed in 0u64..200) {
+        let a = banded_spd(n, 3, 0.9, 1.5, seed);
+        let dag = DependenceDag::build(&a, Triangle::Lower);
+        let order = LevelSchedule::build(&a, Triangle::Lower).execution_order();
+        prop_assert!(dag.is_topological(&order));
+        if dag.n_edges() > 0 {
+            let reversed: Vec<usize> = order.iter().rev().copied().collect();
+            prop_assert!(!dag.is_topological(&reversed));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Fills EXPERIMENTS.md's MEASURED_* placeholders from bench_output.txt.
+
+Usage: python3 scripts/fill_experiments.py
+Idempotent only in the placeholder direction: run it once after a full
+`cargo bench --workspace 2>&1 | tee bench_output.txt`.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH = (ROOT / "bench_output.txt").read_text()
+EXP = ROOT / "EXPERIMENTS.md"
+
+
+def section(marker: str) -> str:
+    """Text of one bench target's output (from its Running line to the next)."""
+    pattern = rf"Running benches/{marker}\.rs.*?(?=Running benches/|\Z)"
+    m = re.search(pattern, BENCH, re.S)
+    if not m:
+        sys.exit(f"bench section {marker} not found in bench_output.txt")
+    return m.group(0)
+
+
+def grab(text: str, pattern: str) -> str:
+    m = re.search(pattern, text)
+    if not m:
+        sys.exit(f"pattern {pattern!r} not found")
+    return m.group(1)
+
+
+fig4 = section("fig4_ilu0_a100")
+fig5 = section("fig5_iluk_a100")
+
+repl = {
+    "MEASURED_FIG4_GMEAN": grab(fig4, r"gmean per-iteration speedup: ([\d.]+x)"),
+    "MEASURED_FIG4_ACC": grab(fig4, r"% accelerated: ([\d.]+%)"),
+    "MEASURED_FIG4_E2E": grab(fig4, r"gmean end-to-end speedup: ([\d.]+x)"),
+    "MEASURED_FIG4_SAME": grab(fig4, r"iterations approximately unchanged: ([\d.]+%)"),
+    "MEASURED_FIG5_GMEAN": grab(fig5, r"gmean per-iteration speedup: ([\d.]+x)"),
+    "MEASURED_FIG5_ACC": grab(fig5, r"% accelerated: ([\d.]+%)"),
+    "MEASURED_FIG5_WORST": grab(fig5, r"worst slowdown: ([\d.]+x)"),
+    "MEASURED_FIG5_E2E": grab(fig5, r"gmean end-to-end speedup: ([\d.]+x)"),
+    "MEASURED_FIG5_SAME": grab(fig5, r"iterations approximately unchanged: ([\d.]+%)"),
+}
+
+text = EXP.read_text()
+for k, v in repl.items():
+    if k not in text:
+        print(f"note: placeholder {k} absent (already filled?)")
+    text = text.replace(k, v)
+EXP.write_text(text)
+print("EXPERIMENTS.md updated:")
+for k, v in repl.items():
+    print(f"  {k} = {v}")

@@ -1,0 +1,180 @@
+//! `spcg-cli` — run the SPCG pipeline on Matrix Market files.
+//!
+//! See `spcg-cli help` (or [`spcg::cli::USAGE`]) for the interface.
+
+use spcg::cli::{parse, sparsify_params, Command, GenerateArgs, SolveArgs, SparsifyMode, USAGE};
+use spcg::prelude::*;
+use spcg::sparse::generators as gen;
+use spcg::sparse::io::{read_matrix_market_file, write_matrix_market_file, MmSymmetry};
+use spcg_core::spcg_solve;
+use spcg_gpusim::{end_to_end_cost, pcg_iteration_cost, DeviceSpec};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok(Command::Help) => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Solve(a)) => run_solve(&a, false),
+        Ok(Command::Analyze(a)) => run_solve(&a, true),
+        Ok(Command::Generate(g)) => run_generate(&g),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn device_by_name(name: &str) -> DeviceSpec {
+    match name {
+        "v100" => DeviceSpec::v100(),
+        "epyc" => DeviceSpec::epyc_7413(),
+        _ => DeviceSpec::a100(),
+    }
+}
+
+fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
+    let a: spcg::sparse::CsrMatrix<f64> = match read_matrix_market_file(Path::new(&args.matrix)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args.matrix);
+            return ExitCode::FAILURE;
+        }
+    };
+    if !a.is_square() {
+        eprintln!("error: matrix is {}x{}, need square SPD", a.n_rows(), a.n_cols());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "matrix {}: n = {}, nnz = {}, wavefronts = {}, symmetric = {}",
+        args.matrix,
+        a.n_rows(),
+        a.nnz(),
+        wavefront_count(&a),
+        a.is_symmetric(1e-12)
+    );
+
+    if analyze_only {
+        let params = sparsify_params(&args.sparsify).unwrap_or_default();
+        let d = spcg_core::wavefront_aware_sparsify(&a, &params);
+        println!(
+            "Algorithm 2: chose ratio {}% ({:?}), wavefronts {} -> {} ({:.2}% reduction)",
+            d.chosen_ratio,
+            d.reason,
+            d.wavefronts_original,
+            d.wavefronts_sparsified,
+            d.wavefront_reduction()
+        );
+        for t in &d.trace {
+            println!(
+                "  ratio {:>5}%: indicator {:.4} ({}), wavefronts {:?}",
+                t.ratio,
+                t.indicator.product,
+                if t.passed_convergence { "pass" } else { "fail" },
+                t.wavefronts
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let b = vec![1.0f64; a.n_rows()];
+    let opts = SpcgOptions {
+        sparsify: match &args.sparsify {
+            SparsifyMode::Off => None,
+            other => sparsify_params(other),
+        },
+        precond: args.precond,
+        exec: args.exec,
+        solver: args.solver.clone(),
+    };
+    let out = match spcg_solve(&a, &b, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: pipeline failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{} {}: {:?} after {} iterations, residual {:.3e}",
+        if opts.sparsify.is_some() { "SPCG" } else { "PCG" },
+        args.precond.label(),
+        out.result.stop,
+        out.result.iterations,
+        out.result.final_residual
+    );
+    if let Some(d) = &out.decision {
+        println!(
+            "sparsification: ratio {}% ({:?}), wavefronts {} -> {}",
+            d.chosen_ratio, d.reason, d.wavefronts_original, d.wavefronts_sparsified
+        );
+    }
+    println!(
+        "timings: sparsify {:.2?}, factorization {:.2?}, solve loop {:.2?}",
+        out.sparsify_time, out.factorization_time, out.result.timings.total
+    );
+    if let Some(dev_name) = &args.device {
+        let dev = device_by_name(dev_name);
+        let it = pcg_iteration_cost(&dev, &a, &out.factors);
+        let e2e = end_to_end_cost(
+            &dev,
+            &a,
+            out.factors.l(),
+            &out.factors,
+            out.result.iterations,
+            out.decision.is_some(),
+        );
+        println!(
+            "{} model: {:.1} us/iteration, {:.1} us end-to-end",
+            dev.name,
+            it.total_us(),
+            e2e.total_us()
+        );
+    }
+    if out.result.converged() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_generate(g: &GenerateArgs) -> ExitCode {
+    let p = |key: &str, default: f64| g.params.get(key).copied().unwrap_or(default);
+    let m = match g.kind.as_str() {
+        "poisson2d" => gen::poisson_2d(p("nx", 32.0) as usize, p("ny", 32.0) as usize),
+        "poisson3d" => gen::poisson_3d(
+            p("nx", 12.0) as usize,
+            p("ny", 12.0) as usize,
+            p("nz", 12.0) as usize,
+        ),
+        "layered2d" => gen::layered_poisson_2d(
+            p("nx", 64.0) as usize,
+            p("ny", 64.0) as usize,
+            p("period", 4.0) as usize,
+            p("weak", 0.015),
+        ),
+        "banded" => gen::banded_spd(
+            p("n", 1000.0) as usize,
+            p("band", 4.0) as usize,
+            p("density", 0.8),
+            p("dominance", 1.5),
+            p("seed", 1.0) as u64,
+        ),
+        other => {
+            eprintln!("error: unknown generator kind {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match write_matrix_market_file(&m, MmSymmetry::Symmetric, Path::new(&g.out)) {
+        Ok(()) => {
+            println!("wrote {} (n = {}, nnz = {})", g.out, m.n_rows(), m.nnz());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", g.out);
+            ExitCode::FAILURE
+        }
+    }
+}

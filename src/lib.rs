@@ -1,0 +1,39 @@
+//! # spcg — Sparsified Preconditioned Conjugate Gradient
+//!
+//! Facade crate re-exporting the whole SPCG workspace behind one import.
+//! See the README for the architecture overview and DESIGN.md for the
+//! paper-to-module mapping.
+//!
+//! ```
+//! use spcg::prelude::*;
+//!
+//! let a = spcg::sparse::generators::poisson_2d(16, 16);
+//! let b = vec![1.0f64; a.n_rows()];
+//! let out = spcg_solve(&a, &b, &SpcgOptions::default()).unwrap();
+//! assert!(out.result.converged());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use spcg_core as core;
+pub use spcg_gpusim as gpusim;
+pub use spcg_lowrank as lowrank;
+pub use spcg_precond as precond;
+pub use spcg_solver as solver;
+pub use spcg_sparse as sparse;
+pub use spcg_suite as suite;
+pub use spcg_wavefront as wavefront;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use spcg_core::{
+        oracle_select, spcg_solve, wavefront_aware_sparsify, PrecondKind, SparsifyParams,
+        SpcgOptions, ORACLE_RATIOS,
+    };
+    pub use spcg_precond::{ic0, ilu0, iluk, Preconditioner, TriangularExec};
+    pub use spcg_solver::{cg, pcg, SolverConfig, StopReason, ToleranceMode};
+    pub use spcg_sparse::{CooMatrix, CsrMatrix, Scalar};
+    pub use spcg_wavefront::{wavefront_count, LevelSchedule, Triangle, WavefrontStats};
+}

@@ -1,0 +1,88 @@
+//! Cross-executor determinism: the sequential, level-parallel and
+//! synchronization-free triangular executors must be bitwise
+//! interchangeable inside PCG, across structurally diverse matrices.
+
+use spcg::prelude::*;
+use spcg::sparse::Rng;
+use spcg_suite::{Ordering, Recipe};
+use spcg_wavefront::{solve_levels_par, solve_lower_seq, solve_lower_sync_free};
+
+fn matrices() -> Vec<(&'static str, spcg::sparse::CsrMatrix<f64>)> {
+    vec![
+        (
+            "layered",
+            Recipe::Layered2D { nx: 30, ny: 30, period: 4, weak: 0.015 }
+                .build(3, 1.5, Ordering::Natural),
+        ),
+        (
+            "scrambled-graph",
+            Recipe::GraphLaplacian { n: 900, degree: 4, shift: 0.8 }
+                .build(4, 1.0, Ordering::Scrambled),
+        ),
+        (
+            "banded",
+            Recipe::Banded { n: 1100, band: 3, density: 0.9, dominance: 1.7 }
+                .build(5, 1.0, Ordering::Natural),
+        ),
+        (
+            "stencil9-rcm",
+            Recipe::Stencil9 { nx: 32, ny: 32 }.build(6, 5.0, Ordering::Rcm),
+        ),
+    ]
+}
+
+fn rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| rng.range(-1.0, 1.0)).collect()
+}
+
+#[test]
+fn triangular_executors_agree_bitwise() {
+    for (name, a) in matrices() {
+        let l = a.lower();
+        let schedule = LevelSchedule::build(&l, Triangle::Lower);
+        let b = rhs(a.n_rows(), 1);
+        let mut x_seq = vec![0.0; a.n_rows()];
+        let mut x_par = vec![0.0; a.n_rows()];
+        let mut x_sf = vec![0.0; a.n_rows()];
+        solve_lower_seq(&l, &b, &mut x_seq);
+        solve_levels_par(&l, &schedule, &b, &mut x_par);
+        solve_lower_sync_free(&l, &b, &mut x_sf, 6);
+        assert_eq!(x_seq, x_par, "{name}: level-parallel diverged");
+        assert_eq!(x_seq, x_sf, "{name}: sync-free diverged");
+    }
+}
+
+#[test]
+fn pcg_trajectory_is_executor_independent() {
+    for (name, a) in matrices() {
+        let b = rhs(a.n_rows(), 2);
+        let cfg = SolverConfig::default().with_tol(1e-9).with_history(true);
+        let fs = ilu0(&a, TriangularExec::Sequential)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let fp = ilu0(&a, TriangularExec::LevelParallel).unwrap();
+        let rs = pcg(&a, &fs, &b, &cfg);
+        let rp = pcg(&a, &fp, &b, &cfg);
+        assert_eq!(rs.iterations, rp.iterations, "{name}");
+        assert_eq!(rs.residual_history, rp.residual_history, "{name}");
+        assert_eq!(rs.x, rp.x, "{name}: solutions differ bitwise");
+    }
+}
+
+#[test]
+fn schedules_validate_against_their_matrices() {
+    for (name, a) in matrices() {
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        assert!(
+            f.l_schedule().validate(f.l()),
+            "{name}: L schedule invalid"
+        );
+        assert!(
+            f.u_schedule().validate(f.u()),
+            "{name}: U schedule invalid"
+        );
+        // Level count equals the dependence DAG's critical path.
+        let dag = spcg_wavefront::DependenceDag::build(f.l(), Triangle::Lower);
+        assert_eq!(f.l_schedule().n_levels(), dag.critical_path_len(), "{name}");
+    }
+}

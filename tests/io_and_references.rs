@@ -1,0 +1,90 @@
+//! Matrix Market round-trips of suite matrices, and sanity of the named
+//! reference matrices used by the §5.3/§5.4 analyses.
+
+use spcg::lowrank::{probe_factor, HssProbeParams};
+use spcg::prelude::*;
+use spcg::sparse::io::{read_matrix_market, write_matrix_market, MmSymmetry};
+use spcg_suite::{fast_collection, reference};
+
+#[test]
+fn suite_matrices_roundtrip_through_matrix_market() {
+    for spec in fast_collection().into_iter().step_by(5) {
+        let a = spec.build();
+        let mut buf = Vec::new();
+        write_matrix_market(&a, MmSymmetry::Symmetric, &mut buf)
+            .unwrap_or_else(|e| panic!("{}: write failed: {e}", spec.name));
+        let back: spcg::sparse::CsrMatrix<f64> = read_matrix_market(buf.as_slice())
+            .unwrap_or_else(|e| panic!("{}: read failed: {e}", spec.name));
+        assert_eq!(a.n_rows(), back.n_rows(), "{}", spec.name);
+        assert_eq!(a.nnz(), back.nnz(), "{}", spec.name);
+        // Values survive the decimal round-trip to within print precision.
+        for ((r1, c1, v1), (r2, c2, v2)) in a.iter().zip(back.iter()) {
+            assert_eq!((r1, c1), (r2, c2), "{}", spec.name);
+            assert!((v1 - v2).abs() <= 1e-12 * v1.abs().max(1.0), "{}", spec.name);
+        }
+    }
+}
+
+#[test]
+fn reference_matrices_factor_and_solve() {
+    let cases = [
+        ("dubcova1", reference::dubcova1_like()),
+        ("thermomech_dM", reference::thermomech_dm_like()),
+        ("2cubes_sphere", reference::two_cubes_sphere_like()),
+        ("muu", reference::muu_like()),
+    ];
+    for (name, a) in cases {
+        let f = ilu0(&a, TriangularExec::Sequential)
+            .unwrap_or_else(|e| panic!("{name}: factorization failed: {e}"));
+        let b = vec![1.0f64; a.n_rows()];
+        let r = pcg(&a, &f, &b, &SolverConfig::default().with_tol(1e-8).with_max_iters(1000));
+        assert!(
+            r.converged(),
+            "{name}: baseline PCG did not converge (stop {:?}, resid {})",
+            r.stop,
+            r.final_residual
+        );
+    }
+}
+
+#[test]
+fn profiling_trio_speedup_ordering() {
+    // The §5.3 contrast: thermomech-like must benefit far more than
+    // Muu-like under the A100 model.
+    use spcg_core::wavefront_aware_sparsify;
+    use spcg_gpusim::{pcg_iteration_cost, DeviceSpec};
+    let dev = DeviceSpec::a100();
+    let speedup = |a: &spcg::sparse::CsrMatrix<f64>| {
+        let fb = ilu0(a, TriangularExec::Sequential).unwrap();
+        let d = wavefront_aware_sparsify(a, &SparsifyParams::default());
+        let fs = ilu0(&d.sparsified.a_hat, TriangularExec::Sequential).unwrap();
+        pcg_iteration_cost(&dev, a, &fb).total_us() / pcg_iteration_cost(&dev, a, &fs).total_us()
+    };
+    let thermo = speedup(&reference::thermomech_dm_like());
+    let muu = speedup(&reference::muu_like());
+    assert!(thermo > 2.0, "thermomech-like speedup {thermo} too small");
+    assert!(muu < 1.3, "Muu-like speedup {muu} should be near 1");
+    assert!(thermo > 2.0 * muu);
+}
+
+#[test]
+fn hss_probe_rarely_triggers_on_ilu0_factors() {
+    // §4.6: incomplete factors rarely qualify for HSS compression at
+    // default (strict) parameters.
+    let mut triggered = 0usize;
+    let mut total = 0usize;
+    for spec in fast_collection().into_iter().step_by(4) {
+        let a = spec.build();
+        let Ok(f) = ilu0(&a, TriangularExec::Sequential) else { continue };
+        let rep = probe_factor(f.l(), &HssProbeParams::default());
+        total += 1;
+        if rep.triggers() {
+            triggered += 1;
+        }
+    }
+    assert!(total >= 5);
+    assert!(
+        (triggered as f64) / (total as f64) <= 0.5,
+        "HSS triggered on {triggered}/{total} — incomplete factors should rarely qualify"
+    );
+}

@@ -1,0 +1,128 @@
+//! Workspace-level property-based tests (proptest): randomized structures
+//! exercising the invariants that every figure in the paper relies on.
+
+use proptest::prelude::*;
+use spcg::prelude::*;
+use spcg::sparse::generators::{banded_spd, poisson_2d, random_spd, with_magnitude_spread};
+use spcg::sparse::spmv::spmv_alloc;
+use spcg_core::sparsify_by_magnitude;
+use spcg_gpusim::{trisolve_cost, DeviceSpec, TrisolveWorkload};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Â + S == A exactly, for any matrix family and ratio.
+    #[test]
+    fn sparsify_decomposition_is_exact(
+        n in 20usize..120,
+        band in 2usize..8,
+        pct in 0.0f64..40.0,
+        seed in 0u64..1000,
+    ) {
+        let a = banded_spd(n, band, 0.8, 1.5, seed);
+        let sp = sparsify_by_magnitude(&a, pct);
+        let sum = sp.a_hat.add(&sp.s).unwrap().prune_zeros();
+        prop_assert_eq!(sum, a.prune_zeros());
+        prop_assert!(sp.a_hat.is_symmetric(0.0));
+        prop_assert!(sp.s.is_symmetric(0.0));
+        // diagonal untouched
+        prop_assert_eq!(sp.a_hat.diag(), a.diag());
+    }
+
+    /// Sparsification never increases the lower-triangle wavefront count.
+    #[test]
+    fn sparsification_is_wavefront_monotone(
+        nx in 6usize..20,
+        pct in 0.0f64..30.0,
+        seed in 0u64..100,
+    ) {
+        let a = with_magnitude_spread(&poisson_2d(nx, nx), 6.0, seed);
+        let before = wavefront_count(&a);
+        let after = wavefront_count(&sparsify_by_magnitude(&a, pct).a_hat);
+        prop_assert!(after <= before, "wavefronts {before} -> {after}");
+    }
+
+    /// Level schedules are topological orders covering each row once.
+    #[test]
+    fn level_schedule_is_valid_topological_order(
+        n in 30usize..200,
+        nnz_per_row in 2usize..7,
+        seed in 0u64..500,
+    ) {
+        let a = random_spd(n, nnz_per_row, 1.5, seed);
+        let schedule = LevelSchedule::build(&a, Triangle::Lower);
+        prop_assert!(schedule.validate(&a));
+        let mut order = schedule.execution_order();
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    /// PCG with ILU(0) solves random well-conditioned SPD systems to the
+    /// requested tolerance, and the solution matches a dense direct solve.
+    #[test]
+    fn pcg_matches_direct_solver(
+        n in 10usize..40,
+        seed in 0u64..300,
+    ) {
+        let a = banded_spd(n, 3, 0.9, 2.0, seed);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64) - 8.0).collect();
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let r = pcg(&a, &f, &b, &SolverConfig::default().with_tol(1e-11));
+        prop_assert_eq!(r.stop, StopReason::Converged);
+        let direct = a.to_dense().solve(&b).unwrap();
+        for (got, want) in r.x.iter().zip(&direct) {
+            prop_assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    /// ILU(0) factors reproduce A exactly on A's own sparsity pattern.
+    #[test]
+    fn ilu0_matches_pattern(
+        nx in 4usize..12,
+        ny in 4usize..12,
+    ) {
+        let a = poisson_2d(nx, ny);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let lu = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
+        for (i, j, v) in a.iter() {
+            prop_assert!((lu.get(i, j) - v).abs() < 1e-9);
+        }
+    }
+
+    /// The GPU cost model is monotone: adding a level at fixed total work
+    /// never makes the solve cheaper.
+    #[test]
+    fn gpusim_levels_monotone(
+        rows in 64usize..2048,
+        nnz_per_row in 2usize..6,
+        levels in 2usize..40,
+    ) {
+        let device = DeviceSpec::a100();
+        let nnz = rows * nnz_per_row;
+        let make = |k: usize| TrisolveWorkload {
+            levels: (0..k).map(|_| (rows / k, nnz / k, nnz_per_row)).collect(),
+            n_rows: rows,
+            nnz,
+        };
+        let few = trisolve_cost(&device, &make(levels));
+        let more = trisolve_cost(&device, &make(levels * 2));
+        prop_assert!(more.time_us >= few.time_us,
+            "{} levels cost {} < {} levels cost {}", levels * 2, more.time_us, levels, few.time_us);
+    }
+
+    /// SpMV agrees with the dense reference on arbitrary sparse matrices.
+    #[test]
+    fn spmv_matches_dense_reference(
+        n in 5usize..40,
+        nnz_per_row in 1usize..6,
+        seed in 0u64..400,
+    ) {
+        let a = random_spd(n, nnz_per_row, 1.3, seed);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let sparse = spmv_alloc(&a, &x);
+        let dense = a.to_dense().matvec(&x);
+        for (s, d) in sparse.iter().zip(&dense) {
+            prop_assert!((s - d).abs() < 1e-10);
+        }
+    }
+}

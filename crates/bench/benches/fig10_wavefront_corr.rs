@@ -18,7 +18,11 @@ fn main() {
 
     for (family, paper_rho, title) in [
         (Family::Ilu0, 0.61, "Figure 10a: wavefront reduction vs per-iteration speedup (ILU(0))"),
-        (Family::IlukAuto, 0.22, "Figure 10b: wavefront reduction vs per-iteration speedup (ILU(K))"),
+        (
+            Family::IlukAuto,
+            0.22,
+            "Figure 10b: wavefront reduction vs per-iteration speedup (ILU(K))",
+        ),
     ] {
         let rows = sweep_collection(&device, family, &variant);
         // For ILU(K) the wavefront reduction is measured on the factors
@@ -31,7 +35,11 @@ fn main() {
                     Family::IlukAuto => {
                         let b = r.base.wavefronts_factors as f64;
                         let p = r.spcg.wavefronts_factors as f64;
-                        if b == 0.0 { 0.0 } else { (b - p) / b }
+                        if b == 0.0 {
+                            0.0
+                        } else {
+                            (b - p) / b
+                        }
                     }
                 };
                 (s.name.clone(), r.per_iteration_speedup(), reduction)

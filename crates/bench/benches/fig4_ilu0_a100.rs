@@ -16,7 +16,8 @@ use spcg_solver::pcg_iteration_flops;
 
 fn main() {
     let device = DeviceSpec::a100();
-    let rows = sweep_collection(&device, Family::Ilu0, &Variant::Heuristic(SparsifyParams::default()));
+    let rows =
+        sweep_collection(&device, Family::Ilu0, &Variant::Heuristic(SparsifyParams::default()));
     write_artifact("fig4_ilu0_a100", &rows.iter().map(|(_, r)| r).collect::<Vec<_>>());
 
     // --- Figure 4a: per-iteration speedup distribution ---
@@ -31,10 +32,7 @@ fn main() {
         "gmean per-iteration speedup: {}   (paper: 1.23x)",
         fmt_speedup(gmean(&speedups).unwrap_or(0.0))
     );
-    println!(
-        "% accelerated: {}              (paper: 69.16%)",
-        fmt_pct(pct_accelerated(&speedups))
-    );
+    println!("% accelerated: {}              (paper: 69.16%)", fmt_pct(pct_accelerated(&speedups)));
 
     // Baseline GFLOP/s envelope (theoretical baseline FLOPs / simulated time).
     let gflops: Vec<f64> = rows
@@ -50,10 +48,8 @@ fn main() {
 
     // --- Figure 4b: end-to-end speedup vs nnz (converging subset) ---
     let e2e = end_to_end_speedups(&rows);
-    let pts: Vec<(String, f64, f64)> = e2e
-        .iter()
-        .map(|(n, nnz, s)| (n.clone(), *nnz as f64, *s))
-        .collect();
+    let pts: Vec<(String, f64, f64)> =
+        e2e.iter().map(|(n, nnz, s)| (n.clone(), *nnz as f64, *s)).collect();
     print_scatter(
         "Figure 4b: SPCG-ILU(0) end-to-end speedup vs nnz (A100 model)",
         "nnz",

@@ -15,11 +15,8 @@ use spcg_solver::pcg_iteration_flops;
 
 fn main() {
     let device = DeviceSpec::a100();
-    let rows = sweep_collection(
-        &device,
-        Family::IlukAuto,
-        &Variant::Heuristic(SparsifyParams::default()),
-    );
+    let rows =
+        sweep_collection(&device, Family::IlukAuto, &Variant::Heuristic(SparsifyParams::default()));
     write_artifact("fig5_iluk_a100", &rows.iter().map(|(_, r)| r).collect::<Vec<_>>());
 
     // --- Figure 5a: per-iteration speedup distribution ---
@@ -34,10 +31,7 @@ fn main() {
         "gmean per-iteration speedup: {}   (paper: 1.65x)",
         fmt_speedup(gmean(&speedups).unwrap_or(0.0))
     );
-    println!(
-        "% accelerated: {}              (paper: 80.38%)",
-        fmt_pct(pct_accelerated(&speedups))
-    );
+    println!("% accelerated: {}              (paper: 80.38%)", fmt_pct(pct_accelerated(&speedups)));
     let worst = speedups.iter().cloned().fold(f64::MAX, f64::min);
     println!("worst slowdown: {worst:.2}x   (paper: slowdowns remain close to 1)");
 
@@ -54,10 +48,8 @@ fn main() {
 
     // --- Figure 5b: end-to-end speedup vs nnz ---
     let e2e = end_to_end_speedups(&rows);
-    let pts: Vec<(String, f64, f64)> = e2e
-        .iter()
-        .map(|(n, nnz, s)| (n.clone(), *nnz as f64, *s))
-        .collect();
+    let pts: Vec<(String, f64, f64)> =
+        e2e.iter().map(|(n, nnz, s)| (n.clone(), *nnz as f64, *s)).collect();
     print_scatter(
         "Figure 5b: SPCG-ILU(K) end-to-end speedup vs nnz (A100 model)",
         "nnz",

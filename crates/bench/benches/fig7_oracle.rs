@@ -27,7 +27,17 @@ fn main() {
         let b = spec.rhs(a.n_rows());
         let Some(k) = select_k(&a, &b, &solver) else { continue };
         let kind = PrecondKind::Iluk(k);
-        let Ok(base) = evaluate(&a, &b, kind, &device, &Variant::Baseline, &solver, TriangularExec::Sequential) else { continue };
+        let Ok(base) = evaluate(
+            &a,
+            &b,
+            kind,
+            &device,
+            &Variant::Baseline,
+            &solver,
+            TriangularExec::Sequential,
+        ) else {
+            continue;
+        };
         let Ok(spcg) = evaluate(
             &a,
             &b,
@@ -36,10 +46,20 @@ fn main() {
             &Variant::Heuristic(SparsifyParams::default()),
             &solver,
             TriangularExec::Sequential,
-        ) else { continue };
+        ) else {
+            continue;
+        };
         let mut best: Option<(f64, f64)> = None; // (per_iter_us, ratio)
         for r in [1.0, 5.0, 10.0] {
-            if let Ok(e) = evaluate(&a, &b, kind, &device, &Variant::Fixed(r), &solver, TriangularExec::Sequential) {
+            if let Ok(e) = evaluate(
+                &a,
+                &b,
+                kind,
+                &device,
+                &Variant::Fixed(r),
+                &solver,
+                TriangularExec::Sequential,
+            ) {
                 if best.map(|(t, _)| e.per_iteration_us < t).unwrap_or(true) {
                     best = Some((e.per_iteration_us, r));
                 }
@@ -54,11 +74,7 @@ fn main() {
             a.nnz() as f64,
             base.per_iteration_us / spcg.per_iteration_us,
         ));
-        oracle_pts.push((
-            spec.name.clone(),
-            a.nnz() as f64,
-            base.per_iteration_us / oracle_us,
-        ));
+        oracle_pts.push((spec.name.clone(), a.nnz() as f64, base.per_iteration_us / oracle_us));
         eprintln!("[{}/{}] {}", i + 1, specs.len(), spec.name);
     }
 

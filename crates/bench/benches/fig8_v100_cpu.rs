@@ -46,7 +46,11 @@ fn main() {
     let v100 = DeviceSpec::v100();
     for (family, label, paper) in [
         (Family::Ilu0, "Fig 8a: SPCG-ILU(0) per-iteration speedup (V100 model)", "1.22x / 83.18%"),
-        (Family::IlukAuto, "Fig 8b: SPCG-ILU(K) per-iteration speedup (V100 model)", "1.71x / 82.25%"),
+        (
+            Family::IlukAuto,
+            "Fig 8b: SPCG-ILU(K) per-iteration speedup (V100 model)",
+            "1.71x / 82.25%",
+        ),
     ] {
         let rows = sweep_collection(&v100, family, &variant);
         let speedups = per_iteration_speedups(&rows);
@@ -68,10 +72,9 @@ fn main() {
         let Ok(fb) = ilu0(&a, TriangularExec::LevelParallel) else { continue };
         let d = wavefront_aware_sparsify(&a, &SparsifyParams::default());
         let Ok(fs) = ilu0(&d.sparsified.a_hat, TriangularExec::LevelParallel) else { continue };
-        let (Some(tb), Some(ts)) = (
-            measured_per_iter(&a, &fb, &b, 3),
-            measured_per_iter(&a, &fs, &b, 3),
-        ) else {
+        let (Some(tb), Some(ts)) =
+            (measured_per_iter(&a, &fb, &b, 3), measured_per_iter(&a, &fs, &b, 3))
+        else {
             continue;
         };
         speedups.push(tb / ts);

@@ -17,11 +17,8 @@ use std::collections::HashMap;
 
 fn main() {
     let device = DeviceSpec::a100();
-    let rows = sweep_collection(
-        &device,
-        Family::Ilu0,
-        &Variant::Heuristic(SparsifyParams::default()),
-    );
+    let rows =
+        sweep_collection(&device, Family::Ilu0, &Variant::Heuristic(SparsifyParams::default()));
 
     let mut per_cat: HashMap<&'static str, (Vec<f64>, Vec<f64>)> = HashMap::new();
     for (spec, row) in &rows {
@@ -52,8 +49,6 @@ fn main() {
         .iter()
         .filter(|r| r[1].trim_end_matches('x').parse::<f64>().unwrap_or(0.0) > 1.0)
         .count();
-    println!(
-        "categories with end-to-end improvement: {improving} / 17   (paper: 16 / 17)"
-    );
+    println!("categories with end-to-end improvement: {improving} / 17   (paper: 16 / 17)");
     write_artifact("fig9_categories", &table);
 }

@@ -19,9 +19,7 @@ fn bench_spmv(c: &mut Criterion) {
     let x = vec![1.0f64; a.n_rows()];
     let mut y = vec![0.0f64; a.n_rows()];
     let mut g = c.benchmark_group("spmv");
-    g.bench_function("seq_200x200", |b| {
-        b.iter(|| spmv(black_box(&a), black_box(&x), &mut y))
-    });
+    g.bench_function("seq_200x200", |b| b.iter(|| spmv(black_box(&a), black_box(&x), &mut y)));
     g.bench_function("rayon_200x200", |b| {
         b.iter(|| spmv_par(black_box(&a), black_box(&x), &mut y))
     });
@@ -84,9 +82,7 @@ fn bench_factorization(c: &mut Criterion) {
 fn bench_sparsify(c: &mut Criterion) {
     let a = layered_poisson_2d(150, 150, 4, 0.02);
     let mut g = c.benchmark_group("sparsify");
-    g.bench_function("magnitude_10pct", |b| {
-        b.iter(|| sparsify_by_magnitude(black_box(&a), 10.0))
-    });
+    g.bench_function("magnitude_10pct", |b| b.iter(|| sparsify_by_magnitude(black_box(&a), 10.0)));
     g.bench_function("level_schedule_build", |b| {
         b.iter(|| LevelSchedule::build(black_box(&a), Triangle::Lower))
     });

@@ -97,7 +97,17 @@ fn main() {
         for (i, spec) in specs.iter().enumerate() {
             let a = spec.build();
             let b = spec.rhs(a.n_rows());
-            let Ok(base) = evaluate(&a, &b, PrecondKind::Ilu0, &device, &Variant::Baseline, &solver, TriangularExec::Sequential) else { continue };
+            let Ok(base) = evaluate(
+                &a,
+                &b,
+                PrecondKind::Ilu0,
+                &device,
+                &Variant::Baseline,
+                &solver,
+                TriangularExec::Sequential,
+            ) else {
+                continue;
+            };
             let Ok(s) = evaluate(
                 &a,
                 &b,
@@ -106,7 +116,9 @@ fn main() {
                 &Variant::Heuristic(params.clone()),
                 &solver,
                 TriangularExec::Sequential,
-            ) else { continue };
+            ) else {
+                continue;
+            };
             counted += 1;
             speedups.push(base.per_iteration_us / s.per_iteration_us);
             if s.converged {

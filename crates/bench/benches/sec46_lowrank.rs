@@ -46,7 +46,13 @@ fn main() {
     }
     print_table(
         "Sec 4.6: HSS qualification probe over ILU(0) lower factors",
-        &["matrix", "cand (default)", "compressible (default)", "cand (min_sep=4)", "compressible (min_sep=4)"],
+        &[
+            "matrix",
+            "cand (default)",
+            "compressible (default)",
+            "cand (min_sep=4)",
+            "compressible (min_sep=4)",
+        ],
         &rows,
     );
     println!(

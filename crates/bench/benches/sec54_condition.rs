@@ -30,15 +30,15 @@ fn main() {
     for (name, a) in &cases {
         let b = vec![1.0f64; a.n_rows()];
         for pct in [0.0, 1.0, 5.0, 10.0] {
-            let a_hat = if pct == 0.0 {
-                a.clone()
-            } else {
-                sparsify_by_magnitude(a, pct).a_hat
-            };
+            let a_hat = if pct == 0.0 { a.clone() } else { sparsify_by_magnitude(a, pct).a_hat };
             let (iters, status, resid) = match ilu0(&a_hat, TriangularExec::Sequential) {
                 Ok(f) => {
                     let r = pcg(a, &f, &b, &solver);
-                    (r.iterations.to_string(), format!("{:?}", r.stop), format!("{:.2e}", r.final_residual))
+                    (
+                        r.iterations.to_string(),
+                        format!("{:?}", r.stop),
+                        format!("{:.2e}", r.final_residual),
+                    )
                 }
                 Err(e) => ("-".into(), format!("factorization failed: {e}"), "-".into()),
             };
@@ -57,12 +57,26 @@ fn main() {
     }
     print_table(
         "Sec 5.4: condition-number analysis across sparsification ratios",
-        &["matrix", "ratio", "iterations", "stop", "residual", "approx cond(A_hat)", "spectral cond(A_hat)"],
+        &[
+            "matrix",
+            "ratio",
+            "iterations",
+            "stop",
+            "residual",
+            "approx cond(A_hat)",
+            "spectral cond(A_hat)",
+        ],
         &rows,
     );
     println!("\npaper reference (original matrices):");
-    println!("  ecology2     : fails at 0%/1% (residual > 1), 2 iterations at 5%/10% (cond 30 -> 10)");
-    println!("  thermal1     : 1000+ -> 531 -> 127 -> 71 iterations (cond 10.71 -> 10.70 -> 10.61)");
-    println!("  Pres_Poisson : 458 -> 401 iterations up to 5% (cond 1.11e4 -> 1.07e4), fails at 10%");
+    println!(
+        "  ecology2     : fails at 0%/1% (residual > 1), 2 iterations at 5%/10% (cond 30 -> 10)"
+    );
+    println!(
+        "  thermal1     : 1000+ -> 531 -> 127 -> 71 iterations (cond 10.71 -> 10.70 -> 10.61)"
+    );
+    println!(
+        "  Pres_Poisson : 458 -> 401 iterations up to 5% (cond 1.11e4 -> 1.07e4), fails at 10%"
+    );
     write_artifact("sec54_condition", &rows);
 }

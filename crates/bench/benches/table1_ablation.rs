@@ -28,7 +28,11 @@ fn sparsify_factors(f: &IluFactors<f64>, pct: f64) -> IluFactors<f64> {
     IluFactors::new(l, u, TriangularExec::Sequential, "post-sparsified".into())
 }
 
-fn run_family(kind_of: impl Fn(&spcg_sparse::CsrMatrix<f64>, &[f64]) -> Option<PrecondKind>, label: &str, paper: &[(&str, f64, f64)]) {
+fn run_family(
+    kind_of: impl Fn(&spcg_sparse::CsrMatrix<f64>, &[f64]) -> Option<PrecondKind>,
+    label: &str,
+    paper: &[(&str, f64, f64)],
+) {
     let device = DeviceSpec::a100();
     let solver = bench_solver_config();
     let specs = env_collection();
@@ -45,14 +49,30 @@ fn run_family(kind_of: impl Fn(&spcg_sparse::CsrMatrix<f64>, &[f64]) -> Option<P
             eprintln!("[{}/{}] {}: skipped (no K)", i + 1, specs.len(), spec.name);
             continue;
         };
-        let Ok(base) = evaluate(&a, &b, kind, &device, &Variant::Baseline, &solver, TriangularExec::Sequential) else {
+        let Ok(base) = evaluate(
+            &a,
+            &b,
+            kind,
+            &device,
+            &Variant::Baseline,
+            &solver,
+            TriangularExec::Sequential,
+        ) else {
             eprintln!("[{}/{}] {}: skipped (baseline failed)", i + 1, specs.len(), spec.name);
             continue;
         };
         let mut fixed = Vec::new();
         let mut ok = true;
         for r in [1.0, 5.0, 10.0] {
-            match evaluate(&a, &b, kind, &device, &Variant::Fixed(r), &solver, TriangularExec::Sequential) {
+            match evaluate(
+                &a,
+                &b,
+                kind,
+                &device,
+                &Variant::Fixed(r),
+                &solver,
+                TriangularExec::Sequential,
+            ) {
                 Ok(e) => fixed.push(e),
                 Err(_) => {
                     ok = false;
@@ -75,10 +95,7 @@ fn run_family(kind_of: impl Fn(&spcg_sparse::CsrMatrix<f64>, &[f64]) -> Option<P
             continue;
         };
         // Oracle: fastest per-iteration fixed ratio.
-        let oracle = fixed
-            .iter()
-            .map(|e| e.per_iteration_us)
-            .fold(f64::MAX, f64::min);
+        let oracle = fixed.iter().map(|e| e.per_iteration_us).fold(f64::MAX, f64::min);
         let oracle_ratio = fixed
             .iter()
             .min_by(|a, b| a.per_iteration_us.partial_cmp(&b.per_iteration_us).unwrap())
@@ -110,7 +127,8 @@ fn run_family(kind_of: impl Fn(&spcg_sparse::CsrMatrix<f64>, &[f64]) -> Option<P
         );
     }
 
-    let headers = ["Statistic/Setting", "1%", "5%", "10%", "SPCG", "Oracle", "post-factor 10% (ext)"];
+    let headers =
+        ["Statistic/Setting", "1%", "5%", "10%", "SPCG", "Oracle", "post-factor 10% (ext)"];
     let gmean_row: Vec<String> = std::iter::once("Geometric Mean".to_string())
         .chain(cols.iter().map(|c| fmt_speedup(gmean(c).unwrap_or(0.0))))
         .collect();

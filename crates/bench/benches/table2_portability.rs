@@ -32,9 +32,8 @@ fn main() {
     let gmean_row: Vec<String> = std::iter::once("Geometric Mean".into())
         .chain(cells.iter().map(|c| fmt_speedup(c.1)))
         .collect();
-    let acc_row: Vec<String> = std::iter::once("% Accelerated".into())
-        .chain(cells.iter().map(|c| fmt_pct(c.2)))
-        .collect();
+    let acc_row: Vec<String> =
+        std::iter::once("% Accelerated".into()).chain(cells.iter().map(|c| fmt_pct(c.2))).collect();
     print_table(
         "Table 2: per-iteration speedup on A100 and V100 (simulated)",
         &headers,
@@ -44,8 +43,20 @@ fn main() {
         "paper reference",
         &headers,
         &[
-            vec!["Geometric Mean".into(), "1.23x".into(), "1.22x".into(), "1.65x".into(), "1.71x".into()],
-            vec!["% Accelerated".into(), "69.16%".into(), "83.18%".into(), "80.38%".into(), "82.25%".into()],
+            vec![
+                "Geometric Mean".into(),
+                "1.23x".into(),
+                "1.22x".into(),
+                "1.65x".into(),
+                "1.71x".into(),
+            ],
+            vec![
+                "% Accelerated".into(),
+                "69.16%".into(),
+                "83.18%".into(),
+                "80.38%".into(),
+                "82.25%".into(),
+            ],
         ],
     );
     write_artifact("table2_portability", &cells);

@@ -32,6 +32,6 @@ pub mod sweep;
 pub mod table;
 
 pub use runner::{
-    bench_solver_config, build_factors, compare, evaluate, select_k, write_artifact,
-    ComparisonRow, EvalResult, Variant,
+    bench_solver_config, build_factors, compare, evaluate, select_k, write_artifact, ComparisonRow,
+    EvalResult, Variant,
 };

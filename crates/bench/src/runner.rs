@@ -4,11 +4,12 @@
 
 use serde::{Deserialize, Serialize};
 use spcg_core::{
-    sparsify_by_magnitude, wavefront_aware_sparsify, PrecondKind, SparsifyParams,
+    sparsify_by_magnitude, wavefront_aware_sparsify, PrecondKind, SparsifyParams, SpcgOptions,
+    SpcgPlan,
 };
-use spcg_gpusim::{end_to_end_cost, pcg_iteration_cost, DeviceSpec, IterationCost};
+use spcg_gpusim::{end_to_end_cost, plan_iteration_cost, DeviceSpec, IterationCost};
 use spcg_precond::{ilu0, IluFactors, TriangularExec};
-use spcg_solver::{pcg, SolverConfig, StopReason};
+use spcg_solver::{SolveWorkspace, SolverConfig, StopReason};
 use spcg_sparse::{CsrMatrix, Result};
 use spcg_wavefront::wavefront_count;
 
@@ -87,24 +88,25 @@ pub fn build_factors(
         PrecondKind::Ilu0 => Ok((ilu0(m, exec)?, m.clone())),
         PrecondKind::Iluk(k) => {
             let cap = FILL_CAP_ABS.min(FILL_CAP_FACTOR.saturating_mul(m.nnz()));
-            let (pattern, _sym) =
-                spcg_precond::iluk_pattern_matrix_capped(m, k, cap)?;
+            let (pattern, _sym) = spcg_precond::iluk_pattern_matrix_capped(m, k, cap)?;
             // Numeric ILU on the padded pattern == ILU(K).
             Ok((ilu0(&pattern, exec)?, pattern))
         }
     }
 }
 
-/// Runs one variant of one matrix on one simulated device.
-pub fn evaluate(
+/// Builds the analyzed [`SpcgPlan`] for one variant: the variant's
+/// sparsification feeds the bench's fill-capped factorization, and the
+/// plan carries the original `A` plus the factors for any number of
+/// solves. Returns the plan, the factored pattern (for the cost model),
+/// and the ratio the variant chose.
+pub fn plan_variant(
     a: &CsrMatrix<f64>,
-    b: &[f64],
     kind: PrecondKind,
-    device: &DeviceSpec,
     variant: &Variant,
     solver: &SolverConfig,
     exec: TriangularExec,
-) -> Result<EvalResult> {
+) -> Result<(SpcgPlan<f64>, CsrMatrix<f64>, Option<f64>)> {
     let (m_for_fact, chosen_ratio) = match variant {
         Variant::Baseline => (a.clone(), None),
         Variant::Heuristic(params) => {
@@ -115,22 +117,37 @@ pub fn evaluate(
         Variant::Fixed(r) => (sparsify_by_magnitude(a, *r).a_hat, Some(*r)),
     };
     let (factors, pattern) = build_factors(&m_for_fact, kind, exec)?;
+    let opts = SpcgOptions { sparsify: None, precond: kind, exec, solver: solver.clone() };
+    let plan = SpcgPlan::from_factors(a.clone(), factors, opts).with_factored_matrix(m_for_fact);
+    Ok((plan, pattern, chosen_ratio))
+}
+
+/// Runs one variant of one matrix on one simulated device, reusing `ws`
+/// across calls so repeated evaluations share one set of solve buffers.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_with_workspace(
+    a: &CsrMatrix<f64>,
+    b: &[f64],
+    kind: PrecondKind,
+    device: &DeviceSpec,
+    variant: &Variant,
+    solver: &SolverConfig,
+    exec: TriangularExec,
+    ws: &mut SolveWorkspace<f64>,
+) -> Result<EvalResult> {
+    let (plan, pattern, chosen_ratio) = plan_variant(a, kind, variant, solver, exec)?;
+    let factors = plan.factors();
+    let m_for_fact = plan.factored_matrix();
 
     // Real numerics: PCG on the ORIGINAL A with the (possibly sparsified)
     // preconditioner, in f64 so the paper's 1e-12-style tolerances are
     // meaningful.
-    let result = pcg(a, &factors, b, solver);
+    let result = plan.solve_with_workspace(b, ws);
 
     // Simulated timing with the real iteration count.
-    let iter_cost = pcg_iteration_cost(device, a, &factors);
-    let mut e2e = end_to_end_cost(
-        device,
-        a,
-        &pattern,
-        &factors,
-        result.iterations,
-        chosen_ratio.is_some(),
-    );
+    let iter_cost = plan_iteration_cost(device, &plan);
+    let mut e2e =
+        end_to_end_cost(device, a, &pattern, factors, result.iterations, chosen_ratio.is_some());
     if matches!(kind, PrecondKind::Iluk(_)) {
         // The paper computes ILU(K) factors on the CPU with SuperLU (§3.3)
         // because the fill's changing dependences defeat a direct CUDA
@@ -151,12 +168,28 @@ pub fn evaluate(
         end_to_end_us: e2e.total_us(),
         factorization_us: e2e.factorization_us,
         chosen_ratio,
-        wavefronts_matrix: wavefront_count(&m_for_fact),
+        wavefronts_matrix: wavefront_count(m_for_fact),
         wavefronts_factors: factors.l_schedule().n_levels() + factors.u_schedule().n_levels(),
         factor_nnz: factors.l().nnz() + factors.u().nnz(),
         iteration_cost: iter_cost,
         measured_solve_seconds: result.timings.total.as_secs_f64(),
     })
+}
+
+/// Runs one variant of one matrix on one simulated device with a
+/// throwaway workspace. See [`evaluate_with_workspace`] to amortize the
+/// solve buffers across evaluations.
+pub fn evaluate(
+    a: &CsrMatrix<f64>,
+    b: &[f64],
+    kind: PrecondKind,
+    device: &DeviceSpec,
+    variant: &Variant,
+    solver: &SolverConfig,
+    exec: TriangularExec,
+) -> Result<EvalResult> {
+    let mut ws = SolveWorkspace::new(a.n_rows(), a.n_rows());
+    evaluate_with_workspace(a, b, kind, device, variant, solver, exec, &mut ws)
 }
 
 /// Baseline-vs-variant comparison for one matrix on one device — the unit
@@ -229,8 +262,11 @@ pub fn compare(
     solver: &SolverConfig,
 ) -> Result<ComparisonRow> {
     let exec = TriangularExec::Sequential;
-    let base = evaluate(a, b, kind, device, &Variant::Baseline, solver, exec)?;
-    let spcg = evaluate(a, b, kind, device, variant, solver, exec)?;
+    // One workspace serves both arms of the comparison.
+    let mut ws = SolveWorkspace::new(a.n_rows(), a.n_rows());
+    let base =
+        evaluate_with_workspace(a, b, kind, device, &Variant::Baseline, solver, exec, &mut ws)?;
+    let spcg = evaluate_with_workspace(a, b, kind, device, variant, solver, exec, &mut ws)?;
     Ok(ComparisonRow {
         name: name.to_string(),
         category: category.to_string(),
@@ -254,20 +290,28 @@ pub fn bench_solver_config() -> SolverConfig {
 /// judged by baseline PCG convergence. The fill cap excludes candidates
 /// whose pattern explodes, as the paper excludes non-completing configs.
 pub fn select_k(a: &CsrMatrix<f64>, b: &[f64], solver: &SolverConfig) -> Option<usize> {
+    // As in `spcg_core::select_best_k`: only the factorization differs per
+    // candidate, so the rhs setup and solve buffers are shared.
+    let mut ws = SolveWorkspace::new(a.n_rows(), a.n_rows());
     let mut best: Option<(usize, bool, usize)> = None;
     for k in [2usize, 4, 8] {
-        let Ok((factors, _)) = build_factors(a, PrecondKind::Iluk(k), TriangularExec::Sequential)
-        else {
+        let Ok((plan, _, _)) = plan_variant(
+            a,
+            PrecondKind::Iluk(k),
+            &Variant::Baseline,
+            solver,
+            TriangularExec::Sequential,
+        ) else {
             continue;
         };
-        let r = pcg(a, &factors, b, solver);
-        let conv = r.stop == StopReason::Converged;
+        let stats = plan.solve_in_place(b, &mut ws);
+        let conv = stats.stop == StopReason::Converged;
         let better = match best {
             None => true,
-            Some((_, bc, bi)) => (conv && !bc) || (conv == bc && r.iterations < bi),
+            Some((_, bc, bi)) => (conv && !bc) || (conv == bc && stats.iterations < bi),
         };
         if better {
-            best = Some((k, conv, r.iterations));
+            best = Some((k, conv, stats.iterations));
         }
     }
     best.map(|(k, _, _)| k)
@@ -277,8 +321,7 @@ pub fn select_k(a: &CsrMatrix<f64>, b: &[f64], solver: &SolverConfig) -> Option<
 /// `target/spcg-results/` (bench binaries run with the crate directory as
 /// CWD, so the path is anchored at the crate manifest).
 pub fn write_artifact<T: Serialize>(name: &str, value: &T) {
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/spcg-results");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/spcg-results");
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }

@@ -3,11 +3,8 @@
 
 /// Geometric mean of strictly positive finite values; `None` when empty.
 pub fn gmean(values: &[f64]) -> Option<f64> {
-    let logs: Vec<f64> = values
-        .iter()
-        .filter(|v| v.is_finite() && **v > 0.0)
-        .map(|v| v.ln())
-        .collect();
+    let logs: Vec<f64> =
+        values.iter().filter(|v| v.is_finite() && **v > 0.0).map(|v| v.ln()).collect();
     if logs.is_empty() {
         None
     } else {
@@ -44,9 +41,7 @@ pub fn histogram(values: &[f64], lo: f64, hi: f64, n_bins: usize) -> Vec<usize> 
 pub fn histogram_pct(values: &[f64], lo: f64, hi: f64, n_bins: usize) -> Vec<f64> {
     let bins = histogram(values, lo, hi, n_bins);
     let total: usize = bins.iter().sum();
-    bins.iter()
-        .map(|&b| if total == 0 { 0.0 } else { 100.0 * b as f64 / total as f64 })
-        .collect()
+    bins.iter().map(|&b| if total == 0 { 0.0 } else { 100.0 * b as f64 / total as f64 }).collect()
 }
 
 fn ranks(xs: &[f64]) -> Vec<f64> {

@@ -48,16 +48,7 @@ pub fn sweep_collection(device: &DeviceSpec, family: Family, variant: &Variant) 
                 }
             },
         };
-        match compare(
-            &spec.name,
-            spec.category.label(),
-            &a,
-            &b,
-            kind,
-            device,
-            variant,
-            &solver,
-        ) {
+        match compare(&spec.name, spec.category.label(), &a, &b, kind, device, variant, &solver) {
             Ok(row) => {
                 eprintln!(
                     "[{}/{}] {}: per-iter {:.2}x, e2e {}",

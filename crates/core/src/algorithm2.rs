@@ -153,11 +153,8 @@ pub fn wavefront_aware_sparsify<T: Scalar>(
         // Lines 9–12: wavefront-reduction test. Line 10 of the paper
         // normalizes by the *sparsified* count.
         let w_hat = wavefront_count(&cand.a_hat);
-        let reduction_line10 = if w_hat == 0 {
-            0.0
-        } else {
-            100.0 * (w_a as f64 - w_hat as f64) / w_hat as f64
-        };
+        let reduction_line10 =
+            if w_hat == 0 { 0.0 } else { 100.0 * (w_a as f64 - w_hat as f64) / w_hat as f64 };
         trace.push(CandidateTrace {
             ratio: t,
             indicator: ind,
@@ -202,8 +199,7 @@ mod tests {
         // indicator passes at τ = 1 and the 10% candidate is examined for
         // wavefront reduction.
         let base = spread(16);
-        let shift = spcg_sparse::CsrMatrix::<f64>::identity(base.n_rows())
-            .map_values(|v| v * 8.0);
+        let shift = spcg_sparse::CsrMatrix::<f64>::identity(base.n_rows()).map_values(|v| v * 8.0);
         let a = base.add(&shift).unwrap();
         let d = wavefront_aware_sparsify(&a, &SparsifyParams::default());
         assert!(d.trace[0].passed_convergence, "indicator: {:?}", d.trace[0].indicator);
@@ -255,7 +251,8 @@ mod tests {
     #[test]
     fn custom_single_ratio_list() {
         let a = spread(10);
-        let params = SparsifyParams { ratios: vec![5.0], tau: 1e9, omega: 1e9, ..Default::default() };
+        let params =
+            SparsifyParams { ratios: vec![5.0], tau: 1e9, omega: 1e9, ..Default::default() };
         let d = wavefront_aware_sparsify(&a, &params);
         assert_eq!(d.chosen_ratio, 5.0);
         assert_eq!(d.reason, SelectionReason::LastRatio);

@@ -63,9 +63,7 @@ pub fn convergence_indicator<T: Scalar>(
 pub fn condition_estimate<T: Scalar>(a: &CsrMatrix<T>, estimator: &CondEstimator) -> f64 {
     match estimator {
         CondEstimator::PaperApprox => spcg_sparse::cond::approx_condition(a),
-        CondEstimator::Spectral(opts) => {
-            condition_2norm_est(a, opts).unwrap_or(f64::INFINITY)
-        }
+        CondEstimator::Spectral(opts) => condition_2norm_est(a, opts).unwrap_or(f64::INFINITY),
     }
 }
 

@@ -8,10 +8,13 @@
 //!   (Equation 6) with the paper's cheap condition-number approximation;
 //! * [`algorithm2`] — the wavefront-aware selection loop (Algorithm 2);
 //! * [`pipeline`] — the Figure-2 pipeline: sparsify → ILU(0)/ILU(K) → PCG;
+//! * [`plan`] — the plan/execute split: analyze once, solve many times;
 //! * [`oracle`] — the best-fixed-ratio upper bound of §4.4;
 //! * [`report`] — serializable per-run records for the benchmark harness.
 //!
 //! ## Quick start
+//!
+//! One-shot solve:
 //!
 //! ```
 //! use spcg_core::pipeline::{spcg_solve, SpcgOptions};
@@ -22,6 +25,24 @@
 //! let outcome = spcg_solve(&a, &b, &SpcgOptions::default()).unwrap();
 //! assert!(outcome.result.converged());
 //! ```
+//!
+//! Repeated solves against one operator — build the plan once, reuse its
+//! analysis (sparsification, factors, level schedules) for every
+//! right-hand side:
+//!
+//! ```
+//! use spcg_core::{SpcgOptions, SpcgPlan};
+//! use spcg_sparse::generators::poisson_2d;
+//!
+//! let a = poisson_2d(16, 16);
+//! let plan = SpcgPlan::build(&a, &SpcgOptions::default()).unwrap();
+//! let rhs: Vec<Vec<f64>> = (0..3)
+//!     .map(|k| (0..a.n_rows()).map(|i| ((i + k) % 7) as f64).collect())
+//!     .collect();
+//! for result in plan.solve_many(&rhs) {
+//!     assert!(result.converged());
+//! }
+//! ```
 
 #![warn(missing_docs)]
 
@@ -29,16 +50,16 @@ pub mod algorithm2;
 pub mod indicator;
 pub mod oracle;
 pub mod pipeline;
+pub mod plan;
 pub mod report;
 pub mod sparsify;
 
-pub use algorithm2::{
-    wavefront_aware_sparsify, SelectionReason, SparsifyDecision, SparsifyParams,
-};
+pub use algorithm2::{wavefront_aware_sparsify, SelectionReason, SparsifyDecision, SparsifyParams};
 pub use indicator::{condition_estimate, convergence_indicator, CondEstimator, IndicatorValue};
 pub use oracle::{oracle_select, OracleChoice, ORACLE_RATIOS};
 pub use pipeline::{
     build_preconditioner, select_best_k, spcg_solve, PrecondKind, SpcgOptions, SpcgOutcome,
 };
+pub use plan::SpcgPlan;
 pub use report::RunReport;
 pub use sparsify::{sparsify_by_magnitude, Sparsified, SparsifyStats};

@@ -64,10 +64,8 @@ mod tests {
         let a = with_magnitude_spread(&poisson_2d(10, 10), 5.0, 9);
         // Cost = number of wavefronts of Â: more aggressive sparsification
         // can only help, so 10% must win (ties go to the first seen).
-        let choice = oracle_select(&a, &ORACLE_RATIOS, |sp| {
-            wavefront_count(&sp.a_hat) as f64
-        })
-        .unwrap();
+        let choice =
+            oracle_select(&a, &ORACLE_RATIOS, |sp| wavefront_count(&sp.a_hat) as f64).unwrap();
         let w10 = choice.sweep.iter().find(|&&(r, _)| r == 10.0).unwrap().1;
         assert_eq!(choice.cost, choice.sweep.iter().map(|&(_, c)| c).fold(f64::MAX, f64::min));
         assert!(choice.cost <= w10);

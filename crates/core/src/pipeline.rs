@@ -2,12 +2,13 @@
 //! ILU(0)/ILU(K) → run PCG on the *original* `A` with the sparsified
 //! preconditioner.
 
-use crate::algorithm2::{wavefront_aware_sparsify, SparsifyDecision, SparsifyParams};
+use crate::algorithm2::{SparsifyDecision, SparsifyParams};
+use crate::plan::SpcgPlan;
 use serde::{Deserialize, Serialize};
 use spcg_precond::{ilu0, iluk, IluFactors, TriangularExec};
-use spcg_solver::{pcg, SolveResult, SolverConfig};
+use spcg_solver::{SolveResult, SolveWorkspace, SolverConfig};
 use spcg_sparse::{CsrMatrix, Result, Scalar};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Which incomplete factorization backs the preconditioner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -87,35 +88,21 @@ pub fn build_preconditioner<T: Scalar>(
 }
 
 /// Runs the full pipeline: sparsify (optional) → factor → PCG.
+///
+/// One-shot convenience over [`SpcgPlan`]: builds a plan, solves once, and
+/// decomposes the plan into the outcome. Amortize the analysis over many
+/// right-hand sides by holding the plan instead.
+///
+/// PCG always solves the ORIGINAL system `A x = b` (Figure 2): only the
+/// preconditioner sees `Â`.
 pub fn spcg_solve<T: Scalar>(
     a: &CsrMatrix<T>,
     b: &[T],
     opts: &SpcgOptions,
 ) -> Result<SpcgOutcome<T>> {
-    let (decision, factor_input, sparsify_time) = match &opts.sparsify {
-        Some(params) => {
-            let t = Instant::now();
-            let d = wavefront_aware_sparsify(a, params);
-            let elapsed = t.elapsed();
-            (Some(d), None, elapsed)
-        }
-        None => (None, Some(a), Duration::ZERO),
-    };
-    let m = match (&decision, factor_input) {
-        (Some(d), _) => &d.sparsified.a_hat,
-        (None, Some(a)) => a,
-        _ => unreachable!(),
-    };
-
-    let t = Instant::now();
-    let factors = build_preconditioner(m, opts.precond, opts.exec)?;
-    let factorization_time = t.elapsed();
-
-    // PCG always solves the ORIGINAL system A x = b (Figure 2): only the
-    // preconditioner sees Â.
-    let result = pcg(a, &factors, b, &opts.solver);
-
-    Ok(SpcgOutcome { result, decision, factors, sparsify_time, factorization_time })
+    let plan = SpcgPlan::build(a, opts)?;
+    let result = plan.solve(b);
+    Ok(plan.into_outcome(result))
 }
 
 /// The paper's K-selection procedure (§3.3): run baseline PCG-ILU(K) for
@@ -130,22 +117,24 @@ pub fn select_best_k<T: Scalar>(
     solver: &SolverConfig,
 ) -> Result<usize> {
     assert!(!candidates.is_empty(), "need at least one K candidate");
+    // The candidates share everything except the factorization: one
+    // workspace serves every trial solve, and the allocation-free in-place
+    // path keeps the sweep cheap.
+    let mut ws: Option<SolveWorkspace<T>> = None;
     let mut best: Option<(usize, bool, usize, f64)> = None; // (k, converged, iters, resid)
     for &k in candidates {
-        let outcome = spcg_solve(
-            a,
-            b,
-            &SpcgOptions {
-                sparsify: None,
-                precond: PrecondKind::Iluk(k),
-                exec,
-                solver: solver.clone(),
-            },
-        );
-        let Ok(out) = outcome else { continue }; // factorization breakdown: skip K
-        let conv = out.result.converged();
-        let iters = out.result.iterations;
-        let resid = out.result.final_residual;
+        let opts = SpcgOptions {
+            sparsify: None,
+            precond: PrecondKind::Iluk(k),
+            exec,
+            solver: solver.clone(),
+        };
+        let Ok(plan) = SpcgPlan::build(a, &opts) else { continue }; // breakdown: skip K
+        let ws = ws.get_or_insert_with(|| plan.make_workspace());
+        let stats = plan.solve_in_place(b, ws);
+        let conv = stats.converged();
+        let iters = stats.iterations;
+        let resid = stats.final_residual;
         let better = match &best {
             None => true,
             Some((_, bconv, biters, bresid)) => {
@@ -202,10 +191,7 @@ mod tests {
         let out = spcg_solve(
             &a,
             &b,
-            &SpcgOptions {
-                solver: SolverConfig::default().with_tol(1e-11),
-                ..Default::default()
-            },
+            &SpcgOptions { solver: SolverConfig::default().with_tol(1e-11), ..Default::default() },
         )
         .unwrap();
         assert!(out.result.converged());
@@ -217,12 +203,8 @@ mod tests {
     #[test]
     fn sparsified_preconditioner_has_no_more_wavefronts() {
         let (a, b) = system(16);
-        let base = spcg_solve(
-            &a,
-            &b,
-            &SpcgOptions { sparsify: None, ..Default::default() },
-        )
-        .unwrap();
+        let base =
+            spcg_solve(&a, &b, &SpcgOptions { sparsify: None, ..Default::default() }).unwrap();
         let spcg = spcg_solve(&a, &b, &SpcgOptions::default()).unwrap();
         assert!(
             spcg.factors.total_wavefronts() <= base.factors.total_wavefronts(),

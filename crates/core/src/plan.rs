@@ -1,0 +1,320 @@
+//! The plan/execute split: [`SpcgPlan`] performs the one-time analysis of
+//! the Figure-2 pipeline — sparsify `A`, factor `Â`, build the wavefront
+//! level schedules — and can then execute any number of solves against it.
+//!
+//! This is the inspector–executor pattern applied to the whole pipeline:
+//! the expensive, matrix-dependent work is done once at `build` time and
+//! amortized over every subsequent right-hand side, exactly the regime the
+//! paper targets (time-stepping and optimization loops re-solving with the
+//! same operator). The execute half reuses a [`SolveWorkspace`] so the PCG
+//! iteration loop performs no heap allocation.
+
+use crate::algorithm2::{wavefront_aware_sparsify, SparsifyDecision};
+use crate::pipeline::{build_preconditioner, SpcgOptions, SpcgOutcome};
+use spcg_precond::{IluFactors, Preconditioner};
+use spcg_solver::{pcg_in_place, pcg_with_workspace, SolveResult, SolveStats, SolveWorkspace};
+use spcg_sparse::{CsrMatrix, Result, Scalar};
+use std::time::{Duration, Instant};
+
+/// A fully-analyzed SPCG pipeline, ready to solve repeatedly.
+///
+/// Owns the system matrix, the sparsification decision, the incomplete
+/// factors (with their precomputed level schedules), and the analysis-phase
+/// timings. Build once with [`SpcgPlan::build`], then call
+/// [`solve`](SpcgPlan::solve) / [`solve_many`](SpcgPlan::solve_many) — or
+/// the workspace variants for allocation-free hot paths.
+///
+/// The plan is immutable after construction (`&self` solves), so one plan
+/// can serve many threads concurrently; [`solve_many`](SpcgPlan::solve_many)
+/// exploits this by fanning independent right-hand sides across workers.
+#[derive(Debug)]
+pub struct SpcgPlan<T: Scalar> {
+    a: CsrMatrix<T>,
+    opts: SpcgOptions,
+    decision: Option<SparsifyDecision<T>>,
+    /// Explicit record of the matrix handed to the factorization, for
+    /// plans whose analysis ran outside [`SpcgPlan::build`] (the decision
+    /// carries it otherwise).
+    factored: Option<CsrMatrix<T>>,
+    factors: IluFactors<T>,
+    sparsify_time: Duration,
+    factorization_time: Duration,
+}
+
+impl<T: Scalar> SpcgPlan<T> {
+    /// Runs the analysis phase: sparsify (when configured), factor the
+    /// result, and build the triangular-solve level schedules.
+    pub fn build(a: &CsrMatrix<T>, opts: &SpcgOptions) -> Result<Self> {
+        assert!(a.is_square(), "SPCG requires a square matrix");
+        let (decision, sparsify_time) = match &opts.sparsify {
+            Some(params) => {
+                let t = Instant::now();
+                let d = wavefront_aware_sparsify(a, params);
+                (Some(d), t.elapsed())
+            }
+            None => (None, Duration::ZERO),
+        };
+        let m = decision.as_ref().map_or(a, |d| &d.sparsified.a_hat);
+        let t = Instant::now();
+        let factors = build_preconditioner(m, opts.precond, opts.exec)?;
+        let factorization_time = t.elapsed();
+        Ok(Self {
+            a: a.clone(),
+            opts: opts.clone(),
+            decision,
+            factored: None,
+            factors,
+            sparsify_time,
+            factorization_time,
+        })
+    }
+
+    /// Wraps externally-built factors (e.g. a fill-capped ILU(K) from the
+    /// bench harness) into a plan over `a`. No sparsification decision is
+    /// recorded and analysis timings are zero — the caller did that work.
+    pub fn from_factors(a: CsrMatrix<T>, factors: IluFactors<T>, opts: SpcgOptions) -> Self {
+        assert_eq!(a.n_rows(), factors.dim(), "factor dimension mismatch");
+        Self {
+            a,
+            opts,
+            decision: None,
+            factored: None,
+            factors,
+            sparsify_time: Duration::ZERO,
+            factorization_time: Duration::ZERO,
+        }
+    }
+
+    /// Records which matrix the external analysis factored (for cost models
+    /// and wavefront accounting on [`from_factors`](SpcgPlan::from_factors)
+    /// plans).
+    pub fn with_factored_matrix(mut self, m: CsrMatrix<T>) -> Self {
+        assert_eq!(m.n_rows(), self.factors.dim(), "factored matrix dimension mismatch");
+        self.factored = Some(m);
+        self
+    }
+
+    /// The system matrix the plan solves against.
+    pub fn a(&self) -> &CsrMatrix<T> {
+        &self.a
+    }
+
+    /// Options the plan was built with.
+    pub fn options(&self) -> &SpcgOptions {
+        &self.opts
+    }
+
+    /// The sparsification decision (None for the baseline or
+    /// [`from_factors`](SpcgPlan::from_factors) plans).
+    pub fn decision(&self) -> Option<&SparsifyDecision<T>> {
+        self.decision.as_ref()
+    }
+
+    /// The factors applied as the preconditioner.
+    pub fn factors(&self) -> &IluFactors<T> {
+        &self.factors
+    }
+
+    /// The matrix that was handed to the factorization: `Â` when the plan
+    /// sparsified, the explicitly-recorded matrix for external analyses,
+    /// `A` otherwise.
+    pub fn factored_matrix(&self) -> &CsrMatrix<T> {
+        if let Some(m) = &self.factored {
+            return m;
+        }
+        self.decision.as_ref().map_or(&self.a, |d| &d.sparsified.a_hat)
+    }
+
+    /// `true` when the preconditioner was built from a sparsified matrix.
+    pub fn is_sparsified(&self) -> bool {
+        self.decision.is_some()
+    }
+
+    /// Wall-clock time of the sparsification step.
+    pub fn sparsify_time(&self) -> Duration {
+        self.sparsify_time
+    }
+
+    /// Wall-clock time of the factorization step.
+    pub fn factorization_time(&self) -> Duration {
+        self.factorization_time
+    }
+
+    /// System dimension.
+    pub fn n(&self) -> usize {
+        self.a.n_rows()
+    }
+
+    /// A workspace sized for this plan's system and preconditioner.
+    pub fn make_workspace(&self) -> SolveWorkspace<T> {
+        SolveWorkspace::for_preconditioner(self.n(), &self.factors)
+    }
+
+    /// Solves `A x = b`, allocating a fresh workspace for this call.
+    /// Results are identical to [`solve_with_workspace`](Self::solve_with_workspace).
+    pub fn solve(&self, b: &[T]) -> SolveResult<T> {
+        let mut ws = self.make_workspace();
+        self.solve_with_workspace(b, &mut ws)
+    }
+
+    /// Solves `A x = b` reusing `ws`, returning an owned result. The
+    /// iteration loop allocates nothing once `ws` is warm.
+    pub fn solve_with_workspace(&self, b: &[T], ws: &mut SolveWorkspace<T>) -> SolveResult<T> {
+        pcg_with_workspace(&self.a, &self.factors, b, &self.opts.solver, ws)
+    }
+
+    /// The fully allocation-free solve: the iterate stays in
+    /// `ws.solution()` and only `Copy` statistics are returned.
+    pub fn solve_in_place(&self, b: &[T], ws: &mut SolveWorkspace<T>) -> SolveStats {
+        pcg_in_place(&self.a, &self.factors, b, &self.opts.solver, ws)
+    }
+
+    /// Solves the same operator against many independent right-hand sides,
+    /// in parallel, with one reusable workspace per worker. Results are
+    /// returned in input order and are identical to calling
+    /// [`solve`](SpcgPlan::solve) on each `b` sequentially.
+    pub fn solve_many<B: AsRef<[T]> + Sync>(&self, rhs: &[B]) -> Vec<SolveResult<T>> {
+        if rhs.is_empty() {
+            return Vec::new();
+        }
+        let workers = rayon::current_num_threads().clamp(1, rhs.len());
+        let chunk_len = rhs.len().div_ceil(workers);
+        let mut out: Vec<Option<SolveResult<T>>> = (0..rhs.len()).map(|_| None).collect();
+        rayon::scope(|s| {
+            for (slot, chunk) in out.chunks_mut(chunk_len).zip(rhs.chunks(chunk_len)) {
+                s.spawn(move |_| {
+                    let mut ws = self.make_workspace();
+                    for (cell, b) in slot.iter_mut().zip(chunk) {
+                        *cell = Some(self.solve_with_workspace(b.as_ref(), &mut ws));
+                    }
+                });
+            }
+        });
+        out.into_iter().map(|r| r.expect("solve_many worker left a slot unfilled")).collect()
+    }
+
+    /// Decomposes the plan into the legacy [`SpcgOutcome`], attaching the
+    /// result of a solve. Moves the factors and decision — no clone.
+    pub fn into_outcome(self, result: SolveResult<T>) -> SpcgOutcome<T> {
+        SpcgOutcome {
+            result,
+            decision: self.decision,
+            factors: self.factors,
+            sparsify_time: self.sparsify_time,
+            factorization_time: self.factorization_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::spcg_solve;
+    use spcg_solver::SolverConfig;
+    use spcg_sparse::generators::{poisson_2d, with_magnitude_spread};
+    use spcg_sparse::Rng;
+
+    fn system(n: usize) -> (CsrMatrix<f64>, Vec<f64>) {
+        let a = with_magnitude_spread(&poisson_2d(n, n), 6.0, 21);
+        let mut rng = Rng::new(77);
+        let b = (0..n * n).map(|_| rng.range(-1.0, 1.0)).collect();
+        (a, b)
+    }
+
+    fn opts() -> SpcgOptions {
+        SpcgOptions {
+            solver: SolverConfig::default().with_tol(1e-10).with_history(true),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn plan_solve_matches_pipeline_solve_bitwise() {
+        let (a, b) = system(12);
+        let o = opts();
+        let plan = SpcgPlan::build(&a, &o).unwrap();
+        let from_plan = plan.solve(&b);
+        let from_pipeline = spcg_solve(&a, &b, &o).unwrap();
+        assert_eq!(from_plan.x, from_pipeline.result.x);
+        assert_eq!(from_plan.residual_history, from_pipeline.result.residual_history);
+        assert_eq!(from_plan.iterations, from_pipeline.result.iterations);
+    }
+
+    #[test]
+    fn one_plan_solves_many_distinct_rhs() {
+        let (a, _) = system(10);
+        let o = opts();
+        let plan = SpcgPlan::build(&a, &o).unwrap();
+        let mut rng = Rng::new(5);
+        let rhs: Vec<Vec<f64>> =
+            (0..4).map(|_| (0..a.n_rows()).map(|_| rng.range(-2.0, 2.0)).collect()).collect();
+        let mut ws = plan.make_workspace();
+        for b in &rhs {
+            let r = plan.solve_with_workspace(b, &mut ws);
+            assert!(r.converged(), "stop {:?}", r.stop);
+            // Each result equals a one-shot solve of the same rhs.
+            assert_eq!(r.x, plan.solve(b).x);
+        }
+    }
+
+    #[test]
+    fn solve_many_matches_independent_solves() {
+        let (a, _) = system(9);
+        let o = opts();
+        let plan = SpcgPlan::build(&a, &o).unwrap();
+        let mut rng = Rng::new(9);
+        let rhs: Vec<Vec<f64>> =
+            (0..7).map(|_| (0..a.n_rows()).map(|_| rng.range(-1.0, 1.0)).collect()).collect();
+        let batched = plan.solve_many(&rhs);
+        assert_eq!(batched.len(), rhs.len());
+        for (i, (batch, b)) in batched.iter().zip(&rhs).enumerate() {
+            let single = plan.solve(b);
+            assert_eq!(batch.x, single.x, "rhs {i} diverged from independent solve");
+            assert_eq!(batch.iterations, single.iterations);
+        }
+    }
+
+    #[test]
+    fn solve_many_handles_empty_and_singleton() {
+        let (a, b) = system(8);
+        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        assert!(plan.solve_many(&Vec::<Vec<f64>>::new()).is_empty());
+        let one = plan.solve_many(std::slice::from_ref(&b));
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].x, plan.solve(&b).x);
+    }
+
+    #[test]
+    fn baseline_plan_skips_sparsification() {
+        let (a, b) = system(8);
+        let o = SpcgOptions { sparsify: None, ..opts() };
+        let plan = SpcgPlan::build(&a, &o).unwrap();
+        assert!(!plan.is_sparsified());
+        assert!(plan.decision().is_none());
+        assert_eq!(plan.sparsify_time(), Duration::ZERO);
+        assert!(std::ptr::eq(plan.factored_matrix(), plan.a()));
+        assert!(plan.solve(&b).converged());
+    }
+
+    #[test]
+    fn from_factors_wraps_external_analysis() {
+        let (a, b) = system(8);
+        let o = SpcgOptions { sparsify: None, ..opts() };
+        let factors = build_preconditioner(&a, o.precond, o.exec).unwrap();
+        let plan = SpcgPlan::from_factors(a.clone(), factors, o.clone());
+        let direct = SpcgPlan::build(&a, &o).unwrap();
+        assert_eq!(plan.solve(&b).x, direct.solve(&b).x);
+    }
+
+    #[test]
+    fn into_outcome_preserves_analysis() {
+        let (a, b) = system(8);
+        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let wavefronts = plan.factors().total_wavefronts();
+        let result = plan.solve(&b);
+        let outcome = plan.into_outcome(result);
+        assert!(outcome.decision.is_some());
+        assert_eq!(outcome.factors.total_wavefronts(), wavefronts);
+        assert!(outcome.result.converged());
+    }
+}

@@ -70,11 +70,8 @@ pub fn sparsify_by_magnitude<T: Scalar>(a: &CsrMatrix<T>, percent: f64) -> Spars
     let target = ((percent / 100.0) * a.nnz() as f64).floor() as usize;
 
     // Candidate upper-triangle entries sorted by magnitude (then position).
-    let mut candidates: Vec<(usize, usize, f64)> = a
-        .iter()
-        .filter(|&(r, c, _)| r < c)
-        .map(|(r, c, v)| (r, c, v.to_f64().abs()))
-        .collect();
+    let mut candidates: Vec<(usize, usize, f64)> =
+        a.iter().filter(|&(r, c, _)| r < c).map(|(r, c, v)| (r, c, v.to_f64().abs())).collect();
     candidates.sort_by(|x, y| {
         x.2.partial_cmp(&y.2)
             .unwrap_or(std::cmp::Ordering::Equal)
@@ -156,29 +153,19 @@ mod tests {
         let a = spread_poisson(16);
         let sp = sparsify_by_magnitude(&a, 10.0);
         let achieved = sp.achieved_percent();
-        assert!(
-            (achieved - 10.0).abs() < 0.5,
-            "achieved {achieved}% too far from requested 10%"
-        );
+        assert!((achieved - 10.0).abs() < 0.5, "achieved {achieved}% too far from requested 10%");
     }
 
     #[test]
     fn smallest_magnitudes_are_dropped_first() {
         let a = spread_poisson(10);
         let sp = sparsify_by_magnitude(&a, 10.0);
-        let max_dropped = sp
-            .s
-            .values()
-            .iter()
-            .fold(0.0f64, |m, &v| m.max(v.abs()));
+        let max_dropped = sp.s.values().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         // Entries kept off-diagonal with magnitude strictly below the
         // largest dropped magnitude should be rare; with distinct values
         // produced by the spread there should be none.
-        let violations = sp
-            .a_hat
-            .iter()
-            .filter(|&(r, c, v)| r != c && v.abs() < max_dropped - 1e-15)
-            .count();
+        let violations =
+            sp.a_hat.iter().filter(|&(r, c, v)| r != c && v.abs() < max_dropped - 1e-15).count();
         assert_eq!(violations, 0);
     }
 

@@ -2,12 +2,9 @@
 
 use proptest::prelude::*;
 use spcg_core::{
-    sparsify_by_magnitude, wavefront_aware_sparsify, CondEstimator, SelectionReason,
-    SparsifyParams,
+    sparsify_by_magnitude, wavefront_aware_sparsify, CondEstimator, SelectionReason, SparsifyParams,
 };
-use spcg_sparse::generators::{
-    banded_spd, layered_poisson_2d, random_spd, with_magnitude_spread,
-};
+use spcg_sparse::generators::{banded_spd, layered_poisson_2d, random_spd, with_magnitude_spread};
 use spcg_wavefront::wavefront_count;
 
 proptest! {

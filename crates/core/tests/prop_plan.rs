@@ -1,0 +1,110 @@
+//! Property-based tests of the plan/execute split: a reusable [`SpcgPlan`]
+//! must be an exact drop-in for the one-shot pipeline on randomized
+//! operators, options, and right-hand sides.
+
+use proptest::prelude::*;
+use spcg_core::pipeline::{spcg_solve, PrecondKind, SpcgOptions};
+use spcg_core::SpcgPlan;
+use spcg_solver::SolverConfig;
+use spcg_sparse::generators::{random_spd, with_magnitude_spread};
+use spcg_sparse::Rng;
+
+fn random_system(n: usize, seed: u64) -> (spcg_sparse::CsrMatrix<f64>, Vec<f64>) {
+    let a = with_magnitude_spread(&random_spd(n, 4, 1.5, seed), 5.0, seed ^ 3);
+    let mut rng = Rng::new(seed ^ 0xb0b);
+    let b = (0..n).map(|_| rng.range(-1.0, 1.0)).collect();
+    (a, b)
+}
+
+fn options(sparsify: bool, k: usize, history: bool) -> SpcgOptions {
+    SpcgOptions {
+        sparsify: if sparsify { Some(Default::default()) } else { None },
+        precond: if k == 0 { PrecondKind::Ilu0 } else { PrecondKind::Iluk(k) },
+        solver: SolverConfig::default().with_tol(1e-9).with_history(history),
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// `SpcgPlan::build` + `solve` is bitwise identical to the legacy
+    /// one-shot `spcg_solve` — same iterate, same residual trajectory, same
+    /// analysis decision — for every operator/options combination.
+    #[test]
+    fn plan_solve_is_bitwise_identical_to_spcg_solve(
+        n in 20usize..80,
+        seed in 0u64..300,
+        sparsify in any::<bool>(),
+        k in 0usize..3,
+    ) {
+        let (a, b) = random_system(n, seed);
+        let opts = options(sparsify, k, true);
+        let legacy = spcg_solve(&a, &b, &opts).unwrap();
+        let plan = SpcgPlan::build(&a, &opts).unwrap();
+        let result = plan.solve(&b);
+        prop_assert_eq!(&legacy.result.x, &result.x);
+        prop_assert_eq!(&legacy.result.residual_history, &result.residual_history);
+        prop_assert_eq!(legacy.result.iterations, result.iterations);
+        prop_assert_eq!(legacy.result.stop, result.stop);
+        prop_assert_eq!(
+            legacy.decision.map(|d| d.chosen_ratio),
+            plan.decision().map(|d| d.chosen_ratio)
+        );
+    }
+
+    /// One plan solving a batch of right-hand sides via `solve_many` gives
+    /// exactly the N results of N independent solves, in input order.
+    #[test]
+    fn solve_many_matches_n_independent_solves(
+        n in 20usize..60,
+        seed in 0u64..200,
+        n_rhs in 1usize..6,
+        sparsify in any::<bool>(),
+    ) {
+        let (a, _) = random_system(n, seed);
+        let opts = options(sparsify, 0, false);
+        let plan = SpcgPlan::build(&a, &opts).unwrap();
+        let mut rng = Rng::new(seed ^ 0xfeed);
+        let rhs: Vec<Vec<f64>> = (0..n_rhs)
+            .map(|_| (0..n).map(|_| rng.range(-2.0, 2.0)).collect())
+            .collect();
+        let batched = plan.solve_many(&rhs);
+        prop_assert_eq!(batched.len(), n_rhs);
+        for (i, b) in rhs.iter().enumerate() {
+            let solo = plan.solve(b);
+            prop_assert_eq!(&batched[i].x, &solo.x, "rhs {} iterate differs", i);
+            prop_assert_eq!(batched[i].iterations, solo.iterations);
+            prop_assert_eq!(batched[i].stop, solo.stop);
+        }
+        // ...and each matches the legacy one-shot pipeline too.
+        let solo_legacy = spcg_solve(&a, &rhs[0], &opts).unwrap();
+        prop_assert_eq!(&batched[0].x, &solo_legacy.result.x);
+    }
+
+    /// A reused workspace never contaminates later solves: interleaving
+    /// systems of different sizes through one workspace reproduces the
+    /// fresh-workspace results exactly.
+    #[test]
+    fn workspace_reuse_across_plans_is_exact(
+        n1 in 16usize..40,
+        n2 in 41usize..80,
+        seed in 0u64..100,
+    ) {
+        let (a1, b1) = random_system(n1, seed);
+        let (a2, b2) = random_system(n2, seed ^ 1);
+        let opts = options(true, 0, true);
+        let p1 = SpcgPlan::build(&a1, &opts).unwrap();
+        let p2 = SpcgPlan::build(&a2, &opts).unwrap();
+        let mut ws = p1.make_workspace();
+        // small -> large -> small through ONE workspace
+        let r1 = p1.solve_with_workspace(&b1, &mut ws);
+        let r2 = p2.solve_with_workspace(&b2, &mut ws);
+        let r1_again = p1.solve_with_workspace(&b1, &mut ws);
+        prop_assert_eq!(&p1.solve(&b1).x, &r1.x);
+        prop_assert_eq!(&p2.solve(&b2).x, &r2.x);
+        prop_assert_eq!(&r1.x, &r1_again.x);
+        prop_assert_eq!(r1.x.len(), n1);
+        prop_assert_eq!(r2.x.len(), n2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Proof that the PCG hot path is allocation-free: a counting global
+//! allocator wraps the system allocator, and after one warm-up solve every
+//! further in-place solve on the same plan must perform **zero** heap
+//! allocations — across the whole iteration loop, the triangular
+//! preconditioner applications, and residual-history recording.
+//!
+//! This lives in its own integration-test binary so the `#[global_allocator]`
+//! does not interfere with any other test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use spcg_core::{SpcgOptions, SpcgPlan};
+use spcg_solver::SolverConfig;
+use spcg_sparse::generators::{poisson_2d, with_magnitude_spread};
+use spcg_sparse::Rng;
+
+/// Counts every allocation request routed through the global allocator.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocation_count() -> usize {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn warm_in_place_solves_do_not_allocate() {
+    // Sparsified plan, sequential triangular solves (the level-parallel
+    // path hands work to a thread pool, which is outside the allocation
+    // contract), history recording ON so the push path is exercised too.
+    let a = with_magnitude_spread(&poisson_2d(24, 24), 5.0, 11);
+    let opts = SpcgOptions {
+        solver: SolverConfig::default().with_tol(1e-10).with_history(true),
+        ..Default::default()
+    };
+    let plan = SpcgPlan::build(&a, &opts).expect("plan builds");
+    let mut ws = plan.make_workspace();
+
+    // All right-hand sides are materialized before the measured region.
+    let mut rng = Rng::new(42);
+    let rhs: Vec<Vec<f64>> =
+        (0..4).map(|_| (0..a.n_rows()).map(|_| rng.range(-1.0, 1.0)).collect()).collect();
+
+    // Warm-up: sizes every buffer and reserves the history capacity.
+    let warm = plan.solve_in_place(&rhs[0], &mut ws);
+    assert!(warm.converged(), "warm-up failed: {:?}", warm.stop);
+
+    let before = allocation_count();
+    for b in &rhs {
+        let stats = plan.solve_in_place(b, &mut ws);
+        assert!(stats.converged(), "solve failed: {:?}", stats.stop);
+        assert!(stats.iterations > 0, "trivial solve would not exercise the loop");
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "warm PCG solves allocated {} time(s); the hot path must be allocation-free",
+        after - before
+    );
+}
+
+#[test]
+fn workspace_growth_allocates_then_settles() {
+    // Growing to a larger system allocates (by design), but once grown the
+    // workspace serves both sizes allocation-free.
+    let small = poisson_2d(8, 8);
+    let large = poisson_2d(16, 16);
+    let opts = SpcgOptions { sparsify: None, ..Default::default() };
+    let plan_s = SpcgPlan::build(&small, &opts).expect("small plan");
+    let plan_l = SpcgPlan::build(&large, &opts).expect("large plan");
+    let b_s = vec![1.0f64; small.n_rows()];
+    let b_l = vec![1.0f64; large.n_rows()];
+
+    let mut ws = plan_s.make_workspace();
+    plan_s.solve_in_place(&b_s, &mut ws);
+
+    // First visit to the larger system must grow the buffers.
+    let before_growth = allocation_count();
+    plan_l.solve_in_place(&b_l, &mut ws);
+    assert!(allocation_count() > before_growth, "growth should allocate");
+
+    // From here on, alternating sizes stays allocation-free.
+    let before = allocation_count();
+    plan_s.solve_in_place(&b_s, &mut ws);
+    plan_l.solve_in_place(&b_l, &mut ws);
+    plan_s.solve_in_place(&b_s, &mut ws);
+    assert_eq!(allocation_count() - before, 0, "alternating warm solves allocated");
+}

@@ -33,8 +33,8 @@ pub fn ilu_factorization_cost<T: Scalar>(device: &DeviceSpec, a: &CsrMatrix<T>) 
     let n = a.n_rows();
     // Upper-part sizes per row (entries with col >= row, excluding none).
     let mut upper_nnz = vec![0usize; n];
-    for i in 0..n {
-        upper_nnz[i] = a.row_cols(i).iter().filter(|&&c| c > i).count();
+    for (i, u) in upper_nnz.iter_mut().enumerate() {
+        *u = a.row_cols(i).iter().filter(|&&c| c > i).count();
     }
     let schedule = LevelSchedule::build(a, Triangle::Lower);
 
@@ -69,8 +69,8 @@ pub fn ilu_factorization_cost_serial<T: Scalar>(
 ) -> KernelCost {
     let n = a.n_rows();
     let mut upper_nnz = vec![0usize; n];
-    for i in 0..n {
-        upper_nnz[i] = a.row_cols(i).iter().filter(|&&c| c > i).count();
+    for (i, u) in upper_nnz.iter_mut().enumerate() {
+        *u = a.row_cols(i).iter().filter(|&&c| c > i).count();
     }
     let mut flops = 0.0;
     let mut touched = 0.0;
@@ -119,8 +119,8 @@ pub fn sparsify_cost_us(nnz: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spcg_sparse::generators::poisson_2d;
     use spcg_precond::iluk_pattern_matrix;
+    use spcg_sparse::generators::poisson_2d;
 
     #[test]
     fn factorization_cost_scales_with_size() {
@@ -149,18 +149,13 @@ mod tests {
         a: &spcg_sparse::CsrMatrix<f64>,
         pct: f64,
     ) -> spcg_sparse::CsrMatrix<f64> {
-        let mut offs: Vec<(usize, usize, f64)> = a
-            .iter()
-            .filter(|&(r, c, _)| r < c)
-            .map(|(r, c, v)| (r, c, v.abs()))
-            .collect();
+        let mut offs: Vec<(usize, usize, f64)> =
+            a.iter().filter(|&(r, c, _)| r < c).map(|(r, c, v)| (r, c, v.abs())).collect();
         offs.sort_by(|x, y| x.2.partial_cmp(&y.2).unwrap());
         let target = ((pct / 100.0) * a.nnz() as f64) as usize / 2;
         let drop: std::collections::HashSet<(usize, usize)> =
             offs.into_iter().take(target).map(|(r, c, _)| (r, c)).collect();
-        a.filter(|r, c, _| {
-            r == c || !(drop.contains(&(r, c)) || drop.contains(&(c, r)))
-        })
+        a.filter(|r, c, _| r == c || !(drop.contains(&(r, c)) || drop.contains(&(c, r))))
     }
 
     /// ILU(K) fill makes factorization cost grow with K.

@@ -85,7 +85,8 @@ pub fn spmv_cost<T: Scalar>(device: &DeviceSpec, a: &CsrMatrix<T>) -> KernelCost
     let nnz = a.nnz() as f64;
     // values + column indices once, row pointers, x gathered (approximate
     // as nnz reads through cache at half cost), y written.
-    let bytes = nnz * (F32_BYTES + IDX_BYTES) + (n + 1.0) * IDX_BYTES
+    let bytes = nnz * (F32_BYTES + IDX_BYTES)
+        + (n + 1.0) * IDX_BYTES
         + 0.5 * nnz * F32_BYTES
         + n * F32_BYTES;
     let flops = 2.0 * nnz;

@@ -17,14 +17,14 @@ pub mod device;
 pub mod ilu;
 pub mod kernel;
 pub mod pcg;
+pub mod plan;
 pub mod profiler;
 pub mod trisolve;
 
 pub use device::DeviceSpec;
 pub use ilu::{ilu_factorization_cost, inspector_cost_us, sparsify_cost_us};
 pub use kernel::{dot_cost, elementwise_cost, spmv_cost, KernelCost};
-pub use pcg::{
-    end_to_end_cost, iteration_gflops, pcg_iteration_cost, EndToEndCost, IterationCost,
-};
+pub use pcg::{end_to_end_cost, iteration_gflops, pcg_iteration_cost, EndToEndCost, IterationCost};
+pub use plan::{plan_end_to_end_cost, plan_iteration_cost};
 pub use profiler::{profile, Boundedness, ProfileReport};
 pub use trisolve::{trisolve_cost, trisolve_cost_of, TrisolveWorkload};

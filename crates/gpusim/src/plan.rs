@@ -1,0 +1,86 @@
+//! Cost-model entry points over [`SpcgPlan`]: price a fully-analyzed plan
+//! on a simulated device without re-deriving which matrix was factored,
+//! whether sparsification ran, or what the factor schedules look like —
+//! the plan already knows.
+
+use crate::device::DeviceSpec;
+use crate::pcg::{end_to_end_cost, pcg_iteration_cost, EndToEndCost, IterationCost};
+use spcg_core::SpcgPlan;
+use spcg_sparse::Scalar;
+
+/// Prices one PCG iteration of `plan` on `device`.
+pub fn plan_iteration_cost<T: Scalar>(device: &DeviceSpec, plan: &SpcgPlan<T>) -> IterationCost {
+    pcg_iteration_cost(device, plan.a(), plan.factors())
+}
+
+/// Prices a whole run of `plan` that took `iterations` iterations:
+/// sparsification (when the plan sparsified) + inspector + factorization +
+/// iterations × per-iteration.
+///
+/// The factorization is priced on the matrix the plan actually factored
+/// (`Â` or `A`). For fill-capped ILU(K) patterns built outside the plan,
+/// price the pattern explicitly with
+/// [`end_to_end_cost`](crate::pcg::end_to_end_cost).
+pub fn plan_end_to_end_cost<T: Scalar>(
+    device: &DeviceSpec,
+    plan: &SpcgPlan<T>,
+    iterations: usize,
+) -> EndToEndCost {
+    end_to_end_cost(
+        device,
+        plan.a(),
+        plan.factored_matrix(),
+        plan.factors(),
+        iterations,
+        plan.is_sparsified(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_core::{SpcgOptions, SpcgPlan};
+    use spcg_sparse::generators::{poisson_2d, with_magnitude_spread};
+
+    fn plan(sparsify: bool) -> SpcgPlan<f64> {
+        let a = with_magnitude_spread(&poisson_2d(16, 16), 6.0, 7);
+        let opts = if sparsify {
+            SpcgOptions::default()
+        } else {
+            SpcgOptions { sparsify: None, ..Default::default() }
+        };
+        SpcgPlan::build(&a, &opts).unwrap()
+    }
+
+    #[test]
+    fn plan_cost_matches_explicit_pricing() {
+        let p = plan(true);
+        let d = DeviceSpec::a100();
+        let via_plan = plan_iteration_cost(&d, &p);
+        let explicit = pcg_iteration_cost(&d, p.a(), p.factors());
+        assert_eq!(via_plan.total_us(), explicit.total_us());
+        let e_plan = plan_end_to_end_cost(&d, &p, 40);
+        let e_explicit = end_to_end_cost(&d, p.a(), p.factored_matrix(), p.factors(), 40, true);
+        assert_eq!(e_plan.total_us(), e_explicit.total_us());
+        assert!(e_plan.sparsify_us > 0.0);
+    }
+
+    #[test]
+    fn baseline_plan_has_no_sparsify_cost() {
+        let p = plan(false);
+        let e = plan_end_to_end_cost(&DeviceSpec::v100(), &p, 25);
+        assert_eq!(e.sparsify_us, 0.0);
+        assert_eq!(e.iterations, 25);
+        assert!(e.total_us() > 0.0);
+    }
+
+    /// The mechanism the paper rests on, stated at plan level: a sparsified
+    /// plan's iteration is never costlier than the baseline plan's.
+    #[test]
+    fn sparsified_plan_iteration_is_no_costlier() {
+        let d = DeviceSpec::a100();
+        let spcg = plan_iteration_cost(&d, &plan(true));
+        let base = plan_iteration_cost(&d, &plan(false));
+        assert!(spcg.total_us() <= base.total_us());
+    }
+}

@@ -131,11 +131,7 @@ mod tests {
         let full = workload(40);
         // Same level structure, 20% fewer nnz per level.
         let slim = TrisolveWorkload {
-            levels: full
-                .levels
-                .iter()
-                .map(|&(r, z, m)| (r, z * 8 / 10, m))
-                .collect(),
+            levels: full.levels.iter().map(|&(r, z, m)| (r, z * 8 / 10, m)).collect(),
             n_rows: full.n_rows,
             nnz: full.nnz * 8 / 10,
         };

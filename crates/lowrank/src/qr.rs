@@ -20,9 +20,7 @@ pub fn pivoted_qr(a: &DenseMatrix<f64>) -> PivotedQr {
     let n = a.n_cols();
     let kmax = m.min(n);
     // Work on a column-major copy for cache-friendly column ops.
-    let mut cols: Vec<Vec<f64>> = (0..n)
-        .map(|j| (0..m).map(|i| a.get(i, j)).collect())
-        .collect();
+    let mut cols: Vec<Vec<f64>> = (0..n).map(|j| (0..m).map(|i| a.get(i, j)).collect()).collect();
     let mut perm: Vec<usize> = (0..n).collect();
     let mut col_norms: Vec<f64> = cols.iter().map(|c| c.iter().map(|v| v * v).sum()).collect();
     let mut r_diag = Vec::with_capacity(kmax);
@@ -89,9 +87,9 @@ mod tests {
 
     fn outer(u: &[f64], v: &[f64]) -> DenseMatrix<f64> {
         let mut m = DenseMatrix::zeros(u.len(), v.len());
-        for i in 0..u.len() {
-            for j in 0..v.len() {
-                m.set(i, j, u[i] * v[j]);
+        for (i, &ui) in u.iter().enumerate() {
+            for (j, &vj) in v.iter().enumerate() {
+                m.set(i, j, ui * vj);
             }
         }
         m

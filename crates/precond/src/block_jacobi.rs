@@ -38,9 +38,7 @@ impl<T: Scalar> BlockJacobiPreconditioner<T> {
                     }
                 }
             }
-            let inv = d
-                .inverse()
-                .map_err(|_| SparseError::ZeroDiagonal { row: start })?;
+            let inv = d.inverse().map_err(|_| SparseError::ZeroDiagonal { row: start })?;
             blocks.push(inv);
             start = end;
         }

@@ -80,20 +80,29 @@ impl<T: Scalar> IluFactors<T> {
         self
     }
 
-    /// Solves `L y = r` then `U z = y`.
+    /// Solves `L y = r` then `U z = y`, allocating the intermediate `y`.
+    /// Hot loops should prefer [`solve_with_scratch`](Self::solve_with_scratch).
     pub fn solve(&self, r: &[T], z: &mut [T]) {
+        let mut y = vec![T::ZERO; self.scratch_dim];
+        self.solve_with_scratch(r, z, &mut y);
+    }
+
+    /// Solves `L y = r` then `U z = y` with a caller-provided intermediate,
+    /// performing no heap allocation. `y` must be at least `n` long; results
+    /// are bitwise identical to [`solve`](Self::solve).
+    pub fn solve_with_scratch(&self, r: &[T], z: &mut [T], y: &mut [T]) {
         let n = self.scratch_dim;
         assert_eq!(r.len(), n, "rhs length mismatch");
         assert_eq!(z.len(), n, "solution length mismatch");
-        let mut y = vec![T::ZERO; n];
+        let y = &mut y[..n];
         match self.exec {
             TriangularExec::Sequential => {
-                solve_lower_seq(&self.l, r, &mut y);
-                solve_upper_seq(&self.u, &y, z);
+                solve_lower_seq(&self.l, r, y);
+                solve_upper_seq(&self.u, y, z);
             }
             TriangularExec::LevelParallel => {
-                solve_levels_par(&self.l, &self.l_schedule, r, &mut y);
-                solve_levels_par(&self.u, &self.u_schedule, &y, z);
+                solve_levels_par(&self.l, &self.l_schedule, r, y);
+                solve_levels_par(&self.u, &self.u_schedule, y, z);
             }
         }
     }
@@ -102,6 +111,14 @@ impl<T: Scalar> IluFactors<T> {
 impl<T: Scalar> Preconditioner<T> for IluFactors<T> {
     fn apply(&self, r: &[T], z: &mut [T]) {
         self.solve(r, z);
+    }
+
+    fn scratch_len(&self) -> usize {
+        self.scratch_dim
+    }
+
+    fn apply_with_scratch(&self, r: &[T], z: &mut [T], scratch: &mut [T]) {
+        self.solve_with_scratch(r, z, scratch);
     }
 
     fn dim(&self) -> usize {

@@ -117,13 +117,13 @@ mod tests {
             e[j] = 1.0;
             let mut z = vec![0.0; n];
             f.apply(&e, &mut z);
-            for i in 0..n {
-                m[i][j] = z[i];
+            for (i, &v) in z.iter().enumerate() {
+                m[i][j] = v;
             }
         }
-        for i in 0..n {
-            for j in 0..n {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-10);
+        for (i, row) in m.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-10);
             }
         }
     }

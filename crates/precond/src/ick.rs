@@ -43,12 +43,7 @@ pub fn ick_capped<T: Scalar>(
     }
     let padded = CsrMatrix::from_raw(n, n, sym.row_ptr.clone(), sym.col_idx.clone(), values)?;
     let factors = ic0(&padded, exec)?;
-    Ok(IluFactors::new(
-        factors.l().clone(),
-        factors.u().clone(),
-        exec,
-        format!("ick({k})"),
-    ))
+    Ok(IluFactors::new(factors.l().clone(), factors.u().clone(), exec, format!("ick({k})")))
 }
 
 #[cfg(test)]
@@ -113,9 +108,9 @@ mod tests {
                 m[i][j] = v;
             }
         }
-        for i in 0..n {
-            for j in 0..n {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-10);
+        for (i, row) in m.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-10);
             }
         }
     }

@@ -115,18 +115,11 @@ mod tests {
     fn tridiagonal_ilu0_is_exact_lu() {
         let a = poisson_1d(12);
         let f = ilu0(&a, TriangularExec::Sequential).unwrap();
-        let lu = f
-            .l()
-            .to_dense()
-            .matmul(&f.u().to_dense())
-            .unwrap();
+        let lu = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
         let ad = a.to_dense();
         for i in 0..12 {
             for j in 0..12 {
-                assert!(
-                    (lu.get(i, j) - ad.get(i, j)).abs() < 1e-12,
-                    "mismatch at ({i},{j})"
-                );
+                assert!((lu.get(i, j) - ad.get(i, j)).abs() < 1e-12, "mismatch at ({i},{j})");
             }
         }
     }
@@ -203,12 +196,8 @@ mod tests {
     /// ILU(0) of a dense SPD matrix equals the exact dense LU.
     #[test]
     fn dense_pattern_matches_dense_lu() {
-        let d = DenseMatrix::from_rows(
-            3,
-            3,
-            vec![4.0, 1.0, 2.0, 1.0, 5.0, 1.0, 2.0, 1.0, 6.0],
-        )
-        .unwrap();
+        let d = DenseMatrix::from_rows(3, 3, vec![4.0, 1.0, 2.0, 1.0, 5.0, 1.0, 2.0, 1.0, 6.0])
+            .unwrap();
         let a = CsrMatrix::from_dense(&d);
         let f = ilu0(&a, TriangularExec::Sequential).unwrap();
         let lu = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();

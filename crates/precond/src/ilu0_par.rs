@@ -119,9 +119,9 @@ pub fn ilu0_par<T: Scalar>(a: &CsrMatrix<T>, exec: TriangularExec) -> Result<Ilu
         }
         if failed.load(Ordering::Relaxed) {
             // Locate the first bad pivot for a precise error.
-            for i in 0..n {
+            for (i, &dp) in diag_pos.iter().enumerate() {
                 // SAFETY: all writers joined.
-                let piv = unsafe { shared.read(diag_pos[i]) };
+                let piv = unsafe { shared.read(dp) };
                 if piv == T::ZERO || piv.is_bad() {
                     return Err(SparseError::ZeroDiagonal { row: i });
                 }

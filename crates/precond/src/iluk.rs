@@ -75,16 +75,13 @@ pub fn iluk_symbolic_capped<T: Scalar>(
                 }
                 let fill = lev_ik + lev_kj + 1;
                 if fill <= k {
-                    work.entry(j)
-                        .and_modify(|l| *l = (*l).min(fill))
-                        .or_insert(fill);
+                    work.entry(j).and_modify(|l| *l = (*l).min(fill)).or_insert(fill);
                 }
             }
         }
         // Retain entries with level <= K (original entries are level 0 and
         // always survive).
-        let row: Vec<(usize, usize)> =
-            work.into_iter().filter(|&(_, lev)| lev <= k).collect();
+        let row: Vec<(usize, usize)> = work.into_iter().filter(|&(_, lev)| lev <= k).collect();
         total_nnz += row.len();
         if total_nnz > max_nnz {
             return Err(SparseError::InvalidStructure(format!(

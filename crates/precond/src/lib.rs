@@ -26,8 +26,8 @@ pub use ick::{ick, ick_capped};
 pub use ilu0::ilu0;
 pub use ilu0_par::ilu0_par;
 pub use iluk::{
-    iluk, iluk_pattern_matrix, iluk_pattern_matrix_capped, iluk_symbolic,
-    iluk_symbolic_capped, SymbolicIluk,
+    iluk, iluk_pattern_matrix, iluk_pattern_matrix_capped, iluk_symbolic, iluk_symbolic_capped,
+    SymbolicIluk,
 };
 pub use jacobi::JacobiPreconditioner;
 pub use mixed::{ilu0_mixed, MixedPrecisionIlu};

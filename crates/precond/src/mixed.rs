@@ -95,10 +95,7 @@ mod tests {
         mixed.apply(&r, &mut zmx);
         let scale = z64.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         for (a, b) in z64.iter().zip(&zmx) {
-            assert!(
-                (a - b).abs() < 1e-4 * scale,
-                "mixed precision drifted: {a} vs {b}"
-            );
+            assert!((a - b).abs() < 1e-4 * scale, "mixed precision drifted: {a} vs {b}");
         }
     }
 

@@ -44,11 +44,8 @@ impl<T: Scalar> SaiPreconditioner<T> {
             SaiPattern::OfA => (0..n).map(|i| a.row_cols(i).to_vec()).collect(),
             SaiPattern::OfASquared => (0..n)
                 .map(|i| {
-                    let mut cols: Vec<usize> = a
-                        .row_cols(i)
-                        .iter()
-                        .flat_map(|&k| a.row_cols(k).iter().copied())
-                        .collect();
+                    let mut cols: Vec<usize> =
+                        a.row_cols(i).iter().flat_map(|&k| a.row_cols(k).iter().copied()).collect();
                     cols.sort_unstable();
                     cols.dedup();
                     cols
@@ -57,17 +54,14 @@ impl<T: Scalar> SaiPreconditioner<T> {
         };
 
         let mut coo = CooMatrix::with_capacity(n, n, support.iter().map(Vec::len).sum());
-        for i in 0..n {
-            let cols = &support[i];
+        for (i, cols) in support.iter().enumerate() {
             let k = cols.len();
             if k == 0 {
                 return Err(SparseError::ZeroDiagonal { row: i });
             }
             // Rows of A touched by the support columns (g_iᵀ A restricted).
-            let mut touched: Vec<usize> = cols
-                .iter()
-                .flat_map(|&j| a.row_cols(j).iter().copied())
-                .collect();
+            let mut touched: Vec<usize> =
+                cols.iter().flat_map(|&j| a.row_cols(j).iter().copied()).collect();
             touched.sort_unstable();
             touched.dedup();
             // Dense local system: B[t][s] = A[cols[s]][touched[t]].
@@ -80,7 +74,7 @@ impl<T: Scalar> SaiPreconditioner<T> {
                 }
             }
             let _ = &csc; // csc retained for future column-driven patterns
-            // rhs = e_i restricted to touched.
+                          // rhs = e_i restricted to touched.
             let mut rhs = vec![T::ZERO; m];
             if let Ok(t) = touched.binary_search(&i) {
                 rhs[t] = T::ONE;
@@ -181,10 +175,7 @@ mod tests {
         let s1 = SaiPreconditioner::new(&a, SaiPattern::OfA).unwrap();
         let s2 = SaiPreconditioner::new(&a, SaiPattern::OfASquared).unwrap();
         assert!(Preconditioner::<f64>::nnz(&s2) > Preconditioner::<f64>::nnz(&s1));
-        assert!(
-            s2.residual_fro(&a) < s1.residual_fro(&a),
-            "denser pattern should fit better"
-        );
+        assert!(s2.residual_fro(&a) < s1.residual_fro(&a), "denser pattern should fit better");
     }
 
     #[test]
@@ -200,21 +191,13 @@ mod tests {
         // i.e. G is a genuine approximate inverse.
         let sai = SaiPreconditioner::new(&a, SaiPattern::OfA).unwrap();
         let resid = sai.residual_fro(&a);
-        assert!(
-            resid < (120.0f64).sqrt() * 0.5,
-            "SAI residual {resid} too large"
-        );
+        assert!(resid < (120.0f64).sqrt() * 0.5, "SAI residual {resid} too large");
         // And applying it roughly inverts A on a test vector.
         let mut az = vec![0.0; 120];
         let mut z = vec![0.0; 120];
         sai.apply(&b, &mut z);
         spmv(&a, &z, &mut az);
-        let err: f64 = az
-            .iter()
-            .zip(&b)
-            .map(|(p, q)| (p - q) * (p - q))
-            .sum::<f64>()
-            .sqrt();
+        let err: f64 = az.iter().zip(&b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
         let bnorm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(err / bnorm < 0.9, "G is no better than identity: {}", err / bnorm);
         let _ = IdentityPreconditioner::new(120);

@@ -11,6 +11,26 @@ pub trait Preconditioner<T: Scalar>: Send + Sync {
     /// Applies the preconditioner: writes `z = M⁻¹ r`.
     fn apply(&self, r: &[T], z: &mut [T]);
 
+    /// Length of the scratch slice [`apply_with_scratch`] needs (0 when the
+    /// application has no intermediate vector).
+    ///
+    /// [`apply_with_scratch`]: Preconditioner::apply_with_scratch
+    fn scratch_len(&self) -> usize {
+        0
+    }
+
+    /// Applies the preconditioner using caller-provided scratch, so the
+    /// solver's hot loop performs no heap allocation. `scratch` must be at
+    /// least [`scratch_len`](Preconditioner::scratch_len) long.
+    ///
+    /// The default forwards to [`apply`](Preconditioner::apply); override
+    /// it in implementations whose `apply` allocates intermediates. The
+    /// result must be bitwise identical to `apply` — PCG convergence traces
+    /// are compared across the two paths in tests.
+    fn apply_with_scratch(&self, r: &[T], z: &mut [T], _scratch: &mut [T]) {
+        self.apply(r, z);
+    }
+
     /// Problem size `n`.
     fn dim(&self) -> usize;
 

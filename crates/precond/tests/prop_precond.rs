@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use spcg_precond::{
-    ic0, ilu0, iluk, BlockJacobiPreconditioner, JacobiPreconditioner, Preconditioner,
-    SaiPattern, SaiPreconditioner, TriangularExec,
+    ic0, ilu0, iluk, BlockJacobiPreconditioner, JacobiPreconditioner, Preconditioner, SaiPattern,
+    SaiPreconditioner, TriangularExec,
 };
 use spcg_sparse::generators::{banded_spd, poisson_2d, random_spd};
 use spcg_sparse::{CooMatrix, CsrMatrix};

@@ -26,10 +26,7 @@ pub fn chebyshev<T: Scalar, M: Preconditioner<T> + ?Sized>(
     config: &SolverConfig,
 ) -> SolveResult<T> {
     assert!(a.is_square(), "Chebyshev requires a square matrix");
-    assert!(
-        lambda_max > lambda_min && lambda_min > 0.0,
-        "need 0 < lambda_min < lambda_max"
-    );
+    assert!(lambda_max > lambda_min && lambda_min > 0.0, "need 0 < lambda_min < lambda_max");
     let n = a.n_rows();
     assert_eq!(b.len(), n, "rhs length mismatch");
 

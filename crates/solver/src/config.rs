@@ -93,10 +93,7 @@ mod tests {
 
     #[test]
     fn builders_chain() {
-        let c = SolverConfig::default()
-            .with_tol(1e-8)
-            .with_max_iters(50)
-            .with_history(true);
+        let c = SolverConfig::default().with_tol(1e-8).with_max_iters(50).with_history(true);
         assert_eq!(c.tol, 1e-8);
         assert_eq!(c.max_iters, 50);
         assert!(c.record_history);

@@ -11,9 +11,11 @@ pub mod chebyshev;
 pub mod config;
 pub mod pcg;
 pub mod status;
+pub mod workspace;
 
 pub use cg::cg;
 pub use chebyshev::chebyshev;
 pub use config::{SolverConfig, ToleranceMode};
-pub use pcg::{pcg, pcg_iteration_flops};
+pub use pcg::{pcg, pcg_in_place, pcg_iteration_flops, pcg_with_workspace};
 pub use status::{PhaseTimings, SolveResult, StopReason};
+pub use workspace::{SolveStats, SolveWorkspace};

@@ -2,63 +2,109 @@
 
 use crate::config::SolverConfig;
 use crate::status::{PhaseTimings, SolveResult, StopReason};
+use crate::workspace::{SolveStats, SolveWorkspace};
 use spcg_precond::Preconditioner;
-use spcg_sparse::blas::{axpy, dot, has_bad, norm2, xpby};
+use spcg_sparse::blas::{axpy, copy, dot, has_bad, norm2, xpby};
 use spcg_sparse::spmv::spmv;
 use spcg_sparse::{CsrMatrix, Scalar};
 use std::time::Instant;
 
 /// Solves `A x = b` with the left-preconditioned CG of Algorithm 1.
 ///
-/// * `a` — SPD system matrix;
-/// * `m` — preconditioner applying `z = M⁻¹ r`;
-/// * `b` — right-hand side;
-/// * `config` — tolerance / iteration cap / history.
-///
-/// The iteration follows the paper line by line: the residual test uses
-/// `‖r_k‖₂` (line 6), `α` from `(r,z)/(p,Ap)` (line 10), `β` from the
-/// ratio of successive `(r,z)` products (line 14).
+/// Thin allocating wrapper over [`pcg_with_workspace`]: builds a fresh
+/// [`SolveWorkspace`] per call. Amortize setup across repeated solves by
+/// holding a workspace (or an `SpcgPlan` in `spcg-core`) and calling the
+/// workspace entry points directly.
 pub fn pcg<T: Scalar, M: Preconditioner<T> + ?Sized>(
     a: &CsrMatrix<T>,
     m: &M,
     b: &[T],
     config: &SolverConfig,
 ) -> SolveResult<T> {
+    let mut ws = SolveWorkspace::for_preconditioner(a.n_rows(), m);
+    pcg_with_workspace(a, m, b, config, &mut ws)
+}
+
+/// Solves `A x = b` reusing `ws`, returning an owned [`SolveResult`] (the
+/// iterate and history are copied out of the workspace after the loop).
+/// The iteration loop itself allocates nothing once `ws` is warm.
+pub fn pcg_with_workspace<T: Scalar, M: Preconditioner<T> + ?Sized>(
+    a: &CsrMatrix<T>,
+    m: &M,
+    b: &[T],
+    config: &SolverConfig,
+    ws: &mut SolveWorkspace<T>,
+) -> SolveResult<T> {
+    let stats = pcg_in_place(a, m, b, config, ws);
+    SolveResult {
+        x: ws.solution().to_vec(),
+        iterations: stats.iterations,
+        final_residual: stats.final_residual,
+        stop: stats.stop,
+        residual_history: ws.history().to_vec(),
+        timings: stats.timings,
+    }
+}
+
+/// The zero-allocation PCG hot path: solves `A x = b` entirely inside `ws`,
+/// leaving the iterate in [`SolveWorkspace::solution`] and returning only
+/// `Copy` statistics.
+///
+/// `ws` is grown on first use (dimension, preconditioner scratch, history
+/// capacity); from the second call on, the whole solve — including every
+/// iteration — performs no heap allocation. The trajectory is bitwise
+/// identical to [`pcg`].
+///
+/// The iteration follows the paper line by line: the residual test uses
+/// `‖r_k‖₂` (line 6), `α` from `(r,z)/(p,Ap)` (line 10), `β` from the
+/// ratio of successive `(r,z)` products (line 14).
+pub fn pcg_in_place<T: Scalar, M: Preconditioner<T> + ?Sized>(
+    a: &CsrMatrix<T>,
+    m: &M,
+    b: &[T],
+    config: &SolverConfig,
+    ws: &mut SolveWorkspace<T>,
+) -> SolveStats {
     assert!(a.is_square(), "PCG requires a square matrix");
     let n = a.n_rows();
     assert_eq!(b.len(), n, "rhs length mismatch");
     assert_eq!(m.dim(), n, "preconditioner dimension mismatch");
 
+    let history_cap = if config.record_history { config.max_iters + 1 } else { 0 };
+    ws.ensure(n, m.scratch_len(), history_cap);
+    let SolveWorkspace { x, r, z, w, p, scratch, history, .. } = ws;
+    // ensure() never shrinks, so reborrow at the solve dimension.
+    let (x, r) = (&mut x[..n], &mut r[..n]);
+    let (z, w, p) = (&mut z[..n], &mut w[..n], &mut p[..n]);
+    history.clear();
+
     let mut timings = PhaseTimings::default();
     let loop_start = Instant::now();
 
     // x0 = 0, r0 = b - A x0 = b (line 1-2)
-    let mut x = vec![T::ZERO; n];
-    let mut r = b.to_vec();
-    let mut z = vec![T::ZERO; n];
-    let mut w = vec![T::ZERO; n];
+    x.fill(T::ZERO);
+    copy(b, r);
 
     let b_norm = norm2(b).to_f64();
     let threshold = config.threshold(b_norm);
-    let mut history = Vec::new();
 
     // z0 = M⁻¹ r0, p0 = z0 (lines 3-4)
     let t = Instant::now();
-    m.apply(&r, &mut z);
+    m.apply_with_scratch(r, z, scratch);
     timings.precond += t.elapsed();
-    let mut p = z.clone();
-    let mut rz = dot(&r, &z).to_f64();
+    copy(z, p);
+    let mut rz = dot(r, z).to_f64();
 
     let mut iterations = 0usize;
     let mut stop = StopReason::MaxIterations;
 
     for _k in 0..config.max_iters {
         // line 6: convergence test on ‖r_k‖
-        let r_norm = norm2(&r).to_f64();
+        let r_norm = norm2(r).to_f64();
         if config.record_history {
             history.push(r_norm);
         }
-        if !r_norm.is_finite() || has_bad(&r) {
+        if !r_norm.is_finite() || has_bad(r) {
             stop = StopReason::Breakdown;
             break;
         }
@@ -69,12 +115,12 @@ pub fn pcg<T: Scalar, M: Preconditioner<T> + ?Sized>(
 
         // line 9: w = A p
         let t = Instant::now();
-        spmv(a, &p, &mut w);
+        spmv(a, p, w);
         timings.spmv += t.elapsed();
 
         // line 10: α = (r,z)/(p,w)
         let t = Instant::now();
-        let pw = dot(&p, &w).to_f64();
+        let pw = dot(p, w).to_f64();
         if pw <= 0.0 || !pw.is_finite() || !rz.is_finite() {
             stop = StopReason::Breakdown;
             break;
@@ -82,28 +128,28 @@ pub fn pcg<T: Scalar, M: Preconditioner<T> + ?Sized>(
         let alpha = T::from_f64(rz / pw);
 
         // lines 11-12: x += α p; r -= α w
-        axpy(alpha, &p, &mut x);
-        axpy(-alpha, &w, &mut r);
+        axpy(alpha, p, x);
+        axpy(-alpha, w, r);
         timings.blas += t.elapsed();
 
         // line 13: z = M⁻¹ r
         let t = Instant::now();
-        m.apply(&r, &mut z);
+        m.apply_with_scratch(r, z, scratch);
         timings.precond += t.elapsed();
 
         // lines 14-15: β = (r₊,z₊)/(r,z); p = z + β p
         let t = Instant::now();
-        let rz_new = dot(&r, &z).to_f64();
+        let rz_new = dot(r, z).to_f64();
         let beta = T::from_f64(rz_new / rz);
         rz = rz_new;
-        xpby(&z, beta, &mut p);
+        xpby(z, beta, p);
         timings.blas += t.elapsed();
 
         iterations += 1;
     }
 
     // Re-check convergence when the loop ran out exactly at max_iters.
-    let final_residual = norm2(&r).to_f64();
+    let final_residual = norm2(r).to_f64();
     if stop == StopReason::MaxIterations && final_residual < threshold {
         stop = StopReason::Converged;
     }
@@ -112,7 +158,7 @@ pub fn pcg<T: Scalar, M: Preconditioner<T> + ?Sized>(
     }
     timings.total = loop_start.elapsed();
 
-    SolveResult { x, iterations, final_residual, stop, residual_history: history, timings }
+    SolveStats { iterations, final_residual, stop, timings }
 }
 
 /// FLOPs per PCG iteration for cost accounting: one SpMV (2·nnz(A)), the
@@ -139,12 +185,8 @@ mod tests {
     fn check_solution(a: &CsrMatrix<f64>, b: &[f64], x: &[f64], tol: f64) {
         let mut ax = vec![0.0; b.len()];
         spmv(a, x, &mut ax);
-        let err: f64 = ax
-            .iter()
-            .zip(b)
-            .map(|(got, want)| (got - want) * (got - want))
-            .sum::<f64>()
-            .sqrt();
+        let err: f64 =
+            ax.iter().zip(b).map(|(got, want)| (got - want) * (got - want)).sum::<f64>().sqrt();
         assert!(err < tol, "residual {err} exceeds {tol}");
     }
 
@@ -194,14 +236,18 @@ mod tests {
         let f = spcg_precond::iluk(&a, 40, TriangularExec::Sequential).unwrap();
         let res = pcg(&a, &f, &b, &SolverConfig::default().with_tol(1e-10));
         assert!(res.converged());
-        assert!(res.iterations <= 3, "exact M should converge almost immediately, got {}", res.iterations);
+        assert!(
+            res.iterations <= 3,
+            "exact M should converge almost immediately, got {}",
+            res.iterations
+        );
     }
 
     #[test]
     fn zero_rhs_converges_immediately() {
         let a = poisson_2d(5, 5);
         let m = IdentityPreconditioner::new(25);
-        let res = pcg(&a, &m, &vec![0.0; 25], &SolverConfig::default());
+        let res = pcg(&a, &m, &[0.0; 25], &SolverConfig::default());
         assert!(res.converged());
         assert_eq!(res.iterations, 0);
         assert!(res.x.iter().all(|&v| v == 0.0));
@@ -270,5 +316,55 @@ mod tests {
     #[test]
     fn flop_model_is_linear() {
         assert_eq!(pcg_iteration_flops(10, 20, 5), 2 * 10 + 2 * 20 + 50);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_identical() {
+        let a = poisson_2d(14, 14);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let cfg = SolverConfig::default().with_tol(1e-10).with_history(true);
+        let mut ws = SolveWorkspace::for_preconditioner(a.n_rows(), &f);
+        for seed in 0..3 {
+            let b = rhs(196, seed);
+            let fresh = pcg(&a, &f, &b, &cfg);
+            let reused = pcg_with_workspace(&a, &f, &b, &cfg, &mut ws);
+            assert_eq!(fresh.x, reused.x, "iterate differs on seed {seed}");
+            assert_eq!(fresh.residual_history, reused.residual_history);
+            assert_eq!(fresh.iterations, reused.iterations);
+        }
+    }
+
+    #[test]
+    fn in_place_solve_leaves_solution_in_workspace() {
+        let a = poisson_2d(12, 12);
+        let b = rhs(144, 5);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let cfg = SolverConfig::default().with_tol(1e-10);
+        let mut ws = SolveWorkspace::for_preconditioner(144, &f);
+        let stats = pcg_in_place(&a, &f, &b, &cfg, &mut ws);
+        assert!(stats.converged());
+        check_solution(&a, &b, ws.solution(), 1e-7);
+        let owned = pcg(&a, &f, &b, &cfg);
+        assert_eq!(owned.x.as_slice(), ws.solution());
+    }
+
+    #[test]
+    fn workspace_grows_across_systems() {
+        // A small-system workspace must transparently serve a larger one,
+        // and retain the larger allocation afterwards.
+        let small = poisson_2d(5, 5);
+        let large = poisson_2d(10, 10);
+        let cfg = SolverConfig::default().with_tol(1e-10);
+        let m_small = IdentityPreconditioner::new(25);
+        let m_large = IdentityPreconditioner::new(100);
+        let mut ws = SolveWorkspace::for_preconditioner(25, &m_small);
+        let r1 = pcg_with_workspace(&small, &m_small, &rhs(25, 1), &cfg, &mut ws);
+        assert!(r1.converged());
+        let r2 = pcg_with_workspace(&large, &m_large, &rhs(100, 2), &cfg, &mut ws);
+        assert!(r2.converged());
+        assert_eq!(r2.x.len(), 100);
+        let r3 = pcg_with_workspace(&small, &m_small, &rhs(25, 3), &cfg, &mut ws);
+        assert!(r3.converged());
+        assert_eq!(r3.x.len(), 25);
     }
 }

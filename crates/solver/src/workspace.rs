@@ -1,0 +1,143 @@
+//! Reusable solve-loop storage: every vector PCG touches, allocated once
+//! and reused across solves (the "execute" half of the plan/execute split).
+
+use crate::status::{PhaseTimings, StopReason};
+use spcg_precond::Preconditioner;
+use spcg_sparse::Scalar;
+
+/// All hot-loop buffers of a PCG solve: iterate `x`, residual `r`,
+/// preconditioned residual `z`, `w = A p`, search direction `p`, the
+/// preconditioner's scratch (the triangular-solve intermediate for ILU
+/// factors), and the residual-history buffer.
+///
+/// Construct once — sized for a matrix dimension and a preconditioner —
+/// then hand to [`pcg_in_place`](crate::pcg::pcg_in_place) or
+/// [`pcg_with_workspace`](crate::pcg::pcg_with_workspace) any number of
+/// times. After the first solve warms the buffers, subsequent solves
+/// perform no heap allocation inside the iteration loop.
+#[derive(Debug, Clone)]
+pub struct SolveWorkspace<T: Scalar> {
+    pub(crate) x: Vec<T>,
+    pub(crate) r: Vec<T>,
+    pub(crate) z: Vec<T>,
+    pub(crate) w: Vec<T>,
+    pub(crate) p: Vec<T>,
+    pub(crate) scratch: Vec<T>,
+    pub(crate) history: Vec<f64>,
+    /// Dimension of the most recent solve; buffers may be larger (they
+    /// never shrink, so one workspace can serve systems of varying size).
+    active: usize,
+}
+
+impl<T: Scalar> SolveWorkspace<T> {
+    /// Workspace for an `n`-dimensional system whose preconditioner needs
+    /// `scratch_len` elements of scratch.
+    pub fn new(n: usize, scratch_len: usize) -> Self {
+        Self {
+            x: vec![T::ZERO; n],
+            r: vec![T::ZERO; n],
+            z: vec![T::ZERO; n],
+            w: vec![T::ZERO; n],
+            p: vec![T::ZERO; n],
+            scratch: vec![T::ZERO; scratch_len],
+            history: Vec::new(),
+            active: n,
+        }
+    }
+
+    /// Workspace sized for `n` and the given preconditioner's scratch
+    /// requirement.
+    pub fn for_preconditioner<M: Preconditioner<T> + ?Sized>(n: usize, m: &M) -> Self {
+        Self::new(n, m.scratch_len())
+    }
+
+    /// Dimension of the most recent (or upcoming) solve.
+    pub fn n(&self) -> usize {
+        self.active
+    }
+
+    /// The solution left by the most recent in-place solve.
+    pub fn solution(&self) -> &[T] {
+        &self.x[..self.active]
+    }
+
+    /// Residual history of the most recent solve (empty unless history
+    /// recording was enabled in the solver config).
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// Sets the active dimension, growing buffers if the dimension, scratch
+    /// requirement, or history capacity exceeds what is allocated.
+    /// Idempotent: once sized, repeated calls (and solves) allocate nothing.
+    pub(crate) fn ensure(&mut self, n: usize, scratch_len: usize, history_cap: usize) {
+        self.active = n;
+        if self.x.len() < n {
+            self.x.resize(n, T::ZERO);
+            self.r.resize(n, T::ZERO);
+            self.z.resize(n, T::ZERO);
+            self.w.resize(n, T::ZERO);
+            self.p.resize(n, T::ZERO);
+        }
+        if self.scratch.len() < scratch_len {
+            self.scratch.resize(scratch_len, T::ZERO);
+        }
+        if self.history.capacity() < history_cap {
+            self.history.reserve(history_cap - self.history.len());
+        }
+    }
+}
+
+/// Scalar outcome of an in-place solve: everything in
+/// [`SolveResult`](crate::status::SolveResult) except the heap-allocated
+/// iterate and history, which stay in the workspace. `Copy`, so returning
+/// it allocates nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveStats {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final `‖r‖₂`.
+    pub final_residual: f64,
+    /// Stop condition.
+    pub stop: StopReason,
+    /// Per-phase timings.
+    pub timings: PhaseTimings,
+}
+
+impl SolveStats {
+    /// `true` when the run converged.
+    pub fn converged(&self) -> bool {
+        self.stop == StopReason::Converged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_precond::IdentityPreconditioner;
+
+    #[test]
+    fn sizing_follows_preconditioner() {
+        let m = IdentityPreconditioner::new(10);
+        let ws = SolveWorkspace::<f64>::for_preconditioner(10, &m);
+        assert_eq!(ws.n(), 10);
+        assert_eq!(ws.scratch.len(), 0);
+        let ws2 = SolveWorkspace::<f64>::new(6, 6);
+        assert_eq!(ws2.scratch.len(), 6);
+    }
+
+    #[test]
+    fn ensure_grows_buffers_but_never_shrinks_them() {
+        let mut ws = SolveWorkspace::<f64>::new(4, 0);
+        ws.ensure(8, 8, 16);
+        assert_eq!(ws.n(), 8);
+        assert_eq!(ws.scratch.len(), 8);
+        assert!(ws.history.capacity() >= 16);
+        // A smaller solve reuses the larger buffers; only the active
+        // dimension shrinks.
+        ws.ensure(2, 0, 0);
+        assert_eq!(ws.n(), 2);
+        assert_eq!(ws.x.len(), 8);
+        assert_eq!(ws.solution().len(), 2);
+    }
+}

@@ -113,9 +113,7 @@ mod tests {
     fn dominance_detection() {
         let a = poisson_2d(5, 5); // margin 0 on interior rows
         assert!(!is_diagonally_dominant(&a));
-        let shifted = a
-            .add(&crate::csr::CsrMatrix::identity(25).map_values(|v| v * 0.5))
-            .unwrap();
+        let shifted = a.add(&crate::csr::CsrMatrix::identity(25).map_values(|v| v * 0.5)).unwrap();
         assert!(is_diagonally_dominant(&shifted));
         assert!((dominance_margin(&shifted) - 0.5).abs() < 1e-12);
     }
@@ -124,9 +122,9 @@ mod tests {
     fn jacobi_scaling_unit_diagonal() {
         let a = varcoef_2d(6, 6, 0.1, 10.0, 3);
         let (scaled, d) = jacobi_scale(&a).unwrap();
-        for i in 0..36 {
+        for (i, &di) in d.iter().enumerate() {
             assert!((scaled.get(i, i).unwrap() - 1.0).abs() < 1e-12);
-            assert!((d[i] * d[i] - a.get(i, i).unwrap()).abs() < 1e-10);
+            assert!((di * di - a.get(i, i).unwrap()).abs() < 1e-10);
         }
         assert!(scaled.is_symmetric(1e-12));
         // Scaling preserves SPD.

@@ -24,10 +24,7 @@ pub fn dot_par<T: Scalar>(x: &[T], y: &[T]) -> T {
     if x.len() < PAR_THRESHOLD {
         return dot(x, y);
     }
-    x.par_iter()
-        .zip(y.par_iter())
-        .map(|(&a, &b)| a * b)
-        .reduce(|| T::ZERO, |a, b| a + b)
+    x.par_iter().zip(y.par_iter()).map(|(&a, &b)| a * b).reduce(|| T::ZERO, |a, b| a + b)
 }
 
 /// `y ← a x + y`.
@@ -64,8 +61,7 @@ pub fn norm2<T: Scalar>(x: &[T]) -> T {
 
 /// Inf-norm `max |x_i|`.
 pub fn norm_inf<T: Scalar>(x: &[T]) -> T {
-    x.iter()
-        .fold(T::ZERO, |acc, &v| if v.abs() > acc { v.abs() } else { acc })
+    x.iter().fold(T::ZERO, |acc, &v| if v.abs() > acc { v.abs() } else { acc })
 }
 
 /// Copies `src` into `dst`.

@@ -279,7 +279,8 @@ mod tests {
         let a = lap1d(n).to_dense();
         let eig = sym_eigenvalues_dense(&a);
         for (k, &e) in eig.iter().enumerate() {
-            let exact = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            let exact =
+                2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
             assert!((e - exact).abs() < 1e-10, "k={k}: {e} vs {exact}");
         }
     }

@@ -52,9 +52,7 @@ impl<T: Scalar> CsrMatrix<T> {
         }
         for r in 0..n_rows {
             if row_ptr[r] > row_ptr[r + 1] {
-                return Err(SparseError::InvalidStructure(format!(
-                    "row_ptr decreases at row {r}"
-                )));
+                return Err(SparseError::InvalidStructure(format!("row_ptr decreases at row {r}")));
             }
             let cols = &col_idx[row_ptr[r]..row_ptr[r + 1]];
             for w in cols.windows(2) {
@@ -88,10 +86,14 @@ impl<T: Scalar> CsrMatrix<T> {
         col_idx: Vec<usize>,
         values: Vec<T>,
     ) -> Self {
-        debug_assert!(
-            Self::from_raw(n_rows, n_cols, row_ptr.clone(), col_idx.clone(), values.clone())
-                .is_ok()
-        );
+        debug_assert!(Self::from_raw(
+            n_rows,
+            n_cols,
+            row_ptr.clone(),
+            col_idx.clone(),
+            values.clone()
+        )
+        .is_ok());
         Self { n_rows, n_cols, row_ptr, col_idx, values }
     }
 
@@ -195,10 +197,7 @@ impl<T: Scalar> CsrMatrix<T> {
     /// Iterates `(row, col, value)` over all stored entries in row order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
         (0..self.n_rows).flat_map(move |r| {
-            self.row_cols(r)
-                .iter()
-                .zip(self.row_values(r))
-                .map(move |(&c, &v)| (r, c, v))
+            self.row_cols(r).iter().zip(self.row_values(r)).map(move |(&c, &v)| (r, c, v))
         })
     }
 
@@ -206,9 +205,9 @@ impl<T: Scalar> CsrMatrix<T> {
     pub fn diag(&self) -> Vec<T> {
         let n = self.n_rows.min(self.n_cols);
         let mut d = vec![T::ZERO; n];
-        for r in 0..n {
+        for (r, dr) in d.iter_mut().enumerate() {
             if let Some(v) = self.get(r, r) {
-                d[r] = v;
+                *dr = v;
             }
         }
         d
@@ -313,11 +312,7 @@ impl<T: Scalar> CsrMatrix<T> {
         }
         let t = self.transpose();
         if t.row_ptr == self.row_ptr && t.col_idx == self.col_idx {
-            return self
-                .values
-                .iter()
-                .zip(&t.values)
-                .all(|(&a, &b)| (a - b).abs() <= tol);
+            return self.values.iter().zip(&t.values).all(|(&a, &b)| (a - b).abs() <= tol);
         }
         // Structures differ: fall back to entrywise comparison.
         for (r, c, v) in self.iter() {
@@ -401,10 +396,7 @@ impl<T: Scalar> CsrMatrix<T> {
     /// Half bandwidth: `max |i - j|` over stored entries (0 for diagonal or
     /// empty matrices).
     pub fn bandwidth(&self) -> usize {
-        self.iter()
-            .map(|(r, c, _)| r.abs_diff(c))
-            .max()
-            .unwrap_or(0)
+        self.iter().map(|(r, c, _)| r.abs_diff(c)).max().unwrap_or(0)
     }
 
     /// Applies the symmetric permutation `P A Pᵀ` given `perm`, where
@@ -423,9 +415,7 @@ impl<T: Scalar> CsrMatrix<T> {
         let mut inv = vec![usize::MAX; perm.len()];
         for (new, &old) in perm.iter().enumerate() {
             if old >= perm.len() || inv[old] != usize::MAX {
-                return Err(SparseError::InvalidStructure(
-                    "perm is not a permutation".into(),
-                ));
+                return Err(SparseError::InvalidStructure("perm is not a permutation".into()));
             }
             inv[old] = new;
         }
@@ -495,23 +485,9 @@ mod tests {
             CsrMatrix::<f64>::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err()
         );
         // unsorted columns
-        assert!(CsrMatrix::<f64>::from_raw(
-            1,
-            3,
-            vec![0, 2],
-            vec![2, 0],
-            vec![1.0, 1.0]
-        )
-        .is_err());
+        assert!(CsrMatrix::<f64>::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
         // duplicate columns
-        assert!(CsrMatrix::<f64>::from_raw(
-            1,
-            3,
-            vec![0, 2],
-            vec![1, 1],
-            vec![1.0, 1.0]
-        )
-        .is_err());
+        assert!(CsrMatrix::<f64>::from_raw(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_err());
         // column out of bounds
         assert!(CsrMatrix::<f64>::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
     }

@@ -86,12 +86,7 @@ impl<T: Scalar> DenseMatrix<T> {
     pub fn matvec(&self, x: &[T]) -> Vec<T> {
         assert_eq!(x.len(), self.n_cols, "matvec dimension mismatch");
         (0..self.n_rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(x)
-                    .fold(T::ZERO, |acc, (&a, &b)| acc + a * b)
-            })
+            .map(|r| self.row(r).iter().zip(x).fold(T::ZERO, |acc, (&a, &b)| acc + a * b))
             .collect()
     }
 
@@ -185,8 +180,8 @@ impl<T: Scalar> DenseMatrix<T> {
         }
         for col in (0..n).rev() {
             let mut s = x[col];
-            for c in col + 1..n {
-                s = s - a.get(col, c) * x[c];
+            for (c, &xc) in x.iter().enumerate().skip(col + 1) {
+                s -= a.get(col, c) * xc;
             }
             x[col] = s / a.get(col, col);
         }
@@ -202,8 +197,8 @@ impl<T: Scalar> DenseMatrix<T> {
             let mut e = vec![T::ZERO; n];
             e[j] = T::ONE;
             let col = self.solve(&e)?;
-            for i in 0..n {
-                out.set(i, j, col[i]);
+            for (i, &v) in col.iter().enumerate() {
+                out.set(i, j, v);
             }
         }
         Ok(out)
@@ -218,10 +213,7 @@ impl<T: Scalar> DenseMatrix<T> {
 
     /// Frobenius norm.
     pub fn norm_fro(&self) -> T {
-        self.data
-            .iter()
-            .fold(T::ZERO, |acc, &v| acc + v * v)
-            .sqrt()
+        self.data.iter().fold(T::ZERO, |acc, &v| acc + v * v).sqrt()
     }
 }
 

@@ -41,10 +41,9 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, n_rows, n_cols } => write!(
-                f,
-                "entry ({row}, {col}) outside matrix shape {n_rows}x{n_cols}"
-            ),
+            SparseError::IndexOutOfBounds { row, col, n_rows, n_cols } => {
+                write!(f, "entry ({row}, {col}) outside matrix shape {n_rows}x{n_cols}")
+            }
             SparseError::InvalidStructure(msg) => write!(f, "invalid CSR structure: {msg}"),
             SparseError::NotSquare { n_rows, n_cols } => {
                 write!(f, "operation requires a square matrix, got {n_rows}x{n_cols}")

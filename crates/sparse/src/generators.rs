@@ -182,7 +182,13 @@ pub fn graph_laplacian(n: usize, avg_degree: usize, shift: f64, seed: u64) -> Cs
 /// Random banded SPD matrix: entries within `band` of the diagonal with the
 /// given fill `density`, made SPD by diagonal dominance times `dominance`
 /// (> 1 ⇒ well conditioned, → 1 ⇒ ill conditioned).
-pub fn banded_spd(n: usize, band: usize, density: f64, dominance: f64, seed: u64) -> CsrMatrix<f64> {
+pub fn banded_spd(
+    n: usize,
+    band: usize,
+    density: f64,
+    dominance: f64,
+    seed: u64,
+) -> CsrMatrix<f64> {
     assert!(dominance > 1.0, "dominance must exceed 1 for SPD by Gershgorin");
     let mut rng = Rng::new(seed);
     let mut coo = CooMatrix::new(n, n);
@@ -200,8 +206,8 @@ pub fn banded_spd(n: usize, band: usize, density: f64, dominance: f64, seed: u64
             }
         }
     }
-    for i in 0..n {
-        coo.push(i, i, row_abs[i] * dominance + 0.1).expect("in range");
+    for (i, &ra) in row_abs.iter().enumerate() {
+        coo.push(i, i, ra * dominance + 0.1).expect("in range");
     }
     coo.to_csr()
 }
@@ -229,8 +235,8 @@ pub fn random_spd(n: usize, nnz_per_row: usize, dominance: f64, seed: u64) -> Cs
         row_abs[b] += v.abs();
         coo.push_sym(a, b, v).expect("in range");
     }
-    for i in 0..n {
-        coo.push(i, i, row_abs[i] * dominance + 0.1).expect("in range");
+    for (i, &ra) in row_abs.iter().enumerate() {
+        coo.push(i, i, ra * dominance + 0.1).expect("in range");
     }
     coo.to_csr()
 }
@@ -239,7 +245,8 @@ pub fn random_spd(n: usize, nnz_per_row: usize, dominance: f64, seed: u64) -> Cs
 /// pair and a seed — the same weight for `(i, j)` and `(j, i)`.
 fn edge_weight(i: usize, j: usize, lo: f64, hi: f64, seed: u64) -> f64 {
     let (a, b) = (i.min(j) as u64, i.max(j) as u64);
-    let mut h = seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    let mut h =
+        seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
     h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     h ^= h >> 31;
@@ -543,12 +550,8 @@ mod tests {
         assert_eq!(a.diag(), b.diag());
         // off-diagonal values now vary in magnitude, symmetrically
         assert!(b.is_symmetric(0.0));
-        let vals: Vec<f64> = b
-            .values()
-            .iter()
-            .map(|v| v.abs())
-            .filter(|&v| v < 1.0 && v > 0.0)
-            .collect();
+        let vals: Vec<f64> =
+            b.values().iter().map(|v| v.abs()).filter(|&v| v < 1.0 && v > 0.0).collect();
         assert!(!vals.is_empty());
     }
 
@@ -560,7 +563,7 @@ mod tests {
         // x-couplings (distance 1) unchanged, y-couplings (distance 6) weakened
         assert_eq!(b.get(0, 1), Some(-1.0));
         let y = b.get(0, 6).unwrap().abs();
-        assert!(y < 0.5 && y >= 0.2, "y-coupling {y}");
+        assert!((0.2..0.5).contains(&y), "y-coupling {y}");
         assert_eq!(a.diag(), b.diag());
     }
 

@@ -103,9 +103,7 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CsrMatrix<T>>
         seen += 1;
     }
     if seen != nnz {
-        return Err(SparseError::Parse(format!(
-            "size line declared {nnz} entries, found {seen}"
-        )));
+        return Err(SparseError::Parse(format!("size line declared {nnz} entries, found {seen}")));
     }
     Ok(coo.to_csr())
 }
@@ -214,15 +212,8 @@ mod tests {
         let mut buf = Vec::new();
         write_matrix_market(&a, MmSymmetry::Symmetric, &mut buf).unwrap();
         let text = String::from_utf8(buf.clone()).unwrap();
-        let declared: usize = text
-            .lines()
-            .nth(1)
-            .unwrap()
-            .split_whitespace()
-            .nth(2)
-            .unwrap()
-            .parse()
-            .unwrap();
+        let declared: usize =
+            text.lines().nth(1).unwrap().split_whitespace().nth(2).unwrap().parse().unwrap();
         assert!(declared < a.nnz());
         let b: CsrMatrix<f64> = read_matrix_market(buf.as_slice()).unwrap();
         assert_eq!(a, b);

@@ -9,10 +9,7 @@ use crate::scalar::Scalar;
 pub fn matrix_norm_inf<T: Scalar>(a: &CsrMatrix<T>) -> T {
     let mut best = T::ZERO;
     for r in 0..a.n_rows() {
-        let s = a
-            .row_values(r)
-            .iter()
-            .fold(T::ZERO, |acc, &v| acc + v.abs());
+        let s = a.row_values(r).iter().fold(T::ZERO, |acc, &v| acc + v.abs());
         if s > best {
             best = s;
         }
@@ -26,24 +23,17 @@ pub fn matrix_norm_one<T: Scalar>(a: &CsrMatrix<T>) -> T {
     for (_, c, v) in a.iter() {
         col_sums[c] += v.abs();
     }
-    col_sums
-        .into_iter()
-        .fold(T::ZERO, |best, s| if s > best { s } else { best })
+    col_sums.into_iter().fold(T::ZERO, |best, s| if s > best { s } else { best })
 }
 
 /// Frobenius norm.
 pub fn matrix_norm_fro<T: Scalar>(a: &CsrMatrix<T>) -> T {
-    a.values()
-        .iter()
-        .fold(T::ZERO, |acc, &v| acc + v * v)
-        .sqrt()
+    a.values().iter().fold(T::ZERO, |acc, &v| acc + v * v).sqrt()
 }
 
 /// Largest absolute entry.
 pub fn matrix_norm_max<T: Scalar>(a: &CsrMatrix<T>) -> T {
-    a.values()
-        .iter()
-        .fold(T::ZERO, |best, &v| if v.abs() > best { v.abs() } else { best })
+    a.values().iter().fold(T::ZERO, |best, &v| if v.abs() > best { v.abs() } else { best })
 }
 
 /// Smallest absolute diagonal entry of the leading square block; `None` when

@@ -34,11 +34,7 @@ pub fn reverse_cuthill_mckee<T: Scalar>(a: &CsrMatrix<T>) -> Vec<usize> {
 
     // Process every connected component, starting each from a minimum-degree
     // vertex (a cheap pseudo-peripheral heuristic).
-    loop {
-        let start = match (0..n).filter(|&v| !visited[v]).min_by_key(|&v| degree[v]) {
-            Some(s) => s,
-            None => break,
-        };
+    while let Some(start) = (0..n).filter(|&v| !visited[v]).min_by_key(|&v| degree[v]) {
         visited[start] = true;
         queue.push_back(start);
         while let Some(v) = queue.pop_front() {
@@ -63,10 +59,7 @@ pub fn permuted_bandwidth<T: Scalar>(a: &CsrMatrix<T>, perm: &[usize]) -> usize 
     for (new, &old) in perm.iter().enumerate() {
         inv[old] = new;
     }
-    a.iter()
-        .map(|(r, c, _)| inv[r].abs_diff(inv[c]))
-        .max()
-        .unwrap_or(0)
+    a.iter().map(|(r, c, _)| inv[r].abs_diff(inv[c])).max().unwrap_or(0)
 }
 
 /// The identity permutation.

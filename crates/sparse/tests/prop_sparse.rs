@@ -9,10 +9,7 @@ use spcg_sparse::{CooMatrix, CsrMatrix};
 
 /// Strategy: arbitrary triplets in a small shape.
 fn triplets(n: usize, max_entries: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
-    prop::collection::vec(
-        (0..n, 0..n, -10.0f64..10.0),
-        0..max_entries,
-    )
+    prop::collection::vec((0..n, 0..n, -10.0f64..10.0), 0..max_entries)
 }
 
 proptest! {

@@ -278,10 +278,7 @@ mod tests {
     fn every_category_is_represented() {
         let specs = standard_collection();
         for &cat in &Category::ALL {
-            assert!(
-                specs.iter().any(|s| s.category == cat),
-                "category {cat:?} missing"
-            );
+            assert!(specs.iter().any(|s| s.category == cat), "category {cat:?} missing");
         }
     }
 
@@ -335,8 +332,8 @@ mod tests {
                 Recipe::Layered3D { nx, ny, nz, .. } => 7 * nx * ny * nz,
             }
         };
-        let min = specs.iter().map(|s| nnz_est(s)).min().unwrap();
-        let max = specs.iter().map(|s| nnz_est(s)).max().unwrap();
+        let min = specs.iter().map(&nnz_est).min().unwrap();
+        let max = specs.iter().map(nnz_est).max().unwrap();
         assert!(min < 10_000, "min nnz {min}");
         assert!(max > 100_000, "max nnz {max}");
     }

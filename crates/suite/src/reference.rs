@@ -191,10 +191,7 @@ mod tests {
         let opts = SpectralOptions { cg_iters: 500, ..Default::default() };
         for (name, m) in [("ecology2", ecology2_like()), ("thermal1", thermal1_like())] {
             let lmin = lambda_min_est(&m, &opts);
-            assert!(
-                matches!(lmin, Some(l) if l > 0.0),
-                "{name} should be SPD, λ_min = {lmin:?}"
-            );
+            assert!(matches!(lmin, Some(l) if l > 0.0), "{name} should be SPD, λ_min = {lmin:?}");
         }
     }
 
@@ -240,10 +237,8 @@ mod tests {
     fn pres_poisson_essential_couplings_sit_above_noise() {
         let m = pres_poisson_like();
         let noise = m.iter().filter(|&(r, c, v)| r != c && v.abs() < 0.05).count();
-        let essential = m
-            .iter()
-            .filter(|&(r, c, v)| r != c && (0.05..0.5).contains(&v.abs()))
-            .count();
+        let essential =
+            m.iter().filter(|&(r, c, v)| r != c && (0.05..0.5).contains(&v.abs())).count();
         let nnz = m.nnz();
         // Noise tail below 5%, essential couplings well above 10%: the 10%
         // cut must bite into them.
@@ -259,10 +254,7 @@ mod tests {
         let w_thermo = wavefront_count(&thermo);
         let w_muu = wavefront_count(&muu);
         // thermomech-like: long dependence chains; Muu-like: shallow.
-        assert!(
-            w_thermo > 4 * w_muu,
-            "thermomech wavefronts {w_thermo} vs muu {w_muu}"
-        );
+        assert!(w_thermo > 4 * w_muu, "thermomech wavefronts {w_thermo} vs muu {w_muu}");
     }
 
     #[test]

@@ -42,14 +42,14 @@ impl DependenceDag {
         let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut n_edges = 0;
-        for i in 0..n {
+        for (i, preds) in predecessors.iter_mut().enumerate() {
             for &j in a.row_cols(i) {
                 let is_dep = match triangle {
                     Triangle::Lower => j < i,
                     Triangle::Upper => j > i,
                 };
                 if is_dep {
-                    predecessors[i].push(j);
+                    preds.push(j);
                     successors[j].push(i);
                     n_edges += 1;
                 }
@@ -101,11 +101,7 @@ impl DependenceDag {
         };
         let mut max_depth = 0;
         for i in order {
-            let d = self.predecessors[i]
-                .iter()
-                .map(|&j| depth[j] + 1)
-                .max()
-                .unwrap_or(0);
+            let d = self.predecessors[i].iter().map(|&j| depth[j] + 1).max().unwrap_or(0);
             depth[i] = d;
             max_depth = max_depth.max(d);
         }
@@ -124,8 +120,7 @@ impl DependenceDag {
             }
             pos[row] = k;
         }
-        (0..self.n_rows())
-            .all(|i| self.predecessors[i].iter().all(|&j| pos[j] < pos[i]))
+        (0..self.n_rows()).all(|i| self.predecessors[i].iter().all(|&j| pos[j] < pos[i]))
     }
 }
 

@@ -127,12 +127,8 @@ pub fn solve_levels_par<T: Scalar>(
             // only read x entries finalized in earlier levels.
             unsafe {
                 let xi = match triangle {
-                    Triangle::Lower => {
-                        row_solve_lower_raw(m, i, b[i], |j| xs.read(j))
-                    }
-                    Triangle::Upper => {
-                        row_solve_upper_raw(m, i, b[i], |j| xs.read(j))
-                    }
+                    Triangle::Lower => row_solve_lower_raw(m, i, b[i], |j| xs.read(j)),
+                    Triangle::Upper => row_solve_upper_raw(m, i, b[i], |j| xs.read(j)),
                 };
                 xs.write(i, xi);
             }
@@ -194,12 +190,7 @@ fn row_solve_upper_raw<T: Scalar>(
 /// Deadlock-free: the smallest claimed-but-unfinished row has all its
 /// dependences finished (they have smaller indices and were claimed
 /// earlier), so at least one worker always makes progress.
-pub fn solve_lower_sync_free<T: Scalar>(
-    l: &CsrMatrix<T>,
-    b: &[T],
-    x: &mut [T],
-    n_threads: usize,
-) {
+pub fn solve_lower_sync_free<T: Scalar>(l: &CsrMatrix<T>, b: &[T], x: &mut [T], n_threads: usize) {
     let n = l.n_rows();
     assert_eq!(b.len(), n, "rhs length mismatch");
     assert_eq!(x.len(), n, "solution length mismatch");

@@ -127,11 +127,8 @@ impl LevelSchedule {
         if !dag.is_topological(&self.execution_order()) {
             return false;
         }
-        (0..self.n_rows()).all(|i| {
-            dag.predecessors(i)
-                .iter()
-                .all(|&j| self.row_level[j] < self.row_level[i])
-        })
+        (0..self.n_rows())
+            .all(|i| dag.predecessors(i).iter().all(|&j| self.row_level[j] < self.row_level[i]))
     }
 }
 

@@ -68,8 +68,7 @@ fn main() {
         &SpcgOptions { sparsify: None, solver: solver.clone(), ..Default::default() },
     )
     .expect("baseline PCG");
-    let spcg = spcg_solve(&g, &i_vec, &SpcgOptions { solver, ..Default::default() })
-        .expect("SPCG");
+    let spcg = spcg_solve(&g, &i_vec, &SpcgOptions { solver, ..Default::default() }).expect("SPCG");
     let d = spcg.decision.as_ref().expect("sparsified");
 
     println!(

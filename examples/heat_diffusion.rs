@@ -22,8 +22,11 @@ const STEPS: usize = 20;
 fn main() {
     // (M + Δt·K): the layered Poisson generator already carries the mass
     // term on its diagonal; interfaces conduct ~60x worse than the bulk.
-    let a = Recipe::Layered2D { nx: NX, ny: NY, period: 4, weak: 0.015 }
-        .build(11, 1.5, Ordering::Natural);
+    let a = Recipe::Layered2D { nx: NX, ny: NY, period: 4, weak: 0.015 }.build(
+        11,
+        1.5,
+        Ordering::Natural,
+    );
     let n = a.n_rows();
 
     // Initial temperature: a hot spot in the lower-left block.
@@ -89,11 +92,7 @@ fn main() {
     );
 
     // The two trajectories solve the same PDE: temperatures agree.
-    let max_diff = u_base
-        .iter()
-        .zip(&u_spcg)
-        .map(|(p, q)| (p - q).abs())
-        .fold(0.0f64, f64::max);
+    let max_diff = u_base.iter().zip(&u_spcg).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
     println!("max temperature difference between baseline and SPCG: {max_diff:.2e}");
     assert!(max_diff < 1e-6, "solutions diverged: {max_diff}");
 

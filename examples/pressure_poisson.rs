@@ -45,10 +45,7 @@ fn main() {
 
     // Algorithm 2 navigates the trade-off automatically.
     let decision = spcg_core::wavefront_aware_sparsify(&a, &SparsifyParams::default());
-    println!(
-        "\nAlgorithm 2 selected ratio {}% ({:?})",
-        decision.chosen_ratio, decision.reason
-    );
+    println!("\nAlgorithm 2 selected ratio {}% ({:?})", decision.chosen_ratio, decision.reason);
     for t in &decision.trace {
         println!(
             "  tried {:>4}%: indicator product {:.3} (tau = 1), passed = {}, wavefronts = {:?}",

@@ -5,14 +5,16 @@
 
 use spcg::prelude::*;
 use spcg::suite::{Ordering, Recipe};
-use spcg_core::spcg_solve;
 
 fn main() {
     // A layered 2-D diffusion operator: 64x64 grid, weak couplings every
     // 4th grid line plus a far-field noise tail — the structure where
     // wavefront-aware sparsification shines.
-    let a = Recipe::Layered2D { nx: 64, ny: 64, period: 4, weak: 0.015 }
-        .build(7, 1.5, Ordering::Natural);
+    let a = Recipe::Layered2D { nx: 64, ny: 64, period: 4, weak: 0.015 }.build(
+        7,
+        1.5,
+        Ordering::Natural,
+    );
     let n = a.n_rows();
     let b = vec![1.0f64; n];
     println!("system: n = {n}, nnz = {}", a.nnz());
@@ -39,19 +41,16 @@ fn main() {
 
     // 3. The full SPCG pipeline (Figure 2 of the paper): wavefront-aware
     //    sparsification -> ILU(0) of the sparsified matrix -> PCG on the
-    //    ORIGINAL system.
-    let outcome = spcg_solve(
-        &a,
-        &b,
-        &SpcgOptions { solver: config, ..Default::default() },
-    )
-    .expect("SPCG pipeline");
-    let decision = outcome.decision.as_ref().expect("sparsification ran");
+    //    ORIGINAL system. Build the analysis once as a plan, then solve.
+    let plan = SpcgPlan::build(&a, &SpcgOptions { solver: config, ..Default::default() })
+        .expect("SPCG pipeline");
+    let spcg_run = plan.solve(&b);
+    let decision = plan.decision().expect("sparsification ran");
     println!(
         "SPCG-ILU(0)  : {:>4} iterations, residual {:.2e}, {} wavefronts in the factors",
-        outcome.result.iterations,
-        outcome.result.final_residual,
-        outcome.factors.total_wavefronts()
+        spcg_run.iterations,
+        spcg_run.final_residual,
+        plan.factors().total_wavefronts()
     );
     println!(
         "\nsparsification: chose ratio {}% ({:?}), wavefronts {} -> {} ({:.1}% reduction)",
@@ -65,15 +64,19 @@ fn main() {
     // Verify both solutions solve the same original system.
     let residual = |x: &[f64]| {
         let ax = spcg::sparse::spmv::spmv_alloc(&a, x);
-        ax.iter()
-            .zip(&b)
-            .map(|(p, q)| (p - q) * (p - q))
-            .sum::<f64>()
-            .sqrt()
+        ax.iter().zip(&b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt()
     };
     println!(
         "\ntrue residuals vs the ORIGINAL A: PCG {:.2e}, SPCG {:.2e}",
         residual(&pcg_run.x),
-        residual(&outcome.result.x)
+        residual(&spcg_run.x)
     );
+
+    // 4. The plan amortizes its analysis across right-hand sides: solve a
+    //    batch of independent loads with `solve_many` (parallel across RHS).
+    let loads: Vec<Vec<f64>> =
+        (1..=4).map(|k| (0..n).map(|i| ((i + k) % 11) as f64 / 10.0).collect()).collect();
+    let batch = plan.solve_many(&loads);
+    let iters: Vec<usize> = batch.iter().map(|r| r.iterations).collect();
+    println!("batched solve of {} further RHS, iterations per RHS: {iters:?}", loads.len());
 }

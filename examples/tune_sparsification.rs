@@ -6,8 +6,7 @@
 //! Run with: `cargo run --release --example tune_sparsification`
 
 use spcg::prelude::*;
-use spcg_core::spcg_solve;
-use spcg_gpusim::{pcg_iteration_cost, DeviceSpec};
+use spcg_gpusim::{plan_iteration_cost, DeviceSpec};
 use spcg_suite::fast_collection;
 
 fn main() {
@@ -34,16 +33,17 @@ fn main() {
             for spec in &specs {
                 let a = spec.build();
                 let b = spec.rhs(a.n_rows());
-                let Ok(base) = spcg_solve(
+                // Per-iteration cost only needs the plans' analysis; the
+                // solve itself runs on the sparsified plan to check
+                // convergence for this (tau, omega) setting.
+                let Ok(base) = SpcgPlan::build(
                     &a,
-                    &b,
                     &SpcgOptions { sparsify: None, solver: solver.clone(), ..Default::default() },
                 ) else {
                     continue;
                 };
-                let Ok(spcg) = spcg_solve(
+                let Ok(spcg) = SpcgPlan::build(
                     &a,
-                    &b,
                     &SpcgOptions {
                         sparsify: Some(params.clone()),
                         solver: solver.clone(),
@@ -52,17 +52,16 @@ fn main() {
                 ) else {
                     continue;
                 };
-                let tb = pcg_iteration_cost(&device, &a, &base.factors).total_us();
-                let ts = pcg_iteration_cost(&device, &a, &spcg.factors).total_us();
+                let tb = plan_iteration_cost(&device, &base).total_us();
+                let ts = plan_iteration_cost(&device, &spcg).total_us();
                 log_speedups.push((tb / ts).ln());
-                if spcg.result.converged() {
+                if spcg.solve(&b).converged() {
                     converged += 1;
                 }
-                ratio_sum += spcg.decision.as_ref().map(|d| d.chosen_ratio).unwrap_or(0.0);
+                ratio_sum += spcg.decision().map(|d| d.chosen_ratio).unwrap_or(0.0);
                 count += 1;
             }
-            let gmean =
-                (log_speedups.iter().sum::<f64>() / log_speedups.len().max(1) as f64).exp();
+            let gmean = (log_speedups.iter().sum::<f64>() / log_speedups.len().max(1) as f64).exp();
             let conv_pct = 100.0 * converged as f64 / count.max(1) as f64;
             println!(
                 "{tau:>6} {omega:>7}% {gmean:>15.3}x {conv_pct:>13.1}% {:>11.1}%",

@@ -1,0 +1,68 @@
+//! Offline stand-in for the `crossbeam` crate (no crates.io access in this
+//! build environment). Only scoped threads are provided — the single API
+//! this workspace uses — implemented on `std::thread::scope`, which has
+//! offered the same structured-concurrency guarantee since Rust 1.63.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scoped threads.
+pub mod thread {
+    /// Result of a [`scope`](super::scope) call: `Err` carries the payload
+    /// of a panicking child thread, as in crossbeam.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Handle passed to the scope closure; lets it spawn borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        pub(crate) inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread joined before the scope exits. As in crossbeam,
+        /// the closure receives the scope so it can spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: for<'s> FnOnce(&Scope<'s, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }));
+        }
+    }
+}
+
+/// Creates a scope in which threads may borrow from the caller's stack.
+/// Returns `Err` with the panic payload if any spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&thread::Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&thread::Scope { inner: s }))))
+        .map_err(|e| e as Box<dyn Any + Send>)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let mut data = [0u32; 8];
+        let chunks: Vec<&mut [u32]> = data.chunks_mut(2).collect();
+        crate::scope(|s| {
+            for c in chunks {
+                s.spawn(move |_| c.iter_mut().for_each(|v| *v = 7));
+            }
+        })
+        .unwrap();
+        assert!(data.iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn panicking_child_yields_err() {
+        let r = crate::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,393 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset this workspace uses — the `proptest!` macro,
+//! `ProptestConfig { cases, .. }`, range/tuple/`collection::vec`/`any`
+//! strategies, and `prop_assert!`/`prop_assert_eq!` — with deterministic
+//! input generation: each property derives its RNG seed from its own path,
+//! so every run explores the same cases and failures are reproducible
+//! without a persistence file. There is no shrinking; the failing case's
+//! index and message are reported instead.
+
+#![warn(missing_docs)]
+
+/// Test-runner types: configuration, RNG, and case-failure error.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Run configuration (`ProptestConfig` in the prelude). Only `cases`
+    /// is meaningful here; construct with struct-update syntax as with
+    /// real proptest: `Config { cases: 32, ..Config::default() }`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+        /// Accepted for source compatibility; unused by this stand-in.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256, max_shrink_iters: 0 }
+        }
+    }
+
+    /// A failed property case (raised by `prop_assert!`-family macros).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Deterministic RNG (splitmix64) seeded from the property's path.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from a test name so each property has a stable, distinct
+        /// input stream.
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the fully-qualified test path.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Input-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i64 - self.start as i64) as u64;
+                    (self.start as i64 + (rng.next_u64() % span) as i64) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_signed_range!(i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + (self.end - self.start) * rng.next_f64();
+            // Guard against rounding up to the exclusive bound.
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            (Range { start: self.start as f64, end: self.end as f64 }).generate(rng) as f32
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+    }
+
+    /// Strategy produced by [`crate::any`].
+    pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+    impl<T> AnyStrategy<T> {
+        pub(crate) fn new() -> Self {
+            AnyStrategy(std::marker::PhantomData)
+        }
+    }
+
+    /// Types with a canonical "arbitrary value" strategy.
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> u8 {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection` in proptest).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`: vectors whose length is
+    /// drawn from `size` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.start < self.size.end {
+                self.size.start + (rng.next_u64() as usize) % (self.size.end - self.size.start)
+            } else {
+                self.size.start
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Returns the canonical strategy for `T` (e.g. `any::<bool>()`).
+pub fn any<T: strategy::Arbitrary>() -> strategy::AnyStrategy<T> {
+    strategy::AnyStrategy::new()
+}
+
+/// The usual imports for writing properties.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    // Real proptest's prelude exposes the crate as `prop` for paths like
+    // `prop::collection::vec`.
+    pub use crate as prop;
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__e) = __outcome {
+                        ::std::panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            stringify!($name),
+                            __case,
+                            __cfg.cases,
+                            __e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the whole
+/// process) with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pa_l, __pa_r) = (&$left, &$right);
+        if !(*__pa_l == *__pa_r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                    __pa_l,
+                    __pa_r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__pa_l, __pa_r) = (&$left, &$right);
+        if !(*__pa_l == *__pa_r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(n in 3usize..17, x in -2.5f64..2.5, b in any::<bool>()) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-2.5..2.5).contains(&x));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(
+            v in prop::collection::vec((0usize..8, -1.0f64..1.0), 2..6),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for (i, x) in &v {
+                prop_assert!(*i < 8);
+                prop_assert!((-1.0..1.0).contains(x));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::from_name("tests::stable");
+        let mut b = TestRng::from_name("tests::stable");
+        let s = 0usize..1000;
+        for _ in 0..64 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the *subset* of rayon's API it actually uses, executed
+//! with `std::thread::scope`. Parallel iterators here are indexed: every
+//! adapter knows its length and can produce the item at position `i`, which
+//! is what lets `for_each` hand disjoint index ranges to worker threads.
+//!
+//! Semantics preserved from real rayon for the patterns in this workspace:
+//!
+//! * `for_each` over `par_iter`/`par_iter_mut` touches each index exactly
+//!   once (disjoint `&mut` access is sound — see [`ParIterMut`]);
+//! * `reduce` folds per-thread partials and then combines them in thread
+//!   submission order, so integer-exact reductions are deterministic;
+//! * small inputs run inline on the calling thread (fork/join would
+//!   dominate), matching rayon's adaptive splitting in spirit.
+
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+
+/// Everything a `use rayon::prelude::*` caller expects.
+pub mod prelude {
+    pub use crate::iter::{
+        IndexedParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator,
+    };
+}
+
+/// Below this many items a "parallel" call runs inline on the caller:
+/// spawning threads for tiny loops costs more than it saves.
+const INLINE_THRESHOLD: usize = 2048;
+
+/// Number of worker threads used for genuinely parallel execution.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+/// A fork-join scope: spawned closures may borrow from the enclosing stack
+/// frame and are all joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Handle passed to [`scope`] closures, mirroring `rayon::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that runs before the scope exits. The closure receives
+    /// the scope again (as in rayon) so it can spawn nested tasks.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: for<'s> FnOnce(&Scope<'s, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Indexed parallel iterators over slices.
+pub mod iter {
+    use super::{current_num_threads, PhantomData, INLINE_THRESHOLD};
+
+    /// Obtain a parallel iterator borrowing each element (`par_iter`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type.
+        type Item: Send + Sync + 'a;
+        /// Borrowing parallel iterator (`&self` counterpart of rayon's).
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    /// Obtain a parallel iterator mutably borrowing each element
+    /// (`par_iter_mut`).
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Element type.
+        type Item: Send + 'a;
+        /// Mutably borrowing parallel iterator.
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+    }
+
+    impl<'a, T: Send + Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Send + Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+            ParIterMut { ptr: self.as_mut_ptr(), len: self.len(), _marker: PhantomData }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+            self.as_mut_slice().par_iter_mut()
+        }
+    }
+
+    /// An indexed source of items: the engine drives it by handing each
+    /// worker a disjoint range of indices.
+    ///
+    /// # Safety
+    ///
+    /// Implementations must tolerate `item(i)` being called at most once per
+    /// index, from any thread, with `&self` shared. [`ParIterMut`] hands out
+    /// `&mut T` derived from a raw pointer, which is sound exactly because
+    /// the engine never produces the same index twice.
+    pub unsafe trait IndexedParallelIterator: Sized + Send + Sync {
+        /// The item produced at each index.
+        type Item: Send;
+
+        /// Number of items.
+        fn len(&self) -> usize;
+
+        /// `true` when there are no items.
+        fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Produces the item at `i`.
+        ///
+        /// # Safety
+        ///
+        /// Each index in `0..len` must be passed at most once across all
+        /// threads.
+        unsafe fn item(&self, i: usize) -> Self::Item;
+
+        /// Pairs this iterator with another of the same length.
+        fn zip<B: IndexedParallelIterator>(self, other: B) -> Zip<Self, B> {
+            assert_eq!(self.len(), other.len(), "zip: length mismatch");
+            Zip { a: self, b: other }
+        }
+
+        /// Maps each item through `f`.
+        fn map<R: Send, F>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Item) -> R + Sync + Send,
+        {
+            Map { base: self, f }
+        }
+
+        /// Attaches the index to each item.
+        fn enumerate(self) -> Enumerate<Self> {
+            Enumerate { base: self }
+        }
+
+        /// Accepted for rayon compatibility; chunking here is per-thread
+        /// ranges already, so this is a no-op.
+        fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+    }
+
+    /// Consumer methods; blanket-implemented for every indexed iterator.
+    pub trait ParallelIterator: IndexedParallelIterator {
+        /// Calls `f` on every item, in parallel for large inputs.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync + Send,
+        {
+            let n = self.len();
+            let workers = current_num_threads();
+            if n < INLINE_THRESHOLD || workers < 2 {
+                for i in 0..n {
+                    // SAFETY: each index visited exactly once.
+                    f(unsafe { self.item(i) });
+                }
+                return;
+            }
+            let chunk = n.div_ceil(workers);
+            let it = &self;
+            let f = &f;
+            std::thread::scope(|s| {
+                for w in 0..workers {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n);
+                    if lo >= hi {
+                        break;
+                    }
+                    s.spawn(move || {
+                        for i in lo..hi {
+                            // SAFETY: ranges are disjoint across workers.
+                            f(unsafe { it.item(i) });
+                        }
+                    });
+                }
+            });
+        }
+
+        /// Folds items with `op`, seeding every partial fold from
+        /// `identity`. Partials are combined in worker order.
+        fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+        where
+            ID: Fn() -> Self::Item + Sync + Send,
+            OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+        {
+            let n = self.len();
+            let workers = current_num_threads();
+            if n < INLINE_THRESHOLD || workers < 2 {
+                let mut acc = identity();
+                for i in 0..n {
+                    // SAFETY: each index visited exactly once.
+                    acc = op(acc, unsafe { self.item(i) });
+                }
+                return acc;
+            }
+            let chunk = n.div_ceil(workers);
+            let it = &self;
+            let identity = &identity;
+            let op = &op;
+            let partials: Vec<Self::Item> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .filter_map(|w| {
+                        let lo = w * chunk;
+                        let hi = ((w + 1) * chunk).min(n);
+                        (lo < hi).then(|| {
+                            s.spawn(move || {
+                                let mut acc = identity();
+                                for i in lo..hi {
+                                    // SAFETY: ranges are disjoint.
+                                    acc = op(acc, unsafe { it.item(i) });
+                                }
+                                acc
+                            })
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("rayon worker panicked")).collect()
+            });
+            partials.into_iter().fold(identity(), &op)
+        }
+
+        /// Sums the items.
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item> + Send,
+            Self::Item: Send,
+        {
+            let n = self.len();
+            // Sequential: `Sum` gives us no parallel monoid to fold with.
+            (0..n)
+                .map(|i| {
+                    // SAFETY: each index visited exactly once.
+                    unsafe { self.item(i) }
+                })
+                .sum()
+        }
+
+        /// Collects items in index order.
+        fn collect<C>(self) -> C
+        where
+            C: FromIterator<Self::Item>,
+        {
+            let n = self.len();
+            (0..n)
+                .map(|i| {
+                    // SAFETY: each index visited exactly once.
+                    unsafe { self.item(i) }
+                })
+                .collect()
+        }
+    }
+
+    impl<I: IndexedParallelIterator> ParallelIterator for I {}
+
+    /// Shared-borrow parallel iterator over a slice.
+    pub struct ParIter<'a, T> {
+        pub(crate) slice: &'a [T],
+    }
+
+    // SAFETY: produces `&T` by index; any per-index discipline is fine for
+    // shared references.
+    unsafe impl<'a, T: Send + Sync> IndexedParallelIterator for ParIter<'a, T> {
+        type Item = &'a T;
+        fn len(&self) -> usize {
+            self.slice.len()
+        }
+        unsafe fn item(&self, i: usize) -> &'a T {
+            // SAFETY: i < len by the engine's contract.
+            unsafe { self.slice.get_unchecked(i) }
+        }
+    }
+
+    /// Mutable parallel iterator over a slice.
+    pub struct ParIterMut<'a, T> {
+        pub(crate) ptr: *mut T,
+        pub(crate) len: usize,
+        pub(crate) _marker: PhantomData<&'a mut T>,
+    }
+
+    // SAFETY: the engine guarantees each index is produced at most once, so
+    // the `&mut T` handed out never aliases.
+    unsafe impl<T: Send> Send for ParIterMut<'_, T> {}
+    // SAFETY: `item` is only called under the at-most-once-per-index
+    // contract, so shared access to the iterator itself is fine.
+    unsafe impl<T: Send> Sync for ParIterMut<'_, T> {}
+
+    unsafe impl<'a, T: Send + 'a> IndexedParallelIterator for ParIterMut<'a, T> {
+        type Item = &'a mut T;
+        fn len(&self) -> usize {
+            self.len
+        }
+        unsafe fn item(&self, i: usize) -> &'a mut T {
+            debug_assert!(i < self.len);
+            // SAFETY: i < len, and the engine never repeats an index, so
+            // this &mut is unique.
+            unsafe { &mut *self.ptr.add(i) }
+        }
+    }
+
+    /// Lock-step pairing of two indexed iterators.
+    pub struct Zip<A, B> {
+        a: A,
+        b: B,
+    }
+
+    // SAFETY: delegates the per-index contract to both halves.
+    unsafe impl<A: IndexedParallelIterator, B: IndexedParallelIterator> IndexedParallelIterator
+        for Zip<A, B>
+    {
+        type Item = (A::Item, B::Item);
+        fn len(&self) -> usize {
+            self.a.len().min(self.b.len())
+        }
+        unsafe fn item(&self, i: usize) -> Self::Item {
+            // SAFETY: forwarded contract.
+            unsafe { (self.a.item(i), self.b.item(i)) }
+        }
+    }
+
+    /// Mapping adapter.
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    // SAFETY: delegates the per-index contract to the base iterator.
+    unsafe impl<I, R, F> IndexedParallelIterator for Map<I, F>
+    where
+        I: IndexedParallelIterator,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync + Send,
+    {
+        type Item = R;
+        fn len(&self) -> usize {
+            self.base.len()
+        }
+        unsafe fn item(&self, i: usize) -> R {
+            // SAFETY: forwarded contract.
+            (self.f)(unsafe { self.base.item(i) })
+        }
+    }
+
+    /// Index-attaching adapter.
+    pub struct Enumerate<I> {
+        base: I,
+    }
+
+    // SAFETY: delegates the per-index contract to the base iterator.
+    unsafe impl<I: IndexedParallelIterator> IndexedParallelIterator for Enumerate<I> {
+        type Item = (usize, I::Item);
+        fn len(&self) -> usize {
+            self.base.len()
+        }
+        unsafe fn item(&self, i: usize) -> (usize, I::Item) {
+            // SAFETY: forwarded contract.
+            (i, unsafe { self.base.item(i) })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_mut_for_each_touches_every_element() {
+        let mut v: Vec<u64> = (0..50_000).collect();
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x += i as u64);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn zip_map_reduce_matches_sequential_dot() {
+        let x: Vec<f64> = (0..30_000).map(|i| (i % 7) as f64 - 3.0).collect();
+        let y: Vec<f64> = (0..30_000).map(|i| (i % 5) as f64 - 2.0).collect();
+        let par = x.par_iter().zip(y.par_iter()).map(|(&a, &b)| a * b).reduce(|| 0.0, |a, b| a + b);
+        let seq: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert_eq!(par, seq); // integer-valued products: both sums exact
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        let v = [1, 2, 3];
+        let s: i32 = v.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn join_and_scope_run_both_sides() {
+        let (a, b) = crate::join(|| 2 + 2, || 3 * 3);
+        assert_eq!((a, b), (4, 9));
+        let mut hits = [0u8; 4];
+        let (head, tail) = hits.split_at_mut(2);
+        crate::scope(|s| {
+            s.spawn(move |_| head.iter_mut().for_each(|h| *h += 1));
+            s.spawn(move |_| tail.iter_mut().for_each(|h| *h += 1));
+        });
+        assert_eq!(hits, [1; 4]);
+    }
+}

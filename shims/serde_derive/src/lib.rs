@@ -1,0 +1,408 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates implementations of the serde *shim's* traits (`Serialize` /
+//! `Deserialize`, a value-tree model) for the item shapes this workspace
+//! uses: non-generic structs with named fields, tuple structs, and enums
+//! with unit, tuple, and struct variants. `#[serde(...)]` attributes and
+//! generic parameters are intentionally unsupported — the macro panics with
+//! a clear message so a future change is caught at compile time rather than
+//! silently mis-serialized.
+//!
+//! No `syn`/`quote` (unavailable offline): the item is parsed directly from
+//! the `proc_macro` token stream and code is emitted via string formatting.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum ItemShape {
+    /// Struct with named fields.
+    Struct { fields: Vec<String> },
+    /// Tuple struct with `arity` fields.
+    TupleStruct { arity: usize },
+    /// Enum.
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: ItemShape,
+}
+
+/// Derives the serde shim's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the serde shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "serde shim derive: generic type `{name}` is not supported by the offline \
+             serde stand-in — serialize a concrete mirror type instead"
+        );
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemShape::Struct { fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemShape::TupleStruct { arity: count_top_level_fields(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemShape::TupleStruct { arity: 0 },
+            other => panic!("serde shim derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemShape::Enum { variants: parse_variants(g.stream()) }
+            }
+            other => panic!("serde shim derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+
+    Item { name, shape }
+}
+
+/// Advances `i` past attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists (struct bodies and struct
+/// variants), returning the field names in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after `{field}`, got {other}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket
+        // depth 0. Grouped tokens (parens/brackets) are single trees, so
+        // only `<`/`>` need depth tracking.
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Counts fields in a tuple-struct/tuple-variant body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0usize;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde shim derive: explicit discriminants are not supported");
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        ItemShape::Struct { fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        ItemShape::TupleStruct { arity } => {
+            let entries: Vec<String> =
+                (0..*arity).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Seq(vec![{}])", entries.join(", "))
+        }
+        ItemShape::Enum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                                 ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let vals: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\
+                                 \"{vn}\".to_string(), ::serde::Value::Map(vec![{}]))]),",
+                                vals.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        ItemShape::Struct { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::map_get(__m, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected map for {name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        ItemShape::TupleStruct { arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected array for {name}\"))?;\n\
+                 if __s.len() != {arity} {{ return Err(::serde::DeError::new(\
+                 \"wrong tuple arity for {name}\")); }}\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        ItemShape::Enum { variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let __s = __payload.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::new(\"expected array payload\"))?; \
+                                 if __s.len() != {n} {{ return Err(::serde::DeError::new(\
+                                 \"wrong payload arity for {name}::{vn}\")); }} \
+                                 return Ok({name}::{vn}({})); }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::map_get(__fm, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let __fm = __payload.as_map().ok_or_else(|| \
+                                 ::serde::DeError::new(\"expected map payload\"))?; \
+                                 return Ok({name}::{vn} {{ {} }}); }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(__s) = __v.as_str() {{\n\
+                     match __s {{ {unit} _ => return Err(::serde::DeError::new(\
+                     format!(\"unknown unit variant `{{__s}}` for {name}\"))) }}\n\
+                 }}\n\
+                 if let Some(__m) = __v.as_map() {{\n\
+                     if __m.len() == 1 {{\n\
+                         let (__tag, __payload) = (&__m[0].0, &__m[0].1);\n\
+                         match __tag.as_str() {{ {data} _ => return Err(::serde::DeError::new(\
+                         format!(\"unknown variant `{{__tag}}` for {name}\"))) }}\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::DeError::new(\"unrecognized enum encoding for {name}\"))",
+                unit = unit_arms.join(" "),
+                data = data_arms.join(" "),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> \
+         {{ {body} }}\n\
+         }}"
+    )
+}

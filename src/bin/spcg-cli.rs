@@ -144,11 +144,9 @@ fn run_generate(g: &GenerateArgs) -> ExitCode {
     let p = |key: &str, default: f64| g.params.get(key).copied().unwrap_or(default);
     let m = match g.kind.as_str() {
         "poisson2d" => gen::poisson_2d(p("nx", 32.0) as usize, p("ny", 32.0) as usize),
-        "poisson3d" => gen::poisson_3d(
-            p("nx", 12.0) as usize,
-            p("ny", 12.0) as usize,
-            p("nz", 12.0) as usize,
-        ),
+        "poisson3d" => {
+            gen::poisson_3d(p("nx", 12.0) as usize, p("ny", 12.0) as usize, p("nz", 12.0) as usize)
+        }
         "layered2d" => gen::layered_poisson_2d(
             p("nx", 64.0) as usize,
             p("ny", 64.0) as usize,

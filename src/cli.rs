@@ -135,10 +135,7 @@ fn parse_sparsify(s: &str) -> Result<SparsifyMode, String> {
 
 fn parse_solve(args: &[String]) -> Result<SolveArgs, String> {
     let flags = parse_flags(args)?;
-    let matrix = flags
-        .get("matrix")
-        .cloned()
-        .ok_or_else(|| "--matrix is required".to_string())?;
+    let matrix = flags.get("matrix").cloned().ok_or_else(|| "--matrix is required".to_string())?;
     let precond = match flags.get("precond") {
         None => PrecondKind::Ilu0,
         Some(s) if s == "jacobi" || s == "sai" => {
@@ -178,14 +175,8 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, String> {
 
 fn parse_generate(args: &[String]) -> Result<GenerateArgs, String> {
     let flags = parse_flags(args)?;
-    let kind = flags
-        .get("kind")
-        .cloned()
-        .ok_or_else(|| "--kind is required".to_string())?;
-    let out = flags
-        .get("out")
-        .cloned()
-        .ok_or_else(|| "--out is required".to_string())?;
+    let kind = flags.get("kind").cloned().ok_or_else(|| "--kind is required".to_string())?;
+    let out = flags.get("out").cloned().ok_or_else(|| "--out is required".to_string())?;
     let mut params = HashMap::new();
     for (k, v) in &flags {
         if k == "kind" || k == "out" {
@@ -243,8 +234,21 @@ mod tests {
     #[test]
     fn parses_full_solve() {
         let cmd = parse(&s(&[
-            "solve", "--matrix", "m.mtx", "--precond", "iluk=2", "--sparsify", "5%", "--tol",
-            "1e-8", "--max-iters", "200", "--exec", "par", "--device", "v100",
+            "solve",
+            "--matrix",
+            "m.mtx",
+            "--precond",
+            "iluk=2",
+            "--sparsify",
+            "5%",
+            "--tol",
+            "1e-8",
+            "--max-iters",
+            "200",
+            "--exec",
+            "par",
+            "--device",
+            "v100",
         ]))
         .unwrap();
         let Command::Solve(a) = cmd else { panic!() };
@@ -277,7 +281,15 @@ mod tests {
     #[test]
     fn parses_generate() {
         let cmd = parse(&s(&[
-            "generate", "--kind", "poisson2d", "--out", "o.mtx", "--nx", "10", "--ny", "12",
+            "generate",
+            "--kind",
+            "poisson2d",
+            "--out",
+            "o.mtx",
+            "--nx",
+            "10",
+            "--ny",
+            "12",
         ]))
         .unwrap();
         let Command::Generate(g) = cmd else { panic!() };

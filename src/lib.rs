@@ -30,10 +30,13 @@ pub use spcg_wavefront as wavefront;
 pub mod prelude {
     pub use spcg_core::{
         oracle_select, spcg_solve, wavefront_aware_sparsify, PrecondKind, SparsifyParams,
-        SpcgOptions, ORACLE_RATIOS,
+        SpcgOptions, SpcgPlan, ORACLE_RATIOS,
     };
     pub use spcg_precond::{ic0, ilu0, iluk, Preconditioner, TriangularExec};
-    pub use spcg_solver::{cg, pcg, SolverConfig, StopReason, ToleranceMode};
+    pub use spcg_solver::{
+        cg, pcg, pcg_in_place, pcg_with_workspace, SolveStats, SolveWorkspace, SolverConfig,
+        StopReason, ToleranceMode,
+    };
     pub use spcg_sparse::{CooMatrix, CsrMatrix, Scalar};
     pub use spcg_wavefront::{wavefront_count, LevelSchedule, Triangle, WavefrontStats};
 }

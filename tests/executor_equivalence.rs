@@ -11,23 +11,29 @@ fn matrices() -> Vec<(&'static str, spcg::sparse::CsrMatrix<f64>)> {
     vec![
         (
             "layered",
-            Recipe::Layered2D { nx: 30, ny: 30, period: 4, weak: 0.015 }
-                .build(3, 1.5, Ordering::Natural),
+            Recipe::Layered2D { nx: 30, ny: 30, period: 4, weak: 0.015 }.build(
+                3,
+                1.5,
+                Ordering::Natural,
+            ),
         ),
         (
             "scrambled-graph",
-            Recipe::GraphLaplacian { n: 900, degree: 4, shift: 0.8 }
-                .build(4, 1.0, Ordering::Scrambled),
+            Recipe::GraphLaplacian { n: 900, degree: 4, shift: 0.8 }.build(
+                4,
+                1.0,
+                Ordering::Scrambled,
+            ),
         ),
         (
             "banded",
-            Recipe::Banded { n: 1100, band: 3, density: 0.9, dominance: 1.7 }
-                .build(5, 1.0, Ordering::Natural),
+            Recipe::Banded { n: 1100, band: 3, density: 0.9, dominance: 1.7 }.build(
+                5,
+                1.0,
+                Ordering::Natural,
+            ),
         ),
-        (
-            "stencil9-rcm",
-            Recipe::Stencil9 { nx: 32, ny: 32 }.build(6, 5.0, Ordering::Rcm),
-        ),
+        ("stencil9-rcm", Recipe::Stencil9 { nx: 32, ny: 32 }.build(6, 5.0, Ordering::Rcm)),
     ]
 }
 
@@ -58,8 +64,7 @@ fn pcg_trajectory_is_executor_independent() {
     for (name, a) in matrices() {
         let b = rhs(a.n_rows(), 2);
         let cfg = SolverConfig::default().with_tol(1e-9).with_history(true);
-        let fs = ilu0(&a, TriangularExec::Sequential)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let fs = ilu0(&a, TriangularExec::Sequential).unwrap_or_else(|e| panic!("{name}: {e}"));
         let fp = ilu0(&a, TriangularExec::LevelParallel).unwrap();
         let rs = pcg(&a, &fs, &b, &cfg);
         let rp = pcg(&a, &fp, &b, &cfg);
@@ -73,14 +78,8 @@ fn pcg_trajectory_is_executor_independent() {
 fn schedules_validate_against_their_matrices() {
     for (name, a) in matrices() {
         let f = ilu0(&a, TriangularExec::Sequential).unwrap();
-        assert!(
-            f.l_schedule().validate(f.l()),
-            "{name}: L schedule invalid"
-        );
-        assert!(
-            f.u_schedule().validate(f.u()),
-            "{name}: U schedule invalid"
-        );
+        assert!(f.l_schedule().validate(f.l()), "{name}: L schedule invalid");
+        assert!(f.u_schedule().validate(f.u()), "{name}: U schedule invalid");
         // Level count equals the dependence DAG's critical path.
         let dag = spcg_wavefront::DependenceDag::build(f.l(), Triangle::Lower);
         assert_eq!(f.l_schedule().n_levels(), dag.critical_path_len(), "{name}");

@@ -46,19 +46,14 @@ fn spcg_solution_solves_the_original_system() {
     for spec in sample().into_iter().take(5) {
         let a = spec.build();
         let b = spec.rhs(a.n_rows());
-        let out = spcg_solve(&a, &b, &SpcgOptions { solver: solver(), ..Default::default() })
-            .unwrap();
+        let out =
+            spcg_solve(&a, &b, &SpcgOptions { solver: solver(), ..Default::default() }).unwrap();
         if !out.result.converged() {
             continue;
         }
         let ax = spmv_alloc(&a, &out.result.x);
         let b_norm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
-        let resid: f64 = ax
-            .iter()
-            .zip(&b)
-            .map(|(p, q)| (p - q) * (p - q))
-            .sum::<f64>()
-            .sqrt();
+        let resid: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
         assert!(
             resid / b_norm < 1e-7,
             "{}: relative residual vs ORIGINAL A is {}",
@@ -156,7 +151,12 @@ fn iluk_pipeline_beats_ilu0_on_iterations() {
     let r0 = spcg_solve(
         &a,
         &b,
-        &SpcgOptions { sparsify: None, precond: PrecondKind::Ilu0, solver: solver(), ..Default::default() },
+        &SpcgOptions {
+            sparsify: None,
+            precond: PrecondKind::Ilu0,
+            solver: solver(),
+            ..Default::default()
+        },
     )
     .unwrap();
     let r2 = spcg_solve(

@@ -23,11 +23,9 @@ fn sweep_speedups() -> Vec<f64> {
         ) else {
             continue;
         };
-        let Ok(spcg) = spcg_solve(
-            &a,
-            &b,
-            &SpcgOptions { solver: solver.clone(), ..Default::default() },
-        ) else {
+        let Ok(spcg) =
+            spcg_solve(&a, &b, &SpcgOptions { solver: solver.clone(), ..Default::default() })
+        else {
             continue;
         };
         let tb = pcg_iteration_cost(&device, &a, &base.factors).total_us();
@@ -57,8 +55,7 @@ fn headline_per_iteration_gmean_band() {
 #[test]
 fn majority_of_matrices_accelerate() {
     let speedups = sweep_speedups();
-    let pct = 100.0 * speedups.iter().filter(|&&s| s > 1.0).count() as f64
-        / speedups.len() as f64;
+    let pct = 100.0 * speedups.iter().filter(|&&s| s > 1.0).count() as f64 / speedups.len() as f64;
     // Paper: 69.16%.
     assert!(
         (50.0..=95.0).contains(&pct),

@@ -29,7 +29,7 @@ fn measured_per_iter(
     let mut best = f64::MAX;
     let mut iters = 0;
     for _ in 0..reps {
-        let r = pcg(a, f, b, &solver);
+        let r = pcg(a, f, b, &solver).expect("well-formed system");
         if r.iterations == 0 {
             return None;
         }

@@ -59,14 +59,14 @@ fn main() {
         let a = spec.build();
         let b = spec.rhs(a.n_rows());
         let Ok(fb) = ilu0(&a, TriangularExec::Sequential) else { continue };
-        let base = pcg(&a, &fb, &b, &solver);
+        let base = pcg(&a, &fb, &b, &solver).expect("well-formed system");
         if base.stop != StopReason::Converged {
             continue;
         }
         counted += 1;
         let bad = match ilu0(&sparsify_by_magnitude(&a, 50.0).a_hat, TriangularExec::Sequential) {
             Ok(fs) => {
-                let r = pcg(&a, &fs, &b, &solver);
+                let r = pcg(&a, &fs, &b, &solver).expect("well-formed system");
                 r.stop != StopReason::Converged || r.iterations >= 2 * base.iterations
             }
             Err(_) => true,

@@ -33,7 +33,7 @@ fn main() {
             let a_hat = if pct == 0.0 { a.clone() } else { sparsify_by_magnitude(a, pct).a_hat };
             let (iters, status, resid) = match ilu0(&a_hat, TriangularExec::Sequential) {
                 Ok(f) => {
-                    let r = pcg(a, &f, &b, &solver);
+                    let r = pcg(a, &f, &b, &solver).expect("well-formed system");
                     (
                         r.iterations.to_string(),
                         format!("{:?}", r.stop),

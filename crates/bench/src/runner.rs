@@ -118,7 +118,8 @@ pub fn plan_variant(
     };
     let (factors, pattern) = build_factors(&m_for_fact, kind, exec)?;
     let opts = SpcgOptions { sparsify: None, precond: kind, exec, solver: solver.clone() };
-    let plan = SpcgPlan::from_factors(a.clone(), factors, opts).with_factored_matrix(m_for_fact);
+    let plan =
+        SpcgPlan::from_factors(a.clone(), factors, opts)?.with_factored_matrix(m_for_fact)?;
     Ok((plan, pattern, chosen_ratio))
 }
 
@@ -142,7 +143,9 @@ pub fn evaluate_with_workspace(
     // Real numerics: PCG on the ORIGINAL A with the (possibly sparsified)
     // preconditioner, in f64 so the paper's 1e-12-style tolerances are
     // meaningful.
-    let result = plan.solve_with_workspace(b, ws);
+    let result = plan
+        .solve_with_workspace(b, ws)
+        .map_err(|e| spcg_sparse::SparseError::DimensionMismatch(e.to_string()))?;
 
     // Simulated timing with the real iteration count.
     let iter_cost = plan_iteration_cost(device, &plan);
@@ -304,7 +307,7 @@ pub fn select_k(a: &CsrMatrix<f64>, b: &[f64], solver: &SolverConfig) -> Option<
         ) else {
             continue;
         };
-        let stats = plan.solve_in_place(b, &mut ws);
+        let Ok(stats) = plan.solve_in_place(b, &mut ws) else { continue };
         let conv = stats.stop == StopReason::Converged;
         let better = match best {
             None => true,

@@ -9,6 +9,8 @@
 //! * [`algorithm2`] — the wavefront-aware selection loop (Algorithm 2);
 //! * [`pipeline`] — the Figure-2 pipeline: sparsify → ILU(0)/ILU(K) → PCG;
 //! * [`plan`] — the plan/execute split: analyze once, solve many times;
+//! * [`resilient`] — breakdown recovery: the adaptive de-sparsification
+//!   fallback ladder with deterministic fault injection;
 //! * [`oracle`] — the best-fixed-ratio upper bound of §4.4;
 //! * [`report`] — serializable per-run records for the benchmark harness.
 //!
@@ -40,8 +42,24 @@
 //!     .map(|k| (0..a.n_rows()).map(|i| ((i + k) % 7) as f64).collect())
 //!     .collect();
 //! for result in plan.solve_many(&rhs) {
-//!     assert!(result.converged());
+//!     assert!(result.unwrap().converged());
 //! }
+//! ```
+//!
+//! Breakdown-resilient solves — a runtime breakdown climbs the fallback
+//! ladder (re-sparsify less aggressively → unsparsified → diagonally
+//! shifted refactorization → Jacobi) and reports what it took:
+//!
+//! ```
+//! use spcg_core::{SpcgOptions, SpcgPlan};
+//! use spcg_sparse::generators::poisson_2d;
+//!
+//! let a = poisson_2d(16, 16);
+//! let plan = SpcgPlan::build(&a, &SpcgOptions::default()).unwrap();
+//! let b = vec![1.0f64; a.n_rows()];
+//! let solve = plan.solve_resilient(&b).unwrap();
+//! assert!(solve.converged());
+//! assert!(solve.report.clean()); // healthy solve: no fallback needed
 //! ```
 
 #![warn(missing_docs)]
@@ -52,6 +70,7 @@ pub mod oracle;
 pub mod pipeline;
 pub mod plan;
 pub mod report;
+pub mod resilient;
 pub mod sparsify;
 
 pub use algorithm2::{wavefront_aware_sparsify, SelectionReason, SparsifyDecision, SparsifyParams};
@@ -62,4 +81,8 @@ pub use pipeline::{
 };
 pub use plan::SpcgPlan;
 pub use report::RunReport;
+pub use resilient::{
+    FallbackRung, FaultInjection, RecoveryAttempt, RecoveryReport, ResilienceOptions,
+    ResilientSolve,
+};
 pub use sparsify::{sparsify_by_magnitude, Sparsified, SparsifyStats};

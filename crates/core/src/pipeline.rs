@@ -101,7 +101,8 @@ pub fn spcg_solve<T: Scalar>(
     opts: &SpcgOptions,
 ) -> Result<SpcgOutcome<T>> {
     let plan = SpcgPlan::build(a, opts)?;
-    let result = plan.solve(b);
+    let result =
+        plan.solve(b).map_err(|e| spcg_sparse::SparseError::DimensionMismatch(e.to_string()))?;
     Ok(plan.into_outcome(result))
 }
 
@@ -131,7 +132,7 @@ pub fn select_best_k<T: Scalar>(
         };
         let Ok(plan) = SpcgPlan::build(a, &opts) else { continue }; // breakdown: skip K
         let ws = ws.get_or_insert_with(|| plan.make_workspace());
-        let stats = plan.solve_in_place(b, ws);
+        let Ok(stats) = plan.solve_in_place(b, ws) else { continue };
         let conv = stats.converged();
         let iters = stats.iterations;
         let resid = stats.final_residual;

@@ -12,8 +12,10 @@
 use crate::algorithm2::{wavefront_aware_sparsify, SparsifyDecision};
 use crate::pipeline::{build_preconditioner, SpcgOptions, SpcgOutcome};
 use spcg_precond::{IluFactors, Preconditioner};
-use spcg_solver::{pcg_in_place, pcg_with_workspace, SolveResult, SolveStats, SolveWorkspace};
-use spcg_sparse::{CsrMatrix, Result, Scalar};
+use spcg_solver::{
+    pcg_in_place, pcg_with_workspace, SolveResult, SolveStats, SolveWorkspace, SolverError,
+};
+use spcg_sparse::{CsrMatrix, Result, Scalar, SparseError};
 use std::time::{Duration, Instant};
 
 /// A fully-analyzed SPCG pipeline, ready to solve repeatedly.
@@ -45,7 +47,9 @@ impl<T: Scalar> SpcgPlan<T> {
     /// Runs the analysis phase: sparsify (when configured), factor the
     /// result, and build the triangular-solve level schedules.
     pub fn build(a: &CsrMatrix<T>, opts: &SpcgOptions) -> Result<Self> {
-        assert!(a.is_square(), "SPCG requires a square matrix");
+        if !a.is_square() {
+            return Err(SparseError::NotSquare { n_rows: a.n_rows(), n_cols: a.n_cols() });
+        }
         let (decision, sparsify_time) = match &opts.sparsify {
             Some(params) => {
                 let t = Instant::now();
@@ -72,9 +76,19 @@ impl<T: Scalar> SpcgPlan<T> {
     /// Wraps externally-built factors (e.g. a fill-capped ILU(K) from the
     /// bench harness) into a plan over `a`. No sparsification decision is
     /// recorded and analysis timings are zero — the caller did that work.
-    pub fn from_factors(a: CsrMatrix<T>, factors: IluFactors<T>, opts: SpcgOptions) -> Self {
-        assert_eq!(a.n_rows(), factors.dim(), "factor dimension mismatch");
-        Self {
+    pub fn from_factors(
+        a: CsrMatrix<T>,
+        factors: IluFactors<T>,
+        opts: SpcgOptions,
+    ) -> Result<Self> {
+        if a.n_rows() != factors.dim() {
+            return Err(SparseError::DimensionMismatch(format!(
+                "factor dimension {} does not match system dimension {}",
+                factors.dim(),
+                a.n_rows()
+            )));
+        }
+        Ok(Self {
             a,
             opts,
             decision: None,
@@ -82,16 +96,22 @@ impl<T: Scalar> SpcgPlan<T> {
             factors,
             sparsify_time: Duration::ZERO,
             factorization_time: Duration::ZERO,
-        }
+        })
     }
 
     /// Records which matrix the external analysis factored (for cost models
     /// and wavefront accounting on [`from_factors`](SpcgPlan::from_factors)
     /// plans).
-    pub fn with_factored_matrix(mut self, m: CsrMatrix<T>) -> Self {
-        assert_eq!(m.n_rows(), self.factors.dim(), "factored matrix dimension mismatch");
+    pub fn with_factored_matrix(mut self, m: CsrMatrix<T>) -> Result<Self> {
+        if m.n_rows() != self.factors.dim() {
+            return Err(SparseError::DimensionMismatch(format!(
+                "factored matrix dimension {} does not match factor dimension {}",
+                m.n_rows(),
+                self.factors.dim()
+            )));
+        }
         self.factored = Some(m);
-        self
+        Ok(self)
     }
 
     /// The system matrix the plan solves against.
@@ -152,34 +172,49 @@ impl<T: Scalar> SpcgPlan<T> {
 
     /// Solves `A x = b`, allocating a fresh workspace for this call.
     /// Results are identical to [`solve_with_workspace`](Self::solve_with_workspace).
-    pub fn solve(&self, b: &[T]) -> SolveResult<T> {
+    pub fn solve(&self, b: &[T]) -> std::result::Result<SolveResult<T>, SolverError> {
         let mut ws = self.make_workspace();
         self.solve_with_workspace(b, &mut ws)
     }
 
     /// Solves `A x = b` reusing `ws`, returning an owned result. The
     /// iteration loop allocates nothing once `ws` is warm.
-    pub fn solve_with_workspace(&self, b: &[T], ws: &mut SolveWorkspace<T>) -> SolveResult<T> {
+    pub fn solve_with_workspace(
+        &self,
+        b: &[T],
+        ws: &mut SolveWorkspace<T>,
+    ) -> std::result::Result<SolveResult<T>, SolverError> {
         pcg_with_workspace(&self.a, &self.factors, b, &self.opts.solver, ws)
     }
 
     /// The fully allocation-free solve: the iterate stays in
     /// `ws.solution()` and only `Copy` statistics are returned.
-    pub fn solve_in_place(&self, b: &[T], ws: &mut SolveWorkspace<T>) -> SolveStats {
+    pub fn solve_in_place(
+        &self,
+        b: &[T],
+        ws: &mut SolveWorkspace<T>,
+    ) -> std::result::Result<SolveStats, SolverError> {
         pcg_in_place(&self.a, &self.factors, b, &self.opts.solver, ws)
     }
 
     /// Solves the same operator against many independent right-hand sides,
     /// in parallel, with one reusable workspace per worker. Results are
     /// returned in input order and are identical to calling
-    /// [`solve`](SpcgPlan::solve) on each `b` sequentially.
-    pub fn solve_many<B: AsRef<[T]> + Sync>(&self, rhs: &[B]) -> Vec<SolveResult<T>> {
+    /// [`solve`](SpcgPlan::solve) on each `b` sequentially. Each right-hand
+    /// side fails or succeeds independently: one malformed `b` (or one
+    /// breakdown, reported via its result's stop reason) never aborts the
+    /// rest of the batch.
+    pub fn solve_many<B: AsRef<[T]> + Sync>(
+        &self,
+        rhs: &[B],
+    ) -> Vec<std::result::Result<SolveResult<T>, SolverError>> {
         if rhs.is_empty() {
             return Vec::new();
         }
         let workers = rayon::current_num_threads().clamp(1, rhs.len());
         let chunk_len = rhs.len().div_ceil(workers);
-        let mut out: Vec<Option<SolveResult<T>>> = (0..rhs.len()).map(|_| None).collect();
+        type Slot<T> = Option<std::result::Result<SolveResult<T>, SolverError>>;
+        let mut out: Vec<Slot<T>> = (0..rhs.len()).map(|_| None).collect();
         rayon::scope(|s| {
             for (slot, chunk) in out.chunks_mut(chunk_len).zip(rhs.chunks(chunk_len)) {
                 s.spawn(move |_| {
@@ -233,7 +268,7 @@ mod tests {
         let (a, b) = system(12);
         let o = opts();
         let plan = SpcgPlan::build(&a, &o).unwrap();
-        let from_plan = plan.solve(&b);
+        let from_plan = plan.solve(&b).unwrap();
         let from_pipeline = spcg_solve(&a, &b, &o).unwrap();
         assert_eq!(from_plan.x, from_pipeline.result.x);
         assert_eq!(from_plan.residual_history, from_pipeline.result.residual_history);
@@ -250,10 +285,10 @@ mod tests {
             (0..4).map(|_| (0..a.n_rows()).map(|_| rng.range(-2.0, 2.0)).collect()).collect();
         let mut ws = plan.make_workspace();
         for b in &rhs {
-            let r = plan.solve_with_workspace(b, &mut ws);
+            let r = plan.solve_with_workspace(b, &mut ws).unwrap();
             assert!(r.converged(), "stop {:?}", r.stop);
             // Each result equals a one-shot solve of the same rhs.
-            assert_eq!(r.x, plan.solve(b).x);
+            assert_eq!(r.x, plan.solve(b).unwrap().x);
         }
     }
 
@@ -268,7 +303,8 @@ mod tests {
         let batched = plan.solve_many(&rhs);
         assert_eq!(batched.len(), rhs.len());
         for (i, (batch, b)) in batched.iter().zip(&rhs).enumerate() {
-            let single = plan.solve(b);
+            let batch = batch.as_ref().unwrap();
+            let single = plan.solve(b).unwrap();
             assert_eq!(batch.x, single.x, "rhs {i} diverged from independent solve");
             assert_eq!(batch.iterations, single.iterations);
         }
@@ -281,7 +317,7 @@ mod tests {
         assert!(plan.solve_many(&Vec::<Vec<f64>>::new()).is_empty());
         let one = plan.solve_many(std::slice::from_ref(&b));
         assert_eq!(one.len(), 1);
-        assert_eq!(one[0].x, plan.solve(&b).x);
+        assert_eq!(one[0].as_ref().unwrap().x, plan.solve(&b).unwrap().x);
     }
 
     #[test]
@@ -293,7 +329,7 @@ mod tests {
         assert!(plan.decision().is_none());
         assert_eq!(plan.sparsify_time(), Duration::ZERO);
         assert!(std::ptr::eq(plan.factored_matrix(), plan.a()));
-        assert!(plan.solve(&b).converged());
+        assert!(plan.solve(&b).unwrap().converged());
     }
 
     #[test]
@@ -301,9 +337,9 @@ mod tests {
         let (a, b) = system(8);
         let o = SpcgOptions { sparsify: None, ..opts() };
         let factors = build_preconditioner(&a, o.precond, o.exec).unwrap();
-        let plan = SpcgPlan::from_factors(a.clone(), factors, o.clone());
+        let plan = SpcgPlan::from_factors(a.clone(), factors, o.clone()).unwrap();
         let direct = SpcgPlan::build(&a, &o).unwrap();
-        assert_eq!(plan.solve(&b).x, direct.solve(&b).x);
+        assert_eq!(plan.solve(&b).unwrap().x, direct.solve(&b).unwrap().x);
     }
 
     #[test]
@@ -311,7 +347,7 @@ mod tests {
         let (a, b) = system(8);
         let plan = SpcgPlan::build(&a, &opts()).unwrap();
         let wavefronts = plan.factors().total_wavefronts();
-        let result = plan.solve(&b);
+        let result = plan.solve(&b).unwrap();
         let outcome = plan.into_outcome(result);
         assert!(outcome.decision.is_some());
         assert_eq!(outcome.factors.total_wavefronts(), wavefronts);

@@ -1,0 +1,660 @@
+//! The adaptive de-sparsification fallback ladder: breakdown-resilient
+//! solves on top of [`SpcgPlan`].
+//!
+//! Sparsification trades preconditioner quality for parallelism, and the
+//! trade can go wrong: an aggressively sparsified `Â` may factor into
+//! indefinite or near-singular factors that break PCG down at runtime.
+//! The solver's per-iteration guards *detect* that (classifying the
+//! failure into a [`BreakdownKind`]); this module *recovers* from it by
+//! climbing down a ladder of progressively more conservative
+//! preconditioners, rebuilding only the preconditioner — never the
+//! system — and reusing the solve workspace across rungs:
+//!
+//! 1. [`FallbackRung::Planned`] — the plan's own factors, exactly as
+//!    [`SpcgPlan::solve_with_workspace`] would use them (bitwise
+//!    identical when nothing breaks);
+//! 2. [`FallbackRung::Resparsify`] — re-sparsify at a less aggressive
+//!    drop ratio (e.g. 10% → 5% → 1%) and refactor;
+//! 3. [`FallbackRung::Unsparsified`] — factor the full `A`;
+//! 4. [`FallbackRung::Shifted`] — pivot-shifted refactorization of `A`
+//!    (`A + αI` with escalating `α`, Manteuffel's cure);
+//! 5. [`FallbackRung::Jacobi`] — the diagonal preconditioner, which
+//!    cannot break down on any matrix with a nonzero diagonal.
+//!
+//! Every attempt is recorded in a [`RecoveryReport`] (rung, stop
+//! classification, iterations, residual, factorization count), so callers
+//! and cost models can see exactly what the recovery cost. Deterministic
+//! fault injection ([`FaultInjection`]) forces each failure mode on
+//! demand, which is how the test suite proves every rung both fires and
+//! terminates.
+
+use crate::pipeline::{build_preconditioner, PrecondKind};
+use crate::plan::SpcgPlan;
+use crate::sparsify::sparsify_by_magnitude;
+use spcg_precond::{
+    shifted_factorization, FactorKind, JacobiPreconditioner, Preconditioner, ShiftPolicy,
+};
+use spcg_solver::{
+    pcg_with_workspace_faulted, BreakdownKind, SolveFault, SolveResult, SolveWorkspace,
+    SolverError, StopReason,
+};
+use spcg_sparse::Scalar;
+
+/// One rung of the fallback ladder, from most to least aggressive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FallbackRung {
+    /// The plan's own preconditioner (attempt 0).
+    Planned,
+    /// Re-sparsified at the given (less aggressive) drop ratio, percent.
+    Resparsify(f64),
+    /// Factorization of the full, unsparsified `A`.
+    Unsparsified,
+    /// Pivot-shifted refactorization `A + αI` of the full matrix.
+    Shifted,
+    /// Diagonal (Jacobi) preconditioner — the unconditional safety net.
+    Jacobi,
+}
+
+impl std::fmt::Display for FallbackRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FallbackRung::Planned => write!(f, "planned"),
+            FallbackRung::Resparsify(t) => write!(f, "resparsify({t}%)"),
+            FallbackRung::Unsparsified => write!(f, "unsparsified"),
+            FallbackRung::Shifted => write!(f, "shifted"),
+            FallbackRung::Jacobi => write!(f, "jacobi"),
+        }
+    }
+}
+
+/// Deterministic faults for resilience testing, applied to the first
+/// `applies_to_attempts` ladder attempts.
+///
+/// Three failure modes cover the ladder's trigger surface: a NaN poisoned
+/// into the iteration (kernel fault), a zeroed pivot (factorization
+/// collapse), and a scaled factor entry (corrupted memory). Jacobi rungs
+/// only see the solve-loop fault — the factor corruptions have no factors
+/// to corrupt there, which is exactly why Jacobi is the terminal rung.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjection {
+    /// Poison the PCG loop itself (NaN at a chosen iteration).
+    pub solve_fault: Option<SolveFault>,
+    /// Zero the U pivot of this row in the attempt's factors.
+    pub zero_pivot_row: Option<usize>,
+    /// Scale the stored factor entry `(row, col)` by the factor.
+    pub scale_entry: Option<(usize, usize, f64)>,
+    /// How many leading attempts the fault applies to (1 = only the
+    /// planned attempt; larger values force the ladder deeper).
+    pub applies_to_attempts: usize,
+}
+
+impl FaultInjection {
+    /// NaN injected into the residual at iteration `k`.
+    pub fn nan_at(k: usize) -> Self {
+        Self {
+            solve_fault: Some(SolveFault::nan_at(k)),
+            zero_pivot_row: None,
+            scale_entry: None,
+            applies_to_attempts: 1,
+        }
+    }
+
+    /// Zeroed U pivot at `row`.
+    pub fn zeroed_pivot(row: usize) -> Self {
+        Self {
+            solve_fault: None,
+            zero_pivot_row: Some(row),
+            scale_entry: None,
+            applies_to_attempts: 1,
+        }
+    }
+
+    /// Stored factor entry `(row, col)` multiplied by `scale`.
+    pub fn corrupted_entry(row: usize, col: usize, scale: f64) -> Self {
+        Self {
+            solve_fault: None,
+            zero_pivot_row: None,
+            scale_entry: Some((row, col, scale)),
+            applies_to_attempts: 1,
+        }
+    }
+
+    /// Keeps the fault active for the first `n` attempts, forcing the
+    /// ladder at least `n` rungs deep.
+    pub fn persist_for(mut self, n: usize) -> Self {
+        self.applies_to_attempts = n;
+        self
+    }
+
+    fn active_for(&self, attempt: usize) -> bool {
+        attempt < self.applies_to_attempts
+    }
+}
+
+/// Configuration of the fallback ladder.
+#[derive(Debug, Clone)]
+pub struct ResilienceOptions {
+    /// De-escalation drop ratios (percent) to retry, tried in order; only
+    /// ratios strictly less aggressive than the plan's chosen ratio are
+    /// used. Values outside `(0, 100)` are ignored.
+    pub ratios: Vec<f64>,
+    /// Shift escalation policy for the [`FallbackRung::Shifted`] rung.
+    pub shift_policy: ShiftPolicy,
+    /// Deterministic fault injection (testing only; `None` in production).
+    pub fault: Option<FaultInjection>,
+}
+
+impl Default for ResilienceOptions {
+    fn default() -> Self {
+        Self { ratios: vec![5.0, 1.0], shift_policy: ShiftPolicy::default(), fault: None }
+    }
+}
+
+/// Record of one ladder attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryAttempt {
+    /// Which rung ran.
+    pub rung: FallbackRung,
+    /// How the solve stopped (carries the [`BreakdownKind`] on failure).
+    pub stop: StopReason,
+    /// Iterations the attempt performed.
+    pub iterations: usize,
+    /// Final residual norm of the attempt.
+    pub final_residual: f64,
+    /// Factorizations performed to build this rung's preconditioner
+    /// (0 for the planned factors and Jacobi, ≥ 1 otherwise; the shifted
+    /// rung counts every escalation attempt).
+    pub factorizations: usize,
+    /// Diagonal shift used by this rung's factorization (0 unless shifted).
+    pub alpha: f64,
+}
+
+impl RecoveryAttempt {
+    /// `true` when this attempt converged.
+    pub fn converged(&self) -> bool {
+        self.stop == StopReason::Converged
+    }
+}
+
+/// The full story of a resilient solve: every attempt, in order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoveryReport {
+    /// Attempts in execution order; the last one produced the returned
+    /// result.
+    pub attempts: Vec<RecoveryAttempt>,
+}
+
+impl RecoveryReport {
+    /// `true` when the final attempt converged.
+    pub fn recovered(&self) -> bool {
+        self.attempts.last().is_some_and(RecoveryAttempt::converged)
+    }
+
+    /// `true` when recovery needed no fallback (the planned attempt
+    /// converged directly).
+    pub fn clean(&self) -> bool {
+        self.attempts.len() == 1 && self.recovered()
+    }
+
+    /// The rung sequence that was executed.
+    pub fn rungs(&self) -> Vec<FallbackRung> {
+        self.attempts.iter().map(|a| a.rung).collect()
+    }
+
+    /// Classification of the original failure — the breakdown kind of the
+    /// first attempt (`None` when the planned attempt succeeded or failed
+    /// without a breakdown classification).
+    pub fn cause(&self) -> Option<BreakdownKind> {
+        self.attempts.first().and_then(|a| a.stop.breakdown_kind())
+    }
+
+    /// Iterations summed over every attempt.
+    pub fn total_iterations(&self) -> usize {
+        self.attempts.iter().map(|a| a.iterations).sum()
+    }
+
+    /// Factorizations summed over every attempt.
+    pub fn total_factorizations(&self) -> usize {
+        self.attempts.iter().map(|a| a.factorizations).sum()
+    }
+}
+
+/// Result of a resilient solve: the solution (from the first converged
+/// attempt, or the best-residual attempt when nothing converged) plus the
+/// recovery report.
+#[derive(Debug, Clone)]
+pub struct ResilientSolve<T: Scalar> {
+    /// The solve result handed back to the caller.
+    pub result: SolveResult<T>,
+    /// What it took to get there.
+    pub report: RecoveryReport,
+}
+
+impl<T: Scalar> ResilientSolve<T> {
+    /// `true` when the returned result converged.
+    pub fn converged(&self) -> bool {
+        self.result.stop == StopReason::Converged
+    }
+}
+
+/// Outcome of building one rung's preconditioner.
+struct RungPrecond<T: Scalar> {
+    factors: RungFactors<T>,
+    factorizations: usize,
+    alpha: f64,
+}
+
+enum RungFactors<T: Scalar> {
+    // Boxed: `IluFactors` (two CSR matrices + two schedules) dwarfs the
+    // Jacobi variant, and a rung is built at most once per attempt.
+    Ilu(Box<spcg_precond::IluFactors<T>>),
+    Jacobi(JacobiPreconditioner<T>),
+}
+
+impl<T: Scalar> SpcgPlan<T> {
+    /// [`solve`](SpcgPlan::solve) with the default fallback ladder: on a
+    /// runtime breakdown, the preconditioner is rebuilt progressively more
+    /// conservatively until the solve converges or the ladder is
+    /// exhausted.
+    pub fn solve_resilient(&self, b: &[T]) -> std::result::Result<ResilientSolve<T>, SolverError> {
+        let mut ws = self.make_workspace();
+        self.solve_resilient_with_workspace(b, &ResilienceOptions::default(), &mut ws)
+    }
+
+    /// The full-control resilient solve: explicit ladder options and a
+    /// reusable workspace. The workspace is shared by every rung (the
+    /// buffers only ever grow), so a recovery costs no steady-state
+    /// allocations beyond the fallback factorizations themselves.
+    ///
+    /// With no fault injected and a healthy plan, the result is bitwise
+    /// identical to [`solve_with_workspace`](SpcgPlan::solve_with_workspace)
+    /// and the report shows a single clean [`FallbackRung::Planned`]
+    /// attempt.
+    pub fn solve_resilient_with_workspace(
+        &self,
+        b: &[T],
+        opts: &ResilienceOptions,
+        ws: &mut SolveWorkspace<T>,
+    ) -> std::result::Result<ResilientSolve<T>, SolverError> {
+        let config = &self.options().solver;
+        let mut report = RecoveryReport::default();
+        // Track the best non-converged outcome so an exhausted ladder still
+        // returns the least-bad iterate (degraded, never garbage).
+        let mut best: Option<SolveResult<T>> = None;
+
+        for rung in self.ladder(opts) {
+            let attempt_idx = report.attempts.len();
+            let fault = opts.fault.filter(|f| f.active_for(attempt_idx));
+            let Some(precond) = self.build_rung(rung, opts, fault) else {
+                continue; // rung unbuildable on this matrix: climb down
+            };
+            let solve_fault = fault.and_then(|f| f.solve_fault);
+            let result = match &precond.factors {
+                RungFactors::Ilu(f) => {
+                    pcg_with_workspace_faulted(self.a(), f.as_ref(), b, config, solve_fault, ws)?
+                }
+                RungFactors::Jacobi(j) => {
+                    pcg_with_workspace_faulted(self.a(), j, b, config, solve_fault, ws)?
+                }
+            };
+            report.attempts.push(RecoveryAttempt {
+                rung,
+                stop: result.stop,
+                iterations: result.iterations,
+                final_residual: result.final_residual,
+                factorizations: precond.factorizations,
+                alpha: precond.alpha,
+            });
+            if result.stop == StopReason::Converged {
+                return Ok(ResilientSolve { result, report });
+            }
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    !b.final_residual.is_finite()
+                        || (result.final_residual.is_finite()
+                            && result.final_residual < b.final_residual)
+                }
+            };
+            if better {
+                best = Some(result);
+            }
+        }
+
+        let result = best.expect("ladder always executes at least the Jacobi rung");
+        Ok(ResilientSolve { result, report })
+    }
+
+    /// Batched resilient solves: each right-hand side runs the ladder
+    /// independently (one breakdown or malformed `b` never aborts the
+    /// batch), in parallel, with one workspace per worker. Results are in
+    /// input order.
+    pub fn solve_many_resilient<B: AsRef<[T]> + Sync>(
+        &self,
+        rhs: &[B],
+        opts: &ResilienceOptions,
+    ) -> Vec<std::result::Result<ResilientSolve<T>, SolverError>> {
+        if rhs.is_empty() {
+            return Vec::new();
+        }
+        let workers = rayon::current_num_threads().clamp(1, rhs.len());
+        let chunk_len = rhs.len().div_ceil(workers);
+        type Slot<T> = Option<std::result::Result<ResilientSolve<T>, SolverError>>;
+        let mut out: Vec<Slot<T>> = (0..rhs.len()).map(|_| None).collect();
+        rayon::scope(|s| {
+            for (slot, chunk) in out.chunks_mut(chunk_len).zip(rhs.chunks(chunk_len)) {
+                s.spawn(move |_| {
+                    let mut ws = self.make_workspace();
+                    for (cell, b) in slot.iter_mut().zip(chunk) {
+                        *cell =
+                            Some(self.solve_resilient_with_workspace(b.as_ref(), opts, &mut ws));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("solve_many_resilient worker left a slot unfilled"))
+            .collect()
+    }
+
+    /// The rung sequence this plan would climb: planned factors, then each
+    /// configured ratio strictly less aggressive than the plan's, then the
+    /// unsparsified factorization (when the plan sparsified at all), the
+    /// shifted refactorization, and finally Jacobi.
+    pub fn ladder(&self, opts: &ResilienceOptions) -> Vec<FallbackRung> {
+        let mut rungs = vec![FallbackRung::Planned];
+        if let Some(d) = self.decision() {
+            for &t in &opts.ratios {
+                if t < d.chosen_ratio && t > 0.0 && t < 100.0 {
+                    rungs.push(FallbackRung::Resparsify(t));
+                }
+            }
+            rungs.push(FallbackRung::Unsparsified);
+        }
+        rungs.push(FallbackRung::Shifted);
+        rungs.push(FallbackRung::Jacobi);
+        rungs
+    }
+
+    /// Builds the preconditioner for one rung, applying any active factor
+    /// corruption. Returns `None` when the rung cannot be built on this
+    /// matrix (the ladder then skips to the next rung).
+    fn build_rung(
+        &self,
+        rung: FallbackRung,
+        opts: &ResilienceOptions,
+        fault: Option<FaultInjection>,
+    ) -> Option<RungPrecond<T>> {
+        let kind = self.options().precond;
+        let exec = self.options().exec;
+        let built = match rung {
+            FallbackRung::Planned => RungPrecond {
+                factors: RungFactors::Ilu(Box::new(self.factors().clone())),
+                factorizations: 0,
+                alpha: 0.0,
+            },
+            FallbackRung::Resparsify(t) => {
+                let a_hat = sparsify_by_magnitude(self.a(), t).a_hat;
+                let f = build_preconditioner(&a_hat, kind, exec).ok()?;
+                RungPrecond {
+                    factors: RungFactors::Ilu(Box::new(f)),
+                    factorizations: 1,
+                    alpha: 0.0,
+                }
+            }
+            FallbackRung::Unsparsified => {
+                let f = build_preconditioner(self.a(), kind, exec).ok()?;
+                RungPrecond {
+                    factors: RungFactors::Ilu(Box::new(f)),
+                    factorizations: 1,
+                    alpha: 0.0,
+                }
+            }
+            FallbackRung::Shifted => {
+                let fk = match kind {
+                    PrecondKind::Ilu0 => FactorKind::Ilu0,
+                    PrecondKind::Iluk(k) => FactorKind::Iluk(k),
+                };
+                let s = shifted_factorization(self.a(), fk, exec, &opts.shift_policy).ok()?;
+                RungPrecond {
+                    factors: RungFactors::Ilu(Box::new(s.factors)),
+                    factorizations: s.attempts,
+                    alpha: s.alpha,
+                }
+            }
+            FallbackRung::Jacobi => {
+                let j = JacobiPreconditioner::new(self.a()).ok()?;
+                RungPrecond { factors: RungFactors::Jacobi(j), factorizations: 0, alpha: 0.0 }
+            }
+        };
+        Some(self.corrupt(built, fault))
+    }
+
+    /// Applies active factor-corruption faults to a built rung. Corruption
+    /// only targets stored entries; faults aimed at absent entries (or at
+    /// the factor-free Jacobi rung) are no-ops.
+    fn corrupt(&self, mut built: RungPrecond<T>, fault: Option<FaultInjection>) -> RungPrecond<T> {
+        let Some(f) = fault else { return built };
+        built.factors = match built.factors {
+            RungFactors::Ilu(boxed) => {
+                let mut factors = *boxed;
+                if let Some(row) = f.zero_pivot_row {
+                    if row < factors.dim() {
+                        factors = factors.with_zeroed_pivot(row);
+                    }
+                }
+                if let Some((row, col, scale)) = f.scale_entry {
+                    let present = row < factors.dim()
+                        && if col < row {
+                            factors.l().get(row, col).is_some()
+                        } else {
+                            factors.u().get(row, col).is_some()
+                        };
+                    if present {
+                        factors = factors.with_scaled_entry(row, col, scale);
+                    }
+                }
+                RungFactors::Ilu(Box::new(factors))
+            }
+            jacobi => jacobi,
+        };
+        built
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::SpcgOptions;
+    use spcg_solver::SolverConfig;
+    use spcg_sparse::generators::{poisson_2d, with_magnitude_spread};
+    use spcg_sparse::{CsrMatrix, Rng};
+
+    fn system(n: usize) -> (CsrMatrix<f64>, Vec<f64>) {
+        let a = with_magnitude_spread(&poisson_2d(n, n), 6.0, 21);
+        let mut rng = Rng::new(77);
+        let b = (0..n * n).map(|_| rng.range(-1.0, 1.0)).collect();
+        (a, b)
+    }
+
+    fn opts() -> SpcgOptions {
+        SpcgOptions {
+            solver: SolverConfig::default().with_tol(1e-10).with_history(true),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn clean_solve_is_bitwise_identical_to_plain() {
+        let (a, b) = system(12);
+        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let mut ws = plan.make_workspace();
+        let plain = plan.solve_with_workspace(&b, &mut ws).unwrap();
+        let resilient = plan
+            .solve_resilient_with_workspace(&b, &ResilienceOptions::default(), &mut ws)
+            .unwrap();
+        assert_eq!(plain.x, resilient.result.x);
+        assert_eq!(plain.residual_history, resilient.result.residual_history);
+        assert_eq!(plain.iterations, resilient.result.iterations);
+        assert!(resilient.report.clean());
+        assert_eq!(resilient.report.rungs(), vec![FallbackRung::Planned]);
+        assert_eq!(resilient.report.cause(), None);
+    }
+
+    #[test]
+    fn nan_fault_recovers_on_the_next_rung() {
+        let (a, b) = system(12);
+        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let ropts =
+            ResilienceOptions { fault: Some(FaultInjection::nan_at(2)), ..Default::default() };
+        let mut ws = plan.make_workspace();
+        let r = plan.solve_resilient_with_workspace(&b, &ropts, &mut ws).unwrap();
+        assert!(r.converged(), "ladder must recover: {:?}", r.report);
+        assert_eq!(r.report.cause(), Some(BreakdownKind::Nan));
+        assert_eq!(r.report.attempts.len(), 2, "one retry: {:?}", r.report.rungs());
+        assert_eq!(r.report.attempts[0].rung, FallbackRung::Planned);
+        assert_eq!(r.report.attempts[0].iterations, 2, "fault fired at iteration 2");
+        assert!(r.report.recovered());
+    }
+
+    #[test]
+    fn zeroed_pivot_is_detected_and_recovered() {
+        let (a, b) = system(10);
+        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let ropts = ResilienceOptions {
+            fault: Some(FaultInjection::zeroed_pivot(5)),
+            ..Default::default()
+        };
+        let r =
+            plan.solve_resilient_with_workspace(&b, &ropts, &mut plan.make_workspace()).unwrap();
+        assert!(r.converged(), "report: {:?}", r.report);
+        assert!(r.report.attempts.len() >= 2);
+        assert!(
+            r.report.cause().is_some(),
+            "a zeroed pivot must classify as a breakdown, got {:?}",
+            r.report.attempts[0].stop
+        );
+    }
+
+    #[test]
+    fn corrupted_factor_entry_recovers() {
+        let (a, b) = system(10);
+        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        // Scaling a pivot by a huge factor wrecks the preconditioner badly
+        // enough to stall or break the solve.
+        let ropts = ResilienceOptions {
+            fault: Some(FaultInjection::corrupted_entry(7, 7, 1e12)),
+            ..Default::default()
+        };
+        let r =
+            plan.solve_resilient_with_workspace(&b, &ropts, &mut plan.make_workspace()).unwrap();
+        assert!(r.converged(), "report: {:?}", r.report);
+    }
+
+    #[test]
+    fn persistent_fault_forces_the_ladder_to_the_bottom() {
+        let (a, b) = system(10);
+        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let n_rungs = plan.ladder(&ResilienceOptions::default()).len();
+        // The solve fault poisons every rung except the last.
+        let ropts = ResilienceOptions {
+            fault: Some(FaultInjection::nan_at(0).persist_for(n_rungs - 1)),
+            ..Default::default()
+        };
+        let r =
+            plan.solve_resilient_with_workspace(&b, &ropts, &mut plan.make_workspace()).unwrap();
+        assert!(r.converged(), "report: {:?}", r.report);
+        assert_eq!(r.report.attempts.len(), n_rungs);
+        assert_eq!(r.report.attempts.last().unwrap().rung, FallbackRung::Jacobi);
+        // Every poisoned attempt classified as NaN.
+        for a in &r.report.attempts[..n_rungs - 1] {
+            assert_eq!(a.stop.breakdown_kind(), Some(BreakdownKind::Nan));
+        }
+    }
+
+    #[test]
+    fn ladder_terminates_even_when_every_rung_is_poisoned() {
+        let (a, b) = system(8);
+        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let ropts = ResilienceOptions {
+            fault: Some(FaultInjection::nan_at(0).persist_for(usize::MAX)),
+            ..Default::default()
+        };
+        let r =
+            plan.solve_resilient_with_workspace(&b, &ropts, &mut plan.make_workspace()).unwrap();
+        assert!(!r.converged());
+        assert!(!r.report.recovered());
+        let bound = plan.ladder(&ropts).len();
+        assert!(r.report.attempts.len() <= bound, "ladder must be bounded");
+        // Degraded but defined: a result is still returned.
+        assert_eq!(r.result.x.len(), b.len());
+    }
+
+    #[test]
+    fn ladder_shape_follows_the_plan() {
+        let (a, _) = system(10);
+        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let rungs = plan.ladder(&ResilienceOptions::default());
+        assert_eq!(rungs.first(), Some(&FallbackRung::Planned));
+        assert_eq!(rungs.last(), Some(&FallbackRung::Jacobi));
+        assert!(rungs.contains(&FallbackRung::Shifted));
+        if plan.is_sparsified() {
+            assert!(rungs.contains(&FallbackRung::Unsparsified));
+            // Every resparsify rung is strictly less aggressive than the
+            // plan's chosen ratio.
+            let chosen = plan.decision().unwrap().chosen_ratio;
+            for r in &rungs {
+                if let FallbackRung::Resparsify(t) = r {
+                    assert!(*t < chosen);
+                }
+            }
+        }
+        // Baseline (unsparsified) plans get a shorter ladder.
+        let base = SpcgPlan::build(&a, &SpcgOptions { sparsify: None, ..opts() }).unwrap();
+        let base_rungs = base.ladder(&ResilienceOptions::default());
+        assert_eq!(
+            base_rungs,
+            vec![FallbackRung::Planned, FallbackRung::Shifted, FallbackRung::Jacobi]
+        );
+    }
+
+    #[test]
+    fn solve_many_resilient_isolates_failures() {
+        let (a, b) = system(9);
+        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        // Batch of three: healthy, wrong length, healthy.
+        let rhs: Vec<Vec<f64>> = vec![b.clone(), vec![1.0; 3], b.clone()];
+        let out = plan.solve_many_resilient(&rhs, &ResilienceOptions::default());
+        assert_eq!(out.len(), 3);
+        assert!(out[0].as_ref().unwrap().converged());
+        assert!(out[1].is_err(), "malformed rhs must fail alone");
+        assert!(out[2].as_ref().unwrap().converged());
+    }
+
+    #[test]
+    fn report_accounting_sums_attempts() {
+        let (a, b) = system(10);
+        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let ropts = ResilienceOptions {
+            fault: Some(FaultInjection::nan_at(3).persist_for(2)),
+            ..Default::default()
+        };
+        let r =
+            plan.solve_resilient_with_workspace(&b, &ropts, &mut plan.make_workspace()).unwrap();
+        assert!(r.converged());
+        assert_eq!(r.report.attempts.len(), 3);
+        let total: usize = r.report.attempts.iter().map(|a| a.iterations).sum();
+        assert_eq!(r.report.total_iterations(), total);
+        assert!(r.report.total_factorizations() >= 1, "fallback rungs refactor");
+        assert_eq!(&r.report.rungs()[..1], &[FallbackRung::Planned]);
+    }
+
+    #[test]
+    fn rung_display_labels() {
+        assert_eq!(FallbackRung::Planned.to_string(), "planned");
+        assert_eq!(FallbackRung::Resparsify(5.0).to_string(), "resparsify(5%)");
+        assert_eq!(FallbackRung::Unsparsified.to_string(), "unsparsified");
+        assert_eq!(FallbackRung::Shifted.to_string(), "shifted");
+        assert_eq!(FallbackRung::Jacobi.to_string(), "jacobi");
+    }
+}

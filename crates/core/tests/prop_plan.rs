@@ -42,7 +42,7 @@ proptest! {
         let opts = options(sparsify, k, true);
         let legacy = spcg_solve(&a, &b, &opts).unwrap();
         let plan = SpcgPlan::build(&a, &opts).unwrap();
-        let result = plan.solve(&b);
+        let result = plan.solve(&b).unwrap();
         prop_assert_eq!(&legacy.result.x, &result.x);
         prop_assert_eq!(&legacy.result.residual_history, &result.residual_history);
         prop_assert_eq!(legacy.result.iterations, result.iterations);
@@ -69,10 +69,10 @@ proptest! {
         let rhs: Vec<Vec<f64>> = (0..n_rhs)
             .map(|_| (0..n).map(|_| rng.range(-2.0, 2.0)).collect())
             .collect();
-        let batched = plan.solve_many(&rhs);
+        let batched: Vec<_> = plan.solve_many(&rhs).into_iter().map(|r| r.unwrap()).collect();
         prop_assert_eq!(batched.len(), n_rhs);
         for (i, b) in rhs.iter().enumerate() {
-            let solo = plan.solve(b);
+            let solo = plan.solve(b).unwrap();
             prop_assert_eq!(&batched[i].x, &solo.x, "rhs {} iterate differs", i);
             prop_assert_eq!(batched[i].iterations, solo.iterations);
             prop_assert_eq!(batched[i].stop, solo.stop);
@@ -98,11 +98,11 @@ proptest! {
         let p2 = SpcgPlan::build(&a2, &opts).unwrap();
         let mut ws = p1.make_workspace();
         // small -> large -> small through ONE workspace
-        let r1 = p1.solve_with_workspace(&b1, &mut ws);
-        let r2 = p2.solve_with_workspace(&b2, &mut ws);
-        let r1_again = p1.solve_with_workspace(&b1, &mut ws);
-        prop_assert_eq!(&p1.solve(&b1).x, &r1.x);
-        prop_assert_eq!(&p2.solve(&b2).x, &r2.x);
+        let r1 = p1.solve_with_workspace(&b1, &mut ws).unwrap();
+        let r2 = p2.solve_with_workspace(&b2, &mut ws).unwrap();
+        let r1_again = p1.solve_with_workspace(&b1, &mut ws).unwrap();
+        prop_assert_eq!(&p1.solve(&b1).unwrap().x, &r1.x);
+        prop_assert_eq!(&p2.solve(&b2).unwrap().x, &r2.x);
         prop_assert_eq!(&r1.x, &r1_again.x);
         prop_assert_eq!(r1.x.len(), n1);
         prop_assert_eq!(r2.x.len(), n2);

@@ -67,12 +67,14 @@ fn warm_in_place_solves_do_not_allocate() {
         (0..4).map(|_| (0..a.n_rows()).map(|_| rng.range(-1.0, 1.0)).collect()).collect();
 
     // Warm-up: sizes every buffer and reserves the history capacity.
-    let warm = plan.solve_in_place(&rhs[0], &mut ws);
+    let warm = plan.solve_in_place(&rhs[0], &mut ws).expect("well-formed system");
     assert!(warm.converged(), "warm-up failed: {:?}", warm.stop);
 
     let before = allocation_count();
     for b in &rhs {
-        let stats = plan.solve_in_place(b, &mut ws);
+        // `SolveStats` and `SolverError` are both `Copy`: unwrapping the
+        // result stays allocation-free.
+        let stats = plan.solve_in_place(b, &mut ws).expect("well-formed system");
         assert!(stats.converged(), "solve failed: {:?}", stats.stop);
         assert!(stats.iterations > 0, "trivial solve would not exercise the loop");
     }
@@ -98,17 +100,17 @@ fn workspace_growth_allocates_then_settles() {
     let b_l = vec![1.0f64; large.n_rows()];
 
     let mut ws = plan_s.make_workspace();
-    plan_s.solve_in_place(&b_s, &mut ws);
+    plan_s.solve_in_place(&b_s, &mut ws).unwrap();
 
     // First visit to the larger system must grow the buffers.
     let before_growth = allocation_count();
-    plan_l.solve_in_place(&b_l, &mut ws);
+    plan_l.solve_in_place(&b_l, &mut ws).unwrap();
     assert!(allocation_count() > before_growth, "growth should allocate");
 
     // From here on, alternating sizes stays allocation-free.
     let before = allocation_count();
-    plan_s.solve_in_place(&b_s, &mut ws);
-    plan_l.solve_in_place(&b_l, &mut ws);
-    plan_s.solve_in_place(&b_s, &mut ws);
+    plan_s.solve_in_place(&b_s, &mut ws).unwrap();
+    plan_l.solve_in_place(&b_l, &mut ws).unwrap();
+    plan_s.solve_in_place(&b_s, &mut ws).unwrap();
     assert_eq!(allocation_count() - before, 0, "alternating warm solves allocated");
 }

@@ -25,6 +25,6 @@ pub use device::DeviceSpec;
 pub use ilu::{ilu_factorization_cost, inspector_cost_us, sparsify_cost_us};
 pub use kernel::{dot_cost, elementwise_cost, spmv_cost, KernelCost};
 pub use pcg::{end_to_end_cost, iteration_gflops, pcg_iteration_cost, EndToEndCost, IterationCost};
-pub use plan::{plan_end_to_end_cost, plan_iteration_cost};
+pub use plan::{plan_end_to_end_cost, plan_iteration_cost, plan_recovery_cost, RecoveryCost};
 pub use profiler::{profile, Boundedness, ProfileReport};
 pub use trisolve::{trisolve_cost, trisolve_cost_of, TrisolveWorkload};

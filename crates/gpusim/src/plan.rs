@@ -4,8 +4,9 @@
 //! the plan already knows.
 
 use crate::device::DeviceSpec;
+use crate::ilu::ilu_factorization_cost;
 use crate::pcg::{end_to_end_cost, pcg_iteration_cost, EndToEndCost, IterationCost};
-use spcg_core::SpcgPlan;
+use spcg_core::{RecoveryReport, SpcgPlan};
 use spcg_sparse::Scalar;
 
 /// Prices one PCG iteration of `plan` on `device`.
@@ -20,7 +21,7 @@ pub fn plan_iteration_cost<T: Scalar>(device: &DeviceSpec, plan: &SpcgPlan<T>) -
 /// The factorization is priced on the matrix the plan actually factored
 /// (`Â` or `A`). For fill-capped ILU(K) patterns built outside the plan,
 /// price the pattern explicitly with
-/// [`end_to_end_cost`](crate::pcg::end_to_end_cost).
+/// [`end_to_end_cost`].
 pub fn plan_end_to_end_cost<T: Scalar>(
     device: &DeviceSpec,
     plan: &SpcgPlan<T>,
@@ -34,6 +35,52 @@ pub fn plan_end_to_end_cost<T: Scalar>(
         iterations,
         plan.is_sparsified(),
     )
+}
+
+/// Simulated device-time breakdown of a resilient solve's recovery work.
+///
+/// Produced by [`plan_recovery_cost`] from the [`RecoveryReport`] a
+/// resilient solve returns: every fallback rung that refactored pays one
+/// device factorization, and every iteration executed on any rung —
+/// including the aborted attempts — pays the per-iteration cost.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryCost {
+    /// Device time spent refactorizing on fallback rungs, µs.
+    pub refactorization_us: f64,
+    /// Device time spent iterating across *all* attempts, µs.
+    pub iteration_us: f64,
+    /// Number of solve attempts the ladder executed.
+    pub attempts: usize,
+}
+
+impl RecoveryCost {
+    /// Total recovery time, µs.
+    pub fn total_us(&self) -> f64 {
+        self.refactorization_us + self.iteration_us
+    }
+}
+
+/// Prices the recovery work recorded in `report` on `device`.
+///
+/// Refactorizations are priced on the plan's *original* operator `A`: the
+/// fallback rungs that refactor (milder re-sparsification, unsparsified,
+/// shifted) all work on patterns at least as dense as the plan's `Â`, and
+/// `A` is the common upper envelope the paper prices factorization against.
+/// Iterations are priced at the plan's per-iteration cost. A clean solve
+/// (one attempt, no extra factorization) therefore prices identically to
+/// `iterations ×` [`plan_iteration_cost`].
+pub fn plan_recovery_cost<T: Scalar>(
+    device: &DeviceSpec,
+    plan: &SpcgPlan<T>,
+    report: &RecoveryReport,
+) -> RecoveryCost {
+    let fact_us = ilu_factorization_cost(device, plan.a()).time_us;
+    let iter_us = plan_iteration_cost(device, plan).total_us();
+    RecoveryCost {
+        refactorization_us: fact_us * report.total_factorizations() as f64,
+        iteration_us: iter_us * report.total_iterations() as f64,
+        attempts: report.attempts.len(),
+    }
 }
 
 #[cfg(test)]
@@ -82,5 +129,35 @@ mod tests {
         let spcg = plan_iteration_cost(&d, &plan(true));
         let base = plan_iteration_cost(&d, &plan(false));
         assert!(spcg.total_us() <= base.total_us());
+    }
+
+    #[test]
+    fn clean_recovery_prices_as_plain_iterations() {
+        let p = plan(true);
+        let d = DeviceSpec::a100();
+        let solve = p.solve_resilient(&vec![1.0; p.a().n_rows()]).unwrap();
+        assert!(solve.report.clean());
+        let cost = plan_recovery_cost(&d, &p, &solve.report);
+        assert_eq!(cost.attempts, 1);
+        assert_eq!(cost.refactorization_us, 0.0);
+        let per_iter = plan_iteration_cost(&d, &p).total_us();
+        assert_eq!(cost.total_us(), per_iter * solve.report.total_iterations() as f64);
+    }
+
+    #[test]
+    fn faulted_recovery_pays_for_refactorization_and_wasted_iterations() {
+        use spcg_core::{FaultInjection, ResilienceOptions};
+        let p = plan(true);
+        let d = DeviceSpec::a100();
+        let b = vec![1.0; p.a().n_rows()];
+        let opts =
+            ResilienceOptions { fault: Some(FaultInjection::nan_at(2)), ..Default::default() };
+        let mut ws = p.make_workspace();
+        let solve = p.solve_resilient_with_workspace(&b, &opts, &mut ws).unwrap();
+        assert!(solve.report.recovered());
+        let faulted = plan_recovery_cost(&d, &p, &solve.report);
+        let clean = plan_recovery_cost(&d, &p, &p.solve_resilient(&b).unwrap().report);
+        assert!(faulted.attempts > 1);
+        assert!(faulted.total_us() > clean.total_us(), "recovery must cost extra device time");
     }
 }

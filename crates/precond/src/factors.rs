@@ -80,6 +80,35 @@ impl<T: Scalar> IluFactors<T> {
         self
     }
 
+    /// Deterministic fault injection: returns the factors with the U pivot
+    /// of `row` overwritten by zero, simulating a factorization whose pivot
+    /// silently collapsed. The sparsity structure (and hence the level
+    /// schedules) is unchanged. Panics if `row` has no stored pivot.
+    pub fn with_zeroed_pivot(mut self, row: usize) -> Self {
+        let pos = self.u.row_ptr()[row]
+            + self
+                .u
+                .row_cols(row)
+                .binary_search(&row)
+                .expect("row must have a structurally present pivot");
+        self.u.values_mut()[pos] = T::ZERO;
+        self
+    }
+
+    /// Deterministic fault injection: returns the factors with the stored
+    /// entry `(row, col)` scaled by `scale` — in `L` when `col < row`,
+    /// in `U` otherwise — simulating a corrupted factor value (e.g. a bad
+    /// memory transfer). Structure is unchanged. Panics if the entry is
+    /// not stored.
+    pub fn with_scaled_entry(mut self, row: usize, col: usize, scale: f64) -> Self {
+        let m = if col < row { &mut self.l } else { &mut self.u };
+        let pos = m.row_ptr()[row]
+            + m.row_cols(row).binary_search(&col).expect("entry must be structurally present");
+        let v = m.values()[pos];
+        m.values_mut()[pos] = v * T::from_f64(scale);
+        self
+    }
+
     /// Solves `L y = r` then `U z = y`, allocating the intermediate `y`.
     /// Hot loops should prefer [`solve_with_scratch`](Self::solve_with_scratch).
     pub fn solve(&self, r: &[T], z: &mut [T]) {

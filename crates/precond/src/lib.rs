@@ -3,7 +3,9 @@
 //! Preconditioners for the SPCG workspace: ILU(0), ILU(K) with level-of-fill,
 //! IC(0), Jacobi, and the [`Preconditioner`] trait PCG consumes. Triangular
 //! applications run either sequentially or level-parallel through the
-//! schedules built by `spcg-wavefront`.
+//! schedules built by `spcg-wavefront`. Factorization breakdowns are
+//! repairable through [`shifted_factorization`], which retries on the
+//! diagonally shifted `A + αI` with escalating `α`.
 
 #![warn(missing_docs)]
 
@@ -17,6 +19,7 @@ pub mod iluk;
 pub mod jacobi;
 pub mod mixed;
 pub mod sai;
+pub mod shifted;
 pub mod traits;
 
 pub use block_jacobi::BlockJacobiPreconditioner;
@@ -32,4 +35,7 @@ pub use iluk::{
 pub use jacobi::JacobiPreconditioner;
 pub use mixed::{ilu0_mixed, MixedPrecisionIlu};
 pub use sai::{SaiPattern, SaiPreconditioner};
+pub use shifted::{
+    diag_scale, shifted_factorization, FactorError, FactorKind, ShiftPolicy, ShiftedFactors,
+};
 pub use traits::{IdentityPreconditioner, Preconditioner};

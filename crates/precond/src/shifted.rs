@@ -1,0 +1,379 @@
+//! Pivot-shifted refactorization: retry a broken-down incomplete
+//! factorization on the diagonally shifted matrix `A + αI`.
+//!
+//! Incomplete factorizations break down on matrices that are perfectly
+//! solvable — a pivot hits zero (or drifts negative for IC(0)) even though
+//! `A` itself is SPD, because dropped fill removed exactly the mass that
+//! kept the pivot positive. The classical cure (Manteuffel 1980) is to
+//! factor `A + αI` instead: the shift pushes every pivot up without
+//! changing the sparsity pattern, and PCG still solves the *original*
+//! system — only the preconditioner sees the shift.
+//!
+//! [`shifted_factorization`] wraps every factorization kind behind one
+//! retry loop: attempt the unshifted factorization, validate the pivots,
+//! and on breakdown escalate `α` geometrically until the factors pass or
+//! the attempt budget is spent. Failures are reported as a typed
+//! [`FactorError`] so recovery layers can distinguish "shift harder" from
+//! "this matrix is structurally hopeless".
+
+use crate::factors::{IluFactors, TriangularExec};
+use crate::ic0::ic0;
+use crate::ilu0::ilu0;
+use crate::iluk::iluk;
+use spcg_sparse::{CsrMatrix, Scalar, SparseError};
+
+/// Which incomplete factorization the shift loop retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactorKind {
+    /// ILU with zero fill.
+    Ilu0,
+    /// ILU with level-of-fill K.
+    Iluk(usize),
+    /// Incomplete Cholesky with zero fill.
+    Ic0,
+}
+
+impl FactorKind {
+    /// Short label for reports and factor names.
+    pub fn label(&self) -> String {
+        match self {
+            FactorKind::Ilu0 => "ilu0".to_string(),
+            FactorKind::Iluk(k) => format!("iluk({k})"),
+            FactorKind::Ic0 => "ic0".to_string(),
+        }
+    }
+}
+
+/// How the diagonal shift escalates across retry attempts.
+///
+/// The shift is *relative*: attempt `j` (1-based among shifted attempts)
+/// factors `A + α_j I` with `α_j = initial_shift · growth^(j-1) · s` where
+/// `s` is the mean absolute diagonal of `A`, so the same policy works for
+/// matrices at any scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShiftPolicy {
+    /// First shift, as a fraction of the mean absolute diagonal.
+    pub initial_shift: f64,
+    /// Geometric escalation factor between attempts (> 1).
+    pub growth: f64,
+    /// Total factorization attempts, *including* the unshifted one.
+    pub max_attempts: usize,
+    /// A computed pivot is accepted only when `|u_ii|` is at least this
+    /// fraction of the mean absolute diagonal; smaller pivots trigger a
+    /// retry even when the sweep itself did not divide by zero.
+    pub min_pivot_rel: f64,
+}
+
+impl Default for ShiftPolicy {
+    fn default() -> Self {
+        Self { initial_shift: 1e-3, growth: 10.0, max_attempts: 6, min_pivot_rel: 1e-10 }
+    }
+}
+
+impl ShiftPolicy {
+    /// The absolute shift used on attempt `attempt` (0 = unshifted),
+    /// given the matrix diagonal scale.
+    pub fn alpha_for(&self, attempt: usize, diag_scale: f64) -> f64 {
+        if attempt == 0 {
+            0.0
+        } else {
+            self.initial_shift * self.growth.powi(attempt as i32 - 1) * diag_scale
+        }
+    }
+}
+
+/// Why a shifted factorization could not produce usable factors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FactorError {
+    /// The matrix cannot be factored at any shift (non-square, malformed
+    /// CSR, …) — retrying is pointless.
+    Structural(SparseError),
+    /// Every attempt up to the policy budget broke down.
+    Breakdown {
+        /// Number of factorization attempts performed.
+        attempts: usize,
+        /// Largest shift tried before giving up.
+        max_alpha: f64,
+        /// Row of the offending pivot on the last attempt.
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for FactorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactorError::Structural(e) => write!(f, "structural factorization error: {e}"),
+            FactorError::Breakdown { attempts, max_alpha, row } => write!(
+                f,
+                "factorization broke down at row {row} after {attempts} attempts (max shift {max_alpha:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}
+
+/// Factors produced by the shift retry loop, with provenance.
+#[derive(Debug, Clone)]
+pub struct ShiftedFactors<T: Scalar> {
+    /// The usable factors (of `A + αI` when `alpha > 0`).
+    pub factors: IluFactors<T>,
+    /// The shift that finally succeeded (0 when `A` factored directly).
+    pub alpha: f64,
+    /// Factorization attempts performed, including the successful one.
+    pub attempts: usize,
+}
+
+impl<T: Scalar> ShiftedFactors<T> {
+    /// `true` when the unshifted factorization succeeded.
+    pub fn is_unshifted(&self) -> bool {
+        self.alpha == 0.0
+    }
+}
+
+/// Mean absolute diagonal of `a` — the scale reference for relative
+/// shifts and pivot thresholds. Falls back to 1 for an all-zero diagonal.
+pub fn diag_scale<T: Scalar>(a: &CsrMatrix<T>) -> f64 {
+    let n = a.n_rows();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = a.diag().iter().map(|v| v.to_f64().abs()).sum();
+    let mean = sum / n as f64;
+    if mean > 0.0 && mean.is_finite() {
+        mean
+    } else {
+        1.0
+    }
+}
+
+/// Runs `kind`'s factorization on `A`, retrying on `A + αI` with
+/// geometrically escalating `α` until the pivots validate or the attempt
+/// budget is exhausted.
+///
+/// The returned factors approximate `A + αI`, which preconditions the
+/// original `A` well for the modest shifts the policy generates; callers
+/// solve the *unshifted* system as usual.
+pub fn shifted_factorization<T: Scalar>(
+    a: &CsrMatrix<T>,
+    kind: FactorKind,
+    exec: TriangularExec,
+    policy: &ShiftPolicy,
+) -> Result<ShiftedFactors<T>, FactorError> {
+    if !a.is_square() {
+        return Err(FactorError::Structural(SparseError::NotSquare {
+            n_rows: a.n_rows(),
+            n_cols: a.n_cols(),
+        }));
+    }
+    let scale = diag_scale(a);
+    let min_pivot = policy.min_pivot_rel * scale;
+    let attempts = policy.max_attempts.max(1);
+    let mut last_row = 0usize;
+    let mut max_alpha = 0.0f64;
+
+    for attempt in 0..attempts {
+        let alpha = policy.alpha_for(attempt, scale);
+        max_alpha = alpha;
+        let target;
+        let m: &CsrMatrix<T> = if attempt == 0 {
+            a
+        } else {
+            let shift = CsrMatrix::<T>::identity(a.n_rows()).map_values(|v| v * T::from_f64(alpha));
+            target = a.add(&shift).map_err(FactorError::Structural)?;
+            &target
+        };
+        let factored = match kind {
+            FactorKind::Ilu0 => ilu0(m, exec),
+            FactorKind::Iluk(k) => iluk(m, k, exec),
+            FactorKind::Ic0 => ic0(m, exec),
+        };
+        match factored {
+            Ok(factors) => match validate_pivots(&factors, min_pivot) {
+                Ok(()) => return Ok(ShiftedFactors { factors, alpha, attempts: attempt + 1 }),
+                Err(row) => last_row = row,
+            },
+            // A zero/absent diagonal is exactly what the shift repairs;
+            // anything else no amount of shifting will fix.
+            Err(SparseError::ZeroDiagonal { row }) => last_row = row,
+            Err(e) => return Err(FactorError::Structural(e)),
+        }
+    }
+    Err(FactorError::Breakdown { attempts, max_alpha, row: last_row })
+}
+
+/// Checks every U pivot: finite and at least `min_pivot` in magnitude.
+/// Returns the first offending row.
+fn validate_pivots<T: Scalar>(factors: &IluFactors<T>, min_pivot: f64) -> Result<(), usize> {
+    let u = factors.u();
+    for i in 0..u.n_rows() {
+        let piv = u.get(i, i).map_or(0.0, |v| v.to_f64());
+        if !piv.is_finite() || piv.abs() < min_pivot {
+            return Err(i);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Preconditioner;
+    use spcg_sparse::generators::{banded_spd, poisson_2d};
+    use spcg_sparse::CooMatrix;
+
+    /// A matrix that defeats ILU(0) without a shift: SPD-patterned but with
+    /// a diagonal entry the elimination drives to exactly zero.
+    fn breakdown_matrix() -> CsrMatrix<f64> {
+        // Row 1's pivot becomes 1 - (2*2)/4 = 0 during elimination.
+        let mut c = CooMatrix::new(3, 3);
+        c.push(0, 0, 4.0).unwrap();
+        c.push(0, 1, 2.0).unwrap();
+        c.push(1, 0, 2.0).unwrap();
+        c.push(1, 1, 1.0).unwrap();
+        c.push(1, 2, 1.0).unwrap();
+        c.push(2, 1, 1.0).unwrap();
+        c.push(2, 2, 3.0).unwrap();
+        c.to_csr()
+    }
+
+    #[test]
+    fn healthy_matrix_factors_unshifted() {
+        let a = poisson_2d(8, 8);
+        let s = shifted_factorization(
+            &a,
+            FactorKind::Ilu0,
+            TriangularExec::Sequential,
+            &ShiftPolicy::default(),
+        )
+        .unwrap();
+        assert!(s.is_unshifted());
+        assert_eq!(s.attempts, 1);
+        // Bitwise identical to the direct factorization.
+        let direct = ilu0(&a, TriangularExec::Sequential).unwrap();
+        assert_eq!(s.factors.l(), direct.l());
+        assert_eq!(s.factors.u(), direct.u());
+    }
+
+    #[test]
+    fn zero_pivot_recovers_with_shift() {
+        let a = breakdown_matrix();
+        assert!(ilu0(&a, TriangularExec::Sequential).is_err(), "must break down unshifted");
+        let s = shifted_factorization(
+            &a,
+            FactorKind::Ilu0,
+            TriangularExec::Sequential,
+            &ShiftPolicy::default(),
+        )
+        .unwrap();
+        assert!(!s.is_unshifted());
+        assert!(s.attempts > 1);
+        assert!(s.alpha > 0.0);
+        // The factors must be applicable (finite output).
+        let mut z = vec![0.0; 3];
+        s.factors.apply(&[1.0, 2.0, 3.0], &mut z);
+        assert!(z.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn shift_escalates_geometrically() {
+        let p = ShiftPolicy::default();
+        let s = 2.0;
+        assert_eq!(p.alpha_for(0, s), 0.0);
+        let a1 = p.alpha_for(1, s);
+        let a2 = p.alpha_for(2, s);
+        let a3 = p.alpha_for(3, s);
+        assert!((a2 / a1 - p.growth).abs() < 1e-12);
+        assert!((a3 / a2 - p.growth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_matrix_recovers_for_ic0() {
+        // IC(0) requires positive pivots; a negative diagonal breaks it
+        // until the shift pushes the spectrum up.
+        let mut c = CooMatrix::new(2, 2);
+        c.push(0, 0, 1.0).unwrap();
+        c.push(0, 1, 2.0).unwrap();
+        c.push(1, 0, 2.0).unwrap();
+        c.push(1, 1, 1.0).unwrap(); // pivot 1 - 4 = -3 < 0
+        let a = c.to_csr();
+        assert!(ic0(&a, TriangularExec::Sequential).is_err());
+        let s = shifted_factorization(
+            &a,
+            FactorKind::Ic0,
+            TriangularExec::Sequential,
+            &ShiftPolicy::default(),
+        )
+        .unwrap();
+        assert!(s.alpha >= 3.0 * 1e-3, "needs a large enough shift, got {}", s.alpha);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_a_breakdown_error() {
+        let a = breakdown_matrix();
+        // One attempt = unshifted only, which we know fails.
+        let p = ShiftPolicy { max_attempts: 1, ..Default::default() };
+        let err = shifted_factorization(&a, FactorKind::Ilu0, TriangularExec::Sequential, &p)
+            .unwrap_err();
+        match err {
+            FactorError::Breakdown { attempts, row, .. } => {
+                assert_eq!(attempts, 1);
+                assert_eq!(row, 1);
+            }
+            other => panic!("expected Breakdown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_square_is_structural() {
+        let mut c = CooMatrix::new(2, 3);
+        c.push(0, 0, 1.0).unwrap();
+        c.push(1, 1, 1.0).unwrap();
+        let err = shifted_factorization(
+            &c.to_csr(),
+            FactorKind::Ilu0,
+            TriangularExec::Sequential,
+            &ShiftPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FactorError::Structural(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn tiny_pivot_triggers_revalidation_retry() {
+        // Factorization succeeds numerically but leaves a pivot far below
+        // the diagonal scale; the validator must force a shifted retry.
+        let mut c = CooMatrix::new(2, 2);
+        c.push(0, 0, 1e6).unwrap();
+        c.push(1, 1, 1e-12).unwrap();
+        let a = c.to_csr();
+        let p = ShiftPolicy { min_pivot_rel: 1e-8, ..Default::default() };
+        let s =
+            shifted_factorization(&a, FactorKind::Ilu0, TriangularExec::Sequential, &p).unwrap();
+        assert!(!s.is_unshifted(), "tiny pivot must not validate unshifted");
+    }
+
+    #[test]
+    fn shifted_iluk_preserves_pattern_of_shifted_matrix() {
+        let a = banded_spd(20, 3, 0.9, 2.0, 11);
+        let s = shifted_factorization(
+            &a,
+            FactorKind::Iluk(1),
+            TriangularExec::Sequential,
+            &ShiftPolicy::default(),
+        )
+        .unwrap();
+        assert!(s.is_unshifted());
+        let direct = iluk(&a, 1, TriangularExec::Sequential).unwrap();
+        assert_eq!(s.factors.u().nnz(), direct.u().nnz());
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = FactorError::Breakdown { attempts: 6, max_alpha: 0.2, row: 17 };
+        let msg = e.to_string();
+        assert!(msg.contains("row 17") && msg.contains("6 attempts"));
+        let s = FactorError::Structural(SparseError::NotSquare { n_rows: 2, n_cols: 3 });
+        assert!(s.to_string().contains("structural"));
+    }
+}

@@ -2,13 +2,18 @@
 //! provided as a direct entry point and as the baseline in examples.
 
 use crate::config::SolverConfig;
+use crate::error::SolverError;
 use crate::pcg::pcg;
 use crate::status::SolveResult;
 use spcg_precond::IdentityPreconditioner;
 use spcg_sparse::{CsrMatrix, Scalar};
 
 /// Solves `A x = b` with unpreconditioned CG.
-pub fn cg<T: Scalar>(a: &CsrMatrix<T>, b: &[T], config: &SolverConfig) -> SolveResult<T> {
+pub fn cg<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    config: &SolverConfig,
+) -> Result<SolveResult<T>, SolverError> {
     let m = IdentityPreconditioner::new(a.n_rows());
     pcg(a, &m, b, config)
 }
@@ -26,7 +31,7 @@ mod tests {
         let n = 24;
         let a = poisson_1d(n);
         let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
-        let res = cg(&a, &b, &SolverConfig::default().with_tol(1e-12));
+        let res = cg(&a, &b, &SolverConfig::default().with_tol(1e-12)).unwrap();
         assert!(res.converged());
         assert!(res.iterations <= n + 1);
         let ax = spmv_alloc(&a, &res.x);
@@ -39,7 +44,7 @@ mod tests {
     fn identity_system_converges_instantly() {
         let a = CsrMatrix::<f64>::identity(10);
         let b = vec![3.0; 10];
-        let res = cg(&a, &b, &SolverConfig::default());
+        let res = cg(&a, &b, &SolverConfig::default()).unwrap();
         assert!(res.converged());
         assert!(res.iterations <= 1);
         for v in &res.x {

@@ -8,7 +8,7 @@
 //! than CG when the bounds are loose.
 
 use crate::config::SolverConfig;
-use crate::status::{PhaseTimings, SolveResult, StopReason};
+use crate::status::{BreakdownKind, PhaseTimings, SolveResult, StopReason};
 use spcg_precond::Preconditioner;
 use spcg_sparse::blas::{has_bad, norm2};
 use spcg_sparse::spmv::spmv;
@@ -55,7 +55,7 @@ pub fn chebyshev<T: Scalar, M: Preconditioner<T> + ?Sized>(
             history.push(r_norm);
         }
         if !r_norm.is_finite() || has_bad(&r) {
-            stop = StopReason::Breakdown;
+            stop = StopReason::Breakdown(BreakdownKind::Nan);
             break;
         }
         if r_norm < threshold {
@@ -134,7 +134,7 @@ mod tests {
         let a = poisson_2d(12, 12);
         let b = vec![1.0f64; 144];
         let cfg = SolverConfig::default().with_tol(1e-8).with_max_iters(3000);
-        let cgr = cg(&a, &b, &cfg);
+        let cgr = cg(&a, &b, &cfg).unwrap();
         let m = IdentityPreconditioner::new(144);
         let chr = chebyshev(&a, &m, &b, 0.05, 8.0, &cfg);
         assert!(cgr.converged() && chr.converged());

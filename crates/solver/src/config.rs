@@ -22,6 +22,16 @@ pub struct SolverConfig {
     pub max_iters: usize,
     /// Record `‖r_k‖₂` per iteration (small overhead; needed by analyses).
     pub record_history: bool,
+    /// Stagnation guard: stop with
+    /// [`BreakdownKind::Stagnation`](crate::status::BreakdownKind) when the
+    /// best residual seen has not improved for this many consecutive
+    /// iterations. `0` disables the guard (the default, preserving the
+    /// paper's run-to-the-cap behaviour).
+    pub stagnation_window: usize,
+    /// Divergence guard: stop with
+    /// [`BreakdownKind::Divergence`](crate::status::BreakdownKind) when
+    /// `‖r_k‖ > divergence_factor · ‖r_0‖`. Infinite disables the guard.
+    pub divergence_factor: f64,
 }
 
 impl Default for SolverConfig {
@@ -34,6 +44,8 @@ impl Default for SolverConfig {
             tol_mode: ToleranceMode::RelativeToRhs,
             max_iters: 1000,
             record_history: false,
+            stagnation_window: 0,
+            divergence_factor: 1e8,
         }
     }
 }
@@ -60,6 +72,19 @@ impl SolverConfig {
     /// Builder-style history toggle.
     pub fn with_history(mut self, record: bool) -> Self {
         self.record_history = record;
+        self
+    }
+
+    /// Builder-style stagnation-window override (`0` disables the guard).
+    pub fn with_stagnation_window(mut self, window: usize) -> Self {
+        self.stagnation_window = window;
+        self
+    }
+
+    /// Builder-style divergence-factor override (`f64::INFINITY` disables
+    /// the guard).
+    pub fn with_divergence_factor(mut self, factor: f64) -> Self {
+        self.divergence_factor = factor;
         self
     }
 
@@ -97,5 +122,15 @@ mod tests {
         assert_eq!(c.tol, 1e-8);
         assert_eq!(c.max_iters, 50);
         assert!(c.record_history);
+    }
+
+    #[test]
+    fn guards_are_off_or_loose_by_default() {
+        let c = SolverConfig::default();
+        assert_eq!(c.stagnation_window, 0, "stagnation guard must default off");
+        assert!(c.divergence_factor >= 1e6, "divergence guard must default loose");
+        let g = c.with_stagnation_window(25).with_divergence_factor(1e3);
+        assert_eq!(g.stagnation_window, 25);
+        assert_eq!(g.divergence_factor, 1e3);
     }
 }

@@ -1,0 +1,76 @@
+//! Typed errors for malformed solve inputs.
+//!
+//! The public solve entry points validate their inputs and return a
+//! [`SolverError`] instead of panicking, so service callers can surface a
+//! diagnosable error to their users. The error type is `Copy` and carries
+//! no heap data — constructing one on the validation path keeps the hot
+//! loop's zero-allocation contract intact.
+
+use std::fmt;
+
+/// Why a solve request was rejected before any iteration ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverError {
+    /// The system matrix is not square.
+    NotSquare {
+        /// Number of rows.
+        n_rows: usize,
+        /// Number of columns.
+        n_cols: usize,
+    },
+    /// The right-hand side length does not match the system dimension.
+    RhsLength {
+        /// System dimension `n`.
+        expected: usize,
+        /// Provided right-hand-side length.
+        got: usize,
+    },
+    /// The preconditioner was built for a different dimension.
+    PreconditionerDim {
+        /// System dimension `n`.
+        expected: usize,
+        /// Preconditioner dimension.
+        got: usize,
+    },
+    /// The system (and right-hand side) are empty — there is nothing to
+    /// solve and no meaningful result to return.
+    EmptySystem,
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::NotSquare { n_rows, n_cols } => {
+                write!(f, "solver requires a square matrix, got {n_rows}x{n_cols}")
+            }
+            SolverError::RhsLength { expected, got } => {
+                write!(f, "right-hand side has length {got}, system dimension is {expected}")
+            }
+            SolverError::PreconditionerDim { expected, got } => {
+                write!(
+                    f,
+                    "preconditioner dimension {got} does not match system dimension {expected}"
+                )
+            }
+            SolverError::EmptySystem => write!(f, "cannot solve an empty (0-dimensional) system"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offending_dimensions() {
+        let e = SolverError::NotSquare { n_rows: 3, n_cols: 5 };
+        assert!(e.to_string().contains("3x5"));
+        let e = SolverError::RhsLength { expected: 10, got: 7 };
+        assert!(e.to_string().contains('7') && e.to_string().contains("10"));
+        let e = SolverError::PreconditionerDim { expected: 4, got: 9 };
+        assert!(e.to_string().contains('9'));
+        assert!(SolverError::EmptySystem.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Deterministic solve-loop fault injection for resilience testing.
+//!
+//! The guards in [`pcg_in_place_faulted`](crate::pcg::pcg_in_place_faulted)
+//! are only trustworthy if tests can force each failure mode on demand.
+//! [`SolveFault`] poisons the iteration at a chosen step, deterministically,
+//! so a test can assert both that the guard fires and *how* the breakdown
+//! is classified. Production callers simply pass `None` (or use the
+//! fault-free entry points), which compiles to a single branch per
+//! iteration.
+
+/// A deterministic fault injected into the PCG iteration loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveFault {
+    /// Iteration index (0-based) at which the fault fires.
+    pub at_iteration: usize,
+}
+
+impl SolveFault {
+    /// Overwrites the first residual component with NaN at the start of
+    /// iteration `k`, simulating a poisoned kernel result.
+    pub fn nan_at(k: usize) -> Self {
+        Self { at_iteration: k }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_records_the_iteration() {
+        assert_eq!(SolveFault::nan_at(7).at_iteration, 7);
+    }
+}

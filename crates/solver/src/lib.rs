@@ -2,13 +2,16 @@
 //!
 //! Conjugate-gradient solvers: the left-preconditioned PCG of the paper's
 //! Algorithm 1 plus an unpreconditioned CG entry point, with residual
-//! history, per-phase timings and breakdown detection.
+//! history, per-phase timings, typed input validation, and per-iteration
+//! runtime guards that classify every breakdown into a [`BreakdownKind`].
 
 #![warn(missing_docs)]
 
 pub mod cg;
 pub mod chebyshev;
 pub mod config;
+pub mod error;
+pub mod fault;
 pub mod pcg;
 pub mod status;
 pub mod workspace;
@@ -16,6 +19,11 @@ pub mod workspace;
 pub use cg::cg;
 pub use chebyshev::chebyshev;
 pub use config::{SolverConfig, ToleranceMode};
-pub use pcg::{pcg, pcg_in_place, pcg_iteration_flops, pcg_with_workspace};
-pub use status::{PhaseTimings, SolveResult, StopReason};
+pub use error::SolverError;
+pub use fault::SolveFault;
+pub use pcg::{
+    pcg, pcg_in_place, pcg_in_place_faulted, pcg_iteration_flops, pcg_with_workspace,
+    pcg_with_workspace_faulted,
+};
+pub use status::{BreakdownKind, PhaseTimings, SolveResult, StopReason};
 pub use workspace::{SolveStats, SolveWorkspace};

@@ -1,13 +1,28 @@
-//! Left-preconditioned conjugate gradient — Algorithm 1 of the paper.
+//! Left-preconditioned conjugate gradient — Algorithm 1 of the paper,
+//! hardened with per-iteration runtime guards.
+//!
+//! All entry points validate their inputs and return a typed
+//! [`SolverError`] on malformed systems instead of panicking. Inside the
+//! loop, cheap guards classify every breakdown into a
+//! [`BreakdownKind`] — NaN/Inf, loss of
+//! positive-definiteness, stagnation, divergence — so recovery layers
+//! (the fallback ladder in `spcg-core`) can pick the right countermeasure.
 
 use crate::config::SolverConfig;
-use crate::status::{PhaseTimings, SolveResult, StopReason};
+use crate::error::SolverError;
+use crate::fault::SolveFault;
+use crate::status::{BreakdownKind, PhaseTimings, SolveResult, StopReason};
 use crate::workspace::{SolveStats, SolveWorkspace};
 use spcg_precond::Preconditioner;
 use spcg_sparse::blas::{axpy, copy, dot, has_bad, norm2, xpby};
 use spcg_sparse::spmv::spmv;
 use spcg_sparse::{CsrMatrix, Scalar};
 use std::time::Instant;
+
+/// Minimum relative residual improvement (0.1%) for an iteration to count
+/// as progress under the stagnation guard. ULP-sized jitter at the
+/// rounding floor must not reset the window.
+const STAGNATION_IMPROVEMENT: f64 = 1e-3;
 
 /// Solves `A x = b` with the left-preconditioned CG of Algorithm 1.
 ///
@@ -20,7 +35,7 @@ pub fn pcg<T: Scalar, M: Preconditioner<T> + ?Sized>(
     m: &M,
     b: &[T],
     config: &SolverConfig,
-) -> SolveResult<T> {
+) -> Result<SolveResult<T>, SolverError> {
     let mut ws = SolveWorkspace::for_preconditioner(a.n_rows(), m);
     pcg_with_workspace(a, m, b, config, &mut ws)
 }
@@ -34,16 +49,39 @@ pub fn pcg_with_workspace<T: Scalar, M: Preconditioner<T> + ?Sized>(
     b: &[T],
     config: &SolverConfig,
     ws: &mut SolveWorkspace<T>,
-) -> SolveResult<T> {
-    let stats = pcg_in_place(a, m, b, config, ws);
-    SolveResult {
+) -> Result<SolveResult<T>, SolverError> {
+    let stats = pcg_in_place(a, m, b, config, ws)?;
+    Ok(SolveResult {
         x: ws.solution().to_vec(),
         iterations: stats.iterations,
         final_residual: stats.final_residual,
         stop: stats.stop,
         residual_history: ws.history().to_vec(),
         timings: stats.timings,
-    }
+    })
+}
+
+/// [`pcg_with_workspace`] with an optional deterministic [`SolveFault`],
+/// for resilience harnesses that need an owned result from a poisoned run.
+/// With `fault: None` the output is bitwise identical to
+/// [`pcg_with_workspace`].
+pub fn pcg_with_workspace_faulted<T: Scalar, M: Preconditioner<T> + ?Sized>(
+    a: &CsrMatrix<T>,
+    m: &M,
+    b: &[T],
+    config: &SolverConfig,
+    fault: Option<SolveFault>,
+    ws: &mut SolveWorkspace<T>,
+) -> Result<SolveResult<T>, SolverError> {
+    let stats = pcg_in_place_faulted(a, m, b, config, fault, ws)?;
+    Ok(SolveResult {
+        x: ws.solution().to_vec(),
+        iterations: stats.iterations,
+        final_residual: stats.final_residual,
+        stop: stats.stop,
+        residual_history: ws.history().to_vec(),
+        timings: stats.timings,
+    })
 }
 
 /// The zero-allocation PCG hot path: solves `A x = b` entirely inside `ws`,
@@ -54,21 +92,55 @@ pub fn pcg_with_workspace<T: Scalar, M: Preconditioner<T> + ?Sized>(
 /// capacity); from the second call on, the whole solve — including every
 /// iteration — performs no heap allocation. The trajectory is bitwise
 /// identical to [`pcg`].
-///
-/// The iteration follows the paper line by line: the residual test uses
-/// `‖r_k‖₂` (line 6), `α` from `(r,z)/(p,Ap)` (line 10), `β` from the
-/// ratio of successive `(r,z)` products (line 14).
 pub fn pcg_in_place<T: Scalar, M: Preconditioner<T> + ?Sized>(
     a: &CsrMatrix<T>,
     m: &M,
     b: &[T],
     config: &SolverConfig,
     ws: &mut SolveWorkspace<T>,
-) -> SolveStats {
-    assert!(a.is_square(), "PCG requires a square matrix");
+) -> Result<SolveStats, SolverError> {
+    pcg_in_place_faulted(a, m, b, config, None, ws)
+}
+
+/// [`pcg_in_place`] with an optional deterministic [`SolveFault`] — the
+/// test harness entry point that proves the runtime guards catch and
+/// classify injected failures. With `fault: None` the trajectory is
+/// bitwise identical to [`pcg_in_place`].
+///
+/// The iteration follows the paper line by line: the residual test uses
+/// `‖r_k‖₂` (line 6), `α` from `(r,z)/(p,Ap)` (line 10), `β` from the
+/// ratio of successive `(r,z)` products (line 14). On top of that, each
+/// iteration runs four O(1)-to-O(n) guards:
+///
+/// * **NaN/Inf** in the residual → [`BreakdownKind::Nan`];
+/// * **divergence** `‖r_k‖ > divergence_factor · ‖r_0‖` →
+///   [`BreakdownKind::Divergence`];
+/// * **stagnation** (no relative improvement of the best residual by at
+///   least 0.1% for `stagnation_window` consecutive iterations, when the
+///   window is nonzero) → [`BreakdownKind::Stagnation`];
+/// * **indefiniteness** `pᵀAp ≤ 0` or `zᵀr ≤ 0` →
+///   [`BreakdownKind::Indefinite`].
+pub fn pcg_in_place_faulted<T: Scalar, M: Preconditioner<T> + ?Sized>(
+    a: &CsrMatrix<T>,
+    m: &M,
+    b: &[T],
+    config: &SolverConfig,
+    fault: Option<SolveFault>,
+    ws: &mut SolveWorkspace<T>,
+) -> Result<SolveStats, SolverError> {
+    if !a.is_square() {
+        return Err(SolverError::NotSquare { n_rows: a.n_rows(), n_cols: a.n_cols() });
+    }
     let n = a.n_rows();
-    assert_eq!(b.len(), n, "rhs length mismatch");
-    assert_eq!(m.dim(), n, "preconditioner dimension mismatch");
+    if n == 0 {
+        return Err(SolverError::EmptySystem);
+    }
+    if b.len() != n {
+        return Err(SolverError::RhsLength { expected: n, got: b.len() });
+    }
+    if m.dim() != n {
+        return Err(SolverError::PreconditionerDim { expected: n, got: m.dim() });
+    }
 
     let history_cap = if config.record_history { config.max_iters + 1 } else { 0 };
     ws.ensure(n, m.scratch_len(), history_cap);
@@ -87,6 +159,11 @@ pub fn pcg_in_place<T: Scalar, M: Preconditioner<T> + ?Sized>(
 
     let b_norm = norm2(b).to_f64();
     let threshold = config.threshold(b_norm);
+    let divergence_limit = if config.divergence_factor.is_finite() {
+        config.divergence_factor * b_norm.max(f64::MIN_POSITIVE)
+    } else {
+        f64::INFINITY
+    };
 
     // z0 = M⁻¹ r0, p0 = z0 (lines 3-4)
     let t = Instant::now();
@@ -97,20 +174,48 @@ pub fn pcg_in_place<T: Scalar, M: Preconditioner<T> + ?Sized>(
 
     let mut iterations = 0usize;
     let mut stop = StopReason::MaxIterations;
+    let mut best_residual = f64::INFINITY;
+    let mut iters_since_best = 0usize;
 
-    for _k in 0..config.max_iters {
-        // line 6: convergence test on ‖r_k‖
+    for k in 0..config.max_iters {
+        if let Some(f) = fault {
+            if f.at_iteration == k {
+                r[0] = T::from_f64(f64::NAN);
+            }
+        }
+
+        // line 6: convergence test on ‖r_k‖, then the runtime guards
         let r_norm = norm2(r).to_f64();
         if config.record_history {
             history.push(r_norm);
         }
         if !r_norm.is_finite() || has_bad(r) {
-            stop = StopReason::Breakdown;
+            stop = StopReason::Breakdown(BreakdownKind::Nan);
             break;
         }
         if r_norm < threshold {
             stop = StopReason::Converged;
             break;
+        }
+        if r_norm > divergence_limit {
+            stop = StopReason::Breakdown(BreakdownKind::Divergence);
+            break;
+        }
+        if config.stagnation_window > 0 {
+            // An iteration only counts as progress when the residual improves
+            // by a meaningful *relative* margin; at the rounding floor the
+            // residual jitters by ULP-sized amounts that would otherwise keep
+            // resetting the window and mask the stagnation.
+            if r_norm < best_residual * (1.0 - STAGNATION_IMPROVEMENT) {
+                best_residual = r_norm;
+                iters_since_best = 0;
+            } else {
+                iters_since_best += 1;
+                if iters_since_best >= config.stagnation_window {
+                    stop = StopReason::Breakdown(BreakdownKind::Stagnation);
+                    break;
+                }
+            }
         }
 
         // line 9: w = A p
@@ -118,11 +223,15 @@ pub fn pcg_in_place<T: Scalar, M: Preconditioner<T> + ?Sized>(
         spmv(a, p, w);
         timings.spmv += t.elapsed();
 
-        // line 10: α = (r,z)/(p,w)
+        // line 10: α = (r,z)/(p,w), guarded for NaN and indefiniteness
         let t = Instant::now();
         let pw = dot(p, w).to_f64();
-        if pw <= 0.0 || !pw.is_finite() || !rz.is_finite() {
-            stop = StopReason::Breakdown;
+        if !pw.is_finite() || !rz.is_finite() {
+            stop = StopReason::Breakdown(BreakdownKind::Nan);
+            break;
+        }
+        if pw <= 0.0 || rz <= 0.0 {
+            stop = StopReason::Breakdown(BreakdownKind::Indefinite);
             break;
         }
         let alpha = T::from_f64(rz / pw);
@@ -154,11 +263,11 @@ pub fn pcg_in_place<T: Scalar, M: Preconditioner<T> + ?Sized>(
         stop = StopReason::Converged;
     }
     if final_residual.is_nan() {
-        stop = StopReason::Breakdown;
+        stop = StopReason::Breakdown(BreakdownKind::Nan);
     }
     timings.total = loop_start.elapsed();
 
-    SolveStats { iterations, final_residual, stop, timings }
+    Ok(SolveStats { iterations, final_residual, stop, timings })
 }
 
 /// FLOPs per PCG iteration for cost accounting: one SpMV (2·nnz(A)), the
@@ -195,7 +304,7 @@ mod tests {
         let a = poisson_2d(10, 10);
         let b = rhs(100, 1);
         let m = IdentityPreconditioner::new(100);
-        let res = pcg(&a, &m, &b, &SolverConfig::default().with_tol(1e-10));
+        let res = pcg(&a, &m, &b, &SolverConfig::default().with_tol(1e-10)).unwrap();
         assert!(res.converged(), "stop: {:?}", res.stop);
         check_solution(&a, &b, &res.x, 1e-7);
     }
@@ -205,9 +314,9 @@ mod tests {
         let a = poisson_2d(20, 20);
         let b = rhs(400, 2);
         let cfg = SolverConfig::default().with_tol(1e-10);
-        let plain = pcg(&a, &IdentityPreconditioner::new(400), &b, &cfg);
+        let plain = pcg(&a, &IdentityPreconditioner::new(400), &b, &cfg).unwrap();
         let f = ilu0(&a, TriangularExec::Sequential).unwrap();
-        let pre = pcg(&a, &f, &b, &cfg);
+        let pre = pcg(&a, &f, &b, &cfg).unwrap();
         assert!(plain.converged() && pre.converged());
         assert!(
             pre.iterations < plain.iterations,
@@ -223,7 +332,7 @@ mod tests {
         let a = banded_spd(80, 5, 0.6, 2.0, 3);
         let b = rhs(80, 4);
         let m = JacobiPreconditioner::new(&a).unwrap();
-        let res = pcg(&a, &m, &b, &SolverConfig::default().with_tol(1e-11));
+        let res = pcg(&a, &m, &b, &SolverConfig::default().with_tol(1e-11)).unwrap();
         assert!(res.converged());
         check_solution(&a, &b, &res.x, 1e-8);
     }
@@ -234,7 +343,7 @@ mod tests {
         let a = banded_spd(30, 3, 0.9, 2.0, 5);
         let b = rhs(30, 6);
         let f = spcg_precond::iluk(&a, 40, TriangularExec::Sequential).unwrap();
-        let res = pcg(&a, &f, &b, &SolverConfig::default().with_tol(1e-10));
+        let res = pcg(&a, &f, &b, &SolverConfig::default().with_tol(1e-10)).unwrap();
         assert!(res.converged());
         assert!(
             res.iterations <= 3,
@@ -247,7 +356,7 @@ mod tests {
     fn zero_rhs_converges_immediately() {
         let a = poisson_2d(5, 5);
         let m = IdentityPreconditioner::new(25);
-        let res = pcg(&a, &m, &[0.0; 25], &SolverConfig::default());
+        let res = pcg(&a, &m, &[0.0; 25], &SolverConfig::default()).unwrap();
         assert!(res.converged());
         assert_eq!(res.iterations, 0);
         assert!(res.x.iter().all(|&v| v == 0.0));
@@ -262,7 +371,7 @@ mod tests {
             .with_tol(1e-14)
             .with_tol_mode(ToleranceMode::Absolute)
             .with_max_iters(3);
-        let res = pcg(&a, &m, &b, &cfg);
+        let res = pcg(&a, &m, &b, &cfg).unwrap();
         assert_eq!(res.stop, StopReason::MaxIterations);
         assert_eq!(res.iterations, 3);
     }
@@ -272,7 +381,8 @@ mod tests {
         let a = poisson_2d(12, 12);
         let b = rhs(144, 8);
         let f = ilu0(&a, TriangularExec::Sequential).unwrap();
-        let res = pcg(&a, &f, &b, &SolverConfig::default().with_history(true).with_tol(1e-10));
+        let res =
+            pcg(&a, &f, &b, &SolverConfig::default().with_history(true).with_tol(1e-10)).unwrap();
         assert!(res.converged());
         assert_eq!(res.residual_history.len(), res.iterations + 1);
         // First residual is ‖b‖, last recorded one is above the final.
@@ -280,13 +390,13 @@ mod tests {
     }
 
     #[test]
-    fn non_spd_matrix_breaks_down() {
+    fn non_spd_matrix_breaks_down_as_indefinite() {
         // A negative-definite matrix: pᵀAp < 0 on the first iteration.
         let a = poisson_2d(4, 4).map_values(|v| -v);
         let b = rhs(16, 9);
         let m = IdentityPreconditioner::new(16);
-        let res = pcg(&a, &m, &b, &SolverConfig::default());
-        assert_eq!(res.stop, StopReason::Breakdown);
+        let res = pcg(&a, &m, &b, &SolverConfig::default()).unwrap();
+        assert_eq!(res.stop, StopReason::Breakdown(BreakdownKind::Indefinite));
     }
 
     #[test]
@@ -295,7 +405,7 @@ mod tests {
         let b: Vec<f32> = rhs(100, 10).into_iter().map(|v| v as f32).collect();
         let m = IdentityPreconditioner::new(100);
         let cfg = SolverConfig::default().with_tol(1e-5);
-        let res = pcg(&a, &m, &b, &cfg);
+        let res = pcg(&a, &m, &b, &cfg).unwrap();
         assert!(res.converged(), "stop {:?} residual {}", res.stop, res.final_residual);
     }
 
@@ -306,8 +416,8 @@ mod tests {
         let cfg = SolverConfig::default().with_history(true).with_tol(1e-10);
         let fs = ilu0(&a, TriangularExec::Sequential).unwrap();
         let fp = ilu0(&a, TriangularExec::LevelParallel).unwrap();
-        let rs = pcg(&a, &fs, &b, &cfg);
-        let rp = pcg(&a, &fp, &b, &cfg);
+        let rs = pcg(&a, &fs, &b, &cfg).unwrap();
+        let rp = pcg(&a, &fp, &b, &cfg).unwrap();
         assert_eq!(rs.iterations, rp.iterations);
         assert_eq!(rs.residual_history, rp.residual_history);
         assert_eq!(rs.x, rp.x);
@@ -326,8 +436,8 @@ mod tests {
         let mut ws = SolveWorkspace::for_preconditioner(a.n_rows(), &f);
         for seed in 0..3 {
             let b = rhs(196, seed);
-            let fresh = pcg(&a, &f, &b, &cfg);
-            let reused = pcg_with_workspace(&a, &f, &b, &cfg, &mut ws);
+            let fresh = pcg(&a, &f, &b, &cfg).unwrap();
+            let reused = pcg_with_workspace(&a, &f, &b, &cfg, &mut ws).unwrap();
             assert_eq!(fresh.x, reused.x, "iterate differs on seed {seed}");
             assert_eq!(fresh.residual_history, reused.residual_history);
             assert_eq!(fresh.iterations, reused.iterations);
@@ -341,10 +451,10 @@ mod tests {
         let f = ilu0(&a, TriangularExec::Sequential).unwrap();
         let cfg = SolverConfig::default().with_tol(1e-10);
         let mut ws = SolveWorkspace::for_preconditioner(144, &f);
-        let stats = pcg_in_place(&a, &f, &b, &cfg, &mut ws);
+        let stats = pcg_in_place(&a, &f, &b, &cfg, &mut ws).unwrap();
         assert!(stats.converged());
         check_solution(&a, &b, ws.solution(), 1e-7);
-        let owned = pcg(&a, &f, &b, &cfg);
+        let owned = pcg(&a, &f, &b, &cfg).unwrap();
         assert_eq!(owned.x.as_slice(), ws.solution());
     }
 
@@ -358,13 +468,134 @@ mod tests {
         let m_small = IdentityPreconditioner::new(25);
         let m_large = IdentityPreconditioner::new(100);
         let mut ws = SolveWorkspace::for_preconditioner(25, &m_small);
-        let r1 = pcg_with_workspace(&small, &m_small, &rhs(25, 1), &cfg, &mut ws);
+        let r1 = pcg_with_workspace(&small, &m_small, &rhs(25, 1), &cfg, &mut ws).unwrap();
         assert!(r1.converged());
-        let r2 = pcg_with_workspace(&large, &m_large, &rhs(100, 2), &cfg, &mut ws);
+        let r2 = pcg_with_workspace(&large, &m_large, &rhs(100, 2), &cfg, &mut ws).unwrap();
         assert!(r2.converged());
         assert_eq!(r2.x.len(), 100);
-        let r3 = pcg_with_workspace(&small, &m_small, &rhs(25, 3), &cfg, &mut ws);
+        let r3 = pcg_with_workspace(&small, &m_small, &rhs(25, 3), &cfg, &mut ws).unwrap();
         assert!(r3.converged());
         assert_eq!(r3.x.len(), 25);
+    }
+
+    // ---- typed input validation -------------------------------------------
+
+    #[test]
+    fn non_square_matrix_is_a_typed_error() {
+        let mut coo = spcg_sparse::CooMatrix::<f64>::new(2, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 1, 1.0).unwrap();
+        let a = coo.to_csr();
+        let m = IdentityPreconditioner::new(2);
+        let err = pcg(&a, &m, &[1.0, 1.0], &SolverConfig::default()).unwrap_err();
+        assert_eq!(err, SolverError::NotSquare { n_rows: 2, n_cols: 3 });
+    }
+
+    #[test]
+    fn rhs_length_mismatch_is_a_typed_error() {
+        let a = poisson_2d(3, 3);
+        let m = IdentityPreconditioner::new(9);
+        let err = pcg(&a, &m, &[1.0; 5], &SolverConfig::default()).unwrap_err();
+        assert_eq!(err, SolverError::RhsLength { expected: 9, got: 5 });
+    }
+
+    #[test]
+    fn preconditioner_dim_mismatch_is_a_typed_error() {
+        let a = poisson_2d(3, 3);
+        let m = IdentityPreconditioner::new(4);
+        let err = pcg(&a, &m, &[1.0; 9], &SolverConfig::default()).unwrap_err();
+        assert_eq!(err, SolverError::PreconditionerDim { expected: 9, got: 4 });
+    }
+
+    #[test]
+    fn empty_system_is_a_typed_error() {
+        let a = CsrMatrix::<f64>::identity(0);
+        let m = IdentityPreconditioner::new(0);
+        let err = pcg(&a, &m, &[], &SolverConfig::default()).unwrap_err();
+        assert_eq!(err, SolverError::EmptySystem);
+    }
+
+    // ---- runtime guards ----------------------------------------------------
+
+    #[test]
+    fn stagnation_window_stops_hopeless_solves() {
+        // Singular A = diag(0, 1, 2, ..., n-1) with a right-hand side that
+        // has a component in the null space: the null-space residual is
+        // exactly invariant under the CG update, so ‖r‖ has a hard floor
+        // and the window guard must fire long before the iteration cap.
+        let n = 24;
+        let diag: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let a = CsrMatrix::from_raw(n, n, (0..=n).collect(), (0..n).collect(), diag).unwrap();
+        let b = vec![1.0f64; n];
+        let m = IdentityPreconditioner::new(n);
+        let cfg = SolverConfig::default()
+            .with_tol(1e-30)
+            .with_tol_mode(ToleranceMode::Absolute)
+            .with_stagnation_window(10);
+        let res = pcg(&a, &m, &b, &cfg).unwrap();
+        assert_eq!(res.stop, StopReason::Breakdown(BreakdownKind::Stagnation));
+        assert!(res.iterations < cfg.max_iters, "guard must fire before the cap");
+        // The residual can never drop below the invariant null-space
+        // component |b[0]| = 1, and the guard stops it while still finite.
+        assert!(res.final_residual >= 1.0, "final_residual = {}", res.final_residual);
+        assert!(res.final_residual.is_finite());
+    }
+
+    #[test]
+    fn divergence_guard_classifies_growth() {
+        let a = poisson_2d(6, 6);
+        let b = rhs(36, 4);
+        let m = IdentityPreconditioner::new(36);
+        // A sub-1 factor makes the guard fire on the very first residual,
+        // exercising the classification path deterministically.
+        let cfg = SolverConfig::default().with_divergence_factor(0.5);
+        let res = pcg(&a, &m, &b, &cfg).unwrap();
+        assert_eq!(res.stop, StopReason::Breakdown(BreakdownKind::Divergence));
+    }
+
+    #[test]
+    fn guards_disabled_reproduce_the_unguarded_trajectory() {
+        let a = poisson_2d(14, 14);
+        let b = rhs(196, 6);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let plain = SolverConfig::default().with_tol(1e-10).with_history(true);
+        let guarded = plain.clone().with_stagnation_window(50).with_divergence_factor(1e4);
+        let r1 = pcg(&a, &f, &b, &plain).unwrap();
+        let r2 = pcg(&a, &f, &b, &guarded).unwrap();
+        assert_eq!(r1.x, r2.x);
+        assert_eq!(r1.residual_history, r2.residual_history);
+        assert_eq!(r1.stop, r2.stop);
+    }
+
+    // ---- fault injection ---------------------------------------------------
+
+    #[test]
+    fn injected_nan_is_caught_and_classified() {
+        let a = poisson_2d(10, 10);
+        let b = rhs(100, 12);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let cfg = SolverConfig::default().with_tol(1e-10).with_history(true);
+        let mut ws = SolveWorkspace::for_preconditioner(100, &f);
+        let stats =
+            pcg_in_place_faulted(&a, &f, &b, &cfg, Some(SolveFault::nan_at(3)), &mut ws).unwrap();
+        assert_eq!(stats.stop, StopReason::Breakdown(BreakdownKind::Nan));
+        assert_eq!(stats.iterations, 3, "fault at k=3 must stop the loop there");
+        assert!(stats.final_residual.is_nan());
+    }
+
+    #[test]
+    fn no_fault_is_bitwise_identical_to_plain_entry_point() {
+        let a = poisson_2d(12, 12);
+        let b = rhs(144, 13);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let cfg = SolverConfig::default().with_tol(1e-10).with_history(true);
+        let mut ws1 = SolveWorkspace::for_preconditioner(144, &f);
+        let mut ws2 = SolveWorkspace::for_preconditioner(144, &f);
+        let plain = pcg_in_place(&a, &f, &b, &cfg, &mut ws1).unwrap();
+        let faulted = pcg_in_place_faulted(&a, &f, &b, &cfg, None, &mut ws2).unwrap();
+        assert_eq!(ws1.solution(), ws2.solution());
+        assert_eq!(ws1.history(), ws2.history());
+        assert_eq!(plain.iterations, faulted.iterations);
+        assert_eq!(plain.stop, faulted.stop);
     }
 }

@@ -1,7 +1,39 @@
 //! Solve outcomes, residual history and per-phase timing.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::time::Duration;
+
+/// Why a solve broke down, as classified by the runtime guards in the
+/// iteration loop. The paper's evaluation only *excludes* NaN runs; a
+/// production solver needs to know the cause to pick the right recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakdownKind {
+    /// A NaN or Inf appeared in the residual or a scalar recurrence —
+    /// usually a poisoned factor (zero pivot upstream) or overflow.
+    Nan,
+    /// `pᵀAp ≤ 0` or `zᵀr ≤ 0`: the operator or the preconditioner is not
+    /// positive definite along the current direction.
+    Indefinite,
+    /// The residual stopped improving for a whole stagnation window —
+    /// the preconditioner is too inaccurate to make progress at this
+    /// tolerance.
+    Stagnation,
+    /// The residual grew past the configured divergence factor times its
+    /// initial value.
+    Divergence,
+}
+
+impl fmt::Display for BreakdownKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BreakdownKind::Nan => write!(f, "NaN/Inf in the iteration"),
+            BreakdownKind::Indefinite => write!(f, "indefinite operator or preconditioner"),
+            BreakdownKind::Stagnation => write!(f, "residual stagnated"),
+            BreakdownKind::Divergence => write!(f, "residual diverged"),
+        }
+    }
+}
 
 /// Why the solver stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -10,9 +42,35 @@ pub enum StopReason {
     Converged,
     /// The iteration cap was reached first.
     MaxIterations,
-    /// A NaN/Inf appeared or `pᵀAp ≤ 0` (matrix not SPD / preconditioner
-    /// broke down). Matches the paper's NaN-residual exclusion criterion.
-    Breakdown,
+    /// The iteration broke down; the payload classifies why (NaN,
+    /// indefiniteness, stagnation, divergence). Matches — and refines —
+    /// the paper's NaN-residual exclusion criterion.
+    Breakdown(BreakdownKind),
+}
+
+impl StopReason {
+    /// `true` for any breakdown, regardless of cause.
+    pub fn is_breakdown(&self) -> bool {
+        matches!(self, StopReason::Breakdown(_))
+    }
+
+    /// The breakdown cause, when the solve broke down.
+    pub fn breakdown_kind(&self) -> Option<BreakdownKind> {
+        match self {
+            StopReason::Breakdown(k) => Some(*k),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::Converged => write!(f, "converged"),
+            StopReason::MaxIterations => write!(f, "iteration cap reached"),
+            StopReason::Breakdown(kind) => write!(f, "breakdown: {kind}"),
+        }
+    }
 }
 
 /// Wall-clock time spent per phase of a solve.
@@ -77,8 +135,36 @@ mod tests {
         };
         assert!(r.converged());
         assert!((r.seconds_per_iteration() - 0.5).abs() < 1e-12);
-        let nr = SolveResult::<f64> { iterations: 0, stop: StopReason::Breakdown, ..r };
+        let nr = SolveResult::<f64> {
+            iterations: 0,
+            stop: StopReason::Breakdown(BreakdownKind::Nan),
+            ..r
+        };
         assert!(!nr.converged());
         assert_eq!(nr.seconds_per_iteration(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_accessors_classify() {
+        let s = StopReason::Breakdown(BreakdownKind::Indefinite);
+        assert!(s.is_breakdown());
+        assert_eq!(s.breakdown_kind(), Some(BreakdownKind::Indefinite));
+        assert!(!StopReason::Converged.is_breakdown());
+        assert_eq!(StopReason::MaxIterations.breakdown_kind(), None);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(StopReason::Converged.to_string(), "converged");
+        let s = StopReason::Breakdown(BreakdownKind::Stagnation).to_string();
+        assert!(s.contains("stagnated"), "{s}");
+        for kind in [
+            BreakdownKind::Nan,
+            BreakdownKind::Indefinite,
+            BreakdownKind::Stagnation,
+            BreakdownKind::Divergence,
+        ] {
+            assert!(!kind.to_string().is_empty());
+        }
     }
 }

@@ -70,7 +70,7 @@ fn main() {
     let t = Instant::now();
     for _ in 0..STEPS {
         let rhs: Vec<f64> = u_base.iter().map(|v| MASS * v).collect();
-        let r = pcg(&a, &base_factors, &rhs, &config);
+        let r = pcg(&a, &base_factors, &rhs, &config).expect("well-formed system");
         assert_eq!(r.stop, StopReason::Converged, "baseline step diverged");
         total_iters_base += r.iterations;
         u_base = r.x;
@@ -79,7 +79,7 @@ fn main() {
     let t = Instant::now();
     for _ in 0..STEPS {
         let rhs: Vec<f64> = u_spcg.iter().map(|v| MASS * v).collect();
-        let r = pcg(&a, &spcg_factors, &rhs, &config);
+        let r = pcg(&a, &spcg_factors, &rhs, &config).expect("well-formed system");
         assert_eq!(r.stop, StopReason::Converged, "SPCG step diverged");
         total_iters_spcg += r.iterations;
         u_spcg = r.x;

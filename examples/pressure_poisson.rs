@@ -30,7 +30,7 @@ fn main() {
         let a_hat = if pct == 0.0 { a.clone() } else { sparsify_by_magnitude(&a, pct).a_hat };
         match ilu0(&a_hat, TriangularExec::Sequential) {
             Ok(f) => {
-                let r = pcg(&a, &f, &b, &solver);
+                let r = pcg(&a, &f, &b, &solver).expect("well-formed system");
                 println!(
                     "{:>6}% {:>11} {:>12.2e} {:>12}",
                     pct,
@@ -54,7 +54,7 @@ fn main() {
     }
 
     let f = ilu0(&decision.sparsified.a_hat, TriangularExec::Sequential).expect("ILU(0)");
-    let r = pcg(&a, &f, &b, &solver);
+    let r = pcg(&a, &f, &b, &solver).expect("well-formed system");
     assert_eq!(r.stop, StopReason::Converged, "SPCG pressure solve diverged");
     println!(
         "\nSPCG pressure solve: {} iterations, residual {:.2e}",

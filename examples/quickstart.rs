@@ -23,7 +23,7 @@ fn main() {
     let config = SolverConfig::default().with_tol(1e-10);
 
     // 1. Plain conjugate gradient.
-    let plain = cg(&a, &b, &config);
+    let plain = cg(&a, &b, &config).expect("well-formed system");
     println!(
         "\nCG           : {:>4} iterations, residual {:.2e}, {:?}",
         plain.iterations, plain.final_residual, plain.stop
@@ -31,7 +31,7 @@ fn main() {
 
     // 2. PCG with a non-sparsified ILU(0) preconditioner.
     let factors = ilu0(&a, TriangularExec::Sequential).expect("ILU(0) factorization");
-    let pcg_run = pcg(&a, &factors, &b, &config);
+    let pcg_run = pcg(&a, &factors, &b, &config).expect("well-formed system");
     println!(
         "PCG-ILU(0)   : {:>4} iterations, residual {:.2e}, {} wavefronts in the factors",
         pcg_run.iterations,
@@ -44,7 +44,7 @@ fn main() {
     //    ORIGINAL system. Build the analysis once as a plan, then solve.
     let plan = SpcgPlan::build(&a, &SpcgOptions { solver: config, ..Default::default() })
         .expect("SPCG pipeline");
-    let spcg_run = plan.solve(&b);
+    let spcg_run = plan.solve(&b).expect("well-formed system");
     let decision = plan.decision().expect("sparsification ran");
     println!(
         "SPCG-ILU(0)  : {:>4} iterations, residual {:.2e}, {} wavefronts in the factors",
@@ -76,7 +76,8 @@ fn main() {
     //    batch of independent loads with `solve_many` (parallel across RHS).
     let loads: Vec<Vec<f64>> =
         (1..=4).map(|k| (0..n).map(|i| ((i + k) % 11) as f64 / 10.0).collect()).collect();
-    let batch = plan.solve_many(&loads);
+    let batch: Vec<_> =
+        plan.solve_many(&loads).into_iter().map(|r| r.expect("well-formed system")).collect();
     let iters: Vec<usize> = batch.iter().map(|r| r.iterations).collect();
     println!("batched solve of {} further RHS, iterations per RHS: {iters:?}", loads.len());
 }

@@ -55,7 +55,7 @@ fn main() {
                 let tb = plan_iteration_cost(&device, &base).total_us();
                 let ts = plan_iteration_cost(&device, &spcg).total_us();
                 log_speedups.push((tb / ts).ln());
-                if spcg.solve(&b).converged() {
+                if spcg.solve(&b).is_ok_and(|r| r.converged()) {
                     converged += 1;
                 }
                 ratio_sum += spcg.decision().map(|d| d.chosen_ratio).unwrap_or(0.0);

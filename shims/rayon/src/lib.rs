@@ -9,7 +9,7 @@
 //! Semantics preserved from real rayon for the patterns in this workspace:
 //!
 //! * `for_each` over `par_iter`/`par_iter_mut` touches each index exactly
-//!   once (disjoint `&mut` access is sound — see [`ParIterMut`]);
+//!   once (disjoint `&mut` access is sound — see [`ParIterMut`](iter::ParIterMut));
 //! * `reduce` folds per-thread partials and then combines them in thread
 //!   submission order, so integer-exact reductions are deterministic;
 //! * small inputs run inline on the calling thread (fork/join would

@@ -29,13 +29,16 @@ pub use spcg_wavefront as wavefront;
 /// The most common imports in one place.
 pub mod prelude {
     pub use spcg_core::{
-        oracle_select, spcg_solve, wavefront_aware_sparsify, PrecondKind, SparsifyParams,
-        SpcgOptions, SpcgPlan, ORACLE_RATIOS,
+        oracle_select, spcg_solve, wavefront_aware_sparsify, FallbackRung, FaultInjection,
+        PrecondKind, RecoveryReport, ResilienceOptions, SparsifyParams, SpcgOptions, SpcgPlan,
+        ORACLE_RATIOS,
     };
-    pub use spcg_precond::{ic0, ilu0, iluk, Preconditioner, TriangularExec};
+    pub use spcg_precond::{
+        ic0, ilu0, iluk, shifted_factorization, Preconditioner, ShiftPolicy, TriangularExec,
+    };
     pub use spcg_solver::{
-        cg, pcg, pcg_in_place, pcg_with_workspace, SolveStats, SolveWorkspace, SolverConfig,
-        StopReason, ToleranceMode,
+        cg, pcg, pcg_in_place, pcg_with_workspace, BreakdownKind, SolveStats, SolveWorkspace,
+        SolverConfig, SolverError, StopReason, ToleranceMode,
     };
     pub use spcg_sparse::{CooMatrix, CsrMatrix, Scalar};
     pub use spcg_wavefront::{wavefront_count, LevelSchedule, Triangle, WavefrontStats};

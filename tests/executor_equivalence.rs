@@ -66,8 +66,8 @@ fn pcg_trajectory_is_executor_independent() {
         let cfg = SolverConfig::default().with_tol(1e-9).with_history(true);
         let fs = ilu0(&a, TriangularExec::Sequential).unwrap_or_else(|e| panic!("{name}: {e}"));
         let fp = ilu0(&a, TriangularExec::LevelParallel).unwrap();
-        let rs = pcg(&a, &fs, &b, &cfg);
-        let rp = pcg(&a, &fp, &b, &cfg);
+        let rs = pcg(&a, &fs, &b, &cfg).unwrap();
+        let rp = pcg(&a, &fp, &b, &cfg).unwrap();
         assert_eq!(rs.iterations, rp.iterations, "{name}");
         assert_eq!(rs.residual_history, rp.residual_history, "{name}");
         assert_eq!(rs.x, rp.x, "{name}: solutions differ bitwise");

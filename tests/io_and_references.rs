@@ -37,7 +37,8 @@ fn reference_matrices_factor_and_solve() {
         let f = ilu0(&a, TriangularExec::Sequential)
             .unwrap_or_else(|e| panic!("{name}: factorization failed: {e}"));
         let b = vec![1.0f64; a.n_rows()];
-        let r = pcg(&a, &f, &b, &SolverConfig::default().with_tol(1e-8).with_max_iters(1000));
+        let r =
+            pcg(&a, &f, &b, &SolverConfig::default().with_tol(1e-8).with_max_iters(1000)).unwrap();
         assert!(
             r.converged(),
             "{name}: baseline PCG did not converge (stop {:?}, resid {})",

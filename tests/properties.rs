@@ -67,7 +67,7 @@ proptest! {
         let a = banded_spd(n, 3, 0.9, 2.0, seed);
         let b: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64) - 8.0).collect();
         let f = ilu0(&a, TriangularExec::Sequential).unwrap();
-        let r = pcg(&a, &f, &b, &SolverConfig::default().with_tol(1e-11));
+        let r = pcg(&a, &f, &b, &SolverConfig::default().with_tol(1e-11)).unwrap();
         prop_assert_eq!(r.stop, StopReason::Converged);
         let direct = a.to_dense().solve(&b).unwrap();
         for (got, want) in r.x.iter().zip(&direct) {

@@ -12,6 +12,7 @@
 use crate::indicator::{convergence_indicator, CondEstimator, IndicatorValue};
 use crate::sparsify::{sparsify_by_magnitude, Sparsified};
 use serde::{Deserialize, Serialize};
+use spcg_probe::{Counter, NoProbe, Probe, Span};
 use spcg_sparse::{CsrMatrix, Scalar};
 use spcg_wavefront::{wavefront_count, wavefront_reduction_percent};
 
@@ -100,6 +101,30 @@ pub fn wavefront_aware_sparsify<T: Scalar>(
     a: &CsrMatrix<T>,
     params: &SparsifyParams,
 ) -> SparsifyDecision<T> {
+    wavefront_aware_sparsify_probed(a, params, &mut NoProbe)
+}
+
+/// [`wavefront_aware_sparsify`] with an observability [`Probe`]: the whole
+/// selection loop is bracketed in a `Span::Sparsify`, every candidate
+/// evaluation (lines 3–12) in a `Span::CandidateEval`, and the number of
+/// candidates examined is reported via `Counter::CandidatesEvaluated`.
+pub fn wavefront_aware_sparsify_probed<T: Scalar, P: Probe>(
+    a: &CsrMatrix<T>,
+    params: &SparsifyParams,
+    probe: &mut P,
+) -> SparsifyDecision<T> {
+    probe.span_begin(Span::Sparsify);
+    let decision = sparsify_candidates(a, params, probe);
+    probe.counter(Counter::CandidatesEvaluated, decision.trace.len() as u64);
+    probe.span_end(Span::Sparsify);
+    decision
+}
+
+fn sparsify_candidates<T: Scalar, P: Probe>(
+    a: &CsrMatrix<T>,
+    params: &SparsifyParams,
+    probe: &mut P,
+) -> SparsifyDecision<T> {
     assert!(!params.ratios.is_empty(), "at least one candidate ratio required");
     // Line 1: w_A
     let w_a = wavefront_count(a);
@@ -124,6 +149,7 @@ pub fn wavefront_aware_sparsify<T: Scalar>(
 
     for (idx, &t) in params.ratios.iter().enumerate() {
         let is_last = idx + 1 == params.ratios.len();
+        probe.span_begin(Span::CandidateEval);
         // Line 3: Â_t = A − S_t
         let cand = sparsify_by_magnitude(a, t);
         // Lines 4–5: indicator test
@@ -137,6 +163,7 @@ pub fn wavefront_aware_sparsify<T: Scalar>(
                 wavefronts: None,
                 reduction_percent: None,
             });
+            probe.span_end(Span::CandidateEval);
             if is_last {
                 // Line 6: no ratio is safe — return the most aggressive.
                 let fallback = sparsify_by_magnitude(a, most_aggressive);
@@ -162,6 +189,7 @@ pub fn wavefront_aware_sparsify<T: Scalar>(
             wavefronts: Some(w_hat),
             reduction_percent: Some(wavefront_reduction_percent(w_a, w_hat)),
         });
+        probe.span_end(Span::CandidateEval);
         if reduction_line10 >= params.omega {
             return finalize(cand, t, SelectionReason::WavefrontReduction, Some(w_hat), trace);
         }

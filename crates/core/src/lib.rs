@@ -16,16 +16,17 @@
 //!
 //! ## Quick start
 //!
-//! One-shot solve:
+//! One-shot solve — build a plan and solve once (chainable `with_*`
+//! builders configure the options inline):
 //!
 //! ```
-//! use spcg_core::pipeline::{spcg_solve, SpcgOptions};
+//! use spcg_core::{SpcgOptions, SpcgPlan};
 //! use spcg_sparse::generators::poisson_2d;
 //!
 //! let a = poisson_2d(16, 16);
 //! let b = vec![1.0f64; a.n_rows()];
-//! let outcome = spcg_solve(&a, &b, &SpcgOptions::default()).unwrap();
-//! assert!(outcome.result.converged());
+//! let plan = SpcgPlan::build(&a, SpcgOptions::default().with_tau(1.0)).unwrap();
+//! assert!(plan.solve(&b).unwrap().converged());
 //! ```
 //!
 //! Repeated solves against one operator — build the plan once, reuse its
@@ -73,12 +74,17 @@ pub mod report;
 pub mod resilient;
 pub mod sparsify;
 
-pub use algorithm2::{wavefront_aware_sparsify, SelectionReason, SparsifyDecision, SparsifyParams};
+pub use algorithm2::{
+    wavefront_aware_sparsify, wavefront_aware_sparsify_probed, SelectionReason, SparsifyDecision,
+    SparsifyParams,
+};
 pub use indicator::{condition_estimate, convergence_indicator, CondEstimator, IndicatorValue};
 pub use oracle::{oracle_select, OracleChoice, ORACLE_RATIOS};
 pub use pipeline::{
-    build_preconditioner, select_best_k, spcg_solve, PrecondKind, SpcgOptions, SpcgOutcome,
+    build_preconditioner, build_preconditioner_probed, PrecondKind, SpcgOptions, SpcgOutcome,
 };
+#[allow(deprecated)] // the deprecated one-shot entry points stay re-exported for migration
+pub use pipeline::{select_best_k, spcg_solve};
 pub use plan::SpcgPlan;
 pub use report::RunReport;
 pub use resilient::{

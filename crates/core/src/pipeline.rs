@@ -5,7 +5,8 @@
 use crate::algorithm2::{SparsifyDecision, SparsifyParams};
 use crate::plan::SpcgPlan;
 use serde::{Deserialize, Serialize};
-use spcg_precond::{ilu0, iluk, IluFactors, TriangularExec};
+use spcg_precond::{ilu0_probed, iluk_probed, IluFactors, TriangularExec};
+use spcg_probe::{NoProbe, Probe};
 use spcg_solver::{SolveResult, SolveWorkspace, SolverConfig};
 use spcg_sparse::{CsrMatrix, Result, Scalar};
 use std::time::Duration;
@@ -53,6 +54,62 @@ impl Default for SpcgOptions {
     }
 }
 
+impl SpcgOptions {
+    /// Replaces the sparsification parameters wholesale; `None` selects the
+    /// non-sparsified baseline.
+    pub fn with_sparsify(mut self, sparsify: Option<SparsifyParams>) -> Self {
+        self.sparsify = sparsify;
+        self
+    }
+
+    /// Sets the convergence threshold τ, enabling sparsification with
+    /// default parameters first if it was off.
+    pub fn with_tau(mut self, tau: f64) -> Self {
+        self.sparsify.get_or_insert_with(SparsifyParams::default).tau = tau;
+        self
+    }
+
+    /// Sets the wavefront-reduction threshold ω (percent), enabling
+    /// sparsification with default parameters first if it was off.
+    pub fn with_omega(mut self, omega: f64) -> Self {
+        self.sparsify.get_or_insert_with(SparsifyParams::default).omega = omega;
+        self
+    }
+
+    /// Sets the candidate drop ratios (percent, most aggressive first),
+    /// enabling sparsification with default parameters first if it was off.
+    pub fn with_ratios(mut self, ratios: Vec<f64>) -> Self {
+        self.sparsify.get_or_insert_with(SparsifyParams::default).ratios = ratios;
+        self
+    }
+
+    /// Selects the preconditioner family.
+    pub fn with_precond(mut self, precond: PrecondKind) -> Self {
+        self.precond = precond;
+        self
+    }
+
+    /// Selects the triangular-solve execution strategy.
+    pub fn with_exec(mut self, exec: TriangularExec) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Replaces the PCG configuration.
+    pub fn with_solver(mut self, solver: SolverConfig) -> Self {
+        self.solver = solver;
+        self
+    }
+}
+
+/// Borrowed options convert by cloning, so call sites holding a long-lived
+/// `SpcgOptions` can pass `&opts` to [`SpcgPlan::build`] unchanged.
+impl From<&SpcgOptions> for SpcgOptions {
+    fn from(opts: &SpcgOptions) -> Self {
+        opts.clone()
+    }
+}
+
 /// Everything produced by one pipeline run.
 #[derive(Debug)]
 pub struct SpcgOutcome<T: Scalar> {
@@ -81,9 +138,22 @@ pub fn build_preconditioner<T: Scalar>(
     kind: PrecondKind,
     exec: TriangularExec,
 ) -> Result<IluFactors<T>> {
+    build_preconditioner_probed(m, kind, exec, &mut NoProbe)
+}
+
+/// [`build_preconditioner`] with an observability [`Probe`]: the numeric
+/// sweep reports a `Span::Factorize`, level-schedule construction a
+/// `Span::LevelBuild`, and a `Counter::Factorizations` event fires on
+/// success.
+pub fn build_preconditioner_probed<T: Scalar, P: Probe>(
+    m: &CsrMatrix<T>,
+    kind: PrecondKind,
+    exec: TriangularExec,
+    probe: &mut P,
+) -> Result<IluFactors<T>> {
     match kind {
-        PrecondKind::Ilu0 => ilu0(m, exec),
-        PrecondKind::Iluk(k) => iluk(m, k, exec),
+        PrecondKind::Ilu0 => ilu0_probed(m, exec, probe),
+        PrecondKind::Iluk(k) => iluk_probed(m, k, exec, probe),
     }
 }
 
@@ -95,6 +165,12 @@ pub fn build_preconditioner<T: Scalar>(
 ///
 /// PCG always solves the ORIGINAL system `A x = b` (Figure 2): only the
 /// preconditioner sees `Â`.
+#[deprecated(
+    since = "0.1.0",
+    note = "build an `SpcgPlan` and call `solve` (then `into_outcome` if the \
+            legacy `SpcgOutcome` is needed); the plan amortizes analysis \
+            across right-hand sides and exposes the probed/resilient tiers"
+)]
 pub fn spcg_solve<T: Scalar>(
     a: &CsrMatrix<T>,
     b: &[T],
@@ -110,6 +186,13 @@ pub fn spcg_solve<T: Scalar>(
 /// each candidate and keep the best-converging K (fewest iterations among
 /// converged runs; smallest final residual otherwise). The same K is then
 /// used for both PCG and SPCG.
+#[deprecated(
+    since = "0.1.0",
+    note = "loop over candidate K values with `SpcgPlan::build` + \
+            `solve_in_place` (this function is a thin wrapper around \
+            exactly that sweep) so the selection policy stays visible at \
+            the call site"
+)]
 pub fn select_best_k<T: Scalar>(
     a: &CsrMatrix<T>,
     b: &[T],
@@ -157,6 +240,7 @@ pub fn select_best_k<T: Scalar>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy one-shot entry points are exactly what is under test
 mod tests {
     use super::*;
     use spcg_sparse::generators::{poisson_2d, with_magnitude_spread};

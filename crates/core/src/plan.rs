@@ -9,11 +9,13 @@
 //! same operator). The execute half reuses a [`SolveWorkspace`] so the PCG
 //! iteration loop performs no heap allocation.
 
-use crate::algorithm2::{wavefront_aware_sparsify, SparsifyDecision};
-use crate::pipeline::{build_preconditioner, SpcgOptions, SpcgOutcome};
+use crate::algorithm2::{wavefront_aware_sparsify_probed, SparsifyDecision};
+use crate::pipeline::{build_preconditioner_probed, SpcgOptions, SpcgOutcome};
 use spcg_precond::{IluFactors, Preconditioner};
+use spcg_probe::{NoProbe, Probe, Span};
 use spcg_solver::{
-    pcg_in_place, pcg_with_workspace, SolveResult, SolveStats, SolveWorkspace, SolverError,
+    pcg_in_place_probed, pcg_with_workspace_probed, SolveResult, SolveStats, SolveWorkspace,
+    SolverError,
 };
 use spcg_sparse::{CsrMatrix, Result, Scalar, SparseError};
 use std::time::{Duration, Instant};
@@ -22,9 +24,23 @@ use std::time::{Duration, Instant};
 ///
 /// Owns the system matrix, the sparsification decision, the incomplete
 /// factors (with their precomputed level schedules), and the analysis-phase
-/// timings. Build once with [`SpcgPlan::build`], then call
-/// [`solve`](SpcgPlan::solve) / [`solve_many`](SpcgPlan::solve_many) — or
-/// the workspace variants for allocation-free hot paths.
+/// timings. Build once with [`SpcgPlan::build`] (or
+/// [`build_probed`](SpcgPlan::build_probed) to trace the analysis), then
+/// pick a solve tier:
+///
+/// * [`solve`](SpcgPlan::solve) — owned result, fresh workspace per call;
+/// * [`solve_with_workspace`](SpcgPlan::solve_with_workspace) — owned
+///   result, caller-provided workspace, allocation-free iteration loop;
+/// * [`solve_in_place`](SpcgPlan::solve_in_place) — fully allocation-free:
+///   the iterate stays in the workspace, only `Copy` stats come back;
+/// * [`solve_many`](SpcgPlan::solve_many) — batched independent right-hand
+///   sides fanned across rayon workers;
+/// * [`solve_resilient`](SpcgPlan::solve_resilient) and friends
+///   (`resilient` module) — the breakdown-recovery fallback ladder on top
+///   of any of the above.
+///
+/// Every tier has a `*_probed` twin taking a [`Probe`] that observes
+/// spans, counters, and per-iteration events without changing numerics.
 ///
 /// The plan is immutable after construction (`&self` solves), so one plan
 /// can serve many threads concurrently; [`solve_many`](SpcgPlan::solve_many)
@@ -46,28 +62,48 @@ pub struct SpcgPlan<T: Scalar> {
 impl<T: Scalar> SpcgPlan<T> {
     /// Runs the analysis phase: sparsify (when configured), factor the
     /// result, and build the triangular-solve level schedules.
-    pub fn build(a: &CsrMatrix<T>, opts: &SpcgOptions) -> Result<Self> {
+    ///
+    /// Accepts the options by value, by reference (cloned), or as anything
+    /// else convertible into [`SpcgOptions`] — so both
+    /// `SpcgPlan::build(&a, SpcgOptions::default().with_tau(2.0))` and the
+    /// long-standing `SpcgPlan::build(&a, &opts)` compile.
+    pub fn build(a: &CsrMatrix<T>, opts: impl Into<SpcgOptions>) -> Result<Self> {
+        Self::build_probed(a, opts, &mut NoProbe)
+    }
+
+    /// [`build`](SpcgPlan::build) with an observability [`Probe`]: the
+    /// whole analysis is bracketed in a `Span::PlanBuild` containing the
+    /// `Span::Sparsify` candidate loop (when sparsification is on) and the
+    /// `Span::Factorize` / `Span::LevelBuild` factorization phases.
+    pub fn build_probed<P: Probe>(
+        a: &CsrMatrix<T>,
+        opts: impl Into<SpcgOptions>,
+        probe: &mut P,
+    ) -> Result<Self> {
+        let opts = opts.into();
         if !a.is_square() {
             return Err(SparseError::NotSquare { n_rows: a.n_rows(), n_cols: a.n_cols() });
         }
+        probe.span_begin(Span::PlanBuild);
         let (decision, sparsify_time) = match &opts.sparsify {
             Some(params) => {
                 let t = Instant::now();
-                let d = wavefront_aware_sparsify(a, params);
+                let d = wavefront_aware_sparsify_probed(a, params, probe);
                 (Some(d), t.elapsed())
             }
             None => (None, Duration::ZERO),
         };
         let m = decision.as_ref().map_or(a, |d| &d.sparsified.a_hat);
         let t = Instant::now();
-        let factors = build_preconditioner(m, opts.precond, opts.exec)?;
+        let factors = build_preconditioner_probed(m, opts.precond, opts.exec, probe);
         let factorization_time = t.elapsed();
+        probe.span_end(Span::PlanBuild);
         Ok(Self {
             a: a.clone(),
-            opts: opts.clone(),
+            opts,
             decision,
             factored: None,
-            factors,
+            factors: factors?,
             sparsify_time,
             factorization_time,
         })
@@ -184,7 +220,21 @@ impl<T: Scalar> SpcgPlan<T> {
         b: &[T],
         ws: &mut SolveWorkspace<T>,
     ) -> std::result::Result<SolveResult<T>, SolverError> {
-        pcg_with_workspace(&self.a, &self.factors, b, &self.opts.solver, ws)
+        self.solve_with_workspace_probed(b, ws, &mut NoProbe)
+    }
+
+    /// [`solve_with_workspace`](Self::solve_with_workspace) with an
+    /// observability [`Probe`]: the PCG loop reports a `Span::SolveLoop`
+    /// with nested `Spmv`/`PrecondApply`/`Blas` spans and one
+    /// [`IterationEvent`](spcg_probe::IterationEvent) per iteration.
+    /// Numerics are bitwise identical for any probe.
+    pub fn solve_with_workspace_probed<P: Probe>(
+        &self,
+        b: &[T],
+        ws: &mut SolveWorkspace<T>,
+        probe: &mut P,
+    ) -> std::result::Result<SolveResult<T>, SolverError> {
+        pcg_with_workspace_probed(&self.a, &self.factors, b, &self.opts.solver, None, ws, probe)
     }
 
     /// The fully allocation-free solve: the iterate stays in
@@ -194,7 +244,19 @@ impl<T: Scalar> SpcgPlan<T> {
         b: &[T],
         ws: &mut SolveWorkspace<T>,
     ) -> std::result::Result<SolveStats, SolverError> {
-        pcg_in_place(&self.a, &self.factors, b, &self.opts.solver, ws)
+        self.solve_in_place_probed(b, ws, &mut NoProbe)
+    }
+
+    /// [`solve_in_place`](Self::solve_in_place) with an observability
+    /// [`Probe`]. The zero-allocation guarantee holds whenever the probe
+    /// itself does not allocate ([`NoProbe`] never does).
+    pub fn solve_in_place_probed<P: Probe>(
+        &self,
+        b: &[T],
+        ws: &mut SolveWorkspace<T>,
+        probe: &mut P,
+    ) -> std::result::Result<SolveStats, SolverError> {
+        pcg_in_place_probed(&self.a, &self.factors, b, &self.opts.solver, None, ws, probe)
     }
 
     /// Solves the same operator against many independent right-hand sides,
@@ -242,9 +304,10 @@ impl<T: Scalar> SpcgPlan<T> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // bitwise-equivalence tests pin the legacy one-shot path
 mod tests {
     use super::*;
-    use crate::pipeline::spcg_solve;
+    use crate::pipeline::{build_preconditioner, spcg_solve};
     use spcg_solver::SolverConfig;
     use spcg_sparse::generators::{poisson_2d, with_magnitude_spread};
     use spcg_sparse::Rng;
@@ -313,7 +376,7 @@ mod tests {
     #[test]
     fn solve_many_handles_empty_and_singleton() {
         let (a, b) = system(8);
-        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
         assert!(plan.solve_many(&Vec::<Vec<f64>>::new()).is_empty());
         let one = plan.solve_many(std::slice::from_ref(&b));
         assert_eq!(one.len(), 1);
@@ -345,7 +408,7 @@ mod tests {
     #[test]
     fn into_outcome_preserves_analysis() {
         let (a, b) = system(8);
-        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
         let wavefronts = plan.factors().total_wavefronts();
         let result = plan.solve(&b).unwrap();
         let outcome = plan.into_outcome(result);

@@ -100,6 +100,7 @@ impl RunReport {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // reports are built from the legacy outcome on purpose
 mod tests {
     use super::*;
     use crate::pipeline::{spcg_solve, SpcgOptions};

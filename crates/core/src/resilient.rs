@@ -28,15 +28,16 @@
 //! demand, which is how the test suite proves every rung both fires and
 //! terminates.
 
-use crate::pipeline::{build_preconditioner, PrecondKind};
+use crate::pipeline::{build_preconditioner_probed, PrecondKind};
 use crate::plan::SpcgPlan;
 use crate::sparsify::sparsify_by_magnitude;
 use spcg_precond::{
-    shifted_factorization, FactorKind, JacobiPreconditioner, Preconditioner, ShiftPolicy,
+    shifted_factorization_probed, FactorKind, JacobiPreconditioner, Preconditioner, ShiftPolicy,
 };
+use spcg_probe::{NoProbe, Probe, ProbeStop, RungEvent, RungKind, Span};
 use spcg_solver::{
-    pcg_with_workspace_faulted, BreakdownKind, SolveFault, SolveResult, SolveWorkspace,
-    SolverError, StopReason,
+    pcg_with_workspace_probed, BreakdownKind, SolveFault, SolveResult, SolveWorkspace, SolverError,
+    StopReason,
 };
 use spcg_sparse::Scalar;
 
@@ -53,6 +54,20 @@ pub enum FallbackRung {
     Shifted,
     /// Diagonal (Jacobi) preconditioner — the unconditional safety net.
     Jacobi,
+}
+
+impl FallbackRung {
+    /// The probe-layer classification of this rung plus its ratio payload
+    /// (0 for rungs without one).
+    fn probe_kind(&self) -> (RungKind, f64) {
+        match self {
+            FallbackRung::Planned => (RungKind::Planned, 0.0),
+            FallbackRung::Resparsify(t) => (RungKind::Resparsify, *t),
+            FallbackRung::Unsparsified => (RungKind::Unsparsified, 0.0),
+            FallbackRung::Shifted => (RungKind::Shifted, 0.0),
+            FallbackRung::Jacobi => (RungKind::Jacobi, 0.0),
+        }
+    }
 }
 
 impl std::fmt::Display for FallbackRung {
@@ -276,6 +291,23 @@ impl<T: Scalar> SpcgPlan<T> {
         opts: &ResilienceOptions,
         ws: &mut SolveWorkspace<T>,
     ) -> std::result::Result<ResilientSolve<T>, SolverError> {
+        self.solve_resilient_with_workspace_probed(b, opts, ws, &mut NoProbe)
+    }
+
+    /// [`solve_resilient_with_workspace`](SpcgPlan::solve_resilient_with_workspace)
+    /// with an observability [`Probe`]: every ladder attempt is bracketed in
+    /// a `Span::LadderAttempt` (containing the rung's rebuild factorization
+    /// spans and its solve loop) and reported as a [`RungEvent`] carrying
+    /// the rung kind, ratio/shift payloads, and stop classification —
+    /// including [`ProbeStop::Skipped`] events for rungs that could not be
+    /// built on this matrix.
+    pub fn solve_resilient_with_workspace_probed<P: Probe>(
+        &self,
+        b: &[T],
+        opts: &ResilienceOptions,
+        ws: &mut SolveWorkspace<T>,
+        probe: &mut P,
+    ) -> std::result::Result<ResilientSolve<T>, SolverError> {
         let config = &self.options().solver;
         let mut report = RecoveryReport::default();
         // Track the best non-converged outcome so an exhausted ladder still
@@ -284,19 +316,50 @@ impl<T: Scalar> SpcgPlan<T> {
 
         for rung in self.ladder(opts) {
             let attempt_idx = report.attempts.len();
+            let (kind, ratio) = rung.probe_kind();
             let fault = opts.fault.filter(|f| f.active_for(attempt_idx));
-            let Some(precond) = self.build_rung(rung, opts, fault) else {
+            probe.span_begin(Span::LadderAttempt);
+            let Some(precond) = self.build_rung(rung, opts, fault, probe) else {
+                probe.rung(RungEvent {
+                    attempt: attempt_idx,
+                    rung: kind,
+                    ratio,
+                    shift: 0.0,
+                    outcome: ProbeStop::Skipped,
+                });
+                probe.span_end(Span::LadderAttempt);
                 continue; // rung unbuildable on this matrix: climb down
             };
             let solve_fault = fault.and_then(|f| f.solve_fault);
-            let result = match &precond.factors {
-                RungFactors::Ilu(f) => {
-                    pcg_with_workspace_faulted(self.a(), f.as_ref(), b, config, solve_fault, ws)?
-                }
+            let solved = match &precond.factors {
+                RungFactors::Ilu(f) => pcg_with_workspace_probed(
+                    self.a(),
+                    f.as_ref(),
+                    b,
+                    config,
+                    solve_fault,
+                    ws,
+                    probe,
+                ),
                 RungFactors::Jacobi(j) => {
-                    pcg_with_workspace_faulted(self.a(), j, b, config, solve_fault, ws)?
+                    pcg_with_workspace_probed(self.a(), j, b, config, solve_fault, ws, probe)
                 }
             };
+            let result = match solved {
+                Ok(r) => r,
+                Err(e) => {
+                    probe.span_end(Span::LadderAttempt);
+                    return Err(e);
+                }
+            };
+            probe.rung(RungEvent {
+                attempt: attempt_idx,
+                rung: kind,
+                ratio,
+                shift: precond.alpha,
+                outcome: result.stop.as_probe_stop(),
+            });
+            probe.span_end(Span::LadderAttempt);
             report.attempts.push(RecoveryAttempt {
                 rung,
                 stop: result.stop,
@@ -379,11 +442,12 @@ impl<T: Scalar> SpcgPlan<T> {
     /// Builds the preconditioner for one rung, applying any active factor
     /// corruption. Returns `None` when the rung cannot be built on this
     /// matrix (the ladder then skips to the next rung).
-    fn build_rung(
+    fn build_rung<P: Probe>(
         &self,
         rung: FallbackRung,
         opts: &ResilienceOptions,
         fault: Option<FaultInjection>,
+        probe: &mut P,
     ) -> Option<RungPrecond<T>> {
         let kind = self.options().precond;
         let exec = self.options().exec;
@@ -395,7 +459,7 @@ impl<T: Scalar> SpcgPlan<T> {
             },
             FallbackRung::Resparsify(t) => {
                 let a_hat = sparsify_by_magnitude(self.a(), t).a_hat;
-                let f = build_preconditioner(&a_hat, kind, exec).ok()?;
+                let f = build_preconditioner_probed(&a_hat, kind, exec, probe).ok()?;
                 RungPrecond {
                     factors: RungFactors::Ilu(Box::new(f)),
                     factorizations: 1,
@@ -403,7 +467,7 @@ impl<T: Scalar> SpcgPlan<T> {
                 }
             }
             FallbackRung::Unsparsified => {
-                let f = build_preconditioner(self.a(), kind, exec).ok()?;
+                let f = build_preconditioner_probed(self.a(), kind, exec, probe).ok()?;
                 RungPrecond {
                     factors: RungFactors::Ilu(Box::new(f)),
                     factorizations: 1,
@@ -415,7 +479,8 @@ impl<T: Scalar> SpcgPlan<T> {
                     PrecondKind::Ilu0 => FactorKind::Ilu0,
                     PrecondKind::Iluk(k) => FactorKind::Iluk(k),
                 };
-                let s = shifted_factorization(self.a(), fk, exec, &opts.shift_policy).ok()?;
+                let s = shifted_factorization_probed(self.a(), fk, exec, &opts.shift_policy, probe)
+                    .ok()?;
                 RungPrecond {
                     factors: RungFactors::Ilu(Box::new(s.factors)),
                     factorizations: s.attempts,
@@ -487,7 +552,7 @@ mod tests {
     #[test]
     fn clean_solve_is_bitwise_identical_to_plain() {
         let (a, b) = system(12);
-        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
         let mut ws = plan.make_workspace();
         let plain = plan.solve_with_workspace(&b, &mut ws).unwrap();
         let resilient = plan
@@ -504,7 +569,7 @@ mod tests {
     #[test]
     fn nan_fault_recovers_on_the_next_rung() {
         let (a, b) = system(12);
-        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
         let ropts =
             ResilienceOptions { fault: Some(FaultInjection::nan_at(2)), ..Default::default() };
         let mut ws = plan.make_workspace();
@@ -520,7 +585,7 @@ mod tests {
     #[test]
     fn zeroed_pivot_is_detected_and_recovered() {
         let (a, b) = system(10);
-        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
         let ropts = ResilienceOptions {
             fault: Some(FaultInjection::zeroed_pivot(5)),
             ..Default::default()
@@ -539,7 +604,7 @@ mod tests {
     #[test]
     fn corrupted_factor_entry_recovers() {
         let (a, b) = system(10);
-        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
         // Scaling a pivot by a huge factor wrecks the preconditioner badly
         // enough to stall or break the solve.
         let ropts = ResilienceOptions {
@@ -554,7 +619,7 @@ mod tests {
     #[test]
     fn persistent_fault_forces_the_ladder_to_the_bottom() {
         let (a, b) = system(10);
-        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
         let n_rungs = plan.ladder(&ResilienceOptions::default()).len();
         // The solve fault poisons every rung except the last.
         let ropts = ResilienceOptions {
@@ -575,7 +640,7 @@ mod tests {
     #[test]
     fn ladder_terminates_even_when_every_rung_is_poisoned() {
         let (a, b) = system(8);
-        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
         let ropts = ResilienceOptions {
             fault: Some(FaultInjection::nan_at(0).persist_for(usize::MAX)),
             ..Default::default()
@@ -593,7 +658,7 @@ mod tests {
     #[test]
     fn ladder_shape_follows_the_plan() {
         let (a, _) = system(10);
-        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
         let rungs = plan.ladder(&ResilienceOptions::default());
         assert_eq!(rungs.first(), Some(&FallbackRung::Planned));
         assert_eq!(rungs.last(), Some(&FallbackRung::Jacobi));
@@ -621,7 +686,7 @@ mod tests {
     #[test]
     fn solve_many_resilient_isolates_failures() {
         let (a, b) = system(9);
-        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
         // Batch of three: healthy, wrong length, healthy.
         let rhs: Vec<Vec<f64>> = vec![b.clone(), vec![1.0; 3], b.clone()];
         let out = plan.solve_many_resilient(&rhs, &ResilienceOptions::default());
@@ -634,7 +699,7 @@ mod tests {
     #[test]
     fn report_accounting_sums_attempts() {
         let (a, b) = system(10);
-        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
         let ropts = ResilienceOptions {
             fault: Some(FaultInjection::nan_at(3).persist_for(2)),
             ..Default::default()

@@ -55,7 +55,7 @@ fn assert_rungs_are_ladder_prefix(
 #[test]
 fn nan_fault_recovers_across_suite_matrices() {
     for (name, a, b) in suite_systems(4) {
-        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
         let ropts =
             ResilienceOptions { fault: Some(FaultInjection::nan_at(1)), ..Default::default() };
         let mut ws = plan.make_workspace();
@@ -70,7 +70,7 @@ fn nan_fault_recovers_across_suite_matrices() {
 #[test]
 fn zeroed_pivot_recovers_across_suite_matrices() {
     for (name, a, b) in suite_systems(3) {
-        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
         let row = a.n_rows() / 2;
         let ropts = ResilienceOptions {
             fault: Some(FaultInjection::zeroed_pivot(row)),
@@ -92,7 +92,7 @@ fn zeroed_pivot_recovers_across_suite_matrices() {
 #[test]
 fn corrupted_factor_entry_recovers_across_suite_matrices() {
     for (name, a, b) in suite_systems(3) {
-        let plan = SpcgPlan::build(&a, &opts()).unwrap();
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
         let row = a.n_rows() / 3;
         let ropts = ResilienceOptions {
             fault: Some(FaultInjection::corrupted_entry(row, row, 1e12)),
@@ -108,7 +108,7 @@ fn corrupted_factor_entry_recovers_across_suite_matrices() {
 #[test]
 fn persistent_fault_descends_to_jacobi_and_recovers() {
     let (name, a, b) = suite_systems(1).remove(0);
-    let plan = SpcgPlan::build(&a, &opts()).unwrap();
+    let plan = SpcgPlan::build(&a, opts()).unwrap();
     let n_rungs = plan.ladder(&ResilienceOptions::default()).len();
     let ropts = ResilienceOptions {
         fault: Some(FaultInjection::nan_at(0).persist_for(n_rungs - 1)),
@@ -129,7 +129,7 @@ fn recovered_solution_matches_the_clean_one() {
     // Recovery is not just "Converged": the recovered iterate solves the
     // same system to the same tolerance as a never-faulted solve.
     let (name, a, b) = suite_systems(1).remove(0);
-    let plan = SpcgPlan::build(&a, &opts()).unwrap();
+    let plan = SpcgPlan::build(&a, opts()).unwrap();
     let clean = plan.solve(&b).unwrap();
     let ropts = ResilienceOptions { fault: Some(FaultInjection::nan_at(1)), ..Default::default() };
     let mut ws = plan.make_workspace();
@@ -149,7 +149,7 @@ fn recovered_solution_matches_the_clean_one() {
 #[test]
 fn malformed_inputs_error_instead_of_panicking() {
     let (_, a, b) = suite_systems(1).remove(0);
-    let plan = SpcgPlan::build(&a, &opts()).unwrap();
+    let plan = SpcgPlan::build(&a, opts()).unwrap();
     let short = vec![1.0; a.n_rows() - 1];
 
     assert!(matches!(plan.solve(&short), Err(SolverError::RhsLength { .. })));
@@ -176,13 +176,13 @@ fn malformed_inputs_error_instead_of_panicking() {
         coo.push(r, c, v).unwrap();
     }
     let rect: CsrMatrix<f64> = coo.to_csr();
-    assert!(SpcgPlan::build(&rect, &opts()).is_err());
+    assert!(SpcgPlan::build(&rect, opts()).is_err());
 }
 
 #[test]
 fn non_finite_rhs_is_reported_not_propagated_silently() {
     let (name, a, _) = suite_systems(1).remove(0);
-    let plan = SpcgPlan::build(&a, &opts()).unwrap();
+    let plan = SpcgPlan::build(&a, opts()).unwrap();
     let mut bad = vec![1.0; a.n_rows()];
     bad[0] = f64::NAN;
     // A NaN right-hand side cannot converge; the guards must stop the

@@ -2,6 +2,10 @@
 //! must be an exact drop-in for the one-shot pipeline on randomized
 //! operators, options, and right-hand sides.
 
+// The whole point of this suite is to pin the deprecated one-shot path
+// against the plan API bit for bit.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use spcg_core::pipeline::{spcg_solve, PrecondKind, SpcgOptions};
 use spcg_core::SpcgPlan;

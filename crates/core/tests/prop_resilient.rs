@@ -42,7 +42,7 @@ proptest! {
         k in 0usize..3,
     ) {
         let (a, b) = random_system(n, seed);
-        let plan = SpcgPlan::build(&a, &options(sparsify, k)).unwrap();
+        let plan = SpcgPlan::build(&a, options(sparsify, k)).unwrap();
         let mut ws = plan.make_workspace();
         let plain = plan.solve_with_workspace(&b, &mut ws).unwrap();
         let resilient = plan
@@ -68,7 +68,7 @@ proptest! {
         fault_at in 0usize..6,
     ) {
         let (a, b) = random_system(n, seed);
-        let plan = SpcgPlan::build(&a, &options(sparsify, 0)).unwrap();
+        let plan = SpcgPlan::build(&a, options(sparsify, 0)).unwrap();
         let fault = match fault_kind {
             0 => FaultInjection::nan_at(fault_at),
             1 => FaultInjection::zeroed_pivot(fault_at % n),

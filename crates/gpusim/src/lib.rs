@@ -19,6 +19,7 @@ pub mod kernel;
 pub mod pcg;
 pub mod plan;
 pub mod profiler;
+pub mod trace;
 pub mod trisolve;
 
 pub use device::DeviceSpec;
@@ -27,4 +28,5 @@ pub use kernel::{dot_cost, elementwise_cost, spmv_cost, KernelCost};
 pub use pcg::{end_to_end_cost, iteration_gflops, pcg_iteration_cost, EndToEndCost, IterationCost};
 pub use plan::{plan_end_to_end_cost, plan_iteration_cost, plan_recovery_cost, RecoveryCost};
 pub use profiler::{profile, Boundedness, ProfileReport};
+pub use trace::simulated_solve_trace;
 pub use trisolve::{trisolve_cost, trisolve_cost_of, TrisolveWorkload};

@@ -1,0 +1,181 @@
+//! Bridge from the analytic execution model to the probe layer: synthesize
+//! a [`RunTrace`] whose spans carry the *simulated* per-phase times and
+//! whose counters carry the model's byte/FLOP/launch attribution.
+//!
+//! A synthesized trace uses the same [`Span`] vocabulary as a real
+//! [`RecordingProbe`](spcg_probe::RecordingProbe) capture, so both render
+//! through the same phase-table readout (`RunTrace::phase_table`) and the
+//! simulated device picture can be laid directly beside the measured one.
+
+use crate::device::DeviceSpec;
+use crate::kernel::KernelCost;
+use crate::pcg::pcg_iteration_cost;
+use spcg_precond::IluFactors;
+use spcg_probe::{Counter, RunTrace, Span, TraceEvent};
+use spcg_sparse::{CsrMatrix, Scalar};
+
+/// Converts a model time in microseconds to trace nanoseconds, keeping
+/// sub-microsecond structure and never rounding a nonzero cost to zero.
+fn us_to_ns(us: f64) -> u64 {
+    let ns = (us * 1e3).round();
+    if ns <= 0.0 {
+        if us > 0.0 {
+            1
+        } else {
+            0
+        }
+    } else {
+        ns as u64
+    }
+}
+
+/// Synthesizes the trace of `iterations` PCG iterations as the execution
+/// model prices them on `device`: one aggregate span per kernel class
+/// (SpMV, lower/upper triangular solves under a preconditioner-apply span,
+/// BLAS-1 tail) nested in a single `Span::SolveLoop`, with
+/// [`Counter::SimBytes`], [`Counter::SimFlops`], and
+/// [`Counter::SimLaunches`] events attributing the model's roofline inputs
+/// to each span.
+///
+/// Timestamps are synthetic model time (ns), not wall clock; the trace
+/// validates, covers 100% of its own wall time, and serializes exactly like
+/// a recorded one.
+pub fn simulated_solve_trace<T: Scalar>(
+    device: &DeviceSpec,
+    a: &CsrMatrix<T>,
+    factors: &IluFactors<T>,
+    iterations: usize,
+) -> RunTrace {
+    let iter = pcg_iteration_cost(device, a, factors);
+    let iters = iterations as f64;
+    let lower_launches = factors.l_schedule().n_levels() as u64;
+    let upper_launches = factors.u_schedule().n_levels() as u64;
+
+    let mut trace = RunTrace::new();
+    let mut t = 0u64;
+    trace.push(TraceEvent::SpanBegin { span: Span::SolveLoop, t_ns: t });
+
+    leaf(&mut trace, &mut t, Span::Spmv, &iter.spmv, iters, iterations as u64);
+
+    trace.push(TraceEvent::SpanBegin { span: Span::PrecondApply, t_ns: t });
+    leaf(
+        &mut trace,
+        &mut t,
+        Span::TriangularLower,
+        &iter.lower,
+        iters,
+        lower_launches * iterations as u64,
+    );
+    leaf(
+        &mut trace,
+        &mut t,
+        Span::TriangularUpper,
+        &iter.upper,
+        iters,
+        upper_launches * iterations as u64,
+    );
+    trace.push(TraceEvent::SpanEnd { span: Span::PrecondApply, t_ns: t });
+
+    // 2 dots + 3 axpy-style updates per iteration.
+    leaf(&mut trace, &mut t, Span::Blas, &iter.blas, iters, 5 * iterations as u64);
+
+    trace.push(TraceEvent::SpanEnd { span: Span::SolveLoop, t_ns: t });
+    trace
+}
+
+/// Emits one aggregate kernel span at the timeline cursor `t`, attributing
+/// the model's bytes/FLOPs/launches to it, and advances the cursor.
+fn leaf(
+    trace: &mut RunTrace,
+    t: &mut u64,
+    span: Span,
+    cost: &KernelCost,
+    iters: f64,
+    launches: u64,
+) {
+    trace.push(TraceEvent::SpanBegin { span, t_ns: *t });
+    let dur = us_to_ns(cost.time_us * iters);
+    let mid = *t + dur / 2;
+    trace.push(TraceEvent::Count {
+        counter: Counter::SimBytes,
+        value: (cost.bytes * iters).round() as u64,
+        t_ns: mid,
+    });
+    trace.push(TraceEvent::Count {
+        counter: Counter::SimFlops,
+        value: (cost.flops * iters).round() as u64,
+        t_ns: mid,
+    });
+    trace.push(TraceEvent::Count { counter: Counter::SimLaunches, value: launches, t_ns: mid });
+    *t += dur;
+    trace.push(TraceEvent::SpanEnd { span, t_ns: *t });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_precond::{ilu0, TriangularExec};
+    use spcg_sparse::generators::poisson_2d;
+
+    fn setup(n: usize) -> (CsrMatrix<f64>, IluFactors<f64>) {
+        let a = poisson_2d(n, n);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        (a, f)
+    }
+
+    #[test]
+    fn synthesized_trace_validates_and_covers_everything() {
+        let (a, f) = setup(16);
+        let t = simulated_solve_trace(&DeviceSpec::a100(), &a, &f, 40);
+        t.validate_nesting().unwrap();
+        assert!((t.coverage() - 1.0).abs() < 1e-9, "coverage {}", t.coverage());
+        let records = t.span_records().unwrap();
+        assert_eq!(records[0].span, Span::SolveLoop);
+        // The nested spans partition the loop exactly.
+        let loop_ns = records[0].duration_ns();
+        let depth1: u64 = records.iter().filter(|r| r.depth == 1).map(|r| r.duration_ns()).sum();
+        assert_eq!(loop_ns, depth1);
+    }
+
+    #[test]
+    fn counters_scale_with_iterations() {
+        let (a, f) = setup(12);
+        let d = DeviceSpec::a100();
+        let one = simulated_solve_trace(&d, &a, &f, 1);
+        let many = simulated_solve_trace(&d, &a, &f, 10);
+        for c in [Counter::SimBytes, Counter::SimFlops, Counter::SimLaunches] {
+            assert!(one.counter_total(c) > 0, "{c} must be attributed");
+            let ratio = many.counter_total(c) as f64 / one.counter_total(c) as f64;
+            assert!((ratio - 10.0).abs() < 0.01, "{c} ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn simulated_launches_track_wavefronts() {
+        let (a, f) = setup(14);
+        let d = DeviceSpec::a100();
+        let t = simulated_solve_trace(&d, &a, &f, 1);
+        let wavefronts = (f.l_schedule().n_levels() + f.u_schedule().n_levels()) as u64;
+        // spmv (1) + trisolve wavefronts + blas (5)
+        assert_eq!(t.counter_total(Counter::SimLaunches), 1 + wavefronts + 5);
+    }
+
+    #[test]
+    fn trace_round_trips_through_json() {
+        let (a, f) = setup(8);
+        let t = simulated_solve_trace(&DeviceSpec::v100(), &a, &f, 3);
+        let json = serde_json::to_string_pretty(&t).unwrap();
+        let back: RunTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn phase_table_renders_simulated_spans() {
+        let (a, f) = setup(10);
+        let t = simulated_solve_trace(&DeviceSpec::a100(), &a, &f, 5);
+        let table = t.phase_table();
+        for label in ["solve.loop", "solve.spmv", "solve.tri_lower", "sim.bytes"] {
+            assert!(table.contains(label), "missing {label} in:\n{table}");
+        }
+    }
+}

@@ -3,8 +3,11 @@
 
 use crate::traits::Preconditioner;
 use serde::{Deserialize, Serialize};
+use spcg_probe::{Counter, NoProbe, Probe, Span};
 use spcg_sparse::{CsrMatrix, Scalar};
-use spcg_wavefront::{solve_levels_par, solve_lower_seq, solve_upper_seq, LevelSchedule, Triangle};
+use spcg_wavefront::{
+    solve_levels_par_probed, solve_lower_seq, solve_upper_seq, LevelSchedule, Triangle,
+};
 
 /// How the two triangular solves inside `M⁻¹ r` are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,10 +38,26 @@ impl<T: Scalar> IluFactors<T> {
     /// Wraps factor matrices, building their level schedules (the
     /// "inspector" phase).
     pub fn new(l: CsrMatrix<T>, u: CsrMatrix<T>, exec: TriangularExec, name: String) -> Self {
+        Self::new_probed(l, u, exec, name, &mut NoProbe)
+    }
+
+    /// [`new`](Self::new) with an observability [`Probe`]: brackets the
+    /// level-schedule construction in a [`Span::LevelBuild`] and reports the
+    /// resulting level count via [`Counter::Levels`].
+    pub fn new_probed<P: Probe>(
+        l: CsrMatrix<T>,
+        u: CsrMatrix<T>,
+        exec: TriangularExec,
+        name: String,
+        probe: &mut P,
+    ) -> Self {
         assert!(l.is_square() && u.is_square(), "factors must be square");
         assert_eq!(l.n_rows(), u.n_rows(), "factor dimensions must agree");
+        probe.span_begin(Span::LevelBuild);
         let l_schedule = LevelSchedule::build(&l, Triangle::Lower);
         let u_schedule = LevelSchedule::build(&u, Triangle::Upper);
+        probe.counter(Counter::Levels, (l_schedule.n_levels() + u_schedule.n_levels()) as u64);
+        probe.span_end(Span::LevelBuild);
         let scratch_dim = l.n_rows();
         Self { l, u, l_schedule, u_schedule, exec, name, scratch_dim }
     }
@@ -120,18 +139,41 @@ impl<T: Scalar> IluFactors<T> {
     /// performing no heap allocation. `y` must be at least `n` long; results
     /// are bitwise identical to [`solve`](Self::solve).
     pub fn solve_with_scratch(&self, r: &[T], z: &mut [T], y: &mut [T]) {
+        self.solve_with_scratch_probed(r, z, y, &mut NoProbe)
+    }
+
+    /// [`solve_with_scratch`](Self::solve_with_scratch) with an
+    /// observability [`Probe`]: each sweep is bracketed in
+    /// [`Span::TriangularLower`] / [`Span::TriangularUpper`], and under
+    /// [`TriangularExec::LevelParallel`] the probed executor additionally
+    /// reports per-level widths and synchronization counts.
+    pub fn solve_with_scratch_probed<P: Probe>(
+        &self,
+        r: &[T],
+        z: &mut [T],
+        y: &mut [T],
+        probe: &mut P,
+    ) {
         let n = self.scratch_dim;
         assert_eq!(r.len(), n, "rhs length mismatch");
         assert_eq!(z.len(), n, "solution length mismatch");
         let y = &mut y[..n];
         match self.exec {
             TriangularExec::Sequential => {
+                probe.span_begin(Span::TriangularLower);
                 solve_lower_seq(&self.l, r, y);
+                probe.span_end(Span::TriangularLower);
+                probe.span_begin(Span::TriangularUpper);
                 solve_upper_seq(&self.u, y, z);
+                probe.span_end(Span::TriangularUpper);
             }
             TriangularExec::LevelParallel => {
-                solve_levels_par(&self.l, &self.l_schedule, r, y);
-                solve_levels_par(&self.u, &self.u_schedule, y, z);
+                probe.span_begin(Span::TriangularLower);
+                solve_levels_par_probed(&self.l, &self.l_schedule, r, y, probe);
+                probe.span_end(Span::TriangularLower);
+                probe.span_begin(Span::TriangularUpper);
+                solve_levels_par_probed(&self.u, &self.u_schedule, y, z, probe);
+                probe.span_end(Span::TriangularUpper);
             }
         }
     }

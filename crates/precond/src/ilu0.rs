@@ -5,6 +5,7 @@
 //! entries). This is the preconditioner behind SPCG-ILU(0).
 
 use crate::factors::{IluFactors, TriangularExec};
+use spcg_probe::{Counter, NoProbe, Probe, Span};
 use spcg_sparse::{CooMatrix, CsrMatrix, Result, Scalar, SparseError};
 
 /// Computes the ILU(0) factorization of a square matrix with a structurally
@@ -13,9 +14,25 @@ use spcg_sparse::{CooMatrix, CsrMatrix, Result, Scalar, SparseError};
 /// Returns factors `L` (unit lower) and `U` (upper with pivots) whose
 /// combined pattern equals `A`'s.
 pub fn ilu0<T: Scalar>(a: &CsrMatrix<T>, exec: TriangularExec) -> Result<IluFactors<T>> {
-    let (vals, diag_pos) = ilu0_values(a)?;
+    ilu0_probed(a, exec, &mut NoProbe)
+}
+
+/// [`ilu0`] with an observability [`Probe`]: the numeric sweep is bracketed
+/// in a [`Span::Factorize`], level-schedule construction in a
+/// `Span::LevelBuild` (via [`IluFactors::new_probed`]), and one
+/// [`Counter::Factorizations`] event is emitted on success.
+pub fn ilu0_probed<T: Scalar, P: Probe>(
+    a: &CsrMatrix<T>,
+    exec: TriangularExec,
+    probe: &mut P,
+) -> Result<IluFactors<T>> {
+    probe.span_begin(Span::Factorize);
+    let swept = ilu0_values(a);
+    probe.span_end(Span::Factorize);
+    let (vals, diag_pos) = swept?;
+    probe.counter(Counter::Factorizations, 1);
     let (l, u) = split_factors(a, &vals, &diag_pos);
-    Ok(IluFactors::new(l, u, exec, "ilu0".into()))
+    Ok(IluFactors::new_probed(l, u, exec, "ilu0".into(), probe))
 }
 
 /// The numeric sweep of ILU(0): returns the factored values overlaid on

@@ -13,6 +13,7 @@
 
 use crate::factors::{IluFactors, TriangularExec};
 use crate::ilu0::{ilu0_values, split_factors};
+use spcg_probe::{Counter, NoProbe, Probe, Span};
 use spcg_sparse::{CsrMatrix, Result, Scalar, SparseError};
 use std::collections::BTreeMap;
 
@@ -110,10 +111,29 @@ pub fn iluk_symbolic_capped<T: Scalar>(
 
 /// Computes the ILU(K) factorization.
 pub fn iluk<T: Scalar>(a: &CsrMatrix<T>, k: usize, exec: TriangularExec) -> Result<IluFactors<T>> {
-    let (filled, _) = iluk_pattern_matrix(a, k)?;
-    let (vals, diag_pos) = ilu0_values(&filled)?;
+    iluk_probed(a, k, exec, &mut NoProbe)
+}
+
+/// [`iluk`] with an observability [`Probe`]: the symbolic + numeric phases
+/// are bracketed in a `Span::Factorize`, level-schedule construction in a
+/// `Span::LevelBuild`, and one `Counter::Factorizations` event is emitted
+/// on success.
+pub fn iluk_probed<T: Scalar, P: Probe>(
+    a: &CsrMatrix<T>,
+    k: usize,
+    exec: TriangularExec,
+    probe: &mut P,
+) -> Result<IluFactors<T>> {
+    probe.span_begin(Span::Factorize);
+    let swept = iluk_pattern_matrix(a, k).and_then(|(filled, _)| {
+        let (vals, diag_pos) = ilu0_values(&filled)?;
+        Ok((filled, vals, diag_pos))
+    });
+    probe.span_end(Span::Factorize);
+    let (filled, vals, diag_pos) = swept?;
+    probe.counter(Counter::Factorizations, 1);
     let (l, u) = split_factors(&filled, &vals, &diag_pos);
-    Ok(IluFactors::new(l, u, exec, format!("iluk({k})")))
+    Ok(IluFactors::new_probed(l, u, exec, format!("iluk({k})"), probe))
 }
 
 /// Materializes `A`'s values on the ILU(K) fill pattern (fill entries start

@@ -26,16 +26,17 @@ pub use block_jacobi::BlockJacobiPreconditioner;
 pub use factors::{IluFactors, TriangularExec};
 pub use ic0::ic0;
 pub use ick::{ick, ick_capped};
-pub use ilu0::ilu0;
+pub use ilu0::{ilu0, ilu0_probed};
 pub use ilu0_par::ilu0_par;
 pub use iluk::{
-    iluk, iluk_pattern_matrix, iluk_pattern_matrix_capped, iluk_symbolic, iluk_symbolic_capped,
-    SymbolicIluk,
+    iluk, iluk_pattern_matrix, iluk_pattern_matrix_capped, iluk_probed, iluk_symbolic,
+    iluk_symbolic_capped, SymbolicIluk,
 };
 pub use jacobi::JacobiPreconditioner;
 pub use mixed::{ilu0_mixed, MixedPrecisionIlu};
 pub use sai::{SaiPattern, SaiPreconditioner};
 pub use shifted::{
-    diag_scale, shifted_factorization, FactorError, FactorKind, ShiftPolicy, ShiftedFactors,
+    diag_scale, shifted_factorization, shifted_factorization_probed, FactorError, FactorKind,
+    ShiftPolicy, ShiftedFactors,
 };
 pub use traits::{IdentityPreconditioner, Preconditioner};

@@ -18,8 +18,9 @@
 
 use crate::factors::{IluFactors, TriangularExec};
 use crate::ic0::ic0;
-use crate::ilu0::ilu0;
-use crate::iluk::iluk;
+use crate::ilu0::ilu0_probed;
+use crate::iluk::iluk_probed;
+use spcg_probe::{Counter, NoProbe, Probe, Span};
 use spcg_sparse::{CsrMatrix, Scalar, SparseError};
 
 /// Which incomplete factorization the shift loop retries.
@@ -160,6 +161,21 @@ pub fn shifted_factorization<T: Scalar>(
     exec: TriangularExec,
     policy: &ShiftPolicy,
 ) -> Result<ShiftedFactors<T>, FactorError> {
+    shifted_factorization_probed(a, kind, exec, policy, &mut NoProbe)
+}
+
+/// [`shifted_factorization`] with an observability [`Probe`]: every retry is
+/// bracketed in a [`Span::ShiftAttempt`] (the inner factorization adds its
+/// own `Factorize`/`LevelBuild` spans for ILU kinds), and the total number
+/// of attempts consumed is reported via [`Counter::ShiftAttempts`] —
+/// whether the loop succeeds or exhausts its budget.
+pub fn shifted_factorization_probed<T: Scalar, P: Probe>(
+    a: &CsrMatrix<T>,
+    kind: FactorKind,
+    exec: TriangularExec,
+    policy: &ShiftPolicy,
+    probe: &mut P,
+) -> Result<ShiftedFactors<T>, FactorError> {
     if !a.is_square() {
         return Err(FactorError::Structural(SparseError::NotSquare {
             n_rows: a.n_rows(),
@@ -175,31 +191,55 @@ pub fn shifted_factorization<T: Scalar>(
     for attempt in 0..attempts {
         let alpha = policy.alpha_for(attempt, scale);
         max_alpha = alpha;
-        let target;
-        let m: &CsrMatrix<T> = if attempt == 0 {
-            a
-        } else {
-            let shift = CsrMatrix::<T>::identity(a.n_rows()).map_values(|v| v * T::from_f64(alpha));
-            target = a.add(&shift).map_err(FactorError::Structural)?;
-            &target
-        };
-        let factored = match kind {
-            FactorKind::Ilu0 => ilu0(m, exec),
-            FactorKind::Iluk(k) => iluk(m, k, exec),
-            FactorKind::Ic0 => ic0(m, exec),
-        };
-        match factored {
+        probe.span_begin(Span::ShiftAttempt);
+        let outcome = shift_attempt(a, kind, exec, alpha, attempt, probe);
+        probe.span_end(Span::ShiftAttempt);
+        match outcome? {
             Ok(factors) => match validate_pivots(&factors, min_pivot) {
-                Ok(()) => return Ok(ShiftedFactors { factors, alpha, attempts: attempt + 1 }),
+                Ok(()) => {
+                    probe.counter(Counter::ShiftAttempts, attempt as u64 + 1);
+                    return Ok(ShiftedFactors { factors, alpha, attempts: attempt + 1 });
+                }
                 Err(row) => last_row = row,
             },
             // A zero/absent diagonal is exactly what the shift repairs;
             // anything else no amount of shifting will fix.
-            Err(SparseError::ZeroDiagonal { row }) => last_row = row,
-            Err(e) => return Err(FactorError::Structural(e)),
+            Err(row) => last_row = row,
         }
     }
+    probe.counter(Counter::ShiftAttempts, attempts as u64);
     Err(FactorError::Breakdown { attempts, max_alpha, row: last_row })
+}
+
+/// One factorization attempt at shift `alpha`. Outer `Err` is structural
+/// (abort the loop); inner `Err(row)` is a repairable zero-diagonal.
+#[allow(clippy::type_complexity)]
+fn shift_attempt<T: Scalar, P: Probe>(
+    a: &CsrMatrix<T>,
+    kind: FactorKind,
+    exec: TriangularExec,
+    alpha: f64,
+    attempt: usize,
+    probe: &mut P,
+) -> Result<Result<IluFactors<T>, usize>, FactorError> {
+    let target;
+    let m: &CsrMatrix<T> = if attempt == 0 {
+        a
+    } else {
+        let shift = CsrMatrix::<T>::identity(a.n_rows()).map_values(|v| v * T::from_f64(alpha));
+        target = a.add(&shift).map_err(FactorError::Structural)?;
+        &target
+    };
+    let factored = match kind {
+        FactorKind::Ilu0 => ilu0_probed(m, exec, probe),
+        FactorKind::Iluk(k) => iluk_probed(m, k, exec, probe),
+        FactorKind::Ic0 => ic0(m, exec),
+    };
+    match factored {
+        Ok(factors) => Ok(Ok(factors)),
+        Err(SparseError::ZeroDiagonal { row }) => Ok(Err(row)),
+        Err(e) => Err(FactorError::Structural(e)),
+    }
 }
 
 /// Checks every U pivot: finite and at least `min_pivot` in magnitude.
@@ -218,6 +258,8 @@ fn validate_pivots<T: Scalar>(factors: &IluFactors<T>, min_pivot: f64) -> Result
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ilu0::ilu0;
+    use crate::iluk::iluk;
     use crate::traits::Preconditioner;
     use spcg_sparse::generators::{banded_spd, poisson_2d};
     use spcg_sparse::CooMatrix;

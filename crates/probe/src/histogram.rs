@@ -1,0 +1,238 @@
+//! Streaming per-phase latency aggregation: [`HistogramProbe`].
+
+use crate::{fmt_ns, Counter, IterationEvent, Probe, RungEvent, Span};
+use std::time::Instant;
+
+/// Latency statistics for one span kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Which phase.
+    pub span: Span,
+    /// Number of completed occurrences.
+    pub count: usize,
+    /// Sum of inclusive durations, in nanoseconds.
+    pub total_ns: u64,
+    /// Median inclusive duration (nearest-rank), in nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile inclusive duration (nearest-rank), in nanoseconds.
+    pub p95_ns: u64,
+    /// Maximum inclusive duration, in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A [`Probe`] sink that keeps per-phase duration samples and counter totals
+/// instead of a full event stream — bounded memory per span kind occurrence,
+/// p50/p95/max on demand.
+#[derive(Debug)]
+pub struct HistogramProbe {
+    epoch: Instant,
+    open: Vec<(Span, u64)>,
+    samples: Vec<(Span, Vec<u64>)>,
+    counters: Vec<(Counter, u64)>,
+    iterations: usize,
+    rungs: usize,
+}
+
+impl HistogramProbe {
+    /// Start aggregating; durations are measured against a monotonic clock.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            open: Vec::new(),
+            samples: Vec::new(),
+            counters: Vec::new(),
+            iterations: 0,
+            rungs: 0,
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Per-phase statistics, ordered by first appearance.
+    pub fn stats(&self) -> Vec<PhaseStats> {
+        self.samples
+            .iter()
+            .map(|(span, durations)| {
+                let mut sorted = durations.clone();
+                sorted.sort_unstable();
+                PhaseStats {
+                    span: *span,
+                    count: sorted.len(),
+                    total_ns: sorted.iter().sum(),
+                    p50_ns: percentile(&sorted, 0.50),
+                    p95_ns: percentile(&sorted, 0.95),
+                    max_ns: sorted.last().copied().unwrap_or(0),
+                }
+            })
+            .collect()
+    }
+
+    /// Accumulated total for one counter.
+    pub fn counter_total(&self, counter: Counter) -> u64 {
+        self.counters.iter().find(|(c, _)| *c == counter).map(|(_, total)| *total).unwrap_or(0)
+    }
+
+    /// Number of iteration events observed (healthy and guard-exit).
+    pub fn iteration_events(&self) -> usize {
+        self.iterations
+    }
+
+    /// Number of recovery-ladder rung events observed.
+    pub fn rung_events(&self) -> usize {
+        self.rungs
+    }
+
+    /// Human-readable latency table: per-phase count/total/p50/p95/max plus
+    /// counter totals.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>7} {:>12} {:>12} {:>12} {:>12}\n",
+            "phase", "count", "total", "p50", "p95", "max"
+        ));
+        for s in self.stats() {
+            out.push_str(&format!(
+                "{:<28} {:>7} {:>12} {:>12} {:>12} {:>12}\n",
+                s.span.label(),
+                s.count,
+                fmt_ns(s.total_ns),
+                fmt_ns(s.p50_ns),
+                fmt_ns(s.p95_ns),
+                fmt_ns(s.max_ns)
+            ));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            for (counter, total) in &self.counters {
+                out.push_str(&format!("  {:<26} {:>20}\n", counter.label(), total));
+            }
+        }
+        out
+    }
+}
+
+impl Default for HistogramProbe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl Probe for HistogramProbe {
+    fn span_begin(&mut self, span: Span) {
+        let t = self.now_ns();
+        self.open.push((span, t));
+    }
+
+    fn span_end(&mut self, span: Span) {
+        let t = self.now_ns();
+        // Close the innermost open occurrence of this span kind; ignore a
+        // mismatched end rather than corrupting other phases.
+        let Some(pos) = self.open.iter().rposition(|(s, _)| *s == span) else {
+            return;
+        };
+        let (_, begin) = self.open.remove(pos);
+        let dur = t.saturating_sub(begin);
+        match self.samples.iter_mut().find(|(s, _)| *s == span) {
+            Some((_, durations)) => durations.push(dur),
+            None => self.samples.push((span, vec![dur])),
+        }
+    }
+
+    fn counter(&mut self, counter: Counter, value: u64) {
+        match self.counters.iter_mut().find(|(c, _)| *c == counter) {
+            Some((_, total)) => *total += value,
+            None => self.counters.push((counter, value)),
+        }
+    }
+
+    fn iteration(&mut self, _event: IterationEvent) {
+        self.iterations += 1;
+    }
+
+    fn rung(&mut self, _event: RungEvent) {
+        self.rungs += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&s, 0.50), 50);
+        assert_eq!(percentile(&s, 0.95), 95);
+        assert_eq!(percentile(&s, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.5), 7);
+    }
+
+    #[test]
+    fn spans_aggregate_per_phase() {
+        let mut p = HistogramProbe::new();
+        for _ in 0..3 {
+            p.span_begin(Span::Spmv);
+            p.span_end(Span::Spmv);
+        }
+        p.span_begin(Span::SolveLoop);
+        p.span_end(Span::SolveLoop);
+        let stats = p.stats();
+        assert_eq!(stats.len(), 2);
+        let spmv = stats.iter().find(|s| s.span == Span::Spmv).unwrap();
+        assert_eq!(spmv.count, 3);
+        assert!(spmv.max_ns >= spmv.p50_ns);
+        assert!(spmv.total_ns >= spmv.max_ns);
+    }
+
+    #[test]
+    fn nested_same_span_closes_innermost() {
+        let mut p = HistogramProbe::new();
+        p.span_begin(Span::Blas);
+        p.span_begin(Span::Blas);
+        p.span_end(Span::Blas);
+        p.span_end(Span::Blas);
+        let stats = p.stats();
+        assert_eq!(stats[0].count, 2);
+        assert!(p.open.is_empty());
+    }
+
+    #[test]
+    fn counters_and_events_accumulate() {
+        let mut p = HistogramProbe::new();
+        p.counter(Counter::Levels, 4);
+        p.counter(Counter::Levels, 2);
+        p.counter(Counter::Syncs, 1);
+        p.iteration(IterationEvent {
+            k: 0,
+            residual: 1.0,
+            alpha: 0.1,
+            beta: 0.2,
+            guard: crate::ProbeStop::Running,
+        });
+        assert_eq!(p.counter_total(Counter::Levels), 6);
+        assert_eq!(p.counter_total(Counter::Syncs), 1);
+        assert_eq!(p.counter_total(Counter::SimBytes), 0);
+        assert_eq!(p.iteration_events(), 1);
+        let table = p.render();
+        assert!(table.contains("levels"));
+    }
+
+    #[test]
+    fn mismatched_end_is_ignored() {
+        let mut p = HistogramProbe::new();
+        p.span_end(Span::Spmv);
+        assert!(p.stats().is_empty());
+    }
+}

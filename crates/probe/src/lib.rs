@@ -1,0 +1,389 @@
+//! Zero-cost observability layer for the SPCG pipeline.
+//!
+//! The pipeline crates (`spcg-solver`, `spcg-precond`, `spcg-wavefront`,
+//! `spcg-core`, `spcg-gpusim`) thread a generic [`Probe`] through their hot
+//! paths. A probe receives:
+//!
+//! - **spans** ([`Span`]) — begin/end pairs bracketing pipeline phases
+//!   (plan build, sparsification, factorization, level-schedule build, the
+//!   PCG loop, per-apply triangular sweeps, …). Sinks take their own
+//!   monotonic timestamps, so a disabled probe pays for *nothing*, not even
+//!   a clock read;
+//! - **counters** ([`Counter`]) — typed integer events (wavefront level
+//!   widths, synchronization counts, factorization tallies, simulated
+//!   bytes/FLOPs/launches);
+//! - **iteration events** ([`IterationEvent`]) — per-PCG-iteration residual,
+//!   `alpha`, `beta`, and the breakdown-guard classification;
+//! - **rung events** ([`RungEvent`]) — recovery-ladder attempt transitions.
+//!
+//! The default sink [`NoProbe`] implements every hook as an empty `#[inline]`
+//! body, so `pcg(…)` and friends monomorphize to exactly the un-instrumented
+//! code: the counting-allocator zero-alloc test and the bitwise-identity
+//! property tests in `spcg-core` run against the probed implementation and
+//! must keep passing unchanged.
+//!
+//! Shipped sinks:
+//!
+//! - [`RecordingProbe`] — appends every event to an in-memory [`RunTrace`]
+//!   (serde-serializable; `spcg --trace out.json` dumps one);
+//! - [`HistogramProbe`] — streaming per-phase latency aggregation with
+//!   p50/p95/max ([`PhaseStats`]);
+//! - `spcg_gpusim::simulated_solve_trace` — builds a *synthetic* [`RunTrace`]
+//!   from the analytic `KernelCost` model so simulated and measured runs
+//!   render through the same phase-table readout ([`render_phase_table`]).
+
+#![warn(missing_docs)]
+
+mod histogram;
+mod recording;
+mod report;
+
+pub use histogram::{HistogramProbe, PhaseStats};
+pub use recording::{RecordingProbe, RunTrace, SpanRecord, TraceEvent};
+pub use report::{fmt_ns, phase_rows, render_phase_table, PhaseRow};
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named pipeline phase bracketed by [`Probe::span_begin`] /
+/// [`Probe::span_end`].
+///
+/// Spans nest: a probe sees `PlanBuild { Sparsify { CandidateEval… },
+/// Factorize, LevelBuild }` during plan construction and
+/// `SolveLoop { Spmv, PrecondApply { TriangularLower, TriangularUpper },
+/// Blas }` during a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Span {
+    /// Whole `SpcgPlan::build` (sparsify + factorize + level build).
+    PlanBuild,
+    /// Algorithm 2 wavefront-aware sparsification (all candidates).
+    Sparsify,
+    /// One Algorithm 2 candidate evaluation (sparsify + indicator + levels).
+    CandidateEval,
+    /// Numeric factorization (ILU(0)/ILU(K)/IC(0) value sweep).
+    Factorize,
+    /// Level-schedule (wavefront) construction for the triangular factors.
+    LevelBuild,
+    /// One shifted-factorization attempt on `A + alpha*I`.
+    ShiftAttempt,
+    /// One recovery-ladder rung (rebuild + solve attempt).
+    LadderAttempt,
+    /// The whole Krylov iteration loop (PCG/CG/Chebyshev).
+    SolveLoop,
+    /// One sparse matrix-vector product inside the loop.
+    Spmv,
+    /// One preconditioner application (`M^{-1} r`).
+    PrecondApply,
+    /// Vector (BLAS-1) work inside the loop: dots, axpys, updates.
+    Blas,
+    /// Lower-triangular sweep of a preconditioner application.
+    TriangularLower,
+    /// Upper-triangular sweep of a preconditioner application.
+    TriangularUpper,
+}
+
+impl Span {
+    /// Short stable label used by the phase-table renderers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Span::PlanBuild => "plan.build",
+            Span::Sparsify => "plan.sparsify",
+            Span::CandidateEval => "plan.sparsify.candidate",
+            Span::Factorize => "plan.factorize",
+            Span::LevelBuild => "plan.level_build",
+            Span::ShiftAttempt => "plan.shift_attempt",
+            Span::LadderAttempt => "recover.ladder_attempt",
+            Span::SolveLoop => "solve.loop",
+            Span::Spmv => "solve.spmv",
+            Span::PrecondApply => "solve.precond",
+            Span::Blas => "solve.blas",
+            Span::TriangularLower => "solve.tri_lower",
+            Span::TriangularUpper => "solve.tri_upper",
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A typed integer event emitted via [`Probe::counter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Counter {
+    /// Number of wavefront levels in a schedule.
+    Levels,
+    /// Rows executed in one wavefront level (one event per level).
+    LevelRows,
+    /// Level-to-level synchronization barriers executed.
+    Syncs,
+    /// Completed numeric factorizations.
+    Factorizations,
+    /// Shifted-factorization attempts consumed.
+    ShiftAttempts,
+    /// Algorithm 2 sparsification candidates evaluated.
+    CandidatesEvaluated,
+    /// Simulated DRAM traffic in bytes (gpusim bridge).
+    SimBytes,
+    /// Simulated floating-point operations (gpusim bridge).
+    SimFlops,
+    /// Simulated kernel launches (gpusim bridge).
+    SimLaunches,
+}
+
+impl Counter {
+    /// Short stable label used by the phase-table renderers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Counter::Levels => "levels",
+            Counter::LevelRows => "level_rows",
+            Counter::Syncs => "syncs",
+            Counter::Factorizations => "factorizations",
+            Counter::ShiftAttempts => "shift_attempts",
+            Counter::CandidatesEvaluated => "candidates_evaluated",
+            Counter::SimBytes => "sim.bytes",
+            Counter::SimFlops => "sim.flops",
+            Counter::SimLaunches => "sim.launches",
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Guard/outcome classification carried by [`IterationEvent`] and
+/// [`RungEvent`]. Mirrors `spcg_solver::StopReason` plus the in-flight
+/// `Running` state and the ladder-only `Skipped` state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProbeStop {
+    /// The iteration completed normally; the loop continues.
+    Running,
+    /// Residual dropped below the convergence threshold.
+    Converged,
+    /// Iteration budget exhausted without convergence.
+    MaxIterations,
+    /// A non-finite value was detected.
+    Nan,
+    /// Curvature/indefiniteness breakdown (`p'Ap <= 0` or `r'z <= 0`).
+    Indefinite,
+    /// Residual exceeded the divergence limit.
+    Divergence,
+    /// Residual stopped improving over the stagnation window.
+    Stagnation,
+    /// A recovery-ladder rung could not be built and was skipped.
+    Skipped,
+}
+
+/// Which kind of recovery-ladder rung a [`RungEvent`] describes. Mirrors
+/// `spcg_core::FallbackRung` without its payloads (those travel in
+/// [`RungEvent::ratio`] / [`RungEvent::shift`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RungKind {
+    /// The originally planned preconditioner.
+    Planned,
+    /// Re-sparsified at a milder ratio.
+    Resparsify,
+    /// Unsparsified operator.
+    Unsparsified,
+    /// Shifted factorization on `A + alpha*I`.
+    Shifted,
+    /// Jacobi (diagonal) last resort.
+    Jacobi,
+}
+
+/// One PCG/CG/Chebyshev iteration as seen by the runtime guards.
+///
+/// Emitted once per completed iteration with `guard == Running`, and once
+/// more when a guard fires (convergence, breakdown, budget) with the firing
+/// classification. Non-finite floats are sanitized to `0.0` by the shipped
+/// sinks so traces stay JSON-round-trippable; the `guard` field preserves
+/// the NaN classification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationEvent {
+    /// Iteration index (0-based).
+    pub k: usize,
+    /// Residual 2-norm at the top of iteration `k`.
+    pub residual: f64,
+    /// Step length `alpha` (0.0 on guard-exit events).
+    pub alpha: f64,
+    /// Direction update `beta` (0.0 on guard-exit events).
+    pub beta: f64,
+    /// Guard classification: `Running` for a healthy iteration, otherwise
+    /// the reason the loop stopped at this iteration.
+    pub guard: ProbeStop,
+}
+
+/// One recovery-ladder rung attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RungEvent {
+    /// Ladder position (0-based).
+    pub attempt: usize,
+    /// Which rung was attempted.
+    pub rung: RungKind,
+    /// Sparsification ratio for `Resparsify` rungs, `0.0` otherwise.
+    pub ratio: f64,
+    /// Diagonal shift `alpha` applied by the rung's factorization
+    /// (`0.0` when unshifted).
+    pub shift: f64,
+    /// Outcome: the solve's stop classification, or `Skipped` when the
+    /// rung's preconditioner could not be built.
+    pub outcome: ProbeStop,
+}
+
+/// Observability hook threaded through the SPCG pipeline.
+///
+/// Every method has an empty `#[inline]` default, so a probe only overrides
+/// what it cares about and [`NoProbe`] monomorphizes to the un-instrumented
+/// code. Sinks that need timestamps take them themselves (monotonic
+/// [`std::time::Instant`]); the instrumented code never reads a clock on
+/// behalf of the probe.
+pub trait Probe {
+    /// `false` only for [`NoProbe`]-like sinks; lets call sites skip work
+    /// that exists purely to feed the probe (e.g. building a synthetic
+    /// event from derived quantities).
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// A pipeline phase begins. Calls nest and are balanced by
+    /// [`Probe::span_end`] with the same [`Span`] on every exit path.
+    #[inline]
+    fn span_begin(&mut self, span: Span) {
+        let _ = span;
+    }
+
+    /// The innermost open phase of this kind ends.
+    #[inline]
+    fn span_end(&mut self, span: Span) {
+        let _ = span;
+    }
+
+    /// A typed counter event; `value` accumulates across events.
+    #[inline]
+    fn counter(&mut self, counter: Counter, value: u64) {
+        let _ = (counter, value);
+    }
+
+    /// One solver iteration completed or stopped (see [`IterationEvent`]).
+    #[inline]
+    fn iteration(&mut self, event: IterationEvent) {
+        let _ = event;
+    }
+
+    /// One recovery-ladder rung was attempted (see [`RungEvent`]).
+    #[inline]
+    fn rung(&mut self, event: RungEvent) {
+        let _ = event;
+    }
+}
+
+/// The zero-cost default probe: every hook is a no-op and the optimizer
+/// erases the instrumentation entirely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+impl<P: Probe + ?Sized> Probe for &mut P {
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        (**self).is_enabled()
+    }
+    #[inline]
+    fn span_begin(&mut self, span: Span) {
+        (**self).span_begin(span);
+    }
+    #[inline]
+    fn span_end(&mut self, span: Span) {
+        (**self).span_end(span);
+    }
+    #[inline]
+    fn counter(&mut self, counter: Counter, value: u64) {
+        (**self).counter(counter, value);
+    }
+    #[inline]
+    fn iteration(&mut self, event: IterationEvent) {
+        (**self).iteration(event);
+    }
+    #[inline]
+    fn rung(&mut self, event: RungEvent) {
+        (**self).rung(event);
+    }
+}
+
+/// Replace non-finite floats with `0.0` so recorded traces serialize to
+/// strict JSON and round-trip bit-exactly (the shimmed `serde_json` writes
+/// `null` for NaN/inf, which would not re-parse as a float).
+#[inline]
+pub(crate) fn clean_f64(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noprobe_is_disabled_and_inert() {
+        let mut p = NoProbe;
+        assert!(!p.is_enabled());
+        p.span_begin(Span::SolveLoop);
+        p.counter(Counter::Levels, 3);
+        p.iteration(IterationEvent {
+            k: 0,
+            residual: 1.0,
+            alpha: 0.5,
+            beta: 0.1,
+            guard: ProbeStop::Running,
+        });
+        p.rung(RungEvent {
+            attempt: 0,
+            rung: RungKind::Planned,
+            ratio: 0.0,
+            shift: 0.0,
+            outcome: ProbeStop::Converged,
+        });
+        p.span_end(Span::SolveLoop);
+    }
+
+    #[test]
+    fn mut_ref_delegates() {
+        fn poke<P: Probe>(mut p: P) -> bool {
+            p.span_begin(Span::Spmv);
+            p.span_end(Span::Spmv);
+            p.is_enabled()
+        }
+        let mut rec = RecordingProbe::new();
+        assert!(poke(&mut rec));
+        assert_eq!(rec.trace().events.len(), 2);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Span::SolveLoop.label(), "solve.loop");
+        assert_eq!(Counter::SimBytes.label(), "sim.bytes");
+        assert_eq!(format!("{}", Span::Spmv), "solve.spmv");
+        assert_eq!(format!("{}", Counter::Syncs), "syncs");
+    }
+
+    #[test]
+    fn clean_f64_sanitizes() {
+        assert_eq!(clean_f64(1.5), 1.5);
+        assert_eq!(clean_f64(f64::NAN), 0.0);
+        assert_eq!(clean_f64(f64::INFINITY), 0.0);
+    }
+}

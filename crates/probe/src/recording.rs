@@ -1,0 +1,403 @@
+//! In-memory structured trace recording: [`RecordingProbe`] and [`RunTrace`].
+
+use crate::{clean_f64, Counter, IterationEvent, Probe, ProbeStop, RungEvent, Span};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One timestamped entry in a [`RunTrace`]. Timestamps are nanoseconds
+/// relative to the recording probe's creation (or synthetic time for
+/// gpusim-bridged traces), monotonically non-decreasing in event order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A span opened.
+    SpanBegin {
+        /// The phase that opened.
+        span: Span,
+        /// Timestamp in nanoseconds since trace start.
+        t_ns: u64,
+    },
+    /// The innermost open span of this kind closed.
+    SpanEnd {
+        /// The phase that closed.
+        span: Span,
+        /// Timestamp in nanoseconds since trace start.
+        t_ns: u64,
+    },
+    /// A typed counter event.
+    Count {
+        /// Which counter.
+        counter: Counter,
+        /// Amount added by this event.
+        value: u64,
+        /// Timestamp in nanoseconds since trace start.
+        t_ns: u64,
+    },
+    /// A solver iteration event.
+    Iteration {
+        /// The iteration payload.
+        event: IterationEvent,
+        /// Timestamp in nanoseconds since trace start.
+        t_ns: u64,
+    },
+    /// A recovery-ladder rung event.
+    Rung {
+        /// The rung payload.
+        event: RungEvent,
+        /// Timestamp in nanoseconds since trace start.
+        t_ns: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Timestamp of this event in nanoseconds since trace start.
+    pub fn t_ns(&self) -> u64 {
+        match self {
+            TraceEvent::SpanBegin { t_ns, .. }
+            | TraceEvent::SpanEnd { t_ns, .. }
+            | TraceEvent::Count { t_ns, .. }
+            | TraceEvent::Iteration { t_ns, .. }
+            | TraceEvent::Rung { t_ns, .. } => *t_ns,
+        }
+    }
+}
+
+/// A matched span occurrence extracted from a [`RunTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Which phase.
+    pub span: Span,
+    /// Begin timestamp (ns since trace start).
+    pub start_ns: u64,
+    /// End timestamp (ns since trace start).
+    pub end_ns: u64,
+    /// Nesting depth at begin time (0 = top level).
+    pub depth: usize,
+}
+
+impl SpanRecord {
+    /// Inclusive duration of this occurrence in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// A structured, serializable run trace: the ordered event stream captured
+/// by a [`RecordingProbe`] (or synthesized by the gpusim bridge).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// Ordered, timestamped events.
+    pub events: Vec<TraceEvent>,
+}
+
+impl RunTrace {
+    /// An empty trace (useful for synthetic construction via [`Self::push`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a raw event. Synthetic producers (the gpusim bridge) use this
+    /// to build traces with model-derived timestamps.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Extract matched span occurrences in begin order.
+    ///
+    /// Returns an error if an end event closes a span kind that is not the
+    /// innermost open one, if an end arrives with no open span, or if spans
+    /// remain open at the end of the trace.
+    pub fn span_records(&self) -> Result<Vec<SpanRecord>, String> {
+        let mut stack: Vec<(Span, u64, usize)> = Vec::new();
+        let mut out: Vec<SpanRecord> = Vec::new();
+        for ev in &self.events {
+            match ev {
+                TraceEvent::SpanBegin { span, t_ns } => {
+                    let idx = out.len();
+                    out.push(SpanRecord {
+                        span: *span,
+                        start_ns: *t_ns,
+                        end_ns: *t_ns,
+                        depth: stack.len(),
+                    });
+                    stack.push((*span, *t_ns, idx));
+                }
+                TraceEvent::SpanEnd { span, t_ns } => {
+                    let Some((open, start, idx)) = stack.pop() else {
+                        return Err(format!("span_end({span}) with no open span"));
+                    };
+                    if open != *span {
+                        return Err(format!("span_end({span}) closes open span {open}"));
+                    }
+                    if *t_ns < start {
+                        return Err(format!("span {span} ends before it begins"));
+                    }
+                    out[idx].end_ns = *t_ns;
+                }
+                _ => {}
+            }
+        }
+        if let Some((open, _, _)) = stack.last() {
+            return Err(format!("span {open} never closed"));
+        }
+        Ok(out)
+    }
+
+    /// Validate span pairing/nesting and timestamp monotonicity.
+    pub fn validate_nesting(&self) -> Result<(), String> {
+        let mut prev = 0u64;
+        for ev in &self.events {
+            let t = ev.t_ns();
+            if t < prev {
+                return Err(format!("timestamps regress: {t} after {prev}"));
+            }
+            prev = t;
+        }
+        self.span_records().map(|_| ())
+    }
+
+    /// Fraction of total trace wall time accounted to top-level (depth 0)
+    /// spans. `1.0` for an empty or instantaneous trace.
+    pub fn coverage(&self) -> f64 {
+        let Ok(records) = self.span_records() else {
+            return 0.0;
+        };
+        let (Some(first), Some(last)) = (self.events.first(), self.events.last()) else {
+            return 1.0;
+        };
+        let wall = last.t_ns().saturating_sub(first.t_ns());
+        if wall == 0 {
+            return 1.0;
+        }
+        let covered: u64 =
+            records.iter().filter(|r| r.depth == 0).map(SpanRecord::duration_ns).sum();
+        covered as f64 / wall as f64
+    }
+
+    /// Number of healthy (guard == `Running`) solver iterations recorded.
+    /// Matches `SolveResult::iterations` for a solve recorded end to end.
+    pub fn iterations(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|ev| {
+                matches!(
+                    ev,
+                    TraceEvent::Iteration { event, .. } if event.guard == ProbeStop::Running
+                )
+            })
+            .count()
+    }
+
+    /// Sum of all events for one counter.
+    pub fn counter_total(&self, counter: Counter) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::Count { counter: c, value, .. } if *c == counter => Some(*value),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Human-readable phase table (see [`crate::render_phase_table`]).
+    pub fn phase_table(&self) -> String {
+        crate::render_phase_table(self)
+    }
+}
+
+/// A [`Probe`] sink that appends every event to an in-memory [`RunTrace`],
+/// timestamped against a monotonic clock captured at construction.
+#[derive(Debug)]
+pub struct RecordingProbe {
+    epoch: Instant,
+    trace: RunTrace,
+}
+
+impl RecordingProbe {
+    /// Start recording; timestamps are relative to this call.
+    pub fn new() -> Self {
+        Self { epoch: Instant::now(), trace: RunTrace::new() }
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &RunTrace {
+        &self.trace
+    }
+
+    /// Consume the probe and return the recorded trace.
+    pub fn finish(self) -> RunTrace {
+        self.trace
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+impl Default for RecordingProbe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Probe for RecordingProbe {
+    fn span_begin(&mut self, span: Span) {
+        let t_ns = self.now_ns();
+        self.trace.push(TraceEvent::SpanBegin { span, t_ns });
+    }
+
+    fn span_end(&mut self, span: Span) {
+        let t_ns = self.now_ns();
+        self.trace.push(TraceEvent::SpanEnd { span, t_ns });
+    }
+
+    fn counter(&mut self, counter: Counter, value: u64) {
+        let t_ns = self.now_ns();
+        self.trace.push(TraceEvent::Count { counter, value, t_ns });
+    }
+
+    fn iteration(&mut self, event: IterationEvent) {
+        let t_ns = self.now_ns();
+        let event = IterationEvent {
+            residual: clean_f64(event.residual),
+            alpha: clean_f64(event.alpha),
+            beta: clean_f64(event.beta),
+            ..event
+        };
+        self.trace.push(TraceEvent::Iteration { event, t_ns });
+    }
+
+    fn rung(&mut self, event: RungEvent) {
+        let t_ns = self.now_ns();
+        let event =
+            RungEvent { ratio: clean_f64(event.ratio), shift: clean_f64(event.shift), ..event };
+        self.trace.push(TraceEvent::Rung { event, t_ns });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RungKind;
+
+    fn synthetic() -> RunTrace {
+        let mut t = RunTrace::new();
+        t.push(TraceEvent::SpanBegin { span: Span::SolveLoop, t_ns: 0 });
+        t.push(TraceEvent::SpanBegin { span: Span::Spmv, t_ns: 10 });
+        t.push(TraceEvent::Count { counter: Counter::SimBytes, value: 64, t_ns: 15 });
+        t.push(TraceEvent::SpanEnd { span: Span::Spmv, t_ns: 40 });
+        t.push(TraceEvent::Iteration {
+            event: IterationEvent {
+                k: 0,
+                residual: 1.0,
+                alpha: 0.5,
+                beta: 0.2,
+                guard: ProbeStop::Running,
+            },
+            t_ns: 45,
+        });
+        t.push(TraceEvent::Iteration {
+            event: IterationEvent {
+                k: 1,
+                residual: 1e-9,
+                alpha: 0.0,
+                beta: 0.0,
+                guard: ProbeStop::Converged,
+            },
+            t_ns: 50,
+        });
+        t.push(TraceEvent::SpanEnd { span: Span::SolveLoop, t_ns: 100 });
+        t
+    }
+
+    #[test]
+    fn span_records_pair_and_nest() {
+        let t = synthetic();
+        let records = t.span_records().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].span, Span::SolveLoop);
+        assert_eq!(records[0].depth, 0);
+        assert_eq!(records[0].duration_ns(), 100);
+        assert_eq!(records[1].span, Span::Spmv);
+        assert_eq!(records[1].depth, 1);
+        assert_eq!(records[1].duration_ns(), 30);
+        t.validate_nesting().unwrap();
+    }
+
+    #[test]
+    fn unbalanced_traces_are_rejected() {
+        let mut t = RunTrace::new();
+        t.push(TraceEvent::SpanBegin { span: Span::Spmv, t_ns: 0 });
+        assert!(t.validate_nesting().is_err());
+
+        let mut t = RunTrace::new();
+        t.push(TraceEvent::SpanEnd { span: Span::Spmv, t_ns: 0 });
+        assert!(t.validate_nesting().is_err());
+
+        let mut t = RunTrace::new();
+        t.push(TraceEvent::SpanBegin { span: Span::Spmv, t_ns: 0 });
+        t.push(TraceEvent::SpanEnd { span: Span::Blas, t_ns: 1 });
+        assert!(t.validate_nesting().is_err());
+    }
+
+    #[test]
+    fn coverage_counts_top_level_spans() {
+        let t = synthetic();
+        assert!((t.coverage() - 1.0).abs() < 1e-12);
+        assert_eq!(RunTrace::new().coverage(), 1.0);
+    }
+
+    #[test]
+    fn iteration_and_counter_accounting() {
+        let t = synthetic();
+        assert_eq!(t.iterations(), 1);
+        assert_eq!(t.counter_total(Counter::SimBytes), 64);
+        assert_eq!(t.counter_total(Counter::Levels), 0);
+    }
+
+    #[test]
+    fn run_trace_round_trips_through_json() {
+        let t = synthetic();
+        let json = serde_json::to_string_pretty(&t).unwrap();
+        let back: RunTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn recording_probe_orders_and_sanitizes() {
+        let mut p = RecordingProbe::new();
+        p.span_begin(Span::SolveLoop);
+        p.iteration(IterationEvent {
+            k: 0,
+            residual: f64::NAN,
+            alpha: f64::INFINITY,
+            beta: 0.5,
+            guard: ProbeStop::Nan,
+        });
+        p.rung(RungEvent {
+            attempt: 1,
+            rung: RungKind::Shifted,
+            ratio: 0.0,
+            shift: f64::NAN,
+            outcome: ProbeStop::Converged,
+        });
+        p.span_end(Span::SolveLoop);
+        let t = p.finish();
+        t.validate_nesting().unwrap();
+        match &t.events[1] {
+            TraceEvent::Iteration { event, .. } => {
+                assert_eq!(event.residual, 0.0);
+                assert_eq!(event.alpha, 0.0);
+                assert_eq!(event.beta, 0.5);
+                assert_eq!(event.guard, ProbeStop::Nan);
+            }
+            other => panic!("expected iteration event, got {other:?}"),
+        }
+        match &t.events[2] {
+            TraceEvent::Rung { event, .. } => {
+                assert_eq!(event.shift, 0.0);
+                assert_eq!(event.rung, RungKind::Shifted);
+            }
+            other => panic!("expected rung event, got {other:?}"),
+        }
+    }
+}

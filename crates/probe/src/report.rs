@@ -1,0 +1,163 @@
+//! Phase-table rendering shared by measured ([`RecordingProbe`]) and
+//! simulated (gpusim bridge) traces.
+//!
+//! [`RecordingProbe`]: crate::RecordingProbe
+
+use crate::{Counter, RunTrace, Span, TraceEvent};
+
+/// Aggregated timing for one span kind across a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Which phase.
+    pub span: Span,
+    /// Number of occurrences.
+    pub calls: usize,
+    /// Total time including child spans, in nanoseconds.
+    pub inclusive_ns: u64,
+    /// Total time excluding child spans, in nanoseconds.
+    pub exclusive_ns: u64,
+}
+
+/// Aggregate a trace's span events into per-phase rows, ordered by first
+/// appearance. Unbalanced span events are skipped rather than reported.
+pub fn phase_rows(trace: &RunTrace) -> Vec<PhaseRow> {
+    let mut rows: Vec<PhaseRow> = Vec::new();
+    // (span, begin_ns, child_ns)
+    let mut stack: Vec<(Span, u64, u64)> = Vec::new();
+    for ev in &trace.events {
+        match ev {
+            TraceEvent::SpanBegin { span, t_ns } => {
+                if !rows.iter().any(|r| r.span == *span) {
+                    rows.push(PhaseRow { span: *span, calls: 0, inclusive_ns: 0, exclusive_ns: 0 });
+                }
+                stack.push((*span, *t_ns, 0));
+            }
+            TraceEvent::SpanEnd { span, t_ns } => {
+                let Some((open, begin, child_ns)) = stack.pop() else { continue };
+                if open != *span {
+                    stack.push((open, begin, child_ns));
+                    continue;
+                }
+                let dur = t_ns.saturating_sub(begin);
+                let row = rows.iter_mut().find(|r| r.span == *span).expect("row exists");
+                row.calls += 1;
+                row.inclusive_ns += dur;
+                row.exclusive_ns += dur.saturating_sub(child_ns);
+                if let Some(parent) = stack.last_mut() {
+                    parent.2 += dur;
+                }
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// Format a nanosecond duration with an adaptive unit (`ns`, `us`, `ms`, `s`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Render the human-readable phase table for a trace: one row per span kind
+/// (calls, inclusive/exclusive time, share of wall time attributed
+/// exclusively to that phase), followed by counter totals. The same
+/// renderer serves measured and gpusim-simulated traces.
+pub fn render_phase_table(trace: &RunTrace) -> String {
+    let rows = phase_rows(trace);
+    let wall = match (trace.events.first(), trace.events.last()) {
+        (Some(first), Some(last)) => last.t_ns().saturating_sub(first.t_ns()),
+        _ => 0,
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>7} {:>12} {:>12} {:>8}\n",
+        "phase", "calls", "inclusive", "exclusive", "% wall"
+    ));
+    for row in &rows {
+        let pct = if wall == 0 { 0.0 } else { 100.0 * row.exclusive_ns as f64 / wall as f64 };
+        out.push_str(&format!(
+            "{:<28} {:>7} {:>12} {:>12} {:>7.1}%\n",
+            row.span.label(),
+            row.calls,
+            fmt_ns(row.inclusive_ns),
+            fmt_ns(row.exclusive_ns),
+            pct
+        ));
+    }
+    let mut counters: Vec<(Counter, u64)> = Vec::new();
+    for ev in &trace.events {
+        if let TraceEvent::Count { counter, value, .. } = ev {
+            match counters.iter_mut().find(|(c, _)| c == counter) {
+                Some((_, total)) => *total += value,
+                None => counters.push((*counter, *value)),
+            }
+        }
+    }
+    if !counters.is_empty() {
+        out.push_str("counters\n");
+        for (counter, total) in &counters {
+            out.push_str(&format!("  {:<26} {:>20}\n", counter.label(), total));
+        }
+    }
+    let iters = trace.iterations();
+    if iters > 0 {
+        out.push_str(&format!("  {:<26} {:>20}\n", "iterations", iters));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nested() -> RunTrace {
+        let mut t = RunTrace::new();
+        t.push(TraceEvent::SpanBegin { span: Span::SolveLoop, t_ns: 0 });
+        t.push(TraceEvent::SpanBegin { span: Span::Spmv, t_ns: 100 });
+        t.push(TraceEvent::SpanEnd { span: Span::Spmv, t_ns: 400 });
+        t.push(TraceEvent::SpanBegin { span: Span::Spmv, t_ns: 500 });
+        t.push(TraceEvent::SpanEnd { span: Span::Spmv, t_ns: 700 });
+        t.push(TraceEvent::Count { counter: Counter::SimFlops, value: 9, t_ns: 800 });
+        t.push(TraceEvent::SpanEnd { span: Span::SolveLoop, t_ns: 1000 });
+        t
+    }
+
+    #[test]
+    fn rows_split_inclusive_and_exclusive() {
+        let rows = phase_rows(&nested());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].span, Span::SolveLoop);
+        assert_eq!(rows[0].calls, 1);
+        assert_eq!(rows[0].inclusive_ns, 1000);
+        assert_eq!(rows[0].exclusive_ns, 500);
+        assert_eq!(rows[1].span, Span::Spmv);
+        assert_eq!(rows[1].calls, 2);
+        assert_eq!(rows[1].inclusive_ns, 500);
+        assert_eq!(rows[1].exclusive_ns, 500);
+    }
+
+    #[test]
+    fn table_renders_rows_and_counters() {
+        let table = render_phase_table(&nested());
+        assert!(table.contains("solve.loop"));
+        assert!(table.contains("solve.spmv"));
+        assert!(table.contains("sim.flops"));
+        assert!(table.contains("50.0%"));
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(25_000), "25.00 us");
+        assert_eq!(fmt_ns(25_000_000), "25.00 ms");
+        assert_eq!(fmt_ns(25_000_000_000), "25.00 s");
+    }
+}

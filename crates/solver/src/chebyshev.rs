@@ -10,6 +10,7 @@
 use crate::config::SolverConfig;
 use crate::status::{BreakdownKind, PhaseTimings, SolveResult, StopReason};
 use spcg_precond::Preconditioner;
+use spcg_probe::{IterationEvent, NoProbe, Probe, ProbeStop, Span};
 use spcg_sparse::blas::{has_bad, norm2};
 use spcg_sparse::spmv::spmv;
 use spcg_sparse::{CsrMatrix, Scalar};
@@ -25,6 +26,23 @@ pub fn chebyshev<T: Scalar, M: Preconditioner<T> + ?Sized>(
     lambda_max: f64,
     config: &SolverConfig,
 ) -> SolveResult<T> {
+    chebyshev_probed(a, m, b, lambda_min, lambda_max, config, &mut NoProbe)
+}
+
+/// [`chebyshev`] with an observability [`Probe`]: one [`Span::SolveLoop`]
+/// around the recurrence, [`Span::PrecondApply`]/[`Span::Spmv`] per
+/// iteration, and one [`IterationEvent`] per step (guard classification on
+/// the stopping step). With [`NoProbe`] this monomorphizes to exactly
+/// [`chebyshev`].
+pub fn chebyshev_probed<T: Scalar, M: Preconditioner<T> + ?Sized, P: Probe>(
+    a: &CsrMatrix<T>,
+    m: &M,
+    b: &[T],
+    lambda_min: f64,
+    lambda_max: f64,
+    config: &SolverConfig,
+    probe: &mut P,
+) -> SolveResult<T> {
     assert!(a.is_square(), "Chebyshev requires a square matrix");
     assert!(lambda_max > lambda_min && lambda_min > 0.0, "need 0 < lambda_min < lambda_max");
     let n = a.n_rows();
@@ -32,6 +50,7 @@ pub fn chebyshev<T: Scalar, M: Preconditioner<T> + ?Sized>(
 
     let mut timings = PhaseTimings::default();
     let start = Instant::now();
+    probe.span_begin(Span::SolveLoop);
 
     let theta = (lambda_max + lambda_min) / 2.0;
     let delta = (lambda_max - lambda_min) / 2.0;
@@ -56,15 +75,31 @@ pub fn chebyshev<T: Scalar, M: Preconditioner<T> + ?Sized>(
         }
         if !r_norm.is_finite() || has_bad(&r) {
             stop = StopReason::Breakdown(BreakdownKind::Nan);
+            probe.iteration(IterationEvent {
+                k,
+                residual: r_norm,
+                alpha: 0.0,
+                beta: 0.0,
+                guard: ProbeStop::Nan,
+            });
             break;
         }
         if r_norm < threshold {
             stop = StopReason::Converged;
+            probe.iteration(IterationEvent {
+                k,
+                residual: r_norm,
+                alpha: 0.0,
+                beta: 0.0,
+                guard: ProbeStop::Converged,
+            });
             break;
         }
 
         let t = Instant::now();
+        probe.span_begin(Span::PrecondApply);
         m.apply(&r, &mut z);
+        probe.span_end(Span::PrecondApply);
         timings.precond += t.elapsed();
 
         // Chebyshev recurrence (Saad, "Iterative Methods", Alg. 12.1).
@@ -85,13 +120,23 @@ pub fn chebyshev<T: Scalar, M: Preconditioner<T> + ?Sized>(
         }
 
         let t = Instant::now();
+        probe.span_begin(Span::Spmv);
         spmv(a, &p, &mut ap);
+        probe.span_end(Span::Spmv);
         timings.spmv += t.elapsed();
         for i in 0..n {
             r[i] -= at * ap[i];
         }
+        probe.iteration(IterationEvent {
+            k,
+            residual: r_norm,
+            alpha,
+            beta,
+            guard: ProbeStop::Running,
+        });
         iterations += 1;
     }
+    probe.span_end(Span::SolveLoop);
 
     let final_residual = norm2(&r).to_f64();
     if stop == StopReason::MaxIterations && final_residual < threshold {

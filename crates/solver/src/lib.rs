@@ -16,14 +16,14 @@ pub mod pcg;
 pub mod status;
 pub mod workspace;
 
-pub use cg::cg;
-pub use chebyshev::chebyshev;
+pub use cg::{cg, cg_probed};
+pub use chebyshev::{chebyshev, chebyshev_probed};
 pub use config::{SolverConfig, ToleranceMode};
 pub use error::SolverError;
 pub use fault::SolveFault;
 pub use pcg::{
-    pcg, pcg_in_place, pcg_in_place_faulted, pcg_iteration_flops, pcg_with_workspace,
-    pcg_with_workspace_faulted,
+    pcg, pcg_in_place, pcg_in_place_faulted, pcg_in_place_probed, pcg_iteration_flops,
+    pcg_with_workspace, pcg_with_workspace_faulted, pcg_with_workspace_probed,
 };
 pub use status::{BreakdownKind, PhaseTimings, SolveResult, StopReason};
 pub use workspace::{SolveStats, SolveWorkspace};

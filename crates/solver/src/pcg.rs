@@ -14,6 +14,7 @@ use crate::fault::SolveFault;
 use crate::status::{BreakdownKind, PhaseTimings, SolveResult, StopReason};
 use crate::workspace::{SolveStats, SolveWorkspace};
 use spcg_precond::Preconditioner;
+use spcg_probe::{IterationEvent, NoProbe, Probe, ProbeStop, Span};
 use spcg_sparse::blas::{axpy, copy, dot, has_bad, norm2, xpby};
 use spcg_sparse::spmv::spmv;
 use spcg_sparse::{CsrMatrix, Scalar};
@@ -73,7 +74,24 @@ pub fn pcg_with_workspace_faulted<T: Scalar, M: Preconditioner<T> + ?Sized>(
     fault: Option<SolveFault>,
     ws: &mut SolveWorkspace<T>,
 ) -> Result<SolveResult<T>, SolverError> {
-    let stats = pcg_in_place_faulted(a, m, b, config, fault, ws)?;
+    pcg_with_workspace_probed(a, m, b, config, fault, ws, &mut NoProbe)
+}
+
+/// [`pcg_with_workspace_faulted`] with an observability [`Probe`] receiving
+/// spans, per-iteration events, and guard classifications. With
+/// [`NoProbe`] this monomorphizes to exactly [`pcg_with_workspace_faulted`];
+/// with any probe the numeric trajectory is bitwise identical — probes
+/// observe, they never perturb.
+pub fn pcg_with_workspace_probed<T: Scalar, M: Preconditioner<T> + ?Sized, P: Probe>(
+    a: &CsrMatrix<T>,
+    m: &M,
+    b: &[T],
+    config: &SolverConfig,
+    fault: Option<SolveFault>,
+    ws: &mut SolveWorkspace<T>,
+    probe: &mut P,
+) -> Result<SolveResult<T>, SolverError> {
+    let stats = pcg_in_place_probed(a, m, b, config, fault, ws, probe)?;
     Ok(SolveResult {
         x: ws.solution().to_vec(),
         iterations: stats.iterations,
@@ -128,6 +146,40 @@ pub fn pcg_in_place_faulted<T: Scalar, M: Preconditioner<T> + ?Sized>(
     fault: Option<SolveFault>,
     ws: &mut SolveWorkspace<T>,
 ) -> Result<SolveStats, SolverError> {
+    pcg_in_place_probed(a, m, b, config, fault, ws, &mut NoProbe)
+}
+
+/// Build a per-iteration probe event; `#[inline]` so that with [`NoProbe`]
+/// the construction is dead code and vanishes entirely.
+#[inline]
+fn iter_event(k: usize, residual: f64, alpha: f64, beta: f64, guard: ProbeStop) -> IterationEvent {
+    IterationEvent { k, residual, alpha, beta, guard }
+}
+
+/// The fully instrumented PCG hot path: [`pcg_in_place_faulted`] plus an
+/// observability [`Probe`].
+///
+/// Span structure per solve: one [`Span::SolveLoop`] wrapping the whole
+/// loop; inside each iteration a [`Span::Spmv`], two [`Span::Blas`] blocks
+/// (α/update and β/update), and [`Span::PrecondApply`] around every
+/// preconditioner application (including the initial `z0 = M⁻¹ r0`). Every
+/// iteration emits one [`IterationEvent`]: `guard == Running` for a healthy
+/// step (so the count of `Running` events always equals
+/// [`SolveStats::iterations`]), or the firing guard's classification on the
+/// stopping step.
+///
+/// With [`NoProbe`] every hook is an empty inlined body: the loop compiles
+/// to the un-instrumented code, preserving the zero-allocation guarantee
+/// and bitwise-identical trajectories.
+pub fn pcg_in_place_probed<T: Scalar, M: Preconditioner<T> + ?Sized, P: Probe>(
+    a: &CsrMatrix<T>,
+    m: &M,
+    b: &[T],
+    config: &SolverConfig,
+    fault: Option<SolveFault>,
+    ws: &mut SolveWorkspace<T>,
+    probe: &mut P,
+) -> Result<SolveStats, SolverError> {
     if !a.is_square() {
         return Err(SolverError::NotSquare { n_rows: a.n_rows(), n_cols: a.n_cols() });
     }
@@ -152,6 +204,7 @@ pub fn pcg_in_place_faulted<T: Scalar, M: Preconditioner<T> + ?Sized>(
 
     let mut timings = PhaseTimings::default();
     let loop_start = Instant::now();
+    probe.span_begin(Span::SolveLoop);
 
     // x0 = 0, r0 = b - A x0 = b (line 1-2)
     x.fill(T::ZERO);
@@ -167,7 +220,9 @@ pub fn pcg_in_place_faulted<T: Scalar, M: Preconditioner<T> + ?Sized>(
 
     // z0 = M⁻¹ r0, p0 = z0 (lines 3-4)
     let t = Instant::now();
+    probe.span_begin(Span::PrecondApply);
     m.apply_with_scratch(r, z, scratch);
+    probe.span_end(Span::PrecondApply);
     timings.precond += t.elapsed();
     copy(z, p);
     let mut rz = dot(r, z).to_f64();
@@ -191,14 +246,17 @@ pub fn pcg_in_place_faulted<T: Scalar, M: Preconditioner<T> + ?Sized>(
         }
         if !r_norm.is_finite() || has_bad(r) {
             stop = StopReason::Breakdown(BreakdownKind::Nan);
+            probe.iteration(iter_event(k, r_norm, 0.0, 0.0, ProbeStop::Nan));
             break;
         }
         if r_norm < threshold {
             stop = StopReason::Converged;
+            probe.iteration(iter_event(k, r_norm, 0.0, 0.0, ProbeStop::Converged));
             break;
         }
         if r_norm > divergence_limit {
             stop = StopReason::Breakdown(BreakdownKind::Divergence);
+            probe.iteration(iter_event(k, r_norm, 0.0, 0.0, ProbeStop::Divergence));
             break;
         }
         if config.stagnation_window > 0 {
@@ -213,6 +271,7 @@ pub fn pcg_in_place_faulted<T: Scalar, M: Preconditioner<T> + ?Sized>(
                 iters_since_best += 1;
                 if iters_since_best >= config.stagnation_window {
                     stop = StopReason::Breakdown(BreakdownKind::Stagnation);
+                    probe.iteration(iter_event(k, r_norm, 0.0, 0.0, ProbeStop::Stagnation));
                     break;
                 }
             }
@@ -220,42 +279,58 @@ pub fn pcg_in_place_faulted<T: Scalar, M: Preconditioner<T> + ?Sized>(
 
         // line 9: w = A p
         let t = Instant::now();
+        probe.span_begin(Span::Spmv);
         spmv(a, p, w);
+        probe.span_end(Span::Spmv);
         timings.spmv += t.elapsed();
 
         // line 10: α = (r,z)/(p,w), guarded for NaN and indefiniteness
         let t = Instant::now();
+        probe.span_begin(Span::Blas);
         let pw = dot(p, w).to_f64();
         if !pw.is_finite() || !rz.is_finite() {
             stop = StopReason::Breakdown(BreakdownKind::Nan);
+            probe.span_end(Span::Blas);
+            probe.iteration(iter_event(k, r_norm, 0.0, 0.0, ProbeStop::Nan));
             break;
         }
         if pw <= 0.0 || rz <= 0.0 {
             stop = StopReason::Breakdown(BreakdownKind::Indefinite);
+            probe.span_end(Span::Blas);
+            probe.iteration(iter_event(k, r_norm, 0.0, 0.0, ProbeStop::Indefinite));
             break;
         }
-        let alpha = T::from_f64(rz / pw);
+        let alpha_f64 = rz / pw;
+        let alpha = T::from_f64(alpha_f64);
 
         // lines 11-12: x += α p; r -= α w
         axpy(alpha, p, x);
         axpy(-alpha, w, r);
+        probe.span_end(Span::Blas);
         timings.blas += t.elapsed();
 
         // line 13: z = M⁻¹ r
         let t = Instant::now();
+        probe.span_begin(Span::PrecondApply);
         m.apply_with_scratch(r, z, scratch);
+        probe.span_end(Span::PrecondApply);
         timings.precond += t.elapsed();
 
         // lines 14-15: β = (r₊,z₊)/(r,z); p = z + β p
         let t = Instant::now();
+        probe.span_begin(Span::Blas);
         let rz_new = dot(r, z).to_f64();
-        let beta = T::from_f64(rz_new / rz);
+        let beta_f64 = rz_new / rz;
+        let beta = T::from_f64(beta_f64);
         rz = rz_new;
         xpby(z, beta, p);
+        probe.span_end(Span::Blas);
         timings.blas += t.elapsed();
 
+        probe.iteration(iter_event(k, r_norm, alpha_f64, beta_f64, ProbeStop::Running));
         iterations += 1;
     }
+    probe.span_end(Span::SolveLoop);
 
     // Re-check convergence when the loop ran out exactly at max_iters.
     let final_residual = norm2(r).to_f64();

@@ -54,6 +54,20 @@ impl StopReason {
         matches!(self, StopReason::Breakdown(_))
     }
 
+    /// This stop condition in the probe layer's guard/outcome vocabulary,
+    /// for recording into `spcg_probe` event streams.
+    pub fn as_probe_stop(&self) -> spcg_probe::ProbeStop {
+        use spcg_probe::ProbeStop;
+        match self {
+            StopReason::Converged => ProbeStop::Converged,
+            StopReason::MaxIterations => ProbeStop::MaxIterations,
+            StopReason::Breakdown(BreakdownKind::Nan) => ProbeStop::Nan,
+            StopReason::Breakdown(BreakdownKind::Indefinite) => ProbeStop::Indefinite,
+            StopReason::Breakdown(BreakdownKind::Stagnation) => ProbeStop::Stagnation,
+            StopReason::Breakdown(BreakdownKind::Divergence) => ProbeStop::Divergence,
+        }
+    }
+
     /// The breakdown cause, when the solve broke down.
     pub fn breakdown_kind(&self) -> Option<BreakdownKind> {
         match self {
@@ -142,6 +156,21 @@ mod tests {
         };
         assert!(!nr.converged());
         assert_eq!(nr.seconds_per_iteration(), 0.0);
+    }
+
+    #[test]
+    fn probe_stop_mapping_is_total() {
+        use spcg_probe::ProbeStop;
+        assert_eq!(StopReason::Converged.as_probe_stop(), ProbeStop::Converged);
+        assert_eq!(StopReason::MaxIterations.as_probe_stop(), ProbeStop::MaxIterations);
+        for (kind, want) in [
+            (BreakdownKind::Nan, ProbeStop::Nan),
+            (BreakdownKind::Indefinite, ProbeStop::Indefinite),
+            (BreakdownKind::Stagnation, ProbeStop::Stagnation),
+            (BreakdownKind::Divergence, ProbeStop::Divergence),
+        ] {
+            assert_eq!(StopReason::Breakdown(kind).as_probe_stop(), want);
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use crate::dag::Triangle;
 use crate::levels::LevelSchedule;
 use rayon::prelude::*;
+use spcg_probe::{Counter, NoProbe, Probe};
 use spcg_sparse::{CsrMatrix, Scalar};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -115,6 +116,23 @@ pub fn solve_levels_par<T: Scalar>(
     b: &[T],
     x: &mut [T],
 ) {
+    solve_levels_par_probed(m, schedule, b, x, &mut NoProbe)
+}
+
+/// [`solve_levels_par`] with an observability [`Probe`]: emits one
+/// [`Counter::LevelRows`] event per wavefront (the level width — the
+/// quantity Algorithm 2 trades against fill) plus [`Counter::Levels`] /
+/// [`Counter::Syncs`] totals (one inter-level barrier per level). With
+/// `NoProbe` this monomorphizes to exactly [`solve_levels_par`]; counters
+/// are emitted from the calling thread — levels execute one at a time, so
+/// no synchronization is added.
+pub fn solve_levels_par_probed<T: Scalar, P: Probe>(
+    m: &CsrMatrix<T>,
+    schedule: &LevelSchedule,
+    b: &[T],
+    x: &mut [T],
+    probe: &mut P,
+) {
     let n = m.n_rows();
     assert_eq!(b.len(), n, "rhs length mismatch");
     assert_eq!(x.len(), n, "solution length mismatch");
@@ -122,6 +140,7 @@ pub fn solve_levels_par<T: Scalar>(
     let triangle = schedule.triangle();
     let xs = UnsafeSlice::new(x);
     for level in schedule.levels() {
+        probe.counter(Counter::LevelRows, level.len() as u64);
         let solve_row = |&i: &usize| {
             // SAFETY: rows within a level are unique (disjoint writes) and
             // only read x entries finalized in earlier levels.
@@ -139,6 +158,8 @@ pub fn solve_levels_par<T: Scalar>(
             level.iter().for_each(solve_row);
         }
     }
+    probe.counter(Counter::Levels, schedule.n_levels() as u64);
+    probe.counter(Counter::Syncs, schedule.n_levels() as u64);
 }
 
 #[inline]
@@ -300,6 +321,24 @@ mod tests {
         solve_upper_seq(&u, &b, &mut x_seq);
         solve_levels_par(&u, &s, &b, &mut x_par);
         assert_eq!(x_seq, x_par);
+    }
+
+    #[test]
+    fn probed_executor_reports_level_widths() {
+        let a = poisson_2d(10, 10);
+        let l = lower_of(&a);
+        let s = LevelSchedule::build(&l, Triangle::Lower);
+        let b = rhs(100, 9);
+        let mut x_plain = vec![0.0; 100];
+        let mut x_probed = vec![0.0; 100];
+        solve_lower_seq(&l, &b, &mut x_plain);
+        let mut probe = spcg_probe::HistogramProbe::new();
+        solve_levels_par_probed(&l, &s, &b, &mut x_probed, &mut probe);
+        assert_eq!(x_plain, x_probed, "probe must not perturb the solve");
+        assert_eq!(probe.counter_total(Counter::Levels), s.n_levels() as u64);
+        assert_eq!(probe.counter_total(Counter::Syncs), s.n_levels() as u64);
+        // Every row executes in exactly one level.
+        assert_eq!(probe.counter_total(Counter::LevelRows), 100);
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub mod levels;
 pub mod stats;
 
 pub use dag::{DependenceDag, Triangle};
-pub use executor::{solve_levels_par, solve_lower_seq, solve_lower_sync_free, solve_upper_seq};
+pub use executor::{
+    solve_levels_par, solve_levels_par_probed, solve_lower_seq, solve_lower_sync_free,
+    solve_upper_seq,
+};
 pub use levels::{wavefront_count, LevelSchedule};
 pub use stats::{wavefront_reduction_percent, WavefrontStats};

@@ -10,8 +10,6 @@
 //! Run with: `cargo run --release --example circuit_dc`
 
 use spcg::prelude::*;
-use spcg::sparse::CooMatrix;
-use spcg_core::spcg_solve;
 use spcg_gpusim::{pcg_iteration_cost, DeviceSpec};
 
 /// Builds the conductance matrix of `sections` ladder sections: two rails
@@ -62,38 +60,38 @@ fn main() {
     );
 
     let solver = SolverConfig::default().with_tol(1e-10);
-    let base = spcg_solve(
-        &g,
-        &i_vec,
-        &SpcgOptions { sparsify: None, solver: solver.clone(), ..Default::default() },
-    )
-    .expect("baseline PCG");
-    let spcg = spcg_solve(&g, &i_vec, &SpcgOptions { solver, ..Default::default() }).expect("SPCG");
-    let d = spcg.decision.as_ref().expect("sparsified");
+    let base_plan =
+        SpcgPlan::build(&g, SpcgOptions::default().with_sparsify(None).with_solver(solver.clone()))
+            .expect("baseline analysis");
+    let base = base_plan.solve(&i_vec).expect("baseline PCG");
+    let spcg_plan =
+        SpcgPlan::build(&g, SpcgOptions::default().with_solver(solver)).expect("SPCG analysis");
+    let spcg = spcg_plan.solve(&i_vec).expect("SPCG");
+    let d = spcg_plan.decision().expect("sparsified");
 
     println!(
         "baseline PCG-ILU(0): {} iterations, factors hold {} wavefronts",
-        base.result.iterations,
-        base.factors.total_wavefronts()
+        base.iterations,
+        base_plan.factors().total_wavefronts()
     );
     println!(
         "SPCG-ILU(0)       : {} iterations, factors hold {} wavefronts (ratio {}%, reduction {:.1}%)",
-        spcg.result.iterations,
-        spcg.factors.total_wavefronts(),
+        spcg.iterations,
+        spcg_plan.factors().total_wavefronts(),
         d.chosen_ratio,
         d.wavefront_reduction()
     );
 
     // Price both on the A100 model.
     let dev = DeviceSpec::a100();
-    let cb = pcg_iteration_cost(&dev, &g, &base.factors).total_us();
-    let cs = pcg_iteration_cost(&dev, &g, &spcg.factors).total_us();
+    let cb = pcg_iteration_cost(&dev, &g, base_plan.factors()).total_us();
+    let cs = pcg_iteration_cost(&dev, &g, spcg_plan.factors()).total_us();
     println!("simulated A100 per-iteration speedup: {:.2}x", cb / cs);
 
     // Physics check: voltage drop from the injection node to ground is
     // positive and both solutions agree.
-    let v_base = base.result.x[n - 1] - base.result.x[0];
-    let v_spcg = spcg.result.x[n - 1] - spcg.result.x[0];
+    let v_base = base.x[n - 1] - base.x[0];
+    let v_spcg = spcg.x[n - 1] - spcg.x[0];
     println!("end-to-end voltage drop: baseline {v_base:.6} V, SPCG {v_spcg:.6} V");
     assert!(v_base > 0.0);
     assert!((v_base - v_spcg).abs() / v_base < 1e-6, "solutions disagree");

@@ -12,7 +12,6 @@
 use spcg::prelude::*;
 use spcg::sparse::spmv::spmv_alloc;
 use spcg::suite::{Ordering, Recipe};
-use spcg_core::wavefront_aware_sparsify;
 use std::time::Instant;
 
 const NX: usize = 64;

@@ -6,9 +6,9 @@
 //!
 //! Run with: `cargo run --release --example pressure_poisson`
 
+use spcg::core::sparsify_by_magnitude;
 use spcg::prelude::*;
 use spcg::sparse::generators::anisotropic_2d;
-use spcg_core::{sparsify_by_magnitude, SparsifyParams};
 
 fn main() {
     // Boundary-layer-refined grid: cross-stream couplings are ~12x weaker
@@ -44,7 +44,7 @@ fn main() {
     }
 
     // Algorithm 2 navigates the trade-off automatically.
-    let decision = spcg_core::wavefront_aware_sparsify(&a, &SparsifyParams::default());
+    let decision = wavefront_aware_sparsify(&a, &SparsifyParams::default());
     println!("\nAlgorithm 2 selected ratio {}% ({:?})", decision.chosen_ratio, decision.reason);
     for t in &decision.trace {
         println!(

@@ -42,8 +42,8 @@ fn main() {
     // 3. The full SPCG pipeline (Figure 2 of the paper): wavefront-aware
     //    sparsification -> ILU(0) of the sparsified matrix -> PCG on the
     //    ORIGINAL system. Build the analysis once as a plan, then solve.
-    let plan = SpcgPlan::build(&a, &SpcgOptions { solver: config, ..Default::default() })
-        .expect("SPCG pipeline");
+    let plan =
+        SpcgPlan::build(&a, SpcgOptions::default().with_solver(config)).expect("SPCG pipeline");
     let spcg_run = plan.solve(&b).expect("well-formed system");
     let decision = plan.decision().expect("sparsification ran");
     println!(
@@ -80,4 +80,14 @@ fn main() {
         plan.solve_many(&loads).into_iter().map(|r| r.expect("well-formed system")).collect();
     let iters: Vec<usize> = batch.iter().map(|r| r.iterations).collect();
     println!("batched solve of {} further RHS, iterations per RHS: {iters:?}", loads.len());
+
+    // 5. Observe where the time goes: a HistogramProbe aggregates span
+    //    latencies per phase (p50/p95/max) with no per-event allocation.
+    let mut hist = HistogramProbe::new();
+    let mut ws = plan.make_workspace();
+    for load in &loads {
+        plan.solve_with_workspace_probed(load, &mut ws, &mut hist).expect("well-formed system");
+    }
+    println!("\nphase latency histogram over {} probed solves:", loads.len());
+    print!("{}", hist.render());
 }

@@ -9,7 +9,6 @@
 //!
 //! Run with: `cargo run --release --example resilient`
 
-use spcg::core::ResilientSolve;
 use spcg::prelude::*;
 use spcg::sparse::generators::{poisson_2d, with_magnitude_spread};
 
@@ -44,7 +43,7 @@ fn print_report(title: &str, solve: &ResilientSolve<f64>) {
 fn main() {
     let a = with_magnitude_spread(&poisson_2d(48, 48), 6.0, 11);
     let b: Vec<f64> = (0..a.n_rows()).map(|i| ((i % 11) as f64 - 5.0) / 5.0).collect();
-    let plan = SpcgPlan::build(&a, &SpcgOptions::default()).expect("square SPD system");
+    let plan = SpcgPlan::build(&a, SpcgOptions::default()).expect("square SPD system");
     println!(
         "system: n = {}, sparsified = {}, ladder = {:?}",
         plan.n(),

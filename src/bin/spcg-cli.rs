@@ -6,8 +6,7 @@ use spcg::cli::{parse, sparsify_params, Command, GenerateArgs, SolveArgs, Sparsi
 use spcg::prelude::*;
 use spcg::sparse::generators as gen;
 use spcg::sparse::io::{read_matrix_market_file, write_matrix_market_file, MmSymmetry};
-use spcg_core::spcg_solve;
-use spcg_gpusim::{end_to_end_cost, pcg_iteration_cost, DeviceSpec};
+use spcg_gpusim::{end_to_end_cost, pcg_iteration_cost, simulated_solve_trace, DeviceSpec};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -90,13 +89,26 @@ fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
         exec: args.exec,
         solver: args.solver.clone(),
     };
-    let out = match spcg_solve(&a, &b, &opts) {
-        Ok(o) => o,
+    // Record the whole run — plan analysis plus the solve loop — through
+    // one probe so the trace covers every phase.
+    let mut probe = RecordingProbe::new();
+    let plan = match SpcgPlan::build_probed(&a, &opts, &mut probe) {
+        Ok(p) => p,
         Err(e) => {
-            eprintln!("error: pipeline failed: {e}");
+            eprintln!("error: pipeline analysis failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let mut ws = plan.make_workspace();
+    let result = match plan.solve_with_workspace_probed(&b, &mut ws, &mut probe) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: solve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = probe.finish();
+    let out = plan.into_outcome(result);
     println!(
         "{} {}: {:?} after {} iterations, residual {:.3e}",
         if opts.sparsify.is_some() { "SPCG" } else { "PCG" },
@@ -115,6 +127,21 @@ fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
         "timings: sparsify {:.2?}, factorization {:.2?}, solve loop {:.2?}",
         out.sparsify_time, out.factorization_time, out.result.timings.total
     );
+    if let Some(path) = &args.trace {
+        let json = match serde_json::to_string_pretty(&trace) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: cannot serialize trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("trace: {} events -> {path}", trace.events.len());
+        println!("{}", trace.phase_table());
+    }
     if let Some(dev_name) = &args.device {
         let dev = device_by_name(dev_name);
         let it = pcg_iteration_cost(&dev, &a, &out.factors);
@@ -132,6 +159,13 @@ fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
             it.total_us(),
             e2e.total_us()
         );
+        if args.trace.is_some() {
+            // Simulated counterpart of the measured table above: same span
+            // vocabulary, timings from the execution model.
+            let sim = simulated_solve_trace(&dev, &a, &out.factors, out.result.iterations);
+            println!("{} model phase table:", dev.name);
+            println!("{}", sim.phase_table());
+        }
     }
     if out.result.converged() {
         ExitCode::SUCCESS

@@ -40,6 +40,8 @@ pub struct SolveArgs {
     pub exec: TriangularExec,
     /// Device model for cost reporting (`a100`, `v100`, `epyc`), if any.
     pub device: Option<String>,
+    /// Path to write the recorded run trace (JSON) to, if any.
+    pub trace: Option<String>,
 }
 
 /// Parsed `generate` options.
@@ -73,7 +75,7 @@ spcg-cli — sparsified preconditioned conjugate gradient solver
 USAGE:
   spcg-cli solve   --matrix FILE [--precond ilu0|iluk=K|jacobi|sai] \
 [--sparsify auto|off|RATIO%] [--tol 1e-10] [--abs-tol] [--max-iters N] \
-[--exec seq|par] [--device a100|v100|epyc]
+[--exec seq|par] [--device a100|v100|epyc] [--trace OUT.json]
   spcg-cli analyze --matrix FILE [--sparsify auto|RATIO%]
   spcg-cli generate --kind poisson2d|poisson3d|layered2d|banded --out FILE \
 [--nx N] [--ny N] [--nz N] [--n N] [--period P] [--weak W] [--band B] [--seed S]
@@ -170,7 +172,13 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, String> {
             return Err(format!("unknown --device {d} (a100|v100|epyc)"));
         }
     }
-    Ok(SolveArgs { matrix, precond, sparsify, solver, exec, device })
+    let trace = flags.get("trace").cloned();
+    if let Some(t) = &trace {
+        if t.is_empty() {
+            return Err("--trace needs a non-empty output path".to_string());
+        }
+    }
+    Ok(SolveArgs { matrix, precond, sparsify, solver, exec, device, trace })
 }
 
 fn parse_generate(args: &[String]) -> Result<GenerateArgs, String> {
@@ -258,6 +266,16 @@ mod tests {
         assert_eq!(a.solver.max_iters, 200);
         assert_eq!(a.exec, TriangularExec::LevelParallel);
         assert_eq!(a.device.as_deref(), Some("v100"));
+        assert_eq!(a.trace, None);
+    }
+
+    #[test]
+    fn parses_trace_flag() {
+        let cmd = parse(&s(&["solve", "--matrix", "m.mtx", "--trace", "out.json"])).unwrap();
+        let Command::Solve(a) = cmd else { panic!() };
+        assert_eq!(a.trace.as_deref(), Some("out.json"));
+        assert!(parse(&s(&["solve", "--matrix", "m.mtx", "--trace", ""])).is_err());
+        assert!(parse(&s(&["solve", "--matrix", "m.mtx", "--trace"])).is_err());
     }
 
     #[test]

@@ -4,14 +4,30 @@
 //! See the README for the architecture overview and DESIGN.md for the
 //! paper-to-module mapping.
 //!
+//! The blessed surface lives in [`prelude`]: build an [`SpcgPlan`]
+//! (amortizing sparsification, factorization, and level-schedule
+//! construction), then solve as many right-hand sides as needed —
+//! optionally observing every phase through a [`Probe`]:
+//!
 //! ```
 //! use spcg::prelude::*;
 //!
 //! let a = spcg::sparse::generators::poisson_2d(16, 16);
 //! let b = vec![1.0f64; a.n_rows()];
-//! let out = spcg_solve(&a, &b, &SpcgOptions::default()).unwrap();
-//! assert!(out.result.converged());
+//!
+//! let mut probe = RecordingProbe::new();
+//! let plan = SpcgPlan::build_probed(&a, SpcgOptions::default(), &mut probe).unwrap();
+//! let mut ws = plan.make_workspace();
+//! let result = plan.solve_with_workspace_probed(&b, &mut ws, &mut probe).unwrap();
+//! assert!(result.converged());
+//!
+//! let trace = probe.finish();
+//! assert_eq!(trace.iterations(), result.iterations);
+//! trace.validate_nesting().unwrap();
 //! ```
+//!
+//! [`SpcgPlan`]: prelude::SpcgPlan
+//! [`Probe`]: prelude::Probe
 
 #![warn(missing_docs)]
 
@@ -21,24 +37,30 @@ pub use spcg_core as core;
 pub use spcg_gpusim as gpusim;
 pub use spcg_lowrank as lowrank;
 pub use spcg_precond as precond;
+pub use spcg_probe as probe;
 pub use spcg_solver as solver;
 pub use spcg_sparse as sparse;
 pub use spcg_suite as suite;
 pub use spcg_wavefront as wavefront;
 
-/// The most common imports in one place.
+/// The most common imports in one place: the plan/solve pipeline, its
+/// options and results, the recovery ladder, and the probe layer.
 pub mod prelude {
     pub use spcg_core::{
-        oracle_select, spcg_solve, wavefront_aware_sparsify, FallbackRung, FaultInjection,
-        PrecondKind, RecoveryReport, ResilienceOptions, SparsifyParams, SpcgOptions, SpcgPlan,
-        ORACLE_RATIOS,
+        oracle_select, wavefront_aware_sparsify, FallbackRung, FaultInjection, PrecondKind,
+        RecoveryAttempt, RecoveryReport, ResilienceOptions, ResilientSolve, SparsifyParams,
+        SpcgOptions, SpcgOutcome, SpcgPlan, ORACLE_RATIOS,
     };
     pub use spcg_precond::{
         ic0, ilu0, iluk, shifted_factorization, Preconditioner, ShiftPolicy, TriangularExec,
     };
+    pub use spcg_probe::{
+        Counter, HistogramProbe, IterationEvent, NoProbe, PhaseStats, Probe, ProbeStop,
+        RecordingProbe, RunTrace, RungEvent, RungKind, Span, TraceEvent,
+    };
     pub use spcg_solver::{
-        cg, pcg, pcg_in_place, pcg_with_workspace, BreakdownKind, SolveStats, SolveWorkspace,
-        SolverConfig, SolverError, StopReason, ToleranceMode,
+        cg, pcg, pcg_in_place, pcg_with_workspace, BreakdownKind, PhaseTimings, SolveResult,
+        SolveStats, SolveWorkspace, SolverConfig, SolverError, StopReason, ToleranceMode,
     };
     pub use spcg_sparse::{CooMatrix, CsrMatrix, Scalar};
     pub use spcg_wavefront::{wavefront_count, LevelSchedule, Triangle, WavefrontStats};

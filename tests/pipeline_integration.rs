@@ -4,12 +4,24 @@
 
 use spcg::prelude::*;
 use spcg::sparse::spmv::spmv_alloc;
-use spcg_core::{spcg_solve, SelectionReason};
+use spcg_core::SelectionReason;
 use spcg_gpusim::{pcg_iteration_cost, DeviceSpec};
 use spcg_suite::{fast_collection, MatrixSpec};
 
 fn solver() -> SolverConfig {
     SolverConfig::default().with_tol(1e-9).with_max_iters(800)
+}
+
+/// One-shot pipeline run through the blessed plan API: analyze, solve,
+/// fold back into the legacy-shaped outcome the assertions inspect.
+fn run_pipeline(
+    a: &CsrMatrix<f64>,
+    b: &[f64],
+    opts: SpcgOptions,
+) -> Result<SpcgOutcome<f64>, String> {
+    let plan = SpcgPlan::build(a, opts).map_err(|e| e.to_string())?;
+    let result = plan.solve(b).map_err(|e| e.to_string())?;
+    Ok(plan.into_outcome(result))
 }
 
 /// A deterministic sample of the collection, small enough for CI.
@@ -22,13 +34,10 @@ fn spcg_converges_wherever_baseline_does() {
     for spec in sample() {
         let a = spec.build();
         let b = spec.rhs(a.n_rows());
-        let base = spcg_solve(
-            &a,
-            &b,
-            &SpcgOptions { sparsify: None, solver: solver(), ..Default::default() },
-        )
-        .unwrap_or_else(|e| panic!("{}: baseline failed: {e}", spec.name));
-        let spcg = spcg_solve(&a, &b, &SpcgOptions { solver: solver(), ..Default::default() })
+        let base =
+            run_pipeline(&a, &b, SpcgOptions::default().with_sparsify(None).with_solver(solver()))
+                .unwrap_or_else(|e| panic!("{}: baseline failed: {e}", spec.name));
+        let spcg = run_pipeline(&a, &b, SpcgOptions::default().with_solver(solver()))
             .unwrap_or_else(|e| panic!("{}: SPCG failed: {e}", spec.name));
         if base.result.converged() {
             assert!(
@@ -46,8 +55,7 @@ fn spcg_solution_solves_the_original_system() {
     for spec in sample().into_iter().take(5) {
         let a = spec.build();
         let b = spec.rhs(a.n_rows());
-        let out =
-            spcg_solve(&a, &b, &SpcgOptions { solver: solver(), ..Default::default() }).unwrap();
+        let out = run_pipeline(&a, &b, SpcgOptions::default().with_solver(solver())).unwrap();
         if !out.result.converged() {
             continue;
         }
@@ -68,14 +76,10 @@ fn sparsified_ilu0_never_has_more_wavefronts() {
     for spec in sample() {
         let a = spec.build();
         let b = spec.rhs(a.n_rows());
-        let base = spcg_solve(
-            &a,
-            &b,
-            &SpcgOptions { sparsify: None, solver: solver(), ..Default::default() },
-        )
-        .unwrap();
-        let spcg =
-            spcg_solve(&a, &b, &SpcgOptions { solver: solver(), ..Default::default() }).unwrap();
+        let base =
+            run_pipeline(&a, &b, SpcgOptions::default().with_sparsify(None).with_solver(solver()))
+                .unwrap();
+        let spcg = run_pipeline(&a, &b, SpcgOptions::default().with_solver(solver())).unwrap();
         assert!(
             spcg.factors.total_wavefronts() <= base.factors.total_wavefronts(),
             "{}: sparsification added wavefronts ({} > {})",
@@ -123,14 +127,10 @@ fn gpu_model_prices_spcg_no_slower_for_ilu0() {
     for spec in sample() {
         let a = spec.build();
         let b = spec.rhs(a.n_rows());
-        let base = spcg_solve(
-            &a,
-            &b,
-            &SpcgOptions { sparsify: None, solver: solver(), ..Default::default() },
-        )
-        .unwrap();
-        let spcg =
-            spcg_solve(&a, &b, &SpcgOptions { solver: solver(), ..Default::default() }).unwrap();
+        let base =
+            run_pipeline(&a, &b, SpcgOptions::default().with_sparsify(None).with_solver(solver()))
+                .unwrap();
+        let spcg = run_pipeline(&a, &b, SpcgOptions::default().with_solver(solver())).unwrap();
         let tb = pcg_iteration_cost(&dev, &a, &base.factors).total_us();
         let ts = pcg_iteration_cost(&dev, &a, &spcg.factors).total_us();
         assert!(
@@ -148,26 +148,22 @@ fn iluk_pipeline_beats_ilu0_on_iterations() {
     let spec = &fast_collection()[0];
     let a = spec.build();
     let b = spec.rhs(a.n_rows());
-    let r0 = spcg_solve(
+    let r0 = run_pipeline(
         &a,
         &b,
-        &SpcgOptions {
-            sparsify: None,
-            precond: PrecondKind::Ilu0,
-            solver: solver(),
-            ..Default::default()
-        },
+        SpcgOptions::default()
+            .with_sparsify(None)
+            .with_precond(PrecondKind::Ilu0)
+            .with_solver(solver()),
     )
     .unwrap();
-    let r2 = spcg_solve(
+    let r2 = run_pipeline(
         &a,
         &b,
-        &SpcgOptions {
-            sparsify: None,
-            precond: PrecondKind::Iluk(2),
-            solver: solver(),
-            ..Default::default()
-        },
+        SpcgOptions::default()
+            .with_sparsify(None)
+            .with_precond(PrecondKind::Iluk(2))
+            .with_solver(solver()),
     )
     .unwrap();
     assert!(r0.result.converged() && r2.result.converged());

@@ -3,9 +3,16 @@
 //! future change that silently destroys the reproduction fails CI.
 
 use spcg::prelude::*;
-use spcg_core::spcg_solve;
 use spcg_gpusim::{pcg_iteration_cost, DeviceSpec};
 use spcg_suite::fast_collection;
+
+/// Plans and solves one system, returning the plan so the sweep can price
+/// its factors on the device model. `None` if any pipeline stage fails.
+fn planned_solve(a: &CsrMatrix<f64>, b: &[f64], opts: SpcgOptions) -> Option<SpcgPlan<f64>> {
+    let plan = SpcgPlan::build(a, opts).ok()?;
+    plan.solve(b).ok()?;
+    Some(plan)
+}
 
 /// Runs the ILU(0) heuristic sweep on the fast collection and returns the
 /// per-iteration speedups (simulated A100).
@@ -16,20 +23,19 @@ fn sweep_speedups() -> Vec<f64> {
     for spec in fast_collection() {
         let a = spec.build();
         let b = spec.rhs(a.n_rows());
-        let Ok(base) = spcg_solve(
+        let Some(base) = planned_solve(
             &a,
             &b,
-            &SpcgOptions { sparsify: None, solver: solver.clone(), ..Default::default() },
+            SpcgOptions::default().with_sparsify(None).with_solver(solver.clone()),
         ) else {
             continue;
         };
-        let Ok(spcg) =
-            spcg_solve(&a, &b, &SpcgOptions { solver: solver.clone(), ..Default::default() })
+        let Some(spcg) = planned_solve(&a, &b, SpcgOptions::default().with_solver(solver.clone()))
         else {
             continue;
         };
-        let tb = pcg_iteration_cost(&device, &a, &base.factors).total_us();
-        let ts = pcg_iteration_cost(&device, &a, &spcg.factors).total_us();
+        let tb = pcg_iteration_cost(&device, &a, base.factors()).total_us();
+        let ts = pcg_iteration_cost(&device, &a, spcg.factors()).total_us();
         out.push(tb / ts);
     }
     out

@@ -1,0 +1,175 @@
+//! Bench trajectory — a small, fixed, deterministic recipe set that pins
+//! the repo's headline numerics PR over PR.
+//!
+//! Unlike the figure benches (which sweep the full 107-matrix collection
+//! and write into `target/spcg-results/`), this target runs in seconds and
+//! writes `BENCH_4.json` **at the repo root as a tracked artifact**: per
+//! variant, the real iteration counts and the simulated A100 costs for
+//! each fixed system. Committing the JSON turns the bench into a
+//! trajectory — `git log -p BENCH_4.json` shows exactly when and how the
+//! numbers moved. Only deterministic fields are serialized (iteration
+//! counts, simulated µs, chosen ratios); wall-clock timings are excluded
+//! so re-running on any machine reproduces the file byte for byte.
+//!
+//! `scripts/fill_experiments.py` consumes this JSON to refresh the
+//! trajectory table in EXPERIMENTS.md.
+
+use serde::Serialize;
+use spcg_bench::stats::gmean;
+use spcg_bench::{bench_solver_config, compare, ComparisonRow, Variant};
+use spcg_core::{PrecondKind, SparsifyParams};
+use spcg_gpusim::DeviceSpec;
+use spcg_suite::{Ordering, Recipe};
+
+/// The fixed systems. Small enough to run in seconds, varied enough to
+/// notice a regression in any of the three regimes the paper cares about:
+/// regular grids, wavefront-rich layered media, and irregular patterns.
+fn fixtures() -> Vec<(&'static str, Recipe, f64, Ordering)> {
+    vec![
+        ("poisson2d-32", Recipe::Poisson2D { nx: 32, ny: 32 }, 5.0, Ordering::Natural),
+        (
+            "layered2d-28",
+            Recipe::Layered2D { nx: 28, ny: 28, period: 7, weak: 0.02 },
+            1.0,
+            Ordering::Natural,
+        ),
+        ("aniso-30", Recipe::Anisotropic { nx: 30, ny: 30, eps: 0.05 }, 4.0, Ordering::Natural),
+        (
+            "banded-800",
+            Recipe::Banded { n: 800, band: 12, density: 0.5, dominance: 1.8 },
+            3.0,
+            Ordering::Natural,
+        ),
+        (
+            "graphlap-700",
+            Recipe::GraphLaplacian { n: 700, degree: 6, shift: 0.6 },
+            2.0,
+            Ordering::Scrambled,
+        ),
+    ]
+}
+
+/// One variant's deterministic outcome on one system.
+#[derive(Serialize)]
+struct VariantPoint {
+    variant: String,
+    iterations: usize,
+    converged: bool,
+    per_iteration_us: f64,
+    end_to_end_us: f64,
+    factorization_us: f64,
+    chosen_ratio: Option<f64>,
+    wavefronts_factors: usize,
+    factor_nnz: usize,
+}
+
+impl VariantPoint {
+    fn of(e: &spcg_bench::EvalResult) -> Self {
+        VariantPoint {
+            variant: e.variant.clone(),
+            iterations: e.iterations,
+            converged: e.converged,
+            per_iteration_us: round3(e.per_iteration_us),
+            end_to_end_us: round3(e.end_to_end_us),
+            factorization_us: round3(e.factorization_us),
+            chosen_ratio: e.chosen_ratio,
+            wavefronts_factors: e.wavefronts_factors,
+            factor_nnz: e.factor_nnz,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct TrajectoryRow {
+    name: String,
+    n: usize,
+    nnz: usize,
+    baseline: VariantPoint,
+    spcg: VariantPoint,
+    per_iteration_speedup: f64,
+    end_to_end_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Trajectory {
+    bench: &'static str,
+    device: &'static str,
+    precond: &'static str,
+    tolerance: f64,
+    rows: Vec<TrajectoryRow>,
+    gmean_per_iteration_speedup: f64,
+    gmean_end_to_end_speedup: f64,
+}
+
+/// Three decimals are stable across platforms; more would commit noise.
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+fn main() {
+    let device = DeviceSpec::a100();
+    let solver = bench_solver_config();
+    let variant = Variant::Heuristic(SparsifyParams::default());
+
+    let rows: Vec<TrajectoryRow> = fixtures()
+        .into_iter()
+        .map(|(name, recipe, spread, ordering)| {
+            let a = recipe.build(7, spread, ordering);
+            let b = vec![1.0; a.n_rows()];
+            let row: ComparisonRow =
+                compare(name, "", &a, &b, PrecondKind::Ilu0, &device, &variant, &solver)
+                    .expect("trajectory fixture must evaluate");
+            assert!(
+                row.base.converged && row.spcg.converged,
+                "trajectory fixture {name} stopped converging — investigate before committing"
+            );
+            TrajectoryRow {
+                name: name.into(),
+                n: row.n,
+                nnz: row.nnz,
+                per_iteration_speedup: round3(row.per_iteration_speedup()),
+                // Convergence was just asserted, so the option is Some.
+                end_to_end_speedup: round3(row.end_to_end_speedup().unwrap()),
+                baseline: VariantPoint::of(&row.base),
+                spcg: VariantPoint::of(&row.spcg),
+            }
+        })
+        .collect();
+
+    let per_iter: Vec<f64> = rows.iter().map(|r| r.per_iteration_speedup).collect();
+    let e2e: Vec<f64> = rows.iter().map(|r| r.end_to_end_speedup).collect();
+    let traj = Trajectory {
+        bench: "trajectory",
+        device: "a100-model",
+        precond: "ilu0",
+        tolerance: 1e-10,
+        gmean_per_iteration_speedup: round3(gmean(&per_iter).unwrap_or(0.0)),
+        gmean_end_to_end_speedup: round3(gmean(&e2e).unwrap_or(0.0)),
+        rows,
+    };
+
+    // Tracked artifact at the repo root (not target/): BENCH_4.json is the
+    // current trajectory point; its git history is the trajectory.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_4.json");
+    let json = serde_json::to_string_pretty(&traj).expect("trajectory serializes");
+    std::fs::write(&path, json + "\n").expect("BENCH_4.json written");
+
+    println!("trajectory: {} fixtures, ILU(0), A100 model", traj.rows.len());
+    for r in &traj.rows {
+        println!(
+            "  {:<14} n={:<5} nnz={:<6} iters {:>3} -> {:>3}  per-iter {:>6.3}x  e2e {:>6.3}x",
+            r.name,
+            r.n,
+            r.nnz,
+            r.baseline.iterations,
+            r.spcg.iterations,
+            r.per_iteration_speedup,
+            r.end_to_end_speedup
+        );
+    }
+    println!(
+        "gmean per-iteration {:.3}x   gmean end-to-end {:.3}x",
+        traj.gmean_per_iteration_speedup, traj.gmean_end_to_end_speedup
+    );
+    println!("wrote {}", path.display());
+}

@@ -206,6 +206,32 @@ impl<T: Scalar> SpcgPlan<T> {
         SolveWorkspace::for_preconditioner(self.n(), &self.factors)
     }
 
+    /// Estimated heap footprint of the plan in bytes: the system matrix,
+    /// the factored matrix (when stored separately), both triangular
+    /// factors, and their level schedules. Used by plan caches to enforce
+    /// a byte budget; it is an estimate (container headers and small
+    /// side arrays are ignored), not an exact accounting.
+    pub fn approx_bytes(&self) -> usize {
+        let value_bytes = std::mem::size_of::<T>();
+        let usize_bytes = std::mem::size_of::<usize>();
+        let csr = |m: &CsrMatrix<T>| m.storage_bytes(value_bytes);
+        let schedule = |s: &spcg_wavefront::LevelSchedule| {
+            // row->level map + flattened level lists (n rows total) + one
+            // header word per level.
+            (2 * s.n_rows() + s.n_levels()) * usize_bytes
+        };
+        let mut total = csr(&self.a);
+        if let Some(d) = &self.decision {
+            total += csr(&d.sparsified.a_hat);
+        }
+        if let Some(m) = &self.factored {
+            total += csr(m);
+        }
+        total += csr(self.factors.l()) + csr(self.factors.u());
+        total += schedule(self.factors.l_schedule()) + schedule(self.factors.u_schedule());
+        total
+    }
+
     /// Solves `A x = b`, allocating a fresh workspace for this call.
     /// Results are identical to [`solve_with_workspace`](Self::solve_with_workspace).
     pub fn solve(&self, b: &[T]) -> std::result::Result<SolveResult<T>, SolverError> {
@@ -288,6 +314,21 @@ impl<T: Scalar> SpcgPlan<T> {
             }
         });
         out.into_iter().map(|r| r.expect("solve_many worker left a slot unfilled")).collect()
+    }
+
+    /// Sequential [`solve_many`](SpcgPlan::solve_many): every right-hand
+    /// side is solved on the calling thread through the one provided
+    /// workspace, in order. Results are identical to `solve_many` (and to
+    /// independent [`solve`](SpcgPlan::solve) calls); use this variant when
+    /// the caller owns the parallelism — e.g. a worker pool where nested
+    /// data-parallel fan-out would oversubscribe the machine — or when the
+    /// batch must stay allocation-free past the first warm solve.
+    pub fn solve_many_with_workspace<B: AsRef<[T]>>(
+        &self,
+        rhs: &[B],
+        ws: &mut SolveWorkspace<T>,
+    ) -> Vec<std::result::Result<SolveResult<T>, SolverError>> {
+        rhs.iter().map(|b| self.solve_with_workspace(b.as_ref(), ws)).collect()
     }
 
     /// Decomposes the plan into the legacy [`SpcgOutcome`], attaching the
@@ -381,6 +422,37 @@ mod tests {
         let one = plan.solve_many(std::slice::from_ref(&b));
         assert_eq!(one.len(), 1);
         assert_eq!(one[0].as_ref().unwrap().x, plan.solve(&b).unwrap().x);
+    }
+
+    #[test]
+    fn solve_many_with_workspace_matches_parallel_batch() {
+        let (a, _) = system(9);
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
+        let mut rng = Rng::new(3);
+        let rhs: Vec<Vec<f64>> =
+            (0..5).map(|_| (0..a.n_rows()).map(|_| rng.range(-1.0, 1.0)).collect()).collect();
+        let mut ws = plan.make_workspace();
+        let sequential = plan.solve_many_with_workspace(&rhs, &mut ws);
+        let parallel = plan.solve_many(&rhs);
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.as_ref().unwrap().x, p.as_ref().unwrap().x);
+        }
+    }
+
+    #[test]
+    fn approx_bytes_tracks_storage() {
+        let (a, _) = system(10);
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
+        let bytes = plan.approx_bytes();
+        // At minimum the system matrix and both factors are resident.
+        let floor = a.storage_bytes(8)
+            + plan.factors().l().storage_bytes(8)
+            + plan.factors().u().storage_bytes(8);
+        assert!(bytes >= floor, "{bytes} < floor {floor}");
+        // A bigger system yields a bigger estimate.
+        let (big, _) = system(20);
+        let big_plan = SpcgPlan::build(&big, opts()).unwrap();
+        assert!(big_plan.approx_bytes() > bytes);
     }
 
     #[test]

@@ -88,6 +88,48 @@ fn warm_in_place_solves_do_not_allocate() {
 }
 
 #[test]
+fn warm_served_solves_do_not_allocate() {
+    // The same contract, one layer up: a request through the solve
+    // service's cached hot path — fingerprint, sharded-LRU hit (tick-stamp
+    // bump, no list reshuffle), `Arc` clone, in-place PCG — must be
+    // allocation-free once the plan is cached and the workspace is warm.
+    use spcg_serve::{ServiceConfig, SolveService};
+
+    let a = with_magnitude_spread(&poisson_2d(20, 20), 5.0, 13);
+    let service: SolveService = SolveService::new(ServiceConfig {
+        workers: 1,
+        options: SpcgOptions {
+            solver: SolverConfig::default().with_tol(1e-10).with_history(true),
+            ..Default::default()
+        },
+        ..ServiceConfig::default()
+    });
+    let mut rng = Rng::new(17);
+    let rhs: Vec<Vec<f64>> =
+        (0..4).map(|_| (0..a.n_rows()).map(|_| rng.range(-1.0, 1.0)).collect()).collect();
+    let mut ws = service.plan_for(&a).expect("plan builds").make_workspace();
+
+    // Warm-up: builds and caches the plan, sizes the workspace.
+    let warm = service.solve_in_place(&a, &rhs[0], &mut ws).expect("well-formed system");
+    assert!(warm.converged(), "warm-up failed: {:?}", warm.stop);
+
+    let before = allocation_count();
+    for b in &rhs {
+        let stats = service.solve_in_place(&a, b, &mut ws).expect("well-formed system");
+        assert!(stats.converged(), "served solve failed: {:?}", stats.stop);
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "warm served solves allocated {} time(s); the cached hot path must be allocation-free",
+        after - before
+    );
+    let stats = service.stats();
+    assert_eq!(stats.cache.hits, 5, "warm-up plus four measured solves hit the cache");
+}
+
+#[test]
 fn workspace_growth_allocates_then_settles() {
     // Growing to a larger system allocates (by design), but once grown the
     // workspace serves both sizes allocation-free.

@@ -80,6 +80,10 @@ pub enum Span {
     TriangularLower,
     /// Upper-triangular sweep of a preconditioner application.
     TriangularUpper,
+    /// One solve request handled by the serve layer (lookup + solve).
+    ServeRequest,
+    /// One coalesced same-fingerprint batch executed by a serve worker.
+    ServeBatch,
 }
 
 impl Span {
@@ -99,6 +103,8 @@ impl Span {
             Span::Blas => "solve.blas",
             Span::TriangularLower => "solve.tri_lower",
             Span::TriangularUpper => "solve.tri_upper",
+            Span::ServeRequest => "serve.request",
+            Span::ServeBatch => "serve.batch",
         }
     }
 }
@@ -130,6 +136,20 @@ pub enum Counter {
     SimFlops,
     /// Simulated kernel launches (gpusim bridge).
     SimLaunches,
+    /// Plan-cache lookups that found a ready plan (serve layer).
+    ServeCacheHit,
+    /// Plan-cache lookups that had to build a plan (serve layer).
+    ServeCacheMiss,
+    /// Plans evicted from the cache by capacity or byte pressure.
+    ServeCacheEviction,
+    /// Estimated bytes currently resident in the plan cache.
+    ServeCacheBytes,
+    /// Coalesced batches executed by serve workers.
+    ServeBatches,
+    /// Right-hand sides that rode in a coalesced batch.
+    ServeBatchedRhs,
+    /// Requests rejected by queue backpressure (`try_submit`).
+    ServeRejected,
 }
 
 impl Counter {
@@ -145,6 +165,13 @@ impl Counter {
             Counter::SimBytes => "sim.bytes",
             Counter::SimFlops => "sim.flops",
             Counter::SimLaunches => "sim.launches",
+            Counter::ServeCacheHit => "serve.cache.hit",
+            Counter::ServeCacheMiss => "serve.cache.miss",
+            Counter::ServeCacheEviction => "serve.cache.eviction",
+            Counter::ServeCacheBytes => "serve.cache.bytes",
+            Counter::ServeBatches => "serve.batch.count",
+            Counter::ServeBatchedRhs => "serve.batch.rhs",
+            Counter::ServeRejected => "serve.queue.rejected",
         }
     }
 }

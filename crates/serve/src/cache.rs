@@ -1,0 +1,321 @@
+//! Sharded LRU cache of [`SpcgPlan`]s keyed by [`MatrixFingerprint`].
+//!
+//! The cache is the service's amortization engine: the first request for a
+//! system pays the analysis phase (sparsify + factor + level schedules),
+//! every later request for the same fingerprint reuses the cached plan via
+//! an `Arc` clone. Design constraints, in order:
+//!
+//! 1. **Hit path is allocation-free** — a hit is a `HashMap` lookup on a
+//!    `Copy` key, an `Arc` clone, and a monotonic tick-stamp bump. No
+//!    linked-list reordering, no allocation, so the service's cached
+//!    `solve_in_place` path preserves the plan's zero-allocation guarantee.
+//! 2. **Sharded locking** — the key hashes to one of `N` shards, each with
+//!    its own mutex, so concurrent requests for different systems do not
+//!    serialize on one lock.
+//! 3. **Bounded by entries and bytes** — each insert evicts
+//!    least-recently-used entries until the shard respects both its entry
+//!    capacity and its byte budget (plan size estimated by
+//!    [`SpcgPlan::approx_bytes`]). The global bounds are split across
+//!    shards such that the sharded totals never exceed the configured
+//!    totals.
+//!
+//! Hit/miss/eviction tallies are kept in relaxed atomics and can be
+//! surfaced through any [`Probe`] as the
+//! `serve.cache.*` counter vocabulary via [`PlanCache::emit_counters`].
+
+use spcg_core::SpcgPlan;
+use spcg_probe::{Counter, Probe};
+use spcg_sparse::{MatrixFingerprint, Scalar};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Sizing knobs for a [`PlanCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of independently-locked shards (clamped to `capacity` so
+    /// per-shard bounds stay ≥ 1 entry).
+    pub shards: usize,
+    /// Maximum resident plans across all shards.
+    pub capacity: usize,
+    /// Maximum estimated resident bytes across all shards. A single plan
+    /// larger than its shard's budget is still admitted (alone) — the
+    /// budget bounds accumulation, not admissibility.
+    pub byte_budget: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self { shards: 8, capacity: 64, byte_budget: 512 << 20 }
+    }
+}
+
+/// A point-in-time snapshot of cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a resident plan.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Plans evicted under capacity or byte pressure.
+    pub evictions: u64,
+    /// Plans inserted.
+    pub insertions: u64,
+    /// Plans currently resident.
+    pub entries: usize,
+    /// Estimated bytes currently resident.
+    pub bytes: usize,
+}
+
+struct Entry<T: Scalar> {
+    plan: Arc<SpcgPlan<T>>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Shard<T: Scalar> {
+    map: HashMap<MatrixFingerprint, Entry<T>>,
+    /// Monotonic use counter; entries stamp it on every touch, eviction
+    /// removes the minimum stamp. This realizes LRU without a list (and
+    /// without allocating on the hit path).
+    tick: u64,
+    bytes: usize,
+}
+
+impl<T: Scalar> Shard<T> {
+    fn new() -> Self {
+        Self { map: HashMap::new(), tick: 0, bytes: 0 }
+    }
+
+    /// Evicts LRU entries until the shard is within `cap` entries and
+    /// `budget` bytes, never evicting `keep` (the entry just inserted).
+    fn evict_to(&mut self, cap: usize, budget: usize, keep: &MatrixFingerprint) -> u64 {
+        let mut evicted = 0;
+        while self.map.len() > cap || self.bytes > budget {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(fp, _)| *fp != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(fp, _)| *fp);
+            let Some(fp) = victim else { break };
+            if let Some(e) = self.map.remove(&fp) {
+                self.bytes -= e.bytes;
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
+/// Sharded, byte-bounded LRU cache of solve plans. See the module docs for
+/// the design constraints.
+pub struct PlanCache<T: Scalar> {
+    shards: Vec<Mutex<Shard<T>>>,
+    cap_per_shard: usize,
+    budget_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl<T: Scalar> PlanCache<T> {
+    /// Builds an empty cache. Shard count is clamped to `[1, capacity]`
+    /// and the entry/byte bounds are floor-divided across shards, so the
+    /// sharded totals never exceed the configured totals.
+    pub fn new(config: CacheConfig) -> Self {
+        let capacity = config.capacity.max(1);
+        let shards = config.shards.clamp(1, capacity);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            cap_per_shard: capacity / shards,
+            budget_per_shard: config.byte_budget / shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, fp: &MatrixFingerprint) -> &Mutex<Shard<T>> {
+        // The structure hash is already well-mixed; fold in the value
+        // digest so same-pattern families still spread across shards.
+        let h = fp.structure ^ fp.values.rotate_left(17);
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a plan, bumping its recency and the hit/miss tallies.
+    /// Allocation-free on both outcomes.
+    pub fn get(&self, fp: &MatrixFingerprint) -> Option<Arc<SpcgPlan<T>>> {
+        let mut shard = self.shard(fp).lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(fp) {
+            Some(e) => {
+                e.last_used = tick;
+                let plan = Arc::clone(&e.plan);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(plan)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a plan, then evicts LRU entries until the
+    /// shard respects its entry and byte bounds. The just-inserted plan is
+    /// never the victim. Returns how many entries were evicted.
+    pub fn insert(&self, fp: MatrixFingerprint, plan: Arc<SpcgPlan<T>>) -> u64 {
+        let bytes = plan.approx_bytes();
+        let mut shard = self.shard(&fp).lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(old) = shard.map.insert(fp, Entry { plan, bytes, last_used: tick }) {
+            shard.bytes -= old.bytes;
+        }
+        shard.bytes += bytes;
+        let evicted = shard.evict_to(self.cap_per_shard.max(1), self.budget_per_shard, &fp);
+        drop(shard);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        evicted
+    }
+
+    /// `true` when `fp` is resident. Does not count as a lookup and does
+    /// not bump recency (diagnostic use: tests, dashboards).
+    pub fn contains(&self, fp: &MatrixFingerprint) -> bool {
+        self.shard(fp).lock().unwrap().map.contains_key(fp)
+    }
+
+    /// Number of resident plans.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
+    }
+
+    /// `true` when no plans are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Estimated resident bytes.
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().bytes).sum()
+    }
+
+    /// Counter snapshot (relaxed reads; exact once writers are quiescent).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            entries: self.len(),
+            bytes: self.bytes(),
+        }
+    }
+
+    /// Emits the snapshot through the `serve.cache.*` probe vocabulary.
+    pub fn emit_counters<P: Probe>(&self, probe: &mut P) {
+        let s = self.stats();
+        probe.counter(Counter::ServeCacheHit, s.hits);
+        probe.counter(Counter::ServeCacheMiss, s.misses);
+        probe.counter(Counter::ServeCacheEviction, s.evictions);
+        probe.counter(Counter::ServeCacheBytes, s.bytes as u64);
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for PlanCache<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("shards", &self.shards.len())
+            .field("cap_per_shard", &self.cap_per_shard)
+            .field("budget_per_shard", &self.budget_per_shard)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_core::SpcgOptions;
+    use spcg_sparse::generators::poisson_2d;
+    use spcg_sparse::CsrMatrix;
+
+    fn plan_for(n: usize) -> (MatrixFingerprint, Arc<SpcgPlan<f64>>) {
+        let a = poisson_2d(n, n);
+        let fp = MatrixFingerprint::of(&a);
+        (fp, Arc::new(SpcgPlan::build(&a, SpcgOptions::default()).unwrap()))
+    }
+
+    #[test]
+    fn hit_miss_and_recency() {
+        let cache: PlanCache<f64> = PlanCache::new(CacheConfig::default());
+        let (fp, plan) = plan_for(6);
+        assert!(cache.get(&fp).is_none());
+        cache.insert(fp, plan);
+        assert!(cache.get(&fp).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let cache: PlanCache<f64> =
+            PlanCache::new(CacheConfig { shards: 1, capacity: 2, byte_budget: usize::MAX });
+        let plans: Vec<_> = [4, 5, 6].iter().map(|&n| plan_for(n)).collect();
+        cache.insert(plans[0].0, Arc::clone(&plans[0].1));
+        cache.insert(plans[1].0, Arc::clone(&plans[1].1));
+        // Touch plan 0 so plan 1 is the LRU when plan 2 arrives.
+        assert!(cache.get(&plans[0].0).is_some());
+        cache.insert(plans[2].0, Arc::clone(&plans[2].1));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(&plans[0].0));
+        assert!(!cache.contains(&plans[1].0), "LRU entry must be the victim");
+        assert!(cache.contains(&plans[2].0));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_but_admits_oversized_alone() {
+        let (fp, plan) = plan_for(8);
+        let bytes = plan.approx_bytes();
+        let cache: PlanCache<f64> =
+            PlanCache::new(CacheConfig { shards: 1, capacity: 16, byte_budget: bytes / 2 });
+        cache.insert(fp, plan);
+        // Over budget, but the sole entry is never evicted.
+        assert_eq!(cache.len(), 1);
+        let (fp2, plan2) = plan_for(9);
+        cache.insert(fp2, plan2);
+        // The second insert pushes the shard over budget; the LRU (first)
+        // entry goes, the new one stays.
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains(&fp2));
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting_bytes() {
+        let cache: PlanCache<f64> = PlanCache::new(CacheConfig::default());
+        let (fp, plan) = plan_for(6);
+        cache.insert(fp, Arc::clone(&plan));
+        let once = cache.bytes();
+        cache.insert(fp, plan);
+        assert_eq!(cache.bytes(), once);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn value_digest_separates_same_pattern_matrices() {
+        let a = poisson_2d(6, 6);
+        let b: CsrMatrix<f64> = a.map_values(|v| v * 3.0);
+        let (fa, fb) = (MatrixFingerprint::of(&a), MatrixFingerprint::of(&b));
+        let cache: PlanCache<f64> = PlanCache::new(CacheConfig::default());
+        cache.insert(fa, Arc::new(SpcgPlan::build(&a, SpcgOptions::default()).unwrap()));
+        assert!(cache.get(&fb).is_none(), "same-pattern matrix must not share factors");
+    }
+}

@@ -1,0 +1,51 @@
+//! # spcg-serve
+//!
+//! Thread-safe solve *service* over the SPCG pipeline: the layer that
+//! amortizes one system's analysis across many callers, the way
+//! [`SpcgPlan`](spcg_core::SpcgPlan) amortizes it across many right-hand
+//! sides within one caller.
+//!
+//! Three pieces, each its own module:
+//!
+//! * [`cache`] — a sharded, byte-bounded LRU of `Arc<SpcgPlan>`s keyed by
+//!   [`MatrixFingerprint`](spcg_sparse::MatrixFingerprint) (structure hash
+//!   + value digest, computed in `spcg-sparse`);
+//! * [`queue`] — a bounded MPMC queue (`std` only) with backpressure and
+//!   same-fingerprint draining;
+//! * [`service`] — the [`SolveService`]: synchronous cached solves on the
+//!   caller's thread (including a zero-allocation in-place path) and a
+//!   worker pool that coalesces same-fingerprint requests into batches,
+//!   falling back to the resilient ladder per right-hand side on
+//!   breakdown.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use spcg_serve::{ServiceConfig, SolveService};
+//! use spcg_sparse::generators::poisson_2d;
+//! use std::sync::Arc;
+//!
+//! let service: SolveService = SolveService::new(ServiceConfig::default());
+//! let a = Arc::new(poisson_2d(16, 16));
+//! let b = vec![1.0f64; a.n_rows()];
+//!
+//! // Queued: goes through the worker pool (and may batch with friends).
+//! let ticket = service.submit(Arc::clone(&a), b.clone()).unwrap();
+//! let queued = ticket.wait().unwrap();
+//! assert!(queued.result.converged());
+//!
+//! // Synchronous: same numerics, this thread, plan now cached.
+//! let sync = service.solve(&a, &b).unwrap();
+//! assert!(sync.cache_hit);
+//! assert_eq!(sync.result.x, queued.result.x); // bitwise identical
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod queue;
+pub mod service;
+
+pub use cache::{CacheConfig, CacheStats, PlanCache};
+pub use queue::{BoundedQueue, PushError};
+pub use service::{ServeError, ServeOutcome, ServiceConfig, ServiceStats, SolveService, Ticket};

@@ -1,0 +1,206 @@
+//! A bounded MPMC queue built on `std` only (`Mutex` + two `Condvar`s).
+//!
+//! `std::sync::mpsc` is single-consumer, so a worker *pool* needs its own
+//! queue. This one adds the two service-specific operations the channel
+//! could not provide anyway:
+//!
+//! * [`BoundedQueue::try_push`] — non-blocking admission, the backpressure
+//!   signal surfaced to clients as `QueueFull`;
+//! * [`BoundedQueue::drain_matching`] — removes every queued item matching
+//!   a predicate (up to a limit), preserving the relative order of what
+//!   remains. This is how a worker coalesces same-fingerprint requests
+//!   into one batch.
+//!
+//! Closing the queue wakes all waiters; pops drain remaining items before
+//! reporting closure, so shutdown never drops accepted work.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push did not enqueue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity (only from [`BoundedQueue::try_push`]).
+    Full(T),
+    /// The queue is closed; no more items are accepted.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded multi-producer multi-consumer FIFO. See the module docs.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.items.len() >= self.capacity && !inner.closed {
+            inner = self.not_full.wait(inner).unwrap();
+        }
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues `item` only if there is room right now.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty. Returns
+    /// `None` only once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Removes up to `max` queued items satisfying `pred`, in FIFO order,
+    /// leaving the rest in their original relative order. Never blocks.
+    pub fn drain_matching(&self, mut pred: impl FnMut(&T) -> bool, max: usize) -> Vec<T> {
+        if max == 0 {
+            return Vec::new();
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let mut taken = Vec::new();
+        let mut kept = VecDeque::with_capacity(inner.items.len());
+        while let Some(item) = inner.items.pop_front() {
+            if taken.len() < max && pred(&item) {
+                taken.push(item);
+            } else {
+                kept.push_back(item);
+            }
+        }
+        inner.items = kept;
+        drop(inner);
+        if !taken.is_empty() {
+            self.not_full.notify_all();
+        }
+        taken
+    }
+
+    /// Closes the queue: pending and future pushes fail, pops drain the
+    /// remainder then return `None`. Idempotent.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_and_backpressure() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn drain_matching_preserves_order() {
+        let q = BoundedQueue::new(8);
+        for i in 0..6 {
+            q.push(i).unwrap();
+        }
+        let even = q.drain_matching(|x| x % 2 == 0, 2);
+        assert_eq!(even, vec![0, 2]);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4), "beyond-max match stays queued");
+        assert_eq!(q.pop(), Some(5));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.push(7).unwrap();
+        q.close();
+        assert_eq!(q.push(8), Err(PushError::Closed(8)));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_push_resumes_after_pop() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = thread::spawn(move || q2.push(1).is_ok());
+        thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(q.pop(), Some(0));
+        assert!(pusher.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let popper = thread::spawn(move || q2.pop());
+        thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(popper.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,491 @@
+//! The solve service: fingerprint → cached plan → (batched) solve.
+//!
+//! [`SolveService`] fronts the whole SPCG pipeline behind two entry
+//! styles:
+//!
+//! * **Synchronous** — [`solve`](SolveService::solve) /
+//!   [`solve_in_place`](SolveService::solve_in_place) run on the calling
+//!   thread. The in-place variant is the zero-allocation hot path: once a
+//!   plan is cached and the caller's workspace is warm, a request performs
+//!   no heap allocation at all (fingerprint, cache hit, PCG loop included).
+//! * **Queued** — [`submit`](SolveService::submit) /
+//!   [`try_submit`](SolveService::try_submit) hand the request to a
+//!   `std::thread` worker pool behind a bounded queue (`try_submit` is the
+//!   backpressure edge: it fails fast with [`ServeError::QueueFull`]).
+//!   A worker that dequeues a request waits out a small **admission
+//!   window**, then drains every same-fingerprint request still queued and
+//!   solves them as one batch through a single reused workspace — the
+//!   cross-request analogue of [`SpcgPlan::solve_many`].
+//!
+//! Requests fail independently: a right-hand side that breaks down falls
+//! back to the resilient ladder ([`SpcgPlan::solve_resilient`]) without
+//! touching its batchmates, and a poisoned request (injected fault) recovers
+//! or degrades alone.
+//!
+//! Numerics are identical on every path: a batched, cached, multi-worker
+//! solve returns bit-for-bit the vector a fresh single-threaded
+//! [`SpcgPlan::solve`] would (asserted by this crate's tests).
+
+use crate::cache::{CacheConfig, CacheStats, PlanCache};
+use crate::queue::{BoundedQueue, PushError};
+use spcg_core::{FaultInjection, ResilienceOptions, SpcgOptions, SpcgPlan};
+use spcg_probe::{Counter, Probe, Span};
+use spcg_solver::{SolveResult, SolveStats, SolveWorkspace, SolverError, StopReason};
+use spcg_sparse::{CsrMatrix, MatrixFingerprint, Scalar, SparseError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of a [`SolveService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads in the pool (min 1).
+    pub workers: usize,
+    /// Bounded queue depth; `try_submit` fails once it is full.
+    pub queue_capacity: usize,
+    /// How long a worker waits after dequeuing a request for
+    /// same-fingerprint requests to arrive before solving. Zero disables
+    /// coalescing delay (the worker still drains whatever already queued).
+    pub batch_window: Duration,
+    /// Maximum right-hand sides coalesced into one batch.
+    pub batch_limit: usize,
+    /// Plan-cache sizing.
+    pub cache: CacheConfig,
+    /// Pipeline options used to build every plan.
+    pub options: SpcgOptions,
+    /// Ladder options for breakdown fallback (`fault` is overridden
+    /// per-request; see [`SolveService::submit_with_fault`]).
+    pub resilience: ResilienceOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_capacity: 64,
+            batch_window: Duration::from_micros(200),
+            batch_limit: 32,
+            cache: CacheConfig::default(),
+            options: SpcgOptions::default(),
+            resilience: ResilienceOptions::default(),
+        }
+    }
+}
+
+/// Why the service could not complete a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// `try_submit` bounced off a full queue — retry later (backpressure).
+    QueueFull,
+    /// The service is shutting down.
+    Closed,
+    /// Plan construction failed for the submitted matrix.
+    PlanBuild(SparseError),
+    /// The solve itself rejected the request (dimension mismatch, …).
+    Solver(SolverError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "queue full, request rejected (backpressure)"),
+            ServeError::Closed => write!(f, "service closed"),
+            ServeError::PlanBuild(e) => write!(f, "plan construction failed: {e}"),
+            ServeError::Solver(e) => write!(f, "solver rejected request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SolverError> for ServeError {
+    fn from(e: SolverError) -> Self {
+        ServeError::Solver(e)
+    }
+}
+
+/// A completed request: the solve result plus serving metadata.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome<T: Scalar> {
+    /// The solve result — bitwise identical to a fresh
+    /// [`SpcgPlan::solve`] of the same system.
+    pub result: SolveResult<T>,
+    /// Present when the request went through the resilient ladder
+    /// (breakdown fallback or injected fault).
+    pub report: Option<spcg_core::RecoveryReport>,
+    /// `true` when the plan came out of the cache.
+    pub cache_hit: bool,
+    /// Number of right-hand sides in the batch this request rode in
+    /// (1 = solved alone).
+    pub batch_size: usize,
+}
+
+/// Handle to a queued request; redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket<T: Scalar> {
+    rx: mpsc::Receiver<Result<ServeOutcome<T>, ServeError>>,
+}
+
+impl<T: Scalar> Ticket<T> {
+    /// Blocks until the worker pool finishes this request.
+    pub fn wait(self) -> Result<ServeOutcome<T>, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+}
+
+/// Aggregate service counters (see [`SolveService::stats`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Requests accepted (queued + synchronous). Excludes rejections.
+    pub requests: u64,
+    /// Requests fully processed (including failed solves).
+    pub completed: u64,
+    /// Batches executed by the worker pool.
+    pub batches: u64,
+    /// Right-hand sides that rode in a batch of size ≥ 2.
+    pub batched_rhs: u64,
+    /// Largest batch executed.
+    pub max_batch: u64,
+    /// `try_submit` rejections (backpressure events).
+    pub rejected: u64,
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+}
+
+struct Request<T: Scalar> {
+    fp: MatrixFingerprint,
+    a: Arc<CsrMatrix<T>>,
+    b: Vec<T>,
+    fault: Option<FaultInjection>,
+    reply: mpsc::Sender<Result<ServeOutcome<T>, ServeError>>,
+}
+
+struct Inner<T: Scalar> {
+    cfg: ServiceConfig,
+    cache: PlanCache<T>,
+    queue: BoundedQueue<Request<T>>,
+    requests: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    batched_rhs: AtomicU64,
+    max_batch: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// Thread-safe, plan-caching, request-batching solve service. See the
+/// module docs for the architecture.
+pub struct SolveService<T: Scalar = f64> {
+    inner: Arc<Inner<T>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
+    /// Starts the worker pool and returns the service handle. The handle
+    /// is `Send + Sync`; share it across client threads directly or behind
+    /// an `Arc`.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let workers = cfg.workers.max(1);
+        let inner = Arc::new(Inner {
+            cache: PlanCache::new(cfg.cache),
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            cfg,
+            requests: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_rhs: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Self { inner, workers: handles }
+    }
+
+    /// The plan for `a`, built on this thread and cached if absent.
+    /// Exactly one cache lookup is counted (a hit or a miss), so
+    /// `hits + misses` always equals the number of requests.
+    pub fn plan_for(&self, a: &CsrMatrix<T>) -> Result<Arc<SpcgPlan<T>>, ServeError> {
+        let fp = MatrixFingerprint::of(a);
+        self.inner.plan_for(fp, a).map(|(plan, _)| plan)
+    }
+
+    /// Synchronous cached solve on the calling thread.
+    pub fn solve(&self, a: &CsrMatrix<T>, b: &[T]) -> Result<ServeOutcome<T>, ServeError> {
+        self.solve_probed(a, b, &mut spcg_probe::NoProbe)
+    }
+
+    /// [`solve`](SolveService::solve) with an observability [`Probe`]: the
+    /// request is bracketed in `Span::ServeRequest` and cache traffic is
+    /// reported through the `serve.cache.*` counters.
+    pub fn solve_probed<P: Probe>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &[T],
+        probe: &mut P,
+    ) -> Result<ServeOutcome<T>, ServeError> {
+        probe.span_begin(Span::ServeRequest);
+        self.inner.requests.fetch_add(1, Ordering::Relaxed);
+        let fp = MatrixFingerprint::of(a);
+        let out = (|| {
+            let (plan, cache_hit) = self.inner.plan_for(fp, a)?;
+            probe.counter(
+                if cache_hit { Counter::ServeCacheHit } else { Counter::ServeCacheMiss },
+                1,
+            );
+            let mut ws = plan.make_workspace();
+            let result = plan.solve_with_workspace_probed(b, &mut ws, probe)?;
+            let (result, report) = if matches!(result.stop, StopReason::Breakdown(_)) {
+                let rs = plan.solve_resilient_with_workspace_probed(
+                    b,
+                    &self.inner.cfg.resilience,
+                    &mut ws,
+                    probe,
+                )?;
+                (rs.result, Some(rs.report))
+            } else {
+                (result, None)
+            };
+            Ok(ServeOutcome { result, report, cache_hit, batch_size: 1 })
+        })();
+        self.inner.completed.fetch_add(1, Ordering::Relaxed);
+        probe.span_end(Span::ServeRequest);
+        out
+    }
+
+    /// The zero-allocation hot path: fingerprint, cache hit, and an
+    /// in-place solve through the caller's workspace. Once the plan is
+    /// cached and `ws` is warm, a call performs no heap allocation; the
+    /// iterate is left in `ws.solution()`. A cache miss builds (and
+    /// caches) the plan first — that cold path allocates, exactly once per
+    /// fingerprint.
+    pub fn solve_in_place(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &[T],
+        ws: &mut SolveWorkspace<T>,
+    ) -> Result<SolveStats, ServeError> {
+        self.inner.requests.fetch_add(1, Ordering::Relaxed);
+        let fp = MatrixFingerprint::of(a);
+        let (plan, _) = self.inner.plan_for(fp, a)?;
+        let stats = plan.solve_in_place(b, ws)?;
+        self.inner.completed.fetch_add(1, Ordering::Relaxed);
+        Ok(stats)
+    }
+
+    /// Queues a request for the worker pool, blocking while the queue is
+    /// full. The matrix travels as an `Arc` so same-system clients share
+    /// one copy.
+    pub fn submit(&self, a: Arc<CsrMatrix<T>>, b: Vec<T>) -> Result<Ticket<T>, ServeError> {
+        self.enqueue(a, b, None, false)
+    }
+
+    /// Non-blocking [`submit`](SolveService::submit): fails immediately
+    /// with [`ServeError::QueueFull`] when the queue is at capacity. This
+    /// is the backpressure edge — callers shed or retry.
+    pub fn try_submit(&self, a: Arc<CsrMatrix<T>>, b: Vec<T>) -> Result<Ticket<T>, ServeError> {
+        self.enqueue(a, b, None, true)
+    }
+
+    /// [`submit`](SolveService::submit) with a deterministic injected
+    /// fault, for resilience testing: the request is solved through the
+    /// fallback ladder and recovers (or degrades) without affecting its
+    /// batchmates.
+    pub fn submit_with_fault(
+        &self,
+        a: Arc<CsrMatrix<T>>,
+        b: Vec<T>,
+        fault: FaultInjection,
+    ) -> Result<Ticket<T>, ServeError> {
+        self.enqueue(a, b, Some(fault), false)
+    }
+
+    fn enqueue(
+        &self,
+        a: Arc<CsrMatrix<T>>,
+        b: Vec<T>,
+        fault: Option<FaultInjection>,
+        bounded: bool,
+    ) -> Result<Ticket<T>, ServeError> {
+        let fp = MatrixFingerprint::of(a.as_ref());
+        let (tx, rx) = mpsc::channel();
+        let req = Request { fp, a, b, fault, reply: tx };
+        let pushed =
+            if bounded { self.inner.queue.try_push(req) } else { self.inner.queue.push(req) };
+        match pushed {
+            Ok(()) => {
+                self.inner.requests.fetch_add(1, Ordering::Relaxed);
+                Ok(Ticket { rx })
+            }
+            Err(PushError::Full(_)) => {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::QueueFull)
+            }
+            Err(PushError::Closed(_)) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Aggregate counters. Once clients and workers are quiescent,
+    /// `cache.hits + cache.misses == requests` — every accepted request
+    /// performs exactly one counted cache lookup.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.inner.requests.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            batches: self.inner.batches.load(Ordering::Relaxed),
+            batched_rhs: self.inner.batched_rhs.load(Ordering::Relaxed),
+            max_batch: self.inner.max_batch.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            cache: self.inner.cache.stats(),
+        }
+    }
+
+    /// Emits the service counters through the `serve.*` probe vocabulary.
+    pub fn emit_counters<P: Probe>(&self, probe: &mut P) {
+        let s = self.stats();
+        self.inner.cache.emit_counters(probe);
+        probe.counter(Counter::ServeBatches, s.batches);
+        probe.counter(Counter::ServeBatchedRhs, s.batched_rhs);
+        probe.counter(Counter::ServeRejected, s.rejected);
+    }
+
+    /// The plan cache (diagnostics and tests).
+    pub fn cache(&self) -> &PlanCache<T> {
+        &self.inner.cache
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.cfg
+    }
+}
+
+impl<T: Scalar> Drop for SolveService<T> {
+    fn drop(&mut self) {
+        self.inner.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for SolveService<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveService")
+            .field("workers", &self.workers.len())
+            .field("cache", &self.inner.cache)
+            .finish()
+    }
+}
+
+impl<T: Scalar> Inner<T> {
+    /// Cache lookup, building and inserting on a miss. Exactly one lookup
+    /// is counted per call. Two threads racing the same cold fingerprint
+    /// may both build; both results are numerically identical (the whole
+    /// pipeline is deterministic), the second insert wins, and correctness
+    /// is unaffected — the duplicate work is bounded by the race.
+    fn plan_for(
+        &self,
+        fp: MatrixFingerprint,
+        a: &CsrMatrix<T>,
+    ) -> Result<(Arc<SpcgPlan<T>>, bool), ServeError> {
+        if let Some(plan) = self.cache.get(&fp) {
+            return Ok((plan, true));
+        }
+        let plan = Arc::new(SpcgPlan::build(a, &self.cfg.options).map_err(ServeError::PlanBuild)?);
+        self.cache.insert(fp, Arc::clone(&plan));
+        Ok((plan, false))
+    }
+
+    /// Solves one right-hand side: planned path first, resilient ladder on
+    /// breakdown (or straight to the ladder when a fault is injected).
+    fn solve_one(
+        &self,
+        plan: &SpcgPlan<T>,
+        b: &[T],
+        fault: Option<FaultInjection>,
+        ws: &mut SolveWorkspace<T>,
+    ) -> Result<(SolveResult<T>, Option<spcg_core::RecoveryReport>), ServeError> {
+        if let Some(fault) = fault {
+            let ropts = ResilienceOptions { fault: Some(fault), ..self.cfg.resilience.clone() };
+            let rs = plan.solve_resilient_with_workspace(b, &ropts, ws)?;
+            return Ok((rs.result, Some(rs.report)));
+        }
+        let result = plan.solve_with_workspace(b, ws)?;
+        if matches!(result.stop, StopReason::Breakdown(_)) {
+            let rs = plan.solve_resilient_with_workspace(b, &self.cfg.resilience, ws)?;
+            return Ok((rs.result, Some(rs.report)));
+        }
+        Ok((result, None))
+    }
+}
+
+/// One worker: pop a request, wait out the admission window, coalesce every
+/// same-fingerprint request still queued, solve the batch sequentially
+/// through one reused workspace, reply per request.
+///
+/// The batch is solved on *this* thread on purpose: pool-level parallelism
+/// comes from running many workers, and keeping each batch single-threaded
+/// makes worker count the only parallelism knob (no nested fan-out
+/// oversubscribing the machine) while preserving bitwise-identical results.
+fn worker_loop<T: Scalar + Send + Sync>(inner: &Inner<T>) {
+    while let Some(first) = inner.queue.pop() {
+        if inner.cfg.batch_limit > 1 && !inner.cfg.batch_window.is_zero() {
+            std::thread::sleep(inner.cfg.batch_window);
+        }
+        let fp = first.fp;
+        let mut batch = vec![first];
+        if inner.cfg.batch_limit > 1 {
+            batch.extend(
+                inner.queue.drain_matching(|r| r.fp == fp, inner.cfg.batch_limit - batch.len()),
+            );
+        }
+        let size = batch.len();
+        inner.batches.fetch_add(1, Ordering::Relaxed);
+        inner.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+        if size > 1 {
+            inner.batched_rhs.fetch_add(size as u64, Ordering::Relaxed);
+        }
+
+        // One counted cache lookup per request in the batch: the leader
+        // resolves (or builds) the plan, coalesced followers re-look it up
+        // — by then resident, so they tally as the cache hits they
+        // logically are, and `hits + misses` keeps equaling requests.
+        let leader = inner.plan_for(fp, batch[0].a.as_ref());
+        let (plan, leader_hit) = match leader {
+            Ok(pair) => pair,
+            Err(e) => {
+                for req in batch {
+                    // Count before replying: a client that sees the reply
+                    // must also see the request as completed in stats.
+                    inner.completed.fetch_add(1, Ordering::Relaxed);
+                    let _ = req.reply.send(Err(e.clone()));
+                }
+                continue;
+            }
+        };
+
+        let mut ws = plan.make_workspace();
+        for (i, req) in batch.into_iter().enumerate() {
+            let cache_hit = if i == 0 { leader_hit } else { inner.cache.get(&fp).is_some() };
+            let reply =
+                inner.solve_one(&plan, &req.b, req.fault, &mut ws).map(|(result, report)| {
+                    ServeOutcome { result, report, cache_hit, batch_size: size }
+                });
+            // Count before replying (see the error branch above).
+            inner.completed.fetch_add(1, Ordering::Relaxed);
+            let _ = req.reply.send(reply);
+        }
+    }
+}
+
+#[allow(unused)]
+fn _assert_service_is_sync<T: Scalar + Send + Sync + 'static>() {
+    fn assert_sync<S: Send + Sync>() {}
+    assert_sync::<SolveService<T>>();
+    assert_sync::<Arc<SpcgPlan<T>>>();
+}

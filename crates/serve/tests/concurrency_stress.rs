@@ -1,0 +1,225 @@
+//! Concurrency stress: many client threads hammer one service with
+//! interleaved systems and injected faults, and every answer must be
+//! **bitwise identical** to the single-threaded solve of the same request —
+//! no matter which worker ran it, what batch it rode in, or what its
+//! batchmates did. The run completing at all is the no-deadlock assertion
+//! (belt-and-braces: the whole exchange runs under a watchdog), and the
+//! cache counters must reconcile exactly afterwards.
+
+use spcg_core::{FaultInjection, ResilienceOptions, SpcgOptions, SpcgPlan};
+use spcg_serve::{CacheConfig, ServiceConfig, SolveService};
+use spcg_solver::SolverConfig;
+use spcg_sparse::generators::{layered_poisson_2d, poisson_2d, with_magnitude_spread};
+use spcg_sparse::{CsrMatrix, Rng};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+const CLIENTS: usize = 8;
+const PER_CLIENT: usize = 8;
+
+fn matrices() -> Vec<Arc<CsrMatrix<f64>>> {
+    vec![
+        Arc::new(with_magnitude_spread(&poisson_2d(14, 14), 5.0, 3)),
+        Arc::new(with_magnitude_spread(&layered_poisson_2d(12, 12, 4, 0.015), 1.0, 5)),
+        Arc::new(with_magnitude_spread(&poisson_2d(12, 15), 4.0, 9)),
+    ]
+}
+
+fn options() -> SpcgOptions {
+    SpcgOptions {
+        solver: SolverConfig::default().with_tol(1e-10).with_history(true),
+        ..SpcgOptions::default()
+    }
+}
+
+fn matrix_index(client: usize, i: usize, count: usize) -> usize {
+    (client + i) % count
+}
+
+/// Every 5th request of clients 0 and 3 carries a NaN injection: its solve
+/// breaks down at iteration 2 and must recover through the ladder.
+fn fault_for(client: usize, i: usize) -> Option<FaultInjection> {
+    ((client == 0 || client == 3) && i % 5 == 2).then(|| FaultInjection::nan_at(2))
+}
+
+fn rhs_for(n: usize, client: usize, i: usize) -> Vec<f64> {
+    let mut rng = Rng::new(1000 + (client * 131 + i) as u64);
+    (0..n).map(|_| rng.range(-1.0, 1.0)).collect()
+}
+
+#[test]
+fn hammered_service_is_bitwise_identical_and_reconciles() {
+    let mats = matrices();
+    let opts = options();
+
+    // Single-threaded golden answers, computed before the service exists.
+    let plans: Vec<SpcgPlan<f64>> =
+        mats.iter().map(|m| SpcgPlan::build(m, &opts).unwrap()).collect();
+    let golden: Vec<Vec<Vec<f64>>> = (0..CLIENTS)
+        .map(|client| {
+            (0..PER_CLIENT)
+                .map(|i| {
+                    let m = matrix_index(client, i, mats.len());
+                    let b = rhs_for(mats[m].n_rows(), client, i);
+                    match fault_for(client, i) {
+                        None => plans[m].solve(&b).unwrap().x,
+                        Some(fault) => {
+                            let ropts = ResilienceOptions {
+                                fault: Some(fault),
+                                ..ResilienceOptions::default()
+                            };
+                            let mut ws = plans[m].make_workspace();
+                            let rs = plans[m]
+                                .solve_resilient_with_workspace(&b, &ropts, &mut ws)
+                                .unwrap();
+                            assert!(!rs.report.clean(), "fault must force a recovery");
+                            rs.result.x
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // Watchdog: the hammering runs on its own thread; a deadlock anywhere
+    // (queue, cache shard, worker pool) trips the timeout instead of
+    // hanging the suite.
+    let (done_tx, done_rx) = mpsc::channel();
+    let mats2 = mats.clone();
+    let golden = Arc::new(golden);
+    let golden2 = Arc::clone(&golden);
+    let opts2 = opts.clone();
+    let hammer = std::thread::spawn(move || {
+        let service = SolveService::new(ServiceConfig {
+            workers: 4,
+            queue_capacity: 16,
+            batch_window: Duration::from_micros(100),
+            batch_limit: 8,
+            cache: CacheConfig { shards: 2, capacity: 8, byte_budget: 64 << 20 },
+            options: opts2,
+            resilience: ResilienceOptions::default(),
+        });
+        std::thread::scope(|s| {
+            for client in 0..CLIENTS {
+                let service = &service;
+                let mats = &mats2;
+                let golden = &golden2;
+                s.spawn(move || {
+                    let mut tickets = Vec::new();
+                    for i in 0..PER_CLIENT {
+                        let m = matrix_index(client, i, mats.len());
+                        let b = rhs_for(mats[m].n_rows(), client, i);
+                        let ticket = match fault_for(client, i) {
+                            None => service.submit(Arc::clone(&mats[m]), b),
+                            Some(f) => service.submit_with_fault(Arc::clone(&mats[m]), b, f),
+                        };
+                        tickets.push((i, ticket.expect("queue accepts while service lives")));
+                    }
+                    for (i, ticket) in tickets {
+                        let out = ticket.wait().expect("request completes");
+                        assert!(out.result.converged(), "client {client} req {i} did not converge");
+                        assert_eq!(
+                            out.result.x, golden[client][i],
+                            "client {client} req {i}: served result diverged bitwise \
+                             from the single-threaded solve"
+                        );
+                        assert_eq!(out.report.is_some(), fault_for(client, i).is_some());
+                    }
+                });
+            }
+        });
+        let stats = service.stats();
+        done_tx.send(stats).unwrap();
+    });
+
+    let stats = done_rx
+        .recv_timeout(Duration::from_secs(120))
+        .expect("stress run deadlocked (watchdog fired)");
+    hammer.join().unwrap();
+
+    let requests = (CLIENTS * PER_CLIENT) as u64;
+    assert_eq!(stats.requests, requests);
+    assert_eq!(stats.completed, requests, "every accepted request must be answered");
+    assert_eq!(
+        stats.cache.hits + stats.cache.misses,
+        requests,
+        "cache counters must reconcile: hits {} + misses {} != requests {requests}",
+        stats.cache.hits,
+        stats.cache.misses
+    );
+    assert_eq!(stats.rejected, 0, "blocking submit never rejects");
+    assert!(stats.cache.entries <= 8, "cache capacity respected under load");
+}
+
+#[test]
+fn backpressure_rejects_then_recovers() {
+    let mats = matrices();
+    let opts = options();
+    let service = SolveService::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        // A long admission window keeps the single worker parked after its
+        // first pop, so the 1-slot queue observably fills.
+        batch_window: Duration::from_millis(100),
+        batch_limit: 2,
+        options: opts,
+        ..ServiceConfig::default()
+    });
+    let b = rhs_for(mats[0].n_rows(), 0, 0);
+
+    let mut tickets = Vec::new();
+    let mut rejected = 0;
+    // Push until the queue bounces: with the worker asleep in its window,
+    // at most 1 (in flight) + 1 (queued) are accepted.
+    for _ in 0..8 {
+        match service.try_submit(Arc::clone(&mats[0]), b.clone()) {
+            Ok(t) => tickets.push(t),
+            Err(spcg_serve::ServeError::QueueFull) => rejected += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(rejected > 0, "bounded queue must shed load under pressure");
+    assert!(!tickets.is_empty());
+    for t in tickets {
+        assert!(t.wait().unwrap().result.converged());
+    }
+    let stats = service.stats();
+    assert_eq!(stats.rejected, rejected);
+    assert_eq!(stats.cache.hits + stats.cache.misses, stats.requests);
+
+    // Once drained, the service accepts work again.
+    let t = service.try_submit(Arc::clone(&mats[0]), b).unwrap();
+    assert!(t.wait().unwrap().result.converged());
+}
+
+#[test]
+fn coalesced_batch_matches_individual_solves() {
+    let mats = matrices();
+    let opts = options();
+    let plan = SpcgPlan::build(&mats[0], &opts).unwrap();
+    let service = SolveService::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 32,
+        batch_window: Duration::from_millis(50),
+        batch_limit: 16,
+        options: opts,
+        ..ServiceConfig::default()
+    });
+    // Same fingerprint, distinct right-hand sides, submitted while the
+    // worker waits out its window: they coalesce into one batch.
+    let tickets: Vec<_> = (0..6)
+        .map(|i| {
+            let b = rhs_for(mats[0].n_rows(), 9, i);
+            service.submit(Arc::clone(&mats[0]), b).unwrap()
+        })
+        .collect();
+    let mut max_batch = 0;
+    for (i, t) in tickets.into_iter().enumerate() {
+        let out = t.wait().unwrap();
+        let b = rhs_for(mats[0].n_rows(), 9, i);
+        assert_eq!(out.result.x, plan.solve(&b).unwrap().x, "request {i} diverged in a batch");
+        max_batch = max_batch.max(out.batch_size);
+    }
+    assert!(max_batch >= 2, "the admission window should coalesce at least one pair");
+    assert!(service.stats().max_batch >= 2);
+}

@@ -1,0 +1,180 @@
+//! Property tests for the plan-cache invariants:
+//!
+//! 1. occupancy never exceeds the entry capacity, and resident bytes never
+//!    exceed the byte budget (when no single plan is itself over budget);
+//! 2. eviction is LRU-consistent — a single-shard cache behaves exactly
+//!    like a reference model that evicts the least-recently-touched key;
+//! 3. two matrices with identical sparsity but different values never
+//!    share a cached plan (the fingerprint's value digest separates them).
+//!
+//! Plans are built once into a pool (they are the expensive part) and the
+//! properties drive random get/insert schedules against them.
+
+use proptest::prelude::*;
+use spcg_core::{SpcgOptions, SpcgPlan};
+use spcg_serve::{CacheConfig, PlanCache};
+use spcg_sparse::generators::{poisson_2d, with_magnitude_spread};
+use spcg_sparse::{CsrMatrix, MatrixFingerprint};
+use std::sync::{Arc, OnceLock};
+
+type Pooled = (MatrixFingerprint, Arc<SpcgPlan<f64>>);
+
+/// Eight distinct systems: four different structures, and for two of the
+/// structures a same-pattern/different-values twin (scaled copy).
+fn pool() -> &'static Vec<Pooled> {
+    static POOL: OnceLock<Vec<Pooled>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let mut mats: Vec<CsrMatrix<f64>> = vec![
+            poisson_2d(6, 6),
+            poisson_2d(7, 6),
+            with_magnitude_spread(&poisson_2d(6, 7), 3.0, 5),
+            poisson_2d(8, 7),
+        ];
+        let twins: Vec<CsrMatrix<f64>> =
+            [&mats[0], &mats[2]].iter().map(|m| m.map_values(|v| v * 1.5)).collect();
+        mats.extend(twins);
+        mats.iter()
+            .map(|a| {
+                let fp = MatrixFingerprint::of(a);
+                (fp, Arc::new(SpcgPlan::build(a, SpcgOptions::default()).unwrap()))
+            })
+            .collect()
+    })
+}
+
+/// Reference LRU model over fingerprints (single shard, entry capacity).
+struct ModelLru {
+    /// Most-recent last.
+    order: Vec<usize>,
+    capacity: usize,
+}
+
+impl ModelLru {
+    fn touch(&mut self, idx: usize) {
+        self.order.retain(|&i| i != idx);
+        self.order.push(idx);
+    }
+
+    fn insert(&mut self, idx: usize) {
+        self.touch(idx);
+        if self.order.len() > self.capacity {
+            self.order.remove(0);
+        }
+    }
+
+    fn contains(&self, idx: usize) -> bool {
+        self.order.contains(&idx)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Invariant 1 (entries): across any schedule of inserts and gets, with
+    /// any shard count, occupancy never exceeds the configured capacity.
+    #[test]
+    fn occupancy_never_exceeds_capacity(
+        shards in 1usize..5,
+        capacity in 1usize..7,
+        ops in prop::collection::vec((0usize..8, 0usize..2), 1..40),
+    ) {
+        let pool = pool();
+        let cache: PlanCache<f64> =
+            PlanCache::new(CacheConfig { shards, capacity, byte_budget: usize::MAX });
+        for (pick, op) in ops {
+            let (fp, plan) = &pool[pick % pool.len()];
+            if op == 0 {
+                cache.insert(*fp, Arc::clone(plan));
+            } else {
+                let _ = cache.get(fp);
+            }
+            prop_assert!(cache.len() <= capacity,
+                "occupancy {} exceeds capacity {capacity}", cache.len());
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.entries, cache.len());
+        prop_assert!(s.insertions >= s.evictions);
+    }
+
+    /// Invariant 1 (bytes): whenever each shard's share of the budget is
+    /// at least one plan wide (so the documented admit-oversized-alone
+    /// exception cannot trigger), resident bytes never exceed the budget.
+    #[test]
+    fn resident_bytes_never_exceed_budget(
+        shards in 1usize..4,
+        extra in 0usize..3,
+        ops in prop::collection::vec(0usize..8, 1..30),
+    ) {
+        let pool = pool();
+        let widest = pool.iter().map(|(_, p)| p.approx_bytes()).max().unwrap();
+        // One plan-width per shard, plus 0–2 widths of headroom.
+        let budget = widest * (shards + extra);
+        let cache: PlanCache<f64> =
+            PlanCache::new(CacheConfig { shards, capacity: pool.len(), byte_budget: budget });
+        for pick in ops {
+            let (fp, plan) = &pool[pick % pool.len()];
+            cache.insert(*fp, Arc::clone(plan));
+            prop_assert!(cache.bytes() <= budget,
+                "resident {} bytes exceed budget {budget}", cache.bytes());
+        }
+    }
+
+    /// Invariant 2: a single-shard cache evicts exactly the key a
+    /// reference LRU model evicts, for any interleaving of gets and
+    /// inserts. (Sharded caches are LRU per shard — the model holds within
+    /// each shard; this pins the per-shard policy.)
+    #[test]
+    fn eviction_is_lru_consistent(
+        capacity in 1usize..5,
+        ops in prop::collection::vec((0usize..8, 0usize..2), 1..50),
+    ) {
+        let pool = pool();
+        let cache: PlanCache<f64> =
+            PlanCache::new(CacheConfig { shards: 1, capacity, byte_budget: usize::MAX });
+        let mut model = ModelLru { order: Vec::new(), capacity };
+        for (pick, op) in ops {
+            let idx = pick % pool.len();
+            let (fp, plan) = &pool[idx];
+            if op == 0 {
+                cache.insert(*fp, Arc::clone(plan));
+                model.insert(idx);
+            } else {
+                let hit = cache.get(fp).is_some();
+                prop_assert_eq!(hit, model.contains(idx), "hit/miss diverged from model");
+                if hit {
+                    model.touch(idx);
+                }
+            }
+            for (i, (fp, _)) in pool.iter().enumerate() {
+                prop_assert_eq!(cache.contains(fp), model.contains(i),
+                    "residency of pool[{}] diverged from the LRU model", i);
+            }
+        }
+    }
+
+    /// Invariant 3: same-pattern/different-values twins never resolve to
+    /// the same cached plan, under any schedule.
+    #[test]
+    fn value_twins_never_share_plans(
+        ops in prop::collection::vec(0usize..8, 1..30),
+    ) {
+        let pool = pool();
+        // pool[4] is a scaled twin of pool[0], pool[5] of pool[2].
+        for (a, b) in [(0, 4), (2, 5)] {
+            prop_assert!(pool[a].0.same_structure(&pool[b].0));
+            prop_assert!(pool[a].0 != pool[b].0);
+        }
+        let cache: PlanCache<f64> = PlanCache::new(CacheConfig::default());
+        for pick in ops {
+            let (fp, plan) = &pool[pick % pool.len()];
+            cache.insert(*fp, Arc::clone(plan));
+        }
+        for (a, b) in [(0usize, 4usize), (2, 5)] {
+            if let (Some(pa), Some(pb)) = (cache.get(&pool[a].0), cache.get(&pool[b].0)) {
+                prop_assert!(!Arc::ptr_eq(&pa, &pb),
+                    "twins with different values shared one plan");
+                prop_assert!(pa.a().values() != pb.a().values());
+            }
+        }
+    }
+}

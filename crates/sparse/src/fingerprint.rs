@@ -1,0 +1,143 @@
+//! Content fingerprints for CSR matrices.
+//!
+//! A [`MatrixFingerprint`] identifies a linear system for plan-cache
+//! purposes: two matrices with the same fingerprint may share the analysis
+//! (sparsification decision, incomplete factors, level schedules) computed
+//! for one of them. It is the concatenation of
+//!
+//! * a **structure hash** over the dimensions, `row_ptr`, and `col_idx`
+//!   arrays — the sparsity pattern that determines the level schedules; and
+//! * a **value digest** over the bit patterns of the stored values — two
+//!   systems with identical sparsity but different values must *never*
+//!   share numeric factors, so the digest is part of the identity.
+//!
+//! Both are FNV-1a-style 64-bit hashes computed in one allocation-free
+//! sweep. Collisions are theoretically possible, as with any hashing
+//! scheme; a cache keyed on fingerprints trades that (astronomically
+//! unlikely) risk for O(nnz) identification instead of O(nnz) comparison
+//! against every cached matrix.
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use std::fmt;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+#[inline]
+fn fnv1a_u64(mut h: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Identity of a CSR matrix for caching: structure hash + value digest.
+///
+/// `Eq`/`Hash` cover every field, so a fingerprint can key a `HashMap`
+/// directly. Construction is allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MatrixFingerprint {
+    /// FNV-1a hash of dimensions, `row_ptr`, and `col_idx`.
+    pub structure: u64,
+    /// FNV-1a hash of the stored values' bit patterns (via
+    /// [`Scalar::to_f64`], exact for `f32`/`f64`).
+    pub values: u64,
+    /// Number of rows, kept verbatim as a cheap first-level discriminator.
+    pub n_rows: usize,
+    /// Number of stored entries, ditto.
+    pub nnz: usize,
+}
+
+impl MatrixFingerprint {
+    /// Computes the fingerprint of `a` in one pass over its arrays.
+    pub fn of<T: Scalar>(a: &CsrMatrix<T>) -> Self {
+        let mut s = FNV_OFFSET;
+        s = fnv1a_u64(s, a.n_rows() as u64);
+        s = fnv1a_u64(s, a.n_cols() as u64);
+        for &p in a.row_ptr() {
+            s = fnv1a_u64(s, p as u64);
+        }
+        for &c in a.col_idx() {
+            s = fnv1a_u64(s, c as u64);
+        }
+        let mut v = FNV_OFFSET;
+        for &x in a.values() {
+            v = fnv1a_u64(v, x.to_f64().to_bits());
+        }
+        Self { structure: s, values: v, n_rows: a.n_rows(), nnz: a.nnz() }
+    }
+
+    /// `true` when the two fingerprints share the sparsity pattern
+    /// (regardless of values) — the precondition for reusing symbolic
+    /// analysis such as level schedules.
+    pub fn same_structure(&self, other: &Self) -> bool {
+        self.structure == other.structure && self.n_rows == other.n_rows && self.nnz == other.nnz
+    }
+}
+
+impl fmt::Display for MatrixFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}:{:016x}", self.structure, self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::poisson_2d;
+
+    #[test]
+    fn identical_matrices_agree() {
+        let a = poisson_2d(8, 8);
+        let b = poisson_2d(8, 8);
+        assert_eq!(MatrixFingerprint::of(&a), MatrixFingerprint::of(&b));
+    }
+
+    #[test]
+    fn different_structure_differs() {
+        let a = poisson_2d(8, 8);
+        let b = poisson_2d(8, 9);
+        let (fa, fb) = (MatrixFingerprint::of(&a), MatrixFingerprint::of(&b));
+        assert_ne!(fa, fb);
+        assert!(!fa.same_structure(&fb));
+    }
+
+    #[test]
+    fn same_structure_different_values_differs() {
+        let a = poisson_2d(8, 8);
+        let b = a.map_values(|v| v * 2.0);
+        let (fa, fb) = (MatrixFingerprint::of(&a), MatrixFingerprint::of(&b));
+        assert!(fa.same_structure(&fb), "pattern unchanged by scaling");
+        assert_eq!(fa.structure, fb.structure);
+        assert_ne!(fa.values, fb.values, "value digest must separate them");
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn one_entry_flip_changes_digest() {
+        let a = poisson_2d(6, 6);
+        let mut b = a.clone();
+        b.values_mut()[7] += 1e-12;
+        assert_ne!(MatrixFingerprint::of(&a).values, MatrixFingerprint::of(&b).values);
+    }
+
+    #[test]
+    fn display_is_stable_hex() {
+        let a = poisson_2d(4, 4);
+        let f = MatrixFingerprint::of(&a);
+        let shown = format!("{f}");
+        assert_eq!(shown.len(), 33);
+        assert_eq!(shown, format!("{:016x}:{:016x}", f.structure, f.values));
+    }
+
+    #[test]
+    fn f32_and_f64_representable_values_agree() {
+        // to_f64 is exact for f32, so a matrix whose values are all exactly
+        // representable in f32 fingerprints identically at both precisions.
+        let a = poisson_2d(5, 5); // stencil values: 4.0 / -1.0
+        let a32 = a.cast::<f32>();
+        assert_eq!(MatrixFingerprint::of(&a).values, MatrixFingerprint::of(&a32).values);
+    }
+}

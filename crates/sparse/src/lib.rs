@@ -18,6 +18,7 @@ pub mod csc;
 pub mod csr;
 pub mod dense;
 pub mod error;
+pub mod fingerprint;
 pub mod generators;
 pub mod io;
 pub mod norms;
@@ -31,5 +32,6 @@ pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::{Result, SparseError};
+pub use fingerprint::MatrixFingerprint;
 pub use rng::Rng;
 pub use scalar::Scalar;

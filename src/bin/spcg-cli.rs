@@ -2,7 +2,9 @@
 //!
 //! See `spcg-cli help` (or [`spcg::cli::USAGE`]) for the interface.
 
-use spcg::cli::{parse, sparsify_params, Command, GenerateArgs, SolveArgs, SparsifyMode, USAGE};
+use spcg::cli::{
+    parse, sparsify_params, Command, GenerateArgs, ServeBenchArgs, SolveArgs, SparsifyMode, USAGE,
+};
 use spcg::prelude::*;
 use spcg::sparse::generators as gen;
 use spcg::sparse::io::{read_matrix_market_file, write_matrix_market_file, MmSymmetry};
@@ -20,6 +22,7 @@ fn main() -> ExitCode {
         Ok(Command::Solve(a)) => run_solve(&a, false),
         Ok(Command::Analyze(a)) => run_solve(&a, true),
         Ok(Command::Generate(g)) => run_generate(&g),
+        Ok(Command::ServeBench(sb)) => run_serve_bench(&sb),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -170,6 +173,161 @@ fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
     if out.result.converged() {
         ExitCode::SUCCESS
     } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Mixed small-system workload for the solve service: distinct operators
+/// (different generators and magnitude spreads) so the cache holds several
+/// plans at once, all small enough that a run finishes in seconds.
+fn serve_bench_matrices(count: usize, size: usize) -> Vec<std::sync::Arc<CsrMatrix<f64>>> {
+    (0..count)
+        .map(|i| {
+            let base = match i % 3 {
+                0 => gen::poisson_2d(size, size + i / 3),
+                1 => gen::layered_poisson_2d(size, size + i / 3, 4, 0.015),
+                _ => gen::banded_spd(size * size, 3 + i / 3, 0.8, 1.5, 7 + i as u64),
+            };
+            std::sync::Arc::new(gen::with_magnitude_spread(&base, 3.0, 11 + i as u64))
+        })
+        .collect()
+}
+
+/// Runs `requests` solves of the mixed workload through a fresh service
+/// with `workers` worker threads; returns (elapsed, converged, stats).
+fn serve_bench_run(
+    mats: &[std::sync::Arc<CsrMatrix<f64>>],
+    workers: usize,
+    args: &ServeBenchArgs,
+) -> (std::time::Duration, usize, spcg::serve::ServiceStats) {
+    let service = SolveService::new(ServiceConfig {
+        workers,
+        queue_capacity: (args.requests / 2).clamp(8, 512),
+        batch_window: std::time::Duration::from_micros(args.window_us),
+        ..ServiceConfig::default()
+    });
+    let converged = std::sync::atomic::AtomicUsize::new(0);
+    let start = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for client in 0..args.clients {
+            let service = &service;
+            let converged = &converged;
+            s.spawn(move || {
+                let quota = args.requests / args.clients
+                    + usize::from(client < args.requests % args.clients);
+                let mut tickets = Vec::with_capacity(quota);
+                for i in 0..quota {
+                    // Deterministic interleave: consecutive requests from one
+                    // client hit different systems, concurrent clients
+                    // collide on the same system — the coalescing case.
+                    let m = &mats[(client + i) % mats.len()];
+                    let b: Vec<f64> =
+                        (0..m.n_rows()).map(|j| ((j + i) % 13) as f64 / 13.0 - 0.4).collect();
+                    if let Ok(t) = service.submit(std::sync::Arc::clone(m), b) {
+                        tickets.push(t);
+                    }
+                }
+                for t in tickets {
+                    if let Ok(out) = t.wait() {
+                        if out.result.converged() {
+                            converged.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let stats = service.stats();
+    (elapsed, converged.into_inner(), stats)
+}
+
+fn run_serve_bench(args: &ServeBenchArgs) -> ExitCode {
+    let mats = serve_bench_matrices(args.matrices, args.size);
+    println!(
+        "serve-bench: {} clients x {} requests over {} systems (n = {}..{}), window {} us",
+        args.clients,
+        args.requests,
+        args.matrices,
+        mats.iter().map(|m| m.n_rows()).min().unwrap_or(0),
+        mats.iter().map(|m| m.n_rows()).max().unwrap_or(0),
+        args.window_us
+    );
+
+    let (t1, ok1, s1) = serve_bench_run(&mats, 1, args);
+    let (tn, okn, sn) = serve_bench_run(&mats, args.workers, args);
+
+    let rate = |d: std::time::Duration| args.requests as f64 / d.as_secs_f64();
+    println!("\n  workers  elapsed      req/s   converged  batches  max-batch");
+    println!(
+        "  {:>7}  {:>9.2?}  {:>8.1}  {:>9}  {:>7}  {:>9}",
+        1,
+        t1,
+        rate(t1),
+        ok1,
+        s1.batches,
+        s1.max_batch
+    );
+    println!(
+        "  {:>7}  {:>9.2?}  {:>8.1}  {:>9}  {:>7}  {:>9}",
+        args.workers,
+        tn,
+        rate(tn),
+        okn,
+        sn.batches,
+        sn.max_batch
+    );
+    let ratio = t1.as_secs_f64() / tn.as_secs_f64().max(1e-9);
+    println!(
+        "throughput ratio ({} workers / 1 worker): {ratio:.2}x on {} hardware threads",
+        args.workers,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    // Cache table for the multi-worker run (the run CI gates on).
+    let total = sn.cache.hits + sn.cache.misses;
+    let hit_rate = if total == 0 { 0.0 } else { 100.0 * sn.cache.hits as f64 / total as f64 };
+    println!("\ncache table ({} workers):", args.workers);
+    for (label, value) in [
+        ("serve.cache.hit", sn.cache.hits),
+        ("serve.cache.miss", sn.cache.misses),
+        ("serve.cache.eviction", sn.cache.evictions),
+        ("serve.cache.bytes", sn.cache.bytes as u64),
+        ("serve.batch.count", sn.batches),
+        ("serve.batch.rhs", sn.batched_rhs),
+        ("serve.queue.rejected", sn.rejected),
+    ] {
+        println!("  {label:<22} {value:>12}");
+    }
+    println!("cache hit rate: {hit_rate:.1}% (target >= 90%)");
+
+    // Phase table of one warm served request, recorded through the probe
+    // layer — the serve span wraps the usual plan/solve vocabulary.
+    let service = SolveService::new(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    let b = vec![1.0f64; mats[0].n_rows()];
+    let mut probe = RecordingProbe::new();
+    let _ = service.solve(&mats[0], &b); // warm the cache
+    match service.solve_probed(&mats[0], &b, &mut probe) {
+        Ok(out) => {
+            println!(
+                "\nwarm served solve: {} iterations, cache_hit = {}",
+                out.result.iterations, out.cache_hit
+            );
+            println!("{}", probe.finish().phase_table());
+        }
+        Err(e) => {
+            eprintln!("error: warm served solve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if hit_rate >= 90.0 && ok1 == args.requests && okn == args.requests {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "serve-bench FAILED: hit rate {hit_rate:.1}% (need >= 90), converged {ok1}/{} and {okn}/{}",
+            args.requests, args.requests
+        );
         ExitCode::FAILURE
     }
 }

@@ -55,6 +55,30 @@ pub struct GenerateArgs {
     pub params: HashMap<String, f64>,
 }
 
+/// Parsed `serve-bench` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeBenchArgs {
+    /// Concurrent client threads submitting requests.
+    pub clients: usize,
+    /// Distinct systems in the workload (cache working set).
+    pub matrices: usize,
+    /// Total requests per run.
+    pub requests: usize,
+    /// Worker threads for the multi-worker run (always compared against a
+    /// 1-worker run of the same workload).
+    pub workers: usize,
+    /// Batching admission window in microseconds.
+    pub window_us: u64,
+    /// Grid side of the generated systems (n = size²).
+    pub size: usize,
+}
+
+impl Default for ServeBenchArgs {
+    fn default() -> Self {
+        Self { clients: 8, matrices: 4, requests: 200, workers: 8, window_us: 200, size: 24 }
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone)]
 pub enum Command {
@@ -64,6 +88,8 @@ pub enum Command {
     Analyze(SolveArgs),
     /// Generate a matrix file.
     Generate(GenerateArgs),
+    /// Benchmark the solve service.
+    ServeBench(ServeBenchArgs),
     /// Print usage.
     Help,
 }
@@ -79,6 +105,8 @@ USAGE:
   spcg-cli analyze --matrix FILE [--sparsify auto|RATIO%]
   spcg-cli generate --kind poisson2d|poisson3d|layered2d|banded --out FILE \
 [--nx N] [--ny N] [--nz N] [--n N] [--period P] [--weak W] [--band B] [--seed S]
+  spcg-cli serve-bench [--clients 8] [--matrices 4] [--requests 200] \
+[--workers 8] [--window-us 200] [--size 24]
   spcg-cli help
 ";
 
@@ -196,6 +224,37 @@ fn parse_generate(args: &[String]) -> Result<GenerateArgs, String> {
     Ok(GenerateArgs { kind, out, params })
 }
 
+fn parse_serve_bench(args: &[String]) -> Result<ServeBenchArgs, String> {
+    let flags = parse_flags(args)?;
+    let mut out = ServeBenchArgs::default();
+    let known = ["clients", "matrices", "requests", "workers", "window-us", "size"];
+    for key in flags.keys() {
+        if !known.contains(&key.as_str()) {
+            return Err(format!("unknown serve-bench flag --{key}"));
+        }
+    }
+    let num = |key: &str, default: usize| -> Result<usize, String> {
+        match flags.get(key) {
+            None => Ok(default),
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(n),
+                Ok(_) => Err(format!("--{key} must be positive")),
+                Err(e) => Err(format!("bad --{key} {v}: {e}")),
+            },
+        }
+    };
+    out.clients = num("clients", out.clients)?;
+    out.matrices = num("matrices", out.matrices)?;
+    out.requests = num("requests", out.requests)?;
+    out.workers = num("workers", out.workers)?;
+    out.size = num("size", out.size)?;
+    // The window may legitimately be zero (coalesce only what already queued).
+    if let Some(v) = flags.get("window-us") {
+        out.window_us = v.parse().map_err(|e| format!("bad --window-us {v}: {e}"))?;
+    }
+    Ok(out)
+}
+
 /// Parses a full command line (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, String> {
     match args.first().map(String::as_str) {
@@ -203,6 +262,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         Some("solve") => parse_solve(&args[1..]).map(Command::Solve),
         Some("analyze") => parse_solve(&args[1..]).map(Command::Analyze),
         Some("generate") => parse_generate(&args[1..]).map(Command::Generate),
+        Some("serve-bench") => parse_serve_bench(&args[1..]).map(Command::ServeBench),
         Some(other) => Err(format!("unknown subcommand: {other}\n{USAGE}")),
     }
 }
@@ -314,6 +374,46 @@ mod tests {
         assert_eq!(g.kind, "poisson2d");
         assert_eq!(g.params["nx"], 10.0);
         assert_eq!(g.params["ny"], 12.0);
+    }
+
+    #[test]
+    fn parses_serve_bench() {
+        let cmd = parse(&s(&["serve-bench"])).unwrap();
+        let Command::ServeBench(a) = cmd else { panic!() };
+        assert_eq!(a, ServeBenchArgs::default());
+
+        let cmd = parse(&s(&[
+            "serve-bench",
+            "--clients",
+            "4",
+            "--matrices",
+            "3",
+            "--requests",
+            "50",
+            "--workers",
+            "2",
+            "--window-us",
+            "0",
+            "--size",
+            "16",
+        ]))
+        .unwrap();
+        let Command::ServeBench(a) = cmd else { panic!() };
+        assert_eq!(
+            a,
+            ServeBenchArgs {
+                clients: 4,
+                matrices: 3,
+                requests: 50,
+                workers: 2,
+                window_us: 0,
+                size: 16
+            }
+        );
+
+        assert!(parse(&s(&["serve-bench", "--clients", "0"])).is_err());
+        assert!(parse(&s(&["serve-bench", "--workers", "eight"])).is_err());
+        assert!(parse(&s(&["serve-bench", "--frobnicate", "1"])).is_err());
     }
 
     #[test]

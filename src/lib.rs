@@ -38,6 +38,7 @@ pub use spcg_gpusim as gpusim;
 pub use spcg_lowrank as lowrank;
 pub use spcg_precond as precond;
 pub use spcg_probe as probe;
+pub use spcg_serve as serve;
 pub use spcg_solver as solver;
 pub use spcg_sparse as sparse;
 pub use spcg_suite as suite;
@@ -58,10 +59,11 @@ pub mod prelude {
         Counter, HistogramProbe, IterationEvent, NoProbe, PhaseStats, Probe, ProbeStop,
         RecordingProbe, RunTrace, RungEvent, RungKind, Span, TraceEvent,
     };
+    pub use spcg_serve::{CacheConfig, ServeError, ServeOutcome, ServiceConfig, SolveService};
     pub use spcg_solver::{
         cg, pcg, pcg_in_place, pcg_with_workspace, BreakdownKind, PhaseTimings, SolveResult,
         SolveStats, SolveWorkspace, SolverConfig, SolverError, StopReason, ToleranceMode,
     };
-    pub use spcg_sparse::{CooMatrix, CsrMatrix, Scalar};
+    pub use spcg_sparse::{CooMatrix, CsrMatrix, MatrixFingerprint, Scalar};
     pub use spcg_wavefront::{wavefront_count, LevelSchedule, Triangle, WavefrontStats};
 }

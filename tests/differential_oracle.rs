@@ -1,0 +1,208 @@
+//! Differential oracle: the end-to-end "is the answer right" net.
+//!
+//! Every `spcg-suite` recipe family is instantiated at a dense-checkable
+//! size and solved two independent ways:
+//!
+//! * through the full SPCG pipeline ([`SpcgPlan`]): sparsify (Algorithm 2),
+//!   incomplete-factor preconditioner, level-scheduled triangular sweeps,
+//!   PCG — for every preconditioner kind and both with and without
+//!   sparsification;
+//! * through the dense reference path: `CsrMatrix::to_dense()` followed by
+//!   Gaussian elimination with partial pivoting — no Krylov iteration, no
+//!   preconditioner, no shared code with the pipeline past matrix
+//!   assembly.
+//!
+//! Agreement is asserted per category band: the PCG relative *residual*
+//! tolerance is 1e-10, so the relative *error* against the direct solve is
+//! bounded by roughly `cond(A) * 1e-10`; the bands below encode each
+//! family's conditioning at these sizes with an order of magnitude of
+//! slack. The bands are documented in DESIGN.md §Testing — tighten them
+//! only with evidence, loosening them requires understanding why.
+
+use spcg::prelude::*;
+use spcg::suite::recipes::{Ordering, Recipe};
+
+/// One differential case: a recipe family at dense-checkable size plus the
+/// relative-error band its conditioning earns it.
+struct OracleCase {
+    name: &'static str,
+    recipe: Recipe,
+    spread: f64,
+    ordering: Ordering,
+    /// Max allowed `||x - x_ref|| / ||x_ref||` (2-norm).
+    band: f64,
+}
+
+/// Every `Recipe` variant appears at least once; orderings cover Natural,
+/// Rcm, and Scrambled so permutation handling is under the net too.
+fn cases() -> Vec<OracleCase> {
+    vec![
+        OracleCase {
+            name: "poisson2d",
+            recipe: Recipe::Poisson2D { nx: 20, ny: 20 },
+            spread: 4.0,
+            ordering: Ordering::Natural,
+            band: 5e-7,
+        },
+        OracleCase {
+            name: "poisson3d",
+            recipe: Recipe::Poisson3D { nx: 7, ny: 7, nz: 7 },
+            spread: 4.0,
+            ordering: Ordering::Rcm,
+            band: 5e-7,
+        },
+        OracleCase {
+            name: "anisotropic",
+            recipe: Recipe::Anisotropic { nx: 18, ny: 18, eps: 0.05 },
+            spread: 1.0,
+            ordering: Ordering::Natural,
+            band: 5e-6,
+        },
+        OracleCase {
+            name: "stencil9",
+            recipe: Recipe::Stencil9 { nx: 18, ny: 18 },
+            spread: 4.0,
+            ordering: Ordering::Natural,
+            band: 5e-7,
+        },
+        OracleCase {
+            name: "varcoef",
+            recipe: Recipe::VarCoef { nx: 18, ny: 18, lo: 0.1, hi: 10.0 },
+            spread: 1.0,
+            ordering: Ordering::Natural,
+            band: 5e-6,
+        },
+        OracleCase {
+            name: "graph_laplacian",
+            recipe: Recipe::GraphLaplacian { n: 400, degree: 6, shift: 0.05 },
+            spread: 3.0,
+            ordering: Ordering::Scrambled,
+            band: 5e-6,
+        },
+        OracleCase {
+            name: "banded",
+            recipe: Recipe::Banded { n: 400, band: 5, density: 0.7, dominance: 1.6 },
+            spread: 3.0,
+            ordering: Ordering::Natural,
+            band: 1e-8,
+        },
+        OracleCase {
+            name: "random_spd",
+            recipe: Recipe::RandomSpd { n: 400, nnz_per_row: 6, dominance: 1.6 },
+            spread: 3.0,
+            ordering: Ordering::Scrambled,
+            band: 1e-8,
+        },
+        OracleCase {
+            name: "layered2d",
+            recipe: Recipe::Layered2D { nx: 20, ny: 20, period: 4, weak: 0.015 },
+            spread: 6.0,
+            ordering: Ordering::Natural,
+            band: 5e-6,
+        },
+        OracleCase {
+            name: "layered3d",
+            recipe: Recipe::Layered3D { nx: 7, ny: 7, nz: 7, period: 3, weak: 0.015 },
+            spread: 6.0,
+            ordering: Ordering::Rcm,
+            band: 5e-6,
+        },
+    ]
+}
+
+fn rhs_for(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = spcg::sparse::Rng::new(seed);
+    (0..n).map(|_| rng.range(-1.0, 1.0)).collect()
+}
+
+fn rel_err(x: &[f64], x_ref: &[f64]) -> f64 {
+    let num: f64 = x.iter().zip(x_ref).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+    let den: f64 = x_ref.iter().map(|v| v * v).sum::<f64>().sqrt();
+    num / den.max(f64::MIN_POSITIVE)
+}
+
+fn solver() -> SolverConfig {
+    SolverConfig::default().with_tol(1e-10).with_max_iters(3000)
+}
+
+/// Pipeline configurations the oracle sweeps: every preconditioner kind,
+/// sparsified and baseline.
+fn pipeline_variants() -> Vec<(&'static str, SpcgOptions)> {
+    let base = SpcgOptions { solver: solver(), ..SpcgOptions::default() };
+    vec![
+        ("spcg-ilu0", SpcgOptions { precond: PrecondKind::Ilu0, ..base.clone() }),
+        ("spcg-iluk1", SpcgOptions { precond: PrecondKind::Iluk(1), ..base.clone() }),
+        ("spcg-iluk2", SpcgOptions { precond: PrecondKind::Iluk(2), ..base.clone() }),
+        ("pcg-ilu0", SpcgOptions { sparsify: None, precond: PrecondKind::Ilu0, ..base.clone() }),
+        ("pcg-iluk1", SpcgOptions { sparsify: None, precond: PrecondKind::Iluk(1), ..base }),
+    ]
+}
+
+#[test]
+fn every_recipe_agrees_with_dense_reference() {
+    for case in cases() {
+        let a = case.recipe.build(11, case.spread, case.ordering);
+        let n = a.n_rows();
+        let b = rhs_for(n, 0xd1ff ^ n as u64);
+        let x_ref = a.to_dense().solve(&b).expect("dense reference must solve SPD system");
+
+        for (variant, opts) in pipeline_variants() {
+            let plan = SpcgPlan::build(&a, &opts)
+                .unwrap_or_else(|e| panic!("{}/{variant}: plan build failed: {e}", case.name));
+            let result = plan
+                .solve(&b)
+                .unwrap_or_else(|e| panic!("{}/{variant}: solve failed: {e}", case.name));
+            assert!(
+                result.converged(),
+                "{}/{variant}: stopped {:?} after {} iterations",
+                case.name,
+                result.stop,
+                result.iterations
+            );
+            let err = rel_err(&result.x, &x_ref);
+            assert!(
+                err <= case.band,
+                "{}/{variant}: relative error {err:.3e} exceeds band {:.0e} (n = {n})",
+                case.name,
+                case.band
+            );
+        }
+    }
+}
+
+/// The resilient entry point sits under the same net: with no fault, it
+/// must agree with the dense reference exactly as the planned path does.
+#[test]
+fn resilient_path_agrees_with_dense_reference() {
+    let case = &cases()[0];
+    let a = case.recipe.build(11, case.spread, case.ordering);
+    let b = rhs_for(a.n_rows(), 0xada);
+    let x_ref = a.to_dense().solve(&b).unwrap();
+    let plan =
+        SpcgPlan::build(&a, SpcgOptions { solver: solver(), ..SpcgOptions::default() }).unwrap();
+    let rs = plan.solve_resilient(&b).unwrap();
+    assert!(rs.converged() && rs.report.clean());
+    assert!(rel_err(&rs.result.x, &x_ref) <= case.band);
+}
+
+/// The serve layer is an amortization layer, not a numerics layer: a served
+/// (cached) solve must land inside the same band as the dense reference.
+#[test]
+fn served_solves_agree_with_dense_reference() {
+    let case = &cases()[6]; // banded: tightest band
+    let a = case.recipe.build(11, case.spread, case.ordering);
+    let b = rhs_for(a.n_rows(), 0x5e5e);
+    let x_ref = a.to_dense().solve(&b).unwrap();
+    let service: SolveService = SolveService::new(ServiceConfig {
+        options: SpcgOptions { solver: solver(), ..SpcgOptions::default() },
+        ..ServiceConfig::default()
+    });
+    let cold = service.solve(&a, &b).unwrap();
+    let warm = service.solve(&a, &b).unwrap();
+    assert!(!cold.cache_hit && warm.cache_hit);
+    for out in [&cold, &warm] {
+        assert!(out.result.converged());
+        assert!(rel_err(&out.result.x, &x_ref) <= case.band);
+    }
+    assert_eq!(cold.result.x, warm.result.x, "cached solve must be bitwise identical");
+}

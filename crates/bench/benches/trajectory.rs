@@ -3,22 +3,27 @@
 //!
 //! Unlike the figure benches (which sweep the full 107-matrix collection
 //! and write into `target/spcg-results/`), this target runs in seconds and
-//! writes `BENCH_4.json` **at the repo root as a tracked artifact**: per
+//! writes `BENCH_5.json` **at the repo root as a tracked artifact**: per
 //! variant, the real iteration counts and the simulated A100 costs for
-//! each fixed system. Committing the JSON turns the bench into a
-//! trajectory — `git log -p BENCH_4.json` shows exactly when and how the
-//! numbers moved. Only deterministic fields are serialized (iteration
-//! counts, simulated µs, chosen ratios); wall-clock timings are excluded
-//! so re-running on any machine reproduces the file byte for byte.
+//! each fixed system, plus an ordering study comparing the natural and
+//! `auto`-reordered plan at the *same* sparsify ratio. Committing the JSON
+//! turns the bench into a trajectory — `git log -p BENCH_5.json` shows
+//! exactly when and how the numbers moved. Only deterministic fields are
+//! serialized (iteration counts, simulated µs, chosen ratios, level
+//! counts); wall-clock timings are excluded so re-running on any machine
+//! reproduces the file byte for byte.
 //!
 //! `scripts/fill_experiments.py` consumes this JSON to refresh the
-//! trajectory table in EXPERIMENTS.md.
+//! trajectory tables in EXPERIMENTS.md, and
+//! `scripts/check_bench_regression.py` gates CI on it: any regression in
+//! per-iteration cost or iteration count against the committed file fails
+//! the build.
 
 use serde::Serialize;
 use spcg_bench::stats::gmean;
 use spcg_bench::{bench_solver_config, compare, ComparisonRow, Variant};
-use spcg_core::{PrecondKind, SparsifyParams};
-use spcg_gpusim::DeviceSpec;
+use spcg_core::{OrderingKind, PrecondKind, SparsifyParams, SpcgOptions, SpcgPlan};
+use spcg_gpusim::{plan_iteration_cost, DeviceSpec};
 use spcg_suite::{Ordering, Recipe};
 
 /// The fixed systems. Small enough to run in seconds, varied enough to
@@ -79,6 +84,27 @@ impl VariantPoint {
     }
 }
 
+/// Natural vs `auto`-reordered plan at the *same* sparsify ratio: the
+/// ordering is the only lever that moves between the two columns, so the
+/// level counts isolate exactly what reordering buys.
+#[derive(Serialize)]
+struct OrderingPoint {
+    /// Ordering the joint search committed to (`natural`/`rcm`/`coloring`).
+    chosen: String,
+    /// L+U factor levels of the natural-ordering plan.
+    levels_natural: usize,
+    /// L+U factor levels of the `auto` plan.
+    levels_auto: usize,
+    /// Percent reduction in factor levels, natural → auto.
+    level_reduction_percent: f64,
+    /// Simulated per-iteration cost of the natural plan, µs.
+    per_iteration_us_natural: f64,
+    /// Simulated per-iteration cost of the `auto` plan, µs.
+    per_iteration_us_auto: f64,
+    /// Real iteration count of the `auto` plan (natural's is `spcg`'s).
+    iterations_auto: usize,
+}
+
 #[derive(Serialize)]
 struct TrajectoryRow {
     name: String,
@@ -86,6 +112,7 @@ struct TrajectoryRow {
     nnz: usize,
     baseline: VariantPoint,
     spcg: VariantPoint,
+    ordering: OrderingPoint,
     per_iteration_speedup: f64,
     end_to_end_speedup: f64,
 }
@@ -99,11 +126,63 @@ struct Trajectory {
     rows: Vec<TrajectoryRow>,
     gmean_per_iteration_speedup: f64,
     gmean_end_to_end_speedup: f64,
+    /// Geometric-mean reduction in total factor levels from `auto`
+    /// reordering at fixed ratio: `(1 - 1/gmean(nat/auto)) * 100`.
+    gmean_level_reduction_percent: f64,
 }
 
 /// Three decimals are stable across platforms; more would commit noise.
 fn round3(v: f64) -> f64 {
     (v * 1000.0).round() / 1000.0
+}
+
+/// Builds the natural and `auto`-reordered plan at the ratio the heuristic
+/// already picked: `ratios = [r]`, `tau = MAX`, `omega = 0` pin both arms
+/// to the same sparsification, and `ordering_omega = 0` lets `auto` accept
+/// any level reduction — so the two plans differ *only* in ordering.
+fn ordering_study(
+    a: &spcg_sparse::CsrMatrix<f64>,
+    b: &[f64],
+    chosen_ratio: Option<f64>,
+    device: &DeviceSpec,
+    solver: &spcg_solver::SolverConfig,
+) -> OrderingPoint {
+    let sparsify = chosen_ratio.map(|r| SparsifyParams {
+        ratios: vec![r],
+        tau: f64::MAX,
+        omega: 0.0,
+        ..Default::default()
+    });
+    let base = SpcgOptions {
+        sparsify,
+        precond: PrecondKind::Ilu0,
+        solver: solver.clone(),
+        ..Default::default()
+    };
+    let natural = SpcgPlan::build(a, &base).expect("natural plan builds");
+    let auto =
+        SpcgPlan::build(a, base.clone().with_ordering(OrderingKind::Auto).with_ordering_omega(0.0))
+            .expect("auto plan builds");
+    let levels_natural = natural.factors().total_wavefronts();
+    let levels_auto = auto.factors().total_wavefronts();
+    let chosen =
+        auto.reorder().map_or_else(|| "natural".to_string(), |d| d.chosen.label().to_string());
+    let result = auto.solve(b).expect("auto-reordered fixture must solve");
+    assert!(
+        result.converged(),
+        "auto-reordered trajectory fixture stopped converging — investigate before committing"
+    );
+    OrderingPoint {
+        chosen,
+        levels_natural,
+        levels_auto,
+        level_reduction_percent: round3(
+            (levels_natural as f64 - levels_auto as f64) / levels_natural as f64 * 100.0,
+        ),
+        per_iteration_us_natural: round3(plan_iteration_cost(device, &natural).total_us()),
+        per_iteration_us_auto: round3(plan_iteration_cost(device, &auto).total_us()),
+        iterations_auto: result.iterations,
+    }
 }
 
 fn main() {
@@ -123,6 +202,7 @@ fn main() {
                 row.base.converged && row.spcg.converged,
                 "trajectory fixture {name} stopped converging — investigate before committing"
             );
+            let ordering = ordering_study(&a, &b, row.spcg.chosen_ratio, &device, &solver);
             TrajectoryRow {
                 name: name.into(),
                 n: row.n,
@@ -132,12 +212,21 @@ fn main() {
                 end_to_end_speedup: round3(row.end_to_end_speedup().unwrap()),
                 baseline: VariantPoint::of(&row.base),
                 spcg: VariantPoint::of(&row.spcg),
+                ordering,
             }
         })
         .collect();
 
     let per_iter: Vec<f64> = rows.iter().map(|r| r.per_iteration_speedup).collect();
     let e2e: Vec<f64> = rows.iter().map(|r| r.end_to_end_speedup).collect();
+    // Aggregate the level win as a gmean of *ratios* (nat/auto), reported
+    // as a percent reduction: robust to one fixture dominating, and a
+    // fixture where auto stays natural contributes exactly 1.0.
+    let level_ratios: Vec<f64> = rows
+        .iter()
+        .map(|r| r.ordering.levels_natural as f64 / r.ordering.levels_auto as f64)
+        .collect();
+    let gmean_levels = gmean(&level_ratios).unwrap_or(1.0);
     let traj = Trajectory {
         bench: "trajectory",
         device: "a100-model",
@@ -145,14 +234,15 @@ fn main() {
         tolerance: 1e-10,
         gmean_per_iteration_speedup: round3(gmean(&per_iter).unwrap_or(0.0)),
         gmean_end_to_end_speedup: round3(gmean(&e2e).unwrap_or(0.0)),
+        gmean_level_reduction_percent: round3((1.0 - 1.0 / gmean_levels) * 100.0),
         rows,
     };
 
-    // Tracked artifact at the repo root (not target/): BENCH_4.json is the
+    // Tracked artifact at the repo root (not target/): BENCH_5.json is the
     // current trajectory point; its git history is the trajectory.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_4.json");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_5.json");
     let json = serde_json::to_string_pretty(&traj).expect("trajectory serializes");
-    std::fs::write(&path, json + "\n").expect("BENCH_4.json written");
+    std::fs::write(&path, json + "\n").expect("BENCH_5.json written");
 
     println!("trajectory: {} fixtures, ILU(0), A100 model", traj.rows.len());
     for r in &traj.rows {
@@ -166,10 +256,20 @@ fn main() {
             r.per_iteration_speedup,
             r.end_to_end_speedup
         );
+        println!(
+            "  {:<14} ordering {:<8} levels {:>3} -> {:>3}  ({:>5.1}% fewer)",
+            "",
+            r.ordering.chosen,
+            r.ordering.levels_natural,
+            r.ordering.levels_auto,
+            r.ordering.level_reduction_percent
+        );
     }
     println!(
-        "gmean per-iteration {:.3}x   gmean end-to-end {:.3}x",
-        traj.gmean_per_iteration_speedup, traj.gmean_end_to_end_speedup
+        "gmean per-iteration {:.3}x   gmean end-to-end {:.3}x   gmean level reduction {:.1}%",
+        traj.gmean_per_iteration_speedup,
+        traj.gmean_end_to_end_speedup,
+        traj.gmean_level_reduction_percent
     );
     println!("wrote {}", path.display());
 }

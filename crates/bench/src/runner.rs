@@ -117,7 +117,13 @@ pub fn plan_variant(
         Variant::Fixed(r) => (sparsify_by_magnitude(a, *r).a_hat, Some(*r)),
     };
     let (factors, pattern) = build_factors(&m_for_fact, kind, exec)?;
-    let opts = SpcgOptions { sparsify: None, precond: kind, exec, solver: solver.clone() };
+    let opts = SpcgOptions {
+        sparsify: None,
+        precond: kind,
+        exec,
+        solver: solver.clone(),
+        ..Default::default()
+    };
     let plan =
         SpcgPlan::from_factors(a.clone(), factors, opts)?.with_factored_matrix(m_for_fact)?;
     Ok((plan, pattern, chosen_ratio))

@@ -9,6 +9,8 @@
 //! * [`algorithm2`] — the wavefront-aware selection loop (Algorithm 2);
 //! * [`pipeline`] — the Figure-2 pipeline: sparsify → ILU(0)/ILU(K) → PCG;
 //! * [`plan`] — the plan/execute split: analyze once, solve many times;
+//! * [`reorder`] — level-reducing symmetric orderings (RCM, coloring) and
+//!   the joint ordering × ratio selection pass;
 //! * [`resilient`] — breakdown recovery: the adaptive de-sparsification
 //!   fallback ladder with deterministic fault injection;
 //! * [`oracle`] — the best-fixed-ratio upper bound of §4.4;
@@ -70,6 +72,7 @@ pub mod indicator;
 pub mod oracle;
 pub mod pipeline;
 pub mod plan;
+pub mod reorder;
 pub mod report;
 pub mod resilient;
 pub mod sparsify;
@@ -86,6 +89,7 @@ pub use pipeline::{
 #[allow(deprecated)] // the deprecated one-shot entry points stay re-exported for migration
 pub use pipeline::{select_best_k, spcg_solve};
 pub use plan::SpcgPlan;
+pub use reorder::{OrderingKind, ReorderCandidate, ReorderDecision};
 pub use report::RunReport;
 pub use resilient::{
     FallbackRung, FaultInjection, RecoveryAttempt, RecoveryReport, ResilienceOptions,

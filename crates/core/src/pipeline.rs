@@ -4,6 +4,7 @@
 
 use crate::algorithm2::{SparsifyDecision, SparsifyParams};
 use crate::plan::SpcgPlan;
+use crate::reorder::OrderingKind;
 use serde::{Deserialize, Serialize};
 use spcg_precond::{ilu0_probed, iluk_probed, IluFactors, TriangularExec};
 use spcg_probe::{NoProbe, Probe};
@@ -41,6 +42,14 @@ pub struct SpcgOptions {
     pub exec: TriangularExec,
     /// PCG configuration.
     pub solver: SolverConfig,
+    /// Symmetric ordering applied before sparsification/factorization.
+    /// `Natural` (the default) leaves the pipeline bitwise-identical to the
+    /// pre-reordering behaviour; `Auto` searches the joint
+    /// ordering × sparsify-ratio space (see [`crate::reorder`]).
+    pub ordering: OrderingKind,
+    /// Minimum percent level reduction a non-natural ordering must deliver
+    /// for `Auto` to accept it (the ordering analogue of Algorithm 2's ω).
+    pub ordering_omega: f64,
 }
 
 impl Default for SpcgOptions {
@@ -50,6 +59,8 @@ impl Default for SpcgOptions {
             precond: PrecondKind::Ilu0,
             exec: TriangularExec::Sequential,
             solver: SolverConfig::default(),
+            ordering: OrderingKind::Natural,
+            ordering_omega: 10.0,
         }
     }
 }
@@ -98,6 +109,19 @@ impl SpcgOptions {
     /// Replaces the PCG configuration.
     pub fn with_solver(mut self, solver: SolverConfig) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Selects the symmetric ordering applied before analysis.
+    pub fn with_ordering(mut self, ordering: OrderingKind) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Sets the minimum percent level reduction `Auto` demands before it
+    /// accepts a non-natural ordering.
+    pub fn with_ordering_omega(mut self, omega: f64) -> Self {
+        self.ordering_omega = omega;
         self
     }
 }
@@ -212,6 +236,7 @@ pub fn select_best_k<T: Scalar>(
             precond: PrecondKind::Iluk(k),
             exec,
             solver: solver.clone(),
+            ..Default::default()
         };
         let Ok(plan) = SpcgPlan::build(a, &opts) else { continue }; // breakdown: skip K
         let ws = ws.get_or_insert_with(|| plan.make_workspace());

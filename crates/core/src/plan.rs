@@ -11,6 +11,7 @@
 
 use crate::algorithm2::{wavefront_aware_sparsify_probed, SparsifyDecision};
 use crate::pipeline::{build_preconditioner_probed, SpcgOptions, SpcgOutcome};
+use crate::reorder::{select_ordering_probed, ReorderDecision, ReorderOutcome};
 use spcg_precond::{IluFactors, Preconditioner};
 use spcg_probe::{NoProbe, Probe, Span};
 use spcg_solver::{
@@ -55,8 +56,19 @@ pub struct SpcgPlan<T: Scalar> {
     /// carries it otherwise).
     factored: Option<CsrMatrix<T>>,
     factors: IluFactors<T>,
+    /// Outcome of the ordering selection pass (`None` when the request was
+    /// `Natural` — the default pipeline records nothing).
+    reorder: Option<ReorderDecision>,
+    /// `perm[new] = old` of the chosen ordering; present only when a
+    /// non-natural ordering was chosen, in which case the plan factors (and
+    /// PCG iterates) in permuted space while `b`/`x` are permuted at the
+    /// solve boundary.
+    perm: Option<Vec<usize>>,
+    /// The permuted system `P A Pᵀ`, present exactly when `perm` is.
+    a_permuted: Option<CsrMatrix<T>>,
     sparsify_time: Duration,
     factorization_time: Duration,
+    reorder_time: Duration,
 }
 
 impl<T: Scalar> SpcgPlan<T> {
@@ -85,15 +97,26 @@ impl<T: Scalar> SpcgPlan<T> {
             return Err(SparseError::NotSquare { n_rows: a.n_rows(), n_cols: a.n_cols() });
         }
         probe.span_begin(Span::PlanBuild);
+        let t = Instant::now();
+        let ReorderOutcome { decision: reorder, perm, permuted, sparsify: reused } =
+            select_ordering_probed(a, &opts, probe);
+        let reorder_time = if reorder.is_some() { t.elapsed() } else { Duration::ZERO };
+        // All downstream analysis works in permuted space when an ordering
+        // was chosen; the solve boundary maps back to the caller's order.
+        let operator = permuted.as_ref().unwrap_or(a);
         let (decision, sparsify_time) = match &opts.sparsify {
+            // The `Auto` joint search already ran Algorithm 2 on the winning
+            // ordering — reuse its decision (the cost is accounted to the
+            // reorder phase) instead of sparsifying the same matrix twice.
+            Some(_) if reused.is_some() => (reused, Duration::ZERO),
             Some(params) => {
                 let t = Instant::now();
-                let d = wavefront_aware_sparsify_probed(a, params, probe);
+                let d = wavefront_aware_sparsify_probed(operator, params, probe);
                 (Some(d), t.elapsed())
             }
             None => (None, Duration::ZERO),
         };
-        let m = decision.as_ref().map_or(a, |d| &d.sparsified.a_hat);
+        let m = decision.as_ref().map_or(operator, |d| &d.sparsified.a_hat);
         let t = Instant::now();
         let factors = build_preconditioner_probed(m, opts.precond, opts.exec, probe);
         let factorization_time = t.elapsed();
@@ -104,8 +127,12 @@ impl<T: Scalar> SpcgPlan<T> {
             decision,
             factored: None,
             factors: factors?,
+            reorder,
+            perm,
+            a_permuted: permuted,
             sparsify_time,
             factorization_time,
+            reorder_time,
         })
     }
 
@@ -130,8 +157,12 @@ impl<T: Scalar> SpcgPlan<T> {
             decision: None,
             factored: None,
             factors,
+            reorder: None,
+            perm: None,
+            a_permuted: None,
             sparsify_time: Duration::ZERO,
             factorization_time: Duration::ZERO,
+            reorder_time: Duration::ZERO,
         })
     }
 
@@ -150,9 +181,35 @@ impl<T: Scalar> SpcgPlan<T> {
         Ok(self)
     }
 
-    /// The system matrix the plan solves against.
+    /// The system matrix the plan solves against, in the caller's ordering.
     pub fn a(&self) -> &CsrMatrix<T> {
         &self.a
+    }
+
+    /// The matrix PCG actually iterates on: the permuted system `P A Pᵀ`
+    /// for reordered plans, [`a`](SpcgPlan::a) itself otherwise. Cost
+    /// models should price this matrix — its level structure is what the
+    /// triangular solves see.
+    pub fn operator(&self) -> &CsrMatrix<T> {
+        self.a_permuted.as_ref().unwrap_or(&self.a)
+    }
+
+    /// The ordering selection decision (`None` for natural-ordering plans,
+    /// which skip the selection pass entirely).
+    pub fn reorder(&self) -> Option<&ReorderDecision> {
+        self.reorder.as_ref()
+    }
+
+    /// The chosen permutation (`perm[new] = old`), when a non-natural
+    /// ordering was chosen.
+    pub fn permutation(&self) -> Option<&[usize]> {
+        self.perm.as_deref()
+    }
+
+    /// `true` when the plan factors in a permuted ordering (and therefore
+    /// permutes `b`/`x` at the solve boundary).
+    pub fn is_reordered(&self) -> bool {
+        self.perm.is_some()
     }
 
     /// Options the plan was built with.
@@ -172,13 +229,14 @@ impl<T: Scalar> SpcgPlan<T> {
     }
 
     /// The matrix that was handed to the factorization: `Â` when the plan
-    /// sparsified, the explicitly-recorded matrix for external analyses,
-    /// `A` otherwise.
+    /// sparsified (in permuted space for reordered plans), the
+    /// explicitly-recorded matrix for external analyses, the (possibly
+    /// permuted) system otherwise.
     pub fn factored_matrix(&self) -> &CsrMatrix<T> {
         if let Some(m) = &self.factored {
             return m;
         }
-        self.decision.as_ref().map_or(&self.a, |d| &d.sparsified.a_hat)
+        self.decision.as_ref().map(|d| &d.sparsified.a_hat).unwrap_or_else(|| self.operator())
     }
 
     /// `true` when the preconditioner was built from a sparsified matrix.
@@ -196,14 +254,28 @@ impl<T: Scalar> SpcgPlan<T> {
         self.factorization_time
     }
 
+    /// Wall-clock time of the ordering selection pass (zero for natural
+    /// plans). For `Auto` with sparsification on this includes the joint
+    /// search's Algorithm 2 runs, and the reused winning decision reports a
+    /// zero [`sparsify_time`](SpcgPlan::sparsify_time).
+    pub fn reorder_time(&self) -> Duration {
+        self.reorder_time
+    }
+
     /// System dimension.
     pub fn n(&self) -> usize {
         self.a.n_rows()
     }
 
     /// A workspace sized for this plan's system and preconditioner.
+    /// Reordered plans also pre-size the boundary staging buffer so the
+    /// gather/scatter at the solve boundary stays allocation-free.
     pub fn make_workspace(&self) -> SolveWorkspace<T> {
-        SolveWorkspace::for_preconditioner(self.n(), &self.factors)
+        let mut ws = SolveWorkspace::for_preconditioner(self.n(), &self.factors);
+        if self.perm.is_some() {
+            ws.reserve_staging(self.n());
+        }
+        ws
     }
 
     /// Estimated heap footprint of the plan in bytes: the system matrix,
@@ -223,6 +295,9 @@ impl<T: Scalar> SpcgPlan<T> {
         let mut total = csr(&self.a);
         if let Some(d) = &self.decision {
             total += csr(&d.sparsified.a_hat);
+        }
+        if let Some(ap) = &self.a_permuted {
+            total += csr(ap);
         }
         if let Some(m) = &self.factored {
             total += csr(m);
@@ -260,7 +335,55 @@ impl<T: Scalar> SpcgPlan<T> {
         ws: &mut SolveWorkspace<T>,
         probe: &mut P,
     ) -> std::result::Result<SolveResult<T>, SolverError> {
-        pcg_with_workspace_probed(&self.a, &self.factors, b, &self.opts.solver, None, ws, probe)
+        let Some(perm) = self.perm.as_deref() else {
+            return pcg_with_workspace_probed(
+                &self.a,
+                &self.factors,
+                b,
+                &self.opts.solver,
+                None,
+                ws,
+                probe,
+            );
+        };
+        let n = self.n();
+        if b.len() != n {
+            // Let the inner solver surface its canonical dimension error.
+            return pcg_with_workspace_probed(
+                self.operator(),
+                &self.factors,
+                b,
+                &self.opts.solver,
+                None,
+                ws,
+                probe,
+            );
+        }
+        // Gather b into permuted order, solve `P A Pᵀ x̂ = P b`, scatter x̂
+        // back: x = Pᵀ x̂. The staging buffer is borrowed out of the
+        // workspace, so the warm path allocates nothing.
+        let mut buf = ws.take_staging(n);
+        for (k, &old) in perm.iter().enumerate() {
+            buf[k] = b[old];
+        }
+        let result = pcg_with_workspace_probed(
+            self.operator(),
+            &self.factors,
+            &buf,
+            &self.opts.solver,
+            None,
+            ws,
+            probe,
+        )
+        .map(|mut r| {
+            for (k, &old) in perm.iter().enumerate() {
+                buf[old] = r.x[k];
+            }
+            std::mem::swap(&mut r.x, &mut buf);
+            r
+        });
+        ws.restore_staging(buf);
+        result
     }
 
     /// The fully allocation-free solve: the iterate stays in
@@ -282,7 +405,54 @@ impl<T: Scalar> SpcgPlan<T> {
         ws: &mut SolveWorkspace<T>,
         probe: &mut P,
     ) -> std::result::Result<SolveStats, SolverError> {
-        pcg_in_place_probed(&self.a, &self.factors, b, &self.opts.solver, None, ws, probe)
+        let Some(perm) = self.perm.as_deref() else {
+            return pcg_in_place_probed(
+                &self.a,
+                &self.factors,
+                b,
+                &self.opts.solver,
+                None,
+                ws,
+                probe,
+            );
+        };
+        let n = self.n();
+        if b.len() != n {
+            return pcg_in_place_probed(
+                self.operator(),
+                &self.factors,
+                b,
+                &self.opts.solver,
+                None,
+                ws,
+                probe,
+            );
+        }
+        let mut buf = ws.take_staging(n);
+        for (k, &old) in perm.iter().enumerate() {
+            buf[k] = b[old];
+        }
+        let stats = pcg_in_place_probed(
+            self.operator(),
+            &self.factors,
+            &buf,
+            &self.opts.solver,
+            None,
+            ws,
+            probe,
+        );
+        if stats.is_ok() {
+            // The iterate sits in the workspace in permuted order; scatter
+            // it back through the staging buffer so `ws.solution()` is in
+            // the caller's ordering, like every other tier.
+            let x = ws.solution_mut();
+            for (k, &old) in perm.iter().enumerate() {
+                buf[old] = x[k];
+            }
+            x.copy_from_slice(&buf);
+        }
+        ws.restore_staging(buf);
+        stats
     }
 
     /// Solves the same operator against many independent right-hand sides,

@@ -1,0 +1,385 @@
+//! Level-reducing symmetric reordering — the planner's second lever.
+//!
+//! Sparsification (Algorithm 2) shrinks triangular-solve level counts by
+//! dropping nonzeros; *ordering* shrinks them by moving nonzeros. This
+//! module selects a symmetric permutation before the sparsify/factor
+//! phases run:
+//!
+//! * [`OrderingKind::Rcm`] — reverse Cuthill–McKee, bandwidth (and hence
+//!   dependency-chain) reduction;
+//! * [`OrderingKind::Coloring`] — greedy graph coloring, the level-set
+//!   flattener (factor levels are bounded by the color count);
+//! * [`OrderingKind::Auto`] — evaluate Natural, RCM, and Coloring through
+//!   the *joint* space (ordering × sparsify ratio): each candidate is
+//!   permuted, run through Algorithm 2, and judged by the level count of
+//!   its chosen sparsified matrix. A non-natural ordering is accepted only
+//!   when it cuts levels by at least ω percent **and** the candidate's
+//!   `‖Â⁻¹‖·‖S‖ ≤ τ` convergence guard still passes.
+//!
+//! The permutation is an analysis-time decision: `SpcgPlan` factors in
+//! permuted space and transparently permutes `b`/`x` at the solve
+//! boundary, so the public API and the returned solutions stay in the
+//! caller's ordering.
+
+use crate::algorithm2::{wavefront_aware_sparsify_probed, SelectionReason, SparsifyDecision};
+use crate::pipeline::SpcgOptions;
+use serde::{Deserialize, Serialize};
+use spcg_probe::{Counter, Probe, Span};
+use spcg_sparse::permute::{greedy_color_perm, reverse_cuthill_mckee};
+use spcg_sparse::{CsrMatrix, Scalar};
+use spcg_wavefront::wavefront_count;
+
+/// Which symmetric ordering the planner applies before sparsification and
+/// factorization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OrderingKind {
+    /// Keep the caller's row order (the default; bitwise-identical to the
+    /// pre-reordering pipeline).
+    #[default]
+    Natural,
+    /// Reverse Cuthill–McKee.
+    Rcm,
+    /// Greedy graph coloring.
+    Coloring,
+    /// Evaluate every ordering through Algorithm 2 and keep the one with
+    /// the fewest triangular-solve levels (subject to the ω/τ rule).
+    Auto,
+}
+
+impl OrderingKind {
+    /// Short stable label (also the CLI spelling).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OrderingKind::Natural => "natural",
+            OrderingKind::Rcm => "rcm",
+            OrderingKind::Coloring => "coloring",
+            OrderingKind::Auto => "auto",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "natural" => Some(OrderingKind::Natural),
+            "rcm" => Some(OrderingKind::Rcm),
+            "coloring" => Some(OrderingKind::Coloring),
+            "auto" => Some(OrderingKind::Auto),
+            _ => None,
+        }
+    }
+
+    /// Stable small integer for hash mixing (cache shard selection).
+    pub fn tag(&self) -> u64 {
+        match self {
+            OrderingKind::Natural => 0,
+            OrderingKind::Rcm => 1,
+            OrderingKind::Coloring => 2,
+            OrderingKind::Auto => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for OrderingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One ordering examined by the selection pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReorderCandidate {
+    /// The concrete ordering evaluated (never `Auto`).
+    pub ordering: OrderingKind,
+    /// Level count of the candidate's metric matrix (the sparsified `Â`
+    /// chosen by Algorithm 2 on the permuted system, or the permuted `A`
+    /// itself when sparsification is off).
+    pub levels: usize,
+    /// Percent level reduction vs the natural candidate (0 for natural).
+    pub reduction_percent: f64,
+    /// Whether the candidate's `‖Â⁻¹‖·‖S‖ ≤ τ` guard passed (always true
+    /// when sparsification is off).
+    pub guard_passed: bool,
+    /// The sparsify ratio Algorithm 2 chose for this candidate, when
+    /// sparsification ran.
+    pub chosen_ratio: Option<f64>,
+}
+
+/// The outcome of the ordering selection pass, recorded on the plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReorderDecision {
+    /// What the caller asked for.
+    pub requested: OrderingKind,
+    /// The concrete ordering the plan factors under (never `Auto`).
+    pub chosen: OrderingKind,
+    /// Level count of the natural-ordering metric matrix.
+    pub levels_natural: usize,
+    /// Level count under the chosen ordering.
+    pub levels_chosen: usize,
+    /// Every candidate the selection examined.
+    pub trace: Vec<ReorderCandidate>,
+}
+
+impl ReorderDecision {
+    /// Percent level reduction of the chosen ordering vs natural
+    /// (`100·(L_nat − L_chosen)/L_nat`; 0 when natural was kept).
+    pub fn level_reduction_percent(&self) -> f64 {
+        reduction_percent(self.levels_natural, self.levels_chosen)
+    }
+}
+
+fn reduction_percent(natural: usize, chosen: usize) -> f64 {
+    if natural == 0 {
+        0.0
+    } else {
+        100.0 * (natural as f64 - chosen as f64) / natural as f64
+    }
+}
+
+/// Everything the selection hands back to plan construction.
+pub(crate) struct ReorderOutcome<T: Scalar> {
+    /// Decision record (`None` when the request was `Natural` — the
+    /// trivial fast path leaves no trace, keeping default plans
+    /// event-identical to the pre-reordering pipeline).
+    pub decision: Option<ReorderDecision>,
+    /// `perm[new] = old`, present when a non-natural ordering was chosen.
+    pub perm: Option<Vec<usize>>,
+    /// The permuted system, present when a non-natural ordering was chosen.
+    pub permuted: Option<CsrMatrix<T>>,
+    /// The chosen candidate's sparsify decision from the joint search
+    /// (`Auto` with sparsification on), reused by the plan so Algorithm 2
+    /// does not run twice on the winning matrix.
+    pub sparsify: Option<SparsifyDecision<T>>,
+}
+
+impl<T: Scalar> ReorderOutcome<T> {
+    fn natural() -> Self {
+        Self { decision: None, perm: None, permuted: None, sparsify: None }
+    }
+}
+
+/// Computes the permutation for a concrete ordering (`None` for natural).
+fn perm_for<T: Scalar>(kind: OrderingKind, a: &CsrMatrix<T>) -> Option<Vec<usize>> {
+    match kind {
+        OrderingKind::Natural | OrderingKind::Auto => None,
+        OrderingKind::Rcm => Some(reverse_cuthill_mckee(a)),
+        OrderingKind::Coloring => Some(greedy_color_perm(a)),
+    }
+}
+
+/// Runs the ordering selection pass for `a` under `opts`.
+///
+/// `Natural` returns immediately without touching the probe — the default
+/// pipeline stays bitwise- and trace-identical. Explicit `Rcm`/`Coloring`
+/// apply unconditionally (the caller asked for that ordering; Algorithm 2
+/// then runs on the permuted system as usual). `Auto` performs the joint
+/// search described in the module docs.
+pub(crate) fn select_ordering_probed<T: Scalar, P: Probe>(
+    a: &CsrMatrix<T>,
+    opts: &SpcgOptions,
+    probe: &mut P,
+) -> ReorderOutcome<T> {
+    match opts.ordering {
+        OrderingKind::Natural => ReorderOutcome::natural(),
+        kind @ (OrderingKind::Rcm | OrderingKind::Coloring) => {
+            probe.span_begin(Span::Reorder);
+            let perm = perm_for(kind, a).expect("explicit orderings always permute");
+            let permuted = a.permute_sym(&perm).expect("ordering perms are valid by construction");
+            let levels_natural = wavefront_count(a);
+            let levels_chosen = wavefront_count(&permuted);
+            probe.counter(Counter::ReorderCandidates, 1);
+            probe.counter(Counter::ReorderLevelsBefore, levels_natural as u64);
+            probe.counter(Counter::ReorderLevelsAfter, levels_chosen as u64);
+            probe.span_end(Span::Reorder);
+            let decision = ReorderDecision {
+                requested: kind,
+                chosen: kind,
+                levels_natural,
+                levels_chosen,
+                trace: vec![ReorderCandidate {
+                    ordering: kind,
+                    levels: levels_chosen,
+                    reduction_percent: reduction_percent(levels_natural, levels_chosen),
+                    guard_passed: true,
+                    chosen_ratio: None,
+                }],
+            };
+            ReorderOutcome {
+                decision: Some(decision),
+                perm: Some(perm),
+                permuted: Some(permuted),
+                sparsify: None,
+            }
+        }
+        OrderingKind::Auto => auto_select(a, opts, probe),
+    }
+}
+
+/// One evaluated `Auto` candidate plus the artifacts needed to keep it.
+struct AutoCandidate<T: Scalar> {
+    record: ReorderCandidate,
+    perm: Option<Vec<usize>>,
+    permuted: Option<CsrMatrix<T>>,
+    sparsify: Option<SparsifyDecision<T>>,
+}
+
+fn auto_select<T: Scalar, P: Probe>(
+    a: &CsrMatrix<T>,
+    opts: &SpcgOptions,
+    probe: &mut P,
+) -> ReorderOutcome<T> {
+    probe.span_begin(Span::Reorder);
+    let kinds = [OrderingKind::Natural, OrderingKind::Rcm, OrderingKind::Coloring];
+    let mut candidates: Vec<AutoCandidate<T>> = Vec::with_capacity(kinds.len());
+    let mut levels_natural = 0usize;
+    for kind in kinds {
+        let perm = perm_for(kind, a);
+        let permuted = perm
+            .as_ref()
+            .map(|p| a.permute_sym(p).expect("ordering perms are valid by construction"));
+        let m = permuted.as_ref().unwrap_or(a);
+        // Judge the candidate by the level count of the matrix the
+        // factorization would actually see: the Â Algorithm 2 picks on the
+        // permuted system (the joint ordering × ratio space), or the
+        // permuted A itself for unsparsified plans.
+        let (levels, guard_passed, chosen_ratio, sparsify) = match &opts.sparsify {
+            Some(params) => {
+                let d = wavefront_aware_sparsify_probed(m, params, probe);
+                let guard = d.reason != SelectionReason::ConvergenceFallback;
+                (d.wavefronts_sparsified, guard, Some(d.chosen_ratio), Some(d))
+            }
+            None => (wavefront_count(m), true, None, None),
+        };
+        if kind == OrderingKind::Natural {
+            levels_natural = levels;
+        }
+        candidates.push(AutoCandidate {
+            record: ReorderCandidate {
+                ordering: kind,
+                levels,
+                reduction_percent: reduction_percent(levels_natural, levels),
+                guard_passed,
+                chosen_ratio,
+            },
+            perm,
+            permuted,
+            sparsify,
+        });
+    }
+
+    // The selection rule (DESIGN.md): keep the fewest-level candidate, but
+    // accept a non-natural ordering only when its τ guard passed and it
+    // cuts levels by at least ω percent vs natural.
+    let best = candidates
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, c)| c.record.guard_passed)
+        .min_by_key(|(_, c)| c.record.levels)
+        .map(|(i, _)| i);
+    let chosen_idx = match best {
+        Some(i)
+            if reduction_percent(levels_natural, candidates[i].record.levels)
+                >= opts.ordering_omega =>
+        {
+            i
+        }
+        _ => 0,
+    };
+
+    let trace: Vec<ReorderCandidate> = candidates.iter().map(|c| c.record.clone()).collect();
+    let chosen = candidates.swap_remove(chosen_idx);
+    let levels_chosen = chosen.record.levels;
+    probe.counter(Counter::ReorderCandidates, trace.len() as u64);
+    probe.counter(Counter::ReorderLevelsBefore, levels_natural as u64);
+    probe.counter(Counter::ReorderLevelsAfter, levels_chosen as u64);
+    probe.span_end(Span::Reorder);
+
+    ReorderOutcome {
+        decision: Some(ReorderDecision {
+            requested: OrderingKind::Auto,
+            chosen: chosen.record.ordering,
+            levels_natural,
+            levels_chosen,
+            trace,
+        }),
+        perm: chosen.perm,
+        permuted: chosen.permuted,
+        sparsify: chosen.sparsify,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_probe::NoProbe;
+    use spcg_sparse::generators::{poisson_2d, with_magnitude_spread};
+
+    fn grid(n: usize) -> CsrMatrix<f64> {
+        with_magnitude_spread(&poisson_2d(n, n), 5.0, 21)
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for k in
+            [OrderingKind::Natural, OrderingKind::Rcm, OrderingKind::Coloring, OrderingKind::Auto]
+        {
+            assert_eq!(OrderingKind::parse(k.label()), Some(k));
+            assert_eq!(format!("{k}"), k.label());
+        }
+        assert_eq!(OrderingKind::parse("metis"), None);
+        assert_eq!(OrderingKind::default(), OrderingKind::Natural);
+    }
+
+    #[test]
+    fn natural_request_is_a_no_op() {
+        let a = grid(10);
+        let opts = SpcgOptions::default();
+        let out = select_ordering_probed(&a, &opts, &mut NoProbe);
+        assert!(out.decision.is_none());
+        assert!(out.perm.is_none());
+        assert!(out.permuted.is_none());
+    }
+
+    #[test]
+    fn explicit_ordering_applies_unconditionally() {
+        let a = grid(10);
+        let opts = SpcgOptions::default().with_ordering(OrderingKind::Coloring);
+        let out = select_ordering_probed(&a, &opts, &mut NoProbe);
+        let d = out.decision.unwrap();
+        assert_eq!(d.chosen, OrderingKind::Coloring);
+        assert!(out.perm.is_some());
+        let ap = out.permuted.unwrap();
+        assert_eq!(ap.nnz(), a.nnz());
+        // Coloring flattens the 5-point grid's level structure massively.
+        assert!(d.levels_chosen < d.levels_natural);
+    }
+
+    #[test]
+    fn auto_search_picks_minimum_levels() {
+        let a = grid(12);
+        let opts = SpcgOptions::default().with_ordering(OrderingKind::Auto);
+        let out = select_ordering_probed(&a, &opts, &mut NoProbe);
+        let d = out.decision.unwrap();
+        assert_eq!(d.requested, OrderingKind::Auto);
+        assert_eq!(d.trace.len(), 3);
+        // The chosen levels are the minimum over every guard-passing
+        // candidate (natural included).
+        let min_ok = d.trace.iter().filter(|c| c.guard_passed).map(|c| c.levels).min().unwrap();
+        assert!(d.levels_chosen <= min_ok.max(d.levels_natural));
+        if d.chosen != OrderingKind::Natural {
+            assert!(d.level_reduction_percent() >= opts.ordering_omega);
+        }
+    }
+
+    #[test]
+    fn huge_omega_keeps_natural() {
+        let a = grid(10);
+        let opts =
+            SpcgOptions::default().with_ordering(OrderingKind::Auto).with_ordering_omega(1e9);
+        let out = select_ordering_probed(&a, &opts, &mut NoProbe);
+        let d = out.decision.unwrap();
+        assert_eq!(d.chosen, OrderingKind::Natural);
+        assert!(out.perm.is_none());
+        assert_eq!(d.levels_chosen, d.levels_natural);
+    }
+}

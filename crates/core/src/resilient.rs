@@ -308,6 +308,44 @@ impl<T: Scalar> SpcgPlan<T> {
         ws: &mut SolveWorkspace<T>,
         probe: &mut P,
     ) -> std::result::Result<ResilientSolve<T>, SolverError> {
+        // The ladder works entirely in the plan's operator space: for a
+        // reordered plan, permute `b` once on the way in and the final
+        // iterate once on the way out — every rung (which refactors from
+        // the permuted system) then agrees with the planned factors about
+        // which ordering it lives in.
+        let Some(perm) = self.permutation() else {
+            return self.resilient_ladder_probed(b, opts, ws, probe);
+        };
+        let n = self.n();
+        if b.len() != n {
+            // Let the inner solver surface its canonical dimension error.
+            return self.resilient_ladder_probed(b, opts, ws, probe);
+        }
+        let mut buf = ws.take_staging(n);
+        for (k, &old) in perm.iter().enumerate() {
+            buf[k] = b[old];
+        }
+        let result = self.resilient_ladder_probed(&buf, opts, ws, probe).map(|mut s| {
+            for (k, &old) in perm.iter().enumerate() {
+                buf[old] = s.result.x[k];
+            }
+            std::mem::swap(&mut s.result.x, &mut buf);
+            s
+        });
+        ws.restore_staging(buf);
+        result
+    }
+
+    /// The ladder itself, in operator space (`b` and the returned iterate
+    /// are in the plan's factoring ordering; the public wrapper maps them
+    /// to and from the caller's ordering for reordered plans).
+    fn resilient_ladder_probed<P: Probe>(
+        &self,
+        b: &[T],
+        opts: &ResilienceOptions,
+        ws: &mut SolveWorkspace<T>,
+        probe: &mut P,
+    ) -> std::result::Result<ResilientSolve<T>, SolverError> {
         let config = &self.options().solver;
         let mut report = RecoveryReport::default();
         // Track the best non-converged outcome so an exhausted ladder still
@@ -333,7 +371,7 @@ impl<T: Scalar> SpcgPlan<T> {
             let solve_fault = fault.and_then(|f| f.solve_fault);
             let solved = match &precond.factors {
                 RungFactors::Ilu(f) => pcg_with_workspace_probed(
-                    self.a(),
+                    self.operator(),
                     f.as_ref(),
                     b,
                     config,
@@ -342,7 +380,7 @@ impl<T: Scalar> SpcgPlan<T> {
                     probe,
                 ),
                 RungFactors::Jacobi(j) => {
-                    pcg_with_workspace_probed(self.a(), j, b, config, solve_fault, ws, probe)
+                    pcg_with_workspace_probed(self.operator(), j, b, config, solve_fault, ws, probe)
                 }
             };
             let result = match solved {
@@ -458,7 +496,7 @@ impl<T: Scalar> SpcgPlan<T> {
                 alpha: 0.0,
             },
             FallbackRung::Resparsify(t) => {
-                let a_hat = sparsify_by_magnitude(self.a(), t).a_hat;
+                let a_hat = sparsify_by_magnitude(self.operator(), t).a_hat;
                 let f = build_preconditioner_probed(&a_hat, kind, exec, probe).ok()?;
                 RungPrecond {
                     factors: RungFactors::Ilu(Box::new(f)),
@@ -467,7 +505,7 @@ impl<T: Scalar> SpcgPlan<T> {
                 }
             }
             FallbackRung::Unsparsified => {
-                let f = build_preconditioner_probed(self.a(), kind, exec, probe).ok()?;
+                let f = build_preconditioner_probed(self.operator(), kind, exec, probe).ok()?;
                 RungPrecond {
                     factors: RungFactors::Ilu(Box::new(f)),
                     factorizations: 1,
@@ -479,8 +517,14 @@ impl<T: Scalar> SpcgPlan<T> {
                     PrecondKind::Ilu0 => FactorKind::Ilu0,
                     PrecondKind::Iluk(k) => FactorKind::Iluk(k),
                 };
-                let s = shifted_factorization_probed(self.a(), fk, exec, &opts.shift_policy, probe)
-                    .ok()?;
+                let s = shifted_factorization_probed(
+                    self.operator(),
+                    fk,
+                    exec,
+                    &opts.shift_policy,
+                    probe,
+                )
+                .ok()?;
                 RungPrecond {
                     factors: RungFactors::Ilu(Box::new(s.factors)),
                     factorizations: s.attempts,
@@ -488,7 +532,7 @@ impl<T: Scalar> SpcgPlan<T> {
                 }
             }
             FallbackRung::Jacobi => {
-                let j = JacobiPreconditioner::new(self.a()).ok()?;
+                let j = JacobiPreconditioner::new(self.operator()).ok()?;
                 RungPrecond { factors: RungFactors::Jacobi(j), factorizations: 0, alpha: 0.0 }
             }
         };

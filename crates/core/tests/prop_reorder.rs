@@ -1,0 +1,152 @@
+//! Property-based tests of the reordering layer: a reordered plan is the
+//! *same solver* viewed through a permutation. Explicit orderings must be
+//! bitwise-reproducible from the unpermuted pipeline plus a hand-applied
+//! permutation, full PCG solves must agree with the natural plan within
+//! oracle tolerance, and `auto` must never pick an ordering with more
+//! levels than the candidates it searched.
+
+use proptest::prelude::*;
+use spcg_core::pipeline::SpcgOptions;
+use spcg_core::{OrderingKind, SpcgPlan};
+use spcg_solver::SolverConfig;
+use spcg_sparse::generators::{random_spd, with_magnitude_spread};
+use spcg_sparse::permute::reverse_cuthill_mckee;
+use spcg_sparse::Rng;
+
+fn random_system(n: usize, seed: u64) -> (spcg_sparse::CsrMatrix<f64>, Vec<f64>) {
+    let a = with_magnitude_spread(&random_spd(n, 4, 1.5, seed), 5.0, seed ^ 3);
+    let mut rng = Rng::new(seed ^ 0xb0b);
+    let b = (0..n).map(|_| rng.range(-1.0, 1.0)).collect();
+    (a, b)
+}
+
+fn options(sparsify: bool, ordering: OrderingKind) -> SpcgOptions {
+    SpcgOptions {
+        sparsify: if sparsify { Some(Default::default()) } else { None },
+        solver: SolverConfig::default().with_tol(1e-9).with_history(true),
+        ..Default::default()
+    }
+    .with_ordering(ordering)
+}
+
+fn residual_norm(a: &spcg_sparse::CsrMatrix<f64>, x: &[f64], b: &[f64]) -> f64 {
+    let ax = spcg_sparse::spmv::spmv_alloc(a, x);
+    ax.iter().zip(b).map(|(ai, bi)| (ai - bi) * (ai - bi)).sum::<f64>().sqrt()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// An explicit-RCM plan is *exactly* the natural pipeline run in the
+    /// permuted space: permuting A and b by hand, building a natural plan
+    /// on the permuted system, and un-permuting its iterate reproduces the
+    /// reordered plan's answer bit for bit — same trajectory, same
+    /// iteration count, same sparsify decision.
+    #[test]
+    fn rcm_plan_is_bitwise_the_permuted_natural_plan(
+        n in 20usize..70,
+        seed in 0u64..250,
+        sparsify in any::<bool>(),
+    ) {
+        let (a, b) = random_system(n, seed);
+        let reordered = SpcgPlan::build(&a, options(sparsify, OrderingKind::Rcm)).unwrap();
+        prop_assert!(reordered.is_reordered());
+        let via_plan = reordered.solve(&b).unwrap();
+
+        // Reference: the same solve with the permutation applied by hand.
+        let perm = reverse_cuthill_mckee(&a);
+        prop_assert_eq!(reordered.permutation().unwrap(), &perm[..]);
+        let ap = a.permute_sym(&perm).unwrap();
+        let natural = SpcgPlan::build(&ap, options(sparsify, OrderingKind::Natural)).unwrap();
+        let bp: Vec<f64> = perm.iter().map(|&old| b[old]).collect();
+        let hat = natural.solve(&bp).unwrap();
+        let mut x = vec![0.0; n];
+        for (k, &old) in perm.iter().enumerate() {
+            x[old] = hat.x[k];
+        }
+
+        prop_assert_eq!(&via_plan.x, &x);
+        prop_assert_eq!(via_plan.iterations, hat.iterations);
+        prop_assert_eq!(&via_plan.residual_history, &hat.residual_history);
+        prop_assert_eq!(
+            reordered.decision().map(|d| d.chosen_ratio),
+            natural.decision().map(|d| d.chosen_ratio)
+        );
+    }
+
+    /// Every ordering solves the *original* system: whatever permutation
+    /// the plan works in internally, the returned iterate must satisfy
+    /// `Ax = b` to the same oracle tolerance as the natural plan, and the
+    /// two iterates must agree within a loose band.
+    #[test]
+    fn all_orderings_solve_the_original_system(
+        n in 20usize..70,
+        seed in 0u64..250,
+        sparsify in any::<bool>(),
+        which in 0usize..3,
+    ) {
+        let ordering = [OrderingKind::Rcm, OrderingKind::Coloring, OrderingKind::Auto][which];
+        let (a, b) = random_system(n, seed);
+        let natural = SpcgPlan::build(&a, options(sparsify, OrderingKind::Natural))
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+        let reordered = SpcgPlan::build(&a, options(sparsify, ordering))
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+
+        let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-30);
+        prop_assert!(
+            residual_norm(&a, &reordered.x, &b) <= 1e-6 * b_norm,
+            "{ordering} iterate does not solve the original system"
+        );
+        let x_norm = natural.x.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-30);
+        let diff = natural
+            .x
+            .iter()
+            .zip(&reordered.x)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
+        prop_assert!(
+            diff <= 1e-5 * x_norm,
+            "{ordering} iterate drifted from natural: rel diff {}",
+            diff / x_norm
+        );
+    }
+
+    /// `auto` is monotone: it never commits to an ordering with more
+    /// levels than natural, and with ω = 0 it picks the level-minimal
+    /// candidate among everything the joint search admitted.
+    #[test]
+    fn auto_never_increases_levels(
+        n in 20usize..70,
+        seed in 0u64..250,
+        sparsify in any::<bool>(),
+        zero_omega in any::<bool>(),
+    ) {
+        let (a, _) = random_system(n, seed);
+        let omega = if zero_omega { 0.0 } else { 10.0 };
+        let opts = options(sparsify, OrderingKind::Auto).with_ordering_omega(omega);
+        let plan = SpcgPlan::build(&a, &opts).unwrap();
+        let d = plan.reorder().expect("auto always records a decision");
+
+        prop_assert!(
+            d.levels_chosen <= d.levels_natural,
+            "auto chose {} with {} levels but natural had {}",
+            d.chosen, d.levels_chosen, d.levels_natural
+        );
+        if zero_omega {
+            for c in &d.trace {
+                if c.guard_passed {
+                    prop_assert!(
+                        d.levels_chosen <= c.levels,
+                        "ω=0 auto chose {} levels but admissible {} had {}",
+                        d.levels_chosen, c.ordering, c.levels
+                    );
+                }
+            }
+        }
+    }
+}

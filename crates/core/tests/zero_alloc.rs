@@ -88,6 +88,46 @@ fn warm_in_place_solves_do_not_allocate() {
 }
 
 #[test]
+fn warm_reordered_solves_do_not_allocate() {
+    // Reordering must not cost the hot path its allocation-freedom: the
+    // boundary permutation (gather b, scatter x) stages through a
+    // workspace buffer that `make_workspace` pre-sizes, so a warm in-place
+    // solve on a reordered plan is as allocation-free as a natural one.
+    use spcg_core::OrderingKind;
+
+    let a = with_magnitude_spread(&poisson_2d(24, 24), 5.0, 11);
+    let opts = SpcgOptions {
+        solver: SolverConfig::default().with_tol(1e-10).with_history(true),
+        ..Default::default()
+    }
+    .with_ordering(OrderingKind::Coloring);
+    let plan = SpcgPlan::build(&a, &opts).expect("plan builds");
+    assert!(plan.is_reordered(), "coloring must actually permute");
+    let mut ws = plan.make_workspace();
+
+    let mut rng = Rng::new(23);
+    let rhs: Vec<Vec<f64>> =
+        (0..4).map(|_| (0..a.n_rows()).map(|_| rng.range(-1.0, 1.0)).collect()).collect();
+
+    let warm = plan.solve_in_place(&rhs[0], &mut ws).expect("well-formed system");
+    assert!(warm.converged(), "warm-up failed: {:?}", warm.stop);
+
+    let before = allocation_count();
+    for b in &rhs {
+        let stats = plan.solve_in_place(b, &mut ws).expect("well-formed system");
+        assert!(stats.converged(), "reordered solve failed: {:?}", stats.stop);
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "warm reordered solves allocated {} time(s); the permuted hot path must stay \
+         allocation-free",
+        after - before
+    );
+}
+
+#[test]
 fn warm_served_solves_do_not_allocate() {
     // The same contract, one layer up: a request through the solve
     // service's cached hot path — fingerprint, sharded-LRU hit (tick-stamp

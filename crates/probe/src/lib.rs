@@ -56,6 +56,8 @@ use std::fmt;
 pub enum Span {
     /// Whole `SpcgPlan::build` (sparsify + factorize + level build).
     PlanBuild,
+    /// Ordering selection: candidate permutations evaluated and applied.
+    Reorder,
     /// Algorithm 2 wavefront-aware sparsification (all candidates).
     Sparsify,
     /// One Algorithm 2 candidate evaluation (sparsify + indicator + levels).
@@ -91,6 +93,7 @@ impl Span {
     pub fn label(&self) -> &'static str {
         match self {
             Span::PlanBuild => "plan.build",
+            Span::Reorder => "plan.reorder",
             Span::Sparsify => "plan.sparsify",
             Span::CandidateEval => "plan.sparsify.candidate",
             Span::Factorize => "plan.factorize",
@@ -130,6 +133,12 @@ pub enum Counter {
     ShiftAttempts,
     /// Algorithm 2 sparsification candidates evaluated.
     CandidatesEvaluated,
+    /// Candidate orderings evaluated by the reorder selection pass.
+    ReorderCandidates,
+    /// Triangular-solve levels of the metric matrix under natural ordering.
+    ReorderLevelsBefore,
+    /// Triangular-solve levels under the ordering the selection chose.
+    ReorderLevelsAfter,
     /// Simulated DRAM traffic in bytes (gpusim bridge).
     SimBytes,
     /// Simulated floating-point operations (gpusim bridge).
@@ -162,6 +171,9 @@ impl Counter {
             Counter::Factorizations => "factorizations",
             Counter::ShiftAttempts => "shift_attempts",
             Counter::CandidatesEvaluated => "candidates_evaluated",
+            Counter::ReorderCandidates => "reorder.candidates",
+            Counter::ReorderLevelsBefore => "reorder.levels_before",
+            Counter::ReorderLevelsAfter => "reorder.levels_after",
             Counter::SimBytes => "sim.bytes",
             Counter::SimFlops => "sim.flops",
             Counter::SimLaunches => "sim.launches",

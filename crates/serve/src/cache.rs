@@ -1,4 +1,5 @@
-//! Sharded LRU cache of [`SpcgPlan`]s keyed by [`MatrixFingerprint`].
+//! Sharded LRU cache of [`SpcgPlan`]s keyed by [`PlanKey`] — the matrix
+//! fingerprint *plus* the ordering the plan was built under.
 //!
 //! The cache is the service's amortization engine: the first request for a
 //! system pays the analysis phase (sparsify + factor + level schedules),
@@ -23,12 +24,36 @@
 //! surfaced through any [`Probe`] as the
 //! `serve.cache.*` counter vocabulary via [`PlanCache::emit_counters`].
 
-use spcg_core::SpcgPlan;
+use spcg_core::{OrderingKind, SpcgPlan};
 use spcg_probe::{Counter, Probe};
-use spcg_sparse::{MatrixFingerprint, Scalar};
+use spcg_sparse::{CsrMatrix, MatrixFingerprint, Scalar};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Cache key: the matrix fingerprint plus the ordering the plan factors
+/// under. Two plans over byte-identical matrices but different orderings
+/// factor different operators and produce different level schedules — they
+/// are value twins that must never collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Structure + value digest of the system matrix.
+    pub fp: MatrixFingerprint,
+    /// The ordering requested of the planner.
+    pub ordering: OrderingKind,
+}
+
+impl PlanKey {
+    /// Key for `fp` under `ordering`.
+    pub fn new(fp: MatrixFingerprint, ordering: OrderingKind) -> Self {
+        Self { fp, ordering }
+    }
+
+    /// Fingerprints `a` and keys it under `ordering`.
+    pub fn of<T: Scalar>(a: &CsrMatrix<T>, ordering: OrderingKind) -> Self {
+        Self { fp: MatrixFingerprint::of(a), ordering }
+    }
+}
 
 /// Sizing knobs for a [`PlanCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,7 +99,7 @@ struct Entry<T: Scalar> {
 }
 
 struct Shard<T: Scalar> {
-    map: HashMap<MatrixFingerprint, Entry<T>>,
+    map: HashMap<PlanKey, Entry<T>>,
     /// Monotonic use counter; entries stamp it on every touch, eviction
     /// removes the minimum stamp. This realizes LRU without a list (and
     /// without allocating on the hit path).
@@ -89,17 +114,17 @@ impl<T: Scalar> Shard<T> {
 
     /// Evicts LRU entries until the shard is within `cap` entries and
     /// `budget` bytes, never evicting `keep` (the entry just inserted).
-    fn evict_to(&mut self, cap: usize, budget: usize, keep: &MatrixFingerprint) -> u64 {
+    fn evict_to(&mut self, cap: usize, budget: usize, keep: &PlanKey) -> u64 {
         let mut evicted = 0;
         while self.map.len() > cap || self.bytes > budget {
             let victim = self
                 .map
                 .iter()
-                .filter(|(fp, _)| *fp != keep)
+                .filter(|(key, _)| *key != keep)
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(fp, _)| *fp);
-            let Some(fp) = victim else { break };
-            if let Some(e) = self.map.remove(&fp) {
+                .map(|(key, _)| *key);
+            let Some(key) = victim else { break };
+            if let Some(e) = self.map.remove(&key) {
                 self.bytes -= e.bytes;
                 evicted += 1;
             }
@@ -138,20 +163,24 @@ impl<T: Scalar> PlanCache<T> {
         }
     }
 
-    fn shard(&self, fp: &MatrixFingerprint) -> &Mutex<Shard<T>> {
+    fn shard(&self, key: &PlanKey) -> &Mutex<Shard<T>> {
         // The structure hash is already well-mixed; fold in the value
-        // digest so same-pattern families still spread across shards.
-        let h = fp.structure ^ fp.values.rotate_left(17);
+        // digest so same-pattern families still spread across shards, and
+        // the ordering tag so a system requested under several orderings
+        // does not pile its value twins onto one shard.
+        let h = key.fp.structure
+            ^ key.fp.values.rotate_left(17)
+            ^ key.ordering.tag().wrapping_mul(0x9E37_79B9_7F4A_7C15);
         &self.shards[(h % self.shards.len() as u64) as usize]
     }
 
     /// Looks up a plan, bumping its recency and the hit/miss tallies.
     /// Allocation-free on both outcomes.
-    pub fn get(&self, fp: &MatrixFingerprint) -> Option<Arc<SpcgPlan<T>>> {
-        let mut shard = self.shard(fp).lock().unwrap();
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<SpcgPlan<T>>> {
+        let mut shard = self.shard(key).lock().unwrap();
         shard.tick += 1;
         let tick = shard.tick;
-        match shard.map.get_mut(fp) {
+        match shard.map.get_mut(key) {
             Some(e) => {
                 e.last_used = tick;
                 let plan = Arc::clone(&e.plan);
@@ -170,26 +199,26 @@ impl<T: Scalar> PlanCache<T> {
     /// Inserts (or replaces) a plan, then evicts LRU entries until the
     /// shard respects its entry and byte bounds. The just-inserted plan is
     /// never the victim. Returns how many entries were evicted.
-    pub fn insert(&self, fp: MatrixFingerprint, plan: Arc<SpcgPlan<T>>) -> u64 {
+    pub fn insert(&self, key: PlanKey, plan: Arc<SpcgPlan<T>>) -> u64 {
         let bytes = plan.approx_bytes();
-        let mut shard = self.shard(&fp).lock().unwrap();
+        let mut shard = self.shard(&key).lock().unwrap();
         shard.tick += 1;
         let tick = shard.tick;
-        if let Some(old) = shard.map.insert(fp, Entry { plan, bytes, last_used: tick }) {
+        if let Some(old) = shard.map.insert(key, Entry { plan, bytes, last_used: tick }) {
             shard.bytes -= old.bytes;
         }
         shard.bytes += bytes;
-        let evicted = shard.evict_to(self.cap_per_shard.max(1), self.budget_per_shard, &fp);
+        let evicted = shard.evict_to(self.cap_per_shard.max(1), self.budget_per_shard, &key);
         drop(shard);
         self.insertions.fetch_add(1, Ordering::Relaxed);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
         evicted
     }
 
-    /// `true` when `fp` is resident. Does not count as a lookup and does
+    /// `true` when `key` is resident. Does not count as a lookup and does
     /// not bump recency (diagnostic use: tests, dashboards).
-    pub fn contains(&self, fp: &MatrixFingerprint) -> bool {
-        self.shard(fp).lock().unwrap().map.contains_key(fp)
+    pub fn contains(&self, key: &PlanKey) -> bool {
+        self.shard(key).lock().unwrap().map.contains_key(key)
     }
 
     /// Number of resident plans.
@@ -247,10 +276,10 @@ mod tests {
     use spcg_sparse::generators::poisson_2d;
     use spcg_sparse::CsrMatrix;
 
-    fn plan_for(n: usize) -> (MatrixFingerprint, Arc<SpcgPlan<f64>>) {
+    fn plan_for(n: usize) -> (PlanKey, Arc<SpcgPlan<f64>>) {
         let a = poisson_2d(n, n);
-        let fp = MatrixFingerprint::of(&a);
-        (fp, Arc::new(SpcgPlan::build(&a, SpcgOptions::default()).unwrap()))
+        let key = PlanKey::of(&a, OrderingKind::Natural);
+        (key, Arc::new(SpcgPlan::build(&a, SpcgOptions::default()).unwrap()))
     }
 
     #[test]
@@ -313,9 +342,32 @@ mod tests {
     fn value_digest_separates_same_pattern_matrices() {
         let a = poisson_2d(6, 6);
         let b: CsrMatrix<f64> = a.map_values(|v| v * 3.0);
-        let (fa, fb) = (MatrixFingerprint::of(&a), MatrixFingerprint::of(&b));
+        let ka = PlanKey::of(&a, OrderingKind::Natural);
+        let kb = PlanKey::of(&b, OrderingKind::Natural);
         let cache: PlanCache<f64> = PlanCache::new(CacheConfig::default());
-        cache.insert(fa, Arc::new(SpcgPlan::build(&a, SpcgOptions::default()).unwrap()));
-        assert!(cache.get(&fb).is_none(), "same-pattern matrix must not share factors");
+        cache.insert(ka, Arc::new(SpcgPlan::build(&a, SpcgOptions::default()).unwrap()));
+        assert!(cache.get(&kb).is_none(), "same-pattern matrix must not share factors");
+    }
+
+    #[test]
+    fn ordering_separates_value_twin_plans() {
+        let a = poisson_2d(6, 6);
+        let natural = PlanKey::of(&a, OrderingKind::Natural);
+        let colored = PlanKey::of(&a, OrderingKind::Coloring);
+        assert_eq!(natural.fp, colored.fp, "same bytes, same fingerprint");
+        assert_ne!(natural, colored, "keys must differ by ordering");
+        let cache: PlanCache<f64> = PlanCache::new(CacheConfig::default());
+        cache.insert(natural, Arc::new(SpcgPlan::build(&a, SpcgOptions::default()).unwrap()));
+        assert!(
+            cache.get(&colored).is_none(),
+            "a natural plan must never answer a coloring-ordered request"
+        );
+        let plan =
+            SpcgPlan::build(&a, SpcgOptions::default().with_ordering(OrderingKind::Coloring))
+                .unwrap();
+        cache.insert(colored, Arc::new(plan));
+        assert_eq!(cache.len(), 2, "value twins coexist under distinct keys");
+        assert!(cache.get(&natural).unwrap().permutation().is_none());
+        assert!(cache.get(&colored).unwrap().permutation().is_some());
     }
 }

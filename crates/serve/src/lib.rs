@@ -46,6 +46,6 @@ pub mod cache;
 pub mod queue;
 pub mod service;
 
-pub use cache::{CacheConfig, CacheStats, PlanCache};
+pub use cache::{CacheConfig, CacheStats, PlanCache, PlanKey};
 pub use queue::{BoundedQueue, PushError};
 pub use service::{ServeError, ServeOutcome, ServiceConfig, ServiceStats, SolveService, Ticket};

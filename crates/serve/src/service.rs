@@ -1,4 +1,5 @@
-//! The solve service: fingerprint → cached plan → (batched) solve.
+//! The solve service: plan key (fingerprint + ordering) → cached plan →
+//! (batched) solve.
 //!
 //! [`SolveService`] fronts the whole SPCG pipeline behind two entry
 //! styles:
@@ -26,12 +27,12 @@
 //! solve returns bit-for-bit the vector a fresh single-threaded
 //! [`SpcgPlan::solve`] would (asserted by this crate's tests).
 
-use crate::cache::{CacheConfig, CacheStats, PlanCache};
+use crate::cache::{CacheConfig, CacheStats, PlanCache, PlanKey};
 use crate::queue::{BoundedQueue, PushError};
 use spcg_core::{FaultInjection, ResilienceOptions, SpcgOptions, SpcgPlan};
 use spcg_probe::{Counter, Probe, Span};
 use spcg_solver::{SolveResult, SolveStats, SolveWorkspace, SolverError, StopReason};
-use spcg_sparse::{CsrMatrix, MatrixFingerprint, Scalar, SparseError};
+use spcg_sparse::{CsrMatrix, Scalar, SparseError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -154,7 +155,7 @@ pub struct ServiceStats {
 }
 
 struct Request<T: Scalar> {
-    fp: MatrixFingerprint,
+    key: PlanKey,
     a: Arc<CsrMatrix<T>>,
     b: Vec<T>,
     fault: Option<FaultInjection>,
@@ -210,8 +211,8 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
     /// Exactly one cache lookup is counted (a hit or a miss), so
     /// `hits + misses` always equals the number of requests.
     pub fn plan_for(&self, a: &CsrMatrix<T>) -> Result<Arc<SpcgPlan<T>>, ServeError> {
-        let fp = MatrixFingerprint::of(a);
-        self.inner.plan_for(fp, a).map(|(plan, _)| plan)
+        let key = self.inner.key_for(a);
+        self.inner.plan_for(key, a).map(|(plan, _)| plan)
     }
 
     /// Synchronous cached solve on the calling thread.
@@ -230,9 +231,9 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
     ) -> Result<ServeOutcome<T>, ServeError> {
         probe.span_begin(Span::ServeRequest);
         self.inner.requests.fetch_add(1, Ordering::Relaxed);
-        let fp = MatrixFingerprint::of(a);
+        let key = self.inner.key_for(a);
         let out = (|| {
-            let (plan, cache_hit) = self.inner.plan_for(fp, a)?;
+            let (plan, cache_hit) = self.inner.plan_for(key, a)?;
             probe.counter(
                 if cache_hit { Counter::ServeCacheHit } else { Counter::ServeCacheMiss },
                 1,
@@ -270,8 +271,8 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
         ws: &mut SolveWorkspace<T>,
     ) -> Result<SolveStats, ServeError> {
         self.inner.requests.fetch_add(1, Ordering::Relaxed);
-        let fp = MatrixFingerprint::of(a);
-        let (plan, _) = self.inner.plan_for(fp, a)?;
+        let key = self.inner.key_for(a);
+        let (plan, _) = self.inner.plan_for(key, a)?;
         let stats = plan.solve_in_place(b, ws)?;
         self.inner.completed.fetch_add(1, Ordering::Relaxed);
         Ok(stats)
@@ -311,9 +312,9 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
         fault: Option<FaultInjection>,
         bounded: bool,
     ) -> Result<Ticket<T>, ServeError> {
-        let fp = MatrixFingerprint::of(a.as_ref());
+        let key = self.inner.key_for(a.as_ref());
         let (tx, rx) = mpsc::channel();
-        let req = Request { fp, a, b, fault, reply: tx };
+        let req = Request { key, a, b, fault, reply: tx };
         let pushed =
             if bounded { self.inner.queue.try_push(req) } else { self.inner.queue.push(req) };
         match pushed {
@@ -383,21 +384,28 @@ impl<T: Scalar> std::fmt::Debug for SolveService<T> {
 }
 
 impl<T: Scalar> Inner<T> {
+    /// The cache key for `a` under this service's configured ordering:
+    /// services with different `options.ordering` build different plans
+    /// from the same bytes, and the key keeps those value twins apart.
+    fn key_for(&self, a: &CsrMatrix<T>) -> PlanKey {
+        PlanKey::of(a, self.cfg.options.ordering)
+    }
+
     /// Cache lookup, building and inserting on a miss. Exactly one lookup
-    /// is counted per call. Two threads racing the same cold fingerprint
-    /// may both build; both results are numerically identical (the whole
-    /// pipeline is deterministic), the second insert wins, and correctness
-    /// is unaffected — the duplicate work is bounded by the race.
+    /// is counted per call. Two threads racing the same cold key may both
+    /// build; both results are numerically identical (the whole pipeline
+    /// is deterministic), the second insert wins, and correctness is
+    /// unaffected — the duplicate work is bounded by the race.
     fn plan_for(
         &self,
-        fp: MatrixFingerprint,
+        key: PlanKey,
         a: &CsrMatrix<T>,
     ) -> Result<(Arc<SpcgPlan<T>>, bool), ServeError> {
-        if let Some(plan) = self.cache.get(&fp) {
+        if let Some(plan) = self.cache.get(&key) {
             return Ok((plan, true));
         }
         let plan = Arc::new(SpcgPlan::build(a, &self.cfg.options).map_err(ServeError::PlanBuild)?);
-        self.cache.insert(fp, Arc::clone(&plan));
+        self.cache.insert(key, Arc::clone(&plan));
         Ok((plan, false))
     }
 
@@ -437,11 +445,11 @@ fn worker_loop<T: Scalar + Send + Sync>(inner: &Inner<T>) {
         if inner.cfg.batch_limit > 1 && !inner.cfg.batch_window.is_zero() {
             std::thread::sleep(inner.cfg.batch_window);
         }
-        let fp = first.fp;
+        let key = first.key;
         let mut batch = vec![first];
         if inner.cfg.batch_limit > 1 {
             batch.extend(
-                inner.queue.drain_matching(|r| r.fp == fp, inner.cfg.batch_limit - batch.len()),
+                inner.queue.drain_matching(|r| r.key == key, inner.cfg.batch_limit - batch.len()),
             );
         }
         let size = batch.len();
@@ -455,7 +463,7 @@ fn worker_loop<T: Scalar + Send + Sync>(inner: &Inner<T>) {
         // resolves (or builds) the plan, coalesced followers re-look it up
         // — by then resident, so they tally as the cache hits they
         // logically are, and `hits + misses` keeps equaling requests.
-        let leader = inner.plan_for(fp, batch[0].a.as_ref());
+        let leader = inner.plan_for(key, batch[0].a.as_ref());
         let (plan, leader_hit) = match leader {
             Ok(pair) => pair,
             Err(e) => {
@@ -471,7 +479,7 @@ fn worker_loop<T: Scalar + Send + Sync>(inner: &Inner<T>) {
 
         let mut ws = plan.make_workspace();
         for (i, req) in batch.into_iter().enumerate() {
-            let cache_hit = if i == 0 { leader_hit } else { inner.cache.get(&fp).is_some() };
+            let cache_hit = if i == 0 { leader_hit } else { inner.cache.get(&key).is_some() };
             let reply =
                 inner.solve_one(&plan, &req.b, req.fault, &mut ws).map(|(result, report)| {
                     ServeOutcome { result, report, cache_hit, batch_size: size }

@@ -11,13 +11,13 @@
 //! properties drive random get/insert schedules against them.
 
 use proptest::prelude::*;
-use spcg_core::{SpcgOptions, SpcgPlan};
-use spcg_serve::{CacheConfig, PlanCache};
+use spcg_core::{OrderingKind, SpcgOptions, SpcgPlan};
+use spcg_serve::{CacheConfig, PlanCache, PlanKey};
 use spcg_sparse::generators::{poisson_2d, with_magnitude_spread};
-use spcg_sparse::{CsrMatrix, MatrixFingerprint};
+use spcg_sparse::CsrMatrix;
 use std::sync::{Arc, OnceLock};
 
-type Pooled = (MatrixFingerprint, Arc<SpcgPlan<f64>>);
+type Pooled = (PlanKey, Arc<SpcgPlan<f64>>);
 
 /// Eight distinct systems: four different structures, and for two of the
 /// structures a same-pattern/different-values twin (scaled copy).
@@ -35,14 +35,14 @@ fn pool() -> &'static Vec<Pooled> {
         mats.extend(twins);
         mats.iter()
             .map(|a| {
-                let fp = MatrixFingerprint::of(a);
-                (fp, Arc::new(SpcgPlan::build(a, SpcgOptions::default()).unwrap()))
+                let key = PlanKey::of(a, OrderingKind::Natural);
+                (key, Arc::new(SpcgPlan::build(a, SpcgOptions::default()).unwrap()))
             })
             .collect()
     })
 }
 
-/// Reference LRU model over fingerprints (single shard, entry capacity).
+/// Reference LRU model over plan keys (single shard, entry capacity).
 struct ModelLru {
     /// Most-recent last.
     order: Vec<usize>,
@@ -161,7 +161,7 @@ proptest! {
         let pool = pool();
         // pool[4] is a scaled twin of pool[0], pool[5] of pool[2].
         for (a, b) in [(0, 4), (2, 5)] {
-            prop_assert!(pool[a].0.same_structure(&pool[b].0));
+            prop_assert!(pool[a].0.fp.same_structure(&pool[b].0.fp));
             prop_assert!(pool[a].0 != pool[b].0);
         }
         let cache: PlanCache<f64> = PlanCache::new(CacheConfig::default());

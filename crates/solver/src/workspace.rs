@@ -23,6 +23,12 @@ pub struct SolveWorkspace<T: Scalar> {
     pub(crate) w: Vec<T>,
     pub(crate) p: Vec<T>,
     pub(crate) scratch: Vec<T>,
+    /// Boundary staging buffer for callers that gather/scatter vectors
+    /// around a solve (e.g. permuted-operator plans). Held here so the
+    /// capacity survives across solves; borrowed out via
+    /// [`take_staging`](SolveWorkspace::take_staging) because the solve
+    /// itself holds `&mut self`.
+    staging: Vec<T>,
     pub(crate) history: Vec<f64>,
     /// Dimension of the most recent solve; buffers may be larger (they
     /// never shrink, so one workspace can serve systems of varying size).
@@ -40,6 +46,7 @@ impl<T: Scalar> SolveWorkspace<T> {
             w: vec![T::ZERO; n],
             p: vec![T::ZERO; n],
             scratch: vec![T::ZERO; scratch_len],
+            staging: Vec::new(),
             history: Vec::new(),
             active: n,
         }
@@ -65,6 +72,43 @@ impl<T: Scalar> SolveWorkspace<T> {
     /// recording was enabled in the solver config).
     pub fn history(&self) -> &[f64] {
         &self.history
+    }
+
+    /// Mutable access to the active slice of the solution buffer, for
+    /// callers that post-process the iterate of an in-place solve (e.g.
+    /// scattering a permuted solution back to the caller's ordering).
+    pub fn solution_mut(&mut self) -> &mut [T] {
+        &mut self.x[..self.active]
+    }
+
+    /// Pre-sizes the staging buffer so the first
+    /// [`take_staging`](SolveWorkspace::take_staging) of up to `n` elements
+    /// allocates nothing.
+    pub fn reserve_staging(&mut self, n: usize) {
+        if self.staging.len() < n {
+            self.staging.resize(n, T::ZERO);
+        }
+    }
+
+    /// Moves the staging buffer out, sized to exactly `n` elements (its
+    /// previous contents are unspecified). Once the buffer has grown to
+    /// `n`, taking it is allocation-free. Return it with
+    /// [`restore_staging`](SolveWorkspace::restore_staging) so the
+    /// capacity is kept for the next solve; a caller that forgets only
+    /// costs a re-allocation, never correctness.
+    pub fn take_staging(&mut self, n: usize) -> Vec<T> {
+        let mut v = std::mem::take(&mut self.staging);
+        v.resize(n, T::ZERO);
+        v
+    }
+
+    /// Returns a buffer obtained from
+    /// [`take_staging`](SolveWorkspace::take_staging) (or any buffer whose
+    /// capacity is worth keeping) to the workspace.
+    pub fn restore_staging(&mut self, v: Vec<T>) {
+        if v.capacity() > self.staging.capacity() {
+            self.staging = v;
+        }
     }
 
     /// Sets the active dimension, growing buffers if the dimension, scratch
@@ -124,6 +168,33 @@ mod tests {
         assert_eq!(ws.scratch.len(), 0);
         let ws2 = SolveWorkspace::<f64>::new(6, 6);
         assert_eq!(ws2.scratch.len(), 6);
+    }
+
+    #[test]
+    fn staging_round_trip_keeps_capacity() {
+        let mut ws = SolveWorkspace::<f64>::new(4, 0);
+        ws.reserve_staging(16);
+        let buf = ws.take_staging(16);
+        let cap = buf.capacity();
+        assert_eq!(buf.len(), 16);
+        ws.restore_staging(buf);
+        // Smaller takes reuse the same allocation.
+        let again = ws.take_staging(8);
+        assert_eq!(again.len(), 8);
+        assert_eq!(again.capacity(), cap);
+        ws.restore_staging(again);
+        // A throwaway restore never downgrades the kept capacity.
+        ws.restore_staging(Vec::new());
+        assert_eq!(ws.take_staging(16).capacity(), cap);
+    }
+
+    #[test]
+    fn solution_mut_tracks_active_dimension() {
+        let mut ws = SolveWorkspace::<f64>::new(6, 0);
+        ws.solution_mut().fill(2.5);
+        assert_eq!(ws.solution(), &[2.5; 6]);
+        ws.ensure(3, 0, 0);
+        assert_eq!(ws.solution_mut().len(), 3);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the tracked trajectory bench.
+
+Compares a freshly regenerated `BENCH_5.json` against the committed
+baseline and fails (exit 1) if any fixture regressed beyond tolerance:
+
+* **Simulated per-iteration cost** (baseline, spcg, and auto-ordering
+  variants): more than 2% slower — the simulator is deterministic, so any
+  real increase is a code change, and the slack only absorbs rounding of
+  the 3-decimal artifact.
+* **Real iteration count** (any variant): more than `max(3, 10%)` extra
+  iterations — the same "approximately unchanged" band EXPERIMENTS.md
+  uses for the paper's convergence claim.
+* **Level-reduction headline**: the gmean level reduction from `auto`
+  reordering dropping below the 10% acceptance floor, or by more than
+  2 points against the baseline.
+
+A before/after table is always printed, pass or fail, so the CI log
+doubles as the perf report.
+
+Usage: check_bench_regression.py BASELINE.json CANDIDATE.json
+"""
+
+import json
+import sys
+from pathlib import Path
+
+PER_ITER_SLACK = 1.02  # 2% relative
+PER_ITER_EPS = 0.005  # absolute µs floor under the 3-decimal rounding
+ITER_PCT = 0.10
+ITER_ABS = 3
+LEVEL_FLOOR = 10.0  # acceptance floor for gmean level reduction, percent
+LEVEL_DRIFT = 2.0  # allowed drop vs baseline, points
+
+
+def load(path: str) -> dict:
+    p = Path(path)
+    if not p.exists():
+        sys.exit(f"error: {path} does not exist")
+    return json.loads(p.read_text())
+
+
+def variants(row: dict) -> list[tuple[str, float, int]]:
+    """(label, per_iteration_us, iterations) for every gated variant."""
+    o = row["ordering"]
+    return [
+        ("base", row["baseline"]["per_iteration_us"], row["baseline"]["iterations"]),
+        ("spcg", row["spcg"]["per_iteration_us"], row["spcg"]["iterations"]),
+        ("auto", o["per_iteration_us_auto"], o["iterations_auto"]),
+    ]
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip().splitlines()[-1])
+    base = load(sys.argv[1])
+    cand = load(sys.argv[2])
+    base_rows = {r["name"]: r for r in base["rows"]}
+    cand_rows = {r["name"]: r for r in cand["rows"]}
+
+    failures: list[str] = []
+    print(f"{'fixture':<16} {'variant':<8} {'per-iter µs':>22} {'iterations':>16}")
+    print("-" * 66)
+    for name, b in base_rows.items():
+        c = cand_rows.get(name)
+        if c is None:
+            failures.append(f"{name}: fixture missing from candidate")
+            continue
+        for (label, b_us, b_it), (_, c_us, c_it) in zip(variants(b), variants(c)):
+            us = f"{b_us:>9.3f} -> {c_us:<9.3f}"
+            it = f"{b_it:>5} -> {c_it:<5}"
+            print(f"{name:<16} {label:<8} {us:>22} {it:>16}")
+            if c_us > b_us * PER_ITER_SLACK + PER_ITER_EPS:
+                failures.append(
+                    f"{name}/{label}: per-iteration cost {b_us:.3f} -> {c_us:.3f} µs "
+                    f"(> {(PER_ITER_SLACK - 1) * 100:.0f}% tolerance)"
+                )
+            if c_it > b_it + max(ITER_ABS, round(b_it * ITER_PCT)):
+                failures.append(
+                    f"{name}/{label}: iterations {b_it} -> {c_it} "
+                    f"(> max({ITER_ABS}, {ITER_PCT:.0%}) tolerance)"
+                )
+    for name in cand_rows.keys() - base_rows.keys():
+        print(f"{name:<16} {'(new)':<8} {'--':>22} {'--':>16}")
+
+    b_lvl = base["gmean_level_reduction_percent"]
+    c_lvl = cand["gmean_level_reduction_percent"]
+    print("-" * 66)
+    print(f"gmean level reduction: {b_lvl:.1f}% -> {c_lvl:.1f}%")
+    if c_lvl < LEVEL_FLOOR:
+        failures.append(
+            f"gmean level reduction {c_lvl:.1f}% fell below the {LEVEL_FLOOR:.0f}% floor"
+        )
+    elif c_lvl < b_lvl - LEVEL_DRIFT:
+        failures.append(
+            f"gmean level reduction dropped {b_lvl:.1f}% -> {c_lvl:.1f}% "
+            f"(> {LEVEL_DRIFT:.0f} point drift)"
+        )
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print("\nOK: no perf regressions against baseline")
+
+
+if __name__ == "__main__":
+    main()

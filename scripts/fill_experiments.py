@@ -3,10 +3,11 @@
 
 Two jobs, both idempotent:
 
-1. **Trajectory table** (always): reads the tracked `BENCH_4.json` written
+1. **Trajectory tables** (always): reads the tracked `BENCH_5.json` written
    by `cargo bench -p spcg-bench --bench trajectory` and regenerates the
-   table between the `BENCH_TRAJECTORY:BEGIN/END` markers. Re-running with
-   the same JSON is a no-op.
+   tables between the `BENCH_TRAJECTORY:BEGIN/END` and
+   `BENCH_ORDERINGS:BEGIN/END` markers. Re-running with the same JSON is a
+   no-op.
 2. **MEASURED_* placeholders** (only when `bench_output.txt` exists):
    greps the captured full-collection bench run for the Fig 4/5 headline
    numbers and substitutes any placeholders still present. The full run
@@ -23,11 +24,13 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 EXP = ROOT / "EXPERIMENTS.md"
-BENCH_JSON = ROOT / "BENCH_4.json"
+BENCH_JSON = ROOT / "BENCH_5.json"
 BENCH_TXT = ROOT / "bench_output.txt"
 
 BEGIN = "<!-- BENCH_TRAJECTORY:BEGIN -->"
 END = "<!-- BENCH_TRAJECTORY:END -->"
+ORD_BEGIN = "<!-- BENCH_ORDERINGS:BEGIN -->"
+ORD_END = "<!-- BENCH_ORDERINGS:END -->"
 
 
 def trajectory_block(traj: dict) -> str:
@@ -56,19 +59,47 @@ def trajectory_block(traj: dict) -> str:
     return "\n".join(lines)
 
 
+def orderings_block(traj: dict) -> str:
+    """Markdown table for the natural-vs-auto ordering study."""
+    lines = [
+        "Ordering study at fixed sparsify ratio: the natural plan and the",
+        "`--ordering auto` plan share the heuristic's chosen ratio, so the",
+        "level counts isolate what reordering alone buys.",
+        "",
+        "| Fixture | Chosen | Levels (natural → auto) | Reduction | Iters (auto) |",
+        "|---|---|---|---|---|",
+    ]
+    for r in traj["rows"]:
+        o = r["ordering"]
+        lines.append(
+            f"| {r['name']} | {o['chosen']} "
+            f"| {o['levels_natural']} → {o['levels_auto']} "
+            f"| {o['level_reduction_percent']:.1f}% "
+            f"| {o['iterations_auto']} |"
+        )
+    lines.append(
+        f"| **gmean** | | | "
+        f"| **{traj['gmean_level_reduction_percent']:.1f}%** | |"
+    )
+    return "\n".join(lines)
+
+
+def replace_between(text: str, begin: str, end: str, block: str) -> str:
+    b, e = text.find(begin), text.find(end)
+    if b < 0 or e < 0 or e < b:
+        sys.exit(f"EXPERIMENTS.md is missing the {begin} / {end} markers")
+    return f"{text[: b + len(begin)]}\n{block}\n{text[e:]}"
+
+
 def fill_trajectory(text: str) -> str:
     if not BENCH_JSON.exists():
         sys.exit(
-            "BENCH_4.json missing — run "
+            "BENCH_5.json missing — run "
             "`cargo bench -p spcg-bench --bench trajectory` first"
         )
     traj = json.loads(BENCH_JSON.read_text())
-    begin, end = text.find(BEGIN), text.find(END)
-    if begin < 0 or end < 0 or end < begin:
-        sys.exit(f"EXPERIMENTS.md is missing the {BEGIN} / {END} markers")
-    head = text[: begin + len(BEGIN)]
-    tail = text[end:]
-    return f"{head}\n{trajectory_block(traj)}\n{tail}"
+    text = replace_between(text, BEGIN, END, trajectory_block(traj))
+    return replace_between(text, ORD_BEGIN, ORD_END, orderings_block(traj))
 
 
 def section(bench_text: str, marker: str) -> str | None:

@@ -32,8 +32,15 @@ pub mod prelude {
 const INLINE_THRESHOLD: usize = 2048;
 
 /// Number of worker threads used for genuinely parallel execution.
+///
+/// Honors `RAYON_NUM_THREADS` exactly as real rayon's default pool does —
+/// CI pins it to exercise the concurrency tests single-threaded and
+/// oversubscribed — and falls back to the machine's parallelism.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    match std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
 }
 
 /// Runs `a` and `b`, potentially in parallel, returning both results.

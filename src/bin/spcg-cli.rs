@@ -91,6 +91,8 @@ fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
         precond: args.precond,
         exec: args.exec,
         solver: args.solver.clone(),
+        ordering: args.ordering,
+        ..Default::default()
     };
     // Record the whole run — plan analysis plus the solve loop — through
     // one probe so the trace covers every phase.
@@ -111,6 +113,8 @@ fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
         }
     };
     let trace = probe.finish();
+    let reorder = plan.reorder().cloned();
+    let reorder_time = plan.reorder_time();
     let out = plan.into_outcome(result);
     println!(
         "{} {}: {:?} after {} iterations, residual {:.3e}",
@@ -120,6 +124,16 @@ fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
         out.result.iterations,
         out.result.final_residual
     );
+    if let Some(r) = &reorder {
+        println!(
+            "ordering: requested {}, chose {}, levels {} -> {} ({:.2}% reduction)",
+            r.requested,
+            r.chosen,
+            r.levels_natural,
+            r.levels_chosen,
+            r.level_reduction_percent()
+        );
+    }
     if let Some(d) = &out.decision {
         println!(
             "sparsification: ratio {}% ({:?}), wavefronts {} -> {}",
@@ -127,8 +141,8 @@ fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
         );
     }
     println!(
-        "timings: sparsify {:.2?}, factorization {:.2?}, solve loop {:.2?}",
-        out.sparsify_time, out.factorization_time, out.result.timings.total
+        "timings: reorder {:.2?}, sparsify {:.2?}, factorization {:.2?}, solve loop {:.2?}",
+        reorder_time, out.sparsify_time, out.factorization_time, out.result.timings.total
     );
     if let Some(path) = &args.trace {
         let json = match serde_json::to_string_pretty(&trace) {

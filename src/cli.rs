@@ -9,7 +9,7 @@
 //! Parsing is hand-rolled (no external dependency) and lives here so it is
 //! unit-testable; `src/bin/spcg-cli.rs` is a thin wrapper.
 
-use spcg_core::{CondEstimator, PrecondKind, SparsifyParams};
+use spcg_core::{CondEstimator, OrderingKind, PrecondKind, SparsifyParams};
 use spcg_precond::TriangularExec;
 use spcg_solver::{SolverConfig, ToleranceMode};
 use std::collections::HashMap;
@@ -34,6 +34,8 @@ pub struct SolveArgs {
     pub precond: PrecondKind,
     /// Sparsification mode.
     pub sparsify: SparsifyMode,
+    /// Symmetric ordering applied before analysis.
+    pub ordering: OrderingKind,
     /// Solver configuration.
     pub solver: SolverConfig,
     /// Triangular-solve execution strategy.
@@ -100,8 +102,9 @@ spcg-cli — sparsified preconditioned conjugate gradient solver
 
 USAGE:
   spcg-cli solve   --matrix FILE [--precond ilu0|iluk=K|jacobi|sai] \
-[--sparsify auto|off|RATIO%] [--tol 1e-10] [--abs-tol] [--max-iters N] \
-[--exec seq|par] [--device a100|v100|epyc] [--trace OUT.json]
+[--sparsify auto|off|RATIO%] [--ordering natural|rcm|coloring|auto] \
+[--tol 1e-10] [--abs-tol] [--max-iters N] [--exec seq|par] \
+[--device a100|v100|epyc] [--trace OUT.json]
   spcg-cli analyze --matrix FILE [--sparsify auto|RATIO%]
   spcg-cli generate --kind poisson2d|poisson3d|layered2d|banded --out FILE \
 [--nx N] [--ny N] [--nz N] [--n N] [--period P] [--weak W] [--band B] [--seed S]
@@ -179,6 +182,11 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, String> {
         None => SparsifyMode::Auto,
         Some(s) => parse_sparsify(s)?,
     };
+    let ordering = match flags.get("ordering") {
+        None => OrderingKind::Natural,
+        Some(s) => OrderingKind::parse(s)
+            .ok_or_else(|| format!("unknown --ordering {s} (natural|rcm|coloring|auto)"))?,
+    };
     let mut solver = SolverConfig::default();
     if let Some(t) = flags.get("tol") {
         solver.tol = t.parse().map_err(|e| format!("bad --tol: {e}"))?;
@@ -206,7 +214,7 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, String> {
             return Err("--trace needs a non-empty output path".to_string());
         }
     }
-    Ok(SolveArgs { matrix, precond, sparsify, solver, exec, device, trace })
+    Ok(SolveArgs { matrix, precond, sparsify, ordering, solver, exec, device, trace })
 }
 
 fn parse_generate(args: &[String]) -> Result<GenerateArgs, String> {
@@ -296,7 +304,24 @@ mod tests {
         assert_eq!(a.matrix, "m.mtx");
         assert_eq!(a.precond, PrecondKind::Ilu0);
         assert_eq!(a.sparsify, SparsifyMode::Auto);
+        assert_eq!(a.ordering, OrderingKind::Natural);
         assert_eq!(a.exec, TriangularExec::Sequential);
+    }
+
+    #[test]
+    fn parses_ordering_flag() {
+        for (spelling, kind) in [
+            ("natural", OrderingKind::Natural),
+            ("rcm", OrderingKind::Rcm),
+            ("coloring", OrderingKind::Coloring),
+            ("auto", OrderingKind::Auto),
+        ] {
+            let cmd = parse(&s(&["solve", "--matrix", "m.mtx", "--ordering", spelling])).unwrap();
+            let Command::Solve(a) = cmd else { panic!() };
+            assert_eq!(a.ordering, kind, "--ordering {spelling}");
+        }
+        let err = parse(&s(&["solve", "--matrix", "m.mtx", "--ordering", "metis"]));
+        assert!(err.is_err(), "unknown orderings must be rejected");
     }
 
     #[test]

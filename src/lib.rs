@@ -48,9 +48,10 @@ pub use spcg_wavefront as wavefront;
 /// options and results, the recovery ladder, and the probe layer.
 pub mod prelude {
     pub use spcg_core::{
-        oracle_select, wavefront_aware_sparsify, FallbackRung, FaultInjection, PrecondKind,
-        RecoveryAttempt, RecoveryReport, ResilienceOptions, ResilientSolve, SparsifyParams,
-        SpcgOptions, SpcgOutcome, SpcgPlan, ORACLE_RATIOS,
+        oracle_select, wavefront_aware_sparsify, FallbackRung, FaultInjection, OrderingKind,
+        PrecondKind, RecoveryAttempt, RecoveryReport, ReorderCandidate, ReorderDecision,
+        ResilienceOptions, ResilientSolve, SparsifyParams, SpcgOptions, SpcgOutcome, SpcgPlan,
+        ORACLE_RATIOS,
     };
     pub use spcg_precond::{
         ic0, ilu0, iluk, shifted_factorization, Preconditioner, ShiftPolicy, TriangularExec,
@@ -59,7 +60,9 @@ pub mod prelude {
         Counter, HistogramProbe, IterationEvent, NoProbe, PhaseStats, Probe, ProbeStop,
         RecordingProbe, RunTrace, RungEvent, RungKind, Span, TraceEvent,
     };
-    pub use spcg_serve::{CacheConfig, ServeError, ServeOutcome, ServiceConfig, SolveService};
+    pub use spcg_serve::{
+        CacheConfig, PlanKey, ServeError, ServeOutcome, ServiceConfig, SolveService,
+    };
     pub use spcg_solver::{
         cg, pcg, pcg_in_place, pcg_with_workspace, BreakdownKind, PhaseTimings, SolveResult,
         SolveStats, SolveWorkspace, SolverConfig, SolverError, StopReason, ToleranceMode,

@@ -170,6 +170,45 @@ fn every_recipe_agrees_with_dense_reference() {
     }
 }
 
+/// Reordered plans sit under the same net: whichever permutation the
+/// planner commits to (explicit RCM/coloring or the `auto` joint search),
+/// the returned iterate is in the *original* ordering and must land inside
+/// the same band against the dense reference as the natural plan does.
+#[test]
+fn reordered_plans_agree_with_dense_reference() {
+    // Two contrasting families: a structured grid (where coloring cuts
+    // levels hard) and a scrambled graph Laplacian (where RCM matters).
+    for case in [&cases()[0], &cases()[5]] {
+        let a = case.recipe.build(11, case.spread, case.ordering);
+        let b = rhs_for(a.n_rows(), 0x0dd ^ a.n_rows() as u64);
+        let x_ref = a.to_dense().solve(&b).expect("dense reference must solve SPD system");
+
+        for ordering in [OrderingKind::Rcm, OrderingKind::Coloring, OrderingKind::Auto] {
+            let opts =
+                SpcgOptions { solver: solver(), ..SpcgOptions::default() }.with_ordering(ordering);
+            let plan = SpcgPlan::build(&a, &opts)
+                .unwrap_or_else(|e| panic!("{}/{ordering}: plan build failed: {e}", case.name));
+            let result = plan
+                .solve(&b)
+                .unwrap_or_else(|e| panic!("{}/{ordering}: solve failed: {e}", case.name));
+            assert!(
+                result.converged(),
+                "{}/{ordering}: stopped {:?} after {} iterations",
+                case.name,
+                result.stop,
+                result.iterations
+            );
+            let err = rel_err(&result.x, &x_ref);
+            assert!(
+                err <= case.band,
+                "{}/{ordering}: relative error {err:.3e} exceeds band {:.0e}",
+                case.name,
+                case.band
+            );
+        }
+    }
+}
+
 /// The resilient entry point sits under the same net: with no fault, it
 /// must agree with the dense reference exactly as the planned path does.
 #[test]

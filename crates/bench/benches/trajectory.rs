@@ -3,27 +3,34 @@
 //!
 //! Unlike the figure benches (which sweep the full 107-matrix collection
 //! and write into `target/spcg-results/`), this target runs in seconds and
-//! writes `BENCH_5.json` **at the repo root as a tracked artifact**: per
+//! writes `BENCH_6.json` **at the repo root as a tracked artifact**: per
 //! variant, the real iteration counts and the simulated A100 costs for
-//! each fixed system, plus an ordering study comparing the natural and
-//! `auto`-reordered plan at the *same* sparsify ratio. Committing the JSON
-//! turns the bench into a trajectory — `git log -p BENCH_5.json` shows
-//! exactly when and how the numbers moved. Only deterministic fields are
-//! serialized (iteration counts, simulated µs, chosen ratios, level
-//! counts); wall-clock timings are excluded so re-running on any machine
-//! reproduces the file byte for byte.
+//! each fixed system, an ordering study comparing the natural and
+//! `auto`-reordered plan at the *same* sparsify ratio, and a precision
+//! study comparing the full-f64 plan against the `MixedF32` tier (real
+//! iterations, refinement restarts, and the simulated preconditioner-apply
+//! bytes the demotion saves). Committing the JSON turns the bench into a
+//! trajectory — `git log -p BENCH_6.json` shows exactly when and how the
+//! numbers moved. Only deterministic fields are serialized (iteration
+//! counts, simulated µs/bytes, chosen ratios, level counts); wall-clock
+//! timings are excluded so re-running on any machine reproduces the file
+//! byte for byte.
 //!
 //! `scripts/fill_experiments.py` consumes this JSON to refresh the
 //! trajectory tables in EXPERIMENTS.md, and
 //! `scripts/check_bench_regression.py` gates CI on it: any regression in
-//! per-iteration cost or iteration count against the committed file fails
+//! per-iteration cost or iteration count — or the mixed tier's apply-bytes
+//! win dropping below its 1.5× floor — against the committed file fails
 //! the build.
 
 use serde::Serialize;
 use spcg_bench::stats::gmean;
 use spcg_bench::{bench_solver_config, compare, ComparisonRow, Variant};
-use spcg_core::{OrderingKind, PrecondKind, SparsifyParams, SpcgOptions, SpcgPlan};
+use spcg_core::{
+    OrderingKind, PrecisionPolicy, PrecondKind, SparsifyParams, SpcgOptions, SpcgPlan,
+};
 use spcg_gpusim::{plan_iteration_cost, DeviceSpec};
+use spcg_probe::{Counter, RecordingProbe};
 use spcg_suite::{Ordering, Recipe};
 
 /// The fixed systems. Small enough to run in seconds, varied enough to
@@ -105,6 +112,34 @@ struct OrderingPoint {
     iterations_auto: usize,
 }
 
+/// Full-f64 plan vs the `MixedF32` tier on the *same* default-options
+/// pipeline: precision is the only lever that moves, so the iteration
+/// delta and the apply-bytes ratio isolate exactly what demotion costs
+/// and buys.
+#[derive(Serialize)]
+struct PrecisionPoint {
+    /// Real iteration count of the full-precision plan.
+    iterations_full: usize,
+    /// Real iteration count of the mixed plan (refinement included).
+    iterations_mixed: usize,
+    /// Iterative-refinement restarts the mixed solve needed (0 = the
+    /// narrow applies converged in one inner run).
+    refine_restarts: usize,
+    /// Simulated preconditioner-apply (L+U trisolve) bytes per iteration,
+    /// full-width factors.
+    apply_bytes_full: f64,
+    /// Same traffic with f32-stored factors and staged vectors.
+    apply_bytes_mixed: f64,
+    /// `apply_bytes_full / apply_bytes_mixed` — the bandwidth win the
+    /// demotion buys on the memory-bound triangular sweeps. CI gates this
+    /// at a 1.5× floor per fixture.
+    apply_bytes_ratio: f64,
+    /// Simulated per-iteration cost of the full plan, µs.
+    per_iteration_us_full: f64,
+    /// Simulated per-iteration cost of the mixed plan, µs.
+    per_iteration_us_mixed: f64,
+}
+
 #[derive(Serialize)]
 struct TrajectoryRow {
     name: String,
@@ -113,6 +148,7 @@ struct TrajectoryRow {
     baseline: VariantPoint,
     spcg: VariantPoint,
     ordering: OrderingPoint,
+    precision: PrecisionPoint,
     per_iteration_speedup: f64,
     end_to_end_speedup: f64,
 }
@@ -129,6 +165,8 @@ struct Trajectory {
     /// Geometric-mean reduction in total factor levels from `auto`
     /// reordering at fixed ratio: `(1 - 1/gmean(nat/auto)) * 100`.
     gmean_level_reduction_percent: f64,
+    /// Geometric mean of the per-fixture full/mixed apply-bytes ratios.
+    gmean_apply_bytes_ratio: f64,
 }
 
 /// Three decimals are stable across platforms; more would commit noise.
@@ -185,6 +223,52 @@ fn ordering_study(
     }
 }
 
+/// Builds the default-options plan twice — full precision and `MixedF32`
+/// — and solves both. The mixed arm runs probed so the refinement-restart
+/// counter lands in the artifact; the apply bytes come from the roofline
+/// model's per-iteration trisolve pricing of each plan.
+fn precision_study(
+    a: &spcg_sparse::CsrMatrix<f64>,
+    b: &[f64],
+    device: &DeviceSpec,
+    solver: &spcg_solver::SolverConfig,
+) -> PrecisionPoint {
+    let base =
+        SpcgOptions { precond: PrecondKind::Ilu0, solver: solver.clone(), ..Default::default() };
+    let full = SpcgPlan::build(a, &base).expect("full-precision plan builds");
+    let mixed = SpcgPlan::build(a, base.clone().with_precision(PrecisionPolicy::MixedF32))
+        .expect("mixed plan builds");
+    assert!(mixed.is_mixed(), "MixedF32 must resolve to the mixed tier");
+
+    let full_result = full.solve(b).expect("full fixture must solve");
+    let mut probe = RecordingProbe::new();
+    let mut ws = mixed.make_workspace();
+    let mixed_result = mixed
+        .solve_with_workspace_probed(b, &mut ws, &mut probe)
+        .expect("mixed fixture must solve");
+    assert!(
+        full_result.converged() && mixed_result.converged(),
+        "precision fixture stopped converging — investigate before committing"
+    );
+    let trace = probe.finish();
+    let restarts = trace.counter_total(Counter::PrecisionRefineRestarts) as usize;
+
+    let cost_full = plan_iteration_cost(device, &full);
+    let cost_mixed = plan_iteration_cost(device, &mixed);
+    let apply_full = cost_full.lower.bytes + cost_full.upper.bytes;
+    let apply_mixed = cost_mixed.lower.bytes + cost_mixed.upper.bytes;
+    PrecisionPoint {
+        iterations_full: full_result.iterations,
+        iterations_mixed: mixed_result.iterations,
+        refine_restarts: restarts,
+        apply_bytes_full: round3(apply_full),
+        apply_bytes_mixed: round3(apply_mixed),
+        apply_bytes_ratio: round3(apply_full / apply_mixed),
+        per_iteration_us_full: round3(cost_full.total_us()),
+        per_iteration_us_mixed: round3(cost_mixed.total_us()),
+    }
+}
+
 fn main() {
     let device = DeviceSpec::a100();
     let solver = bench_solver_config();
@@ -203,6 +287,7 @@ fn main() {
                 "trajectory fixture {name} stopped converging — investigate before committing"
             );
             let ordering = ordering_study(&a, &b, row.spcg.chosen_ratio, &device, &solver);
+            let precision = precision_study(&a, &b, &device, &solver);
             TrajectoryRow {
                 name: name.into(),
                 n: row.n,
@@ -213,6 +298,7 @@ fn main() {
                 baseline: VariantPoint::of(&row.base),
                 spcg: VariantPoint::of(&row.spcg),
                 ordering,
+                precision,
             }
         })
         .collect();
@@ -227,6 +313,7 @@ fn main() {
         .map(|r| r.ordering.levels_natural as f64 / r.ordering.levels_auto as f64)
         .collect();
     let gmean_levels = gmean(&level_ratios).unwrap_or(1.0);
+    let apply_ratios: Vec<f64> = rows.iter().map(|r| r.precision.apply_bytes_ratio).collect();
     let traj = Trajectory {
         bench: "trajectory",
         device: "a100-model",
@@ -235,14 +322,15 @@ fn main() {
         gmean_per_iteration_speedup: round3(gmean(&per_iter).unwrap_or(0.0)),
         gmean_end_to_end_speedup: round3(gmean(&e2e).unwrap_or(0.0)),
         gmean_level_reduction_percent: round3((1.0 - 1.0 / gmean_levels) * 100.0),
+        gmean_apply_bytes_ratio: round3(gmean(&apply_ratios).unwrap_or(1.0)),
         rows,
     };
 
-    // Tracked artifact at the repo root (not target/): BENCH_5.json is the
+    // Tracked artifact at the repo root (not target/): BENCH_6.json is the
     // current trajectory point; its git history is the trajectory.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_5.json");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_6.json");
     let json = serde_json::to_string_pretty(&traj).expect("trajectory serializes");
-    std::fs::write(&path, json + "\n").expect("BENCH_5.json written");
+    std::fs::write(&path, json + "\n").expect("BENCH_6.json written");
 
     println!("trajectory: {} fixtures, ILU(0), A100 model", traj.rows.len());
     for r in &traj.rows {
@@ -264,12 +352,22 @@ fn main() {
             r.ordering.levels_auto,
             r.ordering.level_reduction_percent
         );
+        println!(
+            "  {:<14} mixed f32 iters {:>3} -> {:>3}  restarts {}  apply bytes {:>6.3}x fewer",
+            "",
+            r.precision.iterations_full,
+            r.precision.iterations_mixed,
+            r.precision.refine_restarts,
+            r.precision.apply_bytes_ratio
+        );
     }
     println!(
-        "gmean per-iteration {:.3}x   gmean end-to-end {:.3}x   gmean level reduction {:.1}%",
+        "gmean per-iteration {:.3}x   gmean end-to-end {:.3}x   gmean level reduction {:.1}%   \
+         gmean apply-bytes ratio {:.3}x",
         traj.gmean_per_iteration_speedup,
         traj.gmean_end_to_end_speedup,
-        traj.gmean_level_reduction_percent
+        traj.gmean_level_reduction_percent,
+        traj.gmean_apply_bytes_ratio
     );
     println!("wrote {}", path.display());
 }

@@ -72,6 +72,7 @@ pub mod indicator;
 pub mod oracle;
 pub mod pipeline;
 pub mod plan;
+pub mod precision;
 pub mod reorder;
 pub mod report;
 pub mod resilient;
@@ -89,6 +90,7 @@ pub use pipeline::{
 #[allow(deprecated)] // the deprecated one-shot entry points stay re-exported for migration
 pub use pipeline::{select_best_k, spcg_solve};
 pub use plan::SpcgPlan;
+pub use precision::{fits_lower_precision, PrecisionPolicy};
 pub use reorder::{OrderingKind, ReorderCandidate, ReorderDecision};
 pub use report::RunReport;
 pub use resilient::{

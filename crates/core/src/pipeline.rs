@@ -4,6 +4,7 @@
 
 use crate::algorithm2::{SparsifyDecision, SparsifyParams};
 use crate::plan::SpcgPlan;
+use crate::precision::PrecisionPolicy;
 use crate::reorder::OrderingKind;
 use serde::{Deserialize, Serialize};
 use spcg_precond::{ilu0_probed, iluk_probed, IluFactors, TriangularExec};
@@ -50,6 +51,12 @@ pub struct SpcgOptions {
     /// Minimum percent level reduction a non-natural ordering must deliver
     /// for `Auto` to accept it (the ordering analogue of Algorithm 2's ω).
     pub ordering_omega: f64,
+    /// Precision tier of the preconditioner application. `Full` (the
+    /// default) keeps the pipeline bitwise-identical to the pre-mixed
+    /// behaviour; `MixedF32` stores and applies the factors in
+    /// reduced precision under an iterative-refinement outer loop; `Auto`
+    /// picks per plan via a representability rule (see [`crate::precision`]).
+    pub precision: PrecisionPolicy,
 }
 
 impl Default for SpcgOptions {
@@ -61,6 +68,7 @@ impl Default for SpcgOptions {
             solver: SolverConfig::default(),
             ordering: OrderingKind::Natural,
             ordering_omega: 10.0,
+            precision: PrecisionPolicy::Full,
         }
     }
 }
@@ -122,6 +130,12 @@ impl SpcgOptions {
     /// accepts a non-natural ordering.
     pub fn with_ordering_omega(mut self, omega: f64) -> Self {
         self.ordering_omega = omega;
+        self
+    }
+
+    /// Selects the precision tier of the preconditioner application.
+    pub fn with_precision(mut self, precision: PrecisionPolicy) -> Self {
+        self.precision = precision;
         self
     }
 }

@@ -11,15 +11,27 @@
 
 use crate::algorithm2::{wavefront_aware_sparsify_probed, SparsifyDecision};
 use crate::pipeline::{build_preconditioner_probed, SpcgOptions, SpcgOutcome};
+use crate::precision::{fits_lower_precision, PrecisionPolicy};
 use crate::reorder::{select_ordering_probed, ReorderDecision, ReorderOutcome};
-use spcg_precond::{IluFactors, Preconditioner};
-use spcg_probe::{NoProbe, Probe, Span};
+use spcg_precond::{IluFactors, MixedPrecisionIlu, Preconditioner};
+use spcg_probe::{Counter, NoProbe, Probe, Span};
 use spcg_solver::{
-    pcg_in_place_probed, pcg_with_workspace_probed, SolveResult, SolveStats, SolveWorkspace,
-    SolverError,
+    pcg_in_place_probed, pcg_refined_in_place_probed, RefinedStats, SolveFault, SolveResult,
+    SolveStats, SolveWorkspace, SolverError,
 };
 use spcg_sparse::{CsrMatrix, Result, Scalar, SparseError};
 use std::time::{Duration, Instant};
+
+/// Iterative-refinement restarts a mixed-precision solve may attempt
+/// before handing the (still-unconverged) result back to the caller or
+/// the fallback ladder.
+pub(crate) const MAX_REFINE_RESTARTS: usize = 4;
+
+/// Stagnation window the mixed tier enables when the caller left the
+/// guard off: a reduced-precision preconditioner can pin the recurrence at
+/// its rounding floor, and refinement can only trigger once the stall is
+/// *detected*. Full-precision plans never override the caller's config.
+pub(crate) const MIXED_STAGNATION_WINDOW: usize = 25;
 
 /// A fully-analyzed SPCG pipeline, ready to solve repeatedly.
 ///
@@ -56,6 +68,14 @@ pub struct SpcgPlan<T: Scalar> {
     /// carries it otherwise).
     factored: Option<CsrMatrix<T>>,
     factors: IluFactors<T>,
+    /// Reduced-precision image of `factors`, present exactly when the
+    /// resolved precision tier is mixed. The full factors are kept
+    /// alongside so the resilient ladder can promote a stalled mixed solve
+    /// back to full precision without refactoring.
+    mixed: Option<MixedPrecisionIlu<T>>,
+    /// The concrete precision tier the plan executes (never `Auto`:
+    /// resolution happens at build time).
+    precision: PrecisionPolicy,
     /// Outcome of the ordering selection pass (`None` when the request was
     /// `Natural` — the default pipeline records nothing).
     reorder: Option<ReorderDecision>,
@@ -121,12 +141,16 @@ impl<T: Scalar> SpcgPlan<T> {
         let factors = build_preconditioner_probed(m, opts.precond, opts.exec, probe);
         let factorization_time = t.elapsed();
         probe.span_end(Span::PlanBuild);
+        let factors = factors?;
+        let (precision, mixed) = resolve_precision(opts.precision, &factors);
         Ok(Self {
             a: a.clone(),
             opts,
             decision,
             factored: None,
-            factors: factors?,
+            factors,
+            mixed,
+            precision,
             reorder,
             perm,
             a_permuted: permuted,
@@ -151,12 +175,15 @@ impl<T: Scalar> SpcgPlan<T> {
                 a.n_rows()
             )));
         }
+        let (precision, mixed) = resolve_precision(opts.precision, &factors);
         Ok(Self {
             a,
             opts,
             decision: None,
             factored: None,
             factors,
+            mixed,
+            precision,
             reorder: None,
             perm: None,
             a_permuted: None,
@@ -244,6 +271,34 @@ impl<T: Scalar> SpcgPlan<T> {
         self.decision.is_some()
     }
 
+    /// The concrete precision tier the plan executes. `Auto` requests are
+    /// resolved at build time, so this is always `Full` or `MixedF32`.
+    pub fn precision(&self) -> PrecisionPolicy {
+        self.precision
+    }
+
+    /// `true` when the preconditioner application runs in reduced
+    /// precision (under the iterative-refinement outer loop).
+    pub fn is_mixed(&self) -> bool {
+        self.mixed.is_some()
+    }
+
+    /// The reduced-precision factor image, present exactly when the plan
+    /// is mixed.
+    pub fn mixed_factors(&self) -> Option<&MixedPrecisionIlu<T>> {
+        self.mixed.as_ref()
+    }
+
+    /// Bytes per stored factor value on the tier the plan executes:
+    /// `size_of::<T::Lower>()` for mixed plans, `size_of::<T>()` otherwise.
+    /// Cost models price the triangular-solve traffic with this width.
+    pub fn factor_value_bytes(&self) -> usize {
+        match &self.mixed {
+            Some(m) => m.value_bytes(),
+            None => std::mem::size_of::<T>(),
+        }
+    }
+
     /// Wall-clock time of the sparsification step.
     pub fn sparsify_time(&self) -> Duration {
         self.sparsify_time
@@ -275,6 +330,12 @@ impl<T: Scalar> SpcgPlan<T> {
         if self.perm.is_some() {
             ws.reserve_staging(self.n());
         }
+        if let Some(m) = &self.mixed {
+            // Mixed solves stage the down/upcast through the workspace and
+            // may refine; pre-size both so warm solves stay allocation-free.
+            ws.reserve_staging_lo(m.staging_len());
+            ws.reserve_refine(self.n());
+        }
         ws
     }
 
@@ -304,6 +365,12 @@ impl<T: Scalar> SpcgPlan<T> {
         }
         total += csr(self.factors.l()) + csr(self.factors.u());
         total += schedule(self.factors.l_schedule()) + schedule(self.factors.u_schedule());
+        if let Some(m) = &self.mixed {
+            // The demoted factor image is resident alongside the full one.
+            let lower = std::mem::size_of::<T::Lower>();
+            total += m.inner().l().storage_bytes(lower) + m.inner().u().storage_bytes(lower);
+            total += schedule(m.inner().l_schedule()) + schedule(m.inner().u_schedule());
+        }
         total
     }
 
@@ -335,55 +402,18 @@ impl<T: Scalar> SpcgPlan<T> {
         ws: &mut SolveWorkspace<T>,
         probe: &mut P,
     ) -> std::result::Result<SolveResult<T>, SolverError> {
-        let Some(perm) = self.perm.as_deref() else {
-            return pcg_with_workspace_probed(
-                &self.a,
-                &self.factors,
-                b,
-                &self.opts.solver,
-                None,
-                ws,
-                probe,
-            );
-        };
-        let n = self.n();
-        if b.len() != n {
-            // Let the inner solver surface its canonical dimension error.
-            return pcg_with_workspace_probed(
-                self.operator(),
-                &self.factors,
-                b,
-                &self.opts.solver,
-                None,
-                ws,
-                probe,
-            );
-        }
-        // Gather b into permuted order, solve `P A Pᵀ x̂ = P b`, scatter x̂
-        // back: x = Pᵀ x̂. The staging buffer is borrowed out of the
-        // workspace, so the warm path allocates nothing.
-        let mut buf = ws.take_staging(n);
-        for (k, &old) in perm.iter().enumerate() {
-            buf[k] = b[old];
-        }
-        let result = pcg_with_workspace_probed(
-            self.operator(),
-            &self.factors,
-            &buf,
-            &self.opts.solver,
-            None,
-            ws,
-            probe,
-        )
-        .map(|mut r| {
-            for (k, &old) in perm.iter().enumerate() {
-                buf[old] = r.x[k];
-            }
-            std::mem::swap(&mut r.x, &mut buf);
-            r
-        });
-        ws.restore_staging(buf);
-        result
+        // The in-place tier does all the work (including the permuted
+        // boundary gather/scatter and the precision dispatch); this tier
+        // only copies the iterate and history out of the workspace.
+        let stats = self.solve_in_place_probed(b, ws, probe)?;
+        Ok(SolveResult {
+            x: ws.solution().to_vec(),
+            iterations: stats.iterations,
+            final_residual: stats.final_residual,
+            stop: stats.stop,
+            residual_history: ws.history().to_vec(),
+            timings: stats.timings,
+        })
     }
 
     /// The fully allocation-free solve: the iterate stays in
@@ -406,41 +436,18 @@ impl<T: Scalar> SpcgPlan<T> {
         probe: &mut P,
     ) -> std::result::Result<SolveStats, SolverError> {
         let Some(perm) = self.perm.as_deref() else {
-            return pcg_in_place_probed(
-                &self.a,
-                &self.factors,
-                b,
-                &self.opts.solver,
-                None,
-                ws,
-                probe,
-            );
+            return self.pcg_tier_probed(&self.a, b, ws, probe);
         };
         let n = self.n();
         if b.len() != n {
-            return pcg_in_place_probed(
-                self.operator(),
-                &self.factors,
-                b,
-                &self.opts.solver,
-                None,
-                ws,
-                probe,
-            );
+            // Let the inner solver surface its canonical dimension error.
+            return self.pcg_tier_probed(self.operator(), b, ws, probe);
         }
         let mut buf = ws.take_staging(n);
         for (k, &old) in perm.iter().enumerate() {
             buf[k] = b[old];
         }
-        let stats = pcg_in_place_probed(
-            self.operator(),
-            &self.factors,
-            &buf,
-            &self.opts.solver,
-            None,
-            ws,
-            probe,
-        );
+        let stats = self.pcg_tier_probed(self.operator(), &buf, ws, probe);
         if stats.is_ok() {
             // The iterate sits in the workspace in permuted order; scatter
             // it back through the staging buffer so `ws.solution()` is in
@@ -453,6 +460,82 @@ impl<T: Scalar> SpcgPlan<T> {
         }
         ws.restore_staging(buf);
         stats
+    }
+
+    /// The precision-tier dispatch, in operator space: full plans run the
+    /// plain PCG loop (bitwise identical to the pre-mixed pipeline); mixed
+    /// plans run the reduced-precision apply under the full-precision
+    /// iterative-refinement outer loop.
+    fn pcg_tier_probed<P: Probe>(
+        &self,
+        operator: &CsrMatrix<T>,
+        b: &[T],
+        ws: &mut SolveWorkspace<T>,
+        probe: &mut P,
+    ) -> std::result::Result<SolveStats, SolverError> {
+        let Some(mixed) = &self.mixed else {
+            return pcg_in_place_probed(
+                operator,
+                &self.factors,
+                b,
+                &self.opts.solver,
+                None,
+                ws,
+                probe,
+            );
+        };
+        self.solve_mixed_in_place_probed(operator, mixed, b, None, ws, probe).map(|r| r.stats)
+    }
+
+    /// The solver configuration the mixed tier runs under: the caller's
+    /// config, with the stagnation guard enabled (window
+    /// [`MIXED_STAGNATION_WINDOW`]) when it was left off — a stalled
+    /// reduced-precision recurrence must be *detected* before refinement
+    /// can restart it. Stack-only: `SolverConfig` holds no heap data.
+    pub(crate) fn mixed_solver_config(&self) -> spcg_solver::SolverConfig {
+        let config = self.opts.solver.clone();
+        if config.stagnation_window == 0 {
+            config.with_stagnation_window(MIXED_STAGNATION_WINDOW)
+        } else {
+            config
+        }
+    }
+
+    /// One mixed-tier solve (reduced-precision apply + refinement outer
+    /// loop) with precision counters: `precision.mixed_applies` (one apply
+    /// per iteration plus the initial apply of each inner run),
+    /// `precision.refine_restarts`, and `precision.bytes_saved` (factor
+    /// bytes the reduced storage avoided streaming per sweep). Shared by
+    /// the plain solve tiers and the resilient ladder's planned attempt.
+    pub(crate) fn solve_mixed_in_place_probed<P: Probe>(
+        &self,
+        operator: &CsrMatrix<T>,
+        mixed: &MixedPrecisionIlu<T>,
+        b: &[T],
+        fault: Option<SolveFault>,
+        ws: &mut SolveWorkspace<T>,
+        probe: &mut P,
+    ) -> std::result::Result<RefinedStats, SolverError> {
+        let config = self.mixed_solver_config();
+        let refined = pcg_refined_in_place_probed(
+            operator,
+            mixed,
+            b,
+            &config,
+            fault,
+            MAX_REFINE_RESTARTS,
+            ws,
+            probe,
+        )?;
+        probe.counter(
+            Counter::PrecisionMixedApplies,
+            (refined.stats.iterations + 1 + refined.restarts) as u64,
+        );
+        if refined.restarts > 0 {
+            probe.counter(Counter::PrecisionRefineRestarts, refined.restarts as u64);
+        }
+        probe.counter(Counter::PrecisionBytesSaved, mixed.bytes_saved() as u64);
+        Ok(refined)
     }
 
     /// Solves the same operator against many independent right-hand sides,
@@ -511,6 +594,29 @@ impl<T: Scalar> SpcgPlan<T> {
             sparsify_time: self.sparsify_time,
             factorization_time: self.factorization_time,
         }
+    }
+}
+
+/// Resolves a requested [`PrecisionPolicy`] against freshly-built factors:
+/// `Auto` demotes only when every stored factor value passes the
+/// representability rule ([`fits_lower_precision`]), and a mixed tier
+/// always materializes the demoted factor image eagerly (build time, not
+/// solve time). The returned policy is never `Auto`.
+fn resolve_precision<T: Scalar>(
+    policy: PrecisionPolicy,
+    factors: &IluFactors<T>,
+) -> (PrecisionPolicy, Option<MixedPrecisionIlu<T>>) {
+    let mixed = match policy {
+        PrecisionPolicy::Full => false,
+        PrecisionPolicy::MixedF32 => true,
+        PrecisionPolicy::Auto => {
+            fits_lower_precision(factors.l().values()) && fits_lower_precision(factors.u().values())
+        }
+    };
+    if mixed {
+        (PrecisionPolicy::MixedF32, Some(MixedPrecisionIlu::from_full(factors)))
+    } else {
+        (PrecisionPolicy::Full, None)
     }
 }
 
@@ -645,6 +751,70 @@ mod tests {
         let plan = SpcgPlan::from_factors(a.clone(), factors, o.clone()).unwrap();
         let direct = SpcgPlan::build(&a, &o).unwrap();
         assert_eq!(plan.solve(&b).unwrap().x, direct.solve(&b).unwrap().x);
+    }
+
+    #[test]
+    fn mixed_plan_converges_and_tracks_full_solution() {
+        let (a, b) = system(12);
+        let full = SpcgPlan::build(&a, opts()).unwrap();
+        let mixed = SpcgPlan::build(&a, opts().with_precision(PrecisionPolicy::MixedF32)).unwrap();
+        assert!(mixed.is_mixed());
+        assert!(!full.is_mixed());
+        assert_eq!(mixed.precision(), PrecisionPolicy::MixedF32);
+        assert_eq!(full.precision(), PrecisionPolicy::Full);
+        assert_eq!(mixed.factor_value_bytes(), 4);
+        assert_eq!(full.factor_value_bytes(), 8);
+        let rf = full.solve(&b).unwrap();
+        let rm = mixed.solve(&b).unwrap();
+        assert!(rm.converged(), "mixed stop: {:?}", rm.stop);
+        // The f64 outer recurrence drives both to the same threshold; the
+        // iterates agree within the mixed tolerance band.
+        let scale = rf.x.iter().fold(0f64, |m, &v| m.max(v.abs())).max(1.0);
+        for (x1, x2) in rf.x.iter().zip(&rm.x) {
+            assert!((x1 - x2).abs() <= 1e-6 * scale, "drift: {x1} vs {x2}");
+        }
+    }
+
+    #[test]
+    fn mixed_workspace_is_presized_for_staging_and_refinement() {
+        let (a, b) = system(10);
+        let mixed = SpcgPlan::build(&a, opts().with_precision(PrecisionPolicy::MixedF32)).unwrap();
+        let mut ws = mixed.make_workspace();
+        // Warm solves must not grow anything (the zero-alloc suite pins
+        // this with a counting allocator; here we pin convergence through
+        // the pre-sized workspace).
+        for _ in 0..2 {
+            let stats = mixed.solve_in_place(&b, &mut ws).unwrap();
+            assert!(stats.converged(), "stop {:?}", stats.stop);
+        }
+    }
+
+    #[test]
+    fn auto_precision_follows_representability() {
+        let (a, _) = system(8);
+        let auto = SpcgPlan::build(&a, opts().with_precision(PrecisionPolicy::Auto)).unwrap();
+        assert_eq!(
+            auto.precision(),
+            PrecisionPolicy::MixedF32,
+            "well-scaled factors must resolve to the mixed tier"
+        );
+        // Values far beyond f32 range: Auto must stay full.
+        let huge = a.map_values(|v| v * 1e250);
+        let o = SpcgOptions { sparsify: None, ..opts() }.with_precision(PrecisionPolicy::Auto);
+        let full = SpcgPlan::build(&huge, &o).unwrap();
+        assert_eq!(full.precision(), PrecisionPolicy::Full);
+        assert!(!full.is_mixed());
+    }
+
+    #[test]
+    fn mixed_approx_bytes_counts_the_demoted_image() {
+        let (a, _) = system(10);
+        let full = SpcgPlan::build(&a, opts()).unwrap();
+        let mixed = SpcgPlan::build(&a, opts().with_precision(PrecisionPolicy::MixedF32)).unwrap();
+        assert!(
+            mixed.approx_bytes() > full.approx_bytes(),
+            "the resident demoted factors must be accounted"
+        );
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!
 //! 1. [`FallbackRung::Planned`] — the plan's own factors, exactly as
 //!    [`SpcgPlan::solve_with_workspace`] would use them (bitwise
-//!    identical when nothing breaks);
+//!    identical when nothing breaks); for mixed-precision plans this is
+//!    the reduced-precision apply under the refinement loop, and a
+//!    [`FallbackRung::PromotePrecision`] rung follows — the resident
+//!    full-precision factors, zero extra factorizations;
 //! 2. [`FallbackRung::Resparsify`] — re-sparsify at a less aggressive
 //!    drop ratio (e.g. 10% → 5% → 1%) and refactor;
 //! 3. [`FallbackRung::Unsparsified`] — factor the full `A`;
@@ -44,8 +47,14 @@ use spcg_sparse::Scalar;
 /// One rung of the fallback ladder, from most to least aggressive.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FallbackRung {
-    /// The plan's own preconditioner (attempt 0).
+    /// The plan's own preconditioner (attempt 0). For a mixed-precision
+    /// plan this is the reduced-precision apply under the refinement loop.
     Planned,
+    /// The plan's full-precision factors, promoted from a stalled
+    /// mixed-precision tier. Costs zero factorizations — the full factors
+    /// are already resident on every mixed plan. Only present on the
+    /// ladder of mixed plans.
+    PromotePrecision,
     /// Re-sparsified at the given (less aggressive) drop ratio, percent.
     Resparsify(f64),
     /// Factorization of the full, unsparsified `A`.
@@ -62,6 +71,7 @@ impl FallbackRung {
     fn probe_kind(&self) -> (RungKind, f64) {
         match self {
             FallbackRung::Planned => (RungKind::Planned, 0.0),
+            FallbackRung::PromotePrecision => (RungKind::PromotePrecision, 0.0),
             FallbackRung::Resparsify(t) => (RungKind::Resparsify, *t),
             FallbackRung::Unsparsified => (RungKind::Unsparsified, 0.0),
             FallbackRung::Shifted => (RungKind::Shifted, 0.0),
@@ -74,6 +84,7 @@ impl std::fmt::Display for FallbackRung {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FallbackRung::Planned => write!(f, "planned"),
+            FallbackRung::PromotePrecision => write!(f, "promote-precision"),
             FallbackRung::Resparsify(t) => write!(f, "resparsify({t}%)"),
             FallbackRung::Unsparsified => write!(f, "unsparsified"),
             FallbackRung::Shifted => write!(f, "shifted"),
@@ -108,6 +119,20 @@ impl FaultInjection {
     pub fn nan_at(k: usize) -> Self {
         Self {
             solve_fault: Some(SolveFault::nan_at(k)),
+            zero_pivot_row: None,
+            scale_entry: None,
+            applies_to_attempts: 1,
+        }
+    }
+
+    /// Collapsed preconditioned residual at iteration `k` — the way a
+    /// reduced-precision (f32) preconditioner application stalls when its
+    /// values underflow or flush to zero. The `rᵀz ≤ 0` guard classifies
+    /// it as Indefinite, and a mixed plan recovers through the
+    /// [`FallbackRung::PromotePrecision`] rung.
+    pub fn stall_at(k: usize) -> Self {
+        Self {
+            solve_fault: Some(SolveFault::stall_at(k)),
             zero_pivot_row: None,
             scale_entry: None,
             applies_to_attempts: 1,
@@ -263,6 +288,9 @@ enum RungFactors<T: Scalar> {
     // Boxed: `IluFactors` (two CSR matrices + two schedules) dwarfs the
     // Jacobi variant, and a rung is built at most once per attempt.
     Ilu(Box<spcg_precond::IluFactors<T>>),
+    /// Reduced-precision factors, solved through the iterative-refinement
+    /// driver (the planned attempt of a mixed plan).
+    Mixed(Box<spcg_precond::MixedPrecisionIlu<T>>),
     Jacobi(JacobiPreconditioner<T>),
 }
 
@@ -379,6 +407,16 @@ impl<T: Scalar> SpcgPlan<T> {
                     ws,
                     probe,
                 ),
+                RungFactors::Mixed(m) => self
+                    .solve_mixed_in_place_probed(self.operator(), m, b, solve_fault, ws, probe)
+                    .map(|refined| SolveResult {
+                        x: ws.solution().to_vec(),
+                        iterations: refined.stats.iterations,
+                        final_residual: refined.stats.final_residual,
+                        stop: refined.stats.stop,
+                        residual_history: ws.history().to_vec(),
+                        timings: refined.stats.timings,
+                    }),
                 RungFactors::Jacobi(j) => {
                     pcg_with_workspace_probed(self.operator(), j, b, config, solve_fault, ws, probe)
                 }
@@ -458,12 +496,19 @@ impl<T: Scalar> SpcgPlan<T> {
             .collect()
     }
 
-    /// The rung sequence this plan would climb: planned factors, then each
-    /// configured ratio strictly less aggressive than the plan's, then the
-    /// unsparsified factorization (when the plan sparsified at all), the
-    /// shifted refactorization, and finally Jacobi.
+    /// The rung sequence this plan would climb: planned factors (followed
+    /// by precision promotion for mixed plans), then each configured ratio
+    /// strictly less aggressive than the plan's, then the unsparsified
+    /// factorization (when the plan sparsified at all), the shifted
+    /// refactorization, and finally Jacobi.
     pub fn ladder(&self, opts: &ResilienceOptions) -> Vec<FallbackRung> {
         let mut rungs = vec![FallbackRung::Planned];
+        if self.is_mixed() {
+            // The cheapest de-escalation on a mixed plan: the resident
+            // full-precision factors, no refactorization. Full plans skip
+            // the rung entirely — their ladder is unchanged.
+            rungs.push(FallbackRung::PromotePrecision);
+        }
         if let Some(d) = self.decision() {
             for &t in &opts.ratios {
                 if t < d.chosen_ratio && t > 0.0 && t < 100.0 {
@@ -490,7 +535,23 @@ impl<T: Scalar> SpcgPlan<T> {
         let kind = self.options().precond;
         let exec = self.options().exec;
         let built = match rung {
-            FallbackRung::Planned => RungPrecond {
+            FallbackRung::Planned => match self.mixed_factors() {
+                // A mixed plan's own preconditioner is the reduced-precision
+                // apply (under refinement) — that is what attempt 0 retries.
+                Some(m) => RungPrecond {
+                    factors: RungFactors::Mixed(Box::new(m.clone())),
+                    factorizations: 0,
+                    alpha: 0.0,
+                },
+                None => RungPrecond {
+                    factors: RungFactors::Ilu(Box::new(self.factors().clone())),
+                    factorizations: 0,
+                    alpha: 0.0,
+                },
+            },
+            FallbackRung::PromotePrecision => RungPrecond {
+                // The full factors are resident on every mixed plan:
+                // promotion costs zero factorizations.
                 factors: RungFactors::Ilu(Box::new(self.factors().clone())),
                 factorizations: 0,
                 alpha: 0.0,
@@ -565,7 +626,10 @@ impl<T: Scalar> SpcgPlan<T> {
                 }
                 RungFactors::Ilu(Box::new(factors))
             }
-            jacobi => jacobi,
+            // Factor corruption targets full-precision stored entries; the
+            // mixed rung is poisoned through the solve fault instead, and
+            // Jacobi has no factors to corrupt.
+            other => other,
         };
         built
     }
@@ -761,9 +825,72 @@ mod tests {
     #[test]
     fn rung_display_labels() {
         assert_eq!(FallbackRung::Planned.to_string(), "planned");
+        assert_eq!(FallbackRung::PromotePrecision.to_string(), "promote-precision");
         assert_eq!(FallbackRung::Resparsify(5.0).to_string(), "resparsify(5%)");
         assert_eq!(FallbackRung::Unsparsified.to_string(), "unsparsified");
         assert_eq!(FallbackRung::Shifted.to_string(), "shifted");
         assert_eq!(FallbackRung::Jacobi.to_string(), "jacobi");
+    }
+
+    #[test]
+    fn mixed_ladder_gains_the_promote_rung() {
+        use crate::precision::PrecisionPolicy;
+        let (a, _) = system(10);
+        let mixed = SpcgPlan::build(&a, opts().with_precision(PrecisionPolicy::MixedF32)).unwrap();
+        let rungs = mixed.ladder(&ResilienceOptions::default());
+        assert_eq!(rungs[0], FallbackRung::Planned);
+        assert_eq!(
+            rungs[1],
+            FallbackRung::PromotePrecision,
+            "promotion must be the first de-escalation on a mixed plan"
+        );
+        assert_eq!(rungs.last(), Some(&FallbackRung::Jacobi));
+        // Full plans never see the rung.
+        let full = SpcgPlan::build(&a, opts()).unwrap();
+        assert!(!full
+            .ladder(&ResilienceOptions::default())
+            .contains(&FallbackRung::PromotePrecision));
+    }
+
+    #[test]
+    fn stalled_mixed_precond_promotes_precision() {
+        use crate::precision::PrecisionPolicy;
+        let (a, b) = system(12);
+        let plan = SpcgPlan::build(&a, opts().with_precision(PrecisionPolicy::MixedF32)).unwrap();
+        let ropts =
+            ResilienceOptions { fault: Some(FaultInjection::stall_at(2)), ..Default::default() };
+        let mut ws = plan.make_workspace();
+        let r = plan.solve_resilient_with_workspace(&b, &ropts, &mut ws).unwrap();
+        assert!(r.converged(), "report: {:?}", r.report);
+        assert_eq!(
+            r.report.cause(),
+            Some(BreakdownKind::Indefinite),
+            "the collapsed rᵀz must classify as Indefinite"
+        );
+        assert_eq!(
+            r.report.rungs(),
+            vec![FallbackRung::Planned, FallbackRung::PromotePrecision],
+            "recovery must go through precision promotion"
+        );
+        assert_eq!(
+            r.report.total_factorizations(),
+            0,
+            "promotion reuses the resident full factors"
+        );
+    }
+
+    #[test]
+    fn clean_mixed_resilient_solve_matches_the_plain_mixed_tier() {
+        use crate::precision::PrecisionPolicy;
+        let (a, b) = system(10);
+        let plan = SpcgPlan::build(&a, opts().with_precision(PrecisionPolicy::MixedF32)).unwrap();
+        let mut ws = plan.make_workspace();
+        let plain = plan.solve_with_workspace(&b, &mut ws).unwrap();
+        let resilient = plan
+            .solve_resilient_with_workspace(&b, &ResilienceOptions::default(), &mut ws)
+            .unwrap();
+        assert_eq!(plain.x, resilient.result.x);
+        assert!(resilient.report.clean());
+        assert_eq!(resilient.report.rungs(), vec![FallbackRung::Planned]);
     }
 }

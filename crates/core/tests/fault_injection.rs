@@ -125,6 +125,46 @@ fn persistent_fault_descends_to_jacobi_and_recovers() {
 }
 
 #[test]
+fn stalled_mixed_precond_promotes_precision_across_suite_matrices() {
+    // The mixed tier's dedicated failure mode: the reduced-precision apply
+    // stalls the recurrence (modeled by the stall fault zeroing the
+    // preconditioned direction). Recovery must climb exactly one rung — the
+    // promote-precision rung, which swaps in the resident full-width
+    // factors without refactoring — and converge there.
+    use spcg_core::{FallbackRung, PrecisionPolicy};
+
+    for (name, a, b) in suite_systems(3) {
+        let plan = SpcgPlan::build(&a, opts().with_precision(PrecisionPolicy::MixedF32)).unwrap();
+        assert!(plan.is_mixed(), "{name}: MixedF32 must resolve mixed");
+        let ropts =
+            ResilienceOptions { fault: Some(FaultInjection::stall_at(1)), ..Default::default() };
+        let mut ws = plan.make_workspace();
+        let r = plan.solve_resilient_with_workspace(&b, &ropts, &mut ws).unwrap();
+        assert!(r.converged(), "{name}: must recover from a precision stall: {:?}", r.report);
+        assert_eq!(
+            r.report.rungs(),
+            vec![FallbackRung::Planned, FallbackRung::PromotePrecision],
+            "{name}: a stall promotes precision, nothing more"
+        );
+        assert_eq!(
+            r.report.total_factorizations(),
+            0,
+            "{name}: promotion reuses the resident full factors"
+        );
+        assert_rungs_are_ladder_prefix(&name, &plan, &ropts, &r.report.rungs());
+
+        // The promoted solution matches a clean full-precision solve.
+        let full = SpcgPlan::build(&a, opts()).unwrap().solve(&b).unwrap();
+        let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let diff: Vec<f64> = full.x.iter().zip(&r.result.x).map(|(c, f)| c - f).collect();
+        assert!(
+            norm(&diff) <= 1e-6 * norm(&full.x).max(1.0),
+            "{name}: promoted solution drifted from the full-precision one"
+        );
+    }
+}
+
+#[test]
 fn recovered_solution_matches_the_clean_one() {
     // Recovery is not just "Converged": the recovered iterate solves the
     // same system to the same tolerance as a never-faulted solve.

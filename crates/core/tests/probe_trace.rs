@@ -167,6 +167,72 @@ fn resilient_ladder_emits_rung_events() {
     assert_eq!(rungs[0].outcome, ProbeStop::Converged);
 }
 
+#[test]
+fn mixed_solve_emits_precision_counters() {
+    use spcg_core::PrecisionPolicy;
+    let (a, b) = random_system(80, 5);
+    let opts = SpcgOptions::default()
+        .with_solver(SolverConfig::default().with_tol(1e-8))
+        .with_precision(PrecisionPolicy::MixedF32);
+    let (plan, result, trace) = record_run(&a, &b, &opts);
+    assert!(plan.is_mixed());
+    assert!(result.converged());
+    trace.validate_nesting().unwrap();
+    // One narrow apply per iteration plus the initial residual application.
+    assert_eq!(trace.counter_total(Counter::PrecisionMixedApplies), result.iterations as u64 + 1);
+    // 4 bytes saved per stored factor entry (f64 → f32).
+    let nnz = (plan.factors().l().nnz() + plan.factors().u().nnz()) as u64;
+    assert_eq!(trace.counter_total(Counter::PrecisionBytesSaved), 4 * nnz);
+    // A clean converging solve never restarts, and the counters render in
+    // the phase table under their `precision.*` labels.
+    assert_eq!(trace.counter_total(Counter::PrecisionRefineRestarts), 0);
+    assert!(trace.phase_table().contains("precision.mixed_applies"));
+    // A full-precision run emits none of them.
+    let (_, _, full_trace) = record_run(&a, &b, &SpcgOptions::default());
+    assert_eq!(full_trace.counter_total(Counter::PrecisionMixedApplies), 0);
+    assert_eq!(full_trace.counter_total(Counter::PrecisionBytesSaved), 0);
+}
+
+#[test]
+fn starved_mixed_solve_records_refine_restarts() {
+    use spcg_core::PrecisionPolicy;
+    // Starve the inner loop so iterative refinement must restart on the
+    // exact f64 residual: the restarts surface both as a counter and as
+    // timestamped Refine events in the trace.
+    let (a, b) = random_system(90, 21);
+    let reference = SpcgPlan::build(
+        &a,
+        SpcgOptions::default().with_solver(SolverConfig::default().with_tol(1e-9)),
+    )
+    .unwrap()
+    .solve(&b)
+    .unwrap();
+    assert!(reference.converged());
+    let starved_iters = (reference.iterations / 2).max(4);
+    let opts = SpcgOptions::default()
+        .with_solver(SolverConfig::default().with_tol(1e-9).with_max_iters(starved_iters))
+        .with_precision(PrecisionPolicy::MixedF32);
+    let (_, result, trace) = record_run(&a, &b, &opts);
+    let restarts = trace.counter_total(Counter::PrecisionRefineRestarts);
+    assert!(restarts >= 1, "a starved inner loop must refine at least once");
+    let refine_events: Vec<_> = trace
+        .events
+        .iter()
+        .filter_map(|ev| match ev {
+            spcg_probe::TraceEvent::Refine { event, .. } => Some(*event),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(refine_events.len(), restarts as usize);
+    for (i, ev) in refine_events.iter().enumerate() {
+        assert_eq!(ev.restart, i + 1, "restarts are numbered from 1 in order");
+        assert!(ev.residual.is_finite());
+    }
+    // Refinement accumulates across restarts, so the solve still converges.
+    assert!(result.converged(), "refinement must rescue the starved solve: {:?}", result.stop);
+    trace.validate_nesting().unwrap();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 

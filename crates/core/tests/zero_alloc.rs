@@ -128,6 +128,48 @@ fn warm_reordered_solves_do_not_allocate() {
 }
 
 #[test]
+fn warm_mixed_precision_solves_do_not_allocate() {
+    // The mixed tier adds an f32 staging buffer (down/upcast at the apply
+    // boundary) and the iterative-refinement accumulators; `make_workspace`
+    // pre-sizes all of them, so a warm mixed solve — demotion staging,
+    // narrow triangular sweeps, refinement bookkeeping included — must be
+    // exactly as allocation-free as the full-precision path.
+    use spcg_core::PrecisionPolicy;
+
+    let a = with_magnitude_spread(&poisson_2d(24, 24), 5.0, 11);
+    let opts = SpcgOptions {
+        solver: SolverConfig::default().with_tol(1e-8).with_history(true),
+        ..Default::default()
+    }
+    .with_precision(PrecisionPolicy::MixedF32);
+    let plan = SpcgPlan::build(&a, &opts).expect("plan builds");
+    assert!(plan.is_mixed(), "MixedF32 must resolve to the mixed tier");
+    let mut ws = plan.make_workspace();
+
+    let mut rng = Rng::new(31);
+    let rhs: Vec<Vec<f64>> =
+        (0..4).map(|_| (0..a.n_rows()).map(|_| rng.range(-1.0, 1.0)).collect()).collect();
+
+    let warm = plan.solve_in_place(&rhs[0], &mut ws).expect("well-formed system");
+    assert!(warm.converged(), "warm-up failed: {:?}", warm.stop);
+
+    let before = allocation_count();
+    for b in &rhs {
+        let stats = plan.solve_in_place(b, &mut ws).expect("well-formed system");
+        assert!(stats.converged(), "mixed solve failed: {:?}", stats.stop);
+        assert!(stats.iterations > 0, "trivial solve would not exercise the loop");
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "warm mixed-precision solves allocated {} time(s); staging and refinement buffers \
+         must be pre-sized by make_workspace",
+        after - before
+    );
+}
+
+#[test]
 fn warm_served_solves_do_not_allocate() {
     // The same contract, one layer up: a request through the solve
     // service's cached hot path — fingerprint, sharded-LRU hit (tick-stamp

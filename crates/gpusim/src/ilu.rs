@@ -7,7 +7,7 @@
 //! plus up to `2·nnz_U(k)` multiply-adds.
 
 use crate::device::DeviceSpec;
-use crate::kernel::{KernelCost, F32_BYTES, IDX_BYTES};
+use crate::kernel::{value_bytes_of, KernelCost, IDX_BYTES};
 use spcg_sparse::{CsrMatrix, Scalar};
 use spcg_wavefront::{LevelSchedule, Triangle};
 
@@ -49,7 +49,7 @@ pub fn ilu_factorization_cost<T: Scalar>(device: &DeviceSpec, a: &CsrMatrix<T>) 
             touched += t;
             max_row_flops = max_row_flops.max(f);
         }
-        let bytes = touched * (F32_BYTES + IDX_BYTES);
+        let bytes = touched * (value_bytes_of::<T>() + IDX_BYTES);
         let rows = level.len() as f64;
         let waves = (rows / device.parallel_rows() as f64).ceil().max(1.0);
         let serial_us = waves * device.serial_entry_time_us(max_row_flops / 2.0);
@@ -87,7 +87,7 @@ pub fn ilu_factorization_cost_serial<T: Scalar>(
         flops += f;
         touched += t;
     }
-    let bytes = touched * (F32_BYTES + IDX_BYTES);
+    let bytes = touched * (value_bytes_of::<T>() + IDX_BYTES);
     // Sustained sparse single-core throughput ~3 GFLOP/s; symbolic
     // analysis ~50 ns per pattern entry (SPARSKIT/SuperLU-like).
     let compute_us = flops / 3_000.0;

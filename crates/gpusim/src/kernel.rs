@@ -56,24 +56,29 @@ impl KernelCost {
     }
 }
 
-/// Value size in bytes for the precision being simulated (the paper runs
-/// single precision).
-pub const F32_BYTES: f64 = 4.0;
+/// Stored-value size in bytes for the scalar type being simulated. The
+/// model prices memory traffic by the width actually moved, so f64 systems
+/// pay twice the bandwidth of f32 — and demoted f32 factors inside an f64
+/// solve pay half the factor traffic of full-precision ones.
+pub fn value_bytes_of<T: Scalar>() -> f64 {
+    std::mem::size_of::<T>() as f64
+}
+
 /// Index size in bytes (cuSPARSE uses 32-bit indices).
 pub const IDX_BYTES: f64 = 4.0;
 
-/// Cost of an elementwise vector kernel over `n` lanes touching
+/// Cost of an elementwise vector kernel over `n` lanes of `T` touching
 /// `streams` vectors (axpy: 3 streams — read x, read+write y).
-pub fn elementwise_cost(device: &DeviceSpec, n: usize, streams: f64) -> KernelCost {
-    let bytes = n as f64 * F32_BYTES * streams;
+pub fn elementwise_cost<T: Scalar>(device: &DeviceSpec, n: usize, streams: f64) -> KernelCost {
+    let bytes = n as f64 * value_bytes_of::<T>() * streams;
     let flops = 2.0 * n as f64;
     KernelCost::assemble(device, bytes, flops, 0.0)
 }
 
-/// Cost of a dot-product (two reads, tree reduction ⇒ one extra launch's
-/// worth of latency folded into compute).
-pub fn dot_cost(device: &DeviceSpec, n: usize) -> KernelCost {
-    let bytes = n as f64 * F32_BYTES * 2.0;
+/// Cost of a dot-product over `n` lanes of `T` (two reads, tree reduction
+/// ⇒ one extra launch's worth of latency folded into compute).
+pub fn dot_cost<T: Scalar>(device: &DeviceSpec, n: usize) -> KernelCost {
+    let bytes = n as f64 * value_bytes_of::<T>() * 2.0;
     let flops = 2.0 * n as f64;
     let reduction_us = (n as f64).log2().max(1.0) * 0.02;
     KernelCost::assemble(device, bytes, flops, reduction_us)
@@ -83,12 +88,10 @@ pub fn dot_cost(device: &DeviceSpec, n: usize) -> KernelCost {
 pub fn spmv_cost<T: Scalar>(device: &DeviceSpec, a: &CsrMatrix<T>) -> KernelCost {
     let n = a.n_rows() as f64;
     let nnz = a.nnz() as f64;
+    let val = value_bytes_of::<T>();
     // values + column indices once, row pointers, x gathered (approximate
     // as nnz reads through cache at half cost), y written.
-    let bytes = nnz * (F32_BYTES + IDX_BYTES)
-        + (n + 1.0) * IDX_BYTES
-        + 0.5 * nnz * F32_BYTES
-        + n * F32_BYTES;
+    let bytes = nnz * (val + IDX_BYTES) + (n + 1.0) * IDX_BYTES + 0.5 * nnz * val + n * val;
     let flops = 2.0 * nnz;
     // longest row serializes its thread; rows beyond the device width queue
     let waves = (n / device.parallel_rows() as f64).ceil().max(1.0);
@@ -116,8 +119,8 @@ mod tests {
     #[test]
     fn add_accumulates_components() {
         let d = DeviceSpec::a100();
-        let a = elementwise_cost(&d, 1000, 3.0);
-        let b = dot_cost(&d, 1000);
+        let a = elementwise_cost::<f64>(&d, 1000, 3.0);
+        let b = dot_cost::<f64>(&d, 1000);
         let s = a.add(&b);
         assert!((s.time_us - (a.time_us + b.time_us)).abs() < 1e-12);
         assert!((s.bytes - (a.bytes + b.bytes)).abs() < 1e-9);
@@ -136,7 +139,7 @@ mod tests {
     #[test]
     fn launch_dominates_tiny_kernels() {
         let d = DeviceSpec::a100();
-        let k = elementwise_cost(&d, 16, 3.0);
+        let k = elementwise_cost::<f64>(&d, 16, 3.0);
         assert!(k.launch_us / k.time_us > 0.9);
     }
 
@@ -144,9 +147,27 @@ mod tests {
     fn cpu_vs_gpu_launch() {
         let a100 = DeviceSpec::a100();
         let cpu = DeviceSpec::epyc_7413();
-        let g = elementwise_cost(&a100, 1 << 20, 3.0);
-        let c = elementwise_cost(&cpu, 1 << 20, 3.0);
+        let g = elementwise_cost::<f64>(&a100, 1 << 20, 3.0);
+        let c = elementwise_cost::<f64>(&cpu, 1 << 20, 3.0);
         // Big streaming kernels favour GPU bandwidth.
         assert!(g.time_us < c.time_us);
+    }
+
+    /// The pricing rule the mixed-precision tier leans on: the bandwidth
+    /// term of every vector kernel scales with the element width, so f64
+    /// traffic costs exactly twice f32 traffic.
+    #[test]
+    fn f64_bandwidth_term_is_twice_f32() {
+        let d = DeviceSpec::a100();
+        let n = 1 << 18;
+        for (wide, narrow) in [
+            (dot_cost::<f64>(&d, n), dot_cost::<f32>(&d, n)),
+            (elementwise_cost::<f64>(&d, n, 3.0), elementwise_cost::<f32>(&d, n, 3.0)),
+        ] {
+            assert!((wide.bytes - 2.0 * narrow.bytes).abs() < 1e-9);
+            assert!((wide.mem_us - 2.0 * narrow.mem_us).abs() < 1e-12);
+            // Flop counts are width-independent; only bandwidth doubles.
+            assert_eq!(wide.flops, narrow.flops);
+        }
     }
 }

@@ -24,8 +24,11 @@ pub mod trisolve;
 
 pub use device::DeviceSpec;
 pub use ilu::{ilu_factorization_cost, inspector_cost_us, sparsify_cost_us};
-pub use kernel::{dot_cost, elementwise_cost, spmv_cost, KernelCost};
-pub use pcg::{end_to_end_cost, iteration_gflops, pcg_iteration_cost, EndToEndCost, IterationCost};
+pub use kernel::{dot_cost, elementwise_cost, spmv_cost, value_bytes_of, KernelCost};
+pub use pcg::{
+    end_to_end_cost, iteration_gflops, pcg_iteration_cost, pcg_iteration_cost_with_factor_bytes,
+    EndToEndCost, IterationCost,
+};
 pub use plan::{plan_end_to_end_cost, plan_iteration_cost, plan_recovery_cost, RecoveryCost};
 pub use profiler::{profile, Boundedness, ProfileReport};
 pub use trace::simulated_solve_trace;

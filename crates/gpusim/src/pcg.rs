@@ -8,7 +8,7 @@
 
 use crate::device::DeviceSpec;
 use crate::ilu::{ilu_factorization_cost, inspector_cost_us, sparsify_cost_us};
-use crate::kernel::{dot_cost, elementwise_cost, spmv_cost, KernelCost};
+use crate::kernel::{dot_cost, elementwise_cost, spmv_cost, value_bytes_of, KernelCost};
 use crate::trisolve::{trisolve_cost, TrisolveWorkload};
 use serde::{Deserialize, Serialize};
 use spcg_precond::IluFactors;
@@ -45,24 +45,42 @@ impl IterationCost {
 }
 
 /// Prices one PCG iteration given the system matrix and the preconditioner
-/// factors (with their level schedules).
+/// factors (with their level schedules). Factor traffic is priced at `T`'s
+/// own width; for demoted factors use
+/// [`pcg_iteration_cost_with_factor_bytes`].
 pub fn pcg_iteration_cost<T: Scalar>(
     device: &DeviceSpec,
     a: &CsrMatrix<T>,
     factors: &IluFactors<T>,
 ) -> IterationCost {
+    pcg_iteration_cost_with_factor_bytes(device, a, factors, value_bytes_of::<T>())
+}
+
+/// Prices one PCG iteration whose preconditioner apply runs at
+/// `factor_value_bytes` per stored value (4.0 for f32-demoted factors under
+/// an f64 outer loop — the triangular solves stage their vectors narrow
+/// too, so the whole apply moves narrow values). SpMV and the BLAS-1 tail
+/// stay at the outer loop's full width.
+pub fn pcg_iteration_cost_with_factor_bytes<T: Scalar>(
+    device: &DeviceSpec,
+    a: &CsrMatrix<T>,
+    factors: &IluFactors<T>,
+    factor_value_bytes: f64,
+) -> IterationCost {
     let n = a.n_rows();
     let spmv = spmv_cost(device, a);
-    let lw = TrisolveWorkload::new(factors.l(), factors.l_schedule());
-    let uw = TrisolveWorkload::new(factors.u(), factors.u_schedule());
+    let lw = TrisolveWorkload::new(factors.l(), factors.l_schedule())
+        .with_value_bytes(factor_value_bytes);
+    let uw = TrisolveWorkload::new(factors.u(), factors.u_schedule())
+        .with_value_bytes(factor_value_bytes);
     let lower = trisolve_cost(device, &lw);
     let upper = trisolve_cost(device, &uw);
     // 2 dots + 3 three-stream vector updates per iteration.
-    let blas = dot_cost(device, n)
-        .add(&dot_cost(device, n))
-        .add(&elementwise_cost(device, n, 3.0))
-        .add(&elementwise_cost(device, n, 3.0))
-        .add(&elementwise_cost(device, n, 3.0));
+    let blas = dot_cost::<T>(device, n)
+        .add(&dot_cost::<T>(device, n))
+        .add(&elementwise_cost::<T>(device, n, 3.0))
+        .add(&elementwise_cost::<T>(device, n, 3.0))
+        .add(&elementwise_cost::<T>(device, n, 3.0));
     IterationCost { spmv, lower, upper, blas }
 }
 
@@ -194,5 +212,22 @@ mod tests {
     fn gflops_formula() {
         assert_eq!(iteration_gflops(2e6, 1000.0), 2.0);
         assert_eq!(iteration_gflops(1.0, 0.0), 0.0);
+    }
+
+    /// Demoted factors shrink only the preconditioner-apply traffic: the
+    /// SpMV and BLAS-1 tail are untouched, and the trisolve byte counts
+    /// drop by the value-width ratio less the index residue.
+    #[test]
+    fn demoted_factor_bytes_cut_only_the_apply() {
+        let (a, f) = setup(24);
+        let d = DeviceSpec::a100();
+        let full = pcg_iteration_cost(&d, &a, &f);
+        let mixed = pcg_iteration_cost_with_factor_bytes(&d, &a, &f, 4.0);
+        assert_eq!(full.spmv, mixed.spmv);
+        assert_eq!(full.blas, mixed.blas);
+        let apply_ratio =
+            (full.lower.bytes + full.upper.bytes) / (mixed.lower.bytes + mixed.upper.bytes);
+        assert!(apply_ratio >= 1.5, "trisolve bytes ratio {apply_ratio} < 1.5");
+        assert!(mixed.total_us() <= full.total_us());
     }
 }

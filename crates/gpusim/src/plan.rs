@@ -5,7 +5,9 @@
 
 use crate::device::DeviceSpec;
 use crate::ilu::ilu_factorization_cost;
-use crate::pcg::{end_to_end_cost, pcg_iteration_cost, EndToEndCost, IterationCost};
+use crate::pcg::{
+    end_to_end_cost, pcg_iteration_cost_with_factor_bytes, EndToEndCost, IterationCost,
+};
 use spcg_core::{RecoveryReport, SpcgPlan};
 use spcg_sparse::Scalar;
 
@@ -13,9 +15,16 @@ use spcg_sparse::Scalar;
 ///
 /// Reordered plans are priced on the permuted operator: its level
 /// structure is what the device's triangular solves see, which is exactly
-/// the point of reordering.
+/// the point of reordering. Mixed-precision plans price their triangular
+/// solves at the demoted factor width (`plan.factor_value_bytes()`), so
+/// the simulated apply traffic reflects what the f32 tier actually moves.
 pub fn plan_iteration_cost<T: Scalar>(device: &DeviceSpec, plan: &SpcgPlan<T>) -> IterationCost {
-    pcg_iteration_cost(device, plan.operator(), plan.factors())
+    pcg_iteration_cost_with_factor_bytes(
+        device,
+        plan.operator(),
+        plan.factors(),
+        plan.factor_value_bytes() as f64,
+    )
 }
 
 /// Prices a whole run of `plan` that took `iterations` iterations:
@@ -31,14 +40,18 @@ pub fn plan_end_to_end_cost<T: Scalar>(
     plan: &SpcgPlan<T>,
     iterations: usize,
 ) -> EndToEndCost {
-    end_to_end_cost(
+    let mut cost = end_to_end_cost(
         device,
         plan.operator(),
         plan.factored_matrix(),
         plan.factors(),
         iterations,
         plan.is_sparsified(),
-    )
+    );
+    // Mixed plans iterate with demoted factor traffic; the factorization
+    // itself always runs (and is priced) at full width before demotion.
+    cost.per_iteration_us = plan_iteration_cost(device, plan).total_us();
+    cost
 }
 
 /// Simulated device-time breakdown of a resilient solve's recovery work.
@@ -106,6 +119,7 @@ mod tests {
 
     #[test]
     fn plan_cost_matches_explicit_pricing() {
+        use crate::pcg::pcg_iteration_cost;
         let p = plan(true);
         let d = DeviceSpec::a100();
         let via_plan = plan_iteration_cost(&d, &p);
@@ -156,6 +170,32 @@ mod tests {
         let spcg = plan_iteration_cost(&d, &plan(true));
         let base = plan_iteration_cost(&d, &plan(false));
         assert!(spcg.total_us() <= base.total_us());
+    }
+
+    /// A mixed plan's simulated apply moves at least 1.5× fewer bytes than
+    /// the full plan's — the storage win the mixed tier exists to buy —
+    /// while the SpMV traffic (outer-loop width) is identical.
+    #[test]
+    fn mixed_plan_apply_bytes_beat_full_by_at_least_1_5x() {
+        use spcg_core::PrecisionPolicy;
+        let a = with_magnitude_spread(&poisson_2d(16, 16), 6.0, 7);
+        let d = DeviceSpec::a100();
+        let full = SpcgPlan::build(&a, SpcgOptions::default()).unwrap();
+        let mixed =
+            SpcgPlan::build(&a, SpcgOptions::default().with_precision(PrecisionPolicy::MixedF32))
+                .unwrap();
+        assert!(mixed.is_mixed());
+        let cf = plan_iteration_cost(&d, &full);
+        let cm = plan_iteration_cost(&d, &mixed);
+        let ratio = (cf.lower.bytes + cf.upper.bytes) / (cm.lower.bytes + cm.upper.bytes);
+        assert!(ratio >= 1.5, "apply bytes ratio {ratio} < 1.5");
+        assert_eq!(cf.spmv, cm.spmv);
+        assert!(cm.total_us() <= cf.total_us());
+        // End-to-end pricing picks up the cheaper iteration too.
+        let ef = plan_end_to_end_cost(&d, &full, 40);
+        let em = plan_end_to_end_cost(&d, &mixed, 40);
+        assert!(em.per_iteration_us <= ef.per_iteration_us);
+        assert_eq!(em.factorization_us, ef.factorization_us, "factorization runs at full width");
     }
 
     #[test]

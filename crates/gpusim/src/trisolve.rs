@@ -7,7 +7,7 @@
 //! sparsification reduces — the paper's central mechanism.
 
 use crate::device::DeviceSpec;
-use crate::kernel::{KernelCost, F32_BYTES, IDX_BYTES};
+use crate::kernel::{value_bytes_of, KernelCost, IDX_BYTES};
 use serde::{Deserialize, Serialize};
 use spcg_sparse::{CsrMatrix, Scalar};
 use spcg_wavefront::LevelSchedule;
@@ -21,6 +21,10 @@ pub struct TrisolveWorkload {
     pub n_rows: usize,
     /// Total stored entries.
     pub nnz: usize,
+    /// Stored-value width in bytes. Defaults to the width of the matrix's
+    /// scalar type; a mixed-precision solve overrides it to the demoted
+    /// width via [`TrisolveWorkload::with_value_bytes`].
+    pub value_bytes: f64,
 }
 
 impl TrisolveWorkload {
@@ -41,7 +45,18 @@ impl TrisolveWorkload {
                 (rows.len(), nnz, max_row)
             })
             .collect();
-        Self { levels, n_rows: m.n_rows(), nnz: m.nnz() }
+        Self { levels, n_rows: m.n_rows(), nnz: m.nnz(), value_bytes: value_bytes_of::<T>() }
+    }
+
+    /// Reprices the solve's values at `bytes` per entry (4.0 for demoted
+    /// f32 factors under an f64 outer loop). A mixed-precision apply stages
+    /// its vectors in the lower precision too — the whole triangular solve
+    /// runs narrow, with only the O(n) boundary casts at full width — so
+    /// one width covers factor entries, gathered x, and the level's rhs/x
+    /// traffic alike.
+    pub fn with_value_bytes(mut self, bytes: f64) -> Self {
+        self.value_bytes = bytes;
+        self
     }
 
     /// Number of wavefronts.
@@ -57,9 +72,9 @@ pub fn trisolve_cost(device: &DeviceSpec, w: &TrisolveWorkload) -> KernelCost {
         let rows_f = rows as f64;
         let nnz_f = nnz as f64;
         // factor row data + rhs/x traffic for the rows of this level
-        let bytes = nnz_f * (F32_BYTES + IDX_BYTES)
-            + rows_f * (IDX_BYTES + 2.0 * F32_BYTES)
-            + 0.5 * nnz_f * F32_BYTES;
+        let bytes = nnz_f * (w.value_bytes + IDX_BYTES)
+            + rows_f * (IDX_BYTES + 2.0 * w.value_bytes)
+            + 0.5 * nnz_f * w.value_bytes;
         let flops = 2.0 * nnz_f;
         let waves = (rows_f / device.parallel_rows() as f64).ceil().max(1.0);
         let serial_us = waves * device.serial_entry_time_us(max_row as f64);
@@ -113,11 +128,13 @@ mod tests {
             levels: vec![(512, 2048, 4), (512, 2048, 4)],
             n_rows: 1024,
             nnz: 4096,
+            value_bytes: 8.0,
         };
         let w8 = TrisolveWorkload {
             levels: (0..8).map(|_| (128, 512, 4)).collect(),
             n_rows: 1024,
             nnz: 4096,
+            value_bytes: 8.0,
         };
         let c2 = trisolve_cost(&d, &w2);
         let c8 = trisolve_cost(&d, &w8);
@@ -134,6 +151,7 @@ mod tests {
             levels: full.levels.iter().map(|&(r, z, m)| (r, z * 8 / 10, m)).collect(),
             n_rows: full.n_rows,
             nnz: full.nnz * 8 / 10,
+            value_bytes: full.value_bytes,
         };
         let cf = trisolve_cost(&d, &full);
         let cs = trisolve_cost(&d, &slim);
@@ -156,5 +174,23 @@ mod tests {
         let d = DeviceSpec::v100();
         let w = workload(16);
         assert_eq!(trisolve_cost(&d, &w), trisolve_cost(&d, &w));
+    }
+
+    /// Demoting the factors halves exactly the value-byte term: the index
+    /// traffic is untouched, so total bytes shrink but by less than 2×.
+    #[test]
+    fn narrower_values_shrink_only_the_value_traffic() {
+        let d = DeviceSpec::a100();
+        let full = workload(32);
+        assert_eq!(full.value_bytes, 8.0, "f64 workload prices 8-byte values");
+        let narrow = full.clone().with_value_bytes(4.0);
+        let cf = trisolve_cost(&d, &full);
+        let cn = trisolve_cost(&d, &narrow);
+        let ratio = cf.bytes / cn.bytes;
+        assert!(ratio > 1.4 && ratio < 2.0, "bytes ratio {ratio}");
+        // Value traffic is exactly half; the residue is index traffic.
+        let idx_bytes = cf.bytes - 2.0 * (cf.bytes - cn.bytes);
+        assert!(idx_bytes > 0.0);
+        assert_eq!(cf.flops, cn.flops);
     }
 }

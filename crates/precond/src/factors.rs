@@ -128,6 +128,22 @@ impl<T: Scalar> IluFactors<T> {
         self
     }
 
+    /// Precision-converting constructor: the same factors with every stored
+    /// value demoted into [`Scalar::Lower`] storage. The sparsity structure
+    /// — and therefore the level schedules — is identical, so the schedules
+    /// are cloned rather than rebuilt (no inspector re-run).
+    pub fn demoted(&self) -> IluFactors<T::Lower> {
+        IluFactors {
+            l: self.l.demoted(),
+            u: self.u.demoted(),
+            l_schedule: self.l_schedule.clone(),
+            u_schedule: self.u_schedule.clone(),
+            exec: self.exec,
+            name: format!("{}/lower", self.name),
+            scratch_dim: self.scratch_dim,
+        }
+    }
+
     /// Solves `L y = r` then `U z = y`, allocating the intermediate `y`.
     /// Hot loops should prefer [`solve_with_scratch`](Self::solve_with_scratch).
     pub fn solve(&self, r: &[T], z: &mut [T]) {

@@ -1,80 +1,111 @@
 //! Mixed-precision preconditioning (paper §6.2: "The SPCG solver proposed
 //! in this work can additionally benefit from mixed-precision design").
 //!
-//! The preconditioner's factors are stored and applied in `f32` — halving
-//! the factor's memory traffic, which is exactly what the triangular
-//! solves are bound by — while the outer PCG iterates in `f64`. Since PCG
-//! tolerates an inexact preconditioner (it only changes the effective
-//! operator `M⁻¹A`), convergence is preserved for reasonably conditioned
-//! factors.
+//! The preconditioner's factors are stored and applied in [`Scalar::Lower`]
+//! (`f32` for `f64` solves) — halving the factor's memory traffic, which is
+//! exactly what the triangular solves are bound by — while the outer PCG
+//! iterates in full precision. Since PCG tolerates an inexact
+//! preconditioner (it only changes the effective operator `M⁻¹A`),
+//! convergence is preserved for reasonably conditioned factors; the outer
+//! iterative-refinement loop in `spcg-core` recovers full accuracy when the
+//! reduced-precision application stalls the recurrence.
+//!
+//! The down/upcast runs through the caller-provided staging buffer of
+//! [`Preconditioner::apply_staged`], so a warm mixed solve performs no heap
+//! allocation — enforced by `crates/core/tests/zero_alloc.rs`.
 
 use crate::factors::{IluFactors, TriangularExec};
 use crate::traits::Preconditioner;
-use spcg_sparse::CsrMatrix;
+use spcg_sparse::{CsrMatrix, Scalar};
 
-/// Wraps `f32` ILU factors for use inside an `f64` solver.
+/// Incomplete factors stored in [`Scalar::Lower`] precision, applied inside
+/// a full-precision `T` solve.
+///
+/// The wrapper demotes the residual into the staging buffer, runs both
+/// triangular sweeps in reduced precision, and promotes the result back —
+/// one pass each way, no heap allocation on the staged path.
 #[derive(Debug, Clone)]
-pub struct MixedPrecisionIlu {
-    inner: IluFactors<f32>,
-    // Reusable casting buffers would need interior mutability; the
-    // allocation per apply is kept for simplicity and measured to be
-    // negligible next to the solves.
+pub struct MixedPrecisionIlu<T: Scalar = f64> {
+    inner: IluFactors<T::Lower>,
+    name: String,
 }
 
-impl MixedPrecisionIlu {
-    /// Demotes existing `f64` factors to `f32`.
-    pub fn from_f64(factors: &IluFactors<f64>) -> Self {
-        let l: CsrMatrix<f32> = factors.l().cast();
-        let u: CsrMatrix<f32> = factors.u().cast();
-        Self { inner: IluFactors::new(l, u, factors.exec(), "ilu-f32".into()) }
+impl<T: Scalar> MixedPrecisionIlu<T> {
+    /// Demotes existing full-precision factors into `T::Lower` storage.
+    /// The structure (and level schedules) carry over unchanged.
+    pub fn from_full(factors: &IluFactors<T>) -> Self {
+        Self::new(factors.demoted())
     }
 
-    /// Builds directly from `f32` factors.
-    pub fn new(inner: IluFactors<f32>) -> Self {
-        Self { inner }
+    /// Wraps factors already stored in reduced precision.
+    pub fn new(inner: IluFactors<T::Lower>) -> Self {
+        Self { inner, name: "mixed-precision-ilu".into() }
     }
 
-    /// Access to the inner single-precision factors.
-    pub fn inner(&self) -> &IluFactors<f32> {
+    /// Access to the inner reduced-precision factors.
+    pub fn inner(&self) -> &IluFactors<T::Lower> {
         &self.inner
     }
 
-    /// Bytes of factor storage saved versus double precision.
+    /// Bytes of factor storage saved versus full precision.
     pub fn bytes_saved(&self) -> usize {
-        4 * Preconditioner::<f32>::nnz(&self.inner)
+        let full = std::mem::size_of::<T>();
+        let lower = std::mem::size_of::<T::Lower>();
+        (full - lower) * Preconditioner::<T::Lower>::nnz(&self.inner)
     }
 }
 
-impl Preconditioner<f64> for MixedPrecisionIlu {
-    fn apply(&self, r: &[f64], z: &mut [f64]) {
-        let r32: Vec<f32> = r.iter().map(|&v| v as f32).collect();
-        let mut z32 = vec![0.0f32; z.len()];
-        self.inner.solve(&r32, &mut z32);
-        for (zo, zi) in z.iter_mut().zip(&z32) {
-            *zo = *zi as f64;
+impl<T: Scalar> Preconditioner<T> for MixedPrecisionIlu<T> {
+    fn apply(&self, r: &[T], z: &mut [T]) {
+        let mut staging = vec![<T::Lower as Scalar>::ZERO; self.staging_len()];
+        self.apply_staged(r, z, &mut [], &mut staging);
+    }
+
+    /// Triple-width staging: demoted residual, reduced-precision iterate,
+    /// and the triangular-sweep intermediate, packed back to back.
+    fn staging_len(&self) -> usize {
+        3 * Preconditioner::<T::Lower>::dim(&self.inner)
+    }
+
+    fn apply_staged(&self, r: &[T], z: &mut [T], _scratch: &mut [T], staging: &mut [T::Lower]) {
+        let n = Preconditioner::<T::Lower>::dim(&self.inner);
+        assert!(staging.len() >= 3 * n, "staging buffer too small for mixed apply");
+        let (r_lo, rest) = staging.split_at_mut(n);
+        let (z_lo, y_lo) = rest.split_at_mut(n);
+        for (lo, &hi) in r_lo.iter_mut().zip(r) {
+            *lo = hi.demote();
+        }
+        self.inner.solve_with_scratch(r_lo, z_lo, y_lo);
+        for (hi, &lo) in z.iter_mut().zip(z_lo.iter()) {
+            *hi = T::promote(lo);
         }
     }
 
+    fn value_bytes(&self) -> usize {
+        std::mem::size_of::<T::Lower>()
+    }
+
     fn dim(&self) -> usize {
-        Preconditioner::<f32>::dim(&self.inner)
+        Preconditioner::<T::Lower>::dim(&self.inner)
     }
 
     fn name(&self) -> &str {
-        "mixed-precision-ilu"
+        &self.name
     }
 
     fn nnz(&self) -> usize {
-        Preconditioner::<f32>::nnz(&self.inner)
+        Preconditioner::<T::Lower>::nnz(&self.inner)
     }
 }
 
-/// Convenience: ILU(0) in single precision, wrapped for `f64` solves.
-pub fn ilu0_mixed(
-    a: &CsrMatrix<f64>,
+/// Convenience: ILU(0) factored directly in reduced precision, wrapped for
+/// full-precision solves.
+pub fn ilu0_mixed<T: Scalar>(
+    a: &CsrMatrix<T>,
     exec: TriangularExec,
-) -> spcg_sparse::Result<MixedPrecisionIlu> {
-    let a32: CsrMatrix<f32> = a.cast();
-    Ok(MixedPrecisionIlu::new(crate::ilu0::ilu0(&a32, exec)?))
+) -> spcg_sparse::Result<MixedPrecisionIlu<T>> {
+    let a_lo: CsrMatrix<T::Lower> = a.demoted();
+    Ok(MixedPrecisionIlu::new(crate::ilu0::ilu0(&a_lo, exec)?))
 }
 
 #[cfg(test)]
@@ -87,7 +118,7 @@ mod tests {
     fn mixed_apply_tracks_double_apply() {
         let a = poisson_2d(10, 10);
         let f64_factors = ilu0(&a, TriangularExec::Sequential).unwrap();
-        let mixed = MixedPrecisionIlu::from_f64(&f64_factors);
+        let mixed = MixedPrecisionIlu::from_full(&f64_factors);
         let r: Vec<f64> = (0..100).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
         let mut z64 = vec![0.0; 100];
         let mut zmx = vec![0.0; 100];
@@ -100,13 +131,28 @@ mod tests {
     }
 
     #[test]
+    fn staged_apply_is_identical_to_allocating_apply() {
+        let a = poisson_2d(9, 9);
+        let mixed = MixedPrecisionIlu::from_full(&ilu0(&a, TriangularExec::Sequential).unwrap());
+        let r: Vec<f64> = (0..81).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+        let mut z_alloc = vec![0.0; 81];
+        let mut z_staged = vec![0.0; 81];
+        mixed.apply(&r, &mut z_alloc);
+        let mut staging = vec![0.0f32; mixed.staging_len()];
+        mixed.apply_staged(&r, &mut z_staged, &mut [], &mut staging);
+        assert_eq!(z_alloc, z_staged, "staged path must be bitwise identical");
+    }
+
+    #[test]
     fn halves_factor_bytes() {
         let a = poisson_2d(8, 8);
         let f = ilu0(&a, TriangularExec::Sequential).unwrap();
-        let mixed = MixedPrecisionIlu::from_f64(&f);
+        let mixed = MixedPrecisionIlu::from_full(&f);
         use crate::traits::Preconditioner as P;
         assert_eq!(P::<f64>::nnz(&mixed), P::<f64>::nnz(&f));
         assert_eq!(mixed.bytes_saved(), 4 * P::<f64>::nnz(&f));
+        assert_eq!(P::<f64>::value_bytes(&mixed), 4);
+        assert_eq!(P::<f64>::value_bytes(&f), 8);
     }
 
     #[test]
@@ -118,5 +164,21 @@ mod tests {
         m.apply(&r, &mut z);
         assert!(z.iter().all(|v| v.is_finite()));
         assert_eq!(Preconditioner::<f64>::dim(&m), 36);
+    }
+
+    /// The floor of the chain is exact: a `MixedPrecisionIlu<f32>` stores
+    /// f32 factors for an f32 solve, and its staged apply is bitwise the
+    /// plain apply.
+    #[test]
+    fn f32_floor_is_exact() {
+        let a: spcg_sparse::CsrMatrix<f32> = poisson_2d(6, 6).cast();
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let mixed = MixedPrecisionIlu::<f32>::from_full(&f);
+        let r = vec![1.0f32; 36];
+        let mut z_full = vec![0.0f32; 36];
+        let mut z_mixed = vec![0.0f32; 36];
+        f.apply(&r, &mut z_full);
+        mixed.apply(&r, &mut z_mixed);
+        assert_eq!(z_full, z_mixed);
     }
 }

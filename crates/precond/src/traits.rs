@@ -31,6 +31,36 @@ pub trait Preconditioner<T: Scalar>: Send + Sync {
         self.apply(r, z);
     }
 
+    /// Length of the [`Scalar::Lower`] staging slice
+    /// [`apply_staged`](Preconditioner::apply_staged) needs (0 for
+    /// full-precision preconditioners, which never touch the staging
+    /// buffer).
+    fn staging_len(&self) -> usize {
+        0
+    }
+
+    /// Applies the preconditioner through caller-provided scratch *and* a
+    /// low-precision staging buffer. This is the boundary where
+    /// mixed-precision preconditioners demote `r` into `T::Lower`, run the
+    /// triangular sweeps in reduced precision, and promote the result back
+    /// into `z` — all through `staging`, so warm mixed solves stay
+    /// allocation-free. `staging` must be at least
+    /// [`staging_len`](Preconditioner::staging_len) long.
+    ///
+    /// The default ignores `staging` and forwards to
+    /// [`apply_with_scratch`](Preconditioner::apply_with_scratch), so every
+    /// full-precision preconditioner is bitwise unchanged by this seam.
+    fn apply_staged(&self, r: &[T], z: &mut [T], scratch: &mut [T], _staging: &mut [T::Lower]) {
+        self.apply_with_scratch(r, z, scratch);
+    }
+
+    /// Bytes of one stored factor value as this preconditioner actually
+    /// holds it (`size_of::<T>()` unless factors are demoted). Cost models
+    /// price triangular-solve bandwidth with this width.
+    fn value_bytes(&self) -> usize {
+        std::mem::size_of::<T>()
+    }
+
     /// Problem size `n`.
     fn dim(&self) -> usize;
 

@@ -159,6 +159,14 @@ pub enum Counter {
     ServeBatchedRhs,
     /// Requests rejected by queue backpressure (`try_submit`).
     ServeRejected,
+    /// Reduced-precision preconditioner applications executed by a
+    /// mixed-precision solve (one per PCG apply).
+    PrecisionMixedApplies,
+    /// Iterative-refinement restarts triggered by a stalled
+    /// reduced-precision recurrence.
+    PrecisionRefineRestarts,
+    /// Factor-storage bytes saved by demoting to reduced precision.
+    PrecisionBytesSaved,
 }
 
 impl Counter {
@@ -184,6 +192,9 @@ impl Counter {
             Counter::ServeBatches => "serve.batch.count",
             Counter::ServeBatchedRhs => "serve.batch.rhs",
             Counter::ServeRejected => "serve.queue.rejected",
+            Counter::PrecisionMixedApplies => "precision.mixed_applies",
+            Counter::PrecisionRefineRestarts => "precision.refine_restarts",
+            Counter::PrecisionBytesSaved => "precision.bytes_saved",
         }
     }
 }
@@ -232,6 +243,8 @@ pub enum RungKind {
     Shifted,
     /// Jacobi (diagonal) last resort.
     Jacobi,
+    /// Full-precision factors promoted from a stalled mixed-precision tier.
+    PromotePrecision,
 }
 
 /// One PCG/CG/Chebyshev iteration as seen by the runtime guards.
@@ -271,6 +284,20 @@ pub struct RungEvent {
     /// Outcome: the solve's stop classification, or `Skipped` when the
     /// rung's preconditioner could not be built.
     pub outcome: ProbeStop,
+}
+
+/// One iterative-refinement restart of a mixed-precision solve: the
+/// full-precision outer loop measured the exact residual, found the
+/// reduced-precision recurrence stalled, and restarted PCG on the
+/// correction system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefineEvent {
+    /// Restart ordinal (1-based: the first restart is 1).
+    pub restart: usize,
+    /// Exact residual 2-norm `‖b − A·x‖₂` measured before the restart.
+    pub residual: f64,
+    /// Total PCG iterations spent before this restart.
+    pub iterations: usize,
 }
 
 /// Observability hook threaded through the SPCG pipeline.
@@ -319,6 +346,13 @@ pub trait Probe {
     fn rung(&mut self, event: RungEvent) {
         let _ = event;
     }
+
+    /// A mixed-precision solve restarted on the exact residual (see
+    /// [`RefineEvent`]).
+    #[inline]
+    fn refine_restart(&mut self, event: &RefineEvent) {
+        let _ = event;
+    }
 }
 
 /// The zero-cost default probe: every hook is a no-op and the optimizer
@@ -357,6 +391,10 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     #[inline]
     fn rung(&mut self, event: RungEvent) {
         (**self).rung(event);
+    }
+    #[inline]
+    fn refine_restart(&mut self, event: &RefineEvent) {
+        (**self).refine_restart(event);
     }
 }
 

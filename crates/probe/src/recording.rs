@@ -1,6 +1,6 @@
 //! In-memory structured trace recording: [`RecordingProbe`] and [`RunTrace`].
 
-use crate::{clean_f64, Counter, IterationEvent, Probe, ProbeStop, RungEvent, Span};
+use crate::{clean_f64, Counter, IterationEvent, Probe, ProbeStop, RefineEvent, RungEvent, Span};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -46,6 +46,13 @@ pub enum TraceEvent {
         /// Timestamp in nanoseconds since trace start.
         t_ns: u64,
     },
+    /// An iterative-refinement restart in a mixed-precision solve.
+    Refine {
+        /// The refinement payload.
+        event: RefineEvent,
+        /// Timestamp in nanoseconds since trace start.
+        t_ns: u64,
+    },
 }
 
 impl TraceEvent {
@@ -56,7 +63,8 @@ impl TraceEvent {
             | TraceEvent::SpanEnd { t_ns, .. }
             | TraceEvent::Count { t_ns, .. }
             | TraceEvent::Iteration { t_ns, .. }
-            | TraceEvent::Rung { t_ns, .. } => *t_ns,
+            | TraceEvent::Rung { t_ns, .. }
+            | TraceEvent::Refine { t_ns, .. } => *t_ns,
         }
     }
 }
@@ -271,6 +279,12 @@ impl Probe for RecordingProbe {
         let event =
             RungEvent { ratio: clean_f64(event.ratio), shift: clean_f64(event.shift), ..event };
         self.trace.push(TraceEvent::Rung { event, t_ns });
+    }
+
+    fn refine_restart(&mut self, event: &RefineEvent) {
+        let t_ns = self.now_ns();
+        let event = RefineEvent { residual: clean_f64(event.residual), ..*event };
+        self.trace.push(TraceEvent::Refine { event, t_ns });
     }
 }
 

@@ -24,34 +24,44 @@
 //! surfaced through any [`Probe`] as the
 //! `serve.cache.*` counter vocabulary via [`PlanCache::emit_counters`].
 
-use spcg_core::{OrderingKind, SpcgPlan};
+use spcg_core::{OrderingKind, PrecisionPolicy, SpcgPlan};
 use spcg_probe::{Counter, Probe};
 use spcg_sparse::{CsrMatrix, MatrixFingerprint, Scalar};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Cache key: the matrix fingerprint plus the ordering the plan factors
-/// under. Two plans over byte-identical matrices but different orderings
-/// factor different operators and produce different level schedules — they
-/// are value twins that must never collide.
+/// Cache key: the matrix fingerprint plus the ordering and precision
+/// policy the plan was built under. Two plans over byte-identical matrices
+/// but different orderings factor different operators; two plans under
+/// different precision policies execute different tiers (and an `Auto`
+/// plan may resolve either way per matrix) — all are value twins that must
+/// never collide. The key carries the *requested* policy, not the resolved
+/// tier, so a cached `Auto` plan answers exactly the `Auto` requests whose
+/// resolution it already performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     /// Structure + value digest of the system matrix.
     pub fp: MatrixFingerprint,
     /// The ordering requested of the planner.
     pub ordering: OrderingKind,
+    /// The precision policy requested of the planner.
+    pub precision: PrecisionPolicy,
 }
 
 impl PlanKey {
-    /// Key for `fp` under `ordering`.
-    pub fn new(fp: MatrixFingerprint, ordering: OrderingKind) -> Self {
-        Self { fp, ordering }
+    /// Key for `fp` under `ordering` and `precision`.
+    pub fn new(fp: MatrixFingerprint, ordering: OrderingKind, precision: PrecisionPolicy) -> Self {
+        Self { fp, ordering, precision }
     }
 
-    /// Fingerprints `a` and keys it under `ordering`.
-    pub fn of<T: Scalar>(a: &CsrMatrix<T>, ordering: OrderingKind) -> Self {
-        Self { fp: MatrixFingerprint::of(a), ordering }
+    /// Fingerprints `a` and keys it under `ordering` and `precision`.
+    pub fn of<T: Scalar>(
+        a: &CsrMatrix<T>,
+        ordering: OrderingKind,
+        precision: PrecisionPolicy,
+    ) -> Self {
+        Self { fp: MatrixFingerprint::of(a), ordering, precision }
     }
 }
 
@@ -166,11 +176,12 @@ impl<T: Scalar> PlanCache<T> {
     fn shard(&self, key: &PlanKey) -> &Mutex<Shard<T>> {
         // The structure hash is already well-mixed; fold in the value
         // digest so same-pattern families still spread across shards, and
-        // the ordering tag so a system requested under several orderings
-        // does not pile its value twins onto one shard.
+        // the ordering/precision tags so a system requested under several
+        // configurations does not pile its value twins onto one shard.
         let h = key.fp.structure
             ^ key.fp.values.rotate_left(17)
-            ^ key.ordering.tag().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ^ key.ordering.tag().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ key.precision.tag().wrapping_mul(0xD1B5_4A32_D192_ED03);
         &self.shards[(h % self.shards.len() as u64) as usize]
     }
 
@@ -278,7 +289,7 @@ mod tests {
 
     fn plan_for(n: usize) -> (PlanKey, Arc<SpcgPlan<f64>>) {
         let a = poisson_2d(n, n);
-        let key = PlanKey::of(&a, OrderingKind::Natural);
+        let key = PlanKey::of(&a, OrderingKind::Natural, PrecisionPolicy::Full);
         (key, Arc::new(SpcgPlan::build(&a, SpcgOptions::default()).unwrap()))
     }
 
@@ -342,8 +353,8 @@ mod tests {
     fn value_digest_separates_same_pattern_matrices() {
         let a = poisson_2d(6, 6);
         let b: CsrMatrix<f64> = a.map_values(|v| v * 3.0);
-        let ka = PlanKey::of(&a, OrderingKind::Natural);
-        let kb = PlanKey::of(&b, OrderingKind::Natural);
+        let ka = PlanKey::of(&a, OrderingKind::Natural, PrecisionPolicy::Full);
+        let kb = PlanKey::of(&b, OrderingKind::Natural, PrecisionPolicy::Full);
         let cache: PlanCache<f64> = PlanCache::new(CacheConfig::default());
         cache.insert(ka, Arc::new(SpcgPlan::build(&a, SpcgOptions::default()).unwrap()));
         assert!(cache.get(&kb).is_none(), "same-pattern matrix must not share factors");
@@ -352,8 +363,8 @@ mod tests {
     #[test]
     fn ordering_separates_value_twin_plans() {
         let a = poisson_2d(6, 6);
-        let natural = PlanKey::of(&a, OrderingKind::Natural);
-        let colored = PlanKey::of(&a, OrderingKind::Coloring);
+        let natural = PlanKey::of(&a, OrderingKind::Natural, PrecisionPolicy::Full);
+        let colored = PlanKey::of(&a, OrderingKind::Coloring, PrecisionPolicy::Full);
         assert_eq!(natural.fp, colored.fp, "same bytes, same fingerprint");
         assert_ne!(natural, colored, "keys must differ by ordering");
         let cache: PlanCache<f64> = PlanCache::new(CacheConfig::default());
@@ -369,5 +380,27 @@ mod tests {
         assert_eq!(cache.len(), 2, "value twins coexist under distinct keys");
         assert!(cache.get(&natural).unwrap().permutation().is_none());
         assert!(cache.get(&colored).unwrap().permutation().is_some());
+    }
+
+    #[test]
+    fn precision_separates_value_twin_plans() {
+        let a = poisson_2d(6, 6);
+        let full = PlanKey::of(&a, OrderingKind::Natural, PrecisionPolicy::Full);
+        let mixed = PlanKey::of(&a, OrderingKind::Natural, PrecisionPolicy::MixedF32);
+        assert_eq!(full.fp, mixed.fp, "same bytes, same fingerprint");
+        assert_ne!(full, mixed, "keys must differ by precision policy");
+        let cache: PlanCache<f64> = PlanCache::new(CacheConfig::default());
+        cache.insert(full, Arc::new(SpcgPlan::build(&a, SpcgOptions::default()).unwrap()));
+        assert!(
+            cache.get(&mixed).is_none(),
+            "a full-precision plan must never answer a mixed-precision request"
+        );
+        let plan =
+            SpcgPlan::build(&a, SpcgOptions::default().with_precision(PrecisionPolicy::MixedF32))
+                .unwrap();
+        cache.insert(mixed, Arc::new(plan));
+        assert_eq!(cache.len(), 2, "value twins coexist under distinct keys");
+        assert!(!cache.get(&full).unwrap().is_mixed());
+        assert!(cache.get(&mixed).unwrap().is_mixed());
     }
 }

@@ -384,11 +384,12 @@ impl<T: Scalar> std::fmt::Debug for SolveService<T> {
 }
 
 impl<T: Scalar> Inner<T> {
-    /// The cache key for `a` under this service's configured ordering:
-    /// services with different `options.ordering` build different plans
-    /// from the same bytes, and the key keeps those value twins apart.
+    /// The cache key for `a` under this service's configured ordering and
+    /// precision policy: services with different `options.ordering` or
+    /// `options.precision` build different plans from the same bytes, and
+    /// the key keeps those value twins apart.
     fn key_for(&self, a: &CsrMatrix<T>) -> PlanKey {
-        PlanKey::of(a, self.cfg.options.ordering)
+        PlanKey::of(a, self.cfg.options.ordering, self.cfg.options.precision)
     }
 
     /// Cache lookup, building and inserting on a miss. Exactly one lookup

@@ -11,7 +11,7 @@
 //! properties drive random get/insert schedules against them.
 
 use proptest::prelude::*;
-use spcg_core::{OrderingKind, SpcgOptions, SpcgPlan};
+use spcg_core::{OrderingKind, PrecisionPolicy, SpcgOptions, SpcgPlan};
 use spcg_serve::{CacheConfig, PlanCache, PlanKey};
 use spcg_sparse::generators::{poisson_2d, with_magnitude_spread};
 use spcg_sparse::CsrMatrix;
@@ -35,7 +35,7 @@ fn pool() -> &'static Vec<Pooled> {
         mats.extend(twins);
         mats.iter()
             .map(|a| {
-                let key = PlanKey::of(a, OrderingKind::Natural);
+                let key = PlanKey::of(a, OrderingKind::Natural, PrecisionPolicy::Full);
                 (key, Arc::new(SpcgPlan::build(a, SpcgOptions::default()).unwrap()))
             })
             .collect()

@@ -8,13 +8,13 @@
 //! positive-definiteness, stagnation, divergence — so recovery layers
 //! (the fallback ladder in `spcg-core`) can pick the right countermeasure.
 
-use crate::config::SolverConfig;
+use crate::config::{SolverConfig, ToleranceMode};
 use crate::error::SolverError;
-use crate::fault::SolveFault;
+use crate::fault::{FaultKind, SolveFault};
 use crate::status::{BreakdownKind, PhaseTimings, SolveResult, StopReason};
 use crate::workspace::{SolveStats, SolveWorkspace};
 use spcg_precond::Preconditioner;
-use spcg_probe::{IterationEvent, NoProbe, Probe, ProbeStop, Span};
+use spcg_probe::{IterationEvent, NoProbe, Probe, ProbeStop, RefineEvent, Span};
 use spcg_sparse::blas::{axpy, copy, dot, has_bad, norm2, xpby};
 use spcg_sparse::spmv::spmv;
 use spcg_sparse::{CsrMatrix, Scalar};
@@ -195,8 +195,8 @@ pub fn pcg_in_place_probed<T: Scalar, M: Preconditioner<T> + ?Sized, P: Probe>(
     }
 
     let history_cap = if config.record_history { config.max_iters + 1 } else { 0 };
-    ws.ensure(n, m.scratch_len(), history_cap);
-    let SolveWorkspace { x, r, z, w, p, scratch, history, .. } = ws;
+    ws.ensure(n, m.scratch_len(), m.staging_len(), history_cap);
+    let SolveWorkspace { x, r, z, w, p, scratch, staging_lo, history, .. } = ws;
     // ensure() never shrinks, so reborrow at the solve dimension.
     let (x, r) = (&mut x[..n], &mut r[..n]);
     let (z, w, p) = (&mut z[..n], &mut w[..n], &mut p[..n]);
@@ -221,7 +221,7 @@ pub fn pcg_in_place_probed<T: Scalar, M: Preconditioner<T> + ?Sized, P: Probe>(
     // z0 = M⁻¹ r0, p0 = z0 (lines 3-4)
     let t = Instant::now();
     probe.span_begin(Span::PrecondApply);
-    m.apply_with_scratch(r, z, scratch);
+    m.apply_staged(r, z, scratch, staging_lo);
     probe.span_end(Span::PrecondApply);
     timings.precond += t.elapsed();
     copy(z, p);
@@ -235,7 +235,16 @@ pub fn pcg_in_place_probed<T: Scalar, M: Preconditioner<T> + ?Sized, P: Probe>(
     for k in 0..config.max_iters {
         if let Some(f) = fault {
             if f.at_iteration == k {
-                r[0] = T::from_f64(f64::NAN);
+                match f.kind {
+                    FaultKind::Nan => r[0] = T::from_f64(f64::NAN),
+                    // A reduced-precision apply that underflowed: the
+                    // preconditioned residual collapses to zero, so the
+                    // `rᵀz ≤ 0` guard classifies the stall as Indefinite.
+                    FaultKind::StalledPrecond => {
+                        z.fill(T::ZERO);
+                        rz = 0.0;
+                    }
+                }
             }
         }
 
@@ -312,7 +321,7 @@ pub fn pcg_in_place_probed<T: Scalar, M: Preconditioner<T> + ?Sized, P: Probe>(
         // line 13: z = M⁻¹ r
         let t = Instant::now();
         probe.span_begin(Span::PrecondApply);
-        m.apply_with_scratch(r, z, scratch);
+        m.apply_staged(r, z, scratch, staging_lo);
         probe.span_end(Span::PrecondApply);
         timings.precond += t.elapsed();
 
@@ -343,6 +352,136 @@ pub fn pcg_in_place_probed<T: Scalar, M: Preconditioner<T> + ?Sized, P: Probe>(
     timings.total = loop_start.elapsed();
 
     Ok(SolveStats { iterations, final_residual, stop, timings })
+}
+
+/// Outcome of an iterative-refinement PCG run: the combined solve
+/// statistics plus how many refinement restarts it took.
+#[derive(Debug, Clone, Copy)]
+pub struct RefinedStats {
+    /// Combined statistics across the initial solve and every restart:
+    /// `iterations` is the total, `final_residual` is the *exact* residual
+    /// `‖b − A·x‖₂` (not the recurrence's), `stop`/`timings` are aggregated.
+    pub stats: SolveStats,
+    /// Refinement restarts performed (0 = the initial solve sufficed).
+    pub restarts: usize,
+}
+
+/// [`pcg_refined_in_place_probed`] without instrumentation.
+pub fn pcg_refined_in_place<T: Scalar, M: Preconditioner<T> + ?Sized>(
+    a: &CsrMatrix<T>,
+    m: &M,
+    b: &[T],
+    config: &SolverConfig,
+    max_restarts: usize,
+    ws: &mut SolveWorkspace<T>,
+) -> Result<RefinedStats, SolverError> {
+    pcg_refined_in_place_probed(a, m, b, config, None, max_restarts, ws, &mut NoProbe)
+}
+
+/// PCG under an iterative-refinement outer loop — the full-precision
+/// recurrence that recovers accuracy from a reduced-precision
+/// preconditioner.
+///
+/// Runs [`pcg_in_place_probed`] and, whenever the recurrence *stalls*
+/// (stagnation breakdown, or the iteration cap with the residual still
+/// above threshold), restarts it on the exact residual: with `x` the
+/// accumulated iterate, it computes `r = b − A·x` in full precision and
+/// solves the correction system `A·d = r` to the same absolute threshold,
+/// accumulating `x ← x + d`. Up to `max_restarts` corrections are
+/// attempted; each restart is announced to the probe as a
+/// [`RefineEvent`]. Hard breakdowns (NaN, divergence, indefiniteness) are
+/// returned immediately — they are the fallback ladder's job, not
+/// refinement's.
+///
+/// The accumulated iterate is left in [`SolveWorkspace::solution`]. All
+/// buffers (including the refinement accumulator and exact-residual
+/// vector) come from `ws`, so warm calls allocate nothing. With
+/// `max_restarts == 0` and no stall the trajectory — and the workspace
+/// contents — are bitwise identical to [`pcg_in_place_probed`].
+#[allow(clippy::too_many_arguments)]
+pub fn pcg_refined_in_place_probed<T: Scalar, M: Preconditioner<T> + ?Sized, P: Probe>(
+    a: &CsrMatrix<T>,
+    m: &M,
+    b: &[T],
+    config: &SolverConfig,
+    fault: Option<SolveFault>,
+    max_restarts: usize,
+    ws: &mut SolveWorkspace<T>,
+    probe: &mut P,
+) -> Result<RefinedStats, SolverError> {
+    let mut stats = pcg_in_place_probed(a, m, b, config, fault, ws, probe)?;
+    let needs_refinement = |s: &SolveStats| {
+        matches!(
+            s.stop,
+            StopReason::MaxIterations | StopReason::Breakdown(BreakdownKind::Stagnation)
+        )
+    };
+    if max_restarts == 0 || !needs_refinement(&stats) {
+        return Ok(RefinedStats { stats, restarts: 0 });
+    }
+
+    let n = a.n_rows();
+    let threshold = config.threshold(norm2(b).to_f64());
+    // The correction system `A d = r_exact` shares the outer system's
+    // residual: `‖b − A(x + d)‖ = ‖r_exact − A d‖`, so the inner solve
+    // targets the outer threshold as an absolute tolerance.
+    let correction_config = config
+        .clone()
+        .with_tol(threshold.max(f64::MIN_POSITIVE))
+        .with_tol_mode(ToleranceMode::Absolute);
+
+    let (mut x_acc, mut r_exact) = ws.take_refine(n);
+    x_acc.copy_from_slice(ws.solution());
+    let mut restarts = 0usize;
+    while restarts < max_restarts && needs_refinement(&stats) {
+        // Exact residual of the accumulated iterate, in full precision.
+        spmv(a, &x_acc, &mut r_exact);
+        for (ri, &bi) in r_exact.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+        let exact_norm = norm2(&r_exact).to_f64();
+        restarts += 1;
+        probe.refine_restart(&RefineEvent {
+            restart: restarts,
+            residual: exact_norm,
+            iterations: stats.iterations,
+        });
+        if exact_norm < threshold {
+            // The recurrence's residual drifted pessimistic: the iterate
+            // is already converged in exact arithmetic.
+            stats.stop = StopReason::Converged;
+            break;
+        }
+        let correction = pcg_in_place_probed(a, m, &r_exact, &correction_config, None, ws, probe)?;
+        for (acc, &d) in x_acc.iter_mut().zip(ws.solution()) {
+            *acc += d;
+        }
+        stats = SolveStats {
+            iterations: stats.iterations + correction.iterations,
+            final_residual: correction.final_residual,
+            stop: correction.stop,
+            timings: PhaseTimings {
+                spmv: stats.timings.spmv + correction.timings.spmv,
+                precond: stats.timings.precond + correction.timings.precond,
+                blas: stats.timings.blas + correction.timings.blas,
+                total: stats.timings.total + correction.timings.total,
+            },
+        };
+    }
+
+    // Leave the accumulated iterate in the workspace and report the exact
+    // residual it actually achieves.
+    ws.solution_mut().copy_from_slice(&x_acc);
+    spmv(a, &x_acc, &mut r_exact);
+    for (ri, &bi) in r_exact.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    stats.final_residual = norm2(&r_exact).to_f64();
+    if stats.final_residual < threshold {
+        stats.stop = StopReason::Converged;
+    }
+    ws.restore_refine(x_acc, r_exact);
+    Ok(RefinedStats { stats, restarts })
 }
 
 /// FLOPs per PCG iteration for cost accounting: one SpMV (2·nnz(A)), the

@@ -29,6 +29,17 @@ pub struct SolveWorkspace<T: Scalar> {
     /// [`take_staging`](SolveWorkspace::take_staging) because the solve
     /// itself holds `&mut self`.
     staging: Vec<T>,
+    /// Reduced-precision staging for mixed-precision preconditioner
+    /// application (`Preconditioner::apply_staged`): the demoted residual,
+    /// the reduced-precision iterate, and the triangular intermediate live
+    /// here. Empty (never allocated) for full-precision preconditioners.
+    pub(crate) staging_lo: Vec<T::Lower>,
+    /// Iterative-refinement accumulator (the running solution across
+    /// refinement restarts). Borrowed out via
+    /// [`take_refine`](SolveWorkspace::take_refine).
+    refine_x: Vec<T>,
+    /// Iterative-refinement exact-residual buffer (`r = b − A·x_acc`).
+    refine_r: Vec<T>,
     pub(crate) history: Vec<f64>,
     /// Dimension of the most recent solve; buffers may be larger (they
     /// never shrink, so one workspace can serve systems of varying size).
@@ -47,15 +58,21 @@ impl<T: Scalar> SolveWorkspace<T> {
             p: vec![T::ZERO; n],
             scratch: vec![T::ZERO; scratch_len],
             staging: Vec::new(),
+            staging_lo: Vec::new(),
+            refine_x: Vec::new(),
+            refine_r: Vec::new(),
             history: Vec::new(),
             active: n,
         }
     }
 
-    /// Workspace sized for `n` and the given preconditioner's scratch
-    /// requirement.
+    /// Workspace sized for `n` and the given preconditioner's scratch and
+    /// staging requirements (the staging buffer stays empty for
+    /// full-precision preconditioners, whose `staging_len` is 0).
     pub fn for_preconditioner<M: Preconditioner<T> + ?Sized>(n: usize, m: &M) -> Self {
-        Self::new(n, m.scratch_len())
+        let mut ws = Self::new(n, m.scratch_len());
+        ws.staging_lo.resize(m.staging_len(), <T::Lower as Scalar>::ZERO);
+        ws
     }
 
     /// Dimension of the most recent (or upcoming) solve.
@@ -111,10 +128,62 @@ impl<T: Scalar> SolveWorkspace<T> {
         }
     }
 
+    /// Pre-sizes the reduced-precision staging buffer (the mixed-precision
+    /// apply path of [`Preconditioner::apply_staged`]) so the first solve
+    /// through a mixed preconditioner allocates nothing.
+    pub fn reserve_staging_lo(&mut self, len: usize) {
+        if self.staging_lo.len() < len {
+            self.staging_lo.resize(len, <T::Lower as Scalar>::ZERO);
+        }
+    }
+
+    /// Pre-sizes the iterative-refinement buffers so the first
+    /// [`take_refine`](SolveWorkspace::take_refine) of up to `n` elements
+    /// allocates nothing.
+    pub fn reserve_refine(&mut self, n: usize) {
+        if self.refine_x.len() < n {
+            self.refine_x.resize(n, T::ZERO);
+        }
+        if self.refine_r.len() < n {
+            self.refine_r.resize(n, T::ZERO);
+        }
+    }
+
+    /// Moves the iterative-refinement pair (accumulator, exact residual)
+    /// out, each sized to exactly `n` elements (previous contents
+    /// unspecified). Allocation-free once the buffers have grown to `n`;
+    /// return them with [`restore_refine`](SolveWorkspace::restore_refine).
+    pub fn take_refine(&mut self, n: usize) -> (Vec<T>, Vec<T>) {
+        let mut x = std::mem::take(&mut self.refine_x);
+        let mut r = std::mem::take(&mut self.refine_r);
+        x.resize(n, T::ZERO);
+        r.resize(n, T::ZERO);
+        (x, r)
+    }
+
+    /// Returns buffers obtained from
+    /// [`take_refine`](SolveWorkspace::take_refine) to the workspace so
+    /// their capacity survives to the next solve.
+    pub fn restore_refine(&mut self, x: Vec<T>, r: Vec<T>) {
+        if x.capacity() > self.refine_x.capacity() {
+            self.refine_x = x;
+        }
+        if r.capacity() > self.refine_r.capacity() {
+            self.refine_r = r;
+        }
+    }
+
     /// Sets the active dimension, growing buffers if the dimension, scratch
-    /// requirement, or history capacity exceeds what is allocated.
-    /// Idempotent: once sized, repeated calls (and solves) allocate nothing.
-    pub(crate) fn ensure(&mut self, n: usize, scratch_len: usize, history_cap: usize) {
+    /// or staging requirement, or history capacity exceeds what is
+    /// allocated. Idempotent: once sized, repeated calls (and solves)
+    /// allocate nothing.
+    pub(crate) fn ensure(
+        &mut self,
+        n: usize,
+        scratch_len: usize,
+        staging_len: usize,
+        history_cap: usize,
+    ) {
         self.active = n;
         if self.x.len() < n {
             self.x.resize(n, T::ZERO);
@@ -125,6 +194,9 @@ impl<T: Scalar> SolveWorkspace<T> {
         }
         if self.scratch.len() < scratch_len {
             self.scratch.resize(scratch_len, T::ZERO);
+        }
+        if self.staging_lo.len() < staging_len {
+            self.staging_lo.resize(staging_len, <T::Lower as Scalar>::ZERO);
         }
         if self.history.capacity() < history_cap {
             self.history.reserve(history_cap - self.history.len());
@@ -193,20 +265,20 @@ mod tests {
         let mut ws = SolveWorkspace::<f64>::new(6, 0);
         ws.solution_mut().fill(2.5);
         assert_eq!(ws.solution(), &[2.5; 6]);
-        ws.ensure(3, 0, 0);
+        ws.ensure(3, 0, 0, 0);
         assert_eq!(ws.solution_mut().len(), 3);
     }
 
     #[test]
     fn ensure_grows_buffers_but_never_shrinks_them() {
         let mut ws = SolveWorkspace::<f64>::new(4, 0);
-        ws.ensure(8, 8, 16);
+        ws.ensure(8, 8, 0, 16);
         assert_eq!(ws.n(), 8);
         assert_eq!(ws.scratch.len(), 8);
         assert!(ws.history.capacity() >= 16);
         // A smaller solve reuses the larger buffers; only the active
         // dimension shrinks.
-        ws.ensure(2, 0, 0);
+        ws.ensure(2, 0, 0, 0);
         assert_eq!(ws.n(), 2);
         assert_eq!(ws.x.len(), 8);
         assert_eq!(ws.solution().len(), 2);

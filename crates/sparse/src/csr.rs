@@ -437,6 +437,32 @@ impl<T: Scalar> CsrMatrix<T> {
         }
     }
 
+    /// Precision-converting constructor: the same sparsity pattern with
+    /// every value demoted into [`Scalar::Lower`] storage (lossy for `f64`
+    /// → `f32`, identity at the bottom of the chain). This is how
+    /// mixed-precision tiers derive their low-precision factor storage.
+    pub fn demoted(&self) -> CsrMatrix<T::Lower> {
+        CsrMatrix {
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values: self.values.iter().map(|v| v.demote()).collect(),
+        }
+    }
+
+    /// Precision-converting constructor: widens a [`Scalar::Lower`]-stored
+    /// matrix back into `T` storage (exact).
+    pub fn promoted(lower: &CsrMatrix<T::Lower>) -> CsrMatrix<T> {
+        CsrMatrix {
+            n_rows: lower.n_rows,
+            n_cols: lower.n_cols,
+            row_ptr: lower.row_ptr.clone(),
+            col_idx: lower.col_idx.clone(),
+            values: lower.values.iter().map(|&v| T::promote(v)).collect(),
+        }
+    }
+
     /// Bytes required to store the CSR arrays (8-byte indices assumed),
     /// used by the GPU cost model for data-movement estimates.
     pub fn storage_bytes(&self, value_bytes: usize) -> usize {

@@ -34,6 +34,18 @@ pub trait Scalar:
     /// Multiplicative identity.
     const ONE: Self;
 
+    /// The next-lower precision in the lossy-conversion chain — the storage
+    /// type mixed-precision tiers demote factors into. `f64::Lower = f32`;
+    /// `f32` is the floor of the chain, so `f32::Lower = f32` and its
+    /// demote/promote round-trip is exact. Future `f16`/`bf16` tiers extend
+    /// the chain here without touching any downstream signature.
+    type Lower: Scalar;
+
+    /// Lossy narrowing into [`Scalar::Lower`] (rounds to nearest).
+    fn demote(self) -> Self::Lower;
+    /// Exact widening back from [`Scalar::Lower`].
+    fn promote(v: Self::Lower) -> Self;
+
     /// Machine epsilon of the underlying representation.
     fn epsilon() -> Self;
     /// Absolute value.
@@ -54,6 +66,16 @@ impl Scalar for f32 {
     const ZERO: Self = 0.0;
     const ONE: Self = 1.0;
 
+    type Lower = f32;
+
+    #[inline]
+    fn demote(self) -> f32 {
+        self
+    }
+    #[inline]
+    fn promote(v: f32) -> Self {
+        v
+    }
     #[inline]
     fn epsilon() -> Self {
         f32::EPSILON
@@ -88,6 +110,16 @@ impl Scalar for f64 {
     const ZERO: Self = 0.0;
     const ONE: Self = 1.0;
 
+    type Lower = f32;
+
+    #[inline]
+    fn demote(self) -> f32 {
+        self as f32
+    }
+    #[inline]
+    fn promote(v: f32) -> Self {
+        v as f64
+    }
     #[inline]
     fn epsilon() -> Self {
         f64::EPSILON
@@ -154,6 +186,22 @@ mod tests {
         assert_eq!(f64::ZERO + f64::ONE, 1.0);
         assert_eq!(f32::ZERO + f32::ONE, 1.0);
         assert!(f64::epsilon() > 0.0);
+    }
+
+    #[test]
+    fn demote_promote_chain() {
+        // f64 -> f32 rounds; promoting back is exact widening.
+        let v = 0.1f64;
+        let lo = v.demote();
+        assert_eq!(lo, 0.1f32);
+        assert_eq!(f64::promote(lo), 0.1f32 as f64);
+        // Representable values round-trip exactly.
+        for v in [0.0f64, 1.0, -3.5, 0.25, 1024.0] {
+            assert_eq!(f64::promote(v.demote()), v);
+        }
+        // f32 is the floor of the chain: demote is the identity.
+        assert_eq!(2.5f32.demote(), 2.5f32);
+        assert_eq!(f32::promote(2.5f32), 2.5f32);
     }
 
     #[test]

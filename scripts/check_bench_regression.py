@@ -1,19 +1,23 @@
 #!/usr/bin/env python3
 """CI perf-regression gate over the tracked trajectory bench.
 
-Compares a freshly regenerated `BENCH_5.json` against the committed
+Compares a freshly regenerated `BENCH_6.json` against the committed
 baseline and fails (exit 1) if any fixture regressed beyond tolerance:
 
-* **Simulated per-iteration cost** (baseline, spcg, and auto-ordering
-  variants): more than 2% slower — the simulator is deterministic, so any
-  real increase is a code change, and the slack only absorbs rounding of
-  the 3-decimal artifact.
+* **Simulated per-iteration cost** (baseline, spcg, auto-ordering, and
+  mixed-precision variants): more than 2% slower — the simulator is
+  deterministic, so any real increase is a code change, and the slack
+  only absorbs rounding of the 3-decimal artifact.
 * **Real iteration count** (any variant): more than `max(3, 10%)` extra
   iterations — the same "approximately unchanged" band EXPERIMENTS.md
   uses for the paper's convergence claim.
 * **Level-reduction headline**: the gmean level reduction from `auto`
   reordering dropping below the 10% acceptance floor, or by more than
   2 points against the baseline.
+* **Mixed-precision apply bytes**: the full/mixed preconditioner-apply
+  bytes ratio dropping below the 1.5x acceptance floor on any fixture —
+  the bandwidth win is the mixed tier's reason to exist, so losing it is
+  a regression even if timings hold.
 
 A before/after table is always printed, pass or fail, so the CI log
 doubles as the perf report.
@@ -31,6 +35,7 @@ ITER_PCT = 0.10
 ITER_ABS = 3
 LEVEL_FLOOR = 10.0  # acceptance floor for gmean level reduction, percent
 LEVEL_DRIFT = 2.0  # allowed drop vs baseline, points
+APPLY_BYTES_FLOOR = 1.5  # per-fixture floor for full/mixed apply-bytes ratio
 
 
 def load(path: str) -> dict:
@@ -43,10 +48,12 @@ def load(path: str) -> dict:
 def variants(row: dict) -> list[tuple[str, float, int]]:
     """(label, per_iteration_us, iterations) for every gated variant."""
     o = row["ordering"]
+    p = row["precision"]
     return [
         ("base", row["baseline"]["per_iteration_us"], row["baseline"]["iterations"]),
         ("spcg", row["spcg"]["per_iteration_us"], row["spcg"]["iterations"]),
         ("auto", o["per_iteration_us_auto"], o["iterations_auto"]),
+        ("mixed", p["per_iteration_us_mixed"], p["iterations_mixed"]),
     ]
 
 
@@ -80,6 +87,12 @@ def main() -> None:
                     f"{name}/{label}: iterations {b_it} -> {c_it} "
                     f"(> max({ITER_ABS}, {ITER_PCT:.0%}) tolerance)"
                 )
+        ratio = c["precision"]["apply_bytes_ratio"]
+        if ratio < APPLY_BYTES_FLOOR:
+            failures.append(
+                f"{name}: mixed apply-bytes ratio {ratio:.3f}x fell below the "
+                f"{APPLY_BYTES_FLOOR}x floor"
+            )
     for name in cand_rows.keys() - base_rows.keys():
         print(f"{name:<16} {'(new)':<8} {'--':>22} {'--':>16}")
 
@@ -87,6 +100,10 @@ def main() -> None:
     c_lvl = cand["gmean_level_reduction_percent"]
     print("-" * 66)
     print(f"gmean level reduction: {b_lvl:.1f}% -> {c_lvl:.1f}%")
+    print(
+        f"gmean apply-bytes ratio: {base['gmean_apply_bytes_ratio']:.3f}x -> "
+        f"{cand['gmean_apply_bytes_ratio']:.3f}x (floor {APPLY_BYTES_FLOOR}x)"
+    )
     if c_lvl < LEVEL_FLOOR:
         failures.append(
             f"gmean level reduction {c_lvl:.1f}% fell below the {LEVEL_FLOOR:.0f}% floor"

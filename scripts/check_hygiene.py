@@ -29,7 +29,7 @@ ALLOWED_DIRS = {
 
 ALLOWED_FILES = {
     ".gitignore",
-    "BENCH_5.json",
+    "BENCH_6.json",
     "CHANGES.md",
     "Cargo.lock",
     "Cargo.toml",

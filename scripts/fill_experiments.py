@@ -3,11 +3,11 @@
 
 Two jobs, both idempotent:
 
-1. **Trajectory tables** (always): reads the tracked `BENCH_5.json` written
+1. **Trajectory tables** (always): reads the tracked `BENCH_6.json` written
    by `cargo bench -p spcg-bench --bench trajectory` and regenerates the
-   tables between the `BENCH_TRAJECTORY:BEGIN/END` and
-   `BENCH_ORDERINGS:BEGIN/END` markers. Re-running with the same JSON is a
-   no-op.
+   tables between the `BENCH_TRAJECTORY:BEGIN/END`,
+   `BENCH_ORDERINGS:BEGIN/END`, and `BENCH_PRECISION:BEGIN/END` markers.
+   Re-running with the same JSON is a no-op.
 2. **MEASURED_* placeholders** (only when `bench_output.txt` exists):
    greps the captured full-collection bench run for the Fig 4/5 headline
    numbers and substitutes any placeholders still present. The full run
@@ -24,13 +24,15 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 EXP = ROOT / "EXPERIMENTS.md"
-BENCH_JSON = ROOT / "BENCH_5.json"
+BENCH_JSON = ROOT / "BENCH_6.json"
 BENCH_TXT = ROOT / "bench_output.txt"
 
 BEGIN = "<!-- BENCH_TRAJECTORY:BEGIN -->"
 END = "<!-- BENCH_TRAJECTORY:END -->"
 ORD_BEGIN = "<!-- BENCH_ORDERINGS:BEGIN -->"
 ORD_END = "<!-- BENCH_ORDERINGS:END -->"
+PREC_BEGIN = "<!-- BENCH_PRECISION:BEGIN -->"
+PREC_END = "<!-- BENCH_PRECISION:END -->"
 
 
 def trajectory_block(traj: dict) -> str:
@@ -84,6 +86,33 @@ def orderings_block(traj: dict) -> str:
     return "\n".join(lines)
 
 
+def precision_block(traj: dict) -> str:
+    """Markdown table for the full-vs-mixed precision study."""
+    lines = [
+        "Mixed-precision study on the same fixtures: f32-stored factors under",
+        "the f64 iterative-refinement outer loop (`--precision mixed`) against",
+        "the default full-f64 plan. Apply bytes are the simulated L+U trisolve",
+        "traffic per iteration; CI gates the ratio at a 1.5x floor.",
+        "",
+        "| Fixture | Iters (full → mixed) | Refine restarts "
+        "| Apply bytes (full → mixed) | Ratio |",
+        "|---|---|---|---|---|",
+    ]
+    for r in traj["rows"]:
+        p = r["precision"]
+        lines.append(
+            f"| {r['name']} "
+            f"| {p['iterations_full']} → {p['iterations_mixed']} "
+            f"| {p['refine_restarts']} "
+            f"| {p['apply_bytes_full']:.0f} → {p['apply_bytes_mixed']:.0f} "
+            f"| {p['apply_bytes_ratio']:.3f}x |"
+        )
+    lines.append(
+        f"| **gmean** | | | | **{traj['gmean_apply_bytes_ratio']:.3f}x** |"
+    )
+    return "\n".join(lines)
+
+
 def replace_between(text: str, begin: str, end: str, block: str) -> str:
     b, e = text.find(begin), text.find(end)
     if b < 0 or e < 0 or e < b:
@@ -94,12 +123,13 @@ def replace_between(text: str, begin: str, end: str, block: str) -> str:
 def fill_trajectory(text: str) -> str:
     if not BENCH_JSON.exists():
         sys.exit(
-            "BENCH_5.json missing — run "
+            "BENCH_6.json missing — run "
             "`cargo bench -p spcg-bench --bench trajectory` first"
         )
     traj = json.loads(BENCH_JSON.read_text())
     text = replace_between(text, BEGIN, END, trajectory_block(traj))
-    return replace_between(text, ORD_BEGIN, ORD_END, orderings_block(traj))
+    text = replace_between(text, ORD_BEGIN, ORD_END, orderings_block(traj))
+    return replace_between(text, PREC_BEGIN, PREC_END, precision_block(traj))
 
 
 def section(bench_text: str, marker: str) -> str | None:

@@ -8,7 +8,9 @@ use spcg::cli::{
 use spcg::prelude::*;
 use spcg::sparse::generators as gen;
 use spcg::sparse::io::{read_matrix_market_file, write_matrix_market_file, MmSymmetry};
-use spcg_gpusim::{end_to_end_cost, pcg_iteration_cost, simulated_solve_trace, DeviceSpec};
+use spcg_gpusim::{
+    end_to_end_cost, pcg_iteration_cost_with_factor_bytes, simulated_solve_trace, DeviceSpec,
+};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -92,6 +94,7 @@ fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
         exec: args.exec,
         solver: args.solver.clone(),
         ordering: args.ordering,
+        precision: args.precision,
         ..Default::default()
     };
     // Record the whole run — plan analysis plus the solve loop — through
@@ -115,6 +118,8 @@ fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
     let trace = probe.finish();
     let reorder = plan.reorder().cloned();
     let reorder_time = plan.reorder_time();
+    let precision = plan.precision();
+    let factor_bytes = plan.factor_value_bytes() as f64;
     let out = plan.into_outcome(result);
     println!(
         "{} {}: {:?} after {} iterations, residual {:.3e}",
@@ -124,6 +129,12 @@ fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
         out.result.iterations,
         out.result.final_residual
     );
+    if args.precision != PrecisionPolicy::Full {
+        println!(
+            "precision: requested {}, running {} ({}-byte factor values)",
+            args.precision, precision, factor_bytes
+        );
+    }
     if let Some(r) = &reorder {
         println!(
             "ordering: requested {}, chose {}, levels {} -> {} ({:.2}% reduction)",
@@ -161,7 +172,7 @@ fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
     }
     if let Some(dev_name) = &args.device {
         let dev = device_by_name(dev_name);
-        let it = pcg_iteration_cost(&dev, &a, &out.factors);
+        let it = pcg_iteration_cost_with_factor_bytes(&dev, &a, &out.factors, factor_bytes);
         let e2e = end_to_end_cost(
             &dev,
             &a,

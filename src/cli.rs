@@ -9,7 +9,7 @@
 //! Parsing is hand-rolled (no external dependency) and lives here so it is
 //! unit-testable; `src/bin/spcg-cli.rs` is a thin wrapper.
 
-use spcg_core::{CondEstimator, OrderingKind, PrecondKind, SparsifyParams};
+use spcg_core::{CondEstimator, OrderingKind, PrecisionPolicy, PrecondKind, SparsifyParams};
 use spcg_precond::TriangularExec;
 use spcg_solver::{SolverConfig, ToleranceMode};
 use std::collections::HashMap;
@@ -36,6 +36,8 @@ pub struct SolveArgs {
     pub sparsify: SparsifyMode,
     /// Symmetric ordering applied before analysis.
     pub ordering: OrderingKind,
+    /// Precision policy for the preconditioner apply.
+    pub precision: PrecisionPolicy,
     /// Solver configuration.
     pub solver: SolverConfig,
     /// Triangular-solve execution strategy.
@@ -103,8 +105,8 @@ spcg-cli — sparsified preconditioned conjugate gradient solver
 USAGE:
   spcg-cli solve   --matrix FILE [--precond ilu0|iluk=K|jacobi|sai] \
 [--sparsify auto|off|RATIO%] [--ordering natural|rcm|coloring|auto] \
-[--tol 1e-10] [--abs-tol] [--max-iters N] [--exec seq|par] \
-[--device a100|v100|epyc] [--trace OUT.json]
+[--precision full|mixed|auto] [--tol 1e-10] [--abs-tol] [--max-iters N] \
+[--exec seq|par] [--device a100|v100|epyc] [--trace OUT.json]
   spcg-cli analyze --matrix FILE [--sparsify auto|RATIO%]
   spcg-cli generate --kind poisson2d|poisson3d|layered2d|banded --out FILE \
 [--nx N] [--ny N] [--nz N] [--n N] [--period P] [--weak W] [--band B] [--seed S]
@@ -187,6 +189,11 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, String> {
         Some(s) => OrderingKind::parse(s)
             .ok_or_else(|| format!("unknown --ordering {s} (natural|rcm|coloring|auto)"))?,
     };
+    let precision = match flags.get("precision") {
+        None => PrecisionPolicy::Full,
+        Some(s) => PrecisionPolicy::parse(s)
+            .ok_or_else(|| format!("unknown --precision {s} (full|mixed|auto)"))?,
+    };
     let mut solver = SolverConfig::default();
     if let Some(t) = flags.get("tol") {
         solver.tol = t.parse().map_err(|e| format!("bad --tol: {e}"))?;
@@ -214,7 +221,7 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, String> {
             return Err("--trace needs a non-empty output path".to_string());
         }
     }
-    Ok(SolveArgs { matrix, precond, sparsify, ordering, solver, exec, device, trace })
+    Ok(SolveArgs { matrix, precond, sparsify, ordering, precision, solver, exec, device, trace })
 }
 
 fn parse_generate(args: &[String]) -> Result<GenerateArgs, String> {
@@ -322,6 +329,23 @@ mod tests {
         }
         let err = parse(&s(&["solve", "--matrix", "m.mtx", "--ordering", "metis"]));
         assert!(err.is_err(), "unknown orderings must be rejected");
+    }
+
+    #[test]
+    fn parses_precision_flag() {
+        let cmd = parse(&s(&["solve", "--matrix", "m.mtx"])).unwrap();
+        let Command::Solve(a) = cmd else { panic!() };
+        assert_eq!(a.precision, PrecisionPolicy::Full, "full precision is the default");
+        for (spelling, policy) in [
+            ("full", PrecisionPolicy::Full),
+            ("mixed", PrecisionPolicy::MixedF32),
+            ("auto", PrecisionPolicy::Auto),
+        ] {
+            let cmd = parse(&s(&["solve", "--matrix", "m.mtx", "--precision", spelling])).unwrap();
+            let Command::Solve(a) = cmd else { panic!() };
+            assert_eq!(a.precision, policy, "--precision {spelling}");
+        }
+        assert!(parse(&s(&["solve", "--matrix", "m.mtx", "--precision", "half"])).is_err());
     }
 
     #[test]

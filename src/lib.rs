@@ -49,9 +49,9 @@ pub use spcg_wavefront as wavefront;
 pub mod prelude {
     pub use spcg_core::{
         oracle_select, wavefront_aware_sparsify, FallbackRung, FaultInjection, OrderingKind,
-        PrecondKind, RecoveryAttempt, RecoveryReport, ReorderCandidate, ReorderDecision,
-        ResilienceOptions, ResilientSolve, SparsifyParams, SpcgOptions, SpcgOutcome, SpcgPlan,
-        ORACLE_RATIOS,
+        PrecisionPolicy, PrecondKind, RecoveryAttempt, RecoveryReport, ReorderCandidate,
+        ReorderDecision, ResilienceOptions, ResilientSolve, SparsifyParams, SpcgOptions,
+        SpcgOutcome, SpcgPlan, ORACLE_RATIOS,
     };
     pub use spcg_precond::{
         ic0, ilu0, iluk, shifted_factorization, Preconditioner, ShiftPolicy, TriangularExec,

@@ -103,6 +103,7 @@ proptest! {
             levels: (0..k).map(|_| (rows / k, nnz / k, nnz_per_row)).collect(),
             n_rows: rows,
             nnz,
+            value_bytes: 8.0,
         };
         let few = trisolve_cost(&device, &make(levels));
         let more = trisolve_cost(&device, &make(levels * 2));

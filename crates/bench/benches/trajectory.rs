@@ -3,16 +3,20 @@
 //!
 //! Unlike the figure benches (which sweep the full 107-matrix collection
 //! and write into `target/spcg-results/`), this target runs in seconds and
-//! writes `BENCH_6.json` **at the repo root as a tracked artifact**: per
+//! writes `BENCH_7.json` **at the repo root as a tracked artifact**: per
 //! variant, the real iteration counts and the simulated A100 costs for
 //! each fixed system, an ordering study comparing the natural and
-//! `auto`-reordered plan at the *same* sparsify ratio, and a precision
+//! `auto`-reordered plan at the *same* sparsify ratio, a precision
 //! study comparing the full-f64 plan against the `MixedF32` tier (real
 //! iterations, refinement restarts, and the simulated preconditioner-apply
-//! bytes the demotion saves). Committing the JSON turns the bench into a
-//! trajectory — `git log -p BENCH_6.json` shows exactly when and how the
+//! bytes the demotion saves), and a serve study replaying a 2×-overload
+//! Poisson arrival schedule through the admission controller in virtual
+//! time (per-priority latency quantiles, shed/downgrade rates). Committing
+//! the JSON turns the bench into a
+//! trajectory — `git log -p BENCH_7.json` shows exactly when and how the
 //! numbers moved. Only deterministic fields are serialized (iteration
-//! counts, simulated µs/bytes, chosen ratios, level counts); wall-clock
+//! counts, simulated µs/bytes, chosen ratios, level counts, virtual-time
+//! latencies); wall-clock
 //! timings are excluded so re-running on any machine reproduces the file
 //! byte for byte.
 //!
@@ -29,9 +33,14 @@ use spcg_bench::{bench_solver_config, compare, ComparisonRow, Variant};
 use spcg_core::{
     OrderingKind, PrecisionPolicy, PrecondKind, SparsifyParams, SpcgOptions, SpcgPlan,
 };
-use spcg_gpusim::{plan_iteration_cost, DeviceSpec};
-use spcg_probe::{Counter, RecordingProbe};
+use spcg_gpusim::{dot_cost, elementwise_cost, plan_iteration_cost, spmv_cost, DeviceSpec};
+use spcg_probe::{Counter, HistogramProbe, RecordingProbe, Span};
+use spcg_serve::{
+    decide, Admission, LoadSnapshot, Priority, RequestPolicy, SolveTier, TierCost, TierCosts,
+};
+use spcg_sparse::Rng;
 use spcg_suite::{Ordering, Recipe};
+use std::time::Duration;
 
 /// The fixed systems. Small enough to run in seconds, varied enough to
 /// notice a regression in any of the three regimes the paper cares about:
@@ -140,6 +149,203 @@ struct PrecisionPoint {
     per_iteration_us_mixed: f64,
 }
 
+/// One priority class's fate under the overload replay.
+#[derive(Serialize)]
+struct ServeClassPoint {
+    priority: String,
+    offered: u64,
+    /// Admitted at full quality.
+    admitted: u64,
+    /// Admitted at a degraded tier (Light or Jacobi).
+    downgraded: u64,
+    /// Refused at admission.
+    shed: u64,
+    /// Admitted requests the deadline watchdog cut short: the queue wait
+    /// ate their budget, so the modeled solve was truncated at the
+    /// deadline instead of running to completion.
+    watchdog_killed: u64,
+    /// Virtual-time completion latency quantiles for admitted requests
+    /// (queue wait + modeled service time, watchdog-truncated), µs. The
+    /// watchdog makes `deadline_us` a hard ceiling — CI gates on it.
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+/// Admission-control study: a fixed Poisson arrival schedule offered at
+/// 2× the modeled service capacity, replayed through the *real*
+/// [`spcg_serve::decide`] policy against a virtual-time worker pool. No
+/// wall clock anywhere — arrivals come from a seeded generator and service
+/// times from the A100 cost model — so the latency quantiles and shed
+/// counts are bit-reproducible and CI can gate on them: high-priority p99
+/// must stay under the deadline, and shedding must fall on the lower
+/// classes first.
+#[derive(Serialize)]
+struct ServeStudy {
+    workers: usize,
+    queue_capacity: usize,
+    requests: usize,
+    seed: u64,
+    /// Per-request deadline, µs of virtual time.
+    deadline_us: f64,
+    /// Offered arrival rate (2× capacity), requests per second.
+    arrival_rate_per_s: f64,
+    /// Modeled full-tier service capacity, requests per second.
+    capacity_per_s: f64,
+    shed_rate_percent: f64,
+    degraded_rate_percent: f64,
+    classes: Vec<ServeClassPoint>,
+}
+
+/// Prices the degradation ladder for the grid fixture the way the service
+/// prices a warm cache hit: the Full and Light tiers from their actual
+/// plans, Jacobi from the kernel model (SpMV + diagonal scale + BLAS-1).
+/// Expected iteration counts use the service's √n heuristic so the study
+/// exercises the same closed world the admission controller lives in.
+fn serve_tier_costs(
+    a: &spcg_sparse::CsrMatrix<f64>,
+    device: &DeviceSpec,
+    solver: &spcg_solver::SolverConfig,
+) -> TierCosts {
+    let n = a.n_rows();
+    let ilu_iters = (n as f64).sqrt().ceil() as usize;
+    let base =
+        SpcgOptions { precond: PrecondKind::Ilu0, solver: solver.clone(), ..Default::default() };
+    let full_plan = SpcgPlan::build(a, &base).expect("serve-study full plan builds");
+    let light_plan =
+        SpcgPlan::build(a, base.clone().with_sparsify(None)).expect("serve-study light plan");
+    let warm = |plan: &SpcgPlan<f64>| TierCost {
+        build_us: 0.0,
+        per_iteration_us: plan_iteration_cost(device, plan).total_us(),
+        expected_iterations: ilu_iters,
+    };
+    let spmv_us = spmv_cost(device, a).time_us;
+    let diag_us = elementwise_cost::<f64>(device, n, 3.0).time_us;
+    let blas_us = 2.0 * dot_cost::<f64>(device, n).time_us
+        + 3.0 * elementwise_cost::<f64>(device, n, 3.0).time_us;
+    TierCosts {
+        full: warm(&full_plan),
+        light: warm(&light_plan),
+        jacobi: TierCost {
+            build_us: elementwise_cost::<f64>(device, n, 2.0).time_us,
+            per_iteration_us: spmv_us + diag_us + blas_us,
+            expected_iterations: 3 * ilu_iters,
+        },
+    }
+}
+
+/// Discrete-event replay: Poisson arrivals hit `decide()` against a live
+/// queue snapshot; admitted requests occupy the earliest-free virtual
+/// worker for their tier's modeled service time.
+fn serve_study(device: &DeviceSpec, solver: &spcg_solver::SolverConfig) -> ServeStudy {
+    let a = Recipe::Poisson2D { nx: 32, ny: 32 }.build(7, 5.0, Ordering::Natural);
+    let costs = serve_tier_costs(&a, device, solver);
+
+    let workers = 4usize;
+    let queue_capacity = 16usize;
+    let requests = 600usize;
+    let seed = 0x5ECC_u64;
+    let full_service_us = costs.full.expected_total_us();
+    // 2× overload: the point of the study is what the controller does when
+    // the offered rate cannot possibly be served at full quality.
+    let lambda_per_us = 2.0 * workers as f64 / full_service_us;
+    let deadline_us = 3.0 * full_service_us;
+    let deadline = Duration::from_nanos((deadline_us * 1000.0).round() as u64);
+
+    let mut rng = Rng::new(seed);
+    let mut worker_free = vec![0.0f64; workers];
+    // Admitted-but-not-yet-started requests: (virtual start time, cost µs).
+    let mut waiting: Vec<(f64, f64)> = Vec::new();
+    let mut t_us = 0.0f64;
+    let mut offered = [0u64; 3];
+    let mut admitted = [0u64; 3];
+    let mut downgraded = [0u64; 3];
+    let mut shed = [0u64; 3];
+    let mut killed = [0u64; 3];
+    let mut latencies: Vec<HistogramProbe> = (0..3).map(|_| HistogramProbe::new()).collect();
+
+    for i in 0..requests {
+        t_us += -(1.0 - rng.uniform()).ln() / lambda_per_us;
+        waiting.retain(|(start, _)| *start > t_us);
+        let load = LoadSnapshot {
+            queue_depth: waiting.len(),
+            queue_capacity,
+            queued_cost_us: waiting.iter().map(|(_, c)| c).sum(),
+            workers,
+        };
+        let priority = Priority::ALL[i % 3];
+        let class = priority.tag() as usize;
+        offered[class] += 1;
+        let policy = RequestPolicy::default().with_deadline(deadline).with_priority(priority);
+        match decide(&policy, &load, &costs) {
+            Admission::Admit { tier, .. } => {
+                let cost_us = costs.at(tier).expected_total_us();
+                let w = (0..workers)
+                    .min_by(|&x, &y| worker_free[x].partial_cmp(&worker_free[y]).unwrap())
+                    .unwrap();
+                let start = worker_free[w].max(t_us);
+                // The worker re-derives the iteration budget from the wall
+                // clock at dequeue, so queue wait shrinks the watchdog: a
+                // solve never runs past the request's deadline.
+                let budget_us = (t_us + deadline_us - start).max(0.0);
+                let ran_us = cost_us.min(budget_us);
+                if cost_us > budget_us {
+                    killed[class] += 1;
+                }
+                worker_free[w] = start + ran_us;
+                waiting.push((start, ran_us));
+                if tier == SolveTier::Full {
+                    admitted[class] += 1;
+                } else {
+                    downgraded[class] += 1;
+                }
+                let latency_us = start + ran_us - t_us;
+                latencies[class]
+                    .record_duration_ns(Span::ServeRequest, (latency_us * 1000.0).round() as u64);
+            }
+            Admission::Shed(_) => shed[class] += 1,
+        }
+    }
+
+    let classes = Priority::ALL
+        .iter()
+        .map(|p| {
+            let class = p.tag() as usize;
+            let q = |q: f64| {
+                latencies[class]
+                    .quantile(Span::ServeRequest, q)
+                    .map_or(0.0, |ns| round3(ns as f64 / 1000.0))
+            };
+            ServeClassPoint {
+                priority: p.label().to_string(),
+                offered: offered[class],
+                admitted: admitted[class],
+                downgraded: downgraded[class],
+                shed: shed[class],
+                watchdog_killed: killed[class],
+                p50_us: q(0.50),
+                p95_us: q(0.95),
+                p99_us: q(0.99),
+            }
+        })
+        .collect();
+    let total_offered: u64 = offered.iter().sum();
+    let total_shed: u64 = shed.iter().sum();
+    let total_downgraded: u64 = downgraded.iter().sum();
+    ServeStudy {
+        workers,
+        queue_capacity,
+        requests,
+        seed,
+        deadline_us: round3(deadline_us),
+        arrival_rate_per_s: round3(lambda_per_us * 1e6),
+        capacity_per_s: round3(workers as f64 / full_service_us * 1e6),
+        shed_rate_percent: round3(100.0 * total_shed as f64 / total_offered as f64),
+        degraded_rate_percent: round3(100.0 * total_downgraded as f64 / total_offered as f64),
+        classes,
+    }
+}
+
 #[derive(Serialize)]
 struct TrajectoryRow {
     name: String,
@@ -167,6 +373,8 @@ struct Trajectory {
     gmean_level_reduction_percent: f64,
     /// Geometric mean of the per-fixture full/mixed apply-bytes ratios.
     gmean_apply_bytes_ratio: f64,
+    /// Virtual-time admission-control replay at 2× offered load.
+    serve: ServeStudy,
 }
 
 /// Three decimals are stable across platforms; more would commit noise.
@@ -314,6 +522,7 @@ fn main() {
         .collect();
     let gmean_levels = gmean(&level_ratios).unwrap_or(1.0);
     let apply_ratios: Vec<f64> = rows.iter().map(|r| r.precision.apply_bytes_ratio).collect();
+    let serve = serve_study(&device, &solver);
     let traj = Trajectory {
         bench: "trajectory",
         device: "a100-model",
@@ -323,14 +532,15 @@ fn main() {
         gmean_end_to_end_speedup: round3(gmean(&e2e).unwrap_or(0.0)),
         gmean_level_reduction_percent: round3((1.0 - 1.0 / gmean_levels) * 100.0),
         gmean_apply_bytes_ratio: round3(gmean(&apply_ratios).unwrap_or(1.0)),
+        serve,
         rows,
     };
 
-    // Tracked artifact at the repo root (not target/): BENCH_6.json is the
+    // Tracked artifact at the repo root (not target/): BENCH_7.json is the
     // current trajectory point; its git history is the trajectory.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_6.json");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_7.json");
     let json = serde_json::to_string_pretty(&traj).expect("trajectory serializes");
-    std::fs::write(&path, json + "\n").expect("BENCH_6.json written");
+    std::fs::write(&path, json + "\n").expect("BENCH_7.json written");
 
     println!("trajectory: {} fixtures, ILU(0), A100 model", traj.rows.len());
     for r in &traj.rows {
@@ -369,5 +579,28 @@ fn main() {
         traj.gmean_level_reduction_percent,
         traj.gmean_apply_bytes_ratio
     );
+    println!(
+        "serve study: {} requests at 2x capacity over {} workers, deadline {:.0} us, \
+         shed {:.1}%, degraded {:.1}%",
+        traj.serve.requests,
+        traj.serve.workers,
+        traj.serve.deadline_us,
+        traj.serve.shed_rate_percent,
+        traj.serve.degraded_rate_percent
+    );
+    for c in &traj.serve.classes {
+        println!(
+            "  {:<8} offered {:>3}  admitted {:>3}  downgraded {:>3}  shed {:>3}  \
+             killed {:>3}  p50 {:>8.1} us  p99 {:>8.1} us",
+            c.priority,
+            c.offered,
+            c.admitted,
+            c.downgraded,
+            c.shed,
+            c.watchdog_killed,
+            c.p50_us,
+            c.p99_us
+        );
+    }
     println!("wrote {}", path.display());
 }

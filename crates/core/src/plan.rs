@@ -416,6 +416,29 @@ impl<T: Scalar> SpcgPlan<T> {
         })
     }
 
+    /// [`solve_with_workspace_probed`](Self::solve_with_workspace_probed)
+    /// under a per-request iteration budget (see
+    /// [`solve_in_place_deadline_probed`](Self::solve_in_place_deadline_probed)).
+    /// Returns [`SolverError::DeadlineExceeded`] when the budget expires
+    /// before convergence.
+    pub fn solve_with_workspace_deadline_probed<P: Probe>(
+        &self,
+        b: &[T],
+        deadline_iters: usize,
+        ws: &mut SolveWorkspace<T>,
+        probe: &mut P,
+    ) -> std::result::Result<SolveResult<T>, SolverError> {
+        let stats = self.solve_in_place_deadline_probed(b, deadline_iters, ws, probe)?;
+        Ok(SolveResult {
+            x: ws.solution().to_vec(),
+            iterations: stats.iterations,
+            final_residual: stats.final_residual,
+            stop: stats.stop,
+            residual_history: ws.history().to_vec(),
+            timings: stats.timings,
+        })
+    }
+
     /// The fully allocation-free solve: the iterate stays in
     /// `ws.solution()` and only `Copy` statistics are returned.
     pub fn solve_in_place(
@@ -435,19 +458,37 @@ impl<T: Scalar> SpcgPlan<T> {
         ws: &mut SolveWorkspace<T>,
         probe: &mut P,
     ) -> std::result::Result<SolveStats, SolverError> {
+        self.solve_in_place_deadline_probed(b, usize::MAX, ws, probe)
+    }
+
+    /// [`solve_in_place_probed`](Self::solve_in_place_probed) under a
+    /// per-request iteration budget: the plan's configured solver settings
+    /// apply, except `deadline_iters` is overridden for this call. Serving
+    /// layers derive the budget from a wall-clock deadline via the gpusim
+    /// cost model (`spcg_gpusim::iteration_budget`). With `usize::MAX` the
+    /// behaviour — and the trajectory — is identical to the plain entry.
+    /// For mixed-precision plans the budget applies to each refinement
+    /// inner run, not their sum: refinement restarts re-arm the watchdog.
+    pub fn solve_in_place_deadline_probed<P: Probe>(
+        &self,
+        b: &[T],
+        deadline_iters: usize,
+        ws: &mut SolveWorkspace<T>,
+        probe: &mut P,
+    ) -> std::result::Result<SolveStats, SolverError> {
         let Some(perm) = self.perm.as_deref() else {
-            return self.pcg_tier_probed(&self.a, b, ws, probe);
+            return self.pcg_tier_probed(&self.a, b, deadline_iters, ws, probe);
         };
         let n = self.n();
         if b.len() != n {
             // Let the inner solver surface its canonical dimension error.
-            return self.pcg_tier_probed(self.operator(), b, ws, probe);
+            return self.pcg_tier_probed(self.operator(), b, deadline_iters, ws, probe);
         }
         let mut buf = ws.take_staging(n);
         for (k, &old) in perm.iter().enumerate() {
             buf[k] = b[old];
         }
-        let stats = self.pcg_tier_probed(self.operator(), &buf, ws, probe);
+        let stats = self.pcg_tier_probed(self.operator(), &buf, deadline_iters, ws, probe);
         if stats.is_ok() {
             // The iterate sits in the workspace in permuted order; scatter
             // it back through the staging buffer so `ws.solution()` is in
@@ -470,21 +511,18 @@ impl<T: Scalar> SpcgPlan<T> {
         &self,
         operator: &CsrMatrix<T>,
         b: &[T],
+        deadline_iters: usize,
         ws: &mut SolveWorkspace<T>,
         probe: &mut P,
     ) -> std::result::Result<SolveStats, SolverError> {
         let Some(mixed) = &self.mixed else {
-            return pcg_in_place_probed(
-                operator,
-                &self.factors,
-                b,
-                &self.opts.solver,
-                None,
-                ws,
-                probe,
-            );
+            // SolverConfig is stack-only, so the budgeted clone stays on the
+            // zero-allocation path.
+            let config = self.opts.solver.clone().with_deadline_iters(deadline_iters);
+            return pcg_in_place_probed(operator, &self.factors, b, &config, None, ws, probe);
         };
-        self.solve_mixed_in_place_probed(operator, mixed, b, None, ws, probe).map(|r| r.stats)
+        self.solve_mixed_in_place_probed(operator, mixed, b, None, deadline_iters, ws, probe)
+            .map(|r| r.stats)
     }
 
     /// The solver configuration the mixed tier runs under: the caller's
@@ -507,16 +545,18 @@ impl<T: Scalar> SpcgPlan<T> {
     /// `precision.refine_restarts`, and `precision.bytes_saved` (factor
     /// bytes the reduced storage avoided streaming per sweep). Shared by
     /// the plain solve tiers and the resilient ladder's planned attempt.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn solve_mixed_in_place_probed<P: Probe>(
         &self,
         operator: &CsrMatrix<T>,
         mixed: &MixedPrecisionIlu<T>,
         b: &[T],
         fault: Option<SolveFault>,
+        deadline_iters: usize,
         ws: &mut SolveWorkspace<T>,
         probe: &mut P,
     ) -> std::result::Result<RefinedStats, SolverError> {
-        let config = self.mixed_solver_config();
+        let config = self.mixed_solver_config().with_deadline_iters(deadline_iters);
         let refined = pcg_refined_in_place_probed(
             operator,
             mixed,
@@ -653,6 +693,42 @@ mod tests {
         assert_eq!(from_plan.x, from_pipeline.result.x);
         assert_eq!(from_plan.residual_history, from_pipeline.result.residual_history);
         assert_eq!(from_plan.iterations, from_pipeline.result.iterations);
+    }
+
+    #[test]
+    fn deadline_budget_threads_through_the_plan_tiers() {
+        let (a, b) = system(12);
+        // Force a hopeless tolerance so the budget always fires, and a
+        // reordered plan so the permuted gather/scatter path is exercised.
+        let o = SpcgOptions {
+            solver: SolverConfig::default()
+                .with_tol(1e-300)
+                .with_tol_mode(spcg_solver::ToleranceMode::Absolute),
+            ordering: crate::OrderingKind::Rcm,
+            ..Default::default()
+        };
+        let plan = SpcgPlan::build(&a, &o).unwrap();
+        let mut ws = plan.make_workspace();
+        let err = plan
+            .solve_with_workspace_deadline_probed(&b, 4, &mut ws, &mut spcg_probe::NoProbe)
+            .unwrap_err();
+        match err {
+            SolverError::DeadlineExceeded { iterations, best_residual } => {
+                assert_eq!(iterations, 4);
+                assert!(best_residual.is_finite());
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // usize::MAX is bitwise-identical to the plain entry.
+        let o = opts();
+        let plan = SpcgPlan::build(&a, &o).unwrap();
+        let mut ws = plan.make_workspace();
+        let plain = plan.solve_with_workspace(&b, &mut ws).unwrap();
+        let budgeted = plan
+            .solve_with_workspace_deadline_probed(&b, usize::MAX, &mut ws, &mut spcg_probe::NoProbe)
+            .unwrap();
+        assert_eq!(plain.x, budgeted.x);
+        assert_eq!(plain.residual_history, budgeted.residual_history);
     }
 
     #[test]

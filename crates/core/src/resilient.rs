@@ -408,7 +408,15 @@ impl<T: Scalar> SpcgPlan<T> {
                     probe,
                 ),
                 RungFactors::Mixed(m) => self
-                    .solve_mixed_in_place_probed(self.operator(), m, b, solve_fault, ws, probe)
+                    .solve_mixed_in_place_probed(
+                        self.operator(),
+                        m,
+                        b,
+                        solve_fault,
+                        usize::MAX,
+                        ws,
+                        probe,
+                    )
                     .map(|refined| SolveResult {
                         x: ws.solution().to_vec(),
                         iterations: refined.stats.iterations,

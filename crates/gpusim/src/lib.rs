@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod device;
 pub mod ilu;
 pub mod kernel;
@@ -22,6 +23,7 @@ pub mod profiler;
 pub mod trace;
 pub mod trisolve;
 
+pub use admission::{estimate_from_structure, iteration_budget, SolveCostEstimate};
 pub use device::DeviceSpec;
 pub use ilu::{ilu_factorization_cost, inspector_cost_us, sparsify_cost_us};
 pub use kernel::{dot_cost, elementwise_cost, spmv_cost, value_bytes_of, KernelCost};

@@ -1,6 +1,6 @@
 //! Streaming per-phase latency aggregation: [`HistogramProbe`].
 
-use crate::{fmt_ns, Counter, IterationEvent, Probe, RungEvent, Span};
+use crate::{fmt_ns, AdmissionEvent, Counter, IterationEvent, Probe, RungEvent, Span};
 use std::time::Instant;
 
 /// Latency statistics for one span kind.
@@ -16,6 +16,8 @@ pub struct PhaseStats {
     pub p50_ns: u64,
     /// 95th-percentile inclusive duration (nearest-rank), in nanoseconds.
     pub p95_ns: u64,
+    /// 99th-percentile inclusive duration (nearest-rank), in nanoseconds.
+    pub p99_ns: u64,
     /// Maximum inclusive duration, in nanoseconds.
     pub max_ns: u64,
 }
@@ -29,8 +31,10 @@ pub struct HistogramProbe {
     open: Vec<(Span, u64)>,
     samples: Vec<(Span, Vec<u64>)>,
     counters: Vec<(Counter, u64)>,
+    quantiles: Vec<f64>,
     iterations: usize,
     rungs: usize,
+    admissions: usize,
 }
 
 impl HistogramProbe {
@@ -41,13 +45,36 @@ impl HistogramProbe {
             open: Vec::new(),
             samples: Vec::new(),
             counters: Vec::new(),
+            quantiles: vec![0.50, 0.95, 0.99],
             iterations: 0,
             rungs: 0,
+            admissions: 0,
         }
+    }
+
+    /// Override the quantile list reported by [`Self::quantiles_for`].
+    /// Values outside `(0, 1]` are dropped; the list is sorted ascending.
+    pub fn with_quantiles(mut self, quantiles: &[f64]) -> Self {
+        let mut qs: Vec<f64> =
+            quantiles.iter().copied().filter(|q| *q > 0.0 && *q <= 1.0).collect();
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.quantiles = qs;
+        self
     }
 
     fn now_ns(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record an externally measured duration against a span kind, as if a
+    /// `span_begin`/`span_end` pair of that length had been observed. Lets
+    /// load generators and discrete-event simulations feed latencies into
+    /// the same quantile machinery the live probe uses.
+    pub fn record_duration_ns(&mut self, span: Span, duration_ns: u64) {
+        match self.samples.iter_mut().find(|(s, _)| *s == span) {
+            Some((_, durations)) => durations.push(duration_ns),
+            None => self.samples.push((span, vec![duration_ns])),
+        }
     }
 
     /// Per-phase statistics, ordered by first appearance.
@@ -63,10 +90,31 @@ impl HistogramProbe {
                     total_ns: sorted.iter().sum(),
                     p50_ns: percentile(&sorted, 0.50),
                     p95_ns: percentile(&sorted, 0.95),
+                    p99_ns: percentile(&sorted, 0.99),
                     max_ns: sorted.last().copied().unwrap_or(0),
                 }
             })
             .collect()
+    }
+
+    /// Nearest-rank quantile of one span's samples; `None` if the span has
+    /// no completed occurrences.
+    pub fn quantile(&self, span: Span, q: f64) -> Option<u64> {
+        let (_, durations) = self.samples.iter().find(|(s, _)| *s == span)?;
+        let mut sorted = durations.clone();
+        sorted.sort_unstable();
+        Some(percentile(&sorted, q))
+    }
+
+    /// The configured quantile list (see [`Self::with_quantiles`]) evaluated
+    /// against one span's samples. Empty if the span has no occurrences.
+    pub fn quantiles_for(&self, span: Span) -> Vec<(f64, u64)> {
+        let Some((_, durations)) = self.samples.iter().find(|(s, _)| *s == span) else {
+            return Vec::new();
+        };
+        let mut sorted = durations.clone();
+        sorted.sort_unstable();
+        self.quantiles.iter().map(|&q| (q, percentile(&sorted, q))).collect()
     }
 
     /// Accumulated total for one counter.
@@ -84,22 +132,28 @@ impl HistogramProbe {
         self.rungs
     }
 
+    /// Number of admission-decision events observed.
+    pub fn admission_events(&self) -> usize {
+        self.admissions
+    }
+
     /// Human-readable latency table: per-phase count/total/p50/p95/max plus
     /// counter totals.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<28} {:>7} {:>12} {:>12} {:>12} {:>12}\n",
-            "phase", "count", "total", "p50", "p95", "max"
+            "{:<28} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            "phase", "count", "total", "p50", "p95", "p99", "max"
         ));
         for s in self.stats() {
             out.push_str(&format!(
-                "{:<28} {:>7} {:>12} {:>12} {:>12} {:>12}\n",
+                "{:<28} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
                 s.span.label(),
                 s.count,
                 fmt_ns(s.total_ns),
                 fmt_ns(s.p50_ns),
                 fmt_ns(s.p95_ns),
+                fmt_ns(s.p99_ns),
                 fmt_ns(s.max_ns)
             ));
         }
@@ -163,6 +217,10 @@ impl Probe for HistogramProbe {
     fn rung(&mut self, _event: RungEvent) {
         self.rungs += 1;
     }
+
+    fn admission(&mut self, _event: AdmissionEvent) {
+        self.admissions += 1;
+    }
 }
 
 #[cfg(test)]
@@ -174,9 +232,68 @@ mod tests {
         let s: Vec<u64> = (1..=100).collect();
         assert_eq!(percentile(&s, 0.50), 50);
         assert_eq!(percentile(&s, 0.95), 95);
+        assert_eq!(percentile(&s, 0.99), 99);
         assert_eq!(percentile(&s, 1.0), 100);
         assert_eq!(percentile(&[], 0.5), 0);
         assert_eq!(percentile(&[7], 0.5), 7);
+    }
+
+    #[test]
+    fn quantiles_pin_known_distributions() {
+        // Uniform 1..=1000: nearest-rank q-quantile is exactly ceil(1000q).
+        let mut p = HistogramProbe::new();
+        for v in 1..=1000u64 {
+            p.record_duration_ns(Span::ServeRequest, v);
+        }
+        assert_eq!(p.quantile(Span::ServeRequest, 0.50), Some(500));
+        assert_eq!(p.quantile(Span::ServeRequest, 0.95), Some(950));
+        assert_eq!(p.quantile(Span::ServeRequest, 0.99), Some(990));
+        assert_eq!(p.quantile(Span::ServeRequest, 1.0), Some(1000));
+        assert_eq!(p.quantile(Span::ServeBatch, 0.5), None, "no samples for that span");
+
+        // Bimodal: 99 fast samples at 1, one slow at 1_000_000. p50/p95 sit
+        // in the fast mode; p99 must not — that is the whole point of p99.
+        let mut p = HistogramProbe::new();
+        for _ in 0..99 {
+            p.record_duration_ns(Span::ServeRequest, 1);
+        }
+        p.record_duration_ns(Span::ServeRequest, 1_000_000);
+        let s = &p.stats()[0];
+        assert_eq!((s.p50_ns, s.p95_ns), (1, 1));
+        assert_eq!(s.p99_ns, 1, "rank 99 of 100 is still the fast mode");
+        assert_eq!(s.max_ns, 1_000_000);
+        // With 2% slow samples in 10_000, p99 lands on the slow mode
+        // (rank 9900 falls past the 9800 fast samples).
+        let mut p = HistogramProbe::new();
+        for _ in 0..9_800 {
+            p.record_duration_ns(Span::ServeRequest, 1);
+        }
+        for _ in 0..200 {
+            p.record_duration_ns(Span::ServeRequest, 1_000_000);
+        }
+        assert_eq!(p.stats()[0].p99_ns, 1_000_000);
+    }
+
+    #[test]
+    fn configurable_quantile_list() {
+        let mut p = HistogramProbe::new().with_quantiles(&[0.9, 0.5, 0.999, 2.0, -0.1]);
+        for v in 1..=1000u64 {
+            p.record_duration_ns(Span::ServeRequest, v);
+        }
+        // Invalid entries dropped, rest sorted ascending.
+        assert_eq!(p.quantiles_for(Span::ServeRequest), vec![(0.5, 500), (0.9, 900), (0.999, 999)]);
+        assert!(p.quantiles_for(Span::ServeBatch).is_empty());
+    }
+
+    #[test]
+    fn recorded_durations_merge_with_measured_spans() {
+        let mut p = HistogramProbe::new();
+        p.span_begin(Span::Spmv);
+        p.span_end(Span::Spmv);
+        p.record_duration_ns(Span::Spmv, 42);
+        let s = &p.stats()[0];
+        assert_eq!(s.count, 2);
+        assert!(s.total_ns >= 42);
     }
 
     #[test]

@@ -167,6 +167,20 @@ pub enum Counter {
     PrecisionRefineRestarts,
     /// Factor-storage bytes saved by demoting to reduced precision.
     PrecisionBytesSaved,
+    /// Requests admitted at full quality by the admission controller.
+    ServeAdmitted,
+    /// Requests admitted at a downgraded quality tier.
+    ServeDowngraded,
+    /// Requests shed (rejected before any work) by the admission controller.
+    ServeShed,
+    /// Circuit-breaker transitions into the open (quarantined) state.
+    ServeBreakerOpened,
+    /// Circuit-breaker transitions into half-open (probe) state.
+    ServeBreakerHalfOpen,
+    /// Circuit-breaker transitions back to closed (healthy) state.
+    ServeBreakerClosed,
+    /// Requests rejected because their fingerprint is quarantined.
+    ServeBreakerRejected,
 }
 
 impl Counter {
@@ -195,6 +209,13 @@ impl Counter {
             Counter::PrecisionMixedApplies => "precision.mixed_applies",
             Counter::PrecisionRefineRestarts => "precision.refine_restarts",
             Counter::PrecisionBytesSaved => "precision.bytes_saved",
+            Counter::ServeAdmitted => "serve.admission.admitted",
+            Counter::ServeDowngraded => "serve.admission.downgraded",
+            Counter::ServeShed => "serve.admission.shed",
+            Counter::ServeBreakerOpened => "serve.breaker.open",
+            Counter::ServeBreakerHalfOpen => "serve.breaker.half_open",
+            Counter::ServeBreakerClosed => "serve.breaker.close",
+            Counter::ServeBreakerRejected => "serve.breaker.rejected",
         }
     }
 }
@@ -224,6 +245,8 @@ pub enum ProbeStop {
     Divergence,
     /// Residual stopped improving over the stagnation window.
     Stagnation,
+    /// The iteration-count deadline budget expired mid-solve.
+    Deadline,
     /// A recovery-ladder rung could not be built and was skipped.
     Skipped,
 }
@@ -300,6 +323,35 @@ pub struct RefineEvent {
     pub iterations: usize,
 }
 
+/// What the admission controller decided for one offered request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdmissionVerdict {
+    /// Admitted at the requested quality tier.
+    Admitted,
+    /// Admitted, but pre-emptively downgraded to a cheaper tier.
+    Downgraded,
+    /// Shed before any work started (deadline infeasible, queue pressure,
+    /// or a quarantined fingerprint).
+    Shed,
+}
+
+/// One admission-controller decision (see [`Probe::admission`]).
+///
+/// `priority` is the request's priority class encoded as a small integer
+/// (higher = more important) so the probe layer stays decoupled from the
+/// serve crate's policy types.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionEvent {
+    /// The controller's decision.
+    pub verdict: AdmissionVerdict,
+    /// Request priority class (higher = more important).
+    pub priority: u8,
+    /// Queue depth observed when the decision was made.
+    pub queue_depth: usize,
+    /// Estimated cost of the request in microseconds (0.0 when unknown).
+    pub est_cost_us: f64,
+}
+
 /// Observability hook threaded through the SPCG pipeline.
 ///
 /// Every method has an empty `#[inline]` default, so a probe only overrides
@@ -353,6 +405,13 @@ pub trait Probe {
     fn refine_restart(&mut self, event: &RefineEvent) {
         let _ = event;
     }
+
+    /// The serve-layer admission controller decided a request's fate (see
+    /// [`AdmissionEvent`]).
+    #[inline]
+    fn admission(&mut self, event: AdmissionEvent) {
+        let _ = event;
+    }
 }
 
 /// The zero-cost default probe: every hook is a no-op and the optimizer
@@ -395,6 +454,10 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     #[inline]
     fn refine_restart(&mut self, event: &RefineEvent) {
         (**self).refine_restart(event);
+    }
+    #[inline]
+    fn admission(&mut self, event: AdmissionEvent) {
+        (**self).admission(event);
     }
 }
 

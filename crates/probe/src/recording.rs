@@ -1,6 +1,9 @@
 //! In-memory structured trace recording: [`RecordingProbe`] and [`RunTrace`].
 
-use crate::{clean_f64, Counter, IterationEvent, Probe, ProbeStop, RefineEvent, RungEvent, Span};
+use crate::{
+    clean_f64, AdmissionEvent, Counter, IterationEvent, Probe, ProbeStop, RefineEvent, RungEvent,
+    Span,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -53,6 +56,13 @@ pub enum TraceEvent {
         /// Timestamp in nanoseconds since trace start.
         t_ns: u64,
     },
+    /// A serve-layer admission decision (admit / downgrade / shed).
+    Admission {
+        /// The admission payload.
+        event: AdmissionEvent,
+        /// Timestamp in nanoseconds since trace start.
+        t_ns: u64,
+    },
 }
 
 impl TraceEvent {
@@ -64,7 +74,8 @@ impl TraceEvent {
             | TraceEvent::Count { t_ns, .. }
             | TraceEvent::Iteration { t_ns, .. }
             | TraceEvent::Rung { t_ns, .. }
-            | TraceEvent::Refine { t_ns, .. } => *t_ns,
+            | TraceEvent::Refine { t_ns, .. }
+            | TraceEvent::Admission { t_ns, .. } => *t_ns,
         }
     }
 }
@@ -285,6 +296,12 @@ impl Probe for RecordingProbe {
         let t_ns = self.now_ns();
         let event = RefineEvent { residual: clean_f64(event.residual), ..*event };
         self.trace.push(TraceEvent::Refine { event, t_ns });
+    }
+
+    fn admission(&mut self, event: AdmissionEvent) {
+        let t_ns = self.now_ns();
+        let event = AdmissionEvent { est_cost_us: clean_f64(event.est_cost_us), ..event };
+        self.trace.push(TraceEvent::Admission { event, t_ns });
     }
 }
 

@@ -1,0 +1,383 @@
+//! Admission control: decide **admit / downgrade / shed** before any work
+//! starts.
+//!
+//! The controller is a pure function ([`decide`]) over three inputs:
+//!
+//! 1. the request's [`RequestPolicy`] (deadline, priority, quality floor);
+//! 2. a [`LoadSnapshot`] of the service (queue depth/capacity, estimated
+//!    microseconds of work already queued, worker count);
+//! 3. a [`TierCosts`] table — gpusim-priced per-tier cost estimates (a
+//!    cache hit prices the actual plan, a miss prices the structure; see
+//!    [`spcg_gpusim::estimate_from_structure`]).
+//!
+//! Two gates run in order:
+//!
+//! * **Occupancy** — priorities map to *nested* queue-occupancy ceilings
+//!   (`Low` < 50%, `Normal` < 75%, `High` ≤ 100%). Nesting makes shedding
+//!   provably monotone in priority: at any snapshot, if a higher class is
+//!   shed then every lower class is shed too (property-tested below). No
+//!   high-priority request is ever rejected while a low-priority one would
+//!   have been admitted.
+//! * **Deadline feasibility** — estimated completion = queue wait + plan
+//!   build (first sight only) + expected iterations × per-iteration cost,
+//!   walked down the tier ladder from `Full` until it fits the deadline.
+//!   A fitting cheaper tier is a *downgrade*; nothing fitting above the
+//!   policy's `min_quality` floor sheds the request — except `High`
+//!   priority, which is admitted at the floor with whatever watchdog
+//!   budget remains rather than shed on an estimate.
+//!
+//! The decision also fixes the solve's **iteration budget**: the time left
+//! after queue wait and build is converted to an iteration count via
+//! [`spcg_gpusim::iteration_budget`], enforced inside the PCG guard path
+//! as a single integer comparison per iteration.
+
+use crate::policy::{Priority, RequestPolicy, SolveTier};
+use spcg_gpusim::iteration_budget;
+
+/// Point-in-time view of service load, taken at submission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSnapshot {
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Queue capacity (backpressure bound).
+    pub queue_capacity: usize,
+    /// Estimated microseconds of solve work already queued ahead of this
+    /// request.
+    pub queued_cost_us: f64,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+}
+
+impl LoadSnapshot {
+    /// Expected microseconds this request waits before a worker picks it
+    /// up: the queued work spread across the pool.
+    pub fn expected_wait_us(&self) -> f64 {
+        self.queued_cost_us / self.workers.max(1) as f64
+    }
+
+    /// Queue fullness in `[0, 1]` (1 = at capacity).
+    pub fn occupancy(&self) -> f64 {
+        self.queue_depth as f64 / self.queue_capacity.max(1) as f64
+    }
+}
+
+/// Cost estimate for serving one request at one tier, microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierCost {
+    /// One-time plan construction. Zero when the plan is already cached.
+    pub build_us: f64,
+    /// One PCG iteration at this tier.
+    pub per_iteration_us: f64,
+    /// Expected iteration count to convergence at this tier.
+    pub expected_iterations: usize,
+}
+
+impl TierCost {
+    /// Expected total service time at this tier.
+    pub fn expected_total_us(&self) -> f64 {
+        self.build_us + self.expected_iterations as f64 * self.per_iteration_us
+    }
+}
+
+/// Per-tier cost table for one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierCosts {
+    /// The configured pipeline.
+    pub full: TierCost,
+    /// ILU(0), no sparsify, natural ordering.
+    pub light: TierCost,
+    /// Diagonal preconditioning, no build at all.
+    pub jacobi: TierCost,
+}
+
+impl TierCosts {
+    /// The cost row for `tier`.
+    pub fn at(&self, tier: SolveTier) -> TierCost {
+        match tier {
+            SolveTier::Full => self.full,
+            SolveTier::Light => self.light,
+            SolveTier::Jacobi => self.jacobi,
+        }
+    }
+}
+
+/// Why a request was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Queue occupancy exceeded this priority's ceiling.
+    Occupancy,
+    /// No tier at or above the quality floor fits the deadline.
+    DeadlineInfeasible,
+    /// The fingerprint's circuit breaker is open.
+    Quarantined,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::Occupancy => write!(f, "queue occupancy over the priority ceiling"),
+            ShedReason::DeadlineInfeasible => write!(f, "deadline infeasible at any allowed tier"),
+            ShedReason::Quarantined => write!(f, "fingerprint quarantined by circuit breaker"),
+        }
+    }
+}
+
+/// The admission verdict for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Serve it at `tier`, killing the solve after `deadline_iters` PCG
+    /// iterations (`usize::MAX` = no watchdog).
+    Admit {
+        /// Execution rung selected up front.
+        tier: SolveTier,
+        /// Iteration-count watchdog budget for the PCG guard path.
+        deadline_iters: usize,
+    },
+    /// Reject without doing any work.
+    Shed(ShedReason),
+}
+
+impl Admission {
+    /// `true` for any `Admit`.
+    pub fn admitted(&self) -> bool {
+        matches!(self, Admission::Admit { .. })
+    }
+
+    /// `true` when admitted below [`SolveTier::Full`].
+    pub fn downgraded(&self) -> bool {
+        matches!(self, Admission::Admit { tier, .. } if *tier != SolveTier::Full)
+    }
+}
+
+/// The nested occupancy ceiling for `priority`. `High` uses `> 1.0` so it
+/// is only shed by the hard queue bound itself, which [`decide`] checks as
+/// `depth >= capacity`.
+fn occupancy_ceiling(priority: Priority) -> f64 {
+    match priority {
+        Priority::Low => 0.50,
+        Priority::Normal => 0.75,
+        Priority::High => 1.0,
+    }
+}
+
+/// Pure admission decision. See the module docs for the two gates.
+pub fn decide(policy: &RequestPolicy, load: &LoadSnapshot, costs: &TierCosts) -> Admission {
+    // Gate 1: occupancy, nested by priority. `High` is capped only by the
+    // queue itself being full.
+    // A physically full queue sheds every class; otherwise only classes
+    // whose occupancy ceiling is crossed (High has none short of full).
+    let full = load.queue_depth >= load.queue_capacity.max(1);
+    let over_ceiling =
+        load.occupancy() >= occupancy_ceiling(policy.priority) && policy.priority != Priority::High;
+    if full || over_ceiling {
+        return Admission::Shed(ShedReason::Occupancy);
+    }
+
+    // No deadline: admit at full quality, watchdog disabled.
+    let Some(deadline) = policy.deadline else {
+        return Admission::Admit { tier: SolveTier::Full, deadline_iters: usize::MAX };
+    };
+
+    // Gate 2: walk the ladder Full → Light → Jacobi, stopping at the
+    // first tier expected to finish inside the deadline. The queue wait is
+    // tier-independent; the build and iteration prices are not.
+    let deadline_us = deadline.as_secs_f64() * 1e6;
+    let wait_us = load.expected_wait_us();
+    let mut tier = SolveTier::Full;
+    loop {
+        let cost = costs.at(tier);
+        if wait_us + cost.expected_total_us() <= deadline_us {
+            let remaining_us = deadline_us - wait_us - cost.build_us;
+            return Admission::Admit {
+                tier,
+                deadline_iters: iteration_budget(remaining_us, cost.per_iteration_us),
+            };
+        }
+        match tier.cheaper().filter(|t| *t >= policy.min_quality) {
+            Some(t) => tier = t,
+            None => break,
+        }
+    }
+
+    // Nothing fits. High priority still gets best-effort service at the
+    // floor (the watchdog bounds the damage); everyone else is shed.
+    if policy.priority == Priority::High {
+        let floor = policy.min_quality;
+        let cost = costs.at(floor);
+        let remaining_us = deadline_us - wait_us - cost.build_us;
+        return Admission::Admit {
+            tier: floor,
+            deadline_iters: iteration_budget(remaining_us.max(0.0), cost.per_iteration_us),
+        };
+    }
+    Admission::Shed(ShedReason::DeadlineInfeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::time::Duration;
+
+    fn costs() -> TierCosts {
+        TierCosts {
+            full: TierCost { build_us: 2_000.0, per_iteration_us: 50.0, expected_iterations: 40 },
+            light: TierCost { build_us: 400.0, per_iteration_us: 60.0, expected_iterations: 60 },
+            jacobi: TierCost { build_us: 5.0, per_iteration_us: 30.0, expected_iterations: 150 },
+        }
+    }
+
+    fn idle() -> LoadSnapshot {
+        LoadSnapshot { queue_depth: 0, queue_capacity: 64, queued_cost_us: 0.0, workers: 4 }
+    }
+
+    #[test]
+    fn no_deadline_admits_full_with_watchdog_off() {
+        let a = decide(&RequestPolicy::default(), &idle(), &costs());
+        assert_eq!(a, Admission::Admit { tier: SolveTier::Full, deadline_iters: usize::MAX });
+    }
+
+    #[test]
+    fn generous_deadline_admits_full_with_finite_budget() {
+        let p = RequestPolicy::default().with_deadline(Duration::from_millis(100));
+        let Admission::Admit { tier, deadline_iters } = decide(&p, &idle(), &costs()) else {
+            panic!("expected admit");
+        };
+        assert_eq!(tier, SolveTier::Full);
+        // (100_000 − 2_000) / 50 = 1_960 iterations.
+        assert_eq!(deadline_iters, 1_960);
+    }
+
+    #[test]
+    fn tight_deadline_downgrades_to_the_first_fitting_tier() {
+        // Expected totals under costs(): Full 2000 + 40·50 = 4000 µs,
+        // Light 400 + 60·60 = 4000 µs, Jacobi 5 + 150·30 = 4505 µs.
+        // 3.5 ms fits no tier → Normal priority is shed.
+        let p = RequestPolicy::default().with_deadline(Duration::from_micros(3_500));
+        assert_eq!(decide(&p, &idle(), &costs()), Admission::Shed(ShedReason::DeadlineInfeasible));
+
+        // 4.1 ms fits Full (4000 ≤ 4100), admitted with the trimmed
+        // budget (4100 − 2000) / 50 = 42 iterations.
+        let p = RequestPolicy::default().with_deadline(Duration::from_micros(4_100));
+        assert_eq!(
+            decide(&p, &idle(), &costs()),
+            Admission::Admit { tier: SolveTier::Full, deadline_iters: 42 }
+        );
+
+        // 2 ms of expected queue wait shifts every tier by 2000 µs: a
+        // 4.6 ms deadline now fits nothing (cheapest is 2000 + 4505), a
+        // 6.6 ms deadline fits Full again (2000 + 4000 ≤ 6600).
+        let load = LoadSnapshot { queued_cost_us: 8_000.0, ..idle() };
+        assert_eq!(load.expected_wait_us(), 2_000.0);
+        let p = RequestPolicy::default().with_deadline(Duration::from_micros(4_600));
+        assert_eq!(decide(&p, &load, &costs()), Admission::Shed(ShedReason::DeadlineInfeasible));
+        let p = RequestPolicy::default().with_deadline(Duration::from_micros(6_600));
+        let Admission::Admit { tier, .. } = decide(&p, &load, &costs()) else { panic!() };
+        assert_eq!(tier, SolveTier::Full);
+    }
+
+    #[test]
+    fn downgrade_selects_light_then_jacobi() {
+        // Costs where Full is slow but Light/Jacobi are quick.
+        let c = TierCosts {
+            full: TierCost { build_us: 50_000.0, per_iteration_us: 100.0, expected_iterations: 50 },
+            light: TierCost { build_us: 500.0, per_iteration_us: 40.0, expected_iterations: 60 },
+            jacobi: TierCost { build_us: 0.0, per_iteration_us: 10.0, expected_iterations: 100 },
+        };
+        // 10 ms: Full needs 55 ms → no. Light needs 2.9 ms → yes.
+        let p = RequestPolicy::default().with_deadline(Duration::from_millis(10));
+        let Admission::Admit { tier, deadline_iters } = decide(&p, &idle(), &c) else { panic!() };
+        assert_eq!(tier, SolveTier::Light);
+        assert_eq!(deadline_iters, (10_000 - 500) / 40);
+        // 2 ms: Light needs 2.9 ms → no. Jacobi needs 1 ms → yes.
+        let p = RequestPolicy::default().with_deadline(Duration::from_millis(2));
+        let Admission::Admit { tier, .. } = decide(&p, &idle(), &c) else { panic!() };
+        assert_eq!(tier, SolveTier::Jacobi);
+        // Same deadline with a Light floor: Jacobi is off the table → shed.
+        let p = p.with_min_quality(SolveTier::Light);
+        assert_eq!(decide(&p, &idle(), &c), Admission::Shed(ShedReason::DeadlineInfeasible));
+        // …unless the request is High priority: floor tier, best effort.
+        let p = p.with_priority(Priority::High);
+        let Admission::Admit { tier, .. } = decide(&p, &idle(), &c) else { panic!() };
+        assert_eq!(tier, SolveTier::Light);
+    }
+
+    #[test]
+    fn occupancy_ceilings_are_nested() {
+        let costs = costs();
+        let at = |depth: usize| LoadSnapshot { queue_depth: depth, ..idle() };
+        let p = |pri: Priority| RequestPolicy::default().with_priority(pri);
+        // 50% ceiling: depth 32/64 sheds Low, admits Normal and High.
+        assert_eq!(
+            decide(&p(Priority::Low), &at(32), &costs),
+            Admission::Shed(ShedReason::Occupancy)
+        );
+        assert!(decide(&p(Priority::Normal), &at(32), &costs).admitted());
+        assert!(decide(&p(Priority::High), &at(32), &costs).admitted());
+        // 75% ceiling: depth 48 sheds Normal, admits High.
+        assert_eq!(
+            decide(&p(Priority::Normal), &at(48), &costs),
+            Admission::Shed(ShedReason::Occupancy)
+        );
+        assert!(decide(&p(Priority::High), &at(48), &costs).admitted());
+        // Full queue sheds everyone.
+        assert_eq!(
+            decide(&p(Priority::High), &at(64), &costs),
+            Admission::Shed(ShedReason::Occupancy)
+        );
+    }
+
+    proptest! {
+        /// The monotone-shedding property the ISSUE requires: at any
+        /// snapshot and policy, if a higher-priority request is shed then
+        /// the identical lower-priority request is shed too — equivalently,
+        /// no lower class is ever admitted where a higher class is refused.
+        #[test]
+        fn shedding_is_monotone_in_priority(
+            depth in 0usize..200,
+            capacity in 1usize..128,
+            queued_us in 0.0f64..1e6,
+            workers in 1usize..16,
+            deadline_us in 0u64..10_000_000,
+            floor in 0u8..3,
+        ) {
+            // deadline_us == 0 plays the role of "no deadline".
+            let load = LoadSnapshot {
+                queue_depth: depth,
+                queue_capacity: capacity,
+                queued_cost_us: queued_us,
+                workers,
+            };
+            let floor = match floor {
+                0 => SolveTier::Jacobi,
+                1 => SolveTier::Light,
+                _ => SolveTier::Full,
+            };
+            let base = RequestPolicy {
+                deadline: (deadline_us > 0).then(|| Duration::from_micros(deadline_us)),
+                priority: Priority::Normal,
+                min_quality: floor,
+            };
+            let verdicts: Vec<bool> = Priority::ALL
+                .iter()
+                .map(|&pri| decide(&RequestPolicy { priority: pri, ..base }, &load, &costs()).admitted())
+                .collect();
+            // admitted(Low) ⇒ admitted(Normal) ⇒ admitted(High).
+            prop_assert!(!verdicts[0] || verdicts[1], "Low admitted but Normal shed");
+            prop_assert!(!verdicts[1] || verdicts[2], "Normal admitted but High shed");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_admits_high_with_zero_budget() {
+        // High priority, deadline already consumed by queue wait: admitted
+        // at the floor with a zero-iteration budget — the worker turns that
+        // into a typed DeadlineExceeded, not silent work.
+        let load = LoadSnapshot { queued_cost_us: 1e9, ..idle() };
+        let p = RequestPolicy::default()
+            .with_priority(Priority::High)
+            .with_deadline(Duration::from_millis(1));
+        let Admission::Admit { deadline_iters, .. } = decide(&p, &load, &costs()) else { panic!() };
+        assert_eq!(deadline_iters, 0);
+    }
+}

@@ -1,0 +1,438 @@
+//! Per-fingerprint circuit breaker: quarantine systems that keep failing.
+//!
+//! A matrix whose solves repeatedly break down or blow their deadline
+//! burns worker time that healthy requests need. The breaker is the
+//! classic three-state machine, keyed by [`PlanKey`]:
+//!
+//! * **Closed** — requests flow. `failure_threshold` *consecutive*
+//!   failures trip it open.
+//! * **Open** — requests are rejected instantly (no queueing, no solving)
+//!   until a backoff interval expires. The interval doubles on every
+//!   re-trip, from `base_backoff` up to `max_backoff`.
+//! * **Half-open** — after the backoff, exactly one probe request is let
+//!   through. Success closes the breaker (and resets the backoff
+//!   schedule); failure re-opens it with the next-longer interval.
+//!
+//! The state machine is **pure**: time enters only as a `u64` millisecond
+//! timestamp passed by the caller, so the whole schedule is unit-testable
+//! without threads or clocks (see the tests below, which are the
+//! specification). [`BreakerRegistry`] wraps a keyed map of machines in a
+//! mutex for service use; the per-call critical section is a few integer
+//! compares.
+//!
+//! What counts as failure is decided by the *caller* (the service): an
+//! unrecovered breakdown after the resilient ladder, or a blown deadline.
+//! A ladder-recovered solve converged — it is a success, not a failure,
+//! and must close a half-open breaker.
+
+use crate::cache::PlanKey;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Breaker tuning. Defaults: 3 consecutive failures to open, 100 ms base
+/// backoff doubling to a 10 s cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip a closed breaker open (min 1).
+    pub failure_threshold: u32,
+    /// First open interval, milliseconds.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self { failure_threshold: 3, base_backoff_ms: 100, max_backoff_ms: 10_000 }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy; requests flow.
+    Closed,
+    /// Quarantined until the embedded deadline (ms, caller's timebase).
+    Open {
+        /// Timestamp at which the breaker transitions to half-open.
+        until_ms: u64,
+    },
+    /// One probe is in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+/// What the breaker says about one incoming request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Closed: proceed normally.
+    Allow,
+    /// Half-open: proceed, and report the outcome — this request is the
+    /// probe.
+    Probe,
+    /// Open (or half-open with a probe already out): reject without doing
+    /// any work.
+    Quarantined {
+        /// Milliseconds until the next probe opportunity (0 when a probe
+        /// is already in flight).
+        retry_in_ms: u64,
+    },
+}
+
+/// Transition and rejection tallies for one breaker (or, summed, for a
+/// whole [`BreakerRegistry`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerCounters {
+    /// Closed → open transitions.
+    pub opened: u64,
+    /// Open → half-open transitions.
+    pub half_opened: u64,
+    /// Half-open → closed transitions.
+    pub closed: u64,
+    /// Requests rejected while open / probe-pending.
+    pub rejected: u64,
+}
+
+/// One pure breaker state machine. All methods take `now_ms` on the
+/// caller's monotonic millisecond timebase.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Number of times the breaker has (re-)opened without an intervening
+    /// close; exponent of the backoff schedule.
+    trips: u32,
+    counters: BreakerCounters,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `cfg`.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            trips: 0,
+            counters: BreakerCounters::default(),
+        }
+    }
+
+    /// Current state (tests, dashboards).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> BreakerCounters {
+        self.counters
+    }
+
+    /// The open interval after `trips` consecutive trips: `base · 2^(t-1)`,
+    /// saturating at `max_backoff_ms`.
+    fn backoff_ms(&self) -> u64 {
+        let exp = self.trips.saturating_sub(1).min(63);
+        self.cfg
+            .base_backoff_ms
+            .saturating_mul(1u64.checked_shl(exp).unwrap_or(u64::MAX))
+            .min(self.cfg.max_backoff_ms)
+    }
+
+    /// Gate one incoming request at time `now_ms`.
+    pub fn admit(&mut self, now_ms: u64) -> BreakerDecision {
+        match self.state {
+            BreakerState::Closed => BreakerDecision::Allow,
+            BreakerState::Open { until_ms } if now_ms >= until_ms => {
+                self.state = BreakerState::HalfOpen;
+                self.counters.half_opened += 1;
+                BreakerDecision::Probe
+            }
+            BreakerState::Open { until_ms } => {
+                self.counters.rejected += 1;
+                BreakerDecision::Quarantined { retry_in_ms: until_ms - now_ms }
+            }
+            BreakerState::HalfOpen => {
+                // A probe is already in flight; don't pile more work onto a
+                // suspect fingerprint.
+                self.counters.rejected += 1;
+                BreakerDecision::Quarantined { retry_in_ms: 0 }
+            }
+        }
+    }
+
+    /// Report a successful solve (converged, possibly via the ladder).
+    pub fn record_success(&mut self) {
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Closed;
+                self.counters.closed += 1;
+                self.consecutive_failures = 0;
+                self.trips = 0;
+            }
+            _ => self.consecutive_failures = 0,
+        }
+    }
+
+    /// Report a failed solve (unrecovered breakdown or blown deadline) that
+    /// finished at time `now_ms`.
+    pub fn record_failure(&mut self, now_ms: u64) {
+        match self.state {
+            BreakerState::HalfOpen => {
+                // Failed probe: straight back to open, next-longer backoff.
+                self.trips += 1;
+                self.counters.opened += 1;
+                self.state = BreakerState::Open { until_ms: now_ms + self.backoff_ms() };
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold.max(1) {
+                    self.trips += 1;
+                    self.counters.opened += 1;
+                    self.state = BreakerState::Open { until_ms: now_ms + self.backoff_ms() };
+                }
+            }
+            // A straggler failure landing while already open changes
+            // nothing: the quarantine clock is already running.
+            BreakerState::Open { .. } => {}
+        }
+    }
+}
+
+/// Keyed collection of breakers behind one mutex. Missing keys are
+/// implicitly closed breakers (created on first failure or first admit).
+pub struct BreakerRegistry {
+    cfg: BreakerConfig,
+    map: Mutex<HashMap<PlanKey, CircuitBreaker>>,
+}
+
+impl BreakerRegistry {
+    /// An empty registry under `cfg`.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self { cfg, map: Mutex::new(HashMap::new()) }
+    }
+
+    /// Gate a request for `key` at `now_ms`.
+    pub fn admit(&self, key: &PlanKey, now_ms: u64) -> BreakerDecision {
+        let mut map = self.map.lock().unwrap();
+        match map.get_mut(key) {
+            // No entry = closed with zero history; avoid allocating an
+            // entry for every healthy fingerprint.
+            None => BreakerDecision::Allow,
+            Some(b) => b.admit(now_ms),
+        }
+    }
+
+    /// Report a success for `key`.
+    pub fn record_success(&self, key: &PlanKey) {
+        if let Some(b) = self.map.lock().unwrap().get_mut(key) {
+            b.record_success();
+        }
+    }
+
+    /// Report a failure for `key` at `now_ms`.
+    pub fn record_failure(&self, key: &PlanKey, now_ms: u64) {
+        let mut map = self.map.lock().unwrap();
+        map.entry(*key).or_insert_with(|| CircuitBreaker::new(self.cfg)).record_failure(now_ms);
+    }
+
+    /// State of `key`'s breaker (`Closed` when never tripped).
+    pub fn state(&self, key: &PlanKey) -> BreakerState {
+        self.map.lock().unwrap().get(key).map_or(BreakerState::Closed, |b| b.state())
+    }
+
+    /// Counters summed over every keyed breaker.
+    pub fn counters(&self) -> BreakerCounters {
+        let map = self.map.lock().unwrap();
+        map.values().fold(BreakerCounters::default(), |mut acc, b| {
+            let c = b.counters();
+            acc.opened += c.opened;
+            acc.half_opened += c.half_opened;
+            acc.closed += c.closed;
+            acc.rejected += c.rejected;
+            acc
+        })
+    }
+}
+
+impl std::fmt::Debug for BreakerRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BreakerRegistry")
+            .field("breakers", &self.map.lock().unwrap().len())
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            base_backoff_ms: 100,
+            max_backoff_ms: 1_000,
+        })
+    }
+
+    #[test]
+    fn closed_until_threshold_consecutive_failures() {
+        let mut b = breaker();
+        b.record_failure(0);
+        b.record_failure(1);
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold stays closed");
+        // A success resets the consecutive count — the threshold is about
+        // *consecutive* failures, not lifetime totals.
+        b.record_success();
+        b.record_failure(2);
+        b.record_failure(3);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(4);
+        assert_eq!(b.state(), BreakerState::Open { until_ms: 104 });
+        assert_eq!(b.counters().opened, 1);
+    }
+
+    #[test]
+    fn full_cycle_closed_open_half_open_closed() {
+        let mut b = breaker();
+        for t in 0..3 {
+            assert_eq!(b.admit(t), BreakerDecision::Allow);
+            b.record_failure(t);
+        }
+        // Open: rejects with the remaining quarantine time.
+        assert_eq!(b.admit(50), BreakerDecision::Quarantined { retry_in_ms: 52 });
+        assert_eq!(b.counters().rejected, 1);
+        // Backoff expired: exactly one probe flows.
+        assert_eq!(b.admit(102), BreakerDecision::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // A second request during the probe is still rejected.
+        assert_eq!(b.admit(103), BreakerDecision::Quarantined { retry_in_ms: 0 });
+        // Probe succeeds: closed, schedule reset.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(104), BreakerDecision::Allow);
+        let c = b.counters();
+        assert_eq!((c.opened, c.half_opened, c.closed, c.rejected), (1, 1, 1, 2));
+    }
+
+    #[test]
+    fn failed_probe_doubles_the_backoff() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert_eq!(b.state(), BreakerState::Open { until_ms: 102 });
+        assert_eq!(b.admit(102), BreakerDecision::Probe);
+        b.record_failure(110);
+        // Second trip: 100 · 2 = 200 ms.
+        assert_eq!(b.state(), BreakerState::Open { until_ms: 310 });
+        assert_eq!(b.admit(310), BreakerDecision::Probe);
+        b.record_failure(320);
+        // Third trip: 400 ms.
+        assert_eq!(b.state(), BreakerState::Open { until_ms: 720 });
+        assert_eq!(b.counters().opened, 3);
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_cap() {
+        let mut b = breaker();
+        let mut now = 0;
+        for _ in 0..3 {
+            b.record_failure(now);
+        }
+        // Trip repeatedly; the interval must never exceed max_backoff_ms.
+        for _ in 0..12 {
+            let BreakerState::Open { until_ms } = b.state() else {
+                panic!("expected open");
+            };
+            assert!(until_ms - now <= 1_000, "backoff exceeded the cap");
+            now = until_ms;
+            assert_eq!(b.admit(now), BreakerDecision::Probe);
+            b.record_failure(now);
+        }
+        let BreakerState::Open { until_ms } = b.state() else { panic!() };
+        assert_eq!(until_ms - now, 1_000, "deep backoff pins to the cap");
+    }
+
+    #[test]
+    fn probe_success_resets_the_backoff_schedule() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert_eq!(b.admit(200), BreakerDecision::Probe);
+        b.record_failure(200); // 2nd trip → 200 ms
+        assert_eq!(b.admit(400), BreakerDecision::Probe);
+        b.record_success(); // closed, trips reset
+        for t in 500..503 {
+            b.record_failure(t);
+        }
+        // After a clean close the schedule restarts at the base interval.
+        assert_eq!(b.state(), BreakerState::Open { until_ms: 502 + 100 });
+    }
+
+    #[test]
+    fn late_failures_while_open_do_not_extend_quarantine() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        let open = b.state();
+        b.record_failure(50); // straggler from an in-flight batchmate
+        assert_eq!(b.state(), open, "quarantine deadline unchanged");
+        assert_eq!(b.counters().opened, 1);
+    }
+
+    #[test]
+    fn counters_reconcile_over_a_long_run() {
+        let mut b = breaker();
+        let mut now = 0u64;
+        // 5 full trip/probe/fail cycles then one recovery.
+        for _ in 0..5 {
+            while b.state() == BreakerState::Closed {
+                b.record_failure(now);
+                now += 1;
+            }
+            let BreakerState::Open { until_ms } = b.state() else { panic!() };
+            assert!(matches!(
+                b.admit(until_ms.saturating_sub(1)),
+                BreakerDecision::Quarantined { .. }
+            ));
+            now = until_ms;
+            assert_eq!(b.admit(now), BreakerDecision::Probe);
+            b.record_failure(now);
+        }
+        let BreakerState::Open { until_ms } = b.state() else { panic!() };
+        assert_eq!(b.admit(until_ms), BreakerDecision::Probe);
+        b.record_success();
+        let c = b.counters();
+        // Every open eventually produced a half-open probe; exactly one
+        // close; every cycle rejected exactly one request while open.
+        assert_eq!(c.opened, 6);
+        assert_eq!(c.half_opened, 6);
+        assert_eq!(c.closed, 1);
+        assert_eq!(c.rejected, 5);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn registry_isolates_keys_and_sums_counters() {
+        use spcg_core::{OrderingKind, PrecisionPolicy};
+        use spcg_sparse::generators::poisson_2d;
+
+        let reg = BreakerRegistry::new(BreakerConfig {
+            failure_threshold: 2,
+            base_backoff_ms: 100,
+            max_backoff_ms: 1_000,
+        });
+        let sick = PlanKey::of(&poisson_2d(4, 4), OrderingKind::Natural, PrecisionPolicy::Full);
+        let healthy = PlanKey::of(&poisson_2d(5, 5), OrderingKind::Natural, PrecisionPolicy::Full);
+        assert_eq!(reg.admit(&sick, 0), BreakerDecision::Allow);
+        reg.record_failure(&sick, 0);
+        reg.record_failure(&sick, 1);
+        assert!(matches!(reg.admit(&sick, 2), BreakerDecision::Quarantined { .. }));
+        assert_eq!(reg.admit(&healthy, 2), BreakerDecision::Allow, "keys are independent");
+        assert_eq!(reg.state(&healthy), BreakerState::Closed);
+        let c = reg.counters();
+        assert_eq!((c.opened, c.rejected), (1, 1));
+    }
+}

@@ -24,6 +24,7 @@
 //! surfaced through any [`Probe`] as the
 //! `serve.cache.*` counter vocabulary via [`PlanCache::emit_counters`].
 
+use crate::policy::SolveTier;
 use spcg_core::{OrderingKind, PrecisionPolicy, SpcgPlan};
 use spcg_probe::{Counter, Probe};
 use spcg_sparse::{CsrMatrix, MatrixFingerprint, Scalar};
@@ -31,14 +32,15 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Cache key: the matrix fingerprint plus the ordering and precision
-/// policy the plan was built under. Two plans over byte-identical matrices
-/// but different orderings factor different operators; two plans under
-/// different precision policies execute different tiers (and an `Auto`
-/// plan may resolve either way per matrix) — all are value twins that must
-/// never collide. The key carries the *requested* policy, not the resolved
-/// tier, so a cached `Auto` plan answers exactly the `Auto` requests whose
-/// resolution it already performed.
+/// Cache key: the matrix fingerprint plus the ordering, precision policy,
+/// and serving tier the plan was built under. Two plans over byte-identical
+/// matrices but different orderings factor different operators; two plans
+/// under different precision policies execute different tiers (and an
+/// `Auto` plan may resolve either way per matrix); a degraded
+/// [`SolveTier::Light`] plan skips the sparsify pass entirely — all are
+/// value twins that must never collide. The key carries the *requested*
+/// policy, not the resolved tier, so a cached `Auto` plan answers exactly
+/// the `Auto` requests whose resolution it already performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     /// Structure + value digest of the system matrix.
@@ -47,21 +49,33 @@ pub struct PlanKey {
     pub ordering: OrderingKind,
     /// The precision policy requested of the planner.
     pub precision: PrecisionPolicy,
+    /// The serving tier the plan was built for. [`SolveTier::Full`] for
+    /// every non-degraded request (and for everything predating admission
+    /// control); [`SolveTier::Light`] plans are built from cheaper options
+    /// and must never answer a full-quality request.
+    pub tier: SolveTier,
 }
 
 impl PlanKey {
-    /// Key for `fp` under `ordering` and `precision`.
+    /// Key for `fp` under `ordering` and `precision`, at full quality.
     pub fn new(fp: MatrixFingerprint, ordering: OrderingKind, precision: PrecisionPolicy) -> Self {
-        Self { fp, ordering, precision }
+        Self { fp, ordering, precision, tier: SolveTier::Full }
     }
 
-    /// Fingerprints `a` and keys it under `ordering` and `precision`.
+    /// Fingerprints `a` and keys it under `ordering` and `precision`, at
+    /// full quality.
     pub fn of<T: Scalar>(
         a: &CsrMatrix<T>,
         ordering: OrderingKind,
         precision: PrecisionPolicy,
     ) -> Self {
-        Self { fp: MatrixFingerprint::of(a), ordering, precision }
+        Self { fp: MatrixFingerprint::of(a), ordering, precision, tier: SolveTier::Full }
+    }
+
+    /// The same key re-targeted at a (usually degraded) serving tier.
+    pub fn with_tier(mut self, tier: SolveTier) -> Self {
+        self.tier = tier;
+        self
     }
 }
 
@@ -181,7 +195,8 @@ impl<T: Scalar> PlanCache<T> {
         let h = key.fp.structure
             ^ key.fp.values.rotate_left(17)
             ^ key.ordering.tag().wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            ^ key.precision.tag().wrapping_mul(0xD1B5_4A32_D192_ED03);
+            ^ key.precision.tag().wrapping_mul(0xD1B5_4A32_D192_ED03)
+            ^ key.tier.tag().wrapping_mul(0xA076_1D64_78BD_642F);
         &self.shards[(h % self.shards.len() as u64) as usize]
     }
 
@@ -230,6 +245,15 @@ impl<T: Scalar> PlanCache<T> {
     /// not bump recency (diagnostic use: tests, dashboards).
     pub fn contains(&self, key: &PlanKey) -> bool {
         self.shard(key).lock().unwrap().map.contains_key(key)
+    }
+
+    /// A resident plan without the side effects of [`PlanCache::get`]:
+    /// no hit/miss tally, no recency bump. This is the admission
+    /// controller's view — pricing a prospective request must not disturb
+    /// the `hits + misses == lookups` reconciliation or the LRU order,
+    /// since the request may yet be shed.
+    pub fn peek(&self, key: &PlanKey) -> Option<Arc<SpcgPlan<T>>> {
+        self.shard(key).lock().unwrap().map.get(key).map(|e| Arc::clone(&e.plan))
     }
 
     /// Number of resident plans.
@@ -380,6 +404,28 @@ mod tests {
         assert_eq!(cache.len(), 2, "value twins coexist under distinct keys");
         assert!(cache.get(&natural).unwrap().permutation().is_none());
         assert!(cache.get(&colored).unwrap().permutation().is_some());
+    }
+
+    #[test]
+    fn tier_separates_degraded_plans_and_peek_is_silent() {
+        let a = poisson_2d(6, 6);
+        let full = PlanKey::of(&a, OrderingKind::Natural, PrecisionPolicy::Full);
+        let light = full.with_tier(SolveTier::Light);
+        assert_eq!(full.fp, light.fp, "same bytes, same fingerprint");
+        assert_ne!(full, light, "keys must differ by tier");
+        let cache: PlanCache<f64> = PlanCache::new(CacheConfig::default());
+        let opts = spcg_core::SpcgOptions::default().with_sparsify(None);
+        cache.insert(light, Arc::new(SpcgPlan::build(&a, &opts).unwrap()));
+        assert!(
+            cache.get(&full).is_none(),
+            "a degraded plan must never answer a full-quality request"
+        );
+        // peek finds the light plan without touching the tallies.
+        let before = cache.stats();
+        assert!(cache.peek(&light).is_some());
+        assert!(cache.peek(&full).is_none());
+        let after = cache.stats();
+        assert_eq!((before.hits, before.misses), (after.hits, after.misses));
     }
 
     #[test]

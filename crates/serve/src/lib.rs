@@ -5,18 +5,27 @@
 //! [`SpcgPlan`](spcg_core::SpcgPlan) amortizes it across many right-hand
 //! sides within one caller.
 //!
-//! Three pieces, each its own module:
+//! Six pieces, each its own module:
 //!
 //! * [`cache`] — a sharded, byte-bounded LRU of `Arc<SpcgPlan>`s keyed by
 //!   [`MatrixFingerprint`](spcg_sparse::MatrixFingerprint) (structure hash
 //!   + value digest, computed in `spcg-sparse`);
 //! * [`queue`] — a bounded MPMC queue (`std` only) with backpressure and
 //!   same-fingerprint draining;
+//! * [`policy`] — per-request [`RequestPolicy`] (deadline, priority,
+//!   quality floor) and the [`SolveTier`] degradation ladder;
+//! * [`admission`] — the pure admit/downgrade/shed decision over a load
+//!   snapshot and gpusim-priced per-tier cost estimates;
+//! * [`breaker`] — a per-fingerprint circuit breaker quarantining systems
+//!   that repeatedly break down or blow their deadlines;
 //! * [`service`] — the [`SolveService`]: synchronous cached solves on the
 //!   caller's thread (including a zero-allocation in-place path) and a
 //!   worker pool that coalesces same-fingerprint requests into batches,
 //!   falling back to the resilient ladder per right-hand side on
-//!   breakdown.
+//!   breakdown. Policy submissions
+//!   ([`SolveService::submit_with_policy`]) pass through admission
+//!   control and run under an iteration-count deadline watchdog enforced
+//!   inside the PCG guard path.
 //!
 //! ## Quick start
 //!
@@ -42,10 +51,18 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod breaker;
 pub mod cache;
+pub mod policy;
 pub mod queue;
 pub mod service;
 
+pub use admission::{decide, Admission, LoadSnapshot, ShedReason, TierCost, TierCosts};
+pub use breaker::{
+    BreakerConfig, BreakerCounters, BreakerDecision, BreakerRegistry, BreakerState, CircuitBreaker,
+};
 pub use cache::{CacheConfig, CacheStats, PlanCache, PlanKey};
+pub use policy::{Priority, RequestPolicy, SolveTier};
 pub use queue::{BoundedQueue, PushError};
 pub use service::{ServeError, ServeOutcome, ServiceConfig, ServiceStats, SolveService, Ticket};

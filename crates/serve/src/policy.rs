@@ -1,0 +1,184 @@
+//! Request policies: what a client is willing to wait for, how important
+//! the request is, and how much solve quality it is willing to trade away
+//! under load.
+//!
+//! The policy travels with each request through
+//! [`SolveService::submit_with_policy`](crate::SolveService::submit_with_policy)
+//! and is consumed once, up front, by the admission controller
+//! ([`crate::admission`]): the controller turns it into either a rejection
+//! ([`crate::ServeError::Shed`]) or an admitted request pinned to a
+//! concrete [`SolveTier`] and an iteration-count watchdog budget. Nothing
+//! in the hot solve loop ever re-reads the policy — deadline enforcement
+//! is a single integer comparison inside the PCG guard path.
+
+use std::time::Duration;
+
+/// Importance class of a request. Under overload the service sheds strictly
+/// by priority: a lower class is never admitted at a queue depth where a
+/// higher class is shed (see [`crate::admission::decide`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Best-effort work; first to be shed.
+    Low,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Latency-sensitive work; only shed when the queue is truly full.
+    High,
+}
+
+impl Priority {
+    /// Stable numeric tag (also the [`spcg_probe::AdmissionEvent`] priority
+    /// encoding): higher = more important.
+    pub fn tag(self) -> u8 {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+
+    /// All classes, lowest first.
+    pub const ALL: [Priority; 3] = [Priority::Low, Priority::Normal, Priority::High];
+}
+
+/// Execution rung a request is served at. Ordered by *quality*: `Jacobi <
+/// Light < Full`, so `tier >= policy.min_quality` is the degradation
+/// floor check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SolveTier {
+    /// Diagonal (Jacobi) preconditioning, no factorization, no plan cache
+    /// entry. More iterations per solve, but near-zero setup — the rung of
+    /// last resort before shedding.
+    Jacobi,
+    /// A cheap plan: ILU(0), no sparsification pass, natural ordering.
+    /// Skips the analysis work that makes the full plan expensive to build.
+    Light,
+    /// The service's configured pipeline, exactly as a plain
+    /// [`submit`](crate::SolveService::submit) would run it.
+    Full,
+}
+
+impl SolveTier {
+    /// Stable numeric tag, used to keep tiers apart in the plan-cache key
+    /// and its shard hash.
+    pub fn tag(self) -> u64 {
+        match self {
+            SolveTier::Jacobi => 0,
+            SolveTier::Light => 1,
+            SolveTier::Full => 2,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolveTier::Jacobi => "jacobi",
+            SolveTier::Light => "light",
+            SolveTier::Full => "full",
+        }
+    }
+
+    /// The next cheaper rung, or `None` at the bottom.
+    pub fn cheaper(self) -> Option<SolveTier> {
+        match self {
+            SolveTier::Full => Some(SolveTier::Light),
+            SolveTier::Light => Some(SolveTier::Jacobi),
+            SolveTier::Jacobi => None,
+        }
+    }
+}
+
+/// Per-request serving policy. The default is the pre-policy behaviour:
+/// no deadline, normal priority, any quality accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestPolicy {
+    /// Wall-clock budget from submission to reply. `None` disables both the
+    /// admission feasibility check and the in-solve watchdog.
+    pub deadline: Option<Duration>,
+    /// Shedding class under overload.
+    pub priority: Priority,
+    /// The lowest [`SolveTier`] this request accepts. Requests that cannot
+    /// meet their deadline even at this floor are shed rather than served
+    /// below it.
+    pub min_quality: SolveTier,
+}
+
+impl Default for RequestPolicy {
+    fn default() -> Self {
+        Self { deadline: None, priority: Priority::Normal, min_quality: SolveTier::Jacobi }
+    }
+}
+
+impl RequestPolicy {
+    /// Sets the wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the priority class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the degradation floor.
+    pub fn with_min_quality(mut self, min_quality: SolveTier) -> Self {
+        self.min_quality = min_quality;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_order_by_quality() {
+        assert!(SolveTier::Jacobi < SolveTier::Light);
+        assert!(SolveTier::Light < SolveTier::Full);
+        assert_eq!(SolveTier::Full.cheaper(), Some(SolveTier::Light));
+        assert_eq!(SolveTier::Light.cheaper(), Some(SolveTier::Jacobi));
+        assert_eq!(SolveTier::Jacobi.cheaper(), None);
+    }
+
+    #[test]
+    fn priorities_order_by_importance() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+        assert_eq!(Priority::ALL.to_vec(), {
+            let mut v = Priority::ALL.to_vec();
+            v.sort();
+            v
+        });
+    }
+
+    #[test]
+    fn default_policy_is_the_legacy_behaviour() {
+        let p = RequestPolicy::default();
+        assert_eq!(p.deadline, None);
+        assert_eq!(p.priority, Priority::Normal);
+        assert_eq!(p.min_quality, SolveTier::Jacobi);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = RequestPolicy::default()
+            .with_deadline(Duration::from_millis(5))
+            .with_priority(Priority::High)
+            .with_min_quality(SolveTier::Light);
+        assert_eq!(p.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(p.priority, Priority::High);
+        assert_eq!(p.min_quality, SolveTier::Light);
+    }
+}

@@ -27,16 +27,28 @@
 //! solve returns bit-for-bit the vector a fresh single-threaded
 //! [`SpcgPlan::solve`] would (asserted by this crate's tests).
 
+use crate::admission::{decide, Admission, LoadSnapshot, ShedReason, TierCost, TierCosts};
+use crate::breaker::{BreakerConfig, BreakerCounters, BreakerDecision, BreakerRegistry};
 use crate::cache::{CacheConfig, CacheStats, PlanCache, PlanKey};
+use crate::policy::{RequestPolicy, SolveTier};
 use crate::queue::{BoundedQueue, PushError};
-use spcg_core::{FaultInjection, ResilienceOptions, SpcgOptions, SpcgPlan};
-use spcg_probe::{Counter, Probe, Span};
-use spcg_solver::{SolveResult, SolveStats, SolveWorkspace, SolverError, StopReason};
+use spcg_core::{
+    FaultInjection, OrderingKind, PrecondKind, ResilienceOptions, SpcgOptions, SpcgPlan,
+};
+use spcg_gpusim::{
+    dot_cost, elementwise_cost, estimate_from_structure, iteration_budget, plan_iteration_cost,
+    spmv_cost, value_bytes_of, DeviceSpec,
+};
+use spcg_precond::JacobiPreconditioner;
+use spcg_probe::{AdmissionEvent, AdmissionVerdict, Counter, Probe, Span};
+use spcg_solver::{
+    pcg_with_workspace, SolveResult, SolveStats, SolveWorkspace, SolverError, StopReason,
+};
 use spcg_sparse::{CsrMatrix, Scalar, SparseError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`SolveService`].
 #[derive(Debug, Clone)]
@@ -58,6 +70,11 @@ pub struct ServiceConfig {
     /// Ladder options for breakdown fallback (`fault` is overridden
     /// per-request; see [`SolveService::submit_with_fault`]).
     pub resilience: ResilienceOptions,
+    /// Device cost model backing admission pricing (deadline feasibility,
+    /// queue-wait estimation, iteration budgets).
+    pub device: DeviceSpec,
+    /// Circuit-breaker tuning for repeatedly failing fingerprints.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +87,8 @@ impl Default for ServiceConfig {
             cache: CacheConfig::default(),
             options: SpcgOptions::default(),
             resilience: ResilienceOptions::default(),
+            device: DeviceSpec::a100(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -85,6 +104,10 @@ pub enum ServeError {
     PlanBuild(SparseError),
     /// The solve itself rejected the request (dimension mismatch, …).
     Solver(SolverError),
+    /// The admission controller refused the request before any work
+    /// started (policy submissions only; see
+    /// [`SolveService::submit_with_policy`]).
+    Shed(ShedReason),
 }
 
 impl std::fmt::Display for ServeError {
@@ -94,6 +117,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Closed => write!(f, "service closed"),
             ServeError::PlanBuild(e) => write!(f, "plan construction failed: {e}"),
             ServeError::Solver(e) => write!(f, "solver rejected request: {e}"),
+            ServeError::Shed(reason) => write!(f, "request shed at admission: {reason}"),
         }
     }
 }
@@ -120,6 +144,10 @@ pub struct ServeOutcome<T: Scalar> {
     /// Number of right-hand sides in the batch this request rode in
     /// (1 = solved alone).
     pub batch_size: usize,
+    /// The execution rung that served this request.
+    /// [`SolveTier::Full`] on every non-policy path; a policy submission
+    /// reports the (possibly downgraded) tier admission selected.
+    pub tier: SolveTier,
 }
 
 /// Handle to a queued request; redeem with [`Ticket::wait`].
@@ -150,6 +178,23 @@ pub struct ServiceStats {
     pub max_batch: u64,
     /// `try_submit` rejections (backpressure events).
     pub rejected: u64,
+    /// Policy submissions offered to the admission controller. Always
+    /// equals `admitted + downgraded + shed` (the reconciliation
+    /// invariant).
+    pub offered: u64,
+    /// Policy submissions admitted at full quality.
+    pub admitted: u64,
+    /// Policy submissions admitted at a degraded tier.
+    pub downgraded: u64,
+    /// Policy submissions refused at admission (occupancy, infeasible
+    /// deadline, or quarantined fingerprint).
+    pub shed: u64,
+    /// Requests whose deadline expired while queued (answered with a typed
+    /// [`SolverError::DeadlineExceeded`] without consuming solve time).
+    pub deadline_expired: u64,
+    /// Circuit-breaker transition/rejection tallies, summed over all
+    /// fingerprints.
+    pub breaker: BreakerCounters,
     /// Plan-cache counters.
     pub cache: CacheStats,
 }
@@ -159,6 +204,17 @@ struct Request<T: Scalar> {
     a: Arc<CsrMatrix<T>>,
     b: Vec<T>,
     fault: Option<FaultInjection>,
+    /// Absolute wall-clock deadline; a worker re-derives the iteration
+    /// budget from whatever time remains at dequeue.
+    deadline: Option<Instant>,
+    /// Admission's per-iteration price for this request's tier, µs.
+    per_iter_us: f64,
+    /// Admission's expected total cost, µs (the amount added to the
+    /// queued-work gauge; the dequeuing worker subtracts it back).
+    cost_us: u64,
+    /// `true` when this request's outcome must be reported to the
+    /// fingerprint's circuit breaker (policy submissions).
+    breaker_scope: bool,
     reply: mpsc::Sender<Result<ServeOutcome<T>, ServeError>>,
 }
 
@@ -166,12 +222,23 @@ struct Inner<T: Scalar> {
     cfg: ServiceConfig,
     cache: PlanCache<T>,
     queue: BoundedQueue<Request<T>>,
+    breakers: BreakerRegistry,
+    /// Service birth; breaker timestamps are milliseconds since this.
+    epoch: Instant,
+    /// Estimated µs of solve work sitting in the queue (admission's
+    /// queue-wait signal). Incremented on admit, decremented at dequeue.
+    queued_cost_us: AtomicU64,
     requests: AtomicU64,
     completed: AtomicU64,
     batches: AtomicU64,
     batched_rhs: AtomicU64,
     max_batch: AtomicU64,
     rejected: AtomicU64,
+    offered: AtomicU64,
+    admitted: AtomicU64,
+    downgraded: AtomicU64,
+    shed: AtomicU64,
+    deadline_expired: AtomicU64,
 }
 
 /// Thread-safe, plan-caching, request-batching solve service. See the
@@ -190,6 +257,9 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
         let inner = Arc::new(Inner {
             cache: PlanCache::new(cfg.cache),
             queue: BoundedQueue::new(cfg.queue_capacity),
+            breakers: BreakerRegistry::new(cfg.breaker),
+            epoch: Instant::now(),
+            queued_cost_us: AtomicU64::new(0),
             cfg,
             requests: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -197,6 +267,11 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
             batched_rhs: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            offered: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            downgraded: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|_| {
@@ -251,7 +326,7 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
             } else {
                 (result, None)
             };
-            Ok(ServeOutcome { result, report, cache_hit, batch_size: 1 })
+            Ok(ServeOutcome { result, report, cache_hit, batch_size: 1, tier: SolveTier::Full })
         })();
         self.inner.completed.fetch_add(1, Ordering::Relaxed);
         probe.span_end(Span::ServeRequest);
@@ -305,6 +380,118 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
         self.enqueue(a, b, Some(fault), false)
     }
 
+    /// [`submit`](SolveService::submit) under a [`RequestPolicy`]: the
+    /// admission controller prices the request against the gpusim cost
+    /// model and current load, then **admits** it (possibly **downgraded**
+    /// to a cheaper [`SolveTier`]) with an iteration-count watchdog budget,
+    /// or **sheds** it with a typed [`ServeError::Shed`] before any work
+    /// starts. Fingerprints quarantined by the circuit breaker are shed
+    /// immediately.
+    pub fn submit_with_policy(
+        &self,
+        a: Arc<CsrMatrix<T>>,
+        b: Vec<T>,
+        policy: RequestPolicy,
+    ) -> Result<Ticket<T>, ServeError> {
+        self.submit_with_policy_probed(a, b, policy, &mut spcg_probe::NoProbe)
+    }
+
+    /// [`submit_with_policy`](SolveService::submit_with_policy) with an
+    /// observability [`Probe`]: the admission verdict is reported through
+    /// [`Probe::admission`] as it is made.
+    pub fn submit_with_policy_probed<P: Probe>(
+        &self,
+        a: Arc<CsrMatrix<T>>,
+        b: Vec<T>,
+        policy: RequestPolicy,
+        probe: &mut P,
+    ) -> Result<Ticket<T>, ServeError> {
+        let inner = &self.inner;
+        inner.offered.fetch_add(1, Ordering::Relaxed);
+        let base = inner.key_for(a.as_ref());
+        let queue_depth = inner.queue.len();
+        let report = |probe: &mut P, verdict: AdmissionVerdict, est_cost_us: f64| {
+            probe.admission(AdmissionEvent {
+                verdict,
+                priority: policy.priority.tag(),
+                queue_depth,
+                est_cost_us,
+            });
+        };
+
+        // Gate 0: the circuit breaker. An open fingerprint is refused
+        // before pricing — the whole point is to stop spending on it.
+        if let BreakerDecision::Quarantined { .. } = inner.breakers.admit(&base, inner.now_ms()) {
+            inner.shed.fetch_add(1, Ordering::Relaxed);
+            report(probe, AdmissionVerdict::Shed, 0.0);
+            return Err(ServeError::Shed(ShedReason::Quarantined));
+        }
+
+        let costs = inner.tier_costs(&base, a.as_ref());
+        let load = LoadSnapshot {
+            queue_depth,
+            queue_capacity: inner.cfg.queue_capacity,
+            queued_cost_us: inner.queued_cost_us.load(Ordering::Relaxed) as f64,
+            workers: inner.cfg.workers.max(1),
+        };
+        // The decision's iteration budget is advisory here: the worker
+        // re-derives it from the wall clock at dequeue, so time actually
+        // spent queued tightens the watchdog instead of being ignored.
+        let tier = match decide(&policy, &load, &costs) {
+            Admission::Shed(reason) => {
+                inner.shed.fetch_add(1, Ordering::Relaxed);
+                report(
+                    probe,
+                    AdmissionVerdict::Shed,
+                    costs.at(SolveTier::Full).expected_total_us(),
+                );
+                return Err(ServeError::Shed(reason));
+            }
+            Admission::Admit { tier, .. } => tier,
+        };
+
+        let cost = costs.at(tier);
+        let cost_us = cost.expected_total_us().max(0.0) as u64;
+        let (tx, rx) = mpsc::channel();
+        let req = Request {
+            key: base.with_tier(tier),
+            a,
+            b,
+            fault: None,
+            deadline: policy.deadline.map(|d| Instant::now() + d),
+            per_iter_us: cost.per_iteration_us,
+            cost_us,
+            breaker_scope: true,
+            reply: tx,
+        };
+        match inner.queue.try_push(req) {
+            Ok(()) => {
+                inner.queued_cost_us.fetch_add(cost_us, Ordering::Relaxed);
+                inner.requests.fetch_add(1, Ordering::Relaxed);
+                let (verdict, stat) = if tier == SolveTier::Full {
+                    (AdmissionVerdict::Admitted, &inner.admitted)
+                } else {
+                    (AdmissionVerdict::Downgraded, &inner.downgraded)
+                };
+                stat.fetch_add(1, Ordering::Relaxed);
+                report(probe, verdict, cost.expected_total_us());
+                Ok(Ticket { rx })
+            }
+            // The occupancy gate raced a filling queue: that is still an
+            // admission shed, kept inside the reconciliation invariant.
+            Err(PushError::Full(_)) => {
+                inner.shed.fetch_add(1, Ordering::Relaxed);
+                report(probe, AdmissionVerdict::Shed, cost.expected_total_us());
+                Err(ServeError::Shed(ShedReason::Occupancy))
+            }
+            Err(PushError::Closed(_)) => {
+                inner.shed.fetch_add(1, Ordering::Relaxed);
+                report(probe, AdmissionVerdict::Shed, cost.expected_total_us());
+                Err(ServeError::Closed)
+            }
+        }
+    }
+
     fn enqueue(
         &self,
         a: Arc<CsrMatrix<T>>,
@@ -314,7 +501,17 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
     ) -> Result<Ticket<T>, ServeError> {
         let key = self.inner.key_for(a.as_ref());
         let (tx, rx) = mpsc::channel();
-        let req = Request { key, a, b, fault, reply: tx };
+        let req = Request {
+            key,
+            a,
+            b,
+            fault,
+            deadline: None,
+            per_iter_us: 0.0,
+            cost_us: 0,
+            breaker_scope: false,
+            reply: tx,
+        };
         let pushed =
             if bounded { self.inner.queue.try_push(req) } else { self.inner.queue.push(req) };
         match pushed {
@@ -331,8 +528,11 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
     }
 
     /// Aggregate counters. Once clients and workers are quiescent,
-    /// `cache.hits + cache.misses == requests` — every accepted request
-    /// performs exactly one counted cache lookup.
+    /// `cache.hits + cache.misses` equals the number of accepted
+    /// *plan-backed* requests — every such request performs exactly one
+    /// counted cache lookup. Jacobi-tier requests never touch the plan
+    /// cache, and `offered == admitted + downgraded + shed` always holds
+    /// for policy submissions (the reconciliation invariant).
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             requests: self.inner.requests.load(Ordering::Relaxed),
@@ -341,6 +541,12 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
             batched_rhs: self.inner.batched_rhs.load(Ordering::Relaxed),
             max_batch: self.inner.max_batch.load(Ordering::Relaxed),
             rejected: self.inner.rejected.load(Ordering::Relaxed),
+            offered: self.inner.offered.load(Ordering::Relaxed),
+            admitted: self.inner.admitted.load(Ordering::Relaxed),
+            downgraded: self.inner.downgraded.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
+            deadline_expired: self.inner.deadline_expired.load(Ordering::Relaxed),
+            breaker: self.inner.breakers.counters(),
             cache: self.inner.cache.stats(),
         }
     }
@@ -352,6 +558,19 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
         probe.counter(Counter::ServeBatches, s.batches);
         probe.counter(Counter::ServeBatchedRhs, s.batched_rhs);
         probe.counter(Counter::ServeRejected, s.rejected);
+        probe.counter(Counter::ServeAdmitted, s.admitted);
+        probe.counter(Counter::ServeDowngraded, s.downgraded);
+        probe.counter(Counter::ServeShed, s.shed);
+        probe.counter(Counter::ServeBreakerOpened, s.breaker.opened);
+        probe.counter(Counter::ServeBreakerHalfOpen, s.breaker.half_opened);
+        probe.counter(Counter::ServeBreakerClosed, s.breaker.closed);
+        probe.counter(Counter::ServeBreakerRejected, s.breaker.rejected);
+    }
+
+    /// The circuit-breaker state for `a`'s fingerprint under this
+    /// service's configuration (diagnostics and tests).
+    pub fn breaker_state(&self, a: &CsrMatrix<T>) -> crate::breaker::BreakerState {
+        self.inner.breakers.state(&self.inner.key_for(a))
     }
 
     /// The plan cache (diagnostics and tests).
@@ -392,11 +611,90 @@ impl<T: Scalar> Inner<T> {
         PlanKey::of(a, self.cfg.options.ordering, self.cfg.options.precision)
     }
 
+    /// Milliseconds since service start — the breaker timebase.
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Pipeline options for plans built at `tier`. `Full` is the
+    /// configured pipeline; `Light` strips the expensive analysis
+    /// (sparsify pass, non-natural ordering, fill levels) down to plain
+    /// ILU(0). `Jacobi` builds no plan at all and never reaches here.
+    fn options_for_tier(&self, tier: SolveTier) -> SpcgOptions {
+        match tier {
+            SolveTier::Light => self
+                .cfg
+                .options
+                .clone()
+                .with_sparsify(None)
+                .with_precond(PrecondKind::Ilu0)
+                .with_ordering(OrderingKind::Natural),
+            _ => self.cfg.options.clone(),
+        }
+    }
+
+    /// Expected PCG iteration counts per tier for an `n`-row system.
+    /// √n tracks CG's √κ(A) on the 2D-grid family the service is
+    /// benchmarked on; the diagonal preconditioner is weaker than ILU by
+    /// roughly the paper's observed 3× on the same family.
+    fn expected_iterations(n: usize) -> (usize, usize) {
+        let ilu = (n as f64).sqrt().ceil().max(1.0) as usize;
+        (ilu, ilu.saturating_mul(3))
+    }
+
+    /// Admission's per-tier price table for one request. A cached plan is
+    /// priced exactly ([`plan_iteration_cost`]) with zero build cost; an
+    /// absent plan is priced from structure alone
+    /// ([`estimate_from_structure`]). Pricing uses [`PlanCache::peek`], so
+    /// a request that is subsequently shed leaves no trace in the cache
+    /// tallies or LRU order.
+    fn tier_costs(&self, base: &PlanKey, a: &CsrMatrix<T>) -> TierCosts {
+        let device = &self.cfg.device;
+        let (n, nnz) = (a.n_rows(), a.nnz());
+        let vb = value_bytes_of::<T>();
+        let (ilu_iters, jacobi_iters) = Self::expected_iterations(n);
+        let est = estimate_from_structure(device, n, nnz, vb);
+
+        let priced = |key: &PlanKey, build_us: f64| match self.cache.peek(key) {
+            Some(plan) => TierCost {
+                build_us: 0.0,
+                per_iteration_us: plan_iteration_cost(device, &plan).total_us(),
+                expected_iterations: ilu_iters,
+            },
+            None => TierCost {
+                build_us,
+                per_iteration_us: est.per_iteration_us,
+                expected_iterations: ilu_iters,
+            },
+        };
+        let full = priced(base, est.build_us);
+        // Light skips the sparsify scan; the rest of the build estimate
+        // (inspector + numeric factorization) stands.
+        let light = priced(
+            &base.with_tier(SolveTier::Light),
+            (est.build_us - spcg_gpusim::sparsify_cost_us(nnz)).max(0.0),
+        );
+        // Jacobi: SpMV + diagonal scale + BLAS-1 per iteration, one
+        // diagonal-extraction pass to build, no trisolves anywhere.
+        let spmv_us = spmv_cost(device, a).time_us;
+        let diag_us = elementwise_cost::<T>(device, n, 3.0).time_us;
+        let blas_us = 2.0 * dot_cost::<T>(device, n).time_us
+            + 3.0 * elementwise_cost::<T>(device, n, 3.0).time_us;
+        let jacobi = TierCost {
+            build_us: elementwise_cost::<T>(device, n, 2.0).time_us,
+            per_iteration_us: spmv_us + diag_us + blas_us,
+            expected_iterations: jacobi_iters,
+        };
+        TierCosts { full, light, jacobi }
+    }
+
     /// Cache lookup, building and inserting on a miss. Exactly one lookup
     /// is counted per call. Two threads racing the same cold key may both
     /// build; both results are numerically identical (the whole pipeline
     /// is deterministic), the second insert wins, and correctness is
-    /// unaffected — the duplicate work is bounded by the race.
+    /// unaffected — the duplicate work is bounded by the race. The key's
+    /// tier selects the build options, so a degraded key builds (and
+    /// caches) the cheaper plan.
     fn plan_for(
         &self,
         key: PlanKey,
@@ -405,18 +703,24 @@ impl<T: Scalar> Inner<T> {
         if let Some(plan) = self.cache.get(&key) {
             return Ok((plan, true));
         }
-        let plan = Arc::new(SpcgPlan::build(a, &self.cfg.options).map_err(ServeError::PlanBuild)?);
+        let opts = self.options_for_tier(key.tier);
+        let plan = Arc::new(SpcgPlan::build(a, &opts).map_err(ServeError::PlanBuild)?);
         self.cache.insert(key, Arc::clone(&plan));
         Ok((plan, false))
     }
 
-    /// Solves one right-hand side: planned path first, resilient ladder on
-    /// breakdown (or straight to the ladder when a fault is injected).
+    /// Solves one right-hand side: planned path first (under the
+    /// iteration-count watchdog), resilient ladder on breakdown (or
+    /// straight to the ladder when a fault is injected). The watchdog
+    /// applies to the planned attempt; a ladder recovery runs to
+    /// completion — it is already the degraded path, and killing it would
+    /// waste the planned iterations it salvages.
     fn solve_one(
         &self,
         plan: &SpcgPlan<T>,
         b: &[T],
         fault: Option<FaultInjection>,
+        deadline_iters: usize,
         ws: &mut SolveWorkspace<T>,
     ) -> Result<(SolveResult<T>, Option<spcg_core::RecoveryReport>), ServeError> {
         if let Some(fault) = fault {
@@ -424,12 +728,32 @@ impl<T: Scalar> Inner<T> {
             let rs = plan.solve_resilient_with_workspace(b, &ropts, ws)?;
             return Ok((rs.result, Some(rs.report)));
         }
-        let result = plan.solve_with_workspace(b, ws)?;
+        let result = plan.solve_with_workspace_deadline_probed(
+            b,
+            deadline_iters,
+            ws,
+            &mut spcg_probe::NoProbe,
+        )?;
         if matches!(result.stop, StopReason::Breakdown(_)) {
             let rs = plan.solve_resilient_with_workspace(b, &self.cfg.resilience, ws)?;
             return Ok((rs.result, Some(rs.report)));
         }
         Ok((result, None))
+    }
+
+    /// Reports one policy request's outcome to its fingerprint's breaker.
+    /// Success = a converged result (ladder recoveries included); failure
+    /// = a blown deadline or an unconverged final answer.
+    fn record_breaker_outcome(
+        &self,
+        req_key: &PlanKey,
+        outcome: &Result<ServeOutcome<T>, ServeError>,
+    ) {
+        let base = req_key.with_tier(SolveTier::Full);
+        match outcome {
+            Ok(out) if out.result.converged() => self.breakers.record_success(&base),
+            _ => self.breakers.record_failure(&base, self.now_ms()),
+        }
     }
 }
 
@@ -453,6 +777,13 @@ fn worker_loop<T: Scalar + Send + Sync>(inner: &Inner<T>) {
                 inner.queue.drain_matching(|r| r.key == key, inner.cfg.batch_limit - batch.len()),
             );
         }
+        // The queued-work gauge sheds this batch the moment it leaves the
+        // queue — admission must not double-count work a worker already
+        // owns.
+        let batch_cost: u64 = batch.iter().map(|r| r.cost_us).sum();
+        if batch_cost > 0 {
+            inner.queued_cost_us.fetch_sub(batch_cost, Ordering::Relaxed);
+        }
         let size = batch.len();
         inner.batches.fetch_add(1, Ordering::Relaxed);
         inner.max_batch.fetch_max(size as u64, Ordering::Relaxed);
@@ -460,15 +791,24 @@ fn worker_loop<T: Scalar + Send + Sync>(inner: &Inner<T>) {
             inner.batched_rhs.fetch_add(size as u64, Ordering::Relaxed);
         }
 
+        if key.tier == SolveTier::Jacobi {
+            serve_jacobi_batch(inner, batch, size);
+            continue;
+        }
+
         // One counted cache lookup per request in the batch: the leader
         // resolves (or builds) the plan, coalesced followers re-look it up
         // — by then resident, so they tally as the cache hits they
-        // logically are, and `hits + misses` keeps equaling requests.
+        // logically are, and `hits + misses` keeps equaling plan-backed
+        // requests.
         let leader = inner.plan_for(key, batch[0].a.as_ref());
         let (plan, leader_hit) = match leader {
             Ok(pair) => pair,
             Err(e) => {
                 for req in batch {
+                    if req.breaker_scope {
+                        inner.record_breaker_outcome(&req.key, &Err(e.clone()));
+                    }
                     // Count before replying: a client that sees the reply
                     // must also see the request as completed in stats.
                     inner.completed.fetch_add(1, Ordering::Relaxed);
@@ -481,14 +821,100 @@ fn worker_loop<T: Scalar + Send + Sync>(inner: &Inner<T>) {
         let mut ws = plan.make_workspace();
         for (i, req) in batch.into_iter().enumerate() {
             let cache_hit = if i == 0 { leader_hit } else { inner.cache.get(&key).is_some() };
-            let reply =
-                inner.solve_one(&plan, &req.b, req.fault, &mut ws).map(|(result, report)| {
-                    ServeOutcome { result, report, cache_hit, batch_size: size }
-                });
+            let reply = match deadline_budget(&req) {
+                None => Err(expired_in_queue(inner)),
+                Some(budget) => inner.solve_one(&plan, &req.b, req.fault, budget, &mut ws).map(
+                    |(result, report)| ServeOutcome {
+                        result,
+                        report,
+                        cache_hit,
+                        batch_size: size,
+                        tier: req.key.tier,
+                    },
+                ),
+            };
+            if req.breaker_scope {
+                inner.record_breaker_outcome(&req.key, &reply);
+            }
             // Count before replying (see the error branch above).
             inner.completed.fetch_add(1, Ordering::Relaxed);
             let _ = req.reply.send(reply);
         }
+    }
+}
+
+/// The iteration budget left for `req` at this instant, or `None` when its
+/// deadline already passed in the queue — the caller answers with a typed
+/// error instead of starting a doomed solve.
+fn deadline_budget<T: Scalar>(req: &Request<T>) -> Option<usize> {
+    match req.deadline {
+        None => Some(usize::MAX),
+        Some(deadline) => {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let remaining_us = deadline.duration_since(now).as_secs_f64() * 1e6;
+            Some(iteration_budget(remaining_us, req.per_iter_us))
+        }
+    }
+}
+
+/// The typed reply for a request whose deadline expired while queued: zero
+/// iterations were spent and no residual was ever computed.
+fn expired_in_queue<T: Scalar>(inner: &Inner<T>) -> ServeError {
+    inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    ServeError::Solver(SolverError::DeadlineExceeded {
+        best_residual: f64::INFINITY,
+        iterations: 0,
+    })
+}
+
+/// Serves one coalesced batch at the Jacobi tier: no plan, no cache entry
+/// — a diagonal preconditioner built on the spot and plain PCG per
+/// right-hand side, still under the per-request watchdog.
+fn serve_jacobi_batch<T: Scalar + Send + Sync>(
+    inner: &Inner<T>,
+    batch: Vec<Request<T>>,
+    size: usize,
+) {
+    let a = Arc::clone(&batch[0].a);
+    let precond = match JacobiPreconditioner::new(a.as_ref()) {
+        Ok(p) => p,
+        Err(e) => {
+            for req in batch {
+                let err = ServeError::PlanBuild(e.clone());
+                if req.breaker_scope {
+                    inner.record_breaker_outcome(&req.key, &Err(err.clone()));
+                }
+                inner.completed.fetch_add(1, Ordering::Relaxed);
+                let _ = req.reply.send(Err(err));
+            }
+            return;
+        }
+    };
+    let mut ws = SolveWorkspace::for_preconditioner(a.n_rows(), &precond);
+    for req in batch {
+        let reply = match deadline_budget(&req) {
+            None => Err(expired_in_queue(inner)),
+            Some(budget) => {
+                let config = inner.cfg.options.solver.clone().with_deadline_iters(budget);
+                pcg_with_workspace(a.as_ref(), &precond, &req.b, &config, &mut ws)
+                    .map(|result| ServeOutcome {
+                        result,
+                        report: None,
+                        cache_hit: false,
+                        batch_size: size,
+                        tier: SolveTier::Jacobi,
+                    })
+                    .map_err(ServeError::from)
+            }
+        };
+        if req.breaker_scope {
+            inner.record_breaker_outcome(&req.key, &reply);
+        }
+        inner.completed.fetch_add(1, Ordering::Relaxed);
+        let _ = req.reply.send(reply);
     }
 }
 

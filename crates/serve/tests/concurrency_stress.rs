@@ -7,8 +7,11 @@
 //! cache counters must reconcile exactly afterwards.
 
 use spcg_core::{FaultInjection, ResilienceOptions, SpcgOptions, SpcgPlan};
-use spcg_serve::{CacheConfig, ServiceConfig, SolveService};
-use spcg_solver::SolverConfig;
+use spcg_serve::{
+    BreakerConfig, CacheConfig, Priority, RequestPolicy, ServeError, ServiceConfig, ShedReason,
+    SolveService, SolveTier,
+};
+use spcg_solver::{SolverConfig, SolverError};
 use spcg_sparse::generators::{layered_poisson_2d, poisson_2d, with_magnitude_spread};
 use spcg_sparse::{CsrMatrix, Rng};
 use std::sync::{mpsc, Arc};
@@ -97,7 +100,7 @@ fn hammered_service_is_bitwise_identical_and_reconciles() {
             batch_limit: 8,
             cache: CacheConfig { shards: 2, capacity: 8, byte_budget: 64 << 20 },
             options: opts2,
-            resilience: ResilienceOptions::default(),
+            ..ServiceConfig::default()
         });
         std::thread::scope(|s| {
             for client in 0..CLIENTS {
@@ -190,6 +193,221 @@ fn backpressure_rejects_then_recovers() {
     // Once drained, the service accepts work again.
     let t = service.try_submit(Arc::clone(&mats[0]), b).unwrap();
     assert!(t.wait().unwrap().result.converged());
+}
+
+#[test]
+fn policy_submission_without_deadline_serves_full_tier() {
+    let mats = matrices();
+    let service = SolveService::new(ServiceConfig {
+        workers: 1,
+        batch_window: Duration::ZERO,
+        options: options(),
+        ..ServiceConfig::default()
+    });
+    let b = rhs_for(mats[0].n_rows(), 0, 0);
+    let t = service
+        .submit_with_policy(Arc::clone(&mats[0]), b.clone(), RequestPolicy::default())
+        .expect("idle service admits");
+    let out = t.wait().unwrap();
+    assert!(out.result.converged());
+    assert_eq!(out.tier, SolveTier::Full, "no deadline means no degradation");
+    // Same numerics as the legacy path.
+    let golden = service.solve(&mats[0], &b).unwrap();
+    assert_eq!(out.result.x, golden.result.x);
+    let stats = service.stats();
+    assert_eq!((stats.offered, stats.admitted, stats.downgraded, stats.shed), (1, 1, 0, 0));
+    assert_eq!(stats.offered, stats.admitted + stats.downgraded + stats.shed);
+}
+
+#[test]
+fn expired_deadline_yields_typed_error_without_solving() {
+    let mats = matrices();
+    let service = SolveService::new(ServiceConfig {
+        workers: 1,
+        batch_window: Duration::ZERO,
+        options: options(),
+        ..ServiceConfig::default()
+    });
+    let b = rhs_for(mats[0].n_rows(), 0, 0);
+    // A nanosecond deadline is infeasible at every tier; High priority is
+    // still admitted at its quality floor rather than shed, and the worker
+    // finds the deadline long gone by dequeue time.
+    let policy = RequestPolicy::default()
+        .with_priority(Priority::High)
+        .with_deadline(Duration::from_nanos(1));
+    let t = service.submit_with_policy(Arc::clone(&mats[0]), b, policy).expect("High is admitted");
+    match t.wait() {
+        Err(ServeError::Solver(SolverError::DeadlineExceeded { iterations, .. })) => {
+            assert_eq!(iterations, 0, "expired in queue: no iterations were spent");
+        }
+        other => panic!("expected a typed DeadlineExceeded, got {other:?}"),
+    }
+    let stats = service.stats();
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.offered, stats.admitted + stats.downgraded + stats.shed);
+}
+
+#[test]
+fn occupancy_sheds_strictly_by_priority() {
+    let mats = matrices();
+    // One worker parked in a long admission window, so the queue depth we
+    // create stays put while the policy submissions are judged.
+    let service = SolveService::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 4,
+        batch_window: Duration::from_millis(500),
+        batch_limit: 2,
+        options: options(),
+        ..ServiceConfig::default()
+    });
+    let b = rhs_for(mats[0].n_rows(), 0, 0);
+    // Occupy the worker, then fill the queue to 50%.
+    let parked = service.submit(Arc::clone(&mats[0]), b.clone()).unwrap();
+    std::thread::sleep(Duration::from_millis(50)); // let the worker pop it
+    let queued: Vec<_> =
+        (0..2).map(|_| service.submit(Arc::clone(&mats[0]), b.clone()).unwrap()).collect();
+
+    let submit = |pri: Priority| {
+        service.submit_with_policy(
+            Arc::clone(&mats[0]),
+            b.clone(),
+            RequestPolicy::default().with_priority(pri),
+        )
+    };
+    // At 50% occupancy Low is shed while Normal and High are admitted —
+    // the nested-threshold guarantee.
+    let low = submit(Priority::Low);
+    assert!(
+        matches!(low, Err(ServeError::Shed(ShedReason::Occupancy))),
+        "Low must shed at 50% occupancy, got {low:?}"
+    );
+    let normal = submit(Priority::Normal).expect("Normal admitted at 50%");
+    let high = submit(Priority::High).expect("High admitted at 50%");
+
+    for t in queued.into_iter().chain([parked, normal, high]) {
+        assert!(t.wait().unwrap().result.converged());
+    }
+    let stats = service.stats();
+    assert_eq!((stats.offered, stats.shed), (3, 1));
+    assert_eq!(stats.offered, stats.admitted + stats.downgraded + stats.shed);
+}
+
+#[test]
+fn breaker_quarantines_a_failing_fingerprint() {
+    let mats = matrices();
+    // A solver that can never converge: every request fails, tripping the
+    // fingerprint's breaker after two consecutive failures.
+    let opts = SpcgOptions {
+        solver: SolverConfig::default().with_tol(1e-300).with_max_iters(2),
+        ..SpcgOptions::default()
+    };
+    let service = SolveService::new(ServiceConfig {
+        workers: 1,
+        batch_window: Duration::ZERO,
+        batch_limit: 1,
+        options: opts,
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            base_backoff_ms: 60_000,
+            max_backoff_ms: 60_000,
+        },
+        ..ServiceConfig::default()
+    });
+    let b = rhs_for(mats[0].n_rows(), 0, 0);
+    for i in 0..2 {
+        let t = service
+            .submit_with_policy(Arc::clone(&mats[0]), b.clone(), RequestPolicy::default())
+            .unwrap_or_else(|e| panic!("request {i} admitted before the trip, got {e}"));
+        let out = t.wait().expect("non-convergence is a result, not an error");
+        assert!(!out.result.converged());
+    }
+    // Third request: quarantined before any work starts.
+    let refused =
+        service.submit_with_policy(Arc::clone(&mats[0]), b.clone(), RequestPolicy::default());
+    assert!(
+        matches!(refused, Err(ServeError::Shed(ShedReason::Quarantined))),
+        "expected quarantine, got {refused:?}"
+    );
+    let before = service.stats();
+    // Quarantined retries stop consuming worker time: completed stays put.
+    for _ in 0..5 {
+        let r =
+            service.submit_with_policy(Arc::clone(&mats[0]), b.clone(), RequestPolicy::default());
+        assert!(matches!(r, Err(ServeError::Shed(ShedReason::Quarantined))));
+    }
+    let after = service.stats();
+    assert_eq!(after.completed, before.completed, "quarantined requests must not reach workers");
+    assert_eq!(after.breaker.opened, 1);
+    assert!(after.breaker.rejected >= 6);
+    assert_eq!(after.offered, after.admitted + after.downgraded + after.shed);
+}
+
+/// Satellite: shutdown under load. Closing the service with a deep queue
+/// must resolve **every** outstanding ticket with a typed outcome — the
+/// queue drains through the workers on drop, nothing hangs, and no
+/// responder is dropped unanswered. The whole exchange runs under a
+/// watchdog so a regression fails the test instead of wedging the suite.
+#[test]
+fn shutdown_with_deep_queue_resolves_every_ticket() {
+    let mats = matrices();
+    let opts = options();
+    let service = SolveService::new(ServiceConfig {
+        workers: 2,
+        queue_capacity: 64,
+        batch_window: Duration::from_millis(20),
+        batch_limit: 4,
+        options: opts,
+        ..ServiceConfig::default()
+    });
+
+    // Build a deep queue across several fingerprints, with a few policy
+    // submissions (deadlines included) mixed in.
+    let mut tickets = Vec::new();
+    for i in 0..40 {
+        let m = &mats[i % mats.len()];
+        let b = rhs_for(m.n_rows(), 7, i);
+        let t = if i % 4 == 0 {
+            service.submit_with_policy(
+                Arc::clone(m),
+                b,
+                RequestPolicy::default()
+                    .with_priority(Priority::High)
+                    .with_deadline(Duration::from_secs(30)),
+            )
+        } else {
+            service.submit(Arc::clone(m), b)
+        };
+        if let Ok(t) = t {
+            tickets.push(t);
+        }
+    }
+    let accepted = tickets.len();
+    assert!(accepted >= 30, "the deep queue should accept most submissions");
+
+    // Redeem the tickets on a separate thread while this one drops the
+    // service, so closure races active waits.
+    let (done_tx, done_rx) = mpsc::channel();
+    let redeemer = std::thread::spawn(move || {
+        let mut outcomes = 0usize;
+        for t in tickets {
+            // Every wait must RETURN — Ok or typed Err — never hang.
+            match t.wait() {
+                Ok(out) => {
+                    assert!(out.result.converged());
+                    outcomes += 1;
+                }
+                Err(ServeError::Closed) => panic!("accepted request dropped on shutdown"),
+                Err(e) => panic!("unexpected error on shutdown: {e}"),
+            }
+        }
+        done_tx.send(outcomes).unwrap();
+    });
+    drop(service); // close the queue, drain, join workers
+    let outcomes = done_rx
+        .recv_timeout(Duration::from_secs(120))
+        .expect("shutdown hung with a deep queue (watchdog fired)");
+    assert_eq!(outcomes, accepted, "every accepted request must resolve");
+    redeemer.join().unwrap();
 }
 
 #[test]

@@ -8,8 +8,13 @@
 
 use std::fmt;
 
-/// Why a solve request was rejected before any iteration ran.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Why a solve request was rejected before any iteration ran, or cut off
+/// mid-run by the deadline watchdog.
+///
+/// Not `Eq` because [`SolverError::DeadlineExceeded`] carries the
+/// best-so-far residual as an `f64`; it stays `Copy` so the guard path can
+/// construct one without allocating.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SolverError {
     /// The system matrix is not square.
     NotSquare {
@@ -35,6 +40,16 @@ pub enum SolverError {
     /// The system (and right-hand side) are empty — there is nothing to
     /// solve and no meaningful result to return.
     EmptySystem,
+    /// The iteration-count deadline budget
+    /// ([`SolverConfig::deadline_iters`](crate::SolverConfig)) expired before
+    /// the solve converged. Carries the best residual norm observed so the
+    /// caller can judge how far the partial solve got.
+    DeadlineExceeded {
+        /// Smallest `‖r_k‖₂` seen before the budget expired.
+        best_residual: f64,
+        /// Iterations completed when the watchdog fired.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for SolverError {
@@ -53,6 +68,13 @@ impl fmt::Display for SolverError {
                 )
             }
             SolverError::EmptySystem => write!(f, "cannot solve an empty (0-dimensional) system"),
+            SolverError::DeadlineExceeded { best_residual, iterations } => {
+                write!(
+                    f,
+                    "deadline budget expired after {iterations} iterations \
+                     (best residual {best_residual:.3e})"
+                )
+            }
         }
     }
 }
@@ -72,5 +94,16 @@ mod tests {
         let e = SolverError::PreconditionerDim { expected: 4, got: 9 };
         assert!(e.to_string().contains('9'));
         assert!(SolverError::EmptySystem.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn deadline_exceeded_reports_progress() {
+        let e = SolverError::DeadlineExceeded { best_residual: 2.5e-4, iterations: 37 };
+        let s = e.to_string();
+        assert!(s.contains("37"), "{s}");
+        assert!(s.contains("2.500e-4") || s.contains("2.5e-4"), "{s}");
+        // Stays Copy + PartialEq for typed matching in callers.
+        let copy = e;
+        assert_eq!(copy, e);
     }
 }

@@ -231,6 +231,10 @@ pub fn pcg_in_place_probed<T: Scalar, M: Preconditioner<T> + ?Sized, P: Probe>(
     let mut stop = StopReason::MaxIterations;
     let mut best_residual = f64::INFINITY;
     let mut iters_since_best = 0usize;
+    // Plain minimum of every finite residual seen, independent of the
+    // stagnation guard's relative-improvement rule: the deadline error
+    // reports how far the cut-off solve actually got.
+    let mut best_seen = f64::INFINITY;
 
     for k in 0..config.max_iters {
         if let Some(f) = fault {
@@ -258,10 +262,21 @@ pub fn pcg_in_place_probed<T: Scalar, M: Preconditioner<T> + ?Sized, P: Probe>(
             probe.iteration(iter_event(k, r_norm, 0.0, 0.0, ProbeStop::Nan));
             break;
         }
+        if r_norm < best_seen {
+            best_seen = r_norm;
+        }
         if r_norm < threshold {
             stop = StopReason::Converged;
             probe.iteration(iter_event(k, r_norm, 0.0, 0.0, ProbeStop::Converged));
             break;
+        }
+        // Deadline watchdog: one integer comparison, checked after the
+        // convergence test so a solve that finishes exactly on budget still
+        // reports success. Disabled (usize::MAX) it can never fire.
+        if k >= config.deadline_iters {
+            probe.iteration(iter_event(k, r_norm, 0.0, 0.0, ProbeStop::Deadline));
+            probe.span_end(Span::SolveLoop);
+            return Err(SolverError::DeadlineExceeded { best_residual: best_seen, iterations: k });
         }
         if r_norm > divergence_limit {
             stop = StopReason::Breakdown(BreakdownKind::Divergence);
@@ -779,6 +794,61 @@ mod tests {
         assert_eq!(r1.x, r2.x);
         assert_eq!(r1.residual_history, r2.residual_history);
         assert_eq!(r1.stop, r2.stop);
+    }
+
+    // ---- deadline watchdog -------------------------------------------------
+
+    #[test]
+    fn deadline_budget_cuts_off_with_best_residual() {
+        let a = poisson_2d(30, 30);
+        let b = rhs(900, 7);
+        let m = IdentityPreconditioner::new(900);
+        let cfg = SolverConfig::default()
+            .with_tol(1e-14)
+            .with_tol_mode(ToleranceMode::Absolute)
+            .with_deadline_iters(5);
+        let err = pcg(&a, &m, &b, &cfg).unwrap_err();
+        match err {
+            SolverError::DeadlineExceeded { best_residual, iterations } => {
+                assert_eq!(iterations, 5, "watchdog must fire exactly at the budget");
+                assert!(best_residual.is_finite() && best_residual > 0.0);
+                // The reference run's residual trajectory bounds the reported best.
+                let full = pcg(&a, &m, &b, &SolverConfig::default().with_history(true)).unwrap();
+                let min5 =
+                    full.residual_history[..=5].iter().cloned().fold(f64::INFINITY, f64::min);
+                assert!((best_residual - min5).abs() <= 1e-12 * min5.max(1.0));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn convergence_beats_the_deadline_on_the_same_iteration() {
+        // Budget far above the iterations the solve needs: never fires.
+        let a = poisson_2d(10, 10);
+        let b = rhs(100, 1);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let quick = pcg(&a, &f, &b, &SolverConfig::default().with_tol(1e-10)).unwrap();
+        assert!(quick.converged());
+        // Budget exactly equal to the converging iteration: the convergence
+        // test runs first, so the solve still succeeds.
+        let cfg = SolverConfig::default().with_tol(1e-10).with_deadline_iters(quick.iterations);
+        let res = pcg(&a, &f, &b, &cfg).unwrap();
+        assert!(res.converged());
+        assert_eq!(res.iterations, quick.iterations);
+    }
+
+    #[test]
+    fn disabled_deadline_is_bitwise_identical() {
+        let a = poisson_2d(14, 14);
+        let b = rhs(196, 6);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let plain = SolverConfig::default().with_tol(1e-10).with_history(true);
+        let explicit = plain.clone().with_deadline_iters(usize::MAX);
+        let r1 = pcg(&a, &f, &b, &plain).unwrap();
+        let r2 = pcg(&a, &f, &b, &explicit).unwrap();
+        assert_eq!(r1.x, r2.x);
+        assert_eq!(r1.residual_history, r2.residual_history);
     }
 
     // ---- fault injection ---------------------------------------------------

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI perf-regression gate over the tracked trajectory bench.
 
-Compares a freshly regenerated `BENCH_6.json` against the committed
+Compares a freshly regenerated `BENCH_7.json` against the committed
 baseline and fails (exit 1) if any fixture regressed beyond tolerance:
 
 * **Simulated per-iteration cost** (baseline, spcg, auto-ordering, and
@@ -18,6 +18,13 @@ baseline and fails (exit 1) if any fixture regressed beyond tolerance:
   bytes ratio dropping below the 1.5x acceptance floor on any fixture —
   the bandwidth win is the mixed tier's reason to exist, so losing it is
   a regression even if timings hold.
+* **Serve study (admission control at 2x load)**: any priority class's
+  p99 virtual-time latency exceeding the per-request deadline (the
+  watchdog makes the deadline a hard ceiling, so a breach means the
+  watchdog or admission feasibility check broke), the high-priority p99
+  regressing more than 2% against baseline, shedding that is not
+  monotone by priority (low >= normal >= high), or a 2x-overload run
+  that sheds nothing at all.
 
 A before/after table is always printed, pass or fail, so the CI log
 doubles as the perf report.
@@ -36,6 +43,8 @@ ITER_ABS = 3
 LEVEL_FLOOR = 10.0  # acceptance floor for gmean level reduction, percent
 LEVEL_DRIFT = 2.0  # allowed drop vs baseline, points
 APPLY_BYTES_FLOOR = 1.5  # per-fixture floor for full/mixed apply-bytes ratio
+P99_SLACK = 1.02  # 2% relative, high-priority p99 vs baseline
+P99_EPS = 0.01  # absolute µs floor under the 3-decimal rounding
 
 
 def load(path: str) -> dict:
@@ -55,6 +64,40 @@ def variants(row: dict) -> list[tuple[str, float, int]]:
         ("auto", o["per_iteration_us_auto"], o["iterations_auto"]),
         ("mixed", p["per_iteration_us_mixed"], p["iterations_mixed"]),
     ]
+
+
+def check_serve(base: dict | None, cand: dict | None, failures: list[str]) -> None:
+    """Gate the virtual-time admission-control replay."""
+    if cand is None:
+        failures.append("serve: study missing from candidate")
+        return
+    deadline = cand["deadline_us"]
+    classes = {c["priority"]: c for c in cand["classes"]}
+    print("-" * 66)
+    print(f"serve study: deadline {deadline:.1f} µs, {cand['workers']} workers")
+    for name, c in classes.items():
+        print(
+            f"  {name:<8} offered {c['offered']:>4}  shed {c['shed']:>4}  "
+            f"killed {c['watchdog_killed']:>4}  p99 {c['p99_us']:>10.1f} µs"
+        )
+        if c["p99_us"] > deadline + P99_EPS:
+            failures.append(
+                f"serve/{name}: p99 {c['p99_us']:.1f} µs exceeds the "
+                f"{deadline:.1f} µs deadline — the watchdog ceiling broke"
+            )
+    shed = [classes[p]["shed"] for p in ("low", "normal", "high")]
+    if not (shed[0] >= shed[1] >= shed[2]):
+        failures.append(f"serve: shedding not monotone by priority: low/normal/high = {shed}")
+    if sum(shed) == 0:
+        failures.append("serve: a 2x-overload run shed nothing — admission control is inert")
+    if base is not None:
+        b = {c["priority"]: c for c in base["classes"]}["high"]["p99_us"]
+        c = classes["high"]["p99_us"]
+        print(f"  high-priority p99: {b:.1f} -> {c:.1f} µs (tolerance {P99_SLACK:.2f}x)")
+        if c > b * P99_SLACK + P99_EPS:
+            failures.append(
+                f"serve/high: p99 {b:.1f} -> {c:.1f} µs (> {(P99_SLACK - 1) * 100:.0f}% tolerance)"
+            )
 
 
 def main() -> None:
@@ -113,6 +156,8 @@ def main() -> None:
             f"gmean level reduction dropped {b_lvl:.1f}% -> {c_lvl:.1f}% "
             f"(> {LEVEL_DRIFT:.0f} point drift)"
         )
+
+    check_serve(base.get("serve"), cand.get("serve"), failures)
 
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)

@@ -29,7 +29,7 @@ ALLOWED_DIRS = {
 
 ALLOWED_FILES = {
     ".gitignore",
-    "BENCH_6.json",
+    "BENCH_7.json",
     "CHANGES.md",
     "Cargo.lock",
     "Cargo.toml",

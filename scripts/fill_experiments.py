@@ -3,7 +3,7 @@
 
 Two jobs, both idempotent:
 
-1. **Trajectory tables** (always): reads the tracked `BENCH_6.json` written
+1. **Trajectory tables** (always): reads the tracked `BENCH_7.json` written
    by `cargo bench -p spcg-bench --bench trajectory` and regenerates the
    tables between the `BENCH_TRAJECTORY:BEGIN/END`,
    `BENCH_ORDERINGS:BEGIN/END`, and `BENCH_PRECISION:BEGIN/END` markers.
@@ -24,7 +24,7 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 EXP = ROOT / "EXPERIMENTS.md"
-BENCH_JSON = ROOT / "BENCH_6.json"
+BENCH_JSON = ROOT / "BENCH_7.json"
 BENCH_TXT = ROOT / "bench_output.txt"
 
 BEGIN = "<!-- BENCH_TRAJECTORY:BEGIN -->"
@@ -33,6 +33,8 @@ ORD_BEGIN = "<!-- BENCH_ORDERINGS:BEGIN -->"
 ORD_END = "<!-- BENCH_ORDERINGS:END -->"
 PREC_BEGIN = "<!-- BENCH_PRECISION:BEGIN -->"
 PREC_END = "<!-- BENCH_PRECISION:END -->"
+SERVE_BEGIN = "<!-- BENCH_SERVE:BEGIN -->"
+SERVE_END = "<!-- BENCH_SERVE:END -->"
 
 
 def trajectory_block(traj: dict) -> str:
@@ -113,6 +115,29 @@ def precision_block(traj: dict) -> str:
     return "\n".join(lines)
 
 
+def serve_block(traj: dict) -> str:
+    """Markdown table for the virtual-time admission-control replay."""
+    s = traj["serve"]
+    lines = [
+        f"Poisson arrivals at {s['arrival_rate_per_s']:.0f} req/s against a modeled",
+        f"capacity of {s['capacity_per_s']:.0f} req/s ({s['workers']} workers, queue",
+        f"capacity {s['queue_capacity']}, deadline {s['deadline_us']:.0f} µs, seed",
+        f"{s['seed']}): overall shed rate {s['shed_rate_percent']:.1f}%, degraded",
+        f"rate {s['degraded_rate_percent']:.1f}%.",
+        "",
+        "| Priority | Offered | Admitted | Downgraded | Shed | Watchdog-killed "
+        "| p50 µs | p99 µs |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for c in s["classes"]:
+        lines.append(
+            f"| {c['priority']} | {c['offered']} | {c['admitted']} "
+            f"| {c['downgraded']} | {c['shed']} | {c['watchdog_killed']} "
+            f"| {c['p50_us']:.0f} | {c['p99_us']:.0f} |"
+        )
+    return "\n".join(lines)
+
+
 def replace_between(text: str, begin: str, end: str, block: str) -> str:
     b, e = text.find(begin), text.find(end)
     if b < 0 or e < 0 or e < b:
@@ -123,13 +148,14 @@ def replace_between(text: str, begin: str, end: str, block: str) -> str:
 def fill_trajectory(text: str) -> str:
     if not BENCH_JSON.exists():
         sys.exit(
-            "BENCH_6.json missing — run "
+            "BENCH_7.json missing — run "
             "`cargo bench -p spcg-bench --bench trajectory` first"
         )
     traj = json.loads(BENCH_JSON.read_text())
     text = replace_between(text, BEGIN, END, trajectory_block(traj))
     text = replace_between(text, ORD_BEGIN, ORD_END, orderings_block(traj))
-    return replace_between(text, PREC_BEGIN, PREC_END, precision_block(traj))
+    text = replace_between(text, PREC_BEGIN, PREC_END, precision_block(traj))
+    return replace_between(text, SERVE_BEGIN, SERVE_END, serve_block(traj))
 
 
 def section(bench_text: str, marker: str) -> str | None:

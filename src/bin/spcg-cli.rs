@@ -267,7 +267,207 @@ fn serve_bench_run(
     (elapsed, converged.into_inner(), stats)
 }
 
+/// Open-loop sustained-load benchmark: Poisson arrivals at a fixed offered
+/// rate, mixed priorities, per-request deadlines. Unlike the closed-loop
+/// mode (which self-throttles: a slow service slows its own clients), the
+/// arrival process here does not wait for completions, so pushing the rate
+/// past capacity exercises admission control — the run fails unless the
+/// service sheds deterministically and its counters reconcile.
+fn run_open_loop(args: &ServeBenchArgs) -> ExitCode {
+    use spcg::serve::{Priority, RequestPolicy, Ticket};
+    use std::sync::{mpsc, Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    const CONVERGED: u8 = 0;
+    const DEADLINE: u8 = 1;
+    const FAILED: u8 = 2;
+
+    let mats = serve_bench_matrices(args.matrices, args.size);
+    let service = SolveService::new(ServiceConfig {
+        workers: args.workers,
+        queue_capacity: (args.requests / 2).clamp(8, 512),
+        batch_window: Duration::from_micros(args.window_us),
+        ..ServiceConfig::default()
+    });
+
+    // Warm every plan, then time a short burst so the auto rate is a fixed
+    // multiple of what *this* machine actually sustains with a hot cache.
+    for m in mats.iter() {
+        let b = vec![1.0f64; m.n_rows()];
+        if let Err(e) = service.solve(m, &b) {
+            eprintln!("error: open-loop warmup solve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let probe_solves = 8 * mats.len();
+    let t0 = Instant::now();
+    for i in 0..probe_solves {
+        let m = &mats[i % mats.len()];
+        let b = vec![1.0f64; m.n_rows()];
+        let _ = service.solve(m, &b);
+    }
+    let per_solve_s = (t0.elapsed().as_secs_f64() / probe_solves as f64).max(1e-9);
+    let capacity = args.workers as f64 / per_solve_s;
+    let rate = if args.rate == 0 { 2.0 * capacity } else { args.rate as f64 };
+    println!(
+        "open-loop: {} requests at {:.0} req/s ({}), warm capacity ~{:.0} req/s, \
+deadline {} ms, seed {}",
+        args.requests,
+        rate,
+        if args.rate == 0 { "auto: 2x capacity" } else { "requested" },
+        capacity,
+        args.deadline_ms,
+        args.seed
+    );
+
+    // Collector pool: tickets are redeemed off the arrival thread so a slow
+    // solve never stalls the arrival process (that would close the loop).
+    let (tx, rx) = mpsc::channel::<(Priority, Instant, Ticket<f64>)>();
+    let rx = Arc::new(Mutex::new(rx));
+    let outcomes: Arc<Mutex<Vec<(Priority, u64, u8)>>> = Arc::new(Mutex::new(Vec::new()));
+    let collectors: Vec<_> = (0..args.workers.max(2))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let outcomes = Arc::clone(&outcomes);
+            std::thread::spawn(move || loop {
+                let msg = rx.lock().unwrap().recv();
+                let Ok((priority, submitted, ticket)) = msg else { break };
+                let kind = match ticket.wait() {
+                    Ok(out) if out.result.converged() => CONVERGED,
+                    Ok(_) => FAILED,
+                    Err(ServeError::Solver(SolverError::DeadlineExceeded { .. })) => DEADLINE,
+                    Err(_) => FAILED,
+                };
+                let latency_ns = submitted.elapsed().as_nanos() as u64;
+                outcomes.lock().unwrap().push((priority, latency_ns, kind));
+            })
+        })
+        .collect();
+
+    // Poisson arrivals: exponential inter-arrival gaps from a seeded
+    // generator, so two runs with the same seed offer the same schedule.
+    let mut rng = spcg::sparse::Rng::new(args.seed);
+    let deadline = Duration::from_millis(args.deadline_ms);
+    let mut shed = [0u64; 3];
+    let start = Instant::now();
+    let mut next_arrival_s = 0.0f64;
+    for i in 0..args.requests {
+        next_arrival_s += -(1.0 - rng.uniform()).ln() / rate;
+        let target = start + Duration::from_secs_f64(next_arrival_s);
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        let priority = Priority::ALL[i % 3];
+        let m = &mats[i % mats.len()];
+        let b: Vec<f64> = (0..m.n_rows()).map(|j| ((j + i) % 13) as f64 / 13.0 - 0.4).collect();
+        let policy = RequestPolicy::default().with_deadline(deadline).with_priority(priority);
+        let submitted = Instant::now();
+        match service.submit_with_policy(std::sync::Arc::clone(m), b, policy) {
+            Ok(ticket) => tx.send((priority, submitted, ticket)).expect("collector pool alive"),
+            Err(_) => shed[priority.tag() as usize] += 1,
+        }
+    }
+    drop(tx);
+    for c in collectors {
+        c.join().expect("collector panicked");
+    }
+    let elapsed = start.elapsed();
+    let outcomes = Arc::try_unwrap(outcomes).expect("collectors joined").into_inner().unwrap();
+    let stats = service.stats();
+
+    // Per-priority latency quantiles through the same nearest-rank machinery
+    // the probe layer uses everywhere else.
+    println!(
+        "\n  priority  offered     shed  converged  deadline  failed     p50      p95      p99"
+    );
+    let ms = |ns: u64| ns as f64 / 1e6;
+    for priority in Priority::ALL {
+        let mut probe = HistogramProbe::new().with_quantiles(&[0.50, 0.95, 0.99]);
+        let (mut converged, mut deadline_hit, mut failed) = (0u64, 0u64, 0u64);
+        for (p, latency_ns, kind) in outcomes.iter() {
+            if *p != priority {
+                continue;
+            }
+            probe.record_duration_ns(Span::ServeRequest, *latency_ns);
+            match *kind {
+                CONVERGED => converged += 1,
+                DEADLINE => deadline_hit += 1,
+                _ => failed += 1,
+            }
+        }
+        let shed_here = shed[priority.tag() as usize];
+        let offered = converged + deadline_hit + failed + shed_here;
+        let qs = probe.quantiles_for(Span::ServeRequest);
+        let q = |idx: usize| qs.get(idx).map_or(0.0, |(_, ns)| ms(*ns));
+        println!(
+            "  {:>8}  {:>7}  {:>7}  {:>9}  {:>8}  {:>6}  {:>6.2}ms {:>6.2}ms {:>6.2}ms",
+            priority.label(),
+            offered,
+            shed_here,
+            converged,
+            deadline_hit,
+            failed,
+            q(0),
+            q(1),
+            q(2),
+        );
+    }
+
+    let total_shed: u64 = shed.iter().sum();
+    let offered_rate = args.requests as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!("\nadmission table ({} workers):", args.workers);
+    for (label, value) in [
+        ("serve.admission.offered", stats.offered),
+        ("serve.admission.admitted", stats.admitted),
+        ("serve.admission.downgraded", stats.downgraded),
+        ("serve.admission.shed", stats.shed),
+        ("serve.deadline.expired", stats.deadline_expired),
+        ("serve.breaker.rejected", stats.breaker.rejected),
+    ] {
+        println!("  {label:<28} {value:>12}");
+    }
+    println!(
+        "offered {:.0} req/s over {:.2?}; shed rate {:.1}%, degraded rate {:.1}%",
+        offered_rate,
+        elapsed,
+        100.0 * stats.shed as f64 / stats.offered.max(1) as f64,
+        100.0 * stats.downgraded as f64 / stats.offered.max(1) as f64,
+    );
+
+    // Gates: every policy submission must be accounted for exactly once, and
+    // an over-capacity offered rate must actually shed (if it does not, the
+    // admission controller is not protecting the queue).
+    let reconciles = stats.offered == stats.admitted + stats.downgraded + stats.shed;
+    let redeemed = outcomes.len() as u64 + total_shed == args.requests as u64;
+    if !reconciles {
+        eprintln!(
+            "open-loop FAILED: counters do not reconcile: offered {} != admitted {} + \
+downgraded {} + shed {}",
+            stats.offered, stats.admitted, stats.downgraded, stats.shed
+        );
+        return ExitCode::FAILURE;
+    }
+    if !redeemed {
+        eprintln!(
+            "open-loop FAILED: {} outcomes + {} shed != {} offered",
+            outcomes.len(),
+            total_shed,
+            args.requests
+        );
+        return ExitCode::FAILURE;
+    }
+    if args.rate == 0 && stats.shed == 0 {
+        eprintln!("open-loop FAILED: no shedding at 2x measured capacity");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn run_serve_bench(args: &ServeBenchArgs) -> ExitCode {
+    if args.open_loop {
+        return run_open_loop(args);
+    }
     let mats = serve_bench_matrices(args.matrices, args.size);
     println!(
         "serve-bench: {} clients x {} requests over {} systems (n = {}..{}), window {} us",

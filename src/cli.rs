@@ -75,11 +75,32 @@ pub struct ServeBenchArgs {
     pub window_us: u64,
     /// Grid side of the generated systems (n = size²).
     pub size: usize,
+    /// Open-loop mode: Poisson arrivals at a fixed offered rate, with
+    /// per-request deadlines, instead of the closed-loop client threads.
+    pub open_loop: bool,
+    /// Offered arrival rate in requests/second (open-loop only). Zero means
+    /// "auto": 2x the measured warm-cache service capacity.
+    pub rate: u64,
+    /// Per-request deadline in milliseconds (open-loop only).
+    pub deadline_ms: u64,
+    /// Arrival-process seed (open-loop only).
+    pub seed: u64,
 }
 
 impl Default for ServeBenchArgs {
     fn default() -> Self {
-        Self { clients: 8, matrices: 4, requests: 200, workers: 8, window_us: 200, size: 24 }
+        Self {
+            clients: 8,
+            matrices: 4,
+            requests: 200,
+            workers: 8,
+            window_us: 200,
+            size: 24,
+            open_loop: false,
+            rate: 0,
+            deadline_ms: 200,
+            seed: 42,
+        }
     }
 }
 
@@ -111,7 +132,8 @@ USAGE:
   spcg-cli generate --kind poisson2d|poisson3d|layered2d|banded --out FILE \
 [--nx N] [--ny N] [--nz N] [--n N] [--period P] [--weak W] [--band B] [--seed S]
   spcg-cli serve-bench [--clients 8] [--matrices 4] [--requests 200] \
-[--workers 8] [--window-us 200] [--size 24]
+[--workers 8] [--window-us 200] [--size 24] \
+[--open-loop [--rate REQ_PER_S] [--deadline-ms 200] [--seed 42]]
   spcg-cli help
 ";
 
@@ -124,7 +146,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected positional argument: {a}"));
         };
         // boolean flags
-        if key == "abs-tol" {
+        if key == "abs-tol" || key == "open-loop" {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -242,7 +264,18 @@ fn parse_generate(args: &[String]) -> Result<GenerateArgs, String> {
 fn parse_serve_bench(args: &[String]) -> Result<ServeBenchArgs, String> {
     let flags = parse_flags(args)?;
     let mut out = ServeBenchArgs::default();
-    let known = ["clients", "matrices", "requests", "workers", "window-us", "size"];
+    let known = [
+        "clients",
+        "matrices",
+        "requests",
+        "workers",
+        "window-us",
+        "size",
+        "open-loop",
+        "rate",
+        "deadline-ms",
+        "seed",
+    ];
     for key in flags.keys() {
         if !known.contains(&key.as_str()) {
             return Err(format!("unknown serve-bench flag --{key}"));
@@ -266,6 +299,26 @@ fn parse_serve_bench(args: &[String]) -> Result<ServeBenchArgs, String> {
     // The window may legitimately be zero (coalesce only what already queued).
     if let Some(v) = flags.get("window-us") {
         out.window_us = v.parse().map_err(|e| format!("bad --window-us {v}: {e}"))?;
+    }
+    out.open_loop = flags.contains_key("open-loop");
+    // The rate may be zero (auto: 2x measured capacity).
+    if let Some(v) = flags.get("rate") {
+        out.rate = v.parse().map_err(|e| format!("bad --rate {v}: {e}"))?;
+    }
+    if let Some(v) = flags.get("deadline-ms") {
+        out.deadline_ms = match v.parse::<u64>() {
+            Ok(ms) if ms > 0 => ms,
+            Ok(_) => return Err("--deadline-ms must be positive".to_string()),
+            Err(e) => return Err(format!("bad --deadline-ms {v}: {e}")),
+        };
+    }
+    if let Some(v) = flags.get("seed") {
+        out.seed = v.parse().map_err(|e| format!("bad --seed {v}: {e}"))?;
+    }
+    for key in ["rate", "deadline-ms", "seed"] {
+        if flags.contains_key(key) && !out.open_loop {
+            return Err(format!("--{key} only applies with --open-loop"));
+        }
     }
     Ok(out)
 }
@@ -456,13 +509,50 @@ mod tests {
                 requests: 50,
                 workers: 2,
                 window_us: 0,
-                size: 16
+                size: 16,
+                ..ServeBenchArgs::default()
             }
         );
 
         assert!(parse(&s(&["serve-bench", "--clients", "0"])).is_err());
         assert!(parse(&s(&["serve-bench", "--workers", "eight"])).is_err());
         assert!(parse(&s(&["serve-bench", "--frobnicate", "1"])).is_err());
+    }
+
+    #[test]
+    fn parses_open_loop_serve_bench() {
+        let cmd = parse(&s(&["serve-bench", "--open-loop"])).unwrap();
+        let Command::ServeBench(a) = cmd else { panic!() };
+        assert!(a.open_loop);
+        assert_eq!(a.rate, 0, "rate defaults to auto (2x capacity)");
+        assert_eq!(a.deadline_ms, 200);
+        assert_eq!(a.seed, 42);
+
+        let cmd = parse(&s(&[
+            "serve-bench",
+            "--open-loop",
+            "--rate",
+            "500",
+            "--deadline-ms",
+            "50",
+            "--seed",
+            "7",
+            "--requests",
+            "1000",
+        ]))
+        .unwrap();
+        let Command::ServeBench(a) = cmd else { panic!() };
+        assert!(a.open_loop);
+        assert_eq!(a.rate, 500);
+        assert_eq!(a.deadline_ms, 50);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.requests, 1000);
+
+        // Open-loop knobs are rejected without the mode flag.
+        assert!(parse(&s(&["serve-bench", "--rate", "500"])).is_err());
+        assert!(parse(&s(&["serve-bench", "--seed", "7"])).is_err());
+        assert!(parse(&s(&["serve-bench", "--open-loop", "--deadline-ms", "0"])).is_err());
+        assert!(parse(&s(&["serve-bench", "--open-loop", "--rate", "fast"])).is_err());
     }
 
     #[test]

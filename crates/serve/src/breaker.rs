@@ -172,6 +172,24 @@ impl CircuitBreaker {
         }
     }
 
+    /// Release a half-open probe slot whose request never actually ran —
+    /// it was shed at admission (the occupancy or feasibility gate runs
+    /// after the breaker gate), bounced off a full or closing queue, or
+    /// its deadline expired before a single iteration was spent. The
+    /// fingerprint learned nothing, so the breaker returns to **open**
+    /// with the *same* backoff exponent: the schedule neither advances
+    /// (that would punish a load problem) nor resets (the matrix is
+    /// still suspect), and the next probe opportunity is one unchanged
+    /// backoff interval after `now_ms`. Without this, a shed probe
+    /// would leave the breaker half-open forever and every later
+    /// request would be rejected with `retry_in_ms: 0`. No-op outside
+    /// half-open.
+    pub fn abort_probe(&mut self, now_ms: u64) {
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Open { until_ms: now_ms + self.backoff_ms() };
+        }
+    }
+
     /// Report a failed solve (unrecovered breakdown or blown deadline) that
     /// finished at time `now_ms`.
     pub fn record_failure(&mut self, now_ms: u64) {
@@ -225,6 +243,15 @@ impl BreakerRegistry {
     pub fn record_success(&self, key: &PlanKey) {
         if let Some(b) = self.map.lock().unwrap().get_mut(key) {
             b.record_success();
+        }
+    }
+
+    /// Release `key`'s half-open probe slot (see
+    /// [`CircuitBreaker::abort_probe`]): the probe request never ran, so
+    /// the breaker re-opens without advancing the backoff schedule.
+    pub fn abort_probe(&self, key: &PlanKey, now_ms: u64) {
+        if let Some(b) = self.map.lock().unwrap().get_mut(key) {
+            b.abort_probe(now_ms);
         }
     }
 
@@ -380,6 +407,43 @@ mod tests {
         b.record_failure(50); // straggler from an in-flight batchmate
         assert_eq!(b.state(), open, "quarantine deadline unchanged");
         assert_eq!(b.counters().opened, 1);
+    }
+
+    #[test]
+    fn aborted_probe_reopens_without_advancing_backoff() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert_eq!(b.state(), BreakerState::Open { until_ms: 102 });
+        assert_eq!(b.admit(102), BreakerDecision::Probe);
+        // The probe request was shed before it ran: release the slot.
+        b.abort_probe(150);
+        // Back to open at the *first-trip* interval (100 ms) — an abort is
+        // neutral, so the backoff neither doubles (failure) nor resets
+        // (success).
+        assert_eq!(b.state(), BreakerState::Open { until_ms: 250 });
+        // The slot is reusable: once the interval passes the next request
+        // is a probe again, not a `Quarantined { retry_in_ms: 0 }` dead
+        // end.
+        assert_eq!(b.admit(250), BreakerDecision::Probe);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        let c = b.counters();
+        assert_eq!((c.opened, c.half_opened, c.closed), (1, 2, 1));
+    }
+
+    #[test]
+    fn abort_probe_outside_half_open_is_a_no_op() {
+        let mut b = breaker();
+        b.abort_probe(5);
+        assert_eq!(b.state(), BreakerState::Closed);
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        let open = b.state();
+        b.abort_probe(50);
+        assert_eq!(b.state(), open, "an abort while already open changes nothing");
     }
 
     #[test]

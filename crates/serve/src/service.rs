@@ -179,16 +179,22 @@ pub struct ServiceStats {
     /// `try_submit` rejections (backpressure events).
     pub rejected: u64,
     /// Policy submissions offered to the admission controller. Always
-    /// equals `admitted + downgraded + shed` (the reconciliation
-    /// invariant).
+    /// equals `admitted + downgraded + shed + closed_rejected` (the
+    /// reconciliation invariant).
     pub offered: u64,
     /// Policy submissions admitted at full quality.
     pub admitted: u64,
     /// Policy submissions admitted at a degraded tier.
     pub downgraded: u64,
     /// Policy submissions refused at admission (occupancy, infeasible
-    /// deadline, or quarantined fingerprint).
+    /// deadline, or quarantined fingerprint). Counts exactly the
+    /// requests whose caller saw [`ServeError::Shed`].
     pub shed: u64,
+    /// Policy submissions that passed admission but bounced off a
+    /// closing queue during shutdown; the caller saw
+    /// [`ServeError::Closed`], not a shed, so they are tallied apart
+    /// from `shed`. Zero outside shutdown.
+    pub closed_rejected: u64,
     /// Requests whose deadline expired while queued (answered with a typed
     /// [`SolverError::DeadlineExceeded`] without consuming solve time).
     pub deadline_expired: u64,
@@ -197,6 +203,22 @@ pub struct ServiceStats {
     pub breaker: BreakerCounters,
     /// Plan-cache counters.
     pub cache: CacheStats,
+}
+
+/// How a request's outcome feeds its fingerprint's circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerRole {
+    /// Plain submission: the breaker never hears about it.
+    Off,
+    /// Policy submission through a closed breaker: the outcome is
+    /// reported as a success or failure.
+    Report,
+    /// Policy submission holding the fingerprint's single half-open
+    /// probe slot: the outcome is reported, and a *neutral* outcome (the
+    /// request never ran) must release the slot via
+    /// [`BreakerRegistry::abort_probe`] or the breaker sticks half-open
+    /// and quarantines the fingerprint forever.
+    Probe,
 }
 
 struct Request<T: Scalar> {
@@ -212,9 +234,9 @@ struct Request<T: Scalar> {
     /// Admission's expected total cost, µs (the amount added to the
     /// queued-work gauge; the dequeuing worker subtracts it back).
     cost_us: u64,
-    /// `true` when this request's outcome must be reported to the
-    /// fingerprint's circuit breaker (policy submissions).
-    breaker_scope: bool,
+    /// How this request's outcome feeds the fingerprint's circuit
+    /// breaker.
+    breaker: BreakerRole,
     reply: mpsc::Sender<Result<ServeOutcome<T>, ServeError>>,
 }
 
@@ -238,6 +260,7 @@ struct Inner<T: Scalar> {
     admitted: AtomicU64,
     downgraded: AtomicU64,
     shed: AtomicU64,
+    closed_rejected: AtomicU64,
     deadline_expired: AtomicU64,
 }
 
@@ -271,6 +294,7 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
             admitted: AtomicU64::new(0),
             downgraded: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            closed_rejected: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
         });
         let handles = (0..workers)
@@ -420,12 +444,20 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
         };
 
         // Gate 0: the circuit breaker. An open fingerprint is refused
-        // before pricing — the whole point is to stop spending on it.
-        if let BreakerDecision::Quarantined { .. } = inner.breakers.admit(&base, inner.now_ms()) {
-            inner.shed.fetch_add(1, Ordering::Relaxed);
-            report(probe, AdmissionVerdict::Shed, 0.0);
-            return Err(ServeError::Shed(ShedReason::Quarantined));
-        }
+        // before pricing — the whole point is to stop spending on it. A
+        // `Probe` decision claims the fingerprint's single half-open
+        // slot, so every later bail-out on this path must release it
+        // (`abort_probe`); a leaked slot would pin the breaker half-open
+        // and quarantine the fingerprint permanently.
+        let breaker_role = match inner.breakers.admit(&base, inner.now_ms()) {
+            BreakerDecision::Quarantined { .. } => {
+                inner.shed.fetch_add(1, Ordering::Relaxed);
+                report(probe, AdmissionVerdict::Shed, 0.0);
+                return Err(ServeError::Shed(ShedReason::Quarantined));
+            }
+            BreakerDecision::Probe => BreakerRole::Probe,
+            BreakerDecision::Allow => BreakerRole::Report,
+        };
 
         let costs = inner.tier_costs(&base, a.as_ref());
         let load = LoadSnapshot {
@@ -439,6 +471,9 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
         // spent queued tightens the watchdog instead of being ignored.
         let tier = match decide(&policy, &load, &costs) {
             Admission::Shed(reason) => {
+                if breaker_role == BreakerRole::Probe {
+                    inner.breakers.abort_probe(&base, inner.now_ms());
+                }
                 inner.shed.fetch_add(1, Ordering::Relaxed);
                 report(
                     probe,
@@ -461,12 +496,18 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
             deadline: policy.deadline.map(|d| Instant::now() + d),
             per_iter_us: cost.per_iteration_us,
             cost_us,
-            breaker_scope: true,
+            breaker: breaker_role,
             reply: tx,
         };
+        // Charge the queued-work gauge *before* the request becomes
+        // visible: a worker that dequeues it subtracts the same amount,
+        // and charging after `try_push` would let that subtract land
+        // first, wrapping the unsigned gauge to ~u64::MAX and shedding
+        // every deadline-bearing request as infeasible until the add
+        // caught up.
+        inner.queued_cost_us.fetch_add(cost_us, Ordering::Relaxed);
         match inner.queue.try_push(req) {
             Ok(()) => {
-                inner.queued_cost_us.fetch_add(cost_us, Ordering::Relaxed);
                 inner.requests.fetch_add(1, Ordering::Relaxed);
                 let (verdict, stat) = if tier == SolveTier::Full {
                     (AdmissionVerdict::Admitted, &inner.admitted)
@@ -477,17 +518,31 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
                 report(probe, verdict, cost.expected_total_us());
                 Ok(Ticket { rx })
             }
-            // The occupancy gate raced a filling queue: that is still an
-            // admission shed, kept inside the reconciliation invariant.
-            Err(PushError::Full(_)) => {
-                inner.shed.fetch_add(1, Ordering::Relaxed);
-                report(probe, AdmissionVerdict::Shed, cost.expected_total_us());
-                Err(ServeError::Shed(ShedReason::Occupancy))
-            }
-            Err(PushError::Closed(_)) => {
-                inner.shed.fetch_add(1, Ordering::Relaxed);
-                report(probe, AdmissionVerdict::Shed, cost.expected_total_us());
-                Err(ServeError::Closed)
+            Err(e) => {
+                inner.queued_cost_us.fetch_sub(cost_us, Ordering::Relaxed);
+                if breaker_role == BreakerRole::Probe {
+                    inner.breakers.abort_probe(&base, inner.now_ms());
+                }
+                match e {
+                    // The occupancy gate raced a filling queue: that is
+                    // still an admission shed, kept inside the
+                    // reconciliation invariant.
+                    PushError::Full(_) => {
+                        inner.shed.fetch_add(1, Ordering::Relaxed);
+                        report(probe, AdmissionVerdict::Shed, cost.expected_total_us());
+                        Err(ServeError::Shed(ShedReason::Occupancy))
+                    }
+                    // A closing queue is shutdown, not load: the caller
+                    // sees `Closed`, so the request is tallied apart from
+                    // `shed` (which counts only refusals the client
+                    // observed as sheds) and no admission verdict is
+                    // emitted — the controller said admit; the service
+                    // lifecycle overrode it.
+                    PushError::Closed(_) => {
+                        inner.closed_rejected.fetch_add(1, Ordering::Relaxed);
+                        Err(ServeError::Closed)
+                    }
+                }
             }
         }
     }
@@ -509,7 +564,7 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
             deadline: None,
             per_iter_us: 0.0,
             cost_us: 0,
-            breaker_scope: false,
+            breaker: BreakerRole::Off,
             reply: tx,
         };
         let pushed =
@@ -531,8 +586,10 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
     /// `cache.hits + cache.misses` equals the number of accepted
     /// *plan-backed* requests — every such request performs exactly one
     /// counted cache lookup. Jacobi-tier requests never touch the plan
-    /// cache, and `offered == admitted + downgraded + shed` always holds
-    /// for policy submissions (the reconciliation invariant).
+    /// cache, and `offered == admitted + downgraded + shed +
+    /// closed_rejected` always holds for policy submissions (the
+    /// reconciliation invariant; the last term is nonzero only during
+    /// shutdown).
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             requests: self.inner.requests.load(Ordering::Relaxed),
@@ -545,6 +602,7 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
             admitted: self.inner.admitted.load(Ordering::Relaxed),
             downgraded: self.inner.downgraded.load(Ordering::Relaxed),
             shed: self.inner.shed.load(Ordering::Relaxed),
+            closed_rejected: self.inner.closed_rejected.load(Ordering::Relaxed),
             deadline_expired: self.inner.deadline_expired.load(Ordering::Relaxed),
             breaker: self.inner.breakers.counters(),
             cache: self.inner.cache.stats(),
@@ -743,15 +801,29 @@ impl<T: Scalar> Inner<T> {
 
     /// Reports one policy request's outcome to its fingerprint's breaker.
     /// Success = a converged result (ladder recoveries included); failure
-    /// = a blown deadline or an unconverged final answer.
+    /// = an unconverged final answer or a deadline blown *mid-solve*. A
+    /// deadline that expired with zero iterations run — spent entirely in
+    /// the queue, or admitted with a zero budget — says nothing about the
+    /// matrix (it is a load problem, not a fingerprint problem), so it is
+    /// **neutral**: no failure is recorded, and if this request held the
+    /// half-open probe slot the slot is released instead of leaked.
     fn record_breaker_outcome(
         &self,
         req_key: &PlanKey,
+        role: BreakerRole,
         outcome: &Result<ServeOutcome<T>, ServeError>,
     ) {
+        if role == BreakerRole::Off {
+            return;
+        }
         let base = req_key.with_tier(SolveTier::Full);
         match outcome {
             Ok(out) if out.result.converged() => self.breakers.record_success(&base),
+            Err(ServeError::Solver(SolverError::DeadlineExceeded { iterations: 0, .. })) => {
+                if role == BreakerRole::Probe {
+                    self.breakers.abort_probe(&base, self.now_ms());
+                }
+            }
             _ => self.breakers.record_failure(&base, self.now_ms()),
         }
     }
@@ -806,9 +878,7 @@ fn worker_loop<T: Scalar + Send + Sync>(inner: &Inner<T>) {
             Ok(pair) => pair,
             Err(e) => {
                 for req in batch {
-                    if req.breaker_scope {
-                        inner.record_breaker_outcome(&req.key, &Err(e.clone()));
-                    }
+                    inner.record_breaker_outcome(&req.key, req.breaker, &Err(e.clone()));
                     // Count before replying: a client that sees the reply
                     // must also see the request as completed in stats.
                     inner.completed.fetch_add(1, Ordering::Relaxed);
@@ -833,9 +903,7 @@ fn worker_loop<T: Scalar + Send + Sync>(inner: &Inner<T>) {
                     },
                 ),
             };
-            if req.breaker_scope {
-                inner.record_breaker_outcome(&req.key, &reply);
-            }
+            inner.record_breaker_outcome(&req.key, req.breaker, &reply);
             // Count before replying (see the error branch above).
             inner.completed.fetch_add(1, Ordering::Relaxed);
             let _ = req.reply.send(reply);
@@ -884,9 +952,7 @@ fn serve_jacobi_batch<T: Scalar + Send + Sync>(
         Err(e) => {
             for req in batch {
                 let err = ServeError::PlanBuild(e.clone());
-                if req.breaker_scope {
-                    inner.record_breaker_outcome(&req.key, &Err(err.clone()));
-                }
+                inner.record_breaker_outcome(&req.key, req.breaker, &Err(err.clone()));
                 inner.completed.fetch_add(1, Ordering::Relaxed);
                 let _ = req.reply.send(Err(err));
             }
@@ -910,9 +976,7 @@ fn serve_jacobi_batch<T: Scalar + Send + Sync>(
                     .map_err(ServeError::from)
             }
         };
-        if req.breaker_scope {
-            inner.record_breaker_outcome(&req.key, &reply);
-        }
+        inner.record_breaker_outcome(&req.key, req.breaker, &reply);
         inner.completed.fetch_add(1, Ordering::Relaxed);
         let _ = req.reply.send(reply);
     }

@@ -8,8 +8,8 @@
 
 use spcg_core::{FaultInjection, ResilienceOptions, SpcgOptions, SpcgPlan};
 use spcg_serve::{
-    BreakerConfig, CacheConfig, Priority, RequestPolicy, ServeError, ServiceConfig, ShedReason,
-    SolveService, SolveTier,
+    BreakerConfig, BreakerState, CacheConfig, Priority, RequestPolicy, ServeError, ServiceConfig,
+    ShedReason, SolveService, SolveTier,
 };
 use spcg_solver::{SolverConfig, SolverError};
 use spcg_sparse::generators::{layered_poisson_2d, poisson_2d, with_magnitude_spread};
@@ -340,6 +340,161 @@ fn breaker_quarantines_a_failing_fingerprint() {
     assert_eq!(after.breaker.opened, 1);
     assert!(after.breaker.rejected >= 6);
     assert_eq!(after.offered, after.admitted + after.downgraded + after.shed);
+}
+
+/// A probe request shed *after* the breaker granted its half-open slot
+/// must hand the slot back: the admission gates run downstream of the
+/// breaker gate, and a leaked slot would pin the breaker half-open —
+/// every later request for the fingerprint rejected with
+/// `retry_in_ms: 0`, forever.
+#[test]
+fn shed_probe_releases_the_half_open_slot() {
+    let mats = matrices();
+    // A solver that can never converge, so the breaker trips on demand.
+    let opts = SpcgOptions {
+        solver: SolverConfig::default().with_tol(1e-300).with_max_iters(2),
+        ..SpcgOptions::default()
+    };
+    let service = SolveService::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 4,
+        batch_window: Duration::from_millis(300),
+        batch_limit: 2,
+        options: opts,
+        breaker: BreakerConfig { failure_threshold: 1, base_backoff_ms: 50, max_backoff_ms: 50 },
+        ..ServiceConfig::default()
+    });
+    let b = rhs_for(mats[0].n_rows(), 0, 0);
+
+    // Trip the breaker: one failure suffices at threshold 1.
+    let t = service
+        .submit_with_policy(Arc::clone(&mats[0]), b.clone(), RequestPolicy::default())
+        .expect("closed breaker admits");
+    assert!(!t.wait().unwrap().result.converged());
+    assert!(matches!(service.breaker_state(&mats[0]), BreakerState::Open { .. }));
+    std::thread::sleep(Duration::from_millis(80)); // backoff expires
+
+    // Park the worker on a different fingerprint, then hold the queue at
+    // 50% occupancy — Low priority's shed ceiling.
+    let parked = service.submit(Arc::clone(&mats[1]), rhs_for(mats[1].n_rows(), 1, 0)).unwrap();
+    std::thread::sleep(Duration::from_millis(50)); // worker pops it, sleeps its window
+    let fillers: Vec<_> = (0..2)
+        .map(|i| service.submit(Arc::clone(&mats[2]), rhs_for(mats[2].n_rows(), 2, i)).unwrap())
+        .collect();
+
+    // The quarantined fingerprint's next request claims the probe slot at
+    // the breaker gate, then the occupancy gate sheds it before it is
+    // queued.
+    let refused = service.submit_with_policy(
+        Arc::clone(&mats[0]),
+        b.clone(),
+        RequestPolicy::default().with_priority(Priority::Low),
+    );
+    assert!(
+        matches!(refused, Err(ServeError::Shed(ShedReason::Occupancy))),
+        "Low must shed at 50% occupancy, got {refused:?}"
+    );
+    assert!(
+        matches!(service.breaker_state(&mats[0]), BreakerState::Open { .. }),
+        "shed probe left the breaker half-open: the slot leaked"
+    );
+
+    // Drain the queue and wait out the (un-doubled) backoff: the next
+    // request gets the probe slot and is admitted, not quarantined.
+    for t in fillers.into_iter().chain([parked]) {
+        t.wait().expect("queued request resolves");
+    }
+    std::thread::sleep(Duration::from_millis(80));
+    let probe = service
+        .submit_with_policy(Arc::clone(&mats[0]), b, RequestPolicy::default())
+        .expect("released probe slot re-admits after the backoff");
+    assert!(!probe.wait().unwrap().result.converged());
+}
+
+/// A deadline that expires with zero iterations run is a load problem,
+/// not a matrix problem: it must not count as a breaker failure (at
+/// threshold 1 it would quarantine a perfectly healthy fingerprint).
+#[test]
+fn queue_expired_deadline_is_neutral_to_the_breaker() {
+    let mats = matrices();
+    let service = SolveService::new(ServiceConfig {
+        workers: 1,
+        batch_window: Duration::ZERO,
+        options: options(),
+        breaker: BreakerConfig {
+            failure_threshold: 1,
+            base_backoff_ms: 60_000,
+            max_backoff_ms: 60_000,
+        },
+        ..ServiceConfig::default()
+    });
+    let b = rhs_for(mats[0].n_rows(), 0, 0);
+    // High priority with a nanosecond deadline is admitted at the floor
+    // and expires in the queue (see expired_deadline_yields_typed_error…).
+    let policy = RequestPolicy::default()
+        .with_priority(Priority::High)
+        .with_deadline(Duration::from_nanos(1));
+    let t = service.submit_with_policy(Arc::clone(&mats[0]), b.clone(), policy).unwrap();
+    assert!(matches!(
+        t.wait(),
+        Err(ServeError::Solver(SolverError::DeadlineExceeded { iterations: 0, .. }))
+    ));
+    assert_eq!(
+        service.breaker_state(&mats[0]),
+        BreakerState::Closed,
+        "an expiry that never ran must not trip the breaker"
+    );
+    let t = service
+        .submit_with_policy(Arc::clone(&mats[0]), b, RequestPolicy::default())
+        .expect("healthy fingerprint still admitted");
+    assert!(t.wait().unwrap().result.converged());
+}
+
+/// The neutral-outcome path must also release the probe slot: a probe
+/// whose deadline evaporates in the queue told us nothing, so the
+/// breaker re-opens (same backoff) instead of sticking half-open.
+#[test]
+fn expired_probe_releases_the_half_open_slot() {
+    let mats = matrices();
+    let opts = SpcgOptions {
+        solver: SolverConfig::default().with_tol(1e-300).with_max_iters(2),
+        ..SpcgOptions::default()
+    };
+    let service = SolveService::new(ServiceConfig {
+        workers: 1,
+        batch_window: Duration::ZERO,
+        batch_limit: 1,
+        options: opts,
+        breaker: BreakerConfig { failure_threshold: 1, base_backoff_ms: 50, max_backoff_ms: 50 },
+        ..ServiceConfig::default()
+    });
+    let b = rhs_for(mats[0].n_rows(), 0, 0);
+    let t = service
+        .submit_with_policy(Arc::clone(&mats[0]), b.clone(), RequestPolicy::default())
+        .unwrap();
+    assert!(!t.wait().unwrap().result.converged());
+    std::thread::sleep(Duration::from_millis(80)); // backoff expires
+
+    // The probe is admitted (High at the floor) but its deadline is gone
+    // before the worker reaches it: a neutral outcome.
+    let policy = RequestPolicy::default()
+        .with_priority(Priority::High)
+        .with_deadline(Duration::from_nanos(1));
+    let t = service.submit_with_policy(Arc::clone(&mats[0]), b.clone(), policy).unwrap();
+    assert!(matches!(
+        t.wait(),
+        Err(ServeError::Solver(SolverError::DeadlineExceeded { iterations: 0, .. }))
+    ));
+    assert!(
+        matches!(service.breaker_state(&mats[0]), BreakerState::Open { .. }),
+        "expired probe left the breaker half-open: the slot leaked"
+    );
+    // The slot cycles: after the backoff the fingerprint is probed again.
+    std::thread::sleep(Duration::from_millis(80));
+    let probe = service
+        .submit_with_policy(Arc::clone(&mats[0]), b, RequestPolicy::default())
+        .expect("released probe slot re-admits after the backoff");
+    assert!(!probe.wait().unwrap().result.converged());
 }
 
 /// Satellite: shutdown under load. Closing the service with a deep queue

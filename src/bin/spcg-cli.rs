@@ -422,6 +422,7 @@ deadline {} ms, seed {}",
         ("serve.admission.admitted", stats.admitted),
         ("serve.admission.downgraded", stats.downgraded),
         ("serve.admission.shed", stats.shed),
+        ("serve.admission.closed", stats.closed_rejected),
         ("serve.deadline.expired", stats.deadline_expired),
         ("serve.breaker.rejected", stats.breaker.rejected),
     ] {
@@ -438,13 +439,14 @@ deadline {} ms, seed {}",
     // Gates: every policy submission must be accounted for exactly once, and
     // an over-capacity offered rate must actually shed (if it does not, the
     // admission controller is not protecting the queue).
-    let reconciles = stats.offered == stats.admitted + stats.downgraded + stats.shed;
+    let reconciles =
+        stats.offered == stats.admitted + stats.downgraded + stats.shed + stats.closed_rejected;
     let redeemed = outcomes.len() as u64 + total_shed == args.requests as u64;
     if !reconciles {
         eprintln!(
             "open-loop FAILED: counters do not reconcile: offered {} != admitted {} + \
-downgraded {} + shed {}",
-            stats.offered, stats.admitted, stats.downgraded, stats.shed
+downgraded {} + shed {} + closed {}",
+            stats.offered, stats.admitted, stats.downgraded, stats.shed, stats.closed_rejected
         );
         return ExitCode::FAILURE;
     }

@@ -3,17 +3,19 @@
 //!
 //! Unlike the figure benches (which sweep the full 107-matrix collection
 //! and write into `target/spcg-results/`), this target runs in seconds and
-//! writes `BENCH_7.json` **at the repo root as a tracked artifact**: per
+//! writes `BENCH_8.json` **at the repo root as a tracked artifact**: per
 //! variant, the real iteration counts and the simulated A100 costs for
 //! each fixed system, an ordering study comparing the natural and
 //! `auto`-reordered plan at the *same* sparsify ratio, a precision
 //! study comparing the full-f64 plan against the `MixedF32` tier (real
 //! iterations, refinement restarts, and the simulated preconditioner-apply
-//! bytes the demotion saves), and a serve study replaying a 2×-overload
+//! bytes the demotion saves), a serve study replaying a 2×-overload
 //! Poisson arrival schedule through the admission controller in virtual
-//! time (per-priority latency quantiles, shed/downgrade rates). Committing
-//! the JSON turns the bench into a
-//! trajectory — `git log -p BENCH_7.json` shows exactly when and how the
+//! time (per-priority latency quantiles, shed/downgrade rates), and a
+//! sequence study pricing a value-only plan refresh against a full
+//! rebuild and measuring the iterations a warm start saves over a seeded
+//! drifting sequence. Committing the JSON turns the bench into a
+//! trajectory — `git log -p BENCH_8.json` shows exactly when and how the
 //! numbers moved. Only deterministic fields are serialized (iteration
 //! counts, simulated µs/bytes, chosen ratios, level counts, virtual-time
 //! latencies); wall-clock
@@ -33,7 +35,10 @@ use spcg_bench::{bench_solver_config, compare, ComparisonRow, Variant};
 use spcg_core::{
     OrderingKind, PrecisionPolicy, PrecondKind, SparsifyParams, SpcgOptions, SpcgPlan,
 };
-use spcg_gpusim::{dot_cost, elementwise_cost, plan_iteration_cost, spmv_cost, DeviceSpec};
+use spcg_gpusim::{
+    dot_cost, elementwise_cost, plan_iteration_cost, plan_rebuild_cost_us, plan_refresh_cost_us,
+    spmv_cost, DeviceSpec,
+};
 use spcg_probe::{Counter, HistogramProbe, RecordingProbe, Span};
 use spcg_serve::{
     decide, Admission, LoadSnapshot, Priority, RequestPolicy, SolveTier, TierCost, TierCosts,
@@ -346,6 +351,100 @@ fn serve_study(device: &DeviceSpec, solver: &spcg_solver::SolverConfig) -> Serve
     }
 }
 
+/// Time-varying sequence study for one fixture: the modeled plan-cost
+/// asymmetry (full rebuild vs value-only refresh on the serial host path)
+/// and the real iteration counts of warm-started vs cold solves over a
+/// seeded, symmetry-preserving drifting sequence. Everything here is
+/// deterministic: drift scales come from a fixed-seed generator and the
+/// solves are real f64 PCG runs.
+#[derive(Serialize)]
+struct SequencePoint {
+    name: String,
+    /// Drift steps past the opening solve.
+    steps: usize,
+    /// Relative per-step value perturbation amplitude.
+    drift: f64,
+    /// Modeled cost of a full re-plan (analysis + numeric factorization), µs.
+    rebuild_us: f64,
+    /// Modeled cost of the value-only numeric refresh, µs.
+    refresh_us: f64,
+    /// `rebuild_us / refresh_us` — CI gates this at a 2× floor.
+    refresh_speedup: f64,
+    /// Total iterations over the drift steps, warm-started from the
+    /// previous step's solution.
+    iterations_warm: usize,
+    /// Total iterations over the same steps from x₀ = 0. CI gates
+    /// `iterations_warm <= iterations_cold`.
+    iterations_cold: usize,
+    /// Percent of cold iterations the warm start saves.
+    warm_saved_percent: f64,
+}
+
+/// Drifts each fixture's values through 4 steps (uniform seeded scale per
+/// step, preserving symmetry), refreshing the plan numerics at every step
+/// and solving the same right-hand side twice: warm (from the chained
+/// workspace) and cold (fresh solve).
+fn sequence_study(device: &DeviceSpec, solver: &spcg_solver::SolverConfig) -> Vec<SequencePoint> {
+    let steps = 4usize;
+    let drift = 0.002f64;
+    fixtures()
+        .into_iter()
+        .map(|(name, recipe, spread, ordering)| {
+            let a = recipe.build(7, spread, ordering);
+            let b = vec![1.0; a.n_rows()];
+            let opts = SpcgOptions {
+                precond: PrecondKind::Ilu0,
+                solver: solver.clone(),
+                ..Default::default()
+            };
+            let plan = SpcgPlan::build(&a, &opts).expect("sequence fixture plan builds");
+            let rebuild_us = plan_rebuild_cost_us(device, &plan);
+            let refresh_us = plan_refresh_cost_us(device, &plan);
+
+            let mut rng = Rng::new(0x5e9 ^ a.n_rows() as u64);
+            let mut current = a.clone();
+            let mut ws = plan.make_workspace();
+            let opening = plan.solve_from(&b, &mut ws).expect("opening solve");
+            assert!(opening.converged(), "sequence fixture {name} opening solve diverged");
+            let mut active = plan;
+            let (mut iterations_warm, mut iterations_cold) = (0usize, 0usize);
+            for step in 0..steps {
+                let scale = 1.0 + drift * rng.range(-1.0, 1.0);
+                current = current.map_values(|v| v * scale);
+                let refreshed = active
+                    .refresh_values(&current)
+                    .unwrap_or_else(|e| panic!("{name} step {step}: refresh failed: {e}"));
+                let cold = refreshed
+                    .solve(&b)
+                    .unwrap_or_else(|e| panic!("{name} step {step}: cold solve failed: {e}"));
+                let warm = refreshed
+                    .solve_from(&b, &mut ws)
+                    .unwrap_or_else(|e| panic!("{name} step {step}: warm solve failed: {e}"));
+                assert!(
+                    cold.converged() && warm.converged(),
+                    "sequence fixture {name} stopped converging — investigate before committing"
+                );
+                iterations_warm += warm.iterations;
+                iterations_cold += cold.iterations;
+                active = refreshed;
+            }
+            SequencePoint {
+                name: name.into(),
+                steps,
+                drift,
+                rebuild_us: round3(rebuild_us),
+                refresh_us: round3(refresh_us),
+                refresh_speedup: round3(rebuild_us / refresh_us),
+                iterations_warm,
+                iterations_cold,
+                warm_saved_percent: round3(
+                    (1.0 - iterations_warm as f64 / iterations_cold.max(1) as f64) * 100.0,
+                ),
+            }
+        })
+        .collect()
+}
+
 #[derive(Serialize)]
 struct TrajectoryRow {
     name: String,
@@ -373,8 +472,12 @@ struct Trajectory {
     gmean_level_reduction_percent: f64,
     /// Geometric mean of the per-fixture full/mixed apply-bytes ratios.
     gmean_apply_bytes_ratio: f64,
+    /// Geometric mean of the per-fixture rebuild/refresh cost ratios.
+    gmean_refresh_speedup: f64,
     /// Virtual-time admission-control replay at 2× offered load.
     serve: ServeStudy,
+    /// Refresh-vs-rebuild and warm-vs-cold study over drifting sequences.
+    sequence: Vec<SequencePoint>,
 }
 
 /// Three decimals are stable across platforms; more would commit noise.
@@ -523,6 +626,8 @@ fn main() {
     let gmean_levels = gmean(&level_ratios).unwrap_or(1.0);
     let apply_ratios: Vec<f64> = rows.iter().map(|r| r.precision.apply_bytes_ratio).collect();
     let serve = serve_study(&device, &solver);
+    let sequence = sequence_study(&device, &solver);
+    let refresh_speedups: Vec<f64> = sequence.iter().map(|s| s.refresh_speedup).collect();
     let traj = Trajectory {
         bench: "trajectory",
         device: "a100-model",
@@ -532,15 +637,17 @@ fn main() {
         gmean_end_to_end_speedup: round3(gmean(&e2e).unwrap_or(0.0)),
         gmean_level_reduction_percent: round3((1.0 - 1.0 / gmean_levels) * 100.0),
         gmean_apply_bytes_ratio: round3(gmean(&apply_ratios).unwrap_or(1.0)),
+        gmean_refresh_speedup: round3(gmean(&refresh_speedups).unwrap_or(1.0)),
         serve,
+        sequence,
         rows,
     };
 
-    // Tracked artifact at the repo root (not target/): BENCH_7.json is the
+    // Tracked artifact at the repo root (not target/): BENCH_8.json is the
     // current trajectory point; its git history is the trajectory.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_7.json");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_8.json");
     let json = serde_json::to_string_pretty(&traj).expect("trajectory serializes");
-    std::fs::write(&path, json + "\n").expect("BENCH_7.json written");
+    std::fs::write(&path, json + "\n").expect("BENCH_8.json written");
 
     println!("trajectory: {} fixtures, ILU(0), A100 model", traj.rows.len());
     for r in &traj.rows {
@@ -600,6 +707,25 @@ fn main() {
             c.watchdog_killed,
             c.p50_us,
             c.p99_us
+        );
+    }
+    println!(
+        "sequence study: {} drift steps at {:.1}% per step, gmean refresh speedup {:.1}x",
+        traj.sequence.first().map_or(0, |s| s.steps),
+        traj.sequence.first().map_or(0.0, |s| 100.0 * s.drift),
+        traj.gmean_refresh_speedup
+    );
+    for s in &traj.sequence {
+        println!(
+            "  {:<14} rebuild {:>9.1} us  refresh {:>8.1} us  ({:>5.1}x)  iters warm {:>3} \
+             vs cold {:>3}  ({:>4.1}% saved)",
+            s.name,
+            s.rebuild_us,
+            s.refresh_us,
+            s.refresh_speedup,
+            s.iterations_warm,
+            s.iterations_cold,
+            s.warm_saved_percent
         );
     }
     println!("wrote {}", path.display());

@@ -57,6 +57,12 @@ pub struct SpcgOptions {
     /// reduced precision under an iterative-refinement outer loop; `Auto`
     /// picks per plan via a representability rule (see [`crate::precision`]).
     pub precision: PrecisionPolicy,
+    /// Slack multiplier on τ applied by [`SpcgPlan::refresh_values`] when it
+    /// re-evaluates the convergence indicator on refreshed values: the
+    /// refreshed split is kept while `‖Â⁻¹‖·‖S‖ ≤ τ · refresh_drift`, and a
+    /// full re-plan runs otherwise. `1.0` (the default) holds refreshed
+    /// plans to exactly the build-time guard.
+    pub refresh_drift: f64,
 }
 
 impl Default for SpcgOptions {
@@ -69,6 +75,7 @@ impl Default for SpcgOptions {
             ordering: OrderingKind::Natural,
             ordering_omega: 10.0,
             precision: PrecisionPolicy::Full,
+            refresh_drift: 1.0,
         }
     }
 }
@@ -136,6 +143,13 @@ impl SpcgOptions {
     /// Selects the precision tier of the preconditioner application.
     pub fn with_precision(mut self, precision: PrecisionPolicy) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// Sets the staleness slack [`refresh_drift`](Self::refresh_drift) used
+    /// by value-only plan refreshes.
+    pub fn with_refresh_drift(mut self, refresh_drift: f64) -> Self {
+        self.refresh_drift = refresh_drift;
         self
     }
 }

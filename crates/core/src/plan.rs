@@ -10,14 +10,16 @@
 //! iteration loop performs no heap allocation.
 
 use crate::algorithm2::{wavefront_aware_sparsify_probed, SparsifyDecision};
+use crate::indicator::convergence_indicator;
 use crate::pipeline::{build_preconditioner_probed, SpcgOptions, SpcgOutcome};
 use crate::precision::{fits_lower_precision, PrecisionPolicy};
 use crate::reorder::{select_ordering_probed, ReorderDecision, ReorderOutcome};
-use spcg_precond::{IluFactors, MixedPrecisionIlu, Preconditioner};
+use crate::sparsify::Sparsified;
+use spcg_precond::{ilu_refresh_probed, IluFactors, MixedPrecisionIlu, Preconditioner};
 use spcg_probe::{Counter, NoProbe, Probe, Span};
 use spcg_solver::{
-    pcg_in_place_probed, pcg_refined_in_place_probed, RefinedStats, SolveFault, SolveResult,
-    SolveStats, SolveWorkspace, SolverError,
+    pcg_in_place_probed, pcg_in_place_warm_probed, pcg_refined_in_place_probed, RefinedStats,
+    SolveFault, SolveResult, SolveStats, SolveWorkspace, SolverError,
 };
 use spcg_sparse::{CsrMatrix, Result, Scalar, SparseError};
 use std::time::{Duration, Instant};
@@ -189,6 +191,131 @@ impl<T: Scalar> SpcgPlan<T> {
             a_permuted: None,
             sparsify_time: Duration::ZERO,
             factorization_time: Duration::ZERO,
+            reorder_time: Duration::ZERO,
+        })
+    }
+
+    /// Rebuilds the plan for a matrix with **identical sparsity structure**
+    /// but new values — the time-varying-system fast path.
+    ///
+    /// The expensive analysis artifacts are all reused: the ordering
+    /// decision and its permutation, the sparsify split (`a_new` is
+    /// re-split along the recorded `S` pattern, not re-analyzed), the
+    /// symbolic factor structure, and the triangular-solve level schedules.
+    /// Only the numeric factorization sweep re-runs. A refresh is therefore
+    /// dramatically cheaper than [`build`](Self::build) — no wavefront
+    /// inspection, no candidate search, no schedule construction.
+    ///
+    /// **Staleness guard.** For sparsified plans the Equation-6 indicator
+    /// `‖Â⁻¹‖·‖S‖` is re-evaluated on the refreshed split. While it stays
+    /// within `τ · refresh_drift` (see
+    /// [`SpcgOptions::refresh_drift`]) the reused split is sound; once the
+    /// values have drifted past that bound the refresh falls back to a full
+    /// [`build`](Self::build) so the plan never silently degrades.
+    ///
+    /// Errors with [`SparseError::InvalidStructure`] when `a_new`'s pattern
+    /// differs from the planned matrix (build a new plan for structural
+    /// changes) or when the plan wraps externally-built factors
+    /// ([`from_factors`](Self::from_factors) plans record no derivation to
+    /// replay).
+    pub fn refresh_values(&self, a_new: &CsrMatrix<T>) -> Result<Self> {
+        self.refresh_values_probed(a_new, &mut NoProbe)
+    }
+
+    /// [`refresh_values`](Self::refresh_values) with an observability
+    /// [`Probe`]: the refresh is bracketed in a `Span::PlanRefresh`
+    /// containing only the numeric `Span::Factorize` — no `Span::Sparsify`,
+    /// `Span::Reorder`, or `Span::LevelBuild` ever fires on the happy path,
+    /// which is the observable proof that the analysis was reused. A
+    /// staleness fallback emits `Counter::PlanRefreshFallback` and then the
+    /// full `Span::PlanBuild` cascade.
+    pub fn refresh_values_probed<P: Probe>(
+        &self,
+        a_new: &CsrMatrix<T>,
+        probe: &mut P,
+    ) -> Result<Self> {
+        if self.factored.is_some() {
+            return Err(SparseError::InvalidStructure(
+                "externally-factored plans record no derivation from A to the factored matrix, \
+                 so their values cannot be refreshed; rebuild via from_factors"
+                    .into(),
+            ));
+        }
+        if a_new.n_rows() != self.a.n_rows()
+            || a_new.n_cols() != self.a.n_cols()
+            || a_new.row_ptr() != self.a.row_ptr()
+            || a_new.col_idx() != self.a.col_idx()
+        {
+            return Err(SparseError::InvalidStructure(
+                "refresh_values requires the exact sparsity structure of the planned matrix; \
+                 build a new plan for structural changes"
+                    .into(),
+            ));
+        }
+        probe.span_begin(Span::PlanRefresh);
+        let t = Instant::now();
+        // Reuse the ordering: the recorded permutation stays valid for an
+        // identical structure, so only the values are re-permuted.
+        let permuted_new = self
+            .perm
+            .as_deref()
+            .map(|p| a_new.permute_sym(p).expect("recorded permutation fits identical structure"));
+        let operator_new = permuted_new.as_ref().unwrap_or(a_new);
+        // Reuse the sparsify decision: re-split the new values along the
+        // recorded S pattern instead of re-running the candidate search.
+        let split = match &self.decision {
+            Some(d) => {
+                let s_old = &d.sparsified.s;
+                let in_s = |r: usize, c: usize| s_old.row_cols(r).binary_search(&c).is_ok();
+                let a_hat = operator_new.filter(|r, c, _| r == c || !in_s(r, c));
+                let s = operator_new.filter(|r, c, _| r != c && in_s(r, c));
+                if let Some(params) = &self.opts.sparsify {
+                    let v = convergence_indicator(&a_hat, &s, &params.estimator);
+                    if !v.passes(params.tau * self.opts.refresh_drift) {
+                        // The values drifted past the staleness bound: the
+                        // reused split is no longer trustworthy. Fall back
+                        // to a full re-plan.
+                        probe.counter(Counter::PlanRefreshFallback, 1);
+                        probe.span_end(Span::PlanRefresh);
+                        return Self::build_probed(a_new, self.opts.clone(), probe);
+                    }
+                }
+                Some((a_hat, s))
+            }
+            None => None,
+        };
+        let m_new = split.as_ref().map_or(operator_new, |(a_hat, _)| a_hat);
+        let factors = ilu_refresh_probed(m_new, &self.factors, probe);
+        let factorization_time = t.elapsed();
+        probe.span_end(Span::PlanRefresh);
+        let factors = factors?;
+        let (precision, mixed) = resolve_precision(self.opts.precision, &factors);
+        let decision = self.decision.as_ref().zip(split).map(|(d, (a_hat, s))| SparsifyDecision {
+            sparsified: Sparsified {
+                a_hat,
+                s,
+                dropped_nnz: d.sparsified.dropped_nnz,
+                requested_percent: d.sparsified.requested_percent,
+            },
+            chosen_ratio: d.chosen_ratio,
+            reason: d.reason,
+            wavefronts_original: d.wavefronts_original,
+            wavefronts_sparsified: d.wavefronts_sparsified,
+            trace: d.trace.clone(),
+        });
+        Ok(Self {
+            a: a_new.clone(),
+            opts: self.opts.clone(),
+            decision,
+            factored: None,
+            factors,
+            mixed,
+            precision,
+            reorder: self.reorder.clone(),
+            perm: self.perm.clone(),
+            a_permuted: permuted_new,
+            sparsify_time: Duration::ZERO,
+            factorization_time,
             reorder_time: Duration::ZERO,
         })
     }
@@ -501,6 +628,103 @@ impl<T: Scalar> SpcgPlan<T> {
         }
         ws.restore_staging(buf);
         stats
+    }
+
+    /// Warm-started allocation-free solve: PCG is seeded from the
+    /// workspace-resident previous solution (`x₀ = ws.solution()`) instead
+    /// of zero. For a sequence of slowly drifting systems this converts the
+    /// previous step's solution directly into iteration savings; on a
+    /// freshly-zeroed workspace it is bitwise identical to
+    /// [`solve_in_place`](Self::solve_in_place), because
+    /// `r₀ = b − A·0 = b` exactly.
+    pub fn solve_from(
+        &self,
+        b: &[T],
+        ws: &mut SolveWorkspace<T>,
+    ) -> std::result::Result<SolveStats, SolverError> {
+        self.solve_from_probed(b, ws, &mut NoProbe)
+    }
+
+    /// [`solve_from`](Self::solve_from) with an observability [`Probe`].
+    pub fn solve_from_probed<P: Probe>(
+        &self,
+        b: &[T],
+        ws: &mut SolveWorkspace<T>,
+        probe: &mut P,
+    ) -> std::result::Result<SolveStats, SolverError> {
+        self.solve_from_deadline_probed(b, usize::MAX, ws, probe)
+    }
+
+    /// [`solve_from_probed`](Self::solve_from_probed) under a per-request
+    /// iteration budget (see
+    /// [`solve_in_place_deadline_probed`](Self::solve_in_place_deadline_probed)).
+    ///
+    /// Mixed-precision plans run the cold refinement driver — the outer
+    /// loop re-derives its restart iterates, so a warm seed has no variant
+    /// there yet; results stay correct, just without the iteration savings.
+    /// For reordered plans the resident iterate (kept in the caller's
+    /// ordering) is gathered into permuted space before seeding; a
+    /// workspace whose resident iterate does not match this system's
+    /// dimension seeds from zero.
+    pub fn solve_from_deadline_probed<P: Probe>(
+        &self,
+        b: &[T],
+        deadline_iters: usize,
+        ws: &mut SolveWorkspace<T>,
+        probe: &mut P,
+    ) -> std::result::Result<SolveStats, SolverError> {
+        let Some(perm) = self.perm.as_deref() else {
+            return self.pcg_tier_warm_probed(&self.a, b, deadline_iters, ws, probe);
+        };
+        let n = self.n();
+        if b.len() != n {
+            // Let the inner solver surface its canonical dimension error.
+            return self.pcg_tier_warm_probed(self.operator(), b, deadline_iters, ws, probe);
+        }
+        let mut buf = ws.take_staging(n);
+        if ws.solution().len() == n {
+            // The resident iterate is in the caller's ordering (every solve
+            // tier scatters back on success); gather it into permuted space
+            // so the warm seed matches the operator PCG iterates on.
+            let x = ws.solution_mut();
+            for (k, &old) in perm.iter().enumerate() {
+                buf[k] = x[old];
+            }
+            x.copy_from_slice(&buf);
+        }
+        for (k, &old) in perm.iter().enumerate() {
+            buf[k] = b[old];
+        }
+        let stats = self.pcg_tier_warm_probed(self.operator(), &buf, deadline_iters, ws, probe);
+        if stats.is_ok() {
+            let x = ws.solution_mut();
+            for (k, &old) in perm.iter().enumerate() {
+                buf[old] = x[k];
+            }
+            x.copy_from_slice(&buf);
+        }
+        ws.restore_staging(buf);
+        stats
+    }
+
+    /// The warm-start analogue of [`pcg_tier_probed`](Self::pcg_tier_probed):
+    /// full plans seed PCG from the workspace-resident iterate; mixed plans
+    /// fall back to the cold refinement driver (see
+    /// [`solve_from_deadline_probed`](Self::solve_from_deadline_probed)).
+    fn pcg_tier_warm_probed<P: Probe>(
+        &self,
+        operator: &CsrMatrix<T>,
+        b: &[T],
+        deadline_iters: usize,
+        ws: &mut SolveWorkspace<T>,
+        probe: &mut P,
+    ) -> std::result::Result<SolveStats, SolverError> {
+        let Some(mixed) = &self.mixed else {
+            let config = self.opts.solver.clone().with_deadline_iters(deadline_iters);
+            return pcg_in_place_warm_probed(operator, &self.factors, b, &config, None, ws, probe);
+        };
+        self.solve_mixed_in_place_probed(operator, mixed, b, None, deadline_iters, ws, probe)
+            .map(|r| r.stats)
     }
 
     /// The precision-tier dispatch, in operator space: full plans run the
@@ -891,6 +1115,175 @@ mod tests {
             mixed.approx_bytes() > full.approx_bytes(),
             "the resident demoted factors must be accounted"
         );
+    }
+
+    #[test]
+    fn refresh_with_unchanged_values_is_bitwise_identical() {
+        let (a, b) = system(12);
+        for o in [opts(), SpcgOptions { sparsify: None, ..opts() }] {
+            let plan = SpcgPlan::build(&a, &o).unwrap();
+            let refreshed = plan.refresh_values(&a).unwrap();
+            assert_eq!(refreshed.factors().l().values(), plan.factors().l().values());
+            assert_eq!(refreshed.factors().u().values(), plan.factors().u().values());
+            assert_eq!(refreshed.is_sparsified(), plan.is_sparsified());
+            let rx = refreshed.solve(&b).unwrap();
+            let px = plan.solve(&b).unwrap();
+            assert_eq!(rx.x, px.x);
+            assert_eq!(rx.residual_history, px.residual_history);
+        }
+    }
+
+    #[test]
+    fn refresh_reuses_analysis_without_sparsify_reorder_or_levelbuild() {
+        use spcg_probe::RecordingProbe;
+        let (a, b) = system(12);
+        let o = opts().with_ordering(crate::OrderingKind::Rcm);
+        let plan = SpcgPlan::build(&a, &o).unwrap();
+        // Mild value drift: small enough to stay within the τ guard.
+        let a_new = a.map_values(|v| v * 1.001);
+        let mut probe = RecordingProbe::new();
+        let refreshed = plan.refresh_values_probed(&a_new, &mut probe).unwrap();
+        let trace = probe.finish();
+        let spans: Vec<Span> = trace.span_records().unwrap().iter().map(|r| r.span).collect();
+        assert!(spans.contains(&Span::PlanRefresh));
+        assert!(spans.contains(&Span::Factorize), "the numeric sweep must re-run");
+        for forbidden in [Span::Sparsify, Span::Reorder, Span::LevelBuild, Span::PlanBuild] {
+            assert!(!spans.contains(&forbidden), "refresh must not re-run {forbidden:?}");
+        }
+        assert_eq!(trace.counter_total(Counter::PlanRefreshFallback), 0);
+        // The reused analysis is carried over verbatim.
+        assert_eq!(refreshed.permutation(), plan.permutation());
+        assert_eq!(
+            refreshed.factors().total_wavefronts(),
+            plan.factors().total_wavefronts(),
+            "cloned schedules must match"
+        );
+        // The refreshed plan still solves ITS OWN system.
+        let r = refreshed.solve(&b).unwrap();
+        assert!(r.converged(), "stop {:?}", r.stop);
+        let ax = spcg_sparse::spmv::spmv_alloc(&a_new, &r.x);
+        let err: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        assert!(err < 1e-6, "residual vs refreshed A too large: {err}");
+    }
+
+    #[test]
+    fn refresh_falls_back_to_full_replan_past_the_drift_bound() {
+        use spcg_probe::RecordingProbe;
+        let (a, b) = system(12);
+        // refresh_drift = 0 makes the guard unsatisfiable for any plan with
+        // a non-empty S, forcing the fallback deterministically.
+        let o = opts().with_refresh_drift(0.0);
+        let plan = SpcgPlan::build(&a, &o).unwrap();
+        assert!(plan.is_sparsified());
+        let a_new = a.map_values(|v| v * 1.001);
+        let mut probe = RecordingProbe::new();
+        let refreshed = plan.refresh_values_probed(&a_new, &mut probe).unwrap();
+        let trace = probe.finish();
+        assert_eq!(trace.counter_total(Counter::PlanRefreshFallback), 1);
+        let spans: Vec<Span> = trace.span_records().unwrap().iter().map(|r| r.span).collect();
+        assert!(spans.contains(&Span::PlanBuild), "fallback must run the full analysis");
+        // The fallback is a fresh build: bitwise identical to building from
+        // scratch with the same options.
+        let direct = SpcgPlan::build(&a_new, &o).unwrap();
+        assert_eq!(refreshed.factors().l().values(), direct.factors().l().values());
+        assert_eq!(refreshed.solve(&b).unwrap().x, direct.solve(&b).unwrap().x);
+    }
+
+    #[test]
+    fn refresh_rejects_structural_change_and_external_factors() {
+        let (a, _) = system(8);
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
+        // Same nnz budget, different pattern: drop one off-diagonal entry.
+        let mut dropped = false;
+        let other = a.filter(|r, c, _| {
+            if !dropped && r != c {
+                dropped = true;
+                false
+            } else {
+                true
+            }
+        });
+        assert!(plan.refresh_values(&other).is_err());
+        let o = SpcgOptions { sparsify: None, ..opts() };
+        let factors = build_preconditioner(&a, o.precond, o.exec).unwrap();
+        let external = SpcgPlan::from_factors(a.clone(), factors, o.clone())
+            .unwrap()
+            .with_factored_matrix(a.clone())
+            .unwrap();
+        assert!(external.refresh_values(&a).is_err());
+    }
+
+    #[test]
+    fn refresh_preserves_the_mixed_tier() {
+        let (a, b) = system(10);
+        let plan = SpcgPlan::build(&a, opts().with_precision(PrecisionPolicy::MixedF32)).unwrap();
+        let a_new = a.map_values(|v| v * 1.01);
+        let refreshed = plan.refresh_values(&a_new).unwrap();
+        assert!(refreshed.is_mixed());
+        assert_eq!(refreshed.precision(), PrecisionPolicy::MixedF32);
+        assert!(refreshed.solve(&b).unwrap().converged());
+    }
+
+    #[test]
+    fn warm_solve_on_zeroed_workspace_matches_cold_even_reordered() {
+        let (a, b) = system(12);
+        let o = opts().with_ordering(crate::OrderingKind::Rcm);
+        let plan = SpcgPlan::build(&a, &o).unwrap();
+        let mut cold_ws = plan.make_workspace();
+        let cold = plan.solve_in_place(&b, &mut cold_ws).unwrap();
+        let mut warm_ws = plan.make_workspace();
+        let warm = plan.solve_from(&b, &mut warm_ws).unwrap();
+        assert_eq!(cold.iterations, warm.iterations);
+        assert_eq!(cold_ws.solution(), warm_ws.solution());
+    }
+
+    #[test]
+    fn warm_solve_reuses_the_resident_solution() {
+        let (a, b) = system(12);
+        for o in [opts(), opts().with_ordering(crate::OrderingKind::Rcm)] {
+            let plan = SpcgPlan::build(&a, &o).unwrap();
+            let mut ws = plan.make_workspace();
+            let cold = plan.solve_in_place(&b, &mut ws).unwrap();
+            assert!(cold.converged());
+            // Same rhs again: the resident solution is already converged.
+            let warm = plan.solve_from(&b, &mut ws).unwrap();
+            assert!(warm.converged(), "stop {:?}", warm.stop);
+            assert_eq!(warm.iterations, 0, "resident solution must satisfy the threshold");
+            // A drifted rhs still needs fewer iterations than a cold start.
+            let b2: Vec<f64> =
+                b.iter().enumerate().map(|(i, &v)| v * (1.0 + 1e-3 * (i % 7) as f64)).collect();
+            let warm2 = plan.solve_from(&b2, &mut ws).unwrap();
+            let cold2 = plan.solve(&b2).unwrap();
+            assert!(warm2.converged());
+            assert!(
+                warm2.iterations < cold2.iterations,
+                "warm {} vs cold {}",
+                warm2.iterations,
+                cold2.iterations
+            );
+            // Both end at the caller-ordering solution of the same system.
+            let ax = spcg_sparse::spmv::spmv_alloc(&a, ws.solution());
+            let err: f64 = ax.iter().zip(&b2).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+            assert!(err < 1e-6, "warm solution residual too large: {err}");
+        }
+    }
+
+    #[test]
+    fn refresh_plus_warm_solve_tracks_a_drifting_sequence() {
+        let (a, b) = system(12);
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
+        let mut ws = plan.make_workspace();
+        let mut current = plan;
+        let mut a_t = a;
+        for step in 1..=3 {
+            a_t = a_t.map_values(|v| v * (1.0 + 2e-3));
+            current = current.refresh_values(&a_t).unwrap();
+            let stats = current.solve_from(&b, &mut ws).unwrap();
+            assert!(stats.converged(), "step {step} stop {:?}", stats.stop);
+            let ax = spcg_sparse::spmv::spmv_alloc(&a_t, ws.solution());
+            let err: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+            assert!(err < 1e-6, "step {step} residual {err}");
+        }
     }
 
     #[test]

@@ -86,6 +86,35 @@ proptest! {
         prop_assert_eq!(&batched[0].x, &solo_legacy.result.x);
     }
 
+    /// `refresh_values` with the *unchanged* matrix is a bitwise no-op: the
+    /// refreshed plan reproduces the original's iterate, residual
+    /// trajectory, iteration count, and stop reason exactly — and a
+    /// `solve_from` warm start on a zeroed workspace equals the cold solve.
+    #[test]
+    fn refresh_with_unchanged_values_is_bitwise_identical(
+        n in 20usize..80,
+        seed in 0u64..300,
+        sparsify in any::<bool>(),
+        k in 0usize..3,
+    ) {
+        let (a, b) = random_system(n, seed);
+        let opts = options(sparsify, k, true);
+        let plan = SpcgPlan::build(&a, &opts).unwrap();
+        let refreshed = plan.refresh_values(&a).unwrap();
+        let base = plan.solve(&b).unwrap();
+        let re = refreshed.solve(&b).unwrap();
+        prop_assert_eq!(&base.x, &re.x);
+        prop_assert_eq!(&base.residual_history, &re.residual_history);
+        prop_assert_eq!(base.iterations, re.iterations);
+        prop_assert_eq!(base.stop, re.stop);
+        // A fresh workspace holds x0 = 0, so the "warm" start from it must
+        // be the cold solve, bit for bit.
+        let mut ws = refreshed.make_workspace();
+        let stats = refreshed.solve_from(&b, &mut ws).unwrap();
+        prop_assert_eq!(ws.solution(), &re.x[..]);
+        prop_assert_eq!(stats.iterations, re.iterations);
+    }
+
     /// A reused workspace never contaminates later solves: interleaving
     /// systems of different sizes through one workspace reproduces the
     /// fresh-workspace results exactly.

@@ -212,6 +212,49 @@ fn warm_served_solves_do_not_allocate() {
 }
 
 #[test]
+fn warm_session_steps_do_not_allocate() {
+    // The sequence-session contract: once a session's plan is resident and
+    // its workspace warm, a step whose matrix values are *unchanged* does
+    // no heap allocation — fingerprinting the matrix, recognizing the
+    // value digest, and warm-starting PCG from the previous solution all
+    // run in place. (A drifted step refreshes the factorization and is
+    // allowed to allocate; that path is measured by the benches instead.)
+    use spcg_serve::{ServiceConfig, SolveService};
+
+    let a = with_magnitude_spread(&poisson_2d(20, 20), 5.0, 13);
+    let service: SolveService = SolveService::new(ServiceConfig {
+        workers: 1,
+        options: SpcgOptions {
+            solver: SolverConfig::default().with_tol(1e-10).with_history(true),
+            ..Default::default()
+        },
+        ..ServiceConfig::default()
+    });
+    let mut rng = Rng::new(29);
+    let rhs: Vec<Vec<f64>> =
+        (0..4).map(|_| (0..a.n_rows()).map(|_| rng.range(-1.0, 1.0)).collect()).collect();
+
+    let mut session = service.open_session(&a).expect("plan builds");
+    // Warm-up step: sizes every buffer, leaves a resident solution.
+    let warm = session.step(&a, &rhs[0]).expect("well-formed system");
+    assert!(warm.converged(), "warm-up failed: {:?}", warm.stop);
+
+    let before = allocation_count();
+    for b in &rhs {
+        let stats = session.step(&a, b).expect("well-formed system");
+        assert!(stats.converged(), "session step failed: {:?}", stats.stop);
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "warm session steps allocated {} time(s); an unchanged-values step must be \
+         allocation-free",
+        after - before
+    );
+}
+
+#[test]
 fn workspace_growth_allocates_then_settles() {
     // Growing to a larger system allocates (by design), but once grown the
     // workspace serves both sizes allocation-free.

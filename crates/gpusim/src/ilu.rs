@@ -103,6 +103,21 @@ pub fn ilu_factorization_cost_serial<T: Scalar>(
     }
 }
 
+/// Serial cost of a **value-only numeric re-sweep** over an
+/// already-analyzed pattern: the
+/// [`ilu_factorization_cost_serial`] IKJ sweep with the symbolic-analysis
+/// pass removed — a refresh scatters new values onto the cached pattern,
+/// so no dependence discovery runs.
+pub fn ilu_refresh_cost_serial<T: Scalar>(device: &DeviceSpec, a: &CsrMatrix<T>) -> KernelCost {
+    let full = ilu_factorization_cost_serial(device, a);
+    let symbolic_us = 0.05 * a.nnz() as f64;
+    KernelCost {
+        time_us: full.time_us - symbolic_us,
+        compute_us: full.compute_us - symbolic_us,
+        ..full
+    }
+}
+
 /// Host-side inspector cost: building the dependence levels. Modeled as a
 /// linear scan of the structure plus per-level bookkeeping.
 pub fn inspector_cost_us<T: Scalar>(a: &CsrMatrix<T>, n_levels: usize) -> f64 {

@@ -25,13 +25,19 @@ pub mod trisolve;
 
 pub use admission::{estimate_from_structure, iteration_budget, SolveCostEstimate};
 pub use device::DeviceSpec;
-pub use ilu::{ilu_factorization_cost, inspector_cost_us, sparsify_cost_us};
+pub use ilu::{
+    ilu_factorization_cost, ilu_factorization_cost_serial, ilu_refresh_cost_serial,
+    inspector_cost_us, sparsify_cost_us,
+};
 pub use kernel::{dot_cost, elementwise_cost, spmv_cost, value_bytes_of, KernelCost};
 pub use pcg::{
     end_to_end_cost, iteration_gflops, pcg_iteration_cost, pcg_iteration_cost_with_factor_bytes,
     EndToEndCost, IterationCost,
 };
-pub use plan::{plan_end_to_end_cost, plan_iteration_cost, plan_recovery_cost, RecoveryCost};
+pub use plan::{
+    plan_end_to_end_cost, plan_iteration_cost, plan_rebuild_cost_us, plan_recovery_cost,
+    plan_refresh_cost_us, RecoveryCost,
+};
 pub use profiler::{profile, Boundedness, ProfileReport};
 pub use trace::simulated_solve_trace;
 pub use trisolve::{trisolve_cost, trisolve_cost_of, TrisolveWorkload};

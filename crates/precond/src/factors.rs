@@ -144,6 +144,26 @@ impl<T: Scalar> IluFactors<T> {
         }
     }
 
+    /// Numeric-refresh constructor: wraps freshly re-swept factor matrices
+    /// whose sparsity structure is identical to `prior`'s, cloning the
+    /// level schedules rather than rebuilding them (no inspector re-run) —
+    /// the value-only analogue of [`demoted`](Self::demoted).
+    pub fn refreshed_from(prior: &Self, l: CsrMatrix<T>, u: CsrMatrix<T>) -> Self {
+        debug_assert_eq!(l.row_ptr(), prior.l.row_ptr(), "L structure must be unchanged");
+        debug_assert_eq!(l.col_idx(), prior.l.col_idx(), "L structure must be unchanged");
+        debug_assert_eq!(u.row_ptr(), prior.u.row_ptr(), "U structure must be unchanged");
+        debug_assert_eq!(u.col_idx(), prior.u.col_idx(), "U structure must be unchanged");
+        Self {
+            l,
+            u,
+            l_schedule: prior.l_schedule.clone(),
+            u_schedule: prior.u_schedule.clone(),
+            exec: prior.exec,
+            name: prior.name.clone(),
+            scratch_dim: prior.scratch_dim,
+        }
+    }
+
     /// Solves `L y = r` then `U z = y`, allocating the intermediate `y`.
     /// Hot loops should prefer [`solve_with_scratch`](Self::solve_with_scratch).
     pub fn solve(&self, r: &[T], z: &mut [T]) {

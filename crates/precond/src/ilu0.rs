@@ -35,6 +35,90 @@ pub fn ilu0_probed<T: Scalar, P: Probe>(
     Ok(IluFactors::new_probed(l, u, exec, "ilu0".into(), probe))
 }
 
+/// Value-only refactorization: re-runs the numeric IKJ sweep for a matrix
+/// with `prior`'s sparsity structure but new values, cloning the level
+/// schedules from `prior` instead of re-running the inspector.
+///
+/// Works for any fixed-pattern incomplete factorization built by this
+/// crate: the factor pattern is recovered from `prior` (for ILU(K) this is
+/// the filled pattern), `a`'s values are scattered onto it (fill entries
+/// restart at zero, exactly as in the original build), and the shared
+/// numeric sweep runs on the result. With unchanged values the produced
+/// factors are bitwise identical to the original build's.
+pub fn ilu_refresh<T: Scalar>(a: &CsrMatrix<T>, prior: &IluFactors<T>) -> Result<IluFactors<T>> {
+    ilu_refresh_probed(a, prior, &mut NoProbe)
+}
+
+/// [`ilu_refresh`] with an observability [`Probe`]: the numeric sweep is
+/// bracketed in a [`Span::Factorize`] and one [`Counter::Factorizations`]
+/// event is emitted on success. No `Span::LevelBuild` is ever emitted —
+/// the schedules are cloned, which is the refresh's whole point.
+pub fn ilu_refresh_probed<T: Scalar, P: Probe>(
+    a: &CsrMatrix<T>,
+    prior: &IluFactors<T>,
+    probe: &mut P,
+) -> Result<IluFactors<T>> {
+    if !a.is_square() {
+        return Err(SparseError::NotSquare { n_rows: a.n_rows(), n_cols: a.n_cols() });
+    }
+    if prior.l().n_rows() != a.n_rows() {
+        return Err(SparseError::InvalidStructure(format!(
+            "refresh dimension {} does not match the prior factors' {}",
+            a.n_rows(),
+            prior.l().n_rows()
+        )));
+    }
+    probe.span_begin(Span::Factorize);
+    let swept = refresh_pattern_matrix(a, prior).and_then(|filled| {
+        let (vals, diag_pos) = ilu0_values(&filled)?;
+        Ok((filled, vals, diag_pos))
+    });
+    probe.span_end(Span::Factorize);
+    let (filled, vals, diag_pos) = swept?;
+    probe.counter(Counter::Factorizations, 1);
+    let (l, u) = split_factors(&filled, &vals, &diag_pos);
+    Ok(IluFactors::refreshed_from(prior, l, u))
+}
+
+/// Scatters `a`'s values onto the factor pattern recorded in `prior`
+/// (strictly-lower part of `L` plus all of `U`); positions absent from `a`
+/// (ILU(K) fill) start at zero, as in the original build.
+fn refresh_pattern_matrix<T: Scalar>(
+    a: &CsrMatrix<T>,
+    prior: &IluFactors<T>,
+) -> Result<CsrMatrix<T>> {
+    let n = a.n_rows();
+    let (l, u) = (prior.l(), prior.u());
+    // L stores an explicit unit diagonal on top of the factored pattern.
+    let nnz = l.nnz() - n + u.nnz();
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    row_ptr.push(0);
+    for i in 0..n {
+        let a_cols = a.row_cols(i);
+        let a_vals = a.row_values(i);
+        let mut scatter = |j: usize| {
+            let v = match a_cols.binary_search(&j) {
+                Ok(k) => a_vals[k],
+                Err(_) => T::ZERO,
+            };
+            col_idx.push(j);
+            values.push(v);
+        };
+        for &j in l.row_cols(i) {
+            if j < i {
+                scatter(j);
+            }
+        }
+        for &j in u.row_cols(i) {
+            scatter(j);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix::from_raw(n, n, row_ptr, col_idx, values)
+}
+
 /// The numeric sweep of ILU(0): returns the factored values overlaid on
 /// `A`'s pattern plus the position of each diagonal entry.
 ///
@@ -223,6 +307,46 @@ mod tests {
                 assert!((lu.get(i, j) - d.get(i, j)).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn refresh_with_unchanged_values_is_bitwise_identical() {
+        let a = poisson_2d(8, 7);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let r = ilu_refresh(&a, &f).unwrap();
+        assert_eq!(f.l(), r.l());
+        assert_eq!(f.u(), r.u());
+        assert_eq!(f.total_wavefronts(), r.total_wavefronts());
+    }
+
+    #[test]
+    fn refresh_matches_a_full_rebuild_on_new_values() {
+        let a = poisson_2d(8, 8);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let a2 = a.map_values(|v| v * 1.5);
+        let refreshed = ilu_refresh(&a2, &f).unwrap();
+        let rebuilt = ilu0(&a2, TriangularExec::Sequential).unwrap();
+        assert_eq!(refreshed.l(), rebuilt.l());
+        assert_eq!(refreshed.u(), rebuilt.u());
+    }
+
+    #[test]
+    fn refresh_reproduces_iluk_numeric_factors() {
+        let a = poisson_2d(7, 7);
+        let f = crate::iluk::iluk(&a, 2, TriangularExec::Sequential).unwrap();
+        let a2 = a.map_values(|v| v * 0.9);
+        let refreshed = ilu_refresh(&a2, &f).unwrap();
+        let rebuilt = crate::iluk::iluk(&a2, 2, TriangularExec::Sequential).unwrap();
+        assert_eq!(refreshed.l(), rebuilt.l());
+        assert_eq!(refreshed.u(), rebuilt.u());
+    }
+
+    #[test]
+    fn refresh_rejects_dimension_mismatch() {
+        let a = poisson_2d(6, 6);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let wrong = poisson_2d(5, 5);
+        assert!(ilu_refresh(&wrong, &f).is_err());
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub use block_jacobi::BlockJacobiPreconditioner;
 pub use factors::{IluFactors, TriangularExec};
 pub use ic0::ic0;
 pub use ick::{ick, ick_capped};
-pub use ilu0::{ilu0, ilu0_probed};
+pub use ilu0::{ilu0, ilu0_probed, ilu_refresh, ilu_refresh_probed};
 pub use ilu0_par::ilu0_par;
 pub use iluk::{
     iluk, iluk_pattern_matrix, iluk_pattern_matrix_capped, iluk_probed, iluk_symbolic,

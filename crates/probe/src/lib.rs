@@ -86,6 +86,10 @@ pub enum Span {
     ServeRequest,
     /// One coalesced same-fingerprint batch executed by a serve worker.
     ServeBatch,
+    /// Value-only plan refresh (`SpcgPlan::refresh_values`): numeric
+    /// refactorization reusing the recorded sparsify split, permutation,
+    /// and level schedules.
+    PlanRefresh,
 }
 
 impl Span {
@@ -108,6 +112,7 @@ impl Span {
             Span::TriangularUpper => "solve.tri_upper",
             Span::ServeRequest => "serve.request",
             Span::ServeBatch => "serve.batch",
+            Span::PlanRefresh => "plan.refresh",
         }
     }
 }
@@ -181,6 +186,19 @@ pub enum Counter {
     ServeBreakerClosed,
     /// Requests rejected because their fingerprint is quarantined.
     ServeBreakerRejected,
+    /// Value-only refreshes that had to fall back to a full re-plan
+    /// because the τ indicator drifted past the staleness threshold.
+    PlanRefreshFallback,
+    /// Sequence sessions opened on the serve layer.
+    ServeSessionOpened,
+    /// Sequence steps served through an open session.
+    ServeSessionStep,
+    /// Session steps that refreshed the plan's values in place (as opposed
+    /// to reusing it verbatim or rebuilding from scratch).
+    ServeSessionRefresh,
+    /// Queued requests cancelled by their ticket before a worker picked
+    /// them up.
+    ServeCancelled,
 }
 
 impl Counter {
@@ -216,6 +234,11 @@ impl Counter {
             Counter::ServeBreakerHalfOpen => "serve.breaker.half_open",
             Counter::ServeBreakerClosed => "serve.breaker.close",
             Counter::ServeBreakerRejected => "serve.breaker.rejected",
+            Counter::PlanRefreshFallback => "plan.refresh.fallback",
+            Counter::ServeSessionOpened => "serve.session.opened",
+            Counter::ServeSessionStep => "serve.session.step",
+            Counter::ServeSessionRefresh => "serve.session.refresh",
+            Counter::ServeCancelled => "serve.queue.cancelled",
         }
     }
 }
@@ -515,7 +538,10 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(Span::SolveLoop.label(), "solve.loop");
+        assert_eq!(Span::PlanRefresh.label(), "plan.refresh");
         assert_eq!(Counter::SimBytes.label(), "sim.bytes");
+        assert_eq!(Counter::ServeSessionStep.label(), "serve.session.step");
+        assert_eq!(Counter::ServeCancelled.label(), "serve.queue.cancelled");
         assert_eq!(format!("{}", Span::Spmv), "solve.spmv");
         assert_eq!(format!("{}", Counter::Syncs), "syncs");
     }

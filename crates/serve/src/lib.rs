@@ -19,18 +19,22 @@
 //! * [`breaker`] — a per-fingerprint circuit breaker quarantining systems
 //!   that repeatedly break down or blow their deadlines;
 //! * [`service`] — the [`SolveService`]: synchronous cached solves on the
-//!   caller's thread (including a zero-allocation in-place path) and a
+//!   caller's thread (including a zero-allocation in-place path), a
 //!   worker pool that coalesces same-fingerprint requests into batches,
 //!   falling back to the resilient ladder per right-hand side on
-//!   breakdown. Policy submissions
-//!   ([`SolveService::submit_with_policy`]) pass through admission
-//!   control and run under an iteration-count deadline watchdog enforced
-//!   inside the PCG guard path.
+//!   breakdown, and sequence [`Session`]s for
+//!   time-varying systems (value-only plan refresh + warm-started PCG).
+//!   Every queued request is a [`SolveRequest`];
+//!   one carrying a [`RequestPolicy`] passes through admission control
+//!   and runs under an iteration-count deadline watchdog enforced inside
+//!   the PCG guard path, and any queued request can be withdrawn via
+//!   [`Ticket::cancel`](service::Ticket::cancel) until a worker picks it
+//!   up.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use spcg_serve::{ServiceConfig, SolveService};
+//! use spcg_serve::{ServiceConfig, SolveRequest, SolveService};
 //! use spcg_sparse::generators::poisson_2d;
 //! use std::sync::Arc;
 //!
@@ -39,7 +43,7 @@
 //! let b = vec![1.0f64; a.n_rows()];
 //!
 //! // Queued: goes through the worker pool (and may batch with friends).
-//! let ticket = service.submit(Arc::clone(&a), b.clone()).unwrap();
+//! let ticket = service.submit(SolveRequest::new(Arc::clone(&a), b.clone())).unwrap();
 //! let queued = ticket.wait().unwrap();
 //! assert!(queued.result.converged());
 //!
@@ -47,6 +51,13 @@
 //! let sync = service.solve(&a, &b).unwrap();
 //! assert!(sync.cache_hit);
 //! assert_eq!(sync.result.x, queued.result.x); // bitwise identical
+//!
+//! // Sequence session: fixed structure, drifting values, warm starts.
+//! let mut session = service.open_session(&a).unwrap();
+//! let first = session.step(&a, &b).unwrap();
+//! let drifted = a.map_values(|v| v * 1.001);
+//! let second = session.step(&drifted, &b).unwrap();
+//! assert!(second.iterations <= first.iterations); // warm start pays
 //! ```
 
 #![warn(missing_docs)]
@@ -65,4 +76,7 @@ pub use breaker::{
 pub use cache::{CacheConfig, CacheStats, PlanCache, PlanKey};
 pub use policy::{Priority, RequestPolicy, SolveTier};
 pub use queue::{BoundedQueue, PushError};
-pub use service::{ServeError, ServeOutcome, ServiceConfig, ServiceStats, SolveService, Ticket};
+pub use service::{
+    ServeError, ServeOutcome, ServiceConfig, ServiceStats, Session, SessionId, SolveRequest,
+    SolveService, Ticket,
+};

@@ -2,8 +2,8 @@
 //! the request is, and how much solve quality it is willing to trade away
 //! under load.
 //!
-//! The policy travels with each request through
-//! [`SolveService::submit_with_policy`](crate::SolveService::submit_with_policy)
+//! The policy travels with each request
+//! ([`SolveRequest::policy`](crate::SolveRequest::policy))
 //! and is consumed once, up front, by the admission controller
 //! ([`crate::admission`]): the controller turns it into either a rejection
 //! ([`crate::ServeError::Shed`]) or an admitted request pinned to a

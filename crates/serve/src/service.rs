@@ -9,14 +9,24 @@
 //!   thread. The in-place variant is the zero-allocation hot path: once a
 //!   plan is cached and the caller's workspace is warm, a request performs
 //!   no heap allocation at all (fingerprint, cache hit, PCG loop included).
-//! * **Queued** — [`submit`](SolveService::submit) /
-//!   [`try_submit`](SolveService::try_submit) hand the request to a
+//! * **Queued** — build a [`SolveRequest`] and hand it to
+//!   [`submit`](SolveService::submit) /
+//!   [`try_submit`](SolveService::try_submit): the request goes to a
 //!   `std::thread` worker pool behind a bounded queue (`try_submit` is the
 //!   backpressure edge: it fails fast with [`ServeError::QueueFull`]).
-//!   A worker that dequeues a request waits out a small **admission
-//!   window**, then drains every same-fingerprint request still queued and
-//!   solves them as one batch through a single reused workspace — the
-//!   cross-request analogue of [`SpcgPlan::solve_many`].
+//!   A request carrying a [`RequestPolicy`] passes through admission
+//!   control first and may be downgraded or shed. A worker that dequeues a
+//!   request waits out a small **admission window**, then drains every
+//!   same-fingerprint request still queued and solves them as one batch
+//!   through a single reused workspace — the cross-request analogue of
+//!   [`SpcgPlan::solve_many`]. A queued request can be withdrawn with
+//!   [`Ticket::cancel`] until a worker picks it up.
+//! * **Sessions** — [`open_session`](SolveService::open_session) pins one
+//!   evolving system (fixed sparsity structure, drifting values) to a
+//!   [`Session`]: each [`step`](Session::step) reuses the cached plan when
+//!   the values are unchanged, refreshes only the numeric factorization
+//!   ([`SpcgPlan::refresh_values`]) when they drift, and warm-starts PCG
+//!   from the previous step's solution ([`SpcgPlan::solve_from`]).
 //!
 //! Requests fail independently: a right-hand side that breaks down falls
 //! back to the resilient ladder ([`SpcgPlan::solve_resilient`]) without
@@ -44,9 +54,9 @@ use spcg_probe::{AdmissionEvent, AdmissionVerdict, Counter, Probe, Span};
 use spcg_solver::{
     pcg_with_workspace, SolveResult, SolveStats, SolveWorkspace, SolverError, StopReason,
 };
-use spcg_sparse::{CsrMatrix, Scalar, SparseError};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use spcg_sparse::{CsrMatrix, MatrixFingerprint, Scalar, SparseError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -68,7 +78,7 @@ pub struct ServiceConfig {
     /// Pipeline options used to build every plan.
     pub options: SpcgOptions,
     /// Ladder options for breakdown fallback (`fault` is overridden
-    /// per-request; see [`SolveService::submit_with_fault`]).
+    /// per-request; see [`SolveRequest::fault`]).
     pub resilience: ResilienceOptions,
     /// Device cost model backing admission pricing (deadline feasibility,
     /// queue-wait estimation, iteration budgets).
@@ -105,9 +115,11 @@ pub enum ServeError {
     /// The solve itself rejected the request (dimension mismatch, …).
     Solver(SolverError),
     /// The admission controller refused the request before any work
-    /// started (policy submissions only; see
-    /// [`SolveService::submit_with_policy`]).
+    /// started (policy submissions only; see [`SolveRequest::policy`]).
     Shed(ShedReason),
+    /// The caller cancelled the queued request ([`Ticket::cancel`]) before
+    /// a worker picked it up; no solve work was spent on it.
+    Cancelled,
 }
 
 impl std::fmt::Display for ServeError {
@@ -118,6 +130,7 @@ impl std::fmt::Display for ServeError {
             ServeError::PlanBuild(e) => write!(f, "plan construction failed: {e}"),
             ServeError::Solver(e) => write!(f, "solver rejected request: {e}"),
             ServeError::Shed(reason) => write!(f, "request shed at admission: {reason}"),
+            ServeError::Cancelled => write!(f, "request cancelled while queued"),
         }
     }
 }
@@ -127,6 +140,57 @@ impl std::error::Error for ServeError {}
 impl From<SolverError> for ServeError {
     fn from(e: SolverError) -> Self {
         ServeError::Solver(e)
+    }
+}
+
+/// One queued solve request: the system, the right-hand side, and the
+/// optional extras that used to be separate `submit_*` entry points.
+///
+/// ```
+/// use spcg_serve::{RequestPolicy, ServiceConfig, SolveRequest, SolveService};
+/// use spcg_sparse::generators::poisson_2d;
+/// use std::sync::Arc;
+///
+/// let service: SolveService = SolveService::new(ServiceConfig::default());
+/// let a = Arc::new(poisson_2d(12, 12));
+/// let b = vec![1.0f64; a.n_rows()];
+/// let req = SolveRequest::new(Arc::clone(&a), b).policy(RequestPolicy::default());
+/// let out = service.submit(req).unwrap().wait().unwrap();
+/// assert!(out.result.converged());
+/// ```
+///
+/// The matrix travels as an `Arc` so same-system clients share one copy
+/// (and so a worker can coalesce same-fingerprint requests into a batch).
+#[derive(Debug, Clone)]
+pub struct SolveRequest<T: Scalar> {
+    a: Arc<CsrMatrix<T>>,
+    b: Vec<T>,
+    policy: Option<RequestPolicy>,
+    fault: Option<FaultInjection>,
+}
+
+impl<T: Scalar> SolveRequest<T> {
+    /// A plain request for `A x = b`: no policy (never shed, no deadline),
+    /// no injected fault.
+    pub fn new(a: Arc<CsrMatrix<T>>, b: Vec<T>) -> Self {
+        Self { a, b, policy: None, fault: None }
+    }
+
+    /// Routes the request through admission control under `policy`: it may
+    /// be admitted (possibly downgraded to a cheaper [`SolveTier`]) with an
+    /// iteration-count watchdog budget, or shed with a typed
+    /// [`ServeError::Shed`] before any work starts.
+    pub fn policy(mut self, policy: RequestPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Injects a deterministic fault, for resilience testing: the request
+    /// is solved through the fallback ladder and recovers (or degrades)
+    /// without affecting its batchmates.
+    pub fn fault(mut self, fault: FaultInjection) -> Self {
+        self.fault = Some(fault);
+        self
     }
 }
 
@@ -150,16 +214,58 @@ pub struct ServeOutcome<T: Scalar> {
     pub tier: SolveTier,
 }
 
-/// Handle to a queued request; redeem with [`Ticket::wait`].
+/// Cancellation state shared between a [`Ticket`] and its queued
+/// [`Request`]. The queued-work charge lives here (not on the request) so
+/// that exactly one of `Ticket::cancel` and the dequeuing worker releases
+/// it: both go through [`CancelCell::take_charge`], an atomic swap to zero.
+#[derive(Debug)]
+struct CancelCell {
+    cancelled: AtomicBool,
+    charge_us: AtomicU64,
+}
+
+impl CancelCell {
+    fn new(charge_us: u64) -> Self {
+        Self { cancelled: AtomicBool::new(false), charge_us: AtomicU64::new(charge_us) }
+    }
+
+    /// Claims the queued-work charge, exactly once across all callers.
+    fn take_charge(&self) -> u64 {
+        self.charge_us.swap(0, Ordering::AcqRel)
+    }
+}
+
+/// Handle to a queued request; redeem with [`Ticket::wait`] or withdraw
+/// with [`Ticket::cancel`].
 #[derive(Debug)]
 pub struct Ticket<T: Scalar> {
     rx: mpsc::Receiver<Result<ServeOutcome<T>, ServeError>>,
+    cancel: Arc<CancelCell>,
+    service: Weak<Inner<T>>,
 }
 
 impl<T: Scalar> Ticket<T> {
     /// Blocks until the worker pool finishes this request.
     pub fn wait(self) -> Result<ServeOutcome<T>, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Withdraws the request if it is still queued — best effort: a request
+    /// a worker already picked up runs to completion and `cancel` is a
+    /// no-op. A successfully cancelled request releases its queued-work
+    /// charge immediately (admission stops pricing work that will never
+    /// run), is answered with [`ServeError::Cancelled`] when the worker
+    /// reaches it, counts in [`ServiceStats::cancelled`], and feeds its
+    /// fingerprint's circuit breaker neutrally (a cancelled probe releases
+    /// the half-open slot instead of leaking it).
+    pub fn cancel(&self) {
+        self.cancel.cancelled.store(true, Ordering::Release);
+        if let Some(inner) = self.service.upgrade() {
+            let charge = self.cancel.take_charge();
+            if charge > 0 {
+                inner.queued_cost_us.fetch_sub(charge, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -198,6 +304,20 @@ pub struct ServiceStats {
     /// Requests whose deadline expired while queued (answered with a typed
     /// [`SolverError::DeadlineExceeded`] without consuming solve time).
     pub deadline_expired: u64,
+    /// Queued requests withdrawn by [`Ticket::cancel`] before a worker
+    /// picked them up (answered with [`ServeError::Cancelled`] without
+    /// consuming solve time). Cancellation happens *after* admission, so
+    /// these stay inside `admitted + downgraded` (or plain `requests`) and
+    /// inside `completed` — the reconciliation invariant is untouched.
+    pub cancelled: u64,
+    /// Sequence sessions opened ([`SolveService::open_session`]).
+    pub sessions_opened: u64,
+    /// Steps served through open sessions ([`Session::step`]).
+    pub session_steps: u64,
+    /// Session steps that refreshed the plan's numeric values in place
+    /// (value drift without a cached value twin), as opposed to reusing a
+    /// resident plan verbatim.
+    pub session_refreshes: u64,
     /// Circuit-breaker transition/rejection tallies, summed over all
     /// fingerprints.
     pub breaker: BreakerCounters,
@@ -231,9 +351,11 @@ struct Request<T: Scalar> {
     deadline: Option<Instant>,
     /// Admission's per-iteration price for this request's tier, µs.
     per_iter_us: f64,
-    /// Admission's expected total cost, µs (the amount added to the
-    /// queued-work gauge; the dequeuing worker subtracts it back).
-    cost_us: u64,
+    /// Cancellation flag plus the request's outstanding queued-work charge
+    /// (the amount added to the gauge at admission; whoever reaches it
+    /// first — the dequeuing worker or [`Ticket::cancel`] — subtracts it
+    /// back, exactly once).
+    cancel: Arc<CancelCell>,
     /// How this request's outcome feeds the fingerprint's circuit
     /// breaker.
     breaker: BreakerRole,
@@ -262,6 +384,12 @@ struct Inner<T: Scalar> {
     shed: AtomicU64,
     closed_rejected: AtomicU64,
     deadline_expired: AtomicU64,
+    cancelled: AtomicU64,
+    sessions_opened: AtomicU64,
+    session_steps: AtomicU64,
+    session_refreshes: AtomicU64,
+    /// Monotonic source of [`SessionId`]s.
+    next_session: AtomicU64,
 }
 
 /// Thread-safe, plan-caching, request-batching solve service. See the
@@ -296,6 +424,11 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
             shed: AtomicU64::new(0),
             closed_rejected: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            sessions_opened: AtomicU64::new(0),
+            session_steps: AtomicU64::new(0),
+            session_refreshes: AtomicU64::new(0),
+            next_session: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|_| {
@@ -377,56 +510,103 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
         Ok(stats)
     }
 
-    /// Queues a request for the worker pool, blocking while the queue is
-    /// full. The matrix travels as an `Arc` so same-system clients share
-    /// one copy.
-    pub fn submit(&self, a: Arc<CsrMatrix<T>>, b: Vec<T>) -> Result<Ticket<T>, ServeError> {
-        self.enqueue(a, b, None, false)
+    /// Queues a [`SolveRequest`] for the worker pool, blocking while the
+    /// queue is full (a request carrying a [`RequestPolicy`] never blocks —
+    /// admission control already sheds on occupancy).
+    pub fn submit(&self, req: SolveRequest<T>) -> Result<Ticket<T>, ServeError> {
+        self.submit_inner(req, false, &mut spcg_probe::NoProbe)
     }
 
     /// Non-blocking [`submit`](SolveService::submit): fails immediately
     /// with [`ServeError::QueueFull`] when the queue is at capacity. This
     /// is the backpressure edge — callers shed or retry.
-    pub fn try_submit(&self, a: Arc<CsrMatrix<T>>, b: Vec<T>) -> Result<Ticket<T>, ServeError> {
-        self.enqueue(a, b, None, true)
+    pub fn try_submit(&self, req: SolveRequest<T>) -> Result<Ticket<T>, ServeError> {
+        self.submit_inner(req, true, &mut spcg_probe::NoProbe)
+    }
+
+    /// [`submit`](SolveService::submit) with an observability [`Probe`]:
+    /// for policy-bearing requests the admission verdict is reported
+    /// through [`Probe::admission`] as it is made.
+    pub fn submit_probed<P: Probe>(
+        &self,
+        req: SolveRequest<T>,
+        probe: &mut P,
+    ) -> Result<Ticket<T>, ServeError> {
+        self.submit_inner(req, false, probe)
+    }
+
+    fn submit_inner<P: Probe>(
+        &self,
+        req: SolveRequest<T>,
+        bounded: bool,
+        probe: &mut P,
+    ) -> Result<Ticket<T>, ServeError> {
+        match req.policy {
+            Some(policy) => self.admit_and_enqueue(req.a, req.b, req.fault, policy, probe),
+            None => self.enqueue(req.a, req.b, req.fault, bounded),
+        }
     }
 
     /// [`submit`](SolveService::submit) with a deterministic injected
-    /// fault, for resilience testing: the request is solved through the
-    /// fallback ladder and recovers (or degrades) without affecting its
-    /// batchmates.
+    /// fault.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `SolveRequest` and call `submit`: \
+                                          `submit(SolveRequest::new(a, b).fault(fault))`"
+    )]
     pub fn submit_with_fault(
         &self,
         a: Arc<CsrMatrix<T>>,
         b: Vec<T>,
         fault: FaultInjection,
     ) -> Result<Ticket<T>, ServeError> {
-        self.enqueue(a, b, Some(fault), false)
+        self.submit(SolveRequest::new(a, b).fault(fault))
     }
 
-    /// [`submit`](SolveService::submit) under a [`RequestPolicy`]: the
-    /// admission controller prices the request against the gpusim cost
-    /// model and current load, then **admits** it (possibly **downgraded**
-    /// to a cheaper [`SolveTier`]) with an iteration-count watchdog budget,
-    /// or **sheds** it with a typed [`ServeError::Shed`] before any work
-    /// starts. Fingerprints quarantined by the circuit breaker are shed
-    /// immediately.
+    /// [`submit`](SolveService::submit) under a [`RequestPolicy`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `SolveRequest` and call `submit`: \
+                                          `submit(SolveRequest::new(a, b).policy(policy))`"
+    )]
     pub fn submit_with_policy(
         &self,
         a: Arc<CsrMatrix<T>>,
         b: Vec<T>,
         policy: RequestPolicy,
     ) -> Result<Ticket<T>, ServeError> {
-        self.submit_with_policy_probed(a, b, policy, &mut spcg_probe::NoProbe)
+        self.submit(SolveRequest::new(a, b).policy(policy))
     }
 
-    /// [`submit_with_policy`](SolveService::submit_with_policy) with an
-    /// observability [`Probe`]: the admission verdict is reported through
-    /// [`Probe::admission`] as it is made.
+    /// [`submit_probed`](SolveService::submit_probed) under a
+    /// [`RequestPolicy`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `SolveRequest` and call `submit_probed`: \
+                                          `submit_probed(SolveRequest::new(a, b).policy(policy), \
+                                          probe)`"
+    )]
     pub fn submit_with_policy_probed<P: Probe>(
         &self,
         a: Arc<CsrMatrix<T>>,
         b: Vec<T>,
+        policy: RequestPolicy,
+        probe: &mut P,
+    ) -> Result<Ticket<T>, ServeError> {
+        self.submit_probed(SolveRequest::new(a, b).policy(policy), probe)
+    }
+
+    /// The policy path: the admission controller prices the request
+    /// against the gpusim cost model and current load, then **admits** it
+    /// (possibly **downgraded** to a cheaper [`SolveTier`]) with an
+    /// iteration-count watchdog budget, or **sheds** it with a typed
+    /// [`ServeError::Shed`] before any work starts. Fingerprints
+    /// quarantined by the circuit breaker are shed immediately.
+    fn admit_and_enqueue<P: Probe>(
+        &self,
+        a: Arc<CsrMatrix<T>>,
+        b: Vec<T>,
+        fault: Option<FaultInjection>,
         policy: RequestPolicy,
         probe: &mut P,
     ) -> Result<Ticket<T>, ServeError> {
@@ -488,14 +668,15 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
         let cost = costs.at(tier);
         let cost_us = cost.expected_total_us().max(0.0) as u64;
         let (tx, rx) = mpsc::channel();
+        let cancel = Arc::new(CancelCell::new(cost_us));
         let req = Request {
             key: base.with_tier(tier),
             a,
             b,
-            fault: None,
+            fault,
             deadline: policy.deadline.map(|d| Instant::now() + d),
             per_iter_us: cost.per_iteration_us,
-            cost_us,
+            cancel: Arc::clone(&cancel),
             breaker: breaker_role,
             reply: tx,
         };
@@ -516,10 +697,10 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
                 };
                 stat.fetch_add(1, Ordering::Relaxed);
                 report(probe, verdict, cost.expected_total_us());
-                Ok(Ticket { rx })
+                Ok(Ticket { rx, cancel, service: Arc::downgrade(inner) })
             }
             Err(e) => {
-                inner.queued_cost_us.fetch_sub(cost_us, Ordering::Relaxed);
+                inner.queued_cost_us.fetch_sub(cancel.take_charge(), Ordering::Relaxed);
                 if breaker_role == BreakerRole::Probe {
                     inner.breakers.abort_probe(&base, inner.now_ms());
                 }
@@ -556,6 +737,7 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
     ) -> Result<Ticket<T>, ServeError> {
         let key = self.inner.key_for(a.as_ref());
         let (tx, rx) = mpsc::channel();
+        let cancel = Arc::new(CancelCell::new(0));
         let req = Request {
             key,
             a,
@@ -563,7 +745,7 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
             fault,
             deadline: None,
             per_iter_us: 0.0,
-            cost_us: 0,
+            cancel: Arc::clone(&cancel),
             breaker: BreakerRole::Off,
             reply: tx,
         };
@@ -572,7 +754,7 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
         match pushed {
             Ok(()) => {
                 self.inner.requests.fetch_add(1, Ordering::Relaxed);
-                Ok(Ticket { rx })
+                Ok(Ticket { rx, cancel, service: Arc::downgrade(&self.inner) })
             }
             Err(PushError::Full(_)) => {
                 self.inner.rejected.fetch_add(1, Ordering::Relaxed);
@@ -604,9 +786,39 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
             shed: self.inner.shed.load(Ordering::Relaxed),
             closed_rejected: self.inner.closed_rejected.load(Ordering::Relaxed),
             deadline_expired: self.inner.deadline_expired.load(Ordering::Relaxed),
+            cancelled: self.inner.cancelled.load(Ordering::Relaxed),
+            sessions_opened: self.inner.sessions_opened.load(Ordering::Relaxed),
+            session_steps: self.inner.session_steps.load(Ordering::Relaxed),
+            session_refreshes: self.inner.session_refreshes.load(Ordering::Relaxed),
             breaker: self.inner.breakers.counters(),
             cache: self.inner.cache.stats(),
         }
+    }
+
+    /// Opens a sequence [`Session`] for the evolving system `a`: the plan
+    /// comes from (or enters) the cache, and the session keeps a persistent
+    /// workspace so later [`step`](Session::step)s warm-start from the
+    /// previous solution. Counts one cache lookup like any plan-backed
+    /// request.
+    pub fn open_session(&self, a: &CsrMatrix<T>) -> Result<Session<T>, ServeError> {
+        self.open_session_probed(a, &mut spcg_probe::NoProbe)
+    }
+
+    /// [`open_session`](SolveService::open_session) with an observability
+    /// [`Probe`] (`serve.session.opened`, `serve.cache.*`).
+    pub fn open_session_probed<P: Probe>(
+        &self,
+        a: &CsrMatrix<T>,
+        probe: &mut P,
+    ) -> Result<Session<T>, ServeError> {
+        let key = self.inner.key_for(a);
+        let (plan, cache_hit) = self.inner.plan_for(key, a)?;
+        probe.counter(if cache_hit { Counter::ServeCacheHit } else { Counter::ServeCacheMiss }, 1);
+        probe.counter(Counter::ServeSessionOpened, 1);
+        self.inner.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        let ws = plan.make_workspace();
+        let id = SessionId(self.inner.next_session.fetch_add(1, Ordering::Relaxed));
+        Ok(Session { id, inner: Arc::clone(&self.inner), plan, ws, key })
     }
 
     /// Emits the service counters through the `serve.*` probe vocabulary.
@@ -623,6 +835,10 @@ impl<T: Scalar + Send + Sync + 'static> SolveService<T> {
         probe.counter(Counter::ServeBreakerHalfOpen, s.breaker.half_opened);
         probe.counter(Counter::ServeBreakerClosed, s.breaker.closed);
         probe.counter(Counter::ServeBreakerRejected, s.breaker.rejected);
+        probe.counter(Counter::ServeCancelled, s.cancelled);
+        probe.counter(Counter::ServeSessionOpened, s.sessions_opened);
+        probe.counter(Counter::ServeSessionStep, s.session_steps);
+        probe.counter(Counter::ServeSessionRefresh, s.session_refreshes);
     }
 
     /// The circuit-breaker state for `a`'s fingerprint under this
@@ -657,6 +873,136 @@ impl<T: Scalar> std::fmt::Debug for SolveService<T> {
             .field("workers", &self.workers.len())
             .field("cache", &self.inner.cache)
             .finish()
+    }
+}
+
+/// Identifier of an open [`Session`], unique within its service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The raw numeric id.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// A sequence of solves against one *evolving* system: the sparsity
+/// structure is fixed at [`open_session`](SolveService::open_session) time,
+/// the values may drift step to step (a time-varying PDE coefficient, a
+/// Newton chain, a timestep-dependent shift).
+///
+/// Each [`step`](Session::step) compares the incoming matrix's
+/// [`MatrixFingerprint`] against the session's current plan:
+///
+/// * **unchanged values** — the resident plan is reused verbatim; the step
+///   is allocation-free end to end (fingerprint, warm PCG through the
+///   session workspace);
+/// * **drifted values** — the plan cache is consulted under the new value
+///   digest (another session over the same trajectory may already have
+///   paid the refresh); on a miss, [`SpcgPlan::refresh_values`] re-runs
+///   *only* the numeric factorization over the cached analysis and the
+///   refreshed plan is cached for value twins;
+/// * **changed structure** — the step is refused; open a new session.
+///
+/// Every step warm-starts PCG from the previous step's solution
+/// ([`SpcgPlan::solve_from`]), which is where the iteration savings on
+/// slowly-drifting sequences come from. The session is single-threaded by
+/// design (`&mut self`); concurrency comes from opening one session per
+/// trajectory, with the plan cache sharing refreshed plans across them.
+pub struct Session<T: Scalar> {
+    id: SessionId,
+    inner: Arc<Inner<T>>,
+    plan: Arc<SpcgPlan<T>>,
+    ws: SolveWorkspace<T>,
+    /// Cache key of the *current* plan; `key.fp` carries the structure
+    /// digest every step must match and the value digest of the values the
+    /// resident plan was factored from.
+    key: PlanKey,
+}
+
+impl<T: Scalar + Send + Sync + 'static> Session<T> {
+    /// This session's identifier.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The plan currently backing the session (diagnostics and tests).
+    pub fn plan(&self) -> &Arc<SpcgPlan<T>> {
+        &self.plan
+    }
+
+    /// The solution of the most recent [`step`](Session::step) — also the
+    /// warm-start seed of the next one. All zeros before the first step.
+    pub fn solution(&self) -> &[T] {
+        self.ws.solution()
+    }
+
+    /// Solves `a x = b` for the current values `a`, reusing or refreshing
+    /// the session plan as the value digest dictates and warm-starting from
+    /// the previous step's solution. The iterate is left in
+    /// [`solution`](Session::solution); the returned stats say how far the
+    /// warm start got (`iterations == 0` means the previous solution
+    /// already met the tolerance).
+    pub fn step(&mut self, a: &CsrMatrix<T>, b: &[T]) -> Result<SolveStats, ServeError> {
+        self.step_probed(a, b, &mut spcg_probe::NoProbe)
+    }
+
+    /// [`step`](Session::step) with an observability [`Probe`]: steps count
+    /// as `serve.session.step`, value-drift refreshes as
+    /// `serve.session.refresh` (plus the `plan.refresh` span emitted by
+    /// [`SpcgPlan::refresh_values`] itself), and drift-path cache traffic
+    /// through `serve.cache.*`.
+    pub fn step_probed<P: Probe>(
+        &mut self,
+        a: &CsrMatrix<T>,
+        b: &[T],
+        probe: &mut P,
+    ) -> Result<SolveStats, ServeError> {
+        let fp = MatrixFingerprint::of(a);
+        if !fp.same_structure(&self.key.fp) {
+            return Err(ServeError::PlanBuild(SparseError::InvalidStructure(format!(
+                "session {} is pinned to structure {:016x} ({} rows, {} nnz); step got \
+                 {:016x} ({} rows, {} nnz) — open a new session for a new structure",
+                self.id.get(),
+                self.key.fp.structure,
+                self.key.fp.n_rows,
+                self.key.fp.nnz,
+                fp.structure,
+                fp.n_rows,
+                fp.nnz,
+            ))));
+        }
+        if fp != self.key.fp {
+            let key = PlanKey { fp, ..self.key };
+            let plan = match self.inner.cache.get(&key) {
+                Some(plan) => {
+                    probe.counter(Counter::ServeCacheHit, 1);
+                    plan
+                }
+                None => {
+                    probe.counter(Counter::ServeCacheMiss, 1);
+                    let refreshed = Arc::new(
+                        self.plan.refresh_values_probed(a, probe).map_err(ServeError::PlanBuild)?,
+                    );
+                    probe.counter(Counter::ServeSessionRefresh, 1);
+                    self.inner.session_refreshes.fetch_add(1, Ordering::Relaxed);
+                    self.inner.cache.insert(key, Arc::clone(&refreshed));
+                    refreshed
+                }
+            };
+            self.plan = plan;
+            self.key = key;
+        }
+        probe.counter(Counter::ServeSessionStep, 1);
+        self.inner.session_steps.fetch_add(1, Ordering::Relaxed);
+        Ok(self.plan.solve_from_probed(b, &mut self.ws, probe)?)
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for Session<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").field("id", &self.id).field("key", &self.key).finish()
     }
 }
 
@@ -819,7 +1165,11 @@ impl<T: Scalar> Inner<T> {
         let base = req_key.with_tier(SolveTier::Full);
         match outcome {
             Ok(out) if out.result.converged() => self.breakers.record_success(&base),
-            Err(ServeError::Solver(SolverError::DeadlineExceeded { iterations: 0, .. })) => {
+            // A cancellation, like a queue-expired deadline, says nothing
+            // about the matrix: neutral, and a held probe slot is
+            // released instead of leaked.
+            Err(ServeError::Cancelled)
+            | Err(ServeError::Solver(SolverError::DeadlineExceeded { iterations: 0, .. })) => {
                 if role == BreakerRole::Probe {
                     self.breakers.abort_probe(&base, self.now_ms());
                 }
@@ -851,8 +1201,10 @@ fn worker_loop<T: Scalar + Send + Sync>(inner: &Inner<T>) {
         }
         // The queued-work gauge sheds this batch the moment it leaves the
         // queue — admission must not double-count work a worker already
-        // owns.
-        let batch_cost: u64 = batch.iter().map(|r| r.cost_us).sum();
+        // owns. `take_charge` is exactly-once against a racing
+        // `Ticket::cancel`: a cancelled request whose charge was already
+        // released contributes zero here.
+        let batch_cost: u64 = batch.iter().map(|r| r.cancel.take_charge()).sum();
         if batch_cost > 0 {
             inner.queued_cost_us.fetch_sub(batch_cost, Ordering::Relaxed);
         }
@@ -891,17 +1243,21 @@ fn worker_loop<T: Scalar + Send + Sync>(inner: &Inner<T>) {
         let mut ws = plan.make_workspace();
         for (i, req) in batch.into_iter().enumerate() {
             let cache_hit = if i == 0 { leader_hit } else { inner.cache.get(&key).is_some() };
-            let reply = match deadline_budget(&req) {
-                None => Err(expired_in_queue(inner)),
-                Some(budget) => inner.solve_one(&plan, &req.b, req.fault, budget, &mut ws).map(
-                    |(result, report)| ServeOutcome {
-                        result,
-                        report,
-                        cache_hit,
-                        batch_size: size,
-                        tier: req.key.tier,
-                    },
-                ),
+            let reply = if cancelled(inner, &req) {
+                Err(ServeError::Cancelled)
+            } else {
+                match deadline_budget(&req) {
+                    None => Err(expired_in_queue(inner)),
+                    Some(budget) => inner.solve_one(&plan, &req.b, req.fault, budget, &mut ws).map(
+                        |(result, report)| ServeOutcome {
+                            result,
+                            report,
+                            cache_hit,
+                            batch_size: size,
+                            tier: req.key.tier,
+                        },
+                    ),
+                }
             };
             inner.record_breaker_outcome(&req.key, req.breaker, &reply);
             // Count before replying (see the error branch above).
@@ -909,6 +1265,17 @@ fn worker_loop<T: Scalar + Send + Sync>(inner: &Inner<T>) {
             let _ = req.reply.send(reply);
         }
     }
+}
+
+/// `true` when `req`'s ticket cancelled it while it sat in the queue; also
+/// tallies the cancellation (the stat counts requests actually skipped, not
+/// `cancel` calls that lost the race to a worker).
+fn cancelled<T: Scalar>(inner: &Inner<T>, req: &Request<T>) -> bool {
+    let hit = req.cancel.cancelled.load(Ordering::Acquire);
+    if hit {
+        inner.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+    hit
 }
 
 /// The iteration budget left for `req` at this instant, or `None` when its
@@ -961,19 +1328,23 @@ fn serve_jacobi_batch<T: Scalar + Send + Sync>(
     };
     let mut ws = SolveWorkspace::for_preconditioner(a.n_rows(), &precond);
     for req in batch {
-        let reply = match deadline_budget(&req) {
-            None => Err(expired_in_queue(inner)),
-            Some(budget) => {
-                let config = inner.cfg.options.solver.clone().with_deadline_iters(budget);
-                pcg_with_workspace(a.as_ref(), &precond, &req.b, &config, &mut ws)
-                    .map(|result| ServeOutcome {
-                        result,
-                        report: None,
-                        cache_hit: false,
-                        batch_size: size,
-                        tier: SolveTier::Jacobi,
-                    })
-                    .map_err(ServeError::from)
+        let reply = if cancelled(inner, &req) {
+            Err(ServeError::Cancelled)
+        } else {
+            match deadline_budget(&req) {
+                None => Err(expired_in_queue(inner)),
+                Some(budget) => {
+                    let config = inner.cfg.options.solver.clone().with_deadline_iters(budget);
+                    pcg_with_workspace(a.as_ref(), &precond, &req.b, &config, &mut ws)
+                        .map(|result| ServeOutcome {
+                            result,
+                            report: None,
+                            cache_hit: false,
+                            batch_size: size,
+                            tier: SolveTier::Jacobi,
+                        })
+                        .map_err(ServeError::from)
+                }
             }
         };
         inner.record_breaker_outcome(&req.key, req.breaker, &reply);

@@ -9,7 +9,7 @@
 use spcg_core::{FaultInjection, ResilienceOptions, SpcgOptions, SpcgPlan};
 use spcg_serve::{
     BreakerConfig, BreakerState, CacheConfig, Priority, RequestPolicy, ServeError, ServiceConfig,
-    ShedReason, SolveService, SolveTier,
+    ShedReason, SolveRequest, SolveService, SolveTier,
 };
 use spcg_solver::{SolverConfig, SolverError};
 use spcg_sparse::generators::{layered_poisson_2d, poisson_2d, with_magnitude_spread};
@@ -112,9 +112,10 @@ fn hammered_service_is_bitwise_identical_and_reconciles() {
                     for i in 0..PER_CLIENT {
                         let m = matrix_index(client, i, mats.len());
                         let b = rhs_for(mats[m].n_rows(), client, i);
+                        let req = SolveRequest::new(Arc::clone(&mats[m]), b);
                         let ticket = match fault_for(client, i) {
-                            None => service.submit(Arc::clone(&mats[m]), b),
-                            Some(f) => service.submit_with_fault(Arc::clone(&mats[m]), b, f),
+                            None => service.submit(req),
+                            Some(f) => service.submit(req.fault(f)),
                         };
                         tickets.push((i, ticket.expect("queue accepts while service lives")));
                     }
@@ -175,7 +176,7 @@ fn backpressure_rejects_then_recovers() {
     // Push until the queue bounces: with the worker asleep in its window,
     // at most 1 (in flight) + 1 (queued) are accepted.
     for _ in 0..8 {
-        match service.try_submit(Arc::clone(&mats[0]), b.clone()) {
+        match service.try_submit(SolveRequest::new(Arc::clone(&mats[0]), b.clone())) {
             Ok(t) => tickets.push(t),
             Err(spcg_serve::ServeError::QueueFull) => rejected += 1,
             Err(e) => panic!("unexpected error: {e}"),
@@ -191,7 +192,7 @@ fn backpressure_rejects_then_recovers() {
     assert_eq!(stats.cache.hits + stats.cache.misses, stats.requests);
 
     // Once drained, the service accepts work again.
-    let t = service.try_submit(Arc::clone(&mats[0]), b).unwrap();
+    let t = service.try_submit(SolveRequest::new(Arc::clone(&mats[0]), b)).unwrap();
     assert!(t.wait().unwrap().result.converged());
 }
 
@@ -206,7 +207,7 @@ fn policy_submission_without_deadline_serves_full_tier() {
     });
     let b = rhs_for(mats[0].n_rows(), 0, 0);
     let t = service
-        .submit_with_policy(Arc::clone(&mats[0]), b.clone(), RequestPolicy::default())
+        .submit(SolveRequest::new(Arc::clone(&mats[0]), b.clone()).policy(RequestPolicy::default()))
         .expect("idle service admits");
     let out = t.wait().unwrap();
     assert!(out.result.converged());
@@ -235,7 +236,9 @@ fn expired_deadline_yields_typed_error_without_solving() {
     let policy = RequestPolicy::default()
         .with_priority(Priority::High)
         .with_deadline(Duration::from_nanos(1));
-    let t = service.submit_with_policy(Arc::clone(&mats[0]), b, policy).expect("High is admitted");
+    let t = service
+        .submit(SolveRequest::new(Arc::clone(&mats[0]), b).policy(policy))
+        .expect("High is admitted");
     match t.wait() {
         Err(ServeError::Solver(SolverError::DeadlineExceeded { iterations, .. })) => {
             assert_eq!(iterations, 0, "expired in queue: no iterations were spent");
@@ -262,16 +265,16 @@ fn occupancy_sheds_strictly_by_priority() {
     });
     let b = rhs_for(mats[0].n_rows(), 0, 0);
     // Occupy the worker, then fill the queue to 50%.
-    let parked = service.submit(Arc::clone(&mats[0]), b.clone()).unwrap();
+    let parked = service.submit(SolveRequest::new(Arc::clone(&mats[0]), b.clone())).unwrap();
     std::thread::sleep(Duration::from_millis(50)); // let the worker pop it
-    let queued: Vec<_> =
-        (0..2).map(|_| service.submit(Arc::clone(&mats[0]), b.clone()).unwrap()).collect();
+    let queued: Vec<_> = (0..2)
+        .map(|_| service.submit(SolveRequest::new(Arc::clone(&mats[0]), b.clone())).unwrap())
+        .collect();
 
     let submit = |pri: Priority| {
-        service.submit_with_policy(
-            Arc::clone(&mats[0]),
-            b.clone(),
-            RequestPolicy::default().with_priority(pri),
+        service.submit(
+            SolveRequest::new(Arc::clone(&mats[0]), b.clone())
+                .policy(RequestPolicy::default().with_priority(pri)),
         )
     };
     // At 50% occupancy Low is shed while Normal and High are admitted —
@@ -316,14 +319,17 @@ fn breaker_quarantines_a_failing_fingerprint() {
     let b = rhs_for(mats[0].n_rows(), 0, 0);
     for i in 0..2 {
         let t = service
-            .submit_with_policy(Arc::clone(&mats[0]), b.clone(), RequestPolicy::default())
+            .submit(
+                SolveRequest::new(Arc::clone(&mats[0]), b.clone()).policy(RequestPolicy::default()),
+            )
             .unwrap_or_else(|e| panic!("request {i} admitted before the trip, got {e}"));
         let out = t.wait().expect("non-convergence is a result, not an error");
         assert!(!out.result.converged());
     }
     // Third request: quarantined before any work starts.
-    let refused =
-        service.submit_with_policy(Arc::clone(&mats[0]), b.clone(), RequestPolicy::default());
+    let refused = service.submit(
+        SolveRequest::new(Arc::clone(&mats[0]), b.clone()).policy(RequestPolicy::default()),
+    );
     assert!(
         matches!(refused, Err(ServeError::Shed(ShedReason::Quarantined))),
         "expected quarantine, got {refused:?}"
@@ -331,8 +337,9 @@ fn breaker_quarantines_a_failing_fingerprint() {
     let before = service.stats();
     // Quarantined retries stop consuming worker time: completed stays put.
     for _ in 0..5 {
-        let r =
-            service.submit_with_policy(Arc::clone(&mats[0]), b.clone(), RequestPolicy::default());
+        let r = service.submit(
+            SolveRequest::new(Arc::clone(&mats[0]), b.clone()).policy(RequestPolicy::default()),
+        );
         assert!(matches!(r, Err(ServeError::Shed(ShedReason::Quarantined))));
     }
     let after = service.stats();
@@ -368,7 +375,7 @@ fn shed_probe_releases_the_half_open_slot() {
 
     // Trip the breaker: one failure suffices at threshold 1.
     let t = service
-        .submit_with_policy(Arc::clone(&mats[0]), b.clone(), RequestPolicy::default())
+        .submit(SolveRequest::new(Arc::clone(&mats[0]), b.clone()).policy(RequestPolicy::default()))
         .expect("closed breaker admits");
     assert!(!t.wait().unwrap().result.converged());
     assert!(matches!(service.breaker_state(&mats[0]), BreakerState::Open { .. }));
@@ -376,19 +383,24 @@ fn shed_probe_releases_the_half_open_slot() {
 
     // Park the worker on a different fingerprint, then hold the queue at
     // 50% occupancy — Low priority's shed ceiling.
-    let parked = service.submit(Arc::clone(&mats[1]), rhs_for(mats[1].n_rows(), 1, 0)).unwrap();
+    let parked = service
+        .submit(SolveRequest::new(Arc::clone(&mats[1]), rhs_for(mats[1].n_rows(), 1, 0)))
+        .unwrap();
     std::thread::sleep(Duration::from_millis(50)); // worker pops it, sleeps its window
     let fillers: Vec<_> = (0..2)
-        .map(|i| service.submit(Arc::clone(&mats[2]), rhs_for(mats[2].n_rows(), 2, i)).unwrap())
+        .map(|i| {
+            service
+                .submit(SolveRequest::new(Arc::clone(&mats[2]), rhs_for(mats[2].n_rows(), 2, i)))
+                .unwrap()
+        })
         .collect();
 
     // The quarantined fingerprint's next request claims the probe slot at
     // the breaker gate, then the occupancy gate sheds it before it is
     // queued.
-    let refused = service.submit_with_policy(
-        Arc::clone(&mats[0]),
-        b.clone(),
-        RequestPolicy::default().with_priority(Priority::Low),
+    let refused = service.submit(
+        SolveRequest::new(Arc::clone(&mats[0]), b.clone())
+            .policy(RequestPolicy::default().with_priority(Priority::Low)),
     );
     assert!(
         matches!(refused, Err(ServeError::Shed(ShedReason::Occupancy))),
@@ -406,7 +418,7 @@ fn shed_probe_releases_the_half_open_slot() {
     }
     std::thread::sleep(Duration::from_millis(80));
     let probe = service
-        .submit_with_policy(Arc::clone(&mats[0]), b, RequestPolicy::default())
+        .submit(SolveRequest::new(Arc::clone(&mats[0]), b).policy(RequestPolicy::default()))
         .expect("released probe slot re-admits after the backoff");
     assert!(!probe.wait().unwrap().result.converged());
 }
@@ -434,7 +446,8 @@ fn queue_expired_deadline_is_neutral_to_the_breaker() {
     let policy = RequestPolicy::default()
         .with_priority(Priority::High)
         .with_deadline(Duration::from_nanos(1));
-    let t = service.submit_with_policy(Arc::clone(&mats[0]), b.clone(), policy).unwrap();
+    let t =
+        service.submit(SolveRequest::new(Arc::clone(&mats[0]), b.clone()).policy(policy)).unwrap();
     assert!(matches!(
         t.wait(),
         Err(ServeError::Solver(SolverError::DeadlineExceeded { iterations: 0, .. }))
@@ -445,7 +458,7 @@ fn queue_expired_deadline_is_neutral_to_the_breaker() {
         "an expiry that never ran must not trip the breaker"
     );
     let t = service
-        .submit_with_policy(Arc::clone(&mats[0]), b, RequestPolicy::default())
+        .submit(SolveRequest::new(Arc::clone(&mats[0]), b).policy(RequestPolicy::default()))
         .expect("healthy fingerprint still admitted");
     assert!(t.wait().unwrap().result.converged());
 }
@@ -470,7 +483,7 @@ fn expired_probe_releases_the_half_open_slot() {
     });
     let b = rhs_for(mats[0].n_rows(), 0, 0);
     let t = service
-        .submit_with_policy(Arc::clone(&mats[0]), b.clone(), RequestPolicy::default())
+        .submit(SolveRequest::new(Arc::clone(&mats[0]), b.clone()).policy(RequestPolicy::default()))
         .unwrap();
     assert!(!t.wait().unwrap().result.converged());
     std::thread::sleep(Duration::from_millis(80)); // backoff expires
@@ -480,7 +493,8 @@ fn expired_probe_releases_the_half_open_slot() {
     let policy = RequestPolicy::default()
         .with_priority(Priority::High)
         .with_deadline(Duration::from_nanos(1));
-    let t = service.submit_with_policy(Arc::clone(&mats[0]), b.clone(), policy).unwrap();
+    let t =
+        service.submit(SolveRequest::new(Arc::clone(&mats[0]), b.clone()).policy(policy)).unwrap();
     assert!(matches!(
         t.wait(),
         Err(ServeError::Solver(SolverError::DeadlineExceeded { iterations: 0, .. }))
@@ -492,7 +506,7 @@ fn expired_probe_releases_the_half_open_slot() {
     // The slot cycles: after the backoff the fingerprint is probed again.
     std::thread::sleep(Duration::from_millis(80));
     let probe = service
-        .submit_with_policy(Arc::clone(&mats[0]), b, RequestPolicy::default())
+        .submit(SolveRequest::new(Arc::clone(&mats[0]), b).policy(RequestPolicy::default()))
         .expect("released probe slot re-admits after the backoff");
     assert!(!probe.wait().unwrap().result.converged());
 }
@@ -522,15 +536,15 @@ fn shutdown_with_deep_queue_resolves_every_ticket() {
         let m = &mats[i % mats.len()];
         let b = rhs_for(m.n_rows(), 7, i);
         let t = if i % 4 == 0 {
-            service.submit_with_policy(
-                Arc::clone(m),
-                b,
-                RequestPolicy::default()
-                    .with_priority(Priority::High)
-                    .with_deadline(Duration::from_secs(30)),
+            service.submit(
+                SolveRequest::new(Arc::clone(m), b).policy(
+                    RequestPolicy::default()
+                        .with_priority(Priority::High)
+                        .with_deadline(Duration::from_secs(30)),
+                ),
             )
         } else {
-            service.submit(Arc::clone(m), b)
+            service.submit(SolveRequest::new(Arc::clone(m), b))
         };
         if let Ok(t) = t {
             tickets.push(t);
@@ -583,7 +597,7 @@ fn coalesced_batch_matches_individual_solves() {
     let tickets: Vec<_> = (0..6)
         .map(|i| {
             let b = rhs_for(mats[0].n_rows(), 9, i);
-            service.submit(Arc::clone(&mats[0]), b).unwrap()
+            service.submit(SolveRequest::new(Arc::clone(&mats[0]), b)).unwrap()
         })
         .collect();
     let mut max_batch = 0;

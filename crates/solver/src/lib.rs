@@ -22,8 +22,8 @@ pub use config::{SolverConfig, ToleranceMode};
 pub use error::SolverError;
 pub use fault::{FaultKind, SolveFault};
 pub use pcg::{
-    pcg, pcg_in_place, pcg_in_place_faulted, pcg_in_place_probed, pcg_iteration_flops,
-    pcg_refined_in_place, pcg_refined_in_place_probed, pcg_with_workspace,
+    pcg, pcg_in_place, pcg_in_place_faulted, pcg_in_place_probed, pcg_in_place_warm_probed,
+    pcg_iteration_flops, pcg_refined_in_place, pcg_refined_in_place_probed, pcg_with_workspace,
     pcg_with_workspace_faulted, pcg_with_workspace_probed, RefinedStats,
 };
 pub use status::{BreakdownKind, PhaseTimings, SolveResult, StopReason};

@@ -180,6 +180,47 @@ pub fn pcg_in_place_probed<T: Scalar, M: Preconditioner<T> + ?Sized, P: Probe>(
     ws: &mut SolveWorkspace<T>,
     probe: &mut P,
 ) -> Result<SolveStats, SolverError> {
+    pcg_loop_probed(a, m, b, config, fault, false, ws, probe)
+}
+
+/// [`pcg_in_place_probed`] with an x₀ warm start: instead of `x0 = 0`, the
+/// iterate is seeded from the workspace-resident previous solution
+/// ([`SolveWorkspace::solution`], as left by the preceding solve on this
+/// workspace) and the initial residual is computed as `r0 = b − A·x0` (one
+/// extra SpMV). Every other line of the iteration is identical to the cold
+/// entry point, so a warm start on a zeroed workspace reproduces the cold
+/// trajectory exactly.
+///
+/// This is the sequence-of-systems hot path: for drifting-values sequences
+/// the previous step's solution is an excellent initial guess and cuts the
+/// iteration count well below a cold start.
+#[allow(clippy::too_many_arguments)]
+pub fn pcg_in_place_warm_probed<T: Scalar, M: Preconditioner<T> + ?Sized, P: Probe>(
+    a: &CsrMatrix<T>,
+    m: &M,
+    b: &[T],
+    config: &SolverConfig,
+    fault: Option<SolveFault>,
+    ws: &mut SolveWorkspace<T>,
+    probe: &mut P,
+) -> Result<SolveStats, SolverError> {
+    pcg_loop_probed(a, m, b, config, fault, true, ws, probe)
+}
+
+/// Shared loop body behind [`pcg_in_place_probed`] (cold) and
+/// [`pcg_in_place_warm_probed`] (warm): the `warm` flag only selects how
+/// `x0`/`r0` are initialized.
+#[allow(clippy::too_many_arguments)]
+fn pcg_loop_probed<T: Scalar, M: Preconditioner<T> + ?Sized, P: Probe>(
+    a: &CsrMatrix<T>,
+    m: &M,
+    b: &[T],
+    config: &SolverConfig,
+    fault: Option<SolveFault>,
+    warm: bool,
+    ws: &mut SolveWorkspace<T>,
+    probe: &mut P,
+) -> Result<SolveStats, SolverError> {
     if !a.is_square() {
         return Err(SolverError::NotSquare { n_rows: a.n_rows(), n_cols: a.n_cols() });
     }
@@ -206,9 +247,17 @@ pub fn pcg_in_place_probed<T: Scalar, M: Preconditioner<T> + ?Sized, P: Probe>(
     let loop_start = Instant::now();
     probe.span_begin(Span::SolveLoop);
 
-    // x0 = 0, r0 = b - A x0 = b (line 1-2)
-    x.fill(T::ZERO);
-    copy(b, r);
+    if warm {
+        // x0 = previous solution (already resident in ws.x), r0 = b - A x0.
+        spmv(a, x, r);
+        for (ri, &bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+    } else {
+        // x0 = 0, r0 = b - A x0 = b (line 1-2)
+        x.fill(T::ZERO);
+        copy(b, r);
+    }
 
     let b_norm = norm2(b).to_f64();
     let threshold = config.threshold(b_norm);
@@ -865,6 +914,65 @@ mod tests {
         assert_eq!(stats.stop, StopReason::Breakdown(BreakdownKind::Nan));
         assert_eq!(stats.iterations, 3, "fault at k=3 must stop the loop there");
         assert!(stats.final_residual.is_nan());
+    }
+
+    // ---- warm starts -------------------------------------------------------
+
+    #[test]
+    fn warm_start_on_zeroed_workspace_matches_cold() {
+        let a = poisson_2d(12, 12);
+        let b = rhs(144, 21);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let cfg = SolverConfig::default().with_tol(1e-10).with_history(true);
+        let mut cold_ws = SolveWorkspace::for_preconditioner(144, &f);
+        let mut warm_ws = SolveWorkspace::for_preconditioner(144, &f);
+        let cold = pcg_in_place(&a, &f, &b, &cfg, &mut cold_ws).unwrap();
+        let warm =
+            pcg_in_place_warm_probed(&a, &f, &b, &cfg, None, &mut warm_ws, &mut NoProbe).unwrap();
+        assert_eq!(cold_ws.solution(), warm_ws.solution());
+        assert_eq!(cold_ws.history(), warm_ws.history());
+        assert_eq!(cold.iterations, warm.iterations);
+    }
+
+    #[test]
+    fn warm_start_from_the_solution_converges_immediately() {
+        let a = poisson_2d(14, 14);
+        let b = rhs(196, 22);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let cfg = SolverConfig::default().with_tol(1e-10);
+        let mut ws = SolveWorkspace::for_preconditioner(196, &f);
+        let cold = pcg_in_place(&a, &f, &b, &cfg, &mut ws).unwrap();
+        assert!(cold.converged() && cold.iterations > 0);
+        // Re-solving the same system warm from its own solution: the
+        // initial residual is already below threshold.
+        let warm = pcg_in_place_warm_probed(&a, &f, &b, &cfg, None, &mut ws, &mut NoProbe).unwrap();
+        assert!(warm.converged());
+        assert_eq!(warm.iterations, 0);
+    }
+
+    #[test]
+    fn warm_start_saves_iterations_on_a_drifted_system() {
+        let a = poisson_2d(16, 16);
+        let b = rhs(256, 23);
+        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let cfg = SolverConfig::default().with_tol(1e-10);
+        let mut ws = SolveWorkspace::for_preconditioner(256, &f);
+        pcg_in_place(&a, &f, &b, &cfg, &mut ws).unwrap();
+        // A mildly perturbed right-hand side: the previous solution is a
+        // good guess, so the warm solve needs strictly fewer iterations.
+        let b2: Vec<f64> =
+            b.iter().enumerate().map(|(i, &v)| v * (1.0 + 1e-3 * (i % 7) as f64)).collect();
+        let mut cold_ws = SolveWorkspace::for_preconditioner(256, &f);
+        let cold = pcg_in_place(&a, &f, &b2, &cfg, &mut cold_ws).unwrap();
+        let warm =
+            pcg_in_place_warm_probed(&a, &f, &b2, &cfg, None, &mut ws, &mut NoProbe).unwrap();
+        assert!(warm.converged() && cold.converged());
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} should beat cold {}",
+            warm.iterations,
+            cold.iterations
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI perf-regression gate over the tracked trajectory bench.
 
-Compares a freshly regenerated `BENCH_7.json` against the committed
+Compares a freshly regenerated `BENCH_8.json` against the committed
 baseline and fails (exit 1) if any fixture regressed beyond tolerance:
 
 * **Simulated per-iteration cost** (baseline, spcg, auto-ordering, and
@@ -25,6 +25,12 @@ baseline and fails (exit 1) if any fixture regressed beyond tolerance:
   regressing more than 2% against baseline, shedding that is not
   monotone by priority (low >= normal >= high), or a 2x-overload run
   that sheds nothing at all.
+* **Sequence study (value-only refresh + warm starts)**: any fixture
+  whose modeled refresh is less than 2x cheaper than a full plan
+  rebuild (the refresh exists to skip the analysis; losing the
+  asymmetry means it stopped skipping it), or whose warm-started
+  iteration total exceeds the cold total (a warm start that hurts
+  convergence is worse than no warm start).
 
 A before/after table is always printed, pass or fail, so the CI log
 doubles as the perf report.
@@ -45,6 +51,7 @@ LEVEL_DRIFT = 2.0  # allowed drop vs baseline, points
 APPLY_BYTES_FLOOR = 1.5  # per-fixture floor for full/mixed apply-bytes ratio
 P99_SLACK = 1.02  # 2% relative, high-priority p99 vs baseline
 P99_EPS = 0.01  # absolute µs floor under the 3-decimal rounding
+REFRESH_SPEEDUP_FLOOR = 2.0  # per-fixture floor for rebuild/refresh cost ratio
 
 
 def load(path: str) -> dict:
@@ -97,6 +104,33 @@ def check_serve(base: dict | None, cand: dict | None, failures: list[str]) -> No
         if c > b * P99_SLACK + P99_EPS:
             failures.append(
                 f"serve/high: p99 {b:.1f} -> {c:.1f} µs (> {(P99_SLACK - 1) * 100:.0f}% tolerance)"
+            )
+
+
+def check_sequence(cand: list[dict] | None, failures: list[str]) -> None:
+    """Gate the refresh-vs-rebuild and warm-vs-cold sequence study."""
+    if cand is None:
+        failures.append("sequence: study missing from candidate")
+        return
+    print("-" * 66)
+    print(f"sequence study: {len(cand)} fixtures (refresh floor {REFRESH_SPEEDUP_FLOOR}x)")
+    for s in cand:
+        name = s["name"]
+        print(
+            f"  {name:<14} rebuild {s['rebuild_us']:>9.1f} µs  refresh {s['refresh_us']:>8.1f} µs"
+            f"  ({s['refresh_speedup']:>5.1f}x)  iters warm {s['iterations_warm']:>3}"
+            f" vs cold {s['iterations_cold']:>3}"
+        )
+        if s["refresh_speedup"] < REFRESH_SPEEDUP_FLOOR:
+            failures.append(
+                f"sequence/{name}: refresh only {s['refresh_speedup']:.2f}x cheaper than "
+                f"rebuild (floor {REFRESH_SPEEDUP_FLOOR}x) — the value-only path stopped "
+                f"skipping the analysis"
+            )
+        if s["iterations_warm"] > s["iterations_cold"]:
+            failures.append(
+                f"sequence/{name}: warm-started iterations {s['iterations_warm']} exceed "
+                f"cold {s['iterations_cold']} — the warm start is hurting convergence"
             )
 
 
@@ -158,6 +192,7 @@ def main() -> None:
         )
 
     check_serve(base.get("serve"), cand.get("serve"), failures)
+    check_sequence(cand.get("sequence"), failures)
 
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)

@@ -29,7 +29,7 @@ ALLOWED_DIRS = {
 
 ALLOWED_FILES = {
     ".gitignore",
-    "BENCH_7.json",
+    "BENCH_8.json",
     "CHANGES.md",
     "Cargo.lock",
     "Cargo.toml",

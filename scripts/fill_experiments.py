@@ -3,10 +3,11 @@
 
 Two jobs, both idempotent:
 
-1. **Trajectory tables** (always): reads the tracked `BENCH_7.json` written
+1. **Trajectory tables** (always): reads the tracked `BENCH_8.json` written
    by `cargo bench -p spcg-bench --bench trajectory` and regenerates the
    tables between the `BENCH_TRAJECTORY:BEGIN/END`,
-   `BENCH_ORDERINGS:BEGIN/END`, and `BENCH_PRECISION:BEGIN/END` markers.
+   `BENCH_ORDERINGS:BEGIN/END`, `BENCH_PRECISION:BEGIN/END`,
+   `BENCH_SERVE:BEGIN/END`, and `BENCH_SEQUENCE:BEGIN/END` markers.
    Re-running with the same JSON is a no-op.
 2. **MEASURED_* placeholders** (only when `bench_output.txt` exists):
    greps the captured full-collection bench run for the Fig 4/5 headline
@@ -24,7 +25,7 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 EXP = ROOT / "EXPERIMENTS.md"
-BENCH_JSON = ROOT / "BENCH_7.json"
+BENCH_JSON = ROOT / "BENCH_8.json"
 BENCH_TXT = ROOT / "bench_output.txt"
 
 BEGIN = "<!-- BENCH_TRAJECTORY:BEGIN -->"
@@ -35,6 +36,8 @@ PREC_BEGIN = "<!-- BENCH_PRECISION:BEGIN -->"
 PREC_END = "<!-- BENCH_PRECISION:END -->"
 SERVE_BEGIN = "<!-- BENCH_SERVE:BEGIN -->"
 SERVE_END = "<!-- BENCH_SERVE:END -->"
+SEQ_BEGIN = "<!-- BENCH_SEQUENCE:BEGIN -->"
+SEQ_END = "<!-- BENCH_SEQUENCE:END -->"
 
 
 def trajectory_block(traj: dict) -> str:
@@ -138,6 +141,34 @@ def serve_block(traj: dict) -> str:
     return "\n".join(lines)
 
 
+def sequence_block(traj: dict) -> str:
+    """Markdown table for the drifting-sequence refresh/warm-start study."""
+    seq = traj["sequence"]
+    steps = seq[0]["steps"] if seq else 0
+    drift = seq[0]["drift"] * 100 if seq else 0.0
+    lines = [
+        f"Time-varying sequence study: {steps} drift steps at {drift:.1f}% value",
+        "perturbation per step. Rebuild/refresh are the modeled serial plan",
+        "costs (full analysis + factorization vs numeric factorization only);",
+        "iterations compare warm-started steps against cold solves of the same",
+        "drifted systems. CI gates refresh at a 2x floor and warm ≤ cold.",
+        "",
+        "| Fixture | Rebuild µs | Refresh µs | Speedup | Iters (warm vs cold) | Saved |",
+        "|---|---|---|---|---|---|",
+    ]
+    for s in seq:
+        lines.append(
+            f"| {s['name']} | {s['rebuild_us']:.1f} | {s['refresh_us']:.1f} "
+            f"| {s['refresh_speedup']:.1f}x "
+            f"| {s['iterations_warm']} vs {s['iterations_cold']} "
+            f"| {s['warm_saved_percent']:.1f}% |"
+        )
+    lines.append(
+        f"| **gmean** | | | **{traj['gmean_refresh_speedup']:.1f}x** | | |"
+    )
+    return "\n".join(lines)
+
+
 def replace_between(text: str, begin: str, end: str, block: str) -> str:
     b, e = text.find(begin), text.find(end)
     if b < 0 or e < 0 or e < b:
@@ -148,14 +179,15 @@ def replace_between(text: str, begin: str, end: str, block: str) -> str:
 def fill_trajectory(text: str) -> str:
     if not BENCH_JSON.exists():
         sys.exit(
-            "BENCH_7.json missing — run "
+            "BENCH_8.json missing — run "
             "`cargo bench -p spcg-bench --bench trajectory` first"
         )
     traj = json.loads(BENCH_JSON.read_text())
     text = replace_between(text, BEGIN, END, trajectory_block(traj))
     text = replace_between(text, ORD_BEGIN, ORD_END, orderings_block(traj))
     text = replace_between(text, PREC_BEGIN, PREC_END, precision_block(traj))
-    return replace_between(text, SERVE_BEGIN, SERVE_END, serve_block(traj))
+    text = replace_between(text, SERVE_BEGIN, SERVE_END, serve_block(traj))
+    return replace_between(text, SEQ_BEGIN, SEQ_END, sequence_block(traj))
 
 
 def section(bench_text: str, marker: str) -> str | None:

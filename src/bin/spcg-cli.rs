@@ -115,6 +115,45 @@ fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Time-varying sequence: every step past the first drifts the matrix
+    // values by a seeded uniform scale (symmetry-preserving), refreshes the
+    // plan numerics (analysis reused), and warm-starts from the resident
+    // solution in the workspace.
+    if args.sequence > 1 {
+        println!("sequence: {} steps, drift {:.3}% per step", args.sequence, 100.0 * args.drift);
+        println!("  step 0: {} iterations (cold build)", result.iterations);
+        let mut rng = spcg::sparse::Rng::new(0x5e9);
+        let mut current = a.clone();
+        let mut seq_plan: Option<SpcgPlan<f64>> = None;
+        for step in 1..args.sequence {
+            let scale = 1.0 + args.drift * rng.range(-1.0, 1.0);
+            current = current.map_values(|v| v * scale);
+            let refreshed = match seq_plan.as_ref().unwrap_or(&plan).refresh_values(&current) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: plan refresh failed at step {step}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let stats = match refreshed.solve_from(&b, &mut ws) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: sequence step {step} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "  step {step}: {} iterations (warm refresh), residual {:.3e}",
+                stats.iterations, stats.final_residual
+            );
+            if !stats.converged() {
+                eprintln!("error: sequence step {step} did not converge: {:?}", stats.stop);
+                return ExitCode::FAILURE;
+            }
+            seq_plan = Some(refreshed);
+        }
+    }
+
     let trace = probe.finish();
     let reorder = plan.reorder().cloned();
     let reorder_time = plan.reorder_time();
@@ -248,7 +287,7 @@ fn serve_bench_run(
                     let m = &mats[(client + i) % mats.len()];
                     let b: Vec<f64> =
                         (0..m.n_rows()).map(|j| ((j + i) % 13) as f64 / 13.0 - 0.4).collect();
-                    if let Ok(t) = service.submit(std::sync::Arc::clone(m), b) {
+                    if let Ok(t) = service.submit(SolveRequest::new(std::sync::Arc::clone(m), b)) {
                         tickets.push(t);
                     }
                 }
@@ -363,7 +402,7 @@ deadline {} ms, seed {}",
         let b: Vec<f64> = (0..m.n_rows()).map(|j| ((j + i) % 13) as f64 / 13.0 - 0.4).collect();
         let policy = RequestPolicy::default().with_deadline(deadline).with_priority(priority);
         let submitted = Instant::now();
-        match service.submit_with_policy(std::sync::Arc::clone(m), b, policy) {
+        match service.submit(SolveRequest::new(std::sync::Arc::clone(m), b).policy(policy)) {
             Ok(ticket) => tx.send((priority, submitted, ticket)).expect("collector pool alive"),
             Err(_) => shed[priority.tag() as usize] += 1,
         }

@@ -46,6 +46,13 @@ pub struct SolveArgs {
     pub device: Option<String>,
     /// Path to write the recorded run trace (JSON) to, if any.
     pub trace: Option<String>,
+    /// Number of solves in a time-varying sequence (1 = a single solve).
+    /// Steps past the first drift the matrix values and go through the
+    /// value-only plan refresh + warm-start path.
+    pub sequence: usize,
+    /// Relative per-step value perturbation for `--sequence` (e.g. `0.002`
+    /// = 0.2% drift per step).
+    pub drift: f64,
 }
 
 /// Parsed `generate` options.
@@ -127,7 +134,8 @@ USAGE:
   spcg-cli solve   --matrix FILE [--precond ilu0|iluk=K|jacobi|sai] \
 [--sparsify auto|off|RATIO%] [--ordering natural|rcm|coloring|auto] \
 [--precision full|mixed|auto] [--tol 1e-10] [--abs-tol] [--max-iters N] \
-[--exec seq|par] [--device a100|v100|epyc] [--trace OUT.json]
+[--exec seq|par] [--device a100|v100|epyc] [--trace OUT.json] \
+[--sequence N [--drift SIGMA]]
   spcg-cli analyze --matrix FILE [--sparsify auto|RATIO%]
   spcg-cli generate --kind poisson2d|poisson3d|layered2d|banded --out FILE \
 [--nx N] [--ny N] [--nz N] [--n N] [--period P] [--weak W] [--band B] [--seed S]
@@ -243,7 +251,40 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, String> {
             return Err("--trace needs a non-empty output path".to_string());
         }
     }
-    Ok(SolveArgs { matrix, precond, sparsify, ordering, precision, solver, exec, device, trace })
+    let sequence = match flags.get("sequence") {
+        None => 1,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            Ok(_) => return Err("--sequence must be positive".to_string()),
+            Err(e) => return Err(format!("bad --sequence {v}: {e}")),
+        },
+    };
+    let drift = match flags.get("drift") {
+        None => 0.001,
+        Some(v) => {
+            if sequence == 1 {
+                return Err("--drift only applies with --sequence".to_string());
+            }
+            match v.parse::<f64>() {
+                Ok(d) if d.is_finite() && d >= 0.0 => d,
+                Ok(_) => return Err("--drift must be a finite non-negative number".to_string()),
+                Err(e) => return Err(format!("bad --drift {v}: {e}")),
+            }
+        }
+    };
+    Ok(SolveArgs {
+        matrix,
+        precond,
+        sparsify,
+        ordering,
+        precision,
+        solver,
+        exec,
+        device,
+        trace,
+        sequence,
+        drift,
+    })
 }
 
 fn parse_generate(args: &[String]) -> Result<GenerateArgs, String> {
@@ -438,6 +479,32 @@ mod tests {
         assert_eq!(a.trace.as_deref(), Some("out.json"));
         assert!(parse(&s(&["solve", "--matrix", "m.mtx", "--trace", ""])).is_err());
         assert!(parse(&s(&["solve", "--matrix", "m.mtx", "--trace"])).is_err());
+    }
+
+    #[test]
+    fn parses_sequence_flags() {
+        let cmd = parse(&s(&["solve", "--matrix", "m.mtx"])).unwrap();
+        let Command::Solve(a) = cmd else { panic!() };
+        assert_eq!(a.sequence, 1, "a plain solve is a one-step sequence");
+
+        let cmd = parse(&s(&["solve", "--matrix", "m.mtx", "--sequence", "8", "--drift", "0.002"]))
+            .unwrap();
+        let Command::Solve(a) = cmd else { panic!() };
+        assert_eq!(a.sequence, 8);
+        assert_eq!(a.drift, 0.002);
+
+        let cmd = parse(&s(&["solve", "--matrix", "m.mtx", "--sequence", "3"])).unwrap();
+        let Command::Solve(a) = cmd else { panic!() };
+        assert_eq!(a.drift, 0.001, "drift defaults to 0.1% per step");
+
+        assert!(parse(&s(&["solve", "--matrix", "m.mtx", "--sequence", "0"])).is_err());
+        assert!(parse(&s(&["solve", "--matrix", "m.mtx", "--sequence", "two"])).is_err());
+        assert!(
+            parse(&s(&["solve", "--matrix", "m.mtx", "--drift", "0.1"])).is_err(),
+            "--drift without --sequence must be rejected"
+        );
+        assert!(parse(&s(&["solve", "--matrix", "m.mtx", "--sequence", "4", "--drift", "-0.5"]))
+            .is_err());
     }
 
     #[test]

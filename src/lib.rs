@@ -61,7 +61,8 @@ pub mod prelude {
         RecordingProbe, RunTrace, RungEvent, RungKind, Span, TraceEvent,
     };
     pub use spcg_serve::{
-        CacheConfig, PlanKey, ServeError, ServeOutcome, ServiceConfig, SolveService,
+        CacheConfig, PlanKey, RequestPolicy, ServeError, ServeOutcome, ServiceConfig, Session,
+        SessionId, SolveRequest, SolveService, SolveTier, Ticket,
     };
     pub use spcg_solver::{
         cg, pcg, pcg_in_place, pcg_with_workspace, BreakdownKind, PhaseTimings, SolveResult,

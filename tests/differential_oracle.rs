@@ -298,6 +298,50 @@ fn resilient_path_agrees_with_dense_reference() {
     assert!(rel_err(&rs.result.x, &x_ref) <= case.band);
 }
 
+/// A time-varying sequence sits under the same net: a session stepping
+/// through drifting values (value-only plan refresh + warm start at every
+/// step) must agree with an independent dense elimination of *each*
+/// drifted operator. The refresh path reuses the sparsify decision and the
+/// symbolic factorization of the opening matrix, so this is the oracle
+/// check that the reused analysis stays numerically valid as the values
+/// move.
+#[test]
+fn drifting_sequence_steps_agree_with_dense_reference() {
+    for case in [&cases()[0], &cases()[6]] {
+        let a = case.recipe.build(11, case.spread, case.ordering);
+        let b = rhs_for(a.n_rows(), 0xd21f ^ a.n_rows() as u64);
+        let service: SolveService = SolveService::new(ServiceConfig {
+            options: SpcgOptions { solver: solver(), ..SpcgOptions::default() },
+            ..ServiceConfig::default()
+        });
+        let mut session = service.open_session(&a).unwrap();
+        let mut rng = spcg::sparse::Rng::new(0x5e9_u64 ^ a.n_rows() as u64);
+        let mut current = a.clone();
+        for step in 0..5 {
+            let stats = session.step(&current, &b).unwrap();
+            assert!(
+                stats.converged(),
+                "{}/step {step}: stopped {:?} after {} iterations",
+                case.name,
+                stats.stop,
+                stats.iterations
+            );
+            let x_ref = current.to_dense().solve(&b).expect("dense reference solves SPD drift");
+            let err = rel_err(session.solution(), &x_ref);
+            assert!(
+                err <= case.band,
+                "{}/step {step}: relative error {err:.3e} exceeds band {:.0e}",
+                case.name,
+                case.band
+            );
+            // Symmetry-preserving drift: one uniform scale per step.
+            let scale = 1.0 + 0.002 * rng.range(-1.0, 1.0);
+            current = current.map_values(|v| v * scale);
+        }
+        assert!(service.stats().session_refreshes >= 4, "{}: drift must refresh", case.name);
+    }
+}
+
 /// The serve layer is an amortization layer, not a numerics layer: a served
 /// (cached) solve must land inside the same band as the dense reference.
 #[test]

@@ -10,7 +10,7 @@ use spcg_bench::table::{fmt_pct, fmt_speedup, print_scatter};
 use spcg_bench::write_artifact;
 use spcg_core::{PrecondKind, SparsifyParams};
 use spcg_gpusim::DeviceSpec;
-use spcg_precond::TriangularExec;
+use spcg_precond::ExecutionStrategy;
 use spcg_suite::env_collection;
 
 fn main() {
@@ -34,7 +34,7 @@ fn main() {
             &device,
             &Variant::Baseline,
             &solver,
-            TriangularExec::Sequential,
+            ExecutionStrategy::Sequential,
         ) else {
             continue;
         };
@@ -45,7 +45,7 @@ fn main() {
             &device,
             &Variant::Heuristic(SparsifyParams::default()),
             &solver,
-            TriangularExec::Sequential,
+            ExecutionStrategy::Sequential,
         ) else {
             continue;
         };
@@ -58,7 +58,7 @@ fn main() {
                 &device,
                 &Variant::Fixed(r),
                 &solver,
-                TriangularExec::Sequential,
+                ExecutionStrategy::Sequential,
             ) {
                 if best.map(|(t, _)| e.per_iteration_us < t).unwrap_or(true) {
                     best = Some((e.per_iteration_us, r));

@@ -13,7 +13,7 @@ use spcg_bench::table::{fmt_pct, fmt_speedup, print_histogram};
 use spcg_bench::{write_artifact, Variant};
 use spcg_core::{wavefront_aware_sparsify, SparsifyParams};
 use spcg_gpusim::DeviceSpec;
-use spcg_precond::{ilu0, TriangularExec};
+use spcg_precond::{ilu0, ExecutionStrategy};
 use spcg_solver::pcg;
 use spcg_suite::env_collection;
 
@@ -69,9 +69,9 @@ fn main() {
     for (i, spec) in specs.iter().enumerate() {
         let a = spec.build();
         let b = spec.rhs(a.n_rows());
-        let Ok(fb) = ilu0(&a, TriangularExec::LevelParallel) else { continue };
+        let Ok(fb) = ilu0(&a, ExecutionStrategy::LevelBarrier) else { continue };
         let d = wavefront_aware_sparsify(&a, &SparsifyParams::default());
-        let Ok(fs) = ilu0(&d.sparsified.a_hat, TriangularExec::LevelParallel) else { continue };
+        let Ok(fs) = ilu0(&d.sparsified.a_hat, ExecutionStrategy::LevelBarrier) else { continue };
         let (Some(tb), Some(ts)) =
             (measured_per_iter(&a, &fb, &b, 3), measured_per_iter(&a, &fs, &b, 3))
         else {

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use spcg_core::sparsify_by_magnitude;
-use spcg_precond::{ilu0, iluk, TriangularExec};
+use spcg_precond::{ilu0, iluk, ExecutionStrategy};
 use spcg_sparse::generators::{layered_poisson_2d, poisson_2d};
 use spcg_sparse::spmv::{spmv, spmv_par};
 use spcg_wavefront::{
@@ -56,14 +56,14 @@ fn bench_factorization(c: &mut Criterion) {
     g.bench_function("ilu0_120x120", |b| {
         b.iter_batched(
             || a.clone(),
-            |m| ilu0(black_box(&m), TriangularExec::Sequential).unwrap(),
+            |m| ilu0(black_box(&m), ExecutionStrategy::Sequential).unwrap(),
             BatchSize::LargeInput,
         )
     });
     g.bench_function("iluk2_120x120", |b| {
         b.iter_batched(
             || a.clone(),
-            |m| iluk(black_box(&m), 2, TriangularExec::Sequential).unwrap(),
+            |m| iluk(black_box(&m), 2, ExecutionStrategy::Sequential).unwrap(),
             BatchSize::LargeInput,
         )
     });
@@ -72,7 +72,7 @@ fn bench_factorization(c: &mut Criterion) {
     g.bench_function("ilu0_sparsified_120x120", |b| {
         b.iter_batched(
             || slim.clone(),
-            |m| ilu0(black_box(&m), TriangularExec::Sequential).unwrap(),
+            |m| ilu0(black_box(&m), ExecutionStrategy::Sequential).unwrap(),
             BatchSize::LargeInput,
         )
     });

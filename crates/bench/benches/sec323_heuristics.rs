@@ -18,7 +18,7 @@ use spcg_bench::table::{fmt_pct, fmt_speedup};
 use spcg_bench::write_artifact;
 use spcg_core::{sparsify_by_magnitude, CondEstimator, PrecondKind, SparsifyParams};
 use spcg_gpusim::DeviceSpec;
-use spcg_precond::{ilu0, TriangularExec};
+use spcg_precond::{ilu0, ExecutionStrategy};
 use spcg_solver::{pcg, StopReason};
 use spcg_sparse::cond::SpectralOptions;
 use spcg_suite::env_collection;
@@ -58,13 +58,14 @@ fn main() {
     for (i, spec) in specs.iter().enumerate() {
         let a = spec.build();
         let b = spec.rhs(a.n_rows());
-        let Ok(fb) = ilu0(&a, TriangularExec::Sequential) else { continue };
+        let Ok(fb) = ilu0(&a, ExecutionStrategy::Sequential) else { continue };
         let base = pcg(&a, &fb, &b, &solver).expect("well-formed system");
         if base.stop != StopReason::Converged {
             continue;
         }
         counted += 1;
-        let bad = match ilu0(&sparsify_by_magnitude(&a, 50.0).a_hat, TriangularExec::Sequential) {
+        let bad = match ilu0(&sparsify_by_magnitude(&a, 50.0).a_hat, ExecutionStrategy::Sequential)
+        {
             Ok(fs) => {
                 let r = pcg(&a, &fs, &b, &solver).expect("well-formed system");
                 r.stop != StopReason::Converged || r.iterations >= 2 * base.iterations
@@ -104,7 +105,7 @@ fn main() {
                 &device,
                 &Variant::Baseline,
                 &solver,
-                TriangularExec::Sequential,
+                ExecutionStrategy::Sequential,
             ) else {
                 continue;
             };
@@ -115,7 +116,7 @@ fn main() {
                 &device,
                 &Variant::Heuristic(params.clone()),
                 &solver,
-                TriangularExec::Sequential,
+                ExecutionStrategy::Sequential,
             ) else {
                 continue;
             };

@@ -9,7 +9,7 @@
 use spcg_bench::table::{fmt_pct, print_table};
 use spcg_bench::write_artifact;
 use spcg_lowrank::{probe_factor, HssProbeParams};
-use spcg_precond::{ilu0, TriangularExec};
+use spcg_precond::{ilu0, ExecutionStrategy};
 use spcg_suite::fast_collection;
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
     let mut rows = Vec::new();
     for (i, spec) in specs.iter().enumerate() {
         let a = spec.build();
-        let Ok(f) = ilu0(&a, TriangularExec::Sequential) else { continue };
+        let Ok(f) = ilu0(&a, ExecutionStrategy::Sequential) else { continue };
         let rep_d = probe_factor(f.l(), &default_params);
         let rep_l = probe_factor(f.l(), &lax_params);
         total += 1;

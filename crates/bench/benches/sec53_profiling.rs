@@ -10,7 +10,7 @@ use spcg_bench::table::print_table;
 use spcg_bench::write_artifact;
 use spcg_core::{wavefront_aware_sparsify, SparsifyParams};
 use spcg_gpusim::{pcg_iteration_cost, profile, DeviceSpec};
-use spcg_precond::{ilu0, TriangularExec};
+use spcg_precond::{ilu0, ExecutionStrategy};
 use spcg_suite::reference::{muu_like, thermomech_dm_like, two_cubes_sphere_like};
 
 fn main() {
@@ -22,9 +22,9 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for (name, a) in &cases {
-        let fb = ilu0(a, TriangularExec::Sequential).expect("baseline factorization");
+        let fb = ilu0(a, ExecutionStrategy::Sequential).expect("baseline factorization");
         let d = wavefront_aware_sparsify(a, &SparsifyParams::default());
-        let fs = ilu0(&d.sparsified.a_hat, TriangularExec::Sequential)
+        let fs = ilu0(&d.sparsified.a_hat, ExecutionStrategy::Sequential)
             .expect("sparsified factorization");
         let cb = pcg_iteration_cost(&device, a, &fb).aggregate();
         let cs = pcg_iteration_cost(&device, a, &fs).aggregate();

@@ -13,7 +13,7 @@ use spcg_bench::runner::bench_solver_config;
 use spcg_bench::table::print_table;
 use spcg_bench::write_artifact;
 use spcg_core::{condition_estimate, sparsify_by_magnitude, CondEstimator};
-use spcg_precond::{ilu0, TriangularExec};
+use spcg_precond::{ilu0, ExecutionStrategy};
 use spcg_solver::pcg;
 use spcg_sparse::cond::SpectralOptions;
 use spcg_suite::reference::{ecology2_like, pres_poisson_like, thermal1_like};
@@ -31,7 +31,7 @@ fn main() {
         let b = vec![1.0f64; a.n_rows()];
         for pct in [0.0, 1.0, 5.0, 10.0] {
             let a_hat = if pct == 0.0 { a.clone() } else { sparsify_by_magnitude(a, pct).a_hat };
-            let (iters, status, resid) = match ilu0(&a_hat, TriangularExec::Sequential) {
+            let (iters, status, resid) = match ilu0(&a_hat, ExecutionStrategy::Sequential) {
                 Ok(f) => {
                     let r = pcg(a, &f, &b, &solver).expect("well-formed system");
                     (

@@ -17,7 +17,7 @@ use spcg_bench::table::{fmt_pct, fmt_speedup, print_table};
 use spcg_bench::write_artifact;
 use spcg_core::{PrecondKind, SparsifyParams};
 use spcg_gpusim::{pcg_iteration_cost, DeviceSpec};
-use spcg_precond::{ilu0, IluFactors, TriangularExec};
+use spcg_precond::{ilu0, ExecutionStrategy, IluFactors};
 use spcg_suite::env_collection;
 
 /// Drops the `pct`% smallest off-diagonal entries of both factors (the
@@ -25,7 +25,7 @@ use spcg_suite::env_collection;
 fn sparsify_factors(f: &IluFactors<f64>, pct: f64) -> IluFactors<f64> {
     let l = spcg_core::sparsify_by_magnitude(f.l(), pct).a_hat;
     let u = spcg_core::sparsify_by_magnitude(f.u(), pct).a_hat;
-    IluFactors::new(l, u, TriangularExec::Sequential, "post-sparsified".into())
+    IluFactors::new(l, u, ExecutionStrategy::Sequential, "post-sparsified".into())
 }
 
 fn run_family(
@@ -56,7 +56,7 @@ fn run_family(
             &device,
             &Variant::Baseline,
             &solver,
-            TriangularExec::Sequential,
+            ExecutionStrategy::Sequential,
         ) else {
             eprintln!("[{}/{}] {}: skipped (baseline failed)", i + 1, specs.len(), spec.name);
             continue;
@@ -71,7 +71,7 @@ fn run_family(
                 &device,
                 &Variant::Fixed(r),
                 &solver,
-                TriangularExec::Sequential,
+                ExecutionStrategy::Sequential,
             ) {
                 Ok(e) => fixed.push(e),
                 Err(_) => {
@@ -90,7 +90,7 @@ fn run_family(
             &device,
             &Variant::Heuristic(SparsifyParams::default()),
             &solver,
-            TriangularExec::Sequential,
+            ExecutionStrategy::Sequential,
         ) else {
             continue;
         };
@@ -112,7 +112,7 @@ fn run_family(
         cols[4].push(base.per_iteration_us / oracle);
 
         // Extension: sparsify the FACTORS of the baseline at 10%.
-        if let Ok(fb) = ilu0(&a, TriangularExec::Sequential) {
+        if let Ok(fb) = ilu0(&a, ExecutionStrategy::Sequential) {
             let fs = sparsify_factors(&fb, 10.0);
             let t = pcg_iteration_cost(&device, &a, &fs).total_us();
             cols[5].push(base.per_iteration_us / t);

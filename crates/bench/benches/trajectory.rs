@@ -3,19 +3,22 @@
 //!
 //! Unlike the figure benches (which sweep the full 107-matrix collection
 //! and write into `target/spcg-results/`), this target runs in seconds and
-//! writes `BENCH_8.json` **at the repo root as a tracked artifact**: per
+//! writes `BENCH_9.json` **at the repo root as a tracked artifact**: per
 //! variant, the real iteration counts and the simulated A100 costs for
 //! each fixed system, an ordering study comparing the natural and
 //! `auto`-reordered plan at the *same* sparsify ratio, a precision
 //! study comparing the full-f64 plan against the `MixedF32` tier (real
 //! iterations, refinement restarts, and the simulated preconditioner-apply
-//! bytes the demotion saves), a serve study replaying a 2×-overload
+//! bytes the demotion saves), a sync study comparing the barrier-per-level
+//! and counter-release dependency-block executors on the same factors
+//! (synchronizations per iteration and simulated sweep time), a serve
+//! study replaying a 2×-overload
 //! Poisson arrival schedule through the admission controller in virtual
 //! time (per-priority latency quantiles, shed/downgrade rates), and a
 //! sequence study pricing a value-only plan refresh against a full
 //! rebuild and measuring the iterations a warm start saves over a seeded
 //! drifting sequence. Committing the JSON turns the bench into a
-//! trajectory — `git log -p BENCH_8.json` shows exactly when and how the
+//! trajectory — `git log -p BENCH_9.json` shows exactly when and how the
 //! numbers moved. Only deterministic fields are serialized (iteration
 //! counts, simulated µs/bytes, chosen ratios, level counts, virtual-time
 //! latencies); wall-clock
@@ -25,19 +28,21 @@
 //! `scripts/fill_experiments.py` consumes this JSON to refresh the
 //! trajectory tables in EXPERIMENTS.md, and
 //! `scripts/check_bench_regression.py` gates CI on it: any regression in
-//! per-iteration cost or iteration count — or the mixed tier's apply-bytes
-//! win dropping below its 1.5× floor — against the committed file fails
-//! the build.
+//! per-iteration cost or iteration count — the mixed tier's apply-bytes
+//! win dropping below its 1.5× floor, or the dependency-block executor's
+//! sync reduction hitting zero on a multi-level fixture — against the
+//! committed file fails the build.
 
 use serde::Serialize;
 use spcg_bench::stats::gmean;
 use spcg_bench::{bench_solver_config, compare, ComparisonRow, Variant};
 use spcg_core::{
-    OrderingKind, PrecisionPolicy, PrecondKind, SparsifyParams, SpcgOptions, SpcgPlan,
+    ExecutionStrategy, OrderingKind, PrecisionPolicy, PrecondKind, SparsifyParams, SpcgOptions,
+    SpcgPlan,
 };
 use spcg_gpusim::{
     dot_cost, elementwise_cost, plan_iteration_cost, plan_rebuild_cost_us, plan_refresh_cost_us,
-    spmv_cost, DeviceSpec,
+    spmv_cost, trisolve_block_cost_of, trisolve_cost_of, DeviceSpec,
 };
 use spcg_probe::{Counter, HistogramProbe, RecordingProbe, Span};
 use spcg_serve::{
@@ -152,6 +157,76 @@ struct PrecisionPoint {
     per_iteration_us_full: f64,
     /// Simulated per-iteration cost of the mixed plan, µs.
     per_iteration_us_mixed: f64,
+}
+
+/// Barrier-per-level vs counter-release dependency blocks on the *same*
+/// sparsified factors: the executor is the only lever that moves, so the
+/// sync counts and the simulated L+U sweep times isolate exactly what
+/// killing the per-level barrier buys. CI gates `sync_reduction_percent`
+/// strictly above zero on every multi-level fixture.
+#[derive(Serialize)]
+struct SyncPoint {
+    /// Synchronizations per iteration under the level-barrier executor:
+    /// one barrier per wavefront, L and U sweeps combined.
+    syncs_barrier: usize,
+    /// Synchronizations per iteration under dependency blocks: one counter
+    /// release per block, L and U sweeps combined.
+    syncs_blocks: usize,
+    /// Percent reduction in per-iteration synchronizations, barrier → blocks.
+    sync_reduction_percent: f64,
+    /// Simulated L+U triangular-sweep time per iteration, barrier executor, µs.
+    sweep_us_barrier: f64,
+    /// Simulated L+U triangular-sweep time per iteration, block executor, µs.
+    sweep_us_blocks: f64,
+    /// Real iteration count of the dependency-block plan — asserted
+    /// bitwise-identical to the barrier plan's solve every run.
+    iterations_blocks: usize,
+}
+
+/// Builds the default-options plan under both parallel executors and
+/// solves each; the factors are structurally identical, so the sync counts
+/// and priced sweeps compare the executors alone. The bitwise assert is
+/// the torture suite's headline property riding along in the bench: if the
+/// counter-release schedule ever reorders a row's accumulation, the
+/// committed artifact run fails before CI even reaches the gate script.
+fn sync_study(
+    a: &spcg_sparse::CsrMatrix<f64>,
+    b: &[f64],
+    device: &DeviceSpec,
+    solver: &spcg_solver::SolverConfig,
+) -> SyncPoint {
+    let base =
+        SpcgOptions { precond: PrecondKind::Ilu0, solver: solver.clone(), ..Default::default() };
+    let barrier = SpcgPlan::build(a, base.clone().with_exec(ExecutionStrategy::LevelBarrier))
+        .expect("barrier plan builds");
+    let blocks = SpcgPlan::build(a, base.with_exec(ExecutionStrategy::DependencyBlocks))
+        .expect("block plan builds");
+
+    let f = barrier.factors();
+    let syncs_barrier = f.l_schedule().n_levels() + f.u_schedule().n_levels();
+    let syncs_blocks = f.l_blocks().n_blocks() + f.u_blocks().n_blocks();
+    let sweep_us_barrier = trisolve_cost_of(device, f.l(), f.l_schedule()).time_us
+        + trisolve_cost_of(device, f.u(), f.u_schedule()).time_us;
+    let fb = blocks.factors();
+    let sweep_us_blocks = trisolve_block_cost_of(device, fb.l(), fb.l_blocks()).time_us
+        + trisolve_block_cost_of(device, fb.u(), fb.u_blocks()).time_us;
+
+    let rb = barrier.solve(b).expect("barrier fixture must solve");
+    let rk = blocks.solve(b).expect("block fixture must solve");
+    assert!(rb.converged() && rk.converged(), "sync-study fixture stopped converging");
+    assert_eq!(rb.x, rk.x, "dependency-block solve must be bitwise-identical to barrier");
+    assert_eq!(rb.iterations, rk.iterations);
+
+    SyncPoint {
+        syncs_barrier,
+        syncs_blocks,
+        sync_reduction_percent: round3(
+            (syncs_barrier as f64 - syncs_blocks as f64) / syncs_barrier as f64 * 100.0,
+        ),
+        sweep_us_barrier: round3(sweep_us_barrier),
+        sweep_us_blocks: round3(sweep_us_blocks),
+        iterations_blocks: rk.iterations,
+    }
 }
 
 /// One priority class's fate under the overload replay.
@@ -454,6 +529,7 @@ struct TrajectoryRow {
     spcg: VariantPoint,
     ordering: OrderingPoint,
     precision: PrecisionPoint,
+    sync: SyncPoint,
     per_iteration_speedup: f64,
     end_to_end_speedup: f64,
 }
@@ -472,6 +548,9 @@ struct Trajectory {
     gmean_level_reduction_percent: f64,
     /// Geometric mean of the per-fixture full/mixed apply-bytes ratios.
     gmean_apply_bytes_ratio: f64,
+    /// Geometric-mean reduction in per-iteration synchronizations from the
+    /// dependency-block executor: `(1 - 1/gmean(barrier/blocks)) * 100`.
+    gmean_sync_reduction_percent: f64,
     /// Geometric mean of the per-fixture rebuild/refresh cost ratios.
     gmean_refresh_speedup: f64,
     /// Virtual-time admission-control replay at 2× offered load.
@@ -599,6 +678,7 @@ fn main() {
             );
             let ordering = ordering_study(&a, &b, row.spcg.chosen_ratio, &device, &solver);
             let precision = precision_study(&a, &b, &device, &solver);
+            let sync = sync_study(&a, &b, &device, &solver);
             TrajectoryRow {
                 name: name.into(),
                 n: row.n,
@@ -610,6 +690,7 @@ fn main() {
                 spcg: VariantPoint::of(&row.spcg),
                 ordering,
                 precision,
+                sync,
             }
         })
         .collect();
@@ -625,6 +706,11 @@ fn main() {
         .collect();
     let gmean_levels = gmean(&level_ratios).unwrap_or(1.0);
     let apply_ratios: Vec<f64> = rows.iter().map(|r| r.precision.apply_bytes_ratio).collect();
+    // Same gmean-of-ratios shape as the level aggregate: a diagonal-only
+    // fixture (blocks == levels) contributes exactly 1.0.
+    let sync_ratios: Vec<f64> =
+        rows.iter().map(|r| r.sync.syncs_barrier as f64 / r.sync.syncs_blocks as f64).collect();
+    let gmean_syncs = gmean(&sync_ratios).unwrap_or(1.0);
     let serve = serve_study(&device, &solver);
     let sequence = sequence_study(&device, &solver);
     let refresh_speedups: Vec<f64> = sequence.iter().map(|s| s.refresh_speedup).collect();
@@ -637,17 +723,18 @@ fn main() {
         gmean_end_to_end_speedup: round3(gmean(&e2e).unwrap_or(0.0)),
         gmean_level_reduction_percent: round3((1.0 - 1.0 / gmean_levels) * 100.0),
         gmean_apply_bytes_ratio: round3(gmean(&apply_ratios).unwrap_or(1.0)),
+        gmean_sync_reduction_percent: round3((1.0 - 1.0 / gmean_syncs) * 100.0),
         gmean_refresh_speedup: round3(gmean(&refresh_speedups).unwrap_or(1.0)),
         serve,
         sequence,
         rows,
     };
 
-    // Tracked artifact at the repo root (not target/): BENCH_8.json is the
+    // Tracked artifact at the repo root (not target/): BENCH_9.json is the
     // current trajectory point; its git history is the trajectory.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_8.json");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_9.json");
     let json = serde_json::to_string_pretty(&traj).expect("trajectory serializes");
-    std::fs::write(&path, json + "\n").expect("BENCH_8.json written");
+    std::fs::write(&path, json + "\n").expect("BENCH_9.json written");
 
     println!("trajectory: {} fixtures, ILU(0), A100 model", traj.rows.len());
     for r in &traj.rows {
@@ -677,14 +764,24 @@ fn main() {
             r.precision.refine_restarts,
             r.precision.apply_bytes_ratio
         );
+        println!(
+            "  {:<14} syncs/iter {:>4} -> {:>3}  ({:>5.1}% fewer)  sweep {:>8.3} -> {:>8.3} us",
+            "",
+            r.sync.syncs_barrier,
+            r.sync.syncs_blocks,
+            r.sync.sync_reduction_percent,
+            r.sync.sweep_us_barrier,
+            r.sync.sweep_us_blocks
+        );
     }
     println!(
         "gmean per-iteration {:.3}x   gmean end-to-end {:.3}x   gmean level reduction {:.1}%   \
-         gmean apply-bytes ratio {:.3}x",
+         gmean apply-bytes ratio {:.3}x   gmean sync reduction {:.1}%",
         traj.gmean_per_iteration_speedup,
         traj.gmean_end_to_end_speedup,
         traj.gmean_level_reduction_percent,
-        traj.gmean_apply_bytes_ratio
+        traj.gmean_apply_bytes_ratio,
+        traj.gmean_sync_reduction_percent
     );
     println!(
         "serve study: {} requests at 2x capacity over {} workers, deadline {:.0} us, \

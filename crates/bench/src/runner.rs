@@ -8,7 +8,7 @@ use spcg_core::{
     SpcgPlan,
 };
 use spcg_gpusim::{end_to_end_cost, plan_iteration_cost, DeviceSpec, IterationCost};
-use spcg_precond::{ilu0, IluFactors, TriangularExec};
+use spcg_precond::{ilu0, ExecutionStrategy, IluFactors};
 use spcg_solver::{SolveWorkspace, SolverConfig, StopReason};
 use spcg_sparse::{CsrMatrix, Result};
 use spcg_wavefront::wavefront_count;
@@ -82,7 +82,7 @@ pub struct EvalResult {
 pub fn build_factors(
     m: &CsrMatrix<f64>,
     kind: PrecondKind,
-    exec: TriangularExec,
+    exec: ExecutionStrategy,
 ) -> Result<(IluFactors<f64>, CsrMatrix<f64>)> {
     match kind {
         PrecondKind::Ilu0 => Ok((ilu0(m, exec)?, m.clone())),
@@ -105,7 +105,7 @@ pub fn plan_variant(
     kind: PrecondKind,
     variant: &Variant,
     solver: &SolverConfig,
-    exec: TriangularExec,
+    exec: ExecutionStrategy,
 ) -> Result<(SpcgPlan<f64>, CsrMatrix<f64>, Option<f64>)> {
     let (m_for_fact, chosen_ratio) = match variant {
         Variant::Baseline => (a.clone(), None),
@@ -139,7 +139,7 @@ pub fn evaluate_with_workspace(
     device: &DeviceSpec,
     variant: &Variant,
     solver: &SolverConfig,
-    exec: TriangularExec,
+    exec: ExecutionStrategy,
     ws: &mut SolveWorkspace<f64>,
 ) -> Result<EvalResult> {
     let (plan, pattern, chosen_ratio) = plan_variant(a, kind, variant, solver, exec)?;
@@ -195,7 +195,7 @@ pub fn evaluate(
     device: &DeviceSpec,
     variant: &Variant,
     solver: &SolverConfig,
-    exec: TriangularExec,
+    exec: ExecutionStrategy,
 ) -> Result<EvalResult> {
     let mut ws = SolveWorkspace::new(a.n_rows(), a.n_rows());
     evaluate_with_workspace(a, b, kind, device, variant, solver, exec, &mut ws)
@@ -270,7 +270,7 @@ pub fn compare(
     variant: &Variant,
     solver: &SolverConfig,
 ) -> Result<ComparisonRow> {
-    let exec = TriangularExec::Sequential;
+    let exec = ExecutionStrategy::Sequential;
     // One workspace serves both arms of the comparison.
     let mut ws = SolveWorkspace::new(a.n_rows(), a.n_rows());
     let base =
@@ -309,7 +309,7 @@ pub fn select_k(a: &CsrMatrix<f64>, b: &[f64], solver: &SolverConfig) -> Option<
             PrecondKind::Iluk(k),
             &Variant::Baseline,
             solver,
-            TriangularExec::Sequential,
+            ExecutionStrategy::Sequential,
         ) else {
             continue;
         };
@@ -382,7 +382,7 @@ mod tests {
             &DeviceSpec::a100(),
             &Variant::Fixed(5.0),
             &bench_solver_config(),
-            TriangularExec::Sequential,
+            ExecutionStrategy::Sequential,
         )
         .unwrap();
         assert_eq!(r.chosen_ratio, Some(5.0));
@@ -399,7 +399,7 @@ mod tests {
             &DeviceSpec::a100(),
             &Variant::Baseline,
             &bench_solver_config(),
-            TriangularExec::Sequential,
+            ExecutionStrategy::Sequential,
         )
         .unwrap();
         let r0 = evaluate(
@@ -409,7 +409,7 @@ mod tests {
             &DeviceSpec::a100(),
             &Variant::Baseline,
             &bench_solver_config(),
-            TriangularExec::Sequential,
+            ExecutionStrategy::Sequential,
         )
         .unwrap();
         assert!(r.factor_nnz > r0.factor_nnz);

@@ -98,3 +98,4 @@ pub use resilient::{
     ResilientSolve,
 };
 pub use sparsify::{sparsify_by_magnitude, Sparsified, SparsifyStats};
+pub use spcg_precond::ExecutionStrategy;

@@ -7,7 +7,7 @@ use crate::plan::SpcgPlan;
 use crate::precision::PrecisionPolicy;
 use crate::reorder::OrderingKind;
 use serde::{Deserialize, Serialize};
-use spcg_precond::{ilu0_probed, iluk_probed, IluFactors, TriangularExec};
+use spcg_precond::{ilu0_probed, iluk_probed, ExecutionStrategy, IluFactors};
 use spcg_probe::{NoProbe, Probe};
 use spcg_solver::{SolveResult, SolveWorkspace, SolverConfig};
 use spcg_sparse::{CsrMatrix, Result, Scalar};
@@ -40,7 +40,7 @@ pub struct SpcgOptions {
     /// Preconditioner family.
     pub precond: PrecondKind,
     /// Triangular-solve execution strategy.
-    pub exec: TriangularExec,
+    pub exec: ExecutionStrategy,
     /// PCG configuration.
     pub solver: SolverConfig,
     /// Symmetric ordering applied before sparsification/factorization.
@@ -48,8 +48,11 @@ pub struct SpcgOptions {
     /// pre-reordering behaviour; `Auto` searches the joint
     /// ordering × sparsify-ratio space (see [`crate::reorder`]).
     pub ordering: OrderingKind,
-    /// Minimum percent level reduction a non-natural ordering must deliver
-    /// for `Auto` to accept it (the ordering analogue of Algorithm 2's ω).
+    /// Minimum percent reduction in cost-model-priced triangular-sweep
+    /// time a non-natural ordering must deliver for `Auto` to accept it
+    /// (the ordering analogue of Algorithm 2's ω). Priced under this
+    /// options struct's [`ExecutionStrategy`], so an ordering is only
+    /// credited for launch overhead the chosen executor would actually pay.
     pub ordering_omega: f64,
     /// Precision tier of the preconditioner application. `Full` (the
     /// default) keeps the pipeline bitwise-identical to the pre-mixed
@@ -70,7 +73,7 @@ impl Default for SpcgOptions {
         Self {
             sparsify: Some(SparsifyParams::default()),
             precond: PrecondKind::Ilu0,
-            exec: TriangularExec::Sequential,
+            exec: ExecutionStrategy::Sequential,
             solver: SolverConfig::default(),
             ordering: OrderingKind::Natural,
             ordering_omega: 10.0,
@@ -116,7 +119,7 @@ impl SpcgOptions {
     }
 
     /// Selects the triangular-solve execution strategy.
-    pub fn with_exec(mut self, exec: TriangularExec) -> Self {
+    pub fn with_exec(mut self, exec: ExecutionStrategy) -> Self {
         self.exec = exec;
         self
     }
@@ -188,7 +191,7 @@ impl<T: Scalar> SpcgOutcome<T> {
 pub fn build_preconditioner<T: Scalar>(
     m: &CsrMatrix<T>,
     kind: PrecondKind,
-    exec: TriangularExec,
+    exec: ExecutionStrategy,
 ) -> Result<IluFactors<T>> {
     build_preconditioner_probed(m, kind, exec, &mut NoProbe)
 }
@@ -200,7 +203,7 @@ pub fn build_preconditioner<T: Scalar>(
 pub fn build_preconditioner_probed<T: Scalar, P: Probe>(
     m: &CsrMatrix<T>,
     kind: PrecondKind,
-    exec: TriangularExec,
+    exec: ExecutionStrategy,
     probe: &mut P,
 ) -> Result<IluFactors<T>> {
     match kind {
@@ -249,7 +252,7 @@ pub fn select_best_k<T: Scalar>(
     a: &CsrMatrix<T>,
     b: &[T],
     candidates: &[usize],
-    exec: TriangularExec,
+    exec: ExecutionStrategy,
     solver: &SolverConfig,
 ) -> Result<usize> {
     assert!(!candidates.is_empty(), "need at least one K candidate");
@@ -376,7 +379,7 @@ mod tests {
             &a,
             &b,
             &[0, 2],
-            TriangularExec::Sequential,
+            ExecutionStrategy::Sequential,
             &SolverConfig::default().with_tol(1e-10),
         )
         .unwrap();

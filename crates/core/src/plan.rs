@@ -468,9 +468,9 @@ impl<T: Scalar> SpcgPlan<T> {
 
     /// Estimated heap footprint of the plan in bytes: the system matrix,
     /// the factored matrix (when stored separately), both triangular
-    /// factors, and their level schedules. Used by plan caches to enforce
-    /// a byte budget; it is an estimate (container headers and small
-    /// side arrays are ignored), not an exact accounting.
+    /// factors, and their level *and* dependency-block schedules. Used by
+    /// plan caches to enforce a byte budget; it is an estimate (container
+    /// headers and small side arrays are ignored), not an exact accounting.
     pub fn approx_bytes(&self) -> usize {
         let value_bytes = std::mem::size_of::<T>();
         let usize_bytes = std::mem::size_of::<usize>();
@@ -492,11 +492,13 @@ impl<T: Scalar> SpcgPlan<T> {
         }
         total += csr(self.factors.l()) + csr(self.factors.u());
         total += schedule(self.factors.l_schedule()) + schedule(self.factors.u_schedule());
+        total += self.factors.l_blocks().approx_bytes() + self.factors.u_blocks().approx_bytes();
         if let Some(m) = &self.mixed {
             // The demoted factor image is resident alongside the full one.
             let lower = std::mem::size_of::<T::Lower>();
             total += m.inner().l().storage_bytes(lower) + m.inner().u().storage_bytes(lower);
             total += schedule(m.inner().l_schedule()) + schedule(m.inner().u_schedule());
+            total += m.inner().l_blocks().approx_bytes() + m.inner().u_blocks().approx_bytes();
         }
         total
     }
@@ -917,6 +919,27 @@ mod tests {
         assert_eq!(from_plan.x, from_pipeline.result.x);
         assert_eq!(from_plan.residual_history, from_pipeline.result.residual_history);
         assert_eq!(from_plan.iterations, from_pipeline.result.iterations);
+    }
+
+    #[test]
+    fn auto_exec_resolves_to_blocks_on_deep_plans_and_solves_bitwise() {
+        let (a, b) = system(32);
+        let plan =
+            SpcgPlan::build(&a, opts().with_exec(spcg_precond::ExecutionStrategy::Auto)).unwrap();
+        // A deep Poisson schedule prices cheaper under dependency blocks,
+        // and `Auto` is never stored on the factors.
+        assert_eq!(plan.factors().exec(), spcg_precond::ExecutionStrategy::DependencyBlocks);
+        // The executor swap must not perturb the trajectory.
+        let seq = SpcgPlan::build(&a, opts()).unwrap().solve(&b).unwrap();
+        let blk = plan.solve(&b).unwrap();
+        assert_eq!(seq.x, blk.x);
+        assert_eq!(seq.residual_history, blk.residual_history);
+        // And the block schedules are part of the plan's byte estimate.
+        let bytes = plan.approx_bytes();
+        let blocks_bytes =
+            plan.factors().l_blocks().approx_bytes() + plan.factors().u_blocks().approx_bytes();
+        assert!(blocks_bytes > 0);
+        assert!(bytes > blocks_bytes);
     }
 
     #[test]

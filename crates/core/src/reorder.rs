@@ -11,9 +11,12 @@
 //!   flattener (factor levels are bounded by the color count);
 //! * [`OrderingKind::Auto`] — evaluate Natural, RCM, and Coloring through
 //!   the *joint* space (ordering × sparsify ratio): each candidate is
-//!   permuted, run through Algorithm 2, and judged by the level count of
-//!   its chosen sparsified matrix. A non-natural ordering is accepted only
-//!   when it cuts levels by at least ω percent **and** the candidate's
+//!   permuted, run through Algorithm 2, and judged by the cost-model-priced
+//!   sweep time of its chosen sparsified matrix under the plan's execution
+//!   strategy (dependency-block execution already removes most of the
+//!   per-level launch cost, so an ordering must win on *priced time*, not
+//!   raw level count). A non-natural ordering is accepted only when it cuts
+//!   priced time by at least ω percent **and** the candidate's
 //!   `‖Â⁻¹‖·‖S‖ ≤ τ` convergence guard still passes.
 //!
 //! The permutation is an analysis-time decision: `SpcgPlan` factors in
@@ -24,10 +27,11 @@
 use crate::algorithm2::{wavefront_aware_sparsify_probed, SelectionReason, SparsifyDecision};
 use crate::pipeline::SpcgOptions;
 use serde::{Deserialize, Serialize};
+use spcg_precond::ExecutionStrategy;
 use spcg_probe::{Counter, Probe, Span};
 use spcg_sparse::permute::{greedy_color_perm, reverse_cuthill_mckee};
 use spcg_sparse::{CsrMatrix, Scalar};
-use spcg_wavefront::wavefront_count;
+use spcg_wavefront::{wavefront_count, BlockSchedule, ExecCostModel, LevelSchedule, Triangle};
 
 /// Which symmetric ordering the planner applies before sparsification and
 /// factorization.
@@ -41,8 +45,9 @@ pub enum OrderingKind {
     Rcm,
     /// Greedy graph coloring.
     Coloring,
-    /// Evaluate every ordering through Algorithm 2 and keep the one with
-    /// the fewest triangular-solve levels (subject to the ω/τ rule).
+    /// Evaluate every ordering through Algorithm 2 and keep the one whose
+    /// sparsified matrix prices cheapest under the plan's execution
+    /// strategy (subject to the ω/τ rule).
     Auto,
 }
 
@@ -96,6 +101,10 @@ pub struct ReorderCandidate {
     pub levels: usize,
     /// Percent level reduction vs the natural candidate (0 for natural).
     pub reduction_percent: f64,
+    /// Cost-model-priced time of one lower sweep of the metric matrix
+    /// under the plan's execution strategy, µs — the quantity the `Auto`
+    /// ω-acceptance rule is evaluated against.
+    pub priced_us: f64,
     /// Whether the candidate's `‖Â⁻¹‖·‖S‖ ≤ τ` guard passed (always true
     /// when sparsification is off).
     pub guard_passed: bool,
@@ -132,6 +141,36 @@ fn reduction_percent(natural: usize, chosen: usize) -> f64 {
         0.0
     } else {
         100.0 * (natural as f64 - chosen as f64) / natural as f64
+    }
+}
+
+/// Float analogue of [`reduction_percent`] for the priced-time objective.
+fn priced_reduction_percent(natural_us: f64, chosen_us: f64) -> f64 {
+    if natural_us <= 0.0 {
+        0.0
+    } else {
+        100.0 * (natural_us - chosen_us) / natural_us
+    }
+}
+
+/// Prices one lower-triangular sweep of `m` under `exec` with the default
+/// (A100) executor cost model — the same model plan-side `Auto` strategy
+/// resolution uses, so the ordering search and the executor choice optimize
+/// the same quantity. `Sequential`/`Auto` price at the cheaper of the two
+/// parallel executors: an ordering should not be credited for flattening
+/// levels the dependency-block executor would never pay for.
+fn priced_sweep_us<T: Scalar>(m: &CsrMatrix<T>, exec: ExecutionStrategy) -> f64 {
+    let model = ExecCostModel::default();
+    let schedule = LevelSchedule::build(m, Triangle::Lower);
+    let level_us = model.level_time_us(m, &schedule);
+    match exec {
+        ExecutionStrategy::LevelBarrier => level_us,
+        ExecutionStrategy::DependencyBlocks => {
+            model.block_time_us(m, &BlockSchedule::from_levels(m, &schedule))
+        }
+        ExecutionStrategy::Sequential | ExecutionStrategy::Auto => {
+            level_us.min(model.block_time_us(m, &BlockSchedule::from_levels(m, &schedule)))
+        }
     }
 }
 
@@ -199,6 +238,7 @@ pub(crate) fn select_ordering_probed<T: Scalar, P: Probe>(
                     ordering: kind,
                     levels: levels_chosen,
                     reduction_percent: reduction_percent(levels_natural, levels_chosen),
+                    priced_us: priced_sweep_us(&permuted, opts.exec),
                     guard_passed: true,
                     chosen_ratio: None,
                 }],
@@ -231,16 +271,19 @@ fn auto_select<T: Scalar, P: Probe>(
     let kinds = [OrderingKind::Natural, OrderingKind::Rcm, OrderingKind::Coloring];
     let mut candidates: Vec<AutoCandidate<T>> = Vec::with_capacity(kinds.len());
     let mut levels_natural = 0usize;
+    let mut priced_natural = 0.0f64;
     for kind in kinds {
         let perm = perm_for(kind, a);
         let permuted = perm
             .as_ref()
             .map(|p| a.permute_sym(p).expect("ordering perms are valid by construction"));
         let m = permuted.as_ref().unwrap_or(a);
-        // Judge the candidate by the level count of the matrix the
+        // Judge the candidate by the priced sweep time of the matrix the
         // factorization would actually see: the Â Algorithm 2 picks on the
         // permuted system (the joint ordering × ratio space), or the
-        // permuted A itself for unsparsified plans.
+        // permuted A itself for unsparsified plans. Level counts are still
+        // recorded — they are the paper-facing headline — but the
+        // acceptance rule runs on priced time under the plan's executor.
         let (levels, guard_passed, chosen_ratio, sparsify) = match &opts.sparsify {
             Some(params) => {
                 let d = wavefront_aware_sparsify_probed(m, params, probe);
@@ -249,14 +292,18 @@ fn auto_select<T: Scalar, P: Probe>(
             }
             None => (wavefront_count(m), true, None, None),
         };
+        let metric = sparsify.as_ref().map(|d| &d.sparsified.a_hat).unwrap_or(m);
+        let priced_us = priced_sweep_us(metric, opts.exec);
         if kind == OrderingKind::Natural {
             levels_natural = levels;
+            priced_natural = priced_us;
         }
         candidates.push(AutoCandidate {
             record: ReorderCandidate {
                 ordering: kind,
                 levels,
                 reduction_percent: reduction_percent(levels_natural, levels),
+                priced_us,
                 guard_passed,
                 chosen_ratio,
             },
@@ -266,19 +313,23 @@ fn auto_select<T: Scalar, P: Probe>(
         });
     }
 
-    // The selection rule (DESIGN.md): keep the fewest-level candidate, but
-    // accept a non-natural ordering only when its τ guard passed and it
-    // cuts levels by at least ω percent vs natural.
+    // The selection rule (DESIGN.md §3i): keep the cheapest-priced
+    // candidate, but accept a non-natural ordering only when its τ guard
+    // passed and it cuts priced sweep time by at least ω percent vs
+    // natural. Pricing (not raw level count) is the objective because the
+    // dependency-block executor already amortizes most of the per-level
+    // launch cost — an ordering must pay for its permutation overhead in
+    // modeled time under the executor the plan will actually run.
     let best = candidates
         .iter()
         .enumerate()
         .skip(1)
         .filter(|(_, c)| c.record.guard_passed)
-        .min_by_key(|(_, c)| c.record.levels)
+        .min_by(|(_, x), (_, y)| x.record.priced_us.total_cmp(&y.record.priced_us))
         .map(|(i, _)| i);
     let chosen_idx = match best {
         Some(i)
-            if reduction_percent(levels_natural, candidates[i].record.levels)
+            if priced_reduction_percent(priced_natural, candidates[i].record.priced_us)
                 >= opts.ordering_omega =>
         {
             i
@@ -355,20 +406,60 @@ mod tests {
     }
 
     #[test]
-    fn auto_search_picks_minimum_levels() {
+    fn auto_search_picks_minimum_priced_time() {
         let a = grid(12);
         let opts = SpcgOptions::default().with_ordering(OrderingKind::Auto);
         let out = select_ordering_probed(&a, &opts, &mut NoProbe);
         let d = out.decision.unwrap();
         assert_eq!(d.requested, OrderingKind::Auto);
         assert_eq!(d.trace.len(), 3);
-        // The chosen levels are the minimum over every guard-passing
-        // candidate (natural included).
-        let min_ok = d.trace.iter().filter(|c| c.guard_passed).map(|c| c.levels).min().unwrap();
-        assert!(d.levels_chosen <= min_ok.max(d.levels_natural));
+        // Every candidate was priced, and natural is the first entry.
+        assert!(d.trace.iter().all(|c| c.priced_us > 0.0));
+        assert_eq!(d.trace[0].ordering, OrderingKind::Natural);
+        let natural_us = d.trace[0].priced_us;
+        let chosen_rec =
+            d.trace.iter().find(|c| c.ordering == d.chosen).expect("chosen is in trace");
+        // The chosen candidate prices no worse than any guard-passing
+        // alternative that clears the ω bar (natural included).
+        let min_ok = d
+            .trace
+            .iter()
+            .filter(|c| c.guard_passed)
+            .filter(|c| priced_reduction_percent(natural_us, c.priced_us) >= opts.ordering_omega)
+            .map(|c| c.priced_us)
+            .fold(natural_us, f64::min);
+        assert!(chosen_rec.priced_us <= min_ok + 1e-12);
         if d.chosen != OrderingKind::Natural {
-            assert!(d.level_reduction_percent() >= opts.ordering_omega);
+            assert!(
+                priced_reduction_percent(natural_us, chosen_rec.priced_us) >= opts.ordering_omega
+            );
         }
+    }
+
+    /// Under a dependency-block executor the launch term an ordering would
+    /// save is already small, so the priced objective must be stricter than
+    /// the raw level count: a candidate that flattens levels but inflates
+    /// nothing else still needs to clear ω in modeled microseconds.
+    #[test]
+    fn priced_objective_tracks_exec_strategy() {
+        let a = grid(12);
+        for exec in [
+            ExecutionStrategy::Sequential,
+            ExecutionStrategy::LevelBarrier,
+            ExecutionStrategy::DependencyBlocks,
+            ExecutionStrategy::Auto,
+        ] {
+            let us = priced_sweep_us(&a, exec);
+            assert!(us > 0.0, "{exec:?} priced non-positive");
+        }
+        // Barrier-per-level pays a launch per level; the block executor
+        // amortizes it, so its priced sweep is cheaper on a deep schedule.
+        let barrier = priced_sweep_us(&a, ExecutionStrategy::LevelBarrier);
+        let blocks = priced_sweep_us(&a, ExecutionStrategy::DependencyBlocks);
+        assert!(blocks < barrier);
+        // Sequential/Auto price at the cheaper of the two.
+        let auto = priced_sweep_us(&a, ExecutionStrategy::Auto);
+        assert!((auto - barrier.min(blocks)).abs() < 1e-12);
     }
 
     #[test]

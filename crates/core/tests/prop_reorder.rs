@@ -2,8 +2,8 @@
 //! *same solver* viewed through a permutation. Explicit orderings must be
 //! bitwise-reproducible from the unpermuted pipeline plus a hand-applied
 //! permutation, full PCG solves must agree with the natural plan within
-//! oracle tolerance, and `auto` must never pick an ordering with more
-//! levels than the candidates it searched.
+//! oracle tolerance, and `auto` must never pick an ordering that prices
+//! worse than the candidates it searched.
 
 use proptest::prelude::*;
 use spcg_core::pipeline::SpcgOptions;
@@ -116,11 +116,14 @@ proptest! {
         );
     }
 
-    /// `auto` is monotone: it never commits to an ordering with more
-    /// levels than natural, and with ω = 0 it picks the level-minimal
-    /// candidate among everything the joint search admitted.
+    /// `auto` is monotone in its priced-time objective: it never commits
+    /// to an ordering that prices worse than natural under the plan's
+    /// execution strategy, and with ω = 0 it picks the cheapest-priced
+    /// candidate among everything the joint search admitted. (Level counts
+    /// are recorded but are no longer the objective — a flatter schedule
+    /// may lose on priced time once block execution amortizes launches.)
     #[test]
-    fn auto_never_increases_levels(
+    fn auto_never_prices_worse_than_natural(
         n in 20usize..70,
         seed in 0u64..250,
         sparsify in any::<bool>(),
@@ -132,18 +135,28 @@ proptest! {
         let plan = SpcgPlan::build(&a, &opts).unwrap();
         let d = plan.reorder().expect("auto always records a decision");
 
+        let natural = d
+            .trace
+            .iter()
+            .find(|c| c.ordering == OrderingKind::Natural)
+            .expect("natural is always in the trace");
+        let chosen = d
+            .trace
+            .iter()
+            .find(|c| c.ordering == d.chosen)
+            .expect("chosen candidate is in the trace");
         prop_assert!(
-            d.levels_chosen <= d.levels_natural,
-            "auto chose {} with {} levels but natural had {}",
-            d.chosen, d.levels_chosen, d.levels_natural
+            chosen.priced_us <= natural.priced_us + 1e-9,
+            "auto chose {} priced at {}µs but natural priced {}µs",
+            d.chosen, chosen.priced_us, natural.priced_us
         );
         if zero_omega {
             for c in &d.trace {
                 if c.guard_passed {
                     prop_assert!(
-                        d.levels_chosen <= c.levels,
-                        "ω=0 auto chose {} levels but admissible {} had {}",
-                        d.levels_chosen, c.ordering, c.levels
+                        chosen.priced_us <= c.priced_us + 1e-9,
+                        "ω=0 auto chose {}µs but admissible {} priced {}µs",
+                        chosen.priced_us, c.ordering, c.priced_us
                     );
                 }
             }

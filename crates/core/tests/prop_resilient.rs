@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use spcg_core::pipeline::{PrecondKind, SpcgOptions};
 use spcg_core::{FaultInjection, ResilienceOptions, SpcgPlan};
-use spcg_precond::{shifted_factorization, FactorKind, ShiftPolicy, TriangularExec};
+use spcg_precond::{shifted_factorization, ExecutionStrategy, FactorKind, ShiftPolicy};
 use spcg_solver::SolverConfig;
 use spcg_sparse::generators::{random_spd, with_magnitude_spread};
 use spcg_sparse::Rng;
@@ -109,7 +109,7 @@ proptest! {
         let (a, _) = random_system(n, seed);
         let policy = ShiftPolicy { initial_shift, ..Default::default() };
         let kind = if k == 0 { FactorKind::Ilu0 } else { FactorKind::Iluk(k) };
-        let s = shifted_factorization(&a, kind, TriangularExec::Sequential, &policy).unwrap();
+        let s = shifted_factorization(&a, kind, ExecutionStrategy::Sequential, &policy).unwrap();
         prop_assert!(s.attempts >= 1 && s.attempts <= policy.max_attempts);
         prop_assert!(s.alpha >= 0.0);
         prop_assert_eq!(s.is_unshifted(), s.alpha == 0.0);

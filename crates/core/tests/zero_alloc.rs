@@ -128,6 +128,48 @@ fn warm_reordered_solves_do_not_allocate() {
 }
 
 #[test]
+fn warm_dependency_block_solves_do_not_allocate() {
+    // The dependency-block executor's warm path must match the sequential
+    // contract: the block schedule (and its pooled release counters) is
+    // built once at plan time, so a warm in-place solve performs zero heap
+    // allocations. At this size the executor takes its inline path — the
+    // threaded path hands work to spawned workers, which (like the
+    // level-parallel executor) sits outside the allocation contract.
+    use spcg_core::ExecutionStrategy;
+
+    let a = with_magnitude_spread(&poisson_2d(20, 20), 5.0, 11);
+    let opts = SpcgOptions {
+        solver: SolverConfig::default().with_tol(1e-10).with_history(true),
+        ..Default::default()
+    }
+    .with_exec(ExecutionStrategy::DependencyBlocks);
+    let plan = SpcgPlan::build(&a, &opts).expect("plan builds");
+    let mut ws = plan.make_workspace();
+
+    let mut rng = Rng::new(37);
+    let rhs: Vec<Vec<f64>> =
+        (0..4).map(|_| (0..a.n_rows()).map(|_| rng.range(-1.0, 1.0)).collect()).collect();
+
+    let warm = plan.solve_in_place(&rhs[0], &mut ws).expect("well-formed system");
+    assert!(warm.converged(), "warm-up failed: {:?}", warm.stop);
+
+    let before = allocation_count();
+    for b in &rhs {
+        let stats = plan.solve_in_place(b, &mut ws).expect("well-formed system");
+        assert!(stats.converged(), "dependency-block solve failed: {:?}", stats.stop);
+        assert!(stats.iterations > 0, "trivial solve would not exercise the loop");
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "warm dependency-block solves allocated {} time(s); the block schedule and its \
+         counters must be resident from plan time",
+        after - before
+    );
+}
+
+#[test]
 fn warm_mixed_precision_solves_do_not_allocate() {
     // The mixed tier adds an f32 staging buffer (down/upcast at the apply
     // boundary) and the iterative-refinement accumulators; `make_workspace`

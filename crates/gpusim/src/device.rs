@@ -29,6 +29,11 @@ pub struct DeviceSpec {
     /// Average cycles a thread spends per stored entry in the sparse
     /// kernels (irregular-gather penalty folded in).
     pub cycles_per_nnz: f64,
+    /// Cost of releasing one dependency block under the counter-release
+    /// executor, microseconds. An atomic countdown in device memory — far
+    /// cheaper than a kernel launch, which is the whole point of the
+    /// dependency-block strategy.
+    pub block_release_us: f64,
 }
 
 impl DeviceSpec {
@@ -43,6 +48,7 @@ impl DeviceSpec {
             peak_gflops: 19_500.0,
             launch_overhead_us: 3.0,
             cycles_per_nnz: 8.0,
+            block_release_us: 0.05,
         }
     }
 
@@ -57,6 +63,7 @@ impl DeviceSpec {
             peak_gflops: 15_700.0,
             launch_overhead_us: 3.5,
             cycles_per_nnz: 8.0,
+            block_release_us: 0.06,
         }
     }
 
@@ -73,6 +80,7 @@ impl DeviceSpec {
             peak_gflops: 1_700.0,
             launch_overhead_us: 0.4,
             cycles_per_nnz: 4.0,
+            block_release_us: 0.01,
         }
     }
 
@@ -95,6 +103,20 @@ impl DeviceSpec {
     pub fn serial_entry_time_us(&self, nnz: f64) -> f64 {
         nnz * self.cycles_per_nnz / (self.clock_ghz * 1e3)
     }
+
+    /// This device's constants as the wavefront crate's executor cost
+    /// model, so plan-side `Auto` resolution and simulator pricing agree.
+    pub fn exec_cost_model(&self) -> spcg_wavefront::ExecCostModel {
+        spcg_wavefront::ExecCostModel {
+            launch_overhead_us: self.launch_overhead_us,
+            block_release_us: self.block_release_us,
+            parallel_rows: self.parallel_rows(),
+            mem_bandwidth_gbps: self.mem_bandwidth_gbps,
+            peak_gflops: self.peak_gflops,
+            clock_ghz: self.clock_ghz,
+            cycles_per_nnz: self.cycles_per_nnz,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +134,18 @@ mod tests {
         assert!(a.parallel_rows() > c.parallel_rows());
         // GPU launches are much more expensive than CPU barriers.
         assert!(a.launch_overhead_us > 5.0 * c.launch_overhead_us);
+        // Releasing a block must be far cheaper than a launch on every
+        // device, or the dependency-block strategy has no reason to exist.
+        for d in [&a, &v, &c] {
+            assert!(d.block_release_us * 10.0 < d.launch_overhead_us, "{}", d.name);
+        }
+    }
+
+    /// The plan-side `Auto` resolver defaults to A100 constants; this pin
+    /// keeps the two models from drifting apart.
+    #[test]
+    fn a100_exec_cost_model_is_the_wavefront_default() {
+        assert_eq!(DeviceSpec::a100().exec_cost_model(), spcg_wavefront::ExecCostModel::default());
     }
 
     #[test]

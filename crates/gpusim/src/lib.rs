@@ -40,4 +40,7 @@ pub use plan::{
 };
 pub use profiler::{profile, Boundedness, ProfileReport};
 pub use trace::simulated_solve_trace;
-pub use trisolve::{trisolve_cost, trisolve_cost_of, TrisolveWorkload};
+pub use trisolve::{
+    trisolve_block_cost, trisolve_block_cost_of, trisolve_cost, trisolve_cost_of, BlockWorkload,
+    TrisolveWorkload,
+};

@@ -9,9 +9,9 @@
 use crate::device::DeviceSpec;
 use crate::ilu::{ilu_factorization_cost, inspector_cost_us, sparsify_cost_us};
 use crate::kernel::{dot_cost, elementwise_cost, spmv_cost, value_bytes_of, KernelCost};
-use crate::trisolve::{trisolve_cost, TrisolveWorkload};
+use crate::trisolve::{trisolve_block_cost, trisolve_cost, BlockWorkload, TrisolveWorkload};
 use serde::{Deserialize, Serialize};
-use spcg_precond::IluFactors;
+use spcg_precond::{ExecutionStrategy, IluFactors};
 use spcg_sparse::{CsrMatrix, Scalar};
 
 /// Cost breakdown of one PCG iteration on a device.
@@ -61,6 +61,11 @@ pub fn pcg_iteration_cost<T: Scalar>(
 /// an f64 outer loop — the triangular solves stage their vectors narrow
 /// too, so the whole apply moves narrow values). SpMV and the BLAS-1 tail
 /// stay at the outer loop's full width.
+///
+/// The triangular sweeps are priced under the factors' own
+/// [`ExecutionStrategy`]: barrier-per-level for `Sequential`/`LevelBarrier`
+/// (the launch term the paper attacks), one release per block for
+/// `DependencyBlocks`.
 pub fn pcg_iteration_cost_with_factor_bytes<T: Scalar>(
     device: &DeviceSpec,
     a: &CsrMatrix<T>,
@@ -69,12 +74,20 @@ pub fn pcg_iteration_cost_with_factor_bytes<T: Scalar>(
 ) -> IterationCost {
     let n = a.n_rows();
     let spmv = spmv_cost(device, a);
-    let lw = TrisolveWorkload::new(factors.l(), factors.l_schedule())
-        .with_value_bytes(factor_value_bytes);
-    let uw = TrisolveWorkload::new(factors.u(), factors.u_schedule())
-        .with_value_bytes(factor_value_bytes);
-    let lower = trisolve_cost(device, &lw);
-    let upper = trisolve_cost(device, &uw);
+    let blocked = factors.exec() == ExecutionStrategy::DependencyBlocks;
+    let (lower, upper) = if blocked {
+        let lw = BlockWorkload::new(factors.l(), factors.l_blocks())
+            .with_value_bytes(factor_value_bytes);
+        let uw = BlockWorkload::new(factors.u(), factors.u_blocks())
+            .with_value_bytes(factor_value_bytes);
+        (trisolve_block_cost(device, &lw), trisolve_block_cost(device, &uw))
+    } else {
+        let lw = TrisolveWorkload::new(factors.l(), factors.l_schedule())
+            .with_value_bytes(factor_value_bytes);
+        let uw = TrisolveWorkload::new(factors.u(), factors.u_schedule())
+            .with_value_bytes(factor_value_bytes);
+        (trisolve_cost(device, &lw), trisolve_cost(device, &uw))
+    };
     // 2 dots + 3 three-stream vector updates per iteration.
     let blas = dot_cost::<T>(device, n)
         .add(&dot_cost::<T>(device, n))
@@ -148,12 +161,12 @@ pub fn iteration_gflops(baseline_flops: f64, per_iteration_us: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spcg_precond::{ilu0, TriangularExec};
+    use spcg_precond::{ilu0, ExecutionStrategy};
     use spcg_sparse::generators::poisson_2d;
 
     fn setup(n: usize) -> (CsrMatrix<f64>, IluFactors<f64>) {
         let a = poisson_2d(n, n);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         (a, f)
     }
 
@@ -180,7 +193,7 @@ mod tests {
         let ident = IluFactors::new(
             CsrMatrix::<f64>::identity(a.n_rows()),
             CsrMatrix::<f64>::identity(a.n_rows()),
-            TriangularExec::Sequential,
+            ExecutionStrategy::Sequential,
             "identity".into(),
         );
         let cheap = pcg_iteration_cost(&d, &a, &ident);
@@ -212,6 +225,35 @@ mod tests {
     fn gflops_formula() {
         assert_eq!(iteration_gflops(2e6, 1000.0), 2.0);
         assert_eq!(iteration_gflops(1.0, 0.0), 0.0);
+    }
+
+    /// Switching the same factors to dependency-block execution cuts the
+    /// iteration's launch term (1 launch + cheap releases per sweep instead
+    /// of a launch per level) while moving the same bytes and flops.
+    #[test]
+    fn dependency_blocks_cut_the_iteration_launch_term() {
+        let (a, f) = setup(32);
+        let d = DeviceSpec::a100();
+        let barrier = pcg_iteration_cost(&d, &a, &f);
+        let blocked =
+            pcg_iteration_cost(&d, &a, &f.clone().with_exec(ExecutionStrategy::DependencyBlocks));
+        assert!(blocked.launches() < barrier.launches());
+        assert!(blocked.total_us() < barrier.total_us());
+        assert_eq!(blocked.spmv, barrier.spmv);
+        assert_eq!(blocked.blas, barrier.blas);
+        let agg_b = blocked.aggregate();
+        let agg_l = barrier.aggregate();
+        assert!((agg_b.bytes - agg_l.bytes).abs() < 1e-9);
+        assert_eq!(agg_b.flops, agg_l.flops);
+    }
+
+    /// Auto resolves to whichever parallel strategy prices cheaper — on a
+    /// deep Poisson schedule that is the dependency blocks.
+    #[test]
+    fn auto_resolves_to_blocks_on_deep_schedules() {
+        let a = poisson_2d(32, 32);
+        let f = ilu0(&a, ExecutionStrategy::Auto).unwrap();
+        assert_eq!(f.exec(), ExecutionStrategy::DependencyBlocks);
     }
 
     /// Demoted factors shrink only the preconditioner-apply traffic: the

@@ -62,7 +62,7 @@ mod tests {
     use super::*;
     use crate::kernel::spmv_cost;
     use crate::pcg::pcg_iteration_cost;
-    use spcg_precond::{ilu0, TriangularExec};
+    use spcg_precond::{ilu0, ExecutionStrategy};
     use spcg_sparse::generators::poisson_2d;
 
     #[test]
@@ -80,7 +80,7 @@ mod tests {
     fn trisolve_heavy_iteration_is_launch_dominated() {
         let d = DeviceSpec::a100();
         let a = poisson_2d(40, 40);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let c = pcg_iteration_cost(&d, &a, &f).aggregate();
         let p = profile(&d, &c);
         assert!(p.dram_utilization_pct < 20.0, "dram {}", p.dram_utilization_pct);

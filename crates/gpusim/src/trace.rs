@@ -114,12 +114,12 @@ fn leaf(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spcg_precond::{ilu0, TriangularExec};
+    use spcg_precond::{ilu0, ExecutionStrategy};
     use spcg_sparse::generators::poisson_2d;
 
     fn setup(n: usize) -> (CsrMatrix<f64>, IluFactors<f64>) {
         let a = poisson_2d(n, n);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         (a, f)
     }
 

@@ -10,7 +10,7 @@ use crate::device::DeviceSpec;
 use crate::kernel::{value_bytes_of, KernelCost, IDX_BYTES};
 use serde::{Deserialize, Serialize};
 use spcg_sparse::{CsrMatrix, Scalar};
-use spcg_wavefront::LevelSchedule;
+use spcg_wavefront::{BlockSchedule, LevelSchedule};
 
 /// Pre-extracted per-level workload statistics, reusable across devices.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -90,6 +90,75 @@ pub fn trisolve_cost_of<T: Scalar>(
     schedule: &LevelSchedule,
 ) -> KernelCost {
     trisolve_cost(device, &TrisolveWorkload::new(m, schedule))
+}
+
+/// Pre-extracted workload of one dependency-block triangular sweep,
+/// reusable across devices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockWorkload {
+    /// Blocks in the schedule — one counter release each.
+    pub n_blocks: usize,
+    /// Total rows.
+    pub n_rows: usize,
+    /// Total stored entries.
+    pub nnz: usize,
+    /// Stored entries along the heaviest chain through the block graph —
+    /// the sweep's serial floor.
+    pub critical_nnz: usize,
+    /// Stored-value width in bytes (see [`TrisolveWorkload::value_bytes`]).
+    pub value_bytes: f64,
+}
+
+impl BlockWorkload {
+    /// Extracts the workload of `m` under `schedule`.
+    pub fn new<T: Scalar>(m: &CsrMatrix<T>, schedule: &BlockSchedule) -> Self {
+        assert_eq!(m.n_rows(), schedule.n_rows(), "schedule/matrix mismatch");
+        Self {
+            n_blocks: schedule.n_blocks(),
+            n_rows: m.n_rows(),
+            nnz: m.nnz(),
+            critical_nnz: schedule.critical_path_nnz(),
+            value_bytes: value_bytes_of::<T>(),
+        }
+    }
+
+    /// Reprices the solve's values at `bytes` per entry (see
+    /// [`TrisolveWorkload::with_value_bytes`]).
+    pub fn with_value_bytes(mut self, bytes: f64) -> Self {
+        self.value_bytes = bytes;
+        self
+    }
+}
+
+/// Prices one dependency-block triangular solve on `device`: a single
+/// kernel launch, one counter release per block instead of a barrier per
+/// level, and the same total memory traffic as the level-scheduled sweep —
+/// serialized only by the heaviest chain through the block graph.
+pub fn trisolve_block_cost(device: &DeviceSpec, w: &BlockWorkload) -> KernelCost {
+    if w.n_blocks == 0 {
+        return KernelCost::default();
+    }
+    let rows_f = w.n_rows as f64;
+    let nnz_f = w.nnz as f64;
+    let bytes = nnz_f * (w.value_bytes + IDX_BYTES)
+        + rows_f * (IDX_BYTES + 2.0 * w.value_bytes)
+        + 0.5 * nnz_f * w.value_bytes;
+    let flops = 2.0 * nnz_f;
+    let serial_us = device.serial_entry_time_us(w.critical_nnz as f64);
+    let mut cost = KernelCost::assemble(device, bytes, flops, serial_us);
+    let release_us = w.n_blocks as f64 * device.block_release_us;
+    cost.launch_us += release_us;
+    cost.time_us += release_us;
+    cost
+}
+
+/// Convenience: build the block workload and price it in one call.
+pub fn trisolve_block_cost_of<T: Scalar>(
+    device: &DeviceSpec,
+    m: &CsrMatrix<T>,
+    schedule: &BlockSchedule,
+) -> KernelCost {
+    trisolve_block_cost(device, &BlockWorkload::new(m, schedule))
 }
 
 #[cfg(test)]
@@ -174,6 +243,51 @@ mod tests {
         let d = DeviceSpec::v100();
         let w = workload(16);
         assert_eq!(trisolve_cost(&d, &w), trisolve_cost(&d, &w));
+    }
+
+    /// The tentpole claim the bench gate enforces: on a deep schedule the
+    /// dependency-block sweep pays far fewer synchronizations (blocks vs
+    /// levels) and prices strictly below barrier-per-level.
+    #[test]
+    fn block_sweep_prices_below_level_barriers() {
+        let d = DeviceSpec::a100();
+        let a = poisson_2d(40, 40);
+        let l = a.lower();
+        let levels = LevelSchedule::build(&l, Triangle::Lower);
+        let blocks = BlockSchedule::from_levels(&l, &levels);
+        assert!(blocks.n_blocks() < levels.n_levels());
+        let lvl = trisolve_cost_of(&d, &l, &levels);
+        let blk = trisolve_block_cost_of(&d, &l, &blocks);
+        assert!(blk.time_us < lvl.time_us, "{} !< {}", blk.time_us, lvl.time_us);
+        // Same total data moved and arithmetic done — the win is all in
+        // launch/release overhead.
+        assert!((blk.bytes - lvl.bytes).abs() < 1e-9);
+        assert_eq!(blk.flops, lvl.flops);
+        assert!(blk.launch_us < lvl.launch_us);
+        let release_us = blocks.n_blocks() as f64 * d.block_release_us;
+        assert!((blk.launch_us - (d.launch_overhead_us + release_us)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_cost_is_deterministic_and_respects_value_width() {
+        let d = DeviceSpec::a100();
+        let a = poisson_2d(24, 24);
+        let l = a.lower();
+        let blocks = BlockSchedule::build(&l, Triangle::Lower);
+        let w = BlockWorkload::new(&l, &blocks);
+        assert_eq!(trisolve_block_cost(&d, &w), trisolve_block_cost(&d, &w));
+        let narrow = w.clone().with_value_bytes(4.0);
+        let cf = trisolve_block_cost(&d, &w);
+        let cn = trisolve_block_cost(&d, &narrow);
+        assert!(cn.bytes < cf.bytes);
+        assert_eq!(cn.flops, cf.flops);
+    }
+
+    #[test]
+    fn empty_block_workload_is_free() {
+        let d = DeviceSpec::a100();
+        let w = BlockWorkload { n_blocks: 0, n_rows: 0, nnz: 0, critical_nnz: 0, value_bytes: 8.0 };
+        assert_eq!(trisolve_block_cost(&d, &w), KernelCost::default());
     }
 
     /// Demoting the factors halves exactly the value-byte term: the index

@@ -146,7 +146,7 @@ pub fn probe_factor<T: Scalar>(factor: &CsrMatrix<T>, params: &HssProbeParams) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spcg_precond::{ilu0, iluk, TriangularExec};
+    use spcg_precond::{ilu0, iluk, ExecutionStrategy};
     use spcg_sparse::generators::poisson_2d;
 
     #[test]
@@ -155,7 +155,7 @@ mod tests {
         // are too sparse/small to trigger HSS compression at default
         // parameters.
         let a = poisson_2d(40, 40);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let rep = probe_factor(f.l(), &HssProbeParams::default());
         assert!(rep.blocks_examined > 0);
         // Default min_separator filters out nearly everything: candidates
@@ -171,7 +171,7 @@ mod tests {
     #[test]
     fn tiny_min_separator_increases_candidates() {
         let a = poisson_2d(32, 32);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let strict = probe_factor(f.l(), &HssProbeParams::default());
         let lax = probe_factor(
             f.l(),
@@ -183,8 +183,8 @@ mod tests {
     #[test]
     fn iluk_fill_adds_blocks() {
         let a = poisson_2d(32, 32);
-        let f0 = ilu0(&a, TriangularExec::Sequential).unwrap();
-        let f2 = iluk(&a, 2, TriangularExec::Sequential).unwrap();
+        let f0 = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
+        let f2 = iluk(&a, 2, ExecutionStrategy::Sequential).unwrap();
         let p = HssProbeParams { min_separator: 2, min_density: 0.0, ..Default::default() };
         let r0 = probe_factor(f0.l(), &p);
         let r2 = probe_factor(f2.l(), &p);

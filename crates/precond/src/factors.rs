@@ -6,19 +6,64 @@ use serde::{Deserialize, Serialize};
 use spcg_probe::{Counter, NoProbe, Probe, Span};
 use spcg_sparse::{CsrMatrix, Scalar};
 use spcg_wavefront::{
-    solve_levels_par_probed, solve_lower_seq, solve_upper_seq, LevelSchedule, Triangle,
+    solve_blocks_probed, solve_levels_par_probed, solve_lower_seq, solve_upper_seq, BlockSchedule,
+    ExecCostModel, LevelSchedule, Triangle,
 };
 
 /// How the two triangular solves inside `M⁻¹ r` are executed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum TriangularExec {
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionStrategy {
     /// Plain sequential substitution.
     Sequential,
-    /// Level-scheduled (wavefront) parallel execution under rayon.
-    LevelParallel,
+    /// Level-scheduled (wavefront) parallel execution under rayon, with a
+    /// barrier between levels.
+    LevelBarrier,
+    /// Dependency-block execution: workers release successor blocks by
+    /// atomic countdown instead of joining a per-level barrier.
+    DependencyBlocks,
+    /// Pick [`LevelBarrier`](Self::LevelBarrier) or
+    /// [`DependencyBlocks`](Self::DependencyBlocks) by cost-model-priced
+    /// time at plan build. Resolved when the factors are constructed —
+    /// built factors never report `Auto`.
+    Auto,
 }
 
-/// An incomplete factorization `A ≈ L U` with precomputed level schedules.
+impl ExecutionStrategy {
+    /// Short stable label (used by traces and the CLI).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutionStrategy::Sequential => "sequential",
+            ExecutionStrategy::LevelBarrier => "level-barrier",
+            ExecutionStrategy::DependencyBlocks => "dependency-blocks",
+            ExecutionStrategy::Auto => "auto",
+        }
+    }
+
+    /// Parses a CLI spelling (`seq`, `barrier`, `blocks`, `auto`, or the
+    /// full labels).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "seq" | "sequential" => Some(ExecutionStrategy::Sequential),
+            "barrier" | "level-barrier" | "par" => Some(ExecutionStrategy::LevelBarrier),
+            "blocks" | "dependency-blocks" => Some(ExecutionStrategy::DependencyBlocks),
+            "auto" => Some(ExecutionStrategy::Auto),
+            _ => None,
+        }
+    }
+
+    /// Small distinct integer per variant, for hashing into cache keys.
+    pub fn tag(&self) -> u64 {
+        match self {
+            ExecutionStrategy::Sequential => 0,
+            ExecutionStrategy::LevelBarrier => 1,
+            ExecutionStrategy::DependencyBlocks => 2,
+            ExecutionStrategy::Auto => 3,
+        }
+    }
+}
+
+/// An incomplete factorization `A ≈ L U` with precomputed level and block
+/// schedules.
 ///
 /// `L` is lower triangular with an explicitly stored unit diagonal; `U` is
 /// upper triangular with the pivots on its diagonal. Both keep CSR order so
@@ -29,25 +74,33 @@ pub struct IluFactors<T: Scalar> {
     u: CsrMatrix<T>,
     l_schedule: LevelSchedule,
     u_schedule: LevelSchedule,
-    exec: TriangularExec,
+    l_blocks: BlockSchedule,
+    u_blocks: BlockSchedule,
+    exec: ExecutionStrategy,
     name: String,
     scratch_dim: usize,
 }
 
 impl<T: Scalar> IluFactors<T> {
-    /// Wraps factor matrices, building their level schedules (the
-    /// "inspector" phase).
-    pub fn new(l: CsrMatrix<T>, u: CsrMatrix<T>, exec: TriangularExec, name: String) -> Self {
+    /// Wraps factor matrices, building their level and block schedules (the
+    /// "inspector" phase). [`ExecutionStrategy::Auto`] is resolved here by
+    /// cost-model-priced time; built factors never report `Auto`.
+    pub fn new(l: CsrMatrix<T>, u: CsrMatrix<T>, exec: ExecutionStrategy, name: String) -> Self {
         Self::new_probed(l, u, exec, name, &mut NoProbe)
     }
 
     /// [`new`](Self::new) with an observability [`Probe`]: brackets the
-    /// level-schedule construction in a [`Span::LevelBuild`] and reports the
-    /// resulting level count via [`Counter::Levels`].
+    /// schedule construction in a [`Span::LevelBuild`] and reports the
+    /// resulting level count via [`Counter::Levels`], block count via
+    /// [`Counter::ExecBlocks`], and — for the parallel strategies — the
+    /// per-application synchronization count under the *resolved* strategy
+    /// via [`Counter::Syncs`] (levels for the barrier executor, counter
+    /// releases for dependency blocks; the sequential sweep synchronizes
+    /// nothing and emits no `Syncs`).
     pub fn new_probed<P: Probe>(
         l: CsrMatrix<T>,
         u: CsrMatrix<T>,
-        exec: TriangularExec,
+        exec: ExecutionStrategy,
         name: String,
         probe: &mut P,
     ) -> Self {
@@ -56,10 +109,24 @@ impl<T: Scalar> IluFactors<T> {
         probe.span_begin(Span::LevelBuild);
         let l_schedule = LevelSchedule::build(&l, Triangle::Lower);
         let u_schedule = LevelSchedule::build(&u, Triangle::Upper);
+        let l_blocks = BlockSchedule::from_levels(&l, &l_schedule);
+        let u_blocks = BlockSchedule::from_levels(&u, &u_schedule);
         probe.counter(Counter::Levels, (l_schedule.n_levels() + u_schedule.n_levels()) as u64);
+        probe.counter(Counter::ExecBlocks, (l_blocks.n_blocks() + u_blocks.n_blocks()) as u64);
         probe.span_end(Span::LevelBuild);
+        let exec = resolve_exec(exec, &l, &l_schedule, &l_blocks, &u, &u_schedule, &u_blocks);
+        let syncs = match exec {
+            ExecutionStrategy::Sequential => 0,
+            ExecutionStrategy::LevelBarrier => l_schedule.n_levels() + u_schedule.n_levels(),
+            ExecutionStrategy::DependencyBlocks => l_blocks.n_blocks() + u_blocks.n_blocks(),
+            // `resolve_exec` never returns `Auto`.
+            ExecutionStrategy::Auto => unreachable!("Auto is resolved above"),
+        };
+        if syncs > 0 {
+            probe.counter(Counter::Syncs, syncs as u64);
+        }
         let scratch_dim = l.n_rows();
-        Self { l, u, l_schedule, u_schedule, exec, name, scratch_dim }
+        Self { l, u, l_schedule, u_schedule, l_blocks, u_blocks, exec, name, scratch_dim }
     }
 
     /// The lower factor.
@@ -82,20 +149,46 @@ impl<T: Scalar> IluFactors<T> {
         &self.u_schedule
     }
 
+    /// Block schedule of the forward solve.
+    pub fn l_blocks(&self) -> &BlockSchedule {
+        &self.l_blocks
+    }
+
+    /// Block schedule of the backward solve.
+    pub fn u_blocks(&self) -> &BlockSchedule {
+        &self.u_blocks
+    }
+
     /// Total wavefronts across both solves — the synchronization count per
-    /// preconditioner application.
+    /// preconditioner application under [`ExecutionStrategy::LevelBarrier`].
     pub fn total_wavefronts(&self) -> usize {
         self.l_schedule.n_levels() + self.u_schedule.n_levels()
     }
 
-    /// Execution strategy used by [`Preconditioner::apply`].
-    pub fn exec(&self) -> TriangularExec {
+    /// Total dependency blocks across both solves — the synchronization
+    /// count per application under [`ExecutionStrategy::DependencyBlocks`].
+    pub fn total_blocks(&self) -> usize {
+        self.l_blocks.n_blocks() + self.u_blocks.n_blocks()
+    }
+
+    /// Execution strategy used by [`Preconditioner::apply`]. Never
+    /// [`ExecutionStrategy::Auto`]: `Auto` is resolved at construction.
+    pub fn exec(&self) -> ExecutionStrategy {
         self.exec
     }
 
-    /// Changes the execution strategy.
-    pub fn with_exec(mut self, exec: TriangularExec) -> Self {
-        self.exec = exec;
+    /// Changes the execution strategy ([`ExecutionStrategy::Auto`] is
+    /// re-resolved against the stored schedules).
+    pub fn with_exec(mut self, exec: ExecutionStrategy) -> Self {
+        self.exec = resolve_exec(
+            exec,
+            &self.l,
+            &self.l_schedule,
+            &self.l_blocks,
+            &self.u,
+            &self.u_schedule,
+            &self.u_blocks,
+        );
         self
     }
 
@@ -138,6 +231,8 @@ impl<T: Scalar> IluFactors<T> {
             u: self.u.demoted(),
             l_schedule: self.l_schedule.clone(),
             u_schedule: self.u_schedule.clone(),
+            l_blocks: self.l_blocks.clone(),
+            u_blocks: self.u_blocks.clone(),
             exec: self.exec,
             name: format!("{}/lower", self.name),
             scratch_dim: self.scratch_dim,
@@ -158,6 +253,8 @@ impl<T: Scalar> IluFactors<T> {
             u,
             l_schedule: prior.l_schedule.clone(),
             u_schedule: prior.u_schedule.clone(),
+            l_blocks: prior.l_blocks.clone(),
+            u_blocks: prior.u_blocks.clone(),
             exec: prior.exec,
             name: prior.name.clone(),
             scratch_dim: prior.scratch_dim,
@@ -180,9 +277,10 @@ impl<T: Scalar> IluFactors<T> {
 
     /// [`solve_with_scratch`](Self::solve_with_scratch) with an
     /// observability [`Probe`]: each sweep is bracketed in
-    /// [`Span::TriangularLower`] / [`Span::TriangularUpper`], and under
-    /// [`TriangularExec::LevelParallel`] the probed executor additionally
-    /// reports per-level widths and synchronization counts.
+    /// [`Span::TriangularLower`] / [`Span::TriangularUpper`], and under the
+    /// parallel strategies the probed executors additionally report
+    /// synchronization counts (per-level widths and barriers, or block
+    /// releases).
     pub fn solve_with_scratch_probed<P: Probe>(
         &self,
         r: &[T],
@@ -195,7 +293,7 @@ impl<T: Scalar> IluFactors<T> {
         assert_eq!(z.len(), n, "solution length mismatch");
         let y = &mut y[..n];
         match self.exec {
-            TriangularExec::Sequential => {
+            ExecutionStrategy::Sequential => {
                 probe.span_begin(Span::TriangularLower);
                 solve_lower_seq(&self.l, r, y);
                 probe.span_end(Span::TriangularLower);
@@ -203,7 +301,7 @@ impl<T: Scalar> IluFactors<T> {
                 solve_upper_seq(&self.u, y, z);
                 probe.span_end(Span::TriangularUpper);
             }
-            TriangularExec::LevelParallel => {
+            ExecutionStrategy::LevelBarrier => {
                 probe.span_begin(Span::TriangularLower);
                 solve_levels_par_probed(&self.l, &self.l_schedule, r, y, probe);
                 probe.span_end(Span::TriangularLower);
@@ -211,7 +309,42 @@ impl<T: Scalar> IluFactors<T> {
                 solve_levels_par_probed(&self.u, &self.u_schedule, y, z, probe);
                 probe.span_end(Span::TriangularUpper);
             }
+            ExecutionStrategy::DependencyBlocks => {
+                probe.span_begin(Span::TriangularLower);
+                solve_blocks_probed(&self.l, &self.l_blocks, r, y, probe);
+                probe.span_end(Span::TriangularLower);
+                probe.span_begin(Span::TriangularUpper);
+                solve_blocks_probed(&self.u, &self.u_blocks, y, z, probe);
+                probe.span_end(Span::TriangularUpper);
+            }
+            // Auto is resolved by every constructor and by with_exec.
+            ExecutionStrategy::Auto => unreachable!("Auto is resolved at construction"),
         }
+    }
+}
+
+/// Resolves [`ExecutionStrategy::Auto`] to the parallel strategy with the
+/// lower cost-model-priced time over both sweeps; other strategies pass
+/// through unchanged.
+fn resolve_exec<T: Scalar>(
+    exec: ExecutionStrategy,
+    l: &CsrMatrix<T>,
+    l_schedule: &LevelSchedule,
+    l_blocks: &BlockSchedule,
+    u: &CsrMatrix<T>,
+    u_schedule: &LevelSchedule,
+    u_blocks: &BlockSchedule,
+) -> ExecutionStrategy {
+    if exec != ExecutionStrategy::Auto {
+        return exec;
+    }
+    let model = ExecCostModel::default();
+    let barrier_us = model.level_time_us(l, l_schedule) + model.level_time_us(u, u_schedule);
+    let blocks_us = model.block_time_us(l, l_blocks) + model.block_time_us(u, u_blocks);
+    if blocks_us <= barrier_us {
+        ExecutionStrategy::DependencyBlocks
+    } else {
+        ExecutionStrategy::LevelBarrier
     }
 }
 
@@ -259,7 +392,8 @@ mod tests {
         uc.push(0, 0, 4.0).unwrap();
         uc.push(0, 1, 1.0).unwrap();
         uc.push(1, 1, 2.75).unwrap();
-        let f = IluFactors::new(lc.to_csr(), uc.to_csr(), TriangularExec::Sequential, "lu".into());
+        let f =
+            IluFactors::new(lc.to_csr(), uc.to_csr(), ExecutionStrategy::Sequential, "lu".into());
         let b = [1.0, 2.0];
         let mut x = [0.0; 2];
         f.apply(&b, &mut x);
@@ -274,8 +408,8 @@ mod tests {
         let a = spcg_sparse::generators::poisson_2d(12, 12);
         let l = a.lower();
         let u = a.upper();
-        let fs = IluFactors::new(l.clone(), u.clone(), TriangularExec::Sequential, "s".into());
-        let fp = IluFactors::new(l, u, TriangularExec::LevelParallel, "p".into());
+        let fs = IluFactors::new(l.clone(), u.clone(), ExecutionStrategy::Sequential, "s".into());
+        let fp = IluFactors::new(l, u, ExecutionStrategy::LevelBarrier, "p".into());
         let b: Vec<f64> = (0..144).map(|i| (i % 13) as f64 - 6.0).collect();
         let mut zs = vec![0.0; 144];
         let mut zp = vec![0.0; 144];

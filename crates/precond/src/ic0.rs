@@ -3,13 +3,13 @@
 //! preconditioner for SPD systems. Provided as an extension; the evaluation
 //! uses ILU(0)/ILU(K) to match the paper.
 
-use crate::factors::{IluFactors, TriangularExec};
+use crate::factors::{ExecutionStrategy, IluFactors};
 use spcg_sparse::{CooMatrix, CsrMatrix, Result, Scalar, SparseError};
 
 /// Computes the IC(0) factorization `A ≈ L Lᵀ`, restricted to the lower
 /// pattern of `A`. Fails with [`SparseError::ZeroDiagonal`] when a pivot
 /// becomes non-positive (matrix not SPD enough for IC(0)).
-pub fn ic0<T: Scalar>(a: &CsrMatrix<T>, exec: TriangularExec) -> Result<IluFactors<T>> {
+pub fn ic0<T: Scalar>(a: &CsrMatrix<T>, exec: ExecutionStrategy) -> Result<IluFactors<T>> {
     if !a.is_square() {
         return Err(SparseError::NotSquare { n_rows: a.n_rows(), n_cols: a.n_cols() });
     }
@@ -83,7 +83,7 @@ mod tests {
     #[test]
     fn tridiagonal_ic0_is_exact_cholesky() {
         let a = poisson_1d(10);
-        let f = ic0(&a, TriangularExec::Sequential).unwrap();
+        let f = ic0(&a, ExecutionStrategy::Sequential).unwrap();
         let llt = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
         let ad = a.to_dense();
         for i in 0..10 {
@@ -96,7 +96,7 @@ mod tests {
     #[test]
     fn llt_matches_a_on_lower_pattern() {
         let a = poisson_2d(6, 6);
-        let f = ic0(&a, TriangularExec::Sequential).unwrap();
+        let f = ic0(&a, ExecutionStrategy::Sequential).unwrap();
         let llt = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
         for (i, j, v) in a.iter() {
             if j <= i {
@@ -109,7 +109,7 @@ mod tests {
     fn apply_is_symmetric_operator() {
         // M⁻¹ = L⁻ᵀ L⁻¹ is symmetric: (e_i, M⁻¹ e_j) == (e_j, M⁻¹ e_i).
         let a = banded_spd(12, 3, 0.8, 2.0, 3);
-        let f = ic0(&a, TriangularExec::Sequential).unwrap();
+        let f = ic0(&a, ExecutionStrategy::Sequential).unwrap();
         let n = 12;
         let mut m = vec![vec![0.0f64; n]; n];
         for j in 0..n {
@@ -135,6 +135,6 @@ mod tests {
         coo.push_sym(0, 1, 5.0).unwrap();
         coo.push(1, 1, 1.0).unwrap();
         // a_11 - l_10^2 = 1 - 25 < 0
-        assert!(ic0(&coo.to_csr(), TriangularExec::Sequential).is_err());
+        assert!(ic0(&coo.to_csr(), ExecutionStrategy::Sequential).is_err());
     }
 }

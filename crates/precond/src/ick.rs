@@ -6,7 +6,7 @@
 //! (levels are symmetric for symmetric input); the numeric phase is the
 //! IC(0) sweep on the padded pattern.
 
-use crate::factors::{IluFactors, TriangularExec};
+use crate::factors::{ExecutionStrategy, IluFactors};
 use crate::ic0::ic0;
 use crate::iluk::iluk_symbolic_capped;
 use spcg_sparse::{CsrMatrix, Result, Scalar};
@@ -15,7 +15,11 @@ use spcg_sparse::{CsrMatrix, Result, Scalar};
 ///
 /// Fails like [`ic0`] when a pivot becomes non-positive (matrix not SPD
 /// enough for incomplete Cholesky at this fill level).
-pub fn ick<T: Scalar>(a: &CsrMatrix<T>, k: usize, exec: TriangularExec) -> Result<IluFactors<T>> {
+pub fn ick<T: Scalar>(
+    a: &CsrMatrix<T>,
+    k: usize,
+    exec: ExecutionStrategy,
+) -> Result<IluFactors<T>> {
     ick_capped(a, k, usize::MAX, exec)
 }
 
@@ -25,7 +29,7 @@ pub fn ick_capped<T: Scalar>(
     a: &CsrMatrix<T>,
     k: usize,
     max_nnz: usize,
-    exec: TriangularExec,
+    exec: ExecutionStrategy,
 ) -> Result<IluFactors<T>> {
     let sym = iluk_symbolic_capped(a, k, max_nnz)?;
     // Materialize A's values on the fill pattern (fill entries start 0),
@@ -54,8 +58,8 @@ mod tests {
     #[test]
     fn ick0_equals_ic0() {
         let a = poisson_2d(8, 8);
-        let f0 = ic0(&a, TriangularExec::Sequential).unwrap();
-        let fk = ick(&a, 0, TriangularExec::Sequential).unwrap();
+        let f0 = ic0(&a, ExecutionStrategy::Sequential).unwrap();
+        let fk = ick(&a, 0, ExecutionStrategy::Sequential).unwrap();
         assert_eq!(f0.l(), fk.l());
     }
 
@@ -64,7 +68,7 @@ mod tests {
         let a = poisson_2d(7, 7);
         let ad = a.to_dense();
         let fro = |k: usize| {
-            let f = ick(&a, k, TriangularExec::Sequential).unwrap();
+            let f = ick(&a, k, ExecutionStrategy::Sequential).unwrap();
             let llt = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
             let mut s = 0.0f64;
             for i in 0..49 {
@@ -82,7 +86,7 @@ mod tests {
     #[test]
     fn large_k_is_exact_cholesky() {
         let a = banded_spd(14, 3, 0.9, 2.5, 3);
-        let f = ick(&a, 20, TriangularExec::Sequential).unwrap();
+        let f = ick(&a, 20, ExecutionStrategy::Sequential).unwrap();
         let llt = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
         let ad = a.to_dense();
         for i in 0..14 {
@@ -96,7 +100,7 @@ mod tests {
     fn apply_is_symmetric_operator() {
         use crate::traits::Preconditioner;
         let a = poisson_2d(6, 6);
-        let f = ick(&a, 1, TriangularExec::Sequential).unwrap();
+        let f = ick(&a, 1, ExecutionStrategy::Sequential).unwrap();
         let n = 36;
         let mut m = vec![vec![0.0f64; n]; n];
         for j in 0..n {
@@ -118,6 +122,6 @@ mod tests {
     #[test]
     fn fill_cap_aborts() {
         let a = poisson_2d(20, 20);
-        assert!(ick_capped(&a, 8, 100, TriangularExec::Sequential).is_err());
+        assert!(ick_capped(&a, 8, 100, ExecutionStrategy::Sequential).is_err());
     }
 }

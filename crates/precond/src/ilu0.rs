@@ -4,7 +4,7 @@
 //! factorization is a single sweep (the IKJ variant restricted to existing
 //! entries). This is the preconditioner behind SPCG-ILU(0).
 
-use crate::factors::{IluFactors, TriangularExec};
+use crate::factors::{ExecutionStrategy, IluFactors};
 use spcg_probe::{Counter, NoProbe, Probe, Span};
 use spcg_sparse::{CooMatrix, CsrMatrix, Result, Scalar, SparseError};
 
@@ -13,7 +13,7 @@ use spcg_sparse::{CooMatrix, CsrMatrix, Result, Scalar, SparseError};
 ///
 /// Returns factors `L` (unit lower) and `U` (upper with pivots) whose
 /// combined pattern equals `A`'s.
-pub fn ilu0<T: Scalar>(a: &CsrMatrix<T>, exec: TriangularExec) -> Result<IluFactors<T>> {
+pub fn ilu0<T: Scalar>(a: &CsrMatrix<T>, exec: ExecutionStrategy) -> Result<IluFactors<T>> {
     ilu0_probed(a, exec, &mut NoProbe)
 }
 
@@ -23,7 +23,7 @@ pub fn ilu0<T: Scalar>(a: &CsrMatrix<T>, exec: TriangularExec) -> Result<IluFact
 /// [`Counter::Factorizations`] event is emitted on success.
 pub fn ilu0_probed<T: Scalar, P: Probe>(
     a: &CsrMatrix<T>,
-    exec: TriangularExec,
+    exec: ExecutionStrategy,
     probe: &mut P,
 ) -> Result<IluFactors<T>> {
     probe.span_begin(Span::Factorize);
@@ -215,7 +215,7 @@ mod tests {
     #[test]
     fn tridiagonal_ilu0_is_exact_lu() {
         let a = poisson_1d(12);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let lu = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
         let ad = a.to_dense();
         for i in 0..12 {
@@ -230,7 +230,7 @@ mod tests {
     #[test]
     fn ilu0_matches_a_on_pattern() {
         let a = poisson_2d(6, 5);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let lu = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
         for (i, j, v) in a.iter() {
             assert!((lu.get(i, j) - v).abs() < 1e-10, "pattern entry ({i},{j})");
@@ -240,7 +240,7 @@ mod tests {
     #[test]
     fn factors_have_expected_structure() {
         let a = poisson_2d(5, 5);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         // L unit diagonal
         for i in 0..25 {
             assert_eq!(f.l().get(i, i), Some(1.0));
@@ -260,7 +260,7 @@ mod tests {
     #[test]
     fn apply_inverts_the_product() {
         let a = banded_spd(30, 4, 0.8, 2.0, 7);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let r: Vec<f64> = (0..30).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
         let mut z = vec![0.0; 30];
         f.apply(&r, &mut z);
@@ -280,7 +280,7 @@ mod tests {
         coo.push(1, 0, 1.0).unwrap();
         let a = coo.to_csr();
         assert!(matches!(
-            ilu0(&a, TriangularExec::Sequential),
+            ilu0(&a, ExecutionStrategy::Sequential),
             Err(SparseError::ZeroDiagonal { row: 1 })
         ));
     }
@@ -291,7 +291,7 @@ mod tests {
         coo.push(0, 0, 1.0).unwrap();
         coo.push(1, 1, 1.0).unwrap();
         let a = coo.to_csr();
-        assert!(ilu0(&a, TriangularExec::Sequential).is_err());
+        assert!(ilu0(&a, ExecutionStrategy::Sequential).is_err());
     }
 
     /// ILU(0) of a dense SPD matrix equals the exact dense LU.
@@ -300,7 +300,7 @@ mod tests {
         let d = DenseMatrix::from_rows(3, 3, vec![4.0, 1.0, 2.0, 1.0, 5.0, 1.0, 2.0, 1.0, 6.0])
             .unwrap();
         let a = CsrMatrix::from_dense(&d);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let lu = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
         for i in 0..3 {
             for j in 0..3 {
@@ -312,7 +312,7 @@ mod tests {
     #[test]
     fn refresh_with_unchanged_values_is_bitwise_identical() {
         let a = poisson_2d(8, 7);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let r = ilu_refresh(&a, &f).unwrap();
         assert_eq!(f.l(), r.l());
         assert_eq!(f.u(), r.u());
@@ -322,10 +322,10 @@ mod tests {
     #[test]
     fn refresh_matches_a_full_rebuild_on_new_values() {
         let a = poisson_2d(8, 8);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let a2 = a.map_values(|v| v * 1.5);
         let refreshed = ilu_refresh(&a2, &f).unwrap();
-        let rebuilt = ilu0(&a2, TriangularExec::Sequential).unwrap();
+        let rebuilt = ilu0(&a2, ExecutionStrategy::Sequential).unwrap();
         assert_eq!(refreshed.l(), rebuilt.l());
         assert_eq!(refreshed.u(), rebuilt.u());
     }
@@ -333,10 +333,10 @@ mod tests {
     #[test]
     fn refresh_reproduces_iluk_numeric_factors() {
         let a = poisson_2d(7, 7);
-        let f = crate::iluk::iluk(&a, 2, TriangularExec::Sequential).unwrap();
+        let f = crate::iluk::iluk(&a, 2, ExecutionStrategy::Sequential).unwrap();
         let a2 = a.map_values(|v| v * 0.9);
         let refreshed = ilu_refresh(&a2, &f).unwrap();
-        let rebuilt = crate::iluk::iluk(&a2, 2, TriangularExec::Sequential).unwrap();
+        let rebuilt = crate::iluk::iluk(&a2, 2, ExecutionStrategy::Sequential).unwrap();
         assert_eq!(refreshed.l(), rebuilt.l());
         assert_eq!(refreshed.u(), rebuilt.u());
     }
@@ -344,7 +344,7 @@ mod tests {
     #[test]
     fn refresh_rejects_dimension_mismatch() {
         let a = poisson_2d(6, 6);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let wrong = poisson_2d(5, 5);
         assert!(ilu_refresh(&wrong, &f).is_err());
     }
@@ -352,7 +352,7 @@ mod tests {
     #[test]
     fn f32_factorization_works() {
         let a: CsrMatrix<f32> = poisson_2d(8, 8).cast();
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let mut z = vec![0.0f32; 64];
         let r = vec![1.0f32; 64];
         f.apply(&r, &mut z);

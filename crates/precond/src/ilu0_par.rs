@@ -9,7 +9,7 @@
 //! The parallel sweep is bitwise identical to the sequential one: each
 //! row's updates are accumulated in CSR order by exactly one thread.
 
-use crate::factors::{IluFactors, TriangularExec};
+use crate::factors::{ExecutionStrategy, IluFactors};
 use crate::ilu0::split_factors;
 use rayon::prelude::*;
 use spcg_sparse::{CsrMatrix, Result, Scalar, SparseError};
@@ -52,7 +52,7 @@ impl<'a, T: Copy> SharedVals<'a, T> {
 ///
 /// Produces exactly the same factors as [`crate::ilu0::ilu0`]; `exec`
 /// selects how the *application* (triangular solves) will run.
-pub fn ilu0_par<T: Scalar>(a: &CsrMatrix<T>, exec: TriangularExec) -> Result<IluFactors<T>> {
+pub fn ilu0_par<T: Scalar>(a: &CsrMatrix<T>, exec: ExecutionStrategy) -> Result<IluFactors<T>> {
     if !a.is_square() {
         return Err(SparseError::NotSquare { n_rows: a.n_rows(), n_cols: a.n_cols() });
     }
@@ -148,8 +148,8 @@ mod tests {
             ("banded", banded_spd(1500, 4, 0.8, 1.6, 7)),
             ("random", random_spd(1200, 5, 1.5, 9)),
         ] {
-            let fs = ilu0(&a, TriangularExec::Sequential).unwrap();
-            let fp = ilu0_par(&a, TriangularExec::Sequential).unwrap();
+            let fs = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
+            let fp = ilu0_par(&a, ExecutionStrategy::Sequential).unwrap();
             assert_eq!(fs.l().values(), fp.l().values(), "{name}: L differs");
             assert_eq!(fs.u().values(), fp.u().values(), "{name}: U differs");
         }
@@ -160,7 +160,7 @@ mod tests {
         let mut coo = spcg_sparse::CooMatrix::<f64>::new(2, 2);
         coo.push(0, 0, 1.0).unwrap();
         coo.push(1, 0, 1.0).unwrap();
-        assert!(ilu0_par(&coo.to_csr(), TriangularExec::Sequential).is_err());
+        assert!(ilu0_par(&coo.to_csr(), ExecutionStrategy::Sequential).is_err());
     }
 
     #[test]
@@ -170,14 +170,14 @@ mod tests {
         coo.push(0, 1, 2.0).unwrap();
         coo.push(1, 0, 2.0).unwrap();
         coo.push(1, 1, 2.0).unwrap();
-        assert!(ilu0_par(&coo.to_csr(), TriangularExec::Sequential).is_err());
+        assert!(ilu0_par(&coo.to_csr(), ExecutionStrategy::Sequential).is_err());
     }
 
     #[test]
     fn f32_parallel_factorization() {
         let a: CsrMatrix<f32> = poisson_2d(30, 30).cast();
-        let fs = ilu0(&a, TriangularExec::Sequential).unwrap();
-        let fp = ilu0_par(&a, TriangularExec::Sequential).unwrap();
+        let fs = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
+        let fp = ilu0_par(&a, ExecutionStrategy::Sequential).unwrap();
         assert_eq!(fs.u().values(), fp.u().values());
     }
 }

@@ -11,7 +11,7 @@
 //! Larger K gives a more accurate preconditioner with denser factors and —
 //! the paper's key observation — more dependences, hence more wavefronts.
 
-use crate::factors::{IluFactors, TriangularExec};
+use crate::factors::{ExecutionStrategy, IluFactors};
 use crate::ilu0::{ilu0_values, split_factors};
 use spcg_probe::{Counter, NoProbe, Probe, Span};
 use spcg_sparse::{CsrMatrix, Result, Scalar, SparseError};
@@ -110,7 +110,11 @@ pub fn iluk_symbolic_capped<T: Scalar>(
 }
 
 /// Computes the ILU(K) factorization.
-pub fn iluk<T: Scalar>(a: &CsrMatrix<T>, k: usize, exec: TriangularExec) -> Result<IluFactors<T>> {
+pub fn iluk<T: Scalar>(
+    a: &CsrMatrix<T>,
+    k: usize,
+    exec: ExecutionStrategy,
+) -> Result<IluFactors<T>> {
     iluk_probed(a, k, exec, &mut NoProbe)
 }
 
@@ -121,7 +125,7 @@ pub fn iluk<T: Scalar>(a: &CsrMatrix<T>, k: usize, exec: TriangularExec) -> Resu
 pub fn iluk_probed<T: Scalar, P: Probe>(
     a: &CsrMatrix<T>,
     k: usize,
-    exec: TriangularExec,
+    exec: ExecutionStrategy,
     probe: &mut P,
 ) -> Result<IluFactors<T>> {
     probe.span_begin(Span::Factorize);
@@ -187,8 +191,8 @@ mod tests {
     #[test]
     fn iluk0_factors_match_ilu0() {
         let a = poisson_2d(6, 6);
-        let f0 = ilu0(&a, TriangularExec::Sequential).unwrap();
-        let fk = iluk(&a, 0, TriangularExec::Sequential).unwrap();
+        let f0 = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
+        let fk = iluk(&a, 0, ExecutionStrategy::Sequential).unwrap();
         assert_eq!(f0.l(), fk.l());
         assert_eq!(f0.u(), fk.u());
     }
@@ -214,7 +218,7 @@ mod tests {
     #[test]
     fn large_k_is_exact_lu() {
         let a = banded_spd(15, 3, 0.9, 2.0, 5);
-        let f = iluk(&a, 20, TriangularExec::Sequential).unwrap();
+        let f = iluk(&a, 20, ExecutionStrategy::Sequential).unwrap();
         let lu = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
         let ad = a.to_dense();
         for i in 0..15 {
@@ -234,7 +238,7 @@ mod tests {
     fn matches_a_on_original_pattern() {
         let a = poisson_2d(6, 5);
         for k in [1, 2] {
-            let f = iluk(&a, k, TriangularExec::Sequential).unwrap();
+            let f = iluk(&a, k, ExecutionStrategy::Sequential).unwrap();
             let lu = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
             for (i, j, v) in a.iter() {
                 assert!((lu.get(i, j) - v).abs() < 1e-9, "k={k} at ({i},{j})");
@@ -250,7 +254,7 @@ mod tests {
         let ad = a.to_dense();
         let mut last = f64::MAX;
         for k in [0usize, 1, 2, 4, 16] {
-            let f = iluk(&a, k, TriangularExec::Sequential).unwrap();
+            let f = iluk(&a, k, ExecutionStrategy::Sequential).unwrap();
             let lu = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
             let mut err = 0.0f64;
             for i in 0..49 {
@@ -270,8 +274,8 @@ mod tests {
     #[test]
     fn fill_increases_wavefronts() {
         let a = poisson_2d(10, 10);
-        let f0 = iluk(&a, 0, TriangularExec::Sequential).unwrap();
-        let f2 = iluk(&a, 2, TriangularExec::Sequential).unwrap();
+        let f0 = iluk(&a, 0, ExecutionStrategy::Sequential).unwrap();
+        let f2 = iluk(&a, 2, ExecutionStrategy::Sequential).unwrap();
         assert!(
             f2.total_wavefronts() >= f0.total_wavefronts(),
             "k=2 wavefronts {} < k=0 {}",

@@ -23,7 +23,7 @@ pub mod shifted;
 pub mod traits;
 
 pub use block_jacobi::BlockJacobiPreconditioner;
-pub use factors::{IluFactors, TriangularExec};
+pub use factors::{ExecutionStrategy, IluFactors};
 pub use ic0::ic0;
 pub use ick::{ick, ick_capped};
 pub use ilu0::{ilu0, ilu0_probed, ilu_refresh, ilu_refresh_probed};

@@ -14,7 +14,7 @@
 //! [`Preconditioner::apply_staged`], so a warm mixed solve performs no heap
 //! allocation — enforced by `crates/core/tests/zero_alloc.rs`.
 
-use crate::factors::{IluFactors, TriangularExec};
+use crate::factors::{ExecutionStrategy, IluFactors};
 use crate::traits::Preconditioner;
 use spcg_sparse::{CsrMatrix, Scalar};
 
@@ -102,7 +102,7 @@ impl<T: Scalar> Preconditioner<T> for MixedPrecisionIlu<T> {
 /// full-precision solves.
 pub fn ilu0_mixed<T: Scalar>(
     a: &CsrMatrix<T>,
-    exec: TriangularExec,
+    exec: ExecutionStrategy,
 ) -> spcg_sparse::Result<MixedPrecisionIlu<T>> {
     let a_lo: CsrMatrix<T::Lower> = a.demoted();
     Ok(MixedPrecisionIlu::new(crate::ilu0::ilu0(&a_lo, exec)?))
@@ -117,7 +117,7 @@ mod tests {
     #[test]
     fn mixed_apply_tracks_double_apply() {
         let a = poisson_2d(10, 10);
-        let f64_factors = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f64_factors = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let mixed = MixedPrecisionIlu::from_full(&f64_factors);
         let r: Vec<f64> = (0..100).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
         let mut z64 = vec![0.0; 100];
@@ -133,7 +133,7 @@ mod tests {
     #[test]
     fn staged_apply_is_identical_to_allocating_apply() {
         let a = poisson_2d(9, 9);
-        let mixed = MixedPrecisionIlu::from_full(&ilu0(&a, TriangularExec::Sequential).unwrap());
+        let mixed = MixedPrecisionIlu::from_full(&ilu0(&a, ExecutionStrategy::Sequential).unwrap());
         let r: Vec<f64> = (0..81).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
         let mut z_alloc = vec![0.0; 81];
         let mut z_staged = vec![0.0; 81];
@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn halves_factor_bytes() {
         let a = poisson_2d(8, 8);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let mixed = MixedPrecisionIlu::from_full(&f);
         use crate::traits::Preconditioner as P;
         assert_eq!(P::<f64>::nnz(&mixed), P::<f64>::nnz(&f));
@@ -158,7 +158,7 @@ mod tests {
     #[test]
     fn direct_f32_build() {
         let a = poisson_2d(6, 6);
-        let m = ilu0_mixed(&a, TriangularExec::Sequential).unwrap();
+        let m = ilu0_mixed(&a, ExecutionStrategy::Sequential).unwrap();
         let r = vec![1.0f64; 36];
         let mut z = vec![0.0f64; 36];
         m.apply(&r, &mut z);
@@ -172,7 +172,7 @@ mod tests {
     #[test]
     fn f32_floor_is_exact() {
         let a: spcg_sparse::CsrMatrix<f32> = poisson_2d(6, 6).cast();
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let mixed = MixedPrecisionIlu::<f32>::from_full(&f);
         let r = vec![1.0f32; 36];
         let mut z_full = vec![0.0f32; 36];

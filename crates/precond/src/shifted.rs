@@ -16,7 +16,7 @@
 //! [`FactorError`] so recovery layers can distinguish "shift harder" from
 //! "this matrix is structurally hopeless".
 
-use crate::factors::{IluFactors, TriangularExec};
+use crate::factors::{ExecutionStrategy, IluFactors};
 use crate::ic0::ic0;
 use crate::ilu0::ilu0_probed;
 use crate::iluk::iluk_probed;
@@ -158,7 +158,7 @@ pub fn diag_scale<T: Scalar>(a: &CsrMatrix<T>) -> f64 {
 pub fn shifted_factorization<T: Scalar>(
     a: &CsrMatrix<T>,
     kind: FactorKind,
-    exec: TriangularExec,
+    exec: ExecutionStrategy,
     policy: &ShiftPolicy,
 ) -> Result<ShiftedFactors<T>, FactorError> {
     shifted_factorization_probed(a, kind, exec, policy, &mut NoProbe)
@@ -172,7 +172,7 @@ pub fn shifted_factorization<T: Scalar>(
 pub fn shifted_factorization_probed<T: Scalar, P: Probe>(
     a: &CsrMatrix<T>,
     kind: FactorKind,
-    exec: TriangularExec,
+    exec: ExecutionStrategy,
     policy: &ShiftPolicy,
     probe: &mut P,
 ) -> Result<ShiftedFactors<T>, FactorError> {
@@ -217,7 +217,7 @@ pub fn shifted_factorization_probed<T: Scalar, P: Probe>(
 fn shift_attempt<T: Scalar, P: Probe>(
     a: &CsrMatrix<T>,
     kind: FactorKind,
-    exec: TriangularExec,
+    exec: ExecutionStrategy,
     alpha: f64,
     attempt: usize,
     probe: &mut P,
@@ -285,14 +285,14 @@ mod tests {
         let s = shifted_factorization(
             &a,
             FactorKind::Ilu0,
-            TriangularExec::Sequential,
+            ExecutionStrategy::Sequential,
             &ShiftPolicy::default(),
         )
         .unwrap();
         assert!(s.is_unshifted());
         assert_eq!(s.attempts, 1);
         // Bitwise identical to the direct factorization.
-        let direct = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let direct = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         assert_eq!(s.factors.l(), direct.l());
         assert_eq!(s.factors.u(), direct.u());
     }
@@ -300,11 +300,11 @@ mod tests {
     #[test]
     fn zero_pivot_recovers_with_shift() {
         let a = breakdown_matrix();
-        assert!(ilu0(&a, TriangularExec::Sequential).is_err(), "must break down unshifted");
+        assert!(ilu0(&a, ExecutionStrategy::Sequential).is_err(), "must break down unshifted");
         let s = shifted_factorization(
             &a,
             FactorKind::Ilu0,
-            TriangularExec::Sequential,
+            ExecutionStrategy::Sequential,
             &ShiftPolicy::default(),
         )
         .unwrap();
@@ -339,11 +339,11 @@ mod tests {
         c.push(1, 0, 2.0).unwrap();
         c.push(1, 1, 1.0).unwrap(); // pivot 1 - 4 = -3 < 0
         let a = c.to_csr();
-        assert!(ic0(&a, TriangularExec::Sequential).is_err());
+        assert!(ic0(&a, ExecutionStrategy::Sequential).is_err());
         let s = shifted_factorization(
             &a,
             FactorKind::Ic0,
-            TriangularExec::Sequential,
+            ExecutionStrategy::Sequential,
             &ShiftPolicy::default(),
         )
         .unwrap();
@@ -355,7 +355,7 @@ mod tests {
         let a = breakdown_matrix();
         // One attempt = unshifted only, which we know fails.
         let p = ShiftPolicy { max_attempts: 1, ..Default::default() };
-        let err = shifted_factorization(&a, FactorKind::Ilu0, TriangularExec::Sequential, &p)
+        let err = shifted_factorization(&a, FactorKind::Ilu0, ExecutionStrategy::Sequential, &p)
             .unwrap_err();
         match err {
             FactorError::Breakdown { attempts, row, .. } => {
@@ -374,7 +374,7 @@ mod tests {
         let err = shifted_factorization(
             &c.to_csr(),
             FactorKind::Ilu0,
-            TriangularExec::Sequential,
+            ExecutionStrategy::Sequential,
             &ShiftPolicy::default(),
         )
         .unwrap_err();
@@ -391,7 +391,7 @@ mod tests {
         let a = c.to_csr();
         let p = ShiftPolicy { min_pivot_rel: 1e-8, ..Default::default() };
         let s =
-            shifted_factorization(&a, FactorKind::Ilu0, TriangularExec::Sequential, &p).unwrap();
+            shifted_factorization(&a, FactorKind::Ilu0, ExecutionStrategy::Sequential, &p).unwrap();
         assert!(!s.is_unshifted(), "tiny pivot must not validate unshifted");
     }
 
@@ -401,12 +401,12 @@ mod tests {
         let s = shifted_factorization(
             &a,
             FactorKind::Iluk(1),
-            TriangularExec::Sequential,
+            ExecutionStrategy::Sequential,
             &ShiftPolicy::default(),
         )
         .unwrap();
         assert!(s.is_unshifted());
-        let direct = iluk(&a, 1, TriangularExec::Sequential).unwrap();
+        let direct = iluk(&a, 1, ExecutionStrategy::Sequential).unwrap();
         assert_eq!(s.factors.u().nnz(), direct.u().nnz());
     }
 

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use spcg_precond::{
-    ic0, ilu0, iluk, BlockJacobiPreconditioner, JacobiPreconditioner, Preconditioner, SaiPattern,
-    SaiPreconditioner, TriangularExec,
+    ic0, ilu0, iluk, BlockJacobiPreconditioner, ExecutionStrategy, JacobiPreconditioner,
+    Preconditioner, SaiPattern, SaiPreconditioner,
 };
 use spcg_sparse::generators::{banded_spd, poisson_2d, random_spd};
 use spcg_sparse::{CooMatrix, CsrMatrix};
@@ -18,7 +18,7 @@ proptest! {
     #[test]
     fn ilu0_pattern_identity(n in 8usize..50, band in 2usize..6, seed in 0u64..500) {
         let a = banded_spd(n, band, 0.8, 1.6, seed);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let lu = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
         for (i, j, v) in a.iter() {
             prop_assert!((lu.get(i, j) - v).abs() < 1e-8 * v.abs().max(1.0));
@@ -32,7 +32,7 @@ proptest! {
         let a = poisson_2d(nx, nx);
         let ad = a.to_dense();
         let fro = |k: usize| {
-            let f = iluk(&a, k, TriangularExec::Sequential).unwrap();
+            let f = iluk(&a, k, ExecutionStrategy::Sequential).unwrap();
             let lu = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
             let mut s = 0.0f64;
             for i in 0..a.n_rows() {
@@ -53,7 +53,7 @@ proptest! {
     #[test]
     fn factors_apply_inverts_product(n in 8usize..40, seed in 0u64..300) {
         let a = banded_spd(n, 3, 0.9, 1.8, seed);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let r: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
         let mut z = vec![0.0; n];
         f.apply(&r, &mut z);
@@ -69,7 +69,7 @@ proptest! {
     #[test]
     fn ic0_lower_pattern_identity(n in 8usize..40, seed in 0u64..200) {
         let a = banded_spd(n, 3, 0.8, 2.5, seed);
-        let f = ic0(&a, TriangularExec::Sequential).unwrap();
+        let f = ic0(&a, ExecutionStrategy::Sequential).unwrap();
         let llt = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
         for (i, j, v) in a.iter() {
             if j <= i {
@@ -114,7 +114,7 @@ fn ilu0_rejects_structurally_singular_matrices() {
     coo.push(0, 0, 1.0).unwrap();
     coo.push(1, 1, 1.0).unwrap();
     coo.push(2, 0, 1.0).unwrap();
-    assert!(ilu0(&coo.to_csr(), TriangularExec::Sequential).is_err());
+    assert!(ilu0(&coo.to_csr(), ExecutionStrategy::Sequential).is_err());
 }
 
 #[test]
@@ -125,7 +125,7 @@ fn ilu0_detects_pivot_collapse() {
     coo.push(0, 1, 2.0).unwrap();
     coo.push(1, 0, 2.0).unwrap();
     coo.push(1, 1, 2.0).unwrap();
-    assert!(ilu0(&coo.to_csr(), TriangularExec::Sequential).is_err());
+    assert!(ilu0(&coo.to_csr(), ExecutionStrategy::Sequential).is_err());
 }
 
 #[test]
@@ -136,14 +136,14 @@ fn iluk_rejects_missing_diagonal_at_any_k() {
     coo.push(1, 0, 1.0).unwrap();
     let a = coo.to_csr();
     for k in 0..3 {
-        assert!(iluk(&a, k, TriangularExec::Sequential).is_err(), "k={k}");
+        assert!(iluk(&a, k, ExecutionStrategy::Sequential).is_err(), "k={k}");
     }
 }
 
 #[test]
 fn ic0_rejects_indefinite_input() {
     let a: CsrMatrix<f64> = poisson_2d(4, 4).map_values(|v| -v);
-    assert!(ic0(&a, TriangularExec::Sequential).is_err());
+    assert!(ic0(&a, ExecutionStrategy::Sequential).is_err());
 }
 
 #[test]

@@ -130,8 +130,13 @@ pub enum Counter {
     Levels,
     /// Rows executed in one wavefront level (one event per level).
     LevelRows,
-    /// Level-to-level synchronization barriers executed.
+    /// Synchronization events per triangular sweep: level barriers under
+    /// the level-scheduled executor, block releases under the
+    /// dependency-block executor.
     Syncs,
+    /// Dependency blocks released by the counter-release executor (one
+    /// atomic countdown per block instead of a global barrier).
+    ExecBlocks,
     /// Completed numeric factorizations.
     Factorizations,
     /// Shifted-factorization attempts consumed.
@@ -208,6 +213,7 @@ impl Counter {
             Counter::Levels => "levels",
             Counter::LevelRows => "level_rows",
             Counter::Syncs => "syncs",
+            Counter::ExecBlocks => "exec.blocks",
             Counter::Factorizations => "factorizations",
             Counter::ShiftAttempts => "shift_attempts",
             Counter::CandidatesEvaluated => "candidates_evaluated",
@@ -544,6 +550,7 @@ mod tests {
         assert_eq!(Counter::ServeCancelled.label(), "serve.queue.cancelled");
         assert_eq!(format!("{}", Span::Spmv), "solve.spmv");
         assert_eq!(format!("{}", Counter::Syncs), "syncs");
+        assert_eq!(Counter::ExecBlocks.label(), "exec.blocks");
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! `serve.cache.*` counter vocabulary via [`PlanCache::emit_counters`].
 
 use crate::policy::SolveTier;
-use spcg_core::{OrderingKind, PrecisionPolicy, SpcgPlan};
+use spcg_core::{ExecutionStrategy, OrderingKind, PrecisionPolicy, SpcgPlan};
 use spcg_probe::{Counter, Probe};
 use spcg_sparse::{CsrMatrix, MatrixFingerprint, Scalar};
 use std::collections::HashMap;
@@ -33,14 +33,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Cache key: the matrix fingerprint plus the ordering, precision policy,
-/// and serving tier the plan was built under. Two plans over byte-identical
-/// matrices but different orderings factor different operators; two plans
-/// under different precision policies execute different tiers (and an
-/// `Auto` plan may resolve either way per matrix); a degraded
+/// execution strategy, and serving tier the plan was built under. Two plans
+/// over byte-identical matrices but different orderings factor different
+/// operators; two plans under different precision policies execute
+/// different tiers (and an `Auto` plan may resolve either way per matrix);
+/// two plans under different execution strategies run different triangular
+/// executors (and the ω ordering search prices against the requested
+/// strategy, so the chosen ordering itself can differ); a degraded
 /// [`SolveTier::Light`] plan skips the sparsify pass entirely — all are
 /// value twins that must never collide. The key carries the *requested*
-/// policy, not the resolved tier, so a cached `Auto` plan answers exactly
-/// the `Auto` requests whose resolution it already performed.
+/// policy/strategy, not the resolved one, so a cached `Auto` plan answers
+/// exactly the `Auto` requests whose resolution it already performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     /// Structure + value digest of the system matrix.
@@ -49,6 +52,8 @@ pub struct PlanKey {
     pub ordering: OrderingKind,
     /// The precision policy requested of the planner.
     pub precision: PrecisionPolicy,
+    /// The triangular-solve execution strategy requested of the planner.
+    pub exec: ExecutionStrategy,
     /// The serving tier the plan was built for. [`SolveTier::Full`] for
     /// every non-degraded request (and for everything predating admission
     /// control); [`SolveTier::Light`] plans are built from cheaper options
@@ -57,19 +62,32 @@ pub struct PlanKey {
 }
 
 impl PlanKey {
-    /// Key for `fp` under `ordering` and `precision`, at full quality.
+    /// Key for `fp` under `ordering` and `precision`, at full quality with
+    /// the default (sequential) execution strategy.
     pub fn new(fp: MatrixFingerprint, ordering: OrderingKind, precision: PrecisionPolicy) -> Self {
-        Self { fp, ordering, precision, tier: SolveTier::Full }
+        Self { fp, ordering, precision, exec: ExecutionStrategy::Sequential, tier: SolveTier::Full }
     }
 
     /// Fingerprints `a` and keys it under `ordering` and `precision`, at
-    /// full quality.
+    /// full quality with the default (sequential) execution strategy.
     pub fn of<T: Scalar>(
         a: &CsrMatrix<T>,
         ordering: OrderingKind,
         precision: PrecisionPolicy,
     ) -> Self {
-        Self { fp: MatrixFingerprint::of(a), ordering, precision, tier: SolveTier::Full }
+        Self {
+            fp: MatrixFingerprint::of(a),
+            ordering,
+            precision,
+            exec: ExecutionStrategy::Sequential,
+            tier: SolveTier::Full,
+        }
+    }
+
+    /// The same key under a different execution strategy.
+    pub fn with_exec(mut self, exec: ExecutionStrategy) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// The same key re-targeted at a (usually degraded) serving tier.
@@ -196,6 +214,7 @@ impl<T: Scalar> PlanCache<T> {
             ^ key.fp.values.rotate_left(17)
             ^ key.ordering.tag().wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ key.precision.tag().wrapping_mul(0xD1B5_4A32_D192_ED03)
+            ^ key.exec.tag().wrapping_mul(0x94D0_49BB_1331_11EB)
             ^ key.tier.tag().wrapping_mul(0xA076_1D64_78BD_642F);
         &self.shards[(h % self.shards.len() as u64) as usize]
     }
@@ -404,6 +423,24 @@ mod tests {
         assert_eq!(cache.len(), 2, "value twins coexist under distinct keys");
         assert!(cache.get(&natural).unwrap().permutation().is_none());
         assert!(cache.get(&colored).unwrap().permutation().is_some());
+    }
+
+    #[test]
+    fn exec_strategy_separates_value_twin_plans() {
+        let a = poisson_2d(6, 6);
+        let seq = PlanKey::of(&a, OrderingKind::Natural, PrecisionPolicy::Full);
+        let blocks = seq.with_exec(spcg_core::ExecutionStrategy::DependencyBlocks);
+        assert_eq!(seq.fp, blocks.fp, "same bytes, same fingerprint");
+        assert_ne!(seq, blocks, "keys must differ by execution strategy");
+        let cache: PlanCache<f64> = PlanCache::new(CacheConfig::default());
+        cache.insert(seq, Arc::new(SpcgPlan::build(&a, SpcgOptions::default()).unwrap()));
+        assert!(
+            cache.get(&blocks).is_none(),
+            "a sequential plan must never answer a dependency-block request"
+        );
+        let opts = SpcgOptions::default().with_exec(spcg_core::ExecutionStrategy::DependencyBlocks);
+        cache.insert(blocks, Arc::new(SpcgPlan::build(&a, &opts).unwrap()));
+        assert_eq!(cache.len(), 2, "value twins coexist under distinct keys");
     }
 
     #[test]

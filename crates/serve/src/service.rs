@@ -1013,6 +1013,7 @@ impl<T: Scalar> Inner<T> {
     /// the key keeps those value twins apart.
     fn key_for(&self, a: &CsrMatrix<T>) -> PlanKey {
         PlanKey::of(a, self.cfg.options.ordering, self.cfg.options.precision)
+            .with_exec(self.cfg.options.exec)
     }
 
     /// Milliseconds since service start — the breaker timebase.

@@ -560,7 +560,7 @@ pub fn pcg_iteration_flops(nnz_a: usize, nnz_m: usize, n: usize) -> u64 {
 mod tests {
     use super::*;
     use crate::config::ToleranceMode;
-    use spcg_precond::{ilu0, IdentityPreconditioner, JacobiPreconditioner, TriangularExec};
+    use spcg_precond::{ilu0, ExecutionStrategy, IdentityPreconditioner, JacobiPreconditioner};
     use spcg_sparse::generators::{banded_spd, poisson_2d};
     use spcg_sparse::Rng;
 
@@ -593,7 +593,7 @@ mod tests {
         let b = rhs(400, 2);
         let cfg = SolverConfig::default().with_tol(1e-10);
         let plain = pcg(&a, &IdentityPreconditioner::new(400), &b, &cfg).unwrap();
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let pre = pcg(&a, &f, &b, &cfg).unwrap();
         assert!(plain.converged() && pre.converged());
         assert!(
@@ -620,7 +620,7 @@ mod tests {
         // With M⁻¹ == A⁻¹ (ILU(K) large K == exact LU), PCG needs ~1 step.
         let a = banded_spd(30, 3, 0.9, 2.0, 5);
         let b = rhs(30, 6);
-        let f = spcg_precond::iluk(&a, 40, TriangularExec::Sequential).unwrap();
+        let f = spcg_precond::iluk(&a, 40, ExecutionStrategy::Sequential).unwrap();
         let res = pcg(&a, &f, &b, &SolverConfig::default().with_tol(1e-10)).unwrap();
         assert!(res.converged());
         assert!(
@@ -658,7 +658,7 @@ mod tests {
     fn history_records_monotonic_trend() {
         let a = poisson_2d(12, 12);
         let b = rhs(144, 8);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let res =
             pcg(&a, &f, &b, &SolverConfig::default().with_history(true).with_tol(1e-10)).unwrap();
         assert!(res.converged());
@@ -692,8 +692,8 @@ mod tests {
         let a = poisson_2d(16, 16);
         let b = rhs(256, 11);
         let cfg = SolverConfig::default().with_history(true).with_tol(1e-10);
-        let fs = ilu0(&a, TriangularExec::Sequential).unwrap();
-        let fp = ilu0(&a, TriangularExec::LevelParallel).unwrap();
+        let fs = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
+        let fp = ilu0(&a, ExecutionStrategy::LevelBarrier).unwrap();
         let rs = pcg(&a, &fs, &b, &cfg).unwrap();
         let rp = pcg(&a, &fp, &b, &cfg).unwrap();
         assert_eq!(rs.iterations, rp.iterations);
@@ -709,7 +709,7 @@ mod tests {
     #[test]
     fn workspace_reuse_is_bitwise_identical() {
         let a = poisson_2d(14, 14);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let cfg = SolverConfig::default().with_tol(1e-10).with_history(true);
         let mut ws = SolveWorkspace::for_preconditioner(a.n_rows(), &f);
         for seed in 0..3 {
@@ -726,7 +726,7 @@ mod tests {
     fn in_place_solve_leaves_solution_in_workspace() {
         let a = poisson_2d(12, 12);
         let b = rhs(144, 5);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let cfg = SolverConfig::default().with_tol(1e-10);
         let mut ws = SolveWorkspace::for_preconditioner(144, &f);
         let stats = pcg_in_place(&a, &f, &b, &cfg, &mut ws).unwrap();
@@ -835,7 +835,7 @@ mod tests {
     fn guards_disabled_reproduce_the_unguarded_trajectory() {
         let a = poisson_2d(14, 14);
         let b = rhs(196, 6);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let plain = SolverConfig::default().with_tol(1e-10).with_history(true);
         let guarded = plain.clone().with_stagnation_window(50).with_divergence_factor(1e4);
         let r1 = pcg(&a, &f, &b, &plain).unwrap();
@@ -876,7 +876,7 @@ mod tests {
         // Budget far above the iterations the solve needs: never fires.
         let a = poisson_2d(10, 10);
         let b = rhs(100, 1);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let quick = pcg(&a, &f, &b, &SolverConfig::default().with_tol(1e-10)).unwrap();
         assert!(quick.converged());
         // Budget exactly equal to the converging iteration: the convergence
@@ -891,7 +891,7 @@ mod tests {
     fn disabled_deadline_is_bitwise_identical() {
         let a = poisson_2d(14, 14);
         let b = rhs(196, 6);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let plain = SolverConfig::default().with_tol(1e-10).with_history(true);
         let explicit = plain.clone().with_deadline_iters(usize::MAX);
         let r1 = pcg(&a, &f, &b, &plain).unwrap();
@@ -906,7 +906,7 @@ mod tests {
     fn injected_nan_is_caught_and_classified() {
         let a = poisson_2d(10, 10);
         let b = rhs(100, 12);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let cfg = SolverConfig::default().with_tol(1e-10).with_history(true);
         let mut ws = SolveWorkspace::for_preconditioner(100, &f);
         let stats =
@@ -922,7 +922,7 @@ mod tests {
     fn warm_start_on_zeroed_workspace_matches_cold() {
         let a = poisson_2d(12, 12);
         let b = rhs(144, 21);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let cfg = SolverConfig::default().with_tol(1e-10).with_history(true);
         let mut cold_ws = SolveWorkspace::for_preconditioner(144, &f);
         let mut warm_ws = SolveWorkspace::for_preconditioner(144, &f);
@@ -938,7 +938,7 @@ mod tests {
     fn warm_start_from_the_solution_converges_immediately() {
         let a = poisson_2d(14, 14);
         let b = rhs(196, 22);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let cfg = SolverConfig::default().with_tol(1e-10);
         let mut ws = SolveWorkspace::for_preconditioner(196, &f);
         let cold = pcg_in_place(&a, &f, &b, &cfg, &mut ws).unwrap();
@@ -954,7 +954,7 @@ mod tests {
     fn warm_start_saves_iterations_on_a_drifted_system() {
         let a = poisson_2d(16, 16);
         let b = rhs(256, 23);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let cfg = SolverConfig::default().with_tol(1e-10);
         let mut ws = SolveWorkspace::for_preconditioner(256, &f);
         pcg_in_place(&a, &f, &b, &cfg, &mut ws).unwrap();
@@ -979,7 +979,7 @@ mod tests {
     fn no_fault_is_bitwise_identical_to_plain_entry_point() {
         let a = poisson_2d(12, 12);
         let b = rhs(144, 13);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let cfg = SolverConfig::default().with_tol(1e-10).with_history(true);
         let mut ws1 = SolveWorkspace::for_preconditioner(144, &f);
         let mut ws2 = SolveWorkspace::for_preconditioner(144, &f);

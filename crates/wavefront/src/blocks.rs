@@ -1,0 +1,700 @@
+//! Dependency-driven block execution: the barrier-free triangular executor.
+//!
+//! The level-barrier executor synchronizes *every* thread at *every*
+//! wavefront boundary, even when only a narrow chain actually crosses it —
+//! the per-level cost the paper's sparsification attacks. This module
+//! removes the barrier instead of shrinking its count: a one-time inspector
+//! cuts the level schedule's flattened execution order into consecutive row
+//! *blocks* and records, for each block, how many distinct predecessor
+//! blocks feed it. Workers then claim blocks in order and release successor
+//! blocks by atomic countdown (in the style of Böhnlein et al.'s scheduled
+//! SpTRSV and Gondhalekar's fine-grained domain decomposition), so
+//! independent chains overlap across level boundaries.
+//!
+//! Invariants the executor relies on (all checked by
+//! [`BlockSchedule::validate`] and the property suite):
+//!
+//! * blocks partition the rows exactly once, and in-block row order is a
+//!   topological order (every in-block dependence points to an earlier
+//!   in-block row);
+//! * every cross-block dependence points to a block constructed earlier,
+//!   so claiming blocks in construction order can never deadlock;
+//! * a block's counter starts at its distinct-predecessor count, each
+//!   finished predecessor decrements it exactly once with `Release`, and a
+//!   worker enters the block only after an `Acquire` load observes zero —
+//!   ordering every cross-block read after the write that produced it.
+
+use crate::dag::{DependenceDag, Triangle};
+use crate::executor::{row_solve_lower_raw, row_solve_upper_raw, UnsafeSlice};
+use crate::levels::LevelSchedule;
+use spcg_probe::{Counter, NoProbe, Probe};
+use spcg_sparse::{CsrMatrix, Scalar};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Minimum system size for which the dependency-block executor spawns
+/// worker threads; below this the whole solve runs inline on the calling
+/// thread (thread spawn would dominate, and the inline path allocates
+/// nothing).
+const BLOCK_PAR_MIN: usize = 512;
+
+/// Counter arrays kept warm per schedule; one suffices for a solo solve,
+/// the second absorbs a concurrent solve sharing the plan.
+const COUNTER_POOL_CAP: usize = 2;
+
+/// Inspector knobs for [`BlockSchedule::from_levels_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockOptions {
+    /// Rows per block. Larger blocks amortize release traffic; smaller
+    /// blocks expose more cross-level overlap. The default (256) matches
+    /// the level executor's fork threshold.
+    pub target_rows: usize,
+}
+
+impl Default for BlockOptions {
+    fn default() -> Self {
+        Self { target_rows: 256 }
+    }
+}
+
+/// A block partition of one triangular solve, with the cross-block
+/// dependency counts the counter-release executor needs.
+///
+/// Built once per factorization (the "inspector" phase) and reused across
+/// solves; the release counters live in an internal pool so warm solves
+/// allocate nothing.
+#[derive(Debug)]
+pub struct BlockSchedule {
+    triangle: Triangle,
+    n_rows: usize,
+    /// Concatenated block rows, in execution order.
+    rows: Vec<usize>,
+    /// `rows[block_ptr[b]..block_ptr[b + 1]]` are the rows of block `b`.
+    block_ptr: Vec<usize>,
+    /// CSR-style successor lists: `succ[succ_ptr[b]..succ_ptr[b + 1]]` are
+    /// the distinct blocks that wait on block `b`.
+    succ: Vec<usize>,
+    succ_ptr: Vec<usize>,
+    /// Distinct-predecessor count per block — the counter start values.
+    in_degree: Vec<usize>,
+    /// Stored entries per block (for cost models).
+    block_nnz: Vec<usize>,
+    /// Blocks on the longest dependency chain through the block graph.
+    critical_blocks: usize,
+    /// Stored entries along that heaviest chain.
+    critical_nnz: usize,
+    /// Warm release-counter arrays, pre-sized to `n_blocks`.
+    pool: Mutex<Vec<Box<[AtomicUsize]>>>,
+}
+
+impl Clone for BlockSchedule {
+    fn clone(&self) -> Self {
+        Self {
+            triangle: self.triangle,
+            n_rows: self.n_rows,
+            rows: self.rows.clone(),
+            block_ptr: self.block_ptr.clone(),
+            succ: self.succ.clone(),
+            succ_ptr: self.succ_ptr.clone(),
+            in_degree: self.in_degree.clone(),
+            block_nnz: self.block_nnz.clone(),
+            critical_blocks: self.critical_blocks,
+            critical_nnz: self.critical_nnz,
+            pool: Mutex::new(seed_pool(self.in_degree.len())),
+        }
+    }
+}
+
+impl PartialEq for BlockSchedule {
+    fn eq(&self, other: &Self) -> bool {
+        self.triangle == other.triangle
+            && self.n_rows == other.n_rows
+            && self.rows == other.rows
+            && self.block_ptr == other.block_ptr
+            && self.succ == other.succ
+            && self.succ_ptr == other.succ_ptr
+            && self.in_degree == other.in_degree
+            && self.block_nnz == other.block_nnz
+    }
+}
+
+impl Eq for BlockSchedule {}
+
+fn seed_pool(n_blocks: usize) -> Vec<Box<[AtomicUsize]>> {
+    let mut pool = Vec::with_capacity(COUNTER_POOL_CAP);
+    pool.push((0..n_blocks).map(|_| AtomicUsize::new(0)).collect());
+    pool
+}
+
+impl BlockSchedule {
+    /// Builds the block partition directly from a matrix (convenience for
+    /// tests; production callers reuse the level schedule they already
+    /// have via [`from_levels`](Self::from_levels)).
+    pub fn build<T: Scalar>(m: &CsrMatrix<T>, triangle: Triangle) -> Self {
+        Self::from_levels(m, &LevelSchedule::build(m, triangle))
+    }
+
+    /// Builds the block partition from an existing level schedule with the
+    /// default [`BlockOptions`].
+    pub fn from_levels<T: Scalar>(m: &CsrMatrix<T>, schedule: &LevelSchedule) -> Self {
+        Self::from_levels_with(m, schedule, BlockOptions::default())
+    }
+
+    /// Builds the block partition from an existing level schedule.
+    ///
+    /// The level schedule's flattened execution order (level by level, rows
+    /// ascending within a level) is cut into consecutive chunks of
+    /// `opts.target_rows`. Because that order is topological, every
+    /// dependence points to an earlier position: in-block dependences land
+    /// on earlier in-block rows, cross-block dependences on
+    /// earlier-constructed blocks — so construction order is a topological
+    /// order of the block graph. Narrow-chain levels merge into shared
+    /// blocks (no barrier between them), while a wide level spreads over
+    /// several mutually independent blocks that run concurrently.
+    pub fn from_levels_with<T: Scalar>(
+        m: &CsrMatrix<T>,
+        schedule: &LevelSchedule,
+        opts: BlockOptions,
+    ) -> Self {
+        let n = m.n_rows();
+        assert_eq!(schedule.n_rows(), n, "schedule built for a different matrix");
+        let triangle = schedule.triangle();
+        let target = opts.target_rows.max(1);
+        let rows = schedule.execution_order();
+        let n_blocks = n.div_ceil(target);
+        let block_ptr: Vec<usize> = (0..=n_blocks).map(|b| (b * target).min(n)).collect();
+        let mut row_block = vec![0usize; n];
+        for (pos, &i) in rows.iter().enumerate() {
+            row_block[i] = pos / target;
+        }
+
+        // Distinct cross-block edges, deduplicated per target block with a
+        // stamp array, then bucketed into CSR successor lists.
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut in_degree = vec![0usize; n_blocks];
+        let mut block_nnz = vec![0usize; n_blocks];
+        let mut seen = vec![usize::MAX; n_blocks];
+        for b in 0..n_blocks {
+            for &i in &rows[block_ptr[b]..block_ptr[b + 1]] {
+                block_nnz[b] += m.row_nnz(i);
+                for &j in m.row_cols(i) {
+                    let is_dep = match triangle {
+                        Triangle::Lower => j < i,
+                        Triangle::Upper => j > i,
+                    };
+                    if !is_dep {
+                        continue;
+                    }
+                    let pb = row_block[j];
+                    if pb != b && seen[pb] != b {
+                        seen[pb] = b;
+                        edges.push((pb, b));
+                        in_degree[b] += 1;
+                    }
+                }
+            }
+        }
+        let mut succ_ptr = vec![0usize; n_blocks + 1];
+        for &(pb, _) in &edges {
+            succ_ptr[pb + 1] += 1;
+        }
+        for b in 0..n_blocks {
+            succ_ptr[b + 1] += succ_ptr[b];
+        }
+        let mut succ = vec![0usize; edges.len()];
+        let mut cursor = succ_ptr.clone();
+        for &(pb, b) in &edges {
+            succ[cursor[pb]] = b;
+            cursor[pb] += 1;
+        }
+        debug_assert_eq!(in_degree.iter().sum::<usize>(), succ.len());
+
+        // Critical path through the block graph, in blocks and in stored
+        // entries; every edge goes forward, so one ascending pass suffices.
+        let mut depth = vec![1usize; n_blocks];
+        let mut path_nnz = block_nnz.clone();
+        for b in 0..n_blocks {
+            for &s in &succ[succ_ptr[b]..succ_ptr[b + 1]] {
+                depth[s] = depth[s].max(depth[b] + 1);
+                path_nnz[s] = path_nnz[s].max(path_nnz[b] + block_nnz[s]);
+            }
+        }
+        let critical_blocks = depth.iter().copied().max().unwrap_or(0);
+        let critical_nnz = path_nnz.iter().copied().max().unwrap_or(0);
+
+        Self {
+            triangle,
+            n_rows: n,
+            rows,
+            block_ptr,
+            succ,
+            succ_ptr,
+            in_degree,
+            block_nnz,
+            critical_blocks,
+            critical_nnz,
+            pool: Mutex::new(seed_pool(n_blocks)),
+        }
+    }
+
+    /// Number of blocks — the synchronization count of one block-executed
+    /// sweep (each block is released exactly once).
+    #[inline]
+    pub fn n_blocks(&self) -> usize {
+        self.in_degree.len()
+    }
+
+    /// The triangle this schedule was built for.
+    #[inline]
+    pub fn triangle(&self) -> Triangle {
+        self.triangle
+    }
+
+    /// Total number of rows scheduled.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Rows of block `b`, in execution order.
+    #[inline]
+    pub fn block(&self, b: usize) -> &[usize] {
+        &self.rows[self.block_ptr[b]..self.block_ptr[b + 1]]
+    }
+
+    /// Distinct blocks waiting on block `b`.
+    #[inline]
+    pub fn successors(&self, b: usize) -> &[usize] {
+        &self.succ[self.succ_ptr[b]..self.succ_ptr[b + 1]]
+    }
+
+    /// Distinct-predecessor count per block — the release-counter start
+    /// values.
+    #[inline]
+    pub fn in_degrees(&self) -> &[usize] {
+        &self.in_degree
+    }
+
+    /// Number of cross-block dependency edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Stored entries per block.
+    #[inline]
+    pub fn block_nnz(&self) -> &[usize] {
+        &self.block_nnz
+    }
+
+    /// Blocks on the longest dependency chain — the sweep's serial depth.
+    #[inline]
+    pub fn critical_path_blocks(&self) -> usize {
+        self.critical_blocks
+    }
+
+    /// Stored entries along the heaviest dependency chain.
+    #[inline]
+    pub fn critical_path_nnz(&self) -> usize {
+        self.critical_nnz
+    }
+
+    /// Approximate heap footprint of the schedule, including the pooled
+    /// release counters.
+    pub fn approx_bytes(&self) -> usize {
+        let usize_bytes = std::mem::size_of::<usize>();
+        let pooled = self.pool.lock().map(|p| p.len()).unwrap_or(0);
+        (self.rows.len()
+            + self.block_ptr.len()
+            + self.succ.len()
+            + self.succ_ptr.len()
+            + self.in_degree.len() * (1 + pooled)
+            + self.block_nnz.len())
+            * usize_bytes
+    }
+
+    /// Takes a warm counter array from the pool (or allocates on first
+    /// oversubscription) and resets it to the block in-degrees.
+    fn acquire_counters(&self) -> Box<[AtomicUsize]> {
+        let popped = self.pool.lock().expect("counter pool poisoned").pop();
+        let counters =
+            popped.unwrap_or_else(|| (0..self.n_blocks()).map(|_| AtomicUsize::new(0)).collect());
+        for (c, &d) in counters.iter().zip(&self.in_degree) {
+            c.store(d, Ordering::Relaxed);
+        }
+        counters
+    }
+
+    /// Returns a counter array to the pool (dropped once the pool is full).
+    fn release_counters(&self, counters: Box<[AtomicUsize]>) {
+        let mut pool = self.pool.lock().expect("counter pool poisoned");
+        if pool.len() < COUNTER_POOL_CAP {
+            pool.push(counters);
+        }
+    }
+
+    /// Checks every invariant the counter-release executor relies on:
+    /// blocks partition the rows exactly once; every dependence of `m`
+    /// stays in-block pointing to an earlier in-block row or crosses to an
+    /// earlier-constructed block; successor lists are the exact transpose
+    /// of the distinct-predecessor relation; and the counters sum to the
+    /// in-degree of the block graph.
+    pub fn validate<T: Scalar>(&self, m: &CsrMatrix<T>) -> Result<(), String> {
+        let n = self.n_rows;
+        if m.n_rows() != n {
+            return Err(format!("matrix has {} rows, schedule {}", m.n_rows(), n));
+        }
+        if *self.block_ptr.last().unwrap_or(&0) != self.rows.len() || self.rows.len() != n {
+            return Err("blocks do not cover the rows".into());
+        }
+        let mut row_block = vec![usize::MAX; n];
+        let mut row_pos = vec![usize::MAX; n];
+        for b in 0..self.n_blocks() {
+            for (p, &i) in self.block(b).iter().enumerate() {
+                if row_block[i] != usize::MAX {
+                    return Err(format!("row {i} scheduled twice"));
+                }
+                row_block[i] = b;
+                row_pos[i] = p;
+            }
+        }
+        if row_block.contains(&usize::MAX) {
+            return Err("a row is missing from every block".into());
+        }
+        // Recompute the distinct cross-block edge set from the DAG and
+        // check order, in-degrees, and the successor transpose against it.
+        let dag = DependenceDag::build(m, self.triangle);
+        let mut want_edges: Vec<(usize, usize)> = Vec::new();
+        for i in 0..n {
+            let (b, p) = (row_block[i], row_pos[i]);
+            for &j in dag.predecessors(i) {
+                let (pb, pp) = (row_block[j], row_pos[j]);
+                if pb == b {
+                    if pp >= p {
+                        return Err(format!("in-block dependence {j} -> {i} is not in row order"));
+                    }
+                } else if pb > b {
+                    return Err(format!(
+                        "dependence {j} -> {i} points backward across blocks ({pb} -> {b})"
+                    ));
+                } else {
+                    want_edges.push((pb, b));
+                }
+            }
+        }
+        want_edges.sort_unstable();
+        want_edges.dedup();
+        let mut have_edges: Vec<(usize, usize)> = (0..self.n_blocks())
+            .flat_map(|b| self.successors(b).iter().map(move |&s| (b, s)))
+            .collect();
+        have_edges.sort_unstable();
+        if have_edges != want_edges {
+            return Err(format!(
+                "successor lists record {} edges, the DAG implies {}",
+                have_edges.len(),
+                want_edges.len()
+            ));
+        }
+        let mut want_in = vec![0usize; self.n_blocks()];
+        for &(_, b) in &want_edges {
+            want_in[b] += 1;
+        }
+        if want_in != self.in_degree {
+            return Err("counter start values do not match the block-graph in-degrees".into());
+        }
+        if self.in_degree.iter().sum::<usize>() != self.n_edges() {
+            return Err("counters do not sum to the block-graph in-degree".into());
+        }
+        Ok(())
+    }
+}
+
+/// Dependency-block triangular solve using rayon's configured thread count.
+/// The `schedule` must have been built for the same matrix and the matching
+/// triangle. Bitwise identical to the sequential sweeps.
+pub fn solve_blocks<T: Scalar>(m: &CsrMatrix<T>, schedule: &BlockSchedule, b: &[T], x: &mut [T]) {
+    solve_blocks_probed(m, schedule, b, x, &mut NoProbe)
+}
+
+/// [`solve_blocks`] with an observability [`Probe`]: emits
+/// [`Counter::Syncs`] and [`Counter::ExecBlocks`] totals (one release per
+/// block — the quantity that replaces barrier-per-level). Counters are
+/// emitted from the calling thread after the workers join.
+pub fn solve_blocks_probed<T: Scalar, P: Probe>(
+    m: &CsrMatrix<T>,
+    schedule: &BlockSchedule,
+    b: &[T],
+    x: &mut [T],
+    probe: &mut P,
+) {
+    solve_blocks_with_threads_probed(m, schedule, b, x, rayon::current_num_threads(), probe)
+}
+
+/// [`solve_blocks`] with an explicit worker count (for the equivalence and
+/// torture suites, which sweep thread counts independently of rayon's
+/// global pool).
+pub fn solve_blocks_with_threads<T: Scalar>(
+    m: &CsrMatrix<T>,
+    schedule: &BlockSchedule,
+    b: &[T],
+    x: &mut [T],
+    n_threads: usize,
+) {
+    solve_blocks_with_threads_probed(m, schedule, b, x, n_threads, &mut NoProbe)
+}
+
+/// [`solve_blocks_with_threads`] with an observability [`Probe`].
+pub fn solve_blocks_with_threads_probed<T: Scalar, P: Probe>(
+    m: &CsrMatrix<T>,
+    schedule: &BlockSchedule,
+    b: &[T],
+    x: &mut [T],
+    n_threads: usize,
+    probe: &mut P,
+) {
+    let n = m.n_rows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(x.len(), n, "solution length mismatch");
+    assert_eq!(schedule.n_rows(), n, "schedule built for a different matrix");
+    assert!(n_threads >= 1, "need at least one worker");
+    let n_blocks = schedule.n_blocks();
+    if n == 0 {
+        return;
+    }
+    let triangle = schedule.triangle();
+    if n_threads <= 1 || n < BLOCK_PAR_MIN {
+        // Inline path: the block order is topological, so a single sweep in
+        // schedule order needs no counters and performs no allocation.
+        for &i in &schedule.rows {
+            let xi = match triangle {
+                Triangle::Lower => row_solve_lower_raw(m, i, b[i], |j| x[j]),
+                Triangle::Upper => row_solve_upper_raw(m, i, b[i], |j| x[j]),
+            };
+            x[i] = xi;
+        }
+    } else {
+        let counters = schedule.acquire_counters();
+        let next = AtomicUsize::new(0);
+        let xs = UnsafeSlice::new(x);
+        let workers = n_threads.min(n_blocks);
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let blk = next.fetch_add(1, Ordering::Relaxed);
+                    if blk >= n_blocks {
+                        break;
+                    }
+                    // Busy-wait until every distinct predecessor block has
+                    // released us; the Acquire load pairs with the Release
+                    // decrements below (RMWs extend the release sequence,
+                    // so all predecessors' writes are visible).
+                    while counters[blk].load(Ordering::Acquire) != 0 {
+                        std::hint::spin_loop();
+                    }
+                    for &i in schedule.block(blk) {
+                        // SAFETY: rows are partitioned across blocks
+                        // (disjoint writes); reads touch rows finalized
+                        // either earlier in this block (same thread) or in
+                        // a released predecessor block (Acquire above).
+                        unsafe {
+                            let xi = match triangle {
+                                Triangle::Lower => row_solve_lower_raw(m, i, b[i], |j| xs.read(j)),
+                                Triangle::Upper => row_solve_upper_raw(m, i, b[i], |j| xs.read(j)),
+                            };
+                            xs.write(i, xi);
+                        }
+                    }
+                    for &s in schedule.successors(blk) {
+                        counters[s].fetch_sub(1, Ordering::Release);
+                    }
+                });
+            }
+        })
+        .expect("dependency-block worker panicked");
+        schedule.release_counters(counters);
+    }
+    probe.counter(Counter::Syncs, n_blocks as u64);
+    probe.counter(Counter::ExecBlocks, n_blocks as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{solve_lower_seq, solve_upper_seq};
+    use spcg_sparse::generators::{banded_spd, poisson_2d};
+    use spcg_sparse::Rng;
+
+    fn rhs(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| rng.range(-1.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn chunked_partition_covers_rows_and_validates() {
+        let a = poisson_2d(20, 20);
+        let l = a.lower();
+        for target in [1, 3, 64, 256, 4096] {
+            let s = BlockSchedule::from_levels_with(
+                &l,
+                &LevelSchedule::build(&l, Triangle::Lower),
+                BlockOptions { target_rows: target },
+            );
+            assert_eq!(s.n_blocks(), 400usize.div_ceil(target), "target={target}");
+            s.validate(&l).unwrap_or_else(|e| panic!("target={target}: {e}"));
+        }
+    }
+
+    #[test]
+    fn fewer_blocks_than_levels_on_deep_schedules() {
+        // The whole point: a 30x30 grid has 59 lower wavefronts, but only
+        // ceil(900/256) = 4 blocks at the default granularity.
+        let a = poisson_2d(30, 30);
+        let l = a.lower();
+        let levels = LevelSchedule::build(&l, Triangle::Lower);
+        let s = BlockSchedule::from_levels(&l, &levels);
+        assert!(levels.n_levels() > 50);
+        assert_eq!(s.n_blocks(), 4);
+        assert!(s.n_blocks() < levels.n_levels());
+    }
+
+    #[test]
+    fn lower_blocks_bitwise_equal_to_sequential() {
+        let a = poisson_2d(30, 30);
+        let l = a.lower();
+        let s = BlockSchedule::build(&l, Triangle::Lower);
+        let b = rhs(900, 5);
+        let mut x_seq = vec![0.0; 900];
+        solve_lower_seq(&l, &b, &mut x_seq);
+        for n_threads in [1, 2, 4, 8] {
+            let mut x_blk = vec![0.0; 900];
+            solve_blocks_with_threads(&l, &s, &b, &mut x_blk, n_threads);
+            assert_eq!(x_seq, x_blk, "n_threads={n_threads}");
+        }
+    }
+
+    #[test]
+    fn upper_blocks_bitwise_equal_to_sequential() {
+        let a = poisson_2d(25, 25);
+        let u = a.upper();
+        let s = BlockSchedule::build(&u, Triangle::Upper);
+        let b = rhs(625, 6);
+        let mut x_seq = vec![0.0; 625];
+        solve_upper_seq(&u, &b, &mut x_seq);
+        for n_threads in [1, 4] {
+            let mut x_blk = vec![0.0; 625];
+            solve_blocks_with_threads(&u, &s, &b, &mut x_blk, n_threads);
+            assert_eq!(x_seq, x_blk, "n_threads={n_threads}");
+        }
+    }
+
+    #[test]
+    fn tiny_blocks_maximize_contention_and_still_agree() {
+        // target_rows = 1 degenerates to the sync-free per-row scheme with
+        // release counters — the hardest case for the release path.
+        let a = banded_spd(700, 4, 0.9, 2.0, 1);
+        let l = a.lower();
+        let s = BlockSchedule::from_levels_with(
+            &l,
+            &LevelSchedule::build(&l, Triangle::Lower),
+            BlockOptions { target_rows: 1 },
+        );
+        s.validate(&l).unwrap();
+        let b = rhs(700, 7);
+        let mut x_seq = vec![0.0; 700];
+        solve_lower_seq(&l, &b, &mut x_seq);
+        let mut x_blk = vec![0.0; 700];
+        solve_blocks_with_threads(&l, &s, &b, &mut x_blk, 8);
+        assert_eq!(x_seq, x_blk);
+    }
+
+    #[test]
+    fn probed_blocks_report_release_counts() {
+        let a = poisson_2d(10, 10);
+        let l = a.lower();
+        let s = BlockSchedule::from_levels_with(
+            &l,
+            &LevelSchedule::build(&l, Triangle::Lower),
+            BlockOptions { target_rows: 16 },
+        );
+        let b = rhs(100, 9);
+        let mut x_plain = vec![0.0; 100];
+        let mut x_probed = vec![0.0; 100];
+        solve_lower_seq(&l, &b, &mut x_plain);
+        let mut probe = spcg_probe::HistogramProbe::new();
+        solve_blocks_probed(&l, &s, &b, &mut x_probed, &mut probe);
+        assert_eq!(x_plain, x_probed, "probe must not perturb the solve");
+        assert_eq!(probe.counter_total(Counter::Syncs), s.n_blocks() as u64);
+        assert_eq!(probe.counter_total(Counter::ExecBlocks), s.n_blocks() as u64);
+    }
+
+    #[test]
+    fn counter_pool_is_reused_across_solves() {
+        let a = poisson_2d(24, 24);
+        let l = a.lower();
+        let s = BlockSchedule::from_levels_with(
+            &l,
+            &LevelSchedule::build(&l, Triangle::Lower),
+            BlockOptions { target_rows: 32 },
+        );
+        let b = rhs(576, 3);
+        let mut x_seq = vec![0.0; 576];
+        solve_lower_seq(&l, &b, &mut x_seq);
+        for _ in 0..10 {
+            let mut x = vec![0.0; 576];
+            solve_blocks_with_threads(&l, &s, &b, &mut x, 4);
+            assert_eq!(x_seq, x);
+        }
+        assert_eq!(s.pool.lock().unwrap().len(), 1, "the seeded array keeps cycling");
+    }
+
+    #[test]
+    fn critical_path_tracks_block_graph() {
+        // A dense lower triangle is one long chain: every block depends on
+        // its predecessor, so the critical path is all blocks and all nnz.
+        let mut coo = spcg_sparse::CooMatrix::new(12, 12);
+        for i in 0..12 {
+            for j in 0..=i {
+                coo.push(i, j, 1.0).unwrap();
+            }
+        }
+        let l = coo.to_csr();
+        let s = BlockSchedule::from_levels_with(
+            &l,
+            &LevelSchedule::build(&l, Triangle::Lower),
+            BlockOptions { target_rows: 3 },
+        );
+        assert_eq!(s.n_blocks(), 4);
+        assert_eq!(s.critical_path_blocks(), 4);
+        assert_eq!(s.critical_path_nnz(), l.nnz());
+        // A diagonal matrix is one level of independent rows: no edges.
+        let d = CsrMatrix::<f64>::identity(12);
+        let sd = BlockSchedule::from_levels_with(
+            &d,
+            &LevelSchedule::build(&d, Triangle::Lower),
+            BlockOptions { target_rows: 3 },
+        );
+        assert_eq!(sd.n_edges(), 0);
+        assert_eq!(sd.critical_path_blocks(), 1);
+    }
+
+    #[test]
+    fn clone_and_eq_ignore_the_pool() {
+        let a = poisson_2d(8, 8);
+        let l = a.lower();
+        let s = BlockSchedule::build(&l, Triangle::Lower);
+        let c = s.clone();
+        assert_eq!(s, c);
+        assert!(c.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_system() {
+        let l = CsrMatrix::<f64>::identity(0);
+        let s = BlockSchedule::build(&l, Triangle::Lower);
+        assert_eq!(s.n_blocks(), 0);
+        s.validate(&l).unwrap();
+        let mut x: Vec<f64> = vec![];
+        solve_blocks(&l, &s, &[], &mut x);
+        solve_blocks_with_threads(&l, &s, &[], &mut x, 4);
+    }
+}

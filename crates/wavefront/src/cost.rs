@@ -1,0 +1,158 @@
+//! Analytic pricing of the triangular-executor strategies.
+//!
+//! A miniature of the `spcg-gpusim` roofline that lives here so the core
+//! pipeline (which must not depend on the simulator) can resolve
+//! `ExecutionStrategy::Auto` and judge reorderings by *priced time* instead
+//! of raw level counts. The constants mirror `DeviceSpec::a100()`; the
+//! simulator exposes its devices as [`ExecCostModel`]s and a pin test keeps
+//! the two in lockstep.
+
+use crate::blocks::BlockSchedule;
+use crate::levels::LevelSchedule;
+use spcg_sparse::{CsrMatrix, Scalar};
+
+/// Bytes per stored index (cuSPARSE uses 32-bit indices).
+const IDX_BYTES: f64 = 4.0;
+
+/// Device constants needed to price one triangular sweep under either
+/// executor. All times are microseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecCostModel {
+    /// Cost of one kernel launch / level barrier.
+    pub launch_overhead_us: f64,
+    /// Cost of releasing one dependency block (an atomic countdown, not a
+    /// kernel launch — orders of magnitude cheaper than a barrier).
+    pub block_release_us: f64,
+    /// Rows that can be in flight concurrently.
+    pub parallel_rows: usize,
+    /// Sustained memory bandwidth, GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Peak arithmetic throughput, GFLOP/s.
+    pub peak_gflops: f64,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Average cycles per stored entry in the sparse kernels.
+    pub cycles_per_nnz: f64,
+}
+
+impl Default for ExecCostModel {
+    /// A100-class constants (the simulator's reference device).
+    fn default() -> Self {
+        Self {
+            launch_overhead_us: 3.0,
+            block_release_us: 0.05,
+            parallel_rows: 108 * 1024,
+            mem_bandwidth_gbps: 1555.0,
+            peak_gflops: 19_500.0,
+            clock_ghz: 1.41,
+            cycles_per_nnz: 8.0,
+        }
+    }
+}
+
+impl ExecCostModel {
+    fn mem_time_us(&self, bytes: f64) -> f64 {
+        bytes / (self.mem_bandwidth_gbps * 1e3)
+    }
+
+    fn serial_entry_time_us(&self, nnz: f64) -> f64 {
+        nnz * self.cycles_per_nnz / (self.clock_ghz * 1e3)
+    }
+
+    fn sweep_bytes_flops(&self, rows: f64, nnz: f64, value_bytes: f64) -> (f64, f64) {
+        let bytes = nnz * (value_bytes + IDX_BYTES)
+            + rows * (IDX_BYTES + 2.0 * value_bytes)
+            + 0.5 * nnz * value_bytes;
+        (bytes, 2.0 * nnz)
+    }
+
+    /// Priced time of one level-barrier sweep: launch overhead per level,
+    /// each level rooflined over its memory traffic and longest serial row.
+    pub fn level_time_us<T: Scalar>(&self, m: &CsrMatrix<T>, schedule: &LevelSchedule) -> f64 {
+        let value_bytes = std::mem::size_of::<T>() as f64;
+        let mut total = 0.0;
+        for level in schedule.levels() {
+            let mut nnz = 0usize;
+            let mut max_row = 0usize;
+            for &r in level {
+                let c = m.row_nnz(r);
+                nnz += c;
+                max_row = max_row.max(c);
+            }
+            let (bytes, flops) =
+                self.sweep_bytes_flops(level.len() as f64, nnz as f64, value_bytes);
+            let waves = (level.len() as f64 / self.parallel_rows as f64).ceil().max(1.0);
+            let serial_us = waves * self.serial_entry_time_us(max_row as f64);
+            let compute_us = (flops / (self.peak_gflops * 1e3)).max(serial_us);
+            total += self.launch_overhead_us + self.mem_time_us(bytes).max(compute_us);
+        }
+        total
+    }
+
+    /// Priced time of one dependency-block sweep: a single launch plus one
+    /// release per block, rooflined over the sweep's total traffic and the
+    /// heaviest serial chain through the block graph.
+    pub fn block_time_us<T: Scalar>(&self, m: &CsrMatrix<T>, schedule: &BlockSchedule) -> f64 {
+        if schedule.n_blocks() == 0 {
+            return 0.0;
+        }
+        let value_bytes = std::mem::size_of::<T>() as f64;
+        let (bytes, flops) =
+            self.sweep_bytes_flops(schedule.n_rows() as f64, m.nnz() as f64, value_bytes);
+        let serial_us = self.serial_entry_time_us(schedule.critical_path_nnz() as f64);
+        let compute_us = (flops / (self.peak_gflops * 1e3)).max(serial_us);
+        self.launch_overhead_us
+            + schedule.n_blocks() as f64 * self.block_release_us
+            + self.mem_time_us(bytes).max(compute_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::Triangle;
+    use spcg_sparse::generators::poisson_2d;
+
+    #[test]
+    fn block_execution_prices_below_barriers_on_deep_schedules() {
+        // 59 barriers vs 4 block releases on a 30x30 grid's lower factor.
+        let l = poisson_2d(30, 30).lower();
+        let levels = LevelSchedule::build(&l, Triangle::Lower);
+        let blocks = BlockSchedule::from_levels(&l, &levels);
+        let model = ExecCostModel::default();
+        let lvl = model.level_time_us(&l, &levels);
+        let blk = model.block_time_us(&l, &blocks);
+        assert!(blk < lvl, "block {blk} µs !< barrier {lvl} µs");
+        // The gap is dominated by launch overhead: 59 launches vs 1.
+        assert!(lvl > levels.n_levels() as f64 * model.launch_overhead_us);
+    }
+
+    #[test]
+    fn a_serial_chain_still_pays_its_critical_path() {
+        let mut coo = spcg_sparse::CooMatrix::new(64, 64);
+        for i in 0..64usize {
+            coo.push(i, i, 2.0).unwrap();
+            if i > 0 {
+                coo.push(i, i - 1, 1.0).unwrap();
+            }
+        }
+        let l = coo.to_csr();
+        let levels = LevelSchedule::build(&l, Triangle::Lower);
+        let blocks = BlockSchedule::from_levels(&l, &levels);
+        let model = ExecCostModel::default();
+        // The chain's whole nnz is on the critical path.
+        assert_eq!(blocks.critical_path_nnz(), l.nnz());
+        assert!(model.block_time_us(&l, &blocks) > 0.0);
+    }
+
+    #[test]
+    fn deterministic_and_monotone_in_releases() {
+        let l = poisson_2d(16, 16).lower();
+        let levels = LevelSchedule::build(&l, Triangle::Lower);
+        let blocks = BlockSchedule::from_levels(&l, &levels);
+        let model = ExecCostModel::default();
+        assert_eq!(model.block_time_us(&l, &blocks), model.block_time_us(&l, &blocks));
+        let pricier = ExecCostModel { block_release_us: 10.0, ..ExecCostModel::default() };
+        assert!(pricier.block_time_us(&l, &blocks) > model.block_time_us(&l, &blocks));
+    }
+}

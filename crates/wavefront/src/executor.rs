@@ -1,14 +1,26 @@
 //! Triangular-solve executors.
 //!
-//! Three strategies, mirroring the design space the paper discusses (§6.1):
+//! Four strategies, mirroring the design space the paper discusses (§6.1):
 //!
 //! * **Sequential** forward/backward substitution — the reference.
 //! * **Level-scheduled** (wavefront) execution: rows within a level run in
 //!   parallel under rayon, with a barrier between levels. This is the
-//!   inspector–executor pattern used by cuSPARSE-style solvers.
+//!   inspector–executor pattern used by cuSPARSE-style solvers. A level is
+//!   only forked to rayon when it has at least `LEVEL_PAR_MIN` rows: below
+//!   that, fork/join overhead dominates the row work, so narrow levels run
+//!   inline on the calling thread.
 //! * **Synchronization-free** execution: worker threads claim rows in
 //!   ascending order and busy-wait on per-row done flags instead of level
 //!   barriers (in the style of Liu et al. and CapelliniSpTRSV).
+//! * **Dependency-block** execution (in [`crate::blocks`]): a one-time
+//!   inspector cuts the level schedule's execution order into row blocks
+//!   and records cross-block dependency counts; workers release successor
+//!   blocks by atomic countdown instead of joining a global barrier, so
+//!   independent chains overlap across level boundaries. The counter-release
+//!   invariant: a block's counter holds its distinct-predecessor count, each
+//!   finished predecessor decrements it exactly once (Release), and a worker
+//!   enters the block only after observing zero (Acquire) — so every
+//!   cross-block read is ordered after the write that produced it.
 //!
 //! All executors compute bitwise-identical results: each row's dot product
 //! is accumulated in CSR storage order.
@@ -83,24 +95,24 @@ fn row_solve_upper<T: Scalar>(u: &CsrMatrix<T>, i: usize, bi: T, x: &[T]) -> T {
 /// level-scheduled executor guarantees this because rows within a wavefront
 /// are unique, and reads only touch rows finalized in earlier wavefronts
 /// (separated by the rayon join barrier).
-struct UnsafeSlice<'a, T>(&'a [std::cell::UnsafeCell<T>]);
+pub(crate) struct UnsafeSlice<'a, T>(&'a [std::cell::UnsafeCell<T>]);
 
 unsafe impl<T: Send + Sync> Sync for UnsafeSlice<'_, T> {}
 
 impl<'a, T> UnsafeSlice<'a, T> {
-    fn new(slice: &'a mut [T]) -> Self {
+    pub(crate) fn new(slice: &'a mut [T]) -> Self {
         // SAFETY: UnsafeCell<T> has the same layout as T.
         let ptr = slice as *mut [T] as *const [std::cell::UnsafeCell<T>];
         Self(unsafe { &*ptr })
     }
 
     /// SAFETY: caller must guarantee no concurrent access to index `i`.
-    unsafe fn write(&self, i: usize, v: T) {
+    pub(crate) unsafe fn write(&self, i: usize, v: T) {
         unsafe { *self.0[i].get() = v };
     }
 
     /// SAFETY: caller must guarantee index `i` is not being written.
-    unsafe fn read(&self, i: usize) -> T
+    pub(crate) unsafe fn read(&self, i: usize) -> T
     where
         T: Copy,
     {
@@ -163,7 +175,7 @@ pub fn solve_levels_par_probed<T: Scalar, P: Probe>(
 }
 
 #[inline]
-fn row_solve_lower_raw<T: Scalar>(
+pub(crate) fn row_solve_lower_raw<T: Scalar>(
     m: &CsrMatrix<T>,
     i: usize,
     bi: T,
@@ -184,7 +196,7 @@ fn row_solve_lower_raw<T: Scalar>(
 }
 
 #[inline]
-fn row_solve_upper_raw<T: Scalar>(
+pub(crate) fn row_solve_upper_raw<T: Scalar>(
     m: &CsrMatrix<T>,
     i: usize,
     bi: T,

@@ -2,19 +2,28 @@
 //!
 //! Wavefront (level-scheduling) machinery for sparse triangular systems:
 //! dependence-DAG inspection, level scheduling, wavefront statistics
-//! (including the paper's Equation 7 reduction metric), and parallel
-//! executors (level-barrier and synchronization-free).
+//! (including the paper's Equation 7 reduction metric), parallel executors
+//! (level-barrier, synchronization-free, and dependency-block
+//! counter-release), and the analytic cost model that prices the executor
+//! strategies against each other.
 //!
 //! This crate is the "inspector–executor" substrate that both the
 //! preconditioner application inside PCG and the GPU cost model build on.
 
 #![warn(missing_docs)]
 
+pub mod blocks;
+pub mod cost;
 pub mod dag;
 pub mod executor;
 pub mod levels;
 pub mod stats;
 
+pub use blocks::{
+    solve_blocks, solve_blocks_probed, solve_blocks_with_threads, solve_blocks_with_threads_probed,
+    BlockOptions, BlockSchedule,
+};
+pub use cost::ExecCostModel;
 pub use dag::{DependenceDag, Triangle};
 pub use executor::{
     solve_levels_par, solve_levels_par_probed, solve_lower_seq, solve_lower_sync_free,

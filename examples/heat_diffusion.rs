@@ -39,14 +39,14 @@ fn main() {
 
     // --- baseline: ILU(0) of A, built once ---
     let t = Instant::now();
-    let base_factors = ilu0(&a, TriangularExec::Sequential).expect("ILU(0)");
+    let base_factors = ilu0(&a, ExecutionStrategy::Sequential).expect("ILU(0)");
     let base_setup = t.elapsed();
 
     // --- SPCG: sparsify once, factor once ---
     let t = Instant::now();
     let decision = wavefront_aware_sparsify(&a, &SparsifyParams::default());
     let spcg_factors =
-        ilu0(&decision.sparsified.a_hat, TriangularExec::Sequential).expect("ILU(0) of A-hat");
+        ilu0(&decision.sparsified.a_hat, ExecutionStrategy::Sequential).expect("ILU(0) of A-hat");
     let spcg_setup = t.elapsed();
 
     println!(

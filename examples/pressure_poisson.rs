@@ -28,7 +28,7 @@ fn main() {
     println!("{:>7} {:>11} {:>12} {:>12}", "ratio", "iterations", "residual", "wavefronts");
     for pct in [0.0, 1.0, 5.0, 10.0, 20.0] {
         let a_hat = if pct == 0.0 { a.clone() } else { sparsify_by_magnitude(&a, pct).a_hat };
-        match ilu0(&a_hat, TriangularExec::Sequential) {
+        match ilu0(&a_hat, ExecutionStrategy::Sequential) {
             Ok(f) => {
                 let r = pcg(&a, &f, &b, &solver).expect("well-formed system");
                 println!(
@@ -53,7 +53,7 @@ fn main() {
         );
     }
 
-    let f = ilu0(&decision.sparsified.a_hat, TriangularExec::Sequential).expect("ILU(0)");
+    let f = ilu0(&decision.sparsified.a_hat, ExecutionStrategy::Sequential).expect("ILU(0)");
     let r = pcg(&a, &f, &b, &solver).expect("well-formed system");
     assert_eq!(r.stop, StopReason::Converged, "SPCG pressure solve diverged");
     println!(

@@ -30,7 +30,7 @@ fn main() {
     );
 
     // 2. PCG with a non-sparsified ILU(0) preconditioner.
-    let factors = ilu0(&a, TriangularExec::Sequential).expect("ILU(0) factorization");
+    let factors = ilu0(&a, ExecutionStrategy::Sequential).expect("ILU(0) factorization");
     let pcg_run = pcg(&a, &factors, &b, &config).expect("well-formed system");
     println!(
         "PCG-ILU(0)   : {:>4} iterations, residual {:.2e}, {} wavefronts in the factors",

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI perf-regression gate over the tracked trajectory bench.
 
-Compares a freshly regenerated `BENCH_8.json` against the committed
+Compares a freshly regenerated `BENCH_9.json` against the committed
 baseline and fails (exit 1) if any fixture regressed beyond tolerance:
 
 * **Simulated per-iteration cost** (baseline, spcg, auto-ordering, and
@@ -17,6 +17,12 @@ baseline and fails (exit 1) if any fixture regressed beyond tolerance:
 * **Mixed-precision apply bytes**: the full/mixed preconditioner-apply
   bytes ratio dropping below the 1.5x acceptance floor on any fixture —
   the bandwidth win is the mixed tier's reason to exist, so losing it is
+  a regression even if timings hold.
+* **Sync study (barrier vs dependency blocks)**: any multi-level fixture
+  (more wavefronts than the two mandatory L/U sweeps) whose per-iteration
+  sync reduction is not strictly positive, or whose dependency-block
+  sweep prices at or above the barrier sweep — killing the per-level
+  barrier is the executor's reason to exist, so losing the reduction is
   a regression even if timings hold.
 * **Serve study (admission control at 2x load)**: any priority class's
   p99 virtual-time latency exceeding the per-request deadline (the
@@ -71,6 +77,39 @@ def variants(row: dict) -> list[tuple[str, float, int]]:
         ("auto", o["per_iteration_us_auto"], o["iterations_auto"]),
         ("mixed", p["per_iteration_us_mixed"], p["iterations_mixed"]),
     ]
+
+
+def check_sync_study(cand_rows: dict[str, dict], failures: list[str]) -> None:
+    """Gate the barrier-vs-dependency-block executor study.
+
+    A fixture is *multi-level* when its barrier executor pays more than the
+    two mandatory synchronizations (one L sweep, one U sweep — a
+    diagonal-only factor pair bottoms out at 2). On every such fixture the
+    dependency-block executor must strictly reduce syncs per iteration and
+    price its L+U sweep strictly below the barrier sweep.
+    """
+    print("-" * 66)
+    print(f"{'sync study':<16} {'syncs/iter':>22} {'sweep µs':>24}")
+    for name, c in cand_rows.items():
+        s = c.get("sync")
+        if s is None:
+            failures.append(f"sync/{name}: study missing from candidate")
+            continue
+        syncs = f"{s['syncs_barrier']:>7} -> {s['syncs_blocks']:<7}"
+        sweep = f"{s['sweep_us_barrier']:>10.3f} -> {s['sweep_us_blocks']:<10.3f}"
+        print(f"{name:<16} {syncs:>22} {sweep:>24}")
+        if s["syncs_barrier"] <= 2:
+            continue  # diagonal-only: nothing for the block executor to win
+        if s["syncs_blocks"] >= s["syncs_barrier"]:
+            failures.append(
+                f"sync/{name}: {s['syncs_barrier']} -> {s['syncs_blocks']} syncs/iter — "
+                f"the dependency-block executor stopped reducing synchronizations"
+            )
+        if s["sweep_us_blocks"] >= s["sweep_us_barrier"]:
+            failures.append(
+                f"sync/{name}: block sweep {s['sweep_us_blocks']:.3f} µs prices at or above "
+                f"the barrier sweep {s['sweep_us_barrier']:.3f} µs"
+            )
 
 
 def check_serve(base: dict | None, cand: dict | None, failures: list[str]) -> None:
@@ -181,6 +220,10 @@ def main() -> None:
         f"gmean apply-bytes ratio: {base['gmean_apply_bytes_ratio']:.3f}x -> "
         f"{cand['gmean_apply_bytes_ratio']:.3f}x (floor {APPLY_BYTES_FLOOR}x)"
     )
+    print(
+        f"gmean sync reduction: {base.get('gmean_sync_reduction_percent', 0.0):.1f}% -> "
+        f"{cand.get('gmean_sync_reduction_percent', 0.0):.1f}%"
+    )
     if c_lvl < LEVEL_FLOOR:
         failures.append(
             f"gmean level reduction {c_lvl:.1f}% fell below the {LEVEL_FLOOR:.0f}% floor"
@@ -191,6 +234,7 @@ def main() -> None:
             f"(> {LEVEL_DRIFT:.0f} point drift)"
         )
 
+    check_sync_study(cand_rows, failures)
     check_serve(base.get("serve"), cand.get("serve"), failures)
     check_sequence(cand.get("sequence"), failures)
 

@@ -29,7 +29,7 @@ ALLOWED_DIRS = {
 
 ALLOWED_FILES = {
     ".gitignore",
-    "BENCH_8.json",
+    "BENCH_9.json",
     "CHANGES.md",
     "Cargo.lock",
     "Cargo.toml",

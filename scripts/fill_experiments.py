@@ -3,11 +3,12 @@
 
 Two jobs, both idempotent:
 
-1. **Trajectory tables** (always): reads the tracked `BENCH_8.json` written
+1. **Trajectory tables** (always): reads the tracked `BENCH_9.json` written
    by `cargo bench -p spcg-bench --bench trajectory` and regenerates the
    tables between the `BENCH_TRAJECTORY:BEGIN/END`,
    `BENCH_ORDERINGS:BEGIN/END`, `BENCH_PRECISION:BEGIN/END`,
-   `BENCH_SERVE:BEGIN/END`, and `BENCH_SEQUENCE:BEGIN/END` markers.
+   `BENCH_SYNC:BEGIN/END`, `BENCH_SERVE:BEGIN/END`, and
+   `BENCH_SEQUENCE:BEGIN/END` markers.
    Re-running with the same JSON is a no-op.
 2. **MEASURED_* placeholders** (only when `bench_output.txt` exists):
    greps the captured full-collection bench run for the Fig 4/5 headline
@@ -25,7 +26,7 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 EXP = ROOT / "EXPERIMENTS.md"
-BENCH_JSON = ROOT / "BENCH_8.json"
+BENCH_JSON = ROOT / "BENCH_9.json"
 BENCH_TXT = ROOT / "bench_output.txt"
 
 BEGIN = "<!-- BENCH_TRAJECTORY:BEGIN -->"
@@ -34,6 +35,8 @@ ORD_BEGIN = "<!-- BENCH_ORDERINGS:BEGIN -->"
 ORD_END = "<!-- BENCH_ORDERINGS:END -->"
 PREC_BEGIN = "<!-- BENCH_PRECISION:BEGIN -->"
 PREC_END = "<!-- BENCH_PRECISION:END -->"
+SYNC_BEGIN = "<!-- BENCH_SYNC:BEGIN -->"
+SYNC_END = "<!-- BENCH_SYNC:END -->"
 SERVE_BEGIN = "<!-- BENCH_SERVE:BEGIN -->"
 SERVE_END = "<!-- BENCH_SERVE:END -->"
 SEQ_BEGIN = "<!-- BENCH_SEQUENCE:BEGIN -->"
@@ -118,6 +121,35 @@ def precision_block(traj: dict) -> str:
     return "\n".join(lines)
 
 
+def sync_block(traj: dict) -> str:
+    """Markdown table for the barrier-vs-dependency-block executor study."""
+    lines = [
+        "Executor sync study on the same sparsified factors: the level-barrier",
+        "executor pays one synchronization per wavefront (L+U) while the",
+        "dependency-block executor (`--exec-strategy blocks`) pays one counter",
+        "release per block. Sweep times are the simulated L+U trisolve cost per",
+        "iteration; CI gates the sync reduction strictly above zero on every",
+        "multi-level fixture.",
+        "",
+        "| Fixture | Syncs/iter (barrier → blocks) | Reduction "
+        "| Sweep µs (barrier → blocks) | Iters (blocks) |",
+        "|---|---|---|---|---|",
+    ]
+    for r in traj["rows"]:
+        s = r["sync"]
+        lines.append(
+            f"| {r['name']} "
+            f"| {s['syncs_barrier']} → {s['syncs_blocks']} "
+            f"| {s['sync_reduction_percent']:.1f}% "
+            f"| {s['sweep_us_barrier']:.3f} → {s['sweep_us_blocks']:.3f} "
+            f"| {s['iterations_blocks']} |"
+        )
+    lines.append(
+        f"| **gmean** | | **{traj['gmean_sync_reduction_percent']:.1f}%** | | |"
+    )
+    return "\n".join(lines)
+
+
 def serve_block(traj: dict) -> str:
     """Markdown table for the virtual-time admission-control replay."""
     s = traj["serve"]
@@ -179,13 +211,14 @@ def replace_between(text: str, begin: str, end: str, block: str) -> str:
 def fill_trajectory(text: str) -> str:
     if not BENCH_JSON.exists():
         sys.exit(
-            "BENCH_8.json missing — run "
+            "BENCH_9.json missing — run "
             "`cargo bench -p spcg-bench --bench trajectory` first"
         )
     traj = json.loads(BENCH_JSON.read_text())
     text = replace_between(text, BEGIN, END, trajectory_block(traj))
     text = replace_between(text, ORD_BEGIN, ORD_END, orderings_block(traj))
     text = replace_between(text, PREC_BEGIN, PREC_END, precision_block(traj))
+    text = replace_between(text, SYNC_BEGIN, SYNC_END, sync_block(traj))
     text = replace_between(text, SERVE_BEGIN, SERVE_END, serve_block(traj))
     return replace_between(text, SEQ_BEGIN, SEQ_END, sequence_block(traj))
 

@@ -35,12 +35,18 @@ const INLINE_THRESHOLD: usize = 2048;
 ///
 /// Honors `RAYON_NUM_THREADS` exactly as real rayon's default pool does —
 /// CI pins it to exercise the concurrency tests single-threaded and
-/// oversubscribed — and falls back to the machine's parallelism.
+/// oversubscribed — and falls back to the machine's parallelism. Like real
+/// rayon's global pool, the size is fixed at first use: the env var is read
+/// once (reading it per call would also put a `String` allocation on the
+/// executors' per-sweep hot path).
 pub fn current_num_threads() -> usize {
-    match std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-    }
+    static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *N.get_or_init(|| {
+        match std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    })
 }
 
 /// Runs `a` and `b`, potentially in parallel, returning both results.

@@ -10,7 +10,7 @@
 //! unit-testable; `src/bin/spcg-cli.rs` is a thin wrapper.
 
 use spcg_core::{CondEstimator, OrderingKind, PrecisionPolicy, PrecondKind, SparsifyParams};
-use spcg_precond::TriangularExec;
+use spcg_precond::ExecutionStrategy;
 use spcg_solver::{SolverConfig, ToleranceMode};
 use std::collections::HashMap;
 
@@ -41,7 +41,7 @@ pub struct SolveArgs {
     /// Solver configuration.
     pub solver: SolverConfig,
     /// Triangular-solve execution strategy.
-    pub exec: TriangularExec,
+    pub exec: ExecutionStrategy,
     /// Device model for cost reporting (`a100`, `v100`, `epyc`), if any.
     pub device: Option<String>,
     /// Path to write the recorded run trace (JSON) to, if any.
@@ -134,7 +134,8 @@ USAGE:
   spcg-cli solve   --matrix FILE [--precond ilu0|iluk=K|jacobi|sai] \
 [--sparsify auto|off|RATIO%] [--ordering natural|rcm|coloring|auto] \
 [--precision full|mixed|auto] [--tol 1e-10] [--abs-tol] [--max-iters N] \
-[--exec seq|par] [--device a100|v100|epyc] [--trace OUT.json] \
+[--exec-strategy seq|barrier|blocks|auto] [--exec seq|par] \
+[--device a100|v100|epyc] [--trace OUT.json] \
 [--sequence N [--drift SIGMA]]
   spcg-cli analyze --matrix FILE [--sparsify auto|RATIO%]
   spcg-cli generate --kind poisson2d|poisson3d|layered2d|banded --out FILE \
@@ -234,10 +235,15 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, String> {
     if let Some(m) = flags.get("max-iters") {
         solver.max_iters = m.parse().map_err(|e| format!("bad --max-iters: {e}"))?;
     }
-    let exec = match flags.get("exec").map(String::as_str) {
-        None | Some("seq") => TriangularExec::Sequential,
-        Some("par") => TriangularExec::LevelParallel,
-        Some(other) => return Err(format!("unknown --exec {other} (seq|par)")),
+    let exec = match (flags.get("exec-strategy"), flags.get("exec").map(String::as_str)) {
+        (Some(_), Some(_)) => {
+            return Err("--exec and --exec-strategy are mutually exclusive".to_string())
+        }
+        (Some(s), None) => ExecutionStrategy::parse(s)
+            .ok_or_else(|| format!("unknown --exec-strategy {s} (seq|barrier|blocks|auto)"))?,
+        (None, None | Some("seq")) => ExecutionStrategy::Sequential,
+        (None, Some("par")) => ExecutionStrategy::LevelBarrier,
+        (None, Some(other)) => return Err(format!("unknown --exec {other} (seq|par)")),
     };
     let device = flags.get("device").cloned();
     if let Some(d) = &device {
@@ -406,7 +412,7 @@ mod tests {
         assert_eq!(a.precond, PrecondKind::Ilu0);
         assert_eq!(a.sparsify, SparsifyMode::Auto);
         assert_eq!(a.ordering, OrderingKind::Natural);
-        assert_eq!(a.exec, TriangularExec::Sequential);
+        assert_eq!(a.exec, ExecutionStrategy::Sequential);
     }
 
     #[test]
@@ -467,9 +473,40 @@ mod tests {
         assert_eq!(a.sparsify, SparsifyMode::Fixed(5.0));
         assert_eq!(a.solver.tol, 1e-8);
         assert_eq!(a.solver.max_iters, 200);
-        assert_eq!(a.exec, TriangularExec::LevelParallel);
+        assert_eq!(a.exec, ExecutionStrategy::LevelBarrier);
         assert_eq!(a.device.as_deref(), Some("v100"));
         assert_eq!(a.trace, None);
+    }
+
+    #[test]
+    fn parses_exec_strategy_flag() {
+        for (spelling, exec) in [
+            ("seq", ExecutionStrategy::Sequential),
+            ("sequential", ExecutionStrategy::Sequential),
+            ("barrier", ExecutionStrategy::LevelBarrier),
+            ("level-barrier", ExecutionStrategy::LevelBarrier),
+            ("blocks", ExecutionStrategy::DependencyBlocks),
+            ("dependency-blocks", ExecutionStrategy::DependencyBlocks),
+            ("auto", ExecutionStrategy::Auto),
+        ] {
+            let cmd =
+                parse(&s(&["solve", "--matrix", "m.mtx", "--exec-strategy", spelling])).unwrap();
+            let Command::Solve(a) = cmd else { panic!() };
+            assert_eq!(a.exec, exec, "--exec-strategy {spelling}");
+        }
+        assert!(parse(&s(&["solve", "--matrix", "m", "--exec-strategy", "warp"])).is_err());
+        // The legacy spelling still works but cannot be combined with the
+        // new flag.
+        assert!(parse(&s(&[
+            "solve",
+            "--matrix",
+            "m",
+            "--exec",
+            "par",
+            "--exec-strategy",
+            "blocks"
+        ]))
+        .is_err());
     }
 
     #[test]

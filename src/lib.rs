@@ -54,7 +54,7 @@ pub mod prelude {
         SpcgOutcome, SpcgPlan, ORACLE_RATIOS,
     };
     pub use spcg_precond::{
-        ic0, ilu0, iluk, shifted_factorization, Preconditioner, ShiftPolicy, TriangularExec,
+        ic0, ilu0, iluk, shifted_factorization, ExecutionStrategy, Preconditioner, ShiftPolicy,
     };
     pub use spcg_probe::{
         Counter, HistogramProbe, IterationEvent, NoProbe, PhaseStats, Probe, ProbeStop,

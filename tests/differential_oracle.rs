@@ -209,6 +209,43 @@ fn reordered_plans_agree_with_dense_reference() {
     }
 }
 
+/// The dependency-block executor sits under the same net — and under a
+/// stronger one: because every executor accumulates each row's dot product
+/// in CSR storage order, a dependency-block plan is not merely
+/// band-accurate but *bitwise identical* to the sequential plan across
+/// iterate, residual history, and iteration count, on every suite recipe.
+/// `Auto` must resolve to one of the two and therefore match as well.
+#[test]
+fn dependency_block_plans_match_sequential_bitwise_on_every_recipe() {
+    for case in cases() {
+        let a = case.recipe.build(11, case.spread, case.ordering);
+        let n = a.n_rows();
+        let b = rhs_for(n, 0xb10c ^ n as u64);
+        let x_ref = a.to_dense().solve(&b).expect("dense reference must solve SPD system");
+        let base = SpcgOptions { solver: solver().with_history(true), ..SpcgOptions::default() };
+
+        let seq = SpcgPlan::build(&a, &base).unwrap().solve(&b).unwrap();
+        for exec in [ExecutionStrategy::DependencyBlocks, ExecutionStrategy::Auto] {
+            let plan = SpcgPlan::build(&a, base.clone().with_exec(exec))
+                .unwrap_or_else(|e| panic!("{}/{exec:?}: plan build failed: {e}", case.name));
+            let r = plan
+                .solve(&b)
+                .unwrap_or_else(|e| panic!("{}/{exec:?}: solve failed: {e}", case.name));
+            assert!(r.converged(), "{}/{exec:?}: stopped {:?}", case.name, r.stop);
+            assert_eq!(r.x, seq.x, "{}/{exec:?}: iterate differs bitwise", case.name);
+            assert_eq!(r.residual_history, seq.residual_history, "{}/{exec:?}", case.name);
+            assert_eq!(r.iterations, seq.iterations, "{}/{exec:?}", case.name);
+            let err = rel_err(&r.x, &x_ref);
+            assert!(
+                err <= case.band,
+                "{}/{exec:?}: relative error {err:.3e} exceeds band {:.0e}",
+                case.name,
+                case.band
+            );
+        }
+    }
+}
+
 /// The mixed-precision tier sits under the same net with one documented
 /// concession: storing and applying the factors in f32 perturbs the Krylov
 /// trajectory (the effective operator `M⁻¹A` changes at unit-roundoff-of-

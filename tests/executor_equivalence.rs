@@ -1,11 +1,15 @@
-//! Cross-executor determinism: the sequential, level-parallel and
-//! synchronization-free triangular executors must be bitwise
-//! interchangeable inside PCG, across structurally diverse matrices.
+//! Cross-executor determinism: the sequential, level-parallel,
+//! synchronization-free, and dependency-block triangular executors must be
+//! bitwise interchangeable inside PCG, across structurally diverse
+//! matrices, adversarial topologies, thread counts, and repeated solves.
 
 use spcg::prelude::*;
 use spcg::sparse::Rng;
 use spcg_suite::{Ordering, Recipe};
-use spcg_wavefront::{solve_levels_par, solve_lower_seq, solve_lower_sync_free};
+use spcg_wavefront::{
+    solve_blocks_with_threads, solve_levels_par, solve_lower_seq, solve_lower_sync_free,
+    BlockOptions, BlockSchedule,
+};
 
 fn matrices() -> Vec<(&'static str, spcg::sparse::CsrMatrix<f64>)> {
     vec![
@@ -42,20 +46,123 @@ fn rhs(n: usize, seed: u64) -> Vec<f64> {
     (0..n).map(|_| rng.range(-1.0, 1.0)).collect()
 }
 
+/// Runs all four executors on the lower triangle of `a` at `threads`
+/// worker threads and asserts bitwise agreement with the sequential sweep.
+/// `target_rows` controls block granularity (small values maximize
+/// cross-block edges, the adversarial regime for the release path).
+fn assert_executors_agree(
+    name: &str,
+    l: &spcg::sparse::CsrMatrix<f64>,
+    threads: usize,
+    target_rows: usize,
+) {
+    let n = l.n_rows();
+    let schedule = LevelSchedule::build(l, Triangle::Lower);
+    let blocks = BlockSchedule::from_levels_with(l, &schedule, BlockOptions { target_rows });
+    blocks.validate(l).unwrap_or_else(|e| panic!("{name}: invalid block schedule: {e}"));
+    let b = rhs(n, 1);
+    let mut x_seq = vec![0.0; n];
+    let mut x_par = vec![0.0; n];
+    let mut x_sf = vec![0.0; n];
+    let mut x_blk = vec![0.0; n];
+    solve_lower_seq(l, &b, &mut x_seq);
+    solve_levels_par(l, &schedule, &b, &mut x_par);
+    solve_lower_sync_free(l, &b, &mut x_sf, threads);
+    solve_blocks_with_threads(l, &blocks, &b, &mut x_blk, threads);
+    assert_eq!(x_seq, x_par, "{name}@{threads}t: level-parallel diverged");
+    assert_eq!(x_seq, x_sf, "{name}@{threads}t: sync-free diverged");
+    assert_eq!(x_seq, x_blk, "{name}@{threads}t: dependency-blocks diverged");
+}
+
 #[test]
 fn triangular_executors_agree_bitwise() {
     for (name, a) in matrices() {
         let l = a.lower();
-        let schedule = LevelSchedule::build(&l, Triangle::Lower);
-        let b = rhs(a.n_rows(), 1);
-        let mut x_seq = vec![0.0; a.n_rows()];
-        let mut x_par = vec![0.0; a.n_rows()];
-        let mut x_sf = vec![0.0; a.n_rows()];
-        solve_lower_seq(&l, &b, &mut x_seq);
-        solve_levels_par(&l, &schedule, &b, &mut x_par);
-        solve_lower_sync_free(&l, &b, &mut x_sf, 6);
-        assert_eq!(x_seq, x_par, "{name}: level-parallel diverged");
-        assert_eq!(x_seq, x_sf, "{name}: sync-free diverged");
+        for threads in [1, 4, 6] {
+            assert_executors_agree(name, &l, threads, 64);
+        }
+    }
+}
+
+/// Builds a lower-triangular matrix from explicit (row, col, value)
+/// triples, with a dominant diagonal so every executor is well-pivoted.
+fn lower_from_deps(n: usize, deps: &[(usize, usize)]) -> spcg::sparse::CsrMatrix<f64> {
+    let mut coo = spcg::sparse::CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 2.0 + (i % 5) as f64).unwrap();
+    }
+    for &(r, c) in deps {
+        assert!(c < r, "deps must be strictly lower");
+        coo.push(r, c, -0.25 - ((r + c) % 7) as f64 * 0.05).unwrap();
+    }
+    coo.to_csr()
+}
+
+/// Adversarial triangle topologies for the torture sweep: a pure serial
+/// chain (depth n, every block release on the critical path), wide fan-out
+/// levels (one hub row unblocks hundreds of successors at once), a
+/// diagonal-only system (no dependencies — the executor must still cover
+/// every row), and a ragged pseudo-random web of skips.
+fn adversarial_triangles() -> Vec<(&'static str, spcg::sparse::CsrMatrix<f64>)> {
+    let n = 600;
+    let chain: Vec<(usize, usize)> = (1..n).map(|i| (i, i - 1)).collect();
+    // Wide levels: rows [1, n/2) all hang off row 0; rows [n/2, n) all hang
+    // off one row of the first wave — two huge waves behind single hubs.
+    let mut wide: Vec<(usize, usize)> = (1..n / 2).map(|i| (i, 0)).collect();
+    wide.extend((n / 2..n).map(|i| (i, n / 4)));
+    // Ragged: hash-driven skips of wildly varying row degree.
+    let mut ragged = Vec::new();
+    for r in 1..n {
+        let mut h = (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let deg = (h >> 60) as usize % 4;
+        for _ in 0..deg {
+            h = h.wrapping_mul(0xC2B2_AE3D_27D4_EB4F).wrapping_add(0x165667B19E3779F9);
+            ragged.push((r, (h >> 33) as usize % r));
+        }
+    }
+    ragged.sort_unstable();
+    ragged.dedup();
+    vec![
+        ("chain", lower_from_deps(n, &chain)),
+        ("wide-levels", lower_from_deps(n, &wide)),
+        ("diagonal-only", lower_from_deps(n, &[])),
+        ("ragged", lower_from_deps(n, &ragged)),
+    ]
+}
+
+/// The torture sweep itself: adversarial topologies × all four executors ×
+/// {1, 4} threads × {fine, default} block granularity, everything judged
+/// bitwise against the sequential sweep.
+#[test]
+fn adversarial_topologies_agree_across_executors_and_threads() {
+    for (name, l) in adversarial_triangles() {
+        for threads in [1, 4] {
+            for target_rows in [8, 256] {
+                assert_executors_agree(name, &l, threads, target_rows);
+            }
+        }
+    }
+}
+
+/// Repeated-solve stress: 120 warm solves through the same block schedule
+/// (counter pool reuse, fresh claim indices every pass) must stay bitwise
+/// identical to the first — any release-path race shows up as a flaky
+/// divergence here long before TSan runs.
+#[test]
+fn repeated_block_solves_are_bitwise_stable() {
+    let (_, a) = matrices().swap_remove(0);
+    let l = a.lower();
+    let n = l.n_rows();
+    let schedule = LevelSchedule::build(&l, Triangle::Lower);
+    let blocks = BlockSchedule::from_levels_with(&l, &schedule, BlockOptions { target_rows: 32 });
+    let b = rhs(n, 9);
+    let mut reference = vec![0.0; n];
+    solve_lower_seq(&l, &b, &mut reference);
+    let mut x = vec![0.0; n];
+    for pass in 0..120 {
+        x.iter_mut().for_each(|v| *v = f64::NAN); // poison between passes
+        solve_blocks_with_threads(&l, &blocks, &b, &mut x, 4);
+        assert_eq!(x, reference, "pass {pass} diverged");
     }
 }
 
@@ -64,20 +171,59 @@ fn pcg_trajectory_is_executor_independent() {
     for (name, a) in matrices() {
         let b = rhs(a.n_rows(), 2);
         let cfg = SolverConfig::default().with_tol(1e-9).with_history(true);
-        let fs = ilu0(&a, TriangularExec::Sequential).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let fp = ilu0(&a, TriangularExec::LevelParallel).unwrap();
+        let fs = ilu0(&a, ExecutionStrategy::Sequential).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let fp = ilu0(&a, ExecutionStrategy::LevelBarrier).unwrap();
+        let fb = ilu0(&a, ExecutionStrategy::DependencyBlocks).unwrap();
         let rs = pcg(&a, &fs, &b, &cfg).unwrap();
         let rp = pcg(&a, &fp, &b, &cfg).unwrap();
+        let rb = pcg(&a, &fb, &b, &cfg).unwrap();
         assert_eq!(rs.iterations, rp.iterations, "{name}");
         assert_eq!(rs.residual_history, rp.residual_history, "{name}");
         assert_eq!(rs.x, rp.x, "{name}: solutions differ bitwise");
+        assert_eq!(rs.iterations, rb.iterations, "{name}: blocks changed iteration count");
+        assert_eq!(rs.residual_history, rb.residual_history, "{name}: blocks changed trajectory");
+        assert_eq!(rs.x, rb.x, "{name}: dependency-block solution differs bitwise");
+    }
+}
+
+/// A breakdown *inside a block* (zeroed U pivot mid-matrix) must surface
+/// through the dependency-block path exactly as it does through the
+/// barrier path: same typed stop reason, same iteration of first failure,
+/// same (non-)result — faults must not be masked, reordered, or amplified
+/// by the executor swap.
+#[test]
+fn block_breakdown_matches_barrier_breakdown() {
+    for (name, a) in matrices().into_iter().take(2) {
+        let b = rhs(a.n_rows(), 3);
+        let cfg = SolverConfig::default().with_tol(1e-9).with_history(true);
+        let row = a.n_rows() / 2;
+        let barrier = ilu0(&a, ExecutionStrategy::LevelBarrier).unwrap().with_zeroed_pivot(row);
+        let blocks = ilu0(&a, ExecutionStrategy::DependencyBlocks).unwrap().with_zeroed_pivot(row);
+        let rp = pcg(&a, &barrier, &b, &cfg);
+        let rb = pcg(&a, &blocks, &b, &cfg);
+        match (rp, rb) {
+            (Ok(rp), Ok(rb)) => {
+                assert!(rp.stop.is_breakdown(), "{name}: barrier path must break down");
+                assert_eq!(rp.stop, rb.stop, "{name}: stop reasons differ across executors");
+                assert_eq!(rp.iterations, rb.iterations, "{name}");
+                assert_eq!(rp.residual_history, rb.residual_history, "{name}");
+            }
+            (Err(ep), Err(eb)) => {
+                assert_eq!(
+                    format!("{ep:?}"),
+                    format!("{eb:?}"),
+                    "{name}: typed errors differ across executors"
+                );
+            }
+            (rp, rb) => panic!("{name}: outcome shape diverged: {rp:?} vs {rb:?}"),
+        }
     }
 }
 
 #[test]
 fn schedules_validate_against_their_matrices() {
     for (name, a) in matrices() {
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         assert!(f.l_schedule().validate(f.l()), "{name}: L schedule invalid");
         assert!(f.u_schedule().validate(f.u()), "{name}: U schedule invalid");
         // Level count equals the dependence DAG's critical path.

@@ -34,7 +34,7 @@ fn reference_matrices_factor_and_solve() {
         ("muu", reference::muu_like()),
     ];
     for (name, a) in cases {
-        let f = ilu0(&a, TriangularExec::Sequential)
+        let f = ilu0(&a, ExecutionStrategy::Sequential)
             .unwrap_or_else(|e| panic!("{name}: factorization failed: {e}"));
         let b = vec![1.0f64; a.n_rows()];
         let r =
@@ -56,9 +56,9 @@ fn profiling_trio_speedup_ordering() {
     use spcg_gpusim::{pcg_iteration_cost, DeviceSpec};
     let dev = DeviceSpec::a100();
     let speedup = |a: &spcg::sparse::CsrMatrix<f64>| {
-        let fb = ilu0(a, TriangularExec::Sequential).unwrap();
+        let fb = ilu0(a, ExecutionStrategy::Sequential).unwrap();
         let d = wavefront_aware_sparsify(a, &SparsifyParams::default());
-        let fs = ilu0(&d.sparsified.a_hat, TriangularExec::Sequential).unwrap();
+        let fs = ilu0(&d.sparsified.a_hat, ExecutionStrategy::Sequential).unwrap();
         pcg_iteration_cost(&dev, a, &fb).total_us() / pcg_iteration_cost(&dev, a, &fs).total_us()
     };
     let thermo = speedup(&reference::thermomech_dm_like());
@@ -76,7 +76,7 @@ fn hss_probe_rarely_triggers_on_ilu0_factors() {
     let mut total = 0usize;
     for spec in fast_collection().into_iter().step_by(4) {
         let a = spec.build();
-        let Ok(f) = ilu0(&a, TriangularExec::Sequential) else { continue };
+        let Ok(f) = ilu0(&a, ExecutionStrategy::Sequential) else { continue };
         let rep = probe_factor(f.l(), &HssProbeParams::default());
         total += 1;
         if rep.triggers() {

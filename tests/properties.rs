@@ -66,7 +66,7 @@ proptest! {
     ) {
         let a = banded_spd(n, 3, 0.9, 2.0, seed);
         let b: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64) - 8.0).collect();
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let r = pcg(&a, &f, &b, &SolverConfig::default().with_tol(1e-11)).unwrap();
         prop_assert_eq!(r.stop, StopReason::Converged);
         let direct = a.to_dense().solve(&b).unwrap();
@@ -82,7 +82,7 @@ proptest! {
         ny in 4usize..12,
     ) {
         let a = poisson_2d(nx, ny);
-        let f = ilu0(&a, TriangularExec::Sequential).unwrap();
+        let f = ilu0(&a, ExecutionStrategy::Sequential).unwrap();
         let lu = f.l().to_dense().matmul(&f.u().to_dense()).unwrap();
         for (i, j, v) in a.iter() {
             prop_assert!((lu.get(i, j) - v).abs() < 1e-9);

@@ -8,7 +8,7 @@ use spcg_bench::runner::{bench_solver_config, evaluate, select_k, Variant};
 use spcg_bench::stats::gmean;
 use spcg_bench::table::{fmt_pct, fmt_speedup, print_scatter};
 use spcg_bench::write_artifact;
-use spcg_core::{PrecondKind, SparsifyParams};
+use spcg_core::{IluFill, SparsifyParams};
 use spcg_gpusim::DeviceSpec;
 use spcg_precond::ExecutionStrategy;
 use spcg_suite::env_collection;
@@ -26,7 +26,7 @@ fn main() {
         let a = spec.build();
         let b = spec.rhs(a.n_rows());
         let Some(k) = select_k(&a, &b, &solver) else { continue };
-        let kind = PrecondKind::Iluk(k);
+        let kind = IluFill::Iluk(k);
         let Ok(base) = evaluate(
             &a,
             &b,

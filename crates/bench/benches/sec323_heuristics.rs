@@ -16,7 +16,7 @@ use spcg_bench::runner::{bench_solver_config, evaluate, Variant};
 use spcg_bench::stats::gmean;
 use spcg_bench::table::{fmt_pct, fmt_speedup};
 use spcg_bench::write_artifact;
-use spcg_core::{sparsify_by_magnitude, CondEstimator, PrecondKind, SparsifyParams};
+use spcg_core::{sparsify_by_magnitude, CondEstimator, IluFill, SparsifyParams};
 use spcg_gpusim::DeviceSpec;
 use spcg_precond::{ilu0, ExecutionStrategy};
 use spcg_solver::{pcg, StopReason};
@@ -101,7 +101,7 @@ fn main() {
             let Ok(base) = evaluate(
                 &a,
                 &b,
-                PrecondKind::Ilu0,
+                IluFill::Ilu0,
                 &device,
                 &Variant::Baseline,
                 &solver,
@@ -112,7 +112,7 @@ fn main() {
             let Ok(s) = evaluate(
                 &a,
                 &b,
-                PrecondKind::Ilu0,
+                IluFill::Ilu0,
                 &device,
                 &Variant::Heuristic(params.clone()),
                 &solver,

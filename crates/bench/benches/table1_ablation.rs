@@ -15,7 +15,7 @@ use spcg_bench::runner::{bench_solver_config, evaluate, select_k, Variant};
 use spcg_bench::stats::{gmean, pct_accelerated};
 use spcg_bench::table::{fmt_pct, fmt_speedup, print_table};
 use spcg_bench::write_artifact;
-use spcg_core::{PrecondKind, SparsifyParams};
+use spcg_core::{IluFill, SparsifyParams};
 use spcg_gpusim::{pcg_iteration_cost, DeviceSpec};
 use spcg_precond::{ilu0, ExecutionStrategy, IluFactors};
 use spcg_suite::env_collection;
@@ -29,7 +29,7 @@ fn sparsify_factors(f: &IluFactors<f64>, pct: f64) -> IluFactors<f64> {
 }
 
 fn run_family(
-    kind_of: impl Fn(&spcg_sparse::CsrMatrix<f64>, &[f64]) -> Option<PrecondKind>,
+    kind_of: impl Fn(&spcg_sparse::CsrMatrix<f64>, &[f64]) -> Option<IluFill>,
     label: &str,
     paper: &[(&str, f64, f64)],
 ) {
@@ -156,7 +156,7 @@ fn run_family(
 
 fn main() {
     run_family(
-        |_, _| Some(PrecondKind::Ilu0),
+        |_, _| Some(IluFill::Ilu0),
         "ILU(0)",
         &[
             ("1%", 0.98, 56.14),
@@ -168,7 +168,7 @@ fn main() {
     );
     let solver = bench_solver_config();
     run_family(
-        move |a, b| select_k(a, b, &solver).map(PrecondKind::Iluk),
+        move |a, b| select_k(a, b, &solver).map(IluFill::Iluk),
         "ILU(K)",
         &[
             ("1%", 1.47, 88.57),

@@ -3,7 +3,7 @@
 //!
 //! Unlike the figure benches (which sweep the full 107-matrix collection
 //! and write into `target/spcg-results/`), this target runs in seconds and
-//! writes `BENCH_9.json` **at the repo root as a tracked artifact**: per
+//! writes `BENCH_10.json` **at the repo root as a tracked artifact**: per
 //! variant, the real iteration counts and the simulated A100 costs for
 //! each fixed system, an ordering study comparing the natural and
 //! `auto`-reordered plan at the *same* sparsify ratio, a precision
@@ -11,14 +11,18 @@
 //! iterations, refinement restarts, and the simulated preconditioner-apply
 //! bytes the demotion saves), a sync study comparing the barrier-per-level
 //! and counter-release dependency-block executors on the same factors
-//! (synchronizations per iteration and simulated sweep time), a serve
+//! (synchronizations per iteration and simulated sweep time), a
+//! preconditioner study comparing the ILU(0)-sparsified plan against the
+//! level-free FSAI plan (iterations, priced per-iteration cost, measured
+//! syncs per apply) and recording which kind the `Auto` search commits to
+//! and at what priced total, a serve
 //! study replaying a 2×-overload
 //! Poisson arrival schedule through the admission controller in virtual
 //! time (per-priority latency quantiles, shed/downgrade rates), and a
 //! sequence study pricing a value-only plan refresh against a full
 //! rebuild and measuring the iterations a warm start saves over a seeded
 //! drifting sequence. Committing the JSON turns the bench into a
-//! trajectory — `git log -p BENCH_9.json` shows exactly when and how the
+//! trajectory — `git log -p BENCH_10.json` shows exactly when and how the
 //! numbers moved. Only deterministic fields are serialized (iteration
 //! counts, simulated µs/bytes, chosen ratios, level counts, virtual-time
 //! latencies); wall-clock
@@ -29,16 +33,18 @@
 //! trajectory tables in EXPERIMENTS.md, and
 //! `scripts/check_bench_regression.py` gates CI on it: any regression in
 //! per-iteration cost or iteration count — the mixed tier's apply-bytes
-//! win dropping below its 1.5× floor, or the dependency-block executor's
-//! sync reduction hitting zero on a multi-level fixture — against the
+//! win dropping below its 1.5× floor, the dependency-block executor's
+//! sync reduction hitting zero on a multi-level fixture, a nonzero FSAI
+//! sync count, an `Auto` kind pick pricing worse than always-ILU, or the
+//! level-free crossover disappearing from every fixture — against the
 //! committed file fails the build.
 
 use serde::Serialize;
 use spcg_bench::stats::gmean;
 use spcg_bench::{bench_solver_config, compare, ComparisonRow, Variant};
 use spcg_core::{
-    ExecutionStrategy, OrderingKind, PrecisionPolicy, PrecondKind, SparsifyParams, SpcgOptions,
-    SpcgPlan,
+    ExecutionStrategy, IluFill, OrderingKind, PrecisionPolicy, PrecondKind, SparsifyParams,
+    SpcgOptions, SpcgPlan,
 };
 use spcg_gpusim::{
     dot_cost, elementwise_cost, plan_iteration_cost, plan_rebuild_cost_us, plan_refresh_cost_us,
@@ -159,6 +165,90 @@ struct PrecisionPoint {
     per_iteration_us_mixed: f64,
 }
 
+/// ILU(0)-sparsified vs level-free FSAI on the same system, plus the kind
+/// `Auto`'s joint search commits to. The ILU sync column is the
+/// level-barrier executor's per-apply synchronization count (L + U
+/// wavefronts — the structural price of the sweeps on a GPU); the FSAI
+/// column is *measured* by running the solve under a recording probe and
+/// totalling [`Counter::Syncs`] — the approximate-inverse apply is pure
+/// SpMV, nothing in the loop emits one, and CI gates on that zero staying
+/// zero. The Auto columns record the search's own end-to-end pricing
+/// (setup + estimated iterations × per-iteration), whose argmin over
+/// admissible candidates makes "Auto never prices worse than always-ILU"
+/// a property CI can assert per fixture.
+#[derive(Serialize)]
+struct PrecondPoint {
+    /// Real iteration count of the default ILU(0)-sparsified plan.
+    iterations_ilu: usize,
+    /// Real iteration count of the FSAI plan on the same system.
+    iterations_fsai: usize,
+    /// Simulated per-iteration cost of the ILU plan, µs.
+    per_iteration_us_ilu: f64,
+    /// Simulated per-iteration cost of the FSAI plan, µs.
+    per_iteration_us_fsai: f64,
+    /// Level-barrier synchronizations per preconditioner apply, ILU plan.
+    syncs_per_iter_ilu: usize,
+    /// Measured synchronizations across the whole probed FSAI solve —
+    /// gated at zero.
+    syncs_per_iter_fsai: usize,
+    /// Kind the `Auto` search chose (`ilu`/`fsai`/`spai`/`jacobi`).
+    auto_chose: String,
+    /// The search's priced end-to-end total for its winner, µs.
+    auto_total_us: f64,
+    /// Same pricing for the always-admissible ILU candidate, µs.
+    ilu_total_us: f64,
+}
+
+/// Solves the fixture under the default ILU plan and the FSAI plan with a
+/// recording probe (for the measured sync counts), then reruns the build
+/// with `PrecondKind::Auto` to capture what the joint kind search picks
+/// and how it priced the field.
+fn precond_study(
+    a: &spcg_sparse::CsrMatrix<f64>,
+    b: &[f64],
+    device: &DeviceSpec,
+    solver: &spcg_solver::SolverConfig,
+) -> PrecondPoint {
+    let base =
+        SpcgOptions { ilu_fill: IluFill::Ilu0, solver: solver.clone(), ..Default::default() };
+    let measured = |opts: &SpcgOptions| {
+        let plan = SpcgPlan::build(a, opts).expect("precond-study plan builds");
+        let mut probe = RecordingProbe::new();
+        let mut ws = plan.make_workspace();
+        let r = plan
+            .solve_with_workspace_probed(b, &mut ws, &mut probe)
+            .expect("precond-study fixture must solve");
+        assert!(r.converged(), "precond-study fixture stopped converging");
+        let syncs = probe.finish().counter_total(Counter::Syncs) as usize;
+        (plan, r.iterations, syncs)
+    };
+    let (ilu_plan, iterations_ilu, _) =
+        measured(&base.clone().with_exec(ExecutionStrategy::LevelBarrier));
+    let f = ilu_plan.factors();
+    let syncs_ilu = f.l_schedule().n_levels() + f.u_schedule().n_levels();
+    let (fsai_plan, iterations_fsai, syncs_fsai) =
+        measured(&base.clone().with_precond(PrecondKind::Fsai));
+    let per_ilu = plan_iteration_cost(device, &ilu_plan).total_us();
+    let per_fsai = plan_iteration_cost(device, &fsai_plan).total_us();
+
+    let auto_plan =
+        SpcgPlan::build(a, base.with_precond(PrecondKind::Auto)).expect("auto-precond plan builds");
+    let d = auto_plan.kind_decision().expect("auto plan records its kind decision");
+    let winner = d.winner().expect("kind decision records its winner");
+    let ilu_cand = d.ilu().expect("the ILU candidate is always priced");
+    PrecondPoint {
+        iterations_ilu,
+        iterations_fsai,
+        per_iteration_us_ilu: round3(per_ilu),
+        per_iteration_us_fsai: round3(per_fsai),
+        syncs_per_iter_ilu: syncs_ilu,
+        syncs_per_iter_fsai: syncs_fsai,
+        auto_chose: d.chosen.label().to_string(),
+        auto_total_us: round3(winner.total_us),
+        ilu_total_us: round3(ilu_cand.total_us),
+    }
+}
+
 /// Barrier-per-level vs counter-release dependency blocks on the *same*
 /// sparsified factors: the executor is the only lever that moves, so the
 /// sync counts and the simulated L+U sweep times isolate exactly what
@@ -196,7 +286,7 @@ fn sync_study(
     solver: &spcg_solver::SolverConfig,
 ) -> SyncPoint {
     let base =
-        SpcgOptions { precond: PrecondKind::Ilu0, solver: solver.clone(), ..Default::default() };
+        SpcgOptions { ilu_fill: IluFill::Ilu0, solver: solver.clone(), ..Default::default() };
     let barrier = SpcgPlan::build(a, base.clone().with_exec(ExecutionStrategy::LevelBarrier))
         .expect("barrier plan builds");
     let blocks = SpcgPlan::build(a, base.with_exec(ExecutionStrategy::DependencyBlocks))
@@ -290,7 +380,7 @@ fn serve_tier_costs(
     let n = a.n_rows();
     let ilu_iters = (n as f64).sqrt().ceil() as usize;
     let base =
-        SpcgOptions { precond: PrecondKind::Ilu0, solver: solver.clone(), ..Default::default() };
+        SpcgOptions { ilu_fill: IluFill::Ilu0, solver: solver.clone(), ..Default::default() };
     let full_plan = SpcgPlan::build(a, &base).expect("serve-study full plan builds");
     let light_plan =
         SpcgPlan::build(a, base.clone().with_sparsify(None)).expect("serve-study light plan");
@@ -468,7 +558,7 @@ fn sequence_study(device: &DeviceSpec, solver: &spcg_solver::SolverConfig) -> Ve
             let a = recipe.build(7, spread, ordering);
             let b = vec![1.0; a.n_rows()];
             let opts = SpcgOptions {
-                precond: PrecondKind::Ilu0,
+                ilu_fill: IluFill::Ilu0,
                 solver: solver.clone(),
                 ..Default::default()
             };
@@ -530,6 +620,7 @@ struct TrajectoryRow {
     ordering: OrderingPoint,
     precision: PrecisionPoint,
     sync: SyncPoint,
+    precond: PrecondPoint,
     per_iteration_speedup: f64,
     end_to_end_speedup: f64,
 }
@@ -583,7 +674,7 @@ fn ordering_study(
     });
     let base = SpcgOptions {
         sparsify,
-        precond: PrecondKind::Ilu0,
+        ilu_fill: IluFill::Ilu0,
         solver: solver.clone(),
         ..Default::default()
     };
@@ -624,7 +715,7 @@ fn precision_study(
     solver: &spcg_solver::SolverConfig,
 ) -> PrecisionPoint {
     let base =
-        SpcgOptions { precond: PrecondKind::Ilu0, solver: solver.clone(), ..Default::default() };
+        SpcgOptions { ilu_fill: IluFill::Ilu0, solver: solver.clone(), ..Default::default() };
     let full = SpcgPlan::build(a, &base).expect("full-precision plan builds");
     let mixed = SpcgPlan::build(a, base.clone().with_precision(PrecisionPolicy::MixedF32))
         .expect("mixed plan builds");
@@ -670,7 +761,7 @@ fn main() {
             let a = recipe.build(7, spread, ordering);
             let b = vec![1.0; a.n_rows()];
             let row: ComparisonRow =
-                compare(name, "", &a, &b, PrecondKind::Ilu0, &device, &variant, &solver)
+                compare(name, "", &a, &b, IluFill::Ilu0, &device, &variant, &solver)
                     .expect("trajectory fixture must evaluate");
             assert!(
                 row.base.converged && row.spcg.converged,
@@ -679,6 +770,7 @@ fn main() {
             let ordering = ordering_study(&a, &b, row.spcg.chosen_ratio, &device, &solver);
             let precision = precision_study(&a, &b, &device, &solver);
             let sync = sync_study(&a, &b, &device, &solver);
+            let precond = precond_study(&a, &b, &device, &solver);
             TrajectoryRow {
                 name: name.into(),
                 n: row.n,
@@ -691,6 +783,7 @@ fn main() {
                 ordering,
                 precision,
                 sync,
+                precond,
             }
         })
         .collect();
@@ -730,11 +823,11 @@ fn main() {
         rows,
     };
 
-    // Tracked artifact at the repo root (not target/): BENCH_9.json is the
-    // current trajectory point; its git history is the trajectory.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_9.json");
+    // Tracked artifact at the repo root (not target/): BENCH_10.json is
+    // the current trajectory point; its git history is the trajectory.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_10.json");
     let json = serde_json::to_string_pretty(&traj).expect("trajectory serializes");
-    std::fs::write(&path, json + "\n").expect("BENCH_9.json written");
+    std::fs::write(&path, json + "\n").expect("BENCH_10.json written");
 
     println!("trajectory: {} fixtures, ILU(0), A100 model", traj.rows.len());
     for r in &traj.rows {
@@ -772,6 +865,20 @@ fn main() {
             r.sync.sync_reduction_percent,
             r.sync.sweep_us_barrier,
             r.sync.sweep_us_blocks
+        );
+        println!(
+            "  {:<14} fsai iters {:>3} vs ilu {:>3}  per-iter {:>7.3} vs {:>7.3} us  \
+             syncs {} vs {}  auto -> {} ({:.0} vs ilu {:.0} us)",
+            "",
+            r.precond.iterations_fsai,
+            r.precond.iterations_ilu,
+            r.precond.per_iteration_us_fsai,
+            r.precond.per_iteration_us_ilu,
+            r.precond.syncs_per_iter_fsai,
+            r.precond.syncs_per_iter_ilu,
+            r.precond.auto_chose,
+            r.precond.auto_total_us,
+            r.precond.ilu_total_us
         );
     }
     println!(

@@ -4,8 +4,7 @@
 
 use serde::{Deserialize, Serialize};
 use spcg_core::{
-    sparsify_by_magnitude, wavefront_aware_sparsify, PrecondKind, SparsifyParams, SpcgOptions,
-    SpcgPlan,
+    sparsify_by_magnitude, wavefront_aware_sparsify, IluFill, SparsifyParams, SpcgOptions, SpcgPlan,
 };
 use spcg_gpusim::{end_to_end_cost, plan_iteration_cost, DeviceSpec, IterationCost};
 use spcg_precond::{ilu0, ExecutionStrategy, IluFactors};
@@ -81,12 +80,12 @@ pub struct EvalResult {
 /// model). Applies the ILU(K) fill guard.
 pub fn build_factors(
     m: &CsrMatrix<f64>,
-    kind: PrecondKind,
+    kind: IluFill,
     exec: ExecutionStrategy,
 ) -> Result<(IluFactors<f64>, CsrMatrix<f64>)> {
     match kind {
-        PrecondKind::Ilu0 => Ok((ilu0(m, exec)?, m.clone())),
-        PrecondKind::Iluk(k) => {
+        IluFill::Ilu0 => Ok((ilu0(m, exec)?, m.clone())),
+        IluFill::Iluk(k) => {
             let cap = FILL_CAP_ABS.min(FILL_CAP_FACTOR.saturating_mul(m.nnz()));
             let (pattern, _sym) = spcg_precond::iluk_pattern_matrix_capped(m, k, cap)?;
             // Numeric ILU on the padded pattern == ILU(K).
@@ -102,7 +101,7 @@ pub fn build_factors(
 /// and the ratio the variant chose.
 pub fn plan_variant(
     a: &CsrMatrix<f64>,
-    kind: PrecondKind,
+    kind: IluFill,
     variant: &Variant,
     solver: &SolverConfig,
     exec: ExecutionStrategy,
@@ -119,7 +118,7 @@ pub fn plan_variant(
     let (factors, pattern) = build_factors(&m_for_fact, kind, exec)?;
     let opts = SpcgOptions {
         sparsify: None,
-        precond: kind,
+        ilu_fill: kind,
         exec,
         solver: solver.clone(),
         ..Default::default()
@@ -135,7 +134,7 @@ pub fn plan_variant(
 pub fn evaluate_with_workspace(
     a: &CsrMatrix<f64>,
     b: &[f64],
-    kind: PrecondKind,
+    kind: IluFill,
     device: &DeviceSpec,
     variant: &Variant,
     solver: &SolverConfig,
@@ -157,7 +156,7 @@ pub fn evaluate_with_workspace(
     let iter_cost = plan_iteration_cost(device, &plan);
     let mut e2e =
         end_to_end_cost(device, a, &pattern, factors, result.iterations, chosen_ratio.is_some());
-    if matches!(kind, PrecondKind::Iluk(_)) {
+    if matches!(kind, IluFill::Iluk(_)) {
         // The paper computes ILU(K) factors on the CPU with SuperLU (§3.3)
         // because the fill's changing dependences defeat a direct CUDA
         // implementation — so the construction phase is priced as a SERIAL
@@ -191,7 +190,7 @@ pub fn evaluate_with_workspace(
 pub fn evaluate(
     a: &CsrMatrix<f64>,
     b: &[f64],
-    kind: PrecondKind,
+    kind: IluFill,
     device: &DeviceSpec,
     variant: &Variant,
     solver: &SolverConfig,
@@ -265,7 +264,7 @@ pub fn compare(
     category: &str,
     a: &CsrMatrix<f64>,
     b: &[f64],
-    kind: PrecondKind,
+    kind: IluFill,
     device: &DeviceSpec,
     variant: &Variant,
     solver: &SolverConfig,
@@ -306,7 +305,7 @@ pub fn select_k(a: &CsrMatrix<f64>, b: &[f64], solver: &SolverConfig) -> Option<
     for k in [2usize, 4, 8] {
         let Ok((plan, _, _)) = plan_variant(
             a,
-            PrecondKind::Iluk(k),
+            IluFill::Iluk(k),
             &Variant::Baseline,
             solver,
             ExecutionStrategy::Sequential,
@@ -358,7 +357,7 @@ mod tests {
             "test",
             &a,
             &b,
-            PrecondKind::Ilu0,
+            IluFill::Ilu0,
             &DeviceSpec::a100(),
             &Variant::Heuristic(SparsifyParams::default()),
             &bench_solver_config(),
@@ -378,7 +377,7 @@ mod tests {
         let r = evaluate(
             &a,
             &b,
-            PrecondKind::Ilu0,
+            IluFill::Ilu0,
             &DeviceSpec::a100(),
             &Variant::Fixed(5.0),
             &bench_solver_config(),
@@ -395,7 +394,7 @@ mod tests {
         let r = evaluate(
             &a,
             &b,
-            PrecondKind::Iluk(2),
+            IluFill::Iluk(2),
             &DeviceSpec::a100(),
             &Variant::Baseline,
             &bench_solver_config(),
@@ -405,7 +404,7 @@ mod tests {
         let r0 = evaluate(
             &a,
             &b,
-            PrecondKind::Ilu0,
+            IluFill::Ilu0,
             &DeviceSpec::a100(),
             &Variant::Baseline,
             &bench_solver_config(),
@@ -431,7 +430,7 @@ mod tests {
             "c",
             &a,
             &b,
-            PrecondKind::Ilu0,
+            IluFill::Ilu0,
             &DeviceSpec::v100(),
             &Variant::Fixed(10.0),
             &bench_solver_config(),

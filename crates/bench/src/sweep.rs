@@ -1,7 +1,7 @@
 //! Suite-wide sweeps shared by the figure/table bench targets.
 
 use crate::runner::{bench_solver_config, compare, select_k, ComparisonRow, Variant};
-use spcg_core::PrecondKind;
+use spcg_core::IluFill;
 use spcg_gpusim::DeviceSpec;
 use spcg_suite::{env_collection, MatrixSpec};
 
@@ -39,9 +39,9 @@ pub fn sweep_collection(device: &DeviceSpec, family: Family, variant: &Variant) 
         let a = spec.build();
         let b = spec.rhs(a.n_rows());
         let kind = match family {
-            Family::Ilu0 => PrecondKind::Ilu0,
+            Family::Ilu0 => IluFill::Ilu0,
             Family::IlukAuto => match select_k(&a, &b, &solver) {
-                Some(k) => PrecondKind::Iluk(k),
+                Some(k) => IluFill::Iluk(k),
                 None => {
                     eprintln!("[{}/{}] {}: no usable K, skipped", i + 1, specs.len(), spec.name);
                     continue;

@@ -73,6 +73,7 @@ pub mod oracle;
 pub mod pipeline;
 pub mod plan;
 pub mod precision;
+pub mod precond_select;
 pub mod reorder;
 pub mod report;
 pub mod resilient;
@@ -85,12 +86,14 @@ pub use algorithm2::{
 pub use indicator::{condition_estimate, convergence_indicator, CondEstimator, IndicatorValue};
 pub use oracle::{oracle_select, OracleChoice, ORACLE_RATIOS};
 pub use pipeline::{
-    build_preconditioner, build_preconditioner_probed, PrecondKind, SpcgOptions, SpcgOutcome,
+    build_preconditioner, build_preconditioner_probed, IluFill, PrecondKind, SpcgOptions,
+    SpcgOutcome,
 };
 #[allow(deprecated)] // the deprecated one-shot entry points stay re-exported for migration
 pub use pipeline::{select_best_k, spcg_solve};
 pub use plan::SpcgPlan;
 pub use precision::{fits_lower_precision, PrecisionPolicy};
+pub use precond_select::{KindCandidate, KindDecision};
 pub use reorder::{OrderingKind, ReorderCandidate, ReorderDecision};
 pub use report::RunReport;
 pub use resilient::{

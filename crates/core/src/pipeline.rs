@@ -7,28 +7,103 @@ use crate::plan::SpcgPlan;
 use crate::precision::PrecisionPolicy;
 use crate::reorder::OrderingKind;
 use serde::{Deserialize, Serialize};
-use spcg_precond::{ilu0_probed, iluk_probed, ExecutionStrategy, IluFactors};
+use spcg_precond::{ilu0_probed, iluk_probed, ExecutionStrategy, IluFactors, SaiPattern};
 use spcg_probe::{NoProbe, Probe};
 use spcg_solver::{SolveResult, SolveWorkspace, SolverConfig};
 use spcg_sparse::{CsrMatrix, Result, Scalar};
 use std::time::Duration;
 
-/// Which incomplete factorization backs the preconditioner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum PrecondKind {
+/// Which incomplete factorization backs the sparsified-ILU preconditioner
+/// (the fill selector within [`PrecondKind::IluSparsified`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IluFill {
     /// ILU with zero fill (SPCG-ILU(0)).
     Ilu0,
     /// ILU with level-of-fill K (SPCG-ILU(K)).
     Iluk(usize),
 }
 
-impl PrecondKind {
+impl IluFill {
     /// Short label for reports.
     pub fn label(&self) -> String {
         match self {
-            PrecondKind::Ilu0 => "ILU(0)".to_string(),
-            PrecondKind::Iluk(k) => format!("ILU({k})"),
+            IluFill::Ilu0 => "ILU(0)".to_string(),
+            IluFill::Iluk(k) => format!("ILU({k})"),
         }
+    }
+}
+
+/// Which preconditioner *family* the plan uses — the axis Algorithm 2's
+/// planner can now search jointly with (ratio × ordering).
+///
+/// The triangular-sweep family ([`IluSparsified`](PrecondKind::IluSparsified))
+/// pays per-apply synchronization (level barriers or block releases); the
+/// level-free family (FSAI / SPAI / Jacobi) applies as pure SpMV or
+/// elementwise traffic with `Syncs == 0` per application. [`Auto`]
+/// prices both under the plan's execution strategy and keeps whichever
+/// wins end to end.
+///
+/// [`Auto`]: PrecondKind::Auto
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrecondKind {
+    /// Sparsified incomplete factorization (the paper's pipeline):
+    /// triangular sweeps on the wavefront schedules, fill selected by
+    /// [`SpcgOptions::ilu_fill`].
+    IluSparsified,
+    /// Factored sparse approximate inverse `M⁻¹ = GᵀG` — SPD-preserving,
+    /// applies as two SpMVs, zero synchronization.
+    Fsai,
+    /// Static-pattern sparse approximate inverse minimizing `‖I − MA‖_F` —
+    /// applies as one SpMV, zero synchronization.
+    Spai,
+    /// Diagonal (Jacobi) preconditioner — the cheapest, weakest member.
+    Jacobi,
+    /// Search the kind space: price a sparsified-ILU iteration against the
+    /// level-free candidates and keep the cheaper end-to-end plan, guarded
+    /// so a weak inverse can't win on an ill-conditioned system.
+    Auto,
+}
+
+impl PrecondKind {
+    /// Short stable label ("ilu" / "fsai" / "spai" / "jacobi" / "auto").
+    pub fn label(&self) -> &'static str {
+        match self {
+            PrecondKind::IluSparsified => "ilu",
+            PrecondKind::Fsai => "fsai",
+            PrecondKind::Spai => "spai",
+            PrecondKind::Jacobi => "jacobi",
+            PrecondKind::Auto => "auto",
+        }
+    }
+
+    /// Parses a CLI-style label (the inverse of [`label`](Self::label)).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ilu" => Some(PrecondKind::IluSparsified),
+            "fsai" => Some(PrecondKind::Fsai),
+            "spai" => Some(PrecondKind::Spai),
+            "jacobi" => Some(PrecondKind::Jacobi),
+            "auto" => Some(PrecondKind::Auto),
+            _ => None,
+        }
+    }
+
+    /// Numeric tag carried by the `precond.kind` probe counter
+    /// (`Auto` never tags — plans record the *resolved* kind).
+    pub fn tag(&self) -> u64 {
+        match self {
+            PrecondKind::IluSparsified => 1,
+            PrecondKind::Fsai => 2,
+            PrecondKind::Spai => 3,
+            PrecondKind::Jacobi => 4,
+            PrecondKind::Auto => 0,
+        }
+    }
+
+    /// Whether this kind applies without any per-apply synchronization
+    /// (no triangular sweeps, so no level barriers or block releases).
+    pub fn is_level_free(&self) -> bool {
+        matches!(self, PrecondKind::Fsai | PrecondKind::Spai | PrecondKind::Jacobi)
     }
 }
 
@@ -36,9 +111,25 @@ impl PrecondKind {
 #[derive(Debug, Clone)]
 pub struct SpcgOptions {
     /// Sparsification parameters; `None` runs the non-sparsified baseline.
+    /// Only consulted by the sparsified-ILU kind — level-free plans never
+    /// sparsify (there is no triangular sweep to shorten).
     pub sparsify: Option<SparsifyParams>,
-    /// Preconditioner family.
+    /// Preconditioner family: sparsified ILU (the default), a level-free
+    /// approximate inverse (FSAI/SPAI/Jacobi), or `Auto` to search the
+    /// kind space by priced end-to-end time.
     pub precond: PrecondKind,
+    /// Fill level of the incomplete factorization backing the
+    /// sparsified-ILU kind.
+    pub ilu_fill: IluFill,
+    /// Pattern of the SPAI approximate inverse (`A` or `A²`).
+    pub spai_pattern: SaiPattern,
+    /// Contraction-estimate ceiling the τ-style quality guard applies to
+    /// level-free candidates under [`PrecondKind::Auto`]: a kind whose
+    /// estimated stationary contraction factor ρ exceeds this bound is
+    /// rejected regardless of its priced per-iteration cost, so a
+    /// cheap-but-weak inverse can't be selected on an ill-conditioned
+    /// system. `1.0` would accept anything short of divergence.
+    pub ainv_rho_max: f64,
     /// Triangular-solve execution strategy.
     pub exec: ExecutionStrategy,
     /// PCG configuration.
@@ -72,7 +163,10 @@ impl Default for SpcgOptions {
     fn default() -> Self {
         Self {
             sparsify: Some(SparsifyParams::default()),
-            precond: PrecondKind::Ilu0,
+            precond: PrecondKind::IluSparsified,
+            ilu_fill: IluFill::Ilu0,
+            spai_pattern: SaiPattern::OfA,
+            ainv_rho_max: 0.98,
             exec: ExecutionStrategy::Sequential,
             solver: SolverConfig::default(),
             ordering: OrderingKind::Natural,
@@ -112,9 +206,28 @@ impl SpcgOptions {
         self
     }
 
-    /// Selects the preconditioner family.
+    /// Selects the preconditioner family (kind).
     pub fn with_precond(mut self, precond: PrecondKind) -> Self {
         self.precond = precond;
+        self
+    }
+
+    /// Selects the fill level of the sparsified-ILU factorization.
+    pub fn with_ilu_fill(mut self, ilu_fill: IluFill) -> Self {
+        self.ilu_fill = ilu_fill;
+        self
+    }
+
+    /// Selects the SPAI approximate-inverse pattern.
+    pub fn with_spai_pattern(mut self, pattern: SaiPattern) -> Self {
+        self.spai_pattern = pattern;
+        self
+    }
+
+    /// Sets the contraction ceiling of the level-free quality guard used
+    /// by [`PrecondKind::Auto`].
+    pub fn with_ainv_rho_max(mut self, rho: f64) -> Self {
+        self.ainv_rho_max = rho;
         self
     }
 
@@ -190,7 +303,7 @@ impl<T: Scalar> SpcgOutcome<T> {
 /// Builds the configured incomplete factorization of `m`.
 pub fn build_preconditioner<T: Scalar>(
     m: &CsrMatrix<T>,
-    kind: PrecondKind,
+    kind: IluFill,
     exec: ExecutionStrategy,
 ) -> Result<IluFactors<T>> {
     build_preconditioner_probed(m, kind, exec, &mut NoProbe)
@@ -202,13 +315,13 @@ pub fn build_preconditioner<T: Scalar>(
 /// success.
 pub fn build_preconditioner_probed<T: Scalar, P: Probe>(
     m: &CsrMatrix<T>,
-    kind: PrecondKind,
+    kind: IluFill,
     exec: ExecutionStrategy,
     probe: &mut P,
 ) -> Result<IluFactors<T>> {
     match kind {
-        PrecondKind::Ilu0 => ilu0_probed(m, exec, probe),
-        PrecondKind::Iluk(k) => iluk_probed(m, k, exec, probe),
+        IluFill::Ilu0 => ilu0_probed(m, exec, probe),
+        IluFill::Iluk(k) => iluk_probed(m, k, exec, probe),
     }
 }
 
@@ -264,7 +377,7 @@ pub fn select_best_k<T: Scalar>(
     for &k in candidates {
         let opts = SpcgOptions {
             sparsify: None,
-            precond: PrecondKind::Iluk(k),
+            ilu_fill: IluFill::Iluk(k),
             exec,
             solver: solver.clone(),
             ..Default::default()
@@ -362,14 +475,14 @@ mod tests {
             &a,
             &b,
             &SpcgOptions {
-                precond: PrecondKind::Iluk(2),
+                ilu_fill: IluFill::Iluk(2),
                 solver: SolverConfig::default().with_tol(1e-10),
                 ..Default::default()
             },
         )
         .unwrap();
         assert!(out.result.converged());
-        assert_eq!(PrecondKind::Iluk(2).label(), "ILU(2)");
+        assert_eq!(IluFill::Iluk(2).label(), "ILU(2)");
     }
 
     #[test]

@@ -11,11 +11,14 @@
 
 use crate::algorithm2::{wavefront_aware_sparsify_probed, SparsifyDecision};
 use crate::indicator::convergence_indicator;
-use crate::pipeline::{build_preconditioner_probed, SpcgOptions, SpcgOutcome};
+use crate::pipeline::{build_preconditioner_probed, PrecondKind, SpcgOptions, SpcgOutcome};
 use crate::precision::{fits_lower_precision, PrecisionPolicy};
+use crate::precond_select::{build_ainv_probed, select_kind_probed, KindDecision};
 use crate::reorder::{select_ordering_probed, ReorderDecision, ReorderOutcome};
 use crate::sparsify::Sparsified;
-use spcg_precond::{ilu_refresh_probed, IluFactors, MixedPrecisionIlu, Preconditioner};
+use spcg_precond::{
+    ilu_refresh_probed, AinvPreconditioner, IluFactors, MixedPrecisionIlu, Preconditioner,
+};
 use spcg_probe::{Counter, NoProbe, Probe, Span};
 use spcg_solver::{
     pcg_in_place_probed, pcg_in_place_warm_probed, pcg_refined_in_place_probed, RefinedStats,
@@ -69,7 +72,18 @@ pub struct SpcgPlan<T: Scalar> {
     /// plans whose analysis ran outside [`SpcgPlan::build`] (the decision
     /// carries it otherwise).
     factored: Option<CsrMatrix<T>>,
-    factors: IluFactors<T>,
+    /// The incomplete factors, present exactly when the resolved kind is
+    /// the sparsified-ILU family (`ainv` is present otherwise).
+    factors: Option<IluFactors<T>>,
+    /// The level-free approximate inverse, present exactly when the
+    /// resolved kind is FSAI/SPAI/Jacobi.
+    ainv: Option<AinvPreconditioner<T>>,
+    /// The concrete preconditioner kind the plan executes (never `Auto`:
+    /// the kind search resolves at build time).
+    precond: PrecondKind,
+    /// Record of the kind search (`Some` exactly when the request was
+    /// `Auto`).
+    kind_decision: Option<KindDecision>,
     /// Reduced-precision image of `factors`, present exactly when the
     /// resolved precision tier is mixed. The full factors are kept
     /// alongside so the resilient ladder can promote a stalled mixed solve
@@ -126,6 +140,40 @@ impl<T: Scalar> SpcgPlan<T> {
         // All downstream analysis works in permuted space when an ordering
         // was chosen; the solve boundary maps back to the caller's order.
         let operator = permuted.as_ref().unwrap_or(a);
+        if opts.precond.is_level_free() {
+            // An explicitly level-free plan never sparsifies: there is no
+            // triangular sweep to shorten, so Algorithm 2's ratio search
+            // would optimize a quantity the plan never pays.
+            let t = Instant::now();
+            probe.span_begin(Span::PlanAinv);
+            let ainv = build_ainv_probed(operator, opts.precond, &opts, probe);
+            probe.span_end(Span::PlanAinv);
+            let kind = opts.precond;
+            probe.counter(Counter::PrecondKind, kind.tag());
+            probe.span_end(Span::PlanBuild);
+            let ainv = ainv?;
+            let factorization_time = t.elapsed();
+            return Ok(Self {
+                a: a.clone(),
+                opts,
+                decision: None,
+                factored: None,
+                factors: None,
+                ainv: Some(ainv),
+                precond: kind,
+                kind_decision: None,
+                mixed: None,
+                // Approximate-inverse applies have no mixed tier yet: the
+                // plan always executes in full precision.
+                precision: PrecisionPolicy::Full,
+                reorder,
+                perm,
+                a_permuted: permuted,
+                sparsify_time: Duration::ZERO,
+                factorization_time,
+                reorder_time,
+            });
+        }
         let (decision, sparsify_time) = match &opts.sparsify {
             // The `Auto` joint search already ran Algorithm 2 on the winning
             // ordering — reuse its decision (the cost is accounted to the
@@ -140,17 +188,58 @@ impl<T: Scalar> SpcgPlan<T> {
         };
         let m = decision.as_ref().map_or(operator, |d| &d.sparsified.a_hat);
         let t = Instant::now();
-        let factors = build_preconditioner_probed(m, opts.precond, opts.exec, probe);
+        let factors = build_preconditioner_probed(m, opts.ilu_fill, opts.exec, probe);
         let factorization_time = t.elapsed();
+        // `Auto` searches the kind axis jointly with the (already chosen)
+        // ratio × ordering: the sparsified-ILU candidate just built is
+        // priced end-to-end against FSAI/SPAI on the same operator.
+        let (kind, kind_decision, ainv) = match (&factors, opts.precond) {
+            (Ok(f), PrecondKind::Auto) => {
+                probe.span_begin(Span::PlanAinv);
+                let search = select_kind_probed(operator, f, &opts, probe);
+                probe.span_end(Span::PlanAinv);
+                (search.decision.chosen, Some(search.decision), search.ainv)
+            }
+            _ => (PrecondKind::IluSparsified, None, None),
+        };
+        probe.counter(Counter::PrecondKind, kind.tag());
         probe.span_end(Span::PlanBuild);
         let factors = factors?;
+        if let Some(ainv) = ainv {
+            // The search crossed over: the level-free winner becomes the
+            // plan's preconditioner and the ILU artifacts are dropped (a
+            // level-free plan records no sparsify decision — it never uses
+            // `Â`). The measured sparsify/factorization time is kept: the
+            // search really did pay it.
+            return Ok(Self {
+                a: a.clone(),
+                opts,
+                decision: None,
+                factored: None,
+                factors: None,
+                ainv: Some(ainv),
+                precond: kind,
+                kind_decision,
+                mixed: None,
+                precision: PrecisionPolicy::Full,
+                reorder,
+                perm,
+                a_permuted: permuted,
+                sparsify_time,
+                factorization_time,
+                reorder_time,
+            });
+        }
         let (precision, mixed) = resolve_precision(opts.precision, &factors);
         Ok(Self {
             a: a.clone(),
             opts,
             decision,
             factored: None,
-            factors,
+            factors: Some(factors),
+            ainv: None,
+            precond: kind,
+            kind_decision,
             mixed,
             precision,
             reorder,
@@ -183,7 +272,10 @@ impl<T: Scalar> SpcgPlan<T> {
             opts,
             decision: None,
             factored: None,
-            factors,
+            factors: Some(factors),
+            ainv: None,
+            precond: PrecondKind::IluSparsified,
+            kind_decision: None,
             mixed,
             precision,
             reorder: None,
@@ -261,6 +353,37 @@ impl<T: Scalar> SpcgPlan<T> {
             .as_deref()
             .map(|p| a_new.permute_sym(p).expect("recorded permutation fits identical structure"));
         let operator_new = permuted_new.as_ref().unwrap_or(a_new);
+        if self.ainv.is_some() {
+            // Level-free plans carry no split or factor structure to
+            // replay: a refresh is a numeric rebuild of the approximate
+            // inverse on the re-permuted values (ordering and kind decision
+            // carry over; a value-only refresh never re-runs the kind
+            // search).
+            probe.span_begin(Span::PlanAinv);
+            let ainv = build_ainv_probed(operator_new, self.precond, &self.opts, probe);
+            probe.span_end(Span::PlanAinv);
+            let factorization_time = t.elapsed();
+            probe.span_end(Span::PlanRefresh);
+            let ainv = ainv?;
+            return Ok(Self {
+                a: a_new.clone(),
+                opts: self.opts.clone(),
+                decision: None,
+                factored: None,
+                factors: None,
+                ainv: Some(ainv),
+                precond: self.precond,
+                kind_decision: self.kind_decision.clone(),
+                mixed: None,
+                precision: PrecisionPolicy::Full,
+                reorder: self.reorder.clone(),
+                perm: self.perm.clone(),
+                a_permuted: permuted_new,
+                sparsify_time: Duration::ZERO,
+                factorization_time,
+                reorder_time: Duration::ZERO,
+            });
+        }
         // Reuse the sparsify decision: re-split the new values along the
         // recorded S pattern instead of re-running the candidate search.
         let split = match &self.decision {
@@ -285,7 +408,8 @@ impl<T: Scalar> SpcgPlan<T> {
             None => None,
         };
         let m_new = split.as_ref().map_or(operator_new, |(a_hat, _)| a_hat);
-        let factors = ilu_refresh_probed(m_new, &self.factors, probe);
+        let old_factors = self.factors.as_ref().expect("non-level-free plans always carry factors");
+        let factors = ilu_refresh_probed(m_new, old_factors, probe);
         let factorization_time = t.elapsed();
         probe.span_end(Span::PlanRefresh);
         let factors = factors?;
@@ -308,7 +432,10 @@ impl<T: Scalar> SpcgPlan<T> {
             opts: self.opts.clone(),
             decision,
             factored: None,
-            factors,
+            factors: Some(factors),
+            ainv: None,
+            precond: self.precond,
+            kind_decision: self.kind_decision.clone(),
             mixed,
             precision,
             reorder: self.reorder.clone(),
@@ -324,11 +451,11 @@ impl<T: Scalar> SpcgPlan<T> {
     /// and wavefront accounting on [`from_factors`](SpcgPlan::from_factors)
     /// plans).
     pub fn with_factored_matrix(mut self, m: CsrMatrix<T>) -> Result<Self> {
-        if m.n_rows() != self.factors.dim() {
+        let dim = self.factors.as_ref().map_or_else(|| self.n(), |f| f.dim());
+        if m.n_rows() != dim {
             return Err(SparseError::DimensionMismatch(format!(
-                "factored matrix dimension {} does not match factor dimension {}",
+                "factored matrix dimension {} does not match factor dimension {dim}",
                 m.n_rows(),
-                self.factors.dim()
             )));
         }
         self.factored = Some(m);
@@ -377,9 +504,47 @@ impl<T: Scalar> SpcgPlan<T> {
         self.decision.as_ref()
     }
 
-    /// The factors applied as the preconditioner.
+    /// The incomplete factors applied as the preconditioner.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a level-free plan (FSAI/SPAI/Jacobi), which has no
+    /// triangular factors — check [`is_level_free`](Self::is_level_free)
+    /// or use [`ilu_factors`](Self::ilu_factors) when the kind is not
+    /// known statically. Kept infallible because the overwhelming majority
+    /// of call sites (cost models, benches, the resilient ladder's ILU
+    /// rungs) are only ever reached with factored plans.
     pub fn factors(&self) -> &IluFactors<T> {
-        &self.factors
+        self.factors.as_ref().expect("level-free plan has no triangular factors")
+    }
+
+    /// The incomplete factors, or `None` for a level-free plan.
+    pub fn ilu_factors(&self) -> Option<&IluFactors<T>> {
+        self.factors.as_ref()
+    }
+
+    /// The approximate inverse, or `None` for a factored (ILU) plan.
+    pub fn ainv(&self) -> Option<&AinvPreconditioner<T>> {
+        self.ainv.as_ref()
+    }
+
+    /// The concrete preconditioner kind the plan executes. `Auto` requests
+    /// resolve at build time, so this is never `Auto`.
+    pub fn precond_kind(&self) -> PrecondKind {
+        self.precond
+    }
+
+    /// The record of the kind search (`Some` exactly when the plan was
+    /// built with [`PrecondKind::Auto`]).
+    pub fn kind_decision(&self) -> Option<&KindDecision> {
+        self.kind_decision.as_ref()
+    }
+
+    /// `true` when the preconditioner applies without triangular sweeps
+    /// (FSAI/SPAI/Jacobi) — every application is pure SpMV/elementwise
+    /// traffic with zero synchronization.
+    pub fn is_level_free(&self) -> bool {
+        self.ainv.is_some()
     }
 
     /// The matrix that was handed to the factorization: `Â` when the plan
@@ -453,7 +618,10 @@ impl<T: Scalar> SpcgPlan<T> {
     /// Reordered plans also pre-size the boundary staging buffer so the
     /// gather/scatter at the solve boundary stays allocation-free.
     pub fn make_workspace(&self) -> SolveWorkspace<T> {
-        let mut ws = SolveWorkspace::for_preconditioner(self.n(), &self.factors);
+        let mut ws = match &self.ainv {
+            Some(ainv) => SolveWorkspace::for_preconditioner(self.n(), ainv),
+            None => SolveWorkspace::for_preconditioner(self.n(), self.factors()),
+        };
         if self.perm.is_some() {
             ws.reserve_staging(self.n());
         }
@@ -490,9 +658,16 @@ impl<T: Scalar> SpcgPlan<T> {
         if let Some(m) = &self.factored {
             total += csr(m);
         }
-        total += csr(self.factors.l()) + csr(self.factors.u());
-        total += schedule(self.factors.l_schedule()) + schedule(self.factors.u_schedule());
-        total += self.factors.l_blocks().approx_bytes() + self.factors.u_blocks().approx_bytes();
+        if let Some(f) = &self.factors {
+            total += csr(f.l()) + csr(f.u());
+            total += schedule(f.l_schedule()) + schedule(f.u_schedule());
+            total += f.l_blocks().approx_bytes() + f.u_blocks().approx_bytes();
+        }
+        if let Some(ainv) = &self.ainv {
+            // The stored inverse factors are the plan's whole
+            // preconditioner footprint.
+            total += ainv.approx_bytes();
+        }
         if let Some(m) = &self.mixed {
             // The demoted factor image is resident alongside the full one.
             let lower = std::mem::size_of::<T::Lower>();
@@ -721,9 +896,12 @@ impl<T: Scalar> SpcgPlan<T> {
         ws: &mut SolveWorkspace<T>,
         probe: &mut P,
     ) -> std::result::Result<SolveStats, SolverError> {
+        let config = self.opts.solver.clone().with_deadline_iters(deadline_iters);
+        if let Some(ainv) = &self.ainv {
+            return pcg_in_place_warm_probed(operator, ainv, b, &config, None, ws, probe);
+        }
         let Some(mixed) = &self.mixed else {
-            let config = self.opts.solver.clone().with_deadline_iters(deadline_iters);
-            return pcg_in_place_warm_probed(operator, &self.factors, b, &config, None, ws, probe);
+            return pcg_in_place_warm_probed(operator, self.factors(), b, &config, None, ws, probe);
         };
         self.solve_mixed_in_place_probed(operator, mixed, b, None, deadline_iters, ws, probe)
             .map(|r| r.stats)
@@ -741,11 +919,17 @@ impl<T: Scalar> SpcgPlan<T> {
         ws: &mut SolveWorkspace<T>,
         probe: &mut P,
     ) -> std::result::Result<SolveStats, SolverError> {
+        // SolverConfig is stack-only, so the budgeted clone stays on the
+        // zero-allocation path.
+        let config = self.opts.solver.clone().with_deadline_iters(deadline_iters);
+        if let Some(ainv) = &self.ainv {
+            // Level-free tier: the generic PCG loop with the approximate
+            // inverse as its `Preconditioner` — no sweeps, no precision
+            // dispatch (ainv plans are always full precision).
+            return pcg_in_place_probed(operator, ainv, b, &config, None, ws, probe);
+        }
         let Some(mixed) = &self.mixed else {
-            // SolverConfig is stack-only, so the budgeted clone stays on the
-            // zero-allocation path.
-            let config = self.opts.solver.clone().with_deadline_iters(deadline_iters);
-            return pcg_in_place_probed(operator, &self.factors, b, &config, None, ws, probe);
+            return pcg_in_place_probed(operator, self.factors(), b, &config, None, ws, probe);
         };
         self.solve_mixed_in_place_probed(operator, mixed, b, None, deadline_iters, ws, probe)
             .map(|r| r.stats)
@@ -852,11 +1036,18 @@ impl<T: Scalar> SpcgPlan<T> {
 
     /// Decomposes the plan into the legacy [`SpcgOutcome`], attaching the
     /// result of a solve. Moves the factors and decision — no clone.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a level-free plan: the legacy outcome predates the
+    /// approximate-inverse family and carries `IluFactors` by value.
     pub fn into_outcome(self, result: SolveResult<T>) -> SpcgOutcome<T> {
         SpcgOutcome {
             result,
             decision: self.decision,
-            factors: self.factors,
+            factors: self
+                .factors
+                .expect("into_outcome is ILU-only; level-free plans have no factors"),
             sparsify_time: self.sparsify_time,
             factorization_time: self.factorization_time,
         }
@@ -1070,7 +1261,7 @@ mod tests {
     fn from_factors_wraps_external_analysis() {
         let (a, b) = system(8);
         let o = SpcgOptions { sparsify: None, ..opts() };
-        let factors = build_preconditioner(&a, o.precond, o.exec).unwrap();
+        let factors = build_preconditioner(&a, o.ilu_fill, o.exec).unwrap();
         let plan = SpcgPlan::from_factors(a.clone(), factors, o.clone()).unwrap();
         let direct = SpcgPlan::build(&a, &o).unwrap();
         assert_eq!(plan.solve(&b).unwrap().x, direct.solve(&b).unwrap().x);
@@ -1228,7 +1419,7 @@ mod tests {
         });
         assert!(plan.refresh_values(&other).is_err());
         let o = SpcgOptions { sparsify: None, ..opts() };
-        let factors = build_preconditioner(&a, o.precond, o.exec).unwrap();
+        let factors = build_preconditioner(&a, o.ilu_fill, o.exec).unwrap();
         let external = SpcgPlan::from_factors(a.clone(), factors, o.clone())
             .unwrap()
             .with_factored_matrix(a.clone())

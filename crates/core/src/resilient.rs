@@ -21,7 +21,12 @@
 //! 3. [`FallbackRung::Unsparsified`] — factor the full `A`;
 //! 4. [`FallbackRung::Shifted`] — pivot-shifted refactorization of `A`
 //!    (`A + αI` with escalating `α`, Manteuffel's cure);
-//! 5. [`FallbackRung::Jacobi`] — the diagonal preconditioner, which
+//! 5. [`FallbackRung::Fsai`] — the factored sparse approximate inverse
+//!    `GᵀG`, a *different family*: when every incomplete factorization of
+//!    the matrix breaks down, a level-free SPD-preserving inverse often
+//!    still exists (skipped when the plan is already level-free — retrying
+//!    the same family would be a no-op);
+//! 6. [`FallbackRung::Jacobi`] — the diagonal preconditioner, which
 //!    cannot break down on any matrix with a nonzero diagonal.
 //!
 //! Every attempt is recorded in a [`RecoveryReport`] (rung, stop
@@ -31,11 +36,12 @@
 //! demand, which is how the test suite proves every rung both fires and
 //! terminates.
 
-use crate::pipeline::{build_preconditioner_probed, PrecondKind};
+use crate::pipeline::{build_preconditioner_probed, IluFill};
 use crate::plan::SpcgPlan;
 use crate::sparsify::sparsify_by_magnitude;
 use spcg_precond::{
-    shifted_factorization_probed, FactorKind, JacobiPreconditioner, Preconditioner, ShiftPolicy,
+    shifted_factorization_probed, AinvPreconditioner, FactorKind, FsaiPreconditioner,
+    JacobiPreconditioner, Preconditioner, ShiftPolicy,
 };
 use spcg_probe::{NoProbe, Probe, ProbeStop, RungEvent, RungKind, Span};
 use spcg_solver::{
@@ -61,6 +67,9 @@ pub enum FallbackRung {
     Unsparsified,
     /// Pivot-shifted refactorization `A + αI` of the full matrix.
     Shifted,
+    /// Factored sparse approximate inverse `GᵀG` — a level-free family
+    /// switch for matrices no incomplete factorization survives on.
+    Fsai,
     /// Diagonal (Jacobi) preconditioner — the unconditional safety net.
     Jacobi,
 }
@@ -75,6 +84,7 @@ impl FallbackRung {
             FallbackRung::Resparsify(t) => (RungKind::Resparsify, *t),
             FallbackRung::Unsparsified => (RungKind::Unsparsified, 0.0),
             FallbackRung::Shifted => (RungKind::Shifted, 0.0),
+            FallbackRung::Fsai => (RungKind::Fsai, 0.0),
             FallbackRung::Jacobi => (RungKind::Jacobi, 0.0),
         }
     }
@@ -88,6 +98,7 @@ impl std::fmt::Display for FallbackRung {
             FallbackRung::Resparsify(t) => write!(f, "resparsify({t}%)"),
             FallbackRung::Unsparsified => write!(f, "unsparsified"),
             FallbackRung::Shifted => write!(f, "shifted"),
+            FallbackRung::Fsai => write!(f, "fsai"),
             FallbackRung::Jacobi => write!(f, "jacobi"),
         }
     }
@@ -291,6 +302,9 @@ enum RungFactors<T: Scalar> {
     /// Reduced-precision factors, solved through the iterative-refinement
     /// driver (the planned attempt of a mixed plan).
     Mixed(Box<spcg_precond::MixedPrecisionIlu<T>>),
+    /// A level-free approximate inverse — the planned preconditioner of a
+    /// level-free plan, or a freshly built FSAI on the family-switch rung.
+    Ainv(Box<AinvPreconditioner<T>>),
     Jacobi(JacobiPreconditioner<T>),
 }
 
@@ -425,6 +439,15 @@ impl<T: Scalar> SpcgPlan<T> {
                         residual_history: ws.history().to_vec(),
                         timings: refined.stats.timings,
                     }),
+                RungFactors::Ainv(a) => pcg_with_workspace_probed(
+                    self.operator(),
+                    a.as_ref(),
+                    b,
+                    config,
+                    solve_fault,
+                    ws,
+                    probe,
+                ),
                 RungFactors::Jacobi(j) => {
                     pcg_with_workspace_probed(self.operator(), j, b, config, solve_fault, ws, probe)
                 }
@@ -526,6 +549,14 @@ impl<T: Scalar> SpcgPlan<T> {
             rungs.push(FallbackRung::Unsparsified);
         }
         rungs.push(FallbackRung::Shifted);
+        if !self.is_level_free() {
+            // Family switch before the terminal diagonal: a matrix that
+            // breaks every incomplete factorization often still admits an
+            // SPD-preserving approximate inverse. A plan that is already
+            // level-free skips it — rebuilding the same family changes
+            // nothing.
+            rungs.push(FallbackRung::Fsai);
+        }
         rungs.push(FallbackRung::Jacobi);
         rungs
     }
@@ -540,18 +571,25 @@ impl<T: Scalar> SpcgPlan<T> {
         fault: Option<FaultInjection>,
         probe: &mut P,
     ) -> Option<RungPrecond<T>> {
-        let kind = self.options().precond;
+        let kind = self.options().ilu_fill;
         let exec = self.options().exec;
         let built = match rung {
-            FallbackRung::Planned => match self.mixed_factors() {
+            FallbackRung::Planned => match (self.ainv(), self.mixed_factors()) {
+                // A level-free plan's own preconditioner is the resident
+                // approximate inverse.
+                (Some(ainv), _) => RungPrecond {
+                    factors: RungFactors::Ainv(Box::new(ainv.clone())),
+                    factorizations: 0,
+                    alpha: 0.0,
+                },
                 // A mixed plan's own preconditioner is the reduced-precision
                 // apply (under refinement) — that is what attempt 0 retries.
-                Some(m) => RungPrecond {
+                (None, Some(m)) => RungPrecond {
                     factors: RungFactors::Mixed(Box::new(m.clone())),
                     factorizations: 0,
                     alpha: 0.0,
                 },
-                None => RungPrecond {
+                (None, None) => RungPrecond {
                     factors: RungFactors::Ilu(Box::new(self.factors().clone())),
                     factorizations: 0,
                     alpha: 0.0,
@@ -583,8 +621,8 @@ impl<T: Scalar> SpcgPlan<T> {
             }
             FallbackRung::Shifted => {
                 let fk = match kind {
-                    PrecondKind::Ilu0 => FactorKind::Ilu0,
-                    PrecondKind::Iluk(k) => FactorKind::Iluk(k),
+                    IluFill::Ilu0 => FactorKind::Ilu0,
+                    IluFill::Iluk(k) => FactorKind::Iluk(k),
                 };
                 let s = shifted_factorization_probed(
                     self.operator(),
@@ -598,6 +636,14 @@ impl<T: Scalar> SpcgPlan<T> {
                     factors: RungFactors::Ilu(Box::new(s.factors)),
                     factorizations: s.attempts,
                     alpha: s.alpha,
+                }
+            }
+            FallbackRung::Fsai => {
+                let f = FsaiPreconditioner::new(self.operator()).ok()?;
+                RungPrecond {
+                    factors: RungFactors::Ainv(Box::new(AinvPreconditioner::Fsai(f))),
+                    factorizations: 1,
+                    alpha: 0.0,
                 }
             }
             FallbackRung::Jacobi => {
@@ -795,7 +841,12 @@ mod tests {
         let base_rungs = base.ladder(&ResilienceOptions::default());
         assert_eq!(
             base_rungs,
-            vec![FallbackRung::Planned, FallbackRung::Shifted, FallbackRung::Jacobi]
+            vec![
+                FallbackRung::Planned,
+                FallbackRung::Shifted,
+                FallbackRung::Fsai,
+                FallbackRung::Jacobi
+            ]
         );
     }
 
@@ -837,7 +888,53 @@ mod tests {
         assert_eq!(FallbackRung::Resparsify(5.0).to_string(), "resparsify(5%)");
         assert_eq!(FallbackRung::Unsparsified.to_string(), "unsparsified");
         assert_eq!(FallbackRung::Shifted.to_string(), "shifted");
+        assert_eq!(FallbackRung::Fsai.to_string(), "fsai");
         assert_eq!(FallbackRung::Jacobi.to_string(), "jacobi");
+    }
+
+    #[test]
+    fn fsai_rung_fires_between_shifted_and_jacobi() {
+        let (a, b) = system(10);
+        let plan = SpcgPlan::build(&a, opts()).unwrap();
+        let ladder = plan.ladder(&ResilienceOptions::default());
+        let fsai_pos = ladder.iter().position(|r| *r == FallbackRung::Fsai).unwrap();
+        assert_eq!(ladder[fsai_pos - 1], FallbackRung::Shifted);
+        assert_eq!(ladder[fsai_pos + 1], FallbackRung::Jacobi);
+        // Poison every rung before FSAI: recovery must land exactly there,
+        // demonstrating the family switch rescues a solve the whole
+        // factorization ladder could not.
+        let ropts = ResilienceOptions {
+            fault: Some(FaultInjection::nan_at(0).persist_for(fsai_pos)),
+            ..Default::default()
+        };
+        let r =
+            plan.solve_resilient_with_workspace(&b, &ropts, &mut plan.make_workspace()).unwrap();
+        assert!(r.converged(), "report: {:?}", r.report);
+        assert_eq!(r.report.attempts.last().unwrap().rung, FallbackRung::Fsai);
+        assert_eq!(r.report.attempts.last().unwrap().factorizations, 1);
+    }
+
+    #[test]
+    fn level_free_plans_skip_the_fsai_rung() {
+        use crate::pipeline::PrecondKind;
+        let (a, b) = system(10);
+        let plan = SpcgPlan::build(&a, opts().with_precond(PrecondKind::Fsai)).unwrap();
+        assert!(plan.is_level_free());
+        let ladder = plan.ladder(&ResilienceOptions::default());
+        assert!(
+            !ladder.contains(&FallbackRung::Fsai),
+            "retrying the resident family is a no-op: {ladder:?}"
+        );
+        // An injected FSAI breakdown climbs to the terminal Jacobi rung.
+        let ropts = ResilienceOptions {
+            fault: Some(FaultInjection::nan_at(0).persist_for(ladder.len() - 1)),
+            ..Default::default()
+        };
+        let r =
+            plan.solve_resilient_with_workspace(&b, &ropts, &mut plan.make_workspace()).unwrap();
+        assert!(r.converged(), "report: {:?}", r.report);
+        assert_eq!(r.report.attempts.first().unwrap().rung, FallbackRung::Planned);
+        assert_eq!(r.report.attempts.last().unwrap().rung, FallbackRung::Jacobi);
     }
 
     #[test]

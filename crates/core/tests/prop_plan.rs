@@ -7,7 +7,7 @@
 #![allow(deprecated)]
 
 use proptest::prelude::*;
-use spcg_core::pipeline::{spcg_solve, PrecondKind, SpcgOptions};
+use spcg_core::pipeline::{spcg_solve, IluFill, SpcgOptions};
 use spcg_core::SpcgPlan;
 use spcg_solver::SolverConfig;
 use spcg_sparse::generators::{random_spd, with_magnitude_spread};
@@ -23,7 +23,7 @@ fn random_system(n: usize, seed: u64) -> (spcg_sparse::CsrMatrix<f64>, Vec<f64>)
 fn options(sparsify: bool, k: usize, history: bool) -> SpcgOptions {
     SpcgOptions {
         sparsify: if sparsify { Some(Default::default()) } else { None },
-        precond: if k == 0 { PrecondKind::Ilu0 } else { PrecondKind::Iluk(k) },
+        ilu_fill: if k == 0 { IluFill::Ilu0 } else { IluFill::Iluk(k) },
         solver: SolverConfig::default().with_tol(1e-9).with_history(history),
         ..Default::default()
     }

@@ -4,7 +4,7 @@
 //! operator.
 
 use proptest::prelude::*;
-use spcg_core::pipeline::{PrecondKind, SpcgOptions};
+use spcg_core::pipeline::{IluFill, SpcgOptions};
 use spcg_core::{FaultInjection, ResilienceOptions, SpcgPlan};
 use spcg_precond::{shifted_factorization, ExecutionStrategy, FactorKind, ShiftPolicy};
 use spcg_solver::SolverConfig;
@@ -21,7 +21,7 @@ fn random_system(n: usize, seed: u64) -> (spcg_sparse::CsrMatrix<f64>, Vec<f64>)
 fn options(sparsify: bool, k: usize) -> SpcgOptions {
     SpcgOptions {
         sparsify: if sparsify { Some(Default::default()) } else { None },
-        precond: if k == 0 { PrecondKind::Ilu0 } else { PrecondKind::Iluk(k) },
+        ilu_fill: if k == 0 { IluFill::Ilu0 } else { IluFill::Iluk(k) },
         solver: SolverConfig::default().with_tol(1e-9).with_history(true),
         ..Default::default()
     }

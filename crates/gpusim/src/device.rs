@@ -148,6 +148,18 @@ mod tests {
         assert_eq!(DeviceSpec::a100().exec_cost_model(), spcg_wavefront::ExecCostModel::default());
     }
 
+    /// The kind-crossover search prices level-free applies with the
+    /// wavefront model's `spmv_time_us`; this pin keeps it equal to the
+    /// simulator's `spmv_cost` so both sides of the crossover agree.
+    #[test]
+    fn spmv_pricing_matches_the_wavefront_model() {
+        let a = spcg_sparse::generators::poisson_2d(20, 20);
+        let d = DeviceSpec::a100();
+        let sim = crate::kernel::spmv_cost(&d, &a).time_us;
+        let model = d.exec_cost_model().spmv_time_us(&a);
+        assert!((sim - model).abs() < 1e-9, "sim {sim} vs model {model}");
+    }
+
     #[test]
     fn unit_conversions() {
         let a = DeviceSpec::a100();

@@ -31,8 +31,8 @@ pub use ilu::{
 };
 pub use kernel::{dot_cost, elementwise_cost, spmv_cost, value_bytes_of, KernelCost};
 pub use pcg::{
-    end_to_end_cost, iteration_gflops, pcg_iteration_cost, pcg_iteration_cost_with_factor_bytes,
-    EndToEndCost, IterationCost,
+    ainv_iteration_cost, ainv_setup_cost, end_to_end_cost, iteration_gflops, pcg_iteration_cost,
+    pcg_iteration_cost_with_factor_bytes, EndToEndCost, IterationCost,
 };
 pub use plan::{
     plan_end_to_end_cost, plan_iteration_cost, plan_rebuild_cost_us, plan_recovery_cost,

@@ -11,7 +11,7 @@ use crate::ilu::{ilu_factorization_cost, inspector_cost_us, sparsify_cost_us};
 use crate::kernel::{dot_cost, elementwise_cost, spmv_cost, value_bytes_of, KernelCost};
 use crate::trisolve::{trisolve_block_cost, trisolve_cost, BlockWorkload, TrisolveWorkload};
 use serde::{Deserialize, Serialize};
-use spcg_precond::{ExecutionStrategy, IluFactors};
+use spcg_precond::{AinvPreconditioner, ExecutionStrategy, IluFactors};
 use spcg_sparse::{CsrMatrix, Scalar};
 
 /// Cost breakdown of one PCG iteration on a device.
@@ -95,6 +95,53 @@ pub fn pcg_iteration_cost_with_factor_bytes<T: Scalar>(
         .add(&elementwise_cost::<T>(device, n, 3.0))
         .add(&elementwise_cost::<T>(device, n, 3.0));
     IterationCost { spmv, lower, upper, blas }
+}
+
+/// Prices one PCG iteration under a *level-free* (approximate-inverse)
+/// preconditioner: the triangular-solve slots of [`IterationCost`] hold
+/// plain SpMVs over the stored inverse factors (`G` then `Gᵀ` for FSAI,
+/// the single `M` for SPAI — the unused slot stays zero), and Jacobi's
+/// diagonal scale prices as one two-stream elementwise kernel. No level
+/// barriers, no block releases: each apply is ordinary launch-plus-roofline
+/// SpMV traffic, which is the whole point of the family.
+pub fn ainv_iteration_cost<T: Scalar>(
+    device: &DeviceSpec,
+    a: &CsrMatrix<T>,
+    ainv: &AinvPreconditioner<T>,
+) -> IterationCost {
+    let n = a.n_rows();
+    let spmv = spmv_cost(device, a);
+    let factors = ainv.factor_matrices();
+    let lower = factors
+        .first()
+        .map_or_else(|| elementwise_cost::<T>(device, n, 2.0), |m| spmv_cost(device, m));
+    let upper = factors.get(1).map(|m| spmv_cost(device, m)).unwrap_or_default();
+    let blas = dot_cost::<T>(device, n)
+        .add(&dot_cost::<T>(device, n))
+        .add(&elementwise_cost::<T>(device, n, 3.0))
+        .add(&elementwise_cost::<T>(device, n, 3.0))
+        .add(&elementwise_cost::<T>(device, n, 3.0));
+    IterationCost { spmv, lower, upper, blas }
+}
+
+/// Simulated construction cost of an approximate inverse: every row of the
+/// first stored factor solves an independent dense system of order `k`
+/// (its stored support), so one device pass gathers `k²` entries per row
+/// and spends `(2/3)k³` flops per row on the factorizations, all rows in
+/// parallel. Mirrors the plan-time pricing in `spcg-core`'s kind search.
+pub fn ainv_setup_cost<T: Scalar>(device: &DeviceSpec, ainv: &AinvPreconditioner<T>) -> KernelCost {
+    let entry_bytes = value_bytes_of::<T>() + crate::kernel::IDX_BYTES;
+    let (bytes, flops) = ainv
+        .factor_matrices()
+        .first()
+        .map(|g| {
+            (0..g.n_rows()).fold((0.0, 0.0), |(b, f), r| {
+                let k = g.row_nnz(r) as f64;
+                (b + k * k * entry_bytes, f + 2.0 / 3.0 * k * k * k)
+            })
+        })
+        .unwrap_or((0.0, 0.0));
+    KernelCost::assemble(device, bytes, flops, 0.0)
 }
 
 /// Simulated end-to-end time of one solver configuration.

@@ -6,7 +6,8 @@
 use crate::device::DeviceSpec;
 use crate::ilu::ilu_factorization_cost;
 use crate::pcg::{
-    end_to_end_cost, pcg_iteration_cost_with_factor_bytes, EndToEndCost, IterationCost,
+    ainv_iteration_cost, ainv_setup_cost, end_to_end_cost, pcg_iteration_cost_with_factor_bytes,
+    EndToEndCost, IterationCost,
 };
 use spcg_core::{RecoveryReport, SpcgPlan};
 use spcg_sparse::Scalar;
@@ -18,7 +19,12 @@ use spcg_sparse::Scalar;
 /// the point of reordering. Mixed-precision plans price their triangular
 /// solves at the demoted factor width (`plan.factor_value_bytes()`), so
 /// the simulated apply traffic reflects what the f32 tier actually moves.
+/// Level-free plans (FSAI/SPAI/Jacobi) price their apply as plain SpMVs
+/// over the stored inverse factors — no levels, no barriers.
 pub fn plan_iteration_cost<T: Scalar>(device: &DeviceSpec, plan: &SpcgPlan<T>) -> IterationCost {
+    if let Some(ainv) = plan.ainv() {
+        return ainv_iteration_cost(device, plan.operator(), ainv);
+    }
     pcg_iteration_cost_with_factor_bytes(
         device,
         plan.operator(),
@@ -40,6 +46,17 @@ pub fn plan_end_to_end_cost<T: Scalar>(
     plan: &SpcgPlan<T>,
     iterations: usize,
 ) -> EndToEndCost {
+    if let Some(ainv) = plan.ainv() {
+        // Level-free plans never sparsify and build no level schedules, so
+        // the only setup is the inverse construction itself.
+        return EndToEndCost {
+            sparsify_us: 0.0,
+            inspector_us: 0.0,
+            factorization_us: ainv_setup_cost(device, ainv).time_us,
+            per_iteration_us: ainv_iteration_cost(device, plan.operator(), ainv).total_us(),
+            iterations,
+        };
+    }
     let mut cost = end_to_end_cost(
         device,
         plan.operator(),
@@ -64,6 +81,11 @@ pub fn plan_end_to_end_cost<T: Scalar>(
 /// computes fresh ILU factors on the CPU. This is what a structural change
 /// costs, and the baseline a value-only refresh is measured against.
 pub fn plan_rebuild_cost_us<T: Scalar>(device: &DeviceSpec, plan: &SpcgPlan<T>) -> f64 {
+    if let Some(ainv) = plan.ainv() {
+        // A level-free rebuild is the inverse construction again: no
+        // sparsify search, no inspector, no host-path sweep.
+        return ainv_setup_cost(device, ainv).time_us;
+    }
     let e = plan_end_to_end_cost(device, plan, 0);
     let fact_us = crate::ilu::ilu_factorization_cost_serial(device, plan.factored_matrix()).time_us;
     e.sparsify_us + e.inspector_us + fact_us
@@ -78,6 +100,12 @@ pub fn plan_rebuild_cost_us<T: Scalar>(device: &DeviceSpec, plan: &SpcgPlan<T>) 
 /// re-run; the linear value re-permute/re-split passes are
 /// bandwidth-trivial next to the sweep and are not modeled.
 pub fn plan_refresh_cost_us<T: Scalar>(device: &DeviceSpec, plan: &SpcgPlan<T>) -> f64 {
+    if let Some(ainv) = plan.ainv() {
+        // A value-only refresh re-gathers and re-solves the per-row dense
+        // systems on the cached pattern; only the pattern discovery (not
+        // separately modeled) is saved, so it prices as the setup pass.
+        return ainv_setup_cost(device, ainv).time_us;
+    }
     crate::ilu::ilu_refresh_cost_serial(device, plan.factored_matrix()).time_us
 }
 
@@ -243,6 +271,31 @@ mod tests {
                  (sparsified={sparsified})"
             );
         }
+    }
+
+    /// A level-free plan prices its apply as plain SpMV traffic: a fixed,
+    /// small launch count per iteration (no per-level barriers) and an
+    /// end-to-end cost with no sparsify or inspector component.
+    #[test]
+    fn level_free_plan_prices_as_spmv_traffic() {
+        use spcg_core::PrecondKind;
+        let a = poisson_2d(16, 16);
+        let p =
+            SpcgPlan::build(&a, SpcgOptions::default().with_precond(PrecondKind::Fsai)).unwrap();
+        assert!(p.is_level_free());
+        let d = DeviceSpec::a100();
+        let c = plan_iteration_cost(&d, &p);
+        assert!(c.total_us() > 0.0);
+        // spmv(A) + spmv(G) + spmv(Gᵀ) + 5 BLAS-1 kernels = 8 launches.
+        assert_eq!(c.launches(), 8.0 * d.launch_overhead_us);
+        let e = plan_end_to_end_cost(&d, &p, 30);
+        assert_eq!(e.sparsify_us, 0.0);
+        assert_eq!(e.inspector_us, 0.0);
+        assert!(e.factorization_us > 0.0);
+        assert_eq!(e.per_iteration_us, c.total_us());
+        let rebuild = plan_rebuild_cost_us(&d, &p);
+        assert!(rebuild > 0.0);
+        assert!(plan_refresh_cost_us(&d, &p) <= rebuild);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! The level-free (approximate-inverse) preconditioner family as one
+//! enum, so a plan can own "whichever level-free kind was selected" without
+//! boxing a trait object: FSAI (`Gᵀ G`, two SpMVs), static-pattern SPAI
+//! (`M`, one SpMV), or Jacobi (`diag(A)⁻¹`, one elementwise pass). Every
+//! variant applies with zero synchronization — no levels, no barriers.
+
+use crate::fsai::FsaiPreconditioner;
+use crate::jacobi::JacobiPreconditioner;
+use crate::sai::SaiPreconditioner;
+use crate::traits::Preconditioner;
+use spcg_sparse::{CsrMatrix, Scalar};
+
+/// One constructed approximate-inverse preconditioner.
+#[derive(Debug, Clone)]
+pub enum AinvPreconditioner<T: Scalar> {
+    /// Factored sparse approximate inverse `M⁻¹ = GᵀG` (SPD-preserving).
+    Fsai(FsaiPreconditioner<T>),
+    /// Unfactored sparse approximate inverse `M⁻¹ = M` minimizing
+    /// `‖I − MA‖_F` on a static pattern.
+    Spai(SaiPreconditioner<T>),
+    /// Diagonal inverse — the degenerate (weakest, cheapest) member.
+    Jacobi(JacobiPreconditioner<T>),
+}
+
+impl<T: Scalar> AinvPreconditioner<T> {
+    /// Short stable kind label ("fsai" / "spai" / "jacobi").
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            AinvPreconditioner::Fsai(_) => "fsai",
+            AinvPreconditioner::Spai(_) => "spai",
+            AinvPreconditioner::Jacobi(_) => "jacobi",
+        }
+    }
+
+    /// The sparse factor matrices one application multiplies by, in apply
+    /// order — `[G, Gᵀ]` for FSAI, `[M]` for SPAI, empty for Jacobi (whose
+    /// apply is a single elementwise pass, not an SpMV). Cost models price
+    /// a level-free iteration as SpMV traffic over exactly these.
+    pub fn factor_matrices(&self) -> Vec<&CsrMatrix<T>> {
+        match self {
+            AinvPreconditioner::Fsai(f) => vec![f.g(), f.g_t()],
+            AinvPreconditioner::Spai(s) => vec![s.matrix()],
+            AinvPreconditioner::Jacobi(_) => Vec::new(),
+        }
+    }
+
+    /// Estimated resident bytes of the stored inverse factors (CSR values
+    /// plus column indices plus row pointers; the Jacobi variant stores
+    /// one value per row).
+    pub fn approx_bytes(&self) -> usize {
+        let idx = std::mem::size_of::<usize>();
+        let val = std::mem::size_of::<T>();
+        let csr_bytes = |m: &CsrMatrix<T>| m.nnz() * (val + idx) + (m.n_rows() + 1) * idx;
+        match self {
+            AinvPreconditioner::Fsai(f) => csr_bytes(f.g()) + csr_bytes(f.g_t()),
+            AinvPreconditioner::Spai(s) => csr_bytes(s.matrix()),
+            AinvPreconditioner::Jacobi(j) => Preconditioner::<T>::nnz(j) * val,
+        }
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for AinvPreconditioner<T> {
+    fn apply(&self, r: &[T], z: &mut [T]) {
+        match self {
+            AinvPreconditioner::Fsai(f) => f.apply(r, z),
+            AinvPreconditioner::Spai(s) => s.apply(r, z),
+            AinvPreconditioner::Jacobi(j) => j.apply(r, z),
+        }
+    }
+
+    fn scratch_len(&self) -> usize {
+        match self {
+            AinvPreconditioner::Fsai(f) => f.scratch_len(),
+            AinvPreconditioner::Spai(s) => s.scratch_len(),
+            AinvPreconditioner::Jacobi(j) => j.scratch_len(),
+        }
+    }
+
+    fn apply_with_scratch(&self, r: &[T], z: &mut [T], scratch: &mut [T]) {
+        match self {
+            AinvPreconditioner::Fsai(f) => f.apply_with_scratch(r, z, scratch),
+            AinvPreconditioner::Spai(s) => s.apply_with_scratch(r, z, scratch),
+            AinvPreconditioner::Jacobi(j) => j.apply_with_scratch(r, z, scratch),
+        }
+    }
+
+    fn dim(&self) -> usize {
+        match self {
+            AinvPreconditioner::Fsai(f) => f.dim(),
+            AinvPreconditioner::Spai(s) => s.dim(),
+            AinvPreconditioner::Jacobi(j) => j.dim(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.kind_name()
+    }
+
+    fn nnz(&self) -> usize {
+        match self {
+            AinvPreconditioner::Fsai(f) => Preconditioner::<T>::nnz(f),
+            AinvPreconditioner::Spai(s) => Preconditioner::<T>::nnz(s),
+            AinvPreconditioner::Jacobi(j) => Preconditioner::<T>::nnz(j),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sai::SaiPattern;
+    use spcg_sparse::generators::poisson_2d;
+
+    #[test]
+    fn delegation_matches_inner() {
+        let a = poisson_2d(6, 6);
+        let inner = FsaiPreconditioner::new(&a).unwrap();
+        let outer = AinvPreconditioner::Fsai(inner.clone());
+        let r: Vec<f64> = (0..36).map(|i| (i % 4) as f64).collect();
+        let (mut z1, mut z2) = (vec![0.0; 36], vec![0.0; 36]);
+        inner.apply(&r, &mut z1);
+        outer.apply(&r, &mut z2);
+        assert_eq!(z1, z2);
+        assert_eq!(outer.kind_name(), "fsai");
+        assert_eq!(outer.factor_matrices().len(), 2);
+        assert!(outer.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn factor_matrices_per_kind() {
+        let a = poisson_2d(5, 5);
+        let spai = AinvPreconditioner::Spai(SaiPreconditioner::new(&a, SaiPattern::OfA).unwrap());
+        let jac = AinvPreconditioner::Jacobi(JacobiPreconditioner::new(&a).unwrap());
+        assert_eq!(spai.factor_matrices().len(), 1);
+        assert!(jac.factor_matrices().is_empty());
+        assert_eq!(jac.approx_bytes(), 25 * 8);
+        assert_eq!(Preconditioner::<f64>::scratch_len(&spai), 0);
+    }
+}

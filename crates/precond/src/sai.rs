@@ -35,6 +35,22 @@ impl<T: Scalar> SaiPreconditioner<T> {
     /// `min ‖e_iᵀ − g_iᵀ A‖₂` over the pattern's support is solved via its
     /// normal equations on the small gathered submatrix.
     pub fn new(a: &CsrMatrix<T>, pattern: SaiPattern) -> Result<Self> {
+        Self::new_probed(a, pattern, &mut spcg_probe::NoProbe)
+    }
+
+    /// [`new`](SaiPreconditioner::new) with an observability
+    /// [`Probe`](spcg_probe::Probe): emits
+    /// [`Counter::SpaiRows`](spcg_probe::Counter::SpaiRows) (per-row
+    /// least-squares solves),
+    /// [`Counter::SpaiGathered`](spcg_probe::Counter::SpaiGathered) (dense
+    /// normal-equation entries gathered across them), and
+    /// [`Counter::AinvNnz`](spcg_probe::Counter::AinvNnz) (stored entries
+    /// of `M`).
+    pub fn new_probed<P: spcg_probe::Probe>(
+        a: &CsrMatrix<T>,
+        pattern: SaiPattern,
+        probe: &mut P,
+    ) -> Result<Self> {
         if !a.is_square() {
             return Err(SparseError::NotSquare { n_rows: a.n_rows(), n_cols: a.n_cols() });
         }
@@ -54,6 +70,7 @@ impl<T: Scalar> SaiPreconditioner<T> {
         };
 
         let mut coo = CooMatrix::with_capacity(n, n, support.iter().map(Vec::len).sum());
+        let mut gathered = 0u64;
         for (i, cols) in support.iter().enumerate() {
             let k = cols.len();
             if k == 0 {
@@ -66,6 +83,7 @@ impl<T: Scalar> SaiPreconditioner<T> {
             touched.dedup();
             // Dense local system: B[t][s] = A[cols[s]][touched[t]].
             let m = touched.len();
+            gathered += (m * k) as u64;
             let mut bmat = DenseMatrix::zeros(m, k);
             for (s, &j) in cols.iter().enumerate() {
                 for (&c, &v) in a.row_cols(j).iter().zip(a.row_values(j)) {
@@ -96,7 +114,11 @@ impl<T: Scalar> SaiPreconditioner<T> {
                 }
             }
         }
-        Ok(Self { g: coo.to_csr() })
+        let g = coo.to_csr();
+        probe.counter(spcg_probe::Counter::SpaiRows, n as u64);
+        probe.counter(spcg_probe::Counter::SpaiGathered, gathered);
+        probe.counter(spcg_probe::Counter::AinvNnz, g.nnz() as u64);
+        Ok(Self { g })
     }
 
     /// The approximate inverse matrix `G`.

@@ -90,6 +90,10 @@ pub enum Span {
     /// refactorization reusing the recorded sparsify split, permutation,
     /// and level schedules.
     PlanRefresh,
+    /// Approximate-inverse construction (FSAI/SPAI/Jacobi): the per-row
+    /// least-squares / dense-solve pass that replaces `Factorize` +
+    /// `LevelBuild` for level-free plans.
+    PlanAinv,
 }
 
 impl Span {
@@ -113,6 +117,7 @@ impl Span {
             Span::ServeRequest => "serve.request",
             Span::ServeBatch => "serve.batch",
             Span::PlanRefresh => "plan.refresh",
+            Span::PlanAinv => "plan.ainv",
         }
     }
 }
@@ -204,6 +209,19 @@ pub enum Counter {
     /// Queued requests cancelled by their ticket before a worker picked
     /// them up.
     ServeCancelled,
+    /// Resolved preconditioner kind of a built plan (the
+    /// `spcg_core::PrecondKind` tag: 1 = sparsified ILU, 2 = FSAI,
+    /// 3 = SPAI, 4 = Jacobi). Emitted once per plan build / refresh.
+    PrecondKind,
+    /// Stored entries in a constructed approximate inverse (FSAI counts
+    /// `G` and `Gᵀ`; SPAI counts `M`).
+    AinvNnz,
+    /// Per-row least-squares systems solved while constructing an
+    /// approximate inverse (one per matrix row for FSAI/SPAI).
+    SpaiRows,
+    /// Dense normal-equation entries gathered across all per-row SPAI/FSAI
+    /// least-squares solves (the setup-cost analogue of factorization fill).
+    SpaiGathered,
 }
 
 impl Counter {
@@ -245,6 +263,10 @@ impl Counter {
             Counter::ServeSessionStep => "serve.session.step",
             Counter::ServeSessionRefresh => "serve.session.refresh",
             Counter::ServeCancelled => "serve.queue.cancelled",
+            Counter::PrecondKind => "precond.kind",
+            Counter::AinvNnz => "ainv.nnz",
+            Counter::SpaiRows => "spai.rows",
+            Counter::SpaiGathered => "spai.gathered",
         }
     }
 }
@@ -297,6 +319,8 @@ pub enum RungKind {
     Jacobi,
     /// Full-precision factors promoted from a stalled mixed-precision tier.
     PromotePrecision,
+    /// Level-free FSAI fallback attempted before the Jacobi last resort.
+    Fsai,
 }
 
 /// One PCG/CG/Chebyshev iteration as seen by the runtime guards.

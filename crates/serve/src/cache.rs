@@ -25,7 +25,7 @@
 //! `serve.cache.*` counter vocabulary via [`PlanCache::emit_counters`].
 
 use crate::policy::SolveTier;
-use spcg_core::{ExecutionStrategy, OrderingKind, PrecisionPolicy, SpcgPlan};
+use spcg_core::{ExecutionStrategy, OrderingKind, PrecisionPolicy, PrecondKind, SpcgPlan};
 use spcg_probe::{Counter, Probe};
 use spcg_sparse::{CsrMatrix, MatrixFingerprint, Scalar};
 use std::collections::HashMap;
@@ -39,7 +39,10 @@ use std::sync::{Arc, Mutex};
 /// different tiers (and an `Auto` plan may resolve either way per matrix);
 /// two plans under different execution strategies run different triangular
 /// executors (and the ω ordering search prices against the requested
-/// strategy, so the chosen ordering itself can differ); a degraded
+/// strategy, so the chosen ordering itself can differ); two plans under
+/// different preconditioner kinds hold entirely different artifacts (ILU
+/// factors vs approximate inverses, and a `PrecondKind::Auto` plan bakes
+/// in a per-matrix kind decision); a degraded
 /// [`SolveTier::Light`] plan skips the sparsify pass entirely — all are
 /// value twins that must never collide. The key carries the *requested*
 /// policy/strategy, not the resolved one, so a cached `Auto` plan answers
@@ -54,6 +57,10 @@ pub struct PlanKey {
     pub precision: PrecisionPolicy,
     /// The triangular-solve execution strategy requested of the planner.
     pub exec: ExecutionStrategy,
+    /// The preconditioner kind requested of the planner. Keys on the
+    /// *request* (`Auto` stays `Auto`), so a cached `Auto` plan answers
+    /// exactly the `Auto` requests whose kind search it already ran.
+    pub precond: PrecondKind,
     /// The serving tier the plan was built for. [`SolveTier::Full`] for
     /// every non-degraded request (and for everything predating admission
     /// control); [`SolveTier::Light`] plans are built from cheaper options
@@ -65,7 +72,14 @@ impl PlanKey {
     /// Key for `fp` under `ordering` and `precision`, at full quality with
     /// the default (sequential) execution strategy.
     pub fn new(fp: MatrixFingerprint, ordering: OrderingKind, precision: PrecisionPolicy) -> Self {
-        Self { fp, ordering, precision, exec: ExecutionStrategy::Sequential, tier: SolveTier::Full }
+        Self {
+            fp,
+            ordering,
+            precision,
+            exec: ExecutionStrategy::Sequential,
+            precond: PrecondKind::IluSparsified,
+            tier: SolveTier::Full,
+        }
     }
 
     /// Fingerprints `a` and keys it under `ordering` and `precision`, at
@@ -80,6 +94,7 @@ impl PlanKey {
             ordering,
             precision,
             exec: ExecutionStrategy::Sequential,
+            precond: PrecondKind::IluSparsified,
             tier: SolveTier::Full,
         }
     }
@@ -87,6 +102,12 @@ impl PlanKey {
     /// The same key under a different execution strategy.
     pub fn with_exec(mut self, exec: ExecutionStrategy) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// The same key under a different preconditioner kind.
+    pub fn with_precond(mut self, precond: PrecondKind) -> Self {
+        self.precond = precond;
         self
     }
 
@@ -485,5 +506,23 @@ mod tests {
         assert_eq!(cache.len(), 2, "value twins coexist under distinct keys");
         assert!(!cache.get(&full).unwrap().is_mixed());
         assert!(cache.get(&mixed).unwrap().is_mixed());
+    }
+
+    #[test]
+    fn precond_kind_separates_value_twin_plans() {
+        let a = poisson_2d(6, 6);
+        let ilu = PlanKey::of(&a, OrderingKind::Natural, PrecisionPolicy::Full);
+        let fsai = ilu.with_precond(PrecondKind::Fsai);
+        assert_eq!(ilu.fp, fsai.fp, "same bytes, same fingerprint");
+        assert_ne!(ilu, fsai, "keys must differ by preconditioner kind");
+        let cache: PlanCache<f64> = PlanCache::new(CacheConfig::default());
+        cache.insert(ilu, Arc::new(SpcgPlan::build(&a, SpcgOptions::default()).unwrap()));
+        assert!(cache.get(&fsai).is_none(), "an ILU plan must never answer a level-free request");
+        let plan =
+            SpcgPlan::build(&a, SpcgOptions::default().with_precond(PrecondKind::Fsai)).unwrap();
+        cache.insert(fsai, Arc::new(plan));
+        assert_eq!(cache.len(), 2, "value twins coexist under distinct keys");
+        assert!(!cache.get(&ilu).unwrap().is_level_free());
+        assert!(cache.get(&fsai).unwrap().is_level_free());
     }
 }

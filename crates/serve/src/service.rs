@@ -43,7 +43,7 @@ use crate::cache::{CacheConfig, CacheStats, PlanCache, PlanKey};
 use crate::policy::{RequestPolicy, SolveTier};
 use crate::queue::{BoundedQueue, PushError};
 use spcg_core::{
-    FaultInjection, OrderingKind, PrecondKind, ResilienceOptions, SpcgOptions, SpcgPlan,
+    FaultInjection, IluFill, OrderingKind, PrecondKind, ResilienceOptions, SpcgOptions, SpcgPlan,
 };
 use spcg_gpusim::{
     dot_cost, elementwise_cost, estimate_from_structure, iteration_budget, plan_iteration_cost,
@@ -1014,6 +1014,7 @@ impl<T: Scalar> Inner<T> {
     fn key_for(&self, a: &CsrMatrix<T>) -> PlanKey {
         PlanKey::of(a, self.cfg.options.ordering, self.cfg.options.precision)
             .with_exec(self.cfg.options.exec)
+            .with_precond(self.cfg.options.precond)
     }
 
     /// Milliseconds since service start — the breaker timebase.
@@ -1023,8 +1024,9 @@ impl<T: Scalar> Inner<T> {
 
     /// Pipeline options for plans built at `tier`. `Full` is the
     /// configured pipeline; `Light` strips the expensive analysis
-    /// (sparsify pass, non-natural ordering, fill levels) down to plain
-    /// ILU(0). `Jacobi` builds no plan at all and never reaches here.
+    /// (sparsify pass, non-natural ordering, fill levels, the `Auto`
+    /// kind search with its probe solves) down to plain ILU(0). `Jacobi`
+    /// builds no plan at all and never reaches here.
     fn options_for_tier(&self, tier: SolveTier) -> SpcgOptions {
         match tier {
             SolveTier::Light => self
@@ -1032,7 +1034,8 @@ impl<T: Scalar> Inner<T> {
                 .options
                 .clone()
                 .with_sparsify(None)
-                .with_precond(PrecondKind::Ilu0)
+                .with_ilu_fill(IluFill::Ilu0)
+                .with_precond(PrecondKind::IluSparsified)
                 .with_ordering(OrderingKind::Natural),
             _ => self.cfg.options.clone(),
         }

@@ -89,6 +89,24 @@ impl ExecCostModel {
         total
     }
 
+    /// Priced time of one CSR SpMV `y = A x`, one thread per row — the unit
+    /// a *level-free* (approximate-inverse) preconditioner application is
+    /// made of. Mirrors the simulator's `spmv_cost` so the kind-crossover
+    /// search (priced triangular sweeps vs priced SpMVs) stays in lockstep
+    /// with gpusim.
+    pub fn spmv_time_us<T: Scalar>(&self, a: &CsrMatrix<T>) -> f64 {
+        let n = a.n_rows() as f64;
+        let nnz = a.nnz() as f64;
+        let val = std::mem::size_of::<T>() as f64;
+        let bytes = nnz * (val + IDX_BYTES) + (n + 1.0) * IDX_BYTES + 0.5 * nnz * val + n * val;
+        let flops = 2.0 * nnz;
+        let waves = (n / self.parallel_rows as f64).ceil().max(1.0);
+        let max_row = (0..a.n_rows()).map(|r| a.row_nnz(r)).max().unwrap_or(0) as f64;
+        let serial_us = waves * self.serial_entry_time_us(max_row);
+        let compute_us = (flops / (self.peak_gflops * 1e3)).max(serial_us);
+        self.launch_overhead_us + self.mem_time_us(bytes).max(compute_us)
+    }
+
     /// Priced time of one dependency-block sweep: a single launch plus one
     /// release per block, rooflined over the sweep's total traffic and the
     /// heaviest serial chain through the block graph.

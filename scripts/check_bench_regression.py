@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI perf-regression gate over the tracked trajectory bench.
 
-Compares a freshly regenerated `BENCH_9.json` against the committed
+Compares a freshly regenerated `BENCH_10.json` against the committed
 baseline and fails (exit 1) if any fixture regressed beyond tolerance:
 
 * **Simulated per-iteration cost** (baseline, spcg, auto-ordering, and
@@ -24,6 +24,14 @@ baseline and fails (exit 1) if any fixture regressed beyond tolerance:
   sweep prices at or above the barrier sweep — killing the per-level
   barrier is the executor's reason to exist, so losing the reduction is
   a regression even if timings hold.
+* **Preconditioner study (ILU vs level-free)**: a nonzero measured sync
+  count on any FSAI solve (the approximate-inverse apply is pure SpMV —
+  synchronizing at all means a triangular sweep leaked back in), an
+  `Auto` kind pick pricing worse than the always-ILU candidate in its
+  own search (the argmin includes ILU, so this can only mean the search
+  broke), or no wavefront-poor fixture (>= 100 barrier syncs/iter)
+  crossing over to a level-free kind — the crossover is the family's
+  reason to exist.
 * **Serve study (admission control at 2x load)**: any priority class's
   p99 virtual-time latency exceeding the per-request deadline (the
   watchdog makes the deadline a hard ceiling, so a breach means the
@@ -58,6 +66,8 @@ APPLY_BYTES_FLOOR = 1.5  # per-fixture floor for full/mixed apply-bytes ratio
 P99_SLACK = 1.02  # 2% relative, high-priority p99 vs baseline
 P99_EPS = 0.01  # absolute µs floor under the 3-decimal rounding
 REFRESH_SPEEDUP_FLOOR = 2.0  # per-fixture floor for rebuild/refresh cost ratio
+AUTO_PRICE_EPS = 0.01  # absolute µs slack under the 3-decimal rounding
+WAVEFRONT_POOR_SYNCS = 100  # barrier syncs/iter above which sweeps are serial-bound
 
 
 def load(path: str) -> dict:
@@ -110,6 +120,51 @@ def check_sync_study(cand_rows: dict[str, dict], failures: list[str]) -> None:
                 f"sync/{name}: block sweep {s['sweep_us_blocks']:.3f} µs prices at or above "
                 f"the barrier sweep {s['sweep_us_barrier']:.3f} µs"
             )
+
+
+def check_precond(cand_rows: dict[str, dict], failures: list[str]) -> None:
+    """Gate the ILU-vs-level-free preconditioner study.
+
+    Three properties, all load-bearing: the level-free apply synchronizes
+    nothing (measured, not assumed), the `Auto` search never prices its
+    pick above the always-admissible ILU candidate, and at least one
+    wavefront-poor fixture — deep sweeps, where the paper's latency
+    argument bites hardest — actually crosses over to a level-free kind.
+    """
+    print("-" * 66)
+    print(f"{'precond study':<16} {'iters ilu/fsai':>15} {'syncs':>12} {'auto':>18}")
+    crossover = False
+    any_poor = False
+    for name, c in cand_rows.items():
+        p = c.get("precond")
+        if p is None:
+            failures.append(f"precond/{name}: study missing from candidate")
+            continue
+        iters = f"{p['iterations_ilu']:>5} / {p['iterations_fsai']:<5}"
+        syncs = f"{p['syncs_per_iter_ilu']:>5} / {p['syncs_per_iter_fsai']:<3}"
+        auto = f"{p['auto_chose']} {p['auto_total_us']:>7.0f} µs"
+        print(f"{name:<16} {iters:>15} {syncs:>12} {auto:>18}")
+        if p["syncs_per_iter_fsai"] != 0:
+            failures.append(
+                f"precond/{name}: FSAI solve measured {p['syncs_per_iter_fsai']} syncs — "
+                f"the level-free apply must synchronize nothing"
+            )
+        if p["auto_total_us"] > p["ilu_total_us"] + AUTO_PRICE_EPS:
+            failures.append(
+                f"precond/{name}: Auto's pick ({p['auto_chose']}) priced "
+                f"{p['auto_total_us']:.0f} µs above the ILU candidate's "
+                f"{p['ilu_total_us']:.0f} µs — the kind search stopped taking the argmin"
+            )
+        wavefront_poor = c.get("sync", {}).get("syncs_barrier", 0) >= WAVEFRONT_POOR_SYNCS
+        any_poor = any_poor or wavefront_poor
+        if wavefront_poor and p["auto_chose"] != "ilu":
+            crossover = True
+    if any_poor and not crossover:
+        failures.append(
+            f"precond: no wavefront-poor fixture (>= {WAVEFRONT_POOR_SYNCS} barrier "
+            f"syncs/iter) crossed over to a level-free kind — Auto stopped finding "
+            f"the sweeps worth escaping"
+        )
 
 
 def check_serve(base: dict | None, cand: dict | None, failures: list[str]) -> None:
@@ -235,6 +290,7 @@ def main() -> None:
         )
 
     check_sync_study(cand_rows, failures)
+    check_precond(cand_rows, failures)
     check_serve(base.get("serve"), cand.get("serve"), failures)
     check_sequence(cand.get("sequence"), failures)
 

@@ -3,11 +3,12 @@
 
 Two jobs, both idempotent:
 
-1. **Trajectory tables** (always): reads the tracked `BENCH_9.json` written
+1. **Trajectory tables** (always): reads the tracked `BENCH_10.json` written
    by `cargo bench -p spcg-bench --bench trajectory` and regenerates the
    tables between the `BENCH_TRAJECTORY:BEGIN/END`,
    `BENCH_ORDERINGS:BEGIN/END`, `BENCH_PRECISION:BEGIN/END`,
-   `BENCH_SYNC:BEGIN/END`, `BENCH_SERVE:BEGIN/END`, and
+   `BENCH_SYNC:BEGIN/END`, `BENCH_PRECOND:BEGIN/END`,
+   `BENCH_SERVE:BEGIN/END`, and
    `BENCH_SEQUENCE:BEGIN/END` markers.
    Re-running with the same JSON is a no-op.
 2. **MEASURED_* placeholders** (only when `bench_output.txt` exists):
@@ -26,7 +27,7 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 EXP = ROOT / "EXPERIMENTS.md"
-BENCH_JSON = ROOT / "BENCH_9.json"
+BENCH_JSON = ROOT / "BENCH_10.json"
 BENCH_TXT = ROOT / "bench_output.txt"
 
 BEGIN = "<!-- BENCH_TRAJECTORY:BEGIN -->"
@@ -37,6 +38,8 @@ PREC_BEGIN = "<!-- BENCH_PRECISION:BEGIN -->"
 PREC_END = "<!-- BENCH_PRECISION:END -->"
 SYNC_BEGIN = "<!-- BENCH_SYNC:BEGIN -->"
 SYNC_END = "<!-- BENCH_SYNC:END -->"
+PRECOND_BEGIN = "<!-- BENCH_PRECOND:BEGIN -->"
+PRECOND_END = "<!-- BENCH_PRECOND:END -->"
 SERVE_BEGIN = "<!-- BENCH_SERVE:BEGIN -->"
 SERVE_END = "<!-- BENCH_SERVE:END -->"
 SEQ_BEGIN = "<!-- BENCH_SEQUENCE:BEGIN -->"
@@ -150,6 +153,33 @@ def sync_block(traj: dict) -> str:
     return "\n".join(lines)
 
 
+def precond_block(traj: dict) -> str:
+    """Markdown table for the ILU-vs-FSAI preconditioner-family study."""
+    lines = [
+        "Preconditioner-family study: the default ILU(0)-sparsified plan",
+        "(level-barrier apply) against the level-free FSAI plan on the same",
+        "systems, plus the kind `--precond auto`'s joint search commits to and",
+        "its end-to-end pricing of that pick vs the always-ILU candidate. CI",
+        "gates the FSAI sync count at zero and Auto's priced total at or below",
+        "ILU's on every fixture.",
+        "",
+        "| Fixture | Iters (ilu vs fsai) | Per-iter µs (ilu vs fsai) "
+        "| Syncs/apply (ilu vs fsai) | Auto chose | Priced µs (auto vs ilu) |",
+        "|---|---|---|---|---|---|",
+    ]
+    for r in traj["rows"]:
+        p = r["precond"]
+        lines.append(
+            f"| {r['name']} "
+            f"| {p['iterations_ilu']} vs {p['iterations_fsai']} "
+            f"| {p['per_iteration_us_ilu']:.1f} vs {p['per_iteration_us_fsai']:.1f} "
+            f"| {p['syncs_per_iter_ilu']} vs {p['syncs_per_iter_fsai']} "
+            f"| {p['auto_chose']} "
+            f"| {p['auto_total_us']:.0f} vs {p['ilu_total_us']:.0f} |"
+        )
+    return "\n".join(lines)
+
+
 def serve_block(traj: dict) -> str:
     """Markdown table for the virtual-time admission-control replay."""
     s = traj["serve"]
@@ -211,7 +241,7 @@ def replace_between(text: str, begin: str, end: str, block: str) -> str:
 def fill_trajectory(text: str) -> str:
     if not BENCH_JSON.exists():
         sys.exit(
-            "BENCH_9.json missing — run "
+            "BENCH_10.json missing — run "
             "`cargo bench -p spcg-bench --bench trajectory` first"
         )
     traj = json.loads(BENCH_JSON.read_text())
@@ -219,6 +249,7 @@ def fill_trajectory(text: str) -> str:
     text = replace_between(text, ORD_BEGIN, ORD_END, orderings_block(traj))
     text = replace_between(text, PREC_BEGIN, PREC_END, precision_block(traj))
     text = replace_between(text, SYNC_BEGIN, SYNC_END, sync_block(traj))
+    text = replace_between(text, PRECOND_BEGIN, PRECOND_END, precond_block(traj))
     text = replace_between(text, SERVE_BEGIN, SERVE_END, serve_block(traj))
     return replace_between(text, SEQ_BEGIN, SEQ_END, sequence_block(traj))
 

@@ -9,7 +9,8 @@ use spcg::prelude::*;
 use spcg::sparse::generators as gen;
 use spcg::sparse::io::{read_matrix_market_file, write_matrix_market_file, MmSymmetry};
 use spcg_gpusim::{
-    end_to_end_cost, pcg_iteration_cost_with_factor_bytes, simulated_solve_trace, DeviceSpec,
+    end_to_end_cost, pcg_iteration_cost_with_factor_bytes, plan_end_to_end_cost,
+    plan_iteration_cost, simulated_solve_trace, DeviceSpec,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -91,6 +92,7 @@ fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
             other => sparsify_params(other),
         },
         precond: args.precond,
+        ilu_fill: args.ilu_fill,
         exec: args.exec,
         solver: args.solver.clone(),
         ordering: args.ordering,
@@ -159,15 +161,48 @@ fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
     let reorder_time = plan.reorder_time();
     let precision = plan.precision();
     let factor_bytes = plan.factor_value_bytes() as f64;
-    let out = plan.into_outcome(result);
+    let resolved = plan.precond_kind();
+    let label = if resolved == PrecondKind::IluSparsified {
+        args.ilu_fill.label()
+    } else {
+        resolved.label().to_uppercase()
+    };
+    let kind_decision = plan.kind_decision().cloned();
+    let level_free = plan.is_level_free();
+    let sparsify_time = plan.sparsify_time();
+    let factorization_time = plan.factorization_time();
+    // Level-free plans carry no ILU factors; everything below borrows from
+    // the plan instead of consuming it via `into_outcome`.
+    let decision = plan.decision();
+    let factors = if level_free { None } else { Some(plan.factors()) };
     println!(
         "{} {}: {:?} after {} iterations, residual {:.3e}",
-        if opts.sparsify.is_some() { "SPCG" } else { "PCG" },
-        args.precond.label(),
-        out.result.stop,
-        out.result.iterations,
-        out.result.final_residual
+        if decision.is_some() { "SPCG" } else { "PCG" },
+        label,
+        result.stop,
+        result.iterations,
+        result.final_residual
     );
+    if let Some(d) = &kind_decision {
+        let priced: Vec<String> = d
+            .candidates
+            .iter()
+            .map(|c| {
+                format!(
+                    "{} {:.0}us{}",
+                    c.kind.label(),
+                    c.total_us,
+                    if c.guard_passed { "" } else { " [guard]" }
+                )
+            })
+            .collect();
+        println!(
+            "precond: requested {}, chose {} ({})",
+            d.requested.label(),
+            d.chosen.label(),
+            priced.join(", ")
+        );
+    }
     if args.precision != PrecisionPolicy::Full {
         println!(
             "precision: requested {}, running {} ({}-byte factor values)",
@@ -184,7 +219,7 @@ fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
             r.level_reduction_percent()
         );
     }
-    if let Some(d) = &out.decision {
+    if let Some(d) = decision {
         println!(
             "sparsification: ratio {}% ({:?}), wavefronts {} -> {}",
             d.chosen_ratio, d.reason, d.wavefronts_original, d.wavefronts_sparsified
@@ -192,7 +227,7 @@ fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
     }
     println!(
         "timings: reorder {:.2?}, sparsify {:.2?}, factorization {:.2?}, solve loop {:.2?}",
-        reorder_time, out.sparsify_time, out.factorization_time, out.result.timings.total
+        reorder_time, sparsify_time, factorization_time, result.timings.total
     );
     if let Some(path) = &args.trace {
         let json = match serde_json::to_string_pretty(&trace) {
@@ -211,30 +246,43 @@ fn run_solve(args: &SolveArgs, analyze_only: bool) -> ExitCode {
     }
     if let Some(dev_name) = &args.device {
         let dev = device_by_name(dev_name);
-        let it = pcg_iteration_cost_with_factor_bytes(&dev, &a, &out.factors, factor_bytes);
-        let e2e = end_to_end_cost(
-            &dev,
-            &a,
-            out.factors.l(),
-            &out.factors,
-            out.result.iterations,
-            out.decision.is_some(),
-        );
-        println!(
-            "{} model: {:.1} us/iteration, {:.1} us end-to-end",
-            dev.name,
-            it.total_us(),
-            e2e.total_us()
-        );
-        if args.trace.is_some() {
-            // Simulated counterpart of the measured table above: same span
-            // vocabulary, timings from the execution model.
-            let sim = simulated_solve_trace(&dev, &a, &out.factors, out.result.iterations);
-            println!("{} model phase table:", dev.name);
-            println!("{}", sim.phase_table());
+        if let Some(factors) = factors {
+            let it = pcg_iteration_cost_with_factor_bytes(&dev, &a, factors, factor_bytes);
+            let e2e = end_to_end_cost(
+                &dev,
+                &a,
+                factors.l(),
+                factors,
+                result.iterations,
+                decision.is_some(),
+            );
+            println!(
+                "{} model: {:.1} us/iteration, {:.1} us end-to-end",
+                dev.name,
+                it.total_us(),
+                e2e.total_us()
+            );
+            if args.trace.is_some() {
+                // Simulated counterpart of the measured table above: same
+                // span vocabulary, timings from the execution model.
+                let sim = simulated_solve_trace(&dev, &a, factors, result.iterations);
+                println!("{} model phase table:", dev.name);
+                println!("{}", sim.phase_table());
+            }
+        } else {
+            // Level-free apply: priced through the plan-aware entry points
+            // (SpMVs over the stored inverse factors, no sweeps).
+            let it = plan_iteration_cost(&dev, &plan);
+            let e2e = plan_end_to_end_cost(&dev, &plan, result.iterations);
+            println!(
+                "{} model: {:.1} us/iteration, {:.1} us end-to-end",
+                dev.name,
+                it.total_us(),
+                e2e.total_us()
+            );
         }
     }
-    if out.result.converged() {
+    if result.converged() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -9,7 +9,9 @@
 //! Parsing is hand-rolled (no external dependency) and lives here so it is
 //! unit-testable; `src/bin/spcg-cli.rs` is a thin wrapper.
 
-use spcg_core::{CondEstimator, OrderingKind, PrecisionPolicy, PrecondKind, SparsifyParams};
+use spcg_core::{
+    CondEstimator, IluFill, OrderingKind, PrecisionPolicy, PrecondKind, SparsifyParams,
+};
 use spcg_precond::ExecutionStrategy;
 use spcg_solver::{SolverConfig, ToleranceMode};
 use std::collections::HashMap;
@@ -30,8 +32,11 @@ pub enum SparsifyMode {
 pub struct SolveArgs {
     /// Path to the Matrix Market file.
     pub matrix: String,
-    /// Preconditioner selection.
+    /// Preconditioner family (sparsified ILU, a level-free approximate
+    /// inverse, or the priced `auto` search).
     pub precond: PrecondKind,
+    /// Fill level within the ILU family (ignored by level-free kinds).
+    pub ilu_fill: IluFill,
     /// Sparsification mode.
     pub sparsify: SparsifyMode,
     /// Symmetric ordering applied before analysis.
@@ -131,7 +136,7 @@ pub const USAGE: &str = "\
 spcg-cli — sparsified preconditioned conjugate gradient solver
 
 USAGE:
-  spcg-cli solve   --matrix FILE [--precond ilu0|iluk=K|jacobi|sai] \
+  spcg-cli solve   --matrix FILE [--precond ilu0|iluk=K|fsai|spai|jacobi|auto] \
 [--sparsify auto|off|RATIO%] [--ordering natural|rcm|coloring|auto] \
 [--precision full|mixed|auto] [--tol 1e-10] [--abs-tol] [--max-iters N] \
 [--exec-strategy seq|barrier|blocks|auto] [--exec seq|par] \
@@ -169,20 +174,24 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(flags)
 }
 
-fn parse_precond(s: &str) -> Result<PrecondKind, String> {
-    if s == "ilu0" {
-        return Ok(PrecondKind::Ilu0);
+fn parse_precond(s: &str) -> Result<(PrecondKind, IluFill), String> {
+    if s == "ilu" || s == "ilu0" {
+        return Ok((PrecondKind::IluSparsified, IluFill::Ilu0));
     }
     if let Some(k) = s.strip_prefix("iluk=") {
         return k
             .parse::<usize>()
-            .map(PrecondKind::Iluk)
+            .map(|k| (PrecondKind::IluSparsified, IluFill::Iluk(k)))
             .map_err(|e| format!("bad K in --precond {s}: {e}"));
     }
-    // jacobi/sai are handled by the binary directly; encode them through
-    // PrecondKind is not possible, so reject here and let the wrapper
-    // intercept the raw flag first.
-    Err(format!("unknown preconditioner: {s} (expected ilu0 or iluk=K)"))
+    // `sai` is the legacy spelling of the static-pattern inverse.
+    if s == "sai" {
+        return Ok((PrecondKind::Spai, IluFill::Ilu0));
+    }
+    if let Some(kind) = PrecondKind::parse(s) {
+        return Ok((kind, IluFill::Ilu0));
+    }
+    Err(format!("unknown preconditioner: {s} (expected ilu0, iluk=K, fsai, spai, jacobi, or auto)"))
 }
 
 fn parse_sparsify(s: &str) -> Result<SparsifyMode, String> {
@@ -202,13 +211,8 @@ fn parse_sparsify(s: &str) -> Result<SparsifyMode, String> {
 fn parse_solve(args: &[String]) -> Result<SolveArgs, String> {
     let flags = parse_flags(args)?;
     let matrix = flags.get("matrix").cloned().ok_or_else(|| "--matrix is required".to_string())?;
-    let precond = match flags.get("precond") {
-        None => PrecondKind::Ilu0,
-        Some(s) if s == "jacobi" || s == "sai" => {
-            return Err(format!(
-                "--precond {s} is only available through the library API in this build"
-            ))
-        }
+    let (precond, ilu_fill) = match flags.get("precond") {
+        None => (PrecondKind::IluSparsified, IluFill::Ilu0),
         Some(s) => parse_precond(s)?,
     };
     let sparsify = match flags.get("sparsify") {
@@ -281,6 +285,7 @@ fn parse_solve(args: &[String]) -> Result<SolveArgs, String> {
     Ok(SolveArgs {
         matrix,
         precond,
+        ilu_fill,
         sparsify,
         ordering,
         precision,
@@ -409,7 +414,8 @@ mod tests {
         let cmd = parse(&s(&["solve", "--matrix", "m.mtx"])).unwrap();
         let Command::Solve(a) = cmd else { panic!("wrong command") };
         assert_eq!(a.matrix, "m.mtx");
-        assert_eq!(a.precond, PrecondKind::Ilu0);
+        assert_eq!(a.precond, PrecondKind::IluSparsified);
+        assert_eq!(a.ilu_fill, IluFill::Ilu0);
         assert_eq!(a.sparsify, SparsifyMode::Auto);
         assert_eq!(a.ordering, OrderingKind::Natural);
         assert_eq!(a.exec, ExecutionStrategy::Sequential);
@@ -469,7 +475,8 @@ mod tests {
         ]))
         .unwrap();
         let Command::Solve(a) = cmd else { panic!() };
-        assert_eq!(a.precond, PrecondKind::Iluk(2));
+        assert_eq!(a.precond, PrecondKind::IluSparsified);
+        assert_eq!(a.ilu_fill, IluFill::Iluk(2));
         assert_eq!(a.sparsify, SparsifyMode::Fixed(5.0));
         assert_eq!(a.solver.tol, 1e-8);
         assert_eq!(a.solver.max_iters, 200);
@@ -507,6 +514,23 @@ mod tests {
             "blocks"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parses_precond_kinds() {
+        for (spelling, kind) in [
+            ("ilu", PrecondKind::IluSparsified),
+            ("fsai", PrecondKind::Fsai),
+            ("spai", PrecondKind::Spai),
+            ("sai", PrecondKind::Spai), // legacy spelling
+            ("jacobi", PrecondKind::Jacobi),
+            ("auto", PrecondKind::Auto),
+        ] {
+            let cmd = parse(&s(&["solve", "--matrix", "m.mtx", "--precond", spelling])).unwrap();
+            let Command::Solve(a) = cmd else { panic!() };
+            assert_eq!(a.precond, kind, "--precond {spelling}");
+            assert_eq!(a.ilu_fill, IluFill::Ilu0, "level-free kinds leave fill at the default");
+        }
     }
 
     #[test]

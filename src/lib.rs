@@ -48,10 +48,10 @@ pub use spcg_wavefront as wavefront;
 /// options and results, the recovery ladder, and the probe layer.
 pub mod prelude {
     pub use spcg_core::{
-        oracle_select, wavefront_aware_sparsify, FallbackRung, FaultInjection, OrderingKind,
-        PrecisionPolicy, PrecondKind, RecoveryAttempt, RecoveryReport, ReorderCandidate,
-        ReorderDecision, ResilienceOptions, ResilientSolve, SparsifyParams, SpcgOptions,
-        SpcgOutcome, SpcgPlan, ORACLE_RATIOS,
+        oracle_select, wavefront_aware_sparsify, FallbackRung, FaultInjection, IluFill,
+        KindCandidate, KindDecision, OrderingKind, PrecisionPolicy, PrecondKind, RecoveryAttempt,
+        RecoveryReport, ReorderCandidate, ReorderDecision, ResilienceOptions, ResilientSolve,
+        SparsifyParams, SpcgOptions, SpcgOutcome, SpcgPlan, ORACLE_RATIOS,
     };
     pub use spcg_precond::{
         ic0, ilu0, iluk, shifted_factorization, ExecutionStrategy, Preconditioner, ShiftPolicy,

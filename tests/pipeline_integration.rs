@@ -153,7 +153,7 @@ fn iluk_pipeline_beats_ilu0_on_iterations() {
         &b,
         SpcgOptions::default()
             .with_sparsify(None)
-            .with_precond(PrecondKind::Ilu0)
+            .with_ilu_fill(IluFill::Ilu0)
             .with_solver(solver()),
     )
     .unwrap();
@@ -162,7 +162,7 @@ fn iluk_pipeline_beats_ilu0_on_iterations() {
         &b,
         SpcgOptions::default()
             .with_sparsify(None)
-            .with_precond(PrecondKind::Iluk(2))
+            .with_ilu_fill(IluFill::Iluk(2))
             .with_solver(solver()),
     )
     .unwrap();

@@ -7,6 +7,7 @@ use spcg::sparse::generators::{banded_spd, poisson_2d, random_spd, with_magnitud
 use spcg::sparse::spmv::spmv_alloc;
 use spcg_core::sparsify_by_magnitude;
 use spcg_gpusim::{trisolve_cost, DeviceSpec, TrisolveWorkload};
+use spcg_precond::FsaiPreconditioner;
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
@@ -109,6 +110,32 @@ proptest! {
         let more = trisolve_cost(&device, &make(levels * 2));
         prop_assert!(more.time_us >= few.time_us,
             "{} levels cost {} < {} levels cost {}", levels * 2, more.time_us, levels, few.time_us);
+    }
+
+    /// The FSAI factor `G ≈ L⁻¹` is lower triangular with a strictly
+    /// positive diagonal on every SPD input — the structural invariant that
+    /// makes the split apply `Gᵀ(G r)` SPD-preserving, so PCG stays sound.
+    #[test]
+    fn fsai_factor_is_lower_triangular_with_positive_diagonal(
+        n in 10usize..80,
+        band in 2usize..6,
+        density in 0.4f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let a = banded_spd(n, band, density, 1.4, seed);
+        let f = FsaiPreconditioner::new(&a).unwrap();
+        let g = f.g();
+        for i in 0..n {
+            let mut saw_diag = false;
+            for (&j, &v) in g.row_cols(i).iter().zip(g.row_values(i)) {
+                prop_assert!(j <= i, "G[{i},{j}] above the diagonal");
+                if j == i {
+                    saw_diag = true;
+                    prop_assert!(v > 0.0, "G[{i},{i}] = {v} not positive");
+                }
+            }
+            prop_assert!(saw_diag, "row {i} of G has no diagonal entry");
+        }
     }
 
     /// SpMV agrees with the dense reference on arbitrary sparse matrices.
